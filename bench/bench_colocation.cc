@@ -1,0 +1,57 @@
+// Related-work baseline benchmark: co-location mining (Huang, Shekhar &
+// Xiong) vs the paper's qualitative pipeline on the same synthetic city —
+// the comparison behind the paper's Section 1 argument that co-location
+// handles only metric neighbourhoods over point-like data.
+
+#include <benchmark/benchmark.h>
+
+#include "coloc/colocation.h"
+#include "core/apriori.h"
+#include "datagen/city.h"
+#include "feature/extractor.h"
+
+namespace {
+
+using sfpm::datagen::City;
+using sfpm::datagen::CityConfig;
+
+const City& SharedCity() {
+  static const std::unique_ptr<City> city = [] {
+    CityConfig config;
+    config.seed = 99;
+    return sfpm::datagen::GenerateCity(config);
+  }();
+  return *city;
+}
+
+void BM_Colocation(benchmark::State& state) {
+  const City& city = SharedCity();
+  sfpm::coloc::ColocationOptions options;
+  options.neighbor_distance = static_cast<double>(state.range(0));
+  options.min_prevalence = 0.2;
+  for (auto _ : state) {
+    auto patterns = sfpm::coloc::MineColocations(
+        {&city.schools, &city.police, &city.illumination}, options);
+    benchmark::DoNotOptimize(patterns);
+  }
+}
+BENCHMARK(BM_Colocation)->Arg(250)->Arg(500)->Arg(1000);
+
+void BM_QualitativePipeline(benchmark::State& state) {
+  const City& city = SharedCity();
+  sfpm::feature::PredicateExtractor extractor(&city.districts);
+  extractor.AddRelevantLayer(&city.schools);
+  extractor.AddRelevantLayer(&city.police);
+  extractor.AddRelevantLayer(&city.illumination);
+  sfpm::feature::ExtractorOptions options;
+  for (auto _ : state) {
+    auto table = extractor.Extract(options);
+    auto mined = sfpm::core::MineAprioriKCPlus(table.value().db(), 0.1);
+    benchmark::DoNotOptimize(mined);
+  }
+}
+BENCHMARK(BM_QualitativePipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// End-to-end benchmark of the spatial predicate extraction phase — what
+// the paper identifies as the dominant cost of spatial pattern mining —
+// on synthetic cities of growing size, plus the full pipeline
+// (extract + mine) that backs the crime_analysis example.
+
+#include <benchmark/benchmark.h>
+
+#include "core/apriori.h"
+#include "datagen/city.h"
+#include "feature/extractor.h"
+
+namespace {
+
+using sfpm::datagen::City;
+using sfpm::datagen::CityConfig;
+using sfpm::datagen::GenerateCity;
+using sfpm::feature::ExtractorOptions;
+using sfpm::feature::PredicateExtractor;
+
+CityConfig ScaledConfig(int scale) {
+  CityConfig config;
+  config.grid_cols = 4 * scale;
+  config.grid_rows = 3 * scale;
+  config.num_slums = static_cast<size_t>(20 * scale * scale);
+  config.num_schools = static_cast<size_t>(40 * scale * scale);
+  config.num_police = static_cast<size_t>(8 * scale * scale);
+  config.num_streets = static_cast<size_t>(30 * scale * scale);
+  config.seed = 2007;
+  return config;
+}
+
+PredicateExtractor MakeExtractor(const City& city) {
+  PredicateExtractor extractor(&city.districts);
+  extractor.AddRelevantLayer(&city.slums);
+  extractor.AddRelevantLayer(&city.schools);
+  extractor.AddRelevantLayer(&city.police);
+  return extractor;
+}
+
+void BM_Extraction_Topological(benchmark::State& state) {
+  const auto city = GenerateCity(ScaledConfig(static_cast<int>(state.range(0))));
+  const PredicateExtractor extractor = MakeExtractor(*city);
+  ExtractorOptions options;
+  for (auto _ : state) {
+    auto table = extractor.Extract(options);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(state.iterations() * city->districts.Size());
+}
+BENCHMARK(BM_Extraction_Topological)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Extraction_WithDistanceBands(benchmark::State& state) {
+  const auto city = GenerateCity(ScaledConfig(static_cast<int>(state.range(0))));
+  const PredicateExtractor extractor = MakeExtractor(*city);
+  const auto bands = sfpm::qsr::DistanceQuantizer::Default();
+  ExtractorOptions options;
+  options.distance_bands = &bands;
+  for (auto _ : state) {
+    auto table = extractor.Extract(options);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(state.iterations() * city->districts.Size());
+}
+BENCHMARK(BM_Extraction_WithDistanceBands)->Arg(1)->Arg(2);
+
+void BM_Pipeline_ExtractAndMine(benchmark::State& state) {
+  const auto city = GenerateCity(ScaledConfig(static_cast<int>(state.range(0))));
+  const PredicateExtractor extractor = MakeExtractor(*city);
+  ExtractorOptions options;
+  for (auto _ : state) {
+    auto table = extractor.Extract(options);
+    auto result =
+        sfpm::core::MineAprioriKCPlus(table.value().db(), 0.1);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Pipeline_ExtractAndMine)->Arg(1)->Arg(2);
+
+void BM_CityGeneration(benchmark::State& state) {
+  const CityConfig config = ScaledConfig(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto city = GenerateCity(config);
+    benchmark::DoNotOptimize(city);
+  }
+}
+BENCHMARK(BM_CityGeneration)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Reproduces Figure 6 (frequent pattern counts of Apriori vs Apriori-KC+
+// on the second experimental dataset across a minimum-support sweep),
+// Figure 7 (their computational time) and the Section 4.2 Formula 1
+// validations on the largest frequent itemsets.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/apriori.h"
+#include "datagen/synthetic_predicates.h"
+#include "stats/gain.h"
+#include "stats/largest_itemset.h"
+
+namespace {
+
+using sfpm::core::MineApriori;
+using sfpm::core::MineAprioriKCPlus;
+
+const sfpm::feature::PredicateTable& Dataset() {
+  static const sfpm::feature::PredicateTable table =
+      sfpm::datagen::MakePaperDataset2();
+  return table;
+}
+
+void PrintReproduction() {
+  const auto& table = Dataset();
+  std::printf(
+      "== Dataset 2 (Figures 6 & 7): %zu transactions, %zu spatial "
+      "predicates, %zu same-feature-type pairs, no dependencies ==\n\n",
+      table.NumRows(), table.NumPredicates(),
+      table.CountSameFeatureTypePairs());
+
+  std::printf(
+      "== Figure 6 (counts) / Figure 7 (times) ==\n"
+      "%-8s %10s %12s %12s   %-26s %10s %10s\n", "minsup", "Apriori",
+      "Apriori-KC+", "red. %", "largest itemset (Formula 1)", "predicted",
+      "real gain");
+  for (double minsup : {0.05, 0.08, 0.11, 0.14, 0.17, 0.20}) {
+    const auto apriori = MineApriori(table.db(), minsup).value();
+    const auto kcplus = MineAprioriKCPlus(table.db(), minsup).value();
+    const double base = static_cast<double>(apriori.CountAtLeast(2));
+
+    const auto params =
+        sfpm::stats::AnalyzeLargestItemset(apriori, table.db());
+    uint64_t predicted = 0;
+    std::string desc = "-";
+    if (params.ok()) {
+      desc = params.value().ToString();
+      predicted =
+          sfpm::stats::MinimalGain(params.value().t, params.value().n)
+              .value_or(0);
+    }
+    std::printf(
+        "%5.0f%%   %10zu %12zu %11.1f%%   %-26s %10llu %10zu   "
+        "(times: %.2f / %.2f ms)\n",
+        minsup * 100, apriori.CountAtLeast(2), kcplus.CountAtLeast(2),
+        100.0 * (1.0 - kcplus.CountAtLeast(2) / base), desc.c_str(),
+        static_cast<unsigned long long>(predicted),
+        apriori.CountAtLeast(2) - kcplus.CountAtLeast(2),
+        apriori.stats().total_millis, kcplus.stats().total_millis);
+  }
+  std::printf(
+      "\nPaper shape: KC+ removes >55%% at every minsup; at 17%% the "
+      "predicted gain (74) equals the real gain; at 5%% the prediction "
+      "(148, from m=8 u=3 t=2,2,2 n=2) lower-bounds the real gain.\n\n");
+}
+
+void BM_Figure7_Apriori(benchmark::State& state) {
+  const double minsup = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto result = MineApriori(Dataset().db(), minsup);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Figure7_Apriori)->Arg(5)->Arg(11)->Arg(17);
+
+void BM_Figure7_AprioriKCPlus(benchmark::State& state) {
+  const double minsup = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto result = MineAprioriKCPlus(Dataset().db(), minsup);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Figure7_AprioriKCPlus)->Arg(5)->Arg(11)->Arg(17);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReproduction();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

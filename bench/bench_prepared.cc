@@ -1,0 +1,106 @@
+// Ablation benchmark (DESIGN.md): prepared geometry vs plain Relate in
+// the extractor's access pattern — one reference polygon related against
+// many candidates — across reference polygon sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "relate/prepared.h"
+#include "relate/relate.h"
+#include "util/random.h"
+
+namespace {
+
+using sfpm::Rng;
+using sfpm::geom::Geometry;
+using sfpm::geom::LinearRing;
+using sfpm::geom::Point;
+using sfpm::geom::Polygon;
+
+Polygon Blob(Rng* rng, const Point& center, double radius, int vertices) {
+  std::vector<Point> ring;
+  for (int i = 0; i < vertices; ++i) {
+    const double angle = 2 * M_PI * i / vertices;
+    const double r = radius * rng->NextDouble(0.7, 1.3);
+    ring.emplace_back(center.x + r * std::cos(angle),
+                      center.y + r * std::sin(angle));
+  }
+  return Polygon(LinearRing(std::move(ring)));
+}
+
+std::vector<Geometry> Candidates(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Geometry> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.emplace_back(Blob(&rng,
+                          Point(rng.NextDouble(-12, 12),
+                                rng.NextDouble(-12, 12)),
+                          2.0, 8));
+  }
+  return out;
+}
+
+void BM_Relate_Plain(benchmark::State& state) {
+  Rng rng(1);
+  const Geometry reference(
+      Blob(&rng, Point(0, 0), 10.0, static_cast<int>(state.range(0))));
+  const auto candidates = Candidates(64, 2);
+  for (auto _ : state) {
+    for (const Geometry& c : candidates) {
+      auto m = sfpm::relate::Relate(reference, c);
+      benchmark::DoNotOptimize(m);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * candidates.size());
+}
+BENCHMARK(BM_Relate_Plain)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Relate_Prepared(benchmark::State& state) {
+  Rng rng(1);
+  const sfpm::relate::PreparedGeometry reference(
+      Geometry(Blob(&rng, Point(0, 0), 10.0,
+                    static_cast<int>(state.range(0)))));
+  const auto candidates = Candidates(64, 2);
+  for (auto _ : state) {
+    for (const Geometry& c : candidates) {
+      auto m = reference.Relate(c);
+      benchmark::DoNotOptimize(m);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * candidates.size());
+}
+BENCHMARK(BM_Relate_Prepared)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Locate_Plain(benchmark::State& state) {
+  Rng rng(3);
+  const Geometry polygon(
+      Blob(&rng, Point(0, 0), 10.0, static_cast<int>(state.range(0))));
+  Rng probe_rng(4);
+  for (auto _ : state) {
+    auto loc = sfpm::geom::Locate(
+        Point(probe_rng.NextDouble(-12, 12), probe_rng.NextDouble(-12, 12)),
+        polygon);
+    benchmark::DoNotOptimize(loc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Locate_Plain)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_Locate_Prepared(benchmark::State& state) {
+  Rng rng(3);
+  const sfpm::relate::PreparedGeometry polygon(Geometry(
+      Blob(&rng, Point(0, 0), 10.0, static_cast<int>(state.range(0)))));
+  Rng probe_rng(4);
+  for (auto _ : state) {
+    auto loc = polygon.Locate(
+        Point(probe_rng.NextDouble(-12, 12), probe_rng.NextDouble(-12, 12)));
+    benchmark::DoNotOptimize(loc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Locate_Prepared)->Arg(64)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Substrate benchmark: DE-9IM relate throughput per geometry type pair,
+// as a function of vertex count. Not a paper figure; validates that the
+// predicate-extraction substrate is fast enough for city-scale joins.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "geom/algorithms.h"
+#include "relate/relate.h"
+#include "util/random.h"
+
+namespace {
+
+using sfpm::Rng;
+using sfpm::geom::Geometry;
+using sfpm::geom::LinearRing;
+using sfpm::geom::LineString;
+using sfpm::geom::Point;
+using sfpm::geom::Polygon;
+
+Polygon Blob(Rng* rng, const Point& center, double radius, int vertices) {
+  std::vector<Point> ring;
+  for (int i = 0; i < vertices; ++i) {
+    const double angle = 2 * M_PI * i / vertices;
+    const double r = radius * rng->NextDouble(0.7, 1.3);
+    ring.emplace_back(center.x + r * std::cos(angle),
+                      center.y + r * std::sin(angle));
+  }
+  return Polygon(LinearRing(std::move(ring)));
+}
+
+LineString Path(Rng* rng, int vertices) {
+  std::vector<Point> pts;
+  Point p(rng->NextDouble(-5, 5), rng->NextDouble(-5, 5));
+  for (int i = 0; i < vertices; ++i) {
+    p.x += rng->NextDouble(-1, 1);
+    p.y += rng->NextDouble(-1, 1);
+    pts.push_back(p);
+  }
+  return LineString(std::move(pts));
+}
+
+void BM_Relate_PolygonPolygon(benchmark::State& state) {
+  Rng rng(1);
+  const int vertices = static_cast<int>(state.range(0));
+  const Geometry a(Blob(&rng, Point(0, 0), 3.0, vertices));
+  const Geometry b(Blob(&rng, Point(1.5, 0), 3.0, vertices));
+  for (auto _ : state) {
+    auto m = sfpm::relate::Relate(a, b);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Relate_PolygonPolygon)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Relate_LinePolygon(benchmark::State& state) {
+  Rng rng(2);
+  const int vertices = static_cast<int>(state.range(0));
+  const Geometry line(Path(&rng, vertices));
+  const Geometry poly(Blob(&rng, Point(0, 0), 4.0, vertices));
+  for (auto _ : state) {
+    auto m = sfpm::relate::Relate(line, poly);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Relate_LinePolygon)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Relate_PointPolygon(benchmark::State& state) {
+  Rng rng(3);
+  const int vertices = static_cast<int>(state.range(0));
+  const Geometry point(Point(0.5, 0.5));
+  const Geometry poly(Blob(&rng, Point(0, 0), 4.0, vertices));
+  for (auto _ : state) {
+    auto m = sfpm::relate::Relate(point, poly);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Relate_PointPolygon)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_Relate_LineLine(benchmark::State& state) {
+  Rng rng(4);
+  const int vertices = static_cast<int>(state.range(0));
+  const Geometry a(Path(&rng, vertices));
+  const Geometry b(Path(&rng, vertices));
+  for (auto _ : state) {
+    auto m = sfpm::relate::Relate(a, b);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Relate_LineLine)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Distance_PolygonPolygon(benchmark::State& state) {
+  Rng rng(5);
+  const int vertices = static_cast<int>(state.range(0));
+  const Geometry a(Blob(&rng, Point(0, 0), 2.0, vertices));
+  const Geometry b(Blob(&rng, Point(10, 0), 2.0, vertices));
+  for (auto _ : state) {
+    double d = sfpm::geom::Distance(a, b);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Distance_PolygonPolygon)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

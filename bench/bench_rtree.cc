@@ -1,0 +1,146 @@
+// Ablation benchmark (DESIGN.md): R-tree vs uniform grid vs brute force
+// for the envelope-join phase of predicate extraction — bulk loading,
+// point-ish queries and a full self-join.
+
+#include <benchmark/benchmark.h>
+
+#include "index/grid.h"
+#include "index/rtree.h"
+#include "util/random.h"
+
+namespace {
+
+using sfpm::Rng;
+using sfpm::geom::Envelope;
+using sfpm::index::GridIndex;
+using sfpm::index::RTree;
+
+std::vector<std::pair<Envelope, uint64_t>> MakeEntries(size_t n) {
+  Rng rng(42);
+  std::vector<std::pair<Envelope, uint64_t>> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.NextDouble(0, 10000);
+    const double y = rng.NextDouble(0, 10000);
+    entries.emplace_back(
+        Envelope(x, y, x + rng.NextDouble(1, 50), y + rng.NextDouble(1, 50)),
+        i);
+  }
+  return entries;
+}
+
+std::vector<Envelope> MakeQueries(size_t n) {
+  Rng rng(7);
+  std::vector<Envelope> queries;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.NextDouble(0, 10000);
+    const double y = rng.NextDouble(0, 10000);
+    queries.emplace_back(x, y, x + 100, y + 100);
+  }
+  return queries;
+}
+
+void BM_RTree_BulkLoad(benchmark::State& state) {
+  const auto entries = MakeEntries(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    RTree tree;
+    tree.BulkLoad(entries);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTree_BulkLoad)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RTree_Insert(benchmark::State& state) {
+  const auto entries = MakeEntries(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    RTree tree;
+    for (const auto& [env, id] : entries) tree.Insert(env, id);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTree_Insert)->Arg(1000)->Arg(10000);
+
+void BM_RTree_Query(benchmark::State& state) {
+  const auto entries = MakeEntries(static_cast<size_t>(state.range(0)));
+  RTree tree;
+  tree.BulkLoad(entries);
+  const auto queries = MakeQueries(256);
+  size_t qi = 0;
+  for (auto _ : state) {
+    std::vector<uint64_t> out;
+    tree.Query(queries[qi++ % queries.size()], &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTree_Query)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Grid_Query(benchmark::State& state) {
+  const auto entries = MakeEntries(static_cast<size_t>(state.range(0)));
+  GridIndex grid(100.0);
+  for (const auto& [env, id] : entries) grid.Insert(env, id);
+  const auto queries = MakeQueries(256);
+  size_t qi = 0;
+  for (auto _ : state) {
+    std::vector<uint64_t> out;
+    grid.Query(queries[qi++ % queries.size()], &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Grid_Query)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BruteForce_Query(benchmark::State& state) {
+  const auto entries = MakeEntries(static_cast<size_t>(state.range(0)));
+  const auto queries = MakeQueries(256);
+  size_t qi = 0;
+  for (auto _ : state) {
+    std::vector<uint64_t> out;
+    const Envelope& q = queries[qi++ % queries.size()];
+    for (const auto& [env, id] : entries) {
+      if (env.Intersects(q)) out.push_back(id);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BruteForce_Query)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RTree_SelfJoin(benchmark::State& state) {
+  const auto entries = MakeEntries(static_cast<size_t>(state.range(0)));
+  RTree tree;
+  tree.BulkLoad(entries);
+  for (auto _ : state) {
+    size_t pairs = 0;
+    std::vector<uint64_t> out;
+    for (const auto& [env, id] : entries) {
+      out.clear();
+      tree.Query(env, &out);
+      pairs += out.size();
+    }
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTree_SelfJoin)->Arg(1000)->Arg(10000);
+
+void BM_RTree_Nearest(benchmark::State& state) {
+  const auto entries = MakeEntries(10000);
+  RTree tree;
+  tree.BulkLoad(entries);
+  Rng rng(9);
+  for (auto _ : state) {
+    auto nearest = tree.Nearest(
+        sfpm::geom::Point(rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)),
+        static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(nearest);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTree_Nearest)->Arg(1)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

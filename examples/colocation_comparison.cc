@@ -1,0 +1,74 @@
+// The paper's related-work contrast, executable: mine the same synthetic
+// city with (a) quantitative co-location patterns (Huang, Shekhar & Xiong
+// — metric neighbourhoods, no attributes, no qualitative relations) and
+// (b) the qualitative Apriori-KC+ pipeline, and compare what each can
+// express.
+//
+//   $ ./build/examples/colocation_comparison
+
+#include <cstdio>
+
+#include "coloc/colocation.h"
+#include "sfpm.h"
+
+using namespace sfpm;
+
+int main() {
+  datagen::CityConfig config;
+  config.seed = 321;
+  const auto city = datagen::GenerateCity(config);
+
+  // --- (a) Co-location patterns over the point-like layers ---------
+  coloc::ColocationOptions coloc_options;
+  coloc_options.neighbor_distance = 600.0;  // Metres.
+  coloc_options.min_prevalence = 0.25;
+  const auto patterns = coloc::MineColocations(
+      {&city->schools, &city->police, &city->illumination}, coloc_options);
+  if (!patterns.ok()) {
+    std::fprintf(stderr, "%s\n", patterns.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("co-location patterns (R = %.0f m, PI >= %.2f):\n",
+              coloc_options.neighbor_distance, coloc_options.min_prevalence);
+  for (const coloc::ColocationPattern& p : patterns.value()) {
+    std::printf("  %s\n", p.ToString().c_str());
+  }
+  std::printf(
+      "  — purely metric: no contains/touches distinction, no polygons as "
+      "first-class members, no crime attributes.\n\n");
+
+  // --- (b) The qualitative pipeline over the full city -------------
+  feature::SpatialAssociationPipeline pipeline(&city->districts);
+  pipeline.AddRelevantLayer(&city->slums);
+  pipeline.AddRelevantLayer(&city->schools);
+  pipeline.AddRelevantLayer(&city->police);
+
+  feature::PipelineOptions options;
+  options.min_support = 0.08;
+  options.rules = core::RuleOptions{};
+  options.rules->min_confidence = 0.7;
+  options.rules->single_consequent = true;
+  const auto result = pipeline.Run(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("qualitative Apriori-KC+ rules mentioning crime:\n");
+  const auto top = core::TopRulesBy(core::Measure::kLift,
+                                    result.value().rules,
+                                    result.value().mining,
+                                    result.value().table.db(), 200);
+  int shown = 0;
+  for (const core::AssociationRule& rule : top) {
+    const std::string text = rule.ToString(result.value().table.db());
+    if (text.find("murderRate") == std::string::npos) continue;
+    std::printf("  %-68s conf=%.2f lift=%.2f\n", text.c_str(),
+                rule.confidence, rule.lift);
+    if (++shown == 8) break;
+  }
+  std::printf(
+      "  — qualitative relations over polygons *and* points, attributes in "
+      "the same pattern language, meaningless same-type pairs filtered.\n");
+  return 0;
+}

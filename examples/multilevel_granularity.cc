@@ -1,0 +1,92 @@
+// The paper's granularity story, executable: extract predicates at
+// *instance* granularity (contains_slum159 — where same-feature-type pairs
+// barely exist and mining finds nothing general), then generalize to
+// feature-type granularity through the taxonomy (contains_slum — where the
+// meaningless same-type combinations explode) and watch Apriori-KC+ remove
+// exactly those.
+//
+//   $ ./build/examples/multilevel_granularity
+
+#include <cstdio>
+
+#include "sfpm.h"
+
+using namespace sfpm;
+
+int main() {
+  datagen::CityConfig config;
+  config.grid_cols = 6;
+  config.grid_rows = 5;
+  config.num_slums = 90;
+  config.num_schools = 80;
+  config.num_police = 8;
+  config.num_streets = 15;
+  config.seed = 4711;
+  const auto city = datagen::GenerateCity(config);
+
+  feature::PredicateExtractor extractor(&city->districts);
+  extractor.AddRelevantLayer(&city->slums);
+  extractor.AddRelevantLayer(&city->schools);
+
+  // --- Level 0: instance granularity -------------------------------
+  feature::ExtractorOptions options;
+  options.instance_granularity = true;
+  const auto instance_table = extractor.Extract(options);
+  if (!instance_table.ok()) {
+    std::fprintf(stderr, "%s\n", instance_table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "instance granularity: %zu predicates over %zu districts, "
+      "%zu same-feature-type pairs\n",
+      instance_table.value().NumPredicates(),
+      instance_table.value().NumRows(),
+      instance_table.value().CountSameFeatureTypePairs());
+  std::printf("  e.g. %s: ", instance_table.value().RowName(7).c_str());
+  for (const feature::Predicate& p :
+       instance_table.value().RowPredicates(7)) {
+    std::printf("%s ", p.Label().c_str());
+  }
+  std::printf("\n");
+
+  const auto instance_mined =
+      core::MineApriori(instance_table.value().db(), 0.1);
+  std::printf(
+      "  mining at 10%% support: %zu itemsets (size >= 2) — instances are "
+      "too specific to be frequent\n\n",
+      instance_mined.value().CountAtLeast(2));
+
+  // --- Level 1: feature-type granularity via the taxonomy ----------
+  const feature::Taxonomy taxonomy =
+      feature::InstanceTaxonomy({&city->slums, &city->schools});
+  const feature::PredicateTable type_table =
+      feature::GeneralizeTable(instance_table.value(), taxonomy, 1);
+  std::printf(
+      "type granularity:     %zu predicates, %zu same-feature-type pairs\n",
+      type_table.NumPredicates(), type_table.CountSameFeatureTypePairs());
+
+  const auto apriori = core::MineApriori(type_table.db(), 0.1);
+  const auto kcplus = core::MineAprioriKCPlus(type_table.db(), 0.1);
+  std::printf(
+      "  Apriori:     %4zu itemsets (size >= 2)\n"
+      "  Apriori-KC+: %4zu itemsets — %.0f%% of the generalized patterns "
+      "were same-feature-type noise\n",
+      apriori.value().CountAtLeast(2), kcplus.value().CountAtLeast(2),
+      100.0 * (1.0 - static_cast<double>(kcplus.value().CountAtLeast(2)) /
+                         apriori.value().CountAtLeast(2)));
+
+  // The gain formula, applied to what we just did.
+  const auto params =
+      stats::AnalyzeLargestItemset(apriori.value(), type_table.db());
+  if (params.ok()) {
+    const auto gain =
+        stats::MinimalGain(params.value().t, params.value().n);
+    std::printf(
+        "  largest itemset %s -> Formula 1 predicts a gain of at least "
+        "%llu (real: %zu)\n",
+        params.value().ToString().c_str(),
+        static_cast<unsigned long long>(gain.value_or(0)),
+        apriori.value().CountAtLeast(2) - kcplus.value().CountAtLeast(2));
+  }
+  return 0;
+}

@@ -1,0 +1,236 @@
+#include "coloc/colocation.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "geom/algorithms.h"
+#include "util/strings.h"
+
+namespace sfpm {
+namespace coloc {
+
+namespace {
+
+/// A row instance: one instance id per member type, aligned with the
+/// pattern's (sorted) type list.
+using RowInstance = std::vector<uint32_t>;
+
+struct PatternData {
+  std::vector<size_t> type_idx;  ///< Indices into the layer list, sorted.
+  std::vector<RowInstance> rows;
+};
+
+/// Pairwise neighbour test with an R-tree prefilter per layer.
+class NeighborOracle {
+ public:
+  NeighborOracle(const std::vector<const feature::Layer*>& layers,
+                 double distance)
+      : layers_(layers), distance_(distance) {}
+
+  /// Instances of layer `b` within R of instance `ia` of layer `a`.
+  std::vector<uint32_t> NeighborsOf(size_t a, uint32_t ia, size_t b) const {
+    std::vector<uint64_t> candidates;
+    const geom::Geometry& g = layers_[a]->at(ia).geometry();
+    layers_[b]->Index().QueryWithinDistance(g.GetEnvelope(), distance_,
+                                            &candidates);
+    std::vector<uint32_t> out;
+    for (uint64_t id : candidates) {
+      if (geom::Distance(g, layers_[b]->at(id).geometry()) <= distance_) {
+        out.push_back(static_cast<uint32_t>(id));
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Exact neighbour test (memoized).
+  bool AreNeighbors(size_t a, uint32_t ia, size_t b, uint32_t ib) const {
+    if (a > b || (a == b && ia > ib)) {
+      std::swap(a, b);
+      std::swap(ia, ib);
+    }
+    // Collision-free for < 256 layers and < 2^24 instances per layer.
+    const uint64_t key = (static_cast<uint64_t>(a) << 56) |
+                         (static_cast<uint64_t>(b) << 48) |
+                         (static_cast<uint64_t>(ia) << 24) | ib;
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    const bool near =
+        geom::Distance(layers_[a]->at(ia).geometry(),
+                       layers_[b]->at(ib).geometry()) <= distance_;
+    cache_.emplace(key, near);
+    return near;
+  }
+
+ private:
+  const std::vector<const feature::Layer*>& layers_;
+  double distance_;
+  mutable std::unordered_map<uint64_t, bool> cache_;
+};
+
+double ParticipationIndex(const PatternData& pattern,
+                          const std::vector<const feature::Layer*>& layers) {
+  double pi = 1.0;
+  for (size_t pos = 0; pos < pattern.type_idx.size(); ++pos) {
+    std::unordered_set<uint32_t> participating;
+    for (const RowInstance& row : pattern.rows) {
+      participating.insert(row[pos]);
+    }
+    const size_t total = layers[pattern.type_idx[pos]]->Size();
+    const double ratio =
+        total == 0 ? 0.0
+                   : static_cast<double>(participating.size()) /
+                         static_cast<double>(total);
+    pi = std::min(pi, ratio);
+  }
+  return pattern.rows.empty() ? 0.0 : pi;
+}
+
+}  // namespace
+
+std::string ColocationPattern::ToString() const {
+  std::string members;
+  for (size_t i = 0; i < types.size(); ++i) {
+    if (i > 0) members += ", ";
+    members += types[i];
+  }
+  return StrFormat("{%s} PI=%.3f (%zu rows)", members.c_str(),
+                   participation_index, num_row_instances);
+}
+
+Result<std::vector<ColocationPattern>> MineColocations(
+    const std::vector<const feature::Layer*>& layers,
+    const ColocationOptions& options) {
+  if (layers.size() < 2) {
+    return Status::InvalidArgument("co-location needs at least two layers");
+  }
+  if (!(options.neighbor_distance > 0.0)) {
+    return Status::InvalidArgument("neighbor_distance must be positive");
+  }
+  if (options.min_prevalence < 0.0 || options.min_prevalence > 1.0) {
+    return Status::InvalidArgument("min_prevalence must be in [0, 1]");
+  }
+  {
+    std::set<std::string> seen;
+    for (const feature::Layer* layer : layers) {
+      if (!seen.insert(layer->feature_type()).second) {
+        return Status::InvalidArgument("duplicate feature type '" +
+                                       layer->feature_type() + "'");
+      }
+    }
+  }
+
+  const NeighborOracle oracle(layers, options.neighbor_distance);
+  std::vector<ColocationPattern> result;
+
+  // Size-2 patterns: row instances are the neighbour pairs.
+  std::vector<PatternData> current;
+  for (size_t a = 0; a < layers.size(); ++a) {
+    if (layers[a]->IsEmpty()) continue;
+    for (size_t b = a + 1; b < layers.size(); ++b) {
+      if (layers[b]->IsEmpty()) continue;
+      PatternData pattern;
+      pattern.type_idx = {a, b};
+      for (uint32_t ia = 0; ia < layers[a]->Size(); ++ia) {
+        for (uint32_t ib : oracle.NeighborsOf(a, ia, b)) {
+          pattern.rows.push_back({ia, ib});
+        }
+      }
+      const double pi = ParticipationIndex(pattern, layers);
+      if (pi >= options.min_prevalence && !pattern.rows.empty()) {
+        current.push_back(std::move(pattern));
+      }
+    }
+  }
+
+  auto emit = [&](const PatternData& pattern) {
+    ColocationPattern out;
+    for (size_t idx : pattern.type_idx) {
+      out.types.push_back(layers[idx]->feature_type());
+    }
+    std::sort(out.types.begin(), out.types.end());
+    out.participation_index = ParticipationIndex(pattern, layers);
+    out.num_row_instances = pattern.rows.size();
+    result.push_back(std::move(out));
+  };
+  for (const PatternData& p : current) emit(p);
+
+  // Grow Apriori-style: join patterns sharing a (k-1)-prefix, extend each
+  // row instance with instances of the new type neighbouring every member.
+  size_t k = 2;
+  while (!current.empty()) {
+    ++k;
+    if (options.max_pattern_size != 0 && k > options.max_pattern_size) break;
+    // Index current patterns for the subset prune.
+    std::set<std::vector<size_t>> prevalent;
+    for (const PatternData& p : current) prevalent.insert(p.type_idx);
+
+    std::vector<PatternData> next;
+    for (size_t i = 0; i < current.size(); ++i) {
+      for (size_t j = i + 1; j < current.size(); ++j) {
+        const auto& a = current[i].type_idx;
+        const auto& b = current[j].type_idx;
+        if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1)) {
+          continue;
+        }
+        if (a.back() >= b.back()) continue;
+
+        std::vector<size_t> joined = a;
+        joined.push_back(b.back());
+        // Subset prune: every (k-1)-subset must be prevalent.
+        bool all_subsets = true;
+        for (size_t drop = 0; drop + 2 < joined.size() && all_subsets;
+             ++drop) {
+          std::vector<size_t> sub;
+          for (size_t t = 0; t < joined.size(); ++t) {
+            if (t != drop) sub.push_back(joined[t]);
+          }
+          all_subsets = prevalent.count(sub) > 0;
+        }
+        if (!all_subsets) continue;
+
+        PatternData candidate;
+        candidate.type_idx = joined;
+        const size_t new_type = joined.back();
+        for (const RowInstance& row : current[i].rows) {
+          // Instances of the new type neighbouring the row's last member,
+          // then checked against every other member (clique condition).
+          for (uint32_t cand : oracle.NeighborsOf(
+                   joined[joined.size() - 2], row.back(), new_type)) {
+            bool clique = true;
+            for (size_t pos = 0; pos + 1 < joined.size() && clique; ++pos) {
+              clique = oracle.AreNeighbors(joined[pos], row[pos], new_type,
+                                           cand);
+            }
+            if (clique) {
+              RowInstance extended = row;
+              extended.push_back(cand);
+              candidate.rows.push_back(std::move(extended));
+            }
+          }
+        }
+        if (ParticipationIndex(candidate, layers) >= options.min_prevalence &&
+            !candidate.rows.empty()) {
+          next.push_back(std::move(candidate));
+        }
+      }
+    }
+    for (const PatternData& p : next) emit(p);
+    current = std::move(next);
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const ColocationPattern& a, const ColocationPattern& b) {
+              if (a.types.size() != b.types.size()) {
+                return a.types.size() < b.types.size();
+              }
+              return a.types < b.types;
+            });
+  return result;
+}
+
+}  // namespace coloc
+}  // namespace sfpm

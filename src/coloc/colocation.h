@@ -1,0 +1,63 @@
+#ifndef SFPM_COLOC_COLOCATION_H_
+#define SFPM_COLOC_COLOCATION_H_
+
+#include <string>
+#include <vector>
+
+#include "feature/feature.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace coloc {
+
+/// \brief Co-location pattern mining (Huang, Shekhar & Xiong, TKDE 2004) —
+/// the quantitative baseline the paper contrasts Apriori-KC+ against.
+///
+/// A co-location is a set of feature types whose instances frequently lie
+/// within a neighbourhood distance R of each other. Prevalence is the
+/// *participation index*: for pattern c, PI(c) = min over member types f
+/// of the fraction of f's instances that appear in at least one row
+/// instance (clique of pairwise neighbours, one instance per type) of c.
+/// PI is anti-monotone, so the miner proceeds Apriori-style over type
+/// sets.
+///
+/// Note the contrast the paper draws: co-location input is effectively
+/// point-like and the neighbour relation is purely metric, while
+/// Apriori-KC+ works on arbitrary geometries with qualitative relations —
+/// and co-location patterns never pair a type with itself, which is the
+/// very degeneracy KC+ removes from the qualitative setting.
+struct ColocationOptions {
+  /// Neighbourhood radius R: two instances are neighbours when their
+  /// geometries lie within this distance.
+  double neighbor_distance = 1.0;
+
+  /// Minimum participation index in [0, 1].
+  double min_prevalence = 0.3;
+
+  /// Stop after patterns of this many types (0 = unlimited).
+  size_t max_pattern_size = 0;
+};
+
+/// \brief One prevalent co-location.
+struct ColocationPattern {
+  std::vector<std::string> types;  ///< Member feature types, sorted.
+  double participation_index = 0.0;
+  size_t num_row_instances = 0;    ///< Cliques realizing the pattern.
+
+  /// "{school, slum} PI=0.42 (17 rows)".
+  std::string ToString() const;
+};
+
+/// \brief Mines all prevalent co-locations among the given layers.
+///
+/// Every layer contributes one feature type; layers must have distinct
+/// types. Returns InvalidArgument for bad thresholds, duplicate types, or
+/// fewer than two layers.
+Result<std::vector<ColocationPattern>> MineColocations(
+    const std::vector<const feature::Layer*>& layers,
+    const ColocationOptions& options);
+
+}  // namespace coloc
+}  // namespace sfpm
+
+#endif  // SFPM_COLOC_COLOCATION_H_

@@ -1,0 +1,227 @@
+#include "core/apriori.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace sfpm {
+namespace core {
+
+std::string MiningStats::ToString() const {
+  std::string out;
+  for (const Pass& p : passes) {
+    out += StrFormat(
+        "pass k=%zu: candidates=%zu filtered=%zu frequent=%zu (%.2f ms)\n",
+        p.k, p.candidates, p.filtered_candidates, p.frequent, p.millis);
+  }
+  out += StrFormat("total frequent=%zu (>=2: %zu) in %.2f ms",
+                   total_frequent, total_frequent_ge2, total_millis);
+  return out;
+}
+
+AprioriResult::AprioriResult(std::vector<FrequentItemset> itemsets,
+                             MiningStats stats)
+    : itemsets_(std::move(itemsets)), stats_(std::move(stats)) {
+  support_index_.reserve(itemsets_.size());
+  for (const FrequentItemset& fi : itemsets_) {
+    support_index_.emplace(fi.items, fi.support);
+  }
+}
+
+std::optional<uint32_t> AprioriResult::SupportOf(const Itemset& set) const {
+  const auto it = support_index_.find(set);
+  if (it == support_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<FrequentItemset> AprioriResult::OfSize(size_t k) const {
+  std::vector<FrequentItemset> out;
+  for (const FrequentItemset& fi : itemsets_) {
+    if (fi.items.size() == k) out.push_back(fi);
+  }
+  return out;
+}
+
+size_t AprioriResult::MaxItemsetSize() const {
+  size_t max_size = 0;
+  for (const FrequentItemset& fi : itemsets_) {
+    max_size = std::max(max_size, fi.items.size());
+  }
+  return max_size;
+}
+
+size_t AprioriResult::CountAtLeast(size_t min_size) const {
+  size_t count = 0;
+  for (const FrequentItemset& fi : itemsets_) {
+    if (fi.items.size() >= min_size) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+/// apriori_gen of Agrawal & Srikant: join L_{k-1} with itself on a shared
+/// (k-2)-prefix, then prune candidates with an infrequent (k-1)-subset.
+std::vector<Itemset> GenerateCandidates(
+    const std::vector<FrequentItemset>& previous,
+    const std::unordered_map<Itemset, uint32_t, ItemsetHash>& previous_index) {
+  std::vector<Itemset> candidates;
+  for (size_t i = 0; i < previous.size(); ++i) {
+    const auto& a = previous[i].items.items();
+    for (size_t j = i + 1; j < previous.size(); ++j) {
+      const auto& b = previous[j].items.items();
+      // Join step: first k-2 items equal, last items differ. `previous` is
+      // lexicographically sorted, so a < b and a.back() != b.back() implies
+      // the join produces each candidate exactly once.
+      bool prefix_equal = true;
+      for (size_t t = 0; t + 1 < a.size(); ++t) {
+        if (a[t] != b[t]) {
+          prefix_equal = false;
+          break;
+        }
+      }
+      if (!prefix_equal) break;  // Sorted order: no later j can match.
+      Itemset candidate = previous[i].items.With(b.back());
+
+      // Prune step: every (k-1)-subset must be frequent.
+      bool all_subsets_frequent = true;
+      for (const Itemset& subset : candidate.AllButOneSubsets()) {
+        if (previous_index.find(subset) == previous_index.end()) {
+          all_subsets_frequent = false;
+          break;
+        }
+      }
+      if (all_subsets_frequent) candidates.push_back(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace
+
+Result<AprioriResult> MineApriori(const TransactionDb& db,
+                                  const AprioriOptions& options) {
+  if (!(options.min_support > 0.0) || options.min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  if (db.NumTransactions() == 0) {
+    return Status::InvalidArgument("transaction database is empty");
+  }
+
+  // The paper (and classic Apriori) uses support >= minsup, with the
+  // threshold expressed in transactions.
+  const uint32_t min_count = static_cast<uint32_t>(std::max<double>(
+      1.0,
+      std::ceil(options.min_support *
+                static_cast<double>(db.NumTransactions()) -
+                1e-9)));
+
+  Stopwatch total_watch;
+  MiningStats stats;
+  std::vector<FrequentItemset> all_frequent;
+
+  // Pass 1: large 1-predicate sets.
+  Stopwatch pass_watch;
+  std::vector<FrequentItemset> current;
+  for (ItemId item = 0; item < db.NumItems(); ++item) {
+    const uint32_t support = db.Support(item);
+    if (support >= min_count) {
+      current.push_back({Itemset{item}, support});
+    }
+  }
+  stats.passes.push_back({1, db.NumItems(), 0, current.size(),
+                          pass_watch.ElapsedMillis()});
+  all_frequent.insert(all_frequent.end(), current.begin(), current.end());
+
+  std::unordered_map<Itemset, uint32_t, ItemsetHash> current_index;
+  for (const FrequentItemset& fi : current) {
+    current_index.emplace(fi.items, fi.support);
+  }
+
+  for (size_t k = 2; !current.empty(); ++k) {
+    if (options.max_itemset_size != 0 && k > options.max_itemset_size) break;
+    pass_watch.Restart();
+
+    std::vector<Itemset> candidates =
+        GenerateCandidates(current, current_index);
+    const size_t raw_candidates = candidates.size();
+
+    // The paper's extra step: at k == 2 drop pairs hitting a constraint
+    // (well-known dependencies for KC, same feature type for KC+).
+    size_t filtered = 0;
+    if (k == 2 && !options.filters.empty()) {
+      auto is_blocked = [&options](const Itemset& pair) {
+        for (const CandidateFilter* filter : options.filters) {
+          if (filter->PrunePair(pair[0], pair[1])) return true;
+        }
+        return false;
+      };
+      const auto new_end =
+          std::remove_if(candidates.begin(), candidates.end(), is_blocked);
+      filtered = static_cast<size_t>(candidates.end() - new_end);
+      candidates.erase(new_end, candidates.end());
+    }
+
+    // Counting via the vertical bitmap columns.
+    std::vector<FrequentItemset> next;
+    for (Itemset& candidate : candidates) {
+      const uint32_t support = db.SupportOf(candidate);
+      if (support >= min_count) {
+        next.push_back({std::move(candidate), support});
+      }
+    }
+    std::sort(next.begin(), next.end(),
+              [](const FrequentItemset& a, const FrequentItemset& b) {
+                return a.items < b.items;
+              });
+
+    stats.passes.push_back(
+        {k, raw_candidates, filtered, next.size(), pass_watch.ElapsedMillis()});
+    all_frequent.insert(all_frequent.end(), next.begin(), next.end());
+
+    current = std::move(next);
+    current_index.clear();
+    for (const FrequentItemset& fi : current) {
+      current_index.emplace(fi.items, fi.support);
+    }
+  }
+
+  stats.total_frequent = all_frequent.size();
+  for (const FrequentItemset& fi : all_frequent) {
+    if (fi.items.size() >= 2) ++stats.total_frequent_ge2;
+  }
+  stats.total_millis = total_watch.ElapsedMillis();
+  return AprioriResult(std::move(all_frequent), std::move(stats));
+}
+
+Result<AprioriResult> MineApriori(const TransactionDb& db,
+                                  double min_support) {
+  AprioriOptions options;
+  options.min_support = min_support;
+  return MineApriori(db, options);
+}
+
+Result<AprioriResult> MineAprioriKC(const TransactionDb& db,
+                                    double min_support,
+                                    const PairBlocklistFilter& dependencies) {
+  AprioriOptions options;
+  options.min_support = min_support;
+  options.filters.push_back(&dependencies);
+  return MineApriori(db, options);
+}
+
+Result<AprioriResult> MineAprioriKCPlus(
+    const TransactionDb& db, double min_support,
+    const PairBlocklistFilter* dependencies) {
+  AprioriOptions options;
+  options.min_support = min_support;
+  const SameKeyFilter same_key(db);
+  options.filters.push_back(&same_key);
+  if (dependencies != nullptr) options.filters.push_back(dependencies);
+  return MineApriori(db, options);
+}
+
+}  // namespace core
+}  // namespace sfpm

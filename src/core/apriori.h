@@ -1,0 +1,107 @@
+#ifndef SFPM_CORE_APRIORI_H_
+#define SFPM_CORE_APRIORI_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/candidate_filter.h"
+#include "core/itemset.h"
+#include "core/transaction_db.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace core {
+
+/// \brief Configuration of one mining run.
+struct AprioriOptions {
+  /// Minimum support as a fraction of transactions, in (0, 1].
+  double min_support = 0.1;
+
+  /// Stop after itemsets of this size (0 = unlimited).
+  size_t max_itemset_size = 0;
+
+  /// Candidate-pair constraints applied at k == 2 (not owned). With none
+  /// this is the classic Apriori of Agrawal & Srikant; with a
+  /// PairBlocklistFilter it is the authors' Apriori-KC; adding the
+  /// SameKeyFilter yields the paper's Apriori-KC+.
+  std::vector<const CandidateFilter*> filters;
+};
+
+/// \brief One frequent itemset with its absolute support count.
+struct FrequentItemset {
+  Itemset items;
+  uint32_t support = 0;
+};
+
+/// \brief Per-pass and aggregate counters of a mining run, the raw material
+/// of the paper's Figures 4-7.
+struct MiningStats {
+  struct Pass {
+    size_t k = 0;                   ///< Itemset size of this pass.
+    size_t candidates = 0;          ///< |C_k| before filtering.
+    size_t filtered_candidates = 0; ///< Candidates removed by filters.
+    size_t frequent = 0;            ///< |L_k|.
+    double millis = 0.0;            ///< Wall time of the pass.
+  };
+  std::vector<Pass> passes;
+  size_t total_frequent = 0;        ///< Itemsets of size >= 1.
+  size_t total_frequent_ge2 = 0;    ///< Itemsets of size >= 2 (paper counts these).
+  double total_millis = 0.0;
+
+  std::string ToString() const;
+};
+
+/// \brief The outcome of a mining run: every frequent itemset plus stats.
+class AprioriResult {
+ public:
+  AprioriResult(std::vector<FrequentItemset> itemsets, MiningStats stats);
+
+  const std::vector<FrequentItemset>& itemsets() const { return itemsets_; }
+  const MiningStats& stats() const { return stats_; }
+
+  /// Support of a specific itemset, when frequent.
+  std::optional<uint32_t> SupportOf(const Itemset& set) const;
+
+  /// Frequent itemsets of exactly the given size.
+  std::vector<FrequentItemset> OfSize(size_t k) const;
+
+  /// Size of the largest frequent itemset (the paper's `m`).
+  size_t MaxItemsetSize() const;
+
+  /// Number of frequent itemsets with at least `min_size` items.
+  size_t CountAtLeast(size_t min_size) const;
+
+ private:
+  std::vector<FrequentItemset> itemsets_;
+  std::unordered_map<Itemset, uint32_t, ItemsetHash> support_index_;
+  MiningStats stats_;
+};
+
+/// \brief Runs Apriori (Listing 1 of the paper, generalized) over `db`.
+///
+/// Returns InvalidArgument for a min_support outside (0, 1] and for an
+/// empty database.
+Result<AprioriResult> MineApriori(const TransactionDb& db,
+                                  const AprioriOptions& options);
+
+/// Classic Apriori: no filters.
+Result<AprioriResult> MineApriori(const TransactionDb& db, double min_support);
+
+/// Apriori-KC: dependency pairs removed from C2.
+Result<AprioriResult> MineAprioriKC(const TransactionDb& db,
+                                    double min_support,
+                                    const PairBlocklistFilter& dependencies);
+
+/// Apriori-KC+: dependency pairs and same-feature-type pairs removed from
+/// C2. `dependencies` may be null when no background knowledge is given
+/// (the paper's second experiment).
+Result<AprioriResult> MineAprioriKCPlus(
+    const TransactionDb& db, double min_support,
+    const PairBlocklistFilter* dependencies = nullptr);
+
+}  // namespace core
+}  // namespace sfpm
+
+#endif  // SFPM_CORE_APRIORI_H_

@@ -1,0 +1,33 @@
+#include "core/candidate_filter.h"
+
+namespace sfpm {
+namespace core {
+
+PairBlocklistFilter::PairBlocklistFilter(
+    std::vector<std::pair<ItemId, ItemId>> pairs, std::string name)
+    : name_(std::move(name)) {
+  for (const auto& [a, b] : pairs) blocked_.insert(PairKey(a, b));
+}
+
+bool PairBlocklistFilter::PrunePair(ItemId a, ItemId b) const {
+  return blocked_.count(PairKey(a, b)) > 0;
+}
+
+SameKeyFilter::SameKeyFilter(std::vector<std::string> keys)
+    : keys_(std::move(keys)) {}
+
+SameKeyFilter::SameKeyFilter(const TransactionDb& db) {
+  keys_.reserve(db.NumItems());
+  for (ItemId item = 0; item < db.NumItems(); ++item) {
+    keys_.push_back(db.Key(item));
+  }
+}
+
+bool SameKeyFilter::PrunePair(ItemId a, ItemId b) const {
+  if (a >= keys_.size() || b >= keys_.size()) return false;
+  const std::string& key_a = keys_[a];
+  return !key_a.empty() && key_a == keys_[b];
+}
+
+}  // namespace core
+}  // namespace sfpm

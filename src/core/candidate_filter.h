@@ -1,0 +1,78 @@
+#ifndef SFPM_CORE_CANDIDATE_FILTER_H_
+#define SFPM_CORE_CANDIDATE_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/transaction_db.h"
+
+namespace sfpm {
+namespace core {
+
+/// \brief Candidate-pair constraint applied by the miner in the second pass
+/// (k == 2), exactly as Listing 1 of the paper prescribes.
+///
+/// Removing a pair from C2 exploits Apriori's anti-monotone property: no
+/// superset of the pair can ever become a candidate, so one pair removal
+/// prunes an entire sub-lattice of meaningless patterns before any support
+/// counting happens.
+class CandidateFilter {
+ public:
+  virtual ~CandidateFilter() = default;
+
+  /// Returns true when the candidate 2-itemset {a, b} must be dropped.
+  virtual bool PrunePair(ItemId a, ItemId b) const = 0;
+
+  /// Human-readable filter name for mining reports.
+  virtual std::string Name() const = 0;
+};
+
+/// \brief The Apriori-KC constraint: an explicit blocklist of item pairs,
+/// built from background knowledge (the paper's dependency set phi; e.g.
+/// the street/illumination-point dependency).
+class PairBlocklistFilter : public CandidateFilter {
+ public:
+  explicit PairBlocklistFilter(
+      std::vector<std::pair<ItemId, ItemId>> pairs,
+      std::string name = "knowledge-constraints");
+
+  bool PrunePair(ItemId a, ItemId b) const override;
+  std::string Name() const override { return name_; }
+
+  size_t NumPairs() const { return blocked_.size(); }
+
+ private:
+  static uint64_t PairKey(ItemId a, ItemId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  std::unordered_set<uint64_t> blocked_;
+  std::string name_;
+};
+
+/// \brief The Apriori-KC+ constraint: prunes every pair of items that share
+/// the same non-empty key (the geographic feature type in the spatial
+/// pipeline) — the paper's same-feature-type filter, which needs no
+/// background knowledge at all.
+class SameKeyFilter : public CandidateFilter {
+ public:
+  /// \param keys per-item key, indexed by ItemId; empty key = no group.
+  explicit SameKeyFilter(std::vector<std::string> keys);
+
+  /// Convenience: takes the keys straight from a TransactionDb.
+  explicit SameKeyFilter(const TransactionDb& db);
+
+  bool PrunePair(ItemId a, ItemId b) const override;
+  std::string Name() const override { return "same-feature-type"; }
+
+ private:
+  std::vector<std::string> keys_;
+};
+
+}  // namespace core
+}  // namespace sfpm
+
+#endif  // SFPM_CORE_CANDIDATE_FILTER_H_

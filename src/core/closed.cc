@@ -1,0 +1,71 @@
+#include "core/closed.h"
+
+#include <algorithm>
+
+namespace sfpm {
+namespace core {
+
+namespace {
+
+/// Groups itemsets by size descending so each candidate only needs to be
+/// checked against strictly larger sets.
+std::vector<const FrequentItemset*> BySizeDescending(
+    const AprioriResult& result) {
+  std::vector<const FrequentItemset*> sorted;
+  sorted.reserve(result.itemsets().size());
+  for (const FrequentItemset& fi : result.itemsets()) sorted.push_back(&fi);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FrequentItemset* a, const FrequentItemset* b) {
+                     return a->items.size() > b->items.size();
+                   });
+  return sorted;
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> ClosedItemsets(const AprioriResult& result) {
+  const auto sorted = BySizeDescending(result);
+  std::vector<FrequentItemset> closed;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    bool is_closed = true;
+    // A superset must be strictly larger, hence earlier in the ordering.
+    for (size_t j = 0; j < i; ++j) {
+      if (sorted[j]->items.size() == sorted[i]->items.size()) break;
+      if (sorted[j]->support == sorted[i]->support &&
+          sorted[j]->items.ContainsAll(sorted[i]->items)) {
+        is_closed = false;
+        break;
+      }
+    }
+    if (is_closed) closed.push_back(*sorted[i]);
+  }
+  std::sort(closed.begin(), closed.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+  return closed;
+}
+
+std::vector<FrequentItemset> MaximalItemsets(const AprioriResult& result) {
+  const auto sorted = BySizeDescending(result);
+  std::vector<FrequentItemset> maximal;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    bool is_maximal = true;
+    for (size_t j = 0; j < i; ++j) {
+      if (sorted[j]->items.size() == sorted[i]->items.size()) break;
+      if (sorted[j]->items.ContainsAll(sorted[i]->items)) {
+        is_maximal = false;
+        break;
+      }
+    }
+    if (is_maximal) maximal.push_back(*sorted[i]);
+  }
+  std::sort(maximal.begin(), maximal.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+  return maximal;
+}
+
+}  // namespace core
+}  // namespace sfpm

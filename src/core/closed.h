@@ -1,0 +1,26 @@
+#ifndef SFPM_CORE_CLOSED_H_
+#define SFPM_CORE_CLOSED_H_
+
+#include <vector>
+
+#include "core/apriori.h"
+
+namespace sfpm {
+namespace core {
+
+/// \brief Keeps only the *closed* frequent itemsets: those with no proper
+/// frequent superset of identical support. Every frequent itemset and its
+/// support can be recovered from the closed family, so this is a lossless
+/// condensation (Pasquier et al.) — the redundancy-elimination direction
+/// the paper's conclusion points to.
+std::vector<FrequentItemset> ClosedItemsets(const AprioriResult& result);
+
+/// \brief Keeps only the *maximal* frequent itemsets: those with no
+/// frequent superset at all. Lossy (supports of subsets are dropped) but
+/// minimal — the paper's explicit future-work target.
+std::vector<FrequentItemset> MaximalItemsets(const AprioriResult& result);
+
+}  // namespace core
+}  // namespace sfpm
+
+#endif  // SFPM_CORE_CLOSED_H_

@@ -1,0 +1,247 @@
+#include "core/fpgrowth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "util/stopwatch.h"
+
+namespace sfpm {
+namespace core {
+
+namespace {
+
+/// A conditional pattern base: weighted transactions over a shrinking item
+/// universe. The top-level base is the database itself with weight 1.
+struct PatternBase {
+  std::vector<std::pair<std::vector<ItemId>, uint32_t>> rows;
+};
+
+struct FpNode {
+  ItemId item = 0;
+  uint32_t count = 0;
+  FpNode* parent = nullptr;
+  FpNode* next_same_item = nullptr;  // Header chain.
+  std::map<ItemId, FpNode*> children;
+};
+
+/// FP-tree over one pattern base. Items inside paths are ordered by
+/// descending support (rank), the classic compression ordering.
+class FpTree {
+ public:
+  FpTree(const PatternBase& base, uint32_t min_count) {
+    // Support counting within the base.
+    std::unordered_map<ItemId, uint32_t> supports;
+    for (const auto& [items, weight] : base.rows) {
+      for (ItemId item : items) supports[item] += weight;
+    }
+    for (const auto& [item, support] : supports) {
+      if (support >= min_count) {
+        header_[item] = {nullptr, support};
+      }
+    }
+
+    // Ranks: descending support, ties by item id, computed once.
+    std::vector<ItemId> ordered;
+    for (const auto& [item, entry] : header_) ordered.push_back(item);
+    std::sort(ordered.begin(), ordered.end(), [this](ItemId a, ItemId b) {
+      const uint32_t sa = header_[a].support;
+      const uint32_t sb = header_[b].support;
+      return sa != sb ? sa > sb : a < b;
+    });
+    for (size_t i = 0; i < ordered.size(); ++i) {
+      rank_[ordered[i]] = i;
+    }
+
+    root_ = NewNode();
+    for (const auto& [items, weight] : base.rows) {
+      std::vector<ItemId> path;
+      for (ItemId item : items) {
+        if (header_.count(item)) path.push_back(item);
+      }
+      std::sort(path.begin(), path.end(), [this](ItemId a, ItemId b) {
+        return rank_.at(a) < rank_.at(b);
+      });
+      Insert(path, weight);
+    }
+  }
+
+  bool Empty() const { return header_.empty(); }
+
+  /// Items by ascending support — the mining order of FP-Growth.
+  std::vector<ItemId> ItemsAscending() const {
+    std::vector<ItemId> items;
+    for (const auto& [item, entry] : header_) items.push_back(item);
+    std::sort(items.begin(), items.end(), [this](ItemId a, ItemId b) {
+      const uint32_t sa = header_.at(a).support;
+      const uint32_t sb = header_.at(b).support;
+      return sa != sb ? sa < sb : a > b;
+    });
+    return items;
+  }
+
+  uint32_t Support(ItemId item) const { return header_.at(item).support; }
+
+  /// The conditional pattern base of `item`: for each tree occurrence, the
+  /// root-ward path (excluding `item`) weighted by the occurrence count.
+  PatternBase ConditionalBase(ItemId item) const {
+    PatternBase base;
+    for (const FpNode* node = header_.at(item).head; node != nullptr;
+         node = node->next_same_item) {
+      std::vector<ItemId> path;
+      for (const FpNode* up = node->parent; up != nullptr && up->parent != nullptr;
+           up = up->parent) {
+        path.push_back(up->item);
+      }
+      if (!path.empty()) {
+        std::reverse(path.begin(), path.end());
+        base.rows.emplace_back(std::move(path), node->count);
+      }
+    }
+    return base;
+  }
+
+ private:
+  struct HeaderEntry {
+    FpNode* head = nullptr;
+    uint32_t support = 0;
+  };
+
+  FpNode* NewNode() {
+    arena_.emplace_back();
+    return &arena_.back();
+  }
+
+  void Insert(const std::vector<ItemId>& path, uint32_t weight) {
+    FpNode* node = root_;
+    for (ItemId item : path) {
+      const auto it = node->children.find(item);
+      if (it != node->children.end()) {
+        node = it->second;
+      } else {
+        FpNode* child = NewNode();
+        child->item = item;
+        child->parent = node;
+        HeaderEntry& entry = header_.at(item);
+        child->next_same_item = entry.head;
+        entry.head = child;
+        node->children.emplace(item, child);
+        node = child;
+      }
+      node->count += weight;
+    }
+  }
+
+  std::deque<FpNode> arena_;
+  FpNode* root_ = nullptr;
+  std::map<ItemId, HeaderEntry> header_;
+  std::unordered_map<ItemId, size_t> rank_;
+};
+
+class FpGrowthMiner {
+ public:
+  FpGrowthMiner(uint32_t min_count, const AprioriOptions& options)
+      : min_count_(min_count), options_(options) {}
+
+  void Mine(const PatternBase& base, const std::vector<ItemId>& prefix,
+            std::vector<FrequentItemset>* out) {
+    if (options_.max_itemset_size != 0 &&
+        prefix.size() >= options_.max_itemset_size) {
+      return;
+    }
+    const FpTree tree(base, min_count_);
+    for (ItemId item : tree.ItemsAscending()) {
+      if (BlockedAgainstPrefix(item, prefix)) continue;
+
+      std::vector<ItemId> extended = prefix;
+      extended.push_back(item);
+      out->push_back({Itemset(extended), tree.Support(item)});
+
+      PatternBase conditional = tree.ConditionalBase(item);
+      // Constraint-aware projection: drop items blocked against any
+      // member of the new prefix so no pruned pair ever forms.
+      if (!options_.filters.empty()) {
+        for (auto& [items, weight] : conditional.rows) {
+          std::erase_if(items, [&](ItemId candidate) {
+            return BlockedAgainstPrefix(candidate, extended);
+          });
+        }
+        std::erase_if(conditional.rows,
+                      [](const auto& row) { return row.first.empty(); });
+      }
+      if (!conditional.rows.empty()) {
+        Mine(conditional, extended, out);
+      }
+    }
+  }
+
+ private:
+  bool BlockedAgainstPrefix(ItemId item,
+                            const std::vector<ItemId>& prefix) const {
+    for (const CandidateFilter* filter : options_.filters) {
+      for (ItemId p : prefix) {
+        if (filter->PrunePair(item, p)) return true;
+      }
+    }
+    return false;
+  }
+
+  uint32_t min_count_;
+  const AprioriOptions& options_;
+};
+
+}  // namespace
+
+Result<AprioriResult> MineFpGrowth(const TransactionDb& db,
+                                   const AprioriOptions& options) {
+  if (!(options.min_support > 0.0) || options.min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  if (db.NumTransactions() == 0) {
+    return Status::InvalidArgument("transaction database is empty");
+  }
+  const uint32_t min_count = static_cast<uint32_t>(std::max<double>(
+      1.0,
+      std::ceil(options.min_support *
+                static_cast<double>(db.NumTransactions()) -
+                1e-9)));
+
+  Stopwatch watch;
+  PatternBase base;
+  base.rows.reserve(db.NumTransactions());
+  for (size_t row = 0; row < db.NumTransactions(); ++row) {
+    base.rows.emplace_back(db.TransactionItems(row), 1);
+  }
+
+  std::vector<FrequentItemset> itemsets;
+  FpGrowthMiner miner(min_count, options);
+  miner.Mine(base, {}, &itemsets);
+
+  std::sort(itemsets.begin(), itemsets.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+
+  MiningStats stats;
+  stats.total_frequent = itemsets.size();
+  for (const FrequentItemset& fi : itemsets) {
+    if (fi.items.size() >= 2) ++stats.total_frequent_ge2;
+  }
+  stats.total_millis = watch.ElapsedMillis();
+  return AprioriResult(std::move(itemsets), std::move(stats));
+}
+
+Result<AprioriResult> MineFpGrowth(const TransactionDb& db,
+                                   double min_support) {
+  AprioriOptions options;
+  options.min_support = min_support;
+  return MineFpGrowth(db, options);
+}
+
+}  // namespace core
+}  // namespace sfpm

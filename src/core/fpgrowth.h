@@ -1,0 +1,31 @@
+#ifndef SFPM_CORE_FPGROWTH_H_
+#define SFPM_CORE_FPGROWTH_H_
+
+#include "core/apriori.h"
+
+namespace sfpm {
+namespace core {
+
+/// \brief FP-Growth (Han, Pei & Yin) over the same TransactionDb, options
+/// and result types as MineApriori.
+///
+/// The paper notes its filtering step "can be implemented by any algorithm
+/// that generates frequent itemsets"; this is the demonstration. Candidate
+/// filters are honoured by constraint-aware projection: while growing a
+/// prefix, the conditional pattern base drops every item blocked against
+/// any prefix member, which yields exactly the frequent itemsets that
+/// contain no pruned pair — the same set Apriori-KC+ produces.
+///
+/// Returns the identical itemsets and supports as MineApriori(db, options)
+/// (ordering may differ; AprioriResult lookups are order-independent).
+Result<AprioriResult> MineFpGrowth(const TransactionDb& db,
+                                   const AprioriOptions& options);
+
+/// Convenience overload without filters.
+Result<AprioriResult> MineFpGrowth(const TransactionDb& db,
+                                   double min_support);
+
+}  // namespace core
+}  // namespace sfpm
+
+#endif  // SFPM_CORE_FPGROWTH_H_

@@ -1,0 +1,59 @@
+#include "core/itemset.h"
+
+namespace sfpm {
+namespace core {
+
+Itemset Itemset::Union(const Itemset& other) const {
+  std::vector<ItemId> merged;
+  merged.reserve(items_.size() + other.items_.size());
+  std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                 other.items_.end(), std::back_inserter(merged));
+  Itemset out;
+  out.items_ = std::move(merged);  // Already sorted and unique.
+  return out;
+}
+
+Itemset Itemset::Difference(const Itemset& other) const {
+  std::vector<ItemId> diff;
+  std::set_difference(items_.begin(), items_.end(), other.items_.begin(),
+                      other.items_.end(), std::back_inserter(diff));
+  Itemset out;
+  out.items_ = std::move(diff);
+  return out;
+}
+
+Itemset Itemset::With(ItemId item) const {
+  Itemset out = *this;
+  const auto it =
+      std::lower_bound(out.items_.begin(), out.items_.end(), item);
+  if (it == out.items_.end() || *it != item) out.items_.insert(it, item);
+  return out;
+}
+
+Itemset Itemset::Without(ItemId item) const {
+  Itemset out = *this;
+  const auto it =
+      std::lower_bound(out.items_.begin(), out.items_.end(), item);
+  if (it != out.items_.end() && *it == item) out.items_.erase(it);
+  return out;
+}
+
+std::vector<Itemset> Itemset::AllButOneSubsets() const {
+  std::vector<Itemset> subsets;
+  subsets.reserve(items_.size());
+  for (ItemId item : items_) subsets.push_back(Without(item));
+  return subsets;
+}
+
+std::string Itemset::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(items_[i]);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace core
+}  // namespace sfpm

@@ -1,0 +1,86 @@
+#ifndef SFPM_CORE_ITEMSET_H_
+#define SFPM_CORE_ITEMSET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sfpm {
+namespace core {
+
+/// Item handle inside a TransactionDb.
+using ItemId = uint32_t;
+
+/// \brief A set of items kept sorted ascending; the unit of frequent
+/// pattern mining. Cheap value type.
+class Itemset {
+ public:
+  Itemset() = default;
+  Itemset(std::initializer_list<ItemId> items) : items_(items) { Normalize(); }
+  explicit Itemset(std::vector<ItemId> items) : items_(std::move(items)) {
+    Normalize();
+  }
+
+  const std::vector<ItemId>& items() const { return items_; }
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  ItemId operator[](size_t i) const { return items_[i]; }
+
+  bool Contains(ItemId item) const {
+    return std::binary_search(items_.begin(), items_.end(), item);
+  }
+
+  /// True when every item of `other` is in this set.
+  bool ContainsAll(const Itemset& other) const {
+    return std::includes(items_.begin(), items_.end(), other.items_.begin(),
+                         other.items_.end());
+  }
+
+  /// Set union.
+  Itemset Union(const Itemset& other) const;
+
+  /// This set minus `other`.
+  Itemset Difference(const Itemset& other) const;
+
+  /// New set with `item` added.
+  Itemset With(ItemId item) const;
+
+  /// New set with `item` removed.
+  Itemset Without(ItemId item) const;
+
+  /// All subsets of size `size() - 1`.
+  std::vector<Itemset> AllButOneSubsets() const;
+
+  bool operator==(const Itemset& o) const { return items_ == o.items_; }
+  bool operator<(const Itemset& o) const { return items_ < o.items_; }
+
+  /// "{1, 5, 9}"
+  std::string ToString() const;
+
+ private:
+  void Normalize() {
+    std::sort(items_.begin(), items_.end());
+    items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+  }
+
+  std::vector<ItemId> items_;
+};
+
+/// FNV-1a style hash usable in unordered containers.
+struct ItemsetHash {
+  size_t operator()(const Itemset& s) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (ItemId item : s.items()) {
+      h ^= item;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace core
+}  // namespace sfpm
+
+#endif  // SFPM_CORE_ITEMSET_H_

@@ -1,0 +1,159 @@
+#include "core/measures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sfpm {
+namespace core {
+
+Result<Contingency> Contingency::ForRule(const AssociationRule& rule,
+                                         const AprioriResult& result,
+                                         const TransactionDb& db) {
+  const auto sup_a = result.SupportOf(rule.antecedent);
+  const auto sup_c = result.SupportOf(rule.consequent);
+  if (!sup_a || !sup_c) {
+    return Status::NotFound("rule side supports not in mining result");
+  }
+  Contingency table;
+  table.n = static_cast<double>(db.NumTransactions());
+  table.n_ac = static_cast<double>(rule.support_count);
+  table.n_a = static_cast<double>(*sup_a);
+  table.n_c = static_cast<double>(*sup_c);
+  return table;
+}
+
+double Contingency::Lift() const {
+  const double denom = n_a * n_c;
+  return denom > 0 ? (n_ac * n) / denom : 0.0;
+}
+
+double Contingency::Leverage() const {
+  return n_ac / n - (n_a / n) * (n_c / n);
+}
+
+double Contingency::Conviction() const {
+  const double conf = Confidence();
+  if (conf >= 1.0) return std::numeric_limits<double>::infinity();
+  return (1.0 - n_c / n) / (1.0 - conf);
+}
+
+double Contingency::Jaccard() const {
+  const double denom = n_a + n_c - n_ac;
+  return denom > 0 ? n_ac / denom : 0.0;
+}
+
+double Contingency::Cosine() const {
+  const double denom = std::sqrt(n_a * n_c);
+  return denom > 0 ? n_ac / denom : 0.0;
+}
+
+double Contingency::Kulczynski() const {
+  if (n_a == 0 || n_c == 0) return 0.0;
+  return 0.5 * (n_ac / n_a + n_ac / n_c);
+}
+
+double Contingency::CertaintyFactor() const {
+  const double p_c = n_c / n;
+  const double conf = Confidence();
+  if (conf >= p_c) {
+    return p_c < 1.0 ? (conf - p_c) / (1.0 - p_c) : 0.0;
+  }
+  return p_c > 0.0 ? (conf - p_c) / p_c : 0.0;
+}
+
+double Contingency::OddsRatio() const {
+  const double n_a_notc = n_a - n_ac;
+  const double n_nota_c = n_c - n_ac;
+  const double n_nota_notc = n - n_a - n_c + n_ac;
+  const double denom = n_a_notc * n_nota_c;
+  if (denom == 0.0) {
+    return n_ac * n_nota_notc > 0 ? std::numeric_limits<double>::infinity()
+                                  : 0.0;
+  }
+  return (n_ac * n_nota_notc) / denom;
+}
+
+double Contingency::Phi() const {
+  const double denom =
+      std::sqrt(n_a * n_c * (n - n_a) * (n - n_c));
+  if (denom == 0.0) return 0.0;
+  return (n * n_ac - n_a * n_c) / denom;
+}
+
+const char* MeasureName(Measure measure) {
+  switch (measure) {
+    case Measure::kSupport:
+      return "support";
+    case Measure::kConfidence:
+      return "confidence";
+    case Measure::kLift:
+      return "lift";
+    case Measure::kLeverage:
+      return "leverage";
+    case Measure::kConviction:
+      return "conviction";
+    case Measure::kJaccard:
+      return "jaccard";
+    case Measure::kCosine:
+      return "cosine";
+    case Measure::kKulczynski:
+      return "kulczynski";
+    case Measure::kCertaintyFactor:
+      return "certaintyFactor";
+    case Measure::kOddsRatio:
+      return "oddsRatio";
+    case Measure::kPhi:
+      return "phi";
+  }
+  return "unknown";
+}
+
+double Evaluate(Measure measure, const Contingency& table) {
+  switch (measure) {
+    case Measure::kSupport:
+      return table.Support();
+    case Measure::kConfidence:
+      return table.Confidence();
+    case Measure::kLift:
+      return table.Lift();
+    case Measure::kLeverage:
+      return table.Leverage();
+    case Measure::kConviction:
+      return table.Conviction();
+    case Measure::kJaccard:
+      return table.Jaccard();
+    case Measure::kCosine:
+      return table.Cosine();
+    case Measure::kKulczynski:
+      return table.Kulczynski();
+    case Measure::kCertaintyFactor:
+      return table.CertaintyFactor();
+    case Measure::kOddsRatio:
+      return table.OddsRatio();
+    case Measure::kPhi:
+      return table.Phi();
+  }
+  return 0.0;
+}
+
+std::vector<AssociationRule> TopRulesBy(
+    Measure measure, const std::vector<AssociationRule>& rules,
+    const AprioriResult& result, const TransactionDb& db, size_t k) {
+  std::vector<std::pair<double, size_t>> scored;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const auto table = Contingency::ForRule(rules[i], result, db);
+    if (!table.ok()) continue;
+    scored.emplace_back(Evaluate(measure, table.value()), i);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<AssociationRule> top;
+  for (size_t i = 0; i < scored.size() && i < k; ++i) {
+    top.push_back(rules[scored[i].second]);
+  }
+  return top;
+}
+
+}  // namespace core
+}  // namespace sfpm

@@ -1,0 +1,84 @@
+#ifndef SFPM_CORE_MEASURES_H_
+#define SFPM_CORE_MEASURES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rules.h"
+
+namespace sfpm {
+namespace core {
+
+/// \brief Objective interestingness measures over a 2x2 contingency table,
+/// the framework of Tan, Kumar & Srivastava (KDD'02) that the paper cites
+/// as the aposteriori alternative its apriori filter outperforms.
+///
+/// All measures are computed from the joint/marginal frequencies of an
+/// antecedent A and consequent C over |D| transactions.
+struct Contingency {
+  double n = 0;    ///< |D|.
+  double n_ac = 0; ///< Transactions with A and C.
+  double n_a = 0;  ///< Transactions with A.
+  double n_c = 0;  ///< Transactions with C.
+
+  /// Builds the table for a rule using the mining result's support index.
+  /// Returns NotFound when a side's support is unavailable.
+  static Result<Contingency> ForRule(const AssociationRule& rule,
+                                     const AprioriResult& result,
+                                     const TransactionDb& db);
+
+  double Support() const { return n_ac / n; }
+  double Confidence() const { return n_a > 0 ? n_ac / n_a : 0.0; }
+  /// Lift (a.k.a. interest): 1 = independent, > 1 positively correlated.
+  double Lift() const;
+  /// Leverage (Piatetsky-Shapiro): P(AC) - P(A)P(C).
+  double Leverage() const;
+  /// Conviction: (1 - P(C)) / (1 - conf); +inf for exact implications.
+  double Conviction() const;
+  /// Jaccard: P(AC) / P(A u C).
+  double Jaccard() const;
+  /// Cosine (IS measure): P(AC) / sqrt(P(A) P(C)).
+  double Cosine() const;
+  /// Kulczynski: mean of the two conditional probabilities.
+  double Kulczynski() const;
+  /// Certainty factor: (conf - P(C)) / (1 - P(C)), in [-1, 1].
+  double CertaintyFactor() const;
+  /// Odds ratio: (n_ac * n_!a!c) / (n_a!c * n_!ac); +inf on zero cells.
+  double OddsRatio() const;
+  /// Phi coefficient (Pearson correlation of the two indicators).
+  double Phi() const;
+};
+
+/// \brief Scores every rule with the named measure.
+enum class Measure {
+  kSupport,
+  kConfidence,
+  kLift,
+  kLeverage,
+  kConviction,
+  kJaccard,
+  kCosine,
+  kKulczynski,
+  kCertaintyFactor,
+  kOddsRatio,
+  kPhi,
+};
+
+/// Stable name ("lift", "certaintyFactor", ...).
+const char* MeasureName(Measure measure);
+
+/// Evaluates one measure on a contingency table.
+double Evaluate(Measure measure, const Contingency& table);
+
+/// \brief Returns the `k` rules with the highest value of `measure`,
+/// descending (ties keep input order). Rules whose contingency table
+/// cannot be built are skipped.
+std::vector<AssociationRule> TopRulesBy(Measure measure,
+                                        const std::vector<AssociationRule>& rules,
+                                        const AprioriResult& result,
+                                        const TransactionDb& db, size_t k);
+
+}  // namespace core
+}  // namespace sfpm
+
+#endif  // SFPM_CORE_MEASURES_H_

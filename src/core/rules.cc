@@ -1,0 +1,81 @@
+#include "core/rules.h"
+
+#include <limits>
+
+namespace sfpm {
+namespace core {
+
+std::string AssociationRule::ToString(const TransactionDb& db) const {
+  std::string out;
+  for (size_t i = 0; i < antecedent.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += db.Label(antecedent[i]);
+  }
+  out += " -> ";
+  for (size_t i = 0; i < consequent.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += db.Label(consequent[i]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Enumerates every non-empty proper subset of `items` as an antecedent.
+/// Itemsets are small (tens of items at most), so the 2^k walk is fine.
+void EnumerateSplits(const FrequentItemset& itemset, const TransactionDb& db,
+                     const AprioriResult& result, const RuleOptions& options,
+                     std::vector<AssociationRule>* rules) {
+  const std::vector<ItemId>& items = itemset.items.items();
+  const size_t n = items.size();
+  const double num_tx = static_cast<double>(db.NumTransactions());
+
+  for (uint64_t mask = 1; mask + 1 < (uint64_t{1} << n); ++mask) {
+    std::vector<ItemId> ante, cons;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) {
+        ante.push_back(items[i]);
+      } else {
+        cons.push_back(items[i]);
+      }
+    }
+    if (options.single_consequent && cons.size() != 1) continue;
+
+    AssociationRule rule;
+    rule.antecedent = Itemset(std::move(ante));
+    rule.consequent = Itemset(std::move(cons));
+
+    const auto sup_ante = result.SupportOf(rule.antecedent);
+    const auto sup_cons = result.SupportOf(rule.consequent);
+    if (!sup_ante || !sup_cons) continue;  // Defensive; see header note.
+
+    rule.support_count = itemset.support;
+    rule.support = itemset.support / num_tx;
+    rule.confidence = static_cast<double>(itemset.support) / *sup_ante;
+    if (rule.confidence < options.min_confidence) continue;
+
+    const double freq_cons = *sup_cons / num_tx;
+    rule.lift = freq_cons > 0.0 ? rule.confidence / freq_cons : 0.0;
+    rule.leverage = rule.support - (*sup_ante / num_tx) * freq_cons;
+    rule.conviction = rule.confidence >= 1.0
+                          ? std::numeric_limits<double>::infinity()
+                          : (1.0 - freq_cons) / (1.0 - rule.confidence);
+    rules->push_back(std::move(rule));
+  }
+}
+
+}  // namespace
+
+std::vector<AssociationRule> GenerateRules(const TransactionDb& db,
+                                           const AprioriResult& result,
+                                           const RuleOptions& options) {
+  std::vector<AssociationRule> rules;
+  for (const FrequentItemset& fi : result.itemsets()) {
+    if (fi.items.size() < 2) continue;
+    EnumerateSplits(fi, db, result, options, &rules);
+  }
+  return rules;
+}
+
+}  // namespace core
+}  // namespace sfpm

@@ -1,0 +1,49 @@
+#ifndef SFPM_CORE_RULES_H_
+#define SFPM_CORE_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/apriori.h"
+
+namespace sfpm {
+namespace core {
+
+/// \brief An association rule antecedent -> consequent with the standard
+/// objective interestingness measures attached.
+struct AssociationRule {
+  Itemset antecedent;
+  Itemset consequent;
+  uint32_t support_count = 0;  ///< Transactions containing both sides.
+  double support = 0.0;        ///< support_count / |D|.
+  double confidence = 0.0;     ///< sup(A u C) / sup(A).
+  double lift = 0.0;           ///< confidence / freq(C).
+  double leverage = 0.0;       ///< freq(A u C) - freq(A) * freq(C).
+  double conviction = 0.0;     ///< (1 - freq(C)) / (1 - confidence); inf when confidence == 1.
+
+  /// Renders with the labels of `db`, e.g.
+  /// "contains_slum & touches_slum -> murderRate=high".
+  std::string ToString(const TransactionDb& db) const;
+};
+
+/// \brief Rule generation options.
+struct RuleOptions {
+  double min_confidence = 0.5;
+  /// Keep only single-item consequents (the common spatial ARM setting).
+  bool single_consequent = false;
+};
+
+/// \brief Derives association rules from the frequent itemsets of a mining
+/// run. Every itemset of size >= 2 is split into all antecedent/consequent
+/// partitions meeting the confidence threshold.
+///
+/// Subset supports are looked up in `result` — guaranteed present because
+/// candidate filtering only ever removes pairs, hence whole sub-lattices.
+std::vector<AssociationRule> GenerateRules(const TransactionDb& db,
+                                           const AprioriResult& result,
+                                           const RuleOptions& options);
+
+}  // namespace core
+}  // namespace sfpm
+
+#endif  // SFPM_CORE_RULES_H_

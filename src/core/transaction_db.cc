@@ -1,0 +1,113 @@
+#include "core/transaction_db.h"
+
+#include <bit>
+
+namespace sfpm {
+namespace core {
+
+ItemId TransactionDb::AddItem(const std::string& label,
+                              const std::string& key) {
+  const auto it = label_index_.find(label);
+  if (it != label_index_.end()) return it->second;
+  const ItemId id = static_cast<ItemId>(labels_.size());
+  labels_.push_back(label);
+  keys_.push_back(key);
+  label_index_.emplace(label, id);
+  columns_.emplace_back(NumWords(), 0);
+  return id;
+}
+
+Result<ItemId> TransactionDb::AddItemChecked(const std::string& label,
+                                             const std::string& key) {
+  const auto it = label_index_.find(label);
+  if (it != label_index_.end()) {
+    if (keys_[it->second] != key) {
+      return Status::AlreadyExists("item '" + label +
+                                   "' already registered with key '" +
+                                   keys_[it->second] + "'");
+    }
+    return it->second;
+  }
+  return AddItem(label, key);
+}
+
+Result<ItemId> TransactionDb::FindItem(const std::string& label) const {
+  const auto it = label_index_.find(label);
+  if (it == label_index_.end()) {
+    return Status::NotFound("unknown item '" + label + "'");
+  }
+  return it->second;
+}
+
+size_t TransactionDb::AddTransaction() {
+  const size_t row = num_transactions_++;
+  if (NumWords() > (columns_.empty() ? 0 : columns_[0].size())) {
+    for (auto& column : columns_) column.resize(NumWords(), 0);
+  }
+  return row;
+}
+
+size_t TransactionDb::AddTransaction(const std::vector<ItemId>& items) {
+  const size_t row = AddTransaction();
+  for (ItemId item : items) {
+    const Status st = SetItem(row, item);
+    (void)st;  // Items come from AddItem in this overload's typical use.
+  }
+  return row;
+}
+
+Status TransactionDb::SetItem(size_t row, ItemId item) {
+  if (row >= num_transactions_) {
+    return Status::OutOfRange("transaction row out of range");
+  }
+  if (item >= labels_.size()) {
+    return Status::OutOfRange("item id out of range");
+  }
+  columns_[item][row / 64] |= uint64_t{1} << (row % 64);
+  return Status::OK();
+}
+
+bool TransactionDb::Test(size_t row, ItemId item) const {
+  if (row >= num_transactions_ || item >= labels_.size()) return false;
+  return (columns_[item][row / 64] >> (row % 64)) & 1;
+}
+
+uint32_t TransactionDb::Support(ItemId item) const {
+  uint32_t count = 0;
+  for (uint64_t word : columns_[item]) {
+    count += static_cast<uint32_t>(std::popcount(word));
+  }
+  return count;
+}
+
+uint32_t TransactionDb::SupportOf(const Itemset& set) const {
+  if (set.empty()) return static_cast<uint32_t>(num_transactions_);
+  const std::vector<ItemId>& items = set.items();
+  uint32_t count = 0;
+  const size_t words = NumWords();
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t acc = columns_[items[0]][w];
+    for (size_t i = 1; i < items.size() && acc != 0; ++i) {
+      acc &= columns_[items[i]][w];
+    }
+    count += static_cast<uint32_t>(std::popcount(acc));
+  }
+  return count;
+}
+
+double TransactionDb::Frequency(const Itemset& set) const {
+  if (num_transactions_ == 0) return 0.0;
+  return static_cast<double>(SupportOf(set)) /
+         static_cast<double>(num_transactions_);
+}
+
+std::vector<ItemId> TransactionDb::TransactionItems(size_t row) const {
+  std::vector<ItemId> out;
+  for (ItemId item = 0; item < labels_.size(); ++item) {
+    if (Test(row, item)) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace sfpm

@@ -1,0 +1,88 @@
+#ifndef SFPM_CORE_TRANSACTION_DB_H_
+#define SFPM_CORE_TRANSACTION_DB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/itemset.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace core {
+
+/// \brief Column-oriented boolean transaction database.
+///
+/// Each item owns one bit column over the transactions (a vertical bitmap
+/// layout); itemset support is the popcount of the AND of the member
+/// columns — the dominant operation of Apriori's counting phase.
+///
+/// Besides its label, every item may carry a *key*: an arbitrary grouping
+/// tag. In the spatial pipeline the key is the geographic feature type
+/// ("slum" for both `contains_slum` and `touches_slum`), which is what the
+/// Apriori-KC+ same-feature-type filter prunes on. Items with an empty key
+/// belong to no group.
+class TransactionDb {
+ public:
+  TransactionDb() = default;
+
+  /// Registers an item; re-registering a label returns the existing id
+  /// (the key must then match; mismatch is an error surfaced by
+  /// AddItemChecked).
+  ItemId AddItem(const std::string& label, const std::string& key = "");
+
+  /// Like AddItem but reports key conflicts.
+  Result<ItemId> AddItemChecked(const std::string& label,
+                                const std::string& key = "");
+
+  /// Id of a registered label.
+  Result<ItemId> FindItem(const std::string& label) const;
+
+  size_t NumItems() const { return labels_.size(); }
+  size_t NumTransactions() const { return num_transactions_; }
+
+  const std::string& Label(ItemId item) const { return labels_[item]; }
+  const std::string& Key(ItemId item) const { return keys_[item]; }
+
+  /// Opens a new (initially empty) transaction; returns its row index.
+  size_t AddTransaction();
+
+  /// Adds a transaction holding `items` in one call.
+  size_t AddTransaction(const std::vector<ItemId>& items);
+
+  /// Marks `item` present in transaction `row`.
+  Status SetItem(size_t row, ItemId item);
+
+  /// True when `item` is present in transaction `row`.
+  bool Test(size_t row, ItemId item) const;
+
+  /// Number of transactions containing `item`.
+  uint32_t Support(ItemId item) const;
+
+  /// Number of transactions containing every item of `set`
+  /// (bitwise-AND + popcount over the member columns).
+  uint32_t SupportOf(const Itemset& set) const;
+
+  /// Support as a fraction of transactions (0 when the db is empty).
+  double Frequency(const Itemset& set) const;
+
+  /// The items of transaction `row`, ascending.
+  std::vector<ItemId> TransactionItems(size_t row) const;
+
+ private:
+  size_t NumWords() const { return (num_transactions_ + 63) / 64; }
+
+  std::vector<std::string> labels_;
+  std::vector<std::string> keys_;
+  std::unordered_map<std::string, ItemId> label_index_;
+  /// columns_[item] holds ceil(n/64) words; bit t of the column is set when
+  /// transaction t contains the item.
+  std::vector<std::vector<uint64_t>> columns_;
+  size_t num_transactions_ = 0;
+};
+
+}  // namespace core
+}  // namespace sfpm
+
+#endif  // SFPM_CORE_TRANSACTION_DB_H_

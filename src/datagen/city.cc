@@ -1,0 +1,180 @@
+#include "datagen/city.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geom/algorithms.h"
+#include "relate/relate.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace sfpm {
+namespace datagen {
+
+using geom::Geometry;
+using geom::LinearRing;
+using geom::LineString;
+using geom::Point;
+using geom::Polygon;
+
+namespace {
+
+/// Grid vertices jittered once and shared between neighbouring cells, so
+/// districts tile the plane exactly (adjacent districts *touch*, as real
+/// administrative boundaries do).
+std::vector<std::vector<Point>> JitteredGrid(const CityConfig& config,
+                                             Rng* rng) {
+  std::vector<std::vector<Point>> grid(
+      config.grid_rows + 1, std::vector<Point>(config.grid_cols + 1));
+  const double amplitude = config.cell_size * config.jitter;
+  for (int r = 0; r <= config.grid_rows; ++r) {
+    for (int c = 0; c <= config.grid_cols; ++c) {
+      // Border vertices stay on the hull so the city stays rectangular-ish.
+      const bool edge_r = (r == 0 || r == config.grid_rows);
+      const bool edge_c = (c == 0 || c == config.grid_cols);
+      const double dx =
+          edge_c ? 0.0 : rng->NextDouble(-amplitude, amplitude);
+      const double dy =
+          edge_r ? 0.0 : rng->NextDouble(-amplitude, amplitude);
+      grid[r][c] =
+          Point(c * config.cell_size + dx, r * config.cell_size + dy);
+    }
+  }
+  return grid;
+}
+
+/// An irregular star-convex blob around `center`.
+Polygon Blob(const Point& center, double mean_radius, int vertices, Rng* rng) {
+  std::vector<Point> ring;
+  ring.reserve(vertices + 1);
+  for (int i = 0; i < vertices; ++i) {
+    const double angle = 2.0 * M_PI * i / vertices;
+    const double radius = mean_radius * rng->NextDouble(0.6, 1.4);
+    ring.emplace_back(center.x + radius * std::cos(angle),
+                      center.y + radius * std::sin(angle));
+  }
+  return Polygon(LinearRing(std::move(ring)));
+}
+
+LineString RandomWalk(const Point& start, int segments, double step,
+                      Rng* rng) {
+  std::vector<Point> pts = {start};
+  double heading = rng->NextDouble(0.0, 2.0 * M_PI);
+  for (int i = 0; i < segments; ++i) {
+    heading += rng->NextDouble(-0.6, 0.6);
+    const Point& last = pts.back();
+    pts.emplace_back(last.x + step * std::cos(heading),
+                     last.y + step * std::sin(heading));
+  }
+  return LineString(std::move(pts));
+}
+
+}  // namespace
+
+std::unique_ptr<City> GenerateCity(const CityConfig& config) {
+  auto city = std::make_unique<City>();
+  Rng rng(config.seed);
+
+  const double width = config.grid_cols * config.cell_size;
+  const double height = config.grid_rows * config.cell_size;
+
+  // Districts: one polygon per grid cell over the shared jittered vertices.
+  const auto grid = JitteredGrid(config, &rng);
+  std::vector<Polygon> district_polys;
+  for (int r = 0; r < config.grid_rows; ++r) {
+    for (int c = 0; c < config.grid_cols; ++c) {
+      district_polys.push_back(Polygon(LinearRing({
+          grid[r][c],
+          grid[r][c + 1],
+          grid[r + 1][c + 1],
+          grid[r + 1][c],
+      })));
+    }
+  }
+
+  // Slums: clustered blobs. Clusters concentrate poverty in a few zones,
+  // which is what ties crime attributes to slum predicates below.
+  std::vector<Point> cluster_centers;
+  for (size_t i = 0; i < config.num_slum_clusters; ++i) {
+    cluster_centers.emplace_back(rng.NextDouble(0.1 * width, 0.9 * width),
+                                 rng.NextDouble(0.1 * height, 0.9 * height));
+  }
+  for (size_t i = 0; i < config.num_slums; ++i) {
+    const Point& cluster =
+        cluster_centers[rng.NextUint64(cluster_centers.size())];
+    const Point center(cluster.x + rng.NextGaussian() * config.cell_size,
+                       cluster.y + rng.NextGaussian() * config.cell_size);
+    city->slums.Add(
+        Blob(center, rng.NextDouble(0.15, 0.45) * config.cell_size,
+             static_cast<int>(rng.NextInt(6, 10)), &rng));
+  }
+
+  // Schools and police centers: uniform points.
+  for (size_t i = 0; i < config.num_schools; ++i) {
+    city->schools.Add(Point(rng.NextDouble(0.0, width),
+                            rng.NextDouble(0.0, height)));
+  }
+  for (size_t i = 0; i < config.num_police; ++i) {
+    city->police.Add(Point(rng.NextDouble(0.0, width),
+                           rng.NextDouble(0.0, height)));
+  }
+
+  // Streets, with illumination points placed on them (the well-known
+  // dependency of the paper's Figure 1).
+  for (size_t i = 0; i < config.num_streets; ++i) {
+    const Point start(rng.NextDouble(0.0, width),
+                      rng.NextDouble(0.0, height));
+    LineString street =
+        RandomWalk(start, static_cast<int>(rng.NextInt(3, 8)),
+                   config.cell_size * 0.6, &rng);
+    for (size_t j = 0; j < config.illumination_per_street; ++j) {
+      const auto& pts = street.points();
+      const size_t seg = rng.NextUint64(pts.size() - 1);
+      const double t = rng.NextDouble();
+      city->illumination.Add(
+          Point(pts[seg].x + t * (pts[seg + 1].x - pts[seg].x),
+                pts[seg].y + t * (pts[seg + 1].y - pts[seg].y)));
+    }
+    city->streets.Add(std::move(street));
+  }
+
+  // Rivers: long horizontal-ish walks spanning the city.
+  for (size_t i = 0; i < config.num_rivers; ++i) {
+    std::vector<Point> pts;
+    double y = rng.NextDouble(0.2 * height, 0.8 * height);
+    const int steps = config.grid_cols * 2;
+    for (int s = 0; s <= steps; ++s) {
+      y += rng.NextGaussian() * config.cell_size * 0.2;
+      pts.emplace_back(width * s / steps, y);
+    }
+    city->rivers.Add(LineString(std::move(pts)));
+  }
+
+  // District attributes: crime follows slum presence (with noise).
+  for (size_t i = 0; i < district_polys.size(); ++i) {
+    const Geometry district_geom(district_polys[i]);
+    int slum_contact = 0;
+    for (const feature::Feature& slum : city->slums.features()) {
+      if (district_geom.GetEnvelope().Intersects(
+              slum.geometry().GetEnvelope()) &&
+          relate::Intersects(district_geom, slum.geometry())) {
+        ++slum_contact;
+      }
+    }
+    const bool murder_high = slum_contact >= 2 ? rng.NextBool(0.85)
+                                               : rng.NextBool(0.15);
+    const bool theft_high = slum_contact >= 1 ? rng.NextBool(0.7)
+                                              : rng.NextBool(0.25);
+    city->districts.Add(
+        district_polys[i],
+        {{"name", StrFormat("district%zu", i)},
+         {"murderRate", murder_high ? "high" : "low"},
+         {"theftRate", theft_high ? "high" : "low"}});
+  }
+
+  return city;
+}
+
+}  // namespace datagen
+}  // namespace sfpm

@@ -1,0 +1,53 @@
+#ifndef SFPM_DATAGEN_CITY_H_
+#define SFPM_DATAGEN_CITY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "feature/feature.h"
+
+namespace sfpm {
+namespace datagen {
+
+/// \brief Parameters of the synthetic city generator — the library's
+/// stand-in for the Porto Alegre GIS data used in the paper.
+struct CityConfig {
+  /// Districts tile a jittered grid; cols * rows districts total.
+  /// 11 x 10 = 110 approximates the paper's 109 districts.
+  int grid_cols = 11;
+  int grid_rows = 10;
+  double cell_size = 1000.0;  ///< Metres.
+  double jitter = 0.20;       ///< Vertex jitter as a fraction of cell_size.
+
+  size_t num_slums = 70;      ///< Irregular polygons, spatially clustered.
+  size_t num_slum_clusters = 6;
+  size_t num_schools = 160;   ///< Points.
+  size_t num_police = 24;     ///< Points.
+  size_t num_streets = 120;   ///< Random-walk polylines.
+  size_t illumination_per_street = 3;  ///< Points adjacent to streets.
+  size_t num_rivers = 2;      ///< Long polylines crossing the city.
+
+  uint64_t seed = 2007;
+};
+
+/// \brief A generated city: one layer per feature type. District features
+/// carry "name", "murderRate" and "theftRate" attributes; the crime rates
+/// are derived from slum proximity (plus noise), so the mining pipeline
+/// has real associations to find.
+struct City {
+  feature::Layer districts{"district"};
+  feature::Layer slums{"slum"};
+  feature::Layer schools{"school"};
+  feature::Layer police{"policeCenter"};
+  feature::Layer streets{"street"};
+  feature::Layer illumination{"illuminationPoint"};
+  feature::Layer rivers{"river"};
+};
+
+/// Generates a deterministic synthetic city from `config`.
+std::unique_ptr<City> GenerateCity(const CityConfig& config);
+
+}  // namespace datagen
+}  // namespace sfpm
+
+#endif  // SFPM_DATAGEN_CITY_H_

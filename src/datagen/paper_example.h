@@ -1,0 +1,17 @@
+#ifndef SFPM_DATAGEN_PAPER_EXAMPLE_H_
+#define SFPM_DATAGEN_PAPER_EXAMPLE_H_
+
+#include "feature/predicate_table.h"
+
+namespace sfpm {
+namespace datagen {
+
+/// \brief The paper's Table 1: six Porto Alegre districts with their
+/// spatial and non-spatial predicates, exactly as published. Mining it at
+/// 50% minimum support reproduces Table 2.
+feature::PredicateTable MakePaperTable1();
+
+}  // namespace datagen
+}  // namespace sfpm
+
+#endif  // SFPM_DATAGEN_PAPER_EXAMPLE_H_

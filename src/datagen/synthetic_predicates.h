@@ -1,0 +1,100 @@
+#ifndef SFPM_DATAGEN_SYNTHETIC_PREDICATES_H_
+#define SFPM_DATAGEN_SYNTHETIC_PREDICATES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "feature/dependency.h"
+#include "feature/predicate_table.h"
+
+namespace sfpm {
+namespace datagen {
+
+/// \brief One geographic feature type and the qualitative relations it
+/// exhibits in the synthetic dataset. A group with r relations contributes
+/// r spatial predicates and C(r, 2) same-feature-type pairs.
+struct PredicateGroupSpec {
+  std::string feature_type;
+  std::vector<std::string> relations;
+};
+
+/// \brief Configuration of the predicate-level synthetic generator.
+///
+/// Transactions are drawn from a "richness" mixture: each row samples a
+/// latent richness `r ~ U[0,1]`, and each predicate is present with
+/// probability `base_probability + correlation * (r - 0.5)` (clamped).
+/// The shared latent variable makes predicates positively correlated, so
+/// large frequent itemsets appear at realistic support levels — the same
+/// qualitative behaviour as real spatial datasets, where feature-rich
+/// districts exhibit many predicates at once. Same-feature-type relations
+/// get an extra `same_type_boost` when another relation of their group is
+/// already present, mirroring reality (a district covering one slum very
+/// often also touches another).
+struct SyntheticPredicateConfig {
+  size_t num_transactions = 1000;
+  std::vector<PredicateGroupSpec> groups;
+  /// Non-spatial attributes: each row receives exactly one value per
+  /// attribute, drawn uniformly.
+  std::vector<std::pair<std::string, std::vector<std::string>>> attributes;
+  double base_probability = 0.30;
+  double correlation = 0.55;
+  double same_type_boost = 0.25;
+  uint64_t seed = 42;
+};
+
+/// Generates the table; row names are "tx<i>".
+feature::PredicateTable GenerateSyntheticPredicates(
+    const SyntheticPredicateConfig& config);
+
+/// \brief One latent transaction profile of the profiled generator: rows of
+/// this profile include each spatial predicate independently with the
+/// probability listed for its label (or `noise_probability` when absent),
+/// and pick attribute values by the listed weights (uniform when absent).
+struct PredicateProfile {
+  double weight = 1.0;  ///< Relative frequency of the profile.
+  std::map<std::string, double> spatial_probs;  ///< "contains_slum" -> p.
+  /// attribute name -> value -> weight.
+  std::map<std::string, std::map<std::string, double>> attribute_weights;
+};
+
+/// \brief Mixture-of-profiles generator, used for the paper's experimental
+/// datasets: a small number of profiles (e.g. feature-rich vs sparse
+/// districts) pins the support of chosen predicate co-occurrences, which
+/// is what determines the Figure 4-7 reduction percentages and the largest
+/// frequent itemsets checked against Formula 1.
+struct ProfiledPredicateConfig {
+  size_t num_transactions = 5000;
+  uint64_t seed = 42;
+  std::vector<PredicateGroupSpec> groups;
+  std::vector<std::pair<std::string, std::vector<std::string>>> attributes;
+  std::vector<PredicateProfile> profiles;
+  double noise_probability = 0.05;
+};
+
+feature::PredicateTable GenerateProfiledPredicates(
+    const ProfiledPredicateConfig& config);
+
+/// \brief The paper's first experimental dataset (Figures 4 and 5): one
+/// non-spatial attribute, 6 geographic feature types yielding 13 spatial
+/// predicates, 9 same-feature-type pairs, and a dependency set phi
+/// blocking exactly 4 predicate pairs.
+struct PaperDataset1 {
+  feature::PredicateTable table;
+  feature::DependencyRegistry dependencies;
+};
+PaperDataset1 MakePaperDataset1(size_t num_transactions = 5000,
+                                uint64_t seed = 7);
+
+/// \brief The paper's second experimental dataset (Figures 6 and 7): 10
+/// spatial predicates over 6 feature types, 5 same-feature-type pairs, no
+/// dependencies. The single-relation types provide the n "other" items of
+/// the published Formula 1 check (m = 8, u = 3, t1 = t2 = t3 = 2, n = 2 at
+/// 5% support).
+feature::PredicateTable MakePaperDataset2(size_t num_transactions = 5000,
+                                          uint64_t seed = 11);
+
+}  // namespace datagen
+}  // namespace sfpm
+
+#endif  // SFPM_DATAGEN_SYNTHETIC_PREDICATES_H_

@@ -1,0 +1,65 @@
+#include "datagen/transactional.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sfpm {
+namespace datagen {
+
+core::TransactionDb GenerateTransactional(const TransactionalConfig& config) {
+  Rng rng(config.seed);
+  core::TransactionDb db;
+
+  for (size_t i = 0; i < config.num_items; ++i) {
+    std::string key;
+    if (config.key_group_size > 0) {
+      key = "type" + std::to_string(i / config.key_group_size);
+    }
+    db.AddItem("item" + std::to_string(i), key);
+  }
+
+  // Maximal potential patterns: geometric-ish sizes around the average.
+  std::vector<std::vector<core::ItemId>> patterns;
+  for (size_t p = 0; p < config.num_patterns; ++p) {
+    const size_t size = std::max<size_t>(
+        2, static_cast<size_t>(
+               rng.NextInt(1, static_cast<int64_t>(
+                                  config.avg_pattern_size * 2 - 1))));
+    std::vector<core::ItemId> pattern;
+    for (size_t idx :
+         rng.SampleWithoutReplacement(config.num_items,
+                                      std::min(size, config.num_items))) {
+      pattern.push_back(static_cast<core::ItemId>(idx));
+    }
+    patterns.push_back(std::move(pattern));
+  }
+
+  for (size_t t = 0; t < config.num_transactions; ++t) {
+    std::vector<core::ItemId> items;
+    const size_t target = std::max<size_t>(
+        1, static_cast<size_t>(rng.NextInt(
+               1, static_cast<int64_t>(config.avg_transaction_size * 2 - 1))));
+    while (items.size() < target) {
+      const auto& pattern = patterns[rng.NextUint64(patterns.size())];
+      for (core::ItemId item : pattern) {
+        if (rng.NextBool(config.pattern_keep_probability)) {
+          items.push_back(item);
+        }
+      }
+      // Noise item to break up the patterns occasionally.
+      if (rng.NextBool(0.1)) {
+        items.push_back(
+            static_cast<core::ItemId>(rng.NextUint64(config.num_items)));
+      }
+    }
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    db.AddTransaction(items);
+  }
+  return db;
+}
+
+}  // namespace datagen
+}  // namespace sfpm

@@ -1,0 +1,35 @@
+#ifndef SFPM_DATAGEN_TRANSACTIONAL_H_
+#define SFPM_DATAGEN_TRANSACTIONAL_H_
+
+#include <cstdint>
+
+#include "core/transaction_db.h"
+
+namespace sfpm {
+namespace datagen {
+
+/// \brief Quest-style transactional data generator (Agrawal & Srikant) used
+/// by the mining scale benchmarks: transactions are unions of fragments of
+/// maximal potential patterns plus noise items.
+struct TransactionalConfig {
+  size_t num_transactions = 10000;
+  size_t num_items = 100;
+  size_t avg_transaction_size = 10;
+  size_t num_patterns = 20;
+  size_t avg_pattern_size = 4;
+  /// Probability an item of a chosen pattern is kept (corruption model).
+  double pattern_keep_probability = 0.85;
+  /// Items grouped into "feature types" of this size via the item key, so
+  /// the SameKeyFilter has structure to prune (0 = no keys).
+  size_t key_group_size = 0;
+  uint64_t seed = 1234;
+};
+
+/// Generates a database with items "item0".."itemN-1"; when
+/// `key_group_size > 0`, item i gets key "type<i / key_group_size>".
+core::TransactionDb GenerateTransactional(const TransactionalConfig& config);
+
+}  // namespace datagen
+}  // namespace sfpm
+
+#endif  // SFPM_DATAGEN_TRANSACTIONAL_H_

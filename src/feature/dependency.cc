@@ -1,0 +1,30 @@
+#include "feature/dependency.h"
+
+namespace sfpm {
+namespace feature {
+
+void DependencyRegistry::Add(const std::string& type_a,
+                             const std::string& type_b) {
+  pairs_.insert(Ordered(type_a, type_b));
+}
+
+bool DependencyRegistry::IsDependent(const std::string& type_a,
+                                     const std::string& type_b) const {
+  return pairs_.count(Ordered(type_a, type_b)) > 0;
+}
+
+core::PairBlocklistFilter DependencyRegistry::MakeFilter(
+    const core::TransactionDb& db) const {
+  std::vector<std::pair<core::ItemId, core::ItemId>> blocked;
+  for (core::ItemId a = 0; a < db.NumItems(); ++a) {
+    if (db.Key(a).empty()) continue;
+    for (core::ItemId b = a + 1; b < db.NumItems(); ++b) {
+      if (db.Key(b).empty()) continue;
+      if (IsDependent(db.Key(a), db.Key(b))) blocked.emplace_back(a, b);
+    }
+  }
+  return core::PairBlocklistFilter(std::move(blocked));
+}
+
+}  // namespace feature
+}  // namespace sfpm

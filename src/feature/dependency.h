@@ -1,0 +1,45 @@
+#ifndef SFPM_FEATURE_DEPENDENCY_H_
+#define SFPM_FEATURE_DEPENDENCY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/candidate_filter.h"
+#include "core/transaction_db.h"
+
+namespace sfpm {
+namespace feature {
+
+/// \brief The paper's background knowledge `phi`: well-known geographic
+/// dependencies between feature types (streets have illumination points,
+/// every street belongs to a district, ...). Apriori-KC removes every
+/// candidate pair whose two items mention a dependent pair of types.
+class DependencyRegistry {
+ public:
+  /// Declares an (unordered) dependency between two feature types.
+  void Add(const std::string& type_a, const std::string& type_b);
+
+  /// True when the two types were declared dependent (order-insensitive).
+  bool IsDependent(const std::string& type_a, const std::string& type_b) const;
+
+  size_t Size() const { return pairs_.size(); }
+
+  /// \brief Materializes the registry as an item-pair blocklist for `db`:
+  /// every pair of items whose keys (feature types) form a dependency.
+  /// Items with empty keys are never blocked.
+  core::PairBlocklistFilter MakeFilter(const core::TransactionDb& db) const;
+
+ private:
+  static std::pair<std::string, std::string> Ordered(const std::string& a,
+                                                     const std::string& b) {
+    return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  std::set<std::pair<std::string, std::string>> pairs_;
+};
+
+}  // namespace feature
+}  // namespace sfpm
+
+#endif  // SFPM_FEATURE_DEPENDENCY_H_

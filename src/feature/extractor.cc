@@ -1,0 +1,136 @@
+#include "feature/extractor.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "geom/algorithms.h"
+#include "relate/relate.h"
+
+namespace sfpm {
+namespace feature {
+
+Result<PredicateTable> PredicateExtractor::Extract(
+    const ExtractorOptions& options) const {
+  if (reference_ == nullptr || reference_->IsEmpty()) {
+    return Status::InvalidArgument("reference layer is empty");
+  }
+
+  PredicateTable table;
+  for (const Feature& ref : reference_->features()) {
+    std::string row_name;
+    const Result<std::string> name = ref.Attribute("name");
+    if (name.ok()) {
+      row_name = name.value();
+    } else {
+      row_name = reference_->feature_type() + std::to_string(ref.id());
+    }
+    const size_t row = table.AddRow(std::move(row_name));
+
+    if (options.reference_attributes) {
+      for (const auto& [key, value] : ref.attributes()) {
+        if (key == "name") continue;
+        SFPM_RETURN_NOT_OK(table.SetAttribute(row, key, value));
+      }
+    }
+
+    // One prepared geometry per reference feature serves every relate call
+    // of this row (all layers, all candidates).
+    const relate::PreparedGeometry prepared(ref.geometry());
+    for (const Layer* layer : relevant_) {
+      if (layer->IsEmpty()) continue;
+      if (options.topological) {
+        ExtractTopological(prepared, row, *layer,
+                           options.instance_granularity, &table);
+      }
+      if (options.distance_bands != nullptr &&
+          (options.distance_types.empty() ||
+           options.distance_types.count(layer->feature_type()) > 0)) {
+        ExtractDistance(ref, row, *layer, *options.distance_bands,
+                        options.instance_granularity, &table);
+      }
+      if (options.directions) {
+        ExtractDirections(ref, row, *layer, &table);
+      }
+    }
+  }
+  return table;
+}
+
+void PredicateExtractor::ExtractTopological(
+    const relate::PreparedGeometry& ref, size_t row, const Layer& layer,
+    bool instance_granularity, PredicateTable* table) const {
+  std::vector<uint64_t> candidates;
+  layer.Index().Query(ref.geometry().GetEnvelope(), &candidates);
+  for (uint64_t id : candidates) {
+    const Feature& other = layer.at(id);
+    const qsr::TopologicalRelation rel = qsr::ClassifyMatrix(
+        ref.Relate(other.geometry()), ref.geometry().Dimension(),
+        other.geometry().Dimension());
+    if (rel == qsr::TopologicalRelation::kDisjoint) continue;
+    const std::string type =
+        instance_granularity
+            ? layer.feature_type() + std::to_string(other.id())
+            : layer.feature_type();
+    const Status st =
+        table->SetSpatial(row, qsr::TopologicalRelationName(rel), type);
+    (void)st;  // Row index is valid by construction.
+  }
+}
+
+void PredicateExtractor::ExtractDistance(const Feature& ref, size_t row,
+                                         const Layer& layer,
+                                         const qsr::DistanceQuantizer& bands,
+                                         bool instance_granularity,
+                                         PredicateTable* table) const {
+  // Candidates within the last finite bound, found by envelope distance.
+  const auto& band_list = bands.bands();
+  const double max_finite = band_list.size() >= 2
+                                ? band_list[band_list.size() - 2].upper_bound
+                                : 0.0;
+
+  std::vector<uint64_t> candidates;
+  layer.Index().QueryWithinDistance(ref.geometry().GetEnvelope(), max_finite,
+                                    &candidates);
+
+  size_t within_last_bound = 0;
+  for (uint64_t id : candidates) {
+    const Feature& other = layer.at(id);
+    const double d = geom::Distance(ref.geometry(), other.geometry());
+    if (d >= max_finite) continue;  // Envelope filter false positive.
+    ++within_last_bound;
+    const std::string type =
+        instance_granularity
+            ? layer.feature_type() + std::to_string(other.id())
+            : layer.feature_type();
+    const Status st =
+        table->SetSpatial(row, band_list[bands.BandIndex(d)].name, type);
+    (void)st;
+  }
+
+  // The unbounded band: emitted when some instance lies beyond every
+  // finite bound (the paper's farFrom_PoliceCenter).
+  if (within_last_bound < layer.Size()) {
+    const Status st =
+        table->SetSpatial(row, band_list.back().name, layer.feature_type());
+    (void)st;
+  }
+}
+
+void PredicateExtractor::ExtractDirections(const Feature& ref, size_t row,
+                                           const Layer& layer,
+                                           PredicateTable* table) const {
+  const geom::Point origin = geom::Centroid(ref.geometry());
+  std::unordered_set<int> seen;
+  for (const Feature& other : layer.features()) {
+    const qsr::CardinalDirection dir =
+        qsr::DirectionBetween(origin, geom::Centroid(other.geometry()));
+    if (dir == qsr::CardinalDirection::kSame) continue;
+    if (!seen.insert(static_cast<int>(dir)).second) continue;
+    const Status st = table->SetSpatial(row, qsr::CardinalDirectionName(dir),
+                                        layer.feature_type());
+    (void)st;
+  }
+}
+
+}  // namespace feature
+}  // namespace sfpm

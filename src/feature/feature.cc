@@ -1,0 +1,48 @@
+#include "feature/feature.h"
+
+namespace sfpm {
+namespace feature {
+
+Result<std::string> Feature::Attribute(const std::string& name) const {
+  const auto it = attributes_.find(name);
+  if (it == attributes_.end()) {
+    return Status::NotFound("feature has no attribute '" + name + "'");
+  }
+  return it->second;
+}
+
+Layer::Layer(std::string feature_type, std::string name)
+    : feature_type_(std::move(feature_type)),
+      name_(name.empty() ? feature_type_ : std::move(name)) {}
+
+uint64_t Layer::Add(geom::Geometry geometry,
+                    std::map<std::string, std::string> attributes) {
+  const uint64_t id = features_.size();
+  features_.emplace_back(id, std::move(geometry), std::move(attributes));
+  index_valid_ = false;
+  return id;
+}
+
+geom::Envelope Layer::Bounds() const {
+  geom::Envelope env;
+  for (const Feature& f : features_) {
+    env.ExpandToInclude(f.geometry().GetEnvelope());
+  }
+  return env;
+}
+
+const index::RTree& Layer::Index() const {
+  if (!index_valid_) {
+    std::vector<std::pair<geom::Envelope, uint64_t>> entries;
+    entries.reserve(features_.size());
+    for (const Feature& f : features_) {
+      entries.emplace_back(f.geometry().GetEnvelope(), f.id());
+    }
+    index_.BulkLoad(std::move(entries));
+    index_valid_ = true;
+  }
+  return index_;
+}
+
+}  // namespace feature
+}  // namespace sfpm

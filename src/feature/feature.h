@@ -1,0 +1,81 @@
+#ifndef SFPM_FEATURE_FEATURE_H_
+#define SFPM_FEATURE_FEATURE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.h"
+#include "index/rtree.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace feature {
+
+/// \brief One geographic object: a geometry plus non-spatial attributes.
+///
+/// Attributes are string-valued categorical pairs ("murderRate" -> "high");
+/// continuous attributes should be discretized before loading, as is usual
+/// in spatial association rule mining.
+class Feature {
+ public:
+  Feature(uint64_t id, geom::Geometry geometry,
+          std::map<std::string, std::string> attributes = {})
+      : id_(id),
+        geometry_(std::move(geometry)),
+        attributes_(std::move(attributes)) {}
+
+  uint64_t id() const { return id_; }
+  const geom::Geometry& geometry() const { return geometry_; }
+  const std::map<std::string, std::string>& attributes() const {
+    return attributes_;
+  }
+
+  /// Value of one attribute, or NotFound.
+  Result<std::string> Attribute(const std::string& name) const;
+
+ private:
+  uint64_t id_;
+  geom::Geometry geometry_;
+  std::map<std::string, std::string> attributes_;
+};
+
+/// \brief A homogeneous collection of features of one geographic feature
+/// type (all districts, all slums, ...), with an R-tree built on demand.
+class Layer {
+ public:
+  /// \param feature_type type name used in predicate labels ("slum").
+  /// \param name optional human-readable name; defaults to feature_type.
+  explicit Layer(std::string feature_type, std::string name = "");
+
+  const std::string& feature_type() const { return feature_type_; }
+  const std::string& name() const { return name_; }
+
+  /// Adds a feature; ids are assigned sequentially from 0.
+  uint64_t Add(geom::Geometry geometry,
+               std::map<std::string, std::string> attributes = {});
+
+  size_t Size() const { return features_.size(); }
+  bool IsEmpty() const { return features_.empty(); }
+  const Feature& at(size_t i) const { return features_[i]; }
+  const std::vector<Feature>& features() const { return features_; }
+
+  /// Bounding envelope of the whole layer.
+  geom::Envelope Bounds() const;
+
+  /// \brief The layer's R-tree (bulk-loaded lazily, invalidated by Add).
+  const index::RTree& Index() const;
+
+ private:
+  std::string feature_type_;
+  std::string name_;
+  std::vector<Feature> features_;
+  mutable index::RTree index_;
+  mutable bool index_valid_ = false;
+};
+
+}  // namespace feature
+}  // namespace sfpm
+
+#endif  // SFPM_FEATURE_FEATURE_H_

@@ -1,0 +1,47 @@
+#include "feature/pipeline.h"
+
+#include "core/fpgrowth.h"
+
+namespace sfpm {
+namespace feature {
+
+Result<PipelineResult> SpatialAssociationPipeline::Run(
+    const PipelineOptions& options) const {
+  SFPM_ASSIGN_OR_RETURN(PredicateTable table,
+                        extractor_.Extract(options.extractor));
+  return MineTable(std::move(table), options);
+}
+
+Result<PipelineResult> SpatialAssociationPipeline::MineTable(
+    PredicateTable table, const PipelineOptions& options) const {
+  core::AprioriOptions mining_options;
+  mining_options.min_support = options.min_support;
+
+  // Filters must outlive the mining call.
+  std::optional<core::SameKeyFilter> same_key;
+  std::optional<core::PairBlocklistFilter> dependency_filter;
+  if (options.filter_level != FilterLevel::kNone) {
+    dependency_filter.emplace(dependencies_.MakeFilter(table.db()));
+    mining_options.filters.push_back(&*dependency_filter);
+  }
+  if (options.filter_level == FilterLevel::kKcPlus) {
+    same_key.emplace(table.db());
+    mining_options.filters.push_back(&*same_key);
+  }
+
+  Result<core::AprioriResult> mined =
+      options.algorithm == MiningAlgorithm::kApriori
+          ? core::MineApriori(table.db(), mining_options)
+          : core::MineFpGrowth(table.db(), mining_options);
+  if (!mined.ok()) return mined.status();
+
+  std::vector<core::AssociationRule> rules;
+  if (options.rules.has_value()) {
+    rules = core::GenerateRules(table.db(), mined.value(), *options.rules);
+  }
+  return PipelineResult{std::move(table), std::move(mined).value(),
+                        std::move(rules)};
+}
+
+}  // namespace feature
+}  // namespace sfpm

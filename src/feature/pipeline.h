@@ -1,0 +1,91 @@
+#ifndef SFPM_FEATURE_PIPELINE_H_
+#define SFPM_FEATURE_PIPELINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/apriori.h"
+#include "core/rules.h"
+#include "feature/dependency.h"
+#include "feature/extractor.h"
+
+namespace sfpm {
+namespace feature {
+
+/// \brief Mining algorithm selector for the pipeline.
+enum class MiningAlgorithm {
+  kApriori,   ///< Listing 1 of the paper (with the configured filters).
+  kFpGrowth,  ///< FP-Growth honouring the same filters.
+};
+
+/// \brief Filtering level, mirroring the paper's three compared systems.
+enum class FilterLevel {
+  kNone,    ///< Plain frequent pattern mining.
+  kKc,      ///< Apriori-KC: background-knowledge dependency pairs removed.
+  kKcPlus,  ///< Apriori-KC+: dependencies plus same-feature-type pairs.
+};
+
+/// \brief End-to-end configuration of one spatial association mining run.
+struct PipelineOptions {
+  ExtractorOptions extractor;
+  double min_support = 0.1;
+  FilterLevel filter_level = FilterLevel::kKcPlus;
+  MiningAlgorithm algorithm = MiningAlgorithm::kApriori;
+  /// When set, rules are generated with these options.
+  std::optional<core::RuleOptions> rules;
+};
+
+/// \brief Everything one run produces.
+struct PipelineResult {
+  PredicateTable table;
+  core::AprioriResult mining;
+  std::vector<core::AssociationRule> rules;
+};
+
+/// \brief The whole workflow of the paper behind one call: predicate
+/// extraction, background-knowledge registration, filtered mining, rule
+/// generation.
+///
+/// \code
+///   feature::SpatialAssociationPipeline pipeline(&districts);
+///   pipeline.AddRelevantLayer(&slums);
+///   pipeline.AddRelevantLayer(&schools);
+///   pipeline.AddDependency("street", "illuminationPoint");
+///   auto result = pipeline.Run(options);
+/// \endcode
+class SpatialAssociationPipeline {
+ public:
+  explicit SpatialAssociationPipeline(const Layer* reference)
+      : extractor_(reference) {}
+
+  /// Registers a relevant layer (must outlive the pipeline).
+  void AddRelevantLayer(const Layer* layer) {
+    extractor_.AddRelevantLayer(layer);
+  }
+
+  /// Declares a well-known dependency between two feature types (phi).
+  void AddDependency(const std::string& type_a, const std::string& type_b) {
+    dependencies_.Add(type_a, type_b);
+  }
+
+  const DependencyRegistry& dependencies() const { return dependencies_; }
+
+  /// Runs extraction + mining (+ rules when configured).
+  Result<PipelineResult> Run(const PipelineOptions& options) const;
+
+  /// Mines an already extracted table with this pipeline's dependencies —
+  /// the entry point when the table came from io::LoadTable or an earlier
+  /// extraction.
+  Result<PipelineResult> MineTable(PredicateTable table,
+                                   const PipelineOptions& options) const;
+
+ private:
+  PredicateExtractor extractor_;
+  DependencyRegistry dependencies_;
+};
+
+}  // namespace feature
+}  // namespace sfpm
+
+#endif  // SFPM_FEATURE_PIPELINE_H_

@@ -1,0 +1,29 @@
+#include "feature/predicate.h"
+
+namespace sfpm {
+namespace feature {
+
+Result<Predicate> Predicate::FromLabel(const std::string& label) {
+  const size_t eq = label.find('=');
+  if (eq != std::string::npos) {
+    if (eq == 0 || eq + 1 >= label.size()) {
+      return Status::ParseError("malformed attribute predicate '" + label +
+                                "'");
+    }
+    return Attribute(label.substr(0, eq), label.substr(eq + 1));
+  }
+  const size_t underscore = label.find('_');
+  if (underscore == std::string::npos || underscore == 0 ||
+      underscore + 1 >= label.size()) {
+    return Status::ParseError("malformed spatial predicate '" + label + "'");
+  }
+  return Spatial(label.substr(0, underscore), label.substr(underscore + 1));
+}
+
+std::string Predicate::Label() const {
+  if (is_spatial()) return relation_ + "_" + feature_type_;
+  return feature_type_ + "=" + value_;
+}
+
+}  // namespace feature
+}  // namespace sfpm

@@ -1,0 +1,84 @@
+#ifndef SFPM_FEATURE_PREDICATE_H_
+#define SFPM_FEATURE_PREDICATE_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace sfpm {
+namespace feature {
+
+/// \brief One mining item at feature-type granularity: either a spatial
+/// predicate (`contains_slum`, `closeTo_policeCenter`) or a non-spatial
+/// attribute predicate (`murderRate=high`).
+///
+/// Spatial predicates carry the *feature type* they mention; the
+/// Apriori-KC+ same-feature-type filter groups items by exactly this.
+class Predicate {
+ public:
+  enum class Kind { kSpatial, kAttribute };
+
+  /// A qualitative spatial predicate: relation + relevant feature type.
+  static Predicate Spatial(std::string relation, std::string feature_type) {
+    return Predicate(Kind::kSpatial, std::move(relation),
+                     std::move(feature_type), "");
+  }
+
+  /// A non-spatial predicate: attribute name + categorical value.
+  static Predicate Attribute(std::string name, std::string value) {
+    return Predicate(Kind::kAttribute, "", std::move(name), std::move(value));
+  }
+
+  /// Parses a label produced by Label(): "rel_type" or "name=value".
+  /// Underscores may appear inside the feature type but not the relation.
+  static Result<Predicate> FromLabel(const std::string& label);
+
+  Kind kind() const { return kind_; }
+  bool is_spatial() const { return kind_ == Kind::kSpatial; }
+
+  /// Spatial relation name; empty for attribute predicates.
+  const std::string& relation() const { return relation_; }
+
+  /// Relevant feature type (spatial) or attribute name (attribute).
+  const std::string& feature_type() const { return feature_type_; }
+
+  /// Attribute value; empty for spatial predicates.
+  const std::string& value() const { return value_; }
+
+  /// "contains_slum" or "murderRate=high".
+  std::string Label() const;
+
+  /// Grouping key for the same-feature-type filter: the feature type for
+  /// spatial predicates, empty (no group) for attribute predicates.
+  std::string Key() const { return is_spatial() ? feature_type_ : ""; }
+
+  /// True when both predicates are spatial and mention the same feature
+  /// type — the configuration Apriori-KC+ eliminates.
+  bool SameFeatureType(const Predicate& other) const {
+    return is_spatial() && other.is_spatial() &&
+           feature_type_ == other.feature_type_;
+  }
+
+  bool operator==(const Predicate& o) const {
+    return kind_ == o.kind_ && relation_ == o.relation_ &&
+           feature_type_ == o.feature_type_ && value_ == o.value_;
+  }
+
+ private:
+  Predicate(Kind kind, std::string relation, std::string feature_type,
+            std::string value)
+      : kind_(kind),
+        relation_(std::move(relation)),
+        feature_type_(std::move(feature_type)),
+        value_(std::move(value)) {}
+
+  Kind kind_;
+  std::string relation_;
+  std::string feature_type_;
+  std::string value_;
+};
+
+}  // namespace feature
+}  // namespace sfpm
+
+#endif  // SFPM_FEATURE_PREDICATE_H_

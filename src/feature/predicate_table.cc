@@ -1,0 +1,70 @@
+#include "feature/predicate_table.h"
+
+namespace sfpm {
+namespace feature {
+
+size_t PredicateTable::AddRow(std::string row_name) {
+  row_names_.push_back(std::move(row_name));
+  return db_.AddTransaction();
+}
+
+core::ItemId PredicateTable::Declare(const Predicate& predicate) {
+  const core::ItemId before = static_cast<core::ItemId>(db_.NumItems());
+  const core::ItemId item = db_.AddItem(predicate.Label(), predicate.Key());
+  if (item == before) predicates_.push_back(predicate);
+  return item;
+}
+
+Status PredicateTable::Set(size_t row, const Predicate& predicate) {
+  if (row >= NumRows()) {
+    return Status::OutOfRange("predicate table row out of range");
+  }
+  return db_.SetItem(row, Declare(predicate));
+}
+
+Status PredicateTable::SetSpatial(size_t row, const std::string& relation,
+                                  const std::string& feature_type) {
+  return Set(row, Predicate::Spatial(relation, feature_type));
+}
+
+Status PredicateTable::SetAttribute(size_t row, const std::string& name,
+                                    const std::string& value) {
+  return Set(row, Predicate::Attribute(name, value));
+}
+
+size_t PredicateTable::CountSameFeatureTypePairs() const {
+  size_t count = 0;
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    for (size_t j = i + 1; j < predicates_.size(); ++j) {
+      if (predicates_[i].SameFeatureType(predicates_[j])) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<Predicate> PredicateTable::RowPredicates(size_t row) const {
+  std::vector<Predicate> out;
+  for (core::ItemId item : db_.TransactionItems(row)) {
+    out.push_back(predicates_[item]);
+  }
+  return out;
+}
+
+std::string PredicateTable::ToString() const {
+  std::string out;
+  for (size_t row = 0; row < NumRows(); ++row) {
+    out += row_names_[row];
+    out += ": ";
+    bool first = true;
+    for (core::ItemId item : db_.TransactionItems(row)) {
+      if (!first) out += ", ";
+      out += db_.Label(item);
+      first = false;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace feature
+}  // namespace sfpm

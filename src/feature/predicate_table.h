@@ -1,0 +1,73 @@
+#ifndef SFPM_FEATURE_PREDICATE_TABLE_H_
+#define SFPM_FEATURE_PREDICATE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/transaction_db.h"
+#include "feature/predicate.h"
+
+namespace sfpm {
+namespace feature {
+
+/// \brief The mining input of the paper's Table 1: one row per reference
+/// feature (district), one boolean column per predicate.
+///
+/// A thin, predicate-aware facade over core::TransactionDb: rows carry the
+/// reference feature name, items carry the predicate and its feature-type
+/// key, so the mining layer's SameKeyFilter implements the paper's
+/// same-feature-type pruning without knowing anything about geography.
+class PredicateTable {
+ public:
+  PredicateTable() = default;
+
+  /// Opens a row for a reference feature; returns the row index.
+  size_t AddRow(std::string row_name);
+
+  /// Registers `predicate` as an item without setting it anywhere, fixing
+  /// its item id. Useful to pin the schema before filling rows.
+  core::ItemId Declare(const Predicate& predicate);
+
+  /// Marks `predicate` true in `row` (registering the item on first use).
+  Status Set(size_t row, const Predicate& predicate);
+
+  /// Convenience: Set(row, Predicate::Spatial(relation, feature_type)).
+  Status SetSpatial(size_t row, const std::string& relation,
+                    const std::string& feature_type);
+
+  /// Convenience: Set(row, Predicate::Attribute(name, value)).
+  Status SetAttribute(size_t row, const std::string& name,
+                      const std::string& value);
+
+  size_t NumRows() const { return row_names_.size(); }
+  size_t NumPredicates() const { return predicates_.size(); }
+
+  const std::string& RowName(size_t row) const { return row_names_[row]; }
+  const Predicate& PredicateAt(core::ItemId item) const {
+    return predicates_[item];
+  }
+
+  /// Number of unordered predicate pairs sharing a feature type — the
+  /// quantity the paper reports per experimental dataset ("9 pairs had the
+  /// same feature type").
+  size_t CountSameFeatureTypePairs() const;
+
+  /// The predicates present in one row, in item order.
+  std::vector<Predicate> RowPredicates(size_t row) const;
+
+  /// The underlying transaction database (items keyed by feature type).
+  const core::TransactionDb& db() const { return db_; }
+
+  /// Formats the table like the paper's Table 1.
+  std::string ToString() const;
+
+ private:
+  core::TransactionDb db_;
+  std::vector<std::string> row_names_;
+  std::vector<Predicate> predicates_;  // Indexed by ItemId.
+};
+
+}  // namespace feature
+}  // namespace sfpm
+
+#endif  // SFPM_FEATURE_PREDICATE_TABLE_H_

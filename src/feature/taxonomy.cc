@@ -1,0 +1,108 @@
+#include "feature/taxonomy.h"
+
+namespace sfpm {
+namespace feature {
+
+Status Taxonomy::AddIsA(const std::string& child, const std::string& parent) {
+  if (child == parent) {
+    return Status::InvalidArgument("type cannot be its own parent");
+  }
+  const auto it = parent_.find(child);
+  if (it != parent_.end()) {
+    if (it->second == parent) return Status::OK();
+    return Status::AlreadyExists("type '" + child +
+                                 "' already has parent '" + it->second + "'");
+  }
+  // Reject cycles: the child must not be an ancestor of the parent.
+  std::string cursor = parent;
+  while (true) {
+    const auto up = parent_.find(cursor);
+    if (up == parent_.end()) break;
+    cursor = up->second;
+    if (cursor == child) {
+      return Status::InvalidArgument("IS-A edge '" + child + "' -> '" +
+                                     parent + "' would create a cycle");
+    }
+  }
+  parent_.emplace(child, parent);
+  return Status::OK();
+}
+
+Result<std::string> Taxonomy::ParentOf(const std::string& type) const {
+  const auto it = parent_.find(type);
+  if (it == parent_.end()) {
+    return Status::NotFound("type '" + type + "' has no parent");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Taxonomy::AncestorsOf(const std::string& type) const {
+  std::vector<std::string> ancestors;
+  std::string cursor = type;
+  while (true) {
+    const auto it = parent_.find(cursor);
+    if (it == parent_.end()) break;
+    ancestors.push_back(it->second);
+    cursor = it->second;
+  }
+  return ancestors;
+}
+
+std::string Taxonomy::RootOf(const std::string& type) const {
+  const std::vector<std::string> ancestors = AncestorsOf(type);
+  return ancestors.empty() ? type : ancestors.back();
+}
+
+std::string Taxonomy::Generalize(const std::string& type, int levels) const {
+  std::string cursor = type;
+  for (int i = 0; i < levels; ++i) {
+    const auto it = parent_.find(cursor);
+    if (it == parent_.end()) break;
+    cursor = it->second;
+  }
+  return cursor;
+}
+
+PredicateTable GeneralizeTable(const PredicateTable& table,
+                               const Taxonomy& taxonomy, int levels) {
+  PredicateTable out;
+  // Map the original predicates to their generalized forms, declaring them
+  // in first-appearance order so ids stay stable.
+  std::vector<Predicate> generalized;
+  generalized.reserve(table.NumPredicates());
+  for (core::ItemId item = 0; item < table.NumPredicates(); ++item) {
+    const Predicate& p = table.PredicateAt(item);
+    if (p.is_spatial()) {
+      generalized.push_back(Predicate::Spatial(
+          p.relation(), taxonomy.Generalize(p.feature_type(), levels)));
+    } else {
+      generalized.push_back(p);
+    }
+    out.Declare(generalized.back());
+  }
+
+  for (size_t row = 0; row < table.NumRows(); ++row) {
+    const size_t new_row = out.AddRow(table.RowName(row));
+    for (core::ItemId item : table.db().TransactionItems(row)) {
+      const Status st = out.Set(new_row, generalized[item]);
+      (void)st;  // Rows added in lockstep.
+    }
+  }
+  return out;
+}
+
+Taxonomy InstanceTaxonomy(const std::vector<const Layer*>& layers) {
+  Taxonomy taxonomy;
+  for (const Layer* layer : layers) {
+    for (const Feature& f : layer->features()) {
+      const Status st = taxonomy.AddIsA(
+          layer->feature_type() + std::to_string(f.id()),
+          layer->feature_type());
+      (void)st;  // Identical re-declarations are fine.
+    }
+  }
+  return taxonomy;
+}
+
+}  // namespace feature
+}  // namespace sfpm

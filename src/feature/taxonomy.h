@@ -1,0 +1,72 @@
+#ifndef SFPM_FEATURE_TAXONOMY_H_
+#define SFPM_FEATURE_TAXONOMY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "feature/feature.h"
+#include "feature/predicate_table.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace feature {
+
+/// \brief A concept hierarchy over feature types — the "granularity
+/// levels" of the paper (after Han's multiple-level mining, its ref [12]).
+///
+/// The paper mines at *feature type* granularity: `contains_slum159` and
+/// `contains_slum174` both generalize to `contains_slum`, and only then do
+/// same-feature-type pairs appear and get filtered. The taxonomy makes
+/// that step explicit and repeatable at any level (slum159 -> slum ->
+/// informalSettlement -> ...).
+///
+/// Each type has at most one parent; cycles are rejected.
+class Taxonomy {
+ public:
+  /// Declares `child` IS-A `parent`. Fails with AlreadyExists when the
+  /// child already has a different parent, InvalidArgument on cycles or
+  /// self-loops.
+  Status AddIsA(const std::string& child, const std::string& parent);
+
+  /// Direct parent; NotFound for roots and unknown types.
+  Result<std::string> ParentOf(const std::string& type) const;
+
+  /// Ancestors nearest-first (empty for roots/unknown types).
+  std::vector<std::string> AncestorsOf(const std::string& type) const;
+
+  /// The topmost ancestor (the type itself when it has no parent).
+  std::string RootOf(const std::string& type) const;
+
+  /// Climbs `levels` steps toward the root (stops at the root). Types
+  /// unknown to the taxonomy generalize to themselves.
+  std::string Generalize(const std::string& type, int levels) const;
+
+  /// Number of declared IS-A edges.
+  size_t Size() const { return parent_.size(); }
+
+ private:
+  std::map<std::string, std::string> parent_;
+};
+
+/// \brief Rewrites a predicate table at a coarser granularity: every
+/// spatial predicate's feature type is replaced by
+/// `taxonomy.Generalize(type, levels)`, predicates that coincide after
+/// generalization merge (a row holds the merged predicate when it held any
+/// of the originals), and attribute predicates pass through unchanged.
+///
+/// Mining the generalized table with the same-feature-type filter is
+/// exactly the paper's pipeline for data recorded at instance granularity.
+PredicateTable GeneralizeTable(const PredicateTable& table,
+                               const Taxonomy& taxonomy, int levels = 1);
+
+/// \brief The taxonomy matching PredicateExtractor's instance granularity:
+/// `<type><id>` IS-A `<type>` for every feature of every given layer
+/// (slum159 -> slum). One GeneralizeTable step then moves an
+/// instance-granularity table to feature-type granularity.
+Taxonomy InstanceTaxonomy(const std::vector<const Layer*>& layers);
+
+}  // namespace feature
+}  // namespace sfpm
+
+#endif  // SFPM_FEATURE_TAXONOMY_H_

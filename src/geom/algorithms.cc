@@ -1,0 +1,703 @@
+#include "geom/algorithms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sfpm {
+namespace geom {
+
+namespace {
+
+/// Relative tolerance for the collinearity test. Coordinates of typical
+/// datasets are O(1e3); the cross product magnitudes are then O(1e6) and a
+/// relative threshold keeps the predicate scale-invariant.
+constexpr double kRelEps = 1e-12;
+
+double OrientationThreshold(const Point& a, const Point& b, const Point& c) {
+  const double m = std::abs((b.x - a.x) * (c.y - a.y)) +
+                   std::abs((b.y - a.y) * (c.x - a.x));
+  return kRelEps * m;
+}
+
+}  // namespace
+
+double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+int Orientation(const Point& a, const Point& b, const Point& c) {
+  const double cr = Cross(a, b, c);
+  const double eps = OrientationThreshold(a, b, c);
+  if (cr > eps) return 1;
+  if (cr < -eps) return -1;
+  return 0;
+}
+
+bool PointOnSegment(const Point& p, const Point& a, const Point& b) {
+  if (Orientation(a, b, p) != 0) return false;
+  return p.x >= std::min(a.x, b.x) - 0.0 && p.x <= std::max(a.x, b.x) &&
+         p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y);
+}
+
+SegmentIntersection IntersectSegments(const Point& a1, const Point& a2,
+                                      const Point& b1, const Point& b2) {
+  SegmentIntersection out;
+
+  // Degenerate segments reduce to point-on-segment tests.
+  const bool a_degenerate = (a1 == a2);
+  const bool b_degenerate = (b1 == b2);
+  if (a_degenerate && b_degenerate) {
+    if (a1 == b1) {
+      out.kind = SegmentIntersection::Kind::kPoint;
+      out.p = a1;
+    }
+    return out;
+  }
+  if (a_degenerate) {
+    if (PointOnSegment(a1, b1, b2)) {
+      out.kind = SegmentIntersection::Kind::kPoint;
+      out.p = a1;
+    }
+    return out;
+  }
+  if (b_degenerate) {
+    if (PointOnSegment(b1, a1, a2)) {
+      out.kind = SegmentIntersection::Kind::kPoint;
+      out.p = b1;
+    }
+    return out;
+  }
+
+  const int o1 = Orientation(a1, a2, b1);
+  const int o2 = Orientation(a1, a2, b2);
+  const int o3 = Orientation(b1, b2, a1);
+  const int o4 = Orientation(b1, b2, a2);
+
+  if (o1 != o2 && o3 != o4 && o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0) {
+    // Proper crossing: solve the 2x2 linear system for the parameter.
+    const double dax = a2.x - a1.x;
+    const double day = a2.y - a1.y;
+    const double dbx = b2.x - b1.x;
+    const double dby = b2.y - b1.y;
+    const double denom = dax * dby - day * dbx;
+    const double t = ((b1.x - a1.x) * dby - (b1.y - a1.y) * dbx) / denom;
+    out.kind = SegmentIntersection::Kind::kPoint;
+    out.p = Point(a1.x + t * dax, a1.y + t * day);
+    out.proper = true;
+    return out;
+  }
+
+  if (o1 == 0 && o2 == 0) {
+    // Collinear: project onto the dominant axis and intersect intervals.
+    const bool use_x = std::abs(a2.x - a1.x) >= std::abs(a2.y - a1.y);
+    auto key = [use_x](const Point& p) { return use_x ? p.x : p.y; };
+    Point alo = a1, ahi = a2, blo = b1, bhi = b2;
+    if (key(alo) > key(ahi)) std::swap(alo, ahi);
+    if (key(blo) > key(bhi)) std::swap(blo, bhi);
+    const Point lo = key(alo) >= key(blo) ? alo : blo;
+    const Point hi = key(ahi) <= key(bhi) ? ahi : bhi;
+    if (key(lo) > key(hi)) return out;  // Disjoint collinear intervals.
+    if (lo == hi) {
+      out.kind = SegmentIntersection::Kind::kPoint;
+      out.p = lo;
+      return out;
+    }
+    out.kind = SegmentIntersection::Kind::kOverlap;
+    out.p = lo;
+    out.q = hi;
+    return out;
+  }
+
+  // Non-collinear with an endpoint touching the other segment.
+  if (o1 == 0 && PointOnSegment(b1, a1, a2)) {
+    out.kind = SegmentIntersection::Kind::kPoint;
+    out.p = b1;
+    return out;
+  }
+  if (o2 == 0 && PointOnSegment(b2, a1, a2)) {
+    out.kind = SegmentIntersection::Kind::kPoint;
+    out.p = b2;
+    return out;
+  }
+  if (o3 == 0 && PointOnSegment(a1, b1, b2)) {
+    out.kind = SegmentIntersection::Kind::kPoint;
+    out.p = a1;
+    return out;
+  }
+  if (o4 == 0 && PointOnSegment(a2, b1, b2)) {
+    out.kind = SegmentIntersection::Kind::kPoint;
+    out.p = a2;
+    return out;
+  }
+  return out;
+}
+
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2) {
+  return IntersectSegments(a1, a2, b1, b2).kind !=
+         SegmentIntersection::Kind::kNone;
+}
+
+Location LocateInRing(const Point& p, const LinearRing& ring) {
+  const std::vector<Point>& pts = ring.points();
+  if (pts.size() < 4) return Location::kExterior;
+
+  // Exact boundary test first.
+  for (size_t i = 1; i < pts.size(); ++i) {
+    if (PointOnSegment(p, pts[i - 1], pts[i])) return Location::kBoundary;
+  }
+
+  // Crossing-number test. The half-open edge convention (count an edge when
+  // exactly one endpoint is strictly above the ray) handles vertices on the
+  // ray without double counting.
+  bool inside = false;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    const Point& a = pts[i - 1];
+    const Point& b = pts[i];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_at_y = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (x_at_y > p.x) inside = !inside;
+    }
+  }
+  return inside ? Location::kInterior : Location::kExterior;
+}
+
+Location LocateInPolygon(const Point& p, const Polygon& poly) {
+  const Location shell_loc = LocateInRing(p, poly.shell());
+  if (shell_loc != Location::kInterior) return shell_loc;
+  for (const LinearRing& hole : poly.holes()) {
+    const Location hole_loc = LocateInRing(p, hole);
+    if (hole_loc == Location::kBoundary) return Location::kBoundary;
+    if (hole_loc == Location::kInterior) return Location::kExterior;
+  }
+  return Location::kInterior;
+}
+
+namespace {
+
+Location LocateOnLineString(const Point& p, const LineString& line) {
+  const std::vector<Point>& pts = line.points();
+  if (pts.empty()) return Location::kExterior;
+  if (pts.size() == 1) {
+    return p == pts[0] ? Location::kInterior : Location::kExterior;
+  }
+  bool on_line = false;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    if (PointOnSegment(p, pts[i - 1], pts[i])) {
+      on_line = true;
+      break;
+    }
+  }
+  if (!on_line) return Location::kExterior;
+  if (line.IsClosed()) return Location::kInterior;  // Rings have no boundary.
+  if (p == pts.front() || p == pts.back()) return Location::kBoundary;
+  return Location::kInterior;
+}
+
+}  // namespace
+
+Location Locate(const Point& p, const Geometry& g) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      return p == g.As<Point>() ? Location::kInterior : Location::kExterior;
+    case GeometryType::kMultiPoint: {
+      for (const Point& q : g.As<MultiPoint>().points()) {
+        if (p == q) return Location::kInterior;
+      }
+      return Location::kExterior;
+    }
+    case GeometryType::kLineString:
+      return LocateOnLineString(p, g.As<LineString>());
+    case GeometryType::kMultiLineString: {
+      // Mod-2 rule: a point is boundary when it is an endpoint of an odd
+      // number of member curves; interior when it is on some curve and not
+      // boundary.
+      int endpoint_count = 0;
+      bool on_any = false;
+      for (const LineString& l : g.As<MultiLineString>().lines()) {
+        const Location loc = LocateOnLineString(p, l);
+        if (loc == Location::kBoundary) ++endpoint_count;
+        if (loc != Location::kExterior) on_any = true;
+      }
+      if (!on_any) return Location::kExterior;
+      return (endpoint_count % 2 == 1) ? Location::kBoundary
+                                       : Location::kInterior;
+    }
+    case GeometryType::kPolygon:
+      return LocateInPolygon(p, g.As<Polygon>());
+    case GeometryType::kMultiPolygon: {
+      // Assumes a valid multipolygon (parts with disjoint interiors).
+      // A point on the shared edge of two touching parts is boundary,
+      // consistent with the parts not overlapping.
+      Location result = Location::kExterior;
+      for (const Polygon& poly : g.As<MultiPolygon>().polygons()) {
+        const Location loc = LocateInPolygon(p, poly);
+        if (loc == Location::kInterior) return Location::kInterior;
+        if (loc == Location::kBoundary) result = Location::kBoundary;
+      }
+      return result;
+    }
+  }
+  return Location::kExterior;
+}
+
+double DistancePointSegment(const Point& p, const Point& a, const Point& b) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len2 = dx * dx + dy * dy;
+  if (len2 == 0.0) return p.DistanceTo(a);
+  double t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return p.DistanceTo(Point(a.x + t * dx, a.y + t * dy));
+}
+
+double DistanceSegmentSegment(const Point& a1, const Point& a2,
+                              const Point& b1, const Point& b2) {
+  if (SegmentsIntersect(a1, a2, b1, b2)) return 0.0;
+  return std::min({DistancePointSegment(a1, b1, b2),
+                   DistancePointSegment(a2, b1, b2),
+                   DistancePointSegment(b1, a1, a2),
+                   DistancePointSegment(b2, a1, a2)});
+}
+
+std::vector<std::pair<Point, Point>> BoundarySegments(const Geometry& g) {
+  std::vector<std::pair<Point, Point>> segs;
+  auto add_path = [&segs](const std::vector<Point>& pts) {
+    for (size_t i = 1; i < pts.size(); ++i) {
+      segs.emplace_back(pts[i - 1], pts[i]);
+    }
+  };
+  for (const Geometry& part : Decompose(g)) {
+    switch (part.type()) {
+      case GeometryType::kLineString:
+        add_path(part.As<LineString>().points());
+        break;
+      case GeometryType::kPolygon: {
+        const Polygon& poly = part.As<Polygon>();
+        add_path(poly.shell().points());
+        for (const LinearRing& hole : poly.holes()) add_path(hole.points());
+        break;
+      }
+      default:
+        break;  // Points contribute no segments.
+    }
+  }
+  return segs;
+}
+
+std::vector<Point> AllVertices(const Geometry& g) {
+  std::vector<Point> out;
+  for (const Geometry& part : Decompose(g)) {
+    switch (part.type()) {
+      case GeometryType::kPoint:
+        out.push_back(part.As<Point>());
+        break;
+      case GeometryType::kLineString: {
+        const auto& pts = part.As<LineString>().points();
+        out.insert(out.end(), pts.begin(), pts.end());
+        break;
+      }
+      case GeometryType::kPolygon: {
+        const Polygon& poly = part.As<Polygon>();
+        const auto& shell = poly.shell().points();
+        out.insert(out.end(), shell.begin(), shell.end());
+        for (const LinearRing& hole : poly.holes()) {
+          const auto& hp = hole.points();
+          out.insert(out.end(), hp.begin(), hp.end());
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+double SimplePairDistance(const Geometry& a, const Geometry& b) {
+  const GeometryType ta = a.type();
+  const GeometryType tb = b.type();
+
+  if (ta == GeometryType::kPoint && tb == GeometryType::kPoint) {
+    return a.As<Point>().DistanceTo(b.As<Point>());
+  }
+
+  // Normalize so the lower-dimensional operand comes first.
+  if (a.Dimension() > b.Dimension()) return SimplePairDistance(b, a);
+
+  if (ta == GeometryType::kPoint) {
+    const Point& p = a.As<Point>();
+    if (tb == GeometryType::kPolygon &&
+        LocateInPolygon(p, b.As<Polygon>()) != Location::kExterior) {
+      return 0.0;
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& [s1, s2] : BoundarySegments(b)) {
+      best = std::min(best, DistancePointSegment(p, s1, s2));
+    }
+    return best;
+  }
+
+  // Line or polygon vs line or polygon: zero when any vertex of one lies
+  // inside/on the other or when boundaries intersect; otherwise the minimum
+  // over boundary segment pairs.
+  if (tb == GeometryType::kPolygon) {
+    for (const Point& v : AllVertices(a)) {
+      if (LocateInPolygon(v, b.As<Polygon>()) != Location::kExterior) {
+        return 0.0;
+      }
+    }
+  }
+  if (ta == GeometryType::kPolygon) {
+    for (const Point& v : AllVertices(b)) {
+      if (LocateInPolygon(v, a.As<Polygon>()) != Location::kExterior) {
+        return 0.0;
+      }
+    }
+  }
+  double best = std::numeric_limits<double>::infinity();
+  const auto segs_a = BoundarySegments(a);
+  const auto segs_b = BoundarySegments(b);
+  for (const auto& [a1, a2] : segs_a) {
+    for (const auto& [b1, b2] : segs_b) {
+      best = std::min(best, DistanceSegmentSegment(a1, a2, b1, b2));
+      if (best == 0.0) return 0.0;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double Distance(const Geometry& a, const Geometry& b) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Geometry& pa : Decompose(a)) {
+    for (const Geometry& pb : Decompose(b)) {
+      best = std::min(best, SimplePairDistance(pa, pb));
+      if (best == 0.0) return 0.0;
+    }
+  }
+  return best;
+}
+
+double Area(const Geometry& g) {
+  switch (g.type()) {
+    case GeometryType::kPolygon:
+      return g.As<Polygon>().Area();
+    case GeometryType::kMultiPolygon:
+      return g.As<MultiPolygon>().Area();
+    default:
+      return 0.0;
+  }
+}
+
+double Length(const Geometry& g) {
+  double total = 0.0;
+  for (const auto& [a, b] : BoundarySegments(g)) {
+    total += a.DistanceTo(b);
+  }
+  return total;
+}
+
+namespace {
+
+/// Vertices plus per-segment subdivisions for Hausdorff sampling.
+std::vector<Point> DensifiedSamples(const Geometry& g,
+                                    double densify_fraction) {
+  std::vector<Point> samples = AllVertices(g);
+  for (const auto& [a, b] : BoundarySegments(g)) {
+    const int pieces =
+        std::max(1, static_cast<int>(std::ceil(1.0 / densify_fraction)));
+    for (int i = 1; i < pieces; ++i) {
+      const double t = static_cast<double>(i) / pieces;
+      samples.emplace_back(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y));
+    }
+  }
+  return samples;
+}
+
+double DirectedHausdorff(const std::vector<Point>& samples,
+                         const Geometry& target) {
+  double worst = 0.0;
+  for (const Point& p : samples) {
+    worst = std::max(worst, Distance(Geometry(p), target));
+  }
+  return worst;
+}
+
+}  // namespace
+
+double HausdorffDistance(const Geometry& a, const Geometry& b,
+                         double densify_fraction) {
+  assert(densify_fraction > 0.0 && densify_fraction <= 1.0);
+  return std::max(DirectedHausdorff(DensifiedSamples(a, densify_fraction), b),
+                  DirectedHausdorff(DensifiedSamples(b, densify_fraction), a));
+}
+
+Point InteriorPoint(const Polygon& poly) {
+  assert(!poly.IsEmpty());
+  const Envelope env = poly.GetEnvelope();
+
+  // Choose a scanline y that avoids every vertex: take the two distinct
+  // vertex ordinates bracketing the envelope centre and bisect them.
+  std::vector<double> ys;
+  for (const Point& p : poly.shell().points()) ys.push_back(p.y);
+  for (const LinearRing& hole : poly.holes()) {
+    for (const Point& p : hole.points()) ys.push_back(p.y);
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  const double center_y = (env.min_y() + env.max_y()) / 2.0;
+  double below = env.min_y();
+  double above = env.max_y();
+  for (double y : ys) {
+    if (y <= center_y && y > below) below = y;
+    if (y > center_y && y < above) {
+      above = y;
+      break;
+    }
+  }
+  // `ys` spans [min_y, max_y]; when center_y coincides with the single
+  // distinct level the polygon is degenerate and we fall back to the centre.
+  const double scan_y = (below + above) / 2.0;
+
+  // Gather scanline/edge crossing abscissae over the shell and holes.
+  std::vector<double> xs;
+  auto scan_ring = [&xs, scan_y](const LinearRing& ring) {
+    const auto& pts = ring.points();
+    for (size_t i = 1; i < pts.size(); ++i) {
+      const Point& a = pts[i - 1];
+      const Point& b = pts[i];
+      if ((a.y > scan_y) != (b.y > scan_y)) {
+        xs.push_back(a.x + (scan_y - a.y) * (b.x - a.x) / (b.y - a.y));
+      }
+    }
+  };
+  scan_ring(poly.shell());
+  for (const LinearRing& hole : poly.holes()) scan_ring(hole);
+  std::sort(xs.begin(), xs.end());
+
+  if (xs.size() < 2) return env.Center();  // Degenerate polygon.
+
+  // Even-odd rule: intervals [xs[0],xs[1]], [xs[2],xs[3]], ... are interior.
+  double best_width = -1.0;
+  double best_x = env.Center().x;
+  for (size_t i = 0; i + 1 < xs.size(); i += 2) {
+    const double width = xs[i + 1] - xs[i];
+    if (width > best_width) {
+      best_width = width;
+      best_x = (xs[i] + xs[i + 1]) / 2.0;
+    }
+  }
+  return Point(best_x, scan_y);
+}
+
+namespace {
+
+Point RingCentroid(const LinearRing& ring, double* signed_area) {
+  const auto& pts = ring.points();
+  double a2 = 0.0, cx = 0.0, cy = 0.0;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    const double w = pts[i - 1].x * pts[i].y - pts[i].x * pts[i - 1].y;
+    a2 += w;
+    cx += (pts[i - 1].x + pts[i].x) * w;
+    cy += (pts[i - 1].y + pts[i].y) * w;
+  }
+  *signed_area = a2 / 2.0;
+  if (a2 == 0.0) {
+    // Flat ring: average the vertices.
+    Point mean;
+    const size_t n = pts.size() > 1 ? pts.size() - 1 : pts.size();
+    for (size_t i = 0; i < n; ++i) {
+      mean.x += pts[i].x;
+      mean.y += pts[i].y;
+    }
+    mean.x /= static_cast<double>(n);
+    mean.y /= static_cast<double>(n);
+    return mean;
+  }
+  return Point(cx / (3.0 * a2), cy / (3.0 * a2));
+}
+
+Point PolygonCentroid(const Polygon& poly) {
+  double shell_area = 0.0;
+  Point c = RingCentroid(poly.shell(), &shell_area);
+  double total = std::abs(shell_area);
+  double cx = c.x * total;
+  double cy = c.y * total;
+  for (const LinearRing& hole : poly.holes()) {
+    double hole_area = 0.0;
+    const Point hc = RingCentroid(hole, &hole_area);
+    const double w = std::abs(hole_area);
+    cx -= hc.x * w;
+    cy -= hc.y * w;
+    total -= w;
+  }
+  if (total == 0.0) return c;
+  return Point(cx / total, cy / total);
+}
+
+}  // namespace
+
+Point Centroid(const Geometry& g) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      return g.As<Point>();
+    case GeometryType::kMultiPoint: {
+      const auto& pts = g.As<MultiPoint>().points();
+      Point mean;
+      for (const Point& p : pts) {
+        mean.x += p.x;
+        mean.y += p.y;
+      }
+      if (!pts.empty()) {
+        mean.x /= static_cast<double>(pts.size());
+        mean.y /= static_cast<double>(pts.size());
+      }
+      return mean;
+    }
+    case GeometryType::kLineString:
+    case GeometryType::kMultiLineString: {
+      // Length-weighted mean of segment midpoints.
+      double total = 0.0, cx = 0.0, cy = 0.0;
+      for (const auto& [a, b] : BoundarySegments(g)) {
+        const double len = a.DistanceTo(b);
+        total += len;
+        cx += (a.x + b.x) / 2.0 * len;
+        cy += (a.y + b.y) / 2.0 * len;
+      }
+      if (total == 0.0) return g.GetEnvelope().Center();
+      return Point(cx / total, cy / total);
+    }
+    case GeometryType::kPolygon:
+      return PolygonCentroid(g.As<Polygon>());
+    case GeometryType::kMultiPolygon: {
+      double total = 0.0, cx = 0.0, cy = 0.0;
+      for (const Polygon& p : g.As<MultiPolygon>().polygons()) {
+        const double area = p.Area();
+        const Point c = PolygonCentroid(p);
+        total += area;
+        cx += c.x * area;
+        cy += c.y * area;
+      }
+      if (total == 0.0) return g.GetEnvelope().Center();
+      return Point(cx / total, cy / total);
+    }
+  }
+  return Point();
+}
+
+LinearRing ConvexHull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const size_t n = points.size();
+  if (n == 0) return LinearRing();
+  if (n == 1) {
+    return LinearRing(std::vector<Point>{points[0], points[0], points[0]});
+  }
+
+  std::vector<Point> hull(2 * n);
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {  // Lower hull.
+    while (k >= 2 &&
+           Cross(hull[k - 2], hull[k - 1], points[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  const size_t lower = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {  // Upper hull.
+    while (k >= lower &&
+           Cross(hull[k - 2], hull[k - 1], points[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k);
+  if (hull.size() < 3) {
+    // Collinear input: emit a flat ring over the extremes.
+    hull = {points.front(), points.back(), points.front()};
+  }
+  return LinearRing(std::move(hull));
+}
+
+namespace {
+
+void SimplifyRange(const std::vector<Point>& pts, size_t lo, size_t hi,
+                   double tolerance, std::vector<bool>* keep) {
+  if (hi <= lo + 1) return;
+  double max_dist = -1.0;
+  size_t max_idx = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    const double d = DistancePointSegment(pts[i], pts[lo], pts[hi]);
+    if (d > max_dist) {
+      max_dist = d;
+      max_idx = i;
+    }
+  }
+  if (max_dist > tolerance) {
+    (*keep)[max_idx] = true;
+    SimplifyRange(pts, lo, max_idx, tolerance, keep);
+    SimplifyRange(pts, max_idx, hi, tolerance, keep);
+  }
+}
+
+}  // namespace
+
+LineString Simplify(const LineString& line, double tolerance) {
+  const std::vector<Point>& pts = line.points();
+  if (pts.size() <= 2) return line;
+  std::vector<bool> keep(pts.size(), false);
+  keep.front() = keep.back() = true;
+  SimplifyRange(pts, 0, pts.size() - 1, tolerance, &keep);
+  std::vector<Point> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (keep[i]) out.push_back(pts[i]);
+  }
+  return LineString(std::move(out));
+}
+
+std::vector<Point> SplitPointsOnSegment(
+    const Point& a, const Point& b,
+    const std::vector<std::pair<Point, Point>>& cutters) {
+  std::vector<Point> cuts;
+  for (const auto& [c1, c2] : cutters) {
+    const SegmentIntersection isect = IntersectSegments(a, b, c1, c2);
+    switch (isect.kind) {
+      case SegmentIntersection::Kind::kNone:
+        break;
+      case SegmentIntersection::Kind::kPoint:
+        cuts.push_back(isect.p);
+        break;
+      case SegmentIntersection::Kind::kOverlap:
+        cuts.push_back(isect.p);
+        cuts.push_back(isect.q);
+        break;
+    }
+  }
+  // Order along the segment and drop endpoints/duplicates.
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len2 = dx * dx + dy * dy;
+  auto param = [&](const Point& p) {
+    return len2 == 0.0 ? 0.0 : ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+  };
+  std::sort(cuts.begin(), cuts.end(),
+            [&](const Point& u, const Point& v) { return param(u) < param(v); });
+  std::vector<Point> out;
+  constexpr double kTEps = 1e-12;
+  for (const Point& p : cuts) {
+    const double t = param(p);
+    if (t <= kTEps || t >= 1.0 - kTEps) continue;
+    if (!out.empty() && std::abs(param(out.back()) - t) <= kTEps) continue;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace geom
+}  // namespace sfpm

@@ -1,0 +1,142 @@
+#ifndef SFPM_GEOM_ALGORITHMS_H_
+#define SFPM_GEOM_ALGORITHMS_H_
+
+#include <vector>
+
+#include "geom/geometry.h"
+#include "geom/point.h"
+
+namespace sfpm {
+namespace geom {
+
+/// \brief Topological position of a point relative to a geometry, following
+/// the interior/boundary/exterior decomposition of the 9-intersection model.
+enum class Location { kInterior, kBoundary, kExterior };
+
+/// \brief Sign of the signed area of triangle (a, b, c).
+///
+/// Returns +1 when c lies to the left of the directed line a->b (counter-
+/// clockwise turn), -1 to the right, and 0 when the points are collinear.
+int Orientation(const Point& a, const Point& b, const Point& c);
+
+/// \brief Twice the signed area of triangle (a, b, c); positive when CCW.
+double Cross(const Point& a, const Point& b, const Point& c);
+
+/// True when `p` lies on the closed segment [a, b] (endpoints included).
+bool PointOnSegment(const Point& p, const Point& a, const Point& b);
+
+/// \brief Classification of how two closed segments meet.
+struct SegmentIntersection {
+  enum class Kind {
+    kNone,     ///< Segments do not intersect.
+    kPoint,    ///< Single intersection point (stored in `p`).
+    kOverlap,  ///< Collinear overlap along sub-segment [p, q].
+  };
+  Kind kind = Kind::kNone;
+  Point p;  ///< Intersection point, or overlap start.
+  Point q;  ///< Overlap end (kind == kOverlap only).
+  /// True when the intersection point lies strictly inside both segments
+  /// (a "proper" crossing). Meaningful for kind == kPoint only.
+  bool proper = false;
+};
+
+/// \brief Intersects closed segments [a1, a2] and [b1, b2].
+///
+/// Degenerate (zero-length) segments are handled as points.
+SegmentIntersection IntersectSegments(const Point& a1, const Point& a2,
+                                      const Point& b1, const Point& b2);
+
+/// True when the closed segments share at least one point.
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2);
+
+/// \brief Locates `p` relative to the closed region bounded by `ring`
+/// (crossing-number test with exact boundary detection).
+Location LocateInRing(const Point& p, const LinearRing& ring);
+
+/// \brief Locates `p` relative to `poly`, honouring holes: a point inside a
+/// hole is exterior; a point on a hole boundary is boundary.
+Location LocateInPolygon(const Point& p, const Polygon& poly);
+
+/// \brief Locates `p` relative to an arbitrary geometry.
+///
+/// Conventions of the 9-intersection model:
+///  * Point/MultiPoint: every member point is interior (points have an empty
+///    boundary); anything else is exterior.
+///  * LineString: the two endpoints form the boundary (for closed rings the
+///    boundary is empty); other on-line points are interior.
+///  * MultiLineString: boundary follows the mod-2 rule — an endpoint shared
+///    by an even number of member curves is interior.
+///  * Polygon/MultiPolygon: as LocateInPolygon.
+Location Locate(const Point& p, const Geometry& g);
+
+/// Distance from `p` to the closed segment [a, b].
+double DistancePointSegment(const Point& p, const Point& a, const Point& b);
+
+/// Distance between closed segments [a1, a2] and [b1, b2].
+double DistanceSegmentSegment(const Point& a1, const Point& a2,
+                              const Point& b1, const Point& b2);
+
+/// \brief Minimum Euclidean distance between two geometries (0 when they
+/// intersect). Handles every pair of the six geometry types.
+double Distance(const Geometry& a, const Geometry& b);
+
+/// \brief A point guaranteed to lie strictly inside the polygon.
+///
+/// Computed by intersecting a horizontal scanline with the polygon edges and
+/// taking the midpoint of the widest interior interval; exact for valid
+/// simple polygons with positive area.
+Point InteriorPoint(const Polygon& poly);
+
+/// \brief Geometric centroid. Area-weighted for polygons, length-weighted
+/// for lines, arithmetic mean for points.
+Point Centroid(const Geometry& g);
+
+/// \brief Convex hull of a point set (Andrew's monotone chain), returned as
+/// a CCW ring. Collinear input degenerates to a (possibly flat) ring.
+LinearRing ConvexHull(std::vector<Point> points);
+
+/// \brief Douglas-Peucker simplification with Euclidean tolerance.
+///
+/// Endpoints are always kept; interior vertices closer than `tolerance` to
+/// the simplified baseline are dropped.
+LineString Simplify(const LineString& line, double tolerance);
+
+/// \brief Splits the path `a -> b` at every point where it meets a segment
+/// of `cutters`, returning the ordered cut points (excluding a and b).
+///
+/// This is the workhorse of the relate engine's exact midpoint
+/// classification: after splitting, each open sub-segment lies entirely
+/// within one of interior/boundary/exterior of the other geometry.
+std::vector<Point> SplitPointsOnSegment(
+    const Point& a, const Point& b,
+    const std::vector<std::pair<Point, Point>>& cutters);
+
+/// \brief Collects every boundary segment of `g` (polylines' segments,
+/// polygon shell + hole segments). Points contribute nothing.
+std::vector<std::pair<Point, Point>> BoundarySegments(const Geometry& g);
+
+/// \brief Collects every vertex of `g` (member points for point types,
+/// path vertices for lines, ring vertices for polygons).
+std::vector<Point> AllVertices(const Geometry& g);
+
+/// \brief Total area of `g` (0 for points and lines).
+double Area(const Geometry& g);
+
+/// \brief Total length of `g`'s linework: curve length for lines,
+/// boundary length for polygons, 0 for points.
+double Length(const Geometry& g);
+
+/// \brief Discrete Hausdorff distance between two geometries: the maximum
+/// over each geometry's sample points of the distance to the other
+/// geometry, symmetrized. Sample points are the vertices plus segment
+/// subdivisions no longer than `densify_fraction` of each segment (a
+/// smaller fraction tightens the approximation to the true Hausdorff
+/// distance). Requires densify_fraction in (0, 1].
+double HausdorffDistance(const Geometry& a, const Geometry& b,
+                         double densify_fraction = 0.25);
+
+}  // namespace geom
+}  // namespace sfpm
+
+#endif  // SFPM_GEOM_ALGORITHMS_H_

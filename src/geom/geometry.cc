@@ -1,0 +1,199 @@
+#include "geom/geometry.h"
+
+#include <cmath>
+
+#include "geom/wkt.h"
+#include "util/strings.h"
+
+namespace sfpm {
+namespace geom {
+
+const char* GeometryTypeName(GeometryType type) {
+  switch (type) {
+    case GeometryType::kPoint:
+      return "POINT";
+    case GeometryType::kLineString:
+      return "LINESTRING";
+    case GeometryType::kPolygon:
+      return "POLYGON";
+    case GeometryType::kMultiPoint:
+      return "MULTIPOINT";
+    case GeometryType::kMultiLineString:
+      return "MULTILINESTRING";
+    case GeometryType::kMultiPolygon:
+      return "MULTIPOLYGON";
+  }
+  return "UNKNOWN";
+}
+
+std::string Point::ToString() const {
+  return StrFormat("(%g, %g)", x, y);
+}
+
+std::string Envelope::ToString() const {
+  if (IsNull()) return "Env[null]";
+  return StrFormat("Env[%g:%g, %g:%g]", min_x(), max_x(), min_y(), max_y());
+}
+
+namespace {
+
+double PathLength(const std::vector<Point>& pts) {
+  double total = 0.0;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    total += pts[i - 1].DistanceTo(pts[i]);
+  }
+  return total;
+}
+
+Envelope PathEnvelope(const std::vector<Point>& pts) {
+  Envelope env;
+  for (const Point& p : pts) env.ExpandToInclude(p);
+  return env;
+}
+
+}  // namespace
+
+double LineString::Length() const { return PathLength(points_); }
+
+Envelope LineString::GetEnvelope() const { return PathEnvelope(points_); }
+
+LinearRing::LinearRing(std::vector<Point> points) : points_(std::move(points)) {
+  if (!points_.empty() && points_.front() != points_.back()) {
+    points_.push_back(points_.front());
+  }
+}
+
+double LinearRing::SignedArea() const {
+  // Shoelace formula over the closed vertex list.
+  double twice_area = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    const Point& a = points_[i - 1];
+    const Point& b = points_[i];
+    twice_area += a.x * b.y - b.x * a.y;
+  }
+  return twice_area / 2.0;
+}
+
+double LinearRing::Length() const { return PathLength(points_); }
+
+Envelope LinearRing::GetEnvelope() const { return PathEnvelope(points_); }
+
+double Polygon::Area() const {
+  double area = shell_.Area();
+  for (const LinearRing& hole : holes_) area -= hole.Area();
+  return area;
+}
+
+double Polygon::BoundaryLength() const {
+  double len = shell_.Length();
+  for (const LinearRing& hole : holes_) len += hole.Length();
+  return len;
+}
+
+Envelope MultiPoint::GetEnvelope() const { return PathEnvelope(points_); }
+
+double MultiLineString::Length() const {
+  double total = 0.0;
+  for (const LineString& l : lines_) total += l.Length();
+  return total;
+}
+
+Envelope MultiLineString::GetEnvelope() const {
+  Envelope env;
+  for (const LineString& l : lines_) env.ExpandToInclude(l.GetEnvelope());
+  return env;
+}
+
+double MultiPolygon::Area() const {
+  double total = 0.0;
+  for (const Polygon& p : polygons_) total += p.Area();
+  return total;
+}
+
+Envelope MultiPolygon::GetEnvelope() const {
+  Envelope env;
+  for (const Polygon& p : polygons_) env.ExpandToInclude(p.GetEnvelope());
+  return env;
+}
+
+int Geometry::Dimension() const {
+  switch (type()) {
+    case GeometryType::kPoint:
+    case GeometryType::kMultiPoint:
+      return 0;
+    case GeometryType::kLineString:
+    case GeometryType::kMultiLineString:
+      return 1;
+    case GeometryType::kPolygon:
+    case GeometryType::kMultiPolygon:
+      return 2;
+  }
+  return -1;
+}
+
+bool Geometry::IsEmpty() const {
+  return std::visit(
+      [](const auto& g) -> bool {
+        using T = std::decay_t<decltype(g)>;
+        if constexpr (std::is_same_v<T, Point>) {
+          return std::isnan(g.x) || std::isnan(g.y);
+        } else {
+          return g.IsEmpty();
+        }
+      },
+      value_);
+}
+
+Envelope Geometry::GetEnvelope() const {
+  return std::visit(
+      [](const auto& g) -> Envelope {
+        using T = std::decay_t<decltype(g)>;
+        if constexpr (std::is_same_v<T, Point>) {
+          return Envelope(g);
+        } else {
+          return g.GetEnvelope();
+        }
+      },
+      value_);
+}
+
+size_t Geometry::NumParts() const {
+  switch (type()) {
+    case GeometryType::kMultiPoint:
+      return As<MultiPoint>().NumGeometries();
+    case GeometryType::kMultiLineString:
+      return As<MultiLineString>().NumGeometries();
+    case GeometryType::kMultiPolygon:
+      return As<MultiPolygon>().NumGeometries();
+    default:
+      return 1;
+  }
+}
+
+std::string Geometry::ToWkt() const { return WriteWkt(*this); }
+
+std::vector<Geometry> Decompose(const Geometry& g) {
+  std::vector<Geometry> parts;
+  switch (g.type()) {
+    case GeometryType::kMultiPoint:
+      for (const Point& p : g.As<MultiPoint>().points()) parts.emplace_back(p);
+      break;
+    case GeometryType::kMultiLineString:
+      for (const LineString& l : g.As<MultiLineString>().lines()) {
+        parts.emplace_back(l);
+      }
+      break;
+    case GeometryType::kMultiPolygon:
+      for (const Polygon& p : g.As<MultiPolygon>().polygons()) {
+        parts.emplace_back(p);
+      }
+      break;
+    default:
+      parts.push_back(g);
+      break;
+  }
+  return parts;
+}
+
+}  // namespace geom
+}  // namespace sfpm

@@ -1,0 +1,247 @@
+#ifndef SFPM_GEOM_GEOMETRY_H_
+#define SFPM_GEOM_GEOMETRY_H_
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "geom/point.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace geom {
+
+/// \brief OGC simple-feature geometry types supported by the library.
+enum class GeometryType {
+  kPoint,
+  kLineString,
+  kPolygon,
+  kMultiPoint,
+  kMultiLineString,
+  kMultiPolygon,
+};
+
+/// Returns the canonical WKT keyword ("POINT", "POLYGON", ...).
+const char* GeometryTypeName(GeometryType type);
+
+/// \brief An open polyline with at least two vertices (when non-empty).
+class LineString {
+ public:
+  LineString() = default;
+  explicit LineString(std::vector<Point> points) : points_(std::move(points)) {}
+
+  const std::vector<Point>& points() const { return points_; }
+  std::vector<Point>& mutable_points() { return points_; }
+
+  bool IsEmpty() const { return points_.empty(); }
+  size_t NumPoints() const { return points_.size(); }
+  const Point& point(size_t i) const { return points_[i]; }
+
+  /// True when first and last vertices coincide.
+  bool IsClosed() const {
+    return points_.size() >= 3 && points_.front() == points_.back();
+  }
+
+  /// Sum of segment lengths.
+  double Length() const;
+
+  Envelope GetEnvelope() const;
+
+  bool operator==(const LineString& o) const { return points_ == o.points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// \brief A closed ring: first vertex equals last vertex.
+///
+/// Rings are stored exactly as given; orientation (CW/CCW) is not
+/// normalized — use `SignedArea()` to query it.
+class LinearRing {
+ public:
+  LinearRing() = default;
+
+  /// Takes the vertex list; appends a closing vertex when absent.
+  explicit LinearRing(std::vector<Point> points);
+
+  const std::vector<Point>& points() const { return points_; }
+  bool IsEmpty() const { return points_.empty(); }
+
+  /// Number of vertices including the duplicated closing vertex.
+  size_t NumPoints() const { return points_.size(); }
+  const Point& point(size_t i) const { return points_[i]; }
+
+  /// Positive for counter-clockwise rings (shoelace formula).
+  double SignedArea() const;
+  double Area() const { return std::abs(SignedArea()); }
+  double Length() const;
+
+  Envelope GetEnvelope() const;
+
+  /// Basic validity: at least 4 vertices (triangle + closure) and closed.
+  bool IsValid() const {
+    return points_.size() >= 4 && points_.front() == points_.back();
+  }
+
+  bool operator==(const LinearRing& o) const { return points_ == o.points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// \brief A polygon: one exterior shell plus zero or more interior holes.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(LinearRing shell, std::vector<LinearRing> holes = {})
+      : shell_(std::move(shell)), holes_(std::move(holes)) {}
+
+  const LinearRing& shell() const { return shell_; }
+  const std::vector<LinearRing>& holes() const { return holes_; }
+
+  bool IsEmpty() const { return shell_.IsEmpty(); }
+
+  /// Shell area minus hole areas.
+  double Area() const;
+
+  /// Total boundary length (shell plus holes).
+  double BoundaryLength() const;
+
+  Envelope GetEnvelope() const { return shell_.GetEnvelope(); }
+
+  bool operator==(const Polygon& o) const {
+    return shell_ == o.shell_ && holes_ == o.holes_;
+  }
+
+ private:
+  LinearRing shell_;
+  std::vector<LinearRing> holes_;
+};
+
+/// \brief A collection of points.
+class MultiPoint {
+ public:
+  MultiPoint() = default;
+  explicit MultiPoint(std::vector<Point> points) : points_(std::move(points)) {}
+
+  const std::vector<Point>& points() const { return points_; }
+  bool IsEmpty() const { return points_.empty(); }
+  size_t NumGeometries() const { return points_.size(); }
+
+  Envelope GetEnvelope() const;
+
+  bool operator==(const MultiPoint& o) const { return points_ == o.points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// \brief A collection of linestrings.
+class MultiLineString {
+ public:
+  MultiLineString() = default;
+  explicit MultiLineString(std::vector<LineString> lines)
+      : lines_(std::move(lines)) {}
+
+  const std::vector<LineString>& lines() const { return lines_; }
+  bool IsEmpty() const { return lines_.empty(); }
+  size_t NumGeometries() const { return lines_.size(); }
+
+  double Length() const;
+  Envelope GetEnvelope() const;
+
+  bool operator==(const MultiLineString& o) const { return lines_ == o.lines_; }
+
+ private:
+  std::vector<LineString> lines_;
+};
+
+/// \brief A collection of polygons.
+class MultiPolygon {
+ public:
+  MultiPolygon() = default;
+  explicit MultiPolygon(std::vector<Polygon> polygons)
+      : polygons_(std::move(polygons)) {}
+
+  const std::vector<Polygon>& polygons() const { return polygons_; }
+  bool IsEmpty() const { return polygons_.empty(); }
+  size_t NumGeometries() const { return polygons_.size(); }
+
+  double Area() const;
+  Envelope GetEnvelope() const;
+
+  bool operator==(const MultiPolygon& o) const {
+    return polygons_ == o.polygons_;
+  }
+
+ private:
+  std::vector<Polygon> polygons_;
+};
+
+/// \brief Type-erased geometry value: the unit the relate engine, spatial
+/// index, and feature layer all operate on.
+///
+/// A `Geometry` is a cheap-to-move value type over a variant of the six
+/// concrete simple-feature types. Default-constructed geometry is an empty
+/// point.
+class Geometry {
+ public:
+  using Variant = std::variant<Point, LineString, Polygon, MultiPoint,
+                               MultiLineString, MultiPolygon>;
+
+  Geometry() : value_(Point{}) {}
+  Geometry(Point p) : value_(p) {}                        // NOLINT
+  Geometry(LineString l) : value_(std::move(l)) {}        // NOLINT
+  Geometry(Polygon p) : value_(std::move(p)) {}           // NOLINT
+  Geometry(MultiPoint m) : value_(std::move(m)) {}        // NOLINT
+  Geometry(MultiLineString m) : value_(std::move(m)) {}   // NOLINT
+  Geometry(MultiPolygon m) : value_(std::move(m)) {}      // NOLINT
+
+  GeometryType type() const {
+    return static_cast<GeometryType>(value_.index());
+  }
+
+  /// Topological dimension: 0 for points, 1 for lines, 2 for polygons.
+  /// Empty geometries report the dimension of their declared type.
+  int Dimension() const;
+
+  bool IsEmpty() const;
+
+  Envelope GetEnvelope() const;
+
+  /// Number of atomic parts (1 for simple types, N for multi types).
+  size_t NumParts() const;
+
+  template <typename T>
+  bool Is() const {
+    return std::holds_alternative<T>(value_);
+  }
+
+  template <typename T>
+  const T& As() const {
+    return std::get<T>(value_);
+  }
+
+  const Variant& value() const { return value_; }
+
+  bool operator==(const Geometry& o) const { return value_ == o.value_; }
+
+  /// Well-known-text rendering (delegates to wkt.h writer).
+  std::string ToWkt() const;
+
+ private:
+  Variant value_;
+};
+
+/// \brief Decomposes any geometry into its atomic parts.
+///
+/// MultiX splits into X parts; simple geometries yield themselves. Used by
+/// the relate engine and distance computation to reduce multi-geometry cases
+/// to simple-pair cases.
+std::vector<Geometry> Decompose(const Geometry& g);
+
+}  // namespace geom
+}  // namespace sfpm
+
+#endif  // SFPM_GEOM_GEOMETRY_H_

@@ -1,0 +1,171 @@
+#ifndef SFPM_GEOM_POINT_H_
+#define SFPM_GEOM_POINT_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace sfpm {
+namespace geom {
+
+/// \brief A 2-D coordinate. The basic building block of every geometry.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point() = default;
+  Point(double px, double py) : x(px), y(py) {}
+
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+  bool operator!=(const Point& o) const { return !(*this == o); }
+
+  /// Lexicographic (x, then y) order; used for canonical forms and hulls.
+  bool operator<(const Point& o) const {
+    return x < o.x || (x == o.x && y < o.y);
+  }
+
+  /// Euclidean distance to `o`.
+  double DistanceTo(const Point& o) const {
+    return std::hypot(x - o.x, y - o.y);
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief An axis-aligned bounding rectangle; the unit of R-tree indexing.
+///
+/// A default-constructed envelope is *null* (empty): it contains nothing and
+/// expanding it by a point makes it that point.
+class Envelope {
+ public:
+  /// Constructs a null (empty) envelope.
+  Envelope()
+      : min_x_(std::numeric_limits<double>::infinity()),
+        min_y_(std::numeric_limits<double>::infinity()),
+        max_x_(-std::numeric_limits<double>::infinity()),
+        max_y_(-std::numeric_limits<double>::infinity()) {}
+
+  /// Constructs from extremes; the pairs may be given in any order.
+  Envelope(double x1, double y1, double x2, double y2)
+      : min_x_(std::min(x1, x2)),
+        min_y_(std::min(y1, y2)),
+        max_x_(std::max(x1, x2)),
+        max_y_(std::max(y1, y2)) {}
+
+  /// Envelope of a single point.
+  explicit Envelope(const Point& p) : Envelope(p.x, p.y, p.x, p.y) {}
+
+  /// Envelope of a segment.
+  Envelope(const Point& a, const Point& b) : Envelope(a.x, a.y, b.x, b.y) {}
+
+  bool IsNull() const { return min_x_ > max_x_; }
+
+  double min_x() const { return min_x_; }
+  double min_y() const { return min_y_; }
+  double max_x() const { return max_x_; }
+  double max_y() const { return max_y_; }
+
+  double Width() const { return IsNull() ? 0.0 : max_x_ - min_x_; }
+  double Height() const { return IsNull() ? 0.0 : max_y_ - min_y_; }
+  double Area() const { return Width() * Height(); }
+  double Perimeter() const { return 2.0 * (Width() + Height()); }
+
+  Point Center() const {
+    return Point((min_x_ + max_x_) / 2.0, (min_y_ + max_y_) / 2.0);
+  }
+
+  /// Grows this envelope to cover `p`.
+  void ExpandToInclude(const Point& p) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x_ = std::max(max_x_, p.x);
+    max_y_ = std::max(max_y_, p.y);
+  }
+
+  /// Grows this envelope to cover `other`.
+  void ExpandToInclude(const Envelope& other) {
+    if (other.IsNull()) return;
+    min_x_ = std::min(min_x_, other.min_x_);
+    min_y_ = std::min(min_y_, other.min_y_);
+    max_x_ = std::max(max_x_, other.max_x_);
+    max_y_ = std::max(max_y_, other.max_y_);
+  }
+
+  /// Grows every side by `margin` (a negative margin shrinks).
+  Envelope Buffered(double margin) const {
+    if (IsNull()) return *this;
+    return Envelope(min_x_ - margin, min_y_ - margin, max_x_ + margin,
+                    max_y_ + margin);
+  }
+
+  /// True when the closed rectangles share at least one point.
+  bool Intersects(const Envelope& other) const {
+    if (IsNull() || other.IsNull()) return false;
+    return min_x_ <= other.max_x_ && max_x_ >= other.min_x_ &&
+           min_y_ <= other.max_y_ && max_y_ >= other.min_y_;
+  }
+
+  /// True when `p` lies inside or on the border.
+  bool Contains(const Point& p) const {
+    return !IsNull() && p.x >= min_x_ && p.x <= max_x_ && p.y >= min_y_ &&
+           p.y <= max_y_;
+  }
+
+  /// True when `other` is entirely inside or on the border.
+  bool Contains(const Envelope& other) const {
+    if (IsNull() || other.IsNull()) return false;
+    return other.min_x_ >= min_x_ && other.max_x_ <= max_x_ &&
+           other.min_y_ >= min_y_ && other.max_y_ <= max_y_;
+  }
+
+  /// Smallest separation between the rectangles; 0 when they intersect.
+  double Distance(const Envelope& other) const {
+    if (Intersects(other)) return 0.0;
+    double dx = 0.0;
+    if (other.max_x_ < min_x_) {
+      dx = min_x_ - other.max_x_;
+    } else if (other.min_x_ > max_x_) {
+      dx = other.min_x_ - max_x_;
+    }
+    double dy = 0.0;
+    if (other.max_y_ < min_y_) {
+      dy = min_y_ - other.max_y_;
+    } else if (other.min_y_ > max_y_) {
+      dy = other.min_y_ - max_y_;
+    }
+    return std::hypot(dx, dy);
+  }
+
+  /// Rectangle intersection; null when disjoint.
+  Envelope Intersection(const Envelope& other) const {
+    if (!Intersects(other)) return Envelope();
+    return Envelope(std::max(min_x_, other.min_x_),
+                    std::max(min_y_, other.min_y_),
+                    std::min(max_x_, other.max_x_),
+                    std::min(max_y_, other.max_y_));
+  }
+
+  /// Area the envelope would gain by expanding to include `other`.
+  double EnlargementToInclude(const Envelope& other) const {
+    Envelope merged = *this;
+    merged.ExpandToInclude(other);
+    return merged.Area() - Area();
+  }
+
+  bool operator==(const Envelope& o) const {
+    if (IsNull() && o.IsNull()) return true;
+    return min_x_ == o.min_x_ && min_y_ == o.min_y_ && max_x_ == o.max_x_ &&
+           max_y_ == o.max_y_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  double min_x_, min_y_, max_x_, max_y_;
+};
+
+}  // namespace geom
+}  // namespace sfpm
+
+#endif  // SFPM_GEOM_POINT_H_

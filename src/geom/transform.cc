@@ -1,0 +1,111 @@
+#include "geom/transform.h"
+
+#include <cmath>
+
+namespace sfpm {
+namespace geom {
+
+AffineTransform AffineTransform::Translation(double dx, double dy) {
+  return AffineTransform(1, 0, dx, 0, 1, dy);
+}
+
+AffineTransform AffineTransform::Scaling(double sx, double sy) {
+  return AffineTransform(sx, 0, 0, 0, sy, 0);
+}
+
+AffineTransform AffineTransform::Rotation(double radians) {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  return AffineTransform(c, -s, 0, s, c, 0);
+}
+
+AffineTransform AffineTransform::Rotation(double radians,
+                                          const Point& center) {
+  return Translation(-center.x, -center.y)
+      .Then(Rotation(radians))
+      .Then(Translation(center.x, center.y));
+}
+
+AffineTransform AffineTransform::ReflectionX() {
+  return AffineTransform(1, 0, 0, 0, -1, 0);
+}
+
+AffineTransform AffineTransform::Then(const AffineTransform& next) const {
+  // next(this(p)): compose the 2x3 matrices.
+  return AffineTransform(
+      next.a_ * a_ + next.b_ * d_, next.a_ * b_ + next.b_ * e_,
+      next.a_ * c_ + next.b_ * f_ + next.c_,
+      next.d_ * a_ + next.e_ * d_, next.d_ * b_ + next.e_ * e_,
+      next.d_ * c_ + next.e_ * f_ + next.f_);
+}
+
+namespace {
+
+std::vector<Point> ApplyAll(const AffineTransform& t,
+                            const std::vector<Point>& pts) {
+  std::vector<Point> out;
+  out.reserve(pts.size());
+  for (const Point& p : pts) out.push_back(t.Apply(p));
+  return out;
+}
+
+LinearRing ApplyRing(const AffineTransform& t, const LinearRing& ring) {
+  return LinearRing(ApplyAll(t, ring.points()));
+}
+
+Polygon ApplyPolygon(const AffineTransform& t, const Polygon& poly) {
+  std::vector<LinearRing> holes;
+  holes.reserve(poly.holes().size());
+  for (const LinearRing& hole : poly.holes()) {
+    holes.push_back(ApplyRing(t, hole));
+  }
+  return Polygon(ApplyRing(t, poly.shell()), std::move(holes));
+}
+
+}  // namespace
+
+Geometry AffineTransform::Apply(const Geometry& g) const {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      return Geometry(Apply(g.As<Point>()));
+    case GeometryType::kLineString:
+      return Geometry(LineString(ApplyAll(*this, g.As<LineString>().points())));
+    case GeometryType::kPolygon:
+      return Geometry(ApplyPolygon(*this, g.As<Polygon>()));
+    case GeometryType::kMultiPoint:
+      return Geometry(MultiPoint(ApplyAll(*this, g.As<MultiPoint>().points())));
+    case GeometryType::kMultiLineString: {
+      std::vector<LineString> lines;
+      for (const LineString& l : g.As<MultiLineString>().lines()) {
+        lines.emplace_back(ApplyAll(*this, l.points()));
+      }
+      return Geometry(MultiLineString(std::move(lines)));
+    }
+    case GeometryType::kMultiPolygon: {
+      std::vector<Polygon> polys;
+      for (const Polygon& p : g.As<MultiPolygon>().polygons()) {
+        polys.push_back(ApplyPolygon(*this, p));
+      }
+      return Geometry(MultiPolygon(std::move(polys)));
+    }
+  }
+  return g;
+}
+
+Geometry Translate(const Geometry& g, double dx, double dy) {
+  return AffineTransform::Translation(dx, dy).Apply(g);
+}
+
+Geometry Scale(const Geometry& g, double factor, const Point& center) {
+  return AffineTransform::Translation(-center.x, -center.y)
+      .Then(AffineTransform::Scaling(factor))
+      .Then(AffineTransform::Translation(center.x, center.y))
+      .Apply(g);
+}
+
+Geometry Rotate(const Geometry& g, double radians, const Point& center) {
+  return AffineTransform::Rotation(radians, center).Apply(g);
+}
+
+}  // namespace geom
+}  // namespace sfpm

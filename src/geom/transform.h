@@ -1,0 +1,64 @@
+#ifndef SFPM_GEOM_TRANSFORM_H_
+#define SFPM_GEOM_TRANSFORM_H_
+
+#include "geom/geometry.h"
+
+namespace sfpm {
+namespace geom {
+
+/// \brief A 2-D affine transform  p' = [a b; d e] p + (c, f).
+///
+/// Built from the usual named constructors and composed with `Then`;
+/// applied to any geometry with `Apply`. Used by the data generators and
+/// by tests that need congruent copies of geometries.
+class AffineTransform {
+ public:
+  /// Identity transform.
+  AffineTransform() = default;
+
+  /// Raw coefficients (row-major 2x3).
+  AffineTransform(double a, double b, double c, double d, double e, double f)
+      : a_(a), b_(b), c_(c), d_(d), e_(e), f_(f) {}
+
+  static AffineTransform Translation(double dx, double dy);
+  static AffineTransform Scaling(double sx, double sy);
+  static AffineTransform Scaling(double s) { return Scaling(s, s); }
+  /// Counter-clockwise rotation by `radians` about the origin.
+  static AffineTransform Rotation(double radians);
+  /// Counter-clockwise rotation about an arbitrary center.
+  static AffineTransform Rotation(double radians, const Point& center);
+  /// Mirror across the x axis (y -> -y).
+  static AffineTransform ReflectionX();
+
+  /// The transform applying `this` first, then `next`.
+  AffineTransform Then(const AffineTransform& next) const;
+
+  Point Apply(const Point& p) const {
+    return Point(a_ * p.x + b_ * p.y + c_, d_ * p.x + e_ * p.y + f_);
+  }
+
+  /// Transforms every coordinate of `g`.
+  Geometry Apply(const Geometry& g) const;
+
+  /// Determinant of the linear part; negative means orientation flips.
+  double Determinant() const { return a_ * e_ - b_ * d_; }
+
+  bool operator==(const AffineTransform& o) const {
+    return a_ == o.a_ && b_ == o.b_ && c_ == o.c_ && d_ == o.d_ &&
+           e_ == o.e_ && f_ == o.f_;
+  }
+
+ private:
+  double a_ = 1, b_ = 0, c_ = 0;
+  double d_ = 0, e_ = 1, f_ = 0;
+};
+
+/// Convenience wrappers.
+Geometry Translate(const Geometry& g, double dx, double dy);
+Geometry Scale(const Geometry& g, double factor, const Point& center);
+Geometry Rotate(const Geometry& g, double radians, const Point& center);
+
+}  // namespace geom
+}  // namespace sfpm
+
+#endif  // SFPM_GEOM_TRANSFORM_H_

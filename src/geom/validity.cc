@@ -1,0 +1,190 @@
+#include "geom/validity.h"
+
+#include "geom/algorithms.h"
+
+namespace sfpm {
+namespace geom {
+
+namespace {
+
+/// Self-intersection test for a closed or open chain of segments.
+/// Adjacent segments may share exactly their common vertex; in a closed
+/// chain the first and last segments are adjacent too.
+Status CheckChainSimple(const std::vector<Point>& pts, bool closed,
+                        const char* what) {
+  const size_t n_segs = pts.size() - 1;
+  for (size_t i = 0; i < n_segs; ++i) {
+    for (size_t j = i + 1; j < n_segs; ++j) {
+      const SegmentIntersection isect =
+          IntersectSegments(pts[i], pts[i + 1], pts[j], pts[j + 1]);
+      if (isect.kind == SegmentIntersection::Kind::kNone) continue;
+
+      const bool consecutive = j == i + 1;
+      const bool wrapping = closed && i == 0 && j == n_segs - 1;
+      if (isect.kind == SegmentIntersection::Kind::kPoint) {
+        if (consecutive && isect.p == pts[i + 1]) continue;
+        if (wrapping && isect.p == pts[0]) continue;
+      }
+      return Status::InvalidArgument(
+          std::string(what) + ": segments " + std::to_string(i) + " and " +
+          std::to_string(j) + " intersect at " + isect.p.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateLineString(const LineString& line) {
+  if (line.IsEmpty()) return Status::OK();
+  const auto& pts = line.points();
+  if (pts.size() < 2) {
+    return Status::InvalidArgument("linestring needs at least 2 points");
+  }
+  for (size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i] == pts[i - 1]) {
+      return Status::InvalidArgument("linestring has a zero-length segment");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidatePolygon(const Polygon& poly) {
+  if (poly.IsEmpty()) return Status::OK();
+  SFPM_RETURN_NOT_OK(ValidateRing(poly.shell()));
+  const Geometry shell_geom{Polygon(poly.shell())};
+
+  for (size_t h = 0; h < poly.holes().size(); ++h) {
+    const LinearRing& hole = poly.holes()[h];
+    SFPM_RETURN_NOT_OK(ValidateRing(hole));
+    // The hole must lie (weakly) inside the shell: its interior point is
+    // interior to the shell and its boundary never leaves the closure.
+    const Polygon hole_poly(hole);
+    const Point probe = InteriorPoint(hole_poly);
+    if (LocateInPolygon(probe, shell_geom.As<Polygon>()) !=
+        Location::kInterior) {
+      return Status::InvalidArgument("hole " + std::to_string(h) +
+                                     " lies outside the shell");
+    }
+    for (const Point& v : hole.points()) {
+      if (LocateInPolygon(v, shell_geom.As<Polygon>()) ==
+          Location::kExterior) {
+        return Status::InvalidArgument("hole " + std::to_string(h) +
+                                       " crosses the shell boundary");
+      }
+    }
+  }
+
+  // Holes must have pairwise disjoint interiors.
+  for (size_t a = 0; a < poly.holes().size(); ++a) {
+    const Polygon pa(poly.holes()[a]);
+    for (size_t b = a + 1; b < poly.holes().size(); ++b) {
+      const Polygon pb(poly.holes()[b]);
+      const Point probe_a = InteriorPoint(pa);
+      const Point probe_b = InteriorPoint(pb);
+      const bool a_in_b = LocateInPolygon(probe_a, pb) == Location::kInterior;
+      const bool b_in_a = LocateInPolygon(probe_b, pa) == Location::kInterior;
+      bool boundaries_cross = false;
+      for (const auto& [s1, s2] : BoundarySegments(Geometry(pa))) {
+        for (const auto& [t1, t2] : BoundarySegments(Geometry(pb))) {
+          const SegmentIntersection isect =
+              IntersectSegments(s1, s2, t1, t2);
+          if (isect.kind == SegmentIntersection::Kind::kPoint &&
+              isect.proper) {
+            boundaries_cross = true;
+          }
+        }
+      }
+      if (a_in_b || b_in_a || boundaries_cross) {
+        return Status::InvalidArgument("holes " + std::to_string(a) +
+                                       " and " + std::to_string(b) +
+                                       " overlap");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateRing(const LinearRing& ring) {
+  if (ring.IsEmpty()) return Status::OK();
+  const auto& pts = ring.points();
+  if (pts.size() < 4) {
+    return Status::InvalidArgument("ring needs at least 4 points");
+  }
+  if (pts.front() != pts.back()) {
+    return Status::InvalidArgument("ring is not closed");
+  }
+  for (size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i] == pts[i - 1]) {
+      return Status::InvalidArgument("ring has a zero-length segment");
+    }
+  }
+  if (ring.Area() == 0.0) {
+    return Status::InvalidArgument("ring has zero area");
+  }
+  return CheckChainSimple(pts, /*closed=*/true, "ring");
+}
+
+bool IsSimple(const LineString& line) {
+  if (line.IsEmpty() || line.NumPoints() < 2) return true;
+  return CheckChainSimple(line.points(), line.IsClosed(), "line").ok();
+}
+
+Status Validate(const Geometry& g) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+    case GeometryType::kMultiPoint:
+      return Status::OK();
+    case GeometryType::kLineString:
+      return ValidateLineString(g.As<LineString>());
+    case GeometryType::kMultiLineString: {
+      for (const LineString& l : g.As<MultiLineString>().lines()) {
+        SFPM_RETURN_NOT_OK(ValidateLineString(l));
+      }
+      return Status::OK();
+    }
+    case GeometryType::kPolygon:
+      return ValidatePolygon(g.As<Polygon>());
+    case GeometryType::kMultiPolygon: {
+      const auto& polys = g.As<MultiPolygon>().polygons();
+      for (const Polygon& p : polys) {
+        SFPM_RETURN_NOT_OK(ValidatePolygon(p));
+      }
+      // Member interiors must be pairwise disjoint: no interior probe of
+      // one inside another, and no proper boundary crossings.
+      for (size_t a = 0; a < polys.size(); ++a) {
+        if (polys[a].IsEmpty()) continue;
+        const Point probe_a = InteriorPoint(polys[a]);
+        for (size_t b = a + 1; b < polys.size(); ++b) {
+          if (polys[b].IsEmpty()) continue;
+          const Point probe_b = InteriorPoint(polys[b]);
+          if (LocateInPolygon(probe_a, polys[b]) == Location::kInterior ||
+              LocateInPolygon(probe_b, polys[a]) == Location::kInterior) {
+            return Status::InvalidArgument(
+                "multipolygon members " + std::to_string(a) + " and " +
+                std::to_string(b) + " overlap");
+          }
+          for (const auto& [s1, s2] :
+               BoundarySegments(Geometry(polys[a]))) {
+            for (const auto& [t1, t2] :
+                 BoundarySegments(Geometry(polys[b]))) {
+              const SegmentIntersection isect =
+                  IntersectSegments(s1, s2, t1, t2);
+              if (isect.kind == SegmentIntersection::Kind::kPoint &&
+                  isect.proper) {
+                return Status::InvalidArgument(
+                    "multipolygon members " + std::to_string(a) + " and " +
+                    std::to_string(b) + " overlap");
+              }
+            }
+          }
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace geom
+}  // namespace sfpm

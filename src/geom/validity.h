@@ -1,0 +1,36 @@
+#ifndef SFPM_GEOM_VALIDITY_H_
+#define SFPM_GEOM_VALIDITY_H_
+
+#include "geom/geometry.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace geom {
+
+/// \brief Structural validity checks, OGC-flavoured. The relate engine and
+/// the extractor assume valid input; these checks let loaders reject bad
+/// data with a precise diagnosis instead of silently misclassifying.
+///
+/// Checked conditions:
+///  * LineString: at least 2 points, no zero-length segments.
+///  * LinearRing: closed, at least 4 points, positive area, simple
+///    (non-adjacent segments do not intersect; adjacent segments meet only
+///    at their shared vertex).
+///  * Polygon: valid shell and holes; every hole inside the shell; holes
+///    pairwise non-overlapping (interiors disjoint).
+///  * MultiPolygon: valid members with pairwise disjoint interiors.
+///  * MultiLineString / MultiPoint: valid/any members.
+///
+/// Returns OK or InvalidArgument with a message naming the failure.
+Status Validate(const Geometry& g);
+
+/// Validates a bare ring (shared by shell and hole checks).
+Status ValidateRing(const LinearRing& ring);
+
+/// True when the path never revisits a point except for ring closure.
+bool IsSimple(const LineString& line);
+
+}  // namespace geom
+}  // namespace sfpm
+
+#endif  // SFPM_GEOM_VALIDITY_H_

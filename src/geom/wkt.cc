@@ -1,0 +1,317 @@
+#include "geom/wkt.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace sfpm {
+namespace geom {
+
+namespace {
+
+/// Minimal recursive-descent parser over a character cursor.
+class WktParser {
+ public:
+  explicit WktParser(std::string_view text) : text_(text) {}
+
+  Result<Geometry> Parse() {
+    SkipSpace();
+    std::string keyword = ReadKeyword();
+    Result<Geometry> geometry = ParseTagged(keyword);
+    if (!geometry.ok()) return geometry;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing characters after WKT geometry");
+    }
+    return geometry;
+  }
+
+ private:
+  Result<Geometry> ParseTagged(const std::string& keyword) {
+    if (keyword == "POINT") {
+      if (ConsumeEmpty()) {
+        return Status::Unsupported("POINT EMPTY has no coordinate");
+      }
+      Point p;
+      SFPM_RETURN_NOT_OK(ParsePointBody(&p));
+      return Geometry(p);
+    }
+    if (keyword == "LINESTRING") {
+      if (ConsumeEmpty()) return Geometry(LineString());
+      std::vector<Point> pts;
+      SFPM_RETURN_NOT_OK(ParseCoordList(&pts));
+      if (pts.size() < 2) {
+        return Status::ParseError("LINESTRING needs at least 2 points");
+      }
+      return Geometry(LineString(std::move(pts)));
+    }
+    if (keyword == "POLYGON") {
+      if (ConsumeEmpty()) return Geometry(Polygon());
+      Polygon poly;
+      SFPM_RETURN_NOT_OK(ParsePolygonBody(&poly));
+      return Geometry(std::move(poly));
+    }
+    if (keyword == "MULTIPOINT") {
+      if (ConsumeEmpty()) return Geometry(MultiPoint());
+      std::vector<Point> pts;
+      SFPM_RETURN_NOT_OK(ParseMultiPointBody(&pts));
+      return Geometry(MultiPoint(std::move(pts)));
+    }
+    if (keyword == "MULTILINESTRING") {
+      if (ConsumeEmpty()) return Geometry(MultiLineString());
+      std::vector<LineString> lines;
+      SFPM_RETURN_NOT_OK(Expect('('));
+      do {
+        std::vector<Point> pts;
+        SFPM_RETURN_NOT_OK(ParseCoordList(&pts));
+        lines.emplace_back(std::move(pts));
+      } while (ConsumeComma());
+      SFPM_RETURN_NOT_OK(Expect(')'));
+      return Geometry(MultiLineString(std::move(lines)));
+    }
+    if (keyword == "MULTIPOLYGON") {
+      if (ConsumeEmpty()) return Geometry(MultiPolygon());
+      std::vector<Polygon> polys;
+      SFPM_RETURN_NOT_OK(Expect('('));
+      do {
+        Polygon poly;
+        SFPM_RETURN_NOT_OK(ParsePolygonBody(&poly));
+        polys.push_back(std::move(poly));
+      } while (ConsumeComma());
+      SFPM_RETURN_NOT_OK(Expect(')'));
+      return Geometry(MultiPolygon(std::move(polys)));
+    }
+    if (keyword == "GEOMETRYCOLLECTION") {
+      return Status::Unsupported("GEOMETRYCOLLECTION is not supported");
+    }
+    return Status::ParseError("unknown WKT keyword '" + keyword + "'");
+  }
+
+  Status ParsePointBody(Point* out) {
+    SFPM_RETURN_NOT_OK(Expect('('));
+    SFPM_RETURN_NOT_OK(ParseCoord(out));
+    return Expect(')');
+  }
+
+  Status ParseCoordList(std::vector<Point>* out) {
+    SFPM_RETURN_NOT_OK(Expect('('));
+    do {
+      Point p;
+      SFPM_RETURN_NOT_OK(ParseCoord(&p));
+      out->push_back(p);
+    } while (ConsumeComma());
+    return Expect(')');
+  }
+
+  Status ParsePolygonBody(Polygon* out) {
+    SFPM_RETURN_NOT_OK(Expect('('));
+    std::vector<LinearRing> rings;
+    do {
+      std::vector<Point> pts;
+      SFPM_RETURN_NOT_OK(ParseCoordList(&pts));
+      LinearRing ring(std::move(pts));
+      if (!ring.IsValid()) {
+        return Status::ParseError("polygon ring needs at least 3 points");
+      }
+      rings.push_back(std::move(ring));
+    } while (ConsumeComma());
+    SFPM_RETURN_NOT_OK(Expect(')'));
+    LinearRing shell = std::move(rings.front());
+    rings.erase(rings.begin());
+    *out = Polygon(std::move(shell), std::move(rings));
+    return Status::OK();
+  }
+
+  Status ParseMultiPointBody(std::vector<Point>* out) {
+    SFPM_RETURN_NOT_OK(Expect('('));
+    do {
+      SkipSpace();
+      Point p;
+      if (Peek() == '(') {  // ((1 2), (3 4)) form.
+        SFPM_RETURN_NOT_OK(Expect('('));
+        SFPM_RETURN_NOT_OK(ParseCoord(&p));
+        SFPM_RETURN_NOT_OK(Expect(')'));
+      } else {  // (1 2, 3 4) form.
+        SFPM_RETURN_NOT_OK(ParseCoord(&p));
+      }
+      out->push_back(p);
+    } while (ConsumeComma());
+    return Expect(')');
+  }
+
+  Status ParseCoord(Point* out) {
+    SFPM_RETURN_NOT_OK(ParseNumber(&out->x));
+    return ParseNumber(&out->y);
+  }
+
+  Status ParseNumber(double* out) {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '+' || text_[pos_] == '-' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError("expected number at offset " +
+                                std::to_string(start));
+    }
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, *out);
+    if (ec != std::errc() || ptr != text_.data() + pos_) {
+      return Status::ParseError("malformed number in WKT");
+    }
+    return Status::OK();
+  }
+
+  std::string ReadKeyword() {
+    SkipSpace();
+    std::string word;
+    while (pos_ < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      word += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(text_[pos_])));
+      ++pos_;
+    }
+    return word;
+  }
+
+  bool ConsumeEmpty() {
+    const size_t saved = pos_;
+    const std::string word = ReadKeyword();
+    if (word == "EMPTY") return true;
+    pos_ = saved;
+    return false;
+  }
+
+  bool ConsumeComma() {
+    SkipSpace();
+    if (Peek() == ',') {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    SkipSpace();
+    if (Peek() != c) {
+      return Status::ParseError(std::string("expected '") + c +
+                                "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void AppendDouble(double v, std::string* out) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out->append(buf, ptr);
+}
+
+void AppendCoord(const Point& p, std::string* out) {
+  AppendDouble(p.x, out);
+  *out += ' ';
+  AppendDouble(p.y, out);
+}
+
+void AppendCoordList(const std::vector<Point>& pts, std::string* out) {
+  *out += '(';
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (i > 0) *out += ", ";
+    AppendCoord(pts[i], out);
+  }
+  *out += ')';
+}
+
+void AppendPolygonBody(const Polygon& poly, std::string* out) {
+  *out += '(';
+  AppendCoordList(poly.shell().points(), out);
+  for (const LinearRing& hole : poly.holes()) {
+    *out += ", ";
+    AppendCoordList(hole.points(), out);
+  }
+  *out += ')';
+}
+
+}  // namespace
+
+Result<Geometry> ReadWkt(std::string_view text) {
+  return WktParser(text).Parse();
+}
+
+std::string WriteWkt(const Geometry& g) {
+  std::string out;
+  switch (g.type()) {
+    case GeometryType::kPoint: {
+      out = "POINT (";
+      AppendCoord(g.As<Point>(), &out);
+      out += ')';
+      break;
+    }
+    case GeometryType::kLineString: {
+      const LineString& l = g.As<LineString>();
+      if (l.IsEmpty()) return "LINESTRING EMPTY";
+      out = "LINESTRING ";
+      AppendCoordList(l.points(), &out);
+      break;
+    }
+    case GeometryType::kPolygon: {
+      const Polygon& p = g.As<Polygon>();
+      if (p.IsEmpty()) return "POLYGON EMPTY";
+      out = "POLYGON ";
+      AppendPolygonBody(p, &out);
+      break;
+    }
+    case GeometryType::kMultiPoint: {
+      const MultiPoint& m = g.As<MultiPoint>();
+      if (m.IsEmpty()) return "MULTIPOINT EMPTY";
+      out = "MULTIPOINT ";
+      AppendCoordList(m.points(), &out);
+      break;
+    }
+    case GeometryType::kMultiLineString: {
+      const MultiLineString& m = g.As<MultiLineString>();
+      if (m.IsEmpty()) return "MULTILINESTRING EMPTY";
+      out = "MULTILINESTRING (";
+      for (size_t i = 0; i < m.lines().size(); ++i) {
+        if (i > 0) out += ", ";
+        AppendCoordList(m.lines()[i].points(), &out);
+      }
+      out += ')';
+      break;
+    }
+    case GeometryType::kMultiPolygon: {
+      const MultiPolygon& m = g.As<MultiPolygon>();
+      if (m.IsEmpty()) return "MULTIPOLYGON EMPTY";
+      out = "MULTIPOLYGON (";
+      for (size_t i = 0; i < m.polygons().size(); ++i) {
+        if (i > 0) out += ", ";
+        AppendPolygonBody(m.polygons()[i], &out);
+      }
+      out += ')';
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace geom
+}  // namespace sfpm

@@ -1,0 +1,27 @@
+#ifndef SFPM_GEOM_WKT_H_
+#define SFPM_GEOM_WKT_H_
+
+#include <string>
+#include <string_view>
+
+#include "geom/geometry.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace geom {
+
+/// \brief Parses an OGC well-known-text string into a Geometry.
+///
+/// Supports POINT, LINESTRING, POLYGON, MULTIPOINT (both `(1 2, 3 4)` and
+/// `((1 2), (3 4))` forms), MULTILINESTRING, MULTIPOLYGON, and the EMPTY
+/// keyword for each. GEOMETRYCOLLECTION is rejected with kUnsupported.
+Result<Geometry> ReadWkt(std::string_view text);
+
+/// \brief Renders a geometry as well-known text with shortest round-trip
+/// double formatting.
+std::string WriteWkt(const Geometry& g);
+
+}  // namespace geom
+}  // namespace sfpm
+
+#endif  // SFPM_GEOM_WKT_H_

@@ -1,0 +1,74 @@
+#include "index/grid.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sfpm {
+namespace index {
+
+using geom::Envelope;
+
+GridIndex::GridIndex(double cell_size) : cell_size_(cell_size) {
+  assert(cell_size > 0.0);
+}
+
+int64_t GridIndex::CellOf(double v) const {
+  return static_cast<int64_t>(std::floor(v / cell_size_));
+}
+
+template <typename Fn>
+void GridIndex::VisitCells(const Envelope& env, Fn fn) const {
+  if (env.IsNull()) return;
+  const int64_t x0 = CellOf(env.min_x());
+  const int64_t x1 = CellOf(env.max_x());
+  const int64_t y0 = CellOf(env.min_y());
+  const int64_t y1 = CellOf(env.max_y());
+  for (int64_t cx = x0; cx <= x1; ++cx) {
+    for (int64_t cy = y0; cy <= y1; ++cy) {
+      fn(CellKey{cx, cy});
+    }
+  }
+}
+
+void GridIndex::Insert(const Envelope& envelope, uint64_t id) {
+  const uint32_t slot = static_cast<uint32_t>(entries_.size());
+  entries_.emplace_back(envelope, id);
+  VisitCells(envelope,
+             [this, slot](const CellKey& key) { cells_[key].push_back(slot); });
+}
+
+void GridIndex::Query(const Envelope& query,
+                      std::vector<uint64_t>* out) const {
+  std::vector<bool> seen(entries_.size(), false);
+  VisitCells(query, [&](const CellKey& key) {
+    const auto it = cells_.find(key);
+    if (it == cells_.end()) return;
+    for (uint32_t slot : it->second) {
+      if (seen[slot]) continue;
+      seen[slot] = true;
+      if (entries_[slot].first.Intersects(query)) {
+        out->push_back(entries_[slot].second);
+      }
+    }
+  });
+}
+
+void GridIndex::QueryWithinDistance(const Envelope& query, double distance,
+                                    std::vector<uint64_t>* out) const {
+  const Envelope expanded = query.Buffered(distance);
+  std::vector<bool> seen(entries_.size(), false);
+  VisitCells(expanded, [&](const CellKey& key) {
+    const auto it = cells_.find(key);
+    if (it == cells_.end()) return;
+    for (uint32_t slot : it->second) {
+      if (seen[slot]) continue;
+      seen[slot] = true;
+      if (entries_[slot].first.Distance(query) <= distance) {
+        out->push_back(entries_[slot].second);
+      }
+    }
+  });
+}
+
+}  // namespace index
+}  // namespace sfpm

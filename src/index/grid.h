@@ -1,0 +1,61 @@
+#ifndef SFPM_INDEX_GRID_H_
+#define SFPM_INDEX_GRID_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace sfpm {
+namespace index {
+
+/// \brief Uniform hash-grid index.
+///
+/// Each entry is registered in every cell its envelope overlaps; queries
+/// visit the covered cells and deduplicate. Simple and fast when feature
+/// sizes are comparable to the cell size; serves as the baseline the R-tree
+/// is benchmarked against (`bench_rtree`).
+class GridIndex : public SpatialIndex {
+ public:
+  /// \param cell_size side length of the square cells (> 0).
+  explicit GridIndex(double cell_size);
+
+  void Insert(const geom::Envelope& envelope, uint64_t id) override;
+  void Query(const geom::Envelope& query,
+             std::vector<uint64_t>* out) const override;
+  void QueryWithinDistance(const geom::Envelope& query, double distance,
+                           std::vector<uint64_t>* out) const override;
+  size_t Size() const override { return entries_.size(); }
+
+  /// Number of occupied cells (diagnostics).
+  size_t NumCells() const { return cells_.size(); }
+
+ private:
+  struct CellKey {
+    int64_t x;
+    int64_t y;
+    bool operator==(const CellKey& o) const { return x == o.x && y == o.y; }
+  };
+  struct CellKeyHash {
+    size_t operator()(const CellKey& k) const {
+      // 64-bit mix of the two cell ordinates.
+      uint64_t h = static_cast<uint64_t>(k.x) * 0x9E3779B97F4A7C15ULL;
+      h ^= static_cast<uint64_t>(k.y) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+           (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  int64_t CellOf(double v) const;
+  template <typename Fn>
+  void VisitCells(const geom::Envelope& env, Fn fn) const;
+
+  double cell_size_;
+  std::vector<std::pair<geom::Envelope, uint64_t>> entries_;
+  std::unordered_map<CellKey, std::vector<uint32_t>, CellKeyHash> cells_;
+};
+
+}  // namespace index
+}  // namespace sfpm
+
+#endif  // SFPM_INDEX_GRID_H_

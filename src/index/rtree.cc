@@ -1,0 +1,395 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace sfpm {
+namespace index {
+
+using geom::Envelope;
+using geom::Point;
+
+struct RTree::Node {
+  bool leaf = true;
+  Envelope envelope;
+  // Leaf payload.
+  std::vector<std::pair<Envelope, uint64_t>> entries;
+  // Internal payload.
+  std::vector<std::unique_ptr<Node>> children;
+
+  void RecomputeEnvelope() {
+    envelope = Envelope();
+    if (leaf) {
+      for (const auto& [env, id] : entries) envelope.ExpandToInclude(env);
+    } else {
+      for (const auto& child : children) {
+        envelope.ExpandToInclude(child->envelope);
+      }
+    }
+  }
+};
+
+RTree::RTree(size_t max_entries)
+    : root_(std::make_unique<Node>()),
+      max_entries_(std::max<size_t>(4, max_entries)),
+      min_entries_(std::max<size_t>(2, max_entries * 2 / 5)) {}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+void RTree::BulkLoad(std::vector<std::pair<Envelope, uint64_t>> entries) {
+  size_ = entries.size();
+  if (entries.empty()) {
+    root_ = std::make_unique<Node>();
+    return;
+  }
+
+  // Level 0: STR-pack the entries into leaves. Sort by center x, slice into
+  // vertical strips of ~sqrt(n/M) leaves each, sort each strip by center y,
+  // pack runs of M.
+  const size_t cap = max_entries_;
+  auto center_x = [](const Envelope& e) { return (e.min_x() + e.max_x()) / 2; };
+  auto center_y = [](const Envelope& e) { return (e.min_y() + e.max_y()) / 2; };
+
+  std::sort(entries.begin(), entries.end(),
+            [&](const auto& a, const auto& b) {
+              return center_x(a.first) < center_x(b.first);
+            });
+
+  const size_t leaf_count = (entries.size() + cap - 1) / cap;
+  const size_t strip_count =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(leaf_count))));
+  const size_t strip_size =
+      (entries.size() + strip_count - 1) / strip_count;
+
+  std::vector<std::unique_ptr<Node>> level;
+  for (size_t s = 0; s < entries.size(); s += strip_size) {
+    const size_t strip_end = std::min(s + strip_size, entries.size());
+    std::sort(entries.begin() + s, entries.begin() + strip_end,
+              [&](const auto& a, const auto& b) {
+                return center_y(a.first) < center_y(b.first);
+              });
+    for (size_t i = s; i < strip_end; i += cap) {
+      auto node = std::make_unique<Node>();
+      node->leaf = true;
+      const size_t end = std::min(i + cap, strip_end);
+      node->entries.assign(entries.begin() + i, entries.begin() + end);
+      node->RecomputeEnvelope();
+      level.push_back(std::move(node));
+    }
+  }
+
+  // Pack internal levels the same way until one root remains.
+  while (level.size() > 1) {
+    std::sort(level.begin(), level.end(),
+              [&](const auto& a, const auto& b) {
+                return center_x(a->envelope) < center_x(b->envelope);
+              });
+    const size_t node_count = (level.size() + cap - 1) / cap;
+    const size_t strips = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(node_count))));
+    const size_t per_strip = (level.size() + strips - 1) / strips;
+
+    std::vector<std::unique_ptr<Node>> next;
+    for (size_t s = 0; s < level.size(); s += per_strip) {
+      const size_t strip_end = std::min(s + per_strip, level.size());
+      std::sort(level.begin() + s, level.begin() + strip_end,
+                [&](const auto& a, const auto& b) {
+                  return center_y(a->envelope) < center_y(b->envelope);
+                });
+      for (size_t i = s; i < strip_end; i += cap) {
+        auto node = std::make_unique<Node>();
+        node->leaf = false;
+        const size_t end = std::min(i + cap, strip_end);
+        for (size_t j = i; j < end; ++j) {
+          node->children.push_back(std::move(level[j]));
+        }
+        node->RecomputeEnvelope();
+        next.push_back(std::move(node));
+      }
+    }
+    level = std::move(next);
+  }
+  root_ = std::move(level.front());
+}
+
+void RTree::Insert(const Envelope& envelope, uint64_t id) {
+  InsertEntry(envelope, id);
+  ++size_;
+}
+
+RTree::Node* RTree::ChooseLeaf(Node* node, const Envelope& envelope,
+                               std::vector<Node*>* path) {
+  while (!node->leaf) {
+    path->push_back(node);
+    // Least enlargement, ties by smallest area (Guttman's ChooseLeaf).
+    Node* best = nullptr;
+    double best_enlargement = 0.0;
+    double best_area = 0.0;
+    for (const auto& child : node->children) {
+      const double enlargement =
+          child->envelope.EnlargementToInclude(envelope);
+      const double area = child->envelope.Area();
+      if (best == nullptr || enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best = child.get();
+        best_enlargement = enlargement;
+        best_area = area;
+      }
+    }
+    node = best;
+  }
+  return node;
+}
+
+void RTree::InsertEntry(const Envelope& envelope, uint64_t id) {
+  std::vector<Node*> path;
+  Node* leaf = ChooseLeaf(root_.get(), envelope, &path);
+  leaf->entries.emplace_back(envelope, id);
+  leaf->envelope.ExpandToInclude(envelope);
+  for (Node* n : path) n->envelope.ExpandToInclude(envelope);
+
+  if (leaf->entries.size() > max_entries_) SplitNode(leaf, &path);
+}
+
+namespace {
+
+/// Guttman's quadratic pick-seeds: the pair wasting the most area.
+template <typename GetEnv, typename Item>
+std::pair<size_t, size_t> PickSeeds(const std::vector<Item>& items,
+                                    GetEnv get_env) {
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (size_t j = i + 1; j < items.size(); ++j) {
+      Envelope merged = get_env(items[i]);
+      merged.ExpandToInclude(get_env(items[j]));
+      const double waste = merged.Area() - get_env(items[i]).Area() -
+                           get_env(items[j]).Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  return {seed_a, seed_b};
+}
+
+/// Distributes items into two groups around the seeds, honouring the
+/// minimum fill. Returns group membership flags.
+template <typename GetEnv, typename Item>
+std::vector<bool> QuadraticDistribute(const std::vector<Item>& items,
+                                      GetEnv get_env, size_t min_fill) {
+  const auto [sa, sb] = PickSeeds(items, get_env);
+  std::vector<bool> in_b(items.size(), false);
+  std::vector<bool> assigned(items.size(), false);
+  Envelope env_a = get_env(items[sa]);
+  Envelope env_b = get_env(items[sb]);
+  size_t count_a = 1, count_b = 1;
+  assigned[sa] = true;
+  assigned[sb] = true;
+  in_b[sb] = true;
+
+  size_t remaining = items.size() - 2;
+  while (remaining > 0) {
+    // Forced assignment when one group must take everything left.
+    if (count_a + remaining == min_fill) {
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (!assigned[i]) {
+          assigned[i] = true;
+          env_a.ExpandToInclude(get_env(items[i]));
+          ++count_a;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    if (count_b + remaining == min_fill) {
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (!assigned[i]) {
+          assigned[i] = true;
+          in_b[i] = true;
+          env_b.ExpandToInclude(get_env(items[i]));
+          ++count_b;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+
+    // PickNext: the item with the greatest preference between groups.
+    size_t best = items.size();
+    double best_diff = -1.0;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (assigned[i]) continue;
+      const double da = env_a.EnlargementToInclude(get_env(items[i]));
+      const double db = env_b.EnlargementToInclude(get_env(items[i]));
+      const double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        best = i;
+      }
+    }
+    const double da = env_a.EnlargementToInclude(get_env(items[best]));
+    const double db = env_b.EnlargementToInclude(get_env(items[best]));
+    assigned[best] = true;
+    if (db < da || (db == da && count_b < count_a)) {
+      in_b[best] = true;
+      env_b.ExpandToInclude(get_env(items[best]));
+      ++count_b;
+    } else {
+      env_a.ExpandToInclude(get_env(items[best]));
+      ++count_a;
+    }
+    --remaining;
+  }
+  return in_b;
+}
+
+}  // namespace
+
+void RTree::SplitNode(Node* node, std::vector<Node*>* path) {
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+
+  if (node->leaf) {
+    auto get_env = [](const std::pair<Envelope, uint64_t>& e) -> const Envelope& {
+      return e.first;
+    };
+    const std::vector<bool> in_b =
+        QuadraticDistribute(node->entries, get_env, min_entries_);
+    std::vector<std::pair<Envelope, uint64_t>> keep;
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (in_b[i]) {
+        sibling->entries.push_back(node->entries[i]);
+      } else {
+        keep.push_back(node->entries[i]);
+      }
+    }
+    node->entries = std::move(keep);
+  } else {
+    auto get_env = [](const std::unique_ptr<Node>& n) -> const Envelope& {
+      return n->envelope;
+    };
+    const std::vector<bool> in_b =
+        QuadraticDistribute(node->children, get_env, min_entries_);
+    std::vector<std::unique_ptr<Node>> keep;
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      if (in_b[i]) {
+        sibling->children.push_back(std::move(node->children[i]));
+      } else {
+        keep.push_back(std::move(node->children[i]));
+      }
+    }
+    node->children = std::move(keep);
+  }
+  node->RecomputeEnvelope();
+  sibling->RecomputeEnvelope();
+
+  if (path->empty()) {
+    // Splitting the root: grow the tree by one level.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    auto old_root = std::move(root_);
+    new_root->children.push_back(std::move(old_root));
+    new_root->children.push_back(std::move(sibling));
+    new_root->RecomputeEnvelope();
+    root_ = std::move(new_root);
+    return;
+  }
+
+  Node* parent = path->back();
+  path->pop_back();
+  parent->children.push_back(std::move(sibling));
+  parent->RecomputeEnvelope();
+  if (parent->children.size() > max_entries_) SplitNode(parent, path);
+}
+
+void RTree::Query(const Envelope& query, std::vector<uint64_t>* out) const {
+  if (root_->leaf && root_->entries.empty()) return;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->envelope.Intersects(query)) continue;
+    if (node->leaf) {
+      for (const auto& [env, id] : node->entries) {
+        if (env.Intersects(query)) out->push_back(id);
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+}
+
+void RTree::QueryWithinDistance(const Envelope& query, double distance,
+                                std::vector<uint64_t>* out) const {
+  if (root_->leaf && root_->entries.empty()) return;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->envelope.Distance(query) > distance) continue;
+    if (node->leaf) {
+      for (const auto& [env, id] : node->entries) {
+        if (env.Distance(query) <= distance) out->push_back(id);
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+}
+
+std::vector<uint64_t> RTree::Nearest(const Point& query, size_t k) const {
+  std::vector<uint64_t> result;
+  if (k == 0 || (root_->leaf && root_->entries.empty())) return result;
+
+  const Envelope qenv(query);
+  struct QueueItem {
+    double dist;
+    const Node* node;   // Non-null for subtree items.
+    uint64_t id;        // Valid when node == nullptr.
+    bool operator>(const QueueItem& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+  pq.push({root_->envelope.Distance(qenv), root_.get(), 0});
+
+  while (!pq.empty() && result.size() < k) {
+    const QueueItem item = pq.top();
+    pq.pop();
+    if (item.node == nullptr) {
+      result.push_back(item.id);
+      continue;
+    }
+    if (item.node->leaf) {
+      for (const auto& [env, id] : item.node->entries) {
+        pq.push({env.Distance(qenv), nullptr, id});
+      }
+    } else {
+      for (const auto& child : item.node->children) {
+        pq.push({child->envelope.Distance(qenv), child.get(), 0});
+      }
+    }
+  }
+  return result;
+}
+
+size_t RTree::Height() const {
+  if (root_->leaf && root_->entries.empty()) return 0;
+  size_t h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    ++h;
+    node = node->children.front().get();
+  }
+  return h;
+}
+
+Envelope RTree::Bounds() const { return root_->envelope; }
+
+}  // namespace index
+}  // namespace sfpm

@@ -1,0 +1,73 @@
+#ifndef SFPM_INDEX_RTREE_H_
+#define SFPM_INDEX_RTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace sfpm {
+namespace index {
+
+/// \brief R-tree over (envelope, id) entries.
+///
+/// Two construction paths:
+///  * `BulkLoad` packs a static entry set with the Sort-Tile-Recursive
+///    algorithm (Leutenegger et al.), producing near-100% node utilization;
+///  * `Insert` grows the tree dynamically using Guttman's quadratic split.
+/// Both paths can be mixed: bulk load first, insert later.
+///
+/// Queries:
+///  * `Query` — envelope intersection;
+///  * `QueryWithinDistance` — envelopes within a distance band;
+///  * `Nearest` — k nearest entries by envelope distance (branch-and-bound
+///    best-first search).
+class RTree : public SpatialIndex {
+ public:
+  /// \param max_entries fan-out M; the minimum fill is M * 2 / 5.
+  explicit RTree(size_t max_entries = 16);
+  ~RTree() override;
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+
+  /// Replaces the current content with an STR-packed tree over `entries`.
+  void BulkLoad(std::vector<std::pair<geom::Envelope, uint64_t>> entries);
+
+  void Insert(const geom::Envelope& envelope, uint64_t id) override;
+  void Query(const geom::Envelope& query,
+             std::vector<uint64_t>* out) const override;
+  void QueryWithinDistance(const geom::Envelope& query, double distance,
+                           std::vector<uint64_t>* out) const override;
+  size_t Size() const override { return size_; }
+
+  /// The `k` entries with the smallest envelope distance to `query`,
+  /// ordered by increasing distance. Returns fewer when the tree is small.
+  std::vector<uint64_t> Nearest(const geom::Point& query, size_t k) const;
+
+  /// Height of the tree (0 for an empty tree, 1 for a single leaf).
+  size_t Height() const;
+
+  /// Bounding envelope of everything stored.
+  geom::Envelope Bounds() const;
+
+ private:
+  struct Node;
+
+  void InsertEntry(const geom::Envelope& envelope, uint64_t id);
+  Node* ChooseLeaf(Node* node, const geom::Envelope& envelope,
+                   std::vector<Node*>* path);
+  void SplitNode(Node* node, std::vector<Node*>* path);
+
+  std::unique_ptr<Node> root_;
+  size_t max_entries_;
+  size_t min_entries_;
+  size_t size_ = 0;
+};
+
+}  // namespace index
+}  // namespace sfpm
+
+#endif  // SFPM_INDEX_RTREE_H_

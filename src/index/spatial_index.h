@@ -1,0 +1,42 @@
+#ifndef SFPM_INDEX_SPATIAL_INDEX_H_
+#define SFPM_INDEX_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace sfpm {
+namespace index {
+
+/// \brief Common interface of the R-tree and grid indexes.
+///
+/// An index stores (envelope, id) entries; `id` is an opaque caller-side
+/// handle (typically the position of a feature in its layer). Queries return
+/// candidate ids whose envelopes satisfy the filter — callers refine with
+/// exact geometry tests (filter-and-refine, the classic spatial join plan).
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Inserts one entry.
+  virtual void Insert(const geom::Envelope& envelope, uint64_t id) = 0;
+
+  /// Appends to `out` the ids of entries whose envelope intersects `query`.
+  virtual void Query(const geom::Envelope& query,
+                     std::vector<uint64_t>* out) const = 0;
+
+  /// Appends ids of entries whose envelope lies within `distance` of
+  /// `query` (envelope-to-envelope distance).
+  virtual void QueryWithinDistance(const geom::Envelope& query,
+                                   double distance,
+                                   std::vector<uint64_t>* out) const = 0;
+
+  /// Number of stored entries.
+  virtual size_t Size() const = 0;
+};
+
+}  // namespace index
+}  // namespace sfpm
+
+#endif  // SFPM_INDEX_SPATIAL_INDEX_H_

@@ -1,0 +1,159 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace sfpm {
+namespace io {
+
+namespace {
+
+/// Incremental CSV scanner shared by record- and document-level parsing.
+class CsvScanner {
+ public:
+  explicit CsvScanner(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  /// Parses the record starting at the cursor; leaves the cursor after the
+  /// record's newline (or at end of input).
+  Result<std::vector<std::string>> NextRecord() {
+    std::vector<std::string> fields;
+    std::string field;
+    bool in_quotes = false;
+    bool quoted_field = false;
+
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (in_quotes) {
+        if (c == '"') {
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '"') {
+            field += '"';
+            pos_ += 2;
+            continue;
+          }
+          in_quotes = false;
+          ++pos_;
+          continue;
+        }
+        field += c;
+        ++pos_;
+        continue;
+      }
+      switch (c) {
+        case '"':
+          if (!field.empty()) {
+            return Status::ParseError(
+                "quote in the middle of an unquoted CSV field");
+          }
+          in_quotes = true;
+          quoted_field = true;
+          ++pos_;
+          break;
+        case ',':
+          fields.push_back(std::move(field));
+          field.clear();
+          quoted_field = false;
+          ++pos_;
+          break;
+        case '\r':
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '\n') ++pos_;
+          [[fallthrough]];
+        case '\n':
+          ++pos_;
+          fields.push_back(std::move(field));
+          return fields;
+        default:
+          if (quoted_field) {
+            return Status::ParseError("characters after closing CSV quote");
+          }
+          field += c;
+          ++pos_;
+          break;
+      }
+    }
+    if (in_quotes) return Status::ParseError("unterminated CSV quote");
+    fields.push_back(std::move(field));
+    return fields;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\r\n") != std::string::npos;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ParseCsvRecord(std::string_view line) {
+  CsvScanner scanner(line);
+  Result<std::vector<std::string>> record = scanner.NextRecord();
+  if (record.ok() && !scanner.AtEnd()) {
+    return Status::ParseError("unexpected newline inside CSV record");
+  }
+  return record;
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  CsvScanner scanner(text);
+  while (!scanner.AtEnd()) {
+    SFPM_ASSIGN_OR_RETURN(std::vector<std::string> record,
+                          scanner.NextRecord());
+    // A lone trailing newline yields one empty field; skip such records at
+    // the document level (blank lines carry no data).
+    if (record.size() == 1 && record[0].empty()) continue;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::string WriteCsvRecord(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    if (NeedsQuoting(fields[i])) {
+      out += '"';
+      for (char c : fields[i]) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += '"';
+    } else {
+      out += fields[i];
+    }
+  }
+  return out;
+}
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& records) {
+  std::string out;
+  for (const auto& record : records) {
+    out += WriteCsvRecord(record);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::Internal("error reading '" + path + "'");
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open '" + path + "' for write");
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::Internal("error writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace io
+}  // namespace sfpm

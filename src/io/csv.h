@@ -1,0 +1,38 @@
+#ifndef SFPM_IO_CSV_H_
+#define SFPM_IO_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sfpm {
+namespace io {
+
+/// \brief RFC-4180-style CSV support: comma separation, double-quote
+/// quoting, doubled quotes as escapes, and both LF and CRLF line endings.
+
+/// Parses one CSV record (no trailing newline) into fields.
+Result<std::vector<std::string>> ParseCsvRecord(std::string_view line);
+
+/// Parses a whole document into records. Quoted fields may contain
+/// embedded newlines. A trailing newline does not produce an empty record.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
+
+/// Renders one record, quoting fields only when needed.
+std::string WriteCsvRecord(const std::vector<std::string>& fields);
+
+/// Renders a document with LF line endings.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& records);
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes a string to a file (truncating).
+Status WriteFile(const std::string& path, std::string_view content);
+
+}  // namespace io
+}  // namespace sfpm
+
+#endif  // SFPM_IO_CSV_H_

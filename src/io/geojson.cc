@@ -1,0 +1,172 @@
+#include "io/geojson.h"
+
+#include <charconv>
+
+namespace sfpm {
+namespace io {
+
+namespace {
+
+using geom::Geometry;
+using geom::GeometryType;
+using geom::LinearRing;
+using geom::LineString;
+using geom::Point;
+using geom::Polygon;
+
+void AppendNumber(double v, std::string* out) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out->append(buf, ptr);
+}
+
+void AppendPosition(const Point& p, std::string* out) {
+  *out += '[';
+  AppendNumber(p.x, out);
+  *out += ',';
+  AppendNumber(p.y, out);
+  *out += ']';
+}
+
+void AppendPositionList(const std::vector<Point>& pts, std::string* out) {
+  *out += '[';
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (i > 0) *out += ',';
+    AppendPosition(pts[i], out);
+  }
+  *out += ']';
+}
+
+void AppendPolygonRings(const Polygon& poly, std::string* out) {
+  *out += '[';
+  AppendPositionList(poly.shell().points(), out);
+  for (const LinearRing& hole : poly.holes()) {
+    *out += ',';
+    AppendPositionList(hole.points(), out);
+  }
+  *out += ']';
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string GeometryToGeoJson(const Geometry& g) {
+  std::string out = "{\"type\":\"";
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      out += "Point\",\"coordinates\":";
+      AppendPosition(g.As<Point>(), &out);
+      break;
+    case GeometryType::kLineString:
+      out += "LineString\",\"coordinates\":";
+      AppendPositionList(g.As<LineString>().points(), &out);
+      break;
+    case GeometryType::kPolygon:
+      out += "Polygon\",\"coordinates\":";
+      AppendPolygonRings(g.As<Polygon>(), &out);
+      break;
+    case GeometryType::kMultiPoint: {
+      out += "MultiPoint\",\"coordinates\":";
+      AppendPositionList(g.As<geom::MultiPoint>().points(), &out);
+      break;
+    }
+    case GeometryType::kMultiLineString: {
+      out += "MultiLineString\",\"coordinates\":[";
+      const auto& lines = g.As<geom::MultiLineString>().lines();
+      for (size_t i = 0; i < lines.size(); ++i) {
+        if (i > 0) out += ',';
+        AppendPositionList(lines[i].points(), &out);
+      }
+      out += ']';
+      break;
+    }
+    case GeometryType::kMultiPolygon: {
+      out += "MultiPolygon\",\"coordinates\":[";
+      const auto& polys = g.As<geom::MultiPolygon>().polygons();
+      for (size_t i = 0; i < polys.size(); ++i) {
+        if (i > 0) out += ',';
+        AppendPolygonRings(polys[i], &out);
+      }
+      out += ']';
+      break;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+std::string FeatureToGeoJson(const feature::Feature& f) {
+  std::string out = "{\"type\":\"Feature\",\"id\":";
+  out += std::to_string(f.id());
+  out += ",\"geometry\":";
+  out += GeometryToGeoJson(f.geometry());
+  out += ",\"properties\":{";
+  bool first = true;
+  for (const auto& [name, value] : f.attributes()) {
+    if (!first) out += ',';
+    out += '"' + EscapeJson(name) + "\":\"" + EscapeJson(value) + '"';
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+std::string LayerToGeoJson(const feature::Layer& layer) {
+  return LayersToGeoJson({&layer});
+}
+
+std::string LayersToGeoJson(const std::vector<const feature::Layer*>& layers) {
+  std::string out = "{\"type\":\"FeatureCollection\",\"features\":[";
+  bool first = true;
+  for (const feature::Layer* layer : layers) {
+    for (const feature::Feature& f : layer->features()) {
+      if (!first) out += ',';
+      // Inject the layer name as an extra property by rewriting the
+      // feature's properties object opening.
+      std::string feature_json = FeatureToGeoJson(f);
+      const std::string marker = "\"properties\":{";
+      const size_t pos = feature_json.find(marker);
+      std::string injected = "\"properties\":{\"layer\":\"" +
+                             layer->feature_type() + "\"";
+      if (f.attributes().empty()) {
+        feature_json.replace(pos, marker.size(), injected);
+      } else {
+        feature_json.replace(pos, marker.size(), injected + ",");
+      }
+      out += feature_json;
+      first = false;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace io
+}  // namespace sfpm

@@ -1,0 +1,32 @@
+#ifndef SFPM_IO_GEOJSON_H_
+#define SFPM_IO_GEOJSON_H_
+
+#include <string>
+#include <vector>
+
+#include "feature/feature.h"
+
+namespace sfpm {
+namespace io {
+
+/// \brief GeoJSON (RFC 7946) writers for visual inspection of layers and
+/// generated cities in any web map tool. Output only — the library's
+/// interchange format for loading is the WKT-based CSV of layer_io.h.
+
+/// One geometry as a GeoJSON geometry object.
+std::string GeometryToGeoJson(const geom::Geometry& g);
+
+/// One feature, attributes becoming string properties plus the feature id.
+std::string FeatureToGeoJson(const feature::Feature& f);
+
+/// A layer as a FeatureCollection; every feature gets a "layer" property
+/// with the layer's feature type.
+std::string LayerToGeoJson(const feature::Layer& layer);
+
+/// Several layers merged into one FeatureCollection.
+std::string LayersToGeoJson(const std::vector<const feature::Layer*>& layers);
+
+}  // namespace io
+}  // namespace sfpm
+
+#endif  // SFPM_IO_GEOJSON_H_

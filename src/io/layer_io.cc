@@ -1,0 +1,74 @@
+#include "io/layer_io.h"
+
+#include <set>
+
+#include "geom/wkt.h"
+#include "io/csv.h"
+
+namespace sfpm {
+namespace io {
+
+std::string LayerToCsv(const feature::Layer& layer) {
+  std::set<std::string> attribute_names;
+  for (const feature::Feature& f : layer.features()) {
+    for (const auto& [name, value] : f.attributes()) {
+      attribute_names.insert(name);
+    }
+  }
+
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> header = {"wkt"};
+  header.insert(header.end(), attribute_names.begin(), attribute_names.end());
+  records.push_back(header);
+
+  for (const feature::Feature& f : layer.features()) {
+    std::vector<std::string> record = {geom::WriteWkt(f.geometry())};
+    for (const std::string& name : attribute_names) {
+      const auto it = f.attributes().find(name);
+      record.push_back(it == f.attributes().end() ? "" : it->second);
+    }
+    records.push_back(std::move(record));
+  }
+  return WriteCsv(records);
+}
+
+Result<feature::Layer> LayerFromCsv(const std::string& feature_type,
+                                    std::string_view text) {
+  SFPM_ASSIGN_OR_RETURN(const auto records, ParseCsv(text));
+  if (records.empty()) {
+    return Status::ParseError("layer CSV has no header");
+  }
+  const std::vector<std::string>& header = records[0];
+  if (header.empty() || header[0] != "wkt") {
+    return Status::ParseError("layer CSV must start with a 'wkt' column");
+  }
+
+  feature::Layer layer(feature_type);
+  for (size_t r = 1; r < records.size(); ++r) {
+    const std::vector<std::string>& record = records[r];
+    if (record.size() != header.size()) {
+      return Status::ParseError("CSV row " + std::to_string(r) +
+                                " has wrong field count");
+    }
+    SFPM_ASSIGN_OR_RETURN(geom::Geometry geometry, geom::ReadWkt(record[0]));
+    std::map<std::string, std::string> attributes;
+    for (size_t col = 1; col < record.size(); ++col) {
+      if (!record[col].empty()) attributes[header[col]] = record[col];
+    }
+    layer.Add(std::move(geometry), std::move(attributes));
+  }
+  return layer;
+}
+
+Status SaveLayer(const feature::Layer& layer, const std::string& path) {
+  return WriteFile(path, LayerToCsv(layer));
+}
+
+Result<feature::Layer> LoadLayer(const std::string& feature_type,
+                                 const std::string& path) {
+  SFPM_ASSIGN_OR_RETURN(const std::string text, ReadFile(path));
+  return LayerFromCsv(feature_type, text);
+}
+
+}  // namespace io
+}  // namespace sfpm

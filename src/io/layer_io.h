@@ -1,0 +1,36 @@
+#ifndef SFPM_IO_LAYER_IO_H_
+#define SFPM_IO_LAYER_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "feature/feature.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace io {
+
+/// \brief CSV serialization of feature layers.
+///
+/// Layout: the header row is `wkt` followed by attribute column names;
+/// each data row is the feature geometry in WKT followed by its attribute
+/// values. Features missing an attribute leave the cell empty; empty cells
+/// load as absent attributes.
+
+/// Renders a layer as CSV. Attribute columns are the union of the
+/// attribute names present, in sorted order.
+std::string LayerToCsv(const feature::Layer& layer);
+
+/// Parses CSV into a layer of the given feature type.
+Result<feature::Layer> LayerFromCsv(const std::string& feature_type,
+                                    std::string_view text);
+
+/// Convenience file wrappers.
+Status SaveLayer(const feature::Layer& layer, const std::string& path);
+Result<feature::Layer> LoadLayer(const std::string& feature_type,
+                                 const std::string& path);
+
+}  // namespace io
+}  // namespace sfpm
+
+#endif  // SFPM_IO_LAYER_IO_H_

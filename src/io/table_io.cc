@@ -1,0 +1,79 @@
+#include "io/table_io.h"
+
+#include "io/csv.h"
+
+namespace sfpm {
+namespace io {
+
+std::string TableToCsv(const feature::PredicateTable& table) {
+  std::vector<std::vector<std::string>> records;
+
+  std::vector<std::string> header = {"row"};
+  for (core::ItemId item = 0; item < table.NumPredicates(); ++item) {
+    header.push_back(table.db().Label(item));
+  }
+  records.push_back(std::move(header));
+
+  for (size_t row = 0; row < table.NumRows(); ++row) {
+    std::vector<std::string> record = {table.RowName(row)};
+    for (core::ItemId item = 0; item < table.NumPredicates(); ++item) {
+      record.push_back(table.db().Test(row, item) ? "1" : "0");
+    }
+    records.push_back(std::move(record));
+  }
+  return WriteCsv(records);
+}
+
+Result<feature::PredicateTable> TableFromCsv(std::string_view text) {
+  SFPM_ASSIGN_OR_RETURN(const auto records, ParseCsv(text));
+  if (records.empty()) {
+    return Status::ParseError("predicate table CSV has no header");
+  }
+  const std::vector<std::string>& header = records[0];
+  if (header.empty() || header[0] != "row") {
+    return Status::ParseError(
+        "predicate table CSV must start with a 'row' column");
+  }
+
+  feature::PredicateTable table;
+  std::vector<feature::Predicate> predicates;
+  for (size_t col = 1; col < header.size(); ++col) {
+    SFPM_ASSIGN_OR_RETURN(feature::Predicate predicate,
+                          feature::Predicate::FromLabel(header[col]));
+    table.Declare(predicate);
+    predicates.push_back(std::move(predicate));
+  }
+
+  for (size_t r = 1; r < records.size(); ++r) {
+    const std::vector<std::string>& record = records[r];
+    if (record.size() != header.size()) {
+      return Status::ParseError("CSV row " + std::to_string(r) + " has " +
+                                std::to_string(record.size()) +
+                                " fields, expected " +
+                                std::to_string(header.size()));
+    }
+    const size_t row = table.AddRow(record[0]);
+    for (size_t col = 1; col < record.size(); ++col) {
+      if (record[col] == "1") {
+        SFPM_RETURN_NOT_OK(table.Set(row, predicates[col - 1]));
+      } else if (record[col] != "0") {
+        return Status::ParseError("predicate cell must be 0 or 1, got '" +
+                                  record[col] + "'");
+      }
+    }
+  }
+  return table;
+}
+
+Status SaveTable(const feature::PredicateTable& table,
+                 const std::string& path) {
+  return WriteFile(path, TableToCsv(table));
+}
+
+Result<feature::PredicateTable> LoadTable(const std::string& path) {
+  SFPM_ASSIGN_OR_RETURN(const std::string text, ReadFile(path));
+  return TableFromCsv(text);
+}
+
+}  // namespace io
+}  // namespace sfpm

@@ -1,0 +1,35 @@
+#ifndef SFPM_IO_TABLE_IO_H_
+#define SFPM_IO_TABLE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "feature/predicate_table.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace io {
+
+/// \brief CSV serialization of predicate tables.
+///
+/// Layout: the header row is `row` followed by one predicate label per
+/// column ("contains_slum", "murderRate=high"); each data row is the
+/// reference feature name followed by 0/1 cells. Labels round-trip through
+/// feature::Predicate::FromLabel, so feature-type keys survive and mining
+/// a loaded table behaves identically to mining the original.
+
+/// Renders the table as CSV text.
+std::string TableToCsv(const feature::PredicateTable& table);
+
+/// Parses CSV text into a predicate table.
+Result<feature::PredicateTable> TableFromCsv(std::string_view text);
+
+/// Convenience file wrappers.
+Status SaveTable(const feature::PredicateTable& table,
+                 const std::string& path);
+Result<feature::PredicateTable> LoadTable(const std::string& path);
+
+}  // namespace io
+}  // namespace sfpm
+
+#endif  // SFPM_IO_TABLE_IO_H_

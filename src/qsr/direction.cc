@@ -1,0 +1,86 @@
+#include "qsr/direction.h"
+
+#include <cmath>
+
+#include "geom/algorithms.h"
+
+namespace sfpm {
+namespace qsr {
+
+const char* CardinalDirectionName(CardinalDirection dir) {
+  switch (dir) {
+    case CardinalDirection::kNorth:
+      return "north";
+    case CardinalDirection::kNorthEast:
+      return "northEast";
+    case CardinalDirection::kEast:
+      return "east";
+    case CardinalDirection::kSouthEast:
+      return "southEast";
+    case CardinalDirection::kSouth:
+      return "south";
+    case CardinalDirection::kSouthWest:
+      return "southWest";
+    case CardinalDirection::kWest:
+      return "west";
+    case CardinalDirection::kNorthWest:
+      return "northWest";
+    case CardinalDirection::kSame:
+      return "same";
+  }
+  return "unknown";
+}
+
+CardinalDirection Opposite(CardinalDirection dir) {
+  switch (dir) {
+    case CardinalDirection::kNorth:
+      return CardinalDirection::kSouth;
+    case CardinalDirection::kNorthEast:
+      return CardinalDirection::kSouthWest;
+    case CardinalDirection::kEast:
+      return CardinalDirection::kWest;
+    case CardinalDirection::kSouthEast:
+      return CardinalDirection::kNorthWest;
+    case CardinalDirection::kSouth:
+      return CardinalDirection::kNorth;
+    case CardinalDirection::kSouthWest:
+      return CardinalDirection::kNorthEast;
+    case CardinalDirection::kWest:
+      return CardinalDirection::kEast;
+    case CardinalDirection::kNorthWest:
+      return CardinalDirection::kSouthEast;
+    case CardinalDirection::kSame:
+      return CardinalDirection::kSame;
+  }
+  return CardinalDirection::kSame;
+}
+
+CardinalDirection DirectionBetween(const geom::Point& from,
+                                   const geom::Point& to) {
+  const double dx = to.x - from.x;
+  const double dy = to.y - from.y;
+  if (dx == 0.0 && dy == 0.0) return CardinalDirection::kSame;
+
+  // Azimuth measured clockwise from north, in [0, 360).
+  double azimuth = std::atan2(dx, dy) * 180.0 / M_PI;
+  if (azimuth < 0.0) azimuth += 360.0;
+
+  // Eight 45-degree cones centred on the compass directions; sector 0
+  // (north) covers [-22.5, 22.5).
+  const int sector = static_cast<int>(std::floor((azimuth + 22.5) / 45.0)) % 8;
+  static constexpr CardinalDirection kSectors[8] = {
+      CardinalDirection::kNorth,     CardinalDirection::kNorthEast,
+      CardinalDirection::kEast,      CardinalDirection::kSouthEast,
+      CardinalDirection::kSouth,     CardinalDirection::kSouthWest,
+      CardinalDirection::kWest,      CardinalDirection::kNorthWest,
+  };
+  return kSectors[sector];
+}
+
+CardinalDirection DirectionBetween(const geom::Geometry& from,
+                                   const geom::Geometry& to) {
+  return DirectionBetween(geom::Centroid(from), geom::Centroid(to));
+}
+
+}  // namespace qsr
+}  // namespace sfpm

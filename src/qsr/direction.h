@@ -1,0 +1,41 @@
+#ifndef SFPM_QSR_DIRECTION_H_
+#define SFPM_QSR_DIRECTION_H_
+
+#include "geom/geometry.h"
+
+namespace sfpm {
+namespace qsr {
+
+/// \brief Cone-based cardinal direction relations (the "order" relation
+/// family of Güting's taxonomy cited by the paper).
+enum class CardinalDirection {
+  kNorth,
+  kNorthEast,
+  kEast,
+  kSouthEast,
+  kSouth,
+  kSouthWest,
+  kWest,
+  kNorthWest,
+  kSame,  ///< Coincident reference points; no direction defined.
+};
+
+/// Stable name ("north", "northEast", ...).
+const char* CardinalDirectionName(CardinalDirection dir);
+
+/// The direction of travel reversed (north <-> south, ...).
+CardinalDirection Opposite(CardinalDirection dir);
+
+/// \brief Direction of `to` as seen from `from`, using eight 45-degree
+/// cones centred on the compass directions (y grows northward).
+CardinalDirection DirectionBetween(const geom::Point& from,
+                                   const geom::Point& to);
+
+/// Direction between geometry centroids.
+CardinalDirection DirectionBetween(const geom::Geometry& from,
+                                   const geom::Geometry& to);
+
+}  // namespace qsr
+}  // namespace sfpm
+
+#endif  // SFPM_QSR_DIRECTION_H_

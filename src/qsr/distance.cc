@@ -1,0 +1,67 @@
+#include "qsr/distance.h"
+
+#include <limits>
+#include <unordered_set>
+
+#include "geom/algorithms.h"
+
+namespace sfpm {
+namespace qsr {
+
+Result<DistanceQuantizer> DistanceQuantizer::Create(
+    std::vector<std::pair<std::string, double>> bounds,
+    std::string beyond_name) {
+  std::vector<Band> bands;
+  std::unordered_set<std::string> names;
+  double prev = 0.0;
+  for (auto& [name, upper] : bounds) {
+    if (name.empty()) {
+      return Status::InvalidArgument("distance band name must not be empty");
+    }
+    if (!(upper > prev)) {
+      return Status::InvalidArgument(
+          "distance band bounds must be positive and strictly ascending");
+    }
+    if (!names.insert(name).second) {
+      return Status::InvalidArgument("duplicate distance band name '" + name +
+                                     "'");
+    }
+    bands.push_back({std::move(name), upper});
+    prev = bands.back().upper_bound;
+  }
+  if (beyond_name.empty()) {
+    return Status::InvalidArgument("distance band name must not be empty");
+  }
+  if (!names.insert(beyond_name).second) {
+    return Status::InvalidArgument("duplicate distance band name '" +
+                                   beyond_name + "'");
+  }
+  bands.push_back(
+      {std::move(beyond_name), std::numeric_limits<double>::infinity()});
+  return DistanceQuantizer(std::move(bands));
+}
+
+DistanceQuantizer DistanceQuantizer::Default() {
+  Result<DistanceQuantizer> q =
+      Create({{"veryClose", 500.0}, {"close", 2000.0}}, "far");
+  return q.value();
+}
+
+size_t DistanceQuantizer::BandIndex(double distance) const {
+  for (size_t i = 0; i + 1 < bands_.size(); ++i) {
+    if (distance < bands_[i].upper_bound) return i;
+  }
+  return bands_.size() - 1;
+}
+
+const std::string& DistanceQuantizer::BandName(double distance) const {
+  return bands_[BandIndex(distance)].name;
+}
+
+const std::string& DistanceQuantizer::Classify(const geom::Geometry& a,
+                                               const geom::Geometry& b) const {
+  return BandName(geom::Distance(a, b));
+}
+
+}  // namespace qsr
+}  // namespace sfpm

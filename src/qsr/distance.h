@@ -1,0 +1,61 @@
+#ifndef SFPM_QSR_DISTANCE_H_
+#define SFPM_QSR_DISTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/geometry.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace qsr {
+
+/// \brief Quantizes metric distances into named qualitative bands
+/// (e.g. veryClose / close / far), the distance-relation flavour of
+/// qualitative spatial reasoning used in the paper's police-center example.
+///
+/// Bands are half-open: band i covers [upper_{i-1}, upper_i), the final
+/// band covers [upper_last, +inf).
+class DistanceQuantizer {
+ public:
+  struct Band {
+    std::string name;
+    double upper_bound;  ///< Exclusive; +inf for the last band.
+  };
+
+  /// \param bounds ascending (name, exclusive upper bound) pairs
+  /// \param beyond_name name of the unbounded final band
+  ///
+  /// Returns InvalidArgument when bounds are not strictly ascending and
+  /// positive, or when any name is empty or duplicated.
+  static Result<DistanceQuantizer> Create(
+      std::vector<std::pair<std::string, double>> bounds,
+      std::string beyond_name);
+
+  /// The quantizer from the paper's running example:
+  /// veryClose < 500, close < 2000, far beyond.
+  static DistanceQuantizer Default();
+
+  /// Band index for a distance (>= 0).
+  size_t BandIndex(double distance) const;
+
+  /// Band name for a distance.
+  const std::string& BandName(double distance) const;
+
+  /// Qualitative distance between two geometries (minimum distance).
+  const std::string& Classify(const geom::Geometry& a,
+                              const geom::Geometry& b) const;
+
+  const std::vector<Band>& bands() const { return bands_; }
+
+ private:
+  explicit DistanceQuantizer(std::vector<Band> bands)
+      : bands_(std::move(bands)) {}
+
+  std::vector<Band> bands_;
+};
+
+}  // namespace qsr
+}  // namespace sfpm
+
+#endif  // SFPM_QSR_DISTANCE_H_

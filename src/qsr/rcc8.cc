@@ -1,0 +1,400 @@
+#include "qsr/rcc8.h"
+
+#include <bit>
+#include <cassert>
+#include <deque>
+
+namespace sfpm {
+namespace qsr {
+
+namespace {
+
+constexpr uint8_t kDCb = 1u << 0;
+constexpr uint8_t kECb = 1u << 1;
+constexpr uint8_t kPOb = 1u << 2;
+constexpr uint8_t kTPPb = 1u << 3;
+constexpr uint8_t kNTPPb = 1u << 4;
+constexpr uint8_t kTPPib = 1u << 5;
+constexpr uint8_t kNTPPib = 1u << 6;
+constexpr uint8_t kEQb = 1u << 7;
+constexpr uint8_t kAll = 0xFF;
+
+/// The RCC8 composition table (Randell, Cui & Cohn 1992; as tabulated by
+/// Cohn, Bennett, Gooday & Gotts 1997). Row: relation of A to B; column:
+/// relation of B to C; entry: possible relations of A to C.
+constexpr uint8_t kComposition[kNumRcc8][kNumRcc8] = {
+    // A DC B
+    {
+        kAll,                                   // DC ; DC
+        kDCb | kECb | kPOb | kTPPb | kNTPPb,    // DC ; EC
+        kDCb | kECb | kPOb | kTPPb | kNTPPb,    // DC ; PO
+        kDCb | kECb | kPOb | kTPPb | kNTPPb,    // DC ; TPP
+        kDCb | kECb | kPOb | kTPPb | kNTPPb,    // DC ; NTPP
+        kDCb,                                   // DC ; TPPi
+        kDCb,                                   // DC ; NTPPi
+        kDCb,                                   // DC ; EQ
+    },
+    // A EC B
+    {
+        kDCb | kECb | kPOb | kTPPib | kNTPPib,       // EC ; DC
+        kDCb | kECb | kPOb | kTPPb | kTPPib | kEQb,  // EC ; EC
+        kDCb | kECb | kPOb | kTPPb | kNTPPb,         // EC ; PO
+        kECb | kPOb | kTPPb | kNTPPb,                // EC ; TPP
+        kPOb | kTPPb | kNTPPb,                       // EC ; NTPP
+        kDCb | kECb,                                 // EC ; TPPi
+        kDCb,                                        // EC ; NTPPi
+        kECb,                                        // EC ; EQ
+    },
+    // A PO B
+    {
+        kDCb | kECb | kPOb | kTPPib | kNTPPib,  // PO ; DC
+        kDCb | kECb | kPOb | kTPPib | kNTPPib,  // PO ; EC
+        kAll,                                   // PO ; PO
+        kPOb | kTPPb | kNTPPb,                  // PO ; TPP
+        kPOb | kTPPb | kNTPPb,                  // PO ; NTPP
+        kDCb | kECb | kPOb | kTPPib | kNTPPib,  // PO ; TPPi
+        kDCb | kECb | kPOb | kTPPib | kNTPPib,  // PO ; NTPPi
+        kPOb,                                   // PO ; EQ
+    },
+    // A TPP B
+    {
+        kDCb,                                         // TPP ; DC
+        kDCb | kECb,                                  // TPP ; EC
+        kDCb | kECb | kPOb | kTPPb | kNTPPb,          // TPP ; PO
+        kTPPb | kNTPPb,                               // TPP ; TPP
+        kNTPPb,                                       // TPP ; NTPP
+        kDCb | kECb | kPOb | kTPPb | kTPPib | kEQb,   // TPP ; TPPi
+        kDCb | kECb | kPOb | kTPPib | kNTPPib,        // TPP ; NTPPi
+        kTPPb,                                        // TPP ; EQ
+    },
+    // A NTPP B
+    {
+        kDCb,                                 // NTPP ; DC
+        kDCb,                                 // NTPP ; EC
+        kDCb | kECb | kPOb | kTPPb | kNTPPb,  // NTPP ; PO
+        kNTPPb,                               // NTPP ; TPP
+        kNTPPb,                               // NTPP ; NTPP
+        kDCb | kECb | kPOb | kTPPb | kNTPPb,  // NTPP ; TPPi
+        kAll,                                 // NTPP ; NTPPi
+        kNTPPb,                               // NTPP ; EQ
+    },
+    // A TPPi B
+    {
+        kDCb | kECb | kPOb | kTPPib | kNTPPib,  // TPPi ; DC
+        kECb | kPOb | kTPPib | kNTPPib,         // TPPi ; EC
+        kPOb | kTPPib | kNTPPib,                // TPPi ; PO
+        kPOb | kTPPb | kTPPib | kEQb,           // TPPi ; TPP
+        kPOb | kTPPb | kNTPPb,                  // TPPi ; NTPP
+        kTPPib | kNTPPib,                       // TPPi ; TPPi
+        kNTPPib,                                // TPPi ; NTPPi
+        kTPPib,                                 // TPPi ; EQ
+    },
+    // A NTPPi B
+    {
+        kDCb | kECb | kPOb | kTPPib | kNTPPib,           // NTPPi ; DC
+        kPOb | kTPPib | kNTPPib,                         // NTPPi ; EC
+        kPOb | kTPPib | kNTPPib,                         // NTPPi ; PO
+        kPOb | kTPPib | kNTPPib,                         // NTPPi ; TPP
+        kPOb | kTPPb | kNTPPb | kTPPib | kNTPPib | kEQb, // NTPPi ; NTPP
+        kNTPPib,                                         // NTPPi ; TPPi
+        kNTPPib,                                         // NTPPi ; NTPPi
+        kNTPPib,                                         // NTPPi ; EQ
+    },
+    // A EQ B: composition is the column relation.
+    {
+        kDCb, kECb, kPOb, kTPPb, kNTPPb, kTPPib, kNTPPib, kEQb,
+    },
+};
+
+}  // namespace
+
+int Rcc8Set::Count() const { return std::popcount(bits_); }
+
+Rcc8 Rcc8Set::Single() const {
+  assert(IsSingleton());
+  return static_cast<Rcc8>(std::countr_zero(bits_));
+}
+
+std::string Rcc8Set::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int i = 0; i < kNumRcc8; ++i) {
+    if (bits_ & (1u << i)) {
+      if (!first) out += ", ";
+      out += Rcc8Name(static_cast<Rcc8>(i));
+      first = false;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+const char* Rcc8Name(Rcc8 rel) {
+  switch (rel) {
+    case Rcc8::kDC:
+      return "DC";
+    case Rcc8::kEC:
+      return "EC";
+    case Rcc8::kPO:
+      return "PO";
+    case Rcc8::kTPP:
+      return "TPP";
+    case Rcc8::kNTPP:
+      return "NTPP";
+    case Rcc8::kTPPi:
+      return "TPPi";
+    case Rcc8::kNTPPi:
+      return "NTPPi";
+    case Rcc8::kEQ:
+      return "EQ";
+  }
+  return "?";
+}
+
+Rcc8 Rcc8Converse(Rcc8 rel) {
+  switch (rel) {
+    case Rcc8::kTPP:
+      return Rcc8::kTPPi;
+    case Rcc8::kTPPi:
+      return Rcc8::kTPP;
+    case Rcc8::kNTPP:
+      return Rcc8::kNTPPi;
+    case Rcc8::kNTPPi:
+      return Rcc8::kNTPP;
+    default:
+      return rel;  // DC, EC, PO, EQ are symmetric.
+  }
+}
+
+Rcc8Set Rcc8Converse(Rcc8Set set) {
+  Rcc8Set out;
+  for (int i = 0; i < kNumRcc8; ++i) {
+    const Rcc8 rel = static_cast<Rcc8>(i);
+    if (set.Contains(rel)) out |= Rcc8Set(Rcc8Converse(rel));
+  }
+  return out;
+}
+
+Rcc8Set Rcc8Compose(Rcc8 a, Rcc8 b) {
+  return Rcc8Set(
+      kComposition[static_cast<uint8_t>(a)][static_cast<uint8_t>(b)]);
+}
+
+Rcc8Set Rcc8Compose(Rcc8Set a, Rcc8Set b) {
+  Rcc8Set out;
+  for (int i = 0; i < kNumRcc8; ++i) {
+    if (!a.Contains(static_cast<Rcc8>(i))) continue;
+    for (int j = 0; j < kNumRcc8; ++j) {
+      if (!b.Contains(static_cast<Rcc8>(j))) continue;
+      out |= Rcc8Compose(static_cast<Rcc8>(i), static_cast<Rcc8>(j));
+    }
+  }
+  return out;
+}
+
+Result<Rcc8> Rcc8FromTopological(TopologicalRelation rel) {
+  switch (rel) {
+    case TopologicalRelation::kDisjoint:
+      return Rcc8::kDC;
+    case TopologicalRelation::kTouches:
+      return Rcc8::kEC;
+    case TopologicalRelation::kOverlaps:
+      return Rcc8::kPO;
+    case TopologicalRelation::kEquals:
+      return Rcc8::kEQ;
+    case TopologicalRelation::kCoveredBy:
+      return Rcc8::kTPP;
+    case TopologicalRelation::kWithin:
+      return Rcc8::kNTPP;
+    case TopologicalRelation::kCovers:
+      return Rcc8::kTPPi;
+    case TopologicalRelation::kContains:
+      return Rcc8::kNTPPi;
+    case TopologicalRelation::kCrosses:
+    case TopologicalRelation::kIntersects:
+      return Status::InvalidArgument(
+          std::string("no RCC8 counterpart for region relation '") +
+          TopologicalRelationName(rel) + "'");
+  }
+  return Status::InvalidArgument("unknown topological relation");
+}
+
+TopologicalRelation TopologicalFromRcc8(Rcc8 rel) {
+  switch (rel) {
+    case Rcc8::kDC:
+      return TopologicalRelation::kDisjoint;
+    case Rcc8::kEC:
+      return TopologicalRelation::kTouches;
+    case Rcc8::kPO:
+      return TopologicalRelation::kOverlaps;
+    case Rcc8::kTPP:
+      return TopologicalRelation::kCoveredBy;
+    case Rcc8::kNTPP:
+      return TopologicalRelation::kWithin;
+    case Rcc8::kTPPi:
+      return TopologicalRelation::kCovers;
+    case Rcc8::kNTPPi:
+      return TopologicalRelation::kContains;
+    case Rcc8::kEQ:
+      return TopologicalRelation::kEquals;
+  }
+  return TopologicalRelation::kIntersects;
+}
+
+Result<Rcc8> Rcc8Relate(const geom::Geometry& a, const geom::Geometry& b) {
+  if (a.Dimension() != 2 || b.Dimension() != 2) {
+    return Status::InvalidArgument("RCC8 is defined over regions (areas)");
+  }
+  return Rcc8FromTopological(ClassifyTopological(a, b));
+}
+
+Rcc8Network::Rcc8Network(size_t num_variables)
+    : n_(num_variables), constraints_(n_ * n_, Rcc8Set::Universal()) {
+  for (size_t i = 0; i < n_; ++i) {
+    constraints_[Index(i, i)] = Rcc8Set(Rcc8::kEQ);
+  }
+}
+
+Status Rcc8Network::Constrain(size_t i, size_t j, Rcc8Set rel) {
+  if (i >= n_ || j >= n_) {
+    return Status::InvalidArgument("variable index out of range");
+  }
+  constraints_[Index(i, j)] &= rel;
+  constraints_[Index(j, i)] &= Rcc8Converse(rel);
+  if (constraints_[Index(i, j)].IsEmpty()) inconsistent_ = true;
+  return Status::OK();
+}
+
+Rcc8Set Rcc8Network::At(size_t i, size_t j) const {
+  assert(i < n_ && j < n_);
+  return constraints_[Index(i, j)];
+}
+
+bool Rcc8Network::Propagate() {
+  if (inconsistent_) return false;
+
+  // PC-2-style worklist over edges; refining (i, j) re-queues every
+  // triangle that mentions it.
+  std::deque<std::pair<size_t, size_t>> queue;
+  std::vector<bool> queued(n_ * n_, false);
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < n_; ++j) {
+      if (i != j) {
+        queue.emplace_back(i, j);
+        queued[Index(i, j)] = true;
+      }
+    }
+  }
+
+  while (!queue.empty()) {
+    const auto [i, j] = queue.front();
+    queue.pop_front();
+    queued[Index(i, j)] = false;
+
+    for (size_t k = 0; k < n_; ++k) {
+      if (k == i || k == j) continue;
+
+      // Refine (i, k) through j.
+      Rcc8Set refined =
+          constraints_[Index(i, k)] &
+          Rcc8Compose(constraints_[Index(i, j)], constraints_[Index(j, k)]);
+      if (refined != constraints_[Index(i, k)]) {
+        constraints_[Index(i, k)] = refined;
+        constraints_[Index(k, i)] = Rcc8Converse(refined);
+        if (refined.IsEmpty()) {
+          inconsistent_ = true;
+          return false;
+        }
+        if (!queued[Index(i, k)]) {
+          queue.emplace_back(i, k);
+          queued[Index(i, k)] = true;
+        }
+      }
+
+      // Refine (k, j) through i.
+      refined =
+          constraints_[Index(k, j)] &
+          Rcc8Compose(constraints_[Index(k, i)], constraints_[Index(i, j)]);
+      if (refined != constraints_[Index(k, j)]) {
+        constraints_[Index(k, j)] = refined;
+        constraints_[Index(j, k)] = Rcc8Converse(refined);
+        if (refined.IsEmpty()) {
+          inconsistent_ = true;
+          return false;
+        }
+        if (!queued[Index(k, j)]) {
+          queue.emplace_back(k, j);
+          queued[Index(k, j)] = true;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool Rcc8Network::IsAtomic() const {
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = i + 1; j < n_; ++j) {
+      if (!constraints_[Index(i, j)].IsSingleton()) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Depth-first refinement: pick the smallest non-singleton constraint, try
+/// each member, propagate, recurse.
+bool SolveRecursive(Rcc8Network* network) {
+  if (!network->Propagate()) return false;
+
+  size_t best_i = 0, best_j = 0;
+  int best_count = kNumRcc8 + 1;
+  const size_t n = network->NumVariables();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const int count = network->At(i, j).Count();
+      if (count > 1 && count < best_count) {
+        best_count = count;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  if (best_count == kNumRcc8 + 1) {
+    // Atomic and path consistent: consistent (PC is complete for atomic
+    // RCC8 networks).
+    return true;
+  }
+
+  const Rcc8Set candidates = network->At(best_i, best_j);
+  for (int r = 0; r < kNumRcc8; ++r) {
+    const Rcc8 rel = static_cast<Rcc8>(r);
+    if (!candidates.Contains(rel)) continue;
+    Rcc8Network attempt = *network;
+    const Status st = attempt.Constrain(best_i, best_j, Rcc8Set(rel));
+    (void)st;  // Indices are in range by construction.
+    if (SolveRecursive(&attempt)) {
+      *network = std::move(attempt);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Rcc8Network> SolveScenario(const Rcc8Network& network) {
+  Rcc8Network scenario = network;
+  if (!SolveRecursive(&scenario)) {
+    return Status::NotFound("RCC8 network is unsatisfiable");
+  }
+  return scenario;
+}
+
+bool IsSatisfiable(const Rcc8Network& network) {
+  return SolveScenario(network).ok();
+}
+
+}  // namespace qsr
+}  // namespace sfpm

@@ -1,0 +1,162 @@
+#ifndef SFPM_QSR_RCC8_H_
+#define SFPM_QSR_RCC8_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.h"
+#include "qsr/topological.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace qsr {
+
+/// \brief The eight base relations of the Region Connection Calculus RCC8
+/// (Randell, Cui & Cohn), the canonical qualitative spatial reasoning
+/// algebra over regions.
+enum class Rcc8 : uint8_t {
+  kDC = 0,     ///< Disconnected.
+  kEC = 1,     ///< Externally connected (touch).
+  kPO = 2,     ///< Partial overlap.
+  kTPP = 3,    ///< Tangential proper part.
+  kNTPP = 4,   ///< Non-tangential proper part.
+  kTPPi = 5,   ///< Inverse of TPP.
+  kNTPPi = 6,  ///< Inverse of NTPP.
+  kEQ = 7,     ///< Equal.
+};
+
+constexpr int kNumRcc8 = 8;
+
+/// \brief A disjunction of RCC8 base relations, encoded as an 8-bit set.
+/// The empty set signals an inconsistent constraint; the full set is the
+/// universal (uninformative) relation.
+class Rcc8Set {
+ public:
+  constexpr Rcc8Set() : bits_(0) {}
+  constexpr explicit Rcc8Set(uint8_t bits) : bits_(bits) {}
+  constexpr Rcc8Set(Rcc8 rel)  // NOLINT(runtime/explicit)
+      : bits_(static_cast<uint8_t>(1u << static_cast<uint8_t>(rel))) {}
+
+  static constexpr Rcc8Set Universal() { return Rcc8Set(0xFF); }
+  static constexpr Rcc8Set Empty() { return Rcc8Set(); }
+
+  constexpr bool Contains(Rcc8 rel) const {
+    return bits_ & (1u << static_cast<uint8_t>(rel));
+  }
+  constexpr bool IsEmpty() const { return bits_ == 0; }
+  constexpr bool IsSingleton() const {
+    return bits_ != 0 && (bits_ & (bits_ - 1)) == 0;
+  }
+  int Count() const;
+
+  /// The single member; precondition IsSingleton().
+  Rcc8 Single() const;
+
+  constexpr Rcc8Set operator|(Rcc8Set o) const {
+    return Rcc8Set(static_cast<uint8_t>(bits_ | o.bits_));
+  }
+  constexpr Rcc8Set operator&(Rcc8Set o) const {
+    return Rcc8Set(static_cast<uint8_t>(bits_ & o.bits_));
+  }
+  Rcc8Set& operator|=(Rcc8Set o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  Rcc8Set& operator&=(Rcc8Set o) {
+    bits_ &= o.bits_;
+    return *this;
+  }
+  constexpr bool operator==(const Rcc8Set& o) const { return bits_ == o.bits_; }
+
+  uint8_t bits() const { return bits_; }
+
+  /// Renders as "{EC, PO}" etc.
+  std::string ToString() const;
+
+ private:
+  uint8_t bits_;
+};
+
+/// Stable name ("DC", "NTPPi", ...).
+const char* Rcc8Name(Rcc8 rel);
+
+/// The converse relation (relation of B to A given A to B).
+Rcc8 Rcc8Converse(Rcc8 rel);
+
+/// Converse of every member.
+Rcc8Set Rcc8Converse(Rcc8Set set);
+
+/// \brief Composition of base relations per the RCC8 composition table:
+/// the possible relations of (A, C) given A `a` B and B `b` C.
+Rcc8Set Rcc8Compose(Rcc8 a, Rcc8 b);
+
+/// Set-lifted composition: union over member pairs.
+Rcc8Set Rcc8Compose(Rcc8Set a, Rcc8Set b);
+
+/// \brief Maps the paper's 9-intersection relation between two regions to
+/// an RCC8 base relation. Returns InvalidArgument for relations that have
+/// no region-region counterpart (crosses, generic intersects).
+Result<Rcc8> Rcc8FromTopological(TopologicalRelation rel);
+
+/// The 9-intersection relation corresponding to an RCC8 base relation.
+TopologicalRelation TopologicalFromRcc8(Rcc8 rel);
+
+/// Computes the RCC8 relation between two areal geometries (polygons or
+/// multipolygons). Returns InvalidArgument for non-areal operands.
+Result<Rcc8> Rcc8Relate(const geom::Geometry& a, const geom::Geometry& b);
+
+/// \brief A binary RCC8 constraint network over `n` region variables,
+/// solved to path consistency.
+///
+/// Unstated constraints default to the universal relation. `Propagate`
+/// runs the standard PC-2 style algebraic-closure loop; a network whose
+/// propagation empties some constraint is inconsistent.
+class Rcc8Network {
+ public:
+  explicit Rcc8Network(size_t num_variables);
+
+  size_t NumVariables() const { return n_; }
+
+  /// Intersects the (i, j) constraint with `rel` (and (j, i) with its
+  /// converse). Returns InvalidArgument on out-of-range variables.
+  Status Constrain(size_t i, size_t j, Rcc8Set rel);
+
+  /// Current constraint between i and j.
+  Rcc8Set At(size_t i, size_t j) const;
+
+  /// \brief Enforces algebraic closure. Returns false when the network is
+  /// detected inconsistent (some constraint became empty).
+  bool Propagate();
+
+  /// True when a previous Propagate emptied a constraint.
+  bool IsInconsistent() const { return inconsistent_; }
+
+  /// True when every constraint is a single base relation.
+  bool IsAtomic() const;
+
+ private:
+  size_t Index(size_t i, size_t j) const { return i * n_ + j; }
+
+  size_t n_;
+  std::vector<Rcc8Set> constraints_;
+  bool inconsistent_ = false;
+};
+
+/// \brief Decides exact satisfiability of an RCC8 network by backtracking
+/// search over base relations with path-consistency propagation at every
+/// step (path consistency alone is complete for atomic RCC8 networks,
+/// which makes the leaves of the search decisive).
+///
+/// Returns a consistent *scenario* — a refinement of the input where every
+/// constraint is a single base relation — or NotFound when the network is
+/// unsatisfiable.
+Result<Rcc8Network> SolveScenario(const Rcc8Network& network);
+
+/// True when the network has at least one consistent scenario.
+bool IsSatisfiable(const Rcc8Network& network);
+
+}  // namespace qsr
+}  // namespace sfpm
+
+#endif  // SFPM_QSR_RCC8_H_

@@ -1,0 +1,84 @@
+#include "qsr/topological.h"
+
+#include "relate/relate.h"
+
+namespace sfpm {
+namespace qsr {
+
+using relate::IntersectionMatrix;
+
+const char* TopologicalRelationName(TopologicalRelation rel) {
+  switch (rel) {
+    case TopologicalRelation::kDisjoint:
+      return "disjoint";
+    case TopologicalRelation::kTouches:
+      return "touches";
+    case TopologicalRelation::kOverlaps:
+      return "overlaps";
+    case TopologicalRelation::kEquals:
+      return "equals";
+    case TopologicalRelation::kContains:
+      return "contains";
+    case TopologicalRelation::kWithin:
+      return "within";
+    case TopologicalRelation::kCovers:
+      return "covers";
+    case TopologicalRelation::kCoveredBy:
+      return "coveredBy";
+    case TopologicalRelation::kCrosses:
+      return "crosses";
+    case TopologicalRelation::kIntersects:
+      return "intersects";
+  }
+  return "unknown";
+}
+
+TopologicalRelation Converse(TopologicalRelation rel) {
+  switch (rel) {
+    case TopologicalRelation::kContains:
+      return TopologicalRelation::kWithin;
+    case TopologicalRelation::kWithin:
+      return TopologicalRelation::kContains;
+    case TopologicalRelation::kCovers:
+      return TopologicalRelation::kCoveredBy;
+    case TopologicalRelation::kCoveredBy:
+      return TopologicalRelation::kCovers;
+    default:
+      return rel;  // The remaining relations are symmetric.
+  }
+}
+
+TopologicalRelation ClassifyMatrix(const IntersectionMatrix& m, int dim_a,
+                                   int dim_b) {
+  if (m.Disjoint()) return TopologicalRelation::kDisjoint;
+  if (m.Equals(dim_a, dim_b)) return TopologicalRelation::kEquals;
+
+  const bool boundary_contact =
+      m.at(IntersectionMatrix::kBoundary, IntersectionMatrix::kBoundary) >= 0;
+
+  if (m.Within()) {
+    return boundary_contact ? TopologicalRelation::kCoveredBy
+                            : TopologicalRelation::kWithin;
+  }
+  if (m.Contains()) {
+    return boundary_contact ? TopologicalRelation::kCovers
+                            : TopologicalRelation::kContains;
+  }
+  // When the interiors do not meet, boundary-only containment (a point on
+  // a polygon's boundary, a line along it) classifies as *touches*: every
+  // CoveredBy/Covers matrix with an empty interior-interior cell also
+  // matches a Touches pattern, and the meet reading is the conventional
+  // one for such configurations.
+  if (m.Crosses(dim_a, dim_b)) return TopologicalRelation::kCrosses;
+  if (m.Touches(dim_a, dim_b)) return TopologicalRelation::kTouches;
+  if (m.Overlaps(dim_a, dim_b)) return TopologicalRelation::kOverlaps;
+  return TopologicalRelation::kIntersects;
+}
+
+TopologicalRelation ClassifyTopological(const geom::Geometry& a,
+                                        const geom::Geometry& b) {
+  return ClassifyMatrix(relate::Relate(a, b), a.Dimension(), b.Dimension());
+}
+
+}  // namespace qsr
+}  // namespace sfpm

@@ -1,0 +1,54 @@
+#ifndef SFPM_QSR_TOPOLOGICAL_H_
+#define SFPM_QSR_TOPOLOGICAL_H_
+
+#include <string>
+
+#include "geom/geometry.h"
+#include "relate/intersection_matrix.h"
+
+namespace sfpm {
+namespace qsr {
+
+/// \brief The qualitative topological relations of the 9-intersection model
+/// used by the paper (Egenhofer & Franzosa): contains, within, touches,
+/// crosses, covers, coveredBy, overlaps, equals, disjoint.
+///
+/// The contains/covers (and within/coveredBy) split follows Egenhofer's
+/// region semantics: *contains* means the contained geometry does not touch
+/// the container's boundary; *covers* means it does. `kIntersects` is a
+/// catch-all for the rare mixed-dimension configurations (e.g. a line with
+/// one endpoint inside an area and the rest of it on the boundary) that
+/// match none of the nine named relations.
+enum class TopologicalRelation {
+  kDisjoint,
+  kTouches,
+  kOverlaps,
+  kEquals,
+  kContains,
+  kWithin,
+  kCovers,
+  kCoveredBy,
+  kCrosses,
+  kIntersects,
+};
+
+/// Stable lower-camel name ("coveredBy", "disjoint", ...), matching the
+/// predicate spelling used in the paper's rules.
+const char* TopologicalRelationName(TopologicalRelation rel);
+
+/// The relation of B to A given the relation of A to B.
+TopologicalRelation Converse(TopologicalRelation rel);
+
+/// \brief Maps a DE-9IM matrix (plus operand dimensions) to the canonical
+/// qualitative relation. Exactly one relation is returned per matrix.
+TopologicalRelation ClassifyMatrix(const relate::IntersectionMatrix& m,
+                                   int dim_a, int dim_b);
+
+/// Computes Relate(a, b) and classifies it.
+TopologicalRelation ClassifyTopological(const geom::Geometry& a,
+                                        const geom::Geometry& b);
+
+}  // namespace qsr
+}  // namespace sfpm
+
+#endif  // SFPM_QSR_TOPOLOGICAL_H_

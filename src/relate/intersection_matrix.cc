@@ -1,0 +1,124 @@
+#include "relate/intersection_matrix.h"
+
+#include <cassert>
+
+namespace sfpm {
+namespace relate {
+
+namespace {
+
+int CellFromChar(char c) {
+  switch (c) {
+    case 'F':
+    case 'f':
+      return kDimFalse;
+    case '0':
+      return 0;
+    case '1':
+      return 1;
+    case '2':
+      return 2;
+  }
+  assert(false && "invalid DE-9IM cell character");
+  return kDimFalse;
+}
+
+bool CellMatches(int dim, char pattern) {
+  switch (pattern) {
+    case '*':
+      return true;
+    case 'T':
+    case 't':
+      return dim >= 0;
+    case 'F':
+    case 'f':
+      return dim == kDimFalse;
+    case '0':
+      return dim == 0;
+    case '1':
+      return dim == 1;
+    case '2':
+      return dim == 2;
+  }
+  assert(false && "invalid DE-9IM pattern character");
+  return false;
+}
+
+}  // namespace
+
+IntersectionMatrix IntersectionMatrix::FromString(std::string_view pattern) {
+  assert(pattern.size() == 9);
+  IntersectionMatrix m;
+  for (size_t i = 0; i < 9; ++i) {
+    m.cells_[i] = CellFromChar(pattern[i]);
+  }
+  return m;
+}
+
+bool IntersectionMatrix::Matches(std::string_view pattern) const {
+  assert(pattern.size() == 9);
+  for (size_t i = 0; i < 9; ++i) {
+    if (!CellMatches(cells_[i], pattern[i])) return false;
+  }
+  return true;
+}
+
+IntersectionMatrix IntersectionMatrix::Transposed() const {
+  IntersectionMatrix t;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      t.cells_[c * 3 + r] = cells_[r * 3 + c];
+    }
+  }
+  return t;
+}
+
+std::string IntersectionMatrix::ToString() const {
+  std::string out(9, 'F');
+  for (size_t i = 0; i < 9; ++i) {
+    if (cells_[i] >= 0) out[i] = static_cast<char>('0' + cells_[i]);
+  }
+  return out;
+}
+
+bool IntersectionMatrix::Disjoint() const { return Matches("FF*FF****"); }
+
+bool IntersectionMatrix::Equals(int dim_a, int dim_b) const {
+  return dim_a == dim_b && Matches("T*F**FFF*");
+}
+
+bool IntersectionMatrix::Within() const { return Matches("T*F**F***"); }
+
+bool IntersectionMatrix::Contains() const { return Matches("T*****FF*"); }
+
+bool IntersectionMatrix::Covers() const {
+  return Matches("T*****FF*") || Matches("*T****FF*") ||
+         Matches("***T**FF*") || Matches("****T*FF*");
+}
+
+bool IntersectionMatrix::CoveredBy() const {
+  return Matches("T*F**F***") || Matches("*TF**F***") ||
+         Matches("**FT*F***") || Matches("**F*TF***");
+}
+
+bool IntersectionMatrix::Touches(int dim_a, int dim_b) const {
+  // Touching is defined only when not both operands are points.
+  if (dim_a == 0 && dim_b == 0) return false;
+  return Matches("FT*******") || Matches("F**T*****") || Matches("F***T****");
+}
+
+bool IntersectionMatrix::Crosses(int dim_a, int dim_b) const {
+  if (dim_a < dim_b) return Matches("T*T******");
+  if (dim_a > dim_b) return Matches("T*****T**");
+  if (dim_a == 1 && dim_b == 1) return Matches("0********");
+  return false;
+}
+
+bool IntersectionMatrix::Overlaps(int dim_a, int dim_b) const {
+  if (dim_a != dim_b) return false;
+  if (dim_a == 1) return Matches("1*T***T**");
+  return Matches("T*T***T**");  // Points and areas.
+}
+
+}  // namespace relate
+}  // namespace sfpm

@@ -1,0 +1,83 @@
+#ifndef SFPM_RELATE_INTERSECTION_MATRIX_H_
+#define SFPM_RELATE_INTERSECTION_MATRIX_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+
+namespace sfpm {
+namespace relate {
+
+/// \brief Dimension value of one DE-9IM cell: F (empty), 0, 1 or 2.
+///
+/// Stored as an int with F == -1 so `std::max` accumulates evidence
+/// naturally as the relate engine discovers intersections.
+constexpr int kDimFalse = -1;
+
+/// \brief The dimensionally-extended 9-intersection matrix of Egenhofer &
+/// Franzosa / Clementini: for two geometries A and B, the dimension of the
+/// intersection of each pair drawn from {interior, boundary, exterior}.
+///
+/// Rows index A's interior/boundary/exterior; columns index B's.
+class IntersectionMatrix {
+ public:
+  enum Part { kInterior = 0, kBoundary = 1, kExterior = 2 };
+
+  /// All cells start at F.
+  IntersectionMatrix() { cells_.fill(kDimFalse); }
+
+  /// Parses a 9-character pattern like "212101212" ('F' for empty cells).
+  /// Asserts on malformed input; intended for literals.
+  static IntersectionMatrix FromString(std::string_view pattern);
+
+  int at(Part row, Part col) const { return cells_[row * 3 + col]; }
+
+  void set(Part row, Part col, int dim) { cells_[row * 3 + col] = dim; }
+
+  /// Raises the cell to `dim` when `dim` exceeds the current value.
+  void UpgradeTo(Part row, Part col, int dim) {
+    const size_t i = row * 3 + col;
+    if (dim > cells_[i]) cells_[i] = dim;
+  }
+
+  /// \brief Matches against a DE-9IM pattern string.
+  ///
+  /// Pattern characters: 'T' (any non-empty, dim >= 0), 'F' (empty),
+  /// '*' (anything), '0' / '1' / '2' (exact dimension).
+  bool Matches(std::string_view pattern) const;
+
+  /// Transposed matrix: the matrix of (B, A) given this is of (A, B).
+  IntersectionMatrix Transposed() const;
+
+  /// Canonical 9-character form, e.g. "212101212" or "FF2FF1212".
+  std::string ToString() const;
+
+  bool operator==(const IntersectionMatrix& o) const {
+    return cells_ == o.cells_;
+  }
+
+  /// \name Named spatial predicates (OGC semantics).
+  ///
+  /// `dim_a` / `dim_b` are the topological dimensions of the two operand
+  /// geometries; crosses/touches/overlaps are dimension-sensitive.
+  /// @{
+  bool Disjoint() const;
+  bool Intersects() const { return !Disjoint(); }
+  bool Equals(int dim_a, int dim_b) const;
+  bool Within() const;
+  bool Contains() const;
+  bool Covers() const;
+  bool CoveredBy() const;
+  bool Touches(int dim_a, int dim_b) const;
+  bool Crosses(int dim_a, int dim_b) const;
+  bool Overlaps(int dim_a, int dim_b) const;
+  /// @}
+
+ private:
+  std::array<int, 9> cells_;
+};
+
+}  // namespace relate
+}  // namespace sfpm
+
+#endif  // SFPM_RELATE_INTERSECTION_MATRIX_H_

@@ -1,0 +1,138 @@
+#include "relate/prepared.h"
+
+#include "relate/relate.h"
+#include "relate/relate_internal.h"
+
+namespace sfpm {
+namespace relate {
+
+using geom::Envelope;
+using geom::Geometry;
+using geom::GeometryType;
+using geom::Location;
+using geom::Point;
+
+PreparedGeometry::PreparedGeometry(Geometry g) : geometry_(std::move(g)) {
+  dim_ = geometry_.Dimension();
+  envelope_ = geometry_.GetEnvelope();
+  segments_ = geom::BoundarySegments(geometry_);
+  vertices_ = geom::AllVertices(geometry_);
+  interior_points_ = internal::InteriorPointsOf(geometry_);
+
+  std::vector<std::pair<Envelope, uint64_t>> entries;
+  entries.reserve(segments_.size());
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    entries.emplace_back(Envelope(segments_[i].first, segments_[i].second),
+                         i);
+  }
+  segment_index_.BulkLoad(std::move(entries));
+
+  // Even-odd parity over the cached ring segments reproduces
+  // LocateInPolygon for valid (multi)polygons; curves and points keep the
+  // exact generic path (their boundary needs endpoint-degree bookkeeping).
+  fast_locate_ = dim_ == 2;
+}
+
+Location PreparedGeometry::Locate(const Point& p) const {
+  if (!fast_locate_) return geom::Locate(p, geometry_);
+  if (!envelope_.Contains(p)) return Location::kExterior;
+
+  // Boundary test over segments whose envelope contains the point.
+  std::vector<uint64_t> candidates;
+  segment_index_.Query(Envelope(p), &candidates);
+  for (uint64_t i : candidates) {
+    if (geom::PointOnSegment(p, segments_[i].first, segments_[i].second)) {
+      return Location::kBoundary;
+    }
+  }
+
+  // Crossing-number test along the rightward ray, restricted to segments
+  // whose envelope meets the ray strip.
+  candidates.clear();
+  segment_index_.Query(Envelope(p.x, p.y, envelope_.max_x() + 1.0, p.y),
+                       &candidates);
+  bool inside = false;
+  for (uint64_t i : candidates) {
+    const Point& a = segments_[i].first;
+    const Point& b = segments_[i].second;
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_at_y = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (x_at_y > p.x) inside = !inside;
+    }
+  }
+  return inside ? Location::kInterior : Location::kExterior;
+}
+
+IntersectionMatrix PreparedGeometry::Relate(const Geometry& other) const {
+  if (geometry_.IsEmpty() || other.IsEmpty()) {
+    return relate::Relate(geometry_, other);
+  }
+
+  const auto segs_b = geom::BoundarySegments(other);
+  const auto verts_b = geom::AllVertices(other);
+  const auto probes_b = internal::InteriorPointsOf(other);
+
+  // Candidate segment pairs from the prepared index.
+  std::vector<std::pair<size_t, size_t>> candidate_pairs;
+  std::vector<uint64_t> hits;
+  for (size_t j = 0; j < segs_b.size(); ++j) {
+    hits.clear();
+    segment_index_.Query(Envelope(segs_b[j].first, segs_b[j].second), &hits);
+    for (uint64_t ia : hits) {
+      candidate_pairs.emplace_back(static_cast<size_t>(ia), j);
+    }
+  }
+
+  internal::RelateSide side_a;
+  side_a.geometry = &geometry_;
+  side_a.dim = dim_;
+  side_a.envelope = envelope_;
+  side_a.segments = &segments_;
+  side_a.vertices = &vertices_;
+  side_a.interior_points = &interior_points_;
+  side_a.locate = [this](const Point& p) { return Locate(p); };
+
+  internal::RelateSide side_b;
+  side_b.geometry = &other;
+  side_b.dim = other.Dimension();
+  side_b.envelope = other.GetEnvelope();
+  side_b.segments = &segs_b;
+  side_b.vertices = &verts_b;
+  side_b.interior_points = &probes_b;
+  side_b.locate = [&other](const Point& p) { return geom::Locate(p, other); };
+
+  return internal::RelateSides(side_a, side_b, &candidate_pairs);
+}
+
+bool PreparedGeometry::Intersects(const Geometry& other) const {
+  // Envelope short-circuit: disjoint envelopes cannot intersect.
+  if (!envelope_.Intersects(other.GetEnvelope())) return false;
+  return Relate(other).Intersects();
+}
+
+bool PreparedGeometry::Disjoint(const Geometry& other) const {
+  return !Intersects(other);
+}
+
+bool PreparedGeometry::Contains(const Geometry& other) const {
+  if (!envelope_.Contains(other.GetEnvelope())) return false;
+  return Relate(other).Contains();
+}
+
+bool PreparedGeometry::Covers(const Geometry& other) const {
+  if (!envelope_.Contains(other.GetEnvelope())) return false;
+  return Relate(other).Covers();
+}
+
+bool PreparedGeometry::Within(const Geometry& other) const {
+  if (!other.GetEnvelope().Contains(envelope_)) return false;
+  return Relate(other).Within();
+}
+
+bool PreparedGeometry::Touches(const Geometry& other) const {
+  if (!envelope_.Intersects(other.GetEnvelope())) return false;
+  return Relate(other).Touches(dim_, other.Dimension());
+}
+
+}  // namespace relate
+}  // namespace sfpm

@@ -1,0 +1,68 @@
+#ifndef SFPM_RELATE_PREPARED_H_
+#define SFPM_RELATE_PREPARED_H_
+
+#include <vector>
+
+#include "geom/algorithms.h"
+#include "geom/geometry.h"
+#include "index/rtree.h"
+#include "relate/intersection_matrix.h"
+
+namespace sfpm {
+namespace relate {
+
+/// \brief A geometry preprocessed for repeated relate calls — the JTS
+/// "prepared geometry" idea, used by the predicate extractor's hot loop
+/// where one reference district is related against many candidates.
+///
+/// Caches the linework, vertices and interior probe points, and builds an
+/// R-tree over the segments. Repeated `Relate` calls then (a) skip the
+/// per-call derivation of those quantities and (b) restrict segment
+/// intersection tests to index-reported candidate pairs, turning the
+/// quadratic segment pairing into an output-sensitive one. Point location
+/// against large polygons is also index-accelerated.
+class PreparedGeometry {
+ public:
+  explicit PreparedGeometry(geom::Geometry g);
+
+  PreparedGeometry(const PreparedGeometry&) = delete;
+  PreparedGeometry& operator=(const PreparedGeometry&) = delete;
+  PreparedGeometry(PreparedGeometry&&) = default;
+  PreparedGeometry& operator=(PreparedGeometry&&) = default;
+
+  const geom::Geometry& geometry() const { return geometry_; }
+
+  /// DE-9IM matrix of (this, other); identical to
+  /// relate::Relate(geometry(), other).
+  IntersectionMatrix Relate(const geom::Geometry& other) const;
+
+  /// Index-accelerated point location, equal to geom::Locate(p, geometry()).
+  geom::Location Locate(const geom::Point& p) const;
+
+  /// \name Predicate conveniences over Relate().
+  /// @{
+  bool Intersects(const geom::Geometry& other) const;
+  bool Disjoint(const geom::Geometry& other) const;
+  bool Contains(const geom::Geometry& other) const;
+  bool Covers(const geom::Geometry& other) const;
+  bool Within(const geom::Geometry& other) const;
+  bool Touches(const geom::Geometry& other) const;
+  /// @}
+
+ private:
+  geom::Geometry geometry_;
+  int dim_ = 0;
+  geom::Envelope envelope_;
+  std::vector<std::pair<geom::Point, geom::Point>> segments_;
+  std::vector<geom::Point> vertices_;
+  std::vector<geom::Point> interior_points_;
+  index::RTree segment_index_;
+  /// True when the geometry is a single polygon/line type whose Locate can
+  /// use the generic crossing count over indexed segments.
+  bool fast_locate_ = false;
+};
+
+}  // namespace relate
+}  // namespace sfpm
+
+#endif  // SFPM_RELATE_PREPARED_H_

@@ -1,0 +1,366 @@
+#include "relate/relate.h"
+
+#include <map>
+#include <vector>
+
+#include "geom/algorithms.h"
+#include "relate/relate_internal.h"
+
+namespace sfpm {
+namespace relate {
+
+using geom::Decompose;
+using geom::Geometry;
+using geom::GeometryType;
+using geom::LineString;
+using geom::Location;
+using geom::Point;
+using geom::Polygon;
+
+namespace internal {
+
+namespace {
+
+IntersectionMatrix::Part PartOf(Location loc) {
+  switch (loc) {
+    case Location::kInterior:
+      return IntersectionMatrix::kInterior;
+    case Location::kBoundary:
+      return IntersectionMatrix::kBoundary;
+    case Location::kExterior:
+      return IntersectionMatrix::kExterior;
+  }
+  return IntersectionMatrix::kExterior;
+}
+
+/// Per-segment cutter lists derived from the candidate pair set (or the
+/// full cross product when no candidate set is supplied).
+struct CutterLists {
+  // cutters_for_a[i] = indices of B segments possibly meeting A segment i.
+  std::vector<std::vector<size_t>> for_a;
+  std::vector<std::vector<size_t>> for_b;
+};
+
+CutterLists BuildCutterLists(
+    size_t num_a, size_t num_b,
+    const std::vector<std::pair<size_t, size_t>>* candidate_pairs) {
+  CutterLists lists;
+  lists.for_a.resize(num_a);
+  lists.for_b.resize(num_b);
+  if (candidate_pairs != nullptr) {
+    for (const auto& [ia, ib] : *candidate_pairs) {
+      lists.for_a[ia].push_back(ib);
+      lists.for_b[ib].push_back(ia);
+    }
+  } else {
+    std::vector<size_t> all_b(num_b);
+    for (size_t i = 0; i < num_b; ++i) all_b[i] = i;
+    std::vector<size_t> all_a(num_a);
+    for (size_t i = 0; i < num_a; ++i) all_a[i] = i;
+    for (auto& v : lists.for_a) v = all_b;
+    for (auto& v : lists.for_b) v = all_a;
+  }
+  return lists;
+}
+
+/// Classifies the linework of one side against the other geometry,
+/// recording dimension-1 evidence. `row` is the DE-9IM part the linework
+/// belongs to (boundary for areas, interior for curves); with `transpose`
+/// the evidence lands with rows and columns swapped so one function serves
+/// both passes.
+void ClassifyLinework(const RelateSide& subject, const RelateSide& other,
+                      const std::vector<std::vector<size_t>>& cutters_for,
+                      IntersectionMatrix::Part row, bool transpose,
+                      IntersectionMatrix* mat) {
+  const auto& segs = *subject.segments;
+  const auto& other_segs = *other.segments;
+  std::vector<std::pair<Point, Point>> cutters;
+  for (size_t i = 0; i < segs.size(); ++i) {
+    const auto& [s, t] = segs[i];
+    if (s == t) continue;  // Degenerate segment carries no 1-dim evidence.
+    // Envelope short-circuit: a segment that cannot reach the other
+    // geometry's envelope lies entirely in its exterior.
+    if (!other.envelope.Intersects(geom::Envelope(s, t))) {
+      if (transpose) {
+        mat->UpgradeTo(IntersectionMatrix::kExterior, row, 1);
+      } else {
+        mat->UpgradeTo(row, IntersectionMatrix::kExterior, 1);
+      }
+      continue;
+    }
+    cutters.clear();
+    for (size_t j : cutters_for[i]) cutters.push_back(other_segs[j]);
+
+    std::vector<Point> waypoints;
+    waypoints.push_back(s);
+    for (const Point& cut : geom::SplitPointsOnSegment(s, t, cutters)) {
+      waypoints.push_back(cut);
+    }
+    waypoints.push_back(t);
+    for (size_t w = 1; w < waypoints.size(); ++w) {
+      const Point mid((waypoints[w - 1].x + waypoints[w].x) / 2.0,
+                      (waypoints[w - 1].y + waypoints[w].y) / 2.0);
+      // A 1-dimensional piece minus finitely many points stays
+      // 1-dimensional, and a point set cannot contain a whole piece: the
+      // generic location relative to a 0-dim geometry is exterior.
+      const Location loc =
+          other.dim == 0 ? Location::kExterior : other.locate(mid);
+      const IntersectionMatrix::Part col = PartOf(loc);
+      if (transpose) {
+        mat->UpgradeTo(col, row, 1);
+      } else {
+        mat->UpgradeTo(row, col, 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Point> InteriorPointsOf(const Geometry& g) {
+  std::vector<Point> points;
+  if (g.Dimension() != 2) return points;
+  for (const Geometry& part : Decompose(g)) {
+    if (!part.IsEmpty()) {
+      points.push_back(geom::InteriorPoint(part.As<Polygon>()));
+    }
+  }
+  return points;
+}
+
+IntersectionMatrix RelateSides(
+    const RelateSide& a, const RelateSide& b,
+    const std::vector<std::pair<size_t, size_t>>* candidate_pairs) {
+  IntersectionMatrix mat;
+  mat.set(IntersectionMatrix::kExterior, IntersectionMatrix::kExterior, 2);
+
+  const IntersectionMatrix::Part linework_a =
+      a.dim == 2 ? IntersectionMatrix::kBoundary : IntersectionMatrix::kInterior;
+  const IntersectionMatrix::Part linework_b =
+      b.dim == 2 ? IntersectionMatrix::kBoundary : IntersectionMatrix::kInterior;
+
+  const CutterLists cutters =
+      BuildCutterLists(a.segments->size(), b.segments->size(),
+                       candidate_pairs);
+
+  // Passes 1 & 2: 1-dimensional evidence from split linework.
+  ClassifyLinework(a, b, cutters.for_a, linework_a, /*transpose=*/false,
+                   &mat);
+  ClassifyLinework(b, a, cutters.for_b, linework_b, /*transpose=*/true,
+                   &mat);
+
+  // Pass 3: 0-dimensional evidence from event points — every vertex of
+  // both geometries plus every pairwise segment intersection point.
+  std::vector<Point> events = *a.vertices;
+  events.insert(events.end(), b.vertices->begin(), b.vertices->end());
+  for (size_t ia = 0; ia < a.segments->size(); ++ia) {
+    const auto& [a1, a2] = (*a.segments)[ia];
+    for (size_t ib : cutters.for_a[ia]) {
+      const auto& [b1, b2] = (*b.segments)[ib];
+      const geom::SegmentIntersection isect =
+          geom::IntersectSegments(a1, a2, b1, b2);
+      switch (isect.kind) {
+        case geom::SegmentIntersection::Kind::kNone:
+          break;
+        case geom::SegmentIntersection::Kind::kPoint:
+          events.push_back(isect.p);
+          break;
+        case geom::SegmentIntersection::Kind::kOverlap:
+          events.push_back(isect.p);
+          events.push_back(isect.q);
+          break;
+      }
+    }
+  }
+  for (const Point& v : events) {
+    const Location loc_a =
+        a.envelope.Contains(v) ? a.locate(v) : Location::kExterior;
+    const Location loc_b =
+        b.envelope.Contains(v) ? b.locate(v) : Location::kExterior;
+    mat.UpgradeTo(PartOf(loc_a), PartOf(loc_b), 0);
+  }
+
+  // Pass 4: area inference. An interior of positive area minus a
+  // lower-dimensional set keeps dimension 2.
+  if (a.dim == 2 && b.dim <= 1) {
+    mat.UpgradeTo(IntersectionMatrix::kInterior, IntersectionMatrix::kExterior,
+                  2);
+  }
+  if (b.dim == 2 && a.dim <= 1) {
+    mat.UpgradeTo(IntersectionMatrix::kExterior, IntersectionMatrix::kInterior,
+                  2);
+  }
+
+  if (a.dim == 2 && b.dim == 2) {
+    // Boundary-derived flags. A boundary point of a valid polygon is a
+    // limit of both its interior and exterior, so boundary evidence inside
+    // the other polygon's interior implies area-area overlap on both sides.
+    const bool a_bnd_in_b_int =
+        mat.at(IntersectionMatrix::kBoundary, IntersectionMatrix::kInterior) >=
+        0;
+    const bool b_bnd_in_a_int =
+        mat.at(IntersectionMatrix::kInterior, IntersectionMatrix::kBoundary) >=
+        0;
+    const bool a_bnd_in_b_ext =
+        mat.at(IntersectionMatrix::kBoundary, IntersectionMatrix::kExterior) >=
+        0;
+    const bool b_bnd_in_a_ext =
+        mat.at(IntersectionMatrix::kExterior, IntersectionMatrix::kBoundary) >=
+        0;
+
+    // Interior-point probes, one per polygon part of each operand.
+    bool ip_a_int = false, ip_a_bnd = false, ip_a_ext = false;
+    bool ip_b_int = false, ip_b_bnd = false, ip_b_ext = false;
+    for (const Point& probe : *a.interior_points) {
+      const Location loc = b.locate(probe);
+      ip_a_int |= loc == Location::kInterior;
+      ip_a_bnd |= loc == Location::kBoundary;
+      ip_a_ext |= loc == Location::kExterior;
+    }
+    for (const Point& probe : *b.interior_points) {
+      const Location loc = a.locate(probe);
+      ip_b_int |= loc == Location::kInterior;
+      ip_b_bnd |= loc == Location::kBoundary;
+      ip_b_ext |= loc == Location::kExterior;
+    }
+
+    if (a_bnd_in_b_int || b_bnd_in_a_int || ip_a_int || ip_b_int || ip_a_bnd ||
+        ip_b_bnd) {
+      mat.UpgradeTo(IntersectionMatrix::kInterior,
+                    IntersectionMatrix::kInterior, 2);
+    }
+    if (a_bnd_in_b_ext || b_bnd_in_a_int || ip_a_ext || ip_a_bnd) {
+      mat.UpgradeTo(IntersectionMatrix::kInterior,
+                    IntersectionMatrix::kExterior, 2);
+    }
+    if (b_bnd_in_a_ext || a_bnd_in_b_int || ip_b_ext || ip_b_bnd) {
+      mat.UpgradeTo(IntersectionMatrix::kExterior,
+                    IntersectionMatrix::kInterior, 2);
+    }
+  }
+
+  return mat;
+}
+
+}  // namespace internal
+
+int BoundaryDimension(const Geometry& g) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+    case GeometryType::kMultiPoint:
+      return kDimFalse;
+    case GeometryType::kLineString:
+      return g.As<LineString>().IsClosed() ? kDimFalse : 0;
+    case GeometryType::kMultiLineString: {
+      // Mod-2 rule: the boundary is the set of points that are endpoints of
+      // an odd number of member curves.
+      std::map<std::pair<double, double>, int> endpoint_count;
+      for (const LineString& l : g.As<geom::MultiLineString>().lines()) {
+        if (l.IsEmpty() || l.IsClosed()) continue;
+        ++endpoint_count[{l.points().front().x, l.points().front().y}];
+        ++endpoint_count[{l.points().back().x, l.points().back().y}];
+      }
+      for (const auto& [pt, count] : endpoint_count) {
+        if (count % 2 == 1) return 0;
+      }
+      return kDimFalse;
+    }
+    case GeometryType::kPolygon:
+    case GeometryType::kMultiPolygon:
+      return 1;
+  }
+  return kDimFalse;
+}
+
+IntersectionMatrix Relate(const Geometry& a, const Geometry& b) {
+  IntersectionMatrix mat;
+  mat.set(IntersectionMatrix::kExterior, IntersectionMatrix::kExterior, 2);
+
+  const bool a_empty = a.IsEmpty();
+  const bool b_empty = b.IsEmpty();
+  if (a_empty && b_empty) return mat;
+  if (a_empty) {
+    mat.set(IntersectionMatrix::kExterior, IntersectionMatrix::kInterior,
+            b.Dimension());
+    mat.set(IntersectionMatrix::kExterior, IntersectionMatrix::kBoundary,
+            BoundaryDimension(b));
+    return mat;
+  }
+  if (b_empty) {
+    mat.set(IntersectionMatrix::kInterior, IntersectionMatrix::kExterior,
+            a.Dimension());
+    mat.set(IntersectionMatrix::kBoundary, IntersectionMatrix::kExterior,
+            BoundaryDimension(a));
+    return mat;
+  }
+
+  const auto segs_a = geom::BoundarySegments(a);
+  const auto segs_b = geom::BoundarySegments(b);
+  const auto verts_a = geom::AllVertices(a);
+  const auto verts_b = geom::AllVertices(b);
+  const auto probes_a = internal::InteriorPointsOf(a);
+  const auto probes_b = internal::InteriorPointsOf(b);
+
+  internal::RelateSide side_a;
+  side_a.geometry = &a;
+  side_a.dim = a.Dimension();
+  side_a.envelope = a.GetEnvelope();
+  side_a.segments = &segs_a;
+  side_a.vertices = &verts_a;
+  side_a.interior_points = &probes_a;
+  side_a.locate = [&a](const Point& p) { return geom::Locate(p, a); };
+
+  internal::RelateSide side_b;
+  side_b.geometry = &b;
+  side_b.dim = b.Dimension();
+  side_b.envelope = b.GetEnvelope();
+  side_b.segments = &segs_b;
+  side_b.vertices = &verts_b;
+  side_b.interior_points = &probes_b;
+  side_b.locate = [&b](const Point& p) { return geom::Locate(p, b); };
+
+  return internal::RelateSides(side_a, side_b, nullptr);
+}
+
+bool Intersects(const Geometry& a, const Geometry& b) {
+  return Relate(a, b).Intersects();
+}
+
+bool Disjoint(const Geometry& a, const Geometry& b) {
+  return Relate(a, b).Disjoint();
+}
+
+bool Equals(const Geometry& a, const Geometry& b) {
+  return Relate(a, b).Equals(a.Dimension(), b.Dimension());
+}
+
+bool Within(const Geometry& a, const Geometry& b) {
+  return Relate(a, b).Within();
+}
+
+bool Contains(const Geometry& a, const Geometry& b) {
+  return Relate(a, b).Contains();
+}
+
+bool Covers(const Geometry& a, const Geometry& b) {
+  return Relate(a, b).Covers();
+}
+
+bool CoveredBy(const Geometry& a, const Geometry& b) {
+  return Relate(a, b).CoveredBy();
+}
+
+bool Touches(const Geometry& a, const Geometry& b) {
+  return Relate(a, b).Touches(a.Dimension(), b.Dimension());
+}
+
+bool Crosses(const Geometry& a, const Geometry& b) {
+  return Relate(a, b).Crosses(a.Dimension(), b.Dimension());
+}
+
+bool Overlaps(const Geometry& a, const Geometry& b) {
+  return Relate(a, b).Overlaps(a.Dimension(), b.Dimension());
+}
+
+}  // namespace relate
+}  // namespace sfpm

@@ -1,0 +1,47 @@
+#ifndef SFPM_RELATE_RELATE_H_
+#define SFPM_RELATE_RELATE_H_
+
+#include "geom/geometry.h"
+#include "relate/intersection_matrix.h"
+
+namespace sfpm {
+namespace relate {
+
+/// \brief Computes the DE-9IM intersection matrix of two geometries.
+///
+/// The engine is exact for valid, non-degenerate piecewise-linear input:
+/// every segment of one geometry is split at each point where it meets the
+/// other geometry's linework, after which each open sub-segment lies
+/// entirely in one of the other geometry's interior/boundary/exterior and a
+/// midpoint probe classifies it. Isolated (dimension-0) intersections come
+/// from classifying the union of both vertex sets and all pairwise segment
+/// intersection points; the three area cells of polygon/polygon pairs are
+/// inferred from boundary evidence plus interior-point probes.
+///
+/// Assumptions (checked only loosely): rings are closed and simple,
+/// multipolygon parts have disjoint interiors, multilinestrings are
+/// non-self-overlapping. GEOMETRYCOLLECTION is not supported.
+IntersectionMatrix Relate(const geom::Geometry& a, const geom::Geometry& b);
+
+/// Dimension of the boundary of `g`: 1 for areas, 0 for open curves,
+/// kDimFalse for points and closed curves (mod-2 rule for multicurves).
+int BoundaryDimension(const geom::Geometry& g);
+
+/// \name Named predicate conveniences over Relate().
+/// @{
+bool Intersects(const geom::Geometry& a, const geom::Geometry& b);
+bool Disjoint(const geom::Geometry& a, const geom::Geometry& b);
+bool Equals(const geom::Geometry& a, const geom::Geometry& b);
+bool Within(const geom::Geometry& a, const geom::Geometry& b);
+bool Contains(const geom::Geometry& a, const geom::Geometry& b);
+bool Covers(const geom::Geometry& a, const geom::Geometry& b);
+bool CoveredBy(const geom::Geometry& a, const geom::Geometry& b);
+bool Touches(const geom::Geometry& a, const geom::Geometry& b);
+bool Crosses(const geom::Geometry& a, const geom::Geometry& b);
+bool Overlaps(const geom::Geometry& a, const geom::Geometry& b);
+/// @}
+
+}  // namespace relate
+}  // namespace sfpm
+
+#endif  // SFPM_RELATE_RELATE_H_

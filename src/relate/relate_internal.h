@@ -1,0 +1,46 @@
+#ifndef SFPM_RELATE_RELATE_INTERNAL_H_
+#define SFPM_RELATE_RELATE_INTERNAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "geom/algorithms.h"
+#include "geom/geometry.h"
+#include "relate/intersection_matrix.h"
+
+namespace sfpm {
+namespace relate {
+namespace internal {
+
+/// \brief One operand of the relate engine, with every derived quantity
+/// the engine consumes. PreparedGeometry caches these across calls; the
+/// plain Relate() entry point computes them per call.
+struct RelateSide {
+  const geom::Geometry* geometry = nullptr;
+  int dim = 0;
+  geom::Envelope envelope;
+  const std::vector<std::pair<geom::Point, geom::Point>>* segments = nullptr;
+  const std::vector<geom::Point>* vertices = nullptr;
+  /// Interior probe points, one per polygon part; empty unless dim == 2.
+  const std::vector<geom::Point>* interior_points = nullptr;
+  /// Point-location against this operand (may be index-accelerated).
+  std::function<geom::Location(const geom::Point&)> locate;
+};
+
+/// \brief The relate engine over two prepared sides.
+///
+/// `candidate_pairs`, when non-null, lists the (a-segment, b-segment)
+/// index pairs whose envelopes may intersect; pairs not listed are assumed
+/// disjoint. Null means all-pairs.
+IntersectionMatrix RelateSides(
+    const RelateSide& a, const RelateSide& b,
+    const std::vector<std::pair<size_t, size_t>>* candidate_pairs);
+
+/// Computes the per-part interior probe points of an areal geometry.
+std::vector<geom::Point> InteriorPointsOf(const geom::Geometry& g);
+
+}  // namespace internal
+}  // namespace relate
+}  // namespace sfpm
+
+#endif  // SFPM_RELATE_RELATE_INTERNAL_H_

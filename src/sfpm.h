@@ -1,0 +1,57 @@
+#ifndef SFPM_SFPM_H_
+#define SFPM_SFPM_H_
+
+/// \file sfpm.h
+/// \brief Umbrella header of the sfpm library: spatial frequent pattern
+/// mining with qualitative spatial reasoning (Bogorny, Moelans & Alvares,
+/// ICDE 2007 — Apriori-KC+).
+///
+/// Typical pipeline:
+///   1. Load or generate feature layers            (feature::Layer)
+///   2. Extract qualitative predicates              (feature::PredicateExtractor)
+///   3. Declare background knowledge, if any        (feature::DependencyRegistry)
+///   4. Mine                                        (core::MineAprioriKCPlus)
+///   5. Derive rules                                (core::GenerateRules)
+
+#include "core/apriori.h"         // IWYU pragma: export
+#include "core/candidate_filter.h"// IWYU pragma: export
+#include "core/closed.h"          // IWYU pragma: export
+#include "core/fpgrowth.h"        // IWYU pragma: export
+#include "core/itemset.h"         // IWYU pragma: export
+#include "core/measures.h"        // IWYU pragma: export
+#include "core/rules.h"           // IWYU pragma: export
+#include "core/transaction_db.h"  // IWYU pragma: export
+#include "coloc/colocation.h"     // IWYU pragma: export
+#include "datagen/city.h"         // IWYU pragma: export
+#include "datagen/synthetic_predicates.h"  // IWYU pragma: export
+#include "datagen/transactional.h"         // IWYU pragma: export
+#include "feature/dependency.h"   // IWYU pragma: export
+#include "feature/extractor.h"    // IWYU pragma: export
+#include "feature/pipeline.h"     // IWYU pragma: export
+#include "feature/feature.h"      // IWYU pragma: export
+#include "feature/predicate.h"    // IWYU pragma: export
+#include "feature/predicate_table.h"  // IWYU pragma: export
+#include "feature/taxonomy.h"     // IWYU pragma: export
+#include "geom/algorithms.h"      // IWYU pragma: export
+#include "geom/geometry.h"        // IWYU pragma: export
+#include "geom/point.h"           // IWYU pragma: export
+#include "geom/transform.h"       // IWYU pragma: export
+#include "geom/validity.h"        // IWYU pragma: export
+#include "geom/wkt.h"             // IWYU pragma: export
+#include "index/grid.h"           // IWYU pragma: export
+#include "io/csv.h"               // IWYU pragma: export
+#include "io/geojson.h"           // IWYU pragma: export
+#include "io/layer_io.h"          // IWYU pragma: export
+#include "io/table_io.h"          // IWYU pragma: export
+#include "index/rtree.h"          // IWYU pragma: export
+#include "qsr/direction.h"        // IWYU pragma: export
+#include "qsr/distance.h"         // IWYU pragma: export
+#include "qsr/rcc8.h"             // IWYU pragma: export
+#include "qsr/topological.h"      // IWYU pragma: export
+#include "relate/prepared.h"      // IWYU pragma: export
+#include "relate/relate.h"        // IWYU pragma: export
+#include "stats/gain.h"           // IWYU pragma: export
+#include "stats/largest_itemset.h"// IWYU pragma: export
+#include "util/status.h"          // IWYU pragma: export
+
+#endif  // SFPM_SFPM_H_

@@ -1,0 +1,76 @@
+#include "stats/gain.h"
+
+#include <numeric>
+
+namespace sfpm {
+namespace stats {
+
+uint64_t Binomial(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  if (k > n - k) k = n - k;
+  uint64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    // Multiply before dividing; the running value is always integral
+    // because result holds C(n-k+i-1, i-1) * ... safe up to n <= 62.
+    result = result * static_cast<uint64_t>(n - k + i) /
+             static_cast<uint64_t>(i);
+  }
+  return result;
+}
+
+uint64_t ItemsetCountLowerBound(int m) {
+  if (m < 2) return 0;
+  return (uint64_t{1} << m) - 1 - static_cast<uint64_t>(m);
+}
+
+Result<uint64_t> MinimalGain(const std::vector<int>& t, int n) {
+  if (n < 0) return Status::InvalidArgument("n must be non-negative");
+  int m = n;
+  for (int tk : t) {
+    if (tk < 1) {
+      return Status::InvalidArgument("each t_k must be at least 1");
+    }
+    m += tk;
+  }
+  if (m > 62) {
+    return Status::InvalidArgument("m too large for exact 64-bit evaluation");
+  }
+  if (m < 2) return uint64_t{0};
+
+  // Generating function of the itemsets that keep at most one relation per
+  // feature type: prod_k (1 + t_k x) * (1 + x)^n.
+  std::vector<uint64_t> poly = {1};
+  auto multiply = [&poly](uint64_t linear_coeff) {
+    std::vector<uint64_t> next(poly.size() + 1, 0);
+    for (size_t i = 0; i < poly.size(); ++i) {
+      next[i] += poly[i];
+      next[i + 1] += poly[i] * linear_coeff;
+    }
+    poly = std::move(next);
+  };
+  for (int tk : t) multiply(static_cast<uint64_t>(tk));
+  for (int i = 0; i < n; ++i) multiply(1);
+
+  uint64_t kept = 0;  // Surviving itemsets of size >= 2.
+  for (size_t i = 2; i < poly.size(); ++i) kept += poly[i];
+  return ItemsetCountLowerBound(m) - kept;
+}
+
+Result<uint64_t> MinimalGainSingleType(int t1, int n) {
+  return MinimalGain({t1}, n);
+}
+
+std::vector<std::vector<uint64_t>> MinimalGainTable(int max_t1, int max_n) {
+  std::vector<std::vector<uint64_t>> table;
+  for (int n = 1; n <= max_n; ++n) {
+    std::vector<uint64_t> row;
+    for (int t1 = 1; t1 <= max_t1; ++t1) {
+      row.push_back(MinimalGainSingleType(t1, n).value());
+    }
+    table.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace stats
+}  // namespace sfpm

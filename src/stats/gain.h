@@ -1,0 +1,47 @@
+#ifndef SFPM_STATS_GAIN_H_
+#define SFPM_STATS_GAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sfpm {
+namespace stats {
+
+/// Binomial coefficient C(n, k) in exact 64-bit arithmetic
+/// (valid for the n <= 62 range the analysis uses).
+uint64_t Binomial(int n, int k);
+
+/// \brief The paper's Section 4.1 lower bound on the number of frequent
+/// itemsets of size >= 2 implied by a largest frequent itemset of `m`
+/// elements: sum_{i=2..m} C(m, i) = 2^m - 1 - m.
+uint64_t ItemsetCountLowerBound(int m);
+
+/// \brief Formula 1: the minimal gain (number of frequent itemsets of size
+/// >= 2 that Apriori-KC+ eliminates relative to Apriori) implied by a
+/// largest frequent itemset containing `t[k]` qualitative relations of
+/// feature type k (each t[k] >= 2 to count as a multi-relation type) and
+/// `n` other items.
+///
+/// Evaluated exactly as: (subsets of size >= 2 of the m = sum t + n items)
+/// minus (such subsets using at most one relation per feature type) — the
+/// complement form of the paper's sum, computed with the generating
+/// function prod_k (1 + t_k x) * (1 + x)^n.
+///
+/// Returns InvalidArgument when any t[k] < 1, n < 0, or m exceeds 62
+/// (64-bit overflow guard).
+Result<uint64_t> MinimalGain(const std::vector<int>& t, int n);
+
+/// \brief The u = 1 special case tabulated in the paper's Table 3 and
+/// plotted in Figure 3.
+Result<uint64_t> MinimalGainSingleType(int t1, int n);
+
+/// \brief Regenerates Table 3: rows n = 1..max_n, columns t1 = 1..max_t1.
+/// Entry (n, t1) is MinimalGainSingleType(t1, n).
+std::vector<std::vector<uint64_t>> MinimalGainTable(int max_t1, int max_n);
+
+}  // namespace stats
+}  // namespace sfpm
+
+#endif  // SFPM_STATS_GAIN_H_

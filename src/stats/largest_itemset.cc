@@ -1,0 +1,74 @@
+#include "stats/largest_itemset.h"
+
+#include <algorithm>
+#include <map>
+
+#include "stats/gain.h"
+#include "util/strings.h"
+
+namespace sfpm {
+namespace stats {
+
+std::string GainParameters::ToString() const {
+  std::string ts;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) ts += ",";
+    ts += std::to_string(t[i]);
+  }
+  return StrFormat("m=%d u=%d t=[%s] n=%d", m, u, ts.c_str(), n);
+}
+
+GainParameters AnalyzeItemset(const core::Itemset& itemset,
+                              const core::TransactionDb& db) {
+  GainParameters params;
+  params.m = static_cast<int>(itemset.size());
+
+  std::map<std::string, int> group_sizes;
+  int ungrouped = 0;
+  for (core::ItemId item : itemset.items()) {
+    const std::string& key = db.Key(item);
+    if (key.empty()) {
+      ++ungrouped;
+    } else {
+      ++group_sizes[key];
+    }
+  }
+  params.n = ungrouped;
+  for (const auto& [key, size] : group_sizes) {
+    if (size >= 2) {
+      params.t.push_back(size);
+    } else {
+      ++params.n;  // Single-relation types behave like plain attributes.
+    }
+  }
+  std::sort(params.t.rbegin(), params.t.rend());
+  params.u = static_cast<int>(params.t.size());
+  return params;
+}
+
+Result<GainParameters> AnalyzeLargestItemset(const core::AprioriResult& result,
+                                             const core::TransactionDb& db) {
+  const size_t max_size = result.MaxItemsetSize();
+  if (max_size < 2) {
+    return Status::NotFound("no frequent itemset of size >= 2");
+  }
+
+  bool found = false;
+  GainParameters best;
+  uint64_t best_gain = 0;
+  for (const core::FrequentItemset& fi : result.itemsets()) {
+    if (fi.items.size() != max_size) continue;
+    GainParameters params = AnalyzeItemset(fi.items, db);
+    const Result<uint64_t> gain = MinimalGain(params.t, params.n);
+    const uint64_t g = gain.ok() ? gain.value() : 0;
+    if (!found || g > best_gain) {
+      best = std::move(params);
+      best_gain = g;
+      found = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace stats
+}  // namespace sfpm

@@ -1,0 +1,44 @@
+#ifndef SFPM_STATS_LARGEST_ITEMSET_H_
+#define SFPM_STATS_LARGEST_ITEMSET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/apriori.h"
+#include "core/transaction_db.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace stats {
+
+/// \brief The Formula 1 parameters extracted from one frequent itemset:
+/// m elements total, of which u feature types contribute more than one
+/// qualitative relation (t[k] relations each) and n items are "other"
+/// (attributes, or feature types appearing once).
+struct GainParameters {
+  int m = 0;
+  int u = 0;
+  std::vector<int> t;  ///< Sizes of the multi-relation groups, u entries.
+  int n = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Derives the Formula 1 parameters of `itemset` by grouping its
+/// items by their TransactionDb key (the feature type). Items with an
+/// empty key, and keys contributing a single item, count into `n`.
+GainParameters AnalyzeItemset(const core::Itemset& itemset,
+                              const core::TransactionDb& db);
+
+/// \brief Analyzes the largest frequent itemsets of an (unfiltered) mining
+/// run and returns the parameters that predict the greatest minimal gain —
+/// the paper's "one of the largest frequent itemsets" choice.
+///
+/// Returns NotFound when the result contains no itemset of size >= 2.
+Result<GainParameters> AnalyzeLargestItemset(const core::AprioriResult& result,
+                                             const core::TransactionDb& db);
+
+}  // namespace stats
+}  // namespace sfpm
+
+#endif  // SFPM_STATS_LARGEST_ITEMSET_H_

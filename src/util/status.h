@@ -1,0 +1,149 @@
+#ifndef SFPM_UTIL_STATUS_H_
+#define SFPM_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sfpm {
+
+/// \brief Error category for a failed operation.
+///
+/// Follows the RocksDB/Arrow idiom: operations that can fail return a
+/// `Status` (or a `Result<T>` when they also produce a value) instead of
+/// throwing. Exceptions are reserved for programmer errors.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kParseError,
+  kUnsupported,
+  kInternal,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Success-or-error result of an operation.
+///
+/// A default-constructed `Status` is OK. Failed statuses carry a code and a
+/// message. `Status` is cheap to copy (two words plus the message string).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \name Named constructors, one per error category.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief A value of type `T`, or the `Status` explaining why there is none.
+///
+/// Typical use:
+/// \code
+///   Result<Geometry> g = ReadWkt("POINT (1 2)");
+///   if (!g.ok()) return g.status();
+///   Use(g.value());
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status: failure. Aborts in debug if OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` when this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define SFPM_RETURN_NOT_OK(expr)        \
+  do {                                  \
+    ::sfpm::Status _st = (expr);        \
+    if (!_st.ok()) return _st;          \
+  } while (false)
+
+/// Assigns the value of a `Result` expression or propagates its status.
+#define SFPM_ASSIGN_OR_RETURN(lhs, rexpr) \
+  auto SFPM_CONCAT_(_res, __LINE__) = (rexpr);                          \
+  if (!SFPM_CONCAT_(_res, __LINE__).ok())                               \
+    return SFPM_CONCAT_(_res, __LINE__).status();                       \
+  lhs = std::move(SFPM_CONCAT_(_res, __LINE__)).value()
+
+#define SFPM_CONCAT_IMPL_(a, b) a##b
+#define SFPM_CONCAT_(a, b) SFPM_CONCAT_IMPL_(a, b)
+
+}  // namespace sfpm
+
+#endif  // SFPM_UTIL_STATUS_H_

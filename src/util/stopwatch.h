@@ -1,0 +1,35 @@
+#ifndef SFPM_UTIL_STOPWATCH_H_
+#define SFPM_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace sfpm {
+
+/// \brief Monotonic wall-clock timer used by the mining statistics and the
+/// benchmark harnesses.
+class Stopwatch {
+ public:
+  /// Starts (or restarts) the clock.
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sfpm
+
+#endif  // SFPM_UTIL_STOPWATCH_H_

@@ -1,0 +1,183 @@
+#include "coloc/colocation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace sfpm {
+namespace coloc {
+namespace {
+
+using feature::Layer;
+using geom::Point;
+
+/// Finds a pattern by member types (sorted).
+const ColocationPattern* Find(const std::vector<ColocationPattern>& patterns,
+                              std::vector<std::string> types) {
+  std::sort(types.begin(), types.end());
+  for (const ColocationPattern& p : patterns) {
+    if (p.types == types) return &p;
+  }
+  return nullptr;
+}
+
+TEST(ColocationTest, InvalidArguments) {
+  Layer a("a"), b("b");
+  a.Add(Point(0, 0));
+  b.Add(Point(0, 0));
+  ColocationOptions options;
+  EXPECT_FALSE(MineColocations({&a}, options).ok());
+  options.neighbor_distance = 0.0;
+  EXPECT_FALSE(MineColocations({&a, &b}, options).ok());
+  options.neighbor_distance = 1.0;
+  options.min_prevalence = 1.5;
+  EXPECT_FALSE(MineColocations({&a, &b}, options).ok());
+  options.min_prevalence = 0.5;
+  Layer a2("a");
+  a2.Add(Point(1, 1));
+  EXPECT_FALSE(MineColocations({&a, &a2}, options).ok());
+}
+
+TEST(ColocationTest, HandComputedParticipationIndex) {
+  // Type A: 4 points; type B: 2 points. Neighbour pairs (R = 1.5):
+  //   A0-(0,0) ~ B0-(1,0); A1-(0,10) ~ B1-(1,10); A2, A3 isolated.
+  // pr(A) = 2/4 = 0.5, pr(B) = 2/2 = 1.0 -> PI = 0.5, 2 row instances.
+  Layer a("a"), b("b");
+  a.Add(Point(0, 0));
+  a.Add(Point(0, 10));
+  a.Add(Point(50, 50));
+  a.Add(Point(60, 60));
+  b.Add(Point(1, 0));
+  b.Add(Point(1, 10));
+
+  ColocationOptions options;
+  options.neighbor_distance = 1.5;
+  options.min_prevalence = 0.4;
+  const auto patterns = MineColocations({&a, &b}, options);
+  ASSERT_TRUE(patterns.ok());
+  const ColocationPattern* ab = Find(patterns.value(), {"a", "b"});
+  ASSERT_NE(ab, nullptr);
+  EXPECT_DOUBLE_EQ(ab->participation_index, 0.5);
+  EXPECT_EQ(ab->num_row_instances, 2u);
+
+  // Raising the threshold above 0.5 prunes it.
+  options.min_prevalence = 0.6;
+  const auto strict = MineColocations({&a, &b}, options);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(Find(strict.value(), {"a", "b"}), nullptr);
+}
+
+TEST(ColocationTest, TripleRequiresClique) {
+  // A triangle of three types within R of each other forms {a, b, c};
+  // a fourth configuration where a-b and b-c are close but a-c is not
+  // must NOT produce a row instance.
+  Layer a("a"), b("b"), c("c");
+  // Clique site.
+  a.Add(Point(0, 0));
+  b.Add(Point(1, 0));
+  c.Add(Point(0.5, 0.8));
+  // Chain site (a-b close, b-c close, a-c far).
+  a.Add(Point(100, 0));
+  b.Add(Point(101, 0));
+  c.Add(Point(102, 0));
+
+  ColocationOptions options;
+  options.neighbor_distance = 1.3;
+  options.min_prevalence = 0.2;
+  const auto patterns = MineColocations({&a, &b, &c}, options);
+  ASSERT_TRUE(patterns.ok());
+
+  const ColocationPattern* abc = Find(patterns.value(), {"a", "b", "c"});
+  ASSERT_NE(abc, nullptr);
+  EXPECT_EQ(abc->num_row_instances, 1u);  // Only the clique site.
+  EXPECT_DOUBLE_EQ(abc->participation_index, 0.5);  // 1 of 2 per type.
+}
+
+TEST(ColocationTest, AntiMonotonePrevalence) {
+  Rng rng(77);
+  Layer a("a"), b("b"), c("c");
+  for (int i = 0; i < 40; ++i) {
+    const Point site(rng.NextDouble(0, 100), rng.NextDouble(0, 100));
+    a.Add(Point(site.x + rng.NextDouble(-1, 1),
+                site.y + rng.NextDouble(-1, 1)));
+    if (rng.NextBool(0.7)) {
+      b.Add(Point(site.x + rng.NextDouble(-1, 1),
+                  site.y + rng.NextDouble(-1, 1)));
+    }
+    if (rng.NextBool(0.5)) {
+      c.Add(Point(site.x + rng.NextDouble(-1, 1),
+                  site.y + rng.NextDouble(-1, 1)));
+    }
+  }
+  ColocationOptions options;
+  options.neighbor_distance = 3.0;
+  options.min_prevalence = 0.0;
+  const auto patterns = MineColocations({&a, &b, &c}, options);
+  ASSERT_TRUE(patterns.ok());
+
+  const ColocationPattern* abc = Find(patterns.value(), {"a", "b", "c"});
+  if (abc != nullptr) {
+    for (const auto& pair : {std::vector<std::string>{"a", "b"},
+                             std::vector<std::string>{"a", "c"},
+                             std::vector<std::string>{"b", "c"}}) {
+      const ColocationPattern* sub = Find(patterns.value(), pair);
+      ASSERT_NE(sub, nullptr);
+      EXPECT_GE(sub->participation_index, abc->participation_index);
+    }
+  }
+}
+
+TEST(ColocationTest, WorksOnPolygonsToo) {
+  // Unlike the original point-based formulation, the oracle uses geometry
+  // distance, so areal features participate naturally.
+  Layer districts("district"), slums("slum");
+  districts.Add(geom::Polygon(
+      geom::LinearRing({{0, 0}, {10, 0}, {10, 10}, {0, 10}})));
+  slums.Add(geom::Polygon(
+      geom::LinearRing({{11, 0}, {13, 0}, {13, 2}, {11, 2}})));  // 1 away.
+  ColocationOptions options;
+  options.neighbor_distance = 2.0;
+  options.min_prevalence = 0.9;
+  const auto patterns = MineColocations({&districts, &slums}, options);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_NE(Find(patterns.value(), {"district", "slum"}), nullptr);
+}
+
+TEST(ColocationTest, MaxPatternSizeCap) {
+  Layer a("a"), b("b"), c("c");
+  a.Add(Point(0, 0));
+  b.Add(Point(0.1, 0));
+  c.Add(Point(0, 0.1));
+  ColocationOptions options;
+  options.neighbor_distance = 1.0;
+  options.min_prevalence = 0.5;
+  options.max_pattern_size = 2;
+  const auto patterns = MineColocations({&a, &b, &c}, options);
+  ASSERT_TRUE(patterns.ok());
+  for (const ColocationPattern& p : patterns.value()) {
+    EXPECT_LE(p.types.size(), 2u);
+  }
+}
+
+TEST(ColocationTest, NoSelfPairsByConstruction) {
+  // The qualitative analogue of KC+'s point: co-location never relates a
+  // type to itself, so {slum, slum} cannot appear.
+  Layer a("a"), b("b");
+  for (int i = 0; i < 5; ++i) {
+    a.Add(Point(i * 0.1, 0));
+    b.Add(Point(i * 0.1, 0.05));
+  }
+  ColocationOptions options;
+  options.neighbor_distance = 1.0;
+  options.min_prevalence = 0.1;
+  const auto patterns = MineColocations({&a, &b}, options);
+  ASSERT_TRUE(patterns.ok());
+  for (const ColocationPattern& p : patterns.value()) {
+    std::set<std::string> unique(p.types.begin(), p.types.end());
+    EXPECT_EQ(unique.size(), p.types.size());
+  }
+}
+
+}  // namespace
+}  // namespace coloc
+}  // namespace sfpm

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/apriori.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace core {
+namespace {
+
+/// Exhaustive reference miner: enumerate all 2^n itemsets and count.
+std::map<Itemset, uint32_t> BruteForceFrequent(const TransactionDb& db,
+                                               double min_support) {
+  const size_t n = db.NumItems();
+  const uint32_t min_count = static_cast<uint32_t>(std::max<double>(
+      1.0, std::ceil(min_support * static_cast<double>(db.NumTransactions()) -
+                     1e-9)));
+  std::map<Itemset, uint32_t> out;
+  for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+    std::vector<ItemId> items;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) items.push_back(static_cast<ItemId>(i));
+    }
+    const Itemset set(std::move(items));
+    const uint32_t support = db.SupportOf(set);
+    if (support >= min_count) out.emplace(set, support);
+  }
+  return out;
+}
+
+TransactionDb RandomDb(uint64_t seed, size_t num_items, size_t num_tx,
+                       double density, size_t key_group = 0) {
+  Rng rng(seed);
+  TransactionDb db;
+  for (size_t i = 0; i < num_items; ++i) {
+    std::string key =
+        key_group > 0 ? "g" + std::to_string(i / key_group) : "";
+    db.AddItem("item" + std::to_string(i), key);
+  }
+  for (size_t t = 0; t < num_tx; ++t) {
+    const size_t row = db.AddTransaction();
+    for (size_t i = 0; i < num_items; ++i) {
+      if (rng.NextBool(density)) {
+        EXPECT_TRUE(db.SetItem(row, static_cast<ItemId>(i)).ok());
+      }
+    }
+  }
+  return db;
+}
+
+class AprioriVsBruteForceTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(AprioriVsBruteForceTest, IdenticalFrequentItemsets) {
+  const auto [seed, min_support] = GetParam();
+  const TransactionDb db = RandomDb(seed, 10, 60, 0.35);
+  const auto result = MineApriori(db, min_support);
+  ASSERT_TRUE(result.ok());
+
+  const auto expected = BruteForceFrequent(db, min_support);
+  EXPECT_EQ(result.value().itemsets().size(), expected.size());
+  for (const FrequentItemset& fi : result.value().itemsets()) {
+    const auto it = expected.find(fi.items);
+    ASSERT_NE(it, expected.end()) << fi.items.ToString() << " not expected";
+    EXPECT_EQ(fi.support, it->second) << fi.items.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AprioriVsBruteForceTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(0.1, 0.25, 0.5)));
+
+class KcPlusSemanticsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KcPlusSemanticsTest, EqualsAprioriMinusSameKeyItemsets) {
+  // KC+ must produce exactly the Apriori itemsets that contain no
+  // same-key pair — the paper's "eliminates the exact combinations" claim.
+  const TransactionDb db = RandomDb(GetParam(), 9, 50, 0.4, /*key_group=*/3);
+  const auto plain = MineApriori(db, 0.2);
+  const auto kcplus = MineAprioriKCPlus(db, 0.2);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(kcplus.ok());
+
+  auto has_same_key_pair = [&db](const Itemset& s) {
+    for (size_t i = 0; i < s.size(); ++i) {
+      for (size_t j = i + 1; j < s.size(); ++j) {
+        if (!db.Key(s[i]).empty() && db.Key(s[i]) == db.Key(s[j])) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  std::set<Itemset> expected;
+  for (const FrequentItemset& fi : plain.value().itemsets()) {
+    if (!has_same_key_pair(fi.items)) expected.insert(fi.items);
+  }
+  std::set<Itemset> got;
+  for (const FrequentItemset& fi : kcplus.value().itemsets()) {
+    got.insert(fi.items);
+    // Support values must be identical to the unfiltered run.
+    EXPECT_EQ(fi.support,
+              plain.value().SupportOf(fi.items).value_or(0xFFFFFFFF));
+  }
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KcPlusSemanticsTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+class KcSemanticsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KcSemanticsTest, EqualsAprioriMinusBlockedPairItemsets) {
+  const TransactionDb db = RandomDb(GetParam(), 8, 50, 0.4);
+  const std::vector<std::pair<ItemId, ItemId>> blocked = {{0, 1}, {2, 5}};
+  const PairBlocklistFilter phi(blocked);
+
+  const auto plain = MineApriori(db, 0.2);
+  const auto kc = MineAprioriKC(db, 0.2, phi);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(kc.ok());
+
+  auto contains_blocked = [&blocked](const Itemset& s) {
+    for (const auto& [a, b] : blocked) {
+      if (s.Contains(a) && s.Contains(b)) return true;
+    }
+    return false;
+  };
+
+  size_t expected_count = 0;
+  for (const FrequentItemset& fi : plain.value().itemsets()) {
+    if (!contains_blocked(fi.items)) ++expected_count;
+  }
+  EXPECT_EQ(kc.value().itemsets().size(), expected_count);
+  for (const FrequentItemset& fi : kc.value().itemsets()) {
+    EXPECT_FALSE(contains_blocked(fi.items)) << fi.items.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KcSemanticsTest,
+                         ::testing::Values(5u, 6u, 7u));
+
+TEST(AprioriAntiMonotoneTest, EverySubsetOfFrequentIsFrequent) {
+  const TransactionDb db = RandomDb(99, 12, 80, 0.3);
+  const auto result = MineApriori(db, 0.15);
+  ASSERT_TRUE(result.ok());
+  for (const FrequentItemset& fi : result.value().itemsets()) {
+    if (fi.items.size() < 2) continue;
+    for (const Itemset& sub : fi.items.AllButOneSubsets()) {
+      const auto support = result.value().SupportOf(sub);
+      ASSERT_TRUE(support.has_value()) << sub.ToString();
+      EXPECT_GE(*support, fi.support);  // Anti-monotone support.
+    }
+  }
+}
+
+TEST(AprioriMonotoneSupportTest, LowerMinsupIsSuperset) {
+  const TransactionDb db = RandomDb(123, 10, 60, 0.35);
+  const auto loose = MineApriori(db, 0.1);
+  const auto tight = MineApriori(db, 0.3);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_GE(loose.value().itemsets().size(), tight.value().itemsets().size());
+  for (const FrequentItemset& fi : tight.value().itemsets()) {
+    EXPECT_EQ(loose.value().SupportOf(fi.items).value_or(0xFFFFFFFF),
+              fi.support);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sfpm

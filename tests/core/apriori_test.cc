@@ -1,0 +1,194 @@
+#include "core/apriori.h"
+
+#include <gtest/gtest.h>
+
+namespace sfpm {
+namespace core {
+namespace {
+
+/// The textbook dataset of Agrawal & Srikant's running example.
+TransactionDb ClassicDb() {
+  TransactionDb db;
+  const ItemId i1 = db.AddItem("i1");
+  const ItemId i2 = db.AddItem("i2");
+  const ItemId i3 = db.AddItem("i3");
+  const ItemId i4 = db.AddItem("i4");
+  const ItemId i5 = db.AddItem("i5");
+  db.AddTransaction({i1, i2, i5});
+  db.AddTransaction({i2, i4});
+  db.AddTransaction({i2, i3});
+  db.AddTransaction({i1, i2, i4});
+  db.AddTransaction({i1, i3});
+  db.AddTransaction({i2, i3});
+  db.AddTransaction({i1, i3});
+  db.AddTransaction({i1, i2, i3, i5});
+  db.AddTransaction({i1, i2, i3});
+  return db;
+}
+
+TEST(AprioriTest, ClassicExampleFrequentItemsets) {
+  const TransactionDb db = ClassicDb();
+  const auto result = MineApriori(db, 2.0 / 9.0);
+  ASSERT_TRUE(result.ok());
+  const AprioriResult& r = result.value();
+
+  // The canonical answer: L1 = 5 items, L2 = 6 pairs, L3 = 2 triples.
+  EXPECT_EQ(r.OfSize(1).size(), 5u);
+  EXPECT_EQ(r.OfSize(2).size(), 6u);
+  EXPECT_EQ(r.OfSize(3).size(), 2u);
+  EXPECT_EQ(r.MaxItemsetSize(), 3u);
+
+  EXPECT_EQ(r.SupportOf(Itemset({0, 1})).value_or(0), 4u);    // {i1,i2}
+  EXPECT_EQ(r.SupportOf(Itemset({0, 1, 4})).value_or(0), 2u); // {i1,i2,i5}
+  EXPECT_EQ(r.SupportOf(Itemset({0, 1, 2})).value_or(0), 2u); // {i1,i2,i3}
+  EXPECT_FALSE(r.SupportOf(Itemset({3, 4})).has_value());     // {i4,i5}
+}
+
+TEST(AprioriTest, MinSupportOneKeepsEverythingCommon) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  db.AddTransaction({a, b});
+  db.AddTransaction({a, b});
+  const auto r = MineApriori(db, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().itemsets().size(), 3u);  // a, b, ab.
+}
+
+TEST(AprioriTest, InvalidArguments) {
+  TransactionDb db;
+  db.AddItem("a");
+  EXPECT_FALSE(MineApriori(db, 0.5).ok());  // Empty db.
+  db.AddTransaction({0});
+  EXPECT_FALSE(MineApriori(db, 0.0).ok());
+  EXPECT_FALSE(MineApriori(db, -0.1).ok());
+  EXPECT_FALSE(MineApriori(db, 1.5).ok());
+  EXPECT_TRUE(MineApriori(db, 1.0).ok());
+}
+
+TEST(AprioriTest, SupportThresholdUsesCeiling) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  // a in 3/7 transactions (42.9%), b in 4/7 (57.1%).
+  for (int i = 0; i < 3; ++i) db.AddTransaction({a});
+  for (int i = 0; i < 4; ++i) db.AddTransaction({b});
+  const auto r = MineApriori(db, 0.5);  // Needs ceil(3.5) = 4.
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().itemsets().size(), 1u);
+  EXPECT_EQ(r.value().itemsets()[0].items, Itemset({b}));
+}
+
+TEST(AprioriTest, MaxItemsetSizeCap) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  const ItemId c = db.AddItem("c");
+  for (int i = 0; i < 4; ++i) db.AddTransaction({a, b, c});
+  AprioriOptions options;
+  options.min_support = 0.5;
+  options.max_itemset_size = 2;
+  const auto r = MineApriori(db, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().MaxItemsetSize(), 2u);
+  EXPECT_EQ(r.value().CountAtLeast(2), 3u);
+}
+
+TEST(AprioriTest, StatsTrackPasses) {
+  const TransactionDb db = ClassicDb();
+  const auto r = MineApriori(db, 2.0 / 9.0);
+  ASSERT_TRUE(r.ok());
+  const MiningStats& stats = r.value().stats();
+  ASSERT_GE(stats.passes.size(), 3u);
+  EXPECT_EQ(stats.passes[0].k, 1u);
+  EXPECT_EQ(stats.passes[0].frequent, 5u);
+  EXPECT_EQ(stats.passes[1].k, 2u);
+  EXPECT_EQ(stats.passes[1].frequent, 6u);
+  EXPECT_EQ(stats.passes[2].frequent, 2u);
+  EXPECT_EQ(stats.total_frequent, 13u);
+  EXPECT_EQ(stats.total_frequent_ge2, 8u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(AprioriFilterTest, SameKeyFilterPrunesPairsAndSuperset) {
+  TransactionDb db;
+  const ItemId cs = db.AddItem("contains_slum", "slum");
+  const ItemId ts = db.AddItem("touches_slum", "slum");
+  const ItemId mh = db.AddItem("murder=high");
+  for (int i = 0; i < 4; ++i) db.AddTransaction({cs, ts, mh});
+
+  const auto plain = MineApriori(db, 0.5);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value().CountAtLeast(2), 4u);  // 3 pairs + 1 triple.
+
+  const auto filtered = MineAprioriKCPlus(db, 0.5);
+  ASSERT_TRUE(filtered.ok());
+  // {cs,ts} pruned; the triple {cs,ts,mh} is never generated.
+  EXPECT_EQ(filtered.value().CountAtLeast(2), 2u);
+  EXPECT_FALSE(filtered.value().SupportOf(Itemset({cs, ts})).has_value());
+  EXPECT_TRUE(filtered.value().SupportOf(Itemset({cs, mh})).has_value());
+  EXPECT_TRUE(filtered.value().SupportOf(Itemset({ts, mh})).has_value());
+}
+
+TEST(AprioriFilterTest, NoInformationLossOnCrossTypeSets) {
+  // The paper's argument: removing {A, B} with equal type keeps {A, C} and
+  // {B, C} when they are frequent.
+  TransactionDb db;
+  const ItemId a = db.AddItem("contains_slum", "slum");
+  const ItemId b = db.AddItem("touches_slum", "slum");
+  const ItemId c = db.AddItem("murderRate=high");
+  db.AddTransaction({a, b, c});
+  db.AddTransaction({a, b, c});
+  db.AddTransaction({a, c});
+  db.AddTransaction({b, c});
+
+  const auto r = MineAprioriKCPlus(db, 0.5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().SupportOf(Itemset({a, c})).value_or(0), 3u);
+  EXPECT_EQ(r.value().SupportOf(Itemset({b, c})).value_or(0), 3u);
+  EXPECT_FALSE(r.value().SupportOf(Itemset({a, b})).has_value());
+}
+
+TEST(AprioriFilterTest, BlocklistFilterPrunesDeclaredPairsOnly) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  const ItemId c = db.AddItem("c");
+  for (int i = 0; i < 4; ++i) db.AddTransaction({a, b, c});
+
+  const PairBlocklistFilter phi({{a, b}});
+  const auto r = MineAprioriKC(db, 0.5, phi);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().SupportOf(Itemset({a, b})).has_value());
+  EXPECT_TRUE(r.value().SupportOf(Itemset({a, c})).has_value());
+  EXPECT_TRUE(r.value().SupportOf(Itemset({b, c})).has_value());
+  EXPECT_FALSE(r.value().SupportOf(Itemset({a, b, c})).has_value());
+}
+
+TEST(AprioriFilterTest, BlocklistIsOrderInsensitive) {
+  const PairBlocklistFilter phi({{3, 1}});
+  EXPECT_TRUE(phi.PrunePair(1, 3));
+  EXPECT_TRUE(phi.PrunePair(3, 1));
+  EXPECT_FALSE(phi.PrunePair(1, 2));
+  EXPECT_EQ(phi.NumPairs(), 1u);
+}
+
+TEST(AprioriFilterTest, SameKeyIgnoresEmptyKeys) {
+  const SameKeyFilter filter(std::vector<std::string>{"", "", "slum", "slum"});
+  EXPECT_FALSE(filter.PrunePair(0, 1));  // Both empty: no group.
+  EXPECT_TRUE(filter.PrunePair(2, 3));
+  EXPECT_FALSE(filter.PrunePair(1, 2));
+}
+
+TEST(AprioriResultTest, Accessors) {
+  const TransactionDb db = ClassicDb();
+  const auto r = MineApriori(db, 2.0 / 9.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().CountAtLeast(1), 13u);
+  EXPECT_EQ(r.value().CountAtLeast(2), 8u);
+  EXPECT_EQ(r.value().CountAtLeast(4), 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sfpm

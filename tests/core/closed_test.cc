@@ -1,0 +1,112 @@
+#include "core/closed.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace sfpm {
+namespace core {
+namespace {
+
+TransactionDb ExampleDb() {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  const ItemId c = db.AddItem("c");
+  // {a,b} always co-occur; c sometimes joins.
+  db.AddTransaction({a, b, c});
+  db.AddTransaction({a, b, c});
+  db.AddTransaction({a, b});
+  db.AddTransaction({a, b});
+  return db;
+}
+
+TEST(ClosedTest, ClosureAbsorbsEqualSupportSubsets) {
+  const auto mined = MineApriori(ExampleDb(), 0.5);
+  ASSERT_TRUE(mined.ok());
+  const auto closed = ClosedItemsets(mined.value());
+
+  // Closed sets: {a,b} (support 4) and {a,b,c} (support 2).
+  // a and b alone have support 4 = support({a,b}): not closed.
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].items, Itemset({0, 1}));
+  EXPECT_EQ(closed[0].support, 4u);
+  EXPECT_EQ(closed[1].items, Itemset({0, 1, 2}));
+  EXPECT_EQ(closed[1].support, 2u);
+}
+
+TEST(ClosedTest, MaximalKeepsOnlyTops) {
+  const auto mined = MineApriori(ExampleDb(), 0.5);
+  ASSERT_TRUE(mined.ok());
+  const auto maximal = MaximalItemsets(mined.value());
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal[0].items, Itemset({0, 1, 2}));
+}
+
+TEST(ClosedTest, MaximalSubsetOfClosed) {
+  Rng rng(5);
+  TransactionDb db;
+  for (int i = 0; i < 8; ++i) db.AddItem("i" + std::to_string(i));
+  for (int t = 0; t < 40; ++t) {
+    const size_t row = db.AddTransaction();
+    for (ItemId i = 0; i < 8; ++i) {
+      if (rng.NextBool(0.4)) EXPECT_TRUE(db.SetItem(row, i).ok());
+    }
+  }
+  const auto mined = MineApriori(db, 0.15);
+  ASSERT_TRUE(mined.ok());
+
+  const auto closed = ClosedItemsets(mined.value());
+  const auto maximal = MaximalItemsets(mined.value());
+  EXPECT_LE(maximal.size(), closed.size());
+  EXPECT_LE(closed.size(), mined.value().itemsets().size());
+
+  // Every maximal itemset must be closed (no superset at all implies no
+  // equal-support superset).
+  for (const FrequentItemset& m : maximal) {
+    bool found = false;
+    for (const FrequentItemset& c : closed) {
+      if (c.items == m.items) found = true;
+    }
+    EXPECT_TRUE(found) << m.items.ToString();
+  }
+}
+
+TEST(ClosedTest, ClosedFamilyRecoversAllSupports) {
+  // Losslessness: the support of any frequent itemset equals the max
+  // support among closed supersets.
+  Rng rng(7);
+  TransactionDb db;
+  for (int i = 0; i < 7; ++i) db.AddItem("i" + std::to_string(i));
+  for (int t = 0; t < 30; ++t) {
+    const size_t row = db.AddTransaction();
+    for (ItemId i = 0; i < 7; ++i) {
+      if (rng.NextBool(0.45)) EXPECT_TRUE(db.SetItem(row, i).ok());
+    }
+  }
+  const auto mined = MineApriori(db, 0.2);
+  ASSERT_TRUE(mined.ok());
+  const auto closed = ClosedItemsets(mined.value());
+
+  for (const FrequentItemset& fi : mined.value().itemsets()) {
+    uint32_t best = 0;
+    for (const FrequentItemset& c : closed) {
+      if (c.items.ContainsAll(fi.items)) best = std::max(best, c.support);
+    }
+    EXPECT_EQ(best, fi.support) << fi.items.ToString();
+  }
+}
+
+TEST(ClosedTest, EmptyResultHandled) {
+  TransactionDb db;
+  db.AddItem("a");
+  db.AddTransaction({});
+  const auto mined = MineApriori(db, 1.0);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_TRUE(ClosedItemsets(mined.value()).empty());
+  EXPECT_TRUE(MaximalItemsets(mined.value()).empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sfpm

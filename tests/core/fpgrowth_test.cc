@@ -1,0 +1,162 @@
+#include "core/fpgrowth.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "datagen/paper_example.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace core {
+namespace {
+
+std::map<Itemset, uint32_t> AsMap(const AprioriResult& result) {
+  std::map<Itemset, uint32_t> out;
+  for (const FrequentItemset& fi : result.itemsets()) {
+    out.emplace(fi.items, fi.support);
+  }
+  return out;
+}
+
+TransactionDb RandomDb(uint64_t seed, size_t num_items, size_t num_tx,
+                       double density, size_t key_group = 0) {
+  Rng rng(seed);
+  TransactionDb db;
+  for (size_t i = 0; i < num_items; ++i) {
+    std::string key =
+        key_group > 0 ? "g" + std::to_string(i / key_group) : "";
+    db.AddItem("item" + std::to_string(i), key);
+  }
+  for (size_t t = 0; t < num_tx; ++t) {
+    const size_t row = db.AddTransaction();
+    for (size_t i = 0; i < num_items; ++i) {
+      if (rng.NextBool(density)) {
+        EXPECT_TRUE(db.SetItem(row, static_cast<ItemId>(i)).ok());
+      }
+    }
+  }
+  return db;
+}
+
+TEST(FpGrowthTest, ClassicExample) {
+  TransactionDb db;
+  const ItemId i1 = db.AddItem("i1");
+  const ItemId i2 = db.AddItem("i2");
+  const ItemId i3 = db.AddItem("i3");
+  const ItemId i4 = db.AddItem("i4");
+  const ItemId i5 = db.AddItem("i5");
+  db.AddTransaction({i1, i2, i5});
+  db.AddTransaction({i2, i4});
+  db.AddTransaction({i2, i3});
+  db.AddTransaction({i1, i2, i4});
+  db.AddTransaction({i1, i3});
+  db.AddTransaction({i2, i3});
+  db.AddTransaction({i1, i3});
+  db.AddTransaction({i1, i2, i3, i5});
+  db.AddTransaction({i1, i2, i3});
+
+  const auto result = MineFpGrowth(db, 2.0 / 9.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().OfSize(1).size(), 5u);
+  EXPECT_EQ(result.value().OfSize(2).size(), 6u);
+  EXPECT_EQ(result.value().OfSize(3).size(), 2u);
+  EXPECT_EQ(result.value().SupportOf(Itemset({i1, i2, i5})).value_or(0), 2u);
+}
+
+TEST(FpGrowthTest, InvalidArguments) {
+  TransactionDb db;
+  db.AddItem("a");
+  EXPECT_FALSE(MineFpGrowth(db, 0.5).ok());
+  db.AddTransaction({0});
+  EXPECT_FALSE(MineFpGrowth(db, 0.0).ok());
+  EXPECT_FALSE(MineFpGrowth(db, 1.5).ok());
+}
+
+class FpGrowthVsAprioriTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(FpGrowthVsAprioriTest, IdenticalResults) {
+  const auto [seed, minsup] = GetParam();
+  const TransactionDb db = RandomDb(seed, 14, 80, 0.3);
+  const auto apriori = MineApriori(db, minsup);
+  const auto fp = MineFpGrowth(db, minsup);
+  ASSERT_TRUE(apriori.ok());
+  ASSERT_TRUE(fp.ok());
+  EXPECT_EQ(AsMap(apriori.value()), AsMap(fp.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FpGrowthVsAprioriTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(0.05, 0.15, 0.4)));
+
+class FpGrowthFilteredTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FpGrowthFilteredTest, SameKeyFilterMatchesAprioriKCPlus) {
+  // The paper's claim: the same-feature-type step works inside any
+  // frequent itemset algorithm. FP-Growth with the filter must equal
+  // Apriori-KC+ exactly.
+  const TransactionDb db = RandomDb(GetParam(), 12, 60, 0.35,
+                                    /*key_group=*/3);
+  const SameKeyFilter same_key(db);
+  AprioriOptions options;
+  options.min_support = 0.15;
+  options.filters.push_back(&same_key);
+
+  const auto apriori = MineApriori(db, options);
+  const auto fp = MineFpGrowth(db, options);
+  ASSERT_TRUE(apriori.ok());
+  ASSERT_TRUE(fp.ok());
+  EXPECT_EQ(AsMap(apriori.value()), AsMap(fp.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FpGrowthFilteredTest,
+                         ::testing::Values(7u, 8u, 9u, 10u));
+
+TEST(FpGrowthFilteredTest, BlocklistMatchesAprioriKC) {
+  const TransactionDb db = RandomDb(42, 10, 60, 0.4);
+  const PairBlocklistFilter phi({{0, 1}, {2, 3}, {4, 7}});
+  AprioriOptions options;
+  options.min_support = 0.2;
+  options.filters.push_back(&phi);
+
+  const auto apriori = MineApriori(db, options);
+  const auto fp = MineFpGrowth(db, options);
+  ASSERT_TRUE(apriori.ok());
+  ASSERT_TRUE(fp.ok());
+  EXPECT_EQ(AsMap(apriori.value()), AsMap(fp.value()));
+}
+
+TEST(FpGrowthTest, MaxItemsetSizeCap) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  const ItemId c = db.AddItem("c");
+  for (int i = 0; i < 4; ++i) db.AddTransaction({a, b, c});
+  AprioriOptions options;
+  options.min_support = 0.5;
+  options.max_itemset_size = 2;
+  const auto result = MineFpGrowth(db, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().MaxItemsetSize(), 2u);
+}
+
+TEST(FpGrowthTest, PaperTable2Reproduction) {
+  const auto table = datagen::MakePaperTable1();
+  const auto result = MineFpGrowth(table.db(), 0.5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().CountAtLeast(2), 60u);
+
+  AprioriOptions options;
+  options.min_support = 0.5;
+  const SameKeyFilter same_key(table.db());
+  options.filters.push_back(&same_key);
+  const auto filtered = MineFpGrowth(table.db(), options);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered.value().CountAtLeast(2), 30u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sfpm

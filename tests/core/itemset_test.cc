@@ -1,0 +1,82 @@
+#include "core/itemset.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace sfpm {
+namespace core {
+namespace {
+
+TEST(ItemsetTest, NormalizesOnConstruction) {
+  const Itemset s({5, 1, 3, 1, 5});
+  EXPECT_EQ(s.items(), (std::vector<ItemId>{1, 3, 5}));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(ItemsetTest, ContainsBinarySearch) {
+  const Itemset s({2, 4, 6});
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_FALSE(Itemset().Contains(0));
+}
+
+TEST(ItemsetTest, ContainsAll) {
+  const Itemset s({1, 2, 3, 4});
+  EXPECT_TRUE(s.ContainsAll(Itemset({2, 4})));
+  EXPECT_TRUE(s.ContainsAll(Itemset()));
+  EXPECT_TRUE(s.ContainsAll(s));
+  EXPECT_FALSE(s.ContainsAll(Itemset({2, 5})));
+  EXPECT_FALSE(Itemset({1}).ContainsAll(s));
+}
+
+TEST(ItemsetTest, UnionAndDifference) {
+  const Itemset a({1, 3, 5});
+  const Itemset b({2, 3, 4});
+  EXPECT_EQ(a.Union(b), Itemset({1, 2, 3, 4, 5}));
+  EXPECT_EQ(a.Difference(b), Itemset({1, 5}));
+  EXPECT_EQ(b.Difference(a), Itemset({2, 4}));
+  EXPECT_EQ(a.Union(Itemset()), a);
+  EXPECT_EQ(a.Difference(a), Itemset());
+}
+
+TEST(ItemsetTest, WithAndWithout) {
+  const Itemset s({1, 3});
+  EXPECT_EQ(s.With(2), Itemset({1, 2, 3}));
+  EXPECT_EQ(s.With(3), s);  // Idempotent.
+  EXPECT_EQ(s.Without(1), Itemset({3}));
+  EXPECT_EQ(s.Without(9), s);
+}
+
+TEST(ItemsetTest, AllButOneSubsets) {
+  const Itemset s({1, 2, 3});
+  const auto subs = s.AllButOneSubsets();
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_EQ(subs[0], Itemset({2, 3}));
+  EXPECT_EQ(subs[1], Itemset({1, 3}));
+  EXPECT_EQ(subs[2], Itemset({1, 2}));
+}
+
+TEST(ItemsetTest, OrderingIsLexicographic) {
+  EXPECT_TRUE(Itemset({1, 2}) < Itemset({1, 3}));
+  EXPECT_TRUE(Itemset({1}) < Itemset({1, 2}));
+  EXPECT_TRUE(Itemset({1, 9}) < Itemset({2}));
+}
+
+TEST(ItemsetTest, HashUsableInUnorderedSet) {
+  std::unordered_set<Itemset, ItemsetHash> set;
+  set.insert(Itemset({1, 2}));
+  set.insert(Itemset({2, 1}));  // Same set after normalization.
+  set.insert(Itemset({1, 2, 3}));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Itemset({1, 2})));
+}
+
+TEST(ItemsetTest, ToString) {
+  EXPECT_EQ(Itemset({3, 1}).ToString(), "{1, 3}");
+  EXPECT_EQ(Itemset().ToString(), "{}");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sfpm

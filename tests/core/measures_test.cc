@@ -1,0 +1,137 @@
+#include "core/measures.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sfpm {
+namespace core {
+namespace {
+
+/// Fixed contingency table: n=100, A=40, C=50, AC=30.
+Contingency Sample() {
+  Contingency t;
+  t.n = 100;
+  t.n_a = 40;
+  t.n_c = 50;
+  t.n_ac = 30;
+  return t;
+}
+
+TEST(MeasuresTest, BasicFrequencies) {
+  const Contingency t = Sample();
+  EXPECT_DOUBLE_EQ(t.Support(), 0.30);
+  EXPECT_DOUBLE_EQ(t.Confidence(), 0.75);
+  EXPECT_DOUBLE_EQ(t.Lift(), 30.0 * 100 / (40.0 * 50));  // 1.5
+  EXPECT_DOUBLE_EQ(t.Leverage(), 0.30 - 0.40 * 0.50);    // 0.10
+}
+
+TEST(MeasuresTest, Conviction) {
+  const Contingency t = Sample();
+  EXPECT_DOUBLE_EQ(t.Conviction(), (1 - 0.5) / (1 - 0.75));  // 2.0
+  Contingency exact = Sample();
+  exact.n_ac = exact.n_a;  // Confidence 1.
+  EXPECT_TRUE(std::isinf(exact.Conviction()));
+}
+
+TEST(MeasuresTest, SetMeasures) {
+  const Contingency t = Sample();
+  EXPECT_DOUBLE_EQ(t.Jaccard(), 30.0 / (40 + 50 - 30));  // 0.5
+  EXPECT_DOUBLE_EQ(t.Cosine(), 30.0 / std::sqrt(40.0 * 50.0));
+  EXPECT_DOUBLE_EQ(t.Kulczynski(), 0.5 * (30.0 / 40 + 30.0 / 50));
+}
+
+TEST(MeasuresTest, CertaintyFactor) {
+  const Contingency t = Sample();
+  // conf 0.75 > P(C) 0.5: (0.75 - 0.5) / (1 - 0.5) = 0.5.
+  EXPECT_DOUBLE_EQ(t.CertaintyFactor(), 0.5);
+  // Negative direction.
+  Contingency neg = Sample();
+  neg.n_ac = 10;  // conf 0.25 < 0.5: (0.25-0.5)/0.5 = -0.5.
+  EXPECT_DOUBLE_EQ(neg.CertaintyFactor(), -0.5);
+}
+
+TEST(MeasuresTest, OddsRatioAndPhi) {
+  const Contingency t = Sample();
+  // Cells: AC=30, A!C=10, !AC=20, !A!C=40.
+  EXPECT_DOUBLE_EQ(t.OddsRatio(), (30.0 * 40) / (10.0 * 20));  // 6.0
+  const double phi =
+      (100.0 * 30 - 40.0 * 50) / std::sqrt(40.0 * 50 * 60 * 50);
+  EXPECT_DOUBLE_EQ(t.Phi(), phi);
+  EXPECT_GT(t.Phi(), 0.0);
+}
+
+TEST(MeasuresTest, IndependenceIsNeutral) {
+  // P(AC) = P(A)P(C): lift 1, leverage 0, phi 0, certainty 0.
+  Contingency t;
+  t.n = 100;
+  t.n_a = 40;
+  t.n_c = 50;
+  t.n_ac = 20;
+  EXPECT_DOUBLE_EQ(t.Lift(), 1.0);
+  EXPECT_DOUBLE_EQ(t.Leverage(), 0.0);
+  EXPECT_NEAR(t.Phi(), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t.CertaintyFactor(), 0.0);
+  EXPECT_DOUBLE_EQ(t.OddsRatio(), 1.0);
+}
+
+TEST(MeasuresTest, EvaluateDispatch) {
+  const Contingency t = Sample();
+  EXPECT_DOUBLE_EQ(Evaluate(Measure::kSupport, t), t.Support());
+  EXPECT_DOUBLE_EQ(Evaluate(Measure::kLift, t), t.Lift());
+  EXPECT_DOUBLE_EQ(Evaluate(Measure::kPhi, t), t.Phi());
+  EXPECT_STREQ(MeasureName(Measure::kCertaintyFactor), "certaintyFactor");
+  EXPECT_STREQ(MeasureName(Measure::kOddsRatio), "oddsRatio");
+}
+
+TEST(MeasuresTest, TopRulesByMeasure) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  const ItemId c = db.AddItem("c");
+  // a strongly implies b; c is common and weakly associated.
+  for (int i = 0; i < 10; ++i) db.AddTransaction({a, b, c});
+  for (int i = 0; i < 10; ++i) db.AddTransaction({c});
+  for (int i = 0; i < 5; ++i) db.AddTransaction({b, c});
+
+  const auto mined = MineApriori(db, 0.1);
+  ASSERT_TRUE(mined.ok());
+  RuleOptions options;
+  options.min_confidence = 0.0;
+  options.single_consequent = true;
+  const auto rules = GenerateRules(db, mined.value(), options);
+  ASSERT_GT(rules.size(), 3u);
+
+  const auto top = TopRulesBy(Measure::kLift, rules, mined.value(), db, 3);
+  ASSERT_EQ(top.size(), 3u);
+  // Scores must be non-increasing.
+  double prev = 1e18;
+  for (const AssociationRule& rule : top) {
+    const auto table = Contingency::ForRule(rule, mined.value(), db);
+    ASSERT_TRUE(table.ok());
+    const double score = table.value().Lift();
+    EXPECT_LE(score, prev);
+    prev = score;
+  }
+  // The strongest lift pair is a <-> b.
+  EXPECT_TRUE((top[0].antecedent == Itemset({a}) &&
+               top[0].consequent == Itemset({b})) ||
+              (top[0].antecedent == Itemset({b}) &&
+               top[0].consequent == Itemset({a})));
+}
+
+TEST(MeasuresTest, ForRuleMissingSupportFails) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  db.AddTransaction({a});
+  const auto mined = MineApriori(db, 1.0);
+  ASSERT_TRUE(mined.ok());
+  AssociationRule rule;
+  rule.antecedent = Itemset({a});
+  rule.consequent = Itemset({99});
+  EXPECT_FALSE(Contingency::ForRule(rule, mined.value(), db).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sfpm

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "core/apriori.h"
+#include "datagen/paper_example.h"
+
+namespace sfpm {
+namespace core {
+namespace {
+
+TEST(MiningStatsTest, FilteredCandidatesCountedAtK2Only) {
+  const auto table = datagen::MakePaperTable1();
+  const auto plain = MineApriori(table.db(), 0.5);
+  const auto kcplus = MineAprioriKCPlus(table.db(), 0.5);
+  ASSERT_TRUE(plain.ok() && kcplus.ok());
+
+  // Unfiltered run never reports filtered candidates.
+  for (const auto& pass : plain.value().stats().passes) {
+    EXPECT_EQ(pass.filtered_candidates, 0u);
+  }
+
+  // KC+ filters exactly at k == 2 and nowhere else.
+  bool saw_k2 = false;
+  for (const auto& pass : kcplus.value().stats().passes) {
+    if (pass.k == 2) {
+      saw_k2 = true;
+      EXPECT_GT(pass.filtered_candidates, 0u);
+      EXPECT_LE(pass.filtered_candidates, pass.candidates);
+    } else {
+      EXPECT_EQ(pass.filtered_candidates, 0u) << "k=" << pass.k;
+    }
+  }
+  EXPECT_TRUE(saw_k2);
+}
+
+TEST(MiningStatsTest, CandidateCountsShrinkWithFiltering) {
+  const auto table = datagen::MakePaperTable1();
+  const auto plain = MineApriori(table.db(), 0.5);
+  const auto kcplus = MineAprioriKCPlus(table.db(), 0.5);
+  ASSERT_TRUE(plain.ok() && kcplus.ok());
+
+  auto total_counted = [](const MiningStats& stats) {
+    size_t n = 0;
+    for (const auto& pass : stats.passes) {
+      n += pass.candidates - pass.filtered_candidates;
+    }
+    return n;
+  };
+  EXPECT_LT(total_counted(kcplus.value().stats()),
+            total_counted(plain.value().stats()));
+
+  // Fewer passes too: the largest KC+ itemset is smaller (4 vs 6).
+  EXPECT_LT(kcplus.value().stats().passes.size(),
+            plain.value().stats().passes.size());
+}
+
+TEST(MiningStatsTest, TotalsConsistentWithResult) {
+  const auto table = datagen::MakePaperTable1();
+  const auto result = MineApriori(table.db(), 0.5);
+  ASSERT_TRUE(result.ok());
+  const MiningStats& stats = result.value().stats();
+  EXPECT_EQ(stats.total_frequent, result.value().itemsets().size());
+  EXPECT_EQ(stats.total_frequent_ge2, result.value().CountAtLeast(2));
+  size_t from_passes = 0;
+  for (const auto& pass : stats.passes) from_passes += pass.frequent;
+  EXPECT_EQ(from_passes, stats.total_frequent);
+  EXPECT_GE(stats.total_millis, 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sfpm

@@ -1,0 +1,145 @@
+#include "core/rules.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sfpm {
+namespace core {
+namespace {
+
+/// 4 transactions: {a,b} in 3, {a} alone in 1; c with b twice.
+TransactionDb SmallDb() {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  const ItemId c = db.AddItem("c");
+  db.AddTransaction({a, b});
+  db.AddTransaction({a, b, c});
+  db.AddTransaction({a, b, c});
+  db.AddTransaction({a});
+  return db;
+}
+
+TEST(RulesTest, ConfidenceAndSupport) {
+  const TransactionDb db = SmallDb();
+  const auto mined = MineApriori(db, 0.5);
+  ASSERT_TRUE(mined.ok());
+
+  RuleOptions options;
+  options.min_confidence = 0.7;
+  const auto rules = GenerateRules(db, mined.value(), options);
+
+  // a -> b has confidence 3/4 = 0.75; b -> a has confidence 3/3 = 1.
+  bool saw_a_to_b = false, saw_b_to_a = false;
+  for (const AssociationRule& r : rules) {
+    if (r.antecedent == Itemset({0}) && r.consequent == Itemset({1})) {
+      saw_a_to_b = true;
+      EXPECT_DOUBLE_EQ(r.confidence, 0.75);
+      EXPECT_DOUBLE_EQ(r.support, 0.75);
+      EXPECT_EQ(r.support_count, 3u);
+      EXPECT_DOUBLE_EQ(r.lift, 0.75 / 0.75);
+      EXPECT_DOUBLE_EQ(r.leverage, 0.75 - 1.0 * 0.75);
+    }
+    if (r.antecedent == Itemset({1}) && r.consequent == Itemset({0})) {
+      saw_b_to_a = true;
+      EXPECT_DOUBLE_EQ(r.confidence, 1.0);
+      EXPECT_TRUE(std::isinf(r.conviction));
+    }
+  }
+  EXPECT_TRUE(saw_a_to_b);
+  EXPECT_TRUE(saw_b_to_a);
+}
+
+TEST(RulesTest, MinConfidenceFilters) {
+  const TransactionDb db = SmallDb();
+  const auto mined = MineApriori(db, 0.5);
+  ASSERT_TRUE(mined.ok());
+
+  RuleOptions strict;
+  strict.min_confidence = 0.9;
+  RuleOptions loose;
+  loose.min_confidence = 0.1;
+  EXPECT_LT(GenerateRules(db, mined.value(), strict).size(),
+            GenerateRules(db, mined.value(), loose).size());
+  for (const auto& r : GenerateRules(db, mined.value(), strict)) {
+    EXPECT_GE(r.confidence, 0.9);
+  }
+}
+
+TEST(RulesTest, SingleConsequentOption) {
+  const TransactionDb db = SmallDb();
+  const auto mined = MineApriori(db, 0.5);
+  ASSERT_TRUE(mined.ok());
+
+  RuleOptions options;
+  options.min_confidence = 0.0;
+  options.single_consequent = true;
+  for (const auto& r : GenerateRules(db, mined.value(), options)) {
+    EXPECT_EQ(r.consequent.size(), 1u);
+  }
+}
+
+TEST(RulesTest, RuleCountForTriple) {
+  // A single frequent triple yields 6 antecedent/consequent splits with
+  // single-consequent off (2^3 - 2 = 6).
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  const ItemId c = db.AddItem("c");
+  for (int i = 0; i < 3; ++i) db.AddTransaction({a, b, c});
+  const auto mined = MineApriori(db, 1.0);
+  ASSERT_TRUE(mined.ok());
+
+  RuleOptions options;
+  options.min_confidence = 0.0;
+  const auto rules = GenerateRules(db, mined.value(), options);
+  // 3 pairs contribute 2 rules each; the triple contributes 6.
+  EXPECT_EQ(rules.size(), 12u);
+}
+
+TEST(RulesTest, ToStringUsesLabels) {
+  TransactionDb db;
+  const ItemId cs = db.AddItem("contains_slum", "slum");
+  const ItemId mh = db.AddItem("murderRate=high");
+  for (int i = 0; i < 3; ++i) db.AddTransaction({cs, mh});
+  const auto mined = MineApriori(db, 1.0);
+  ASSERT_TRUE(mined.ok());
+
+  RuleOptions options;
+  options.min_confidence = 0.5;
+  const auto rules = GenerateRules(db, mined.value(), options);
+  ASSERT_FALSE(rules.empty());
+  bool found = false;
+  for (const auto& r : rules) {
+    if (r.ToString(db) == "contains_slum -> murderRate=high") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RulesTest, LiftBelowOneForNegativeCorrelation) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  // a and b mostly avoid each other.
+  db.AddTransaction({a});
+  db.AddTransaction({a});
+  db.AddTransaction({a, b});
+  db.AddTransaction({b});
+  db.AddTransaction({b});
+
+  const auto mined = MineApriori(db, 0.2);
+  ASSERT_TRUE(mined.ok());
+  RuleOptions options;
+  options.min_confidence = 0.0;
+  for (const auto& r : GenerateRules(db, mined.value(), options)) {
+    if (r.antecedent == Itemset({a}) && r.consequent == Itemset({b})) {
+      EXPECT_LT(r.lift, 1.0);
+      EXPECT_LT(r.leverage, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sfpm

@@ -1,0 +1,125 @@
+#include "core/transaction_db.h"
+
+#include <gtest/gtest.h>
+
+namespace sfpm {
+namespace core {
+namespace {
+
+TEST(TransactionDbTest, AddItemIdempotentByLabel) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("contains_slum", "slum");
+  const ItemId b = db.AddItem("touches_slum", "slum");
+  const ItemId a2 = db.AddItem("contains_slum", "slum");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(db.NumItems(), 2u);
+  EXPECT_EQ(db.Label(a), "contains_slum");
+  EXPECT_EQ(db.Key(b), "slum");
+}
+
+TEST(TransactionDbTest, AddItemCheckedDetectsKeyConflict) {
+  TransactionDb db;
+  ASSERT_TRUE(db.AddItemChecked("x", "k1").ok());
+  EXPECT_TRUE(db.AddItemChecked("x", "k1").ok());
+  EXPECT_EQ(db.AddItemChecked("x", "k2").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TransactionDbTest, FindItem) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  EXPECT_EQ(db.FindItem("a").value(), a);
+  EXPECT_EQ(db.FindItem("zzz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TransactionDbTest, SetAndTest) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  const size_t r0 = db.AddTransaction();
+  const size_t r1 = db.AddTransaction();
+  ASSERT_TRUE(db.SetItem(r0, a).ok());
+  ASSERT_TRUE(db.SetItem(r1, b).ok());
+  EXPECT_TRUE(db.Test(r0, a));
+  EXPECT_FALSE(db.Test(r0, b));
+  EXPECT_TRUE(db.Test(r1, b));
+}
+
+TEST(TransactionDbTest, OutOfRangeErrors) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  EXPECT_EQ(db.SetItem(0, a).code(), StatusCode::kOutOfRange);
+  const size_t row = db.AddTransaction();
+  EXPECT_EQ(db.SetItem(row, 99).code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(db.Test(5, a));
+}
+
+TEST(TransactionDbTest, SupportCounting) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  const ItemId c = db.AddItem("c");
+  db.AddTransaction({a, b});
+  db.AddTransaction({a});
+  db.AddTransaction({a, b, c});
+  db.AddTransaction({b, c});
+
+  EXPECT_EQ(db.Support(a), 3u);
+  EXPECT_EQ(db.Support(b), 3u);
+  EXPECT_EQ(db.Support(c), 2u);
+  EXPECT_EQ(db.SupportOf(Itemset({a, b})), 2u);
+  EXPECT_EQ(db.SupportOf(Itemset({a, b, c})), 1u);
+  EXPECT_EQ(db.SupportOf(Itemset({a, c})), 1u);
+  EXPECT_EQ(db.SupportOf(Itemset()), 4u);
+  EXPECT_DOUBLE_EQ(db.Frequency(Itemset({a})), 0.75);
+}
+
+TEST(TransactionDbTest, ItemAddedAfterTransactionsHasEmptyColumn) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  db.AddTransaction({a});
+  db.AddTransaction({a});
+  const ItemId late = db.AddItem("late");
+  EXPECT_EQ(db.Support(late), 0u);
+  const size_t r = db.AddTransaction();
+  ASSERT_TRUE(db.SetItem(r, late).ok());
+  EXPECT_EQ(db.Support(late), 1u);
+  EXPECT_EQ(db.Support(a), 2u);
+}
+
+TEST(TransactionDbTest, ManyTransactionsCrossWordBoundaries) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  // 200 transactions spans 4 bitmap words.
+  for (int i = 0; i < 200; ++i) {
+    const size_t r = db.AddTransaction();
+    if (i % 2 == 0) ASSERT_TRUE(db.SetItem(r, a).ok());
+    if (i % 3 == 0) ASSERT_TRUE(db.SetItem(r, b).ok());
+  }
+  EXPECT_EQ(db.Support(a), 100u);
+  EXPECT_EQ(db.Support(b), 67u);
+  EXPECT_EQ(db.SupportOf(Itemset({a, b})), 34u);  // Multiples of 6.
+}
+
+TEST(TransactionDbTest, TransactionItemsRoundTrip) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  const ItemId c = db.AddItem("c");
+  const size_t r = db.AddTransaction({c, a});
+  EXPECT_EQ(db.TransactionItems(r), (std::vector<ItemId>{a, c}));
+  (void)b;
+}
+
+TEST(TransactionDbTest, EmptyDbFrequencies) {
+  TransactionDb db;
+  db.AddItem("a");
+  EXPECT_DOUBLE_EQ(db.Frequency(Itemset({0})), 0.0);
+  EXPECT_EQ(db.NumTransactions(), 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sfpm

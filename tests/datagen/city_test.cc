@@ -1,0 +1,149 @@
+#include "datagen/city.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/algorithms.h"
+#include "qsr/topological.h"
+#include "relate/relate.h"
+
+namespace sfpm {
+namespace datagen {
+namespace {
+
+CityConfig SmallConfig() {
+  CityConfig config;
+  config.grid_cols = 4;
+  config.grid_rows = 3;
+  config.num_slums = 12;
+  config.num_schools = 20;
+  config.num_police = 4;
+  config.num_streets = 10;
+  config.num_rivers = 1;
+  config.seed = 99;
+  return config;
+}
+
+TEST(CityTest, LayerSizesMatchConfig) {
+  const auto city = GenerateCity(SmallConfig());
+  EXPECT_EQ(city->districts.Size(), 12u);  // 4 x 3 grid.
+  EXPECT_EQ(city->slums.Size(), 12u);
+  EXPECT_EQ(city->schools.Size(), 20u);
+  EXPECT_EQ(city->police.Size(), 4u);
+  EXPECT_EQ(city->streets.Size(), 10u);
+  EXPECT_EQ(city->illumination.Size(), 30u);  // 3 per street.
+  EXPECT_EQ(city->rivers.Size(), 1u);
+}
+
+TEST(CityTest, Deterministic) {
+  const auto a = GenerateCity(SmallConfig());
+  const auto b = GenerateCity(SmallConfig());
+  ASSERT_EQ(a->districts.Size(), b->districts.Size());
+  for (size_t i = 0; i < a->districts.Size(); ++i) {
+    EXPECT_EQ(a->districts.at(i).geometry(), b->districts.at(i).geometry());
+    EXPECT_EQ(a->districts.at(i).attributes(),
+              b->districts.at(i).attributes());
+  }
+}
+
+TEST(CityTest, DistrictsTileWithoutOverlap) {
+  const auto city = GenerateCity(SmallConfig());
+  // Grid neighbours touch; non-neighbours are disjoint; nobody overlaps.
+  const size_t n = city->districts.Size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const auto rel = qsr::ClassifyTopological(
+          city->districts.at(i).geometry(), city->districts.at(j).geometry());
+      EXPECT_TRUE(rel == qsr::TopologicalRelation::kTouches ||
+                  rel == qsr::TopologicalRelation::kDisjoint)
+          << i << " vs " << j << ": "
+          << qsr::TopologicalRelationName(rel);
+    }
+  }
+}
+
+TEST(CityTest, DistrictAttributesPresent) {
+  const auto city = GenerateCity(SmallConfig());
+  for (const feature::Feature& d : city->districts.features()) {
+    EXPECT_TRUE(d.Attribute("name").ok());
+    const auto murder = d.Attribute("murderRate");
+    ASSERT_TRUE(murder.ok());
+    EXPECT_TRUE(murder.value() == "high" || murder.value() == "low");
+    const auto theft = d.Attribute("theftRate");
+    ASSERT_TRUE(theft.ok());
+    EXPECT_TRUE(theft.value() == "high" || theft.value() == "low");
+  }
+}
+
+TEST(CityTest, IlluminationPointsLieOnStreets) {
+  const auto city = GenerateCity(SmallConfig());
+  // Every illumination point is within numerical tolerance of some street
+  // (the generator places them exactly on street segments).
+  for (const feature::Feature& ip : city->illumination.features()) {
+    double best = 1e18;
+    for (const feature::Feature& street : city->streets.features()) {
+      best = std::min(best,
+                      geom::Distance(ip.geometry(), street.geometry()));
+    }
+    EXPECT_LT(best, 1e-6);
+  }
+}
+
+TEST(CityTest, RiversSpanTheCity) {
+  const CityConfig config = SmallConfig();
+  const auto city = GenerateCity(config);
+  const double width = config.grid_cols * config.cell_size;
+  for (const feature::Feature& river : city->rivers.features()) {
+    const geom::Envelope env = river.geometry().GetEnvelope();
+    EXPECT_DOUBLE_EQ(env.min_x(), 0.0);
+    EXPECT_DOUBLE_EQ(env.max_x(), width);
+  }
+}
+
+TEST(CityTest, SlumsHavePositiveArea) {
+  const auto city = GenerateCity(SmallConfig());
+  for (const feature::Feature& slum : city->slums.features()) {
+    ASSERT_EQ(slum.geometry().type(), geom::GeometryType::kPolygon);
+    EXPECT_GT(slum.geometry().As<geom::Polygon>().Area(), 0.0);
+  }
+}
+
+TEST(CityTest, CrimeCorrelatesWithSlums) {
+  // The attribute model ties murderRate to slum contact; on a full-size
+  // city the correlation must be clearly visible.
+  CityConfig config;
+  config.seed = 3;
+  const auto city = GenerateCity(config);
+
+  int high_with_slum = 0, high_without_slum = 0;
+  int with_slum = 0, without_slum = 0;
+  for (const feature::Feature& d : city->districts.features()) {
+    bool touches_slum = false;
+    for (const feature::Feature& s : city->slums.features()) {
+      if (d.geometry().GetEnvelope().Intersects(
+              s.geometry().GetEnvelope()) &&
+          relate::Intersects(d.geometry(), s.geometry())) {
+        touches_slum = true;
+        break;
+      }
+    }
+    const bool high = d.Attribute("murderRate").value() == "high";
+    if (touches_slum) {
+      ++with_slum;
+      high_with_slum += high;
+    } else {
+      ++without_slum;
+      high_without_slum += high;
+    }
+  }
+  ASSERT_GT(with_slum, 0);
+  ASSERT_GT(without_slum, 0);
+  const double p_high_given_slum =
+      static_cast<double>(high_with_slum) / with_slum;
+  const double p_high_given_none =
+      static_cast<double>(high_without_slum) / without_slum;
+  EXPECT_GT(p_high_given_slum, p_high_given_none + 0.2);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace sfpm

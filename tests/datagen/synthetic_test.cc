@@ -1,0 +1,122 @@
+#include "datagen/synthetic_predicates.h"
+
+#include <gtest/gtest.h>
+
+#include "core/apriori.h"
+
+namespace sfpm {
+namespace datagen {
+namespace {
+
+TEST(SyntheticPredicatesTest, RichnessGeneratorIsDeterministic) {
+  SyntheticPredicateConfig config;
+  config.num_transactions = 200;
+  config.groups = {{"slum", {"contains", "touches"}}};
+  config.attributes = {{"rate", {"low", "high"}}};
+  config.seed = 5;
+
+  const auto a = GenerateSyntheticPredicates(config);
+  const auto b = GenerateSyntheticPredicates(config);
+  EXPECT_EQ(a.NumRows(), 200u);
+  EXPECT_EQ(a.ToString(), b.ToString());
+
+  config.seed = 6;
+  const auto c = GenerateSyntheticPredicates(config);
+  EXPECT_NE(a.ToString(), c.ToString());
+}
+
+TEST(SyntheticPredicatesTest, AttributesSingleValuedPerRow) {
+  SyntheticPredicateConfig config;
+  config.num_transactions = 100;
+  config.groups = {{"slum", {"contains"}}};
+  config.attributes = {{"rate", {"low", "mid", "high"}}};
+  const auto table = GenerateSyntheticPredicates(config);
+
+  for (size_t row = 0; row < table.NumRows(); ++row) {
+    int rate_values = 0;
+    for (const feature::Predicate& p : table.RowPredicates(row)) {
+      if (!p.is_spatial() && p.feature_type() == "rate") ++rate_values;
+    }
+    EXPECT_EQ(rate_values, 1) << "row " << row;
+  }
+}
+
+TEST(ProfiledGeneratorTest, SchemaDeclaredUpFront) {
+  ProfiledPredicateConfig config;
+  config.num_transactions = 10;
+  config.groups = {{"slum", {"contains", "touches"}},
+                   {"school", {"contains"}}};
+  config.attributes = {{"rate", {"low", "high"}}};
+  config.profiles = {};  // Pure noise.
+  config.noise_probability = 0.0;
+
+  const auto table = GenerateProfiledPredicates(config);
+  // All predicates registered even though never set.
+  EXPECT_EQ(table.NumPredicates(), 5u);
+  EXPECT_EQ(table.db().Label(0), "contains_slum");
+  EXPECT_EQ(table.db().Key(1), "slum");
+  EXPECT_EQ(table.db().Label(2), "contains_school");
+}
+
+TEST(ProfiledGeneratorTest, ProfileProbabilitiesRealized) {
+  ProfiledPredicateConfig config;
+  config.num_transactions = 4000;
+  config.seed = 17;
+  config.groups = {{"slum", {"contains", "touches"}}};
+  PredicateProfile always;
+  always.weight = 1.0;
+  always.spatial_probs = {{"contains_slum", 0.9}, {"touches_slum", 0.1}};
+  config.profiles = {always};
+  config.noise_probability = 0.0;
+
+  const auto table = GenerateProfiledPredicates(config);
+  const auto& db = table.db();
+  EXPECT_NEAR(db.Support(0) / 4000.0, 0.9, 0.03);
+  EXPECT_NEAR(db.Support(1) / 4000.0, 0.1, 0.03);
+}
+
+TEST(PaperDataset1Test, SchemaMatchesPaper) {
+  const PaperDataset1 ds = MakePaperDataset1(500);
+  // One non-spatial attribute (2 values) + 13 spatial predicates.
+  EXPECT_EQ(ds.table.NumPredicates(), 15u);
+  size_t spatial = 0;
+  for (core::ItemId i = 0; i < ds.table.NumPredicates(); ++i) {
+    if (ds.table.PredicateAt(i).is_spatial()) ++spatial;
+  }
+  EXPECT_EQ(spatial, 13u);
+  EXPECT_EQ(ds.table.CountSameFeatureTypePairs(), 9u);
+  // phi blocks exactly 4 predicate pairs.
+  EXPECT_EQ(ds.dependencies.MakeFilter(ds.table.db()).NumPairs(), 4u);
+}
+
+TEST(PaperDataset2Test, SchemaMatchesPaper) {
+  const auto table = MakePaperDataset2(500);
+  EXPECT_EQ(table.NumPredicates(), 10u);
+  for (core::ItemId i = 0; i < table.NumPredicates(); ++i) {
+    EXPECT_TRUE(table.PredicateAt(i).is_spatial());
+  }
+  EXPECT_EQ(table.CountSameFeatureTypePairs(), 5u);
+}
+
+TEST(PaperDataset1Test, ReductionShapeAtDefaultScale) {
+  const PaperDataset1 ds = MakePaperDataset1();
+  const auto phi = ds.dependencies.MakeFilter(ds.table.db());
+  for (double minsup : {0.05, 0.10, 0.15}) {
+    const auto apriori = core::MineApriori(ds.table.db(), minsup);
+    const auto kc = core::MineAprioriKC(ds.table.db(), minsup, phi);
+    const auto kcplus = core::MineAprioriKCPlus(ds.table.db(), minsup, &phi);
+    ASSERT_TRUE(apriori.ok() && kc.ok() && kcplus.ok());
+
+    const double base = static_cast<double>(apriori.value().CountAtLeast(2));
+    const double kc_red = 1.0 - kc.value().CountAtLeast(2) / base;
+    const double kcp_red = 1.0 - kcplus.value().CountAtLeast(2) / base;
+    // Paper Figure 4: KC around 28%, KC+ beyond 60%.
+    EXPECT_GT(kc_red, 0.20) << minsup;
+    EXPECT_LT(kc_red, 0.40) << minsup;
+    EXPECT_GT(kcp_red, 0.55) << minsup;
+  }
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace sfpm

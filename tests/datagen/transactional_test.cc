@@ -1,0 +1,72 @@
+#include "datagen/transactional.h"
+
+#include <gtest/gtest.h>
+
+#include "core/apriori.h"
+
+namespace sfpm {
+namespace datagen {
+namespace {
+
+TEST(TransactionalTest, RespectsConfig) {
+  TransactionalConfig config;
+  config.num_transactions = 500;
+  config.num_items = 50;
+  config.seed = 3;
+  const core::TransactionDb db = GenerateTransactional(config);
+  EXPECT_EQ(db.NumTransactions(), 500u);
+  EXPECT_EQ(db.NumItems(), 50u);
+  EXPECT_EQ(db.Label(0), "item0");
+  EXPECT_EQ(db.Key(0), "");
+}
+
+TEST(TransactionalTest, KeyGroupsAssigned) {
+  TransactionalConfig config;
+  config.num_transactions = 10;
+  config.num_items = 9;
+  config.key_group_size = 3;
+  const core::TransactionDb db = GenerateTransactional(config);
+  EXPECT_EQ(db.Key(0), "type0");
+  EXPECT_EQ(db.Key(2), "type0");
+  EXPECT_EQ(db.Key(3), "type1");
+  EXPECT_EQ(db.Key(8), "type2");
+}
+
+TEST(TransactionalTest, Deterministic) {
+  TransactionalConfig config;
+  config.num_transactions = 100;
+  config.num_items = 20;
+  const auto a = GenerateTransactional(config);
+  const auto b = GenerateTransactional(config);
+  for (size_t r = 0; r < a.NumTransactions(); ++r) {
+    EXPECT_EQ(a.TransactionItems(r), b.TransactionItems(r));
+  }
+}
+
+TEST(TransactionalTest, ContainsMineablePatterns) {
+  TransactionalConfig config;
+  config.num_transactions = 2000;
+  config.num_items = 40;
+  config.num_patterns = 8;
+  config.seed = 11;
+  const auto db = GenerateTransactional(config);
+  const auto result = core::MineApriori(db, 0.05);
+  ASSERT_TRUE(result.ok());
+  // Pattern-based data must contain non-trivial co-occurrences.
+  EXPECT_GT(result.value().CountAtLeast(2), 10u);
+  EXPECT_GE(result.value().MaxItemsetSize(), 3u);
+}
+
+TEST(TransactionalTest, TransactionsNonEmpty) {
+  TransactionalConfig config;
+  config.num_transactions = 200;
+  config.num_items = 30;
+  const auto db = GenerateTransactional(config);
+  for (size_t r = 0; r < db.NumTransactions(); ++r) {
+    EXPECT_FALSE(db.TransactionItems(r).empty()) << r;
+  }
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace sfpm

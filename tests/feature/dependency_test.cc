@@ -1,0 +1,58 @@
+#include "feature/dependency.h"
+
+#include <gtest/gtest.h>
+
+namespace sfpm {
+namespace feature {
+namespace {
+
+TEST(DependencyRegistryTest, OrderInsensitive) {
+  DependencyRegistry reg;
+  reg.Add("street", "illuminationPoint");
+  EXPECT_TRUE(reg.IsDependent("street", "illuminationPoint"));
+  EXPECT_TRUE(reg.IsDependent("illuminationPoint", "street"));
+  EXPECT_FALSE(reg.IsDependent("street", "slum"));
+  EXPECT_EQ(reg.Size(), 1u);
+}
+
+TEST(DependencyRegistryTest, DuplicateAddIsIdempotent) {
+  DependencyRegistry reg;
+  reg.Add("a", "b");
+  reg.Add("b", "a");
+  EXPECT_EQ(reg.Size(), 1u);
+}
+
+TEST(DependencyRegistryTest, MakeFilterBlocksCrossTypeItems) {
+  DependencyRegistry reg;
+  reg.Add("street", "illuminationPoint");
+
+  core::TransactionDb db;
+  const auto s1 = db.AddItem("contains_street", "street");
+  const auto s2 = db.AddItem("crosses_street", "street");
+  const auto i1 = db.AddItem("contains_illuminationPoint",
+                             "illuminationPoint");
+  const auto i2 = db.AddItem("close_illuminationPoint", "illuminationPoint");
+  const auto slum = db.AddItem("contains_slum", "slum");
+  const auto attr = db.AddItem("murderRate=high", "");
+
+  const core::PairBlocklistFilter filter = reg.MakeFilter(db);
+  EXPECT_EQ(filter.NumPairs(), 4u);  // 2 street x 2 illumination.
+  EXPECT_TRUE(filter.PrunePair(s1, i1));
+  EXPECT_TRUE(filter.PrunePair(s2, i2));
+  EXPECT_TRUE(filter.PrunePair(i2, s1));
+  EXPECT_FALSE(filter.PrunePair(s1, s2));  // Same type, not a dependency.
+  EXPECT_FALSE(filter.PrunePair(s1, slum));
+  EXPECT_FALSE(filter.PrunePair(s1, attr));
+}
+
+TEST(DependencyRegistryTest, EmptyRegistryBlocksNothing) {
+  DependencyRegistry reg;
+  core::TransactionDb db;
+  db.AddItem("a", "x");
+  db.AddItem("b", "y");
+  EXPECT_EQ(reg.MakeFilter(db).NumPairs(), 0u);
+}
+
+}  // namespace
+}  // namespace feature
+}  // namespace sfpm

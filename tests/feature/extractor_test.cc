@@ -1,0 +1,250 @@
+#include "feature/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "feature/taxonomy.h"
+
+#include "geom/geometry.h"
+
+namespace sfpm {
+namespace feature {
+namespace {
+
+using geom::Geometry;
+using geom::LinearRing;
+using geom::LineString;
+using geom::Point;
+using geom::Polygon;
+
+Polygon Square(double x0, double y0, double size) {
+  return Polygon(LinearRing(
+      {{x0, y0}, {x0 + size, y0}, {x0 + size, y0 + size}, {x0, y0 + size}}));
+}
+
+/// A miniature Porto Alegre: two adjacent districts, slums and schools in
+/// known topological configurations.
+struct MiniCity {
+  Layer districts{"district"};
+  Layer slums{"slum"};
+  Layer schools{"school"};
+
+  MiniCity() {
+    districts.Add(Square(0, 0, 10),
+                  {{"name", "Nonoai"}, {"murderRate", "high"}});
+    districts.Add(Square(10, 0, 10),
+                  {{"name", "Cristal"}, {"murderRate", "low"}});
+
+    slums.Add(Square(2, 2, 2));     // Strictly inside Nonoai.
+    slums.Add(Square(8, 4, 4));     // Straddles both districts.
+    slums.Add(Square(12, 0, 3));    // Inside Cristal, touching its border.
+    schools.Add(Point(5, 5));       // Inside Nonoai.
+    schools.Add(Point(10, 5));      // On the shared border.
+  }
+};
+
+std::vector<std::string> RowLabels(const PredicateTable& table, size_t row) {
+  std::vector<std::string> labels;
+  for (const Predicate& p : table.RowPredicates(row)) {
+    labels.push_back(p.Label());
+  }
+  return labels;
+}
+
+bool Has(const std::vector<std::string>& labels, const std::string& want) {
+  return std::find(labels.begin(), labels.end(), want) != labels.end();
+}
+
+TEST(ExtractorTest, TopologicalPredicates) {
+  MiniCity city;
+  PredicateExtractor extractor(&city.districts);
+  extractor.AddRelevantLayer(&city.slums);
+  extractor.AddRelevantLayer(&city.schools);
+
+  ExtractorOptions options;
+  const auto result = extractor.Extract(options);
+  ASSERT_TRUE(result.ok());
+  const PredicateTable& table = result.value();
+  ASSERT_EQ(table.NumRows(), 2u);
+  EXPECT_EQ(table.RowName(0), "Nonoai");
+
+  const auto nonoai = RowLabels(table, 0);
+  EXPECT_TRUE(Has(nonoai, "contains_slum"));   // Slum 0.
+  EXPECT_TRUE(Has(nonoai, "overlaps_slum"));   // Slum 1 straddles.
+  EXPECT_TRUE(Has(nonoai, "contains_school")); // School 0.
+  EXPECT_TRUE(Has(nonoai, "touches_school"));  // School 1 on border.
+  EXPECT_TRUE(Has(nonoai, "murderRate=high"));
+  EXPECT_FALSE(Has(nonoai, "disjoint_slum"));  // Disjoint never emitted.
+
+  const auto cristal = RowLabels(table, 1);
+  EXPECT_TRUE(Has(cristal, "overlaps_slum"));  // Slum 1.
+  EXPECT_TRUE(Has(cristal, "covers_slum"));    // Slum 2 touches border.
+  EXPECT_TRUE(Has(cristal, "touches_school"));
+  EXPECT_TRUE(Has(cristal, "murderRate=low"));
+  EXPECT_FALSE(Has(cristal, "contains_school"));
+}
+
+TEST(ExtractorTest, ReferenceAttributesOptional) {
+  MiniCity city;
+  PredicateExtractor extractor(&city.districts);
+  extractor.AddRelevantLayer(&city.slums);
+
+  ExtractorOptions options;
+  options.reference_attributes = false;
+  const auto table = extractor.Extract(options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(Has(RowLabels(table.value(), 0), "murderRate=high"));
+}
+
+TEST(ExtractorTest, DistanceBands) {
+  Layer districts("district");
+  districts.Add(Square(0, 0, 10), {{"name", "D"}});
+  Layer police("policeCenter");
+  police.Add(Point(5, 5));       // Inside: distance 0, veryClose.
+  police.Add(Point(10 + 300, 5));  // 300 away: close band.
+  police.Add(Point(10 + 5000, 5)); // 5000 away: beyond -> far.
+
+  PredicateExtractor extractor(&districts);
+  extractor.AddRelevantLayer(&police);
+
+  const auto bands =
+      qsr::DistanceQuantizer::Create({{"veryClose", 100}, {"close", 1000}},
+                                     "far");
+  ASSERT_TRUE(bands.ok());
+  ExtractorOptions options;
+  options.topological = false;
+  options.reference_attributes = false;
+  options.distance_bands = &bands.value();
+
+  const auto table = extractor.Extract(options);
+  ASSERT_TRUE(table.ok());
+  const auto labels = RowLabels(table.value(), 0);
+  EXPECT_TRUE(Has(labels, "veryClose_policeCenter"));
+  EXPECT_TRUE(Has(labels, "close_policeCenter"));
+  EXPECT_TRUE(Has(labels, "far_policeCenter"));
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(ExtractorTest, FarBandOnlyWhenSomethingIsBeyond) {
+  Layer districts("district");
+  districts.Add(Square(0, 0, 10), {{"name", "D"}});
+  Layer police("policeCenter");
+  police.Add(Point(5, 5));  // Only one, inside the district.
+
+  PredicateExtractor extractor(&districts);
+  extractor.AddRelevantLayer(&police);
+
+  const auto bands = qsr::DistanceQuantizer::Create(
+      {{"veryClose", 100}, {"close", 1000}}, "far");
+  ASSERT_TRUE(bands.ok());
+  ExtractorOptions options;
+  options.topological = false;
+  options.reference_attributes = false;
+  options.distance_bands = &bands.value();
+
+  const auto table = extractor.Extract(options);
+  ASSERT_TRUE(table.ok());
+  const auto labels = RowLabels(table.value(), 0);
+  EXPECT_TRUE(Has(labels, "veryClose_policeCenter"));
+  EXPECT_FALSE(Has(labels, "far_policeCenter"));
+}
+
+TEST(ExtractorTest, DirectionPredicates) {
+  Layer districts("district");
+  districts.Add(Square(0, 0, 2), {{"name", "D"}});
+  Layer rivers("river");
+  rivers.Add(LineString({{1, 100}, {1, 110}}));  // Due north.
+
+  PredicateExtractor extractor(&districts);
+  extractor.AddRelevantLayer(&rivers);
+
+  ExtractorOptions options;
+  options.topological = false;
+  options.reference_attributes = false;
+  options.directions = true;
+  const auto table = extractor.Extract(options);
+  ASSERT_TRUE(table.ok());
+  const auto labels = RowLabels(table.value(), 0);
+  EXPECT_TRUE(Has(labels, "north_river"));
+  EXPECT_EQ(labels.size(), 1u);
+}
+
+TEST(ExtractorTest, InstanceGranularityAndTaxonomyRoundTrip) {
+  MiniCity city;
+  PredicateExtractor extractor(&city.districts);
+  extractor.AddRelevantLayer(&city.slums);
+  extractor.AddRelevantLayer(&city.schools);
+
+  ExtractorOptions options;
+  options.instance_granularity = true;
+  options.reference_attributes = false;
+  const auto instance_table = extractor.Extract(options);
+  ASSERT_TRUE(instance_table.ok());
+
+  const auto nonoai = RowLabels(instance_table.value(), 0);
+  EXPECT_TRUE(Has(nonoai, "contains_slum0"));
+  EXPECT_TRUE(Has(nonoai, "overlaps_slum1"));
+  EXPECT_TRUE(Has(nonoai, "contains_school0"));
+  EXPECT_FALSE(Has(nonoai, "contains_slum"));
+
+  // Generalizing through the instance taxonomy recovers the type-level
+  // table the non-instance extraction produces.
+  const Taxonomy taxonomy = InstanceTaxonomy({&city.slums, &city.schools});
+  const PredicateTable type_table =
+      GeneralizeTable(instance_table.value(), taxonomy, 1);
+  ExtractorOptions plain;
+  plain.reference_attributes = false;
+  const auto direct = extractor.Extract(plain);
+  ASSERT_TRUE(direct.ok());
+  for (size_t row = 0; row < type_table.NumRows(); ++row) {
+    auto got = RowLabels(type_table, row);
+    auto want = RowLabels(direct.value(), row);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "row " << row;
+  }
+}
+
+TEST(ExtractorTest, EmptyReferenceLayerRejected) {
+  Layer empty("district");
+  PredicateExtractor extractor(&empty);
+  EXPECT_FALSE(extractor.Extract(ExtractorOptions()).ok());
+}
+
+TEST(ExtractorTest, RowNamesFallBackToTypeAndId) {
+  Layer districts("district");
+  districts.Add(Square(0, 0, 1));  // No "name" attribute.
+  PredicateExtractor extractor(&districts);
+  const auto table = extractor.Extract(ExtractorOptions());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().RowName(0), "district0");
+}
+
+TEST(LayerTest, BoundsAndIndex) {
+  Layer layer("slum");
+  layer.Add(Square(0, 0, 2));
+  layer.Add(Square(10, 10, 2));
+  EXPECT_EQ(layer.Bounds(), geom::Envelope(0, 0, 12, 12));
+
+  std::vector<uint64_t> hits;
+  layer.Index().Query(geom::Envelope(1, 1, 1.5, 1.5), &hits);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+
+  // Index refreshes after adding a feature.
+  layer.Add(Square(1, 1, 1));
+  hits.clear();
+  layer.Index().Query(geom::Envelope(1, 1, 1.5, 1.5), &hits);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(FeatureTest, AttributeLookup) {
+  Feature f(0, Geometry(Point(0, 0)), {{"name", "x"}});
+  EXPECT_EQ(f.Attribute("name").value(), "x");
+  EXPECT_EQ(f.Attribute("missing").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace feature
+}  // namespace sfpm

@@ -1,0 +1,122 @@
+#include "feature/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/city.h"
+
+namespace sfpm {
+namespace feature {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() {
+    datagen::CityConfig config;
+    config.grid_cols = 5;
+    config.grid_rows = 4;
+    config.num_slums = 25;
+    config.num_schools = 30;
+    config.num_police = 6;
+    config.num_streets = 15;
+    config.seed = 77;
+    city_ = datagen::GenerateCity(config);
+  }
+
+  SpatialAssociationPipeline MakePipeline() const {
+    SpatialAssociationPipeline pipeline(&city_->districts);
+    pipeline.AddRelevantLayer(&city_->slums);
+    pipeline.AddRelevantLayer(&city_->schools);
+    pipeline.AddRelevantLayer(&city_->streets);
+    pipeline.AddRelevantLayer(&city_->illumination);
+    pipeline.AddDependency("street", "illuminationPoint");
+    return pipeline;
+  }
+
+  std::unique_ptr<datagen::City> city_;
+};
+
+TEST_F(PipelineTest, RunsEndToEnd) {
+  const SpatialAssociationPipeline pipeline = MakePipeline();
+  PipelineOptions options;
+  options.min_support = 0.1;
+  options.rules = core::RuleOptions{};
+  options.rules->min_confidence = 0.7;
+
+  const auto result = pipeline.Run(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().table.NumRows(), city_->districts.Size());
+  EXPECT_GT(result.value().mining.CountAtLeast(2), 0u);
+  EXPECT_FALSE(result.value().rules.empty());
+}
+
+TEST_F(PipelineTest, FilterLevelsAreOrdered) {
+  const SpatialAssociationPipeline pipeline = MakePipeline();
+  PipelineOptions options;
+  options.min_support = 0.1;
+
+  size_t counts[3];
+  const FilterLevel levels[] = {FilterLevel::kNone, FilterLevel::kKc,
+                                FilterLevel::kKcPlus};
+  for (int i = 0; i < 3; ++i) {
+    options.filter_level = levels[i];
+    const auto result = pipeline.Run(options);
+    ASSERT_TRUE(result.ok());
+    counts[i] = result.value().mining.CountAtLeast(2);
+  }
+  EXPECT_GE(counts[0], counts[1]);  // Apriori >= KC.
+  EXPECT_GT(counts[1], counts[2]);  // KC > KC+ (same-type pairs abound).
+}
+
+TEST_F(PipelineTest, FpGrowthMatchesApriori) {
+  const SpatialAssociationPipeline pipeline = MakePipeline();
+  PipelineOptions options;
+  options.min_support = 0.12;
+
+  options.algorithm = MiningAlgorithm::kApriori;
+  const auto apriori = pipeline.Run(options);
+  options.algorithm = MiningAlgorithm::kFpGrowth;
+  const auto fp = pipeline.Run(options);
+  ASSERT_TRUE(apriori.ok() && fp.ok());
+  EXPECT_EQ(apriori.value().mining.CountAtLeast(1),
+            fp.value().mining.CountAtLeast(1));
+  for (const core::FrequentItemset& fi :
+       apriori.value().mining.itemsets()) {
+    EXPECT_EQ(fp.value().mining.SupportOf(fi.items).value_or(0xFFFFFFFF),
+              fi.support)
+        << fi.items.ToString();
+  }
+}
+
+TEST_F(PipelineTest, NoRulesWhenNotRequested) {
+  const SpatialAssociationPipeline pipeline = MakePipeline();
+  PipelineOptions options;
+  options.min_support = 0.2;
+  const auto result = pipeline.Run(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().rules.empty());
+}
+
+TEST_F(PipelineTest, MineTableEntryPoint) {
+  const SpatialAssociationPipeline pipeline = MakePipeline();
+  PipelineOptions options;
+  options.min_support = 0.15;
+  const auto extracted = pipeline.Run(options);
+  ASSERT_TRUE(extracted.ok());
+
+  // Re-mining the produced table gives the same counts.
+  const auto remined =
+      pipeline.MineTable(extracted.value().table, options);
+  ASSERT_TRUE(remined.ok());
+  EXPECT_EQ(remined.value().mining.CountAtLeast(2),
+            extracted.value().mining.CountAtLeast(2));
+}
+
+TEST(PipelineErrorTest, EmptyReferenceLayer) {
+  Layer empty("district");
+  SpatialAssociationPipeline pipeline(&empty);
+  EXPECT_FALSE(pipeline.Run(PipelineOptions()).ok());
+}
+
+}  // namespace
+}  // namespace feature
+}  // namespace sfpm

@@ -1,0 +1,92 @@
+#include "feature/predicate_table.h"
+
+#include <gtest/gtest.h>
+
+namespace sfpm {
+namespace feature {
+namespace {
+
+TEST(PredicateTableTest, RowsAndPredicates) {
+  PredicateTable table;
+  const size_t r0 = table.AddRow("Nonoai");
+  const size_t r1 = table.AddRow("Cristal");
+  ASSERT_TRUE(table.SetSpatial(r0, "contains", "slum").ok());
+  ASSERT_TRUE(table.SetSpatial(r0, "touches", "slum").ok());
+  ASSERT_TRUE(table.SetSpatial(r1, "contains", "slum").ok());
+  ASSERT_TRUE(table.SetAttribute(r1, "murderRate", "high").ok());
+
+  EXPECT_EQ(table.NumRows(), 2u);
+  EXPECT_EQ(table.NumPredicates(), 3u);
+  EXPECT_EQ(table.RowName(0), "Nonoai");
+  EXPECT_EQ(table.db().NumTransactions(), 2u);
+  EXPECT_EQ(table.db().Support(0), 2u);  // contains_slum in both rows.
+}
+
+TEST(PredicateTableTest, ItemKeysFollowFeatureTypes) {
+  PredicateTable table;
+  const size_t r = table.AddRow("row");
+  ASSERT_TRUE(table.SetSpatial(r, "contains", "slum").ok());
+  ASSERT_TRUE(table.SetSpatial(r, "touches", "slum").ok());
+  ASSERT_TRUE(table.SetAttribute(r, "murderRate", "high").ok());
+
+  EXPECT_EQ(table.db().Key(0), "slum");
+  EXPECT_EQ(table.db().Key(1), "slum");
+  EXPECT_EQ(table.db().Key(2), "");
+}
+
+TEST(PredicateTableTest, DeclareFixesIds) {
+  PredicateTable table;
+  const auto id0 = table.Declare(Predicate::Spatial("contains", "slum"));
+  const auto id1 = table.Declare(Predicate::Attribute("murderRate", "high"));
+  EXPECT_EQ(id0, 0u);
+  EXPECT_EQ(id1, 1u);
+  // Re-declaring returns the same id.
+  EXPECT_EQ(table.Declare(Predicate::Spatial("contains", "slum")), id0);
+  // Setting later reuses the declared id.
+  const size_t r = table.AddRow("row");
+  ASSERT_TRUE(table.SetSpatial(r, "contains", "slum").ok());
+  EXPECT_EQ(table.NumPredicates(), 2u);
+}
+
+TEST(PredicateTableTest, SetOutOfRangeRow) {
+  PredicateTable table;
+  EXPECT_EQ(table.SetSpatial(0, "contains", "slum").code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(PredicateTableTest, CountSameFeatureTypePairs) {
+  PredicateTable table;
+  table.Declare(Predicate::Spatial("contains", "slum"));
+  table.Declare(Predicate::Spatial("touches", "slum"));
+  table.Declare(Predicate::Spatial("overlaps", "slum"));
+  table.Declare(Predicate::Spatial("contains", "school"));
+  table.Declare(Predicate::Spatial("touches", "school"));
+  table.Declare(Predicate::Attribute("murderRate", "high"));
+  table.Declare(Predicate::Attribute("murderRate", "low"));
+  // C(3,2) + C(2,2) = 3 + 1; attribute values never pair.
+  EXPECT_EQ(table.CountSameFeatureTypePairs(), 4u);
+}
+
+TEST(PredicateTableTest, RowPredicatesRoundTrip) {
+  PredicateTable table;
+  const size_t r = table.AddRow("row");
+  ASSERT_TRUE(table.SetSpatial(r, "contains", "slum").ok());
+  ASSERT_TRUE(table.SetAttribute(r, "theftRate", "low").ok());
+  const auto preds = table.RowPredicates(r);
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0], Predicate::Spatial("contains", "slum"));
+  EXPECT_EQ(preds[1], Predicate::Attribute("theftRate", "low"));
+}
+
+TEST(PredicateTableTest, ToStringListsRows) {
+  PredicateTable table;
+  const size_t r = table.AddRow("Teresopolis");
+  ASSERT_TRUE(table.SetSpatial(r, "contains", "slum").ok());
+  const std::string s = table.ToString();
+  EXPECT_NE(s.find("Teresopolis"), std::string::npos);
+  EXPECT_NE(s.find("contains_slum"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace feature
+}  // namespace sfpm

@@ -1,0 +1,78 @@
+#include "feature/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace sfpm {
+namespace feature {
+namespace {
+
+TEST(PredicateTest, SpatialLabelAndKey) {
+  const Predicate p = Predicate::Spatial("contains", "slum");
+  EXPECT_TRUE(p.is_spatial());
+  EXPECT_EQ(p.Label(), "contains_slum");
+  EXPECT_EQ(p.Key(), "slum");
+  EXPECT_EQ(p.relation(), "contains");
+  EXPECT_EQ(p.feature_type(), "slum");
+}
+
+TEST(PredicateTest, AttributeLabelAndEmptyKey) {
+  const Predicate p = Predicate::Attribute("murderRate", "high");
+  EXPECT_FALSE(p.is_spatial());
+  EXPECT_EQ(p.Label(), "murderRate=high");
+  EXPECT_EQ(p.Key(), "");
+  EXPECT_EQ(p.value(), "high");
+}
+
+TEST(PredicateTest, SameFeatureType) {
+  const Predicate a = Predicate::Spatial("contains", "slum");
+  const Predicate b = Predicate::Spatial("touches", "slum");
+  const Predicate c = Predicate::Spatial("touches", "school");
+  const Predicate d = Predicate::Attribute("slum", "x");
+  EXPECT_TRUE(a.SameFeatureType(b));
+  EXPECT_TRUE(b.SameFeatureType(a));
+  EXPECT_FALSE(a.SameFeatureType(c));
+  EXPECT_FALSE(a.SameFeatureType(d));  // Attribute never groups.
+  EXPECT_FALSE(d.SameFeatureType(d));
+}
+
+TEST(PredicateTest, FromLabelSpatial) {
+  const auto p = Predicate::FromLabel("touches_policeCenter");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value(), Predicate::Spatial("touches", "policeCenter"));
+}
+
+TEST(PredicateTest, FromLabelUnderscoreInType) {
+  const auto p = Predicate::FromLabel("contains_police_center");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().relation(), "contains");
+  EXPECT_EQ(p.value().feature_type(), "police_center");
+}
+
+TEST(PredicateTest, FromLabelAttribute) {
+  const auto p = Predicate::FromLabel("theftRate=low");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value(), Predicate::Attribute("theftRate", "low"));
+}
+
+TEST(PredicateTest, FromLabelRoundTrip) {
+  for (const Predicate& p :
+       {Predicate::Spatial("overlaps", "slum"),
+        Predicate::Attribute("murderRate", "high")}) {
+    const auto back = Predicate::FromLabel(p.Label());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), p);
+  }
+}
+
+TEST(PredicateTest, FromLabelErrors) {
+  EXPECT_FALSE(Predicate::FromLabel("").ok());
+  EXPECT_FALSE(Predicate::FromLabel("nounderscore").ok());
+  EXPECT_FALSE(Predicate::FromLabel("_slum").ok());
+  EXPECT_FALSE(Predicate::FromLabel("contains_").ok());
+  EXPECT_FALSE(Predicate::FromLabel("=high").ok());
+  EXPECT_FALSE(Predicate::FromLabel("murderRate=").ok());
+}
+
+}  // namespace
+}  // namespace feature
+}  // namespace sfpm

@@ -1,0 +1,127 @@
+#include "feature/taxonomy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/apriori.h"
+
+namespace sfpm {
+namespace feature {
+namespace {
+
+Taxonomy SlumTaxonomy() {
+  Taxonomy t;
+  // Instance granularity -> type granularity -> theme granularity.
+  EXPECT_TRUE(t.AddIsA("slum159", "slum").ok());
+  EXPECT_TRUE(t.AddIsA("slum174", "slum").ok());
+  EXPECT_TRUE(t.AddIsA("slum180", "slum").ok());
+  EXPECT_TRUE(t.AddIsA("school20", "school").ok());
+  EXPECT_TRUE(t.AddIsA("slum", "informalSettlement").ok());
+  return t;
+}
+
+TEST(TaxonomyTest, ParentsAndAncestors) {
+  const Taxonomy t = SlumTaxonomy();
+  EXPECT_EQ(t.ParentOf("slum159").value(), "slum");
+  EXPECT_EQ(t.ParentOf("slum").value(), "informalSettlement");
+  EXPECT_FALSE(t.ParentOf("informalSettlement").ok());
+  EXPECT_FALSE(t.ParentOf("unknown").ok());
+  EXPECT_EQ(t.AncestorsOf("slum159"),
+            (std::vector<std::string>{"slum", "informalSettlement"}));
+  EXPECT_EQ(t.RootOf("slum159"), "informalSettlement");
+  EXPECT_EQ(t.RootOf("unknown"), "unknown");
+}
+
+TEST(TaxonomyTest, GeneralizeByLevels) {
+  const Taxonomy t = SlumTaxonomy();
+  EXPECT_EQ(t.Generalize("slum159", 0), "slum159");
+  EXPECT_EQ(t.Generalize("slum159", 1), "slum");
+  EXPECT_EQ(t.Generalize("slum159", 2), "informalSettlement");
+  EXPECT_EQ(t.Generalize("slum159", 99), "informalSettlement");
+  EXPECT_EQ(t.Generalize("unknown", 3), "unknown");
+}
+
+TEST(TaxonomyTest, RejectsConflictsAndCycles) {
+  Taxonomy t;
+  ASSERT_TRUE(t.AddIsA("a", "b").ok());
+  ASSERT_TRUE(t.AddIsA("b", "c").ok());
+  EXPECT_TRUE(t.AddIsA("a", "b").ok());  // Idempotent.
+  EXPECT_EQ(t.AddIsA("a", "x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(t.AddIsA("c", "a").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.AddIsA("x", "x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.Size(), 2u);
+}
+
+/// Instance-granularity table like the paper's Nonoai description:
+/// touches slum180, covers slum183-ish, contains slum159 — plus schools.
+PredicateTable InstanceTable() {
+  PredicateTable table;
+  const size_t nonoai = table.AddRow("Nonoai");
+  Status st = table.SetSpatial(nonoai, "contains", "slum159");
+  st = table.SetSpatial(nonoai, "touches", "slum180");
+  st = table.SetSpatial(nonoai, "overlaps", "slum174");
+  st = table.SetSpatial(nonoai, "contains", "school20");
+  st = table.SetAttribute(nonoai, "murderRate", "high");
+
+  const size_t cristal = table.AddRow("Cristal");
+  st = table.SetSpatial(cristal, "contains", "slum174");
+  st = table.SetSpatial(cristal, "contains", "school20");
+  st = table.SetAttribute(cristal, "murderRate", "high");
+  (void)st;
+  return table;
+}
+
+TEST(GeneralizeTableTest, InstanceToTypeGranularity) {
+  const PredicateTable instance = InstanceTable();
+  // At instance granularity only overlaps_slum174/contains_slum174 share
+  // a feature type (the same instance seen from two districts).
+  EXPECT_EQ(instance.CountSameFeatureTypePairs(), 1u);
+
+  const PredicateTable type_level =
+      GeneralizeTable(instance, SlumTaxonomy(), 1);
+  EXPECT_EQ(type_level.NumRows(), 2u);
+  // contains_slum159 and contains_slum174 merged into contains_slum.
+  const auto contains_slum = type_level.db().FindItem("contains_slum");
+  ASSERT_TRUE(contains_slum.ok());
+  EXPECT_EQ(type_level.db().Support(contains_slum.value()), 2u);
+  // Same-feature-type pairs now exist (contains/touches/overlaps slum).
+  EXPECT_EQ(type_level.CountSameFeatureTypePairs(), 3u);
+  // Attribute predicates pass through.
+  EXPECT_TRUE(type_level.db().FindItem("murderRate=high").ok());
+}
+
+TEST(GeneralizeTableTest, MiningGeneralizedTableFiltersSameType) {
+  const PredicateTable type_level =
+      GeneralizeTable(InstanceTable(), SlumTaxonomy(), 1);
+  const auto plain = core::MineApriori(type_level.db(), 1.0 / 2.0);
+  const auto kcplus = core::MineAprioriKCPlus(type_level.db(), 1.0 / 2.0);
+  ASSERT_TRUE(plain.ok() && kcplus.ok());
+  EXPECT_GE(plain.value().CountAtLeast(2), kcplus.value().CountAtLeast(2));
+
+  // The meaningless pair is gone after filtering.
+  const auto cs = type_level.db().FindItem("contains_slum");
+  const auto ts = type_level.db().FindItem("touches_slum");
+  ASSERT_TRUE(cs.ok() && ts.ok());
+  EXPECT_FALSE(
+      kcplus.value()
+          .SupportOf(core::Itemset({cs.value(), ts.value()}))
+          .has_value());
+}
+
+TEST(GeneralizeTableTest, SecondLevelMergesFurther) {
+  Taxonomy t = SlumTaxonomy();
+  ASSERT_TRUE(t.AddIsA("school", "publicService").ok());
+  const PredicateTable theme_level = GeneralizeTable(InstanceTable(), t, 2);
+  EXPECT_TRUE(theme_level.db().FindItem("contains_informalSettlement").ok());
+  EXPECT_TRUE(theme_level.db().FindItem("contains_publicService").ok());
+  EXPECT_FALSE(theme_level.db().FindItem("contains_slum").ok());
+}
+
+TEST(GeneralizeTableTest, ZeroLevelsIsIdentity) {
+  const PredicateTable instance = InstanceTable();
+  const PredicateTable same = GeneralizeTable(instance, SlumTaxonomy(), 0);
+  EXPECT_EQ(same.ToString(), instance.ToString());
+}
+
+}  // namespace
+}  // namespace feature
+}  // namespace sfpm

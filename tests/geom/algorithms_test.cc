@@ -1,0 +1,339 @@
+#include "geom/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace sfpm {
+namespace geom {
+namespace {
+
+Polygon Square(double x0, double y0, double size) {
+  return Polygon(LinearRing(
+      {{x0, y0}, {x0 + size, y0}, {x0 + size, y0 + size}, {x0, y0 + size}}));
+}
+
+TEST(OrientationTest, BasicTurns) {
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {1, 1}), 1);   // Left turn (CCW).
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {1, -1}), -1);  // Right turn.
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {2, 0}), 0);    // Collinear.
+}
+
+TEST(OrientationTest, ScaleInvariant) {
+  // Same configuration at widely different scales stays classified.
+  for (double scale : {1e-6, 1.0, 1e6}) {
+    EXPECT_EQ(Orientation({0, 0}, {scale, 0}, {scale, scale}), 1);
+    EXPECT_EQ(Orientation({0, 0}, {scale, 0}, {2 * scale, 0}), 0);
+  }
+}
+
+TEST(PointOnSegmentTest, EndpointsAndMidpoints) {
+  EXPECT_TRUE(PointOnSegment({0, 0}, {0, 0}, {2, 2}));
+  EXPECT_TRUE(PointOnSegment({2, 2}, {0, 0}, {2, 2}));
+  EXPECT_TRUE(PointOnSegment({1, 1}, {0, 0}, {2, 2}));
+  EXPECT_FALSE(PointOnSegment({3, 3}, {0, 0}, {2, 2}));  // Beyond.
+  EXPECT_FALSE(PointOnSegment({1, 1.5}, {0, 0}, {2, 2}));
+}
+
+TEST(IntersectSegmentsTest, ProperCrossing) {
+  const auto r = IntersectSegments({0, 0}, {2, 2}, {0, 2}, {2, 0});
+  ASSERT_EQ(r.kind, SegmentIntersection::Kind::kPoint);
+  EXPECT_TRUE(r.proper);
+  EXPECT_DOUBLE_EQ(r.p.x, 1.0);
+  EXPECT_DOUBLE_EQ(r.p.y, 1.0);
+}
+
+TEST(IntersectSegmentsTest, EndpointTouch) {
+  const auto r = IntersectSegments({0, 0}, {1, 0}, {1, 0}, {2, 5});
+  ASSERT_EQ(r.kind, SegmentIntersection::Kind::kPoint);
+  EXPECT_FALSE(r.proper);
+  EXPECT_EQ(r.p, Point(1, 0));
+}
+
+TEST(IntersectSegmentsTest, TTouchMidSegment) {
+  const auto r = IntersectSegments({0, 0}, {2, 0}, {1, 0}, {1, 5});
+  ASSERT_EQ(r.kind, SegmentIntersection::Kind::kPoint);
+  EXPECT_EQ(r.p, Point(1, 0));
+}
+
+TEST(IntersectSegmentsTest, CollinearOverlap) {
+  const auto r = IntersectSegments({0, 0}, {3, 0}, {1, 0}, {5, 0});
+  ASSERT_EQ(r.kind, SegmentIntersection::Kind::kOverlap);
+  EXPECT_EQ(r.p, Point(1, 0));
+  EXPECT_EQ(r.q, Point(3, 0));
+}
+
+TEST(IntersectSegmentsTest, CollinearTouchAtPoint) {
+  const auto r = IntersectSegments({0, 0}, {1, 0}, {1, 0}, {2, 0});
+  ASSERT_EQ(r.kind, SegmentIntersection::Kind::kPoint);
+  EXPECT_EQ(r.p, Point(1, 0));
+}
+
+TEST(IntersectSegmentsTest, CollinearDisjoint) {
+  EXPECT_EQ(IntersectSegments({0, 0}, {1, 0}, {2, 0}, {3, 0}).kind,
+            SegmentIntersection::Kind::kNone);
+}
+
+TEST(IntersectSegmentsTest, ParallelDisjoint) {
+  EXPECT_EQ(IntersectSegments({0, 0}, {1, 0}, {0, 1}, {1, 1}).kind,
+            SegmentIntersection::Kind::kNone);
+}
+
+TEST(IntersectSegmentsTest, DegenerateSegments) {
+  // Point-point.
+  EXPECT_EQ(IntersectSegments({1, 1}, {1, 1}, {1, 1}, {1, 1}).kind,
+            SegmentIntersection::Kind::kPoint);
+  EXPECT_EQ(IntersectSegments({1, 1}, {1, 1}, {2, 2}, {2, 2}).kind,
+            SegmentIntersection::Kind::kNone);
+  // Point on segment.
+  EXPECT_EQ(IntersectSegments({1, 0}, {1, 0}, {0, 0}, {2, 0}).kind,
+            SegmentIntersection::Kind::kPoint);
+  EXPECT_EQ(IntersectSegments({1, 1}, {1, 1}, {0, 0}, {2, 0}).kind,
+            SegmentIntersection::Kind::kNone);
+}
+
+TEST(LocateInRingTest, InteriorBoundaryExterior) {
+  const LinearRing ring({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  EXPECT_EQ(LocateInRing({2, 2}, ring), Location::kInterior);
+  EXPECT_EQ(LocateInRing({0, 2}, ring), Location::kBoundary);
+  EXPECT_EQ(LocateInRing({4, 4}, ring), Location::kBoundary);  // Vertex.
+  EXPECT_EQ(LocateInRing({5, 2}, ring), Location::kExterior);
+  EXPECT_EQ(LocateInRing({-1, 0}, ring), Location::kExterior);
+}
+
+TEST(LocateInRingTest, ConcaveRing) {
+  // A "U" shape: the notch is exterior.
+  const LinearRing ring(
+      {{0, 0}, {5, 0}, {5, 5}, {4, 5}, {4, 1}, {1, 1}, {1, 5}, {0, 5}});
+  EXPECT_EQ(LocateInRing({0.5, 3}, ring), Location::kInterior);
+  EXPECT_EQ(LocateInRing({4.5, 3}, ring), Location::kInterior);
+  EXPECT_EQ(LocateInRing({2.5, 3}, ring), Location::kExterior);  // Notch.
+  EXPECT_EQ(LocateInRing({2.5, 0.5}, ring), Location::kInterior);
+}
+
+TEST(LocateInRingTest, RayThroughVertexCountsOnce) {
+  // Point horizontally aligned with a vertex of the ring.
+  const LinearRing diamond({{2, 0}, {4, 2}, {2, 4}, {0, 2}});
+  EXPECT_EQ(LocateInRing({2, 2}, diamond), Location::kInterior);
+  EXPECT_EQ(LocateInRing({-1, 2}, diamond), Location::kExterior);
+  EXPECT_EQ(LocateInRing({5, 2}, diamond), Location::kExterior);
+}
+
+TEST(LocateInPolygonTest, HoleSemantics) {
+  const Polygon p(LinearRing({{0, 0}, {6, 0}, {6, 6}, {0, 6}}),
+                  {LinearRing({{2, 2}, {4, 2}, {4, 4}, {2, 4}})});
+  EXPECT_EQ(LocateInPolygon({1, 1}, p), Location::kInterior);
+  EXPECT_EQ(LocateInPolygon({3, 3}, p), Location::kExterior);  // In hole.
+  EXPECT_EQ(LocateInPolygon({2, 3}, p), Location::kBoundary);  // Hole edge.
+  EXPECT_EQ(LocateInPolygon({0, 3}, p), Location::kBoundary);  // Shell edge.
+  EXPECT_EQ(LocateInPolygon({7, 3}, p), Location::kExterior);
+}
+
+TEST(LocateTest, LineStringBoundaryIsEndpoints) {
+  const Geometry line(LineString({{0, 0}, {2, 0}, {2, 2}}));
+  EXPECT_EQ(Locate({0, 0}, line), Location::kBoundary);
+  EXPECT_EQ(Locate({2, 2}, line), Location::kBoundary);
+  EXPECT_EQ(Locate({1, 0}, line), Location::kInterior);
+  EXPECT_EQ(Locate({2, 1}, line), Location::kInterior);
+  EXPECT_EQ(Locate({3, 3}, line), Location::kExterior);
+}
+
+TEST(LocateTest, ClosedLineHasNoBoundary) {
+  const Geometry ring(LineString({{0, 0}, {2, 0}, {2, 2}, {0, 0}}));
+  EXPECT_EQ(Locate({0, 0}, ring), Location::kInterior);
+  EXPECT_EQ(Locate({1, 0}, ring), Location::kInterior);
+}
+
+TEST(LocateTest, MultiLineStringMod2Rule) {
+  // Two curves sharing an endpoint at (1,0): even count -> interior.
+  const Geometry ml(MultiLineString({LineString({{0, 0}, {1, 0}}),
+                                     LineString({{1, 0}, {2, 0}})}));
+  EXPECT_EQ(Locate({1, 0}, ml), Location::kInterior);
+  EXPECT_EQ(Locate({0, 0}, ml), Location::kBoundary);
+  EXPECT_EQ(Locate({2, 0}, ml), Location::kBoundary);
+}
+
+TEST(LocateTest, PointGeometry) {
+  const Geometry pt(Point(1, 1));
+  EXPECT_EQ(Locate({1, 1}, pt), Location::kInterior);
+  EXPECT_EQ(Locate({1, 2}, pt), Location::kExterior);
+}
+
+TEST(DistanceTest, PointSegment) {
+  EXPECT_DOUBLE_EQ(DistancePointSegment({0, 1}, {0, 0}, {2, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(DistancePointSegment({-3, 4}, {0, 0}, {2, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(DistancePointSegment({1, 0}, {0, 0}, {2, 0}), 0.0);
+}
+
+TEST(DistanceTest, SegmentSegment) {
+  EXPECT_DOUBLE_EQ(DistanceSegmentSegment({0, 0}, {1, 0}, {0, 2}, {1, 2}),
+                   2.0);
+  EXPECT_DOUBLE_EQ(DistanceSegmentSegment({0, 0}, {2, 2}, {0, 2}, {2, 0}),
+                   0.0);  // Crossing.
+}
+
+TEST(DistanceTest, GeometryDispatch) {
+  const Geometry sq(Square(0, 0, 2));
+  EXPECT_DOUBLE_EQ(Distance(Geometry(Point(1, 1)), sq), 0.0);  // Inside.
+  EXPECT_DOUBLE_EQ(Distance(Geometry(Point(5, 1)), sq), 3.0);
+  EXPECT_DOUBLE_EQ(Distance(sq, Geometry(Square(5, 0, 1))), 3.0);
+  EXPECT_DOUBLE_EQ(Distance(sq, Geometry(Square(1, 1, 5))), 0.0);  // Overlap.
+  // Polygon containing a polygon: distance zero.
+  EXPECT_DOUBLE_EQ(Distance(Geometry(Square(0, 0, 10)), sq), 0.0);
+  // Line to polygon.
+  EXPECT_DOUBLE_EQ(
+      Distance(Geometry(LineString({{5, 0}, {5, 2}})), sq), 3.0);
+  // Line inside polygon.
+  EXPECT_DOUBLE_EQ(
+      Distance(Geometry(LineString({{0.5, 0.5}, {1.5, 1.5}})), sq), 0.0);
+}
+
+TEST(DistanceTest, PolygonInHoleIsPositive) {
+  const Polygon with_hole(LinearRing({{0, 0}, {10, 0}, {10, 10}, {0, 10}}),
+                          {LinearRing({{2, 2}, {8, 2}, {8, 8}, {2, 8}})});
+  const Geometry island(Square(4, 4, 2));
+  EXPECT_DOUBLE_EQ(Distance(Geometry(with_hole), island), 2.0);
+}
+
+TEST(DistanceTest, MultiGeometryTakesMinimum) {
+  const Geometry mp(MultiPoint({{10, 0}, {0, 3}}));
+  EXPECT_DOUBLE_EQ(Distance(mp, Geometry(Point(0, 0))), 3.0);
+}
+
+TEST(InteriorPointTest, ConvexAndConcave) {
+  const Polygon sq = Square(0, 0, 4);
+  const Point ip = InteriorPoint(sq);
+  EXPECT_EQ(LocateInPolygon(ip, sq), Location::kInterior);
+
+  const Polygon u(LinearRing(
+      {{0, 0}, {5, 0}, {5, 5}, {4, 5}, {4, 1}, {1, 1}, {1, 5}, {0, 5}}));
+  EXPECT_EQ(LocateInPolygon(InteriorPoint(u), u), Location::kInterior);
+}
+
+TEST(InteriorPointTest, WithHoleCoveringCenter) {
+  // The hole swallows the envelope centre; the interior point must dodge it.
+  const Polygon p(LinearRing({{0, 0}, {10, 0}, {10, 10}, {0, 10}}),
+                  {LinearRing({{3, 3}, {7, 3}, {7, 7}, {3, 7}})});
+  EXPECT_EQ(LocateInPolygon(InteriorPoint(p), p), Location::kInterior);
+}
+
+TEST(InteriorPointTest, RandomBlobsProperty) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Point> ring;
+    const int n = 5 + static_cast<int>(rng.NextUint64(8));
+    for (int i = 0; i < n; ++i) {
+      const double angle = 2 * M_PI * i / n;
+      const double radius = rng.NextDouble(0.5, 2.0);
+      ring.emplace_back(radius * std::cos(angle), radius * std::sin(angle));
+    }
+    const Polygon blob((LinearRing(ring)));
+    EXPECT_EQ(LocateInPolygon(InteriorPoint(blob), blob), Location::kInterior)
+        << "trial " << trial;
+  }
+}
+
+TEST(CentroidTest, KnownShapes) {
+  const Point c = Centroid(Geometry(Square(0, 0, 2)));
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 1.0);
+
+  const Point lc = Centroid(Geometry(LineString({{0, 0}, {2, 0}})));
+  EXPECT_DOUBLE_EQ(lc.x, 1.0);
+  EXPECT_DOUBLE_EQ(lc.y, 0.0);
+
+  const Point mc = Centroid(Geometry(MultiPoint({{0, 0}, {2, 0}, {1, 3}})));
+  EXPECT_DOUBLE_EQ(mc.x, 1.0);
+  EXPECT_DOUBLE_EQ(mc.y, 1.0);
+}
+
+TEST(CentroidTest, HoleShiftsCentroid) {
+  // Square with an off-centre hole: centroid moves away from the hole.
+  const Polygon p(LinearRing({{0, 0}, {4, 0}, {4, 4}, {0, 4}}),
+                  {LinearRing({{2.5, 1.5}, {3.5, 1.5}, {3.5, 2.5}, {2.5, 2.5}})});
+  const Point c = Centroid(Geometry(p));
+  EXPECT_LT(c.x, 2.0);
+  EXPECT_NEAR(c.y, 2.0, 0.05);
+}
+
+TEST(ConvexHullTest, SquareWithInteriorPoints) {
+  const LinearRing hull = ConvexHull(
+      {{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 3}, {3, 1}});
+  EXPECT_DOUBLE_EQ(hull.Area(), 16.0);
+  EXPECT_GT(hull.SignedArea(), 0.0);  // CCW.
+  ASSERT_EQ(hull.NumPoints(), 5u);   // 4 corners + closure.
+}
+
+TEST(ConvexHullTest, CollinearInput) {
+  const LinearRing hull = ConvexHull({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  EXPECT_DOUBLE_EQ(hull.Area(), 0.0);
+}
+
+TEST(ConvexHullTest, RandomPointsAllInsideHull) {
+  Rng rng(123);
+  std::vector<Point> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.emplace_back(rng.NextDouble(-5, 5), rng.NextDouble(-5, 5));
+  }
+  const LinearRing hull = ConvexHull(pts);
+  const Polygon hull_poly(hull);
+  for (const Point& p : pts) {
+    EXPECT_NE(LocateInPolygon(p, hull_poly), Location::kExterior);
+  }
+}
+
+TEST(SimplifyTest, DropsNearCollinearVertices) {
+  const LineString line({{0, 0}, {1, 0.01}, {2, 0}, {3, 0.01}, {4, 0}});
+  const LineString simple = Simplify(line, 0.1);
+  EXPECT_EQ(simple.NumPoints(), 2u);
+  EXPECT_EQ(simple.point(0), Point(0, 0));
+  EXPECT_EQ(simple.point(1), Point(4, 0));
+}
+
+TEST(SimplifyTest, KeepsSignificantVertices) {
+  const LineString line({{0, 0}, {2, 3}, {4, 0}});
+  const LineString simple = Simplify(line, 0.5);
+  EXPECT_EQ(simple.NumPoints(), 3u);
+}
+
+TEST(SimplifyTest, ToleranceZeroKeepsEverythingNonCollinear) {
+  const LineString line({{0, 0}, {1, 1}, {2, 0}, {3, 1}});
+  EXPECT_EQ(Simplify(line, 0.0).NumPoints(), 4u);
+}
+
+TEST(SplitPointsTest, OrderedInteriorCuts) {
+  const std::vector<std::pair<Point, Point>> cutters = {
+      {{3, -1}, {3, 1}}, {{1, -1}, {1, 1}}, {{0, -1}, {0, 1}}};  // Last at endpoint.
+  const auto cuts = SplitPointsOnSegment({0, 0}, {4, 0}, cutters);
+  ASSERT_EQ(cuts.size(), 2u);  // Endpoint cut excluded.
+  EXPECT_EQ(cuts[0], Point(1, 0));
+  EXPECT_EQ(cuts[1], Point(3, 0));
+}
+
+TEST(SplitPointsTest, OverlapContributesBothEnds) {
+  const std::vector<std::pair<Point, Point>> cutters = {{{1, 0}, {2, 0}}};
+  const auto cuts = SplitPointsOnSegment({0, 0}, {4, 0}, cutters);
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_EQ(cuts[0], Point(1, 0));
+  EXPECT_EQ(cuts[1], Point(2, 0));
+}
+
+TEST(BoundarySegmentsTest, CountsPerType) {
+  EXPECT_EQ(BoundarySegments(Geometry(Point(0, 0))).size(), 0u);
+  EXPECT_EQ(
+      BoundarySegments(Geometry(LineString({{0, 0}, {1, 0}, {2, 0}}))).size(),
+      2u);
+  const Polygon with_hole(LinearRing({{0, 0}, {4, 0}, {4, 4}, {0, 4}}),
+                          {LinearRing({{1, 1}, {2, 1}, {2, 2}, {1, 2}})});
+  EXPECT_EQ(BoundarySegments(Geometry(with_hole)).size(), 8u);
+}
+
+TEST(AllVerticesTest, CollectsFromEveryPart) {
+  const MultiPolygon mp({Square(0, 0, 1), Square(5, 5, 1)});
+  EXPECT_EQ(AllVertices(Geometry(mp)).size(), 10u);  // 5 ring vertices each.
+  EXPECT_EQ(AllVertices(Geometry(MultiPoint({{0, 0}, {1, 1}}))).size(), 2u);
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace sfpm

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "geom/point.h"
+
+namespace sfpm {
+namespace geom {
+namespace {
+
+TEST(EnvelopeTest, DefaultIsNull) {
+  Envelope env;
+  EXPECT_TRUE(env.IsNull());
+  EXPECT_EQ(env.Width(), 0.0);
+  EXPECT_EQ(env.Area(), 0.0);
+  EXPECT_FALSE(env.Contains(Point(0, 0)));
+  EXPECT_FALSE(env.Intersects(Envelope(0, 0, 1, 1)));
+}
+
+TEST(EnvelopeTest, NormalizesCorners) {
+  Envelope env(5, 7, 1, 2);
+  EXPECT_EQ(env.min_x(), 1);
+  EXPECT_EQ(env.min_y(), 2);
+  EXPECT_EQ(env.max_x(), 5);
+  EXPECT_EQ(env.max_y(), 7);
+  EXPECT_EQ(env.Width(), 4);
+  EXPECT_EQ(env.Height(), 5);
+  EXPECT_EQ(env.Area(), 20);
+  EXPECT_EQ(env.Perimeter(), 18);
+}
+
+TEST(EnvelopeTest, ExpandToIncludePoint) {
+  Envelope env;
+  env.ExpandToInclude(Point(1, 1));
+  EXPECT_FALSE(env.IsNull());
+  EXPECT_EQ(env.Area(), 0.0);
+  env.ExpandToInclude(Point(-1, 3));
+  EXPECT_EQ(env, Envelope(-1, 1, 1, 3));
+}
+
+TEST(EnvelopeTest, ExpandToIncludeNullEnvelopeIsNoop) {
+  Envelope env(0, 0, 1, 1);
+  env.ExpandToInclude(Envelope());
+  EXPECT_EQ(env, Envelope(0, 0, 1, 1));
+}
+
+TEST(EnvelopeTest, IntersectsSharedEdgeAndCorner) {
+  const Envelope a(0, 0, 1, 1);
+  EXPECT_TRUE(a.Intersects(Envelope(1, 0, 2, 1)));  // Shared edge.
+  EXPECT_TRUE(a.Intersects(Envelope(1, 1, 2, 2)));  // Shared corner.
+  EXPECT_FALSE(a.Intersects(Envelope(1.01, 0, 2, 1)));
+}
+
+TEST(EnvelopeTest, ContainsPointIncludesBorder) {
+  const Envelope env(0, 0, 2, 2);
+  EXPECT_TRUE(env.Contains(Point(1, 1)));
+  EXPECT_TRUE(env.Contains(Point(0, 0)));
+  EXPECT_TRUE(env.Contains(Point(2, 1)));
+  EXPECT_FALSE(env.Contains(Point(2.001, 1)));
+}
+
+TEST(EnvelopeTest, ContainsEnvelope) {
+  const Envelope outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.Contains(Envelope(1, 1, 9, 9)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Envelope(5, 5, 11, 9)));
+}
+
+TEST(EnvelopeTest, DistanceZeroWhenIntersecting) {
+  EXPECT_EQ(Envelope(0, 0, 1, 1).Distance(Envelope(0.5, 0.5, 2, 2)), 0.0);
+}
+
+TEST(EnvelopeTest, DistanceAxisAligned) {
+  EXPECT_DOUBLE_EQ(Envelope(0, 0, 1, 1).Distance(Envelope(3, 0, 4, 1)), 2.0);
+  EXPECT_DOUBLE_EQ(Envelope(0, 0, 1, 1).Distance(Envelope(0, 5, 1, 6)), 4.0);
+}
+
+TEST(EnvelopeTest, DistanceDiagonal) {
+  EXPECT_DOUBLE_EQ(Envelope(0, 0, 1, 1).Distance(Envelope(4, 5, 6, 7)), 5.0);
+}
+
+TEST(EnvelopeTest, IntersectionRectangle) {
+  const Envelope inter =
+      Envelope(0, 0, 4, 4).Intersection(Envelope(2, 1, 6, 3));
+  EXPECT_EQ(inter, Envelope(2, 1, 4, 3));
+  EXPECT_TRUE(Envelope(0, 0, 1, 1).Intersection(Envelope(2, 2, 3, 3)).IsNull());
+}
+
+TEST(EnvelopeTest, BufferedGrowsEverySide) {
+  EXPECT_EQ(Envelope(0, 0, 1, 1).Buffered(2), Envelope(-2, -2, 3, 3));
+  EXPECT_TRUE(Envelope().Buffered(1).IsNull());
+}
+
+TEST(EnvelopeTest, EnlargementToInclude) {
+  const Envelope a(0, 0, 2, 2);
+  EXPECT_EQ(a.EnlargementToInclude(Envelope(1, 1, 2, 2)), 0.0);
+  EXPECT_EQ(a.EnlargementToInclude(Envelope(0, 0, 4, 2)), 4.0);
+}
+
+TEST(PointTest, DistanceAndOrder) {
+  EXPECT_DOUBLE_EQ(Point(0, 0).DistanceTo(Point(3, 4)), 5.0);
+  EXPECT_TRUE(Point(1, 5) < Point(2, 0));
+  EXPECT_TRUE(Point(1, 2) < Point(1, 3));
+  EXPECT_FALSE(Point(1, 2) < Point(1, 2));
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace sfpm

@@ -1,0 +1,115 @@
+#include "geom/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace sfpm {
+namespace geom {
+namespace {
+
+Polygon UnitSquare() {
+  return Polygon(LinearRing({{0, 0}, {1, 0}, {1, 1}, {0, 1}}));
+}
+
+TEST(LineStringTest, LengthAndEnvelope) {
+  LineString l({{0, 0}, {3, 0}, {3, 4}});
+  EXPECT_DOUBLE_EQ(l.Length(), 7.0);
+  EXPECT_EQ(l.GetEnvelope(), Envelope(0, 0, 3, 4));
+  EXPECT_FALSE(l.IsClosed());
+}
+
+TEST(LineStringTest, ClosedDetection) {
+  EXPECT_TRUE(LineString({{0, 0}, {1, 0}, {1, 1}, {0, 0}}).IsClosed());
+  EXPECT_FALSE(LineString({{0, 0}, {1, 0}}).IsClosed());
+}
+
+TEST(LinearRingTest, AutoCloses) {
+  LinearRing ring({{0, 0}, {1, 0}, {1, 1}});
+  ASSERT_EQ(ring.NumPoints(), 4u);
+  EXPECT_EQ(ring.point(0), ring.point(3));
+  EXPECT_TRUE(ring.IsValid());
+}
+
+TEST(LinearRingTest, SignedAreaOrientation) {
+  LinearRing ccw({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  LinearRing cw({{0, 0}, {0, 2}, {2, 2}, {2, 0}});
+  EXPECT_DOUBLE_EQ(ccw.SignedArea(), 4.0);
+  EXPECT_DOUBLE_EQ(cw.SignedArea(), -4.0);
+  EXPECT_DOUBLE_EQ(ccw.Area(), 4.0);
+  EXPECT_DOUBLE_EQ(cw.Area(), 4.0);
+}
+
+TEST(PolygonTest, AreaWithHoles) {
+  Polygon p(LinearRing({{0, 0}, {4, 0}, {4, 4}, {0, 4}}),
+            {LinearRing({{1, 1}, {2, 1}, {2, 2}, {1, 2}})});
+  EXPECT_DOUBLE_EQ(p.Area(), 15.0);
+  EXPECT_DOUBLE_EQ(p.BoundaryLength(), 16.0 + 4.0);
+}
+
+TEST(GeometryTest, DimensionPerType) {
+  EXPECT_EQ(Geometry(Point(0, 0)).Dimension(), 0);
+  EXPECT_EQ(Geometry(MultiPoint({{0, 0}})).Dimension(), 0);
+  EXPECT_EQ(Geometry(LineString({{0, 0}, {1, 1}})).Dimension(), 1);
+  EXPECT_EQ(Geometry(MultiLineString()).Dimension(), 1);
+  EXPECT_EQ(Geometry(UnitSquare()).Dimension(), 2);
+  EXPECT_EQ(Geometry(MultiPolygon()).Dimension(), 2);
+}
+
+TEST(GeometryTest, TypeQueries) {
+  const Geometry g(UnitSquare());
+  EXPECT_EQ(g.type(), GeometryType::kPolygon);
+  EXPECT_TRUE(g.Is<Polygon>());
+  EXPECT_FALSE(g.Is<Point>());
+  EXPECT_DOUBLE_EQ(g.As<Polygon>().Area(), 1.0);
+}
+
+TEST(GeometryTest, EnvelopeOfMultiPolygon) {
+  MultiPolygon mp({UnitSquare(),
+                   Polygon(LinearRing({{5, 5}, {6, 5}, {6, 7}, {5, 7}}))});
+  EXPECT_EQ(Geometry(mp).GetEnvelope(), Envelope(0, 0, 6, 7));
+  EXPECT_DOUBLE_EQ(mp.Area(), 3.0);
+}
+
+TEST(GeometryTest, NumParts) {
+  EXPECT_EQ(Geometry(Point(1, 1)).NumParts(), 1u);
+  EXPECT_EQ(Geometry(MultiPoint({{0, 0}, {1, 1}, {2, 2}})).NumParts(), 3u);
+}
+
+TEST(GeometryTest, DecomposeSplitsMultis) {
+  MultiLineString ml({LineString({{0, 0}, {1, 1}}),
+                      LineString({{2, 2}, {3, 3}})});
+  const auto parts = Decompose(Geometry(ml));
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].type(), GeometryType::kLineString);
+  EXPECT_EQ(parts[1].type(), GeometryType::kLineString);
+}
+
+TEST(GeometryTest, DecomposeOfSimpleIsIdentity) {
+  const Geometry g(UnitSquare());
+  const auto parts = Decompose(g);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], g);
+}
+
+TEST(GeometryTest, EmptyDetection) {
+  EXPECT_TRUE(Geometry(LineString()).IsEmpty());
+  EXPECT_TRUE(Geometry(Polygon()).IsEmpty());
+  EXPECT_TRUE(Geometry(MultiPoint()).IsEmpty());
+  EXPECT_FALSE(Geometry(Point(0, 0)).IsEmpty());
+  EXPECT_FALSE(Geometry(UnitSquare()).IsEmpty());
+}
+
+TEST(GeometryTest, TypeNames) {
+  EXPECT_STREQ(GeometryTypeName(GeometryType::kPoint), "POINT");
+  EXPECT_STREQ(GeometryTypeName(GeometryType::kMultiPolygon),
+               "MULTIPOLYGON");
+}
+
+TEST(MultiLineStringTest, TotalLength) {
+  MultiLineString ml({LineString({{0, 0}, {1, 0}}),
+                      LineString({{0, 0}, {0, 2}})});
+  EXPECT_DOUBLE_EQ(ml.Length(), 3.0);
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace sfpm

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "geom/algorithms.h"
+#include "geom/transform.h"
+#include "geom/wkt.h"
+
+namespace sfpm {
+namespace geom {
+namespace {
+
+Geometry G(const char* wkt) {
+  auto g = ReadWkt(wkt);
+  EXPECT_TRUE(g.ok()) << wkt;
+  return g.value_or(Geometry());
+}
+
+TEST(GeometryMeasuresTest, AreaDispatch) {
+  EXPECT_DOUBLE_EQ(Area(G("POINT (1 1)")), 0.0);
+  EXPECT_DOUBLE_EQ(Area(G("LINESTRING (0 0, 5 0)")), 0.0);
+  EXPECT_DOUBLE_EQ(Area(G("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")), 16.0);
+  EXPECT_DOUBLE_EQ(
+      Area(G("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0),"
+             " (1 1, 2 1, 2 2, 1 2, 1 1))")),
+      15.0);
+  EXPECT_DOUBLE_EQ(Area(G("MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)),"
+                          " ((5 5, 7 5, 7 7, 5 7, 5 5)))")),
+                   5.0);
+}
+
+TEST(GeometryMeasuresTest, LengthDispatch) {
+  EXPECT_DOUBLE_EQ(Length(G("POINT (1 1)")), 0.0);
+  EXPECT_DOUBLE_EQ(Length(G("LINESTRING (0 0, 3 0, 3 4)")), 7.0);
+  EXPECT_DOUBLE_EQ(Length(G("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")), 16.0);
+  EXPECT_DOUBLE_EQ(
+      Length(G("MULTILINESTRING ((0 0, 1 0), (0 0, 0 2))")), 3.0);
+}
+
+TEST(HausdorffTest, IdenticalIsZero) {
+  const Geometry g = G("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  EXPECT_DOUBLE_EQ(HausdorffDistance(g, g), 0.0);
+}
+
+TEST(HausdorffTest, TranslatedSquares) {
+  const Geometry a = G("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))");
+  const Geometry b = Translate(a, 10, 0);
+  // Hausdorff between a square and its x-translate by 10: the far corner
+  // pairing gives sqrt(8^2) .. actually max over boundary-to-boundary
+  // distance = 10 (left edge of a to left edge of b is 10; every point of
+  // a is within 10 of b and the corners achieve it).
+  EXPECT_NEAR(HausdorffDistance(a, b), 10.0, 1e-9);
+}
+
+TEST(HausdorffTest, AsymmetricShapesUseMaxDirection) {
+  const Geometry small = G("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))");
+  const Geometry big = G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+  // small -> big is 0 (contained, boundary near), big -> small dominates:
+  // the far corner (10,10) is sqrt(81+81) from the small square.
+  EXPECT_NEAR(HausdorffDistance(small, big), std::hypot(9.0, 9.0), 1e-9);
+}
+
+TEST(HausdorffTest, PointSets) {
+  const Geometry a = G("MULTIPOINT (0 0, 10 0)");
+  const Geometry b = G("MULTIPOINT (0 1, 10 1)");
+  EXPECT_NEAR(HausdorffDistance(a, b), 1.0, 1e-9);
+}
+
+TEST(HausdorffTest, DensificationTightensLines) {
+  // A segment vs just its two endpoints: with vertices only, the directed
+  // distance from the segment is 0; densified sampling reveals that the
+  // segment's middle is ~50 away from the point set.
+  const Geometry line = G("LINESTRING (0 0, 100 0)");
+  const Geometry endpoints = G("MULTIPOINT (0 0, 100 0)");
+  const double coarse = HausdorffDistance(line, endpoints, 1.0);
+  const double fine = HausdorffDistance(line, endpoints, 0.05);
+  EXPECT_DOUBLE_EQ(coarse, 0.0);
+  EXPECT_NEAR(fine, 50.0, 3.0);
+}
+
+TEST(HausdorffTest, SymmetricInArguments) {
+  const Geometry a = G("POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))");
+  const Geometry b = G("LINESTRING (5 0, 9 4)");
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), HausdorffDistance(b, a));
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace sfpm

@@ -1,0 +1,119 @@
+#include "geom/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/algorithms.h"
+#include "geom/wkt.h"
+#include "relate/relate.h"
+
+namespace sfpm {
+namespace geom {
+namespace {
+
+Geometry G(const char* wkt) {
+  auto g = ReadWkt(wkt);
+  EXPECT_TRUE(g.ok()) << wkt;
+  return g.value_or(Geometry());
+}
+
+void ExpectPointNear(const Point& got, const Point& want) {
+  EXPECT_NEAR(got.x, want.x, 1e-12);
+  EXPECT_NEAR(got.y, want.y, 1e-12);
+}
+
+TEST(TransformTest, IdentityByDefault) {
+  const AffineTransform id;
+  ExpectPointNear(id.Apply(Point(3, 4)), Point(3, 4));
+  EXPECT_DOUBLE_EQ(id.Determinant(), 1.0);
+}
+
+TEST(TransformTest, Translation) {
+  const auto t = AffineTransform::Translation(2, -3);
+  ExpectPointNear(t.Apply(Point(1, 1)), Point(3, -2));
+}
+
+TEST(TransformTest, ScalingAboutOrigin) {
+  const auto t = AffineTransform::Scaling(2, 3);
+  ExpectPointNear(t.Apply(Point(1, 1)), Point(2, 3));
+  EXPECT_DOUBLE_EQ(t.Determinant(), 6.0);
+}
+
+TEST(TransformTest, RotationQuarterTurn) {
+  const auto t = AffineTransform::Rotation(M_PI / 2);
+  ExpectPointNear(t.Apply(Point(1, 0)), Point(0, 1));
+  ExpectPointNear(t.Apply(Point(0, 1)), Point(-1, 0));
+}
+
+TEST(TransformTest, RotationAboutCenterFixesCenter) {
+  const Point center(5, 5);
+  const auto t = AffineTransform::Rotation(1.234, center);
+  ExpectPointNear(t.Apply(center), center);
+}
+
+TEST(TransformTest, ReflectionFlipsOrientation) {
+  EXPECT_DOUBLE_EQ(AffineTransform::ReflectionX().Determinant(), -1.0);
+}
+
+TEST(TransformTest, CompositionOrder) {
+  // Translate then scale != scale then translate.
+  const auto translate = AffineTransform::Translation(1, 0);
+  const auto scale = AffineTransform::Scaling(2);
+  ExpectPointNear(translate.Then(scale).Apply(Point(0, 0)), Point(2, 0));
+  ExpectPointNear(scale.Then(translate).Apply(Point(0, 0)), Point(1, 0));
+}
+
+TEST(TransformTest, PolygonAreaScalesByDeterminant) {
+  const Geometry square = G("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))");
+  const Geometry scaled = Scale(square, 3.0, Point(1, 1));
+  EXPECT_NEAR(scaled.As<Polygon>().Area(), 4.0 * 9.0, 1e-9);
+  // The fixed point stays put under scaling about it.
+  EXPECT_EQ(geom::Locate(Point(1, 1), scaled), Location::kInterior);
+}
+
+TEST(TransformTest, RotationPreservesRelations) {
+  const Geometry a = G("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))");
+  const Geometry b = G("POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))");
+  const std::string base = relate::Relate(a, b).ToString();
+  for (double angle : {0.3, 1.1, 2.7}) {
+    const Geometry ra = Rotate(a, angle, Point(7, -2));
+    const Geometry rb = Rotate(b, angle, Point(7, -2));
+    EXPECT_EQ(relate::Relate(ra, rb).ToString(), base) << angle;
+  }
+}
+
+TEST(TransformTest, TranslateAllTypes) {
+  const char* wkts[] = {
+      "POINT (1 2)",
+      "LINESTRING (0 0, 1 1)",
+      "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0), (0.2 0.2, 0.4 0.2, 0.4 0.4, 0.2 0.4, 0.2 0.2))",
+      "MULTIPOINT (0 0, 1 1)",
+      "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))",
+      "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)))",
+  };
+  for (const char* wkt : wkts) {
+    const Geometry g = G(wkt);
+    const Geometry moved = Translate(g, 10, 20);
+    EXPECT_EQ(moved.type(), g.type());
+    const Envelope before = g.GetEnvelope();
+    const Envelope after = moved.GetEnvelope();
+    EXPECT_NEAR(after.min_x(), before.min_x() + 10, 1e-12) << wkt;
+    EXPECT_NEAR(after.max_y(), before.max_y() + 20, 1e-12) << wkt;
+  }
+}
+
+TEST(TransformTest, RoundTripInverseComposition) {
+  const auto forward = AffineTransform::Translation(3, 4)
+                           .Then(AffineTransform::Rotation(0.7))
+                           .Then(AffineTransform::Scaling(2));
+  const auto backward = AffineTransform::Scaling(0.5)
+                            .Then(AffineTransform::Rotation(-0.7))
+                            .Then(AffineTransform::Translation(-3, -4));
+  const Point p(1.25, -2.5);
+  ExpectPointNear(backward.Apply(forward.Apply(p)), p);
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace sfpm

@@ -1,0 +1,101 @@
+#include "geom/validity.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/wkt.h"
+
+namespace sfpm {
+namespace geom {
+namespace {
+
+Geometry G(const char* wkt) {
+  auto g = ReadWkt(wkt);
+  EXPECT_TRUE(g.ok()) << wkt;
+  return g.value_or(Geometry());
+}
+
+TEST(ValidityTest, ValidShapes) {
+  EXPECT_TRUE(Validate(G("POINT (1 2)")).ok());
+  EXPECT_TRUE(Validate(G("MULTIPOINT (1 2, 3 4)")).ok());
+  EXPECT_TRUE(Validate(G("LINESTRING (0 0, 1 0, 1 1)")).ok());
+  EXPECT_TRUE(Validate(G("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")).ok());
+  EXPECT_TRUE(Validate(G("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0),"
+                         " (1 1, 2 1, 2 2, 1 2, 1 1))")).ok());
+  EXPECT_TRUE(Validate(G("MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)),"
+                         " ((5 5, 6 5, 6 6, 5 6, 5 5)))")).ok());
+  EXPECT_TRUE(Validate(G("POLYGON EMPTY")).ok());
+  EXPECT_TRUE(Validate(G("LINESTRING EMPTY")).ok());
+}
+
+TEST(ValidityTest, TouchingMultipolygonPartsAreValid) {
+  // Parts sharing a single corner point keep disjoint interiors.
+  EXPECT_TRUE(Validate(G("MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)),"
+                         " ((1 1, 2 1, 2 2, 1 2, 1 1)))")).ok());
+}
+
+TEST(ValidityTest, ZeroLengthSegment) {
+  const LineString line({{0, 0}, {0, 0}, {1, 1}});
+  EXPECT_FALSE(Validate(Geometry(line)).ok());
+}
+
+TEST(ValidityTest, BowtieRingRejected) {
+  // Classic self-intersecting "bowtie".
+  const LinearRing bowtie({{0, 0}, {2, 2}, {2, 0}, {0, 2}});
+  EXPECT_FALSE(ValidateRing(bowtie).ok());
+  EXPECT_FALSE(Validate(Geometry(Polygon(bowtie))).ok());
+}
+
+TEST(ValidityTest, ZeroAreaRingRejected) {
+  const LinearRing flat({{0, 0}, {1, 0}, {2, 0}});
+  EXPECT_FALSE(ValidateRing(flat).ok());
+}
+
+TEST(ValidityTest, HoleOutsideShellRejected) {
+  const Polygon poly(LinearRing({{0, 0}, {4, 0}, {4, 4}, {0, 4}}),
+                     {LinearRing({{10, 10}, {11, 10}, {11, 11}, {10, 11}})});
+  EXPECT_FALSE(Validate(Geometry(poly)).ok());
+}
+
+TEST(ValidityTest, HoleCrossingShellRejected) {
+  const Polygon poly(LinearRing({{0, 0}, {4, 0}, {4, 4}, {0, 4}}),
+                     {LinearRing({{2, 2}, {6, 2}, {6, 3}, {2, 3}})});
+  EXPECT_FALSE(Validate(Geometry(poly)).ok());
+}
+
+TEST(ValidityTest, OverlappingHolesRejected) {
+  const Polygon poly(LinearRing({{0, 0}, {10, 0}, {10, 10}, {0, 10}}),
+                     {LinearRing({{1, 1}, {5, 1}, {5, 5}, {1, 5}}),
+                      LinearRing({{3, 3}, {7, 3}, {7, 7}, {3, 7}})});
+  EXPECT_FALSE(Validate(Geometry(poly)).ok());
+}
+
+TEST(ValidityTest, NestedHolesRejected) {
+  const Polygon poly(LinearRing({{0, 0}, {10, 0}, {10, 10}, {0, 10}}),
+                     {LinearRing({{1, 1}, {8, 1}, {8, 8}, {1, 8}}),
+                      LinearRing({{3, 3}, {5, 3}, {5, 5}, {3, 5}})});
+  EXPECT_FALSE(Validate(Geometry(poly)).ok());
+}
+
+TEST(ValidityTest, OverlappingMultipolygonRejected) {
+  EXPECT_FALSE(Validate(G("MULTIPOLYGON (((0 0, 4 0, 4 4, 0 4, 0 0)),"
+                          " ((2 2, 6 2, 6 6, 2 6, 2 2)))")).ok());
+}
+
+TEST(ValidityTest, ContainedMultipolygonPartRejected) {
+  EXPECT_FALSE(Validate(G("MULTIPOLYGON (((0 0, 10 0, 10 10, 0 10, 0 0)),"
+                          " ((2 2, 3 2, 3 3, 2 3, 2 2)))")).ok());
+}
+
+TEST(IsSimpleTest, Lines) {
+  EXPECT_TRUE(IsSimple(LineString({{0, 0}, {1, 0}, {1, 1}})));
+  // Self-crossing path.
+  EXPECT_FALSE(IsSimple(LineString({{0, 0}, {2, 2}, {2, 0}, {0, 2}})));
+  // Closed ring: endpoints coincide by design, still simple.
+  EXPECT_TRUE(IsSimple(LineString({{0, 0}, {1, 0}, {1, 1}, {0, 0}})));
+  // Path revisiting its own interior.
+  EXPECT_FALSE(IsSimple(LineString({{0, 0}, {4, 0}, {4, 1}, {2, -1}})));
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace sfpm

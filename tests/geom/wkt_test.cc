@@ -1,0 +1,131 @@
+#include "geom/wkt.h"
+
+#include <gtest/gtest.h>
+
+namespace sfpm {
+namespace geom {
+namespace {
+
+Geometry MustRead(const std::string& wkt) {
+  Result<Geometry> g = ReadWkt(wkt);
+  EXPECT_TRUE(g.ok()) << wkt << " -> " << g.status().ToString();
+  return g.value_or(Geometry());
+}
+
+TEST(WktReadTest, Point) {
+  const Geometry g = MustRead("POINT (1.5 -2)");
+  ASSERT_EQ(g.type(), GeometryType::kPoint);
+  EXPECT_EQ(g.As<Point>(), Point(1.5, -2));
+}
+
+TEST(WktReadTest, CaseAndWhitespaceInsensitive) {
+  EXPECT_EQ(MustRead("point( 1 2 )"), MustRead("POINT (1 2)"));
+  EXPECT_EQ(MustRead("  LINESTRING(0 0,1 1)  "),
+            MustRead("LINESTRING (0 0, 1 1)"));
+}
+
+TEST(WktReadTest, LineString) {
+  const Geometry g = MustRead("LINESTRING (0 0, 1 0, 1 1)");
+  ASSERT_EQ(g.type(), GeometryType::kLineString);
+  EXPECT_EQ(g.As<LineString>().NumPoints(), 3u);
+}
+
+TEST(WktReadTest, PolygonWithHole) {
+  const Geometry g = MustRead(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))");
+  ASSERT_EQ(g.type(), GeometryType::kPolygon);
+  const Polygon& p = g.As<Polygon>();
+  EXPECT_EQ(p.holes().size(), 1u);
+  EXPECT_DOUBLE_EQ(p.Area(), 96.0);
+}
+
+TEST(WktReadTest, PolygonRingAutoCloses) {
+  const Geometry g = MustRead("POLYGON ((0 0, 2 0, 2 2, 0 2))");
+  EXPECT_DOUBLE_EQ(g.As<Polygon>().Area(), 4.0);
+}
+
+TEST(WktReadTest, MultiPointBothForms) {
+  const Geometry a = MustRead("MULTIPOINT (1 2, 3 4)");
+  const Geometry b = MustRead("MULTIPOINT ((1 2), (3 4))");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.As<MultiPoint>().NumGeometries(), 2u);
+}
+
+TEST(WktReadTest, MultiLineString) {
+  const Geometry g =
+      MustRead("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3, 4 4))");
+  ASSERT_EQ(g.type(), GeometryType::kMultiLineString);
+  EXPECT_EQ(g.As<MultiLineString>().NumGeometries(), 2u);
+}
+
+TEST(WktReadTest, MultiPolygon) {
+  const Geometry g = MustRead(
+      "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), "
+      "((5 5, 6 5, 6 6, 5 6, 5 5)))");
+  ASSERT_EQ(g.type(), GeometryType::kMultiPolygon);
+  EXPECT_EQ(g.As<MultiPolygon>().NumGeometries(), 2u);
+  EXPECT_DOUBLE_EQ(g.As<MultiPolygon>().Area(), 2.0);
+}
+
+TEST(WktReadTest, EmptyGeometries) {
+  EXPECT_TRUE(MustRead("LINESTRING EMPTY").IsEmpty());
+  EXPECT_TRUE(MustRead("POLYGON EMPTY").IsEmpty());
+  EXPECT_TRUE(MustRead("MULTIPOINT EMPTY").IsEmpty());
+  EXPECT_TRUE(MustRead("MULTILINESTRING EMPTY").IsEmpty());
+  EXPECT_TRUE(MustRead("MULTIPOLYGON EMPTY").IsEmpty());
+}
+
+TEST(WktReadTest, ScientificNotation) {
+  const Geometry g = MustRead("POINT (1e3 -2.5E-2)");
+  EXPECT_DOUBLE_EQ(g.As<Point>().x, 1000.0);
+  EXPECT_DOUBLE_EQ(g.As<Point>().y, -0.025);
+}
+
+TEST(WktReadTest, Errors) {
+  EXPECT_EQ(ReadWkt("").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ReadWkt("CIRCLE (0 0, 1)").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ReadWkt("POINT 1 2").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ReadWkt("POINT (1)").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ReadWkt("POINT (1 2").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ReadWkt("POINT (1 2) tail").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ReadWkt("LINESTRING (1 1)").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ReadWkt("POLYGON ((0 0, 1 1))").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ReadWkt("GEOMETRYCOLLECTION (POINT (1 1))").status().code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(ReadWkt("POINT EMPTY").status().code(), StatusCode::kUnsupported);
+}
+
+class WktRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WktRoundTripTest, WriteThenReadIsIdentity) {
+  const Geometry original = MustRead(GetParam());
+  const std::string written = WriteWkt(original);
+  const Geometry reparsed = MustRead(written);
+  EXPECT_EQ(original, reparsed) << written;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, WktRoundTripTest,
+    ::testing::Values(
+        "POINT (1 2)", "POINT (-1.25 3.5e3)",
+        "LINESTRING (0 0, 1 1, 2 0.5)",
+        "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+        "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))",
+        "MULTIPOINT (1 1, 2 2)",
+        "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))",
+        "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 6 5, 6 6, 5 6, 5 5)))",
+        "LINESTRING EMPTY", "POLYGON EMPTY", "MULTIPOLYGON EMPTY"));
+
+TEST(WktWriteTest, ExactFormat) {
+  EXPECT_EQ(WriteWkt(Geometry(Point(1, 2))), "POINT (1 2)");
+  EXPECT_EQ(WriteWkt(Geometry(LineString({{0, 0}, {1, 1}}))),
+            "LINESTRING (0 0, 1 1)");
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace sfpm

@@ -1,0 +1,129 @@
+#include "index/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace sfpm {
+namespace index {
+namespace {
+
+using geom::Envelope;
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(GridIndexTest, EmptyQueries) {
+  GridIndex grid(10.0);
+  std::vector<uint64_t> out;
+  grid.Query(Envelope(0, 0, 100, 100), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(grid.Size(), 0u);
+}
+
+TEST(GridIndexTest, EntrySpanningManyCells) {
+  GridIndex grid(1.0);
+  grid.Insert(Envelope(0, 0, 10, 10), 7);  // Covers ~121 cells.
+  EXPECT_GE(grid.NumCells(), 100u);
+
+  std::vector<uint64_t> out;
+  grid.Query(Envelope(5, 5, 6, 6), &out);
+  ASSERT_EQ(out.size(), 1u);  // Deduplicated despite many cells.
+  EXPECT_EQ(out[0], 7u);
+}
+
+TEST(GridIndexTest, NegativeCoordinates) {
+  GridIndex grid(10.0);
+  grid.Insert(Envelope(-25, -25, -15, -15), 1);
+  grid.Insert(Envelope(15, 15, 25, 25), 2);
+  std::vector<uint64_t> out;
+  grid.Query(Envelope(-20, -20, -18, -18), &out);
+  EXPECT_EQ(out, (std::vector<uint64_t>{1}));
+}
+
+TEST(GridIndexTest, MatchesBruteForce) {
+  Rng rng(7);
+  GridIndex grid(25.0);
+  std::vector<std::pair<Envelope, uint64_t>> entries;
+  for (uint64_t i = 0; i < 500; ++i) {
+    const double x = rng.NextDouble(-500, 500);
+    const double y = rng.NextDouble(-500, 500);
+    const Envelope env(x, y, x + rng.NextDouble(0, 40),
+                       y + rng.NextDouble(0, 40));
+    entries.emplace_back(env, i);
+    grid.Insert(env, i);
+  }
+
+  for (int q = 0; q < 100; ++q) {
+    const double x = rng.NextDouble(-500, 500);
+    const double y = rng.NextDouble(-500, 500);
+    const Envelope query(x, y, x + rng.NextDouble(0, 120),
+                         y + rng.NextDouble(0, 120));
+    std::vector<uint64_t> got;
+    grid.Query(query, &got);
+    std::vector<uint64_t> expected;
+    for (const auto& [env, id] : entries) {
+      if (env.Intersects(query)) expected.push_back(id);
+    }
+    EXPECT_EQ(Sorted(got), Sorted(expected)) << "query " << q;
+  }
+}
+
+TEST(GridIndexTest, QueryWithinDistanceMatchesBruteForce) {
+  Rng rng(11);
+  GridIndex grid(20.0);
+  std::vector<std::pair<Envelope, uint64_t>> entries;
+  for (uint64_t i = 0; i < 300; ++i) {
+    const double x = rng.NextDouble(0, 800);
+    const double y = rng.NextDouble(0, 800);
+    const Envelope env(x, y, x + 5, y + 5);
+    entries.emplace_back(env, i);
+    grid.Insert(env, i);
+  }
+
+  const Envelope probe(400, 400, 410, 410);
+  for (double dist : {0.0, 15.0, 60.0, 300.0}) {
+    std::vector<uint64_t> got;
+    grid.QueryWithinDistance(probe, dist, &got);
+    std::vector<uint64_t> expected;
+    for (const auto& [env, id] : entries) {
+      if (env.Distance(probe) <= dist) expected.push_back(id);
+    }
+    EXPECT_EQ(Sorted(got), Sorted(expected)) << "dist " << dist;
+  }
+}
+
+class GridCellSizeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridCellSizeTest, CorrectAcrossCellSizes) {
+  Rng rng(13);
+  GridIndex grid(GetParam());
+  std::vector<std::pair<Envelope, uint64_t>> entries;
+  for (uint64_t i = 0; i < 200; ++i) {
+    const double x = rng.NextDouble(0, 300);
+    const double y = rng.NextDouble(0, 300);
+    const Envelope env(x, y, x + rng.NextDouble(0, 10),
+                       y + rng.NextDouble(0, 10));
+    entries.emplace_back(env, i);
+    grid.Insert(env, i);
+  }
+  const Envelope query(50, 50, 200, 200);
+  std::vector<uint64_t> got;
+  grid.Query(query, &got);
+  std::vector<uint64_t> expected;
+  for (const auto& [env, id] : entries) {
+    if (env.Intersects(query)) expected.push_back(id);
+  }
+  EXPECT_EQ(Sorted(got), Sorted(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(CellSizes, GridCellSizeTest,
+                         ::testing::Values(0.5, 5.0, 50.0, 500.0));
+
+}  // namespace
+}  // namespace index
+}  // namespace sfpm

@@ -1,0 +1,226 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace sfpm {
+namespace index {
+namespace {
+
+using geom::Envelope;
+using geom::Point;
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// Reference implementation the tree is checked against.
+std::vector<uint64_t> BruteForceQuery(
+    const std::vector<std::pair<Envelope, uint64_t>>& entries,
+    const Envelope& query) {
+  std::vector<uint64_t> out;
+  for (const auto& [env, id] : entries) {
+    if (env.Intersects(query)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::pair<Envelope, uint64_t>> RandomEntries(size_t n,
+                                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Envelope, uint64_t>> entries;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.NextDouble(0, 1000);
+    const double y = rng.NextDouble(0, 1000);
+    const double w = rng.NextDouble(0, 20);
+    const double h = rng.NextDouble(0, 20);
+    entries.emplace_back(Envelope(x, y, x + w, y + h), i);
+  }
+  return entries;
+}
+
+TEST(RTreeTest, EmptyTreeQueries) {
+  RTree tree;
+  std::vector<uint64_t> out;
+  tree.Query(Envelope(0, 0, 10, 10), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_EQ(tree.Height(), 0u);
+  EXPECT_TRUE(tree.Nearest(Point(0, 0), 3).empty());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree;
+  tree.Insert(Envelope(1, 1, 2, 2), 42);
+  std::vector<uint64_t> out;
+  tree.Query(Envelope(0, 0, 3, 3), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42u);
+  out.clear();
+  tree.Query(Envelope(5, 5, 6, 6), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, InsertMatchesBruteForce) {
+  const auto entries = RandomEntries(500, 31);
+  RTree tree(8);
+  for (const auto& [env, id] : entries) tree.Insert(env, id);
+  EXPECT_EQ(tree.Size(), 500u);
+
+  Rng rng(32);
+  for (int q = 0; q < 100; ++q) {
+    const double x = rng.NextDouble(0, 1000);
+    const double y = rng.NextDouble(0, 1000);
+    const Envelope query(x, y, x + rng.NextDouble(0, 100),
+                         y + rng.NextDouble(0, 100));
+    std::vector<uint64_t> got;
+    tree.Query(query, &got);
+    EXPECT_EQ(Sorted(got), Sorted(BruteForceQuery(entries, query)))
+        << "query " << q;
+  }
+}
+
+TEST(RTreeTest, BulkLoadMatchesBruteForce) {
+  const auto entries = RandomEntries(1000, 41);
+  RTree tree(16);
+  tree.BulkLoad(entries);
+  EXPECT_EQ(tree.Size(), 1000u);
+
+  Rng rng(42);
+  for (int q = 0; q < 100; ++q) {
+    const double x = rng.NextDouble(0, 1000);
+    const double y = rng.NextDouble(0, 1000);
+    const Envelope query(x, y, x + rng.NextDouble(0, 150),
+                         y + rng.NextDouble(0, 150));
+    std::vector<uint64_t> got;
+    tree.Query(query, &got);
+    EXPECT_EQ(Sorted(got), Sorted(BruteForceQuery(entries, query)));
+  }
+}
+
+TEST(RTreeTest, MixedBulkLoadAndInsert) {
+  auto entries = RandomEntries(300, 51);
+  RTree tree(8);
+  tree.BulkLoad(
+      std::vector<std::pair<Envelope, uint64_t>>(entries.begin(),
+                                                 entries.begin() + 200));
+  for (size_t i = 200; i < entries.size(); ++i) {
+    tree.Insert(entries[i].first, entries[i].second);
+  }
+  EXPECT_EQ(tree.Size(), 300u);
+
+  const Envelope query(100, 100, 400, 400);
+  std::vector<uint64_t> got;
+  tree.Query(query, &got);
+  EXPECT_EQ(Sorted(got), Sorted(BruteForceQuery(entries, query)));
+}
+
+TEST(RTreeTest, QueryWithinDistance) {
+  const auto entries = RandomEntries(400, 61);
+  RTree tree;
+  tree.BulkLoad(entries);
+
+  const Envelope probe(500, 500, 510, 510);
+  for (double dist : {0.0, 10.0, 50.0, 200.0}) {
+    std::vector<uint64_t> got;
+    tree.QueryWithinDistance(probe, dist, &got);
+    std::vector<uint64_t> expected;
+    for (const auto& [env, id] : entries) {
+      if (env.Distance(probe) <= dist) expected.push_back(id);
+    }
+    EXPECT_EQ(Sorted(got), Sorted(expected)) << "dist " << dist;
+  }
+}
+
+TEST(RTreeTest, NearestReturnsClosestInOrder) {
+  RTree tree;
+  tree.Insert(Envelope(Point(0, 0)), 0);
+  tree.Insert(Envelope(Point(10, 0)), 1);
+  tree.Insert(Envelope(Point(3, 0)), 2);
+  tree.Insert(Envelope(Point(7, 0)), 3);
+
+  const auto nearest = tree.Nearest(Point(0, 0), 3);
+  EXPECT_EQ(nearest, (std::vector<uint64_t>{0, 2, 3}));
+}
+
+TEST(RTreeTest, NearestMatchesBruteForce) {
+  const auto entries = RandomEntries(300, 71);
+  RTree tree;
+  tree.BulkLoad(entries);
+
+  Rng rng(72);
+  for (int q = 0; q < 30; ++q) {
+    const Point probe(rng.NextDouble(0, 1000), rng.NextDouble(0, 1000));
+    const auto got = tree.Nearest(probe, 5);
+    ASSERT_EQ(got.size(), 5u);
+
+    std::vector<std::pair<double, uint64_t>> dists;
+    for (const auto& [env, id] : entries) {
+      dists.emplace_back(env.Distance(Envelope(probe)), id);
+    }
+    std::sort(dists.begin(), dists.end());
+    for (size_t i = 0; i < got.size(); ++i) {
+      // Compare distances, not ids, to tolerate ties.
+      Envelope got_env;
+      for (const auto& [env, id] : entries) {
+        if (id == got[i]) got_env = env;
+      }
+      EXPECT_NEAR(got_env.Distance(Envelope(probe)), dists[i].first, 1e-9);
+    }
+  }
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  RTree tree(8);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    tree.Insert(Envelope(Point(static_cast<double>(i % 100),
+                               static_cast<double>(i / 100))),
+                i);
+  }
+  EXPECT_GE(tree.Height(), 2u);
+  EXPECT_LE(tree.Height(), 6u);
+}
+
+TEST(RTreeTest, BoundsCoverEverything) {
+  const auto entries = RandomEntries(100, 81);
+  RTree tree;
+  tree.BulkLoad(entries);
+  const Envelope bounds = tree.Bounds();
+  for (const auto& [env, id] : entries) {
+    EXPECT_TRUE(bounds.Contains(env));
+  }
+}
+
+TEST(RTreeTest, DuplicateEnvelopesAllReturned) {
+  RTree tree(4);
+  for (uint64_t i = 0; i < 20; ++i) {
+    tree.Insert(Envelope(1, 1, 2, 2), i);
+  }
+  std::vector<uint64_t> out;
+  tree.Query(Envelope(0, 0, 3, 3), &out);
+  EXPECT_EQ(out.size(), 20u);
+}
+
+class RTreeFanoutTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreeFanoutTest, CorrectAcrossFanouts) {
+  const auto entries = RandomEntries(600, 91);
+  RTree tree(GetParam());
+  for (const auto& [env, id] : entries) tree.Insert(env, id);
+
+  const Envelope query(200, 200, 600, 600);
+  std::vector<uint64_t> got;
+  tree.Query(query, &got);
+  EXPECT_EQ(Sorted(got), Sorted(BruteForceQuery(entries, query)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, RTreeFanoutTest,
+                         ::testing::Values(4, 5, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace index
+}  // namespace sfpm

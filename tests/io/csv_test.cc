@@ -1,0 +1,82 @@
+#include "io/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace sfpm {
+namespace io {
+namespace {
+
+TEST(CsvTest, SimpleRecord) {
+  const auto r = ParseCsvRecord("a,b,c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, EmptyFields) {
+  const auto r = ParseCsvRecord(",a,,");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"", "a", "", ""}));
+}
+
+TEST(CsvTest, QuotedFields) {
+  const auto r = ParseCsvRecord(R"("a,b","say ""hi""",plain)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(),
+            (std::vector<std::string>{"a,b", "say \"hi\"", "plain"}));
+}
+
+TEST(CsvTest, QuotedNewline) {
+  const auto doc = ParseCsv("\"line1\nline2\",x\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc.value().size(), 1u);
+  EXPECT_EQ(doc.value()[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  const auto doc = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc.value().size(), 2u);
+  EXPECT_EQ(doc.value()[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, TrailingNewlineAndBlankLines) {
+  const auto doc = ParseCsv("a,b\n\nc,d\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().size(), 2u);
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_FALSE(ParseCsvRecord("\"unterminated").ok());
+  EXPECT_FALSE(ParseCsvRecord("a\"b").ok());
+  EXPECT_FALSE(ParseCsvRecord("\"x\"tail").ok());
+}
+
+TEST(CsvTest, WriteQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(WriteCsvRecord({"a", "b c", "d,e", "f\"g", "h\ni"}),
+            "a,b c,\"d,e\",\"f\"\"g\",\"h\ni\"");
+}
+
+TEST(CsvTest, RoundTrip) {
+  const std::vector<std::vector<std::string>> records = {
+      {"wkt", "name"},
+      {"POINT (1 2)", "comma, inside"},
+      {"POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))", "quote \" inside"},
+      {"", "newline\ninside"},
+  };
+  const auto parsed = ParseCsv(WriteCsv(records));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), records);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = "/tmp/sfpm_csv_test.csv";
+  ASSERT_TRUE(WriteFile(path, "x,y\n1,2\n").ok());
+  const auto text = ReadFile(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value(), "x,y\n1,2\n");
+  EXPECT_FALSE(ReadFile("/nonexistent/nope.csv").ok());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace sfpm

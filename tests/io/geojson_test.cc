@@ -1,0 +1,93 @@
+#include "io/geojson.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/wkt.h"
+
+namespace sfpm {
+namespace io {
+namespace {
+
+using geom::Geometry;
+using geom::ReadWkt;
+
+TEST(GeoJsonTest, PointGeometry) {
+  EXPECT_EQ(GeometryToGeoJson(ReadWkt("POINT (1 2)").value()),
+            R"({"type":"Point","coordinates":[1,2]})");
+}
+
+TEST(GeoJsonTest, LineString) {
+  EXPECT_EQ(GeometryToGeoJson(ReadWkt("LINESTRING (0 0, 1 1)").value()),
+            R"({"type":"LineString","coordinates":[[0,0],[1,1]]})");
+}
+
+TEST(GeoJsonTest, PolygonWithHole) {
+  const Geometry g =
+      ReadWkt(
+          "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1))")
+          .value();
+  const std::string json = GeometryToGeoJson(g);
+  EXPECT_NE(json.find("\"type\":\"Polygon\""), std::string::npos);
+  // Two rings: shell and hole.
+  EXPECT_NE(json.find("[[[0,0],[4,0],[4,4],[0,4],[0,0]],[[1,1],[2,1],"),
+            std::string::npos);
+}
+
+TEST(GeoJsonTest, MultiGeometries) {
+  EXPECT_NE(GeometryToGeoJson(ReadWkt("MULTIPOINT (1 1, 2 2)").value())
+                .find("\"type\":\"MultiPoint\""),
+            std::string::npos);
+  EXPECT_NE(GeometryToGeoJson(
+                ReadWkt("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))").value())
+                .find("\"type\":\"MultiLineString\""),
+            std::string::npos);
+  EXPECT_NE(GeometryToGeoJson(
+                ReadWkt("MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)))").value())
+                .find("\"type\":\"MultiPolygon\""),
+            std::string::npos);
+}
+
+TEST(GeoJsonTest, FeatureWithProperties) {
+  const feature::Feature f(7, ReadWkt("POINT (1 2)").value(),
+                           {{"name", "Nonoai"}, {"rate", "high"}});
+  const std::string json = FeatureToGeoJson(f);
+  EXPECT_NE(json.find("\"type\":\"Feature\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"Nonoai\""), std::string::npos);
+  EXPECT_NE(json.find("\"rate\":\"high\""), std::string::npos);
+}
+
+TEST(GeoJsonTest, EscapesSpecialCharacters) {
+  const feature::Feature f(0, ReadWkt("POINT (0 0)").value(),
+                           {{"note", "say \"hi\"\nback\\slash"}});
+  const std::string json = FeatureToGeoJson(f);
+  EXPECT_NE(json.find(R"(say \"hi\"\nback\\slash)"), std::string::npos);
+}
+
+TEST(GeoJsonTest, LayerCollectionInjectsLayerProperty) {
+  feature::Layer layer("slum");
+  layer.Add(ReadWkt("POINT (1 1)").value(), {{"name", "x"}});
+  layer.Add(ReadWkt("POINT (2 2)").value(), {});
+  const std::string json = LayerToGeoJson(layer);
+  EXPECT_NE(json.find("\"type\":\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(json.find("\"layer\":\"slum\",\"name\":\"x\""),
+            std::string::npos);
+  // Attribute-less feature still gets the layer tag, without a trailing
+  // comma.
+  EXPECT_NE(json.find("\"properties\":{\"layer\":\"slum\"}"),
+            std::string::npos);
+}
+
+TEST(GeoJsonTest, MultipleLayersMerge) {
+  feature::Layer a("slum");
+  a.Add(ReadWkt("POINT (1 1)").value());
+  feature::Layer b("school");
+  b.Add(ReadWkt("POINT (2 2)").value());
+  const std::string json = LayersToGeoJson({&a, &b});
+  EXPECT_NE(json.find("\"layer\":\"slum\""), std::string::npos);
+  EXPECT_NE(json.find("\"layer\":\"school\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace sfpm

@@ -1,0 +1,62 @@
+#include "io/layer_io.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/wkt.h"
+
+namespace sfpm {
+namespace io {
+namespace {
+
+feature::Layer SampleLayer() {
+  feature::Layer layer("district");
+  layer.Add(geom::ReadWkt("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))").value(),
+            {{"name", "Nonoai"}, {"murderRate", "high"}});
+  layer.Add(geom::ReadWkt("POLYGON ((2 0, 4 0, 4 2, 2 2, 2 0))").value(),
+            {{"name", "Cristal"}});
+  layer.Add(geom::ReadWkt("POINT (1 1)").value(), {});
+  return layer;
+}
+
+TEST(LayerIoTest, RoundTrip) {
+  const feature::Layer original = SampleLayer();
+  const std::string csv = LayerToCsv(original);
+  const auto loaded = LayerFromCsv("district", csv);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const feature::Layer& layer = loaded.value();
+  EXPECT_EQ(layer.feature_type(), "district");
+  ASSERT_EQ(layer.Size(), original.Size());
+  for (size_t i = 0; i < layer.Size(); ++i) {
+    EXPECT_EQ(layer.at(i).geometry(), original.at(i).geometry()) << i;
+    EXPECT_EQ(layer.at(i).attributes(), original.at(i).attributes()) << i;
+  }
+}
+
+TEST(LayerIoTest, MissingAttributesStayAbsent) {
+  const auto loaded = LayerFromCsv(
+      "slum", "wkt,name\n\"POINT (1 2)\",\n\"POINT (3 4)\",called\n");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().at(0).attributes().empty());
+  EXPECT_EQ(loaded.value().at(1).Attribute("name").value(), "called");
+}
+
+TEST(LayerIoTest, BadInputs) {
+  EXPECT_FALSE(LayerFromCsv("x", "").ok());
+  EXPECT_FALSE(LayerFromCsv("x", "geom,name\nPOINT (1 2),a\n").ok());
+  EXPECT_FALSE(LayerFromCsv("x", "wkt\nNOT WKT\n").ok());
+  EXPECT_FALSE(LayerFromCsv("x", "wkt,name\n\"POINT (1 2)\"\n").ok());
+}
+
+TEST(LayerIoTest, FileRoundTrip) {
+  const feature::Layer original = SampleLayer();
+  const std::string path = "/tmp/sfpm_layer_io_test.csv";
+  ASSERT_TRUE(SaveLayer(original, path).ok());
+  const auto loaded = LoadLayer("district", path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().Size(), original.Size());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace sfpm

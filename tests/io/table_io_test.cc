@@ -1,0 +1,73 @@
+#include "io/table_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/apriori.h"
+#include "datagen/paper_example.h"
+
+namespace sfpm {
+namespace io {
+namespace {
+
+TEST(TableIoTest, RoundTripPreservesEverything) {
+  const feature::PredicateTable original = datagen::MakePaperTable1();
+  const std::string csv = TableToCsv(original);
+  const auto loaded = TableFromCsv(csv);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const feature::PredicateTable& table = loaded.value();
+  EXPECT_EQ(table.NumRows(), original.NumRows());
+  EXPECT_EQ(table.NumPredicates(), original.NumPredicates());
+  EXPECT_EQ(table.ToString(), original.ToString());
+
+  // Keys (feature types) survive, so KC+ behaves identically.
+  for (core::ItemId i = 0; i < table.NumPredicates(); ++i) {
+    EXPECT_EQ(table.db().Key(i), original.db().Key(i));
+  }
+}
+
+TEST(TableIoTest, MiningLoadedTableMatchesOriginal) {
+  const feature::PredicateTable original = datagen::MakePaperTable1();
+  const auto loaded = TableFromCsv(TableToCsv(original));
+  ASSERT_TRUE(loaded.ok());
+
+  const auto a = core::MineAprioriKCPlus(original.db(), 0.5);
+  const auto b = core::MineAprioriKCPlus(loaded.value().db(), 0.5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().CountAtLeast(2), b.value().CountAtLeast(2));
+  EXPECT_EQ(a.value().itemsets().size(), b.value().itemsets().size());
+}
+
+TEST(TableIoTest, HeaderValidation) {
+  EXPECT_FALSE(TableFromCsv("").ok());
+  EXPECT_FALSE(TableFromCsv("notrow,contains_slum\nA,1\n").ok());
+  EXPECT_FALSE(TableFromCsv("row,badlabel\nA,1\n").ok());
+}
+
+TEST(TableIoTest, CellValidation) {
+  EXPECT_FALSE(TableFromCsv("row,contains_slum\nA,2\n").ok());
+  EXPECT_FALSE(TableFromCsv("row,contains_slum\nA\n").ok());
+  EXPECT_TRUE(TableFromCsv("row,contains_slum\nA,0\n").ok());
+}
+
+TEST(TableIoTest, EmptyTableRoundTrips) {
+  feature::PredicateTable table;
+  table.Declare(feature::Predicate::Spatial("contains", "slum"));
+  const auto loaded = TableFromCsv(TableToCsv(table));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().NumRows(), 0u);
+  EXPECT_EQ(loaded.value().NumPredicates(), 1u);
+}
+
+TEST(TableIoTest, FileRoundTrip) {
+  const feature::PredicateTable original = datagen::MakePaperTable1();
+  const std::string path = "/tmp/sfpm_table_io_test.csv";
+  ASSERT_TRUE(SaveTable(original, path).ok());
+  const auto loaded = LoadTable(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().ToString(), original.ToString());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace sfpm

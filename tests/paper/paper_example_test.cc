@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "core/apriori.h"
+#include "core/rules.h"
+#include "datagen/paper_example.h"
+#include "stats/gain.h"
+#include "stats/largest_itemset.h"
+
+namespace sfpm {
+namespace {
+
+using core::Itemset;
+using core::TransactionDb;
+
+/// Resolves a list of predicate labels to an Itemset of the table's db.
+Itemset Items(const feature::PredicateTable& table,
+              std::initializer_list<const char*> labels) {
+  std::vector<core::ItemId> ids;
+  for (const char* label : labels) {
+    const auto id = table.db().FindItem(label);
+    EXPECT_TRUE(id.ok()) << label;
+    ids.push_back(id.value_or(0));
+  }
+  return Itemset(std::move(ids));
+}
+
+class PaperTable1Test : public ::testing::Test {
+ protected:
+  PaperTable1Test() : table_(datagen::MakePaperTable1()) {}
+  feature::PredicateTable table_;
+};
+
+TEST_F(PaperTable1Test, SixDistrictsElevenPredicates) {
+  EXPECT_EQ(table_.NumRows(), 6u);
+  // 4 attribute values (murderRate/theftRate x high/low) + 7 spatial.
+  EXPECT_EQ(table_.NumPredicates(), 11u);
+  EXPECT_EQ(table_.RowName(0), "Teresopolis");
+  EXPECT_EQ(table_.RowName(4), "Nonoai");
+}
+
+TEST_F(PaperTable1Test, SingleItemSupports) {
+  const TransactionDb& db = table_.db();
+  EXPECT_EQ(db.Support(db.FindItem("contains_slum").value()), 6u);
+  EXPECT_EQ(db.Support(db.FindItem("touches_slum").value()), 3u);
+  EXPECT_EQ(db.Support(db.FindItem("overlaps_slum").value()), 5u);
+  EXPECT_EQ(db.Support(db.FindItem("covers_slum").value()), 2u);
+  EXPECT_EQ(db.Support(db.FindItem("contains_school").value()), 5u);
+  EXPECT_EQ(db.Support(db.FindItem("touches_school").value()), 6u);
+  EXPECT_EQ(db.Support(db.FindItem("contains_policeCenter").value()), 2u);
+  EXPECT_EQ(db.Support(db.FindItem("murderRate=high").value()), 4u);
+  EXPECT_EQ(db.Support(db.FindItem("theftRate=low").value()), 4u);
+}
+
+TEST_F(PaperTable1Test, Table2HasExactly60FrequentItemsets) {
+  const auto result = core::MineApriori(table_.db(), 0.5);
+  ASSERT_TRUE(result.ok());
+  // The paper: "a total of 60 frequent itemsets with two or more elements
+  // is generated".
+  EXPECT_EQ(result.value().CountAtLeast(2), 60u);
+  EXPECT_EQ(result.value().MaxItemsetSize(), 6u);
+  // Size distribution implied by the published Table 2.
+  EXPECT_EQ(result.value().OfSize(2).size(), 17u);
+  EXPECT_EQ(result.value().OfSize(3).size(), 21u);
+  EXPECT_EQ(result.value().OfSize(4).size(), 15u);
+  EXPECT_EQ(result.value().OfSize(5).size(), 6u);
+  EXPECT_EQ(result.value().OfSize(6).size(), 1u);
+}
+
+TEST_F(PaperTable1Test, Table2LargestItemsetIsThePublishedOne) {
+  const auto result = core::MineApriori(table_.db(), 0.5);
+  ASSERT_TRUE(result.ok());
+  const auto largest = result.value().OfSize(6);
+  ASSERT_EQ(largest.size(), 1u);
+  EXPECT_EQ(largest[0].items,
+            Items(table_, {"murderRate=high", "theftRate=low",
+                           "contains_slum", "overlaps_slum",
+                           "contains_school", "touches_school"}));
+  EXPECT_EQ(largest[0].support, 3u);
+}
+
+TEST_F(PaperTable1Test, Table2SpecificItemsetsPresent) {
+  const auto result = core::MineApriori(table_.db(), 0.5);
+  ASSERT_TRUE(result.ok());
+  const auto& r = result.value();
+  // Spot-check itemsets printed in Table 2.
+  EXPECT_TRUE(r.SupportOf(Items(table_, {"murderRate=high",
+                                         "theftRate=low"})).has_value());
+  EXPECT_TRUE(r.SupportOf(Items(table_, {"contains_slum", "touches_slum"}))
+                  .has_value());
+  EXPECT_TRUE(
+      r.SupportOf(Items(table_, {"contains_school", "touches_school"}))
+          .has_value());
+  EXPECT_TRUE(r.SupportOf(Items(table_, {"touches_slum", "touches_school"}))
+                  .has_value());
+  // And ones that must NOT be frequent.
+  EXPECT_FALSE(r.SupportOf(Items(table_, {"touches_slum", "overlaps_slum"}))
+                   .has_value());
+  EXPECT_FALSE(
+      r.SupportOf(Items(table_, {"murderRate=high", "touches_slum"}))
+          .has_value());
+}
+
+TEST_F(PaperTable1Test, ThirtyItemsetsContainSameFeatureTypePairs) {
+  const auto result = core::MineApriori(table_.db(), 0.5);
+  ASSERT_TRUE(result.ok());
+  const TransactionDb& db = table_.db();
+
+  size_t with_pair = 0;
+  for (const core::FrequentItemset& fi : result.value().itemsets()) {
+    if (fi.items.size() < 2) continue;
+    bool has = false;
+    for (size_t i = 0; i < fi.items.size() && !has; ++i) {
+      for (size_t j = i + 1; j < fi.items.size() && !has; ++j) {
+        const std::string& key = db.Key(fi.items[i]);
+        has = !key.empty() && key == db.Key(fi.items[j]);
+      }
+    }
+    with_pair += has;
+  }
+  // The paper's prose says 31 of the 60 are bold; the count implied by
+  // the published Table 1/Table 2 data is 30 (see EXPERIMENTS.md).
+  EXPECT_EQ(with_pair, 30u);
+}
+
+TEST_F(PaperTable1Test, KcPlusEliminatesExactlyTheSameTypeItemsets) {
+  const auto plain = core::MineApriori(table_.db(), 0.5);
+  const auto kcplus = core::MineAprioriKCPlus(table_.db(), 0.5);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(kcplus.ok());
+  EXPECT_EQ(kcplus.value().CountAtLeast(2), 30u);  // 60 - 30.
+  EXPECT_EQ(kcplus.value().MaxItemsetSize(), 4u);
+
+  // The meaningless pair of the paper's running example is gone...
+  EXPECT_FALSE(
+      kcplus.value()
+          .SupportOf(Items(table_, {"contains_slum", "touches_slum"}))
+          .has_value());
+  // ...but the cross-type information survives, as Section 3 argues.
+  EXPECT_TRUE(kcplus.value()
+                  .SupportOf(Items(table_, {"contains_slum",
+                                            "murderRate=high"}))
+                  .has_value());
+  EXPECT_TRUE(kcplus.value()
+                  .SupportOf(Items(table_, {"touches_slum",
+                                            "touches_school"}))
+                  .has_value());
+}
+
+TEST_F(PaperTable1Test, LowerBoundFormulaHolds) {
+  // Section 4.1: with m = 6 the lower bound is 57 <= 60.
+  const auto result = core::MineApriori(table_.db(), 0.5);
+  ASSERT_TRUE(result.ok());
+  const size_t m = result.value().MaxItemsetSize();
+  EXPECT_LE(stats::ItemsetCountLowerBound(static_cast<int>(m)),
+            result.value().CountAtLeast(2));
+}
+
+TEST_F(PaperTable1Test, MinimalGainPredictionOnTable2) {
+  // Paper: m=6, u=2, t1=t2=2, n=2 gives a minimal gain of 28; the real
+  // gain here is 60 - 30 = 30 >= 28.
+  const auto plain = core::MineApriori(table_.db(), 0.5);
+  ASSERT_TRUE(plain.ok());
+  const auto params =
+      stats::AnalyzeLargestItemset(plain.value(), table_.db());
+  ASSERT_TRUE(params.ok());
+  EXPECT_EQ(params.value().m, 6);
+  EXPECT_EQ(params.value().u, 2);
+  EXPECT_EQ(params.value().t, (std::vector<int>{2, 2}));
+  EXPECT_EQ(params.value().n, 2);
+  EXPECT_EQ(stats::MinimalGain(params.value().t, params.value().n).value(),
+            28u);
+
+  const auto kcplus = core::MineAprioriKCPlus(table_.db(), 0.5);
+  ASSERT_TRUE(kcplus.ok());
+  const size_t real_gain =
+      plain.value().CountAtLeast(2) - kcplus.value().CountAtLeast(2);
+  EXPECT_GE(real_gain, 28u);
+  EXPECT_EQ(real_gain, 30u);
+}
+
+TEST_F(PaperTable1Test, MeaninglessRulesDisappear) {
+  // Without filtering, rules like contains_slum -> touches_slum exist;
+  // with KC+, they cannot (the pair itemset is never generated).
+  const auto plain = core::MineApriori(table_.db(), 0.5);
+  const auto kcplus = core::MineAprioriKCPlus(table_.db(), 0.5);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(kcplus.ok());
+
+  core::RuleOptions options;
+  options.min_confidence = 0.5;
+  auto has_same_type_rule = [this](const std::vector<core::AssociationRule>&
+                                       rules) {
+    for (const auto& r : rules) {
+      for (core::ItemId a : r.antecedent.items()) {
+        for (core::ItemId c : r.consequent.items()) {
+          const std::string& key = table_.db().Key(a);
+          if (!key.empty() && key == table_.db().Key(c)) return true;
+        }
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_same_type_rule(
+      core::GenerateRules(table_.db(), plain.value(), options)));
+  EXPECT_FALSE(has_same_type_rule(
+      core::GenerateRules(table_.db(), kcplus.value(), options)));
+}
+
+}  // namespace
+}  // namespace sfpm

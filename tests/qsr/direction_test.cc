@@ -1,0 +1,77 @@
+#include "qsr/direction.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/geometry.h"
+
+namespace sfpm {
+namespace qsr {
+namespace {
+
+using geom::Point;
+
+TEST(DirectionTest, CompassPoints) {
+  const Point origin(0, 0);
+  EXPECT_EQ(DirectionBetween(origin, Point(0, 10)), CardinalDirection::kNorth);
+  EXPECT_EQ(DirectionBetween(origin, Point(10, 10)),
+            CardinalDirection::kNorthEast);
+  EXPECT_EQ(DirectionBetween(origin, Point(10, 0)), CardinalDirection::kEast);
+  EXPECT_EQ(DirectionBetween(origin, Point(10, -10)),
+            CardinalDirection::kSouthEast);
+  EXPECT_EQ(DirectionBetween(origin, Point(0, -10)),
+            CardinalDirection::kSouth);
+  EXPECT_EQ(DirectionBetween(origin, Point(-10, -10)),
+            CardinalDirection::kSouthWest);
+  EXPECT_EQ(DirectionBetween(origin, Point(-10, 0)), CardinalDirection::kWest);
+  EXPECT_EQ(DirectionBetween(origin, Point(-10, 10)),
+            CardinalDirection::kNorthWest);
+}
+
+TEST(DirectionTest, SamePoint) {
+  EXPECT_EQ(DirectionBetween(Point(1, 1), Point(1, 1)),
+            CardinalDirection::kSame);
+}
+
+TEST(DirectionTest, ConeBoundaries) {
+  const Point origin(0, 0);
+  // 22.4 degrees east of north is still north; 22.6 is northeast.
+  EXPECT_EQ(DirectionBetween(origin, Point(std::tan(22.4 * M_PI / 180), 1)),
+            CardinalDirection::kNorth);
+  EXPECT_EQ(DirectionBetween(origin, Point(std::tan(22.6 * M_PI / 180), 1)),
+            CardinalDirection::kNorthEast);
+}
+
+TEST(DirectionTest, OppositePairs) {
+  for (int i = 0; i < 8; ++i) {
+    const auto dir = static_cast<CardinalDirection>(i);
+    EXPECT_EQ(Opposite(Opposite(dir)), dir);
+  }
+  EXPECT_EQ(Opposite(CardinalDirection::kNorth), CardinalDirection::kSouth);
+  EXPECT_EQ(Opposite(CardinalDirection::kSame), CardinalDirection::kSame);
+}
+
+TEST(DirectionTest, ReversedArgumentsGiveOpposite) {
+  const Point a(3, 7), b(-2, 1);
+  EXPECT_EQ(DirectionBetween(a, b), Opposite(DirectionBetween(b, a)));
+}
+
+TEST(DirectionTest, GeometryCentroids) {
+  const geom::Geometry south_poly(geom::Polygon(
+      geom::LinearRing({{0, 0}, {2, 0}, {2, 2}, {0, 2}})));
+  const geom::Geometry north_poly(geom::Polygon(
+      geom::LinearRing({{0, 10}, {2, 10}, {2, 12}, {0, 12}})));
+  EXPECT_EQ(DirectionBetween(south_poly, north_poly),
+            CardinalDirection::kNorth);
+  EXPECT_EQ(DirectionBetween(north_poly, south_poly),
+            CardinalDirection::kSouth);
+}
+
+TEST(DirectionTest, Names) {
+  EXPECT_STREQ(CardinalDirectionName(CardinalDirection::kNorthEast),
+               "northEast");
+  EXPECT_STREQ(CardinalDirectionName(CardinalDirection::kSame), "same");
+}
+
+}  // namespace
+}  // namespace qsr
+}  // namespace sfpm

@@ -1,0 +1,75 @@
+#include "qsr/distance.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/geometry.h"
+
+namespace sfpm {
+namespace qsr {
+namespace {
+
+using geom::Geometry;
+using geom::Point;
+
+TEST(DistanceQuantizerTest, DefaultBandsMatchPaperExample) {
+  const DistanceQuantizer q = DistanceQuantizer::Default();
+  EXPECT_EQ(q.BandName(0.0), "veryClose");
+  EXPECT_EQ(q.BandName(499.9), "veryClose");
+  EXPECT_EQ(q.BandName(500.0), "close");
+  EXPECT_EQ(q.BandName(1999.9), "close");
+  EXPECT_EQ(q.BandName(2000.0), "far");
+  EXPECT_EQ(q.BandName(1e9), "far");
+}
+
+TEST(DistanceQuantizerTest, BandIndexHalfOpen) {
+  const DistanceQuantizer q = DistanceQuantizer::Default();
+  EXPECT_EQ(q.BandIndex(0.0), 0u);
+  EXPECT_EQ(q.BandIndex(500.0), 1u);
+  EXPECT_EQ(q.BandIndex(2000.0), 2u);
+}
+
+TEST(DistanceQuantizerTest, CustomBands) {
+  auto q = DistanceQuantizer::Create({{"near", 10.0}, {"mid", 100.0}},
+                                     "distant");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().bands().size(), 3u);
+  EXPECT_EQ(q.value().BandName(5), "near");
+  EXPECT_EQ(q.value().BandName(50), "mid");
+  EXPECT_EQ(q.value().BandName(5000), "distant");
+}
+
+TEST(DistanceQuantizerTest, RejectsNonAscendingBounds) {
+  EXPECT_FALSE(
+      DistanceQuantizer::Create({{"a", 100.0}, {"b", 10.0}}, "c").ok());
+  EXPECT_FALSE(DistanceQuantizer::Create({{"a", 0.0}}, "b").ok());
+  EXPECT_FALSE(DistanceQuantizer::Create({{"a", -5.0}}, "b").ok());
+}
+
+TEST(DistanceQuantizerTest, RejectsDuplicateOrEmptyNames) {
+  EXPECT_FALSE(
+      DistanceQuantizer::Create({{"a", 10.0}, {"a", 20.0}}, "b").ok());
+  EXPECT_FALSE(DistanceQuantizer::Create({{"a", 10.0}}, "a").ok());
+  EXPECT_FALSE(DistanceQuantizer::Create({{"", 10.0}}, "b").ok());
+  EXPECT_FALSE(DistanceQuantizer::Create({{"a", 10.0}}, "").ok());
+}
+
+TEST(DistanceQuantizerTest, NoFiniteBandsStillWorks) {
+  auto q = DistanceQuantizer::Create({}, "anywhere");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().BandName(0.0), "anywhere");
+  EXPECT_EQ(q.value().BandName(1e12), "anywhere");
+}
+
+TEST(DistanceQuantizerTest, ClassifyGeometries) {
+  const DistanceQuantizer q = DistanceQuantizer::Default();
+  EXPECT_EQ(q.Classify(Geometry(Point(0, 0)), Geometry(Point(100, 0))),
+            "veryClose");
+  EXPECT_EQ(q.Classify(Geometry(Point(0, 0)), Geometry(Point(1000, 0))),
+            "close");
+  EXPECT_EQ(q.Classify(Geometry(Point(0, 0)), Geometry(Point(9000, 0))),
+            "far");
+}
+
+}  // namespace
+}  // namespace qsr
+}  // namespace sfpm

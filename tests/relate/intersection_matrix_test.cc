@@ -1,0 +1,117 @@
+#include "relate/intersection_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace sfpm {
+namespace relate {
+namespace {
+
+using IM = IntersectionMatrix;
+
+TEST(IntersectionMatrixTest, DefaultAllFalse) {
+  IM m;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(m.at(static_cast<IM::Part>(r), static_cast<IM::Part>(c)),
+                kDimFalse);
+    }
+  }
+  EXPECT_EQ(m.ToString(), "FFFFFFFFF");
+}
+
+TEST(IntersectionMatrixTest, FromStringRoundTrip) {
+  for (const char* pattern : {"212101212", "FF2FF1212", "0FFFFF212",
+                              "2FFF1FFF2", "FFFFFFFFF"}) {
+    EXPECT_EQ(IM::FromString(pattern).ToString(), pattern);
+  }
+}
+
+TEST(IntersectionMatrixTest, UpgradeToNeverLowers) {
+  IM m;
+  m.UpgradeTo(IM::kInterior, IM::kInterior, 1);
+  EXPECT_EQ(m.at(IM::kInterior, IM::kInterior), 1);
+  m.UpgradeTo(IM::kInterior, IM::kInterior, 0);
+  EXPECT_EQ(m.at(IM::kInterior, IM::kInterior), 1);
+  m.UpgradeTo(IM::kInterior, IM::kInterior, 2);
+  EXPECT_EQ(m.at(IM::kInterior, IM::kInterior), 2);
+}
+
+TEST(IntersectionMatrixTest, PatternMatching) {
+  const IM m = IM::FromString("212101212");
+  EXPECT_TRUE(m.Matches("*********"));
+  EXPECT_TRUE(m.Matches("212101212"));
+  EXPECT_TRUE(m.Matches("T*T***T**"));
+  EXPECT_FALSE(m.Matches("FF*FF****"));
+  EXPECT_FALSE(m.Matches("112101212"));
+  EXPECT_TRUE(IM::FromString("FFFFFFFF0").Matches("FF*FF***0"));
+}
+
+TEST(IntersectionMatrixTest, TransposedSwapsOperands) {
+  const IM m = IM::FromString("012F1F2F2");
+  const IM t = m.Transposed();
+  EXPECT_EQ(t.ToString(), "0F211F2F2");
+  EXPECT_EQ(t.Transposed(), m);
+}
+
+TEST(IntersectionMatrixTest, DisjointPredicate) {
+  EXPECT_TRUE(IM::FromString("FF2FF1212").Disjoint());
+  EXPECT_FALSE(IM::FromString("212101212").Disjoint());
+  EXPECT_TRUE(IM::FromString("212101212").Intersects());
+}
+
+TEST(IntersectionMatrixTest, EqualsRequiresSameDimension) {
+  const IM m = IM::FromString("2FFF1FFF2");
+  EXPECT_TRUE(m.Equals(2, 2));
+  EXPECT_FALSE(m.Equals(1, 2));
+}
+
+TEST(IntersectionMatrixTest, WithinAndContainsAreTransposes) {
+  const IM within = IM::FromString("2FF1FF212");
+  EXPECT_TRUE(within.Within());
+  EXPECT_FALSE(within.Contains());
+  EXPECT_TRUE(within.Transposed().Contains());
+}
+
+TEST(IntersectionMatrixTest, CoversAcceptsBoundaryOnlyContainment) {
+  // A polygon covering another that shares part of its boundary.
+  const IM m = IM::FromString("212FF1FF2");
+  EXPECT_TRUE(m.Covers());
+  EXPECT_TRUE(m.Contains());
+  // Line on polygon boundary: covered but interior-disjoint.
+  const IM edge = IM::FromString("F1FF0FFF2").Transposed();
+  EXPECT_TRUE(edge.Covers() || edge.Transposed().CoveredBy());
+}
+
+TEST(IntersectionMatrixTest, TouchesNeverForPointPoint) {
+  const IM m = IM::FromString("FF0FFFFF2");
+  EXPECT_FALSE(m.Touches(0, 0));
+}
+
+TEST(IntersectionMatrixTest, TouchesBoundaryOnly) {
+  EXPECT_TRUE(IM::FromString("FF2F11212").Touches(2, 2));
+  EXPECT_FALSE(IM::FromString("212101212").Touches(2, 2));
+}
+
+TEST(IntersectionMatrixTest, CrossesByDimension) {
+  // Line crossing polygon.
+  EXPECT_TRUE(IM::FromString("101FF0212").Crosses(1, 2));
+  // Polygon crossed by line (transposed).
+  EXPECT_TRUE(IM::FromString("101FF0212").Transposed().Crosses(2, 1));
+  // Two lines crossing in a point.
+  EXPECT_TRUE(IM::FromString("0F1FF0102").Crosses(1, 1));
+  // Equal-dimension areas never cross.
+  EXPECT_FALSE(IM::FromString("212101212").Crosses(2, 2));
+}
+
+TEST(IntersectionMatrixTest, OverlapsByDimension) {
+  EXPECT_TRUE(IM::FromString("212101212").Overlaps(2, 2));
+  EXPECT_TRUE(IM::FromString("1010F0102").Overlaps(1, 1));
+  // Lines crossing at a point do not overlap (intersection dim 0 != 1).
+  EXPECT_FALSE(IM::FromString("0F1FF0102").Overlaps(1, 1));
+  // Mixed dimensions never overlap.
+  EXPECT_FALSE(IM::FromString("101FF0212").Overlaps(1, 2));
+}
+
+}  // namespace
+}  // namespace relate
+}  // namespace sfpm

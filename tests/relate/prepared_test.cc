@@ -1,0 +1,151 @@
+#include "relate/prepared.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/wkt.h"
+#include "relate/relate.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace relate {
+namespace {
+
+using geom::Geometry;
+using geom::LinearRing;
+using geom::LineString;
+using geom::Point;
+using geom::Polygon;
+
+Geometry G(const char* wkt) {
+  auto g = geom::ReadWkt(wkt);
+  EXPECT_TRUE(g.ok()) << wkt;
+  return g.value_or(Geometry());
+}
+
+Polygon RandomBlob(Rng* rng, double scale, int vertices) {
+  const Point center(rng->NextDouble(-scale, scale),
+                     rng->NextDouble(-scale, scale));
+  std::vector<Point> ring;
+  for (int i = 0; i < vertices; ++i) {
+    const double angle = 2 * M_PI * i / vertices;
+    const double radius = rng->NextDouble(0.4, 1.0) * scale;
+    ring.emplace_back(center.x + radius * std::cos(angle),
+                      center.y + radius * std::sin(angle));
+  }
+  return Polygon(LinearRing(std::move(ring)));
+}
+
+TEST(PreparedGeometryTest, MatchesPlainRelateOnTextbookCases) {
+  const char* polygons[] = {
+      "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+      "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))",
+      "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1))",
+      "POLYGON ((10 10, 11 10, 11 11, 10 11, 10 10))",
+  };
+  const char* others[] = {
+      "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))",
+      "LINESTRING (-1 1, 5 1)",
+      "POINT (1.5 1.5)",
+      "MULTIPOINT (0 0, 1.5 0.5, 9 9)",
+      "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+  };
+  for (const char* pw : polygons) {
+    const PreparedGeometry prepared(G(pw));
+    for (const char* ow : others) {
+      const Geometry other = G(ow);
+      EXPECT_EQ(prepared.Relate(other).ToString(),
+                Relate(prepared.geometry(), other).ToString())
+          << pw << " vs " << ow;
+    }
+  }
+}
+
+TEST(PreparedGeometryTest, LocateMatchesGenericLocate) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Polygon blob = RandomBlob(&rng, 5.0, 24);
+    const PreparedGeometry prepared((Geometry(blob)));
+    for (int probe = 0; probe < 50; ++probe) {
+      const Point p(rng.NextDouble(-7, 7), rng.NextDouble(-7, 7));
+      EXPECT_EQ(prepared.Locate(p), geom::Locate(p, prepared.geometry()))
+          << p.ToString();
+    }
+    // Vertices land exactly on the boundary.
+    for (const Point& v : blob.shell().points()) {
+      EXPECT_EQ(prepared.Locate(v), geom::Location::kBoundary);
+    }
+  }
+}
+
+TEST(PreparedGeometryTest, LocateWithHoles) {
+  const PreparedGeometry prepared(
+      G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0),"
+        " (3 3, 7 3, 7 7, 3 7, 3 3))"));
+  EXPECT_EQ(prepared.Locate(Point(1, 1)), geom::Location::kInterior);
+  EXPECT_EQ(prepared.Locate(Point(5, 5)), geom::Location::kExterior);
+  EXPECT_EQ(prepared.Locate(Point(3, 5)), geom::Location::kBoundary);
+  EXPECT_EQ(prepared.Locate(Point(-1, 5)), geom::Location::kExterior);
+}
+
+TEST(PreparedGeometryTest, RandomPairsMatchPlainRelate) {
+  Rng rng(11);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Polygon a = RandomBlob(&rng, 4.0, 6 + static_cast<int>(rng.NextUint64(20)));
+    const PreparedGeometry prepared((Geometry(a)));
+    Geometry other;
+    switch (rng.NextUint64(3)) {
+      case 0:
+        other = Geometry(RandomBlob(&rng, 4.0, 8));
+        break;
+      case 1: {
+        std::vector<Point> pts;
+        for (int i = 0; i < 5; ++i) {
+          pts.emplace_back(rng.NextDouble(-6, 6), rng.NextDouble(-6, 6));
+        }
+        other = Geometry(LineString(std::move(pts)));
+        break;
+      }
+      default:
+        other = Geometry(Point(rng.NextDouble(-6, 6), rng.NextDouble(-6, 6)));
+        break;
+    }
+    EXPECT_EQ(prepared.Relate(other).ToString(),
+              Relate(prepared.geometry(), other).ToString())
+        << prepared.geometry().ToWkt() << " vs " << other.ToWkt();
+  }
+}
+
+TEST(PreparedGeometryTest, PredicateShortcuts) {
+  const PreparedGeometry big(G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))"));
+  EXPECT_TRUE(big.Contains(G("POLYGON ((2 2, 4 2, 4 4, 2 4, 2 2))")));
+  EXPECT_TRUE(big.Covers(G("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")));
+  EXPECT_FALSE(big.Contains(G("POLYGON ((8 8, 12 8, 12 12, 8 12, 8 8))")));
+  EXPECT_TRUE(big.Intersects(G("LINESTRING (-1 5, 11 5)")));
+  EXPECT_TRUE(big.Disjoint(G("POINT (50 50)")));
+  EXPECT_TRUE(big.Touches(G("POLYGON ((10 0, 20 0, 20 10, 10 10, 10 0))")));
+  EXPECT_TRUE(
+      PreparedGeometry(G("POLYGON ((2 2, 4 2, 4 4, 2 4, 2 2))"))
+          .Within(G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")));
+}
+
+TEST(PreparedGeometryTest, NonArealGeometriesStillCorrect) {
+  const PreparedGeometry line(G("LINESTRING (0 0, 5 0, 5 5)"));
+  EXPECT_EQ(line.Relate(G("LINESTRING (5 0, 5 5)")).ToString(),
+            Relate(line.geometry(), G("LINESTRING (5 0, 5 5)")).ToString());
+  EXPECT_EQ(line.Locate(Point(2, 0)), geom::Location::kInterior);
+  EXPECT_EQ(line.Locate(Point(0, 0)), geom::Location::kBoundary);
+
+  const PreparedGeometry point(G("POINT (1 1)"));
+  EXPECT_TRUE(point.Intersects(G("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))")));
+}
+
+TEST(PreparedGeometryTest, EmptyOperands) {
+  const PreparedGeometry prepared(G("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))"));
+  EXPECT_EQ(prepared.Relate(G("POLYGON EMPTY")).ToString(), "FF2FF1FF2");
+}
+
+}  // namespace
+}  // namespace relate
+}  // namespace sfpm

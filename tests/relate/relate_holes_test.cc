@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/algorithms.h"
+#include "geom/transform.h"
+#include "relate/prepared.h"
+#include "relate/relate.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace relate {
+namespace {
+
+using geom::Geometry;
+using geom::LinearRing;
+using geom::LineString;
+using geom::Point;
+using geom::Polygon;
+
+/// Star-convex blob with a concentric hole: the donut shape that stresses
+/// every exterior-component code path of the engine.
+Polygon Donut(Rng* rng, const Point& center, double radius) {
+  const int n = 6 + static_cast<int>(rng->NextUint64(10));
+  std::vector<Point> shell, hole;
+  std::vector<double> radii;
+  for (int i = 0; i < n; ++i) {
+    radii.push_back(rng->NextDouble(0.6, 1.0) * radius);
+  }
+  for (int i = 0; i < n; ++i) {
+    const double angle = 2 * M_PI * i / n;
+    shell.emplace_back(center.x + radii[i] * std::cos(angle),
+                       center.y + radii[i] * std::sin(angle));
+    // Hole strictly inside: same star, one third the radius.
+    hole.emplace_back(center.x + radii[i] / 3.0 * std::cos(angle),
+                      center.y + radii[i] / 3.0 * std::sin(angle));
+  }
+  return Polygon(LinearRing(std::move(shell)), {LinearRing(std::move(hole))});
+}
+
+Geometry RandomProbe(Rng* rng, double scale) {
+  switch (rng->NextUint64(3)) {
+    case 0:
+      return Geometry(Point(rng->NextDouble(-scale, scale),
+                            rng->NextDouble(-scale, scale)));
+    case 1: {
+      std::vector<Point> pts;
+      const int n = 2 + static_cast<int>(rng->NextUint64(4));
+      for (int i = 0; i < n; ++i) {
+        pts.emplace_back(rng->NextDouble(-scale, scale),
+                         rng->NextDouble(-scale, scale));
+      }
+      return Geometry(LineString(std::move(pts)));
+    }
+    default:
+      return Geometry(Donut(rng, Point(rng->NextDouble(-scale, scale),
+                                       rng->NextDouble(-scale, scale)),
+                            rng->NextDouble(1.0, scale)));
+  }
+}
+
+class RelateHolesPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RelateHolesPropertyTest, TransposeConsistencyWithHoles) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    const Geometry a(Donut(&rng, Point(0, 0), 4.0));
+    const Geometry b = RandomProbe(&rng, 5.0);
+    EXPECT_EQ(Relate(a, b).Transposed().ToString(), Relate(b, a).ToString())
+        << a.ToWkt() << " | " << b.ToWkt();
+  }
+}
+
+TEST_P(RelateHolesPropertyTest, PreparedMatchesPlainWithHoles) {
+  Rng rng(GetParam() + 500);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Geometry a(Donut(&rng, Point(0, 0), 4.0));
+    const PreparedGeometry prepared(a);
+    const Geometry b = RandomProbe(&rng, 5.0);
+    EXPECT_EQ(prepared.Relate(b).ToString(), Relate(a, b).ToString())
+        << a.ToWkt() << " | " << b.ToWkt();
+  }
+}
+
+TEST_P(RelateHolesPropertyTest, SelfEqualityWithHoles) {
+  Rng rng(GetParam() + 900);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Geometry a(Donut(&rng, Point(1, -2), 3.0));
+    EXPECT_TRUE(Relate(a, a).Equals(2, 2)) << a.ToWkt();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelateHolesPropertyTest,
+                         ::testing::Values(21u, 22u, 23u));
+
+TEST(RelateHolesTest, IslandInHoleConfigurations) {
+  Rng rng(31);
+  const Polygon donut = Donut(&rng, Point(0, 0), 6.0);
+  const Geometry donut_geom(donut);
+
+  // A tiny square at the donut's centre sits inside the hole: disjoint,
+  // but at zero envelope separation.
+  const Geometry island(
+      Polygon(LinearRing({{-0.1, -0.1}, {0.1, -0.1}, {0.1, 0.1}, {-0.1, 0.1}})));
+  EXPECT_TRUE(Relate(donut_geom, island).Disjoint());
+  EXPECT_GT(geom::Distance(donut_geom, island), 0.0);
+
+  // A line from the hole to the outside must cross the ring's interior.
+  const Geometry spoke(LineString({{0, 0}, {12, 0}}));
+  const IntersectionMatrix m = Relate(spoke, donut_geom);
+  EXPECT_TRUE(m.Crosses(1, 2));
+  // The line passes through hole (exterior), annulus (interior) and the
+  // unbounded outside: interior evidence in every column.
+  EXPECT_EQ(m.at(IntersectionMatrix::kInterior, IntersectionMatrix::kInterior),
+            1);
+  EXPECT_EQ(m.at(IntersectionMatrix::kInterior, IntersectionMatrix::kExterior),
+            1);
+  EXPECT_EQ(m.at(IntersectionMatrix::kInterior, IntersectionMatrix::kBoundary),
+            0);
+}
+
+TEST(RelateHolesTest, ScaledCopyInsideHoleOrContaining) {
+  Rng rng(37);
+  const Polygon donut = Donut(&rng, Point(0, 0), 6.0);
+  const Geometry a(donut);
+  // A 10x blow-up of the donut contains the original entirely (the
+  // original sits inside the scaled hole? no — scaling the whole donut
+  // about its centre scales the hole too; the original's shell lies in
+  // the scaled annulus region or the scaled hole; verify with the engine
+  // and cross-check both directions agree).
+  const Geometry big = geom::Scale(a, 10.0, Point(0, 0));
+  const IntersectionMatrix ab = Relate(a, big);
+  EXPECT_EQ(ab.Transposed().ToString(), Relate(big, a).ToString());
+}
+
+}  // namespace
+}  // namespace relate
+}  // namespace sfpm

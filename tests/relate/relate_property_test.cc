@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/algorithms.h"
+#include "relate/relate.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace relate {
+namespace {
+
+using geom::Geometry;
+using geom::LinearRing;
+using geom::LineString;
+using geom::Point;
+using geom::Polygon;
+
+/// Random star-convex polygon: simple by construction.
+Polygon RandomBlob(Rng* rng, double scale) {
+  const Point center(rng->NextDouble(-scale, scale),
+                     rng->NextDouble(-scale, scale));
+  const int n = 4 + static_cast<int>(rng->NextUint64(8));
+  std::vector<Point> ring;
+  for (int i = 0; i < n; ++i) {
+    const double angle = 2 * M_PI * i / n;
+    const double radius = rng->NextDouble(0.3, 1.0) * scale;
+    ring.emplace_back(center.x + radius * std::cos(angle),
+                      center.y + radius * std::sin(angle));
+  }
+  return Polygon(LinearRing(std::move(ring)));
+}
+
+LineString RandomPath(Rng* rng, double scale) {
+  const int n = 2 + static_cast<int>(rng->NextUint64(5));
+  std::vector<Point> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.emplace_back(rng->NextDouble(-scale, scale),
+                     rng->NextDouble(-scale, scale));
+  }
+  return LineString(std::move(pts));
+}
+
+Geometry RandomGeometry(Rng* rng, double scale) {
+  switch (rng->NextUint64(3)) {
+    case 0:
+      return Geometry(Point(rng->NextDouble(-scale, scale),
+                            rng->NextDouble(-scale, scale)));
+    case 1:
+      return Geometry(RandomPath(rng, scale));
+    default:
+      return Geometry(RandomBlob(rng, scale));
+  }
+}
+
+class RelatePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RelatePropertyTest, SwapTransposes) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const Geometry a = RandomGeometry(&rng, 5.0);
+    const Geometry b = RandomGeometry(&rng, 5.0);
+    const IntersectionMatrix ab = Relate(a, b);
+    const IntersectionMatrix ba = Relate(b, a);
+    EXPECT_EQ(ab.Transposed().ToString(), ba.ToString())
+        << a.ToWkt() << " | " << b.ToWkt();
+  }
+}
+
+TEST_P(RelatePropertyTest, SelfRelateIsEqual) {
+  Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Geometry g = RandomGeometry(&rng, 5.0);
+    const IntersectionMatrix m = Relate(g, g);
+    EXPECT_TRUE(m.Equals(g.Dimension(), g.Dimension())) << g.ToWkt() << " -> "
+                                                        << m.ToString();
+  }
+}
+
+TEST_P(RelatePropertyTest, DisjointIffPositiveDistance) {
+  Rng rng(GetParam() + 2000);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Geometry a = RandomGeometry(&rng, 3.0);
+    const Geometry b = RandomGeometry(&rng, 3.0);
+    const bool disjoint = Relate(a, b).Disjoint();
+    const double dist = geom::Distance(a, b);
+    // Guard the tolerance band: grazing contacts within 1e-9 of zero are
+    // legitimately classified either way by floating point.
+    if (dist > 1e-9) {
+      EXPECT_TRUE(disjoint) << a.ToWkt() << " | " << b.ToWkt()
+                            << " dist=" << dist;
+    } else if (dist == 0.0) {
+      EXPECT_FALSE(disjoint) << a.ToWkt() << " | " << b.ToWkt();
+    }
+  }
+}
+
+TEST_P(RelatePropertyTest, ContainsImpliesCoversAndIntersects) {
+  Rng rng(GetParam() + 3000);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Geometry a(RandomBlob(&rng, 4.0));
+    const Geometry b(RandomBlob(&rng, 2.0));
+    const IntersectionMatrix m = Relate(a, b);
+    if (m.Contains()) {
+      EXPECT_TRUE(m.Covers());
+      EXPECT_TRUE(m.Intersects());
+    }
+    if (m.Within()) {
+      EXPECT_TRUE(m.CoveredBy());
+    }
+    // Exactly one of the four mutually exclusive base cases for areas:
+    // disjoint / touches / overlap-or-containment is not exhaustive, but
+    // disjoint and intersects are complementary.
+    EXPECT_NE(m.Disjoint(), m.Intersects());
+  }
+}
+
+TEST_P(RelatePropertyTest, ScalingInvariance) {
+  Rng rng(GetParam() + 4000);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Polygon a = RandomBlob(&rng, 2.0);
+    const Polygon b = RandomBlob(&rng, 2.0);
+    const std::string base = Relate(Geometry(a), Geometry(b)).ToString();
+
+    for (double scale : {1e-3, 1e3}) {
+      auto scaled = [scale](const Polygon& p) {
+        std::vector<Point> ring;
+        for (const Point& v : p.shell().points()) {
+          ring.emplace_back(v.x * scale, v.y * scale);
+        }
+        return Polygon(LinearRing(std::move(ring)));
+      };
+      EXPECT_EQ(Relate(Geometry(scaled(a)), Geometry(scaled(b))).ToString(),
+                base)
+          << "scale " << scale;
+    }
+  }
+}
+
+TEST_P(RelatePropertyTest, TranslatedCopiesAreEqual) {
+  Rng rng(GetParam() + 5000);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Polygon a = RandomBlob(&rng, 3.0);
+    EXPECT_TRUE(Equals(Geometry(a), Geometry(a)));
+
+    std::vector<Point> moved;
+    for (const Point& v : a.shell().points()) {
+      moved.emplace_back(v.x + 100.0, v.y);
+    }
+    const Polygon b((LinearRing(moved)));
+    EXPECT_TRUE(Disjoint(Geometry(a), Geometry(b)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelatePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(RelateConsistencyTest, GridNeighborsTouch) {
+  // A 3x3 tiling: horizontally/vertically adjacent cells touch along an
+  // edge (dim 1), diagonal neighbours touch at a corner (dim 0), and all
+  // have disjoint interiors.
+  Polygon cell[3][3];
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const double x = c, y = r;
+      cell[r][c] = Polygon(LinearRing(
+          {{x, y}, {x + 1, y}, {x + 1, y + 1}, {x, y + 1}}));
+    }
+  }
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      for (int r2 = 0; r2 < 3; ++r2) {
+        for (int c2 = 0; c2 < 3; ++c2) {
+          if (r == r2 && c == c2) continue;
+          const IntersectionMatrix m =
+              Relate(Geometry(cell[r][c]), Geometry(cell[r2][c2]));
+          const int manhattan = std::abs(r - r2) + std::abs(c - c2);
+          if (manhattan == 1) {
+            EXPECT_TRUE(m.Touches(2, 2));
+            EXPECT_EQ(m.at(IntersectionMatrix::kBoundary,
+                           IntersectionMatrix::kBoundary),
+                      1);
+          } else if (std::abs(r - r2) == 1 && std::abs(c - c2) == 1) {
+            EXPECT_TRUE(m.Touches(2, 2));
+            EXPECT_EQ(m.at(IntersectionMatrix::kBoundary,
+                           IntersectionMatrix::kBoundary),
+                      0);
+          } else {
+            EXPECT_TRUE(m.Disjoint());
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace relate
+}  // namespace sfpm

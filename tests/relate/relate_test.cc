@@ -1,0 +1,241 @@
+#include "relate/relate.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/wkt.h"
+
+namespace sfpm {
+namespace relate {
+namespace {
+
+using geom::Geometry;
+using geom::ReadWkt;
+
+Geometry G(const char* wkt) {
+  auto g = ReadWkt(wkt);
+  EXPECT_TRUE(g.ok()) << wkt;
+  return g.value_or(Geometry());
+}
+
+struct RelateCase {
+  const char* name;
+  const char* a;
+  const char* b;
+  const char* matrix;
+};
+
+class RelateMatrixTest : public ::testing::TestWithParam<RelateCase> {};
+
+TEST_P(RelateMatrixTest, MatchesExpectedMatrix) {
+  const RelateCase& c = GetParam();
+  EXPECT_EQ(Relate(G(c.a), G(c.b)).ToString(), c.matrix) << c.name;
+}
+
+TEST_P(RelateMatrixTest, SwappedOperandsTranspose) {
+  const RelateCase& c = GetParam();
+  EXPECT_EQ(Relate(G(c.b), G(c.a)).ToString(),
+            IntersectionMatrix::FromString(c.matrix).Transposed().ToString())
+      << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolygonPolygon, RelateMatrixTest,
+    ::testing::Values(
+        RelateCase{"overlap", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+                   "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))", "212101212"},
+        RelateCase{"within", "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))",
+                   "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))", "2FF1FF212"},
+        RelateCase{"contains", "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))",
+                   "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))", "212FF1FF2"},
+        RelateCase{"equals", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+                   "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))", "2FFF1FFF2"},
+        RelateCase{"equals_different_start",
+                   "POLYGON ((2 0, 2 2, 0 2, 0 0, 2 0))",
+                   "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))", "2FFF1FFF2"},
+        RelateCase{"touch_edge", "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
+                   "POLYGON ((1 0, 2 0, 2 1, 1 1, 1 0))", "FF2F11212"},
+        RelateCase{"touch_partial_edge",
+                   "POLYGON ((0 0, 1 0, 1 3, 0 3, 0 0))",
+                   "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))", "FF2F11212"},
+        RelateCase{"touch_corner", "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
+                   "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))", "FF2F01212"},
+        RelateCase{"disjoint", "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
+                   "POLYGON ((5 5, 6 5, 6 6, 5 6, 5 5))", "FF2FF1212"},
+        RelateCase{"coveredby_shared_edge",
+                   "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
+                   "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))", "2FF11F212"},
+        RelateCase{"hole_island_disjoint",
+                   "POLYGON ((4 4, 6 4, 6 6, 4 6, 4 4))",
+                   "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0),"
+                   " (2 2, 8 2, 8 8, 2 8, 2 2))",
+                   "FF2FF1212"},
+        RelateCase{"fills_hole_exactly",
+                   "POLYGON ((2 2, 8 2, 8 8, 2 8, 2 2))",
+                   "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0),"
+                   " (2 2, 8 2, 8 8, 2 8, 2 2))",
+                   "FF2F1F212"},
+        RelateCase{"overlap_through_hole",
+                   "POLYGON ((3 3, 7 3, 7 12, 3 12, 3 3))",
+                   "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0),"
+                   " (4 4, 6 4, 6 6, 4 6, 4 4))",
+                   "212101212"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    LinePolygon, RelateMatrixTest,
+    ::testing::Values(
+        RelateCase{"crosses", "LINESTRING (-1 1, 4 1)",
+                   "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))", "101FF0212"},
+        RelateCase{"within", "LINESTRING (1 1, 2 2)",
+                   "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))", "1FF0FF212"},
+        RelateCase{"touch_boundary_point", "LINESTRING (-1 1, 0 1)",
+                   "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))", "FF1F00212"},
+        RelateCase{"along_boundary", "LINESTRING (0 0, 3 0)",
+                   "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))", "F1FF0F212"},
+        RelateCase{"boundary_then_inside", "LINESTRING (0 0, 1 0, 1 1)",
+                   "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))", "11F00F212"},
+        RelateCase{"endpoint_inside", "LINESTRING (-1 1, 1 1)",
+                   "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))", "1010F0212"},
+        RelateCase{"through_hole", "LINESTRING (-1 5, 11 5)",
+                   "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0),"
+                   " (3 3, 7 3, 7 7, 3 7, 3 3))",
+                   "101FF0212"},
+        RelateCase{"inside_hole", "LINESTRING (4 4, 6 6)",
+                   "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0),"
+                   " (3 3, 7 3, 7 7, 3 7, 3 3))",
+                   "FF1FF0212"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    LineLine, RelateMatrixTest,
+    ::testing::Values(
+        RelateCase{"cross", "LINESTRING (0 0, 2 2)", "LINESTRING (0 2, 2 0)",
+                   "0F1FF0102"},
+        RelateCase{"overlap", "LINESTRING (0 0, 2 0)",
+                   "LINESTRING (1 0, 3 0)", "1010F0102"},
+        RelateCase{"endpoint_touch", "LINESTRING (0 0, 1 0)",
+                   "LINESTRING (1 0, 2 0)", "FF1F00102"},
+        RelateCase{"equal", "LINESTRING (0 0, 1 0)", "LINESTRING (0 0, 1 0)",
+                   "1FFF0FFF2"},
+        RelateCase{"equal_reversed", "LINESTRING (0 0, 1 0)",
+                   "LINESTRING (1 0, 0 0)", "1FFF0FFF2"},
+        RelateCase{"within", "LINESTRING (1 0, 2 0)", "LINESTRING (0 0, 3 0)",
+                   "1FF0FF102"},
+        RelateCase{"disjoint", "LINESTRING (0 0, 1 0)",
+                   "LINESTRING (0 1, 1 1)", "FF1FF0102"},
+        // The meeting point is B's *endpoint* (boundary), so it lands in
+        // the interior-of-A x boundary-of-B cell, not interior-interior.
+        RelateCase{"t_touch_interior", "LINESTRING (0 0, 2 0)",
+                   "LINESTRING (1 0, 1 2)", "F01FF0102"},
+        RelateCase{"endpoint_on_interior", "LINESTRING (0 0, 2 0)",
+                   "LINESTRING (1 0, 3 5)", "F01FF0102"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    PointOthers, RelateMatrixTest,
+    ::testing::Values(
+        RelateCase{"point_in_polygon", "POINT (1 1)",
+                   "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))", "0FFFFF212"},
+        RelateCase{"point_on_polygon_boundary", "POINT (0 1)",
+                   "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))", "F0FFFF212"},
+        RelateCase{"point_outside_polygon", "POINT (9 9)",
+                   "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))", "FF0FFF212"},
+        RelateCase{"point_in_hole", "POINT (5 5)",
+                   "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0),"
+                   " (3 3, 7 3, 7 7, 3 7, 3 3))",
+                   "FF0FFF212"},
+        RelateCase{"point_on_line_interior", "POINT (1 0)",
+                   "LINESTRING (0 0, 2 0)", "0FFFFF102"},
+        RelateCase{"point_on_line_endpoint", "POINT (0 0)",
+                   "LINESTRING (0 0, 2 0)", "F0FFFF102"},
+        RelateCase{"point_off_line", "POINT (1 1)", "LINESTRING (0 0, 2 0)",
+                   "FF0FFF102"},
+        RelateCase{"point_equal_point", "POINT (1 1)", "POINT (1 1)",
+                   "0FFFFFFF2"},
+        RelateCase{"point_disjoint_point", "POINT (1 1)", "POINT (2 2)",
+                   "FF0FFF0F2"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    MultiGeometry, RelateMatrixTest,
+    ::testing::Values(
+        RelateCase{"multipoint_spanning", "MULTIPOINT (1 1, 9 9)",
+                   "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))", "0F0FFF212"},
+        RelateCase{"multipolygon_one_part_overlaps",
+                   "MULTIPOLYGON (((0 0, 2 0, 2 2, 0 2, 0 0)),"
+                   " ((10 10, 11 10, 11 11, 10 11, 10 10)))",
+                   "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))", "212101212"},
+        RelateCase{"multiline_touches_polygon_corner",
+                   "MULTILINESTRING ((5 5, 6 6), (-1 -1, 0 0))",
+                   "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))", "FF1F00212"},
+        // The closed line IS the polygon's whole boundary, so the
+        // exterior-of-line / boundary-of-polygon cell is empty.
+        RelateCase{"closed_ring_line_no_boundary",
+                   "LINESTRING (0 0, 1 0, 1 1, 0 1, 0 0)",
+                   "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))", "F1FFFF2F2"},
+        // One part strictly inside B, the other far outside.
+        RelateCase{"multipolygon_part_in_part_out",
+                   "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)),"
+                   " ((5 5, 6 5, 6 6, 5 6, 5 5)))",
+                   "POLYGON ((-1 -1, 2 -1, 2 2, -1 2, -1 -1))",
+                   "2F21F1212"},
+        RelateCase{"multipolygon_equals_itself",
+                   "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)),"
+                   " ((5 5, 6 5, 6 6, 5 6, 5 5)))",
+                   "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)),"
+                   " ((5 5, 6 5, 6 6, 5 6, 5 5)))",
+                   "2FFF1FFF2"},
+        RelateCase{"multipolygon_overlapping_one_part",
+                   "MULTIPOLYGON (((0 0, 2 0, 2 2, 0 2, 0 0)),"
+                   " ((10 10, 11 10, 11 11, 10 11, 10 10)))",
+                   "MULTIPOLYGON (((1 1, 3 1, 3 3, 1 3, 1 1)),"
+                   " ((20 20, 21 20, 21 21, 20 21, 20 20)))",
+                   "212101212"}));
+
+TEST(RelateTest, EmptyGeometries) {
+  const Geometry empty = G("POLYGON EMPTY");
+  const Geometry square = G("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))");
+  EXPECT_EQ(Relate(empty, empty).ToString(), "FFFFFFFF2");
+  EXPECT_EQ(Relate(empty, square).ToString(), "FFFFFF212");
+  EXPECT_EQ(Relate(square, empty).ToString(), "FF2FF1FF2");
+  EXPECT_TRUE(Relate(empty, square).Disjoint());
+}
+
+TEST(RelateTest, BoundaryDimensionPerType) {
+  EXPECT_EQ(BoundaryDimension(G("POINT (0 0)")), kDimFalse);
+  EXPECT_EQ(BoundaryDimension(G("MULTIPOINT (0 0, 1 1)")), kDimFalse);
+  EXPECT_EQ(BoundaryDimension(G("LINESTRING (0 0, 1 1)")), 0);
+  EXPECT_EQ(BoundaryDimension(G("LINESTRING (0 0, 1 0, 1 1, 0 0)")),
+            kDimFalse);
+  EXPECT_EQ(BoundaryDimension(G("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))")), 1);
+  // Two open curves joined end to end: outer endpoints remain boundary.
+  EXPECT_EQ(
+      BoundaryDimension(G("MULTILINESTRING ((0 0, 1 0), (1 0, 2 0))")), 0);
+  // A closed loop formed by two curves: every endpoint has even degree.
+  EXPECT_EQ(BoundaryDimension(
+                G("MULTILINESTRING ((0 0, 1 0, 1 1), (1 1, 0 1, 0 0))")),
+            kDimFalse);
+}
+
+TEST(RelatePredicatesTest, NamedPredicates) {
+  const Geometry big = G("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+  const Geometry small = G("POLYGON ((2 2, 4 2, 4 4, 2 4, 2 2))");
+  const Geometry far_away = G("POLYGON ((20 20, 21 20, 21 21, 20 21, 20 20))");
+  const Geometry line = G("LINESTRING (-5 5, 15 5)");
+
+  EXPECT_TRUE(Contains(big, small));
+  EXPECT_TRUE(Within(small, big));
+  EXPECT_TRUE(Covers(big, small));
+  EXPECT_TRUE(CoveredBy(small, big));
+  EXPECT_FALSE(Contains(small, big));
+  EXPECT_TRUE(Disjoint(big, far_away));
+  EXPECT_FALSE(Intersects(big, far_away));
+  EXPECT_TRUE(Crosses(line, big));
+  EXPECT_FALSE(Crosses(line, far_away));
+  EXPECT_TRUE(Equals(big, big));
+  EXPECT_FALSE(Equals(big, small));
+  EXPECT_TRUE(Touches(G("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))"),
+                      G("POLYGON ((1 0, 2 0, 2 1, 1 1, 1 0))")));
+  EXPECT_TRUE(Overlaps(G("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+                       G("POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))")));
+}
+
+}  // namespace
+}  // namespace relate
+}  // namespace sfpm

@@ -1,0 +1,80 @@
+#include "stats/largest_itemset.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/gain.h"
+
+namespace sfpm {
+namespace stats {
+namespace {
+
+using core::ItemId;
+using core::Itemset;
+using core::TransactionDb;
+
+TEST(AnalyzeItemsetTest, GroupsByKey) {
+  TransactionDb db;
+  const ItemId cs = db.AddItem("contains_slum", "slum");
+  const ItemId ts = db.AddItem("touches_slum", "slum");
+  const ItemId os = db.AddItem("overlaps_slum", "slum");
+  const ItemId csc = db.AddItem("contains_school", "school");
+  const ItemId tsc = db.AddItem("touches_school", "school");
+  const ItemId river = db.AddItem("crosses_river", "river");
+  const ItemId mh = db.AddItem("murderRate=high", "");
+
+  const GainParameters p =
+      AnalyzeItemset(Itemset({cs, ts, os, csc, tsc, river, mh}), db);
+  EXPECT_EQ(p.m, 7);
+  EXPECT_EQ(p.u, 2);
+  EXPECT_EQ(p.t, (std::vector<int>{3, 2}));  // Sorted descending.
+  EXPECT_EQ(p.n, 2);  // river (single relation) + attribute.
+  EXPECT_FALSE(p.ToString().empty());
+}
+
+TEST(AnalyzeItemsetTest, AllSingletonsCountIntoN) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("contains_slum", "slum");
+  const ItemId b = db.AddItem("contains_school", "school");
+  const GainParameters p = AnalyzeItemset(Itemset({a, b}), db);
+  EXPECT_EQ(p.u, 0);
+  EXPECT_EQ(p.n, 2);
+  EXPECT_EQ(MinimalGain(p.t, p.n).value(), 0u);
+}
+
+TEST(AnalyzeLargestItemsetTest, PicksLargestWithBestGain) {
+  TransactionDb db;
+  const ItemId cs = db.AddItem("contains_slum", "slum");
+  const ItemId ts = db.AddItem("touches_slum", "slum");
+  const ItemId mh = db.AddItem("m=h", "");
+  const ItemId csc = db.AddItem("contains_school", "school");
+
+  // Two size-3 largest itemsets: {cs, ts, mh} has a same-type pair (gain
+  // 2); {cs, csc, mh} is clean (gain 0). The analyzer must pick the first.
+  for (int i = 0; i < 3; ++i) db.AddTransaction({cs, ts, mh});
+  for (int i = 0; i < 3; ++i) db.AddTransaction({cs, csc, mh});
+
+  const auto mined = core::MineApriori(db, 3.0 / 6.0);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_EQ(mined.value().MaxItemsetSize(), 3u);
+
+  const auto params = AnalyzeLargestItemset(mined.value(), db);
+  ASSERT_TRUE(params.ok());
+  EXPECT_EQ(params.value().m, 3);
+  EXPECT_EQ(params.value().u, 1);
+  EXPECT_EQ(params.value().t, (std::vector<int>{2}));
+  EXPECT_EQ(params.value().n, 1);
+}
+
+TEST(AnalyzeLargestItemsetTest, NotFoundWithoutPairs) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  db.AddTransaction({a});
+  const auto mined = core::MineApriori(db, 0.5);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_EQ(AnalyzeLargestItemset(mined.value(), db).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace sfpm

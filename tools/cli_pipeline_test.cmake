@@ -1,0 +1,29 @@
+# End-to-end CLI pipeline: generate a city, extract predicates, mine.
+file(MAKE_DIRECTORY ${WORK_DIR})
+execute_process(
+  COMMAND ${SFPM_CLI} generate-city --seed 5 --out-prefix ${WORK_DIR}/t_
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate-city failed")
+endif()
+execute_process(
+  COMMAND ${SFPM_CLI} extract
+    --reference district=${WORK_DIR}/t_district.csv
+    --relevant slum=${WORK_DIR}/t_slum.csv
+    --relevant school=${WORK_DIR}/t_school.csv
+    --out ${WORK_DIR}/t_table.csv
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "extract failed")
+endif()
+execute_process(
+  COMMAND ${SFPM_CLI} mine --table ${WORK_DIR}/t_table.csv
+    --minsup 0.15 --filter kc+ --rules 0.7
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "mine failed")
+endif()
+string(FIND "${out}" "frequent itemsets" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "mine output missing itemsets: ${out}")
+endif()

@@ -1,0 +1,358 @@
+// sfpm — command-line front end for the library.
+//
+//   sfpm extract  --reference district=d.csv --relevant slum=s.csv ...
+//                 [--distance veryClose:500,close:2000,far]
+//                 [--distance-types policeCenter] [--directions]
+//                 --out table.csv
+//   sfpm mine     --table table.csv --minsup 0.1
+//                 [--filter none|kc|kc+] [--dependency street:illuminationPoint]
+//                 [--algorithm apriori|fpgrowth] [--rules 0.7]
+//                 [--closed] [--maximal] [--top lift:10]
+//   sfpm gain     --t 2,2,2 --n 2
+//   sfpm table3
+//   sfpm generate-city [--seed N] --out-prefix dir/city_
+//
+// Layers are WKT-CSV files (header: wkt,attr...); predicate tables are 0/1
+// CSV matrices (header: row,<predicate labels>). See io/layer_io.h and
+// io/table_io.h.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/closed.h"
+#include "core/measures.h"
+#include "datagen/city.h"
+#include "io/geojson.h"
+#include "io/layer_io.h"
+#include "io/table_io.h"
+#include "sfpm.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace sfpm;
+
+/// Minimal --flag value parser: flags may repeat.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 0; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        const std::string flag = argv[i] + 2;
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+          values_[flag].push_back(argv[++i]);
+        } else {
+          values_[flag].push_back("");  // Boolean flag.
+        }
+      } else {
+        positional_.push_back(argv[i]);
+      }
+    }
+  }
+
+  bool Has(const std::string& flag) const { return values_.count(flag) > 0; }
+
+  std::string Get(const std::string& flag,
+                  const std::string& fallback = "") const {
+    const auto it = values_.find(flag);
+    return it == values_.end() ? fallback : it->second.front();
+  }
+
+  std::vector<std::string> All(const std::string& flag) const {
+    const auto it = values_.find(flag);
+    return it == values_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::string>> values_;
+  std::vector<std::string> positional_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sfpm <extract|mine|gain|table3|generate-city> "
+               "[flags]\n(see the header of tools/sfpm_cli.cc)\n");
+  return 2;
+}
+
+/// Parses "type=path" pairs.
+Result<std::pair<std::string, std::string>> SplitTypePath(
+    const std::string& spec) {
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+    return Status::InvalidArgument("expected type=path, got '" + spec + "'");
+  }
+  return std::make_pair(spec.substr(0, eq), spec.substr(eq + 1));
+}
+
+/// Parses "name:bound,name:bound,...,name" into a quantizer.
+Result<qsr::DistanceQuantizer> ParseBands(const std::string& spec) {
+  std::vector<std::pair<std::string, double>> bounds;
+  std::string beyond;
+  for (const std::string& part : Split(spec, ',')) {
+    const size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      if (!beyond.empty()) {
+        return Status::InvalidArgument(
+            "only the last distance band may omit a bound");
+      }
+      beyond = part;
+      continue;
+    }
+    if (!beyond.empty()) {
+      return Status::InvalidArgument("bands after the unbounded band");
+    }
+    try {
+      bounds.emplace_back(part.substr(0, colon),
+                          std::stod(part.substr(colon + 1)));
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad distance bound in '" + part + "'");
+    }
+  }
+  if (beyond.empty()) {
+    return Status::InvalidArgument("distance spec needs a final unbounded band");
+  }
+  return qsr::DistanceQuantizer::Create(std::move(bounds), beyond);
+}
+
+int RunExtract(const Args& args) {
+  const auto ref_spec = SplitTypePath(args.Get("reference"));
+  if (!ref_spec.ok()) return Fail(ref_spec.status());
+  const auto reference =
+      io::LoadLayer(ref_spec.value().first, ref_spec.value().second);
+  if (!reference.ok()) return Fail(reference.status());
+
+  std::vector<feature::Layer> relevant;
+  for (const std::string& spec : args.All("relevant")) {
+    const auto parsed = SplitTypePath(spec);
+    if (!parsed.ok()) return Fail(parsed.status());
+    auto layer = io::LoadLayer(parsed.value().first, parsed.value().second);
+    if (!layer.ok()) return Fail(layer.status());
+    relevant.push_back(std::move(layer).value());
+  }
+  if (relevant.empty()) {
+    return Fail(Status::InvalidArgument("need at least one --relevant layer"));
+  }
+
+  feature::PredicateExtractor extractor(&reference.value());
+  for (const feature::Layer& layer : relevant) {
+    extractor.AddRelevantLayer(&layer);
+  }
+
+  feature::ExtractorOptions options;
+  options.directions = args.Has("directions");
+  std::optional<qsr::DistanceQuantizer> bands;
+  if (args.Has("distance")) {
+    auto parsed = ParseBands(args.Get("distance"));
+    if (!parsed.ok()) return Fail(parsed.status());
+    bands.emplace(std::move(parsed).value());
+    options.distance_bands = &*bands;
+    for (const std::string& type :
+         Split(args.Get("distance-types", ""), ',')) {
+      if (!type.empty()) options.distance_types.insert(type);
+    }
+  }
+
+  const auto table = extractor.Extract(options);
+  if (!table.ok()) return Fail(table.status());
+
+  const std::string out = args.Get("out");
+  if (out.empty()) {
+    std::fputs(io::TableToCsv(table.value()).c_str(), stdout);
+  } else {
+    const Status st = io::SaveTable(table.value(), out);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %zu rows x %zu predicates to %s\n",
+                table.value().NumRows(), table.value().NumPredicates(),
+                out.c_str());
+  }
+  return 0;
+}
+
+int RunMine(const Args& args) {
+  const auto table = io::LoadTable(args.Get("table"));
+  if (!table.ok()) return Fail(table.status());
+
+  feature::DependencyRegistry dependencies;
+  for (const std::string& spec : args.All("dependency")) {
+    const auto parts = Split(spec, ':');
+    if (parts.size() != 2) {
+      return Fail(Status::InvalidArgument("expected --dependency a:b"));
+    }
+    dependencies.Add(parts[0], parts[1]);
+  }
+
+  core::AprioriOptions options;
+  try {
+    options.min_support = std::stod(args.Get("minsup", "0.1"));
+  } catch (const std::exception&) {
+    return Fail(Status::InvalidArgument("bad --minsup"));
+  }
+
+  const std::string filter = args.Get("filter", "kc+");
+  std::optional<core::PairBlocklistFilter> dependency_filter;
+  std::optional<core::SameKeyFilter> same_key;
+  if (filter == "kc" || filter == "kc+") {
+    dependency_filter.emplace(dependencies.MakeFilter(table.value().db()));
+    options.filters.push_back(&*dependency_filter);
+  }
+  if (filter == "kc+") {
+    same_key.emplace(table.value().db());
+    options.filters.push_back(&*same_key);
+  } else if (filter != "none" && filter != "kc") {
+    return Fail(Status::InvalidArgument("--filter must be none|kc|kc+"));
+  }
+
+  const std::string algorithm = args.Get("algorithm", "apriori");
+  Result<core::AprioriResult> mined =
+      algorithm == "fpgrowth"
+          ? core::MineFpGrowth(table.value().db(), options)
+          : core::MineApriori(table.value().db(), options);
+  if (!mined.ok()) return Fail(mined.status());
+
+  std::vector<core::FrequentItemset> itemsets = mined.value().itemsets();
+  const char* family = "frequent";
+  if (args.Has("closed")) {
+    itemsets = core::ClosedItemsets(mined.value());
+    family = "closed";
+  } else if (args.Has("maximal")) {
+    itemsets = core::MaximalItemsets(mined.value());
+    family = "maximal";
+  }
+
+  std::printf("# %zu %s itemsets (minsup %.3g, filter %s, %s)\n",
+              itemsets.size(), family, options.min_support, filter.c_str(),
+              algorithm.c_str());
+  for (const core::FrequentItemset& fi : itemsets) {
+    std::string labels;
+    for (size_t i = 0; i < fi.items.size(); ++i) {
+      if (i > 0) labels += ", ";
+      labels += table.value().db().Label(fi.items[i]);
+    }
+    std::printf("%u\t{%s}\n", fi.support, labels.c_str());
+  }
+
+  if (args.Has("rules")) {
+    core::RuleOptions rule_options;
+    try {
+      rule_options.min_confidence = std::stod(args.Get("rules", "0.7"));
+    } catch (const std::exception&) {
+      return Fail(Status::InvalidArgument("bad --rules confidence"));
+    }
+    auto rules =
+        core::GenerateRules(table.value().db(), mined.value(), rule_options);
+
+    if (args.Has("top")) {
+      const auto parts = Split(args.Get("top"), ':');
+      const std::map<std::string, core::Measure> measures = {
+          {"lift", core::Measure::kLift},
+          {"leverage", core::Measure::kLeverage},
+          {"conviction", core::Measure::kConviction},
+          {"jaccard", core::Measure::kJaccard},
+          {"cosine", core::Measure::kCosine},
+          {"kulczynski", core::Measure::kKulczynski},
+          {"certaintyFactor", core::Measure::kCertaintyFactor},
+          {"oddsRatio", core::Measure::kOddsRatio},
+          {"phi", core::Measure::kPhi},
+      };
+      const auto it = measures.find(parts.empty() ? "" : parts[0]);
+      if (it == measures.end()) {
+        return Fail(Status::InvalidArgument("unknown --top measure"));
+      }
+      size_t k = 10;
+      if (parts.size() > 1) k = std::stoul(parts[1]);
+      rules = core::TopRulesBy(it->second, rules, mined.value(),
+                               table.value().db(), k);
+    }
+
+    std::printf("# %zu rules (min confidence %.3g)\n", rules.size(),
+                rule_options.min_confidence);
+    for (const core::AssociationRule& rule : rules) {
+      std::printf("%.3f\t%.3f\t%.3f\t%s\n", rule.support, rule.confidence,
+                  rule.lift, rule.ToString(table.value().db()).c_str());
+    }
+  }
+  return 0;
+}
+
+int RunGain(const Args& args) {
+  std::vector<int> t;
+  for (const std::string& part : Split(args.Get("t"), ',')) {
+    if (part.empty()) continue;
+    t.push_back(std::atoi(part.c_str()));
+  }
+  const int n = std::atoi(args.Get("n", "0").c_str());
+  const auto gain = stats::MinimalGain(t, n);
+  if (!gain.ok()) return Fail(gain.status());
+  int m = n;
+  for (int tk : t) m += tk;
+  std::printf(
+      "m=%d: >=%llu frequent itemsets implied; minimal gain of KC+ = %llu\n",
+      m,
+      static_cast<unsigned long long>(stats::ItemsetCountLowerBound(m)),
+      static_cast<unsigned long long>(gain.value()));
+  return 0;
+}
+
+int RunTable3() {
+  const auto table = stats::MinimalGainTable(8, 10);
+  std::printf("      ");
+  for (int t1 = 1; t1 <= 8; ++t1) std::printf("%9s%d", "t1=", t1);
+  std::printf("\n");
+  for (size_t n = 0; n < table.size(); ++n) {
+    std::printf("n=%-3zu", n + 1);
+    for (uint64_t v : table[n]) {
+      std::printf("%10llu", static_cast<unsigned long long>(v));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int RunGenerateCity(const Args& args) {
+  datagen::CityConfig config;
+  if (args.Has("seed")) {
+    config.seed = std::strtoull(args.Get("seed").c_str(), nullptr, 10);
+  }
+  const auto city = datagen::GenerateCity(config);
+  const std::string prefix = args.Get("out-prefix", "city_");
+
+  const std::vector<const feature::Layer*> layers = {
+      &city->districts, &city->slums,   &city->schools,     &city->police,
+      &city->streets,   &city->rivers,  &city->illumination};
+  for (const feature::Layer* layer : layers) {
+    const std::string path = prefix + layer->feature_type() + ".csv";
+    const Status st = io::SaveLayer(*layer, path);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %zu %s features to %s\n", layer->Size(),
+                layer->feature_type().c_str(), path.c_str());
+  }
+  const std::string geojson_path = prefix + "all.geojson";
+  const Status st = io::WriteFile(geojson_path, io::LayersToGeoJson(layers));
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %s\n", geojson_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc - 2, argv + 2);
+  if (command == "extract") return RunExtract(args);
+  if (command == "mine") return RunMine(args);
+  if (command == "gain") return RunGain(args);
+  if (command == "table3") return RunTable3();
+  if (command == "generate-city") return RunGenerateCity(args);
+  return Usage();
+}
