@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_apriori_scale.dir/bench_apriori_scale.cc.o"
+  "CMakeFiles/bench_apriori_scale.dir/bench_apriori_scale.cc.o.d"
+  "bench_apriori_scale"
+  "bench_apriori_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_apriori_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

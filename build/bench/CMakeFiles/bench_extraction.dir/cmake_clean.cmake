@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extraction.dir/bench_extraction.cc.o"
+  "CMakeFiles/bench_extraction.dir/bench_extraction.cc.o.d"
+  "bench_extraction"
+  "bench_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure4_5.dir/bench_figure4_5.cc.o"
+  "CMakeFiles/bench_figure4_5.dir/bench_figure4_5.cc.o.d"
+  "bench_figure4_5"
+  "bench_figure4_5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

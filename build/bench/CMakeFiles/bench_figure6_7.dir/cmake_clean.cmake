@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure6_7.dir/bench_figure6_7.cc.o"
+  "CMakeFiles/bench_figure6_7.dir/bench_figure6_7.cc.o.d"
+  "bench_figure6_7"
+  "bench_figure6_7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure6_7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figure6_7.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fpgrowth.dir/bench_fpgrowth.cc.o"
+  "CMakeFiles/bench_fpgrowth.dir/bench_fpgrowth.cc.o.d"
+  "bench_fpgrowth"
+  "bench_fpgrowth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fpgrowth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

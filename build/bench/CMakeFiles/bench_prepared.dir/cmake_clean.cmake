@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prepared.dir/bench_prepared.cc.o"
+  "CMakeFiles/bench_prepared.dir/bench_prepared.cc.o.d"
+  "bench_prepared"
+  "bench_prepared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prepared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_relate.dir/bench_relate.cc.o"
+  "CMakeFiles/bench_relate.dir/bench_relate.cc.o.d"
+  "bench_relate"
+  "bench_relate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_relate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocation_comparison.dir/colocation_comparison.cc.o"
+  "CMakeFiles/colocation_comparison.dir/colocation_comparison.cc.o.d"
+  "colocation_comparison"
+  "colocation_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocation_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crime_analysis.dir/crime_analysis.cc.o"
+  "CMakeFiles/crime_analysis.dir/crime_analysis.cc.o.d"
+  "crime_analysis"
+  "crime_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crime_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

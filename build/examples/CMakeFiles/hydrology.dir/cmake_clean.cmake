@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydrology.dir/hydrology.cc.o"
+  "CMakeFiles/hydrology.dir/hydrology.cc.o.d"
+  "hydrology"
+  "hydrology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydrology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

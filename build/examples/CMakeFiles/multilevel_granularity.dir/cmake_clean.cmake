@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel_granularity.dir/multilevel_granularity.cc.o"
+  "CMakeFiles/multilevel_granularity.dir/multilevel_granularity.cc.o.d"
+  "multilevel_granularity"
+  "multilevel_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

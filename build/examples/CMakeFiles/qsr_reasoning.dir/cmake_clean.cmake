@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsr_reasoning.dir/qsr_reasoning.cc.o"
+  "CMakeFiles/qsr_reasoning.dir/qsr_reasoning.cc.o.d"
+  "qsr_reasoning"
+  "qsr_reasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsr_reasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qsr_reasoning.
+# This may be replaced when dependencies are built.

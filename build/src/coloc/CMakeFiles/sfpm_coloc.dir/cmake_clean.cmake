@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfpm_coloc.dir/colocation.cc.o"
+  "CMakeFiles/sfpm_coloc.dir/colocation.cc.o.d"
+  "libsfpm_coloc.a"
+  "libsfpm_coloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfpm_coloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/apriori.cc" "src/core/CMakeFiles/sfpm_core.dir/apriori.cc.o" "gcc" "src/core/CMakeFiles/sfpm_core.dir/apriori.cc.o.d"
+  "/root/repo/src/core/candidate_filter.cc" "src/core/CMakeFiles/sfpm_core.dir/candidate_filter.cc.o" "gcc" "src/core/CMakeFiles/sfpm_core.dir/candidate_filter.cc.o.d"
+  "/root/repo/src/core/closed.cc" "src/core/CMakeFiles/sfpm_core.dir/closed.cc.o" "gcc" "src/core/CMakeFiles/sfpm_core.dir/closed.cc.o.d"
+  "/root/repo/src/core/fpgrowth.cc" "src/core/CMakeFiles/sfpm_core.dir/fpgrowth.cc.o" "gcc" "src/core/CMakeFiles/sfpm_core.dir/fpgrowth.cc.o.d"
+  "/root/repo/src/core/itemset.cc" "src/core/CMakeFiles/sfpm_core.dir/itemset.cc.o" "gcc" "src/core/CMakeFiles/sfpm_core.dir/itemset.cc.o.d"
+  "/root/repo/src/core/measures.cc" "src/core/CMakeFiles/sfpm_core.dir/measures.cc.o" "gcc" "src/core/CMakeFiles/sfpm_core.dir/measures.cc.o.d"
+  "/root/repo/src/core/rules.cc" "src/core/CMakeFiles/sfpm_core.dir/rules.cc.o" "gcc" "src/core/CMakeFiles/sfpm_core.dir/rules.cc.o.d"
+  "/root/repo/src/core/transaction_db.cc" "src/core/CMakeFiles/sfpm_core.dir/transaction_db.cc.o" "gcc" "src/core/CMakeFiles/sfpm_core.dir/transaction_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sfpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfpm_core.dir/apriori.cc.o"
+  "CMakeFiles/sfpm_core.dir/apriori.cc.o.d"
+  "CMakeFiles/sfpm_core.dir/candidate_filter.cc.o"
+  "CMakeFiles/sfpm_core.dir/candidate_filter.cc.o.d"
+  "CMakeFiles/sfpm_core.dir/closed.cc.o"
+  "CMakeFiles/sfpm_core.dir/closed.cc.o.d"
+  "CMakeFiles/sfpm_core.dir/fpgrowth.cc.o"
+  "CMakeFiles/sfpm_core.dir/fpgrowth.cc.o.d"
+  "CMakeFiles/sfpm_core.dir/itemset.cc.o"
+  "CMakeFiles/sfpm_core.dir/itemset.cc.o.d"
+  "CMakeFiles/sfpm_core.dir/measures.cc.o"
+  "CMakeFiles/sfpm_core.dir/measures.cc.o.d"
+  "CMakeFiles/sfpm_core.dir/rules.cc.o"
+  "CMakeFiles/sfpm_core.dir/rules.cc.o.d"
+  "CMakeFiles/sfpm_core.dir/transaction_db.cc.o"
+  "CMakeFiles/sfpm_core.dir/transaction_db.cc.o.d"
+  "libsfpm_core.a"
+  "libsfpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfpm_datagen.dir/city.cc.o"
+  "CMakeFiles/sfpm_datagen.dir/city.cc.o.d"
+  "CMakeFiles/sfpm_datagen.dir/paper_example.cc.o"
+  "CMakeFiles/sfpm_datagen.dir/paper_example.cc.o.d"
+  "CMakeFiles/sfpm_datagen.dir/synthetic_predicates.cc.o"
+  "CMakeFiles/sfpm_datagen.dir/synthetic_predicates.cc.o.d"
+  "CMakeFiles/sfpm_datagen.dir/transactional.cc.o"
+  "CMakeFiles/sfpm_datagen.dir/transactional.cc.o.d"
+  "libsfpm_datagen.a"
+  "libsfpm_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfpm_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/feature/dependency.cc" "src/feature/CMakeFiles/sfpm_feature.dir/dependency.cc.o" "gcc" "src/feature/CMakeFiles/sfpm_feature.dir/dependency.cc.o.d"
+  "/root/repo/src/feature/extractor.cc" "src/feature/CMakeFiles/sfpm_feature.dir/extractor.cc.o" "gcc" "src/feature/CMakeFiles/sfpm_feature.dir/extractor.cc.o.d"
+  "/root/repo/src/feature/feature.cc" "src/feature/CMakeFiles/sfpm_feature.dir/feature.cc.o" "gcc" "src/feature/CMakeFiles/sfpm_feature.dir/feature.cc.o.d"
+  "/root/repo/src/feature/pipeline.cc" "src/feature/CMakeFiles/sfpm_feature.dir/pipeline.cc.o" "gcc" "src/feature/CMakeFiles/sfpm_feature.dir/pipeline.cc.o.d"
+  "/root/repo/src/feature/predicate.cc" "src/feature/CMakeFiles/sfpm_feature.dir/predicate.cc.o" "gcc" "src/feature/CMakeFiles/sfpm_feature.dir/predicate.cc.o.d"
+  "/root/repo/src/feature/predicate_table.cc" "src/feature/CMakeFiles/sfpm_feature.dir/predicate_table.cc.o" "gcc" "src/feature/CMakeFiles/sfpm_feature.dir/predicate_table.cc.o.d"
+  "/root/repo/src/feature/taxonomy.cc" "src/feature/CMakeFiles/sfpm_feature.dir/taxonomy.cc.o" "gcc" "src/feature/CMakeFiles/sfpm_feature.dir/taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sfpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsr/CMakeFiles/sfpm_qsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sfpm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/relate/CMakeFiles/sfpm_relate.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sfpm_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

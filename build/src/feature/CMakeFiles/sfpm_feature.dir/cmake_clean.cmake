@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfpm_feature.dir/dependency.cc.o"
+  "CMakeFiles/sfpm_feature.dir/dependency.cc.o.d"
+  "CMakeFiles/sfpm_feature.dir/extractor.cc.o"
+  "CMakeFiles/sfpm_feature.dir/extractor.cc.o.d"
+  "CMakeFiles/sfpm_feature.dir/feature.cc.o"
+  "CMakeFiles/sfpm_feature.dir/feature.cc.o.d"
+  "CMakeFiles/sfpm_feature.dir/pipeline.cc.o"
+  "CMakeFiles/sfpm_feature.dir/pipeline.cc.o.d"
+  "CMakeFiles/sfpm_feature.dir/predicate.cc.o"
+  "CMakeFiles/sfpm_feature.dir/predicate.cc.o.d"
+  "CMakeFiles/sfpm_feature.dir/predicate_table.cc.o"
+  "CMakeFiles/sfpm_feature.dir/predicate_table.cc.o.d"
+  "CMakeFiles/sfpm_feature.dir/taxonomy.cc.o"
+  "CMakeFiles/sfpm_feature.dir/taxonomy.cc.o.d"
+  "libsfpm_feature.a"
+  "libsfpm_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfpm_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

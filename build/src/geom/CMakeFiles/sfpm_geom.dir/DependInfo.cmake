@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/algorithms.cc" "src/geom/CMakeFiles/sfpm_geom.dir/algorithms.cc.o" "gcc" "src/geom/CMakeFiles/sfpm_geom.dir/algorithms.cc.o.d"
+  "/root/repo/src/geom/geometry.cc" "src/geom/CMakeFiles/sfpm_geom.dir/geometry.cc.o" "gcc" "src/geom/CMakeFiles/sfpm_geom.dir/geometry.cc.o.d"
+  "/root/repo/src/geom/transform.cc" "src/geom/CMakeFiles/sfpm_geom.dir/transform.cc.o" "gcc" "src/geom/CMakeFiles/sfpm_geom.dir/transform.cc.o.d"
+  "/root/repo/src/geom/validity.cc" "src/geom/CMakeFiles/sfpm_geom.dir/validity.cc.o" "gcc" "src/geom/CMakeFiles/sfpm_geom.dir/validity.cc.o.d"
+  "/root/repo/src/geom/wkt.cc" "src/geom/CMakeFiles/sfpm_geom.dir/wkt.cc.o" "gcc" "src/geom/CMakeFiles/sfpm_geom.dir/wkt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sfpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

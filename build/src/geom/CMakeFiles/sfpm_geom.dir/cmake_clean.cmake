@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfpm_geom.dir/algorithms.cc.o"
+  "CMakeFiles/sfpm_geom.dir/algorithms.cc.o.d"
+  "CMakeFiles/sfpm_geom.dir/geometry.cc.o"
+  "CMakeFiles/sfpm_geom.dir/geometry.cc.o.d"
+  "CMakeFiles/sfpm_geom.dir/transform.cc.o"
+  "CMakeFiles/sfpm_geom.dir/transform.cc.o.d"
+  "CMakeFiles/sfpm_geom.dir/validity.cc.o"
+  "CMakeFiles/sfpm_geom.dir/validity.cc.o.d"
+  "CMakeFiles/sfpm_geom.dir/wkt.cc.o"
+  "CMakeFiles/sfpm_geom.dir/wkt.cc.o.d"
+  "libsfpm_geom.a"
+  "libsfpm_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfpm_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

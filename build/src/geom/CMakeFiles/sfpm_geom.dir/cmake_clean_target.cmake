@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsfpm_geom.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sfpm_geom.
+# This may be replaced when dependencies are built.

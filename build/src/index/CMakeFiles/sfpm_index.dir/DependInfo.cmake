@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/grid.cc" "src/index/CMakeFiles/sfpm_index.dir/grid.cc.o" "gcc" "src/index/CMakeFiles/sfpm_index.dir/grid.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "src/index/CMakeFiles/sfpm_index.dir/rtree.cc.o" "gcc" "src/index/CMakeFiles/sfpm_index.dir/rtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/sfpm_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

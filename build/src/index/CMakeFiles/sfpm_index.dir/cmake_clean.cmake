@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfpm_index.dir/grid.cc.o"
+  "CMakeFiles/sfpm_index.dir/grid.cc.o.d"
+  "CMakeFiles/sfpm_index.dir/rtree.cc.o"
+  "CMakeFiles/sfpm_index.dir/rtree.cc.o.d"
+  "libsfpm_index.a"
+  "libsfpm_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfpm_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

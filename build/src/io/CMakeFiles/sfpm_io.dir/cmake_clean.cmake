@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfpm_io.dir/csv.cc.o"
+  "CMakeFiles/sfpm_io.dir/csv.cc.o.d"
+  "CMakeFiles/sfpm_io.dir/geojson.cc.o"
+  "CMakeFiles/sfpm_io.dir/geojson.cc.o.d"
+  "CMakeFiles/sfpm_io.dir/layer_io.cc.o"
+  "CMakeFiles/sfpm_io.dir/layer_io.cc.o.d"
+  "CMakeFiles/sfpm_io.dir/table_io.cc.o"
+  "CMakeFiles/sfpm_io.dir/table_io.cc.o.d"
+  "libsfpm_io.a"
+  "libsfpm_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfpm_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qsr/direction.cc" "src/qsr/CMakeFiles/sfpm_qsr.dir/direction.cc.o" "gcc" "src/qsr/CMakeFiles/sfpm_qsr.dir/direction.cc.o.d"
+  "/root/repo/src/qsr/distance.cc" "src/qsr/CMakeFiles/sfpm_qsr.dir/distance.cc.o" "gcc" "src/qsr/CMakeFiles/sfpm_qsr.dir/distance.cc.o.d"
+  "/root/repo/src/qsr/rcc8.cc" "src/qsr/CMakeFiles/sfpm_qsr.dir/rcc8.cc.o" "gcc" "src/qsr/CMakeFiles/sfpm_qsr.dir/rcc8.cc.o.d"
+  "/root/repo/src/qsr/topological.cc" "src/qsr/CMakeFiles/sfpm_qsr.dir/topological.cc.o" "gcc" "src/qsr/CMakeFiles/sfpm_qsr.dir/topological.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relate/CMakeFiles/sfpm_relate.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sfpm_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sfpm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

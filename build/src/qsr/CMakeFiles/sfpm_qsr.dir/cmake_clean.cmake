@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfpm_qsr.dir/direction.cc.o"
+  "CMakeFiles/sfpm_qsr.dir/direction.cc.o.d"
+  "CMakeFiles/sfpm_qsr.dir/distance.cc.o"
+  "CMakeFiles/sfpm_qsr.dir/distance.cc.o.d"
+  "CMakeFiles/sfpm_qsr.dir/rcc8.cc.o"
+  "CMakeFiles/sfpm_qsr.dir/rcc8.cc.o.d"
+  "CMakeFiles/sfpm_qsr.dir/topological.cc.o"
+  "CMakeFiles/sfpm_qsr.dir/topological.cc.o.d"
+  "libsfpm_qsr.a"
+  "libsfpm_qsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfpm_qsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfpm_relate.dir/intersection_matrix.cc.o"
+  "CMakeFiles/sfpm_relate.dir/intersection_matrix.cc.o.d"
+  "CMakeFiles/sfpm_relate.dir/prepared.cc.o"
+  "CMakeFiles/sfpm_relate.dir/prepared.cc.o.d"
+  "CMakeFiles/sfpm_relate.dir/relate.cc.o"
+  "CMakeFiles/sfpm_relate.dir/relate.cc.o.d"
+  "libsfpm_relate.a"
+  "libsfpm_relate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfpm_relate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

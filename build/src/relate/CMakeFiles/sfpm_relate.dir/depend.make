@@ -1,0 +1,2 @@
+# Empty dependencies file for sfpm_relate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/gain.cc" "src/stats/CMakeFiles/sfpm_stats.dir/gain.cc.o" "gcc" "src/stats/CMakeFiles/sfpm_stats.dir/gain.cc.o.d"
+  "/root/repo/src/stats/largest_itemset.cc" "src/stats/CMakeFiles/sfpm_stats.dir/largest_itemset.cc.o" "gcc" "src/stats/CMakeFiles/sfpm_stats.dir/largest_itemset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sfpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfpm_stats.dir/gain.cc.o"
+  "CMakeFiles/sfpm_stats.dir/gain.cc.o.d"
+  "CMakeFiles/sfpm_stats.dir/largest_itemset.cc.o"
+  "CMakeFiles/sfpm_stats.dir/largest_itemset.cc.o.d"
+  "libsfpm_stats.a"
+  "libsfpm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfpm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfpm_util.dir/random.cc.o"
+  "CMakeFiles/sfpm_util.dir/random.cc.o.d"
+  "CMakeFiles/sfpm_util.dir/status.cc.o"
+  "CMakeFiles/sfpm_util.dir/status.cc.o.d"
+  "CMakeFiles/sfpm_util.dir/strings.cc.o"
+  "CMakeFiles/sfpm_util.dir/strings.cc.o.d"
+  "libsfpm_util.a"
+  "libsfpm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfpm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

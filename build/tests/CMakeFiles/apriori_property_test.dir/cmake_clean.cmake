@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apriori_property_test.dir/core/apriori_property_test.cc.o"
+  "CMakeFiles/apriori_property_test.dir/core/apriori_property_test.cc.o.d"
+  "apriori_property_test"
+  "apriori_property_test.pdb"
+  "apriori_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apriori_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apriori_test.dir/core/apriori_test.cc.o"
+  "CMakeFiles/apriori_test.dir/core/apriori_test.cc.o.d"
+  "apriori_test"
+  "apriori_test.pdb"
+  "apriori_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apriori_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

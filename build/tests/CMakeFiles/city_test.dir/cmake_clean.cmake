@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_test.dir/datagen/city_test.cc.o"
+  "CMakeFiles/city_test.dir/datagen/city_test.cc.o.d"
+  "city_test"
+  "city_test.pdb"
+  "city_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

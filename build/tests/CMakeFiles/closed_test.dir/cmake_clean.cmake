@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_test.dir/core/closed_test.cc.o"
+  "CMakeFiles/closed_test.dir/core/closed_test.cc.o.d"
+  "closed_test"
+  "closed_test.pdb"
+  "closed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

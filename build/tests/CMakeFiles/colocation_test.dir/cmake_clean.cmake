@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocation_test.dir/coloc/colocation_test.cc.o"
+  "CMakeFiles/colocation_test.dir/coloc/colocation_test.cc.o.d"
+  "colocation_test"
+  "colocation_test.pdb"
+  "colocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

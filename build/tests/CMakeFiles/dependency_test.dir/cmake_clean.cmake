@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_test.dir/feature/dependency_test.cc.o"
+  "CMakeFiles/dependency_test.dir/feature/dependency_test.cc.o.d"
+  "dependency_test"
+  "dependency_test.pdb"
+  "dependency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

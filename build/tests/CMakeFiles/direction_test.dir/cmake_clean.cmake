@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direction_test.dir/qsr/direction_test.cc.o"
+  "CMakeFiles/direction_test.dir/qsr/direction_test.cc.o.d"
+  "direction_test"
+  "direction_test.pdb"
+  "direction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_test.dir/qsr/distance_test.cc.o"
+  "CMakeFiles/distance_test.dir/qsr/distance_test.cc.o.d"
+  "distance_test"
+  "distance_test.pdb"
+  "distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

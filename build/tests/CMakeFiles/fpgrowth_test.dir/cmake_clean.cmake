@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgrowth_test.dir/core/fpgrowth_test.cc.o"
+  "CMakeFiles/fpgrowth_test.dir/core/fpgrowth_test.cc.o.d"
+  "fpgrowth_test"
+  "fpgrowth_test.pdb"
+  "fpgrowth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgrowth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gain_test.dir/stats/gain_test.cc.o"
+  "CMakeFiles/gain_test.dir/stats/gain_test.cc.o.d"
+  "gain_test"
+  "gain_test.pdb"
+  "gain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

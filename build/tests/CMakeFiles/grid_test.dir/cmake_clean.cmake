@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_test.dir/index/grid_test.cc.o"
+  "CMakeFiles/grid_test.dir/index/grid_test.cc.o.d"
+  "grid_test"
+  "grid_test.pdb"
+  "grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

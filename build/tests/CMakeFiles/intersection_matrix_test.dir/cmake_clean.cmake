@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intersection_matrix_test.dir/relate/intersection_matrix_test.cc.o"
+  "CMakeFiles/intersection_matrix_test.dir/relate/intersection_matrix_test.cc.o.d"
+  "intersection_matrix_test"
+  "intersection_matrix_test.pdb"
+  "intersection_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intersection_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/largest_itemset_test.dir/stats/largest_itemset_test.cc.o"
+  "CMakeFiles/largest_itemset_test.dir/stats/largest_itemset_test.cc.o.d"
+  "largest_itemset_test"
+  "largest_itemset_test.pdb"
+  "largest_itemset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/largest_itemset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

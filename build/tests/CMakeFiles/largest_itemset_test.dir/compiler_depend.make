@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for largest_itemset_test.
+# This may be replaced when dependencies are built.

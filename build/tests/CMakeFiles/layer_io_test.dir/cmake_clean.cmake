@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_io_test.dir/io/layer_io_test.cc.o"
+  "CMakeFiles/layer_io_test.dir/io/layer_io_test.cc.o.d"
+  "layer_io_test"
+  "layer_io_test.pdb"
+  "layer_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

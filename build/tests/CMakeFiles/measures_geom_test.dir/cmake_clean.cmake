@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measures_geom_test.dir/geom/measures_geom_test.cc.o"
+  "CMakeFiles/measures_geom_test.dir/geom/measures_geom_test.cc.o.d"
+  "measures_geom_test"
+  "measures_geom_test.pdb"
+  "measures_geom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measures_geom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

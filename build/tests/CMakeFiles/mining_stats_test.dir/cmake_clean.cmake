@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mining_stats_test.dir/core/mining_stats_test.cc.o"
+  "CMakeFiles/mining_stats_test.dir/core/mining_stats_test.cc.o.d"
+  "mining_stats_test"
+  "mining_stats_test.pdb"
+  "mining_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

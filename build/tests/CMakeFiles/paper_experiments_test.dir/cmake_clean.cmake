@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_experiments_test.dir/paper/paper_experiments_test.cc.o"
+  "CMakeFiles/paper_experiments_test.dir/paper/paper_experiments_test.cc.o.d"
+  "paper_experiments_test"
+  "paper_experiments_test.pdb"
+  "paper_experiments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_experiments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

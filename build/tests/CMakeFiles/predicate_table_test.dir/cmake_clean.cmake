@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_table_test.dir/feature/predicate_table_test.cc.o"
+  "CMakeFiles/predicate_table_test.dir/feature/predicate_table_test.cc.o.d"
+  "predicate_table_test"
+  "predicate_table_test.pdb"
+  "predicate_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepared_test.dir/relate/prepared_test.cc.o"
+  "CMakeFiles/prepared_test.dir/relate/prepared_test.cc.o.d"
+  "prepared_test"
+  "prepared_test.pdb"
+  "prepared_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepared_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

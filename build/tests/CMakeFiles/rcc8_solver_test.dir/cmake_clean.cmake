@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc8_solver_test.dir/qsr/rcc8_solver_test.cc.o"
+  "CMakeFiles/rcc8_solver_test.dir/qsr/rcc8_solver_test.cc.o.d"
+  "rcc8_solver_test"
+  "rcc8_solver_test.pdb"
+  "rcc8_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc8_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

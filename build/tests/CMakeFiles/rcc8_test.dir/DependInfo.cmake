@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/qsr/rcc8_test.cc" "tests/CMakeFiles/rcc8_test.dir/qsr/rcc8_test.cc.o" "gcc" "tests/CMakeFiles/rcc8_test.dir/qsr/rcc8_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/sfpm_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sfpm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sfpm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/coloc/CMakeFiles/sfpm_coloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/feature/CMakeFiles/sfpm_feature.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sfpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qsr/CMakeFiles/sfpm_qsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/relate/CMakeFiles/sfpm_relate.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sfpm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sfpm_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relate_holes_test.dir/relate/relate_holes_test.cc.o"
+  "CMakeFiles/relate_holes_test.dir/relate/relate_holes_test.cc.o.d"
+  "relate_holes_test"
+  "relate_holes_test.pdb"
+  "relate_holes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relate_holes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relate_property_test.dir/relate/relate_property_test.cc.o"
+  "CMakeFiles/relate_property_test.dir/relate/relate_property_test.cc.o.d"
+  "relate_property_test"
+  "relate_property_test.pdb"
+  "relate_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relate_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree_test.dir/index/rtree_test.cc.o"
+  "CMakeFiles/rtree_test.dir/index/rtree_test.cc.o.d"
+  "rtree_test"
+  "rtree_test.pdb"
+  "rtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topological_test.dir/qsr/topological_test.cc.o"
+  "CMakeFiles/topological_test.dir/qsr/topological_test.cc.o.d"
+  "topological_test"
+  "topological_test.pdb"
+  "topological_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topological_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_db_test.dir/core/transaction_db_test.cc.o"
+  "CMakeFiles/transaction_db_test.dir/core/transaction_db_test.cc.o.d"
+  "transaction_db_test"
+  "transaction_db_test.pdb"
+  "transaction_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transactional_test.dir/datagen/transactional_test.cc.o"
+  "CMakeFiles/transactional_test.dir/datagen/transactional_test.cc.o.d"
+  "transactional_test"
+  "transactional_test.pdb"
+  "transactional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transactional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

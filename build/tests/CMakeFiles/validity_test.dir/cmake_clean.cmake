@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validity_test.dir/geom/validity_test.cc.o"
+  "CMakeFiles/validity_test.dir/geom/validity_test.cc.o.d"
+  "validity_test"
+  "validity_test.pdb"
+  "validity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

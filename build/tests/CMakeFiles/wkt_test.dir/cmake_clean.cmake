@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wkt_test.dir/geom/wkt_test.cc.o"
+  "CMakeFiles/wkt_test.dir/geom/wkt_test.cc.o.d"
+  "wkt_test"
+  "wkt_test.pdb"
+  "wkt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wkt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

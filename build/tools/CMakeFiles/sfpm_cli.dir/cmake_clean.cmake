@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfpm_cli.dir/sfpm_cli.cc.o"
+  "CMakeFiles/sfpm_cli.dir/sfpm_cli.cc.o.d"
+  "sfpm"
+  "sfpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfpm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sfpm_cli.
+# This may be replaced when dependencies are built.
