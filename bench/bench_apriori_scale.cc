@@ -83,6 +83,23 @@ void BM_Apriori_MinsupSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_Apriori_MinsupSweep)->Arg(10)->Arg(20)->Arg(50)->Arg(100);
 
+// --- Support-counting scaling with --threads ---------------------------
+// 100k transactions so each of the passes has enough bitmap words to
+// split; identical frequent itemsets at every thread count (see
+// tests/feature/parallel_determinism_test.cc), so this is pure speedup.
+
+void BM_Apriori_Threads(benchmark::State& state) {
+  const TransactionDb db = MakeDb(100000, 60, 0);
+  sfpm::core::AprioriOptions options;
+  options.min_support = 0.02;
+  options.parallelism = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = MineApriori(db, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Apriori_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 // --- Ablation: apriori pruning vs aposteriori filtering ----------------
 
 void BM_Ablation_PruneAtK2(benchmark::State& state) {

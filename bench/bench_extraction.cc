@@ -76,6 +76,25 @@ void BM_Pipeline_ExtractAndMine(benchmark::State& state) {
 }
 BENCHMARK(BM_Pipeline_ExtractAndMine)->Arg(1)->Arg(2);
 
+// Scaling with --threads on the large synthetic city (scale 3: 144
+// districts, 180 slums/360 schools/72 police per scale² — the workload of
+// EXPERIMENTS.md's "Scaling" section). Serial is Arg(1); outputs are
+// bit-identical at every thread count, so this measures pure speedup.
+void BM_Extraction_Threads(benchmark::State& state) {
+  const auto city = GenerateCity(ScaledConfig(3));
+  const PredicateExtractor extractor = MakeExtractor(*city);
+  const auto bands = sfpm::qsr::DistanceQuantizer::Default();
+  ExtractorOptions options;
+  options.distance_bands = &bands;
+  options.parallelism = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto table = extractor.Extract(options);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(state.iterations() * city->districts.Size());
+}
+BENCHMARK(BM_Extraction_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_CityGeneration(benchmark::State& state) {
   const CityConfig config = ScaledConfig(static_cast<int>(state.range(0)));
   for (auto _ : state) {

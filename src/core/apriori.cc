@@ -5,6 +5,7 @@
 
 #include "util/stopwatch.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace sfpm {
 namespace core {
@@ -13,11 +14,14 @@ std::string MiningStats::ToString() const {
   std::string out;
   for (const Pass& p : passes) {
     out += StrFormat(
-        "pass k=%zu: candidates=%zu filtered=%zu frequent=%zu (%.2f ms)\n",
-        p.k, p.candidates, p.filtered_candidates, p.frequent, p.millis);
+        "pass k=%zu: candidates=%zu filtered=%zu frequent=%zu "
+        "(%.2f ms, counting %.2f ms)\n",
+        p.k, p.candidates, p.filtered_candidates, p.frequent, p.millis,
+        p.count_millis);
   }
-  out += StrFormat("total frequent=%zu (>=2: %zu) in %.2f ms",
-                   total_frequent, total_frequent_ge2, total_millis);
+  out += StrFormat("total frequent=%zu (>=2: %zu) in %.2f ms on %zu thread%s",
+                   total_frequent, total_frequent_ge2, total_millis, threads,
+                   threads == 1 ? "" : "s");
   return out;
 }
 
@@ -99,6 +103,42 @@ std::vector<Itemset> GenerateCandidates(
   return candidates;
 }
 
+/// Supports of every candidate. Serial below a small cutover; otherwise
+/// the bitmap's word range is partitioned across the pool's workers, each
+/// worker fills its own count vector, and the partials are summed at this
+/// barrier. The sums are exact, so the result never depends on the
+/// partitioning or on scheduling.
+std::vector<uint32_t> CountSupports(const TransactionDb& db,
+                                    const std::vector<Itemset>& candidates,
+                                    ThreadPool* pool) {
+  std::vector<uint32_t> totals(candidates.size(), 0);
+  const size_t words = db.NumWords();
+  // Below a few words (256 transactions) per worker the fork-join overhead
+  // dominates the popcounts.
+  const bool serial = pool->num_threads() <= 1 || candidates.empty() ||
+                      words < 4 * pool->num_threads();
+  if (serial) {
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      totals[c] = db.SupportOf(candidates[c]);
+    }
+    return totals;
+  }
+
+  std::vector<std::vector<uint32_t>> partials(pool->num_threads());
+  pool->ParallelForChunks(
+      0, words, [&](size_t word_begin, size_t word_end, size_t chunk) {
+        std::vector<uint32_t>& counts = partials[chunk];
+        counts.assign(candidates.size(), 0);
+        for (size_t c = 0; c < candidates.size(); ++c) {
+          counts[c] = db.SupportOfWords(candidates[c], word_begin, word_end);
+        }
+      });
+  for (const std::vector<uint32_t>& counts : partials) {
+    for (size_t c = 0; c < counts.size(); ++c) totals[c] += counts[c];
+  }
+  return totals;
+}
+
 }  // namespace
 
 Result<AprioriResult> MineApriori(const TransactionDb& db,
@@ -122,17 +162,27 @@ Result<AprioriResult> MineApriori(const TransactionDb& db,
   MiningStats stats;
   std::vector<FrequentItemset> all_frequent;
 
-  // Pass 1: large 1-predicate sets.
+  ThreadPool pool(ResolveParallelism(options.parallelism));
+  stats.threads = pool.num_threads();
+
+  // Pass 1: large 1-predicate sets, counted like every later pass.
   Stopwatch pass_watch;
+  Stopwatch count_watch;
+  std::vector<Itemset> singles;
+  singles.reserve(db.NumItems());
+  for (ItemId item = 0; item < db.NumItems(); ++item) {
+    singles.push_back(Itemset{item});
+  }
+  std::vector<uint32_t> single_supports = CountSupports(db, singles, &pool);
+  double count_millis = count_watch.ElapsedMillis();
   std::vector<FrequentItemset> current;
   for (ItemId item = 0; item < db.NumItems(); ++item) {
-    const uint32_t support = db.Support(item);
-    if (support >= min_count) {
-      current.push_back({Itemset{item}, support});
+    if (single_supports[item] >= min_count) {
+      current.push_back({std::move(singles[item]), single_supports[item]});
     }
   }
   stats.passes.push_back({1, db.NumItems(), 0, current.size(),
-                          pass_watch.ElapsedMillis()});
+                          pass_watch.ElapsedMillis(), count_millis});
   all_frequent.insert(all_frequent.end(), current.begin(), current.end());
 
   std::unordered_map<Itemset, uint32_t, ItemsetHash> current_index;
@@ -164,12 +214,15 @@ Result<AprioriResult> MineApriori(const TransactionDb& db,
       candidates.erase(new_end, candidates.end());
     }
 
-    // Counting via the vertical bitmap columns.
+    // Counting via the vertical bitmap columns, word-partitioned across
+    // the pool's workers.
+    count_watch.Restart();
+    const std::vector<uint32_t> supports = CountSupports(db, candidates, &pool);
+    count_millis = count_watch.ElapsedMillis();
     std::vector<FrequentItemset> next;
-    for (Itemset& candidate : candidates) {
-      const uint32_t support = db.SupportOf(candidate);
-      if (support >= min_count) {
-        next.push_back({std::move(candidate), support});
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (supports[c] >= min_count) {
+        next.push_back({std::move(candidates[c]), supports[c]});
       }
     }
     std::sort(next.begin(), next.end(),
@@ -177,8 +230,8 @@ Result<AprioriResult> MineApriori(const TransactionDb& db,
                 return a.items < b.items;
               });
 
-    stats.passes.push_back(
-        {k, raw_candidates, filtered, next.size(), pass_watch.ElapsedMillis()});
+    stats.passes.push_back({k, raw_candidates, filtered, next.size(),
+                            pass_watch.ElapsedMillis(), count_millis});
     all_frequent.insert(all_frequent.end(), next.begin(), next.end());
 
     current = std::move(next);

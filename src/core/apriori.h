@@ -27,6 +27,15 @@ struct AprioriOptions {
   /// PairBlocklistFilter it is the authors' Apriori-KC; adding the
   /// SameKeyFilter yields the paper's Apriori-KC+.
   std::vector<const CandidateFilter*> filters;
+
+  /// Worker threads for support counting: every pass partitions the
+  /// transaction bitmap's word range across workers, each worker fills its
+  /// own count vector, and the partials are summed at the pass barrier.
+  /// Counts are exact integer sums, so the mined result is identical at
+  /// every setting. 0 = auto (the SFPM_THREADS environment variable, else
+  /// hardware concurrency); 1 = serial. FP-Growth currently ignores this
+  /// knob. See docs/ARCHITECTURE.md, "Threading model".
+  size_t parallelism = 0;
 };
 
 /// \brief One frequent itemset with its absolute support count.
@@ -44,11 +53,13 @@ struct MiningStats {
     size_t filtered_candidates = 0; ///< Candidates removed by filters.
     size_t frequent = 0;            ///< |L_k|.
     double millis = 0.0;            ///< Wall time of the pass.
+    double count_millis = 0.0;      ///< Support-counting share of `millis`.
   };
   std::vector<Pass> passes;
   size_t total_frequent = 0;        ///< Itemsets of size >= 1.
   size_t total_frequent_ge2 = 0;    ///< Itemsets of size >= 2 (paper counts these).
   double total_millis = 0.0;
+  size_t threads = 1;               ///< Workers used for support counting.
 
   std::string ToString() const;
 };

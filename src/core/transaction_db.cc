@@ -1,5 +1,6 @@
 #include "core/transaction_db.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace sfpm {
@@ -81,11 +82,21 @@ uint32_t TransactionDb::Support(ItemId item) const {
 }
 
 uint32_t TransactionDb::SupportOf(const Itemset& set) const {
-  if (set.empty()) return static_cast<uint32_t>(num_transactions_);
+  return SupportOfWords(set, 0, NumWords());
+}
+
+uint32_t TransactionDb::SupportOfWords(const Itemset& set, size_t word_begin,
+                                       size_t word_end) const {
+  word_end = std::min(word_end, NumWords());
+  if (set.empty()) {
+    // Transactions covered by the word range (the final word is partial).
+    const size_t begin = std::min(word_begin * 64, num_transactions_);
+    const size_t end = std::min(word_end * 64, num_transactions_);
+    return static_cast<uint32_t>(end - begin);
+  }
   const std::vector<ItemId>& items = set.items();
   uint32_t count = 0;
-  const size_t words = NumWords();
-  for (size_t w = 0; w < words; ++w) {
+  for (size_t w = word_begin; w < word_end; ++w) {
     uint64_t acc = columns_[items[0]][w];
     for (size_t i = 1; i < items.size() && acc != 0; ++i) {
       acc &= columns_[items[i]][w];

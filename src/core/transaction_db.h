@@ -64,6 +64,18 @@ class TransactionDb {
   /// (bitwise-AND + popcount over the member columns).
   uint32_t SupportOf(const Itemset& set) const;
 
+  /// SupportOf restricted to the 64-transaction words
+  /// [word_begin, word_end) of the bitmap columns — the unit of work of
+  /// parallel support counting, where each worker counts a disjoint word
+  /// range and the partial counts are summed. Word w covers transactions
+  /// [64*w, 64*w + 64).
+  uint32_t SupportOfWords(const Itemset& set, size_t word_begin,
+                          size_t word_end) const;
+
+  /// Number of 64-bit words per bitmap column (the parallel count passes
+  /// partition this range).
+  size_t NumWords() const { return (num_transactions_ + 63) / 64; }
+
   /// Support as a fraction of transactions (0 when the db is empty).
   double Frequency(const Itemset& set) const;
 
@@ -71,8 +83,6 @@ class TransactionDb {
   std::vector<ItemId> TransactionItems(size_t row) const;
 
  private:
-  size_t NumWords() const { return (num_transactions_ + 63) / 64; }
-
   std::vector<std::string> labels_;
   std::vector<std::string> keys_;
   std::unordered_map<std::string, ItemId> label_index_;

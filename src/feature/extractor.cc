@@ -5,6 +5,7 @@
 
 #include "geom/algorithms.h"
 #include "relate/relate.h"
+#include "util/thread_pool.h"
 
 namespace sfpm {
 namespace feature {
@@ -15,50 +16,76 @@ Result<PredicateTable> PredicateExtractor::Extract(
     return Status::InvalidArgument("reference layer is empty");
   }
 
+  // Layer::Index() builds the R-tree lazily on first call, which is not
+  // safe to race; warm every relevant index before the parallel region so
+  // workers only ever see immutable-after-build trees.
+  for (const Layer* layer : relevant_) {
+    if (!layer->IsEmpty()) layer->Index();
+  }
+
+  const std::vector<Feature>& refs = reference_->features();
+  std::vector<RowDraft> drafts(refs.size());
+
+  ThreadPool pool(ResolveParallelism(options.parallelism));
+  pool.ParallelFor(0, refs.size(), [&](size_t i) {
+    drafts[i] = ExtractRow(refs[i], options);
+  });
+
+  // Deterministic merge: replay the drafts in reference order, so item ids
+  // are assigned in exactly the order the serial path would assign them.
   PredicateTable table;
-  for (const Feature& ref : reference_->features()) {
-    std::string row_name;
-    const Result<std::string> name = ref.Attribute("name");
-    if (name.ok()) {
-      row_name = name.value();
-    } else {
-      row_name = reference_->feature_type() + std::to_string(ref.id());
-    }
-    const size_t row = table.AddRow(std::move(row_name));
-
-    if (options.reference_attributes) {
-      for (const auto& [key, value] : ref.attributes()) {
-        if (key == "name") continue;
-        SFPM_RETURN_NOT_OK(table.SetAttribute(row, key, value));
-      }
-    }
-
-    // One prepared geometry per reference feature serves every relate call
-    // of this row (all layers, all candidates).
-    const relate::PreparedGeometry prepared(ref.geometry());
-    for (const Layer* layer : relevant_) {
-      if (layer->IsEmpty()) continue;
-      if (options.topological) {
-        ExtractTopological(prepared, row, *layer,
-                           options.instance_granularity, &table);
-      }
-      if (options.distance_bands != nullptr &&
-          (options.distance_types.empty() ||
-           options.distance_types.count(layer->feature_type()) > 0)) {
-        ExtractDistance(ref, row, *layer, *options.distance_bands,
-                        options.instance_granularity, &table);
-      }
-      if (options.directions) {
-        ExtractDirections(ref, row, *layer, &table);
-      }
+  for (RowDraft& draft : drafts) {
+    const size_t row = table.AddRow(std::move(draft.name));
+    for (const Predicate& predicate : draft.predicates) {
+      SFPM_RETURN_NOT_OK(table.Set(row, predicate));
     }
   }
   return table;
 }
 
+PredicateExtractor::RowDraft PredicateExtractor::ExtractRow(
+    const Feature& ref, const ExtractorOptions& options) const {
+  RowDraft draft;
+  const Result<std::string> name = ref.Attribute("name");
+  if (name.ok()) {
+    draft.name = name.value();
+  } else {
+    draft.name = reference_->feature_type() + std::to_string(ref.id());
+  }
+
+  if (options.reference_attributes) {
+    for (const auto& [key, value] : ref.attributes()) {
+      if (key == "name") continue;
+      draft.predicates.push_back(Predicate::Attribute(key, value));
+    }
+  }
+
+  // One prepared geometry per reference feature serves every relate call
+  // of this row (all layers, all candidates) — a per-worker cache, since
+  // rows are partitioned across workers.
+  const relate::PreparedGeometry prepared(ref.geometry());
+  for (const Layer* layer : relevant_) {
+    if (layer->IsEmpty()) continue;
+    if (options.topological) {
+      ExtractTopological(prepared, *layer, options.instance_granularity,
+                         &draft.predicates);
+    }
+    if (options.distance_bands != nullptr &&
+        (options.distance_types.empty() ||
+         options.distance_types.count(layer->feature_type()) > 0)) {
+      ExtractDistance(ref, *layer, *options.distance_bands,
+                      options.instance_granularity, &draft.predicates);
+    }
+    if (options.directions) {
+      ExtractDirections(ref, *layer, &draft.predicates);
+    }
+  }
+  return draft;
+}
+
 void PredicateExtractor::ExtractTopological(
-    const relate::PreparedGeometry& ref, size_t row, const Layer& layer,
-    bool instance_granularity, PredicateTable* table) const {
+    const relate::PreparedGeometry& ref, const Layer& layer,
+    bool instance_granularity, std::vector<Predicate>* out) const {
   std::vector<uint64_t> candidates;
   layer.Index().Query(ref.geometry().GetEnvelope(), &candidates);
   for (uint64_t id : candidates) {
@@ -71,17 +98,16 @@ void PredicateExtractor::ExtractTopological(
         instance_granularity
             ? layer.feature_type() + std::to_string(other.id())
             : layer.feature_type();
-    const Status st =
-        table->SetSpatial(row, qsr::TopologicalRelationName(rel), type);
-    (void)st;  // Row index is valid by construction.
+    out->push_back(
+        Predicate::Spatial(qsr::TopologicalRelationName(rel), type));
   }
 }
 
-void PredicateExtractor::ExtractDistance(const Feature& ref, size_t row,
+void PredicateExtractor::ExtractDistance(const Feature& ref,
                                          const Layer& layer,
                                          const qsr::DistanceQuantizer& bands,
                                          bool instance_granularity,
-                                         PredicateTable* table) const {
+                                         std::vector<Predicate>* out) const {
   // Candidates within the last finite bound, found by envelope distance.
   const auto& band_list = bands.bands();
   const double max_finite = band_list.size() >= 2
@@ -102,23 +128,21 @@ void PredicateExtractor::ExtractDistance(const Feature& ref, size_t row,
         instance_granularity
             ? layer.feature_type() + std::to_string(other.id())
             : layer.feature_type();
-    const Status st =
-        table->SetSpatial(row, band_list[bands.BandIndex(d)].name, type);
-    (void)st;
+    out->push_back(
+        Predicate::Spatial(band_list[bands.BandIndex(d)].name, type));
   }
 
   // The unbounded band: emitted when some instance lies beyond every
   // finite bound (the paper's farFrom_PoliceCenter).
   if (within_last_bound < layer.Size()) {
-    const Status st =
-        table->SetSpatial(row, band_list.back().name, layer.feature_type());
-    (void)st;
+    out->push_back(
+        Predicate::Spatial(band_list.back().name, layer.feature_type()));
   }
 }
 
-void PredicateExtractor::ExtractDirections(const Feature& ref, size_t row,
+void PredicateExtractor::ExtractDirections(const Feature& ref,
                                            const Layer& layer,
-                                           PredicateTable* table) const {
+                                           std::vector<Predicate>* out) const {
   const geom::Point origin = geom::Centroid(ref.geometry());
   std::unordered_set<int> seen;
   for (const Feature& other : layer.features()) {
@@ -126,9 +150,8 @@ void PredicateExtractor::ExtractDirections(const Feature& ref, size_t row,
         qsr::DirectionBetween(origin, geom::Centroid(other.geometry()));
     if (dir == qsr::CardinalDirection::kSame) continue;
     if (!seen.insert(static_cast<int>(dir)).second) continue;
-    const Status st = table->SetSpatial(row, qsr::CardinalDirectionName(dir),
-                                        layer.feature_type());
-    (void)st;
+    out->push_back(Predicate::Spatial(qsr::CardinalDirectionName(dir),
+                                      layer.feature_type()));
   }
 }
 

@@ -46,6 +46,14 @@ struct ExtractorOptions {
   /// Combine with feature::InstanceTaxonomy + feature::GeneralizeTable to
   /// reproduce the paper's multi-level granularity workflow.
   bool instance_granularity = false;
+
+  /// Worker threads for the filter-and-refine join: reference features are
+  /// partitioned across workers, each with its own prepared-geometry
+  /// cache, and the per-row results are merged in reference order, so the
+  /// output table is bit-identical at every setting. 0 = auto (the
+  /// SFPM_THREADS environment variable, else hardware concurrency);
+  /// 1 = serial. See docs/ARCHITECTURE.md, "Threading model".
+  size_t parallelism = 0;
 };
 
 /// \brief Computes the qualitative predicate table (the paper's Table 1)
@@ -54,7 +62,10 @@ struct ExtractorOptions {
 /// This is the "spatial predicate extraction" phase the paper identifies
 /// as the dominant cost of spatial pattern mining. The join is
 /// filter-and-refine: the relevant layer's R-tree proposes candidates by
-/// envelope, the DE-9IM engine (or exact distance) refines.
+/// envelope, the DE-9IM engine (or exact distance) refines. Rows are
+/// independent, so Extract parallelizes over reference features; every
+/// layer's lazy R-tree is built up front because Layer::Index() is not
+/// safe to first-call concurrently.
 class PredicateExtractor {
  public:
   /// \param reference the transaction-defining layer (districts).
@@ -70,15 +81,26 @@ class PredicateExtractor {
   Result<PredicateTable> Extract(const ExtractorOptions& options) const;
 
  private:
-  void ExtractTopological(const relate::PreparedGeometry& ref, size_t row,
+  /// Predicates of one row in emission order — the unit of parallel work.
+  /// Replaying drafts row by row reassigns item ids exactly as the serial
+  /// single-table path would, which is what makes the parallel output
+  /// bit-identical.
+  struct RowDraft {
+    std::string name;
+    std::vector<Predicate> predicates;
+  };
+
+  RowDraft ExtractRow(const Feature& ref,
+                      const ExtractorOptions& options) const;
+  void ExtractTopological(const relate::PreparedGeometry& ref,
                           const Layer& layer, bool instance_granularity,
-                          PredicateTable* table) const;
-  void ExtractDistance(const Feature& ref, size_t row, const Layer& layer,
+                          std::vector<Predicate>* out) const;
+  void ExtractDistance(const Feature& ref, const Layer& layer,
                        const qsr::DistanceQuantizer& bands,
                        bool instance_granularity,
-                       PredicateTable* table) const;
-  void ExtractDirections(const Feature& ref, size_t row, const Layer& layer,
-                         PredicateTable* table) const;
+                       std::vector<Predicate>* out) const;
+  void ExtractDirections(const Feature& ref, const Layer& layer,
+                         std::vector<Predicate>* out) const;
 
   const Layer* reference_;
   std::vector<const Layer*> relevant_;

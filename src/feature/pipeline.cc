@@ -7,8 +7,12 @@ namespace feature {
 
 Result<PipelineResult> SpatialAssociationPipeline::Run(
     const PipelineOptions& options) const {
+  ExtractorOptions extractor_options = options.extractor;
+  if (extractor_options.parallelism == 0) {
+    extractor_options.parallelism = options.parallelism;
+  }
   SFPM_ASSIGN_OR_RETURN(PredicateTable table,
-                        extractor_.Extract(options.extractor));
+                        extractor_.Extract(extractor_options));
   return MineTable(std::move(table), options);
 }
 
@@ -16,6 +20,7 @@ Result<PipelineResult> SpatialAssociationPipeline::MineTable(
     PredicateTable table, const PipelineOptions& options) const {
   core::AprioriOptions mining_options;
   mining_options.min_support = options.min_support;
+  mining_options.parallelism = options.parallelism;
 
   // Filters must outlive the mining call.
   std::optional<core::SameKeyFilter> same_key;

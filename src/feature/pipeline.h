@@ -34,6 +34,11 @@ struct PipelineOptions {
   MiningAlgorithm algorithm = MiningAlgorithm::kApriori;
   /// When set, rules are generated with these options.
   std::optional<core::RuleOptions> rules;
+  /// Worker threads for both phases (extraction join and support
+  /// counting); results are identical at every setting. 0 = auto
+  /// (SFPM_THREADS, else hardware concurrency); 1 = serial. An explicitly
+  /// nonzero extractor.parallelism wins for the extraction phase.
+  size_t parallelism = 0;
 };
 
 /// \brief Everything one run produces.

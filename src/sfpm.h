@@ -53,5 +53,6 @@
 #include "stats/gain.h"           // IWYU pragma: export
 #include "stats/largest_itemset.h"// IWYU pragma: export
 #include "util/status.h"          // IWYU pragma: export
+#include "util/thread_pool.h"     // IWYU pragma: export
 
 #endif  // SFPM_SFPM_H_

@@ -1,0 +1,118 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <exception>
+#include <latch>
+
+namespace sfpm {
+
+size_t DefaultParallelism() {
+  if (const char* env = std::getenv("SFPM_THREADS")) {
+    // Digits only: strtoul alone would accept "-3" and wrap it to a huge
+    // unsigned, which would then try to reserve billions of worker slots.
+    if (env[0] >= '0' && env[0] <= '9') {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long value = std::strtoul(env, &end, 10);
+      if (errno == 0 && *end == '\0' && value > 0 && value <= kMaxThreads) {
+        return static_cast<size_t>(value);
+      }
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+size_t ResolveParallelism(size_t requested) {
+  return requested == 0 ? DefaultParallelism() : requested;
+}
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(std::max<size_t>(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelForChunks(
+    size_t begin, size_t end,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  if (begin >= end) return;
+  const size_t len = end - begin;
+  const size_t chunks = std::min(num_threads_, len);
+  if (chunks <= 1) {
+    body(begin, end, 0);
+    return;
+  }
+
+  // Each chunk owns one error slot (no lock needed), so the rethrow choice
+  // is deterministic regardless of scheduling.
+  std::vector<std::exception_ptr> errors(chunks, nullptr);
+  std::latch done(static_cast<std::ptrdiff_t>(chunks - 1));
+
+  auto run_chunk = [&](size_t chunk) {
+    const size_t chunk_begin = begin + len * chunk / chunks;
+    const size_t chunk_end = begin + len * (chunk + 1) / chunks;
+    try {
+      body(chunk_begin, chunk_end, chunk);
+    } catch (...) {
+      errors[chunk] = std::current_exception();
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t chunk = 1; chunk < chunks; ++chunk) {
+      // Safe to capture locals by reference: this call outlives the tasks
+      // (it blocks on the latch below).
+      queue_.emplace_back([&done, &run_chunk, chunk] {
+        run_chunk(chunk);
+        done.count_down();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  run_chunk(0);  // The caller is one of the workers.
+  done.wait();
+
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& body) {
+  ParallelForChunks(begin, end,
+                    [&body](size_t chunk_begin, size_t chunk_end, size_t) {
+                      for (size_t i = chunk_begin; i < chunk_end; ++i) body(i);
+                    });
+}
+
+}  // namespace sfpm

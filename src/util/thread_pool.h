@@ -1,0 +1,85 @@
+#ifndef SFPM_UTIL_THREAD_POOL_H_
+#define SFPM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sfpm {
+
+/// Upper bound on a parsed thread count; larger (or malformed/negative)
+/// `SFPM_THREADS` values fall back to hardware concurrency instead of
+/// attempting to spawn an absurd number of workers.
+inline constexpr size_t kMaxThreads = 4096;
+
+/// \brief The parallelism the environment asks for: `SFPM_THREADS` when it
+/// is set to a positive integer (at most kMaxThreads), else
+/// std::thread::hardware_concurrency() (1 when the runtime cannot tell).
+size_t DefaultParallelism();
+
+/// \brief Maps an options-level `parallelism` knob to a thread count:
+/// 0 means DefaultParallelism(), any other value is taken as-is.
+size_t ResolveParallelism(size_t requested);
+
+/// \brief Fixed-size thread pool with a blocking ParallelFor — the
+/// concurrency primitive behind the predicate-extraction join and
+/// Apriori's support counting (see docs/ARCHITECTURE.md, "Threading
+/// model").
+///
+/// Deliberately free of work stealing and external dependencies: a call
+/// hands over an index range, the range is cut into at most num_threads()
+/// contiguous chunks, and the call blocks until every chunk ran. The
+/// calling thread executes chunk 0 itself, so a pool of size 1 spawns no
+/// threads at all and runs everything inline — `parallelism = 1` *is* the
+/// serial code path, not an emulation of it.
+///
+/// One pool may serve many ParallelFor calls, but the calls must not
+/// overlap: the pool is built for the fork-join pattern (create per
+/// extraction/mining run, or reuse from a single orchestrating thread),
+/// not for concurrent submitters.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller supplies the remaining
+  /// thread inside ParallelFor). `num_threads` is clamped to at least 1.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// Runs body(chunk_begin, chunk_end, chunk) over at most num_threads()
+  /// contiguous chunks that partition [begin, end); chunk indices are
+  /// dense from 0 and the chunking depends only on (begin, end,
+  /// num_threads()), never on scheduling. Blocks until every chunk
+  /// completed. When bodies throw, the exception of the lowest-indexed
+  /// throwing chunk is rethrown here after the barrier (the others are
+  /// dropped). An empty range is a no-op.
+  void ParallelForChunks(
+      size_t begin, size_t end,
+      const std::function<void(size_t, size_t, size_t)>& body);
+
+  /// Element-wise convenience over ParallelForChunks: body(i) for every i
+  /// in [begin, end), ascending within each chunk.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  const size_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace sfpm
+
+#endif  // SFPM_UTIL_THREAD_POOL_H_

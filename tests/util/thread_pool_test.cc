@@ -1,0 +1,151 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace sfpm {
+namespace {
+
+TEST(ThreadPoolTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, [&](size_t) { ++calls; });
+  pool.ParallelFor(7, 3, [&](size_t) { ++calls; });  // begin > end.
+  std::atomic<int> chunk_calls{0};
+  pool.ParallelForChunks(0, 0, [&](size_t, size_t, size_t) { ++chunk_calls; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(chunk_calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  // Indices are disjoint across chunks, so plain ints are race-free.
+  std::vector<int> hits(1000, 0);
+  pool.ParallelFor(0, hits.size(), [&](size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ChunksPartitionTheRangeContiguously) {
+  ThreadPool pool(3);
+  std::vector<std::array<size_t, 3>> chunks(3, {0, 0, 0});
+  std::atomic<size_t> seen{0};
+  pool.ParallelForChunks(10, 20, [&](size_t begin, size_t end, size_t chunk) {
+    chunks[chunk] = {begin, end, chunk};
+    ++seen;
+  });
+  ASSERT_EQ(seen.load(), 3u);
+  EXPECT_EQ(chunks[0][0], 10u);
+  EXPECT_EQ(chunks[2][1], 20u);
+  // Dense, ordered, non-overlapping.
+  EXPECT_EQ(chunks[0][1], chunks[1][0]);
+  EXPECT_EQ(chunks[1][1], chunks[2][0]);
+  // Chunking depends only on (range, threads): 10 elements over 3 chunks
+  // split at begin + len * chunk / chunks.
+  EXPECT_EQ(chunks[0][1] - chunks[0][0], 3u);
+  EXPECT_EQ(chunks[1][1] - chunks[1][0], 3u);
+  EXPECT_EQ(chunks[2][1] - chunks[2][0], 4u);
+}
+
+TEST(ThreadPoolTest, FewerElementsThanThreadsShrinksChunkCount) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.ParallelForChunks(0, 3, [&](size_t begin, size_t end, size_t) {
+    EXPECT_EQ(end - begin, 1u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPoolTest, SizeOneRunsInlineOnTheCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool all_inline = true;
+  pool.ParallelFor(0, 100, [&](size_t) {
+    all_inline &= std::this_thread::get_id() == caller;
+  });
+  EXPECT_TRUE(all_inline);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 100,
+                                [](size_t i) {
+                                  if (i == 37) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestChunkExceptionWinsDeterministically) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.ParallelForChunks(0, 4, [](size_t, size_t, size_t chunk) {
+        throw std::runtime_error(std::to_string(chunk));
+      });
+      FAIL() << "expected a throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "0");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, UsableAfterAnException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 8, [](size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(0, 10, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int calls = 0;
+  pool.ParallelFor(0, 4, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(ParallelismTest, ResolveZeroMeansDefault) {
+  EXPECT_EQ(ResolveParallelism(0), DefaultParallelism());
+  EXPECT_EQ(ResolveParallelism(5), 5u);
+  EXPECT_GE(DefaultParallelism(), 1u);
+}
+
+TEST(ParallelismTest, EnvOverrideWins) {
+  ASSERT_EQ(setenv("SFPM_THREADS", "3", 1), 0);
+  EXPECT_EQ(DefaultParallelism(), 3u);
+  EXPECT_EQ(ResolveParallelism(0), 3u);
+  EXPECT_EQ(ResolveParallelism(2), 2u);  // Explicit knob beats the env.
+  ASSERT_EQ(setenv("SFPM_THREADS", "garbage", 1), 0);
+  EXPECT_GE(DefaultParallelism(), 1u);  // Bad values fall through.
+  ASSERT_EQ(unsetenv("SFPM_THREADS"), 0);
+}
+
+TEST(ParallelismTest, EnvRejectsNegativeOverflowAndOversized) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const size_t fallback = hw == 0 ? 1 : static_cast<size_t>(hw);
+  // strtoul would happily wrap "-3" to a huge unsigned; the parser must
+  // treat it (and anything over kMaxThreads) as malformed, not as a
+  // request for billions of workers.
+  for (const char* bad : {"-3", "+4", " 4", "4x", "99999999999999999999",
+                          "1000000"}) {
+    ASSERT_EQ(setenv("SFPM_THREADS", bad, 1), 0) << bad;
+    EXPECT_EQ(DefaultParallelism(), fallback) << bad;
+  }
+  ASSERT_EQ(unsetenv("SFPM_THREADS"), 0);
+}
+
+}  // namespace
+}  // namespace sfpm

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI-style verification: the tier-1 Release build with the full test
+# suite, then a ThreadSanitizer build (-DSFPM_TSAN=ON) re-running the
+# tests so the parallel extraction/counting paths are race-checked.
+#
+#   tools/check.sh           # Release + TSan, full ctest on both
+#   tools/check.sh --quick   # TSan run restricted to the concurrency tests
+#
+# Build trees: build/ (Release, the tier-1 tree) and build-tsan/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== Release build =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j"${jobs}"
+ctest --test-dir build --output-on-failure -j"${jobs}"
+
+echo "== ThreadSanitizer build =="
+# Benchmarks and examples add nothing to race coverage; skip them for
+# build time. O1 keeps TSan's instrumentation fast enough for the suite.
+cmake -B build-tsan -S . -DSFPM_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSFPM_BUILD_BENCHMARKS=OFF -DSFPM_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j"${jobs}"
+
+# TSAN_OPTIONS makes any reported race fail the test process.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+if [[ "${1:-}" == "--quick" ]]; then
+  ctest --test-dir build-tsan --output-on-failure -j"${jobs}" \
+    -R 'ThreadPool|Parallelism|ParallelDeterminism|Extractor|Apriori|Pipeline'
+else
+  ctest --test-dir build-tsan --output-on-failure -j"${jobs}"
+fi
+
+echo "== All checks passed =="

@@ -3,11 +3,15 @@
 //   sfpm extract  --reference district=d.csv --relevant slum=s.csv ...
 //                 [--distance veryClose:500,close:2000,far]
 //                 [--distance-types policeCenter] [--directions]
-//                 --out table.csv
+//                 [--threads N] --out table.csv
 //   sfpm mine     --table table.csv --minsup 0.1
 //                 [--filter none|kc|kc+] [--dependency street:illuminationPoint]
 //                 [--algorithm apriori|fpgrowth] [--rules 0.7]
-//                 [--closed] [--maximal] [--top lift:10]
+//                 [--closed] [--maximal] [--top lift:10] [--threads N]
+//
+// --threads defaults to the hardware concurrency (or SFPM_THREADS when
+// set); --threads 1 runs the original serial code path. Outputs are
+// identical at every thread count.
 //   sfpm gain     --t 2,2,2 --n 2
 //   sfpm table3
 //   sfpm generate-city [--seed N] --out-prefix dir/city_
@@ -43,7 +47,10 @@ class Args {
     for (int i = 0; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) == 0) {
         const std::string flag = argv[i] + 2;
-        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        const size_t eq = flag.find('=');
+        if (eq != std::string::npos) {  // --flag=value
+          values_[flag.substr(0, eq)].push_back(flag.substr(eq + 1));
+        } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
           values_[flag].push_back(argv[++i]);
         } else {
           values_[flag].push_back("");  // Boolean flag.
@@ -82,6 +89,26 @@ int Usage() {
                "usage: sfpm <extract|mine|gain|table3|generate-city> "
                "[flags]\n(see the header of tools/sfpm_cli.cc)\n");
   return 2;
+}
+
+/// Parses the shared --threads flag: 0 (the default) = auto. Only plain
+/// non-negative integers are accepted (std::stoul alone would wrap "-3").
+Result<size_t> ParseThreads(const Args& args) {
+  if (!args.Has("threads")) return size_t{0};
+  const std::string& value = args.Get("threads");
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("bad --threads value");
+  }
+  try {
+    const size_t threads = static_cast<size_t>(std::stoul(value));
+    if (threads > kMaxThreads) {
+      return Status::InvalidArgument("bad --threads value");
+    }
+    return threads;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("bad --threads value");
+  }
 }
 
 /// Parses "type=path" pairs.
@@ -150,6 +177,9 @@ int RunExtract(const Args& args) {
 
   feature::ExtractorOptions options;
   options.directions = args.Has("directions");
+  const auto threads = ParseThreads(args);
+  if (!threads.ok()) return Fail(threads.status());
+  options.parallelism = threads.value();
   std::optional<qsr::DistanceQuantizer> bands;
   if (args.Has("distance")) {
     auto parsed = ParseBands(args.Get("distance"));
@@ -197,6 +227,9 @@ int RunMine(const Args& args) {
   } catch (const std::exception&) {
     return Fail(Status::InvalidArgument("bad --minsup"));
   }
+  const auto threads = ParseThreads(args);
+  if (!threads.ok()) return Fail(threads.status());
+  options.parallelism = threads.value();
 
   const std::string filter = args.Get("filter", "kc+");
   std::optional<core::PairBlocklistFilter> dependency_filter;
