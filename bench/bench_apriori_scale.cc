@@ -1,20 +1,24 @@
-// Ablation benchmarks (DESIGN.md):
-//  * miner scaling in transactions, items and density;
-//  * the paper's design choice — pruning same-type pairs in the second
-//    pass (anti-monotone, Apriori-KC+) vs filtering the finished result
-//    aposteriori — measured head to head;
-//  * KC+ speedup as the number of same-type pairs grows.
-
-#include <benchmark/benchmark.h>
+// A/B benchmark of Apriori's support-counting hot path: the prefix-shared
+// kernel (PrefixSupportCounter) against the naive per-candidate k-way
+// AND, on Quest-style synthetic databases of growing size, plus the
+// paper's prune-at-k=2 vs filter-aposteriori ablation. Both counting
+// paths must mine the identical frequent itemsets — the bench asserts
+// that (including 1 thread vs 4 threads) before timing anything.
+//
+//   bench_apriori_scale [--repeat=N] [--json=bench/BENCH_apriori_scale.json]
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
+#include "bench_common.h"
 #include "core/apriori.h"
 #include "core/candidate_filter.h"
 #include "datagen/transactional.h"
 
 namespace {
 
+using sfpm::core::AprioriOptions;
 using sfpm::core::AprioriResult;
 using sfpm::core::FrequentItemset;
 using sfpm::core::MineApriori;
@@ -29,6 +33,27 @@ TransactionDb MakeDb(size_t transactions, size_t items, size_t key_group) {
   config.num_patterns = items / 4;
   config.key_group_size = key_group;
   return sfpm::datagen::GenerateTransactional(config);
+}
+
+AprioriResult MineOrDie(const TransactionDb& db, const AprioriOptions& options) {
+  auto result = MineApriori(db, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "mine failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+bool SameItemsets(const AprioriResult& a, const AprioriResult& b) {
+  if (a.itemsets().size() != b.itemsets().size()) return false;
+  for (size_t i = 0; i < a.itemsets().size(); ++i) {
+    if (!(a.itemsets()[i].items == b.itemsets()[i].items) ||
+        a.itemsets()[i].support != b.itemsets()[i].support) {
+      return false;
+    }
+  }
+  return true;
 }
 
 /// The aposteriori alternative the paper argues against: mine everything,
@@ -49,108 +74,130 @@ size_t MineThenFilter(const TransactionDb& db, double minsup) {
   return kept;
 }
 
-void BM_Apriori_ScaleTransactions(benchmark::State& state) {
-  const TransactionDb db =
-      MakeDb(static_cast<size_t>(state.range(0)), 60, 0);
-  for (auto _ : state) {
-    auto result = MineApriori(db, 0.02);
-    benchmark::DoNotOptimize(result);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_Apriori_ScaleTransactions)
-    ->Arg(1000)
-    ->Arg(10000)
-    ->Arg(100000);
-
-void BM_Apriori_ScaleItems(benchmark::State& state) {
-  const TransactionDb db =
-      MakeDb(5000, static_cast<size_t>(state.range(0)), 0);
-  for (auto _ : state) {
-    auto result = MineApriori(db, 0.02);
-    benchmark::DoNotOptimize(result);
-  }
-}
-BENCHMARK(BM_Apriori_ScaleItems)->Arg(30)->Arg(60)->Arg(120);
-
-void BM_Apriori_MinsupSweep(benchmark::State& state) {
-  const TransactionDb db = MakeDb(10000, 60, 0);
-  const double minsup = static_cast<double>(state.range(0)) / 1000.0;
-  for (auto _ : state) {
-    auto result = MineApriori(db, minsup);
-    benchmark::DoNotOptimize(result);
-  }
-}
-BENCHMARK(BM_Apriori_MinsupSweep)->Arg(10)->Arg(20)->Arg(50)->Arg(100);
-
-// --- Support-counting scaling with --threads ---------------------------
-// 100k transactions so each of the passes has enough bitmap words to
-// split; identical frequent itemsets at every thread count (see
-// tests/feature/parallel_determinism_test.cc), so this is pure speedup.
-
-void BM_Apriori_Threads(benchmark::State& state) {
-  const TransactionDb db = MakeDb(100000, 60, 0);
-  sfpm::core::AprioriOptions options;
-  options.min_support = 0.02;
-  options.parallelism = static_cast<size_t>(state.range(0));
-  for (auto _ : state) {
-    auto result = MineApriori(db, options);
-    benchmark::DoNotOptimize(result);
-  }
-}
-BENCHMARK(BM_Apriori_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
-
-// --- Ablation: apriori pruning vs aposteriori filtering ----------------
-
-void BM_Ablation_PruneAtK2(benchmark::State& state) {
-  const TransactionDb db = MakeDb(10000, 60, /*key_group=*/4);
-  for (auto _ : state) {
-    auto result = MineAprioriKCPlus(db, 0.02);
-    benchmark::DoNotOptimize(result);
-  }
-}
-BENCHMARK(BM_Ablation_PruneAtK2);
-
-void BM_Ablation_FilterAposteriori(benchmark::State& state) {
-  const TransactionDb db = MakeDb(10000, 60, /*key_group=*/4);
-  for (auto _ : state) {
-    size_t kept = MineThenFilter(db, 0.02);
-    benchmark::DoNotOptimize(kept);
-  }
-}
-BENCHMARK(BM_Ablation_FilterAposteriori);
-
-// --- KC+ advantage as same-type group size grows ------------------------
-
-void BM_KCPlus_ByGroupSize(benchmark::State& state) {
-  const TransactionDb db =
-      MakeDb(10000, 60, static_cast<size_t>(state.range(0)));
-  for (auto _ : state) {
-    auto result = MineAprioriKCPlus(db, 0.02);
-    benchmark::DoNotOptimize(result);
-  }
-}
-BENCHMARK(BM_KCPlus_ByGroupSize)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
-
-void PrintAblationSummary() {
-  const TransactionDb db = MakeDb(10000, 60, 4);
-  const auto pruned = MineAprioriKCPlus(db, 0.02).value();
-  const size_t filtered = MineThenFilter(db, 0.02);
-  std::printf(
-      "== Ablation: prune-at-k=2 vs filter-aposteriori (same dataset, "
-      "minsup 2%%) ==\n"
-      "both keep the identical %zu itemsets (aposteriori kept %zu); the "
-      "benchmarks below show the cost difference — pruning also counts "
-      "fewer candidates (%zu passes recorded).\n\n",
-      pruned.stats().total_frequent, filtered, pruned.stats().passes.size());
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintAblationSummary();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  return 0;
+  sfpm::bench::Bench bench("apriori_scale", argc, argv);
+
+  // Transaction scaling at 60 items / minsup 2% — 100k transactions is
+  // the paper-scale configuration of EXPERIMENTS.md's scaling section.
+  for (size_t transactions : {size_t{10000}, size_t{100000}}) {
+    const TransactionDb db = MakeDb(transactions, 60, 0);
+    const std::string tx_str = std::to_string(transactions);
+
+    AprioriOptions prefix;
+    prefix.min_support = 0.02;
+    prefix.parallelism = 1;
+    AprioriOptions naive = prefix;
+    naive.prefix_cache = false;
+    AprioriOptions threaded = prefix;
+    threaded.parallelism = 4;
+
+    // Identity gate: cache on vs off, and serial vs 4 threads, must mine
+    // the identical frequent itemsets with identical supports.
+    const AprioriResult reference = MineOrDie(db, naive);
+    if (!SameItemsets(reference, MineOrDie(db, prefix)) ||
+        !SameItemsets(reference, MineOrDie(db, threaded))) {
+      std::fprintf(stderr, "FATAL: counting path changed the result (%zu)\n",
+                   transactions);
+      return 1;
+    }
+
+    const auto& naive_case = bench.Run(
+        "count/tx=" + tx_str + "/naive",
+        {{"transactions", tx_str}, {"items", "60"}, {"minsup", "0.02"},
+         {"threads", "1"}},
+        [&](sfpm::bench::CaseResult& result) {
+          const AprioriResult mined = MineOrDie(db, naive);
+          result.counters["frequent"] =
+              static_cast<double>(mined.stats().total_frequent);
+        });
+
+    auto& prefix_case = bench.Run(
+        "count/tx=" + tx_str + "/prefix",
+        {{"transactions", tx_str}, {"items", "60"}, {"minsup", "0.02"},
+         {"threads", "1"}},
+        [&](sfpm::bench::CaseResult& result) {
+          const AprioriResult mined = MineOrDie(db, prefix);
+          const auto& stats = mined.stats();
+          const uint64_t events = stats.prefix_hits + stats.prefix_misses;
+          result.counters["frequent"] =
+              static_cast<double>(stats.total_frequent);
+          result.counters["and_word_ops"] =
+              static_cast<double>(stats.and_word_ops);
+          result.counters["prefix_hit_pct"] =
+              events == 0 ? 0.0
+                          : 100.0 * static_cast<double>(stats.prefix_hits) /
+                                static_cast<double>(events);
+        });
+    // Median-based: robust against load spikes on shared machines.
+    const double speedup =
+        naive_case.PercentileMs(0.5) / prefix_case.PercentileMs(0.5);
+    prefix_case.counters["speedup_vs_naive"] = speedup;
+    std::printf("%44s   speedup_vs_naive=%.2fx\n", "", speedup);
+  }
+
+  // Minsup sweep on the mid-size database, prefix path.
+  {
+    const TransactionDb db = MakeDb(10000, 60, 0);
+    for (double minsup : {0.01, 0.02, 0.05}) {
+      AprioriOptions options;
+      options.min_support = minsup;
+      options.parallelism = 1;
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%g", minsup);
+      bench.Run("minsup/" + std::string(buf),
+                {{"transactions", "10000"}, {"items", "60"},
+                 {"minsup", buf}},
+                [&](sfpm::bench::CaseResult& result) {
+                  const AprioriResult mined = MineOrDie(db, options);
+                  result.counters["frequent"] =
+                      static_cast<double>(mined.stats().total_frequent);
+                });
+    }
+  }
+
+  // Thread sweep at paper scale (EXPERIMENTS.md "Scaling"). On the
+  // single-vCPU build container wall time cannot improve with threads;
+  // the case exists so multi-core machines can measure the scaling.
+  {
+    const TransactionDb db = MakeDb(100000, 60, 0);
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      AprioriOptions options;
+      options.min_support = 0.02;
+      options.parallelism = threads;
+      bench.Run("scaling/threads=" + std::to_string(threads),
+                {{"transactions", "100000"}, {"items", "60"},
+                 {"minsup", "0.02"}, {"threads", std::to_string(threads)}},
+                [&](sfpm::bench::CaseResult& result) {
+                  const AprioriResult mined = MineOrDie(db, options);
+                  result.counters["frequent"] =
+                      static_cast<double>(mined.stats().total_frequent);
+                });
+    }
+  }
+
+  // The paper's design-choice ablation: prune same-type pairs inside the
+  // second pass (Apriori-KC+) vs filter the finished result.
+  {
+    const TransactionDb db = MakeDb(10000, 60, /*key_group=*/4);
+    bench.Run("ablation/prune-at-k2",
+              {{"transactions", "10000"}, {"key_group", "4"},
+               {"minsup", "0.02"}},
+              [&](sfpm::bench::CaseResult& result) {
+                auto mined = MineAprioriKCPlus(db, 0.02);
+                if (!mined.ok()) std::exit(1);
+                result.counters["kept"] = static_cast<double>(
+                    mined.value().stats().total_frequent);
+              });
+    bench.Run("ablation/filter-aposteriori",
+              {{"transactions", "10000"}, {"key_group", "4"},
+               {"minsup", "0.02"}},
+              [&](sfpm::bench::CaseResult& result) {
+                result.counters["kept"] =
+                    static_cast<double>(MineThenFilter(db, 0.02));
+              });
+  }
+
+  return bench.Finish();
 }

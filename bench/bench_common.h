@@ -1,0 +1,151 @@
+// Shared harness of the repo's A/B benches (bench_extraction,
+// bench_apriori_scale). Deliberately not google-benchmark: these benches
+// compare two code paths that must produce identical output, attach
+// counters (hit rates, AND-ops) to every case, and persist a
+// machine-readable baseline — so the harness times explicit repeats and
+// serializes everything to one JSON file.
+//
+// Flags understood by RunBench-based mains:
+//   --json=<path>    write the results as JSON (the checked-in baselines
+//                    are bench/BENCH_<name>.json)
+//   --repeat=<n>     timed repetitions per case after one warmup (default 5)
+
+#ifndef SFPM_BENCH_BENCH_COMMON_H_
+#define SFPM_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace sfpm {
+namespace bench {
+
+struct CaseResult {
+  std::string name;
+  std::map<std::string, std::string> config;
+  std::vector<double> samples_ms;
+  std::map<std::string, double> counters;
+
+  double MeanMs() const {
+    double sum = 0.0;
+    for (double s : samples_ms) sum += s;
+    return samples_ms.empty() ? 0.0
+                              : sum / static_cast<double>(samples_ms.size());
+  }
+  /// Nearest-rank percentile over the sorted samples, q in [0, 1].
+  double PercentileMs(double q) const {
+    if (samples_ms.empty()) return 0.0;
+    std::vector<double> sorted = samples_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<size_t>(rank + 0.5)];
+  }
+};
+
+class Bench {
+ public:
+  Bench(std::string name, int argc, char** argv) : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--json=", 0) == 0) {
+        json_path_ = arg.substr(7);
+      } else if (arg.rfind("--repeat=", 0) == 0) {
+        repeat_ = static_cast<size_t>(
+            std::max(1L, std::strtol(arg.c_str() + 9, nullptr, 10)));
+      }
+    }
+  }
+
+  size_t repeat() const { return repeat_; }
+
+  /// Times `body` (one untimed warmup + repeat() timed runs) and records a
+  /// case. `body` may fill the case's counters map; the last run's values
+  /// are kept. Returns the case so callers can derive cross-case counters
+  /// (e.g. speedups) before Finish().
+  CaseResult& Run(const std::string& case_name,
+                  std::map<std::string, std::string> config,
+                  const std::function<void(CaseResult&)>& body) {
+    cases_.emplace_back();
+    CaseResult& result = cases_.back();
+    result.name = case_name;
+    result.config = std::move(config);
+    body(result);  // Warmup: caches, lazy indexes, page faults.
+    result.counters.clear();
+    for (size_t i = 0; i < repeat_; ++i) {
+      Stopwatch watch;
+      body(result);
+      result.samples_ms.push_back(watch.ElapsedMillis());
+    }
+    std::printf("%-44s %10.2f ms  (p50 %.2f, p95 %.2f, %zu runs)\n",
+                case_name.c_str(), result.MeanMs(), result.PercentileMs(0.5),
+                result.PercentileMs(0.95), repeat_);
+    for (const auto& [key, value] : result.counters) {
+      std::printf("%44s   %s=%.6g\n", "", key.c_str(), value);
+    }
+    return result;
+  }
+
+  /// Prints the summary and writes the JSON file when --json was given.
+  /// Returns the process exit code.
+  int Finish() {
+    if (json_path_.empty()) return 0;
+    std::FILE* f = std::fopen(json_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path_.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"repeat\": %zu,\n",
+                 name_.c_str(), repeat_);
+    std::fprintf(f, "  \"cases\": [\n");
+    for (size_t c = 0; c < cases_.size(); ++c) {
+      const CaseResult& r = cases_[c];
+      std::fprintf(f, "    {\n      \"name\": \"%s\",\n", r.name.c_str());
+      std::fprintf(f, "      \"config\": {");
+      size_t i = 0;
+      for (const auto& [key, value] : r.config) {
+        std::fprintf(f, "%s\"%s\": \"%s\"", i++ ? ", " : "", key.c_str(),
+                     value.c_str());
+      }
+      std::fprintf(f, "},\n");
+      std::fprintf(f,
+                   "      \"mean_ms\": %.3f,\n      \"p50_ms\": %.3f,\n"
+                   "      \"p95_ms\": %.3f,\n",
+                   r.MeanMs(), r.PercentileMs(0.5), r.PercentileMs(0.95));
+      std::fprintf(f, "      \"samples_ms\": [");
+      for (size_t s = 0; s < r.samples_ms.size(); ++s) {
+        std::fprintf(f, "%s%.3f", s ? ", " : "", r.samples_ms[s]);
+      }
+      std::fprintf(f, "],\n      \"counters\": {");
+      i = 0;
+      for (const auto& [key, value] : r.counters) {
+        std::fprintf(f, "%s\"%s\": %.6g", i++ ? ", " : "", key.c_str(),
+                     value);
+      }
+      std::fprintf(f, "}\n    }%s\n", c + 1 < cases_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path_.c_str());
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  std::string json_path_;
+  size_t repeat_ = 5;
+  /// deque: Run hands out stable references across later Runs.
+  std::deque<CaseResult> cases_;
+};
+
+}  // namespace bench
+}  // namespace sfpm
+
+#endif  // SFPM_BENCH_BENCH_COMMON_H_

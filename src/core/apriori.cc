@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/support_counter.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -15,13 +16,23 @@ std::string MiningStats::ToString() const {
   for (const Pass& p : passes) {
     out += StrFormat(
         "pass k=%zu: candidates=%zu filtered=%zu frequent=%zu "
-        "(%.2f ms, counting %.2f ms)\n",
+        "(%.2f ms, counting %.2f ms, %llu AND-ops)\n",
         p.k, p.candidates, p.filtered_candidates, p.frequent, p.millis,
-        p.count_millis);
+        p.count_millis, static_cast<unsigned long long>(p.and_word_ops));
   }
   out += StrFormat("total frequent=%zu (>=2: %zu) in %.2f ms on %zu thread%s",
                    total_frequent, total_frequent_ge2, total_millis, threads,
                    threads == 1 ? "" : "s");
+  const uint64_t events = prefix_hits + prefix_misses;
+  if (events > 0) {
+    out += StrFormat(
+        "\nprefix cache: %llu hits / %llu events (%.1f%%), %llu AND-ops",
+        static_cast<unsigned long long>(prefix_hits),
+        static_cast<unsigned long long>(events),
+        100.0 * static_cast<double>(prefix_hits) /
+            static_cast<double>(events),
+        static_cast<unsigned long long>(and_word_ops));
+  }
   return out;
 }
 
@@ -70,8 +81,10 @@ namespace {
 /// (k-2)-prefix, then prune candidates with an infrequent (k-1)-subset.
 std::vector<Itemset> GenerateCandidates(
     const std::vector<FrequentItemset>& previous,
-    const std::unordered_map<Itemset, uint32_t, ItemsetHash>& previous_index) {
+    const std::unordered_map<Itemset, uint32_t, ItemsetHash, ItemsetEq>&
+        previous_index) {
   std::vector<Itemset> candidates;
+  std::vector<ItemId> subset;  // Reused lookup key; no per-probe allocation.
   for (size_t i = 0; i < previous.size(); ++i) {
     const auto& a = previous[i].items.items();
     for (size_t j = i + 1; j < previous.size(); ++j) {
@@ -87,17 +100,24 @@ std::vector<Itemset> GenerateCandidates(
         }
       }
       if (!prefix_equal) break;  // Sorted order: no later j can match.
-      Itemset candidate = previous[i].items.With(b.back());
 
-      // Prune step: every (k-1)-subset must be frequent.
+      // Prune step: every (k-1)-subset must be frequent. The candidate is
+      // a + {b.back()}, so the subsets dropping its last two positions are
+      // b and a — frequent by construction; only subsets dropping a prefix
+      // position need a lookup.
       bool all_subsets_frequent = true;
-      for (const Itemset& subset : candidate.AllButOneSubsets()) {
-        if (previous_index.find(subset) == previous_index.end()) {
-          all_subsets_frequent = false;
-          break;
+      for (size_t t = 0; t + 1 < a.size() && all_subsets_frequent; ++t) {
+        subset.clear();
+        for (size_t u = 0; u < a.size(); ++u) {
+          if (u != t) subset.push_back(a[u]);
         }
+        subset.push_back(b.back());
+        all_subsets_frequent =
+            previous_index.find(subset) != previous_index.end();
       }
-      if (all_subsets_frequent) candidates.push_back(std::move(candidate));
+      if (all_subsets_frequent) {
+        candidates.push_back(previous[i].items.With(b.back()));
+      }
     }
   }
   return candidates;
@@ -108,9 +128,17 @@ std::vector<Itemset> GenerateCandidates(
 /// worker fills its own count vector, and the partials are summed at this
 /// barrier. The sums are exact, so the result never depends on the
 /// partitioning or on scheduling.
+///
+/// `counters` holds one PrefixSupportCounter per worker, owned by the
+/// caller so the prefix buffers survive across passes; worker `chunk` only
+/// ever touches counters[chunk] (the ThreadPool contract guarantees one
+/// chunk index per worker invocation). With prefix_cache off the original
+/// naive per-candidate SupportOfWords path runs instead.
 std::vector<uint32_t> CountSupports(const TransactionDb& db,
                                     const std::vector<Itemset>& candidates,
-                                    ThreadPool* pool) {
+                                    ThreadPool* pool, bool prefix_cache,
+                                    std::vector<PrefixSupportCounter>* counters,
+                                    SupportCountStats* stats) {
   std::vector<uint32_t> totals(candidates.size(), 0);
   const size_t words = db.NumWords();
   // Below a few words (256 transactions) per worker the fork-join overhead
@@ -118,23 +146,36 @@ std::vector<uint32_t> CountSupports(const TransactionDb& db,
   const bool serial = pool->num_threads() <= 1 || candidates.empty() ||
                       words < 4 * pool->num_threads();
   if (serial) {
-    for (size_t c = 0; c < candidates.size(); ++c) {
-      totals[c] = db.SupportOf(candidates[c]);
+    if (prefix_cache) {
+      (*counters)[0].Count(db, candidates, 0, words, totals.data(), stats);
+    } else {
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        totals[c] = db.SupportOf(candidates[c]);
+      }
     }
     return totals;
   }
 
   std::vector<std::vector<uint32_t>> partials(pool->num_threads());
+  std::vector<SupportCountStats> chunk_stats(pool->num_threads());
   pool->ParallelForChunks(
       0, words, [&](size_t word_begin, size_t word_end, size_t chunk) {
         std::vector<uint32_t>& counts = partials[chunk];
         counts.assign(candidates.size(), 0);
-        for (size_t c = 0; c < candidates.size(); ++c) {
-          counts[c] = db.SupportOfWords(candidates[c], word_begin, word_end);
+        if (prefix_cache) {
+          (*counters)[chunk].Count(db, candidates, word_begin, word_end,
+                                   counts.data(), &chunk_stats[chunk]);
+        } else {
+          for (size_t c = 0; c < candidates.size(); ++c) {
+            counts[c] = db.SupportOfWords(candidates[c], word_begin, word_end);
+          }
         }
       });
   for (const std::vector<uint32_t>& counts : partials) {
     for (size_t c = 0; c < counts.size(); ++c) totals[c] += counts[c];
+  }
+  if (stats != nullptr) {
+    for (const SupportCountStats& s : chunk_stats) stats->Add(s);
   }
   return totals;
 }
@@ -165,6 +206,10 @@ Result<AprioriResult> MineApriori(const TransactionDb& db,
   ThreadPool pool(ResolveParallelism(options.parallelism));
   stats.threads = pool.num_threads();
 
+  // One prefix counter per worker, reused across passes so the buffers
+  // stay allocated; worker i only touches counters[i].
+  std::vector<PrefixSupportCounter> counters(pool.num_threads());
+
   // Pass 1: large 1-predicate sets, counted like every later pass.
   Stopwatch pass_watch;
   Stopwatch count_watch;
@@ -173,7 +218,9 @@ Result<AprioriResult> MineApriori(const TransactionDb& db,
   for (ItemId item = 0; item < db.NumItems(); ++item) {
     singles.push_back(Itemset{item});
   }
-  std::vector<uint32_t> single_supports = CountSupports(db, singles, &pool);
+  SupportCountStats count_stats;
+  std::vector<uint32_t> single_supports = CountSupports(
+      db, singles, &pool, options.prefix_cache, &counters, &count_stats);
   double count_millis = count_watch.ElapsedMillis();
   std::vector<FrequentItemset> current;
   for (ItemId item = 0; item < db.NumItems(); ++item) {
@@ -181,11 +228,21 @@ Result<AprioriResult> MineApriori(const TransactionDb& db,
       current.push_back({std::move(singles[item]), single_supports[item]});
     }
   }
-  stats.passes.push_back({1, db.NumItems(), 0, current.size(),
-                          pass_watch.ElapsedMillis(), count_millis});
+  {
+    MiningStats::Pass pass;
+    pass.k = 1;
+    pass.candidates = db.NumItems();
+    pass.frequent = current.size();
+    pass.millis = pass_watch.ElapsedMillis();
+    pass.count_millis = count_millis;
+    pass.and_word_ops = count_stats.and_word_ops;
+    pass.prefix_hits = count_stats.prefix_hits;
+    pass.prefix_misses = count_stats.prefix_misses;
+    stats.passes.push_back(pass);
+  }
   all_frequent.insert(all_frequent.end(), current.begin(), current.end());
 
-  std::unordered_map<Itemset, uint32_t, ItemsetHash> current_index;
+  std::unordered_map<Itemset, uint32_t, ItemsetHash, ItemsetEq> current_index;
   for (const FrequentItemset& fi : current) {
     current_index.emplace(fi.items, fi.support);
   }
@@ -217,7 +274,9 @@ Result<AprioriResult> MineApriori(const TransactionDb& db,
     // Counting via the vertical bitmap columns, word-partitioned across
     // the pool's workers.
     count_watch.Restart();
-    const std::vector<uint32_t> supports = CountSupports(db, candidates, &pool);
+    count_stats = SupportCountStats{};
+    const std::vector<uint32_t> supports = CountSupports(
+        db, candidates, &pool, options.prefix_cache, &counters, &count_stats);
     count_millis = count_watch.ElapsedMillis();
     std::vector<FrequentItemset> next;
     for (size_t c = 0; c < candidates.size(); ++c) {
@@ -230,8 +289,19 @@ Result<AprioriResult> MineApriori(const TransactionDb& db,
                 return a.items < b.items;
               });
 
-    stats.passes.push_back({k, raw_candidates, filtered, next.size(),
-                            pass_watch.ElapsedMillis(), count_millis});
+    {
+      MiningStats::Pass pass;
+      pass.k = k;
+      pass.candidates = raw_candidates;
+      pass.filtered_candidates = filtered;
+      pass.frequent = next.size();
+      pass.millis = pass_watch.ElapsedMillis();
+      pass.count_millis = count_millis;
+      pass.and_word_ops = count_stats.and_word_ops;
+      pass.prefix_hits = count_stats.prefix_hits;
+      pass.prefix_misses = count_stats.prefix_misses;
+      stats.passes.push_back(pass);
+    }
     all_frequent.insert(all_frequent.end(), next.begin(), next.end());
 
     current = std::move(next);
@@ -244,6 +314,11 @@ Result<AprioriResult> MineApriori(const TransactionDb& db,
   stats.total_frequent = all_frequent.size();
   for (const FrequentItemset& fi : all_frequent) {
     if (fi.items.size() >= 2) ++stats.total_frequent_ge2;
+  }
+  for (const MiningStats::Pass& pass : stats.passes) {
+    stats.and_word_ops += pass.and_word_ops;
+    stats.prefix_hits += pass.prefix_hits;
+    stats.prefix_misses += pass.prefix_misses;
   }
   stats.total_millis = total_watch.ElapsedMillis();
   return AprioriResult(std::move(all_frequent), std::move(stats));

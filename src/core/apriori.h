@@ -36,6 +36,13 @@ struct AprioriOptions {
   /// hardware concurrency); 1 = serial. FP-Growth currently ignores this
   /// knob. See docs/ARCHITECTURE.md, "Threading model".
   size_t parallelism = 0;
+
+  /// Count supports with the prefix-shared kernel (PrefixSupportCounter):
+  /// consecutive candidates sharing a (k-1)-prefix reuse its cached
+  /// column-AND, so each costs one AND + popcount instead of k-1. Counts
+  /// are identical either way; this only exists for A/B benchmarking and
+  /// differential tests. Leave it on.
+  bool prefix_cache = true;
 };
 
 /// \brief One frequent itemset with its absolute support count.
@@ -54,12 +61,24 @@ struct MiningStats {
     size_t frequent = 0;            ///< |L_k|.
     double millis = 0.0;            ///< Wall time of the pass.
     double count_millis = 0.0;      ///< Support-counting share of `millis`.
+    /// 64-bit column-AND operations of the pass's support counting (0 on
+    /// the naive path). Thread-count independent, unlike the cache-event
+    /// counters below.
+    uint64_t and_word_ops = 0;
+    /// Prefix-cache events of the pass. Each word chunk replays the
+    /// candidate sequence, so these scale with the chunk count — they are
+    /// hit-rate observability, not a work measure.
+    uint64_t prefix_hits = 0;
+    uint64_t prefix_misses = 0;
   };
   std::vector<Pass> passes;
   size_t total_frequent = 0;        ///< Itemsets of size >= 1.
   size_t total_frequent_ge2 = 0;    ///< Itemsets of size >= 2 (paper counts these).
   double total_millis = 0.0;
   size_t threads = 1;               ///< Workers used for support counting.
+  uint64_t and_word_ops = 0;        ///< Sum over passes.
+  uint64_t prefix_hits = 0;         ///< Sum over passes.
+  uint64_t prefix_misses = 0;       ///< Sum over passes.
 
   std::string ToString() const;
 };

@@ -68,15 +68,41 @@ class Itemset {
   std::vector<ItemId> items_;
 };
 
-/// FNV-1a style hash usable in unordered containers.
+/// FNV-1a style hash usable in unordered containers. Transparent: a
+/// sorted std::vector<ItemId> hashes identically, so hot paths can probe
+/// an index with a reused scratch vector instead of allocating an Itemset
+/// per lookup.
 struct ItemsetHash {
-  size_t operator()(const Itemset& s) const {
+  using is_transparent = void;
+  size_t operator()(const Itemset& s) const { return Hash(s.items()); }
+  size_t operator()(const std::vector<ItemId>& items) const {
+    return Hash(items);
+  }
+
+ private:
+  static size_t Hash(const std::vector<ItemId>& items) {
     uint64_t h = 1469598103934665603ULL;
-    for (ItemId item : s.items()) {
+    for (ItemId item : items) {
       h ^= item;
       h *= 1099511628211ULL;
     }
     return static_cast<size_t>(h);
+  }
+};
+
+/// Transparent equality to pair with ItemsetHash. Comparing against a
+/// vector assumes the vector is sorted and duplicate-free, like the item
+/// list of every normalized Itemset.
+struct ItemsetEq {
+  using is_transparent = void;
+  bool operator()(const Itemset& a, const Itemset& b) const {
+    return a.items() == b.items();
+  }
+  bool operator()(const Itemset& a, const std::vector<ItemId>& b) const {
+    return a.items() == b;
+  }
+  bool operator()(const std::vector<ItemId>& a, const Itemset& b) const {
+    return a == b.items();
   }
 };
 

@@ -1,0 +1,146 @@
+#include "core/support_counter.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace sfpm {
+namespace core {
+
+void PrefixSupportCounter::Count(const TransactionDb& db,
+                                 const std::vector<Itemset>& candidates,
+                                 size_t word_begin, size_t word_end,
+                                 uint32_t* counts, SupportCountStats* stats) {
+  word_end = std::min(word_end, db.NumWords());
+  const size_t n = word_end > word_begin ? word_end - word_begin : 0;
+  // The buffers never outlive their word range.
+  prefix_items_.clear();
+  parent_items_.clear();
+  if (prefix_buf_.size() < n) prefix_buf_.resize(n);
+  if (parent_buf_.size() < n) parent_buf_.resize(n);
+
+  SupportCountStats local;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const std::vector<ItemId>& items = candidates[c].items();
+    const size_t k = items.size();
+    ++local.counted;
+    if (k < 2 || n == 0) {
+      counts[c] = db.SupportOfWords(candidates[c], word_begin, word_end);
+      continue;
+    }
+
+    // The representation is picked from k alone, never from the data, so
+    // the AND-op total stays independent of how words are chunked across
+    // workers: short prefixes (one or two columns) are near-dense and use
+    // a sequential dense buffer, deeper ones are sparse in practice and
+    // keep only their nonzero words.
+    const bool hit = prefix_items_.size() == k - 1 &&
+                     std::equal(prefix_items_.begin(), prefix_items_.end(),
+                                items.begin());
+    if (hit) {
+      ++local.prefix_hits;
+    } else {
+      ++local.prefix_misses;
+      prefix_items_.assign(items.begin(), items.end() - 1);
+      if (k == 2) {
+        // The prefix is a single column — use it in place.
+        prefix_dense_ = db.ColumnWords(items[0]) + word_begin;
+        prefix_sparse_ = false;
+      } else if (k == 3) {
+        const uint64_t* a = db.ColumnWords(items[0]) + word_begin;
+        const uint64_t* b = db.ColumnWords(items[1]) + word_begin;
+        for (size_t w = 0; w < n; ++w) prefix_buf_[w] = a[w] & b[w];
+        local.and_word_ops += n;
+        prefix_dense_ = prefix_buf_.data();
+        prefix_sparse_ = false;
+      } else {
+        // k >= 4: build the prefix from its (k-2)-parent, which usually
+        // survives across prefix changes within a pass.
+        const bool parent_hit =
+            parent_items_.size() == k - 2 &&
+            std::equal(parent_items_.begin(), parent_items_.end(),
+                       items.begin());
+        if (!parent_hit) {
+          parent_items_.assign(items.begin(), items.end() - 2);
+          if (k == 4) {
+            const uint64_t* a = db.ColumnWords(items[0]) + word_begin;
+            const uint64_t* b = db.ColumnWords(items[1]) + word_begin;
+            for (size_t w = 0; w < n; ++w) parent_buf_[w] = a[w] & b[w];
+            local.and_word_ops += n;
+            parent_sparse_ = false;
+          } else {
+            // Per-word AND chain over the k-2 columns, short-circuiting
+            // on zero; only nonzero words are kept. The one remaining
+            // database-width sweep, and sorted candidate order makes it
+            // rare.
+            cols_.clear();
+            for (size_t i = 0; i + 2 < k; ++i) {
+              cols_.push_back(db.ColumnWords(items[i]));
+            }
+            parent_words_.clear();
+            parent_values_.clear();
+            uint64_t ops = 0;
+            for (size_t w = word_begin; w < word_end; ++w) {
+              uint64_t acc = cols_[0][w];
+              size_t i = 1;
+              for (; i < cols_.size() && acc != 0; ++i) acc &= cols_[i][w];
+              ops += i - 1;
+              if (acc != 0) {
+                parent_words_.push_back(static_cast<uint32_t>(w));
+                parent_values_.push_back(acc);
+              }
+            }
+            local.and_word_ops += ops;
+            parent_sparse_ = true;
+          }
+        }
+        // Extend the parent by the prefix's last item into the sparse
+        // prefix: work proportional to the parent's nonzero words.
+        const uint64_t* col = db.ColumnWords(items[k - 2]);
+        nz_words_.clear();
+        nz_values_.clear();
+        if (parent_sparse_) {
+          for (size_t j = 0; j < parent_words_.size(); ++j) {
+            const uint64_t acc = parent_values_[j] & col[parent_words_[j]];
+            if (acc != 0) {
+              nz_words_.push_back(parent_words_[j]);
+              nz_values_.push_back(acc);
+            }
+          }
+          local.and_word_ops += parent_words_.size();
+        } else {
+          for (size_t w = 0; w < n; ++w) {
+            const uint64_t acc = parent_buf_[w] & col[word_begin + w];
+            if (acc != 0) {
+              nz_words_.push_back(static_cast<uint32_t>(word_begin + w));
+              nz_values_.push_back(acc);
+            }
+          }
+          local.and_word_ops += n;
+        }
+        prefix_sparse_ = true;
+      }
+    }
+
+    const uint64_t* last = db.ColumnWords(items[k - 1]);
+    uint32_t count = 0;
+    if (prefix_sparse_) {
+      for (size_t j = 0; j < nz_words_.size(); ++j) {
+        count += static_cast<uint32_t>(
+            std::popcount(nz_values_[j] & last[nz_words_[j]]));
+      }
+      local.and_word_ops += nz_words_.size();
+    } else {
+      const uint64_t* l = last + word_begin;
+      const uint64_t* p = prefix_dense_;
+      for (size_t w = 0; w < n; ++w) {
+        count += static_cast<uint32_t>(std::popcount(p[w] & l[w]));
+      }
+      local.and_word_ops += n;
+    }
+    counts[c] = count;
+  }
+  if (stats != nullptr) stats->Add(local);
+}
+
+}  // namespace core
+}  // namespace sfpm

@@ -1,0 +1,94 @@
+#ifndef SFPM_CORE_SUPPORT_COUNTER_H_
+#define SFPM_CORE_SUPPORT_COUNTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/itemset.h"
+#include "core/transaction_db.h"
+#include "util/aligned.h"
+
+namespace sfpm {
+namespace core {
+
+/// \brief Counters of the prefix-shared support counting kernel. Additive,
+/// like relate::RelateStats.
+///
+/// `and_word_ops` is the number of 64-bit column-AND operations executed,
+/// the kernel's natural work measure; its total is independent of the
+/// thread count (every worker replays the same candidate sequence over its
+/// own word range). `prefix_hits`/`prefix_misses` count cache *events* and
+/// therefore scale with the number of word chunks.
+struct SupportCountStats {
+  uint64_t counted = 0;        ///< Candidate countings performed.
+  uint64_t prefix_hits = 0;    ///< Candidates served from the cached prefix.
+  uint64_t prefix_misses = 0;  ///< Prefix buffer rebuilds.
+  uint64_t and_word_ops = 0;   ///< 64-bit AND operations executed.
+
+  void Add(const SupportCountStats& o) {
+    counted += o.counted;
+    prefix_hits += o.prefix_hits;
+    prefix_misses += o.prefix_misses;
+    and_word_ops += o.and_word_ops;
+  }
+};
+
+/// \brief Support counting that exploits Apriori's candidate order.
+///
+/// apriori_gen emits candidates lexicographically sorted and grouped by
+/// shared (k-1)-prefix, so consecutive candidates almost always differ in
+/// the last item only. This counter caches the AND of the current prefix's
+/// columns, so a candidate sharing the previous prefix costs one AND +
+/// popcount per cached word instead of the k-1-way chain. The
+/// representation adapts to the prefix depth (chosen from k alone, which
+/// keeps the AND-op total thread-count-invariant): one- and two-column
+/// prefixes are near-dense and live in a sequential 64-byte-aligned
+/// buffer (for k=2 the database column is used in place, copy-free);
+/// deeper prefixes keep only their *nonzero* words, and at mining
+/// thresholds almost every word of a deep prefix AND is zero — the work
+/// tracks the transactions that can still support the candidate, not the
+/// database size. The cache is also two-level: behind the (k-1)-prefix
+/// sits its (k-2)-parent, so even a prefix change usually costs one
+/// parent extension rather than a database sweep; full sweeps only happen
+/// when the parent changes too.
+///
+/// The counts are exactly TransactionDb::SupportOfWords — only the
+/// operation count changes — so mining output is identical with or
+/// without the counter.
+///
+/// One instance per ThreadPool worker; instances are reused across passes
+/// to keep the buffer allocations warm. Not thread-safe.
+class PrefixSupportCounter {
+ public:
+  /// Counts the supports of `candidates` (sorted; any sizes) over the
+  /// column words [word_begin, word_end), writing counts[i] for candidate
+  /// i. `stats`, when non-null, accumulates kernel counters. The prefix
+  /// cache is scoped to this call: it never carries over a stale word
+  /// range.
+  void Count(const TransactionDb& db, const std::vector<Itemset>& candidates,
+             size_t word_begin, size_t word_end, uint32_t* counts,
+             SupportCountStats* stats = nullptr);
+
+ private:
+  std::vector<ItemId> prefix_items_;  ///< (k-1)-prefix the cache holds.
+  bool prefix_sparse_ = false;        ///< Which representation is live.
+  /// Dense representation (k <= 3): the range's words, contiguous. Points
+  /// at prefix_buf_ or directly at a database column.
+  const uint64_t* prefix_dense_ = nullptr;
+  AlignedVector<uint64_t> prefix_buf_;
+  /// Sparse representation (k >= 4): the nonzero words only.
+  std::vector<uint32_t> nz_words_;  ///< Absolute word indexes.
+  std::vector<uint64_t> nz_values_;  ///< AND of the prefix columns there.
+
+  std::vector<ItemId> parent_items_;  ///< (k-2)-parent behind the prefix.
+  bool parent_sparse_ = false;
+  AlignedVector<uint64_t> parent_buf_;  ///< Dense parent (k == 4).
+  std::vector<uint32_t> parent_words_;  ///< Sparse parent (k >= 5).
+  std::vector<uint64_t> parent_values_;
+  std::vector<const uint64_t*> cols_;  ///< Scratch column pointers.
+};
+
+}  // namespace core
+}  // namespace sfpm
+
+#endif  // SFPM_CORE_SUPPORT_COUNTER_H_

@@ -106,6 +106,33 @@ uint32_t TransactionDb::SupportOfWords(const Itemset& set, size_t word_begin,
   return count;
 }
 
+uint32_t TransactionDb::SupportOfWordsInto(const ItemId* items,
+                                           size_t num_items,
+                                           size_t word_begin, size_t word_end,
+                                           uint64_t* out) const {
+  word_end = std::min(word_end, NumWords());
+  if (word_begin >= word_end) return 0;
+  // 4 KiB blocks: every column's slice of the block stays cache-resident
+  // while the k columns stream over it.
+  constexpr size_t kBlockWords = 512;
+  uint32_t count = 0;
+  for (size_t block = word_begin; block < word_end; block += kBlockWords) {
+    const size_t end = std::min(block + kBlockWords, word_end);
+    uint64_t* dst = out + (block - word_begin);
+    const size_t n = end - block;
+    const uint64_t* first = columns_[items[0]].data() + block;
+    for (size_t w = 0; w < n; ++w) dst[w] = first[w];
+    for (size_t i = 1; i < num_items; ++i) {
+      const uint64_t* col = columns_[items[i]].data() + block;
+      for (size_t w = 0; w < n; ++w) dst[w] &= col[w];
+    }
+    for (size_t w = 0; w < n; ++w) {
+      count += static_cast<uint32_t>(std::popcount(dst[w]));
+    }
+  }
+  return count;
+}
+
 double TransactionDb::Frequency(const Itemset& set) const {
   if (num_transactions_ == 0) return 0.0;
   return static_cast<double>(SupportOf(set)) /

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/itemset.h"
+#include "util/aligned.h"
 #include "util/status.h"
 
 namespace sfpm {
@@ -72,6 +73,23 @@ class TransactionDb {
   uint32_t SupportOfWords(const Itemset& set, size_t word_begin,
                           size_t word_end) const;
 
+  /// SupportOfWords over an explicit item array that also *materializes*
+  /// the AND into `out` (which must hold word_end - word_begin words):
+  /// out[w - word_begin] = AND of the member columns at word w. Returns
+  /// the popcount of the materialized range. The caller can then extend
+  /// the result by one item with a single column-AND instead of repeating
+  /// the k-way AND — the prefix-sharing trick of PrefixSupportCounter.
+  /// Blocked so each column slice is streamed once per cache-resident
+  /// block; requires num_items >= 1.
+  uint32_t SupportOfWordsInto(const ItemId* items, size_t num_items,
+                              size_t word_begin, size_t word_end,
+                              uint64_t* out) const;
+
+  /// Raw bitmap column of `item` (NumWords() words, 64-byte aligned).
+  const uint64_t* ColumnWords(ItemId item) const {
+    return columns_[item].data();
+  }
+
   /// Number of 64-bit words per bitmap column (the parallel count passes
   /// partition this range).
   size_t NumWords() const { return (num_transactions_ + 63) / 64; }
@@ -87,8 +105,9 @@ class TransactionDb {
   std::vector<std::string> keys_;
   std::unordered_map<std::string, ItemId> label_index_;
   /// columns_[item] holds ceil(n/64) words; bit t of the column is set when
-  /// transaction t contains the item.
-  std::vector<std::vector<uint64_t>> columns_;
+  /// transaction t contains the item. 64-byte aligned for the blocked AND
+  /// kernels.
+  std::vector<AlignedVector<uint64_t>> columns_;
   size_t num_transactions_ = 0;
 };
 

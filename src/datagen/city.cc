@@ -44,6 +44,27 @@ std::vector<std::vector<Point>> JitteredGrid(const CityConfig& config,
   return grid;
 }
 
+/// Subdivides every edge into `detail` collinear pieces — GIS-like vertex
+/// density with the exact same shapes. Pure interpolation, no random
+/// draws, so detail=1 is the identity and any setting keeps the layer
+/// deterministic. `closed` also subdivides the wrap-around edge.
+std::vector<Point> Densify(std::vector<Point> pts, int detail, bool closed) {
+  if (detail <= 1 || pts.size() < 2) return pts;
+  std::vector<Point> out;
+  const size_t edges = pts.size() - (closed ? 0 : 1);
+  out.reserve(edges * static_cast<size_t>(detail) + 1);
+  for (size_t i = 0; i < edges; ++i) {
+    const Point& a = pts[i];
+    const Point& b = pts[(i + 1) % pts.size()];
+    for (int s = 0; s < detail; ++s) {
+      const double t = static_cast<double>(s) / detail;
+      out.emplace_back(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y));
+    }
+  }
+  if (!closed) out.push_back(pts.back());
+  return out;
+}
+
 /// An irregular star-convex blob around `center`.
 Polygon Blob(const Point& center, double mean_radius, int vertices, Rng* rng) {
   std::vector<Point> ring;
@@ -84,12 +105,9 @@ std::unique_ptr<City> GenerateCity(const CityConfig& config) {
   std::vector<Polygon> district_polys;
   for (int r = 0; r < config.grid_rows; ++r) {
     for (int c = 0; c < config.grid_cols; ++c) {
-      district_polys.push_back(Polygon(LinearRing({
-          grid[r][c],
-          grid[r][c + 1],
-          grid[r + 1][c + 1],
-          grid[r + 1][c],
-      })));
+      district_polys.push_back(Polygon(LinearRing(Densify(
+          {grid[r][c], grid[r][c + 1], grid[r + 1][c + 1], grid[r + 1][c]},
+          config.boundary_detail, /*closed=*/true))));
     }
   }
 
@@ -105,9 +123,19 @@ std::unique_ptr<City> GenerateCity(const CityConfig& config) {
         cluster_centers[rng.NextUint64(cluster_centers.size())];
     const Point center(cluster.x + rng.NextGaussian() * config.cell_size,
                        cluster.y + rng.NextGaussian() * config.cell_size);
-    city->slums.Add(
-        Blob(center, rng.NextDouble(0.15, 0.45) * config.cell_size,
-             static_cast<int>(rng.NextInt(6, 10)), &rng));
+    Polygon blob =
+        Blob(center,
+             rng.NextDouble(config.slum_radius_min, config.slum_radius_max) *
+                 config.cell_size,
+             static_cast<int>(rng.NextInt(6, 10)), &rng);
+    if (config.boundary_detail > 1) {
+      // The shell is already explicitly closed, so its edge list is that
+      // of an open polyline — no wrap-around edge to add.
+      blob = Polygon(LinearRing(Densify(blob.shell().points(),
+                                        config.boundary_detail,
+                                        /*closed=*/false)));
+    }
+    city->slums.Add(std::move(blob));
   }
 
   // Schools and police centers: uniform points.
@@ -128,6 +156,10 @@ std::unique_ptr<City> GenerateCity(const CityConfig& config) {
     LineString street =
         RandomWalk(start, static_cast<int>(rng.NextInt(3, 8)),
                    config.cell_size * 0.6, &rng);
+    if (config.boundary_detail > 1) {
+      street = LineString(
+          Densify(street.points(), config.boundary_detail, /*closed=*/false));
+    }
     for (size_t j = 0; j < config.illumination_per_street; ++j) {
       const auto& pts = street.points();
       const size_t seg = rng.NextUint64(pts.size() - 1);
@@ -148,7 +180,8 @@ std::unique_ptr<City> GenerateCity(const CityConfig& config) {
       y += rng.NextGaussian() * config.cell_size * 0.2;
       pts.emplace_back(width * s / steps, y);
     }
-    city->rivers.Add(LineString(std::move(pts)));
+    city->rivers.Add(LineString(
+        Densify(std::move(pts), config.boundary_detail, /*closed=*/false)));
   }
 
   // District attributes: crime follows slum presence (with noise).

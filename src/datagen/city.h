@@ -21,11 +21,25 @@ struct CityConfig {
 
   size_t num_slums = 70;      ///< Irregular polygons, spatially clustered.
   size_t num_slum_clusters = 6;
+  /// Slum blob radius range as a fraction of cell_size. The default is
+  /// generous (blobs up to near district size); the Porto Alegre favelas
+  /// of the paper's study are small relative to their districts, so
+  /// benchmarks aiming for that regime set a tighter range.
+  double slum_radius_min = 0.15;
+  double slum_radius_max = 0.45;
   size_t num_schools = 160;   ///< Points.
   size_t num_police = 24;     ///< Points.
   size_t num_streets = 120;   ///< Random-walk polylines.
   size_t illumination_per_street = 3;  ///< Points adjacent to streets.
   size_t num_rivers = 2;      ///< Long polylines crossing the city.
+
+  /// Collinear vertices per polygon edge / street step. 1 keeps the coarse
+  /// generated shapes; higher values subdivide every edge to emulate the
+  /// vertex density of digitized GIS boundaries (the paper's district
+  /// layer), which is what makes relate cost scale realistically. The
+  /// subdivision is pure interpolation — no extra random draws — so every
+  /// layer keeps its shape and seed-determinism at any setting.
+  int boundary_detail = 1;
 
   uint64_t seed = 2007;
 };

@@ -1,27 +1,43 @@
 #include "feature/extractor.h"
 
+#include <chrono>
 #include <cmath>
 #include <unordered_set>
 
 #include "geom/algorithms.h"
 #include "relate/relate.h"
+#include "util/strings.h"
 #include "util/thread_pool.h"
 
 namespace sfpm {
 namespace feature {
 
+std::string ExtractionStats::ToString() const {
+  return StrFormat(
+      "extraction rows=%zu threads=%zu candidates=%llu millis=%.1f\n  %s",
+      rows, threads, static_cast<unsigned long long>(envelope_candidates),
+      total_millis, relate.ToString().c_str());
+}
+
 Result<PredicateTable> PredicateExtractor::Extract(
-    const ExtractorOptions& options) const {
+    const ExtractorOptions& options, ExtractionStats* stats) const {
   if (reference_ == nullptr || reference_->IsEmpty()) {
     return Status::InvalidArgument("reference layer is empty");
   }
+  const auto start = std::chrono::steady_clock::now();
 
-  // Layer::Index() builds the R-tree lazily on first call, which is not
-  // safe to race; warm every relevant index before the parallel region so
-  // workers only ever see immutable-after-build trees.
+  // Layer::Index() and Layer::Prepared() build their caches lazily on
+  // first call, which is not safe to race; warm every relevant layer
+  // before the parallel region so workers only ever see immutable-after-
+  // build state. The prepared cache amortizes each feature's derived
+  // linework and segment index across every reference row (and every
+  // Extract call) that relates against it.
   for (const Layer* layer : relevant_) {
-    if (!layer->IsEmpty()) layer->Index();
+    if (layer->IsEmpty()) continue;
+    layer->Index();
+    layer->Prepared();
   }
+  reference_->Prepared();
 
   const std::vector<Feature>& refs = reference_->features();
   std::vector<RowDraft> drafts(refs.size());
@@ -32,13 +48,26 @@ Result<PredicateTable> PredicateExtractor::Extract(
   });
 
   // Deterministic merge: replay the drafts in reference order, so item ids
-  // are assigned in exactly the order the serial path would assign them.
+  // are assigned in exactly the order the serial path would assign them
+  // (and the counters sum in a fixed order too).
   PredicateTable table;
   for (RowDraft& draft : drafts) {
     const size_t row = table.AddRow(std::move(draft.name));
     for (const Predicate& predicate : draft.predicates) {
       SFPM_RETURN_NOT_OK(table.Set(row, predicate));
     }
+    if (stats != nullptr) {
+      stats->envelope_candidates += draft.envelope_candidates;
+      stats->relate.Add(draft.relate);
+    }
+  }
+  if (stats != nullptr) {
+    stats->rows = refs.size();
+    stats->threads = pool.num_threads();
+    stats->total_millis =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
   }
   return table;
 }
@@ -60,15 +89,14 @@ PredicateExtractor::RowDraft PredicateExtractor::ExtractRow(
     }
   }
 
-  // One prepared geometry per reference feature serves every relate call
-  // of this row (all layers, all candidates) — a per-worker cache, since
-  // rows are partitioned across workers.
-  const relate::PreparedGeometry prepared(ref.geometry());
+  // The reference layer's prepared cache serves every relate call of this
+  // row (all layers, all candidates) and every later Extract call.
+  const relate::PreparedGeometry& prepared =
+      reference_->Prepared()[ref.id()];
   for (const Layer* layer : relevant_) {
     if (layer->IsEmpty()) continue;
     if (options.topological) {
-      ExtractTopological(prepared, *layer, options.instance_granularity,
-                         &draft.predicates);
+      ExtractTopological(prepared, *layer, options, &draft);
     }
     if (options.distance_bands != nullptr &&
         (options.distance_types.empty() ||
@@ -85,20 +113,28 @@ PredicateExtractor::RowDraft PredicateExtractor::ExtractRow(
 
 void PredicateExtractor::ExtractTopological(
     const relate::PreparedGeometry& ref, const Layer& layer,
-    bool instance_granularity, std::vector<Predicate>* out) const {
+    const ExtractorOptions& options, RowDraft* draft) const {
+  const std::vector<relate::PreparedGeometry>& prepared_others =
+      layer.Prepared();
   std::vector<uint64_t> candidates;
-  layer.Index().Query(ref.geometry().GetEnvelope(), &candidates);
+  layer.Index().Query(ref.envelope(), &candidates);
+  draft->envelope_candidates += candidates.size();
   for (uint64_t id : candidates) {
     const Feature& other = layer.at(id);
+    // Feature ids are assigned sequentially from 0, so the id doubles as
+    // the index into the layer's prepared cache.
+    const relate::PreparedGeometry& prepared_other = prepared_others[id];
+    const relate::IntersectionMatrix matrix =
+        options.fast_relate ? ref.Relate(prepared_other, &draft->relate)
+                            : ref.RelateFull(prepared_other);
     const qsr::TopologicalRelation rel = qsr::ClassifyMatrix(
-        ref.Relate(other.geometry()), ref.geometry().Dimension(),
-        other.geometry().Dimension());
+        matrix, ref.geometry().Dimension(), other.geometry().Dimension());
     if (rel == qsr::TopologicalRelation::kDisjoint) continue;
     const std::string type =
-        instance_granularity
+        options.instance_granularity
             ? layer.feature_type() + std::to_string(other.id())
             : layer.feature_type();
-    out->push_back(
+    draft->predicates.push_back(
         Predicate::Spatial(qsr::TopologicalRelationName(rel), type));
   }
 }

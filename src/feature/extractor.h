@@ -1,7 +1,9 @@
 #ifndef SFPM_FEATURE_EXTRACTOR_H_
 #define SFPM_FEATURE_EXTRACTOR_H_
 
+#include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "feature/feature.h"
@@ -54,6 +56,27 @@ struct ExtractorOptions {
   /// SFPM_THREADS environment variable, else hardware concurrency);
   /// 1 = serial. See docs/ARCHITECTURE.md, "Threading model".
   size_t parallelism = 0;
+
+  /// Use PreparedGeometry's certified relate fast path. The fast path
+  /// returns the identical DE-9IM matrix, so this only exists for A/B
+  /// benchmarking and differential tests; leave it on.
+  bool fast_relate = true;
+};
+
+/// \brief Observability counters of one Extract run, for `sfpm_cli
+/// --stats` and the benches. Merged from per-row counters in reference
+/// order, so every field except `total_millis` is deterministic at every
+/// thread count.
+struct ExtractionStats {
+  size_t rows = 0;              ///< Reference features processed.
+  size_t threads = 0;           ///< Resolved worker count.
+  /// Envelope-join candidates refined by the DE-9IM engine (the number of
+  /// Relate calls issued by the topological extractor).
+  uint64_t envelope_candidates = 0;
+  relate::RelateStats relate;   ///< Fast-path outcome counters.
+  double total_millis = 0.0;    ///< Wall time of the Extract call.
+
+  std::string ToString() const;
 };
 
 /// \brief Computes the qualitative predicate table (the paper's Table 1)
@@ -77,24 +100,28 @@ class PredicateExtractor {
   void AddRelevantLayer(const Layer* layer) { relevant_.push_back(layer); }
 
   /// Runs the join and builds the table. Rows are named by the reference
-  /// layer's "name" attribute when present, else "<type><id>".
-  Result<PredicateTable> Extract(const ExtractorOptions& options) const;
+  /// layer's "name" attribute when present, else "<type><id>". `stats`,
+  /// when non-null, receives the run's counters.
+  Result<PredicateTable> Extract(const ExtractorOptions& options,
+                                 ExtractionStats* stats = nullptr) const;
 
  private:
   /// Predicates of one row in emission order — the unit of parallel work.
   /// Replaying drafts row by row reassigns item ids exactly as the serial
   /// single-table path would, which is what makes the parallel output
-  /// bit-identical.
+  /// bit-identical. Counters ride along and are merged in the same order.
   struct RowDraft {
     std::string name;
     std::vector<Predicate> predicates;
+    uint64_t envelope_candidates = 0;
+    relate::RelateStats relate;
   };
 
   RowDraft ExtractRow(const Feature& ref,
                       const ExtractorOptions& options) const;
   void ExtractTopological(const relate::PreparedGeometry& ref,
-                          const Layer& layer, bool instance_granularity,
-                          std::vector<Predicate>* out) const;
+                          const Layer& layer, const ExtractorOptions& options,
+                          RowDraft* draft) const;
   void ExtractDistance(const Feature& ref, const Layer& layer,
                        const qsr::DistanceQuantizer& bands,
                        bool instance_granularity,

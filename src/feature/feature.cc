@@ -20,6 +20,7 @@ uint64_t Layer::Add(geom::Geometry geometry,
   const uint64_t id = features_.size();
   features_.emplace_back(id, std::move(geometry), std::move(attributes));
   index_valid_ = false;
+  prepared_valid_ = false;
   return id;
 }
 
@@ -42,6 +43,18 @@ const index::RTree& Layer::Index() const {
     index_valid_ = true;
   }
   return index_;
+}
+
+const std::vector<relate::PreparedGeometry>& Layer::Prepared() const {
+  if (!prepared_valid_) {
+    prepared_.clear();
+    prepared_.reserve(features_.size());
+    for (const Feature& f : features_) {
+      prepared_.emplace_back(f.geometry());
+    }
+    prepared_valid_ = true;
+  }
+  return prepared_;
 }
 
 }  // namespace feature

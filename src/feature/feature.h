@@ -8,6 +8,7 @@
 
 #include "geom/geometry.h"
 #include "index/rtree.h"
+#include "relate/prepared.h"
 #include "util/status.h"
 
 namespace sfpm {
@@ -67,12 +68,23 @@ class Layer {
   /// \brief The layer's R-tree (bulk-loaded lazily, invalidated by Add).
   const index::RTree& Index() const;
 
+  /// \brief One prepared geometry per feature, indexed by feature id
+  /// (built lazily, invalidated by Add). A layer's features are related
+  /// against many reference rows, so their derived linework, probe points
+  /// and segment indexes are built once per layer instead of once per
+  /// relate call. Like Index(), the first call is not safe to race — warm
+  /// it before sharing the layer across threads; afterwards the cache is
+  /// immutable and PreparedGeometry's const interface is thread-safe.
+  const std::vector<relate::PreparedGeometry>& Prepared() const;
+
  private:
   std::string feature_type_;
   std::string name_;
   std::vector<Feature> features_;
   mutable index::RTree index_;
   mutable bool index_valid_ = false;
+  mutable std::vector<relate::PreparedGeometry> prepared_;
+  mutable bool prepared_valid_ = false;
 };
 
 }  // namespace feature

@@ -315,6 +315,35 @@ std::vector<Point> AllVertices(const Geometry& g) {
   return out;
 }
 
+std::vector<Point> ComponentRepresentatives(const Geometry& g) {
+  std::vector<Point> reps;
+  for (const Geometry& part : Decompose(g)) {
+    switch (part.type()) {
+      case GeometryType::kPoint:
+        if (!part.IsEmpty()) reps.push_back(part.As<Point>());
+        break;
+      case GeometryType::kLineString:
+        if (!part.As<LineString>().IsEmpty()) {
+          reps.push_back(part.As<LineString>().points().front());
+        }
+        break;
+      case GeometryType::kPolygon: {
+        const Polygon& poly = part.As<Polygon>();
+        if (!poly.shell().IsEmpty()) {
+          reps.push_back(poly.shell().points().front());
+        }
+        for (const LinearRing& hole : poly.holes()) {
+          if (!hole.IsEmpty()) reps.push_back(hole.points().front());
+        }
+        break;
+      }
+      default:
+        break;  // Decompose never yields multi parts.
+    }
+  }
+  return reps;
+}
+
 namespace {
 
 double SimplePairDistance(const Geometry& a, const Geometry& b) {

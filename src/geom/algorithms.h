@@ -116,6 +116,18 @@ std::vector<Point> SplitPointsOnSegment(
 /// polygon shell + hole segments). Points contribute nothing.
 std::vector<std::pair<Point, Point>> BoundarySegments(const Geometry& g);
 
+/// \brief One representative vertex per connected component of `g`'s
+/// linework: each member point for point types, the first vertex of each
+/// polyline part, and the first vertex of every ring (shell *and* each
+/// hole) for areal types — holes are their own components because a
+/// polygon's boundary rings are pairwise disjoint.
+///
+/// The relate fast path relies on the defining property: when none of
+/// `g`'s segments can intersect another geometry's linework, every
+/// component lies entirely on one side of that geometry, so locating the
+/// representative locates the whole component.
+std::vector<Point> ComponentRepresentatives(const Geometry& g);
+
 /// \brief Collects every vertex of `g` (member points for point types,
 /// path vertices for lines, ring vertices for polygons).
 std::vector<Point> AllVertices(const Geometry& g);

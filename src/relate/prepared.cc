@@ -1,7 +1,10 @@
 #include "relate/prepared.h"
 
+#include <optional>
+
 #include "relate/relate.h"
 #include "relate/relate_internal.h"
+#include "util/strings.h"
 
 namespace sfpm {
 namespace relate {
@@ -12,42 +15,87 @@ using geom::GeometryType;
 using geom::Location;
 using geom::Point;
 
+std::string RelateStats::ToString() const {
+  const uint64_t hits = fast_hits();
+  const double rate =
+      calls == 0 ? 0.0
+                 : 100.0 * static_cast<double>(hits) /
+                       static_cast<double>(calls);
+  return StrFormat(
+      "relate calls=%llu fast=%llu (%.1f%%: disjoint=%llu contains=%llu "
+      "within=%llu) full=%llu (boundary=%llu inconclusive=%llu)",
+      static_cast<unsigned long long>(calls),
+      static_cast<unsigned long long>(hits), rate,
+      static_cast<unsigned long long>(fast_disjoint),
+      static_cast<unsigned long long>(fast_contains),
+      static_cast<unsigned long long>(fast_within),
+      static_cast<unsigned long long>(misses()),
+      static_cast<unsigned long long>(miss_boundary),
+      static_cast<unsigned long long>(miss_inconclusive));
+}
+
 PreparedGeometry::PreparedGeometry(Geometry g) : geometry_(std::move(g)) {
   dim_ = geometry_.Dimension();
+  bdim_ = BoundaryDimension(geometry_);
   envelope_ = geometry_.GetEnvelope();
   segments_ = geom::BoundarySegments(geometry_);
   vertices_ = geom::AllVertices(geometry_);
   interior_points_ = internal::InteriorPointsOf(geometry_);
+  component_reps_ = geom::ComponentRepresentatives(geometry_);
 
+  seg_envelopes_.reserve(segments_.size());
   std::vector<std::pair<Envelope, uint64_t>> entries;
   entries.reserve(segments_.size());
   for (size_t i = 0; i < segments_.size(); ++i) {
-    entries.emplace_back(Envelope(segments_[i].first, segments_[i].second),
-                         i);
+    seg_envelopes_.emplace_back(segments_[i].first, segments_[i].second);
+    entries.emplace_back(seg_envelopes_.back(), i);
   }
   segment_index_.BulkLoad(std::move(entries));
 
   // Even-odd parity over the cached ring segments reproduces
-  // LocateInPolygon for valid (multi)polygons; curves and points keep the
-  // exact generic path (their boundary needs endpoint-degree bookkeeping).
+  // LocateInPolygon for valid (multi)polygons. A single linestring gets an
+  // indexed on-line test plus its two-endpoint boundary rule; other curve
+  // and point types keep the exact generic path (multi-line boundaries
+  // need endpoint-degree bookkeeping).
   fast_locate_ = dim_ == 2;
+  line_locate_ = geometry_.type() == GeometryType::kLineString &&
+                 geometry_.As<geom::LineString>().NumPoints() >= 2;
 }
 
 Location PreparedGeometry::Locate(const Point& p) const {
+  // The relate engine calls Locate once per midpoint and vertex of the
+  // operand — millions of times per extraction run — so this path avoids
+  // per-call allocation with a thread-local candidate buffer (Locate stays
+  // safe to call concurrently on a shared instance).
+  static thread_local std::vector<uint64_t> candidates;
+
+  if (line_locate_) {
+    if (!envelope_.Contains(p)) return Location::kExterior;
+    candidates.clear();
+    segment_index_.Query(Envelope(p), &candidates);
+    bool on_line = false;
+    for (uint64_t i : candidates) {
+      if (geom::PointOnSegment(p, segments_[i].first, segments_[i].second)) {
+        on_line = true;
+        break;
+      }
+    }
+    if (!on_line) return Location::kExterior;
+    const auto& line = geometry_.As<geom::LineString>();
+    if (line.IsClosed()) return Location::kInterior;  // No boundary.
+    if (p == line.point(0) || p == line.point(line.NumPoints() - 1)) {
+      return Location::kBoundary;
+    }
+    return Location::kInterior;
+  }
   if (!fast_locate_) return geom::Locate(p, geometry_);
   if (!envelope_.Contains(p)) return Location::kExterior;
 
-  // Boundary test over segments whose envelope contains the point.
-  std::vector<uint64_t> candidates;
-  segment_index_.Query(Envelope(p), &candidates);
-  for (uint64_t i : candidates) {
-    if (geom::PointOnSegment(p, segments_[i].first, segments_[i].second)) {
-      return Location::kBoundary;
-    }
-  }
-
-  // Crossing-number test along the rightward ray, restricted to segments
-  // whose envelope meets the ray strip.
+  // One rightward ray-strip query serves both tests: a segment through p
+  // has an envelope containing p, and p lies in the strip, so every
+  // boundary-test candidate is among the strip candidates. Each candidate
+  // gets the exact on-segment test (boundary) and contributes to the
+  // crossing parity (interior/exterior) in the same pass.
   candidates.clear();
   segment_index_.Query(Envelope(p.x, p.y, envelope_.max_x() + 1.0, p.y),
                        &candidates);
@@ -55,6 +103,7 @@ Location PreparedGeometry::Locate(const Point& p) const {
   for (uint64_t i : candidates) {
     const Point& a = segments_[i].first;
     const Point& b = segments_[i].second;
+    if (geom::PointOnSegment(p, a, b)) return Location::kBoundary;
     if ((a.y > p.y) != (b.y > p.y)) {
       const double x_at_y = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
       if (x_at_y > p.x) inside = !inside;
@@ -63,25 +112,231 @@ Location PreparedGeometry::Locate(const Point& p) const {
   return inside ? Location::kInterior : Location::kExterior;
 }
 
-IntersectionMatrix PreparedGeometry::Relate(const Geometry& other) const {
+IntersectionMatrix PreparedGeometry::Relate(const Geometry& other,
+                                            RelateStats* stats) const {
+  return RelateImpl(other, nullptr, stats);
+}
+
+IntersectionMatrix PreparedGeometry::Relate(const PreparedGeometry& other,
+                                            RelateStats* stats) const {
+  return RelateImpl(other.geometry_, &other, stats);
+}
+
+IntersectionMatrix PreparedGeometry::RelateImpl(
+    const Geometry& other, const PreparedGeometry* other_prepared,
+    RelateStats* stats) const {
+  if (stats != nullptr) ++stats->calls;
   if (geometry_.IsEmpty() || other.IsEmpty()) {
     return relate::Relate(geometry_, other);
   }
 
-  const auto segs_b = geom::BoundarySegments(other);
-  const auto verts_b = geom::AllVertices(other);
-  const auto probes_b = internal::InteriorPointsOf(other);
+  const PreparedGeometry* pb = other_prepared;
+  const int dim_b = pb != nullptr ? pb->dim_ : other.Dimension();
+  const int bdim_b = pb != nullptr ? pb->bdim_ : BoundaryDimension(other);
+  const Envelope envelope_b =
+      pb != nullptr ? pb->envelope_ : other.GetEnvelope();
 
-  // Candidate segment pairs from the prepared index.
-  std::vector<std::pair<size_t, size_t>> candidate_pairs;
-  std::vector<uint64_t> hits;
-  for (size_t j = 0; j < segs_b.size(); ++j) {
-    hits.clear();
-    segment_index_.Query(Envelope(segs_b[j].first, segs_b[j].second), &hits);
-    for (uint64_t ia : hits) {
-      candidate_pairs.emplace_back(static_cast<size_t>(ia), j);
+  // Certified fast path, step 0: disjoint envelopes cannot share a point,
+  // and the disjoint matrix is fully determined by the dimensions.
+  if (!envelope_.Intersects(envelope_b)) {
+    if (stats != nullptr) ++stats->fast_disjoint;
+    return internal::DisjointMatrix(dim_, bdim_, dim_b, bdim_b);
+  }
+
+  // The fast path's linework certificate: no envelope-overlapping segment
+  // pair makes contact — established with the same IntersectSegments
+  // primitive the engine's cutter pass uses, so "no contact" is exactly
+  // "the engine would compute no intersection events". The candidate pair
+  // list itself is only materialized when the engine actually runs; a
+  // certified call never allocates it.
+  std::vector<std::pair<Point, Point>> segs_storage;
+  if (pb == nullptr) segs_storage = geom::BoundarySegments(other);
+  const auto& segs_b = pb != nullptr ? pb->segments_ : segs_storage;
+  if (LineworkContact(envelope_b, segs_b)) {
+    if (stats != nullptr) ++stats->miss_boundary;
+    return RelateEngine(other, pb, segs_b,
+                        CandidatePairs(envelope_b, segs_b));
+  }
+
+  // No linework intersection is possible, so every connected component of
+  // either geometry lies wholly on one side of the other; locating one
+  // representative per component classifies the configuration. Boundary
+  // hits (an isolated point exactly on the other's linework) and mixed
+  // sides are inconclusive — hand those to the full engine.
+  std::vector<Point> reps_storage;
+  if (pb == nullptr) reps_storage = geom::ComponentRepresentatives(other);
+  const auto& reps_b =
+      pb != nullptr ? pb->component_reps_ : reps_storage;
+  bool b_int = false, b_bnd = false, b_ext = false;
+  for (const Point& rep : reps_b) {
+    switch (Locate(rep)) {
+      case Location::kInterior: b_int = true; break;
+      case Location::kBoundary: b_bnd = true; break;
+      case Location::kExterior: b_ext = true; break;
     }
   }
+  bool a_int = false, a_bnd = false, a_ext = false;
+  for (const Point& rep : component_reps_) {
+    switch (pb != nullptr ? pb->Locate(rep) : geom::Locate(rep, other)) {
+      case Location::kInterior: a_int = true; break;
+      case Location::kBoundary: a_bnd = true; break;
+      case Location::kExterior: a_ext = true; break;
+    }
+  }
+
+  if (!b_bnd && !a_bnd) {
+    const bool a_all_ext = !a_int;
+    const bool b_all_ext = !b_int;
+    if (a_all_ext && b_all_ext) {
+      if (stats != nullptr) ++stats->fast_disjoint;
+      return internal::DisjointMatrix(dim_, bdim_, dim_b, bdim_b);
+    }
+    if (dim_ == 2 && !b_ext && b_int && a_all_ext) {
+      if (stats != nullptr) ++stats->fast_contains;
+      return internal::ContainsMatrix(bdim_, dim_b, bdim_b);
+    }
+    if (dim_b == 2 && !a_ext && a_int && b_all_ext) {
+      if (stats != nullptr) ++stats->fast_within;
+      return internal::WithinMatrix(dim_, bdim_, bdim_b);
+    }
+  }
+
+  if (stats != nullptr) ++stats->miss_inconclusive;
+  return RelateEngine(other, pb, segs_b, CandidatePairs(envelope_b, segs_b));
+}
+
+IntersectionMatrix PreparedGeometry::RelateFull(const Geometry& other) const {
+  if (geometry_.IsEmpty() || other.IsEmpty()) {
+    return relate::Relate(geometry_, other);
+  }
+  const auto segs_b = geom::BoundarySegments(other);
+  return RelateEngine(other, nullptr, segs_b,
+                      CandidatePairs(other.GetEnvelope(), segs_b));
+}
+
+IntersectionMatrix PreparedGeometry::RelateFull(
+    const PreparedGeometry& other) const {
+  if (geometry_.IsEmpty() || other.geometry_.IsEmpty()) {
+    return relate::Relate(geometry_, other.geometry_);
+  }
+  return RelateEngine(other.geometry_, &other, other.segments_,
+                      CandidatePairs(other.envelope_, other.segments_));
+}
+
+std::vector<std::pair<size_t, size_t>> PreparedGeometry::CandidatePairs(
+    const Envelope& envelope_b,
+    const std::vector<std::pair<Point, Point>>& segs_b) const {
+  // One index probe with the operand's whole envelope yields the short
+  // list of this geometry's segments that could pair at all; an operand
+  // whose envelope clears the linework entirely (deep inside a district,
+  // say) settles for that single probe. The pair filter then runs in two
+  // levels: operand segments are walked in runs of consecutive segments —
+  // linework is spatially coherent, so a run's envelope stays tight — and
+  // the near list is filtered against the run envelope first, so each
+  // near segment is tested once per run, not once per operand segment.
+  // The emitted pair order (operand index ascending, near order within)
+  // is exactly the single-level order.
+  std::vector<std::pair<size_t, size_t>> pairs;
+  if (segs_b.empty() || segments_.empty()) return pairs;
+  static thread_local std::vector<uint64_t> near;
+  static thread_local std::vector<uint64_t> run_near;
+  near.clear();
+  segment_index_.Query(envelope_b, &near);
+  if (near.empty()) return pairs;
+  constexpr size_t kRun = 8;
+  for (size_t j0 = 0; j0 < segs_b.size(); j0 += kRun) {
+    const size_t j1 = std::min(j0 + kRun, segs_b.size());
+    Envelope run_env(segs_b[j0].first, segs_b[j0].second);
+    for (size_t j = j0 + 1; j < j1; ++j) {
+      run_env.ExpandToInclude(Envelope(segs_b[j].first, segs_b[j].second));
+    }
+    run_near.clear();
+    for (uint64_t ia : near) {
+      if (run_env.Intersects(seg_envelopes_[ia])) run_near.push_back(ia);
+    }
+    if (run_near.empty()) continue;
+    for (size_t j = j0; j < j1; ++j) {
+      const Envelope eb(segs_b[j].first, segs_b[j].second);
+      for (uint64_t ia : run_near) {
+        if (eb.Intersects(seg_envelopes_[ia])) {
+          pairs.emplace_back(static_cast<size_t>(ia), j);
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+bool PreparedGeometry::LineworkContact(
+    const Envelope& envelope_b,
+    const std::vector<std::pair<Point, Point>>& segs_b) const {
+  // Mirrors CandidatePairs' two-level filter, but tests each surviving
+  // pair for actual contact immediately instead of collecting it, and
+  // returns on the first contact found — misses pay for a prefix of the
+  // sweep, certified calls never allocate a pair list.
+  if (segs_b.empty() || segments_.empty()) return false;
+  static thread_local std::vector<uint64_t> near;
+  static thread_local std::vector<uint64_t> run_near;
+  near.clear();
+  segment_index_.Query(envelope_b, &near);
+  if (near.empty()) return false;
+  constexpr size_t kRun = 8;
+  for (size_t j0 = 0; j0 < segs_b.size(); j0 += kRun) {
+    const size_t j1 = std::min(j0 + kRun, segs_b.size());
+    Envelope run_env(segs_b[j0].first, segs_b[j0].second);
+    for (size_t j = j0 + 1; j < j1; ++j) {
+      run_env.ExpandToInclude(Envelope(segs_b[j].first, segs_b[j].second));
+    }
+    run_near.clear();
+    for (uint64_t ia : near) {
+      if (run_env.Intersects(seg_envelopes_[ia])) run_near.push_back(ia);
+    }
+    if (run_near.empty()) continue;
+    for (size_t j = j0; j < j1; ++j) {
+      const Envelope eb(segs_b[j].first, segs_b[j].second);
+      for (uint64_t ia : run_near) {
+        if (eb.Intersects(seg_envelopes_[ia]) &&
+            geom::SegmentsIntersect(segments_[ia].first, segments_[ia].second,
+                                    segs_b[j].first, segs_b[j].second)) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+IntersectionMatrix PreparedGeometry::RelateEngine(
+    const Geometry& other, const PreparedGeometry* other_prepared,
+    const std::vector<std::pair<Point, Point>>& segs_b,
+    const std::vector<std::pair<size_t, size_t>>& candidate_pairs) const {
+  // The engine locates every midpoint and vertex of this geometry inside
+  // `other`; geom::Locate is linear in the operand's segments, so for
+  // linework-heavy operands that term is O(|A| * |B|) and dominates.
+  // When the caller did not hand us a prepared operand, build a transient
+  // one to buy an indexed locate (plus its vertex and probe lists) for one
+  // O(|B| log |B|) build — but only when preparation actually accelerates
+  // locate (areas and single linestrings) and the operand is big enough
+  // for the build to pay off.
+  constexpr size_t kPrepareOtherThreshold = 24;
+  std::optional<PreparedGeometry> transient_b;
+  const PreparedGeometry* pb = other_prepared;
+  if (pb == nullptr && segs_b.size() >= kPrepareOtherThreshold &&
+      (other.Dimension() == 2 ||
+       other.type() == geom::GeometryType::kLineString)) {
+    transient_b.emplace(other);
+    pb = &*transient_b;
+  }
+
+  std::vector<Point> verts_storage, probes_storage;
+  if (pb == nullptr) {
+    verts_storage = geom::AllVertices(other);
+    probes_storage = internal::InteriorPointsOf(other);
+  }
+  const std::vector<Point>& verts_b =
+      pb != nullptr ? pb->vertices_ : verts_storage;
+  const std::vector<Point>& probes_b =
+      pb != nullptr ? pb->interior_points_ : probes_storage;
 
   internal::RelateSide side_a;
   side_a.geometry = &geometry_;
@@ -95,11 +350,17 @@ IntersectionMatrix PreparedGeometry::Relate(const Geometry& other) const {
   internal::RelateSide side_b;
   side_b.geometry = &other;
   side_b.dim = other.Dimension();
-  side_b.envelope = other.GetEnvelope();
+  side_b.envelope = pb != nullptr ? pb->envelope_ : other.GetEnvelope();
   side_b.segments = &segs_b;
   side_b.vertices = &verts_b;
   side_b.interior_points = &probes_b;
-  side_b.locate = [&other](const Point& p) { return geom::Locate(p, other); };
+  if (pb != nullptr) {
+    side_b.locate = [pb](const Point& p) { return pb->Locate(p); };
+  } else {
+    side_b.locate = [&other](const Point& p) {
+      return geom::Locate(p, other);
+    };
+  }
 
   return internal::RelateSides(side_a, side_b, &candidate_pairs);
 }

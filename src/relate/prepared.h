@@ -1,6 +1,8 @@
 #ifndef SFPM_RELATE_PREPARED_H_
 #define SFPM_RELATE_PREPARED_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "geom/algorithms.h"
@@ -10,6 +12,39 @@
 
 namespace sfpm {
 namespace relate {
+
+/// \brief Observability counters of the certified relate fast path
+/// (see PreparedGeometry::Relate). Purely additive: summing two
+/// RelateStats of disjoint call sets gives the stats of the union, which
+/// is how the extractor merges per-worker counters deterministically.
+struct RelateStats {
+  uint64_t calls = 0;           ///< Relate invocations (any outcome).
+  uint64_t fast_disjoint = 0;   ///< Certified disjoint, engine skipped.
+  uint64_t fast_contains = 0;   ///< Certified B in interior(A).
+  uint64_t fast_within = 0;     ///< Certified A in interior(B).
+  /// Fast path declined: a candidate segment pair makes actual contact,
+  /// the full engine must split linework.
+  uint64_t miss_boundary = 0;
+  /// Fast path declined: no candidate pairs but the component locations
+  /// were inconclusive (mixed sides, or a point exactly on a boundary).
+  uint64_t miss_inconclusive = 0;
+
+  uint64_t fast_hits() const {
+    return fast_disjoint + fast_contains + fast_within;
+  }
+  uint64_t misses() const { return miss_boundary + miss_inconclusive; }
+
+  void Add(const RelateStats& o) {
+    calls += o.calls;
+    fast_disjoint += o.fast_disjoint;
+    fast_contains += o.fast_contains;
+    fast_within += o.fast_within;
+    miss_boundary += o.miss_boundary;
+    miss_inconclusive += o.miss_inconclusive;
+  }
+
+  std::string ToString() const;
+};
 
 /// \brief A geometry preprocessed for repeated relate calls — the JTS
 /// "prepared geometry" idea, used by the predicate extractor's hot loop
@@ -21,6 +56,15 @@ namespace relate {
 /// intersection tests to index-reported candidate pairs, turning the
 /// quadratic segment pairing into an output-sensitive one. Point location
 /// against large polygons is also index-accelerated.
+///
+/// On top of that, `Relate` has a *certified fast path*: when the segment
+/// index proves the two lineworks cannot intersect, a handful of
+/// point-location probes (one per connected component) decide between
+/// disjoint / contains / within, and the DE-9IM matrix is emitted in
+/// closed form — identical, cell for cell, to what the full engine would
+/// derive — without building cutter lists, splitting segments, or
+/// classifying vertices. Inconclusive evidence falls back to the full
+/// engine, so the fast path never changes a result, only its cost.
 class PreparedGeometry {
  public:
   explicit PreparedGeometry(geom::Geometry g);
@@ -32,9 +76,29 @@ class PreparedGeometry {
 
   const geom::Geometry& geometry() const { return geometry_; }
 
+  /// The geometry's cached envelope.
+  const geom::Envelope& envelope() const { return envelope_; }
+
   /// DE-9IM matrix of (this, other); identical to
-  /// relate::Relate(geometry(), other).
-  IntersectionMatrix Relate(const geom::Geometry& other) const;
+  /// relate::Relate(geometry(), other). Uses the certified fast path when
+  /// it applies; `stats`, when non-null, records the outcome.
+  IntersectionMatrix Relate(const geom::Geometry& other,
+                            RelateStats* stats = nullptr) const;
+
+  /// Prepared-vs-prepared relate: same result as Relate(other.geometry()),
+  /// but side B's cached linework, probe points and segment index are
+  /// reused instead of being rederived (and its index rebuilt) inside the
+  /// call. This is the extractor's hot form: every candidate feature is
+  /// prepared once per run and then related against many references.
+  IntersectionMatrix Relate(const PreparedGeometry& other,
+                            RelateStats* stats = nullptr) const;
+
+  /// `Relate` with the fast path disabled: always runs the full engine.
+  /// Reference path for differential tests and A/B benchmarks.
+  IntersectionMatrix RelateFull(const geom::Geometry& other) const;
+
+  /// Prepared-vs-prepared form of RelateFull.
+  IntersectionMatrix RelateFull(const PreparedGeometry& other) const;
 
   /// Index-accelerated point location, equal to geom::Locate(p, geometry()).
   geom::Location Locate(const geom::Point& p) const;
@@ -50,16 +114,57 @@ class PreparedGeometry {
   /// @}
 
  private:
+  /// Shared implementation of both Relate overloads. `other_prepared`,
+  /// when non-null, is the prepared form of `other` and supplies every
+  /// side-B derived quantity (segments, envelope, component reps, indexed
+  /// locate); when null they are computed on the fly.
+  IntersectionMatrix RelateImpl(const geom::Geometry& other,
+                                const PreparedGeometry* other_prepared,
+                                RelateStats* stats) const;
+
+  /// The envelope-overlapping (this segment, other segment) index pairs —
+  /// the superset of intersecting pairs the engine's cutter pass refines.
+  /// `envelope_b` is the operand's envelope (the single index probe).
+  std::vector<std::pair<size_t, size_t>> CandidatePairs(
+      const geom::Envelope& envelope_b,
+      const std::vector<std::pair<geom::Point, geom::Point>>& segs_b) const;
+
+  /// The fast path's linework certificate: true when some envelope-
+  /// overlapping segment pair makes actual contact (the engine must run),
+  /// false when no pair does (the lineworks certifiably do not meet).
+  /// Walks the same pair superset as CandidatePairs without materializing
+  /// it, and exits on the first contact.
+  bool LineworkContact(
+      const geom::Envelope& envelope_b,
+      const std::vector<std::pair<geom::Point, geom::Point>>& segs_b) const;
+
+  /// Runs the full relate engine over the precomputed candidate pairs.
+  /// `other_prepared` as in RelateImpl; when null, a transient prepared
+  /// geometry is built for large operands whose locate it accelerates.
+  IntersectionMatrix RelateEngine(
+      const geom::Geometry& other, const PreparedGeometry* other_prepared,
+      const std::vector<std::pair<geom::Point, geom::Point>>& segs_b,
+      const std::vector<std::pair<size_t, size_t>>& candidate_pairs) const;
+
   geom::Geometry geometry_;
   int dim_ = 0;
+  int bdim_ = 0;
   geom::Envelope envelope_;
   std::vector<std::pair<geom::Point, geom::Point>> segments_;
+  /// Envelope of each entry of segments_, for the candidate-pair filter.
+  std::vector<geom::Envelope> seg_envelopes_;
   std::vector<geom::Point> vertices_;
   std::vector<geom::Point> interior_points_;
+  /// One vertex per connected linework component (per ring for areas),
+  /// the probes the fast path locates against `other`.
+  std::vector<geom::Point> component_reps_;
   index::RTree segment_index_;
   /// True when the geometry is a single polygon/line type whose Locate can
   /// use the generic crossing count over indexed segments.
   bool fast_locate_ = false;
+  /// True for a single linestring: Locate runs the indexed on-line test
+  /// plus the two-endpoint boundary rule instead of the linear scan.
+  bool line_locate_ = false;
 };
 
 }  // namespace relate

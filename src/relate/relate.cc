@@ -242,6 +242,40 @@ IntersectionMatrix RelateSides(
   return mat;
 }
 
+IntersectionMatrix DisjointMatrix(int dim_a, int bdim_a, int dim_b,
+                                  int bdim_b) {
+  IntersectionMatrix mat;
+  mat.set(IntersectionMatrix::kInterior, IntersectionMatrix::kExterior, dim_a);
+  mat.set(IntersectionMatrix::kBoundary, IntersectionMatrix::kExterior,
+          bdim_a);
+  mat.set(IntersectionMatrix::kExterior, IntersectionMatrix::kInterior, dim_b);
+  mat.set(IntersectionMatrix::kExterior, IntersectionMatrix::kBoundary,
+          bdim_b);
+  mat.set(IntersectionMatrix::kExterior, IntersectionMatrix::kExterior, 2);
+  return mat;
+}
+
+IntersectionMatrix ContainsMatrix(int bdim_a, int dim_b, int bdim_b) {
+  // With closure(B) inside interior(A): B's interior and boundary fall in
+  // A's interior at their own dimensions; A keeps its full boundary and
+  // interior in B's exterior (interior at dimension 2 because removing the
+  // lower-dimensional B cannot reduce an area's dimension).
+  IntersectionMatrix mat;
+  mat.set(IntersectionMatrix::kInterior, IntersectionMatrix::kInterior,
+          dim_b);
+  mat.set(IntersectionMatrix::kInterior, IntersectionMatrix::kBoundary,
+          bdim_b);
+  mat.set(IntersectionMatrix::kInterior, IntersectionMatrix::kExterior, 2);
+  mat.set(IntersectionMatrix::kBoundary, IntersectionMatrix::kExterior,
+          bdim_a);
+  mat.set(IntersectionMatrix::kExterior, IntersectionMatrix::kExterior, 2);
+  return mat;
+}
+
+IntersectionMatrix WithinMatrix(int dim_a, int bdim_a, int bdim_b) {
+  return ContainsMatrix(bdim_b, dim_a, bdim_a).Transposed();
+}
+
 }  // namespace internal
 
 int BoundaryDimension(const Geometry& g) {

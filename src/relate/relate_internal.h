@@ -39,6 +39,26 @@ IntersectionMatrix RelateSides(
 /// Computes the per-part interior probe points of an areal geometry.
 std::vector<geom::Point> InteriorPointsOf(const geom::Geometry& g);
 
+/// \name Closed-form matrices for the certified fast-path outcomes.
+///
+/// Each reproduces, cell for cell, what RelateSides derives for the
+/// corresponding configuration, so a caller that has *proved* the
+/// configuration (see PreparedGeometry::Relate) can skip the engine
+/// entirely. `dim_*` are geometry dimensions, `bdim_*` boundary
+/// dimensions (relate::BoundaryDimension).
+/// @{
+
+/// A and B share no points at all.
+IntersectionMatrix DisjointMatrix(int dim_a, int bdim_a, int dim_b,
+                                  int bdim_b);
+
+/// closure(B) lies strictly inside interior(A); requires dim_a == 2.
+IntersectionMatrix ContainsMatrix(int bdim_a, int dim_b, int bdim_b);
+
+/// closure(A) lies strictly inside interior(B); requires dim_b == 2.
+IntersectionMatrix WithinMatrix(int dim_a, int bdim_a, int bdim_b);
+/// @}
+
 }  // namespace internal
 }  // namespace relate
 }  // namespace sfpm

@@ -8,6 +8,11 @@
 
 namespace sfpm {
 
+size_t HardwareConcurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
 size_t DefaultParallelism() {
   if (const char* env = std::getenv("SFPM_THREADS")) {
     // Digits only: strtoul alone would accept "-3" and wrap it to a huge
@@ -16,13 +21,15 @@ size_t DefaultParallelism() {
       char* end = nullptr;
       errno = 0;
       const unsigned long value = std::strtoul(env, &end, 10);
-      if (errno == 0 && *end == '\0' && value > 0 && value <= kMaxThreads) {
-        return static_cast<size_t>(value);
+      if (errno == 0 && *end == '\0' && value <= kMaxThreads) {
+        // "0" is a valid, explicit request for the hardware concurrency —
+        // not a malformed value.
+        return value == 0 ? HardwareConcurrency()
+                          : static_cast<size_t>(value);
       }
     }
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<size_t>(hw);
+  return HardwareConcurrency();
 }
 
 size_t ResolveParallelism(size_t requested) {

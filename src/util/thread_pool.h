@@ -16,9 +16,18 @@ namespace sfpm {
 /// attempting to spawn an absurd number of workers.
 inline constexpr size_t kMaxThreads = 4096;
 
+/// \brief std::thread::hardware_concurrency(), with the unknowable case
+/// (0) mapped to 1. The meaning of an explicit "0 threads" request
+/// everywhere a thread count can be spelled: CLI `--threads=0`,
+/// `SFPM_THREADS=0`, and `parallelism = 0` (via DefaultParallelism) all
+/// resolve here.
+size_t HardwareConcurrency();
+
 /// \brief The parallelism the environment asks for: `SFPM_THREADS` when it
-/// is set to a positive integer (at most kMaxThreads), else
-/// std::thread::hardware_concurrency() (1 when the runtime cannot tell).
+/// is set to a valid integer — a positive value (at most kMaxThreads) is
+/// taken as-is, `0` explicitly requests HardwareConcurrency() — else
+/// HardwareConcurrency(). Malformed values fall back to
+/// HardwareConcurrency() too.
 size_t DefaultParallelism();
 
 /// \brief Maps an options-level `parallelism` knob to a thread count:

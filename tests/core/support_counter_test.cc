@@ -1,0 +1,151 @@
+#include "core/support_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/apriori.h"
+#include "core/transaction_db.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace core {
+namespace {
+
+// A random database with the given shape; density is the per-(row, item)
+// presence probability.
+TransactionDb RandomDb(size_t transactions, size_t items, double density,
+                       uint64_t seed) {
+  TransactionDb db;
+  for (size_t i = 0; i < items; ++i) {
+    db.AddItem("item" + std::to_string(i));
+  }
+  Rng rng(seed);
+  for (size_t t = 0; t < transactions; ++t) {
+    db.AddTransaction();
+    for (ItemId i = 0; i < items; ++i) {
+      if (rng.NextDouble() < density) {
+        EXPECT_TRUE(db.SetItem(t, i).ok());
+      }
+    }
+  }
+  return db;
+}
+
+// A sorted, prefix-grouped candidate list like apriori_gen's: every
+// 2-subset of the items, then every 3-subset of the first 10, then a few
+// singles — mixed sizes, so the counter's per-candidate prefix check is
+// exercised, not just the homogeneous-pass case.
+std::vector<Itemset> SortedCandidates(size_t items) {
+  std::vector<Itemset> out;
+  for (ItemId a = 0; a < items; ++a) {
+    for (ItemId b = a + 1; b < items; ++b) out.push_back({a, b});
+  }
+  const ItemId triple_limit = static_cast<ItemId>(items < 10 ? items : 10);
+  for (ItemId a = 0; a < triple_limit; ++a) {
+    for (ItemId b = a + 1; b < triple_limit; ++b) {
+      for (ItemId c = b + 1; c < triple_limit; ++c) out.push_back({a, b, c});
+    }
+  }
+  for (ItemId a = 0; a < triple_limit; ++a) out.push_back({a});
+  return out;
+}
+
+TEST(SupportOfWordsIntoTest, MatchesSupportOfWordsAndMaterializesTheAnd) {
+  const TransactionDb db = RandomDb(500, 8, 0.4, 1);
+  const std::vector<ItemId> items = {1, 3, 6};
+  const Itemset set({1, 3, 6});
+  for (const auto& [begin, end] : std::vector<std::pair<size_t, size_t>>{
+           {0, db.NumWords()}, {1, db.NumWords() - 1}, {2, 3}, {4, 4}}) {
+    std::vector<uint64_t> out(end > begin ? end - begin : 0);
+    EXPECT_EQ(db.SupportOfWordsInto(items.data(), items.size(), begin, end,
+                                    out.data()),
+              db.SupportOfWords(set, begin, end));
+    for (size_t w = begin; w < end; ++w) {
+      EXPECT_EQ(out[w - begin], db.ColumnWords(1)[w] & db.ColumnWords(3)[w] &
+                                    db.ColumnWords(6)[w]);
+    }
+  }
+}
+
+TEST(PrefixSupportCounterTest, MatchesNaiveCountsOnRandomDbs) {
+  // Shapes straddle the interesting boundaries: under one word, exactly
+  // two words, a partial final word, and a multi-block range.
+  const std::vector<std::pair<size_t, double>> shapes = {
+      {40, 0.5}, {128, 0.3}, {200, 0.7}, {5000, 0.15}};
+  uint64_t seed = 10;
+  for (const auto& [transactions, density] : shapes) {
+    const TransactionDb db = RandomDb(transactions, 14, density, seed++);
+    const std::vector<Itemset> candidates = SortedCandidates(14);
+    const std::vector<std::pair<size_t, size_t>> ranges = {
+        {0, db.NumWords()},
+        {0, db.NumWords() / 2},
+        {db.NumWords() / 2, db.NumWords()},
+        {1, db.NumWords()}};
+    PrefixSupportCounter counter;
+    for (const auto& [begin, end] : ranges) {
+      std::vector<uint32_t> counts(candidates.size(), 0);
+      SupportCountStats stats;
+      counter.Count(db, candidates, begin, end, counts.data(), &stats);
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        EXPECT_EQ(counts[c], db.SupportOfWords(candidates[c], begin, end))
+            << candidates[c].ToString() << " over words [" << begin << ", "
+            << end << ") with " << transactions << " transactions";
+      }
+      EXPECT_EQ(stats.counted, candidates.size());
+      if (begin < end) {  // Empty ranges never touch the cache.
+        EXPECT_GT(stats.prefix_hits, 0u);
+        EXPECT_GT(stats.prefix_misses, 0u);
+      }
+    }
+  }
+}
+
+TEST(PrefixSupportCounterTest, MiningIsIdenticalWithAndWithoutTheCache) {
+  const TransactionDb db = RandomDb(3000, 16, 0.5, 99);
+  AprioriOptions reference_options;
+  reference_options.min_support = 0.08;
+  reference_options.parallelism = 1;
+  reference_options.prefix_cache = false;
+  const auto reference = MineApriori(db, reference_options);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_GT(reference.value().itemsets().size(), 0u);
+  ASSERT_GT(reference.value().MaxItemsetSize(), 2u);
+
+  for (size_t parallelism : {size_t{1}, size_t{3}}) {
+    AprioriOptions options;
+    options.min_support = 0.08;
+    options.parallelism = parallelism;
+    options.prefix_cache = true;
+    const auto mined = MineApriori(db, options);
+    ASSERT_TRUE(mined.ok());
+    ASSERT_EQ(mined.value().itemsets().size(),
+              reference.value().itemsets().size());
+    for (size_t i = 0; i < mined.value().itemsets().size(); ++i) {
+      EXPECT_EQ(mined.value().itemsets()[i].items,
+                reference.value().itemsets()[i].items);
+      EXPECT_EQ(mined.value().itemsets()[i].support,
+                reference.value().itemsets()[i].support);
+    }
+    EXPECT_GT(mined.value().stats().prefix_hits, 0u);
+    EXPECT_GT(mined.value().stats().and_word_ops, 0u);
+  }
+
+  // The AND-op total is a work measure, not an event count: it must not
+  // depend on how the word range was chunked across workers.
+  AprioriOptions serial = reference_options;
+  serial.prefix_cache = true;
+  AprioriOptions parallel = serial;
+  parallel.parallelism = 4;
+  const auto serial_run = MineApriori(db, serial);
+  const auto parallel_run = MineApriori(db, parallel);
+  ASSERT_TRUE(serial_run.ok());
+  ASSERT_TRUE(parallel_run.ok());
+  EXPECT_EQ(serial_run.value().stats().and_word_ops,
+            parallel_run.value().stats().and_word_ops);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sfpm

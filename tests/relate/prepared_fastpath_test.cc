@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datagen/city.h"
+#include "feature/feature.h"
+#include "relate/prepared.h"
+#include "relate/relate.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace relate {
+namespace {
+
+// Differential test of the certified relate fast path: on ~1k random city
+// pairs spanning every geometry-type combination (polygon, line, point on
+// both sides), PreparedGeometry::Relate must agree cell for cell with
+// both its own full engine (RelateFull) and the plain two-argument
+// relate::Relate. The city generator produces the adversarial cases that
+// matter — adjacent districts sharing borders (boundary misses), slums
+// inside districts (contains), points on either side, rivers crossing
+// everything.
+TEST(PreparedFastPathTest, MatchesFullEngineOnCityPairs) {
+  datagen::CityConfig config;
+  config.grid_cols = 5;
+  config.grid_rows = 4;
+  config.num_slums = 20;
+  config.num_slum_clusters = 4;
+  config.num_schools = 30;
+  config.num_police = 10;
+  config.num_streets = 25;
+  config.illumination_per_street = 2;
+  config.num_rivers = 2;
+  config.seed = 20070806;
+  const auto city = datagen::GenerateCity(config);
+
+  const std::vector<const feature::Layer*> layers = {
+      &city->districts, &city->slums,        &city->schools, &city->police,
+      &city->streets,   &city->illumination, &city->rivers};
+
+  Rng rng(42);
+  RelateStats stats;
+  size_t pairs = 0;
+  for (const feature::Layer* la : layers) {
+    for (const feature::Layer* lb : layers) {
+      for (int s = 0; s < 21; ++s) {
+        const feature::Feature& fa =
+            la->features()[rng.NextUint64(la->Size())];
+        const feature::Feature& fb =
+            lb->features()[rng.NextUint64(lb->Size())];
+        const PreparedGeometry prepared(fa.geometry());
+        const PreparedGeometry prepared_b(fb.geometry());
+        const IntersectionMatrix fast =
+            prepared.Relate(fb.geometry(), &stats);
+        const IntersectionMatrix full = prepared.RelateFull(fb.geometry());
+        const IntersectionMatrix plain =
+            relate::Relate(fa.geometry(), fb.geometry());
+        ASSERT_EQ(fast, full)
+            << la->feature_type() << fa.id() << " vs " << lb->feature_type()
+            << fb.id() << ": fast " << fast.ToString() << " full "
+            << full.ToString();
+        ASSERT_EQ(fast, plain)
+            << la->feature_type() << fa.id() << " vs " << lb->feature_type()
+            << fb.id() << ": fast " << fast.ToString() << " plain "
+            << plain.ToString();
+        // The prepared-vs-prepared overloads (the extractor's hot form)
+        // must match the geometry-operand forms exactly.
+        ASSERT_EQ(prepared.Relate(prepared_b), fast)
+            << la->feature_type() << fa.id() << " vs " << lb->feature_type()
+            << fb.id() << " (prepared operand)";
+        ASSERT_EQ(prepared.RelateFull(prepared_b), full)
+            << la->feature_type() << fa.id() << " vs " << lb->feature_type()
+            << fb.id() << " (prepared operand, full engine)";
+        ++pairs;
+      }
+    }
+  }
+
+  EXPECT_EQ(pairs, static_cast<size_t>(21 * 7 * 7));
+  EXPECT_EQ(stats.calls, pairs);
+  EXPECT_EQ(stats.fast_hits() + stats.misses(), stats.calls);
+  // The sweep must actually exercise both sides of the split, or it
+  // proves nothing about either.
+  EXPECT_GT(stats.fast_disjoint, 0u);
+  EXPECT_GT(stats.miss_boundary, 0u);
+}
+
+// Same differential sweep on a densified city (boundary_detail > 1, the
+// benches' paper-scale shape): many collinear vertices per edge push
+// segment counts past the transient-preparation threshold, exercising
+// the indexed operand locate and the candidate-pair collection on
+// realistic linework densities.
+TEST(PreparedFastPathTest, MatchesFullEngineOnDensifiedCityPairs) {
+  datagen::CityConfig config;
+  config.grid_cols = 3;
+  config.grid_rows = 3;
+  config.num_slums = 8;
+  config.num_slum_clusters = 2;
+  config.num_schools = 10;
+  config.num_police = 4;
+  config.num_streets = 8;
+  config.illumination_per_street = 2;
+  config.num_rivers = 1;
+  config.boundary_detail = 8;
+  config.seed = 19091;
+  const auto city = datagen::GenerateCity(config);
+
+  const std::vector<const feature::Layer*> layers = {
+      &city->districts, &city->slums, &city->streets, &city->rivers,
+      &city->schools};
+
+  Rng rng(7);
+  RelateStats stats;
+  for (const feature::Layer* la : layers) {
+    for (const feature::Layer* lb : layers) {
+      for (int s = 0; s < 5; ++s) {
+        const feature::Feature& fa =
+            la->features()[rng.NextUint64(la->Size())];
+        const feature::Feature& fb =
+            lb->features()[rng.NextUint64(lb->Size())];
+        const PreparedGeometry prepared(fa.geometry());
+        const PreparedGeometry prepared_b(fb.geometry());
+        const IntersectionMatrix plain =
+            relate::Relate(fa.geometry(), fb.geometry());
+        ASSERT_EQ(prepared.Relate(prepared_b, &stats), plain)
+            << la->feature_type() << fa.id() << " vs " << lb->feature_type()
+            << fb.id();
+        ASSERT_EQ(prepared.RelateFull(prepared_b), plain)
+            << la->feature_type() << fa.id() << " vs " << lb->feature_type()
+            << fb.id() << " (full engine)";
+      }
+    }
+  }
+  EXPECT_GT(stats.fast_hits(), 0u);
+  EXPECT_GT(stats.misses(), 0u);
+}
+
+// Containment certificates on the natural pairs: a district related
+// against the city's point and polygon layers hits the contains branch,
+// and the transposed pair hits the within branch.
+TEST(PreparedFastPathTest, ContainsAndWithinCertificatesFire) {
+  datagen::CityConfig config;
+  config.grid_cols = 4;
+  config.grid_rows = 4;
+  config.seed = 7;
+  const auto city = datagen::GenerateCity(config);
+
+  RelateStats forward_stats;
+  RelateStats reverse_stats;
+  for (const feature::Feature& district : city->districts.features()) {
+    const PreparedGeometry prepared(district.geometry());
+    for (const feature::Layer* layer :
+         {&city->schools, &city->police, &city->slums}) {
+      for (const feature::Feature& other : layer->features()) {
+        ASSERT_EQ(prepared.Relate(other.geometry(), &forward_stats),
+                  relate::Relate(district.geometry(), other.geometry()));
+      }
+    }
+    for (const feature::Feature& school : city->schools.features()) {
+      const PreparedGeometry point(school.geometry());
+      ASSERT_EQ(point.Relate(district.geometry(), &reverse_stats),
+                relate::Relate(school.geometry(), district.geometry()));
+    }
+  }
+  EXPECT_GT(forward_stats.fast_contains, 0u);
+  EXPECT_GT(reverse_stats.fast_within, 0u);
+}
+
+}  // namespace
+}  // namespace relate
+}  // namespace sfpm

@@ -133,6 +133,26 @@ TEST(ParallelismTest, EnvOverrideWins) {
   ASSERT_EQ(unsetenv("SFPM_THREADS"), 0);
 }
 
+TEST(ParallelismTest, HardwareConcurrencyIsAtLeastOne) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(HardwareConcurrency(),
+            hw == 0 ? 1u : static_cast<size_t>(hw));
+  EXPECT_GE(HardwareConcurrency(), 1u);
+}
+
+TEST(ParallelismTest, EnvZeroMeansHardwareConcurrency) {
+  // "0 threads" is an explicit request for the hardware concurrency in
+  // every spelling (SFPM_THREADS=0, --threads 0, parallelism = 0), not a
+  // malformed value.
+  ASSERT_EQ(setenv("SFPM_THREADS", "0", 1), 0);
+  EXPECT_EQ(DefaultParallelism(), HardwareConcurrency());
+  EXPECT_EQ(ResolveParallelism(0), HardwareConcurrency());
+  ASSERT_EQ(setenv("SFPM_THREADS", "00", 1), 0);
+  EXPECT_EQ(DefaultParallelism(), HardwareConcurrency());
+  ASSERT_EQ(unsetenv("SFPM_THREADS"), 0);
+  EXPECT_EQ(DefaultParallelism(), HardwareConcurrency());
+}
+
 TEST(ParallelismTest, EnvRejectsNegativeOverflowAndOversized) {
   const unsigned hw = std::thread::hardware_concurrency();
   const size_t fallback = hw == 0 ? 1 : static_cast<size_t>(hw);

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # CI-style verification: the tier-1 Release build with the full test
 # suite, then a ThreadSanitizer build (-DSFPM_TSAN=ON) re-running the
-# tests so the parallel extraction/counting paths are race-checked.
+# tests so the parallel extraction/counting paths are race-checked,
+# then an Address+UndefinedBehaviorSanitizer build (-DSFPM_ASAN=ON)
+# re-running them again for memory and UB errors.
 #
-#   tools/check.sh           # Release + TSan, full ctest on both
-#   tools/check.sh --quick   # TSan run restricted to the concurrency tests
+#   tools/check.sh           # Release + TSan + ASan, full ctest on each
+#   tools/check.sh --quick   # sanitizer runs restricted to the hot paths
 #
-# Build trees: build/ (Release, the tier-1 tree) and build-tsan/.
+# Build trees: build/ (Release, the tier-1 tree), build-tsan/ and
+# build-asan/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +34,23 @@ if [[ "${1:-}" == "--quick" ]]; then
     -R 'ThreadPool|Parallelism|ParallelDeterminism|Extractor|Apriori|Pipeline'
 else
   ctest --test-dir build-tsan --output-on-failure -j"${jobs}"
+fi
+
+echo "== Address/UB sanitizer build =="
+cmake -B build-asan -S . -DSFPM_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSFPM_BUILD_BENCHMARKS=OFF -DSFPM_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j"${jobs}"
+
+# Fail hard on any leak, overflow or UB report.
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+if [[ "${1:-}" == "--quick" ]]; then
+  # The hot paths this repo optimizes: relate fast path, prepared
+  # geometry, extraction, support counting.
+  ctest --test-dir build-asan --output-on-failure -j"${jobs}" \
+    -R 'Prepared|Relate|Extractor|Apriori|Pipeline'
+else
+  ctest --test-dir build-asan --output-on-failure -j"${jobs}"
 fi
 
 echo "== All checks passed =="

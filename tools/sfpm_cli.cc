@@ -10,8 +10,10 @@
 //                 [--closed] [--maximal] [--top lift:10] [--threads N]
 //
 // --threads defaults to the hardware concurrency (or SFPM_THREADS when
-// set); --threads 1 runs the original serial code path. Outputs are
-// identical at every thread count.
+// set); --threads 0 forces the hardware concurrency; --threads 1 runs the
+// original serial code path. Outputs are identical at every thread count.
+// --stats (extract and mine) prints run counters to stderr, including the
+// relate fast-path and prefix-cache hit rates.
 //   sfpm gain     --t 2,2,2 --n 2
 //   sfpm table3
 //   sfpm generate-city [--seed N] --out-prefix dir/city_
@@ -91,7 +93,9 @@ int Usage() {
   return 2;
 }
 
-/// Parses the shared --threads flag: 0 (the default) = auto. Only plain
+/// Parses the shared --threads flag. Absent = auto (SFPM_THREADS when
+/// set, else hardware concurrency); an explicit `--threads 0` means
+/// hardware concurrency, bypassing the environment. Only plain
 /// non-negative integers are accepted (std::stoul alone would wrap "-3").
 Result<size_t> ParseThreads(const Args& args) {
   if (!args.Has("threads")) return size_t{0};
@@ -105,7 +109,7 @@ Result<size_t> ParseThreads(const Args& args) {
     if (threads > kMaxThreads) {
       return Status::InvalidArgument("bad --threads value");
     }
-    return threads;
+    return threads == 0 ? HardwareConcurrency() : threads;
   } catch (const std::exception&) {
     return Status::InvalidArgument("bad --threads value");
   }
@@ -192,8 +196,13 @@ int RunExtract(const Args& args) {
     }
   }
 
-  const auto table = extractor.Extract(options);
+  feature::ExtractionStats stats;
+  const auto table = extractor.Extract(
+      options, args.Has("stats") ? &stats : nullptr);
   if (!table.ok()) return Fail(table.status());
+  if (args.Has("stats")) {
+    std::fprintf(stderr, "%s\n", stats.ToString().c_str());
+  }
 
   const std::string out = args.Get("out");
   if (out.empty()) {
@@ -251,6 +260,9 @@ int RunMine(const Args& args) {
           ? core::MineFpGrowth(table.value().db(), options)
           : core::MineApriori(table.value().db(), options);
   if (!mined.ok()) return Fail(mined.status());
+  if (args.Has("stats")) {
+    std::fprintf(stderr, "%s\n", mined.value().stats().ToString().c_str());
+  }
 
   std::vector<core::FrequentItemset> itemsets = mined.value().itemsets();
   const char* family = "frequent";
