@@ -3,7 +3,9 @@
 // compare two code paths that must produce identical output, attach
 // counters (hit rates, AND-ops) to every case, and persist a
 // machine-readable baseline — so the harness times explicit repeats and
-// serializes everything to one JSON file.
+// serializes everything to one JSON file. Each case also embeds the
+// sfpm::obs registry's counter deltas over its timed runs ("metrics" in
+// the JSON), so library instruments land in the baseline for free.
 //
 // Flags understood by RunBench-based mains:
 //   --json=<path>    write the results as JSON (the checked-in baselines
@@ -23,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 
 namespace sfpm {
@@ -33,6 +36,10 @@ struct CaseResult {
   std::map<std::string, std::string> config;
   std::vector<double> samples_ms;
   std::map<std::string, double> counters;
+  /// Registry counter deltas accrued over the timed runs (warmup
+  /// excluded) — the library's own instruments, captured without the
+  /// bench having to know their names.
+  std::map<std::string, uint64_t> metrics;
 
   double MeanMs() const {
     double sum = 0.0;
@@ -79,11 +86,15 @@ class Bench {
     result.config = std::move(config);
     body(result);  // Warmup: caches, lazy indexes, page faults.
     result.counters.clear();
+    const obs::MetricsSnapshot before =
+        obs::MetricsRegistry::Global().Snapshot();
+    Stopwatch watch;
     for (size_t i = 0; i < repeat_; ++i) {
-      Stopwatch watch;
       body(result);
-      result.samples_ms.push_back(watch.ElapsedMillis());
+      result.samples_ms.push_back(watch.LapMillis());
     }
+    result.metrics =
+        obs::MetricsRegistry::Global().Snapshot().DeltaSince(before).counters;
     std::printf("%-44s %10.2f ms  (p50 %.2f, p95 %.2f, %zu runs)\n",
                 case_name.c_str(), result.MeanMs(), result.PercentileMs(0.5),
                 result.PercentileMs(0.95), repeat_);
@@ -128,6 +139,12 @@ class Bench {
       for (const auto& [key, value] : r.counters) {
         std::fprintf(f, "%s\"%s\": %.6g", i++ ? ", " : "", key.c_str(),
                      value);
+      }
+      std::fprintf(f, "},\n      \"metrics\": {");
+      i = 0;
+      for (const auto& [key, value] : r.metrics) {
+        std::fprintf(f, "%s\"%s\": %llu", i++ ? ", " : "", key.c_str(),
+                     static_cast<unsigned long long>(value));
       }
       std::fprintf(f, "}\n    }%s\n", c + 1 < cases_.size() ? "," : "");
     }

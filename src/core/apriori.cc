@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/support_counter.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -34,6 +35,77 @@ std::string MiningStats::ToString() const {
         static_cast<unsigned long long>(and_word_ops));
   }
   return out;
+}
+
+void MiningStats::Pass::PublishTo(obs::MetricsRegistry* registry) const {
+  const std::string prefix = StrFormat("mine.pass.k%zu.", k);
+  registry->GetCounter(prefix + "candidates").Add(candidates);
+  registry->GetCounter(prefix + "filtered").Add(filtered_candidates);
+  registry->GetCounter(prefix + "frequent").Add(frequent);
+  registry->GetCounter(prefix + "and_word_ops").Add(and_word_ops);
+  registry->GetCounter(prefix + "prefix_hits").Add(prefix_hits);
+  registry->GetCounter(prefix + "prefix_misses").Add(prefix_misses);
+  registry->GetGauge(prefix + "millis").Set(millis);
+  registry->GetGauge(prefix + "count_millis").Set(count_millis);
+}
+
+void MiningStats::PublishTo(obs::MetricsRegistry* registry) const {
+  for (const Pass& pass : passes) pass.PublishTo(registry);
+  registry->GetCounter("mine.runs").Add(1);
+  registry->GetCounter("mine.total_frequent").Add(total_frequent);
+  registry->GetCounter("mine.total_frequent_ge2").Add(total_frequent_ge2);
+  registry->GetCounter("mine.and_word_ops").Add(and_word_ops);
+  registry->GetCounter("mine.prefix_hits").Add(prefix_hits);
+  registry->GetCounter("mine.prefix_misses").Add(prefix_misses);
+  registry->GetGauge("mine.total_millis").Set(total_millis);
+  registry->GetGauge("mine.threads").Set(static_cast<double>(threads));
+}
+
+MiningStats MiningStats::FromMetrics(const obs::MetricsSnapshot& snapshot) {
+  const auto counter = [&snapshot](const std::string& name) -> uint64_t {
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0 : it->second;
+  };
+  const auto gauge = [&snapshot](const std::string& name) -> double {
+    const auto it = snapshot.gauges.find(name);
+    return it == snapshot.gauges.end() ? 0.0 : it->second;
+  };
+  MiningStats stats;
+  // Passes mirror the mining loop's structure: pass 1 exists when it had
+  // candidates, pass k >= 2 only when pass k-1 produced frequent itemsets.
+  // The guard also keeps an FP-Growth run's delta (where pass counters may
+  // exist at zero from an earlier Apriori run in the process) pass-free.
+  size_t previous_frequent = 0;
+  for (size_t k = 1;; ++k) {
+    const std::string prefix = StrFormat("mine.pass.k%zu.", k);
+    const auto it = snapshot.counters.find(prefix + "candidates");
+    if (it == snapshot.counters.end()) break;
+    if (k == 1 ? it->second == 0 : previous_frequent == 0) break;
+    Pass pass;
+    pass.k = k;
+    pass.candidates = static_cast<size_t>(it->second);
+    pass.filtered_candidates = static_cast<size_t>(counter(prefix + "filtered"));
+    pass.frequent = static_cast<size_t>(counter(prefix + "frequent"));
+    pass.and_word_ops = counter(prefix + "and_word_ops");
+    pass.prefix_hits = counter(prefix + "prefix_hits");
+    pass.prefix_misses = counter(prefix + "prefix_misses");
+    pass.millis = gauge(prefix + "millis");
+    pass.count_millis = gauge(prefix + "count_millis");
+    previous_frequent = pass.frequent;
+    stats.passes.push_back(pass);
+  }
+  stats.total_frequent = static_cast<size_t>(counter("mine.total_frequent"));
+  stats.total_frequent_ge2 =
+      static_cast<size_t>(counter("mine.total_frequent_ge2"));
+  stats.and_word_ops = counter("mine.and_word_ops");
+  stats.prefix_hits = counter("mine.prefix_hits");
+  stats.prefix_misses = counter("mine.prefix_misses");
+  stats.total_millis = gauge("mine.total_millis");
+  const auto threads_it = snapshot.gauges.find("mine.threads");
+  if (threads_it != snapshot.gauges.end()) {
+    stats.threads = static_cast<size_t>(threads_it->second);
+  }
+  return stats;
 }
 
 AprioriResult::AprioriResult(std::vector<FrequentItemset> itemsets,
@@ -199,12 +271,16 @@ Result<AprioriResult> MineApriori(const TransactionDb& db,
                 static_cast<double>(db.NumTransactions()) -
                 1e-9)));
 
+  obs::Tracer& tracer = obs::Tracer::Global();
+  obs::Tracer::Span mine_span = tracer.StartSpan("mine/apriori");
+
   Stopwatch total_watch;
   MiningStats stats;
   std::vector<FrequentItemset> all_frequent;
 
   ThreadPool pool(ResolveParallelism(options.parallelism));
   stats.threads = pool.num_threads();
+  mine_span.SetAttr("threads", static_cast<double>(pool.num_threads()));
 
   // One prefix counter per worker, reused across passes so the buffers
   // stay allocated; worker i only touches counters[i].
@@ -213,14 +289,21 @@ Result<AprioriResult> MineApriori(const TransactionDb& db,
   // Pass 1: large 1-predicate sets, counted like every later pass.
   Stopwatch pass_watch;
   Stopwatch count_watch;
+  obs::Tracer::Span pass1_span = tracer.StartSpan("mine/pass/k=1");
   std::vector<Itemset> singles;
   singles.reserve(db.NumItems());
   for (ItemId item = 0; item < db.NumItems(); ++item) {
     singles.push_back(Itemset{item});
   }
   SupportCountStats count_stats;
-  std::vector<uint32_t> single_supports = CountSupports(
-      db, singles, &pool, options.prefix_cache, &counters, &count_stats);
+  std::vector<uint32_t> single_supports;
+  count_watch.Restart();
+  {
+    obs::Tracer::Span count_span = tracer.StartSpan("mine/support/k=1");
+    count_span.SetAttr("candidates", static_cast<double>(singles.size()));
+    single_supports = CountSupports(db, singles, &pool, options.prefix_cache,
+                                    &counters, &count_stats);
+  }
   double count_millis = count_watch.ElapsedMillis();
   std::vector<FrequentItemset> current;
   for (ItemId item = 0; item < db.NumItems(); ++item) {
@@ -233,13 +316,16 @@ Result<AprioriResult> MineApriori(const TransactionDb& db,
     pass.k = 1;
     pass.candidates = db.NumItems();
     pass.frequent = current.size();
-    pass.millis = pass_watch.ElapsedMillis();
+    pass.millis = pass_watch.LapMillis();
     pass.count_millis = count_millis;
     pass.and_word_ops = count_stats.and_word_ops;
     pass.prefix_hits = count_stats.prefix_hits;
     pass.prefix_misses = count_stats.prefix_misses;
     stats.passes.push_back(pass);
+    pass1_span.SetAttr("candidates", static_cast<double>(pass.candidates));
+    pass1_span.SetAttr("frequent", static_cast<double>(pass.frequent));
   }
+  pass1_span.End();
   all_frequent.insert(all_frequent.end(), current.begin(), current.end());
 
   std::unordered_map<Itemset, uint32_t, ItemsetHash, ItemsetEq> current_index;
@@ -249,16 +335,22 @@ Result<AprioriResult> MineApriori(const TransactionDb& db,
 
   for (size_t k = 2; !current.empty(); ++k) {
     if (options.max_itemset_size != 0 && k > options.max_itemset_size) break;
-    pass_watch.Restart();
+    obs::Tracer::Span pass_span =
+        tracer.StartSpan(StrFormat("mine/pass/k=%zu", k));
 
-    std::vector<Itemset> candidates =
-        GenerateCandidates(current, current_index);
+    std::vector<Itemset> candidates;
+    {
+      obs::Tracer::Span gen_span =
+          tracer.StartSpan(StrFormat("mine/candidate_gen/k=%zu", k));
+      candidates = GenerateCandidates(current, current_index);
+    }
     const size_t raw_candidates = candidates.size();
 
     // The paper's extra step: at k == 2 drop pairs hitting a constraint
     // (well-known dependencies for KC, same feature type for KC+).
     size_t filtered = 0;
     if (k == 2 && !options.filters.empty()) {
+      obs::Tracer::Span filter_span = tracer.StartSpan("mine/filter/k=2");
       auto is_blocked = [&options](const Itemset& pair) {
         for (const CandidateFilter* filter : options.filters) {
           if (filter->PrunePair(pair[0], pair[1])) return true;
@@ -269,14 +361,21 @@ Result<AprioriResult> MineApriori(const TransactionDb& db,
           std::remove_if(candidates.begin(), candidates.end(), is_blocked);
       filtered = static_cast<size_t>(candidates.end() - new_end);
       candidates.erase(new_end, candidates.end());
+      filter_span.SetAttr("filtered", static_cast<double>(filtered));
     }
 
     // Counting via the vertical bitmap columns, word-partitioned across
     // the pool's workers.
     count_watch.Restart();
     count_stats = SupportCountStats{};
-    const std::vector<uint32_t> supports = CountSupports(
-        db, candidates, &pool, options.prefix_cache, &counters, &count_stats);
+    std::vector<uint32_t> supports;
+    {
+      obs::Tracer::Span count_span =
+          tracer.StartSpan(StrFormat("mine/support/k=%zu", k));
+      count_span.SetAttr("candidates", static_cast<double>(candidates.size()));
+      supports = CountSupports(db, candidates, &pool, options.prefix_cache,
+                               &counters, &count_stats);
+    }
     count_millis = count_watch.ElapsedMillis();
     std::vector<FrequentItemset> next;
     for (size_t c = 0; c < candidates.size(); ++c) {
@@ -295,12 +394,14 @@ Result<AprioriResult> MineApriori(const TransactionDb& db,
       pass.candidates = raw_candidates;
       pass.filtered_candidates = filtered;
       pass.frequent = next.size();
-      pass.millis = pass_watch.ElapsedMillis();
+      pass.millis = pass_watch.LapMillis();
       pass.count_millis = count_millis;
       pass.and_word_ops = count_stats.and_word_ops;
       pass.prefix_hits = count_stats.prefix_hits;
       pass.prefix_misses = count_stats.prefix_misses;
       stats.passes.push_back(pass);
+      pass_span.SetAttr("candidates", static_cast<double>(pass.candidates));
+      pass_span.SetAttr("frequent", static_cast<double>(pass.frequent));
     }
     all_frequent.insert(all_frequent.end(), next.begin(), next.end());
 
@@ -321,6 +422,9 @@ Result<AprioriResult> MineApriori(const TransactionDb& db,
     stats.prefix_misses += pass.prefix_misses;
   }
   stats.total_millis = total_watch.ElapsedMillis();
+  // Publish before the run span closes so the `mine/apriori` span's
+  // counter-delta attachment covers the whole run.
+  stats.PublishTo(&obs::MetricsRegistry::Global());
   return AprioriResult(std::move(all_frequent), std::move(stats));
 }
 

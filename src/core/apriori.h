@@ -9,6 +9,7 @@
 #include "core/candidate_filter.h"
 #include "core/itemset.h"
 #include "core/transaction_db.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace sfpm {
@@ -53,6 +54,11 @@ struct FrequentItemset {
 
 /// \brief Per-pass and aggregate counters of a mining run, the raw material
 /// of the paper's Figures 4-7.
+///
+/// Every mining run also publishes these fields to
+/// obs::MetricsRegistry::Global() under the `mine.*` instrument names; the
+/// struct remains the deterministic accumulation path and `FromMetrics` is
+/// the thin view back out of the registry.
 struct MiningStats {
   struct Pass {
     size_t k = 0;                   ///< Itemset size of this pass.
@@ -70,6 +76,9 @@ struct MiningStats {
     /// hit-rate observability, not a work measure.
     uint64_t prefix_hits = 0;
     uint64_t prefix_misses = 0;
+
+    /// Publishes this pass under `mine.pass.k<k>.*`.
+    void PublishTo(obs::MetricsRegistry* registry) const;
   };
   std::vector<Pass> passes;
   size_t total_frequent = 0;        ///< Itemsets of size >= 1.
@@ -81,6 +90,18 @@ struct MiningStats {
   uint64_t prefix_misses = 0;       ///< Sum over passes.
 
   std::string ToString() const;
+
+  /// Publishes the totals and every pass to the registry's `mine.*`
+  /// instruments. The miners call this once, at the end of a run.
+  void PublishTo(obs::MetricsRegistry* registry) const;
+
+  /// Thin view back from the registry: rebuilds the struct from a snapshot
+  /// (typically one run's delta) so the legacy `--stats` text renders
+  /// byte-identically from the registry. Passes are recovered for
+  /// consecutive k while `mine.pass.k<k>.candidates` exists and the pass
+  /// structure is consistent (pass k >= 2 requires frequent itemsets at
+  /// k-1), so the view assumes the snapshot covers a single mining run.
+  static MiningStats FromMetrics(const obs::MetricsSnapshot& snapshot);
 };
 
 /// \brief The outcome of a mining run: every frequent itemset plus stats.

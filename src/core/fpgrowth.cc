@@ -6,6 +6,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace sfpm {
@@ -69,6 +70,8 @@ class FpTree {
   }
 
   bool Empty() const { return header_.empty(); }
+
+  size_t NodeCount() const { return arena_.size(); }
 
   /// Items by ascending support — the mining order of FP-Growth.
   std::vector<ItemId> ItemsAscending() const {
@@ -152,6 +155,8 @@ class FpGrowthMiner {
       return;
     }
     const FpTree tree(base, min_count_);
+    ++trees_;
+    nodes_ += tree.NodeCount();
     for (ItemId item : tree.ItemsAscending()) {
       if (BlockedAgainstPrefix(item, prefix)) continue;
 
@@ -159,6 +164,7 @@ class FpGrowthMiner {
       extended.push_back(item);
       out->push_back({Itemset(extended), tree.Support(item)});
 
+      ++conditional_bases_;
       PatternBase conditional = tree.ConditionalBase(item);
       // Constraint-aware projection: drop items blocked against any
       // member of the new prefix so no pruned pair ever forms.
@@ -188,8 +194,18 @@ class FpGrowthMiner {
     return false;
   }
 
+ public:
+  /// Work counters of the recursion, published as `fpgrowth.*`.
+  uint64_t trees() const { return trees_; }
+  uint64_t nodes() const { return nodes_; }
+  uint64_t conditional_bases() const { return conditional_bases_; }
+
+ private:
   uint32_t min_count_;
   const AprioriOptions& options_;
+  uint64_t trees_ = 0;
+  uint64_t nodes_ = 0;
+  uint64_t conditional_bases_ = 0;
 };
 
 }  // namespace
@@ -208,6 +224,7 @@ Result<AprioriResult> MineFpGrowth(const TransactionDb& db,
                 static_cast<double>(db.NumTransactions()) -
                 1e-9)));
 
+  obs::Tracer::Span span = obs::Tracer::Global().StartSpan("mine/fpgrowth");
   Stopwatch watch;
   PatternBase base;
   base.rows.reserve(db.NumTransactions());
@@ -233,6 +250,15 @@ Result<AprioriResult> MineFpGrowth(const TransactionDb& db,
     if (fi.items.size() >= 2) ++stats.total_frequent_ge2;
   }
   stats.total_millis = watch.ElapsedMillis();
+
+  // Publish before the run span closes so the `mine/fpgrowth` span's
+  // counter-delta attachment covers the whole run.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("fpgrowth.trees").Add(miner.trees());
+  registry.GetCounter("fpgrowth.nodes").Add(miner.nodes());
+  registry.GetCounter("fpgrowth.conditional_bases")
+      .Add(miner.conditional_bases());
+  stats.PublishTo(&registry);
   return AprioriResult(std::move(itemsets), std::move(stats));
 }
 

@@ -1,11 +1,12 @@
 #include "feature/extractor.h"
 
-#include <chrono>
 #include <cmath>
 #include <unordered_set>
 
 #include "geom/algorithms.h"
+#include "obs/trace.h"
 #include "relate/relate.h"
+#include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -19,56 +20,111 @@ std::string ExtractionStats::ToString() const {
       total_millis, relate.ToString().c_str());
 }
 
+void ExtractionStats::PublishTo(obs::MetricsRegistry* registry) const {
+  registry->GetCounter("extract.runs").Add(1);
+  registry->GetCounter("extract.rows").Add(rows);
+  registry->GetCounter("extract.envelope_candidates").Add(envelope_candidates);
+  registry->GetGauge("extract.threads").Set(static_cast<double>(threads));
+  registry->GetGauge("extract.total_millis").Set(total_millis);
+  registry->GetCounter("relate.calls").Add(relate.calls);
+  registry->GetCounter("relate.fast_disjoint").Add(relate.fast_disjoint);
+  registry->GetCounter("relate.fast_contains").Add(relate.fast_contains);
+  registry->GetCounter("relate.fast_within").Add(relate.fast_within);
+  registry->GetCounter("relate.miss_boundary").Add(relate.miss_boundary);
+  registry->GetCounter("relate.miss_inconclusive")
+      .Add(relate.miss_inconclusive);
+}
+
+ExtractionStats ExtractionStats::FromMetrics(
+    const obs::MetricsSnapshot& snapshot) {
+  const auto counter = [&snapshot](const char* name) -> uint64_t {
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0 : it->second;
+  };
+  const auto gauge = [&snapshot](const char* name) -> double {
+    const auto it = snapshot.gauges.find(name);
+    return it == snapshot.gauges.end() ? 0.0 : it->second;
+  };
+  ExtractionStats stats;
+  stats.rows = static_cast<size_t>(counter("extract.rows"));
+  stats.threads = static_cast<size_t>(gauge("extract.threads"));
+  stats.envelope_candidates = counter("extract.envelope_candidates");
+  stats.total_millis = gauge("extract.total_millis");
+  stats.relate.calls = counter("relate.calls");
+  stats.relate.fast_disjoint = counter("relate.fast_disjoint");
+  stats.relate.fast_contains = counter("relate.fast_contains");
+  stats.relate.fast_within = counter("relate.fast_within");
+  stats.relate.miss_boundary = counter("relate.miss_boundary");
+  stats.relate.miss_inconclusive = counter("relate.miss_inconclusive");
+  return stats;
+}
+
 Result<PredicateTable> PredicateExtractor::Extract(
     const ExtractorOptions& options, ExtractionStats* stats) const {
   if (reference_ == nullptr || reference_->IsEmpty()) {
     return Status::InvalidArgument("reference layer is empty");
   }
-  const auto start = std::chrono::steady_clock::now();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  obs::Tracer::Span extract_span = tracer.StartSpan("extract");
+  Stopwatch watch;
+  ExtractionStats run_stats;
 
-  // Layer::Index() and Layer::Prepared() build their caches lazily on
-  // first call, which is not safe to race; warm every relevant layer
-  // before the parallel region so workers only ever see immutable-after-
-  // build state. The prepared cache amortizes each feature's derived
-  // linework and segment index across every reference row (and every
-  // Extract call) that relates against it.
-  for (const Layer* layer : relevant_) {
-    if (layer->IsEmpty()) continue;
-    layer->Index();
-    layer->Prepared();
+  {
+    // Layer::Index() and Layer::Prepared() build their caches lazily on
+    // first call, which is not safe to race; warm every relevant layer
+    // before the parallel region so workers only ever see immutable-after-
+    // build state. The prepared cache amortizes each feature's derived
+    // linework and segment index across every reference row (and every
+    // Extract call) that relates against it.
+    obs::Tracer::Span prepare_span = tracer.StartSpan("extract/prepare");
+    for (const Layer* layer : relevant_) {
+      if (layer->IsEmpty()) continue;
+      layer->Index();
+      layer->Prepared();
+    }
+    reference_->Prepared();
   }
-  reference_->Prepared();
 
   const std::vector<Feature>& refs = reference_->features();
   std::vector<RowDraft> drafts(refs.size());
 
   ThreadPool pool(ResolveParallelism(options.parallelism));
-  pool.ParallelFor(0, refs.size(), [&](size_t i) {
-    drafts[i] = ExtractRow(refs[i], options);
-  });
+  {
+    obs::Tracer::Span join_span = tracer.StartSpan("extract/join");
+    join_span.SetAttr("threads", static_cast<double>(pool.num_threads()));
+    join_span.SetAttr("rows", static_cast<double>(refs.size()));
+    pool.ParallelFor(0, refs.size(), [&](size_t i) {
+      drafts[i] = ExtractRow(refs[i], options);
+    });
+  }
 
   // Deterministic merge: replay the drafts in reference order, so item ids
   // are assigned in exactly the order the serial path would assign them
-  // (and the counters sum in a fixed order too).
+  // (and the counters sum in a fixed order too). The row-level candidate
+  // histogram is observed here — one thread, reference order — so its sum
+  // aggregates bit-exactly at every thread count.
+  obs::Histogram& row_candidates =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "extract.row.envelope_candidates",
+          {0, 1, 2, 5, 10, 20, 50, 100, 200, 500});
   PredicateTable table;
-  for (RowDraft& draft : drafts) {
-    const size_t row = table.AddRow(std::move(draft.name));
-    for (const Predicate& predicate : draft.predicates) {
-      SFPM_RETURN_NOT_OK(table.Set(row, predicate));
-    }
-    if (stats != nullptr) {
-      stats->envelope_candidates += draft.envelope_candidates;
-      stats->relate.Add(draft.relate);
+  {
+    obs::Tracer::Span merge_span = tracer.StartSpan("extract/merge");
+    for (RowDraft& draft : drafts) {
+      const size_t row = table.AddRow(std::move(draft.name));
+      for (const Predicate& predicate : draft.predicates) {
+        SFPM_RETURN_NOT_OK(table.Set(row, predicate));
+      }
+      run_stats.envelope_candidates += draft.envelope_candidates;
+      run_stats.relate.Add(draft.relate);
+      row_candidates.Observe(static_cast<double>(draft.envelope_candidates));
     }
   }
-  if (stats != nullptr) {
-    stats->rows = refs.size();
-    stats->threads = pool.num_threads();
-    stats->total_millis =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
-  }
+  run_stats.rows = refs.size();
+  run_stats.threads = pool.num_threads();
+  run_stats.total_millis = watch.ElapsedMillis();
+  run_stats.PublishTo(&obs::MetricsRegistry::Global());
+  if (stats != nullptr) *stats = run_stats;
   return table;
 }
 

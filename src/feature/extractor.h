@@ -8,6 +8,7 @@
 
 #include "feature/feature.h"
 #include "feature/predicate_table.h"
+#include "obs/metrics.h"
 #include "qsr/direction.h"
 #include "qsr/distance.h"
 #include "qsr/topological.h"
@@ -67,6 +68,11 @@ struct ExtractorOptions {
 /// --stats` and the benches. Merged from per-row counters in reference
 /// order, so every field except `total_millis` is deterministic at every
 /// thread count.
+///
+/// Every Extract run also publishes these fields to
+/// obs::MetricsRegistry::Global() under the `extract.*` / `relate.*`
+/// instrument names; the struct is the deterministic accumulation path and
+/// `FromMetrics` is the thin view back out of the registry.
 struct ExtractionStats {
   size_t rows = 0;              ///< Reference features processed.
   size_t threads = 0;           ///< Resolved worker count.
@@ -77,6 +83,15 @@ struct ExtractionStats {
   double total_millis = 0.0;    ///< Wall time of the Extract call.
 
   std::string ToString() const;
+
+  /// Publishes every field to the registry's `extract.*` / `relate.*`
+  /// instruments. Extract calls this once, at the end of the run.
+  void PublishTo(obs::MetricsRegistry* registry) const;
+
+  /// Thin view back from the registry: rebuilds the struct from a snapshot
+  /// (typically one run's delta), exact field for field, so the legacy
+  /// `--stats` text renders byte-identically from the registry.
+  static ExtractionStats FromMetrics(const obs::MetricsSnapshot& snapshot);
 };
 
 /// \brief Computes the qualitative predicate table (the paper's Table 1)

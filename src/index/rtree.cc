@@ -5,11 +5,34 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/metrics.h"
+
 namespace sfpm {
 namespace index {
 
 using geom::Envelope;
 using geom::Point;
+
+namespace {
+
+/// Query-path instruments, looked up once per process: R-tree queries run
+/// inside the extractor's hot loop, so the per-query observability cost is
+/// three uncontended sharded adds.
+struct QueryMetrics {
+  obs::Counter& queries;
+  obs::Counter& node_visits;
+  obs::Counter& leaf_hits;
+
+  static const QueryMetrics& Get() {
+    static QueryMetrics metrics{
+        obs::MetricsRegistry::Global().GetCounter("rtree.queries"),
+        obs::MetricsRegistry::Global().GetCounter("rtree.query.node_visits"),
+        obs::MetricsRegistry::Global().GetCounter("rtree.query.leaf_hits")};
+    return metrics;
+  }
+};
+
+}  // namespace
 
 struct RTree::Node {
   bool leaf = true;
@@ -310,11 +333,16 @@ void RTree::SplitNode(Node* node, std::vector<Node*>* path) {
 }
 
 void RTree::Query(const Envelope& query, std::vector<uint64_t>* out) const {
+  const QueryMetrics& metrics = QueryMetrics::Get();
+  metrics.queries.Add(1);
   if (root_->leaf && root_->entries.empty()) return;
+  uint64_t visits = 0;
+  const size_t out_before = out->size();
   std::vector<const Node*> stack = {root_.get()};
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
+    ++visits;
     if (!node->envelope.Intersects(query)) continue;
     if (node->leaf) {
       for (const auto& [env, id] : node->entries) {
@@ -324,15 +352,22 @@ void RTree::Query(const Envelope& query, std::vector<uint64_t>* out) const {
       for (const auto& child : node->children) stack.push_back(child.get());
     }
   }
+  metrics.node_visits.Add(visits);
+  metrics.leaf_hits.Add(out->size() - out_before);
 }
 
 void RTree::QueryWithinDistance(const Envelope& query, double distance,
                                 std::vector<uint64_t>* out) const {
+  const QueryMetrics& metrics = QueryMetrics::Get();
+  metrics.queries.Add(1);
   if (root_->leaf && root_->entries.empty()) return;
+  uint64_t visits = 0;
+  const size_t out_before = out->size();
   std::vector<const Node*> stack = {root_.get()};
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
+    ++visits;
     if (node->envelope.Distance(query) > distance) continue;
     if (node->leaf) {
       for (const auto& [env, id] : node->entries) {
@@ -342,6 +377,8 @@ void RTree::QueryWithinDistance(const Envelope& query, double distance,
       for (const auto& child : node->children) stack.push_back(child.get());
     }
   }
+  metrics.node_visits.Add(visits);
+  metrics.leaf_hits.Add(out->size() - out_before);
 }
 
 std::vector<uint64_t> RTree::Nearest(const Point& query, size_t k) const {

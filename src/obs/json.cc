@@ -1,0 +1,354 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace sfpm {
+namespace obs {
+namespace json {
+
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!has_value_.empty()) {
+    if (has_value_.back()) out_ += ',';
+    has_value_.back() = true;
+  }
+}
+
+Writer& Writer::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  has_value_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::EndObject() {
+  has_value_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+Writer& Writer::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  has_value_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::EndArray() {
+  has_value_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+Writer& Writer::Key(const std::string& key) {
+  if (!has_value_.empty()) {
+    if (has_value_.back()) out_ += ',';
+    has_value_.back() = true;
+  }
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+Writer& Writer::String(const std::string& value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+Writer& Writer::Number(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "0";  // JSON has no Inf/NaN; clamp rather than emit garbage.
+    return *this;
+  }
+  // Shortest round-trippable representation: %.17g always round-trips,
+  // but prefer %g when it already does for readability.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  if (parsed != value) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  out_ += buf;
+  return *this;
+}
+
+Writer& Writer::Number(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+Writer& Writer::Number(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+Writer& Writer::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+Writer& Writer::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+const Value* Value::Find(const std::string& key) const {
+  for (const auto& [member_key, member] : object) {
+    if (member_key == key) return &member;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Value> Parse() {
+    Value value;
+    SFPM_RETURN_NOT_OK(ParseValue(&value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::ParseError(
+        StrFormat("%s at offset %zu", message.c_str(), pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Value* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = Value::Type::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(out);
+    if (c == 'n') return ParseKeyword(out);
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(Value* out) {
+    out->type = Value::Type::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      SFPM_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      Value member;
+      SFPM_RETURN_NOT_OK(ParseValue(&member));
+      out->object.emplace_back(std::move(key), std::move(member));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(Value* out) {
+    out->type = Value::Type::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      Value element;
+      SFPM_RETURN_NOT_OK(ParseValue(&element));
+      out->array.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the code point (surrogate pairs are passed
+          // through individually; the reports never emit them).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseKeyword(Value* out) {
+    auto matches = [&](const char* keyword) {
+      const size_t len = std::string(keyword).size();
+      if (text_.compare(pos_, len, keyword) != 0) return false;
+      pos_ += len;
+      return true;
+    };
+    if (matches("true")) {
+      out->type = Value::Type::kBool;
+      out->boolean = true;
+      return Status::OK();
+    }
+    if (matches("false")) {
+      out->type = Value::Type::kBool;
+      out->boolean = false;
+      return Status::OK();
+    }
+    if (matches("null")) {
+      out->type = Value::Type::kNull;
+      return Status::OK();
+    }
+    return Error("unknown keyword");
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected value");
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("bad number");
+    out->type = Value::Type::kNumber;
+    out->number = value;
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(const std::string& text) { return Parser(text).Parse(); }
+
+}  // namespace json
+}  // namespace obs
+}  // namespace sfpm

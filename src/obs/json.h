@@ -1,0 +1,76 @@
+#ifndef SFPM_OBS_JSON_H_
+#define SFPM_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sfpm {
+namespace obs {
+namespace json {
+
+/// \brief Minimal JSON writer with comma/nesting management — enough for
+/// the run report, the Chrome trace, and the bench JSON, with zero
+/// dependencies. Keys and values are emitted in call order.
+class Writer {
+ public:
+  Writer& BeginObject();
+  Writer& EndObject();
+  Writer& BeginArray();
+  Writer& EndArray();
+  /// Starts a key inside an object; follow with a value or Begin* call.
+  Writer& Key(const std::string& key);
+  Writer& String(const std::string& value);
+  Writer& Number(double value);
+  Writer& Number(uint64_t value);
+  Writer& Number(int64_t value);
+  Writer& Bool(bool value);
+  Writer& Null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+  std::string out_;
+  /// One flag per open container: whether a value was already written.
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+/// Escapes a string for embedding between JSON quotes.
+std::string Escape(const std::string& text);
+
+/// \brief Parsed JSON value — a small closed variant. Object member order
+/// is preserved (the schema validator reports in document order).
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// First member with the given key, or nullptr.
+  const Value* Find(const std::string& key) const;
+};
+
+/// \brief Recursive-descent parser for the full JSON grammar (strings with
+/// \uXXXX escapes included). Exists so the report schema validator and the
+/// tests can read back what the writers emit without a third-party parser.
+Result<Value> Parse(const std::string& text);
+
+}  // namespace json
+}  // namespace obs
+}  // namespace sfpm
+
+#endif  // SFPM_OBS_JSON_H_

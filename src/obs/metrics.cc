@@ -1,0 +1,124 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace sfpm {
+namespace obs {
+
+size_t DenseThreadId() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Gauge::Set(double value) {
+  bits_.store(std::bit_cast<uint64_t>(value), std::memory_order_relaxed);
+}
+
+double Gauge::Value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  for (Shard& shard : shards_) {
+    shard.buckets =
+        std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+    for (size_t b = 0; b <= bounds_.size(); ++b) shard.buckets[b] = 0;
+  }
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Shard& shard = shards_[DenseThreadId() & (kMetricShards - 1)];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  // Per-shard CAS loop: uncontended in the single-shard-owner common case.
+  uint64_t old_bits = shard.sum_bits.load(std::memory_order_relaxed);
+  while (!shard.sum_bits.compare_exchange_weak(
+      old_bits, std::bit_cast<uint64_t>(std::bit_cast<double>(old_bits) + value),
+      std::memory_order_relaxed, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramData Histogram::Data() const {
+  HistogramData data;
+  data.bounds = bounds_;
+  data.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      data.counts[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    data.sum += std::bit_cast<double>(
+        shard.sum_bits.load(std::memory_order_relaxed));
+  }
+  for (uint64_t c : data.counts) data.count += c;
+  return data;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta = *this;
+  for (auto& [name, value] : delta.counters) {
+    const auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) value -= it->second;
+  }
+  for (auto& [name, data] : delta.histograms) {
+    const auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) continue;
+    for (size_t b = 0;
+         b < data.counts.size() && b < it->second.counts.size(); ++b) {
+      data.counts[b] -= it->second.counts[b];
+    }
+    data.count -= it->second.count;
+    data.sum -= it->second.sum;
+  }
+  return delta;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace(name, histogram->Data());
+  }
+  return snapshot;
+}
+
+}  // namespace obs
+}  // namespace sfpm

@@ -1,0 +1,159 @@
+#ifndef SFPM_OBS_METRICS_H_
+#define SFPM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sfpm {
+namespace obs {
+
+/// \brief Dense id of the calling thread, assigned on first use and stable
+/// for the thread's lifetime. The metric shard selector: with fewer live
+/// threads than kMetricShards (the ThreadPool caps out far below it in
+/// practice) every thread owns a private shard and an increment is one
+/// uncontended relaxed atomic add.
+size_t DenseThreadId();
+
+/// Shards per instrument. A power of two so the shard pick is a mask.
+inline constexpr size_t kMetricShards = 32;
+
+/// \brief Monotonic counter, thread-local sharded. `Add` is wait-free and
+/// uncontended on the hot path; `Value` sums the shards at read time.
+/// Aggregation is an exact integer sum, so a run that performs the same
+/// set of increments reports the same total at every thread count.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+    shards_[DenseThreadId() & (kMetricShards - 1)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const Shard& shard : shards_) {
+      sum += shard.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  /// Cache-line sized so two threads' shards never false-share.
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// \brief Last-writer-wins double value (thread counts, wall times). Not
+/// sharded: gauges are set at phase boundaries, not in hot loops. The
+/// value round-trips bit-exactly through the uint64 storage, which is
+/// what keeps the legacy `--stats` rendering byte-stable.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value);
+  double Value() const;
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Aggregated histogram state, also the snapshot/export representation.
+struct HistogramData {
+  /// Ascending finite *inclusive* upper bounds (Prometheus `le`
+  /// convention: bucket b counts observations <= bounds[b]); counts has
+  /// bounds.size() + 1 entries, the last one for observations above every
+  /// bound.
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;  ///< Total observations.
+  double sum = 0.0;    ///< Sum of observed values.
+};
+
+/// \brief Fixed-bucket histogram, sharded like Counter. An observation is
+/// one binary search over the (immutable) bounds plus two relaxed atomic
+/// updates on the calling thread's shard.
+///
+/// Bucket counts aggregate exactly. `sum` is a double accumulated per
+/// shard; observe from a deterministic context (one thread, fixed order)
+/// when bit-exact sums across thread counts matter — the extraction
+/// pipeline observes during its serial merge for exactly this reason.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+  HistogramData Data() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;
+    std::atomic<uint64_t> sum_bits{0};  ///< CAS-accumulated double.
+  };
+  std::vector<double> bounds_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// \brief Point-in-time copy of every instrument, ordered by name so every
+/// export (JSON report, bench counters, span deltas) is deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Counters and histogram buckets become `this - earlier` (instruments
+  /// absent from `earlier` count from zero); gauges keep their current
+  /// value. The delta of one run inside a long-lived process.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
+};
+
+/// \brief Process-wide named-instrument registry. Instruments are created
+/// on first use, live as long as the registry, and hand out stable
+/// references, so hot call sites can look a counter up once and increment
+/// forever. All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The registry every library instrument publishes to.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// On first use creates the histogram with `bounds` (ascending upper
+  /// bounds); later calls return the existing instrument regardless of the
+  /// bounds passed.
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace sfpm
+
+#endif  // SFPM_OBS_METRICS_H_

@@ -1,0 +1,123 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace sfpm {
+namespace obs {
+
+namespace {
+
+void WriteSpan(json::Writer* w, const TraceSpan& span) {
+  w->BeginObject();
+  w->Key("name").String(span.name);
+  w->Key("start_ms").Number(span.start_ms);
+  w->Key("dur_ms").Number(span.dur_ms);
+  w->Key("thread").Number(static_cast<uint64_t>(span.thread));
+  w->Key("depth").Number(static_cast<uint64_t>(span.depth));
+  if (span.parent == TraceSpan::kNoParent) {
+    w->Key("parent").Null();
+  } else {
+    w->Key("parent").Number(static_cast<uint64_t>(span.parent));
+  }
+  w->Key("attrs").BeginObject();
+  for (const auto& [key, value] : span.attrs) w->Key(key).Number(value);
+  w->EndObject();
+  w->Key("counters").BeginObject();
+  for (const auto& [name, delta] : span.counters) w->Key(name).Number(delta);
+  w->EndObject();
+  w->EndObject();
+}
+
+void WriteMetrics(json::Writer* w, const MetricsSnapshot& metrics) {
+  w->BeginObject();
+  w->Key("counters").BeginObject();
+  for (const auto& [name, value] : metrics.counters) {
+    w->Key(name).Number(value);
+  }
+  w->EndObject();
+  w->Key("gauges").BeginObject();
+  for (const auto& [name, value] : metrics.gauges) w->Key(name).Number(value);
+  w->EndObject();
+  w->Key("histograms").BeginObject();
+  for (const auto& [name, data] : metrics.histograms) {
+    w->Key(name).BeginObject();
+    w->Key("bounds").BeginArray();
+    for (double bound : data.bounds) w->Number(bound);
+    w->EndArray();
+    w->Key("counts").BeginArray();
+    for (uint64_t count : data.counts) w->Number(count);
+    w->EndArray();
+    w->Key("count").Number(data.count);
+    w->Key("sum").Number(data.sum);
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string RunReportToJson(const RunReport& report,
+                            const MetricsSnapshot& metrics,
+                            const std::vector<TraceSpan>& spans) {
+  json::Writer w;
+  w.BeginObject();
+  w.Key("sfpm_report_version").Number(static_cast<int64_t>(kRunReportVersion));
+  w.Key("tool").String(report.tool);
+  w.Key("command").String(report.command);
+  w.Key("config").BeginObject();
+  for (const auto& [key, value] : report.config) w.Key(key).String(value);
+  w.EndObject();
+  w.Key("spans").BeginArray();
+  for (const TraceSpan& span : spans) WriteSpan(&w, span);
+  w.EndArray();
+  w.Key("metrics");
+  WriteMetrics(&w, metrics);
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+std::string ChromeTraceJson(const std::vector<TraceSpan>& spans) {
+  json::Writer w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  for (const TraceSpan& span : spans) {
+    w.BeginObject();
+    w.Key("name").String(span.name);
+    w.Key("cat").String("sfpm");
+    w.Key("ph").String("X");
+    w.Key("ts").Number(span.start_ms * 1000.0);   // Microseconds.
+    w.Key("dur").Number(span.dur_ms * 1000.0);
+    w.Key("pid").Number(static_cast<int64_t>(1));
+    w.Key("tid").Number(static_cast<uint64_t>(span.thread));
+    w.Key("args").BeginObject();
+    for (const auto& [key, value] : span.attrs) w.Key(key).Number(value);
+    for (const auto& [name, delta] : span.counters) {
+      w.Key(name).Number(delta);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != content.size() || !close_ok) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace sfpm

@@ -1,0 +1,45 @@
+#ifndef SFPM_OBS_REPORT_H_
+#define SFPM_OBS_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace obs {
+
+/// Version stamp of the run-report JSON schema (see
+/// docs/OBSERVABILITY.md, "Run report schema").
+inline constexpr int kRunReportVersion = 1;
+
+/// \brief Identity of one CLI run — what produced the numbers. The
+/// metrics and spans are passed separately at write time so the report
+/// captures exactly the run's delta.
+struct RunReport {
+  std::string tool;     ///< "extract", "mine", ...
+  std::string command;  ///< The full command line, for reproduction.
+  std::vector<std::pair<std::string, std::string>> config;  ///< Parsed flags.
+};
+
+/// Renders the machine-readable run report:
+/// `{sfpm_report_version, tool, command, config, spans, metrics}`.
+std::string RunReportToJson(const RunReport& report,
+                            const MetricsSnapshot& metrics,
+                            const std::vector<TraceSpan>& spans);
+
+/// Renders the spans as Chrome `trace_event` JSON — loads directly in
+/// about:tracing and Perfetto. Complete ("X") events with microsecond
+/// timestamps; span attributes and counter deltas land in `args`.
+std::string ChromeTraceJson(const std::vector<TraceSpan>& spans);
+
+/// Writes `content` to `path` (the reports are small; no streaming).
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace obs
+}  // namespace sfpm
+
+#endif  // SFPM_OBS_REPORT_H_

@@ -1,0 +1,116 @@
+#include "obs/trace.h"
+
+#include "util/strings.h"
+
+namespace sfpm {
+namespace obs {
+
+namespace {
+
+/// The calling thread's stack of open span indices for `tracer`. Spans are
+/// RAII-balanced, so a stack always drains back to empty; entries for dead
+/// tracers are therefore empty and harmless.
+std::vector<size_t>& OpenStack(const Tracer* tracer) {
+  thread_local std::vector<std::pair<const Tracer*, std::vector<size_t>>>
+      stacks;
+  for (auto& [owner, stack] : stacks) {
+    if (owner == tracer) return stack;
+  }
+  stacks.emplace_back(tracer, std::vector<size_t>{});
+  return stacks.back().second;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer(&MetricsRegistry::Global());
+  return *tracer;
+}
+
+Tracer::Span Tracer::StartSpan(std::string name) {
+  Span span;
+  if (!enabled()) return span;
+  if (registry_ != nullptr) span.begin_ = registry_->Snapshot();
+  std::vector<size_t>& stack = OpenStack(this);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    TraceSpan record;
+    record.name = std::move(name);
+    record.start_ms = SinceEpochMs();
+    record.thread = DenseThreadId();
+    record.parent = stack.empty() ? TraceSpan::kNoParent : stack.back();
+    record.depth = stack.size();
+    span.index_ = spans_.size();
+    spans_.push_back(std::move(record));
+  }
+  span.tracer_ = this;
+  stack.push_back(span.index_);
+  return span;
+}
+
+void Tracer::Span::SetAttr(const std::string& key, double value) {
+  if (tracer_ == nullptr) return;
+  const std::lock_guard<std::mutex> lock(tracer_->mu_);
+  tracer_->spans_[index_].attrs.emplace_back(key, value);
+}
+
+void Tracer::Span::End() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  tracer->EndSpan(index_, begin_);
+  std::vector<size_t>& stack = OpenStack(tracer);
+  if (!stack.empty() && stack.back() == index_) {
+    stack.pop_back();
+  } else {
+    std::erase(stack, index_);  // Out-of-order End(); keep nesting sane.
+  }
+}
+
+void Tracer::EndSpan(size_t index, const MetricsSnapshot& begin) {
+  MetricsSnapshot end;
+  if (registry_ != nullptr) end = registry_->Snapshot();
+  const std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan& span = spans_[index];
+  span.dur_ms = SinceEpochMs() - span.start_ms;
+  if (registry_ != nullptr) {
+    for (const auto& [name, value] : end.counters) {
+      const auto it = begin.counters.find(name);
+      const uint64_t before = it == begin.counters.end() ? 0 : it->second;
+      if (value != before) span.counters.emplace_back(name, value - before);
+    }
+  }
+}
+
+std::vector<TraceSpan> Tracer::spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void Tracer::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  epoch_ = Clock::now();
+}
+
+std::string Tracer::ToTreeString() const {
+  const std::vector<TraceSpan> spans = this->spans();
+  std::string out;
+  for (const TraceSpan& span : spans) {
+    std::string label = std::string(span.depth * 2, ' ') + span.name;
+    if (label.size() < 42) label.resize(42, ' ');
+    out += StrFormat("%s %9.2f ms", label.c_str(), span.dur_ms);
+    for (const auto& [key, value] : span.attrs) {
+      out += StrFormat("  %s=%g", key.c_str(), value);
+    }
+    for (const auto& [name, delta] : span.counters) {
+      out += StrFormat("  +%s=%llu", name.c_str(),
+                       static_cast<unsigned long long>(delta));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sfpm

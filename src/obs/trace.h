@@ -1,0 +1,118 @@
+#ifndef SFPM_OBS_TRACE_H_
+#define SFPM_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sfpm {
+namespace obs {
+
+/// \brief One completed phase span. `parent` indexes into the tracer's
+/// span list (kNoParent for roots); `counters` holds the registry counter
+/// deltas that accrued while the span was open — the "what did this phase
+/// actually do" attachment of the run report.
+struct TraceSpan {
+  static constexpr size_t kNoParent = static_cast<size_t>(-1);
+
+  std::string name;     ///< Hierarchical path, e.g. "mine/support/k=2".
+  double start_ms = 0;  ///< Since the tracer's epoch (construction/Clear).
+  double dur_ms = 0;
+  size_t thread = 0;    ///< DenseThreadId of the opening thread.
+  size_t depth = 0;
+  size_t parent = kNoParent;
+  std::vector<std::pair<std::string, double>> attrs;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+};
+
+/// \brief Collects nested phase spans. Disabled by default so library
+/// instrumentation costs one atomic load per phase in normal runs and
+/// long-running processes (benches mining in a loop) accumulate nothing;
+/// the CLI enables the global tracer when `--report`/`--trace` is given.
+///
+/// Spans may be opened from any thread; nesting is tracked per thread.
+/// When a registry is attached, every span records the delta of its
+/// counters between open and close.
+class Tracer {
+ public:
+  explicit Tracer(MetricsRegistry* registry = nullptr)
+      : registry_(registry), epoch_(Clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The tracer the library phases report to, attached to
+  /// MetricsRegistry::Global(). Starts disabled.
+  static Tracer& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// RAII span handle. A handle from a disabled tracer is an inert no-op.
+  /// Ends at destruction unless End() was called first.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept {
+      End();
+      tracer_ = other.tracer_;
+      index_ = other.index_;
+      begin_ = std::move(other.begin_);
+      other.tracer_ = nullptr;
+      other.index_ = TraceSpan::kNoParent;
+      return *this;
+    }
+    ~Span() { End(); }
+
+    /// Attaches a numeric attribute (thread count, scale, ...).
+    void SetAttr(const std::string& key, double value);
+    /// Closes the span; idempotent.
+    void End();
+
+   private:
+    friend class Tracer;
+    Tracer* tracer_ = nullptr;
+    size_t index_ = TraceSpan::kNoParent;
+    MetricsSnapshot begin_;  ///< Counter values when the span opened.
+  };
+
+  /// Opens a span nested under the calling thread's innermost open span.
+  Span StartSpan(std::string name);
+
+  /// Copies the spans recorded so far (completed ones have dur_ms set).
+  std::vector<TraceSpan> spans() const;
+
+  /// Drops all spans and restarts the epoch.
+  void Clear();
+
+  /// Indented human-readable tree of the recorded spans.
+  std::string ToTreeString() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  double SinceEpochMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - epoch_)
+        .count();
+  }
+  void EndSpan(size_t index, const MetricsSnapshot& begin);
+
+  std::atomic<bool> enabled_{false};
+  MetricsRegistry* registry_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  Clock::time_point epoch_;
+};
+
+}  // namespace obs
+}  // namespace sfpm
+
+#endif  // SFPM_OBS_TRACE_H_

@@ -1,0 +1,40 @@
+#include "util/args.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace sfpm {
+
+namespace {
+
+/// A token introduces a flag only when "--" is followed by a non-numeric
+/// name. "--5" / "---3" / "--2.5" are numeric values (negative sweeps,
+/// seeds), not flags named "5".
+bool IsFlagToken(const char* token) {
+  if (std::strncmp(token, "--", 2) != 0) return false;
+  const char* name = token + 2;
+  if (*name == '-' || *name == '+') ++name;  // Signed numeric value.
+  return !std::isdigit(static_cast<unsigned char>(*name));
+}
+
+}  // namespace
+
+Args::Args(int argc, char** argv) {
+  for (int i = 0; i < argc; ++i) {
+    if (IsFlagToken(argv[i])) {
+      const std::string flag = argv[i] + 2;
+      const size_t eq = flag.find('=');
+      if (eq != std::string::npos) {  // --flag=value
+        values_[flag.substr(0, eq)].push_back(flag.substr(eq + 1));
+      } else if (i + 1 < argc && !IsFlagToken(argv[i + 1])) {
+        values_[flag].push_back(argv[++i]);
+      } else {
+        values_[flag].push_back("");  // Boolean flag.
+      }
+    } else {
+      positional_.push_back(argv[i]);
+    }
+  }
+}
+
+}  // namespace sfpm

@@ -1,0 +1,53 @@
+#ifndef SFPM_UTIL_ARGS_H_
+#define SFPM_UTIL_ARGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sfpm {
+
+/// \brief Minimal `--flag value` / `--flag=value` command-line parser
+/// (the `sfpm` CLI's argument model). Flags may repeat; a flag followed
+/// by another flag (or nothing) is boolean-valued ("").
+///
+/// Numeric tokens are never flags: `--5` (dashes followed by a digit,
+/// with or without sign) is a *value*, so `--seed -5` and sweeps like
+/// `--offset --5` parse as intended instead of the number being swallowed
+/// as the next flag's absence.
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  bool Has(const std::string& flag) const { return values_.count(flag) > 0; }
+
+  /// First value of the flag, or `fallback` when absent.
+  std::string Get(const std::string& flag,
+                  const std::string& fallback = "") const {
+    const auto it = values_.find(flag);
+    return it == values_.end() ? fallback : it->second.front();
+  }
+
+  /// Every value of a repeated flag, in command-line order.
+  std::vector<std::string> All(const std::string& flag) const {
+    const auto it = values_.find(flag);
+    return it == values_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+  /// Non-flag tokens, in command-line order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Every parsed flag with its values — the raw material of the run
+  /// report's `config` object.
+  const std::map<std::string, std::vector<std::string>>& values() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::string>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sfpm
+
+#endif  // SFPM_UTIL_ARGS_H_

@@ -25,6 +25,19 @@ class Stopwatch {
   /// Elapsed time in microseconds.
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
 
+  /// Elapsed seconds since construction or the last Restart/Lap, then
+  /// restarts the clock — one call replaces the elapsed-read + Restart
+  /// pair at phase boundaries, with no gap between the two readings.
+  double Lap() {
+    const Clock::time_point now = Clock::now();
+    const double seconds = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return seconds;
+  }
+
+  /// Lap() in milliseconds.
+  double LapMillis() { return Lap() * 1e3; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

@@ -1,0 +1,123 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sfpm {
+namespace obs {
+namespace json {
+namespace {
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  Writer w;
+  w.BeginObject()
+      .Key("s").String("hi")
+      .Key("n").Number(uint64_t{42})
+      .Key("d").Number(1.5)
+      .Key("b").Bool(true)
+      .Key("z").Null()
+      .EndObject();
+  EXPECT_EQ(w.str(), "{\"s\":\"hi\",\"n\":42,\"d\":1.5,\"b\":true,\"z\":null}");
+}
+
+TEST(JsonWriterTest, NestedContainersManageCommas) {
+  Writer w;
+  w.BeginObject().Key("a").BeginArray().Number(uint64_t{1}).Number(uint64_t{2})
+      .BeginObject().Key("k").String("v").EndObject().EndArray().EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":[1,2,{\"k\":\"v\"}]}");
+}
+
+TEST(JsonWriterTest, EscapesControlCharactersAndQuotes) {
+  Writer w;
+  w.String("a\"b\\c\n\t\x01");
+  EXPECT_EQ(w.str(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+TEST(JsonWriterTest, DoublesRoundTrip) {
+  Writer w;
+  w.BeginArray().Number(0.1).Number(1e300).Number(-2.5).EndArray();
+  const auto parsed = Parse(w.str());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().array.size(), 3u);
+  EXPECT_EQ(parsed.value().array[0].number, 0.1);
+  EXPECT_EQ(parsed.value().array[1].number, 1e300);
+  EXPECT_EQ(parsed.value().array[2].number, -2.5);
+}
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_EQ(Parse("null").value().type, Value::Type::kNull);
+  EXPECT_TRUE(Parse("true").value().boolean);
+  EXPECT_FALSE(Parse("false").value().boolean);
+  EXPECT_EQ(Parse("-12.5e1").value().number, -125.0);
+  EXPECT_EQ(Parse("\"text\"").value().string, "text");
+}
+
+TEST(JsonParseTest, ParsesNestedStructures) {
+  const auto parsed = Parse(R"({"a": [1, {"b": "c"}], "d": {"e": null}})");
+  ASSERT_TRUE(parsed.ok());
+  const Value& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  const Value* a = root.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 2u);
+  EXPECT_EQ(a->array[0].number, 1.0);
+  EXPECT_EQ(a->array[1].Find("b")->string, "c");
+  EXPECT_EQ(root.Find("d")->Find("e")->type, Value::Type::kNull);
+}
+
+TEST(JsonParseTest, PreservesMemberOrder) {
+  const auto parsed = Parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(parsed.ok());
+  const Value& root = parsed.value();
+  ASSERT_EQ(root.object.size(), 3u);
+  EXPECT_EQ(root.object[0].first, "z");
+  EXPECT_EQ(root.object[1].first, "a");
+  EXPECT_EQ(root.object[2].first, "m");
+}
+
+TEST(JsonParseTest, DecodesEscapesAndUnicode) {
+  const auto simple = Parse(R"("a\"\\\/\n\t")");
+  ASSERT_TRUE(simple.ok());
+  EXPECT_EQ(simple.value().string, "a\"\\/\n\t");
+
+  // \uXXXX escapes decode to UTF-8: A (1 byte), e-acute (2), euro (3).
+  const auto unicode = Parse(R"("\u0041\u00e9\u20ac")");
+  ASSERT_TRUE(unicode.ok());
+  EXPECT_EQ(unicode.value().string, "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("[1] trailing").ok());
+  EXPECT_FALSE(Parse("nul").ok());
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  Writer w;
+  w.BeginObject()
+      .Key("name").String("extract")
+      .Key("metrics").BeginObject()
+          .Key("relate.calls").Number(uint64_t{431})
+          .Key("millis").Number(2.125)
+      .EndObject()
+      .Key("spans").BeginArray().EndArray()
+      .EndObject();
+  const auto parsed = Parse(w.str());
+  ASSERT_TRUE(parsed.ok());
+  const Value& root = parsed.value();
+  EXPECT_EQ(root.Find("name")->string, "extract");
+  EXPECT_EQ(root.Find("metrics")->Find("relate.calls")->number, 431.0);
+  EXPECT_EQ(root.Find("metrics")->Find("millis")->number, 2.125);
+  EXPECT_TRUE(root.Find("spans")->is_array());
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace obs
+}  // namespace sfpm

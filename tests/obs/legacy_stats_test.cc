@@ -1,0 +1,191 @@
+// The migration contract of the four stats structs: each run publishes its
+// counters to the global metrics registry, and the legacy structs are thin
+// views reconstructed from a registry delta — byte-identical ToString
+// output, bit-exact counters at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/apriori.h"
+#include "core/fpgrowth.h"
+#include "core/transaction_db.h"
+#include "feature/extractor.h"
+#include "feature/feature.h"
+#include "geom/geometry.h"
+#include "obs/metrics.h"
+
+namespace sfpm {
+namespace {
+
+using core::AprioriOptions;
+using core::MiningStats;
+using core::TransactionDb;
+using feature::ExtractionStats;
+using feature::Layer;
+using feature::PredicateExtractor;
+using geom::LinearRing;
+using geom::Point;
+using geom::Polygon;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+
+Polygon Square(double x0, double y0, double size) {
+  return Polygon(LinearRing(
+      {{x0, y0}, {x0 + size, y0}, {x0 + size, y0 + size}, {x0, y0 + size}}));
+}
+
+/// A small scene with fast-path hits and full-engine refinements.
+struct Scene {
+  Layer districts{"district"};
+  Layer slums{"slum"};
+  Layer schools{"school"};
+
+  Scene() {
+    for (int i = 0; i < 6; ++i) {
+      districts.Add(Square(i * 10.0, 0, 10),
+                    {{"name", "d" + std::to_string(i)}});
+    }
+    for (int i = 0; i < 6; ++i) {
+      slums.Add(Square(i * 10.0 + 2, 2, 2));   // Strictly inside district i.
+      slums.Add(Square(i * 10.0 + 8, 4, 4));   // Straddles i and i+1.
+    }
+    for (int i = 0; i < 6; ++i) {
+      schools.Add(Point(i * 10.0 + 5, 5));
+    }
+  }
+};
+
+TransactionDb MiningDb() {
+  TransactionDb db;
+  const core::ItemId a = db.AddItem("a");
+  const core::ItemId b = db.AddItem("b");
+  const core::ItemId c = db.AddItem("c");
+  const core::ItemId d = db.AddItem("d");
+  const core::ItemId e = db.AddItem("e");
+  for (int t = 0; t < 40; ++t) {
+    std::vector<core::ItemId> items{a};
+    if (t % 2 == 0) items.push_back(b);
+    if (t % 3 == 0) items.push_back(c);
+    if (t % 4 == 0) items.push_back(d);
+    if (t % 2 == 0 && t % 3 == 0) items.push_back(e);
+    db.AddTransaction(items);
+  }
+  return db;
+}
+
+ExtractionStats RunExtraction(size_t threads, MetricsSnapshot* delta) {
+  Scene scene;
+  PredicateExtractor extractor(&scene.districts);
+  extractor.AddRelevantLayer(&scene.slums);
+  extractor.AddRelevantLayer(&scene.schools);
+  feature::ExtractorOptions options;
+  options.parallelism = threads;
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  ExtractionStats stats;
+  const auto table = extractor.Extract(options, &stats);
+  EXPECT_TRUE(table.ok());
+  *delta = MetricsRegistry::Global().Snapshot().DeltaSince(before);
+  return stats;
+}
+
+TEST(LegacyStatsViewTest, ExtractionStatsRoundTripsByteStable) {
+  MetricsSnapshot delta;
+  const ExtractionStats in_run = RunExtraction(1, &delta);
+  const ExtractionStats view = ExtractionStats::FromMetrics(delta);
+  EXPECT_EQ(view.ToString(), in_run.ToString());
+  EXPECT_EQ(view.rows, in_run.rows);
+  EXPECT_EQ(view.threads, in_run.threads);
+  EXPECT_EQ(view.envelope_candidates, in_run.envelope_candidates);
+  EXPECT_EQ(view.total_millis, in_run.total_millis);  // Bit-exact double.
+  EXPECT_EQ(view.relate.calls, in_run.relate.calls);
+  EXPECT_EQ(view.relate.fast_disjoint, in_run.relate.fast_disjoint);
+  EXPECT_EQ(view.relate.miss_boundary, in_run.relate.miss_boundary);
+}
+
+// The registry aggregates per-thread shards by exact integer sums, so the
+// same work reports the same counters at every thread count — including
+// the histogram, which the extractor observes during its serial merge.
+TEST(LegacyStatsViewTest, ExtractionCountersBitExactAcrossThreadCounts) {
+  MetricsSnapshot serial_delta;
+  MetricsSnapshot parallel_delta;
+  const ExtractionStats serial = RunExtraction(1, &serial_delta);
+  const ExtractionStats parallel = RunExtraction(4, &parallel_delta);
+  ASSERT_EQ(serial.threads, 1u);
+  ASSERT_EQ(parallel.threads, 4u);
+
+  EXPECT_EQ(serial_delta.counters, parallel_delta.counters);
+  const auto& serial_hist =
+      serial_delta.histograms.at("extract.row.envelope_candidates");
+  const auto& parallel_hist =
+      parallel_delta.histograms.at("extract.row.envelope_candidates");
+  EXPECT_EQ(serial_hist.counts, parallel_hist.counts);
+  EXPECT_EQ(serial_hist.count, parallel_hist.count);
+  EXPECT_EQ(serial_hist.sum, parallel_hist.sum);  // Bit-exact: serial merge.
+}
+
+TEST(LegacyStatsViewTest, MiningStatsRoundTripsByteStable) {
+  const TransactionDb db = MiningDb();
+  AprioriOptions options;
+  options.min_support = 0.25;
+  options.parallelism = 1;
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  const auto mined = core::MineApriori(db, options);
+  ASSERT_TRUE(mined.ok());
+  const MetricsSnapshot delta =
+      MetricsRegistry::Global().Snapshot().DeltaSince(before);
+
+  const MiningStats& in_run = mined.value().stats();
+  const MiningStats view = MiningStats::FromMetrics(delta);
+  EXPECT_EQ(view.ToString(), in_run.ToString());
+  ASSERT_EQ(view.passes.size(), in_run.passes.size());
+  for (size_t i = 0; i < view.passes.size(); ++i) {
+    EXPECT_EQ(view.passes[i].k, in_run.passes[i].k);
+    EXPECT_EQ(view.passes[i].candidates, in_run.passes[i].candidates);
+    EXPECT_EQ(view.passes[i].filtered_candidates,
+              in_run.passes[i].filtered_candidates);
+    EXPECT_EQ(view.passes[i].frequent, in_run.passes[i].frequent);
+    EXPECT_EQ(view.passes[i].millis, in_run.passes[i].millis);
+    EXPECT_EQ(view.passes[i].count_millis, in_run.passes[i].count_millis);
+    EXPECT_EQ(view.passes[i].and_word_ops, in_run.passes[i].and_word_ops);
+    EXPECT_EQ(view.passes[i].prefix_hits, in_run.passes[i].prefix_hits);
+    EXPECT_EQ(view.passes[i].prefix_misses, in_run.passes[i].prefix_misses);
+  }
+  EXPECT_EQ(view.total_frequent, in_run.total_frequent);
+  EXPECT_EQ(view.total_frequent_ge2, in_run.total_frequent_ge2);
+  EXPECT_EQ(view.total_millis, in_run.total_millis);
+  EXPECT_EQ(view.threads, in_run.threads);
+  EXPECT_EQ(view.and_word_ops, in_run.and_word_ops);
+  EXPECT_EQ(view.prefix_hits, in_run.prefix_hits);
+  EXPECT_EQ(view.prefix_misses, in_run.prefix_misses);
+}
+
+TEST(LegacyStatsViewTest, FpGrowthPublishesTotals) {
+  const TransactionDb db = MiningDb();
+  AprioriOptions options;
+  options.min_support = 0.25;
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  const auto mined = core::MineFpGrowth(db, options);
+  ASSERT_TRUE(mined.ok());
+  const MetricsSnapshot delta =
+      MetricsRegistry::Global().Snapshot().DeltaSince(before);
+
+  EXPECT_EQ(delta.counters.at("mine.total_frequent"),
+            mined.value().stats().total_frequent);
+  EXPECT_GT(delta.counters.at("fpgrowth.trees"), 0u);
+  EXPECT_GT(delta.counters.at("fpgrowth.nodes"), 0u);
+  const MiningStats view = MiningStats::FromMetrics(delta);
+  EXPECT_EQ(view.ToString(), mined.value().stats().ToString());
+}
+
+TEST(LegacyStatsViewTest, RtreeQueryCountersMove) {
+  MetricsSnapshot delta;
+  RunExtraction(1, &delta);
+  EXPECT_GT(delta.counters.at("rtree.queries"), 0u);
+  EXPECT_GT(delta.counters.at("rtree.query.node_visits"), 0u);
+  EXPECT_GT(delta.counters.at("rtree.query.leaf_hits"), 0u);
+}
+
+}  // namespace
+}  // namespace sfpm

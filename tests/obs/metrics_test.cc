@@ -1,0 +1,172 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace sfpm {
+namespace obs {
+namespace {
+
+TEST(MetricsTest, CounterStartsAtZeroAndAdds) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("test.counter");
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(MetricsTest, GetCounterReturnsStableReference) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("same");
+  Counter& b = registry.GetCounter("same");
+  EXPECT_EQ(&a, &b);
+  a.Add(7);
+  EXPECT_EQ(b.Value(), 7u);
+}
+
+// The sharding contract: N threads x M increments aggregate to exactly
+// N*M — integer sums lose nothing regardless of interleaving or which
+// shard each thread lands on.
+TEST(MetricsTest, ShardedCounterAggregatesExactly) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("sharded");
+  constexpr size_t kThreads = 8;
+  constexpr size_t kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (size_t i = 0; i < kIncrements; ++i) counter.Add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kIncrements);
+}
+
+// Readers racing writers must stay data-race free (exercised under TSan by
+// the check.sh sanitizer stage) and never observe a value above the final
+// total.
+TEST(MetricsTest, ConcurrentReadsDuringWrites) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("raced");
+  constexpr size_t kThreads = 4;
+  constexpr size_t kIncrements = 20000;
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&counter] {
+      for (size_t i = 0; i < kIncrements; ++i) counter.Add();
+    });
+  }
+  uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t value = counter.Value();
+    EXPECT_LE(value, kThreads * kIncrements);
+    EXPECT_GE(value, last);  // Monotonic: increments are never lost.
+    last = value;
+  }
+  for (std::thread& thread : writers) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kIncrements);
+}
+
+TEST(MetricsTest, GaugeRoundTripsDoublesExactly) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.GetGauge("gauge");
+  EXPECT_EQ(gauge.Value(), 0.0);
+  const double values[] = {1.0, -0.0, 3.141592653589793, 1e-300, 17.25};
+  for (const double v : values) {
+    gauge.Set(v);
+    EXPECT_EQ(gauge.Value(), v);
+  }
+  gauge.Set(123.456);
+  EXPECT_EQ(gauge.Value(), 123.456);  // Bit-exact, not approximately.
+}
+
+TEST(MetricsTest, HistogramBucketsAndSum) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.GetHistogram("hist", {1.0, 10.0, 100.0});
+  hist.Observe(0.5);    // <= 1
+  hist.Observe(1.0);    // <= 1 (upper bounds are inclusive)
+  hist.Observe(5.0);    // <= 10
+  hist.Observe(99.0);   // <= 100
+  hist.Observe(1000.0); // overflow bucket
+  const HistogramData data = hist.Data();
+  ASSERT_EQ(data.bounds.size(), 3u);
+  ASSERT_EQ(data.counts.size(), 4u);
+  EXPECT_EQ(data.counts[0], 2u);
+  EXPECT_EQ(data.counts[1], 1u);
+  EXPECT_EQ(data.counts[2], 1u);
+  EXPECT_EQ(data.counts[3], 1u);
+  EXPECT_EQ(data.count, 5u);
+  EXPECT_DOUBLE_EQ(data.sum, 0.5 + 1.0 + 5.0 + 99.0 + 1000.0);
+}
+
+TEST(MetricsTest, HistogramShardedCountsAggregateExactly) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.GetHistogram("sharded_hist", {10.0});
+  constexpr size_t kThreads = 6;
+  constexpr size_t kObservations = 5000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      for (size_t i = 0; i < kObservations; ++i) hist.Observe(1.0);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const HistogramData data = hist.Data();
+  EXPECT_EQ(data.count, kThreads * kObservations);
+  EXPECT_EQ(data.counts[0], kThreads * kObservations);
+  EXPECT_EQ(data.sum, static_cast<double>(kThreads * kObservations));
+}
+
+TEST(MetricsTest, SnapshotCapturesEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Add(3);
+  registry.GetGauge("g").Set(2.5);
+  registry.GetHistogram("h", {1.0}).Observe(0.5);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.count("c"), 1u);
+  EXPECT_EQ(snapshot.counters.at("c"), 3u);
+  ASSERT_EQ(snapshot.gauges.count("g"), 1u);
+  EXPECT_EQ(snapshot.gauges.at("g"), 2.5);
+  ASSERT_EQ(snapshot.histograms.count("h"), 1u);
+  EXPECT_EQ(snapshot.histograms.at("h").count, 1u);
+}
+
+TEST(MetricsTest, DeltaSinceSubtractsCountersKeepsGauges) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Add(10);
+  registry.GetGauge("g").Set(1.0);
+  registry.GetHistogram("h", {5.0}).Observe(1.0);
+  const MetricsSnapshot before = registry.Snapshot();
+
+  registry.GetCounter("c").Add(7);
+  registry.GetCounter("fresh").Add(2);  // Born after the first snapshot.
+  registry.GetGauge("g").Set(9.0);
+  registry.GetHistogram("h", {5.0}).Observe(2.0);
+  const MetricsSnapshot delta = registry.Snapshot().DeltaSince(before);
+
+  EXPECT_EQ(delta.counters.at("c"), 7u);
+  EXPECT_EQ(delta.counters.at("fresh"), 2u);
+  EXPECT_EQ(delta.gauges.at("g"), 9.0);  // Gauges keep the current value.
+  EXPECT_EQ(delta.histograms.at("h").count, 1u);
+  EXPECT_EQ(delta.histograms.at("h").sum, 2.0);
+}
+
+TEST(MetricsTest, DenseThreadIdStablePerThread) {
+  const size_t here = DenseThreadId();
+  EXPECT_EQ(DenseThreadId(), here);
+  size_t other = here;
+  std::thread([&other] { other = DenseThreadId(); }).join();
+  EXPECT_NE(other, here);
+}
+
+TEST(MetricsTest, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sfpm

@@ -1,0 +1,136 @@
+#include "obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/json.h"
+
+namespace sfpm {
+namespace obs {
+namespace {
+
+/// Builds a registry + tracer with a representative run recorded.
+struct FakeRun {
+  MetricsRegistry registry;
+  Tracer tracer{&registry};
+  MetricsSnapshot delta;
+  std::vector<TraceSpan> spans;
+
+  FakeRun() {
+    tracer.set_enabled(true);
+    const MetricsSnapshot before = registry.Snapshot();
+    {
+      Tracer::Span outer = tracer.StartSpan("extract");
+      outer.SetAttr("threads", 2.0);
+      registry.GetCounter("relate.calls").Add(431);
+      registry.GetGauge("extract.total_millis").Set(2.125);
+      registry.GetHistogram("extract.row.envelope_candidates", {1.0, 10.0})
+          .Observe(4.0);
+      Tracer::Span inner = tracer.StartSpan("extract/join");
+    }
+    delta = registry.Snapshot().DeltaSince(before);
+    spans = tracer.spans();
+  }
+};
+
+TEST(ReportTest, RunReportJsonHasSchemaFields) {
+  FakeRun run;
+  RunReport report;
+  report.tool = "extract";
+  report.command = "sfpm extract --out t.csv";
+  report.config = {{"out", "t.csv"}, {"threads", "2"}};
+
+  const std::string text = RunReportToJson(report, run.delta, run.spans);
+  const auto parsed = json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+
+  const json::Value* version = root.Find("sfpm_report_version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->number, static_cast<double>(kRunReportVersion));
+  EXPECT_EQ(root.Find("tool")->string, "extract");
+  EXPECT_EQ(root.Find("command")->string, "sfpm extract --out t.csv");
+
+  const json::Value* config = root.Find("config");
+  ASSERT_NE(config, nullptr);
+  ASSERT_TRUE(config->is_object());
+  EXPECT_EQ(config->Find("out")->string, "t.csv");
+  EXPECT_EQ(config->Find("threads")->string, "2");
+
+  const json::Value* spans = root.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->is_array());
+  ASSERT_EQ(spans->array.size(), 2u);
+  const json::Value& outer = spans->array[0];
+  EXPECT_EQ(outer.Find("name")->string, "extract");
+  EXPECT_EQ(outer.Find("parent")->type, json::Value::Type::kNull);
+  EXPECT_EQ(outer.Find("depth")->number, 0.0);
+  EXPECT_NE(outer.Find("start_ms"), nullptr);
+  EXPECT_NE(outer.Find("dur_ms"), nullptr);
+  EXPECT_EQ(outer.Find("attrs")->Find("threads")->number, 2.0);
+  EXPECT_EQ(outer.Find("counters")->Find("relate.calls")->number, 431.0);
+  const json::Value& inner = spans->array[1];
+  EXPECT_EQ(inner.Find("name")->string, "extract/join");
+  EXPECT_EQ(inner.Find("parent")->number, 0.0);
+
+  const json::Value* metrics = root.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->Find("counters")->Find("relate.calls")->number, 431.0);
+  EXPECT_EQ(metrics->Find("gauges")->Find("extract.total_millis")->number,
+            2.125);
+  const json::Value* hist =
+      metrics->Find("histograms")->Find("extract.row.envelope_candidates");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_TRUE(hist->Find("bounds")->is_array());
+  ASSERT_EQ(hist->Find("bounds")->array.size(), 2u);
+  ASSERT_EQ(hist->Find("counts")->array.size(), 3u);
+  EXPECT_EQ(hist->Find("counts")->array[1].number, 1.0);  // 4.0 <= 10.
+  EXPECT_EQ(hist->Find("count")->number, 1.0);
+  EXPECT_EQ(hist->Find("sum")->number, 4.0);
+}
+
+TEST(ReportTest, ChromeTraceJsonSchemaRoot) {
+  FakeRun run;
+  const std::string text = ChromeTraceJson(run.spans);
+  const auto parsed = json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value& root = parsed.value();
+  EXPECT_EQ(root.Find("displayTimeUnit")->string, "ms");
+  ASSERT_TRUE(root.Find("traceEvents")->is_array());
+  EXPECT_EQ(root.Find("traceEvents")->array.size(), 2u);
+}
+
+TEST(ReportTest, EmptyRunStillValid) {
+  MetricsRegistry registry;
+  RunReport report;
+  report.tool = "mine";
+  const std::string text =
+      RunReportToJson(report, registry.Snapshot(), {});
+  const auto parsed = json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().Find("spans")->array.empty());
+  EXPECT_TRUE(parsed.value().Find("metrics")->Find("counters")->object.empty());
+}
+
+TEST(ReportTest, WriteTextFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/obs_report_test.json";
+  ASSERT_TRUE(WriteTextFile(path, "{\"ok\": true}").ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buffer[64] = {};
+  const size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buffer, read), "{\"ok\": true}");
+}
+
+TEST(ReportTest, WriteTextFileFailsOnBadPath) {
+  EXPECT_FALSE(WriteTextFile("/nonexistent_dir_xyz/file.json", "{}").ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sfpm

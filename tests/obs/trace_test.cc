@@ -1,0 +1,196 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace sfpm {
+namespace obs {
+namespace {
+
+const TraceSpan* FindSpan(const std::vector<TraceSpan>& spans,
+                          const std::string& name) {
+  for (const TraceSpan& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+TEST(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  {
+    Tracer::Span span = tracer.StartSpan("phase");
+    span.SetAttr("x", 1.0);
+  }
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(TraceTest, RecordsNestedSpansWithParents) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Tracer::Span outer = tracer.StartSpan("outer");
+    {
+      Tracer::Span inner = tracer.StartSpan("inner");
+      Tracer::Span innermost = tracer.StartSpan("inner/leaf");
+    }
+    Tracer::Span sibling = tracer.StartSpan("sibling");
+  }
+  const std::vector<TraceSpan> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+
+  const TraceSpan* outer = FindSpan(spans, "outer");
+  const TraceSpan* inner = FindSpan(spans, "inner");
+  const TraceSpan* leaf = FindSpan(spans, "inner/leaf");
+  const TraceSpan* sibling = FindSpan(spans, "sibling");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(leaf, nullptr);
+  ASSERT_NE(sibling, nullptr);
+
+  EXPECT_EQ(outer->parent, TraceSpan::kNoParent);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(spans[inner->parent].name, "outer");
+  EXPECT_EQ(inner->depth, 1u);
+  EXPECT_EQ(spans[leaf->parent].name, "inner");
+  EXPECT_EQ(leaf->depth, 2u);
+  // The sibling opened after inner closed, so it nests under outer.
+  EXPECT_EQ(spans[sibling->parent].name, "outer");
+  EXPECT_EQ(sibling->depth, 1u);
+
+  for (const TraceSpan& span : spans) {
+    EXPECT_GE(span.dur_ms, 0.0);
+    EXPECT_GE(span.start_ms, 0.0);
+  }
+}
+
+TEST(TraceTest, SpanAttrsAreRecorded) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Tracer::Span span = tracer.StartSpan("with_attrs");
+    span.SetAttr("threads", 4.0);
+    span.SetAttr("rows", 110.0);
+  }
+  const std::vector<TraceSpan> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].attrs.size(), 2u);
+  EXPECT_EQ(spans[0].attrs[0].first, "threads");
+  EXPECT_EQ(spans[0].attrs[0].second, 4.0);
+  EXPECT_EQ(spans[0].attrs[1].first, "rows");
+  EXPECT_EQ(spans[0].attrs[1].second, 110.0);
+}
+
+TEST(TraceTest, SpanRecordsCounterDeltas) {
+  MetricsRegistry registry;
+  registry.GetCounter("work.before").Add(100);
+  Tracer tracer(&registry);
+  tracer.set_enabled(true);
+  {
+    Tracer::Span span = tracer.StartSpan("work");
+    registry.GetCounter("work.items").Add(42);
+    registry.GetCounter("work.before").Add(5);
+  }
+  const std::vector<TraceSpan> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  // Only counters that moved during the span appear, as deltas.
+  ASSERT_EQ(spans[0].counters.size(), 2u);
+  EXPECT_EQ(spans[0].counters[0].first, "work.before");
+  EXPECT_EQ(spans[0].counters[0].second, 5u);
+  EXPECT_EQ(spans[0].counters[1].first, "work.items");
+  EXPECT_EQ(spans[0].counters[1].second, 42u);
+}
+
+TEST(TraceTest, EndIsIdempotentAndMoveSafe) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  Tracer::Span span = tracer.StartSpan("once");
+  span.End();
+  span.End();  // No double record.
+  Tracer::Span moved = std::move(span);
+  moved.End();
+  EXPECT_EQ(tracer.spans().size(), 1u);
+}
+
+TEST(TraceTest, SpansFromDifferentThreadsNestIndependently) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Tracer::Span main_span = tracer.StartSpan("main_phase");
+    std::thread([&tracer] {
+      Tracer::Span worker_span = tracer.StartSpan("worker_phase");
+    }).join();
+  }
+  const std::vector<TraceSpan> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const TraceSpan* worker = FindSpan(spans, "worker_phase");
+  ASSERT_NE(worker, nullptr);
+  // Nesting is per thread: the worker's span is a root, not a child of the
+  // main thread's open span.
+  EXPECT_EQ(worker->parent, TraceSpan::kNoParent);
+  EXPECT_EQ(worker->depth, 0u);
+}
+
+TEST(TraceTest, ClearDropsSpans) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  { Tracer::Span span = tracer.StartSpan("gone"); }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(TraceTest, ToTreeStringIndentsByDepth) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Tracer::Span outer = tracer.StartSpan("outer");
+    Tracer::Span inner = tracer.StartSpan("inner");
+  }
+  const std::string tree = tracer.ToTreeString();
+  EXPECT_NE(tree.find("outer"), std::string::npos);
+  EXPECT_NE(tree.find("  inner"), std::string::npos);
+}
+
+TEST(TraceTest, ChromeTraceJsonParsesAndHasEvents) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    Tracer::Span outer = tracer.StartSpan("outer");
+    outer.SetAttr("scale", 2.0);
+    Tracer::Span inner = tracer.StartSpan("inner");
+  }
+  const std::string trace = ChromeTraceJson(tracer.spans());
+  const auto parsed = json::Parse(trace);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  const json::Value* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+  for (const json::Value& event : events->array) {
+    ASSERT_TRUE(event.is_object());
+    const json::Value* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    EXPECT_EQ(ph->string, "X");
+    EXPECT_NE(event.Find("ts"), nullptr);
+    EXPECT_NE(event.Find("dur"), nullptr);
+    EXPECT_NE(event.Find("pid"), nullptr);
+    EXPECT_NE(event.Find("tid"), nullptr);
+  }
+  const json::Value* args = events->array[0].Find("args");
+  ASSERT_NE(args, nullptr);
+  const json::Value* scale = args->Find("scale");
+  ASSERT_NE(scale, nullptr);
+  EXPECT_EQ(scale->number, 2.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sfpm

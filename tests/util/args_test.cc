@@ -1,0 +1,95 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sfpm {
+namespace {
+
+/// Builds argv-style storage from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> tokens) : tokens_(std::move(tokens)) {
+    for (std::string& token : tokens_) pointers_.push_back(token.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::vector<char*> pointers_;
+};
+
+TEST(ArgsTest, FlagValuePairs) {
+  Argv argv({"--table", "t.csv", "--minsup", "0.1"});
+  const Args args(argv.argc(), argv.argv());
+  EXPECT_TRUE(args.Has("table"));
+  EXPECT_EQ(args.Get("table"), "t.csv");
+  EXPECT_EQ(args.Get("minsup"), "0.1");
+  EXPECT_EQ(args.Get("absent", "fallback"), "fallback");
+  EXPECT_FALSE(args.Has("absent"));
+}
+
+TEST(ArgsTest, EqualsSyntaxAndRepeats) {
+  Argv argv({"--relevant=a.csv", "--relevant", "b.csv", "--relevant=c.csv"});
+  const Args args(argv.argc(), argv.argv());
+  const std::vector<std::string> want = {"a.csv", "b.csv", "c.csv"};
+  EXPECT_EQ(args.All("relevant"), want);
+}
+
+TEST(ArgsTest, BooleanFlagBeforeAnotherFlag) {
+  Argv argv({"--stats", "--out", "x.csv", "--directions"});
+  const Args args(argv.argc(), argv.argv());
+  EXPECT_TRUE(args.Has("stats"));
+  EXPECT_EQ(args.Get("stats"), "");
+  EXPECT_EQ(args.Get("out"), "x.csv");
+  EXPECT_TRUE(args.Has("directions"));
+}
+
+// Regression: a negative number after a flag is that flag's value, not a
+// mysterious flag of its own — `sfpm generate-city --seed -5` must see
+// seed="-5".
+TEST(ArgsTest, NegativeNumberIsAValue) {
+  Argv argv({"--seed", "-5", "--n", "-2"});
+  const Args args(argv.argc(), argv.argv());
+  EXPECT_EQ(args.Get("seed"), "-5");
+  EXPECT_EQ(args.Get("n"), "-2");
+}
+
+// Regression: `--5`-style tokens (double dash followed by digits, with or
+// without a sign) are numeric values, not flags named "5" — they attach to
+// the preceding flag instead of opening a new one.
+TEST(ArgsTest, DashDashDigitsIsAValue) {
+  Argv argv({"--offset", "--5", "--delta", "--2.5", "--shift", "---3"});
+  const Args args(argv.argc(), argv.argv());
+  EXPECT_EQ(args.Get("offset"), "--5");
+  EXPECT_EQ(args.Get("delta"), "--2.5");
+  EXPECT_EQ(args.Get("shift"), "---3");
+}
+
+TEST(ArgsTest, PositionalTokens) {
+  Argv argv({"input.csv", "--out", "x.csv", "other.csv"});
+  const Args args(argv.argc(), argv.argv());
+  const std::vector<std::string> want = {"input.csv", "other.csv"};
+  EXPECT_EQ(args.positional(), want);
+}
+
+TEST(ArgsTest, ValuesExposesEveryFlag) {
+  Argv argv({"--a", "1", "--b=2", "--c"});
+  const Args args(argv.argc(), argv.argv());
+  ASSERT_EQ(args.values().size(), 3u);
+  EXPECT_EQ(args.values().at("a"), std::vector<std::string>{"1"});
+  EXPECT_EQ(args.values().at("b"), std::vector<std::string>{"2"});
+  EXPECT_EQ(args.values().at("c"), std::vector<std::string>{""});
+}
+
+TEST(ArgsTest, TrailingFlagIsBoolean) {
+  Argv argv({"--out", "x.csv", "--stats"});
+  const Args args(argv.argc(), argv.argv());
+  EXPECT_TRUE(args.Has("stats"));
+  EXPECT_EQ(args.Get("stats"), "");
+}
+
+}  // namespace
+}  // namespace sfpm

@@ -1,0 +1,58 @@
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace sfpm {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch watch;
+  const double a = watch.ElapsedSeconds();
+  const double b = watch.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(StopwatchTest, UnitsAgree) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double seconds = watch.ElapsedSeconds();
+  EXPECT_GE(watch.ElapsedMillis(), seconds * 1e3);
+  EXPECT_GE(watch.ElapsedMicros(), seconds * 1e6);
+}
+
+TEST(StopwatchTest, LapReturnsElapsedAndRestarts) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double first = watch.Lap();
+  EXPECT_GE(first, 0.004);
+  // The clock restarted at the Lap, so the running elapsed must be smaller
+  // than the first lap's reading taken right after.
+  EXPECT_LT(watch.ElapsedSeconds(), first);
+}
+
+TEST(StopwatchTest, ConsecutiveLapsCoverTheWholeInterval) {
+  Stopwatch total;
+  Stopwatch lapper;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double lap1 = lapper.Lap();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double lap2 = lapper.Lap();
+  // Laps tile the interval with no gap: their sum can't exceed the total
+  // elapsed time measured around them.
+  EXPECT_LE(lap1 + lap2, total.ElapsedSeconds());
+  EXPECT_GT(lap1, 0.0);
+  EXPECT_GT(lap2, 0.0);
+}
+
+TEST(StopwatchTest, LapMillisScales) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  EXPECT_GE(watch.LapMillis(), 2.0);
+}
+
+}  // namespace
+}  // namespace sfpm

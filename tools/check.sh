@@ -30,8 +30,10 @@ cmake --build build-tsan -j"${jobs}"
 # TSAN_OPTIONS makes any reported race fail the test process.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 if [[ "${1:-}" == "--quick" ]]; then
+  # Metrics/Trace/LegacyStats cover the sharded registry and tracer under
+  # concurrent writers.
   ctest --test-dir build-tsan --output-on-failure -j"${jobs}" \
-    -R 'ThreadPool|Parallelism|ParallelDeterminism|Extractor|Apriori|Pipeline'
+    -R 'ThreadPool|Parallelism|ParallelDeterminism|Extractor|Apriori|Pipeline|Metrics|Trace|LegacyStats'
 else
   ctest --test-dir build-tsan --output-on-failure -j"${jobs}"
 fi
@@ -46,11 +48,17 @@ export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 if [[ "${1:-}" == "--quick" ]]; then
   # The hot paths this repo optimizes: relate fast path, prepared
-  # geometry, extraction, support counting.
+  # geometry, extraction, support counting — plus the obs layer (metrics
+  # registry, tracer, JSON, report emitter).
   ctest --test-dir build-asan --output-on-failure -j"${jobs}" \
-    -R 'Prepared|Relate|Extractor|Apriori|Pipeline'
+    -R 'Prepared|Relate|Extractor|Apriori|Pipeline|Metrics|Trace|Json|Report|Args|Stopwatch|LegacyStats'
 else
   ctest --test-dir build-asan --output-on-failure -j"${jobs}"
 fi
+
+echo "== Observability artifacts =="
+# The cli_report ctest (Release tree) runs `sfpm extract`/`mine` with
+# --report/--trace and validates every artifact with sfpm_report_check.
+ctest --test-dir build --output-on-failure -R '^cli_report$'
 
 echo "== All checks passed =="

@@ -1,0 +1,56 @@
+# End-to-end observability artifacts: run extract and mine with --report
+# and --trace, then validate every artifact with sfpm_report_check. Also
+# checks that --stats still renders (from the registry) and prints its
+# one-time deprecation note.
+file(MAKE_DIRECTORY ${WORK_DIR})
+execute_process(
+  COMMAND ${SFPM_CLI} generate-city --seed 7 --out-prefix ${WORK_DIR}/r_
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate-city failed")
+endif()
+
+execute_process(
+  COMMAND ${SFPM_CLI} extract
+    --reference district=${WORK_DIR}/r_district.csv
+    --relevant slum=${WORK_DIR}/r_slum.csv
+    --relevant school=${WORK_DIR}/r_school.csv
+    --out ${WORK_DIR}/r_table.csv
+    --stats
+    --report ${WORK_DIR}/r_extract.json
+    --trace ${WORK_DIR}/r_extract.trace.json
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "extract --report failed: ${err}")
+endif()
+string(FIND "${err}" "--stats is deprecated" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "extract --stats missing deprecation note: ${err}")
+endif()
+
+execute_process(
+  COMMAND ${SFPM_CLI} mine --table ${WORK_DIR}/r_table.csv
+    --minsup 0.15 --filter kc+
+    --report ${WORK_DIR}/r_mine.json
+    --trace ${WORK_DIR}/r_mine.trace.json
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "mine --report failed: ${err}")
+endif()
+
+foreach(artifact r_extract.json r_mine.json)
+  execute_process(
+    COMMAND ${SFPM_CHECK} report ${WORK_DIR}/${artifact}
+    RESULT_VARIABLE rc ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${artifact} failed schema validation: ${err}")
+  endif()
+endforeach()
+foreach(artifact r_extract.trace.json r_mine.trace.json)
+  execute_process(
+    COMMAND ${SFPM_CHECK} trace ${WORK_DIR}/${artifact}
+    RESULT_VARIABLE rc ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${artifact} failed schema validation: ${err}")
+  endif()
+endforeach()

@@ -12,8 +12,12 @@
 // --threads defaults to the hardware concurrency (or SFPM_THREADS when
 // set); --threads 0 forces the hardware concurrency; --threads 1 runs the
 // original serial code path. Outputs are identical at every thread count.
-// --stats (extract and mine) prints run counters to stderr, including the
-// relate fast-path and prefix-cache hit rates.
+// --report out.json (extract and mine) writes a machine-readable run
+// report (config, phase spans, every registry instrument); --trace
+// out.trace.json writes the phase spans as Chrome trace_event JSON for
+// about:tracing / Perfetto. --stats still prints the legacy run counters
+// to stderr (now rendered from the metrics registry) but is deprecated in
+// favor of --report. See docs/OBSERVABILITY.md.
 //   sfpm gain     --t 2,2,2 --n 2
 //   sfpm table3
 //   sfpm generate-city [--seed N] --out-prefix dir/city_
@@ -23,7 +27,6 @@
 // io/table_io.h.
 
 #include <cstdio>
-#include <cstring>
 #include <map>
 #include <optional>
 #include <string>
@@ -35,51 +38,16 @@
 #include "io/geojson.h"
 #include "io/layer_io.h"
 #include "io/table_io.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "sfpm.h"
+#include "util/args.h"
 #include "util/strings.h"
 
 namespace {
 
 using namespace sfpm;
-
-/// Minimal --flag value parser: flags may repeat.
-class Args {
- public:
-  Args(int argc, char** argv) {
-    for (int i = 0; i < argc; ++i) {
-      if (std::strncmp(argv[i], "--", 2) == 0) {
-        const std::string flag = argv[i] + 2;
-        const size_t eq = flag.find('=');
-        if (eq != std::string::npos) {  // --flag=value
-          values_[flag.substr(0, eq)].push_back(flag.substr(eq + 1));
-        } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-          values_[flag].push_back(argv[++i]);
-        } else {
-          values_[flag].push_back("");  // Boolean flag.
-        }
-      } else {
-        positional_.push_back(argv[i]);
-      }
-    }
-  }
-
-  bool Has(const std::string& flag) const { return values_.count(flag) > 0; }
-
-  std::string Get(const std::string& flag,
-                  const std::string& fallback = "") const {
-    const auto it = values_.find(flag);
-    return it == values_.end() ? fallback : it->second.front();
-  }
-
-  std::vector<std::string> All(const std::string& flag) const {
-    const auto it = values_.find(flag);
-    return it == values_.end() ? std::vector<std::string>{} : it->second;
-  }
-
- private:
-  std::map<std::string, std::vector<std::string>> values_;
-  std::vector<std::string> positional_;
-};
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -114,6 +82,70 @@ Result<size_t> ParseThreads(const Args& args) {
     return Status::InvalidArgument("bad --threads value");
   }
 }
+
+/// One-time stderr note steering --stats users to --report.
+void WarnStatsDeprecated() {
+  static bool warned = false;
+  if (warned) return;
+  warned = true;
+  std::fprintf(stderr,
+               "note: --stats is deprecated; use --report out.json (and "
+               "--trace out.trace.json) for machine-readable run data\n");
+}
+
+/// Observability of one CLI run: enables the global tracer when --report
+/// or --trace asks for spans, snapshots the registry up front so the
+/// artifacts capture exactly this run's delta, and writes them in Finish.
+class RunObservability {
+ public:
+  RunObservability(std::string tool, std::string command, const Args& args)
+      : tool_(std::move(tool)),
+        command_(std::move(command)),
+        report_path_(args.Get("report")),
+        trace_path_(args.Get("trace")) {
+    if (!report_path_.empty() || !trace_path_.empty()) {
+      obs::Tracer::Global().set_enabled(true);
+    }
+    for (const auto& [flag, values] : args.values()) {
+      for (const std::string& value : values) {
+        config_.emplace_back(flag, value);
+      }
+    }
+    begin_ = obs::MetricsRegistry::Global().Snapshot();
+  }
+
+  /// The run's registry delta: counters since construction, gauges current.
+  obs::MetricsSnapshot Delta() const {
+    return obs::MetricsRegistry::Global().Snapshot().DeltaSince(begin_);
+  }
+
+  /// Writes the --report / --trace artifacts, when requested.
+  Status Finish() const {
+    if (report_path_.empty() && trace_path_.empty()) return Status::OK();
+    const std::vector<obs::TraceSpan> spans = obs::Tracer::Global().spans();
+    if (!report_path_.empty()) {
+      obs::RunReport report;
+      report.tool = tool_;
+      report.command = command_;
+      report.config = config_;
+      SFPM_RETURN_NOT_OK(obs::WriteTextFile(
+          report_path_, obs::RunReportToJson(report, Delta(), spans)));
+    }
+    if (!trace_path_.empty()) {
+      SFPM_RETURN_NOT_OK(
+          obs::WriteTextFile(trace_path_, obs::ChromeTraceJson(spans)));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string tool_;
+  std::string command_;
+  std::string report_path_;
+  std::string trace_path_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  obs::MetricsSnapshot begin_;
+};
 
 /// Parses "type=path" pairs.
 Result<std::pair<std::string, std::string>> SplitTypePath(
@@ -155,7 +187,7 @@ Result<qsr::DistanceQuantizer> ParseBands(const std::string& spec) {
   return qsr::DistanceQuantizer::Create(std::move(bounds), beyond);
 }
 
-int RunExtract(const Args& args) {
+int RunExtract(const Args& args, const std::string& command_line) {
   const auto ref_spec = SplitTypePath(args.Get("reference"));
   if (!ref_spec.ok()) return Fail(ref_spec.status());
   const auto reference =
@@ -196,13 +228,19 @@ int RunExtract(const Args& args) {
     }
   }
 
-  feature::ExtractionStats stats;
-  const auto table = extractor.Extract(
-      options, args.Has("stats") ? &stats : nullptr);
+  const RunObservability observability("extract", command_line, args);
+  const auto table = extractor.Extract(options);
   if (!table.ok()) return Fail(table.status());
   if (args.Has("stats")) {
+    WarnStatsDeprecated();
+    // Rendered from the registry delta — byte-identical to the text the
+    // in-run struct produced (the struct is reconstructed field for field).
+    const feature::ExtractionStats stats =
+        feature::ExtractionStats::FromMetrics(observability.Delta());
     std::fprintf(stderr, "%s\n", stats.ToString().c_str());
   }
+  const Status obs_status = observability.Finish();
+  if (!obs_status.ok()) return Fail(obs_status);
 
   const std::string out = args.Get("out");
   if (out.empty()) {
@@ -217,7 +255,7 @@ int RunExtract(const Args& args) {
   return 0;
 }
 
-int RunMine(const Args& args) {
+int RunMine(const Args& args, const std::string& command_line) {
   const auto table = io::LoadTable(args.Get("table"));
   if (!table.ok()) return Fail(table.status());
 
@@ -255,14 +293,22 @@ int RunMine(const Args& args) {
   }
 
   const std::string algorithm = args.Get("algorithm", "apriori");
+  const RunObservability observability("mine", command_line, args);
   Result<core::AprioriResult> mined =
       algorithm == "fpgrowth"
           ? core::MineFpGrowth(table.value().db(), options)
           : core::MineApriori(table.value().db(), options);
   if (!mined.ok()) return Fail(mined.status());
   if (args.Has("stats")) {
-    std::fprintf(stderr, "%s\n", mined.value().stats().ToString().c_str());
+    WarnStatsDeprecated();
+    // Rendered from the registry delta — byte-identical to
+    // mined.value().stats().ToString() (see tests/obs/legacy_stats_test).
+    const core::MiningStats stats =
+        core::MiningStats::FromMetrics(observability.Delta());
+    std::fprintf(stderr, "%s\n", stats.ToString().c_str());
   }
+  const Status obs_status = observability.Finish();
+  if (!obs_status.ok()) return Fail(obs_status);
 
   std::vector<core::FrequentItemset> itemsets = mined.value().itemsets();
   const char* family = "frequent";
@@ -393,9 +439,14 @@ int RunGenerateCity(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  std::string command_line = "sfpm";
+  for (int i = 1; i < argc; ++i) {
+    command_line += ' ';
+    command_line += argv[i];
+  }
   const Args args(argc - 2, argv + 2);
-  if (command == "extract") return RunExtract(args);
-  if (command == "mine") return RunMine(args);
+  if (command == "extract") return RunExtract(args, command_line);
+  if (command == "mine") return RunMine(args, command_line);
   if (command == "gain") return RunGain(args);
   if (command == "table3") return RunTable3();
   if (command == "generate-city") return RunGenerateCity(args);

@@ -1,0 +1,265 @@
+// Structural validator for the machine-readable run artifacts of the CLI:
+//
+//   sfpm_report_check report out.json        # --report artifact, schema v1
+//   sfpm_report_check trace out.trace.json   # --trace Chrome trace_event
+//
+// Exits 0 when the file parses as JSON and satisfies the schema described
+// in docs/OBSERVABILITY.md; prints every violation to stderr and exits 1
+// otherwise. Built on obs/json.h only — no external JSON-schema engine —
+// so CI (tools/check.sh and the cli_report ctest) can gate on report
+// validity without new dependencies.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace sfpm {
+namespace {
+
+using obs::json::Value;
+
+/// Collects violations so one run reports every problem, not just the first.
+class SchemaCheck {
+ public:
+  void Fail(const std::string& message) {
+    std::fprintf(stderr, "schema violation: %s\n", message.c_str());
+    ++failures_;
+  }
+
+  /// Finds a member of `parent` and checks its type; null return already
+  /// counted as a failure.
+  const Value* Member(const Value& parent, const std::string& key,
+                      Value::Type type, const std::string& where) {
+    const Value* member = parent.Find(key);
+    if (member == nullptr) {
+      Fail(where + ": missing member \"" + key + "\"");
+      return nullptr;
+    }
+    if (member->type != type) {
+      Fail(where + ": member \"" + key + "\" has wrong type");
+      return nullptr;
+    }
+    return member;
+  }
+
+  /// Every member of `object` must be a number.
+  void AllNumbers(const Value& object, const std::string& where) {
+    for (const auto& [key, value] : object.object) {
+      if (!value.is_number()) {
+        Fail(where + ": member \"" + key + "\" is not a number");
+      }
+    }
+  }
+
+  int failures() const { return failures_; }
+
+ private:
+  int failures_ = 0;
+};
+
+void CheckHistogram(SchemaCheck* check, const Value& hist,
+                    const std::string& where) {
+  const Value* bounds =
+      check->Member(hist, "bounds", Value::Type::kArray, where);
+  const Value* counts =
+      check->Member(hist, "counts", Value::Type::kArray, where);
+  const Value* count = check->Member(hist, "count", Value::Type::kNumber, where);
+  check->Member(hist, "sum", Value::Type::kNumber, where);
+  if (bounds == nullptr || counts == nullptr) return;
+  for (size_t i = 0; i + 1 < bounds->array.size(); ++i) {
+    if (!(bounds->array[i].number < bounds->array[i + 1].number)) {
+      check->Fail(where + ": bounds not strictly ascending");
+      break;
+    }
+  }
+  if (counts->array.size() != bounds->array.size() + 1) {
+    check->Fail(where + ": counts must have bounds.size() + 1 entries");
+  }
+  double total = 0.0;
+  for (const Value& bucket : counts->array) {
+    if (!bucket.is_number() || bucket.number < 0) {
+      check->Fail(where + ": bucket counts must be non-negative numbers");
+      return;
+    }
+    total += bucket.number;
+  }
+  if (count != nullptr && count->number != total) {
+    check->Fail(where + ": count does not equal the sum of bucket counts");
+  }
+}
+
+void CheckSpan(SchemaCheck* check, const Value& span, size_t index) {
+  const std::string where = "spans[" + std::to_string(index) + "]";
+  if (!span.is_object()) {
+    check->Fail(where + ": not an object");
+    return;
+  }
+  check->Member(span, "name", Value::Type::kString, where);
+  check->Member(span, "thread", Value::Type::kNumber, where);
+  const Value* start =
+      check->Member(span, "start_ms", Value::Type::kNumber, where);
+  const Value* dur = check->Member(span, "dur_ms", Value::Type::kNumber, where);
+  if (start != nullptr && start->number < 0) {
+    check->Fail(where + ": start_ms is negative");
+  }
+  if (dur != nullptr && dur->number < 0) {
+    check->Fail(where + ": dur_ms is negative");
+  }
+  const Value* depth = check->Member(span, "depth", Value::Type::kNumber, where);
+  const Value* parent = span.Find("parent");
+  if (parent == nullptr) {
+    check->Fail(where + ": missing member \"parent\"");
+  } else if (parent->type == Value::Type::kNull) {
+    if (depth != nullptr && depth->number != 0) {
+      check->Fail(where + ": root span must have depth 0");
+    }
+  } else if (!parent->is_number()) {
+    check->Fail(where + ": parent must be null or a span index");
+  } else if (parent->number < 0 ||
+             parent->number >= static_cast<double>(index)) {
+    check->Fail(where + ": parent must index an earlier span");
+  }
+  const Value* attrs = check->Member(span, "attrs", Value::Type::kObject, where);
+  if (attrs != nullptr) check->AllNumbers(*attrs, where + ".attrs");
+  const Value* counters =
+      check->Member(span, "counters", Value::Type::kObject, where);
+  if (counters != nullptr) check->AllNumbers(*counters, where + ".counters");
+}
+
+int CheckReport(const Value& root) {
+  SchemaCheck check;
+  if (!root.is_object()) {
+    check.Fail("report root is not an object");
+    return check.failures();
+  }
+  const Value* version = check.Member(root, "sfpm_report_version",
+                                      Value::Type::kNumber, "report");
+  if (version != nullptr &&
+      version->number != static_cast<double>(obs::kRunReportVersion)) {
+    check.Fail("unsupported sfpm_report_version");
+  }
+  check.Member(root, "tool", Value::Type::kString, "report");
+  check.Member(root, "command", Value::Type::kString, "report");
+  const Value* config =
+      check.Member(root, "config", Value::Type::kObject, "report");
+  if (config != nullptr) {
+    for (const auto& [key, value] : config->object) {
+      if (!value.is_string()) {
+        check.Fail("config member \"" + key + "\" is not a string");
+      }
+    }
+  }
+  const Value* spans =
+      check.Member(root, "spans", Value::Type::kArray, "report");
+  if (spans != nullptr) {
+    for (size_t i = 0; i < spans->array.size(); ++i) {
+      CheckSpan(&check, spans->array[i], i);
+    }
+  }
+  const Value* metrics =
+      check.Member(root, "metrics", Value::Type::kObject, "report");
+  if (metrics != nullptr) {
+    const Value* counters =
+        check.Member(*metrics, "counters", Value::Type::kObject, "metrics");
+    if (counters != nullptr) check.AllNumbers(*counters, "metrics.counters");
+    const Value* gauges =
+        check.Member(*metrics, "gauges", Value::Type::kObject, "metrics");
+    if (gauges != nullptr) check.AllNumbers(*gauges, "metrics.gauges");
+    const Value* histograms =
+        check.Member(*metrics, "histograms", Value::Type::kObject, "metrics");
+    if (histograms != nullptr) {
+      for (const auto& [name, hist] : histograms->object) {
+        if (!hist.is_object()) {
+          check.Fail("histogram \"" + name + "\" is not an object");
+          continue;
+        }
+        CheckHistogram(&check, hist, "metrics.histograms." + name);
+      }
+    }
+  }
+  return check.failures();
+}
+
+int CheckTrace(const Value& root) {
+  SchemaCheck check;
+  if (!root.is_object()) {
+    check.Fail("trace root is not an object");
+    return check.failures();
+  }
+  const Value* unit =
+      check.Member(root, "displayTimeUnit", Value::Type::kString, "trace");
+  if (unit != nullptr && unit->string != "ms" && unit->string != "ns") {
+    check.Fail("displayTimeUnit must be \"ms\" or \"ns\"");
+  }
+  const Value* events =
+      check.Member(root, "traceEvents", Value::Type::kArray, "trace");
+  if (events == nullptr) return check.failures();
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const std::string where = "traceEvents[" + std::to_string(i) + "]";
+    const Value& event = events->array[i];
+    if (!event.is_object()) {
+      check.Fail(where + ": not an object");
+      continue;
+    }
+    check.Member(event, "name", Value::Type::kString, where);
+    const Value* ph = check.Member(event, "ph", Value::Type::kString, where);
+    if (ph != nullptr && ph->string != "X") {
+      check.Fail(where + ": ph must be \"X\" (complete event)");
+    }
+    const Value* ts = check.Member(event, "ts", Value::Type::kNumber, where);
+    const Value* dur = check.Member(event, "dur", Value::Type::kNumber, where);
+    if (ts != nullptr && ts->number < 0) check.Fail(where + ": negative ts");
+    if (dur != nullptr && dur->number < 0) check.Fail(where + ": negative dur");
+    check.Member(event, "pid", Value::Type::kNumber, where);
+    check.Member(event, "tid", Value::Type::kNumber, where);
+    const Value* args = check.Member(event, "args", Value::Type::kObject, where);
+    if (args != nullptr) check.AllNumbers(*args, where + ".args");
+  }
+  return check.failures();
+}
+
+int Run(int argc, char** argv) {
+  if (argc != 3 || (std::string(argv[1]) != "report" &&
+                    std::string(argv[1]) != "trace")) {
+    std::fprintf(stderr, "usage: %s report|trace <file.json>\n", argv[0]);
+    return 2;
+  }
+  const std::string mode = argv[1];
+  const std::string path = argv[2];
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buffer[1 << 16];
+  size_t read;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, read);
+  }
+  std::fclose(f);
+
+  const auto parsed = obs::json::Parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: invalid JSON: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  const int failures = mode == "report" ? CheckReport(parsed.value())
+                                        : CheckTrace(parsed.value());
+  if (failures > 0) {
+    std::fprintf(stderr, "%s: %d schema violation(s)\n", path.c_str(),
+                 failures);
+    return 1;
+  }
+  std::printf("%s: valid %s\n", path.c_str(), mode.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sfpm
+
+int main(int argc, char** argv) { return sfpm::Run(argc, argv); }
