@@ -1,0 +1,34 @@
+#include "fuzz/fuzz_case.h"
+
+#include <cstdlib>
+
+namespace sfpm {
+namespace fuzz {
+
+core::TransactionDb FuzzCase::BuildDb() const {
+  core::TransactionDb db;
+  for (const auto& [label, key] : items) db.AddItem(label, key);
+  for (const std::vector<core::ItemId>& txn : transactions) {
+    db.AddTransaction(txn);
+  }
+  return db;
+}
+
+double FuzzCase::ParamDouble(const std::string& key, double fallback) const {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end == it->second.c_str()) ? fallback : v;
+}
+
+int64_t FuzzCase::ParamInt(const std::string& key, int64_t fallback) const {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end == it->second.c_str()) ? fallback : static_cast<int64_t>(v);
+}
+
+}  // namespace fuzz
+}  // namespace sfpm

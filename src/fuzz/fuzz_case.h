@@ -1,0 +1,55 @@
+#ifndef SFPM_FUZZ_FUZZ_CASE_H_
+#define SFPM_FUZZ_FUZZ_CASE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/transaction_db.h"
+#include "geom/geometry.h"
+
+namespace sfpm {
+namespace fuzz {
+
+/// \brief One fuzzing input: the self-contained payload an oracle checks.
+///
+/// A case carries either geometries, a transaction database, or both —
+/// whatever its oracle family consumes — plus free-form string parameters
+/// (mining thresholds, generator tier tags). Cases are value types: the
+/// shrinking reducer copies and mutates them freely, and the repro format
+/// (repro.h) round-trips every field, which is what makes a corpus file
+/// replayable forever with no other context.
+struct FuzzCase {
+  /// Oracle family that generated (and can re-check) this case.
+  std::string oracle;
+
+  /// Seed of the generator invocation that produced the case, recorded for
+  /// provenance (replays do not re-generate; they check the payload as-is).
+  uint64_t seed = 0;
+
+  /// Geometry payload, in the arity the oracle expects.
+  std::vector<geom::Geometry> geoms;
+
+  /// Transaction-db payload: (label, key) per item, then transactions as
+  /// item-index lists. Kept in this flat form (rather than a TransactionDb)
+  /// so the reducer can edit it structurally and the repro writer can dump
+  /// it as text.
+  std::vector<std::pair<std::string, std::string>> items;
+  std::vector<std::vector<core::ItemId>> transactions;
+
+  /// Free-form parameters (e.g. "min_support" -> "0.25").
+  std::map<std::string, std::string> params;
+
+  /// Materializes the item/transaction payload as a TransactionDb.
+  core::TransactionDb BuildDb() const;
+
+  /// Typed parameter accessors (fallback on absence or parse failure).
+  double ParamDouble(const std::string& key, double fallback) const;
+  int64_t ParamInt(const std::string& key, int64_t fallback) const;
+};
+
+}  // namespace fuzz
+}  // namespace sfpm
+
+#endif  // SFPM_FUZZ_FUZZ_CASE_H_

@@ -1,0 +1,182 @@
+#include "fuzz/fuzzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <utility>
+
+#include "fuzz/repro.h"
+#include "fuzz/shrink.h"
+
+namespace sfpm {
+namespace fuzz {
+
+namespace {
+
+/// SplitMix64 step — decorrelates (base seed, oracle, iteration) into a
+/// case seed so families never share generator streams.
+uint64_t MixSeed(uint64_t base, uint64_t lane, uint64_t i) {
+  uint64_t z = base + 0x9E3779B97F4A7C15ULL * (lane + 1) + i;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// The invariant tag is the message prefix up to the first ':' — the
+/// deduplication key, so one run records each distinct violated invariant
+/// once instead of thousands of copies of the same bug.
+std::string InvariantTag(const Status& status) {
+  const std::string& msg = status.message();
+  const size_t colon = msg.find(':');
+  return colon == std::string::npos ? msg : msg.substr(0, colon);
+}
+
+}  // namespace
+
+std::string FuzzReport::Summary() const {
+  std::string out = std::to_string(cases_checked) + " cases checked, " +
+                    std::to_string(failures.size()) + " invariant failure(s)";
+  for (const FuzzFailure& f : failures) {
+    out += "\n  [" + f.oracle + " seed=" + std::to_string(f.case_seed) +
+           "] " + f.violation.message();
+    if (!f.path.empty()) out += "\n    repro: " + f.path;
+  }
+  return out;
+}
+
+Result<FuzzReport> RunFuzzer(const FuzzOptions& options) {
+  std::vector<const Oracle*> oracles;
+  if (options.oracle_names.empty()) {
+    oracles = AllOracles();
+  } else {
+    for (const std::string& name : options.oracle_names) {
+      const Oracle* oracle = FindOracle(name);
+      if (oracle == nullptr) {
+        return Status::InvalidArgument("unknown oracle: " + name);
+      }
+      oracles.push_back(oracle);
+    }
+  }
+
+  if (!options.corpus_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.corpus_dir, ec);
+    if (ec) {
+      return Status::InvalidArgument("cannot create corpus dir " +
+                                     options.corpus_dir + ": " + ec.message());
+    }
+  }
+
+  FuzzReport report;
+  for (size_t lane = 0; lane < oracles.size(); ++lane) {
+    const Oracle* oracle = oracles[lane];
+    std::set<std::string> seen_invariants;
+    size_t failures_this_family = 0;
+    for (size_t i = 0; i < options.iterations; ++i) {
+      if (failures_this_family >= options.max_failures) break;
+      const uint64_t case_seed = MixSeed(options.seed, lane, i);
+      FuzzCase c = oracle->Generate(case_seed);
+      c.oracle = oracle->Name();
+      c.seed = case_seed;
+      ++report.cases_checked;
+      const Status st = oracle->Check(c);
+      if (st.ok()) continue;
+
+      FuzzFailure failure;
+      failure.oracle = oracle->Name();
+      failure.case_seed = case_seed;
+      failure.minimized = Shrink(*oracle, c, options.shrink_checks);
+      failure.violation = oracle->Check(failure.minimized);
+      if (failure.violation.ok()) {
+        // Shrinking must preserve the failure; a flip here is itself a
+        // finding (a flaky, state-dependent oracle) — record the original.
+        failure.minimized = c;
+        failure.violation = st;
+      }
+
+      // One recorded failure per violated invariant per family.
+      if (!seen_invariants.insert(InvariantTag(failure.violation)).second) {
+        continue;
+      }
+      ++failures_this_family;
+
+      if (!options.corpus_dir.empty()) {
+        const std::string path = options.corpus_dir + "/" + oracle->Name() +
+                                 "-" + std::to_string(case_seed) + ".repro";
+        const Status saved = SaveReproFile(
+            failure.minimized, path,
+            "found by sfpm_fuzz --seed " + std::to_string(options.seed) +
+                "\n" + failure.violation.message());
+        if (saved.ok()) failure.path = path;
+      }
+      report.failures.push_back(std::move(failure));
+    }
+  }
+  return report;
+}
+
+Status ReplayFile(const std::string& path) {
+  Result<FuzzCase> loaded = LoadReproFile(path);
+  if (!loaded.ok()) return loaded.status();
+  const Oracle* oracle = FindOracle(loaded.value().oracle);
+  if (oracle == nullptr) {
+    return Status::InvalidArgument(path + ": unknown oracle \"" +
+                                   loaded.value().oracle + "\"");
+  }
+  const Status st = oracle->Check(loaded.value());
+  if (!st.ok()) {
+    return Status(st.code(), path + ": " + st.message());
+  }
+  return Status::OK();
+}
+
+Result<FuzzReport> ReplayCorpus(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec) || ec) {
+    return Status::NotFound("corpus directory not found: " + dir);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".repro") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) return Status::NotFound("cannot list corpus: " + ec.message());
+  std::sort(paths.begin(), paths.end());
+
+  FuzzReport report;
+  for (const std::string& path : paths) {
+    ++report.cases_checked;
+    Result<FuzzCase> loaded = LoadReproFile(path);
+    if (!loaded.ok()) {
+      FuzzFailure failure;
+      failure.path = path;
+      failure.violation = loaded.status();
+      report.failures.push_back(std::move(failure));
+      continue;
+    }
+    const Oracle* oracle = FindOracle(loaded.value().oracle);
+    if (oracle == nullptr) {
+      FuzzFailure failure;
+      failure.path = path;
+      failure.violation = Status::InvalidArgument("unknown oracle \"" +
+                                                  loaded.value().oracle + "\"");
+      report.failures.push_back(std::move(failure));
+      continue;
+    }
+    const Status st = oracle->Check(loaded.value());
+    if (!st.ok()) {
+      FuzzFailure failure;
+      failure.oracle = oracle->Name();
+      failure.case_seed = loaded.value().seed;
+      failure.violation = st;
+      failure.minimized = std::move(loaded).value();
+      failure.path = path;
+      report.failures.push_back(std::move(failure));
+    }
+  }
+  return report;
+}
+
+}  // namespace fuzz
+}  // namespace sfpm

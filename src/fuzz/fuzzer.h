@@ -1,0 +1,80 @@
+#ifndef SFPM_FUZZ_FUZZER_H_
+#define SFPM_FUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_case.h"
+#include "fuzz/oracles.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace fuzz {
+
+/// \brief One fuzzing run's configuration.
+struct FuzzOptions {
+  /// Base seed. Case seeds are derived per (oracle, iteration), so one
+  /// base seed pins the entire run.
+  uint64_t seed = 2007;
+
+  /// Iterations per oracle family.
+  size_t iterations = 1000;
+
+  /// Stop a family after this many recorded failures (each failure is
+  /// shrunk, which costs up to `shrink_checks` extra oracle calls).
+  size_t max_failures = 8;
+
+  /// Per-failure shrinking budget in oracle invocations.
+  size_t shrink_checks = 2000;
+
+  /// When non-empty, minimized failures are written here as repro files
+  /// named `<oracle>-<case seed>.repro`.
+  std::string corpus_dir;
+
+  /// Families to run; empty = every registered oracle.
+  std::vector<std::string> oracle_names;
+};
+
+/// \brief One minimized failure.
+struct FuzzFailure {
+  std::string oracle;
+  uint64_t case_seed = 0;
+  Status violation;    ///< Check() status of the minimized case.
+  FuzzCase minimized;
+  std::string path;    ///< Corpus file written ("" when corpus_dir unset).
+};
+
+/// \brief Outcome of a fuzzing run or corpus replay.
+struct FuzzReport {
+  size_t cases_checked = 0;
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+
+  /// Multi-line human-readable summary.
+  std::string Summary() const;
+};
+
+/// \brief Runs every requested oracle family for `options.iterations`
+/// deterministic cases each; failures are shrunk, deduplicated by violated
+/// invariant, and (optionally) written to the corpus directory.
+///
+/// Returns InvalidArgument for an unknown oracle name. A report with
+/// failures is still an OK Result — the caller decides the exit code.
+Result<FuzzReport> RunFuzzer(const FuzzOptions& options);
+
+/// \brief Replays one repro file: parse, find its oracle, check.
+/// The returned status is OK exactly when the recorded invariant holds
+/// again (i.e. the bug is fixed).
+Status ReplayFile(const std::string& path);
+
+/// \brief Replays every `*.repro` file under `dir` (sorted by name).
+/// NotFound when the directory cannot be read; an empty directory is a
+/// valid, passing corpus.
+Result<FuzzReport> ReplayCorpus(const std::string& dir);
+
+}  // namespace fuzz
+}  // namespace sfpm
+
+#endif  // SFPM_FUZZ_FUZZER_H_

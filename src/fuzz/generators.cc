@@ -1,0 +1,541 @@
+#include "fuzz/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "geom/algorithms.h"
+
+namespace sfpm {
+namespace fuzz {
+
+using geom::Geometry;
+using geom::GeometryType;
+using geom::LinearRing;
+using geom::LineString;
+using geom::MultiLineString;
+using geom::MultiPoint;
+using geom::MultiPolygon;
+using geom::Point;
+using geom::Polygon;
+
+namespace {
+
+/// Translates every coordinate of `g` by (dx, dy).
+Geometry Translated(const Geometry& g, double dx, double dy);
+
+Point Moved(const Point& p, double dx, double dy) {
+  return Point(p.x + dx, p.y + dy);
+}
+
+std::vector<Point> MovedAll(const std::vector<Point>& pts, double dx,
+                            double dy) {
+  std::vector<Point> out;
+  out.reserve(pts.size());
+  for (const Point& p : pts) out.push_back(Moved(p, dx, dy));
+  return out;
+}
+
+Polygon MovedPolygon(const Polygon& poly, double dx, double dy) {
+  std::vector<LinearRing> holes;
+  for (const LinearRing& h : poly.holes()) {
+    holes.emplace_back(MovedAll(h.points(), dx, dy));
+  }
+  return Polygon(LinearRing(MovedAll(poly.shell().points(), dx, dy)),
+                 std::move(holes));
+}
+
+Geometry Translated(const Geometry& g, double dx, double dy) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      return Geometry(Moved(g.As<Point>(), dx, dy));
+    case GeometryType::kLineString:
+      return Geometry(LineString(MovedAll(g.As<LineString>().points(), dx, dy)));
+    case GeometryType::kPolygon:
+      return Geometry(MovedPolygon(g.As<Polygon>(), dx, dy));
+    case GeometryType::kMultiPoint:
+      return Geometry(MultiPoint(MovedAll(g.As<MultiPoint>().points(), dx, dy)));
+    case GeometryType::kMultiLineString: {
+      std::vector<LineString> lines;
+      for (const LineString& l : g.As<MultiLineString>().lines()) {
+        lines.emplace_back(MovedAll(l.points(), dx, dy));
+      }
+      return Geometry(MultiLineString(std::move(lines)));
+    }
+    case GeometryType::kMultiPolygon: {
+      std::vector<Polygon> polys;
+      for (const Polygon& p : g.As<MultiPolygon>().polygons()) {
+        polys.push_back(MovedPolygon(p, dx, dy));
+      }
+      return Geometry(MultiPolygon(std::move(polys)));
+    }
+  }
+  return g;
+}
+
+/// Scales `poly` about `center` by `factor` (factor > 0 keeps validity).
+Polygon ScaledPolygon(const Polygon& poly, const Point& center,
+                      double factor) {
+  auto scale_pts = [&](const std::vector<Point>& pts) {
+    std::vector<Point> out;
+    out.reserve(pts.size());
+    for (const Point& p : pts) {
+      out.emplace_back(center.x + (p.x - center.x) * factor,
+                       center.y + (p.y - center.y) * factor);
+    }
+    return out;
+  };
+  std::vector<LinearRing> holes;
+  for (const LinearRing& h : poly.holes()) {
+    holes.emplace_back(scale_pts(h.points()));
+  }
+  return Polygon(LinearRing(scale_pts(poly.shell().points())),
+                 std::move(holes));
+}
+
+/// Mirrors `g` across the vertical line x = axis_x. Ring orientation flips,
+/// which the engine does not normalize — a deliberate stressor.
+Geometry MirroredX(const Geometry& g, double axis_x) {
+  switch (g.type()) {
+    case GeometryType::kPoint: {
+      const Point& p = g.As<Point>();
+      return Geometry(Point(2 * axis_x - p.x, p.y));
+    }
+    case GeometryType::kLineString: {
+      std::vector<Point> pts;
+      for (const Point& p : g.As<LineString>().points()) {
+        pts.emplace_back(2 * axis_x - p.x, p.y);
+      }
+      return Geometry(LineString(std::move(pts)));
+    }
+    case GeometryType::kPolygon: {
+      std::vector<Point> pts;
+      for (const Point& p : g.As<Polygon>().shell().points()) {
+        pts.emplace_back(2 * axis_x - p.x, p.y);
+      }
+      return Geometry(Polygon(LinearRing(std::move(pts))));
+    }
+    default:
+      return Translated(g, 1.0, 0.0);  // Multi types: fall back to a shift.
+  }
+}
+
+}  // namespace
+
+Point GridPoint(Rng* rng, int span) {
+  return Point(static_cast<double>(rng->NextInt(-span, span)),
+               static_cast<double>(rng->NextInt(-span, span)));
+}
+
+Polygon GridConvexPolygon(Rng* rng, int span) {
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const size_t n = 3 + rng->NextUint64(8);
+    std::vector<Point> pts;
+    for (size_t i = 0; i < n; ++i) pts.push_back(GridPoint(rng, span));
+    LinearRing hull = geom::ConvexHull(pts);
+    if (hull.Area() > 0.0) return Polygon(std::move(hull));
+  }
+  // Degenerate luck: emit a unit square at a random lattice corner.
+  const Point c = GridPoint(rng, span);
+  return Polygon(LinearRing(
+      {c, Moved(c, 1, 0), Moved(c, 1, 1), Moved(c, 0, 1), c}));
+}
+
+Polygon BlobPolygon(Rng* rng, double scale) {
+  const Point center(rng->NextDouble(-scale, scale),
+                     rng->NextDouble(-scale, scale));
+  const int n = 4 + static_cast<int>(rng->NextUint64(9));
+  std::vector<Point> ring;
+  for (int i = 0; i < n; ++i) {
+    const double angle = 2 * M_PI * i / n;
+    const double radius = rng->NextDouble(0.3, 1.0) * scale;
+    ring.emplace_back(center.x + radius * std::cos(angle),
+                      center.y + radius * std::sin(angle));
+  }
+  return Polygon(LinearRing(std::move(ring)));
+}
+
+LineString GridPath(Rng* rng, int span) {
+  const size_t n = 2 + rng->NextUint64(5);
+  std::vector<Point> pts;
+  pts.push_back(GridPoint(rng, span));
+  while (pts.size() < n) {
+    const Point next = GridPoint(rng, span);
+    if (next != pts.back()) pts.push_back(next);
+  }
+  return LineString(std::move(pts));
+}
+
+Geometry GridGeometry(Rng* rng, int span) {
+  switch (rng->NextUint64(6)) {
+    case 0:
+      return Geometry(GridPoint(rng, span));
+    case 1: {
+      const size_t n = 1 + rng->NextUint64(5);
+      std::vector<Point> pts;
+      for (size_t i = 0; i < n; ++i) pts.push_back(GridPoint(rng, span));
+      return Geometry(MultiPoint(std::move(pts)));
+    }
+    case 2:
+      return Geometry(GridPath(rng, span));
+    case 3: {
+      // Two paths in horizontally disjoint bands, so the multilinestring
+      // honours the engine's non-self-overlap assumption.
+      const double shift = 2.0 * span + 2.0;
+      LineString a = GridPath(rng, span);
+      Geometry b = Translated(Geometry(GridPath(rng, span)), shift, 0.0);
+      return Geometry(
+          MultiLineString({std::move(a), b.As<LineString>()}));
+    }
+    case 4:
+      return Geometry(GridConvexPolygon(rng, span));
+    default: {
+      // Two convex parts in disjoint bands; occasionally share the band
+      // border so the parts touch along x = span (interiors stay disjoint).
+      const bool touching = rng->NextBool(0.3);
+      const double shift = touching ? 2.0 * span : 2.0 * span + 2.0;
+      Polygon a = GridConvexPolygon(rng, span);
+      Geometry b =
+          Translated(Geometry(GridConvexPolygon(rng, span)), shift, 0.0);
+      return Geometry(MultiPolygon({std::move(a), b.As<Polygon>()}));
+    }
+  }
+}
+
+void JitterGeometry(Rng* rng, double span, geom::Geometry* g) {
+  const double mag = span * std::pow(10.0, -rng->NextDouble(7.0, 15.0));
+  auto nudge = [&](std::vector<Point>* pts) {
+    for (Point& p : *pts) {
+      p.x += rng->NextDouble(-mag, mag);
+      p.y += rng->NextDouble(-mag, mag);
+    }
+  };
+  switch (g->type()) {
+    case GeometryType::kPoint: {
+      Point p = g->As<Point>();
+      p.x += rng->NextDouble(-mag, mag);
+      p.y += rng->NextDouble(-mag, mag);
+      *g = Geometry(p);
+      return;
+    }
+    case GeometryType::kLineString: {
+      std::vector<Point> pts = g->As<LineString>().points();
+      nudge(&pts);
+      *g = Geometry(LineString(std::move(pts)));
+      return;
+    }
+    case GeometryType::kPolygon: {
+      // Jitter the ring but keep it closed: nudge all but the closing
+      // vertex, then re-close.
+      std::vector<Point> pts = g->As<Polygon>().shell().points();
+      if (pts.size() < 2) return;
+      pts.pop_back();
+      nudge(&pts);
+      pts.push_back(pts.front());
+      *g = Geometry(Polygon(LinearRing(std::move(pts))));
+      return;
+    }
+    case GeometryType::kMultiPoint: {
+      std::vector<Point> pts = g->As<MultiPoint>().points();
+      nudge(&pts);
+      *g = Geometry(MultiPoint(std::move(pts)));
+      return;
+    }
+    default:
+      return;  // Multi line/polygon: left exact to preserve validity.
+  }
+}
+
+std::vector<Geometry> RandomGeometryPair(Rng* rng) {
+  const int span = 2 + static_cast<int>(rng->NextUint64(5));
+  Geometry a = GridGeometry(rng, span);
+
+  Geometry b;
+  switch (rng->NextUint64(8)) {
+    case 0:  // Independent draw.
+    case 1:
+      b = GridGeometry(rng, span);
+      break;
+    case 2:  // Exact copy: equals.
+      b = a;
+      break;
+    case 3: {  // Lattice translation: touching / overlapping / disjoint.
+      const double dx = static_cast<double>(rng->NextInt(-span, span));
+      const double dy = static_cast<double>(rng->NextInt(-span, span));
+      b = Translated(a, dx, dy);
+      break;
+    }
+    case 4:  // Mirror: shared axis vertices, flipped orientation.
+      b = MirroredX(a, static_cast<double>(rng->NextInt(-1, 1)));
+      break;
+    case 5: {  // Vertex reuse: geometry built from a's own vertices.
+      std::vector<Point> verts = geom::AllVertices(a);
+      if (verts.empty()) {
+        b = GridGeometry(rng, span);
+        break;
+      }
+      const Point pick = verts[rng->NextUint64(verts.size())];
+      if (rng->NextBool(0.5) || verts.size() < 2) {
+        b = Geometry(pick);
+      } else {
+        const Point pick2 = verts[rng->NextUint64(verts.size())];
+        if (pick2 == pick) {
+          b = Geometry(pick);
+        } else {
+          b = Geometry(LineString({pick, pick2}));
+        }
+      }
+      break;
+    }
+    case 6: {  // Nesting: scaled copy of a polygon about a lattice center.
+      if (a.Is<Polygon>()) {
+        const double factor = rng->NextBool(0.5) ? 0.5 : 2.0;
+        b = Geometry(ScaledPolygon(a.As<Polygon>(),
+                                   GridPoint(rng, 1), factor));
+      } else {
+        b = Geometry(GridConvexPolygon(rng, span));
+      }
+      break;
+    }
+    default:  // Blob tier: float polygon against the lattice geometry.
+      b = Geometry(BlobPolygon(rng, static_cast<double>(span)));
+      break;
+  }
+
+  std::vector<Geometry> pair;
+  pair.push_back(std::move(a));
+  pair.push_back(std::move(b));
+  if (rng->NextBool(0.33)) {
+    JitterGeometry(rng, static_cast<double>(span), &pair[0]);
+  }
+  if (rng->NextBool(0.33)) {
+    JitterGeometry(rng, static_cast<double>(span), &pair[1]);
+  }
+  return pair;
+}
+
+std::vector<Geometry> ArealTriple(Rng* rng) {
+  const int span = 3 + static_cast<int>(rng->NextUint64(4));
+  std::vector<Geometry> out;
+  out.emplace_back(GridConvexPolygon(rng, span));
+  for (int i = 1; i < 3; ++i) {
+    switch (rng->NextUint64(4)) {
+      case 0:  // Independent region.
+        out.emplace_back(GridConvexPolygon(rng, span));
+        break;
+      case 1: {  // Nested copy of an earlier region.
+        const Polygon& base =
+            out[rng->NextUint64(out.size())].As<Polygon>();
+        const double factor = rng->NextBool(0.7) ? 0.5 : 2.0;
+        out.emplace_back(
+            ScaledPolygon(base, geom::Centroid(Geometry(base)), factor));
+        break;
+      }
+      case 2: {  // Lattice-translated copy: touch / overlap bias.
+        const Geometry& base = out[rng->NextUint64(out.size())];
+        out.push_back(Translated(base,
+                                 static_cast<double>(rng->NextInt(0, span)),
+                                 static_cast<double>(rng->NextInt(0, 1))));
+        break;
+      }
+      default:  // Exact copy: EQ cases.
+        out.push_back(out[rng->NextUint64(out.size())]);
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Point> AdversarialSegmentQuad(Rng* rng) {
+  const int span = 4;
+  Point a1 = GridPoint(rng, span);
+  Point a2 = GridPoint(rng, span);
+  while (a2 == a1 && rng->NextBool(0.9)) a2 = GridPoint(rng, span);
+
+  auto lerp = [](const Point& p, const Point& q, double t) {
+    return Point(p.x + t * (q.x - p.x), p.y + t * (q.y - p.y));
+  };
+
+  Point b1, b2;
+  switch (rng->NextUint64(9)) {
+    case 0:  // Plain lattice segments.
+      b1 = GridPoint(rng, span);
+      b2 = GridPoint(rng, span);
+      break;
+    case 1: {  // Exact collinear overlap via lattice-parameter points.
+      const double t1 = static_cast<double>(rng->NextInt(-2, 3));
+      const double t2 = static_cast<double>(rng->NextInt(-2, 3));
+      b1 = lerp(a1, a2, t1);
+      b2 = lerp(a1, a2, t2);
+      break;
+    }
+    case 2:  // Shared endpoint.
+      b1 = rng->NextBool(0.5) ? a1 : a2;
+      b2 = GridPoint(rng, span);
+      break;
+    case 3: {  // Proper crossing microscopically close to an endpoint.
+      const double t0 = rng->NextBool(0.5)
+                            ? std::pow(10.0, -rng->NextDouble(6.0, 14.0))
+                            : 1.0 - std::pow(10.0, -rng->NextDouble(6.0, 14.0));
+      const Point c = lerp(a1, a2, t0);
+      const double len = rng->NextDouble(0.1, 2.0);
+      const double angle = rng->NextDouble(0.0, 2 * M_PI);
+      b1 = Point(c.x + len * std::cos(angle), c.y + len * std::sin(angle));
+      b2 = Point(c.x - len * std::cos(angle), c.y - len * std::sin(angle));
+      break;
+    }
+    case 4: {  // Near-parallel: a jittered copy, crossing at a tiny angle.
+      const double eps = std::pow(10.0, -rng->NextDouble(8.0, 15.0));
+      b1 = Point(a1.x + rng->NextDouble(-eps, eps),
+                 a1.y + rng->NextDouble(-eps, eps));
+      b2 = Point(a2.x + rng->NextDouble(-eps, eps),
+                 a2.y + rng->NextDouble(-eps, eps));
+      if (rng->NextBool(0.5)) std::swap(b1, b2);
+      break;
+    }
+    case 5: {  // Near-vertical A with a crossing probe segment.
+      const double eps = std::pow(10.0, -rng->NextDouble(6.0, 13.0));
+      const double len = rng->NextDouble(1.0, 1000.0);
+      a1 = GridPoint(rng, span);
+      a2 = rng->NextBool(0.5) ? Point(a1.x + eps, a1.y + len)   // vertical
+                              : Point(a1.x + len, a1.y + eps);  // horizontal
+      const Point c = lerp(a1, a2, rng->NextDouble(0.0, 1.0));
+      b1 = Point(c.x - rng->NextDouble(0.0, 2.0), c.y - eps);
+      b2 = Point(c.x + rng->NextDouble(0.0, 2.0), c.y + eps);
+      break;
+    }
+    case 6: {  // Degenerate B: a point on, near, or off segment A.
+      const Point c = lerp(a1, a2, rng->NextDouble(-0.5, 1.5));
+      const double off = rng->NextBool(0.5)
+                             ? 0.0
+                             : std::pow(10.0, -rng->NextDouble(6.0, 15.0));
+      b1 = Point(c.x + off, c.y - off);
+      b2 = b1;
+      break;
+    }
+    case 7: {  // Tolerance sliver at the tip of a near-vertical segment:
+      // probes collinear within OrientationThreshold whose off-axis
+      // coordinate lands microscopically beyond the segment's exact
+      // bounding box — the corner where a bbox clamp and the tolerance
+      // collinearity test can contradict each other.
+      const double eps = std::pow(10.0, -rng->NextDouble(4.0, 10.0));
+      const double len = rng->NextDouble(1.0, 100.0);
+      const int y0 = static_cast<int>(rng->NextInt(-span, span));
+      a1 = Point(0.0, static_cast<double>(y0));
+      a2 = Point(eps, a1.y + len);
+      auto tip_probe = [&]() {
+        const double rho = rng->NextDouble(-2e-12, 2e-12);
+        const double sigma = rng->NextDouble(-2e-12, 2e-12);
+        return Point(eps * (1.0 + rho), a1.y + len * (1.0 - sigma));
+      };
+      b1 = tip_probe();
+      b2 = rng->NextBool(0.5) ? tip_probe()
+                              : Point(eps * rng->NextDouble(0.0, 1.0),
+                                      a1.y + len * rng->NextDouble(0.0, 1.0));
+      if (rng->NextBool(0.5)) {  // Transposed variant: near-horizontal.
+        std::swap(a1.x, a1.y);
+        std::swap(a2.x, a2.y);
+        std::swap(b1.x, b1.y);
+        std::swap(b2.x, b2.y);
+      }
+      break;
+    }
+    default: {  // Endpoint of B microscopically off A's line.
+      const double t = rng->NextDouble(-0.2, 1.2);
+      const Point c = lerp(a1, a2, t);
+      const double off = std::pow(10.0, -rng->NextDouble(6.0, 15.0));
+      b1 = Point(c.x + off * (a2.y - a1.y), c.y - off * (a2.x - a1.x));
+      b2 = GridPoint(rng, span);
+      break;
+    }
+  }
+  return {a1, a2, b1, b2};
+}
+
+std::vector<Geometry> EnvelopeSet(Rng* rng) {
+  const size_t n = 4 + rng->NextUint64(60);
+  const int span = 8;
+  std::vector<Geometry> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point c = GridPoint(rng, span);
+    const double w = static_cast<double>(rng->NextInt(0, 3));
+    const double h = static_cast<double>(rng->NextInt(0, 3));
+    if (w == 0.0 || h == 0.0) {
+      // Degenerate entry: a point (zero-extent envelope).
+      out.emplace_back(c);
+    } else {
+      out.emplace_back(Polygon(LinearRing({c, Moved(c, w, 0), Moved(c, w, h),
+                                           Moved(c, 0, h), c})));
+    }
+  }
+  return out;
+}
+
+void RandomMiningCase(Rng* rng, FuzzCase* c) {
+  const size_t num_items = 1 + rng->NextUint64(11);
+  const size_t group_size = rng->NextUint64(4);  // 0 = keyless items.
+  for (size_t i = 0; i < num_items; ++i) {
+    const std::string key =
+        group_size == 0 ? ""
+                        : "g" + std::to_string(i / std::max<size_t>(
+                                                       1, group_size));
+    c->items.emplace_back("i" + std::to_string(i), key);
+  }
+
+  const size_t num_txns = 1 + rng->NextUint64(48);
+  const double density = rng->NextDouble(0.05, 0.9);
+  for (size_t t = 0; t < num_txns; ++t) {
+    std::vector<core::ItemId> txn;
+    for (size_t i = 0; i < num_items; ++i) {
+      if (rng->NextBool(density)) txn.push_back(static_cast<core::ItemId>(i));
+    }
+    c->transactions.push_back(std::move(txn));
+  }
+  // Edge-case injections the paper-scale generator never produces.
+  if (rng->NextBool(0.4) && !c->transactions.empty()) {
+    c->transactions.push_back(
+        c->transactions[rng->NextUint64(c->transactions.size())]);
+  }
+  if (rng->NextBool(0.3)) {  // A transaction holding every item.
+    std::vector<core::ItemId> full;
+    for (size_t i = 0; i < num_items; ++i) {
+      full.push_back(static_cast<core::ItemId>(i));
+    }
+    c->transactions.push_back(std::move(full));
+  }
+  if (rng->NextBool(0.3)) c->transactions.emplace_back();  // Empty txn.
+
+  // min_support: spread over (0, 1] with the extremes over-represented.
+  double min_support;
+  switch (rng->NextUint64(4)) {
+    case 0:
+      min_support = 1.0;
+      break;
+    case 1:
+      min_support = 1.0 / static_cast<double>(c->transactions.size());
+      break;
+    default:
+      min_support = rng->NextDouble(0.05, 1.0);
+      break;
+  }
+  c->params["min_support"] = std::to_string(min_support);
+
+  // Random dependency blocklist over the item universe.
+  const size_t num_blocked = rng->NextUint64(4);
+  std::string block;
+  for (size_t i = 0; i < num_blocked; ++i) {
+    const core::ItemId a =
+        static_cast<core::ItemId>(rng->NextUint64(num_items));
+    const core::ItemId b =
+        static_cast<core::ItemId>(rng->NextUint64(num_items));
+    if (a == b) continue;
+    if (!block.empty()) block += ",";
+    block += std::to_string(a) + ":" + std::to_string(b);
+  }
+  if (!block.empty()) c->params["block"] = block;
+}
+
+}  // namespace fuzz
+}  // namespace sfpm

@@ -1,0 +1,90 @@
+#ifndef SFPM_FUZZ_GENERATORS_H_
+#define SFPM_FUZZ_GENERATORS_H_
+
+#include <vector>
+
+#include "fuzz/fuzz_case.h"
+#include "geom/geometry.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace fuzz {
+
+/// \brief Seed-driven adversarial input generators.
+///
+/// Two coordinate tiers, chosen per case:
+///  * the *grid* tier snaps every coordinate to a small integer lattice, so
+///    shared vertices, shared edges, touching rings and exact containment
+///    happen constantly and every geometric predicate is exact — failures
+///    here are unambiguous bugs, never tolerance judgment calls;
+///  * the *jitter* tier perturbs grid coordinates by 1e-15..1e-7 of the
+///    span, manufacturing the near-collinear, almost-touching
+///    configurations where tolerance-based predicates disagree with exact
+///    arithmetic.
+///
+/// A third source, the paper-scale city layouts of sfpm::datagen, is
+/// sampled by the relate oracles directly (see oracles.cc) so fuzzing also
+/// covers realistically dense GIS linework.
+///
+/// All generators are deterministic functions of the Rng state.
+
+/// A lattice point with coordinates in [-span, span].
+geom::Point GridPoint(Rng* rng, int span);
+
+/// Convex lattice polygon (hull of random lattice points), never empty,
+/// positive area, at most ~10 distinct vertices.
+geom::Polygon GridConvexPolygon(Rng* rng, int span);
+
+/// Star-convex polygon with float vertices — the classic random blob.
+geom::Polygon BlobPolygon(Rng* rng, double scale);
+
+/// Lattice polyline of 2..6 vertices (consecutive vertices distinct).
+geom::LineString GridPath(Rng* rng, int span);
+
+/// A random simple geometry of any of the six types on the lattice.
+/// Multi-part members are laid out in disjoint lattice cells so the
+/// result satisfies the relate engine's validity assumptions.
+geom::Geometry GridGeometry(Rng* rng, int span);
+
+/// Applies the jitter tier in place: each coordinate moves by a uniform
+/// offset of magnitude `span * 10^-u`, u drawn from [7, 15]. Relative
+/// magnitudes this small keep convex rings simple while putting vertices
+/// microscopically off exact lines.
+void JitterGeometry(Rng* rng, double span, geom::Geometry* g);
+
+/// \brief A geometry pair with adversarial contact bias: the second
+/// operand is derived from the first (lattice translation, reflection,
+/// vertex reuse, nesting) often enough that touching, overlap, shared
+/// boundary and containment dominate over trivially-disjoint cases.
+/// About one case in three gets the jitter tier applied to one or both
+/// operands.
+std::vector<geom::Geometry> RandomGeometryPair(Rng* rng);
+
+/// \brief Three valid areal geometries with heavy nesting/touching bias —
+/// input for the RCC8 composition-table oracle.
+std::vector<geom::Geometry> ArealTriple(Rng* rng);
+
+/// \brief Four points encoding two adversarial segments (a1 a2 b1 b2):
+/// proper crossings near endpoints, near-parallel and near-collinear
+/// pairs, exact collinear overlaps, shared vertices, degenerate
+/// (zero-length) segments, and near-vertical/near-horizontal segments with
+/// probes microscopically off the line.
+std::vector<geom::Point> AdversarialSegmentQuad(Rng* rng);
+
+/// \brief A set of small lattice rectangles (as polygons) for the R-tree
+/// oracle; their envelopes are the indexed entries and the query workload
+/// is derived from the payload itself during checking.
+std::vector<geom::Geometry> EnvelopeSet(Rng* rng);
+
+/// \brief Fills the transaction-db payload of `c` with an adversarial
+/// mining instance: small random db (possibly wide, possibly tiny), with
+/// duplicate transactions, an all-items transaction and empty transactions
+/// injected at random; items carry grouped keys so the same-key filter has
+/// structure, and a random dependency blocklist plus min_support land in
+/// `c->params` ("block" as "a:b,c:d", "min_support").
+void RandomMiningCase(Rng* rng, FuzzCase* c);
+
+}  // namespace fuzz
+}  // namespace sfpm
+
+#endif  // SFPM_FUZZ_GENERATORS_H_

@@ -1,0 +1,26 @@
+#include "fuzz/oracles.h"
+
+#include "fuzz/oracles_internal.h"
+
+namespace sfpm {
+namespace fuzz {
+
+const std::vector<const Oracle*>& AllOracles() {
+  static const std::vector<const Oracle*> all = {
+      internal::SegmentOracle(),     internal::RelatePairOracle(),
+      internal::RelateCityOracle(),  internal::Rcc8JepdOracle(),
+      internal::Rcc8ComposeOracle(), internal::RtreeOracle(),
+      internal::MiningOracle(),
+  };
+  return all;
+}
+
+const Oracle* FindOracle(const std::string& name) {
+  for (const Oracle* oracle : AllOracles()) {
+    if (oracle->Name() == name) return oracle;
+  }
+  return nullptr;
+}
+
+}  // namespace fuzz
+}  // namespace sfpm

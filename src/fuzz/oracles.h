@@ -1,0 +1,74 @@
+#ifndef SFPM_FUZZ_ORACLES_H_
+#define SFPM_FUZZ_ORACLES_H_
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_case.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace fuzz {
+
+/// \brief One invariant family: generates adversarial cases and checks
+/// them.
+///
+/// `Generate` is a pure function of the seed (same seed, same case — the
+/// contract the whole harness rests on). `Check` re-derives every checked
+/// quantity from the case payload alone, so a case loaded from a corpus
+/// file replays bit-identically with no other context. A failing check
+/// returns a non-OK Status whose message names the violated invariant and
+/// the observed values; the driver shrinks the case and writes it to the
+/// corpus.
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  /// Stable family name ("segment", "relate_pair", ...). Used in repro
+  /// files and on the command line.
+  virtual std::string Name() const = 0;
+
+  /// Deterministically derives one case from `seed`.
+  virtual FuzzCase Generate(uint64_t seed) const = 0;
+
+  /// OK when every invariant of the family holds for `c`.
+  virtual Status Check(const FuzzCase& c) const = 0;
+};
+
+/// The registered oracle families:
+///  * `segment`     — IntersectSegments/PointOnSegment consistency on
+///                    adversarial segment quads: swap symmetry,
+///                    intersection points within tolerance of both
+///                    operands, verbatim (non-proper) intersection points
+///                    accepted by PointOnSegment.
+///  * `relate_pair` — relate::Relate == PreparedGeometry::RelateFull ==
+///                    PreparedGeometry::Relate (certified fast path), all
+///                    four prepared forms, plus transpose symmetry and
+///                    matrix-level predicate identities on contact-biased
+///                    geometry pairs.
+///  * `relate_city` — the same differential over feature pairs sampled
+///                    from paper-scale sfpm::datagen city layouts.
+///  * `rcc8_jepd`   — areal pairs: the DE-9IM matrix's T/F mask equals
+///                    exactly one of the 8 canonical RCC8 region masks
+///                    (JEPD), Rcc8Relate agrees with that mask and with
+///                    its own converse.
+///  * `rcc8_compose`— areal triples: the composition table contains the
+///                    observed (A,C) relation for every observed
+///                    (A,B),(B,C), and the 3-variable constraint network
+///                    stays path-consistent.
+///  * `rtree`       — R-tree Query / QueryWithinDistance / Nearest against
+///                    linear scans over the same envelopes, bulk-loaded
+///                    and incrementally built.
+///  * `mining`      — Apriori == FP-Growth (plain and KC+), prefix-shared
+///                    == naive support counting, serial == parallel, and
+///                    Lemma 1: KC+ == Apriori minus itemsets containing a
+///                    blocked or same-key pair.
+const std::vector<const Oracle*>& AllOracles();
+
+/// Looks an oracle up by name; nullptr when unknown.
+const Oracle* FindOracle(const std::string& name);
+
+}  // namespace fuzz
+}  // namespace sfpm
+
+#endif  // SFPM_FUZZ_ORACLES_H_

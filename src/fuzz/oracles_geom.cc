@@ -1,0 +1,388 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "datagen/city.h"
+#include "feature/feature.h"
+#include "fuzz/generators.h"
+#include "fuzz/oracles_internal.h"
+#include "geom/algorithms.h"
+#include "geom/validity.h"
+#include "relate/prepared.h"
+#include "relate/relate.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace fuzz {
+namespace internal {
+
+using geom::Geometry;
+using geom::Point;
+
+Status Violation(const std::string& invariant, const std::string& detail) {
+  return Status::Internal(invariant + ": " + detail);
+}
+
+namespace {
+
+std::string PointStr(const Point& p) { return p.ToString(); }
+
+/// --- segment -----------------------------------------------------------
+///
+/// Invariants over one adversarial segment quad (a1 a2 b1 b2):
+///  * swap symmetry: IntersectSegments(A, B) and (B, A) agree on kind and
+///    properness; point results coincide within tolerance, overlap
+///    endpoint sets match within tolerance;
+///  * containment: a reported intersection point lies within `tol` of both
+///    segments and inside both buffered envelopes — the invariant an
+///    unclamped crossing parameter breaks on near-parallel input;
+///  * verbatim acceptance: non-proper intersection points are copied from
+///    the inputs unrounded, so whenever such a point is tolerance-collinear
+///    with a segment, PointOnSegment must accept it — the invariant an
+///    exact bbox clamp breaks in the tolerance sliver at a segment tip;
+///  * endpoint contact: an endpoint of one segment lying on the other
+///    forces a non-empty intersection.
+class SegmentOracle final : public Oracle {
+ public:
+  std::string Name() const override { return "segment"; }
+
+  FuzzCase Generate(uint64_t seed) const override {
+    FuzzCase c;
+    c.oracle = Name();
+    c.seed = seed;
+    Rng rng(seed);
+    for (const Point& p : AdversarialSegmentQuad(&rng)) c.geoms.emplace_back(p);
+    return c;
+  }
+
+  Status Check(const FuzzCase& c) const override {
+    if (c.geoms.size() != 4) {
+      return Status::InvalidArgument("segment case needs 4 point geoms");
+    }
+    for (const Geometry& g : c.geoms) {
+      if (!g.Is<Point>()) {
+        return Status::InvalidArgument("segment case needs POINT geoms");
+      }
+    }
+    const Point a1 = c.geoms[0].As<Point>();
+    const Point a2 = c.geoms[1].As<Point>();
+    const Point b1 = c.geoms[2].As<Point>();
+    const Point b2 = c.geoms[3].As<Point>();
+
+    geom::Envelope all(a1, a2);
+    all.ExpandToInclude(b1);
+    all.ExpandToInclude(b2);
+    const double scale =
+        std::max(1.0, std::hypot(all.Width(), all.Height()));
+    const double tol = 1e-6 * scale;
+
+    const geom::SegmentIntersection ab =
+        geom::IntersectSegments(a1, a2, b1, b2);
+    const geom::SegmentIntersection ba =
+        geom::IntersectSegments(b1, b2, a1, a2);
+
+    using Kind = geom::SegmentIntersection::Kind;
+    if (ab.kind != ba.kind) {
+      return Violation("segment/swap-kind",
+                       "A-B kind " + std::to_string(static_cast<int>(ab.kind)) +
+                           " vs B-A kind " +
+                           std::to_string(static_cast<int>(ba.kind)));
+    }
+    if (ab.kind == Kind::kPoint && ab.proper != ba.proper) {
+      return Violation("segment/swap-proper",
+                       "proper flags disagree across operand swap");
+    }
+    if (ab.kind == Kind::kPoint && ab.p.DistanceTo(ba.p) > tol) {
+      return Violation("segment/swap-point", "A-B point " + PointStr(ab.p) +
+                                                 " vs B-A point " +
+                                                 PointStr(ba.p));
+    }
+    if (ab.kind == Kind::kOverlap) {
+      const bool direct = ab.p.DistanceTo(ba.p) <= tol &&
+                          ab.q.DistanceTo(ba.q) <= tol;
+      const bool swapped = ab.p.DistanceTo(ba.q) <= tol &&
+                           ab.q.DistanceTo(ba.p) <= tol;
+      if (!direct && !swapped) {
+        return Violation("segment/swap-overlap",
+                         "overlap endpoints disagree across operand swap");
+      }
+    }
+
+    // Containment of every reported intersection point. A proper crossing
+    // of near-parallel segments is ill-conditioned — the solved parameter
+    // carries a relative error of order eps / sin(theta) — so the distance
+    // check scales its slack by the condition number. The envelope check
+    // stays strict: the implementation clamps into the envelope
+    // intersection, and an unclamped crossing parameter escapes it no
+    // matter how poor the conditioning.
+    double dist_tol = tol;
+    if (ab.kind == Kind::kPoint && ab.proper) {
+      const double la = a1.DistanceTo(a2);
+      const double lb = b1.DistanceTo(b2);
+      const double denom = std::abs((a2.x - a1.x) * (b2.y - b1.y) -
+                                    (a2.y - a1.y) * (b2.x - b1.x));
+      if (denom > 0.0) {
+        const double cond = la * lb / denom;
+        dist_tol = std::max(
+            tol, 1024.0 * std::numeric_limits<double>::epsilon() * cond *
+                     std::max(la, lb));
+      }
+    }
+    std::vector<Point> reported;
+    if (ab.kind == Kind::kPoint) reported.push_back(ab.p);
+    if (ab.kind == Kind::kOverlap) {
+      reported.push_back(ab.p);
+      reported.push_back(ab.q);
+    }
+    const geom::Envelope env_a = geom::Envelope(a1, a2).Buffered(tol);
+    const geom::Envelope env_b = geom::Envelope(b1, b2).Buffered(tol);
+    for (const Point& r : reported) {
+      if (geom::DistancePointSegment(r, a1, a2) > dist_tol ||
+          geom::DistancePointSegment(r, b1, b2) > dist_tol) {
+        return Violation("segment/point-off-segments",
+                         "intersection point " + PointStr(r) +
+                             " lies off an operand segment");
+      }
+      if (!env_a.Contains(r) || !env_b.Contains(r)) {
+        return Violation("segment/point-outside-envelope",
+                         "intersection point " + PointStr(r) +
+                             " escapes an operand envelope");
+      }
+    }
+
+    // Verbatim (unrounded) intersection points: overlap endpoints and
+    // non-proper touch points are copied from the inputs, so the
+    // tolerance-collinearity test and PointOnSegment must agree on them.
+    std::vector<Point> verbatim;
+    if (ab.kind == Kind::kPoint && !ab.proper) verbatim.push_back(ab.p);
+    if (ab.kind == Kind::kOverlap) {
+      verbatim.push_back(ab.p);
+      verbatim.push_back(ab.q);
+    }
+    for (const Point& r : verbatim) {
+      if (geom::Orientation(a1, a2, r) == 0 &&
+          !geom::PointOnSegment(r, a1, a2)) {
+        return Violation("segment/verbatim-on-a",
+                         "point " + PointStr(r) +
+                             " is tolerance-collinear with segment A " +
+                             PointStr(a1) + "-" + PointStr(a2) +
+                             " and was reported as an intersection, but "
+                             "PointOnSegment rejects it");
+      }
+      if (geom::Orientation(b1, b2, r) == 0 &&
+          !geom::PointOnSegment(r, b1, b2)) {
+        return Violation("segment/verbatim-on-b",
+                         "point " + PointStr(r) +
+                             " is tolerance-collinear with segment B " +
+                             PointStr(b1) + "-" + PointStr(b2) +
+                             " and was reported as an intersection, but "
+                             "PointOnSegment rejects it");
+      }
+    }
+
+    // Endpoint contact.
+    const bool contact = ab.kind != Kind::kNone;
+    for (const Point& e : {b1, b2}) {
+      if (geom::PointOnSegment(e, a1, a2) && !contact) {
+        return Violation("segment/endpoint-contact",
+                         "endpoint " + PointStr(e) +
+                             " lies on segment A but the intersection is "
+                             "reported empty");
+      }
+    }
+    for (const Point& e : {a1, a2}) {
+      if (geom::PointOnSegment(e, b1, b2) && !contact) {
+        return Violation("segment/endpoint-contact",
+                         "endpoint " + PointStr(e) +
+                             " lies on segment B but the intersection is "
+                             "reported empty");
+      }
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Status CheckRelateInvariants(const Geometry& a, const Geometry& b) {
+  // The engine's contract assumes valid input; shrunk or mirrored cases
+  // can leave validity, which makes the case vacuous, not failing.
+  if (!geom::Validate(a).ok() || !geom::Validate(b).ok()) return Status::OK();
+  if (a.IsEmpty() || b.IsEmpty()) return Status::OK();
+
+  const relate::IntersectionMatrix m_ref = relate::Relate(a, b);
+
+  const relate::PreparedGeometry pa(a);
+  const relate::PreparedGeometry pb(b);
+  const relate::IntersectionMatrix m_full = pa.RelateFull(b);
+  const relate::IntersectionMatrix m_full_p = pa.RelateFull(pb);
+  relate::RelateStats stats;
+  const relate::IntersectionMatrix m_fast = pa.Relate(b, &stats);
+  const relate::IntersectionMatrix m_fast_p = pa.Relate(pb, &stats);
+
+  const std::string want = m_ref.ToString();
+  auto mismatch = [&](const char* path, const relate::IntersectionMatrix& m) {
+    return Violation(std::string("relate/") + path,
+                     "reference " + want + " vs " + path + " " + m.ToString() +
+                         " for " + a.ToWkt() + " vs " + b.ToWkt());
+  };
+  if (!(m_full == m_ref)) return mismatch("prepared-full", m_full);
+  if (!(m_full_p == m_ref)) return mismatch("prepared-full-pp", m_full_p);
+  if (!(m_fast == m_ref)) return mismatch("fast-path", m_fast);
+  if (!(m_fast_p == m_ref)) return mismatch("fast-path-pp", m_fast_p);
+
+  // Transpose symmetry: relate(b, a) is the transposed matrix.
+  const relate::IntersectionMatrix m_rev = relate::Relate(b, a);
+  if (!(m_rev == m_ref.Transposed())) {
+    return Violation("relate/transpose",
+                     "relate(a,b) " + want + " but relate(b,a) " +
+                         m_rev.ToString() + " for " + a.ToWkt() + " vs " +
+                         b.ToWkt());
+  }
+
+  // Matrix-level identities (exact, tier-independent).
+  if (!m_ref.Matches(want)) {
+    return Violation("relate/matches-self",
+                     want + " does not match its own pattern");
+  }
+  if (m_ref.Disjoint() == m_ref.Intersects()) {
+    return Violation("relate/disjoint-intersects",
+                     "disjoint and intersects agree on " + want);
+  }
+  if (m_ref.Within() != m_ref.Transposed().Contains() ||
+      m_ref.CoveredBy() != m_ref.Transposed().Covers()) {
+    return Violation("relate/within-contains",
+                     "within/contains transpose identity fails on " + want);
+  }
+  const int da = a.Dimension();
+  const int db = b.Dimension();
+  if (m_ref.Equals(da, db) && !(m_ref.Covers() && m_ref.CoveredBy())) {
+    return Violation("relate/equals-covers",
+                     "equals without covers+coveredBy on " + want);
+  }
+
+  // Indexed point location against the linear reference.
+  std::vector<Point> probes = geom::AllVertices(b);
+  probes.push_back(geom::Centroid(b));
+  if (probes.size() > 8) probes.resize(8);
+  for (const Point& p : probes) {
+    const geom::Location fast = pa.Locate(p);
+    const geom::Location ref = geom::Locate(p, a);
+    if (fast != ref) {
+      return Violation(
+          "relate/prepared-locate",
+          "prepared locate disagrees with geom::Locate at " + p.ToString() +
+              " against " + a.ToWkt());
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// --- relate_pair -------------------------------------------------------
+class RelatePairOracle final : public Oracle {
+ public:
+  std::string Name() const override { return "relate_pair"; }
+
+  FuzzCase Generate(uint64_t seed) const override {
+    FuzzCase c;
+    c.oracle = Name();
+    c.seed = seed;
+    Rng rng(seed);
+    c.geoms = RandomGeometryPair(&rng);
+    return c;
+  }
+
+  Status Check(const FuzzCase& c) const override {
+    if (c.geoms.size() != 2) {
+      return Status::InvalidArgument("relate_pair case needs 2 geoms");
+    }
+    return CheckRelateInvariants(c.geoms[0], c.geoms[1]);
+  }
+};
+
+/// --- relate_city -------------------------------------------------------
+///
+/// Samples feature pairs from a paper-scale synthetic city so the
+/// differential also covers realistically dense GIS linework (district
+/// grids, clustered slum blobs, street polylines). Cities are expensive to
+/// build, so one city serves 256 consecutive seeds; the sampled pair is
+/// copied into the case, which keeps corpus replays city-free.
+class RelateCityOracle final : public Oracle {
+ public:
+  std::string Name() const override { return "relate_city"; }
+
+  FuzzCase Generate(uint64_t seed) const override {
+    FuzzCase c;
+    c.oracle = Name();
+    c.seed = seed;
+    const uint64_t city_seed = seed >> 8;
+    if (!city_ || city_seed_ != city_seed) {
+      datagen::CityConfig cfg;
+      cfg.grid_cols = 3;
+      cfg.grid_rows = 3;
+      cfg.num_slums = 10;
+      cfg.num_slum_clusters = 2;
+      cfg.num_schools = 15;
+      cfg.num_police = 4;
+      cfg.num_streets = 12;
+      cfg.illumination_per_street = 2;
+      cfg.num_rivers = 1;
+      cfg.seed = 0xC171ULL ^ city_seed;
+      const std::unique_ptr<datagen::City> city = datagen::GenerateCity(cfg);
+      pool_.clear();
+      for (const feature::Layer* layer :
+           {&city->districts, &city->slums, &city->schools, &city->police,
+            &city->streets, &city->illumination, &city->rivers}) {
+        for (const feature::Feature& f : layer->features()) {
+          pool_.push_back(f.geometry());
+        }
+      }
+      city_ = true;
+      city_seed_ = city_seed;
+    }
+    Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+    c.geoms.push_back(pool_[rng.NextUint64(pool_.size())]);
+    c.geoms.push_back(pool_[rng.NextUint64(pool_.size())]);
+    return c;
+  }
+
+  Status Check(const FuzzCase& c) const override {
+    if (c.geoms.size() != 2) {
+      return Status::InvalidArgument("relate_city case needs 2 geoms");
+    }
+    return CheckRelateInvariants(c.geoms[0], c.geoms[1]);
+  }
+
+ private:
+  // Generate-side cache only; Check never touches it. The fuzz driver is
+  // single-threaded, as is ctest replay.
+  mutable bool city_ = false;
+  mutable uint64_t city_seed_ = 0;
+  mutable std::vector<Geometry> pool_;
+};
+
+}  // namespace
+
+const Oracle* SegmentOracle() {
+  static const class SegmentOracle instance;
+  return &instance;
+}
+
+const Oracle* RelatePairOracle() {
+  static const class RelatePairOracle instance;
+  return &instance;
+}
+
+const Oracle* RelateCityOracle() {
+  static const class RelateCityOracle instance;
+  return &instance;
+}
+
+}  // namespace internal
+}  // namespace fuzz
+}  // namespace sfpm

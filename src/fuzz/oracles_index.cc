@@ -1,0 +1,170 @@
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "fuzz/generators.h"
+#include "fuzz/oracles_internal.h"
+#include "index/rtree.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace fuzz {
+namespace internal {
+
+using geom::Envelope;
+using geom::Geometry;
+
+namespace {
+
+std::string IdList(const std::vector<uint64_t>& ids) {
+  std::string out = "[";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i) out += " ";
+    out += std::to_string(ids[i]);
+  }
+  return out + "]";
+}
+
+/// --- rtree -------------------------------------------------------------
+///
+/// Builds an R-tree over a lattice envelope set three ways (STR bulk load,
+/// pure dynamic insertion, bulk + dynamic tail) and at an adversarially
+/// small fan-out, then checks every query kind against a linear scan over
+/// the same envelopes:
+///  * Query == {i : env_i intersects q};
+///  * QueryWithinDistance == {i : dist(env_i, q) <= d} (d chosen off the
+///    lattice distance spectrum so the comparison is inequality-agnostic);
+///  * Nearest(k) returns the k smallest distances (compared as a distance
+///    multiset — ties make id sets ambiguous, distances are not).
+/// The query workload is derived from the payload itself, so a replayed
+/// corpus file re-runs the identical workload.
+class RtreeOracle final : public Oracle {
+ public:
+  std::string Name() const override { return "rtree"; }
+
+  FuzzCase Generate(uint64_t seed) const override {
+    FuzzCase c;
+    c.oracle = Name();
+    c.seed = seed;
+    Rng rng(seed);
+    c.geoms = EnvelopeSet(&rng);
+    c.params["build"] = std::to_string(rng.NextUint64(3));
+    c.params["fanout"] = rng.NextBool(0.5) ? "4" : "16";
+    return c;
+  }
+
+  Status Check(const FuzzCase& c) const override {
+    if (c.geoms.empty()) {
+      return Status::InvalidArgument("rtree case needs geoms");
+    }
+    std::vector<Envelope> envs;
+    envs.reserve(c.geoms.size());
+    for (const Geometry& g : c.geoms) envs.push_back(g.GetEnvelope());
+
+    const int64_t build = c.ParamInt("build", 0);
+    const size_t fanout =
+        static_cast<size_t>(std::max<int64_t>(4, c.ParamInt("fanout", 16)));
+
+    index::RTree tree(fanout);
+    if (build == 0) {
+      std::vector<std::pair<Envelope, uint64_t>> entries;
+      for (size_t i = 0; i < envs.size(); ++i) entries.emplace_back(envs[i], i);
+      tree.BulkLoad(std::move(entries));
+    } else if (build == 1) {
+      for (size_t i = 0; i < envs.size(); ++i) tree.Insert(envs[i], i);
+    } else {
+      const size_t half = envs.size() / 2;
+      std::vector<std::pair<Envelope, uint64_t>> entries;
+      for (size_t i = 0; i < half; ++i) entries.emplace_back(envs[i], i);
+      tree.BulkLoad(std::move(entries));
+      for (size_t i = half; i < envs.size(); ++i) tree.Insert(envs[i], i);
+    }
+
+    if (tree.Size() != envs.size()) {
+      return Violation("rtree/size",
+                       "tree holds " + std::to_string(tree.Size()) + " of " +
+                           std::to_string(envs.size()) + " entries");
+    }
+
+    // Query workload: each entry's envelope, a buffered variant, and its
+    // center point, capped to keep a check O(#queries * n).
+    std::vector<Envelope> queries;
+    for (size_t i = 0; i < envs.size() && queries.size() < 24; ++i) {
+      queries.push_back(envs[i]);
+      queries.push_back(envs[i].Buffered(0.5));
+      queries.push_back(Envelope(envs[i].Center()));
+    }
+
+    for (const Envelope& q : queries) {
+      std::vector<uint64_t> got;
+      tree.Query(q, &got);
+      std::sort(got.begin(), got.end());
+      std::vector<uint64_t> want;
+      for (size_t i = 0; i < envs.size(); ++i) {
+        if (envs[i].Intersects(q)) want.push_back(i);
+      }
+      if (got != want) {
+        return Violation("rtree/query", "index " + IdList(got) +
+                                            " vs scan " + IdList(want) +
+                                            " for query " + q.ToString());
+      }
+
+      // Distances between lattice envelopes are hypot(int, int), never
+      // 0.75 or 1.75, so <= vs < cannot change the answer.
+      for (const double d : {0.75, 1.75}) {
+        std::vector<uint64_t> got_d;
+        tree.QueryWithinDistance(q, d, &got_d);
+        std::sort(got_d.begin(), got_d.end());
+        std::vector<uint64_t> want_d;
+        for (size_t i = 0; i < envs.size(); ++i) {
+          if (envs[i].Distance(q) <= d) want_d.push_back(i);
+        }
+        if (got_d != want_d) {
+          return Violation("rtree/query-within-distance",
+                           "index " + IdList(got_d) + " vs scan " +
+                               IdList(want_d) + " at distance " +
+                               std::to_string(d) + " for query " +
+                               q.ToString());
+        }
+      }
+    }
+
+    // Nearest: compare the distance multiset of the k results.
+    for (const size_t k : {size_t{1}, size_t{3}, envs.size() + 5}) {
+      const geom::Point probe = envs[0].Center();
+      const Envelope probe_env(probe);
+      const std::vector<uint64_t> got = tree.Nearest(probe, k);
+      std::vector<double> got_d;
+      for (uint64_t id : got) got_d.push_back(envs[id].Distance(probe_env));
+      std::vector<double> want_d;
+      for (const Envelope& e : envs) want_d.push_back(e.Distance(probe_env));
+      std::sort(want_d.begin(), want_d.end());
+      want_d.resize(std::min(k, want_d.size()));
+      std::vector<double> got_sorted = got_d;
+      std::sort(got_sorted.begin(), got_sorted.end());
+      if (got_sorted != want_d) {
+        return Violation("rtree/nearest",
+                         "nearest-" + std::to_string(k) +
+                             " distance multiset disagrees with the scan");
+      }
+      // And the results must come back ordered by increasing distance.
+      if (!std::is_sorted(got_d.begin(), got_d.end())) {
+        return Violation("rtree/nearest-order",
+                         "nearest results are not distance-ordered");
+      }
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const Oracle* RtreeOracle() {
+  static const class RtreeOracle instance;
+  return &instance;
+}
+
+}  // namespace internal
+}  // namespace fuzz
+}  // namespace sfpm

@@ -1,0 +1,39 @@
+#ifndef SFPM_FUZZ_ORACLES_INTERNAL_H_
+#define SFPM_FUZZ_ORACLES_INTERNAL_H_
+
+#include <string>
+
+#include "fuzz/oracles.h"
+#include "geom/geometry.h"
+
+namespace sfpm {
+namespace fuzz {
+namespace internal {
+
+/// \name Per-family singletons, one per implementation file. The registry
+/// in oracles.cc stitches them together.
+/// @{
+const Oracle* SegmentOracle();
+const Oracle* RelatePairOracle();
+const Oracle* RelateCityOracle();
+const Oracle* Rcc8JepdOracle();
+const Oracle* Rcc8ComposeOracle();
+const Oracle* RtreeOracle();
+const Oracle* MiningOracle();
+/// @}
+
+/// Shared failure constructor: "<invariant>: <detail>".
+Status Violation(const std::string& invariant, const std::string& detail);
+
+/// The relate differential shared by relate_pair and relate_city: reference
+/// engine vs prepared full vs certified fast path (all four prepared
+/// forms), transpose symmetry, matrix-level predicate identities, and
+/// indexed-vs-linear point location. Geometries the validity checker
+/// rejects are vacuously OK (the engine's contract assumes valid input).
+Status CheckRelateInvariants(const geom::Geometry& a, const geom::Geometry& b);
+
+}  // namespace internal
+}  // namespace fuzz
+}  // namespace sfpm
+
+#endif  // SFPM_FUZZ_ORACLES_INTERNAL_H_

@@ -1,0 +1,258 @@
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/apriori.h"
+#include "core/candidate_filter.h"
+#include "core/fpgrowth.h"
+#include "core/support_counter.h"
+#include "fuzz/generators.h"
+#include "fuzz/oracles_internal.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace sfpm {
+namespace fuzz {
+namespace internal {
+
+namespace {
+
+using core::ItemId;
+using core::Itemset;
+using SupportMap = std::map<std::vector<ItemId>, uint32_t>;
+
+SupportMap ToMap(const core::AprioriResult& result) {
+  SupportMap map;
+  for (const core::FrequentItemset& f : result.itemsets()) {
+    map[f.items.items()] = f.support;
+  }
+  return map;
+}
+
+std::string DescribeDiff(const SupportMap& a, const SupportMap& b) {
+  for (const auto& [items, support] : a) {
+    const auto it = b.find(items);
+    if (it == b.end()) {
+      return Itemset(items).ToString() + " (support " +
+             std::to_string(support) + ") missing from the other side";
+    }
+    if (it->second != support) {
+      return Itemset(items).ToString() + " support " +
+             std::to_string(support) + " vs " + std::to_string(it->second);
+    }
+  }
+  for (const auto& [items, support] : b) {
+    if (!a.count(items)) {
+      return Itemset(items).ToString() + " (support " +
+             std::to_string(support) + ") only on the other side";
+    }
+  }
+  return "equal";
+}
+
+std::vector<std::pair<ItemId, ItemId>> ParseBlockPairs(const FuzzCase& c) {
+  std::vector<std::pair<ItemId, ItemId>> pairs;
+  const auto it = c.params.find("block");
+  if (it == c.params.end()) return pairs;
+  for (const std::string& tok : Split(it->second, ',')) {
+    const size_t colon = tok.find(':');
+    if (colon == std::string::npos) continue;
+    const ItemId a =
+        static_cast<ItemId>(std::strtoul(tok.c_str(), nullptr, 10));
+    const ItemId b = static_cast<ItemId>(
+        std::strtoul(tok.c_str() + colon + 1, nullptr, 10));
+    if (a < c.items.size() && b < c.items.size() && a != b) {
+      pairs.emplace_back(a, b);
+    }
+  }
+  return pairs;
+}
+
+/// --- mining ------------------------------------------------------------
+///
+/// Runs the same adversarial transaction database through every mining
+/// configuration pair that must agree bit-for-bit:
+///  * Apriori == FP-Growth, plain and with the KC+ filter stack;
+///  * prefix-shared support counting == naive per-transaction counting,
+///    both inside the miner (prefix_cache off/on) and directly against
+///    PrefixSupportCounter;
+///  * serial == 4-thread support counting;
+///  * Lemma 1: the KC+ output equals the plain output minus every itemset
+///    containing a blocked or same-key pair;
+///  * downward closure of the reported sets, and exact supports against
+///    TransactionDb::SupportOf.
+class MiningOracle final : public Oracle {
+ public:
+  std::string Name() const override { return "mining"; }
+
+  FuzzCase Generate(uint64_t seed) const override {
+    FuzzCase c;
+    c.oracle = Name();
+    c.seed = seed;
+    Rng rng(seed);
+    RandomMiningCase(&rng, &c);
+    return c;
+  }
+
+  Status Check(const FuzzCase& c) const override {
+    const core::TransactionDb db = c.BuildDb();
+    const double min_support = c.ParamDouble("min_support", 0.5);
+
+    core::AprioriOptions plain;
+    plain.min_support = min_support;
+    plain.parallelism = 1;
+
+    Result<core::AprioriResult> apriori = core::MineApriori(db, plain);
+    Result<core::AprioriResult> fpgrowth = core::MineFpGrowth(db, plain);
+    if (!apriori.ok() || !fpgrowth.ok()) {
+      // Degenerate inputs (empty db after shrinking, out-of-range
+      // min_support) must be rejected by BOTH miners.
+      if (apriori.ok() != fpgrowth.ok()) {
+        return Violation("mining/error-agreement",
+                         "one miner rejected the input, the other accepted: "
+                         "apriori=" +
+                             apriori.status().ToString() + " fpgrowth=" +
+                             fpgrowth.status().ToString());
+      }
+      return Status::OK();
+    }
+
+    const SupportMap apriori_map = ToMap(apriori.value());
+    const SupportMap fpgrowth_map = ToMap(fpgrowth.value());
+    if (apriori_map != fpgrowth_map) {
+      return Violation("mining/apriori-vs-fpgrowth",
+                       DescribeDiff(apriori_map, fpgrowth_map));
+    }
+
+    // Exact supports + downward closure of the reported sets.
+    for (const auto& [items, support] : apriori_map) {
+      const Itemset set(items);
+      if (db.SupportOf(set) != support) {
+        return Violation("mining/exact-support",
+                         set.ToString() + " reported " +
+                             std::to_string(support) + " but SupportOf says " +
+                             std::to_string(db.SupportOf(set)));
+      }
+      uint32_t naive = 0;
+      for (size_t row = 0; row < db.NumTransactions(); ++row) {
+        bool all = true;
+        for (ItemId item : items) {
+          if (!db.Test(row, item)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) ++naive;
+      }
+      if (naive != support) {
+        return Violation("mining/naive-support",
+                         set.ToString() + " reported " +
+                             std::to_string(support) +
+                             " but a transaction scan counts " +
+                             std::to_string(naive));
+      }
+      if (items.size() >= 2) {
+        for (const Itemset& sub : set.AllButOneSubsets()) {
+          const auto it = apriori_map.find(sub.items());
+          if (it == apriori_map.end()) {
+            return Violation("mining/downward-closure",
+                             sub.ToString() + " missing although superset " +
+                                 set.ToString() + " is frequent");
+          }
+          if (it->second < support) {
+            return Violation("mining/anti-monotone",
+                             sub.ToString() + " has lower support than its "
+                                              "superset " +
+                                 set.ToString());
+          }
+        }
+      }
+    }
+
+    // Prefix-shared counting: inside the miner (cache off) and directly.
+    core::AprioriOptions no_prefix = plain;
+    no_prefix.prefix_cache = false;
+    Result<core::AprioriResult> no_prefix_run = core::MineApriori(db, no_prefix);
+    if (!no_prefix_run.ok() || ToMap(no_prefix_run.value()) != apriori_map) {
+      return Violation("mining/prefix-cache",
+                       "prefix-shared and chained support counting disagree");
+    }
+    if (!apriori_map.empty()) {
+      std::vector<Itemset> candidates;
+      for (const auto& [items, support] : apriori_map) {
+        candidates.emplace_back(items);
+      }
+      std::vector<uint32_t> counts(candidates.size(), 0);
+      core::PrefixSupportCounter counter;
+      counter.Count(db, candidates, 0, db.NumWords(), counts.data());
+      size_t i = 0;
+      for (const auto& [items, support] : apriori_map) {
+        if (counts[i] != support) {
+          return Violation("mining/prefix-counter",
+                           Itemset(items).ToString() +
+                               " PrefixSupportCounter says " +
+                               std::to_string(counts[i]) + " vs " +
+                               std::to_string(support));
+        }
+        ++i;
+      }
+    }
+
+    // Serial vs parallel support counting.
+    core::AprioriOptions par = plain;
+    par.parallelism = 4;
+    Result<core::AprioriResult> par_run = core::MineApriori(db, par);
+    if (!par_run.ok() || ToMap(par_run.value()) != apriori_map) {
+      return Violation("mining/parallel",
+                       "1-thread and 4-thread mining disagree");
+    }
+
+    // KC+ differential + Lemma 1.
+    const core::PairBlocklistFilter blocklist(ParseBlockPairs(c));
+    const core::SameKeyFilter same_key(db);
+    core::AprioriOptions kc = plain;
+    kc.filters = {&blocklist, &same_key};
+    Result<core::AprioriResult> kc_apriori = core::MineApriori(db, kc);
+    Result<core::AprioriResult> kc_fpgrowth = core::MineFpGrowth(db, kc);
+    if (!kc_apriori.ok() || !kc_fpgrowth.ok()) {
+      return Violation("mining/kc-error",
+                       "a filtered mining run failed on accepted input");
+    }
+    const SupportMap kc_map = ToMap(kc_apriori.value());
+    if (kc_map != ToMap(kc_fpgrowth.value())) {
+      return Violation("mining/kc-apriori-vs-fpgrowth",
+                       DescribeDiff(kc_map, ToMap(kc_fpgrowth.value())));
+    }
+
+    SupportMap lemma1;
+    for (const auto& [items, support] : apriori_map) {
+      bool pruned = false;
+      for (size_t x = 0; x < items.size() && !pruned; ++x) {
+        for (size_t y = x + 1; y < items.size() && !pruned; ++y) {
+          pruned = blocklist.PrunePair(items[x], items[y]) ||
+                   same_key.PrunePair(items[x], items[y]);
+        }
+      }
+      if (!pruned) lemma1[items] = support;
+    }
+    if (kc_map != lemma1) {
+      return Violation("mining/lemma1",
+                       "KC+ output != plain output minus pruned-pair "
+                       "itemsets: " +
+                           DescribeDiff(kc_map, lemma1));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const Oracle* MiningOracle() {
+  static const class MiningOracle instance;
+  return &instance;
+}
+
+}  // namespace internal
+}  // namespace fuzz
+}  // namespace sfpm

@@ -1,0 +1,223 @@
+#include <string>
+#include <vector>
+
+#include "fuzz/generators.h"
+#include "fuzz/oracles_internal.h"
+#include "geom/validity.h"
+#include "qsr/rcc8.h"
+#include "qsr/topological.h"
+#include "relate/relate.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace fuzz {
+namespace internal {
+
+using geom::Geometry;
+
+namespace {
+
+/// The DE-9IM T/F masks of the eight RCC8 base relations between two
+/// simple regions, row-major (A interior/boundary/exterior against B's).
+/// Together they are jointly exhaustive and pairwise disjoint over region
+/// pairs — the JEPD property the oracle enforces on observed matrices.
+struct MaskEntry {
+  qsr::Rcc8 rel;
+  const char* mask;
+};
+constexpr MaskEntry kRegionMasks[] = {
+    {qsr::Rcc8::kDC, "FFTFFTTTT"},    {qsr::Rcc8::kEC, "FFTFTTTTT"},
+    {qsr::Rcc8::kPO, "TTTTTTTTT"},    {qsr::Rcc8::kTPP, "TFFTTFTTT"},
+    {qsr::Rcc8::kNTPP, "TFFTFFTTT"},  {qsr::Rcc8::kTPPi, "TTTFTTFFT"},
+    {qsr::Rcc8::kNTPPi, "TTTFFTFFT"}, {qsr::Rcc8::kEQ, "TFFFTFFFT"},
+};
+
+std::string TfMask(const relate::IntersectionMatrix& m) {
+  std::string mask;
+  for (int row = 0; row < 3; ++row) {
+    for (int col = 0; col < 3; ++col) {
+      mask += m.at(static_cast<relate::IntersectionMatrix::Part>(row),
+                   static_cast<relate::IntersectionMatrix::Part>(col)) >= 0
+                  ? 'T'
+                  : 'F';
+    }
+  }
+  return mask;
+}
+
+bool BothValidAreal(const Geometry& a, const Geometry& b) {
+  return a.Dimension() == 2 && b.Dimension() == 2 && geom::Validate(a).ok() &&
+         geom::Validate(b).ok();
+}
+
+/// --- rcc8_jepd ---------------------------------------------------------
+///
+/// For an areal pair: the observed matrix's T/F mask must equal exactly
+/// one canonical region mask (jointly exhaustive AND pairwise disjoint),
+/// Rcc8Relate must name that very relation, its converse must hold for the
+/// swapped pair, and the Rcc8 <-> topological mappings must round-trip
+/// through ClassifyMatrix.
+class Rcc8JepdOracle final : public Oracle {
+ public:
+  std::string Name() const override { return "rcc8_jepd"; }
+
+  FuzzCase Generate(uint64_t seed) const override {
+    FuzzCase c;
+    c.oracle = Name();
+    c.seed = seed;
+    Rng rng(seed);
+    std::vector<Geometry> triple = ArealTriple(&rng);
+    c.geoms.assign(triple.begin(), triple.begin() + 2);
+    return c;
+  }
+
+  Status Check(const FuzzCase& c) const override {
+    if (c.geoms.size() != 2) {
+      return Status::InvalidArgument("rcc8_jepd case needs 2 geoms");
+    }
+    const Geometry& a = c.geoms[0];
+    const Geometry& b = c.geoms[1];
+    if (!BothValidAreal(a, b)) return Status::OK();
+
+    const relate::IntersectionMatrix m = relate::Relate(a, b);
+    const std::string mask = TfMask(m);
+
+    int matches = 0;
+    qsr::Rcc8 from_mask = qsr::Rcc8::kDC;
+    for (const MaskEntry& entry : kRegionMasks) {
+      if (mask == entry.mask) {
+        ++matches;
+        from_mask = entry.rel;
+      }
+    }
+    if (matches != 1) {
+      return Violation("rcc8/jepd",
+                       "matrix " + m.ToString() + " (mask " + mask +
+                           ") matches " + std::to_string(matches) +
+                           " of the 8 region relations for " + a.ToWkt() +
+                           " vs " + b.ToWkt());
+    }
+
+    Result<qsr::Rcc8> direct = qsr::Rcc8Relate(a, b);
+    if (!direct.ok()) {
+      return Violation("rcc8/relate-error",
+                       direct.status().message() + " for " + a.ToWkt() +
+                           " vs " + b.ToWkt());
+    }
+    if (direct.value() != from_mask) {
+      return Violation("rcc8/relate-vs-mask",
+                       std::string("Rcc8Relate says ") +
+                           qsr::Rcc8Name(direct.value()) +
+                           " but the matrix mask says " +
+                           qsr::Rcc8Name(from_mask));
+    }
+
+    Result<qsr::Rcc8> reverse = qsr::Rcc8Relate(b, a);
+    if (!reverse.ok() ||
+        reverse.value() != qsr::Rcc8Converse(direct.value())) {
+      return Violation(
+          "rcc8/converse",
+          std::string("Rcc8Relate(b,a) is not the converse of (a,b)=") +
+              qsr::Rcc8Name(direct.value()));
+    }
+
+    // Round-trip through the topological classification.
+    const qsr::TopologicalRelation topo = qsr::ClassifyMatrix(m, 2, 2);
+    Result<qsr::Rcc8> via_topo = qsr::Rcc8FromTopological(topo);
+    if (!via_topo.ok() || via_topo.value() != direct.value()) {
+      return Violation(
+          "rcc8/topological-roundtrip",
+          std::string("ClassifyMatrix(") + m.ToString() + ") = " +
+              qsr::TopologicalRelationName(topo) +
+              " does not map back to " + qsr::Rcc8Name(direct.value()));
+    }
+    if (qsr::TopologicalFromRcc8(direct.value()) != topo) {
+      return Violation("rcc8/topological-inverse",
+                       std::string("TopologicalFromRcc8(") +
+                           qsr::Rcc8Name(direct.value()) + ") != " +
+                           qsr::TopologicalRelationName(topo));
+    }
+    return Status::OK();
+  }
+};
+
+/// --- rcc8_compose ------------------------------------------------------
+///
+/// For an areal triple: the composition table must contain the observed
+/// (A,C) relation given the observed (A,B) and (B,C) — the soundness
+/// direction of the table — and the induced 3-variable constraint network
+/// must stay path-consistent.
+class Rcc8ComposeOracle final : public Oracle {
+ public:
+  std::string Name() const override { return "rcc8_compose"; }
+
+  FuzzCase Generate(uint64_t seed) const override {
+    FuzzCase c;
+    c.oracle = Name();
+    c.seed = seed;
+    Rng rng(seed);
+    c.geoms = ArealTriple(&rng);
+    return c;
+  }
+
+  Status Check(const FuzzCase& c) const override {
+    if (c.geoms.size() != 3) {
+      return Status::InvalidArgument("rcc8_compose case needs 3 geoms");
+    }
+    const Geometry& a = c.geoms[0];
+    const Geometry& b = c.geoms[1];
+    const Geometry& g_c = c.geoms[2];
+    if (!BothValidAreal(a, b) || !BothValidAreal(b, g_c)) return Status::OK();
+
+    Result<qsr::Rcc8> r_ab = qsr::Rcc8Relate(a, b);
+    Result<qsr::Rcc8> r_bc = qsr::Rcc8Relate(b, g_c);
+    Result<qsr::Rcc8> r_ac = qsr::Rcc8Relate(a, g_c);
+    if (!r_ab.ok() || !r_bc.ok() || !r_ac.ok()) {
+      return Violation("rcc8/compose-relate-error",
+                       "Rcc8Relate failed on a valid areal triple");
+    }
+
+    const qsr::Rcc8Set composed =
+        qsr::Rcc8Compose(r_ab.value(), r_bc.value());
+    if (!composed.Contains(r_ac.value())) {
+      return Violation(
+          "rcc8/composition-table",
+          std::string(qsr::Rcc8Name(r_ab.value())) + " o " +
+              qsr::Rcc8Name(r_bc.value()) + " = " + composed.ToString() +
+              " does not contain observed " + qsr::Rcc8Name(r_ac.value()) +
+              " for " + a.ToWkt() + " / " + b.ToWkt() + " / " + g_c.ToWkt());
+    }
+
+    qsr::Rcc8Network net(3);
+    SFPM_RETURN_NOT_OK(net.Constrain(0, 1, qsr::Rcc8Set(r_ab.value())));
+    SFPM_RETURN_NOT_OK(net.Constrain(1, 2, qsr::Rcc8Set(r_bc.value())));
+    SFPM_RETURN_NOT_OK(net.Constrain(0, 2, qsr::Rcc8Set(r_ac.value())));
+    if (!net.Propagate()) {
+      return Violation("rcc8/network-consistency",
+                       "a geometrically realized atomic triple propagated "
+                       "to inconsistency");
+    }
+    if (!qsr::IsSatisfiable(net)) {
+      return Violation("rcc8/network-satisfiable",
+                       "a geometrically realized atomic triple is reported "
+                       "unsatisfiable");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const Oracle* Rcc8JepdOracle() {
+  static const class Rcc8JepdOracle instance;
+  return &instance;
+}
+
+const Oracle* Rcc8ComposeOracle() {
+  static const class Rcc8ComposeOracle instance;
+  return &instance;
+}
+
+}  // namespace internal
+}  // namespace fuzz
+}  // namespace sfpm

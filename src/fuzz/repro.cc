@@ -1,0 +1,135 @@
+#include "fuzz/repro.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "geom/wkt.h"
+#include "util/strings.h"
+
+namespace sfpm {
+namespace fuzz {
+
+std::string WriteRepro(const FuzzCase& c, const std::string& comment) {
+  std::string out;
+  if (!comment.empty()) {
+    for (const std::string& line : Split(comment, '\n')) {
+      out += "# " + line + "\n";
+    }
+  }
+  out += "oracle: " + c.oracle + "\n";
+  out += "seed: " + std::to_string(c.seed) + "\n";
+  for (const auto& [key, value] : c.params) {
+    out += "param: " + key + "=" + value + "\n";
+  }
+  for (const geom::Geometry& g : c.geoms) {
+    out += "geom: " + geom::WriteWkt(g) + "\n";
+  }
+  for (const auto& [label, key] : c.items) {
+    out += "item: " + label + (key.empty() ? "" : " " + key) + "\n";
+  }
+  for (const std::vector<core::ItemId>& txn : c.transactions) {
+    out += "txn:";
+    for (core::ItemId id : txn) out += " " + std::to_string(id);
+    out += "\n";
+  }
+  return out;
+}
+
+Result<FuzzCase> ParseRepro(const std::string& text) {
+  FuzzCase c;
+  size_t line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::ParseError("repro line " + std::to_string(line_no) +
+                                ": missing ':' in \"" + std::string(line) +
+                                "\"");
+    }
+    const std::string key(Trim(line.substr(0, colon)));
+    const std::string value(Trim(line.substr(colon + 1)));
+    if (key == "oracle") {
+      c.oracle = value;
+    } else if (key == "seed") {
+      c.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "param") {
+      const size_t eq = value.find('=');
+      if (eq == std::string::npos) {
+        return Status::ParseError("repro line " + std::to_string(line_no) +
+                                  ": param needs key=value");
+      }
+      c.params[std::string(Trim(value.substr(0, eq)))] =
+          std::string(Trim(value.substr(eq + 1)));
+    } else if (key == "geom") {
+      Result<geom::Geometry> g = geom::ReadWkt(value);
+      if (!g.ok()) {
+        return Status::ParseError("repro line " + std::to_string(line_no) +
+                                  ": " + g.status().message());
+      }
+      c.geoms.push_back(std::move(g).value());
+    } else if (key == "item") {
+      const std::vector<std::string> parts = Split(value, ' ');
+      if (parts.empty() || parts[0].empty()) {
+        return Status::ParseError("repro line " + std::to_string(line_no) +
+                                  ": item needs a label");
+      }
+      c.items.emplace_back(parts[0], parts.size() > 1 ? parts[1] : "");
+    } else if (key == "txn") {
+      std::vector<core::ItemId> txn;
+      for (const std::string& tok : Split(value, ' ')) {
+        if (tok.empty()) continue;
+        txn.push_back(
+            static_cast<core::ItemId>(std::strtoul(tok.c_str(), nullptr, 10)));
+      }
+      c.transactions.push_back(std::move(txn));
+    } else {
+      return Status::ParseError("repro line " + std::to_string(line_no) +
+                                ": unknown field \"" + key + "\"");
+    }
+  }
+  if (c.oracle.empty()) {
+    return Status::ParseError("repro has no 'oracle:' line");
+  }
+  // Transactions must reference registered items.
+  for (const std::vector<core::ItemId>& txn : c.transactions) {
+    for (core::ItemId id : txn) {
+      if (id >= c.items.size()) {
+        return Status::ParseError("repro txn references item " +
+                                  std::to_string(id) + " but only " +
+                                  std::to_string(c.items.size()) +
+                                  " items are declared");
+      }
+    }
+  }
+  return c;
+}
+
+Status SaveReproFile(const FuzzCase& c, const std::string& path,
+                     const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  out << WriteRepro(c, comment);
+  out.close();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<FuzzCase> LoadReproFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Result<FuzzCase> parsed = ParseRepro(buf.str());
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+}  // namespace fuzz
+}  // namespace sfpm

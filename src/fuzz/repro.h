@@ -1,0 +1,44 @@
+#ifndef SFPM_FUZZ_REPRO_H_
+#define SFPM_FUZZ_REPRO_H_
+
+#include <string>
+
+#include "fuzz/fuzz_case.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace fuzz {
+
+/// \brief Self-contained text format for failing fuzz cases — the corpus
+/// under tests/fuzz/corpus/ is a directory of these files.
+///
+/// Line-oriented, one field per line, `#` comments ignored:
+///
+///     # optional free-text comment (the writer records the failure)
+///     oracle: relate_diff
+///     seed: 123456
+///     param: min_support=0.25
+///     geom: POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))
+///     geom: LINESTRING (1 1, 5 5)
+///     item: touches_slum slum
+///     txn: 0 2 5
+///
+/// `geom` lines are WKT and keep their order (oracles are arity- and
+/// order-sensitive). `item` lines are "label" or "label key". `txn` lines
+/// list item indexes. Doubles are written with shortest round-trip
+/// formatting, so a replayed case is bit-identical to the saved one.
+std::string WriteRepro(const FuzzCase& c, const std::string& comment = "");
+
+/// Parses the repro format. Returns ParseError with a line diagnosis on
+/// malformed input.
+Result<FuzzCase> ParseRepro(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveReproFile(const FuzzCase& c, const std::string& path,
+                     const std::string& comment = "");
+Result<FuzzCase> LoadReproFile(const std::string& path);
+
+}  // namespace fuzz
+}  // namespace sfpm
+
+#endif  // SFPM_FUZZ_REPRO_H_

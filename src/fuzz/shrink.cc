@@ -1,0 +1,225 @@
+#include "fuzz/shrink.h"
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace sfpm {
+namespace fuzz {
+
+namespace {
+
+using geom::Geometry;
+using geom::GeometryType;
+using geom::LinearRing;
+using geom::LineString;
+using geom::MultiLineString;
+using geom::MultiPoint;
+using geom::MultiPolygon;
+using geom::Point;
+using geom::Polygon;
+
+/// Drops part `i` of a multi geometry; nullopt when not applicable or the
+/// result would be empty.
+std::optional<Geometry> DropPart(const Geometry& g, size_t i) {
+  switch (g.type()) {
+    case GeometryType::kMultiPoint: {
+      std::vector<Point> pts = g.As<MultiPoint>().points();
+      if (i >= pts.size() || pts.size() <= 1) return std::nullopt;
+      pts.erase(pts.begin() + i);
+      return Geometry(MultiPoint(std::move(pts)));
+    }
+    case GeometryType::kMultiLineString: {
+      std::vector<LineString> lines = g.As<MultiLineString>().lines();
+      if (i >= lines.size() || lines.size() <= 1) return std::nullopt;
+      lines.erase(lines.begin() + i);
+      return Geometry(MultiLineString(std::move(lines)));
+    }
+    case GeometryType::kMultiPolygon: {
+      std::vector<Polygon> polys = g.As<MultiPolygon>().polygons();
+      if (i >= polys.size() || polys.size() <= 1) return std::nullopt;
+      polys.erase(polys.begin() + i);
+      return Geometry(MultiPolygon(std::move(polys)));
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+size_t NumDroppableParts(const Geometry& g) {
+  switch (g.type()) {
+    case GeometryType::kMultiPoint:
+      return g.As<MultiPoint>().points().size();
+    case GeometryType::kMultiLineString:
+      return g.As<MultiLineString>().lines().size();
+    case GeometryType::kMultiPolygon:
+      return g.As<MultiPolygon>().polygons().size();
+    default:
+      return 0;
+  }
+}
+
+/// Drops vertex `i` of a linestring / polygon shell (first part only for
+/// multis — part drops handle the rest). Keeps linestrings at >= 2 points
+/// and rings at >= 3 distinct points; nullopt otherwise.
+std::optional<Geometry> DropVertex(const Geometry& g, size_t i) {
+  switch (g.type()) {
+    case GeometryType::kLineString: {
+      std::vector<Point> pts = g.As<LineString>().points();
+      if (i >= pts.size() || pts.size() <= 2) return std::nullopt;
+      pts.erase(pts.begin() + i);
+      return Geometry(LineString(std::move(pts)));
+    }
+    case GeometryType::kPolygon: {
+      const Polygon& poly = g.As<Polygon>();
+      std::vector<Point> pts = poly.shell().points();
+      if (pts.size() <= 4) return std::nullopt;  // triangle + closure
+      pts.pop_back();                            // open the ring
+      if (i >= pts.size()) return std::nullopt;
+      pts.erase(pts.begin() + i);
+      return Geometry(Polygon(LinearRing(std::move(pts)), poly.holes()));
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+size_t NumDroppableVertices(const Geometry& g) {
+  switch (g.type()) {
+    case GeometryType::kLineString:
+      return g.As<LineString>().points().size();
+    case GeometryType::kPolygon:
+      return g.As<Polygon>().shell().points().size();
+    default:
+      return 0;
+  }
+}
+
+Point RoundPoint(const Point& p, double scale) {
+  return Point(std::round(p.x * scale) / scale, std::round(p.y * scale) / scale);
+}
+
+/// Snaps every coordinate of `g` to `digits` decimal digits.
+Geometry RoundGeometry(const Geometry& g, int digits) {
+  const double scale = std::pow(10.0, digits);
+  auto round_all = [&](const std::vector<Point>& pts) {
+    std::vector<Point> out;
+    out.reserve(pts.size());
+    for (const Point& p : pts) out.push_back(RoundPoint(p, scale));
+    return out;
+  };
+  auto round_poly = [&](const Polygon& poly) {
+    std::vector<LinearRing> holes;
+    for (const LinearRing& h : poly.holes()) {
+      holes.emplace_back(round_all(h.points()));
+    }
+    return Polygon(LinearRing(round_all(poly.shell().points())),
+                   std::move(holes));
+  };
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      return Geometry(RoundPoint(g.As<Point>(), scale));
+    case GeometryType::kLineString:
+      return Geometry(LineString(round_all(g.As<LineString>().points())));
+    case GeometryType::kPolygon:
+      return Geometry(round_poly(g.As<Polygon>()));
+    case GeometryType::kMultiPoint:
+      return Geometry(MultiPoint(round_all(g.As<MultiPoint>().points())));
+    case GeometryType::kMultiLineString: {
+      std::vector<LineString> lines;
+      for (const LineString& l : g.As<MultiLineString>().lines()) {
+        lines.emplace_back(round_all(l.points()));
+      }
+      return Geometry(MultiLineString(std::move(lines)));
+    }
+    case GeometryType::kMultiPolygon: {
+      std::vector<Polygon> polys;
+      for (const Polygon& p : g.As<MultiPolygon>().polygons()) {
+        polys.push_back(round_poly(p));
+      }
+      return Geometry(MultiPolygon(std::move(polys)));
+    }
+  }
+  return g;
+}
+
+/// All single-step reductions of `c`, structural passes before lossy
+/// coordinate snapping so minimized cases stay as faithful as possible.
+std::vector<FuzzCase> Successors(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+
+  // Transaction payload: drop a transaction, then thin one out.
+  for (size_t t = 0; t < c.transactions.size(); ++t) {
+    FuzzCase next = c;
+    next.transactions.erase(next.transactions.begin() + t);
+    out.push_back(std::move(next));
+  }
+  for (size_t t = 0; t < c.transactions.size(); ++t) {
+    for (size_t i = 0; i < c.transactions[t].size(); ++i) {
+      FuzzCase next = c;
+      next.transactions[t].erase(next.transactions[t].begin() + i);
+      out.push_back(std::move(next));
+    }
+  }
+
+  // Geometry payload: drop parts, then vertices.
+  for (size_t gi = 0; gi < c.geoms.size(); ++gi) {
+    for (size_t part = 0; part < NumDroppableParts(c.geoms[gi]); ++part) {
+      std::optional<Geometry> reduced = DropPart(c.geoms[gi], part);
+      if (!reduced) continue;
+      FuzzCase next = c;
+      next.geoms[gi] = std::move(*reduced);
+      out.push_back(std::move(next));
+    }
+  }
+  for (size_t gi = 0; gi < c.geoms.size(); ++gi) {
+    for (size_t v = 0; v < NumDroppableVertices(c.geoms[gi]); ++v) {
+      std::optional<Geometry> reduced = DropVertex(c.geoms[gi], v);
+      if (!reduced) continue;
+      FuzzCase next = c;
+      next.geoms[gi] = std::move(*reduced);
+      out.push_back(std::move(next));
+    }
+  }
+
+  // Coordinate snapping, coarse digits first.
+  if (!c.geoms.empty()) {
+    for (const int digits : {0, 3, 6, 9, 12}) {
+      FuzzCase next = c;
+      bool changed = false;
+      for (Geometry& g : next.geoms) {
+        Geometry rounded = RoundGeometry(g, digits);
+        if (!(rounded == g)) changed = true;
+        g = std::move(rounded);
+      }
+      if (changed) out.push_back(std::move(next));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FuzzCase Shrink(const Oracle& oracle, const FuzzCase& failing,
+                size_t max_checks) {
+  FuzzCase current = failing;
+  size_t checks = 0;
+  bool reduced = true;
+  while (reduced && checks < max_checks) {
+    reduced = false;
+    for (FuzzCase& next : Successors(current)) {
+      if (++checks > max_checks) break;
+      if (!oracle.Check(next).ok()) {
+        current = std::move(next);
+        reduced = true;
+        break;  // Restart the pass list from the smaller case.
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace fuzz
+}  // namespace sfpm

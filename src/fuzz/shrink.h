@@ -1,0 +1,31 @@
+#ifndef SFPM_FUZZ_SHRINK_H_
+#define SFPM_FUZZ_SHRINK_H_
+
+#include <cstddef>
+
+#include "fuzz/fuzz_case.h"
+#include "fuzz/oracles.h"
+
+namespace sfpm {
+namespace fuzz {
+
+/// \brief Greedy structural minimization of a failing case.
+///
+/// Repeatedly applies single-step reductions — drop a multi-geometry part,
+/// drop a vertex, snap every coordinate to fewer decimal digits, drop a
+/// transaction, drop an item from a transaction — and keeps a reduction
+/// whenever `oracle.Check` STILL fails on the reduced case, restarting the
+/// pass list from the top. Terminates at a fixpoint (no reduction
+/// preserves the failure) or after `max_checks` oracle invocations,
+/// whichever comes first.
+///
+/// Deterministic: the reduction order is fixed, so the same failing case
+/// always shrinks to the same minimized case. The returned case fails
+/// `oracle.Check` by construction (the input must already fail it).
+FuzzCase Shrink(const Oracle& oracle, const FuzzCase& failing,
+                size_t max_checks = 2000);
+
+}  // namespace fuzz
+}  // namespace sfpm
+
+#endif  // SFPM_FUZZ_SHRINK_H_

@@ -9,10 +9,11 @@ namespace geom {
 
 namespace {
 
-/// Relative tolerance for the collinearity test. Coordinates of typical
-/// datasets are O(1e3); the cross product magnitudes are then O(1e6) and a
-/// relative threshold keeps the predicate scale-invariant.
-constexpr double kRelEps = 1e-12;
+/// Relative tolerance for the collinearity test (see kCollinearityRelEps in
+/// the header). Coordinates of typical datasets are O(1e3); the cross
+/// product magnitudes are then O(1e6) and a relative threshold keeps the
+/// predicate scale-invariant.
+constexpr double kRelEps = kCollinearityRelEps;
 
 double OrientationThreshold(const Point& a, const Point& b, const Point& c) {
   const double m = std::abs((b.x - a.x) * (c.y - a.y)) +
@@ -36,8 +37,22 @@ int Orientation(const Point& a, const Point& b, const Point& c) {
 
 bool PointOnSegment(const Point& p, const Point& a, const Point& b) {
   if (Orientation(a, b, p) != 0) return false;
-  return p.x >= std::min(a.x, b.x) - 0.0 && p.x <= std::max(a.x, b.x) &&
-         p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y);
+  const double adx = std::abs(b.x - a.x);
+  const double ady = std::abs(b.y - a.y);
+  if (adx == 0.0 && ady == 0.0) return p == a;
+  // Clamp along the dominant axis only, with slack matching the
+  // collinearity tolerance. The non-dominant extent of a near-axis-aligned
+  // segment is thinner than the orientation tolerance, so an exact clamp
+  // there rejects points the collinearity test accepts; likewise a point
+  // within tolerance of an endpoint can overshoot the exact extent.
+  if (adx >= ady) {
+    const double slack = kRelEps * adx;
+    return p.x >= std::min(a.x, b.x) - slack &&
+           p.x <= std::max(a.x, b.x) + slack;
+  }
+  const double slack = kRelEps * ady;
+  return p.y >= std::min(a.y, b.y) - slack &&
+         p.y <= std::max(a.y, b.y) + slack;
 }
 
 SegmentIntersection IntersectSegments(const Point& a1, const Point& a2,
@@ -75,28 +90,56 @@ SegmentIntersection IntersectSegments(const Point& a1, const Point& a2,
   const int o4 = Orientation(b1, b2, a2);
 
   if (o1 != o2 && o3 != o4 && o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0) {
-    // Proper crossing: solve the 2x2 linear system for the parameter.
+    // Proper crossing: solve the 2x2 linear system from both sides. Each
+    // parameter is clamped to [0, 1] so cancellation on near-parallel input
+    // cannot launch the point off its segment; the midpoint of the two
+    // clamped candidates is invariant under operand swap, and the final
+    // clamp into the envelope intersection (non-empty whenever the straddle
+    // is certified) keeps the result inside both operand envelopes.
     const double dax = a2.x - a1.x;
     const double day = a2.y - a1.y;
     const double dbx = b2.x - b1.x;
     const double dby = b2.y - b1.y;
     const double denom = dax * dby - day * dbx;
-    const double t = ((b1.x - a1.x) * dby - (b1.y - a1.y) * dbx) / denom;
+    const double t = std::clamp(
+        ((b1.x - a1.x) * dby - (b1.y - a1.y) * dbx) / denom, 0.0, 1.0);
+    const double s = std::clamp(
+        ((b1.x - a1.x) * day - (b1.y - a1.y) * dax) / denom, 0.0, 1.0);
+    Point p(0.5 * ((a1.x + t * dax) + (b1.x + s * dbx)),
+            0.5 * ((a1.y + t * day) + (b1.y + s * dby)));
+    p.x = std::clamp(p.x, std::max(std::min(a1.x, a2.x), std::min(b1.x, b2.x)),
+                     std::min(std::max(a1.x, a2.x), std::max(b1.x, b2.x)));
+    p.y = std::clamp(p.y, std::max(std::min(a1.y, a2.y), std::min(b1.y, b2.y)),
+                     std::min(std::max(a1.y, a2.y), std::max(b1.y, b2.y)));
     out.kind = SegmentIntersection::Kind::kPoint;
-    out.p = Point(a1.x + t * dax, a1.y + t * day);
+    out.p = p;
     out.proper = true;
     return out;
   }
 
-  if (o1 == 0 && o2 == 0) {
-    // Collinear: project onto the dominant axis and intersect intervals.
-    const bool use_x = std::abs(a2.x - a1.x) >= std::abs(a2.y - a1.y);
+  if (o1 == 0 && o2 == 0 && o3 == 0 && o4 == 0) {
+    // Collinear within tolerance, witnessed from both operands' frames:
+    // project onto the dominant axis and intersect intervals. Requiring
+    // both witnesses keeps the classification invariant under operand
+    // swap — a one-frame test reports overlap from one side and an
+    // endpoint touch from the other on near-collinear input, because the
+    // relative orientation threshold collapses when a query point lies
+    // next to the frame's reference endpoint. Pairs with a one-sided
+    // witness fall through to the endpoint-touch scan below.
+    const bool use_x = std::abs(a2.x - a1.x) + std::abs(b2.x - b1.x) >=
+                       std::abs(a2.y - a1.y) + std::abs(b2.y - b1.y);
     auto key = [use_x](const Point& p) { return use_x ? p.x : p.y; };
+    auto less = [use_x](const Point& p, const Point& q) {
+      const double kp = use_x ? p.x : p.y;
+      const double kq = use_x ? q.x : q.y;
+      if (kp != kq) return kp < kq;
+      return (use_x ? p.y : p.x) < (use_x ? q.y : q.x);
+    };
     Point alo = a1, ahi = a2, blo = b1, bhi = b2;
-    if (key(alo) > key(ahi)) std::swap(alo, ahi);
-    if (key(blo) > key(bhi)) std::swap(blo, bhi);
-    const Point lo = key(alo) >= key(blo) ? alo : blo;
-    const Point hi = key(ahi) <= key(bhi) ? ahi : bhi;
+    if (less(ahi, alo)) std::swap(alo, ahi);
+    if (less(bhi, blo)) std::swap(blo, bhi);
+    const Point lo = less(alo, blo) ? blo : alo;
+    const Point hi = less(bhi, ahi) ? bhi : ahi;
     if (key(lo) > key(hi)) return out;  // Disjoint collinear intervals.
     if (lo == hi) {
       out.kind = SegmentIntersection::Kind::kPoint;
@@ -109,26 +152,23 @@ SegmentIntersection IntersectSegments(const Point& a1, const Point& a2,
     return out;
   }
 
-  // Non-collinear with an endpoint touching the other segment.
-  if (o1 == 0 && PointOnSegment(b1, a1, a2)) {
+  // Non-collinear with an endpoint touching the other segment. More than
+  // one endpoint can touch on near-collinear input; returning the
+  // lexicographically smallest keeps the result invariant under swap.
+  const Point* touch = nullptr;
+  auto consider = [&touch](const Point& p) {
+    if (touch == nullptr || p.x < touch->x ||
+        (p.x == touch->x && p.y < touch->y)) {
+      touch = &p;
+    }
+  };
+  if (o1 == 0 && PointOnSegment(b1, a1, a2)) consider(b1);
+  if (o2 == 0 && PointOnSegment(b2, a1, a2)) consider(b2);
+  if (o3 == 0 && PointOnSegment(a1, b1, b2)) consider(a1);
+  if (o4 == 0 && PointOnSegment(a2, b1, b2)) consider(a2);
+  if (touch != nullptr) {
     out.kind = SegmentIntersection::Kind::kPoint;
-    out.p = b1;
-    return out;
-  }
-  if (o2 == 0 && PointOnSegment(b2, a1, a2)) {
-    out.kind = SegmentIntersection::Kind::kPoint;
-    out.p = b2;
-    return out;
-  }
-  if (o3 == 0 && PointOnSegment(a1, b1, b2)) {
-    out.kind = SegmentIntersection::Kind::kPoint;
-    out.p = a1;
-    return out;
-  }
-  if (o4 == 0 && PointOnSegment(a2, b1, b2)) {
-    out.kind = SegmentIntersection::Kind::kPoint;
-    out.p = a2;
-    return out;
+    out.p = *touch;
   }
   return out;
 }

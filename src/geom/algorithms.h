@@ -13,6 +13,15 @@ namespace geom {
 /// the interior/boundary/exterior decomposition of the 9-intersection model.
 enum class Location { kInterior, kBoundary, kExterior };
 
+/// \brief Relative tolerance shared by the collinearity predicates
+/// (Orientation, PointOnSegment).
+///
+/// Exposed so indexed callers can widen envelope queries to cover the
+/// tolerance band: a point within slack of a segment may lie outside the
+/// segment's envelope, and an exact envelope probe would never surface the
+/// segment for the tolerance-aware on-segment test.
+inline constexpr double kCollinearityRelEps = 1e-12;
+
 /// \brief Sign of the signed area of triangle (a, b, c).
 ///
 /// Returns +1 when c lies to the left of the directed line a->b (counter-

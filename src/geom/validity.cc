@@ -186,5 +186,88 @@ Status Validate(const Geometry& g) {
   return Status::OK();
 }
 
+namespace {
+
+/// Collapses exact consecutive duplicates in a vertex path.
+std::vector<Point> DedupConsecutive(const std::vector<Point>& pts) {
+  std::vector<Point> out;
+  out.reserve(pts.size());
+  for (const Point& p : pts) {
+    if (out.empty() || !(out.back() == p)) out.push_back(p);
+  }
+  return out;
+}
+
+/// Normalizes a ring to its distinct-vertex cycle, or an empty ring when
+/// degenerate (under 3 distinct vertices, or exactly zero area).
+LinearRing NormalizedRing(const LinearRing& ring) {
+  std::vector<Point> pts = DedupConsecutive(ring.points());
+  while (pts.size() > 1 && pts.front() == pts.back()) pts.pop_back();
+  if (pts.size() < 3) return LinearRing();
+  const LinearRing out(std::move(pts));  // Ctor re-appends the closure.
+  if (out.Area() == 0.0) return LinearRing();
+  return out;
+}
+
+Polygon NormalizedPolygon(const Polygon& poly) {
+  const LinearRing shell = NormalizedRing(poly.shell());
+  if (shell.IsEmpty()) return Polygon();
+  std::vector<LinearRing> holes;
+  for (const LinearRing& h : poly.holes()) {
+    LinearRing nh = NormalizedRing(h);
+    if (!nh.IsEmpty()) holes.push_back(std::move(nh));
+  }
+  return Polygon(shell, std::move(holes));
+}
+
+}  // namespace
+
+Geometry Normalized(const Geometry& g) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      return g;
+    case GeometryType::kLineString: {
+      std::vector<Point> pts = DedupConsecutive(g.As<LineString>().points());
+      if (pts.size() == 1) return Geometry(pts[0]);
+      return Geometry(LineString(std::move(pts)));
+    }
+    case GeometryType::kPolygon:
+      return Geometry(NormalizedPolygon(g.As<Polygon>()));
+    case GeometryType::kMultiPoint: {
+      std::vector<Point> out;
+      for (const Point& p : g.As<MultiPoint>().points()) {
+        bool seen = false;
+        for (const Point& q : out) {
+          if (q == p) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) out.push_back(p);
+      }
+      return Geometry(MultiPoint(std::move(out)));
+    }
+    case GeometryType::kMultiLineString: {
+      std::vector<LineString> out;
+      for (const LineString& l : g.As<MultiLineString>().lines()) {
+        std::vector<Point> pts = DedupConsecutive(l.points());
+        // Members that degenerate to a single point are dropped rather
+        // than type-changed: a MultiLineString member must stay a curve.
+        if (pts.size() >= 2) out.emplace_back(std::move(pts));
+      }
+      return Geometry(MultiLineString(std::move(out)));
+    }
+    case GeometryType::kMultiPolygon: {
+      std::vector<Polygon> out;
+      for (const Polygon& p : g.As<MultiPolygon>().polygons()) {
+        Polygon np = NormalizedPolygon(p);
+        if (!np.IsEmpty()) out.push_back(std::move(np));
+      }
+      return Geometry(MultiPolygon(std::move(out)));
+    }
+  }
+  return g;
+}
+
 }  // namespace geom
 }  // namespace sfpm

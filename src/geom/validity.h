@@ -27,6 +27,27 @@ Status Validate(const Geometry& g);
 /// Validates a bare ring (shared by shell and hole checks).
 Status ValidateRing(const LinearRing& ring);
 
+/// \brief The permissive counterpart to Validate: returns a copy of `g`
+/// with the representational degeneracies the relate engine mishandles
+/// removed, so loaders can normalize-then-validate instead of rejecting
+/// sloppy-but-salvageable input outright.
+///
+/// Transformations applied:
+///  * repeated consecutive vertices collapse to one (paths and rings,
+///    including the ring's wrap-around pair);
+///  * a linestring left with a single distinct vertex becomes a Point
+///    (the only type change; a relate operand must not carry zero-length
+///    linework);
+///  * rings with fewer than 3 distinct vertices or exactly zero area are
+///    dropped — a polygon whose shell is dropped becomes empty;
+///  * exact duplicate members of a MultiPoint are dropped;
+///  * empty or fully-degenerate members of multi-geometries are dropped
+///    (the collection type itself is preserved).
+///
+/// Self-intersection and hole containment are *not* repaired — run
+/// Validate on the normalized geometry for those.
+Geometry Normalized(const Geometry& g);
+
 /// True when the path never revisits a point except for ring closure.
 bool IsSimple(const LineString& line);
 

@@ -1,5 +1,6 @@
 #include "relate/prepared.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "relate/relate.h"
@@ -34,6 +35,27 @@ std::string RelateStats::ToString() const {
       static_cast<unsigned long long>(miss_inconclusive));
 }
 
+namespace {
+
+/// Widest distance a point accepted by the tolerance collinearity
+/// predicates can sit outside a segment's envelope, for segments drawn
+/// from a geometry with envelope `e`.
+///
+/// PointOnSegment accepts points (a) whose dominant-axis coordinate
+/// overshoots the segment by up to kCollinearityRelEps * extent (the
+/// endpoint clamp slack), (b) within the Orientation threshold band of
+/// the carrier line, whose perpendicular half-width is bounded by
+/// 2 * kCollinearityRelEps * min(extent_x, extent_y), and (c) the
+/// non-dominant-axis image of the clamp overshoot, at most another
+/// kCollinearityRelEps * extent. 4x the relative epsilon at the
+/// geometry's scale covers the sum with margin.
+double BandSlack(const Envelope& e) {
+  return 4.0 * geom::kCollinearityRelEps *
+         std::max({1.0, e.Width(), e.Height()});
+}
+
+}  // namespace
+
 PreparedGeometry::PreparedGeometry(Geometry g) : geometry_(std::move(g)) {
   dim_ = geometry_.Dimension();
   bdim_ = BoundaryDimension(geometry_);
@@ -51,6 +73,13 @@ PreparedGeometry::PreparedGeometry(Geometry g) : geometry_(std::move(g)) {
     entries.emplace_back(seg_envelopes_.back(), i);
   }
   segment_index_.BulkLoad(std::move(entries));
+
+  // The collinearity predicates accept points within a relative tolerance
+  // band of a segment, and such a point can sit strictly outside the
+  // segment's envelope. Locate's index probes are widened by the band's
+  // width at this geometry's scale so tolerance-band boundary hits are
+  // never filtered out before PointOnSegment sees them.
+  locate_slack_ = BandSlack(envelope_);
 
   // Even-odd parity over the cached ring segments reproduces
   // LocateInPolygon for valid (multi)polygons. A single linestring gets an
@@ -70,9 +99,11 @@ Location PreparedGeometry::Locate(const Point& p) const {
   static thread_local std::vector<uint64_t> candidates;
 
   if (line_locate_) {
-    if (!envelope_.Contains(p)) return Location::kExterior;
+    if (!envelope_.Buffered(locate_slack_).Contains(p)) {
+      return Location::kExterior;
+    }
     candidates.clear();
-    segment_index_.Query(Envelope(p), &candidates);
+    segment_index_.Query(Envelope(p).Buffered(locate_slack_), &candidates);
     bool on_line = false;
     for (uint64_t i : candidates) {
       if (geom::PointOnSegment(p, segments_[i].first, segments_[i].second)) {
@@ -89,15 +120,21 @@ Location PreparedGeometry::Locate(const Point& p) const {
     return Location::kInterior;
   }
   if (!fast_locate_) return geom::Locate(p, geometry_);
-  if (!envelope_.Contains(p)) return Location::kExterior;
+  if (!envelope_.Buffered(locate_slack_).Contains(p)) {
+    return Location::kExterior;
+  }
 
-  // One rightward ray-strip query serves both tests: a segment through p
-  // has an envelope containing p, and p lies in the strip, so every
-  // boundary-test candidate is among the strip candidates. Each candidate
-  // gets the exact on-segment test (boundary) and contributes to the
-  // crossing parity (interior/exterior) in the same pass.
+  // One rightward ray-strip query serves both tests: a segment within the
+  // tolerance band of p has an envelope within locate_slack_ of p, and p
+  // lies in the widened strip, so every boundary-test candidate is among
+  // the strip candidates. Each candidate gets the on-segment test
+  // (boundary) and contributes to the crossing parity (interior/exterior)
+  // in the same pass; the extra slack candidates cannot change parity
+  // because a segment straddling y == p.y with its crossing right of p.x
+  // already intersects the exact strip.
   candidates.clear();
-  segment_index_.Query(Envelope(p.x, p.y, envelope_.max_x() + 1.0, p.y),
+  segment_index_.Query(Envelope(p.x - locate_slack_, p.y - locate_slack_,
+                                envelope_.max_x() + 1.0, p.y + locate_slack_),
                        &candidates);
   bool inside = false;
   for (uint64_t i : candidates) {
@@ -136,9 +173,12 @@ IntersectionMatrix PreparedGeometry::RelateImpl(
   const Envelope envelope_b =
       pb != nullptr ? pb->envelope_ : other.GetEnvelope();
 
-  // Certified fast path, step 0: disjoint envelopes cannot share a point,
-  // and the disjoint matrix is fully determined by the dimensions.
-  if (!envelope_.Intersects(envelope_b)) {
+  // Certified fast path, step 0: envelopes disjoint by more than the
+  // combined tolerance band cannot share a point (the predicates accept
+  // near-misses up to each side's band width), and the disjoint matrix is
+  // fully determined by the dimensions.
+  if (!envelope_.Buffered(locate_slack_ + BandSlack(envelope_b))
+           .Intersects(envelope_b)) {
     if (stats != nullptr) ++stats->fast_disjoint;
     return internal::DisjointMatrix(dim_, bdim_, dim_b, bdim_b);
   }
@@ -236,12 +276,19 @@ std::vector<std::pair<size_t, size_t>> PreparedGeometry::CandidatePairs(
   // near segment is tested once per run, not once per operand segment.
   // The emitted pair order (operand index ascending, near order within)
   // is exactly the single-level order.
+  //
+  // Every envelope test is slack-buffered: two segments can make contact
+  // under the tolerance predicates while their exact envelopes are
+  // disjoint by up to the combined band width (one near-miss band per
+  // operand). Buffering only the b-side boxes by the sum is equivalent to
+  // buffering each side by its own share.
   std::vector<std::pair<size_t, size_t>> pairs;
   if (segs_b.empty() || segments_.empty()) return pairs;
+  const double slack = locate_slack_ + BandSlack(envelope_b);
   static thread_local std::vector<uint64_t> near;
   static thread_local std::vector<uint64_t> run_near;
   near.clear();
-  segment_index_.Query(envelope_b, &near);
+  segment_index_.Query(envelope_b.Buffered(slack), &near);
   if (near.empty()) return pairs;
   constexpr size_t kRun = 8;
   for (size_t j0 = 0; j0 < segs_b.size(); j0 += kRun) {
@@ -250,13 +297,15 @@ std::vector<std::pair<size_t, size_t>> PreparedGeometry::CandidatePairs(
     for (size_t j = j0 + 1; j < j1; ++j) {
       run_env.ExpandToInclude(Envelope(segs_b[j].first, segs_b[j].second));
     }
+    run_env = run_env.Buffered(slack);
     run_near.clear();
     for (uint64_t ia : near) {
       if (run_env.Intersects(seg_envelopes_[ia])) run_near.push_back(ia);
     }
     if (run_near.empty()) continue;
     for (size_t j = j0; j < j1; ++j) {
-      const Envelope eb(segs_b[j].first, segs_b[j].second);
+      const Envelope eb =
+          Envelope(segs_b[j].first, segs_b[j].second).Buffered(slack);
       for (uint64_t ia : run_near) {
         if (eb.Intersects(seg_envelopes_[ia])) {
           pairs.emplace_back(static_cast<size_t>(ia), j);
@@ -273,12 +322,14 @@ bool PreparedGeometry::LineworkContact(
   // Mirrors CandidatePairs' two-level filter, but tests each surviving
   // pair for actual contact immediately instead of collecting it, and
   // returns on the first contact found — misses pay for a prefix of the
-  // sweep, certified calls never allocate a pair list.
+  // sweep, certified calls never allocate a pair list. Envelope tests are
+  // slack-buffered for the same reason as in CandidatePairs.
   if (segs_b.empty() || segments_.empty()) return false;
+  const double slack = locate_slack_ + BandSlack(envelope_b);
   static thread_local std::vector<uint64_t> near;
   static thread_local std::vector<uint64_t> run_near;
   near.clear();
-  segment_index_.Query(envelope_b, &near);
+  segment_index_.Query(envelope_b.Buffered(slack), &near);
   if (near.empty()) return false;
   constexpr size_t kRun = 8;
   for (size_t j0 = 0; j0 < segs_b.size(); j0 += kRun) {
@@ -287,13 +338,15 @@ bool PreparedGeometry::LineworkContact(
     for (size_t j = j0 + 1; j < j1; ++j) {
       run_env.ExpandToInclude(Envelope(segs_b[j].first, segs_b[j].second));
     }
+    run_env = run_env.Buffered(slack);
     run_near.clear();
     for (uint64_t ia : near) {
       if (run_env.Intersects(seg_envelopes_[ia])) run_near.push_back(ia);
     }
     if (run_near.empty()) continue;
     for (size_t j = j0; j < j1; ++j) {
-      const Envelope eb(segs_b[j].first, segs_b[j].second);
+      const Envelope eb =
+          Envelope(segs_b[j].first, segs_b[j].second).Buffered(slack);
       for (uint64_t ia : run_near) {
         if (eb.Intersects(seg_envelopes_[ia]) &&
             geom::SegmentsIntersect(segments_[ia].first, segments_[ia].second,
@@ -365,9 +418,17 @@ IntersectionMatrix PreparedGeometry::RelateEngine(
   return internal::RelateSides(side_a, side_b, &candidate_pairs);
 }
 
+// The envelope short-circuits below are slack-buffered so they can never
+// contradict Relate: the tolerance predicates accept contacts between
+// geometries whose exact envelopes are disjoint (or not nested) by up to
+// the combined band width.
+
 bool PreparedGeometry::Intersects(const Geometry& other) const {
-  // Envelope short-circuit: disjoint envelopes cannot intersect.
-  if (!envelope_.Intersects(other.GetEnvelope())) return false;
+  const Envelope env_b = other.GetEnvelope();
+  if (!envelope_.Buffered(locate_slack_ + BandSlack(env_b))
+           .Intersects(env_b)) {
+    return false;
+  }
   return Relate(other).Intersects();
 }
 
@@ -376,22 +437,35 @@ bool PreparedGeometry::Disjoint(const Geometry& other) const {
 }
 
 bool PreparedGeometry::Contains(const Geometry& other) const {
-  if (!envelope_.Contains(other.GetEnvelope())) return false;
+  const Envelope env_b = other.GetEnvelope();
+  if (!envelope_.Buffered(locate_slack_ + BandSlack(env_b)).Contains(env_b)) {
+    return false;
+  }
   return Relate(other).Contains();
 }
 
 bool PreparedGeometry::Covers(const Geometry& other) const {
-  if (!envelope_.Contains(other.GetEnvelope())) return false;
+  const Envelope env_b = other.GetEnvelope();
+  if (!envelope_.Buffered(locate_slack_ + BandSlack(env_b)).Contains(env_b)) {
+    return false;
+  }
   return Relate(other).Covers();
 }
 
 bool PreparedGeometry::Within(const Geometry& other) const {
-  if (!other.GetEnvelope().Contains(envelope_)) return false;
+  const Envelope env_b = other.GetEnvelope();
+  if (!env_b.Buffered(locate_slack_ + BandSlack(env_b)).Contains(envelope_)) {
+    return false;
+  }
   return Relate(other).Within();
 }
 
 bool PreparedGeometry::Touches(const Geometry& other) const {
-  if (!envelope_.Intersects(other.GetEnvelope())) return false;
+  const Envelope env_b = other.GetEnvelope();
+  if (!envelope_.Buffered(locate_slack_ + BandSlack(env_b))
+           .Intersects(env_b)) {
+    return false;
+  }
   return Relate(other).Touches(dim_, other.Dimension());
 }
 

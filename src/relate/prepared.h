@@ -159,6 +159,12 @@ class PreparedGeometry {
   /// the probes the fast path locates against `other`.
   std::vector<geom::Point> component_reps_;
   index::RTree segment_index_;
+  /// Width of the collinearity tolerance band at this geometry's scale
+  /// (see BandSlack in prepared.cc for the bound's derivation). Locate's
+  /// index probes and the candidate-pair envelope filters are widened by
+  /// this much: a point within tolerance of a segment can lie outside the
+  /// segment's envelope, so an exact probe would miss the contact.
+  double locate_slack_ = 0.0;
   /// True when the geometry is a single polygon/line type whose Locate can
   /// use the generic crossing count over indexed segments.
   bool fast_locate_ = false;

@@ -1,0 +1,152 @@
+// Edge cases the differential fuzzer's mining oracle exercises (see
+// docs/TESTING.md): empty database, min_support at the domain edges,
+// a transaction holding every item, and duplicate transactions — always
+// asserting Apriori and FP-Growth agree and that supports are exact.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/apriori.h"
+#include "core/fpgrowth.h"
+#include "core/transaction_db.h"
+
+namespace sfpm {
+namespace core {
+namespace {
+
+/// Canonical (itemset -> support) map for order-independent comparison.
+std::map<std::vector<ItemId>, uint32_t> Canonical(const AprioriResult& r) {
+  std::map<std::vector<ItemId>, uint32_t> out;
+  for (const FrequentItemset& f : r.itemsets()) {
+    out[f.items.items()] = f.support;
+  }
+  return out;
+}
+
+void ExpectEnginesAgree(const TransactionDb& db, double min_support) {
+  auto a = MineApriori(db, min_support);
+  auto f = MineFpGrowth(db, min_support);
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  ASSERT_TRUE(f.ok()) << f.status().message();
+  EXPECT_EQ(Canonical(a.value()), Canonical(f.value())) << "min_support=" << min_support;
+}
+
+TEST(MiningEdgeTest, EmptyDatabaseIsRejectedByBothEngines) {
+  TransactionDb db;
+  EXPECT_FALSE(MineApriori(db, 0.5).ok());
+  EXPECT_FALSE(MineFpGrowth(db, 0.5).ok());
+}
+
+TEST(MiningEdgeTest, MinSupportZeroIsRejectedByBothEngines) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  db.AddTransaction({a});
+  EXPECT_FALSE(MineApriori(db, 0.0).ok());
+  EXPECT_FALSE(MineFpGrowth(db, 0.0).ok());
+  EXPECT_FALSE(MineApriori(db, -0.1).ok());
+  EXPECT_FALSE(MineApriori(db, 1.5).ok());
+}
+
+TEST(MiningEdgeTest, MinSupportOfWholeDatabase) {
+  // min_support = 1.0 is an absolute threshold of |DB|: only itemsets
+  // present in every transaction survive.
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  const ItemId c = db.AddItem("c");
+  db.AddTransaction({a, b});
+  db.AddTransaction({a, b, c});
+  db.AddTransaction({a, b});
+
+  auto r = MineApriori(db, 1.0);
+  ASSERT_TRUE(r.ok());
+  const auto sets = Canonical(r.value());
+  const uint32_t n = static_cast<uint32_t>(db.NumTransactions());
+  ASSERT_EQ(sets.size(), 3u);  // {a}, {b}, {a,b}.
+  EXPECT_EQ(sets.at({a}), n);
+  EXPECT_EQ(sets.at({b}), n);
+  EXPECT_EQ(sets.at(std::vector<ItemId>{std::min(a, b), std::max(a, b)}), n);
+  ExpectEnginesAgree(db, 1.0);
+}
+
+TEST(MiningEdgeTest, TransactionWithEveryItem) {
+  // One maximal transaction on top of sparse ones: every frequent set is
+  // a subset of it, and each support counts it exactly once.
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  const ItemId c = db.AddItem("c");
+  const ItemId d = db.AddItem("d");
+  db.AddTransaction({a, b, c, d});
+  db.AddTransaction({a, b});
+  db.AddTransaction({c});
+  db.AddTransaction({d, a});
+
+  for (double ms : {0.25, 0.5, 0.75, 1.0}) {
+    ExpectEnginesAgree(db, ms);
+  }
+  auto r = MineApriori(db, 0.25);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().SupportOf(Itemset({a})).value_or(0), 3u);
+  EXPECT_EQ(r.value().SupportOf(Itemset({a, b})).value_or(0), 2u);
+  EXPECT_EQ(r.value().SupportOf(Itemset({a, b, c, d})).value_or(0), 1u);
+  // The maximal itemset is frequent only at threshold 1/|DB|.
+  EXPECT_EQ(r.value().MaxItemsetSize(), 4u);
+}
+
+TEST(MiningEdgeTest, DuplicateTransactionsScaleSupportExactly) {
+  TransactionDb db;
+  const ItemId a = db.AddItem("a");
+  const ItemId b = db.AddItem("b");
+  for (int i = 0; i < 5; ++i) db.AddTransaction({a, b});
+  for (int i = 0; i < 3; ++i) db.AddTransaction({a});
+
+  auto r = MineApriori(db, 0.5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().SupportOf(Itemset({a})).value_or(0), 8u);
+  EXPECT_EQ(r.value().SupportOf(Itemset({a, b})).value_or(0), 5u);
+  for (double ms : {0.1, 0.5, 1.0}) {
+    ExpectEnginesAgree(db, ms);
+  }
+}
+
+TEST(MiningEdgeTest, KCPlusAgreesWithPostFilteredApriori) {
+  // Lemma 1 equivalence on an edge-shaped DB (duplicates + a maximal
+  // row): Apriori-KC+ with no background knowledge equals classic
+  // Apriori minus itemsets holding a same-key pair.
+  TransactionDb db;
+  const ItemId a = db.AddItem("rel(water,close)", "water");
+  const ItemId b = db.AddItem("rel(water,far)", "water");
+  const ItemId c = db.AddItem("rel(school,close)", "school");
+  db.AddTransaction({a, b, c});
+  db.AddTransaction({a, b, c});
+  db.AddTransaction({a, c});
+
+  auto plain = MineApriori(db, 0.5);
+  auto kcplus = MineAprioriKCPlus(db, 0.5);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(kcplus.ok());
+
+  std::map<std::vector<ItemId>, uint32_t> expected;
+  for (const FrequentItemset& f : plain.value().itemsets()) {
+    bool same_key_pair = false;
+    const auto& items = f.items.items();
+    for (size_t i = 0; i < items.size() && !same_key_pair; ++i) {
+      for (size_t j = i + 1; j < items.size(); ++j) {
+        if (db.Key(items[i]) == db.Key(items[j])) {
+          same_key_pair = true;
+          break;
+        }
+      }
+    }
+    if (!same_key_pair) expected[items] = f.support;
+  }
+  EXPECT_EQ(Canonical(kcplus.value()), expected);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace sfpm

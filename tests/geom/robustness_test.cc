@@ -1,0 +1,117 @@
+// Regression tests for the tolerance-consistency bugs surfaced by the
+// differential fuzzer (tools/sfpm_fuzz; repros in tests/fuzz/corpus/).
+// Each case here is a minimized instance of a fixed bug — see
+// docs/TESTING.md for the corpus workflow.
+
+#include <gtest/gtest.h>
+
+#include "geom/algorithms.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace geom {
+namespace {
+
+// PointOnSegment's collinearity test is tolerance-based, so its range
+// clamp must extend past the endpoints by the matching slack — and only
+// along the dominant axis, where the comparison is well-conditioned.
+
+TEST(PointOnSegmentRobustnessTest, NearHorizontalEndpointSlack) {
+  const Point a(0, 0), b(10, 1e-13);
+  // 1e-12 beyond b along the segment: tolerance-collinear, and within
+  // the dominant-axis endpoint slack (kCollinearityRelEps * extent).
+  EXPECT_TRUE(PointOnSegment({10 + 1e-12, 1e-13}, a, b));
+  // Far beyond the slack: rejected even though still collinear.
+  EXPECT_FALSE(PointOnSegment({10 + 1e-9, 1e-13}, a, b));
+  EXPECT_FALSE(PointOnSegment({-1e-9, 0}, a, b));
+}
+
+TEST(PointOnSegmentRobustnessTest, NearVerticalEndpointSlack) {
+  const Point a(0, 0), b(1e-13, 10);
+  EXPECT_TRUE(PointOnSegment({1e-13, 10 + 1e-12}, a, b));
+  EXPECT_FALSE(PointOnSegment({1e-13, 10 + 1e-9}, a, b));
+  EXPECT_FALSE(PointOnSegment({0, -1e-9}, a, b));
+}
+
+TEST(PointOnSegmentRobustnessTest, NonDominantAxisNotClamped) {
+  // Fuzzer find (corpus: segment-14964411507835406432): (0, 4) is
+  // tolerance-collinear with this near-vertical segment, but its x
+  // coordinate sits outside the segment's exact x-range. The dominant
+  // axis is y, where the point is well inside — an x clamp would reject
+  // a point the orientation test accepts, and the relate engine would
+  // see the vertex on one path and miss it on the other.
+  const Point a(-3, -1), b(-1.228008031775893e-16, 4.000000000000001);
+  EXPECT_TRUE(PointOnSegment({0, 4}, a, b));
+}
+
+TEST(PointOnSegmentRobustnessTest, DegenerateSegmentIsPointEquality) {
+  const Point a(2, 3);
+  EXPECT_TRUE(PointOnSegment({2, 3}, a, a));
+  EXPECT_FALSE(PointOnSegment({2, 3 + 1e-15}, a, a));
+}
+
+// IntersectSegments must be symmetric under operand swap and must never
+// report a point outside either operand's envelope (the proper-crossing
+// parameter is clamped to [0,1] and the point box-clamped into the
+// envelope intersection).
+
+TEST(IntersectSegmentsRobustnessTest, SwapSymmetricKind) {
+  // Fuzzer find (corpus: segment-16890630463542173057): three nearly
+  // coincident collinear points at 1.87e-10 elevation; one operand order
+  // reported an overlap, the swapped order a single point.
+  const Point a1(3, 0), a2(53.11840504223, 1.87e-10);
+  const Point b1(53.118405042275, 1.87e-10), b2(53.118405042227, 1.87e-10);
+  const auto ab = IntersectSegments(a1, a2, b1, b2);
+  const auto ba = IntersectSegments(b1, b2, a1, a2);
+  EXPECT_EQ(ab.kind, ba.kind);
+  EXPECT_EQ(ab.p, ba.p);
+}
+
+TEST(IntersectSegmentsRobustnessTest, SwapSymmetricProperPoint) {
+  // Fuzzer find (corpus: segment-5332302695126464516): near-parallel
+  // proper crossing whose solved parameters are ill-conditioned; the two
+  // operand orders returned points ~9e-5 apart.
+  const Point a1(-3, -4), a2(2, -1);
+  const Point b1(1.9999999999915432, -1.0000000000131977);
+  const Point b2(-3.0000000000041793, -3.999999999990228);
+  const auto ab = IntersectSegments(a1, a2, b1, b2);
+  const auto ba = IntersectSegments(b1, b2, a1, a2);
+  ASSERT_EQ(ab.kind, SegmentIntersection::Kind::kPoint);
+  EXPECT_EQ(ab.p, ba.p);
+
+  // The returned point lies inside both envelopes exactly — rounding in
+  // the solved parameter cannot push it outside either segment's box.
+  EXPECT_TRUE(Envelope(a1, a2).Contains(ab.p));
+  EXPECT_TRUE(Envelope(b1, b2).Contains(ab.p));
+}
+
+TEST(IntersectSegmentsRobustnessTest, ProperCrossingsStayInBothEnvelopes) {
+  // Deterministic sweep of near-parallel proper crossings — exactly the
+  // configurations whose solved parameters round past [0,1]. Every
+  // proper point must sit inside both envelopes, and operand order must
+  // not change it.
+  Rng rng(2007);
+  int proper_seen = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Point a1(rng.NextDouble(-5, 5), rng.NextDouble(-5, 5));
+    const Point a2(rng.NextDouble(-5, 5), rng.NextDouble(-5, 5));
+    // B is A nudged by a tiny rotation-free perturbation, so the two
+    // segments are almost parallel and the denominator is ill-
+    // conditioned.
+    const double e = rng.NextDouble(-1e-11, 1e-11);
+    const Point b1(a1.x + e, a1.y - e);
+    const Point b2(a2.x - e, a2.y + e);
+    const auto ab = IntersectSegments(a1, a2, b1, b2);
+    if (ab.kind != SegmentIntersection::Kind::kPoint || !ab.proper) continue;
+    ++proper_seen;
+    EXPECT_TRUE(Envelope(a1, a2).Contains(ab.p)) << "iteration " << i;
+    EXPECT_TRUE(Envelope(b1, b2).Contains(ab.p)) << "iteration " << i;
+    const auto ba = IntersectSegments(b1, b2, a1, a2);
+    EXPECT_EQ(ab.p, ba.p) << "iteration " << i;
+  }
+  EXPECT_GT(proper_seen, 100);  // The sweep actually exercises the branch.
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace sfpm

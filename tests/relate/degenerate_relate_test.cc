@@ -1,0 +1,104 @@
+// Degenerate-geometry audit, relate side: geometries carrying
+// representational degeneracies (repeated vertices, zero-area rings,
+// single-point linestrings) are normalized by geom::Normalized before
+// they reach the engine, and the normalized form relates identically to
+// the hand-written clean form on every path (reference engine, prepared
+// full engine, certified fast path).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "geom/validity.h"
+#include "geom/wkt.h"
+#include "relate/prepared.h"
+#include "relate/relate.h"
+
+namespace sfpm {
+namespace relate {
+namespace {
+
+geom::Geometry FromWkt(const std::string& wkt) {
+  auto r = geom::ReadWkt(wkt);
+  EXPECT_TRUE(r.ok()) << wkt << ": " << r.status().message();
+  return std::move(r).value();
+}
+
+struct DegenerateRelateCase {
+  const char* name;
+  const char* degenerate;  // Raw input carrying the degeneracy.
+  const char* clean;       // Hand-written equivalent.
+  const char* probe;       // The other relate operand.
+};
+
+class DegenerateRelateTest
+    : public ::testing::TestWithParam<DegenerateRelateCase> {};
+
+TEST_P(DegenerateRelateTest, NormalizedFormRelatesLikeCleanForm) {
+  const DegenerateRelateCase& c = GetParam();
+  const geom::Geometry normalized = geom::Normalized(FromWkt(c.degenerate));
+  const geom::Geometry clean = FromWkt(c.clean);
+  const geom::Geometry probe = FromWkt(c.probe);
+  ASSERT_EQ(normalized, clean) << c.name;
+
+  const IntersectionMatrix expected = Relate(clean, probe);
+  EXPECT_EQ(Relate(normalized, probe).ToString(), expected.ToString())
+      << c.name;
+
+  const PreparedGeometry prepared(normalized);
+  EXPECT_EQ(prepared.Relate(probe).ToString(), expected.ToString())
+      << c.name << " (fast path)";
+  EXPECT_EQ(prepared.RelateFull(probe).ToString(), expected.ToString())
+      << c.name << " (prepared full)";
+
+  // Transposition symmetry holds for the normalized operand too.
+  EXPECT_EQ(Relate(probe, normalized).ToString(),
+            expected.Transposed().ToString())
+      << c.name << " (transpose)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegenerateClasses, DegenerateRelateTest,
+    ::testing::Values(
+        DegenerateRelateCase{
+            "repeated_vertex_square_vs_overlapping_square",
+            "POLYGON ((0 0, 0 0, 4 0, 4 4, 4 4, 0 4, 0 0))",
+            "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+            "POLYGON ((2 2, 6 2, 6 6, 2 6, 2 2))"},
+        DegenerateRelateCase{
+            "repeated_vertex_square_vs_touching_square",
+            "POLYGON ((0 0, 4 0, 4 0, 4 4, 0 4, 0 0))",
+            "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+            "POLYGON ((4 0, 8 0, 8 4, 4 4, 4 0))"},
+        DegenerateRelateCase{
+            "repeated_vertex_line_vs_crossing_line",
+            "LINESTRING (0 0, 2 2, 2 2, 4 4)", "LINESTRING (0 0, 2 2, 4 4)",
+            "LINESTRING (0 4, 4 0)"},
+        DegenerateRelateCase{"single_point_line_vs_containing_square",
+                             "LINESTRING (2 2, 2 2)", "POINT (2 2)",
+                             "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"},
+        DegenerateRelateCase{"single_point_line_vs_line_through_it",
+                             "LINESTRING (2 2, 2 2)", "POINT (2 2)",
+                             "LINESTRING (0 0, 4 4)"},
+        DegenerateRelateCase{
+            "degenerate_hole_square_vs_inner_square",
+            "POLYGON ((0 0, 9 0, 9 9, 0 9, 0 0), (3 3, 5 5, 7 7, 3 3))",
+            "POLYGON ((0 0, 9 0, 9 9, 0 9, 0 0))",
+            "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))"},
+        DegenerateRelateCase{
+            "flat_member_multipolygon_vs_disjoint_square",
+            "MULTIPOLYGON (((0 0, 4 0, 4 4, 0 4, 0 0)), "
+            "((7 7, 8 8, 9 9, 7 7)))",
+            "MULTIPOLYGON (((0 0, 4 0, 4 4, 0 4, 0 0)))",
+            "POLYGON ((10 10, 12 10, 12 12, 10 12, 10 10))"},
+        DegenerateRelateCase{
+            "duplicate_multipoint_vs_square",
+            "MULTIPOINT (1 1, 5 5, 1 1)", "MULTIPOINT (1 1, 5 5)",
+            "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"}),
+    [](const ::testing::TestParamInfo<DegenerateRelateCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace relate
+}  // namespace sfpm

@@ -3,13 +3,15 @@
 # suite, then a ThreadSanitizer build (-DSFPM_TSAN=ON) re-running the
 # tests so the parallel extraction/counting paths are race-checked,
 # then an Address+UndefinedBehaviorSanitizer build (-DSFPM_ASAN=ON)
-# re-running them again for memory and UB errors.
+# re-running them again for memory and UB errors, then a standalone
+# UBSan build (-DSFPM_UBSAN=ON) that replays the fuzz corpus and runs a
+# short fixed-seed fresh fuzz budget (sfpm_fuzz --smoke, ~5s).
 #
-#   tools/check.sh           # Release + TSan + ASan, full ctest on each
+#   tools/check.sh           # Release + TSan + ASan + UBSan/fuzz smoke
 #   tools/check.sh --quick   # sanitizer runs restricted to the hot paths
 #
-# Build trees: build/ (Release, the tier-1 tree), build-tsan/ and
-# build-asan/.
+# Build trees: build/ (Release, the tier-1 tree), build-tsan/,
+# build-asan/ and build-ubsan/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,6 +57,17 @@ if [[ "${1:-}" == "--quick" ]]; then
 else
   ctest --test-dir build-asan --output-on-failure -j"${jobs}"
 fi
+
+echo "== UBSan fuzz smoke =="
+# Standalone UBSan is fast enough to drive the fuzzer itself: replay the
+# committed corpus, then a short fixed-seed fresh fuzz run, with every
+# tolerance predicate and index probe instrumented for UB.
+cmake -B build-ubsan -S . -DSFPM_UBSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSFPM_BUILD_BENCHMARKS=OFF -DSFPM_BUILD_EXAMPLES=OFF \
+  -DSFPM_BUILD_TESTS=OFF
+cmake --build build-ubsan -j"${jobs}" --target sfpm_fuzz_tool
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+build-ubsan/tools/sfpm_fuzz --smoke --corpus tests/fuzz/corpus
 
 echo "== Observability artifacts =="
 # The cli_report ctest (Release tree) runs `sfpm extract`/`mine` with

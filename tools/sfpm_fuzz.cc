@@ -1,0 +1,128 @@
+// sfpm_fuzz — seed-driven property/differential fuzzing harness.
+//
+// Modes:
+//   sfpm_fuzz [--oracle NAME ...] [--iterations N] [--seed S]
+//             [--corpus-out DIR] [--max-failures N] [--shrink-checks N]
+//       Fresh fuzzing. Exit 0 when every invariant held, 1 on failures
+//       (minimized repros are written to --corpus-out when given).
+//
+//   sfpm_fuzz --replay FILE_OR_DIR [...]
+//       Replays repro files (or every *.repro in a directory). Exit 0
+//       when every recorded case passes — i.e. the bugs stay fixed.
+//
+//   sfpm_fuzz --smoke [--corpus DIR]
+//       CI gate: replays the committed corpus, then runs a short fixed-
+//       seed fresh fuzz over every family. Deterministic, a few seconds.
+//
+//   sfpm_fuzz --list
+//       Prints the registered oracle families.
+//
+// See docs/TESTING.md for the corpus workflow.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+#include "fuzz/oracles.h"
+#include "util/args.h"
+
+namespace {
+
+using sfpm::fuzz::FuzzOptions;
+using sfpm::fuzz::FuzzReport;
+
+int Fail(const FuzzReport& report) {
+  std::fprintf(stderr, "%s\n", report.Summary().c_str());
+  return report.ok() ? 0 : 1;
+}
+
+uint64_t ParseU64(const std::string& s, uint64_t fallback) {
+  if (s.empty()) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  return end == s.c_str() ? fallback : static_cast<uint64_t>(v);
+}
+
+int RunReplay(const std::vector<std::string>& targets) {
+  size_t cases = 0;
+  size_t failures = 0;
+  for (const std::string& target : targets) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(target, ec)) {
+      sfpm::Result<FuzzReport> report = sfpm::fuzz::ReplayCorpus(target);
+      if (!report.ok()) {
+        std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+        return 2;
+      }
+      cases += report.value().cases_checked;
+      failures += report.value().failures.size();
+      if (!report.value().ok()) {
+        std::fprintf(stderr, "%s\n", report.value().Summary().c_str());
+      }
+    } else {
+      ++cases;
+      const sfpm::Status st = sfpm::fuzz::ReplayFile(target);
+      if (!st.ok()) {
+        ++failures;
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      }
+    }
+  }
+  std::printf("replayed %zu case(s), %zu failure(s)\n", cases, failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sfpm::Args args(argc, argv);
+
+  if (args.Has("list")) {
+    for (const sfpm::fuzz::Oracle* oracle : sfpm::fuzz::AllOracles()) {
+      std::printf("%s\n", oracle->Name().c_str());
+    }
+    return 0;
+  }
+
+  if (args.Has("replay")) {
+    return RunReplay(args.All("replay"));
+  }
+
+  FuzzOptions options;
+  options.seed = ParseU64(args.Get("seed"), options.seed);
+  options.iterations =
+      static_cast<size_t>(ParseU64(args.Get("iterations"), 0));
+  options.max_failures = static_cast<size_t>(
+      ParseU64(args.Get("max-failures"), options.max_failures));
+  options.shrink_checks = static_cast<size_t>(
+      ParseU64(args.Get("shrink-checks"), options.shrink_checks));
+  options.corpus_dir = args.Get("corpus-out");
+  options.oracle_names = args.All("oracle");
+
+  if (args.Has("smoke")) {
+    // CI gate, stage 1: the committed corpus must replay clean.
+    const std::string corpus = args.Get("corpus", "tests/fuzz/corpus");
+    std::error_code ec;
+    if (std::filesystem::is_directory(corpus, ec)) {
+      const int rc = RunReplay({corpus});
+      if (rc != 0) return rc;
+    } else {
+      std::printf("no corpus at %s, skipping replay stage\n", corpus.c_str());
+    }
+    // Stage 2: short fixed-seed fresh fuzz across every family.
+    if (options.iterations == 0) options.iterations = 150;
+  } else if (options.iterations == 0) {
+    options.iterations = 1000;
+  }
+
+  sfpm::Result<FuzzReport> report = sfpm::fuzz::RunFuzzer(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s\n", report.value().Summary().c_str());
+  return Fail(report.value());
+}
