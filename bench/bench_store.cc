@@ -1,0 +1,153 @@
+// A/B benchmark of snapshot loading: mmap-backed `.sfpm` opens (zero-copy
+// view and full materialization) against parsing the same 100k-transaction
+// predicate table from CSV — the load path the snapshot store replaces.
+// All paths must produce the identical table; the bench asserts that
+// before timing anything, so a speedup can never come from a changed
+// answer. The headline number is csv_parse / mmap_view median time
+// ("speedup_view" on the view case); the acceptance floor is 10x.
+//
+//   bench_store [--repeat=N] [--json=bench/BENCH_store.json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "bench_common.h"
+#include "datagen/synthetic_predicates.h"
+#include "io/csv.h"
+#include "io/table_io.h"
+#include "store/reader.h"
+#include "store/writer.h"
+
+namespace {
+
+using sfpm::bench::Bench;
+using sfpm::bench::CaseResult;
+using sfpm::feature::PredicateTable;
+using sfpm::store::SectionInfo;
+using sfpm::store::SectionType;
+using sfpm::store::SnapshotReader;
+using sfpm::store::SnapshotWriter;
+
+PredicateTable MakeTable() {
+  sfpm::datagen::SyntheticPredicateConfig config;
+  config.num_transactions = 100000;
+  config.groups = {
+      {"slum", {"contains", "touches", "overlaps"}},
+      {"school", {"contains", "touches"}},
+      {"policeCenter", {"contains", "touches"}},
+      {"street", {"crosses", "touches"}},
+      {"illuminationPoint", {"contains"}},
+      {"river", {"crosses", "touches"}},
+  };
+  config.attributes = {{"zone", {"north", "south", "east", "west"}},
+                       {"income", {"low", "medium", "high"}}};
+  config.seed = 2007;
+  return sfpm::datagen::GenerateSyntheticPredicates(config);
+}
+
+void Die(const std::string& what) {
+  std::fprintf(stderr, "bench_store: %s\n", what.c_str());
+  std::exit(1);
+}
+
+SectionInfo TableSection(const SnapshotReader& reader) {
+  auto info = reader.Find(SectionType::kTransactionDb);
+  if (!info.ok()) Die("snapshot has no txdb section");
+  return info.value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Bench bench("store", argc, argv);
+
+  const PredicateTable table = MakeTable();
+  const std::string csv = sfpm::io::TableToCsv(table);
+  const std::string csv_path = "/tmp/bench_store_table.csv";
+  const std::string sfpm_path = "/tmp/bench_store_table.sfpm";
+  if (!sfpm::io::WriteFile(csv_path, csv).ok()) Die("cannot write csv");
+  SnapshotWriter writer;
+  writer.AddTable(table);
+  if (!writer.WriteTo(sfpm_path).ok()) Die("cannot write snapshot");
+
+  // Identity gate: every load path must reproduce the written table
+  // exactly (compared in its canonical CSV rendering).
+  {
+    auto from_csv = sfpm::io::LoadTable(csv_path);
+    if (!from_csv.ok()) Die("csv load failed: " + from_csv.status().message());
+    if (sfpm::io::TableToCsv(from_csv.value()) != csv) {
+      Die("csv round trip changed the table");
+    }
+    for (const bool use_mmap : {true, false}) {
+      SnapshotReader::Options options;
+      options.use_mmap = use_mmap;
+      auto reader = SnapshotReader::Open(sfpm_path, options);
+      if (!reader.ok()) Die("open failed: " + reader.status().message());
+      auto decoded = reader.value().ReadTable(TableSection(reader.value()));
+      if (!decoded.ok()) Die("decode failed: " + decoded.status().message());
+      if (sfpm::io::TableToCsv(decoded.value()) != csv) {
+        Die(use_mmap ? "mmap load changed the table"
+                     : "buffered load changed the table");
+      }
+    }
+  }
+
+  const std::map<std::string, std::string> shape = {
+      {"transactions", std::to_string(table.NumRows())},
+      {"items", std::to_string(table.NumPredicates())},
+      {"csv_bytes", std::to_string(csv.size())},
+  };
+
+  CaseResult& csv_case =
+      bench.Run("csv_parse", shape, [&](CaseResult&) {
+        auto loaded = sfpm::io::LoadTable(csv_path);
+        if (!loaded.ok() || loaded.value().NumRows() != table.NumRows()) {
+          Die("csv parse failed mid-bench");
+        }
+      });
+
+  // Zero-copy open: validate + point at the columns, no payload copies.
+  CaseResult& view_case =
+      bench.Run("sfpm_mmap_view", shape, [&](CaseResult&) {
+        auto reader = SnapshotReader::Open(sfpm_path);
+        if (!reader.ok()) Die("open failed mid-bench");
+        auto view = reader.value().ViewTable(TableSection(reader.value()));
+        if (!view.ok() || view.value().num_transactions != table.NumRows()) {
+          Die("view failed mid-bench");
+        }
+      });
+
+  CaseResult& materialize_case =
+      bench.Run("sfpm_mmap_materialize", shape, [&](CaseResult&) {
+        auto reader = SnapshotReader::Open(sfpm_path);
+        if (!reader.ok()) Die("open failed mid-bench");
+        auto decoded = reader.value().ReadTable(TableSection(reader.value()));
+        if (!decoded.ok() || decoded.value().NumRows() != table.NumRows()) {
+          Die("materialize failed mid-bench");
+        }
+      });
+
+  bench.Run("sfpm_buffered_materialize", shape, [&](CaseResult&) {
+    SnapshotReader::Options options;
+    options.use_mmap = false;
+    auto reader = SnapshotReader::Open(sfpm_path, options);
+    if (!reader.ok()) Die("open failed mid-bench");
+    auto decoded = reader.value().ReadTable(TableSection(reader.value()));
+    if (!decoded.ok() || decoded.value().NumRows() != table.NumRows()) {
+      Die("buffered materialize failed mid-bench");
+    }
+  });
+
+  // Headline ratios, from medians so one slow page-in can't skew them.
+  view_case.counters["speedup_view"] =
+      csv_case.PercentileMs(0.5) / view_case.PercentileMs(0.5);
+  materialize_case.counters["speedup_materialize"] =
+      csv_case.PercentileMs(0.5) / materialize_case.PercentileMs(0.5);
+  std::printf("csv/view median speedup: %.1fx, csv/materialize: %.1fx\n",
+              view_case.counters["speedup_view"],
+              materialize_case.counters["speedup_materialize"]);
+
+  return bench.Finish();
+}

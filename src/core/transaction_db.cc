@@ -2,9 +2,53 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
+#include <utility>
 
 namespace sfpm {
 namespace core {
+
+Result<TransactionDb> TransactionDb::FromParts(
+    std::vector<std::string> labels, std::vector<std::string> keys,
+    size_t num_transactions, const uint64_t* columns) {
+  if (labels.size() != keys.size()) {
+    return Status::InvalidArgument(
+        "label and key arrays differ in length (" +
+        std::to_string(labels.size()) + " vs " + std::to_string(keys.size()) +
+        ")");
+  }
+  TransactionDb db;
+  db.num_transactions_ = num_transactions;
+  db.labels_ = std::move(labels);
+  db.keys_ = std::move(keys);
+  db.label_index_.reserve(db.labels_.size());
+  for (size_t i = 0; i < db.labels_.size(); ++i) {
+    const auto [it, inserted] =
+        db.label_index_.emplace(db.labels_[i], static_cast<ItemId>(i));
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate item label '" +
+                                     db.labels_[i] + "'");
+    }
+  }
+  const size_t num_words = db.NumWords();
+  const size_t tail_bits = num_transactions % 64;
+  const uint64_t tail_mask =
+      tail_bits == 0 ? 0 : ~uint64_t{0} << tail_bits;
+  db.columns_.reserve(db.labels_.size());
+  for (size_t i = 0; i < db.labels_.size(); ++i) {
+    AlignedVector<uint64_t> column(num_words, 0);
+    if (num_words != 0) {
+      std::memcpy(column.data(), columns + i * num_words, num_words * 8);
+      if ((column[num_words - 1] & tail_mask) != 0) {
+        return Status::InvalidArgument(
+            "column '" + db.labels_[i] +
+            "' has bits set past the last transaction");
+      }
+    }
+    db.columns_.push_back(std::move(column));
+  }
+  return db;
+}
 
 ItemId TransactionDb::AddItem(const std::string& label,
                               const std::string& key) {

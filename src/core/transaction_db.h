@@ -28,6 +28,16 @@ class TransactionDb {
  public:
   TransactionDb() = default;
 
+  /// Rebuilds a database from its serialized parts: parallel label/key
+  /// arrays and `labels.size() * NumWords` bitmap words laid out
+  /// item-major (`columns` may be null when that product is zero). The
+  /// deserialization hook of the snapshot store — one memcpy per column.
+  /// Fails on duplicate labels or bits set past `num_transactions`.
+  static Result<TransactionDb> FromParts(std::vector<std::string> labels,
+                                         std::vector<std::string> keys,
+                                         size_t num_transactions,
+                                         const uint64_t* columns);
+
   /// Registers an item; re-registering a label returns the existing id
   /// (the key must then match; mismatch is an error surfaced by
   /// AddItemChecked).

@@ -1,7 +1,39 @@
 #include "feature/predicate_table.h"
 
+#include <utility>
+
 namespace sfpm {
 namespace feature {
+
+Result<PredicateTable> PredicateTable::FromParts(
+    std::vector<std::string> row_names, std::vector<Predicate> predicates,
+    core::TransactionDb db) {
+  if (db.NumTransactions() != row_names.size()) {
+    return Status::InvalidArgument(
+        "database has " + std::to_string(db.NumTransactions()) +
+        " transactions for " + std::to_string(row_names.size()) + " rows");
+  }
+  if (db.NumItems() != predicates.size()) {
+    return Status::InvalidArgument(
+        "database has " + std::to_string(db.NumItems()) + " items for " +
+        std::to_string(predicates.size()) + " predicates");
+  }
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    const auto id = static_cast<core::ItemId>(i);
+    if (db.Label(id) != predicates[i].Label() ||
+        db.Key(id) != predicates[i].Key()) {
+      return Status::InvalidArgument("item " + std::to_string(i) + " ('" +
+                                     db.Label(id) +
+                                     "') does not match its predicate ('" +
+                                     predicates[i].Label() + "')");
+    }
+  }
+  PredicateTable table;
+  table.db_ = std::move(db);
+  table.row_names_ = std::move(row_names);
+  table.predicates_ = std::move(predicates);
+  return table;
+}
 
 size_t PredicateTable::AddRow(std::string row_name) {
   row_names_.push_back(std::move(row_name));

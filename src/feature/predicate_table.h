@@ -21,6 +21,14 @@ class PredicateTable {
  public:
   PredicateTable() = default;
 
+  /// Rebuilds a table from its serialized parts (the snapshot store's
+  /// deserialization hook). `db` must have one transaction per row name
+  /// and one item per predicate, each item labeled/keyed exactly as its
+  /// predicate demands.
+  static Result<PredicateTable> FromParts(std::vector<std::string> row_names,
+                                          std::vector<Predicate> predicates,
+                                          core::TransactionDb db);
+
   /// Opens a row for a reference feature; returns the row index.
   size_t AddRow(std::string row_name);
 

@@ -10,7 +10,7 @@ const std::vector<const Oracle*>& AllOracles() {
       internal::SegmentOracle(),     internal::RelatePairOracle(),
       internal::RelateCityOracle(),  internal::Rcc8JepdOracle(),
       internal::Rcc8ComposeOracle(), internal::RtreeOracle(),
-      internal::MiningOracle(),
+      internal::MiningOracle(),      internal::StoreOracle(),
   };
   return all;
 }

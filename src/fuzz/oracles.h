@@ -63,6 +63,11 @@ class Oracle {
 ///                    == naive support counting, serial == parallel, and
 ///                    Lemma 1: KC+ == Apriori minus itemsets containing a
 ///                    blocked or same-key pair.
+///  * `store`       — `.sfpm` snapshot container: write -> read -> write
+///                    byte identity over layers, transaction dbs, pattern
+///                    sets and manifests; every single-byte flip and every
+///                    truncation rejected with a clean error (eager and
+///                    deferred checksum modes).
 const std::vector<const Oracle*>& AllOracles();
 
 /// Looks an oracle up by name; nullptr when unknown.

@@ -20,6 +20,7 @@ const Oracle* Rcc8JepdOracle();
 const Oracle* Rcc8ComposeOracle();
 const Oracle* RtreeOracle();
 const Oracle* MiningOracle();
+const Oracle* StoreOracle();
 /// @}
 
 /// Shared failure constructor: "<invariant>: <detail>".

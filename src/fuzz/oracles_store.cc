@@ -1,0 +1,289 @@
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/transaction_db.h"
+#include "feature/feature.h"
+#include "fuzz/generators.h"
+#include "fuzz/oracles_internal.h"
+#include "store/format.h"
+#include "store/reader.h"
+#include "store/writer.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace fuzz {
+namespace internal {
+
+namespace {
+
+using store::SectionInfo;
+using store::SectionType;
+using store::SnapshotReader;
+using store::SnapshotWriter;
+
+/// Deterministic pattern set derived from the database alone: a few
+/// singletons plus one pair, with their true supports. The oracle only
+/// needs self-describing content that must survive a round trip.
+store::PatternSet MakePatterns(const FuzzCase& c,
+                               const core::TransactionDb& db) {
+  store::PatternSet ps;
+  for (size_t i = 0; i < db.NumItems(); ++i) {
+    ps.labels.push_back(db.Label(static_cast<core::ItemId>(i)));
+    ps.keys.push_back(db.Key(static_cast<core::ItemId>(i)));
+  }
+  const size_t singletons = db.NumItems() < 4 ? db.NumItems() : 4;
+  for (size_t i = 0; i < singletons; ++i) {
+    const auto id = static_cast<core::ItemId>(i);
+    ps.itemsets.push_back({core::Itemset({id}), db.Support(id)});
+  }
+  if (db.NumItems() >= 2) {
+    const core::Itemset pair(
+        {core::ItemId{0}, static_cast<core::ItemId>(db.NumItems() - 1)});
+    ps.itemsets.push_back({pair, db.SupportOf(pair)});
+  }
+  ps.min_support = c.ParamDouble("min_support", 0.1);
+  ps.algorithm = "apriori";
+  ps.filter = "none";
+  return ps;
+}
+
+/// Serializes the case payload: optional layer, the transaction db, a
+/// derived pattern set, and the params as a manifest.
+std::string BuildSnapshot(const FuzzCase& c, const core::TransactionDb& db) {
+  SnapshotWriter w;
+  if (!c.geoms.empty()) {
+    feature::Layer layer("fuzz");
+    for (size_t i = 0; i < c.geoms.size(); ++i) {
+      layer.Add(c.geoms[i], {{"tag", std::to_string(i % 3)}});
+    }
+    w.AddLayer(layer);
+  }
+  w.AddTransactionDb(db);
+  w.AddPatternSet(MakePatterns(c, db));
+  std::map<std::string, std::string> manifest(c.params);
+  manifest["oracle"] = c.oracle;
+  w.AddManifest(manifest);
+  return w.Serialize();
+}
+
+/// --- store --------------------------------------------------------------
+///
+/// The snapshot container's three load-bearing guarantees, checked
+/// against adversarial payloads:
+///  * round trip: a written snapshot opens cleanly and decoding every
+///    section then re-serializing reproduces the original byte-for-byte
+///    (write -> read -> write identity), and the decoded transaction db
+///    matches the case payload bit-for-bit;
+///  * full corruption coverage: every byte of the file lives in exactly
+///    one checksum domain (header, payload, table) or is validated
+///    semantically, so ANY single-byte flip must make Open fail with a
+///    clean error — the oracle flips the whole header plus dozens of
+///    seed-chosen positions and requires a non-OK status for each;
+///  * truncation: cutting the file at any section boundary (or anywhere
+///    else) must be rejected by the header's file-size check.
+/// Lazily-verified readers must catch payload corruption at section
+/// decode time instead of open time.
+class StoreOracle final : public Oracle {
+ public:
+  std::string Name() const override { return "store"; }
+
+  FuzzCase Generate(uint64_t seed) const override {
+    FuzzCase c;
+    c.oracle = Name();
+    c.seed = seed;
+    Rng rng(seed);
+    // 0..3 geometries: the no-layer snapshot is a real case too.
+    const size_t num_geoms = rng.NextUint64(4);
+    for (size_t i = 0; i < num_geoms; ++i) {
+      c.geoms.push_back(GridGeometry(&rng, 8));
+    }
+    RandomMiningCase(&rng, &c);
+    return c;
+  }
+
+  Status Check(const FuzzCase& c) const override {
+    const core::TransactionDb db = c.BuildDb();
+    const std::string bytes = BuildSnapshot(c, db);
+
+    auto reader = SnapshotReader::FromBytes(bytes);
+    if (!reader.ok()) {
+      return Violation("store/open", reader.status().message());
+    }
+
+    // Write -> read -> write byte identity: decode every section and
+    // re-serialize in file order.
+    SnapshotWriter rewrite;
+    for (const SectionInfo& info : reader.value().sections()) {
+      switch (info.type) {
+        case SectionType::kLayer: {
+          auto layer = reader.value().ReadLayer(info);
+          if (!layer.ok()) {
+            return Violation("store/read_layer", layer.status().message());
+          }
+          rewrite.AddLayer(layer.value());
+          break;
+        }
+        case SectionType::kTransactionDb: {
+          auto decoded = reader.value().ReadTransactionDb(info);
+          if (!decoded.ok()) {
+            return Violation("store/read_txdb", decoded.status().message());
+          }
+          SFPM_RETURN_NOT_OK(CheckDbMatchesCase(db, decoded.value()));
+          rewrite.AddTransactionDb(decoded.value(), info.name);
+          break;
+        }
+        case SectionType::kPatternSet: {
+          auto ps = reader.value().ReadPatternSet(info);
+          if (!ps.ok()) {
+            return Violation("store/read_patterns", ps.status().message());
+          }
+          if (!(ps.value() == MakePatterns(c, db))) {
+            return Violation("store/pattern_roundtrip",
+                             "decoded pattern set differs from the one "
+                             "written");
+          }
+          rewrite.AddPatternSet(ps.value(), info.name);
+          break;
+        }
+        case SectionType::kManifest: {
+          auto manifest = reader.value().ReadManifest(info);
+          if (!manifest.ok()) {
+            return Violation("store/read_manifest",
+                             manifest.status().message());
+          }
+          rewrite.AddManifest(manifest.value(), info.name);
+          break;
+        }
+      }
+    }
+    if (rewrite.Serialize() != bytes) {
+      return Violation("store/rewrite_identity",
+                       "write -> read -> write produced different bytes");
+    }
+
+    SFPM_RETURN_NOT_OK(CheckByteFlips(c, bytes));
+    SFPM_RETURN_NOT_OK(CheckTruncations(reader.value(), bytes));
+    return Status::OK();
+  }
+
+ private:
+  /// The decoded database must match the case payload bit-for-bit.
+  static Status CheckDbMatchesCase(const core::TransactionDb& db,
+                                   const core::TransactionDb& decoded) {
+    if (decoded.NumItems() != db.NumItems() ||
+        decoded.NumTransactions() != db.NumTransactions()) {
+      return Violation(
+          "store/db_shape",
+          std::to_string(decoded.NumItems()) + " items x " +
+              std::to_string(decoded.NumTransactions()) + " rows, expected " +
+              std::to_string(db.NumItems()) + " x " +
+              std::to_string(db.NumTransactions()));
+    }
+    for (size_t i = 0; i < db.NumItems(); ++i) {
+      const auto id = static_cast<core::ItemId>(i);
+      if (decoded.Label(id) != db.Label(id) || decoded.Key(id) != db.Key(id)) {
+        return Violation("store/db_items",
+                         "item " + std::to_string(i) + " decoded as " +
+                             decoded.Label(id) + "/" + decoded.Key(id));
+      }
+      for (size_t row = 0; row < db.NumTransactions(); ++row) {
+        if (decoded.Test(row, id) != db.Test(row, id)) {
+          return Violation("store/db_bits",
+                           "bit (" + std::to_string(row) + ", " +
+                               std::to_string(i) + ") flipped in decode");
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Any single-byte flip must be rejected: the whole header region plus
+  /// 48 seed-chosen positions, each XORed with a nonzero mask.
+  static Status CheckByteFlips(const FuzzCase& c, const std::string& bytes) {
+    Rng rng(c.seed ^ 0x53544F5245ULL);  // "STORE"
+    std::vector<size_t> positions;
+    for (size_t i = 0; i < store::kHeaderFixedSize && i < bytes.size(); ++i) {
+      positions.push_back(i);
+    }
+    for (int i = 0; i < 48; ++i) {
+      positions.push_back(static_cast<size_t>(rng.NextUint64(bytes.size())));
+    }
+    for (const size_t pos : positions) {
+      std::string corrupted = bytes;
+      const auto mask =
+          static_cast<char>(1 + rng.NextUint64(255));  // Never a no-op.
+      corrupted[pos] = static_cast<char>(corrupted[pos] ^ mask);
+      auto r = SnapshotReader::FromBytes(corrupted);
+      if (r.ok()) {
+        return Violation("store/flip_detected",
+                         "flip of byte " + std::to_string(pos) + " (mask " +
+                             std::to_string(static_cast<int>(mask)) +
+                             ") opened cleanly");
+      }
+      // A corrupted payload must also be caught by a lazy reader, at
+      // section decode time.
+      SnapshotReader::Options lazy;
+      lazy.verify_checksums_eagerly = false;
+      auto lazy_reader = SnapshotReader::FromBytes(corrupted, lazy);
+      if (lazy_reader.ok()) {
+        for (const SectionInfo& info : lazy_reader.value().sections()) {
+          if (pos < info.offset || pos >= info.offset + info.length) continue;
+          if (DecodeSection(lazy_reader.value(), info).ok()) {
+            return Violation("store/lazy_flip_detected",
+                             "payload flip at byte " + std::to_string(pos) +
+                                 " survived a deferred-checksum decode");
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Truncating at every boundary (and just short of the end) must fail.
+  static Status CheckTruncations(const SnapshotReader& reader,
+                                 const std::string& bytes) {
+    std::vector<size_t> cuts = {0, store::kHeaderFixedSize - 1,
+                                store::kHeaderFixedSize, bytes.size() - 1};
+    for (const SectionInfo& info : reader.sections()) {
+      cuts.push_back(info.offset);
+      cuts.push_back(info.offset + info.length);
+    }
+    for (const size_t cut : cuts) {
+      if (cut >= bytes.size()) continue;
+      if (SnapshotReader::FromBytes(bytes.substr(0, cut)).ok()) {
+        return Violation("store/truncation_detected",
+                         "file cut to " + std::to_string(cut) +
+                             " bytes opened cleanly");
+      }
+    }
+    return Status::OK();
+  }
+
+  static Status DecodeSection(const SnapshotReader& reader,
+                              const SectionInfo& info) {
+    switch (info.type) {
+      case SectionType::kLayer:
+        return reader.ReadLayer(info).status();
+      case SectionType::kTransactionDb:
+        return reader.ReadTransactionDb(info).status();
+      case SectionType::kPatternSet:
+        return reader.ReadPatternSet(info).status();
+      case SectionType::kManifest:
+        return reader.ReadManifest(info).status();
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const Oracle* StoreOracle() {
+  static const class StoreOracle instance;
+  return &instance;
+}
+
+}  // namespace internal
+}  // namespace fuzz
+}  // namespace sfpm

@@ -219,17 +219,12 @@ class WktParser {
   size_t pos_ = 0;
 };
 
-void AppendDouble(double v, std::string* out) {
-  char buf[32];
-  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-  (void)ec;
-  out->append(buf, ptr);
-}
-
+// Shortest round-trip formatting (util/strings.h) keeps WKT output
+// byte-stable across write -> read -> write cycles.
 void AppendCoord(const Point& p, std::string* out) {
-  AppendDouble(p.x, out);
+  AppendRoundTripDouble(p.x, out);
   *out += ' ';
-  AppendDouble(p.y, out);
+  AppendRoundTripDouble(p.y, out);
 }
 
 void AppendCoordList(const std::vector<Point>& pts, std::string* out) {

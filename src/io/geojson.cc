@@ -1,6 +1,6 @@
 #include "io/geojson.h"
 
-#include <charconv>
+#include "util/strings.h"
 
 namespace sfpm {
 namespace io {
@@ -14,18 +14,13 @@ using geom::LineString;
 using geom::Point;
 using geom::Polygon;
 
-void AppendNumber(double v, std::string* out) {
-  char buf[32];
-  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-  (void)ec;
-  out->append(buf, ptr);
-}
-
+// Shortest round-trip formatting (util/strings.h) keeps GeoJSON output
+// byte-stable across write -> read -> write cycles.
 void AppendPosition(const Point& p, std::string* out) {
   *out += '[';
-  AppendNumber(p.x, out);
+  AppendRoundTripDouble(p.x, out);
   *out += ',';
-  AppendNumber(p.y, out);
+  AppendRoundTripDouble(p.y, out);
   *out += ']';
 }
 

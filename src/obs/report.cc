@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "obs/json.h"
+#include "util/version.h"
 
 namespace sfpm {
 namespace obs {
@@ -65,6 +66,7 @@ std::string RunReportToJson(const RunReport& report,
   json::Writer w;
   w.BeginObject();
   w.Key("sfpm_report_version").Number(static_cast<int64_t>(kRunReportVersion));
+  w.Key("sfpm_version").String(kSfpmVersion);
   w.Key("tool").String(report.tool);
   w.Key("command").String(report.command);
   w.Key("config").BeginObject();

@@ -1,0 +1,209 @@
+#ifndef SFPM_STORE_BYTES_H_
+#define SFPM_STORE_BYTES_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace sfpm {
+namespace store {
+
+/// \brief Little-endian scalar encoding shared by the snapshot writer and
+/// reader. Scalars are assembled byte by byte, so the on-disk format is
+/// identical on every host; bulk word arrays (the transaction bitmap
+/// columns) take the memcpy fast path on little-endian hosts.
+
+/// \brief Appends little-endian scalars and length-prefixed strings to a
+/// growing byte buffer. The writer serializes each section payload through
+/// one of these, then frames the payloads with offsets and checksums.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void U16(uint16_t v) {
+    U8(static_cast<uint8_t>(v));
+    U8(static_cast<uint8_t>(v >> 8));
+  }
+
+  void U32(uint32_t v) {
+    U16(static_cast<uint16_t>(v));
+    U16(static_cast<uint16_t>(v >> 16));
+  }
+
+  void U64(uint64_t v) {
+    U32(static_cast<uint32_t>(v));
+    U32(static_cast<uint32_t>(v >> 32));
+  }
+
+  /// Doubles travel as their IEEE-754 bit pattern — bit-exact round trips
+  /// including -0.0, subnormals and NaN payloads.
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+  /// u32 length prefix + raw bytes, no padding or terminator.
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  /// Bulk little-endian u64 array (memcpy on little-endian hosts).
+  void Words(const uint64_t* words, size_t count) {
+    if constexpr (std::endian::native == std::endian::little) {
+      const size_t old = buf_.size();
+      buf_.resize(old + count * 8);
+      std::memcpy(buf_.data() + old, words, count * 8);
+    } else {
+      for (size_t i = 0; i < count; ++i) U64(words[i]);
+    }
+  }
+
+  /// Zero-pads to the next 8-byte boundary. Every section payload ends
+  /// with this, so payload starts (and the bitmap columns inside them)
+  /// stay 8-aligned in the file — the zero-copy view's alignment contract.
+  void AlignTo8() {
+    while (buf_.size() % 8 != 0) buf_.push_back('\0');
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::string& bytes() const { return buf_; }
+  std::string TakeBytes() { return std::move(buf_); }
+
+  /// Patches a previously written u32 in place (header back-fills).
+  void PatchU32(size_t offset, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_[offset + static_cast<size_t>(i)] =
+          static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+  }
+
+  void PatchU64(size_t offset, uint64_t v) {
+    PatchU32(offset, static_cast<uint32_t>(v));
+    PatchU32(offset + 4, static_cast<uint32_t>(v >> 32));
+  }
+
+ private:
+  std::string buf_;
+};
+
+/// \brief Bounds-checked little-endian cursor over an untrusted byte
+/// range. Every read validates the remaining length first, so a
+/// truncated or length-corrupted snapshot produces a clean ParseError
+/// instead of reading out of bounds — the store's first line of defense
+/// (checksums are the second).
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  Result<uint8_t> U8() {
+    SFPM_RETURN_NOT_OK(Need(1));
+    return data_[pos_++];
+  }
+
+  Result<uint16_t> U16() {
+    SFPM_RETURN_NOT_OK(Need(2));
+    const uint16_t v = static_cast<uint16_t>(
+        static_cast<uint16_t>(data_[pos_]) |
+        (static_cast<uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+
+  Result<uint32_t> U32() {
+    SFPM_RETURN_NOT_OK(Need(4));
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | data_[pos_ + static_cast<size_t>(i)];
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> U64() {
+    SFPM_RETURN_NOT_OK(Need(8));
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | data_[pos_ + static_cast<size_t>(i)];
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<double> F64() {
+    SFPM_ASSIGN_OR_RETURN(const uint64_t bits, U64());
+    return std::bit_cast<double>(bits);
+  }
+
+  /// Length-prefixed string; the declared length is validated against the
+  /// remaining bytes before any allocation.
+  Result<std::string_view> Str() {
+    SFPM_ASSIGN_OR_RETURN(const uint32_t len, U32());
+    SFPM_RETURN_NOT_OK(Need(len));
+    std::string_view view(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return view;
+  }
+
+  /// Raw view of `count` bytes.
+  Result<const uint8_t*> Bytes(size_t count) {
+    SFPM_RETURN_NOT_OK(Need(count));
+    const uint8_t* p = data_ + pos_;
+    pos_ += count;
+    return p;
+  }
+
+  /// Guards a declared element count before a decode loop: a section
+  /// claiming more elements than its remaining bytes could possibly hold
+  /// (`min_element_size` bytes each) is rejected up front, so absurd
+  /// lengths can never drive a huge allocation.
+  Status CheckCount(uint64_t count, size_t min_element_size) {
+    if (count > remaining() / min_element_size) {
+      return Status::ParseError(
+          "declared count " + std::to_string(count) +
+          " exceeds the section's remaining " +
+          std::to_string(remaining()) + " bytes");
+    }
+    return Status::OK();
+  }
+
+  /// Consumes trailing zero padding (< 8 bytes) and requires the cursor to
+  /// end exactly at the payload end — any other leftover is corruption.
+  Status ExpectEndWithPadding() {
+    if (remaining() >= 8) {
+      return Status::ParseError("section payload has " +
+                                std::to_string(remaining()) +
+                                " undecoded trailing bytes");
+    }
+    while (pos_ < size_) {
+      if (data_[pos_] != 0) {
+        return Status::ParseError("nonzero section padding byte");
+      }
+      ++pos_;
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n) {
+    if (n > remaining()) {
+      return Status::ParseError(
+          "snapshot truncated: need " + std::to_string(n) + " bytes at " +
+          std::to_string(pos_) + ", have " + std::to_string(remaining()));
+    }
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace store
+}  // namespace sfpm
+
+#endif  // SFPM_STORE_BYTES_H_

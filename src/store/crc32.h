@@ -1,0 +1,23 @@
+#ifndef SFPM_STORE_CRC32_H_
+#define SFPM_STORE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sfpm {
+namespace store {
+
+/// \brief CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected), the
+/// checksum of every `.sfpm` snapshot region: header, section table, and
+/// each section payload. Matches zlib's crc32, so snapshots can be
+/// verified with standard tools.
+///
+/// `seed` is the running CRC of the preceding bytes (0 for a fresh
+/// computation), so large regions can be checksummed incrementally:
+/// `Crc32(b, nb, Crc32(a, na))` == `Crc32(ab, na + nb)`.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace store
+}  // namespace sfpm
+
+#endif  // SFPM_STORE_CRC32_H_

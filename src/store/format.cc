@@ -1,0 +1,26 @@
+#include "store/format.h"
+
+namespace sfpm {
+namespace store {
+
+const char* SectionTypeName(SectionType type) {
+  switch (type) {
+    case SectionType::kLayer:
+      return "layer";
+    case SectionType::kTransactionDb:
+      return "txdb";
+    case SectionType::kPatternSet:
+      return "patterns";
+    case SectionType::kManifest:
+      return "manifest";
+  }
+  return "unknown";
+}
+
+bool IsKnownSectionType(uint32_t type) {
+  return type >= static_cast<uint32_t>(SectionType::kLayer) &&
+         type <= static_cast<uint32_t>(SectionType::kManifest);
+}
+
+}  // namespace store
+}  // namespace sfpm

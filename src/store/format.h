@@ -1,0 +1,84 @@
+#ifndef SFPM_STORE_FORMAT_H_
+#define SFPM_STORE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sfpm {
+namespace store {
+
+/// \brief On-disk constants of the `.sfpm` snapshot container. The byte
+/// layout is specified in docs/STORAGE.md; this header is the single
+/// source of the numbers.
+///
+/// File layout (all integers little-endian):
+///
+///     [ header | tool_version + pad8 | payloads... | section table ]
+///
+/// Fixed header, 40 bytes:
+///
+///     offset  field
+///          0  u32 magic            "SFPM" (0x4D504653)
+///          4  u16 format_version   kFormatVersion
+///          6  u16 flags            0 in v1 (nonzero rejected)
+///          8  u64 file_size        total file bytes (truncation check)
+///         16  u64 table_offset     absolute offset of the section table
+///         24  u32 section_count
+///         28  u32 tool_version_len bytes of the version string at 40
+///         32  u32 header_crc32     CRC32 of bytes [0,32) + version + pad
+///         36  u32 reserved         0 in v1 (nonzero rejected)
+///
+/// Section payloads follow, each 8-aligned and zero-padded to 8 bytes;
+/// the section table closes the file:
+///
+///     u32 table_crc32              CRC32 of every byte after this field
+///     u32 reserved                 0 in v1
+///     per section:
+///       u32 type                   SectionType
+///       u32 name_len
+///       u64 offset                 absolute, 8-aligned
+///       u64 length                 payload bytes incl. its zero padding
+///       u32 payload_crc32
+///       u32 reserved               0 in v1
+///       name bytes
+///
+/// Every byte of the file is covered by exactly one of the three checksum
+/// domains (header, payload, table) or validated semantically (reserved
+/// fields, magic, version), so any single-byte corruption is detected —
+/// the invariant the `store` fuzz oracle flips bytes to enforce.
+
+inline constexpr uint32_t kMagic = 0x4D504653;  // "SFPM" little-endian.
+inline constexpr uint16_t kFormatVersion = 1;
+inline constexpr size_t kHeaderFixedSize = 40;
+inline constexpr size_t kSectionEntryFixedSize = 32;
+
+/// Per-payload codec version written as the first u32 of every section,
+/// so section encodings can evolve within one container version.
+inline constexpr uint32_t kSectionCodecVersion = 1;
+
+enum class SectionType : uint32_t {
+  kLayer = 1,          ///< feature::Layer: geometry + attributes.
+  kTransactionDb = 2,  ///< Columnar bitmap transaction database.
+  kPatternSet = 3,     ///< Mined frequent itemsets with supports.
+  kManifest = 4,       ///< Key/value stage metadata (pipeline skip/resume).
+};
+
+/// Stable name for diagnostics ("layer", "txdb", ...).
+const char* SectionTypeName(SectionType type);
+
+/// True for the section types this build understands.
+bool IsKnownSectionType(uint32_t type);
+
+/// \brief One entry of the section table, as parsed (offsets absolute).
+struct SectionInfo {
+  SectionType type = SectionType::kLayer;
+  std::string name;     ///< Layer feature type, "txdb", "patterns", ...
+  uint64_t offset = 0;  ///< Absolute payload offset, 8-aligned.
+  uint64_t length = 0;  ///< Payload bytes including zero padding.
+  uint32_t crc32 = 0;   ///< CRC32 of the payload bytes.
+};
+
+}  // namespace store
+}  // namespace sfpm
+
+#endif  // SFPM_STORE_FORMAT_H_

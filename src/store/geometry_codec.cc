@@ -1,0 +1,160 @@
+#include "store/geometry_codec.h"
+
+#include <vector>
+
+namespace sfpm {
+namespace store {
+
+namespace {
+
+using geom::Geometry;
+using geom::GeometryType;
+using geom::LinearRing;
+using geom::LineString;
+using geom::MultiLineString;
+using geom::MultiPoint;
+using geom::MultiPolygon;
+using geom::Point;
+using geom::Polygon;
+
+void EncodePoint(const Point& p, ByteWriter* w) {
+  w->F64(p.x);
+  w->F64(p.y);
+}
+
+void EncodePointList(const std::vector<Point>& pts, ByteWriter* w) {
+  w->U64(pts.size());
+  for (const Point& p : pts) EncodePoint(p, w);
+}
+
+void EncodePolygonBody(const Polygon& poly, ByteWriter* w) {
+  if (poly.IsEmpty()) {
+    w->U64(0);
+    return;
+  }
+  w->U64(1 + poly.holes().size());
+  EncodePointList(poly.shell().points(), w);
+  for (const LinearRing& hole : poly.holes()) {
+    EncodePointList(hole.points(), w);
+  }
+}
+
+Result<Point> DecodePoint(ByteReader* r) {
+  Point p;
+  SFPM_ASSIGN_OR_RETURN(p.x, r->F64());
+  SFPM_ASSIGN_OR_RETURN(p.y, r->F64());
+  return p;
+}
+
+Result<std::vector<Point>> DecodePointList(ByteReader* r) {
+  SFPM_ASSIGN_OR_RETURN(const uint64_t count, r->U64());
+  SFPM_RETURN_NOT_OK(r->CheckCount(count, 16));
+  std::vector<Point> pts;
+  pts.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SFPM_ASSIGN_OR_RETURN(const Point p, DecodePoint(r));
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+Result<Polygon> DecodePolygonBody(ByteReader* r) {
+  SFPM_ASSIGN_OR_RETURN(const uint64_t num_rings, r->U64());
+  if (num_rings == 0) return Polygon();
+  SFPM_RETURN_NOT_OK(r->CheckCount(num_rings, 8));
+  SFPM_ASSIGN_OR_RETURN(std::vector<Point> shell_pts, DecodePointList(r));
+  // Rings are stored closed (LinearRing closes them at construction), so
+  // LinearRing here never appends a vertex and round trips stay bit-exact.
+  LinearRing shell(std::move(shell_pts));
+  std::vector<LinearRing> holes;
+  holes.reserve(num_rings - 1);
+  for (uint64_t i = 1; i < num_rings; ++i) {
+    SFPM_ASSIGN_OR_RETURN(std::vector<Point> pts, DecodePointList(r));
+    holes.emplace_back(std::move(pts));
+  }
+  return Polygon(std::move(shell), std::move(holes));
+}
+
+}  // namespace
+
+void EncodeGeometry(const Geometry& g, ByteWriter* w) {
+  w->U8(static_cast<uint8_t>(g.type()));
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      EncodePoint(g.As<Point>(), w);
+      break;
+    case GeometryType::kLineString:
+      EncodePointList(g.As<LineString>().points(), w);
+      break;
+    case GeometryType::kPolygon:
+      EncodePolygonBody(g.As<Polygon>(), w);
+      break;
+    case GeometryType::kMultiPoint:
+      EncodePointList(g.As<MultiPoint>().points(), w);
+      break;
+    case GeometryType::kMultiLineString: {
+      const auto& lines = g.As<MultiLineString>().lines();
+      w->U64(lines.size());
+      for (const LineString& line : lines) EncodePointList(line.points(), w);
+      break;
+    }
+    case GeometryType::kMultiPolygon: {
+      const auto& polys = g.As<MultiPolygon>().polygons();
+      w->U64(polys.size());
+      for (const Polygon& poly : polys) EncodePolygonBody(poly, w);
+      break;
+    }
+  }
+}
+
+Result<Geometry> DecodeGeometry(ByteReader* r) {
+  SFPM_ASSIGN_OR_RETURN(const uint8_t tag, r->U8());
+  if (tag > static_cast<uint8_t>(GeometryType::kMultiPolygon)) {
+    return Status::ParseError("unknown geometry type tag " +
+                              std::to_string(tag));
+  }
+  switch (static_cast<GeometryType>(tag)) {
+    case GeometryType::kPoint: {
+      SFPM_ASSIGN_OR_RETURN(const Point p, DecodePoint(r));
+      return Geometry(p);
+    }
+    case GeometryType::kLineString: {
+      SFPM_ASSIGN_OR_RETURN(std::vector<Point> pts, DecodePointList(r));
+      return Geometry(LineString(std::move(pts)));
+    }
+    case GeometryType::kPolygon: {
+      SFPM_ASSIGN_OR_RETURN(Polygon poly, DecodePolygonBody(r));
+      return Geometry(std::move(poly));
+    }
+    case GeometryType::kMultiPoint: {
+      SFPM_ASSIGN_OR_RETURN(std::vector<Point> pts, DecodePointList(r));
+      return Geometry(MultiPoint(std::move(pts)));
+    }
+    case GeometryType::kMultiLineString: {
+      SFPM_ASSIGN_OR_RETURN(const uint64_t count, r->U64());
+      SFPM_RETURN_NOT_OK(r->CheckCount(count, 8));
+      std::vector<LineString> lines;
+      lines.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        SFPM_ASSIGN_OR_RETURN(std::vector<Point> pts, DecodePointList(r));
+        lines.emplace_back(std::move(pts));
+      }
+      return Geometry(MultiLineString(std::move(lines)));
+    }
+    case GeometryType::kMultiPolygon: {
+      SFPM_ASSIGN_OR_RETURN(const uint64_t count, r->U64());
+      SFPM_RETURN_NOT_OK(r->CheckCount(count, 8));
+      std::vector<Polygon> polys;
+      polys.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        SFPM_ASSIGN_OR_RETURN(Polygon poly, DecodePolygonBody(r));
+        polys.push_back(std::move(poly));
+      }
+      return Geometry(MultiPolygon(std::move(polys)));
+    }
+  }
+  return Status::Internal("unreachable geometry tag");
+}
+
+}  // namespace store
+}  // namespace sfpm

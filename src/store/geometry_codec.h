@@ -1,0 +1,24 @@
+#ifndef SFPM_STORE_GEOMETRY_CODEC_H_
+#define SFPM_STORE_GEOMETRY_CODEC_H_
+
+#include "geom/geometry.h"
+#include "store/bytes.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace store {
+
+/// \brief Binary geometry encoding of the layer section: a u8 type tag
+/// (the geom::GeometryType enumerator value) followed by the coordinate
+/// structure, doubles as IEEE-754 bit patterns. Round trips are bit-exact
+/// — the basis of the snapshot store's identity guarantee.
+void EncodeGeometry(const geom::Geometry& g, ByteWriter* w);
+
+/// Decodes one geometry, validating every declared count against the
+/// remaining bytes (absurd lengths fail cleanly, they never allocate).
+Result<geom::Geometry> DecodeGeometry(ByteReader* r);
+
+}  // namespace store
+}  // namespace sfpm
+
+#endif  // SFPM_STORE_GEOMETRY_CODEC_H_

@@ -1,0 +1,125 @@
+#include "store/mapped_file.h"
+
+#include <cstdio>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SFPM_STORE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define SFPM_STORE_HAS_MMAP 0
+#endif
+
+namespace sfpm {
+namespace store {
+
+namespace {
+
+/// Buffered fallback: reads the whole file into aligned memory.
+Result<MappedFile> OpenBuffered(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  AlignedVector<uint8_t> buffer;
+  uint8_t chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    buffer.insert(buffer.end(), chunk, chunk + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::Internal("read error on " + path);
+  }
+  return MappedFile::FromAligned(std::move(buffer));
+}
+
+}  // namespace
+
+Result<MappedFile> MappedFile::Open(const std::string& path,
+                                    bool prefer_mmap) {
+#if SFPM_STORE_HAS_MMAP
+  if (prefer_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::NotFound("cannot open " + path);
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return Status::Internal("cannot stat " + path);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      // mmap rejects zero-length mappings; an empty file is representable
+      // as an empty (buffered) view.
+      ::close(fd);
+      MappedFile file;
+      return file;
+    }
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // The mapping keeps the file alive.
+    if (base == MAP_FAILED) {
+      return OpenBuffered(path);  // e.g. a pipe or unusual filesystem.
+    }
+    MappedFile file;
+    file.data_ = static_cast<const uint8_t*>(base);
+    file.size_ = size;
+    file.mapped_ = true;
+    file.map_base_ = base;
+    return file;
+  }
+#else
+  (void)prefer_mmap;
+#endif
+  return OpenBuffered(path);
+}
+
+MappedFile MappedFile::FromBytes(std::string_view bytes) {
+  AlignedVector<uint8_t> buffer(bytes.begin(), bytes.end());
+  return FromAligned(std::move(buffer));
+}
+
+MappedFile MappedFile::FromAligned(AlignedVector<uint8_t> buffer) {
+  MappedFile file;
+  file.buffer_ = std::move(buffer);
+  file.data_ = file.buffer_.data();
+  file.size_ = file.buffer_.size();
+  return file;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  Reset();
+  buffer_ = std::move(other.buffer_);
+  mapped_ = other.mapped_;
+  map_base_ = other.map_base_;
+  size_ = other.size_;
+  // The buffer's data pointer belongs to *this* object's member now.
+  data_ = mapped_ ? other.data_ : buffer_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  other.map_base_ = nullptr;
+  return *this;
+}
+
+void MappedFile::Reset() {
+#if SFPM_STORE_HAS_MMAP
+  if (mapped_ && map_base_ != nullptr) {
+    ::munmap(map_base_, size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  map_base_ = nullptr;
+  buffer_.clear();
+}
+
+}  // namespace store
+}  // namespace sfpm

@@ -1,0 +1,61 @@
+#ifndef SFPM_STORE_MAPPED_FILE_H_
+#define SFPM_STORE_MAPPED_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/aligned.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace store {
+
+/// \brief Read-only view of a whole file: an mmap when the platform has
+/// one (POSIX), else a buffered read into 64-byte-aligned memory. Either
+/// way `data()` is at least 8-byte aligned, so 8-aligned file offsets are
+/// 8-aligned addresses — the zero-copy transaction-column contract.
+///
+/// Move-only; the mapping (or buffer) lives as long as the object, and so
+/// do the zero-copy views handed out by SnapshotReader.
+class MappedFile {
+ public:
+  /// Opens `path` read-only. `prefer_mmap = false` forces the buffered
+  /// path (the portable fallback, also exercised by tests and benches).
+  static Result<MappedFile> Open(const std::string& path,
+                                 bool prefer_mmap = true);
+
+  /// Wraps an in-memory snapshot (copied into aligned storage) — the
+  /// buffered path for byte-level tests and the fuzz oracle.
+  static MappedFile FromBytes(std::string_view bytes);
+
+  /// Takes ownership of an already-aligned buffer.
+  static MappedFile FromAligned(AlignedVector<uint8_t> buffer);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() { Reset(); }
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// True when backed by an actual memory mapping (vs a buffered read).
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  void Reset();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  void* map_base_ = nullptr;  ///< mmap base (page-aligned), when mapped.
+  AlignedVector<uint8_t> buffer_;  ///< Owned bytes, when buffered.
+};
+
+}  // namespace store
+}  // namespace sfpm
+
+#endif  // SFPM_STORE_MAPPED_FILE_H_

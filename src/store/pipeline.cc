@@ -1,0 +1,333 @@
+#include "store/pipeline.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "core/apriori.h"
+#include "core/fpgrowth.h"
+#include "feature/dependency.h"
+#include "feature/extractor.h"
+#include "io/csv.h"
+#include "obs/trace.h"
+#include "store/reader.h"
+#include "store/writer.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+#include "util/version.h"
+
+namespace sfpm {
+namespace store {
+
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed) {
+  uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string HashHex(uint64_t hash) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+std::string CanonicalCityConfig(const datagen::CityConfig& c) {
+  std::string out;
+  out += "grid_cols=" + std::to_string(c.grid_cols);
+  out += ";grid_rows=" + std::to_string(c.grid_rows);
+  out += ";cell_size=" + FormatRoundTripDouble(c.cell_size);
+  out += ";jitter=" + FormatRoundTripDouble(c.jitter);
+  out += ";num_slums=" + std::to_string(c.num_slums);
+  out += ";num_slum_clusters=" + std::to_string(c.num_slum_clusters);
+  out += ";slum_radius_min=" + FormatRoundTripDouble(c.slum_radius_min);
+  out += ";slum_radius_max=" + FormatRoundTripDouble(c.slum_radius_max);
+  out += ";num_schools=" + std::to_string(c.num_schools);
+  out += ";num_police=" + std::to_string(c.num_police);
+  out += ";num_streets=" + std::to_string(c.num_streets);
+  out += ";illumination_per_street=" +
+         std::to_string(c.illumination_per_street);
+  out += ";num_rivers=" + std::to_string(c.num_rivers);
+  out += ";boundary_detail=" + std::to_string(c.boundary_detail);
+  out += ";seed=" + std::to_string(c.seed);
+  return out;
+}
+
+std::string CanonicalExtractConfig(const ExtractConfig& c) {
+  std::string out = "reference=" + c.reference + ";relevant=";
+  for (size_t i = 0; i < c.relevant.size(); ++i) {
+    if (i > 0) out += ',';
+    out += c.relevant[i];
+  }
+  out += ";directions=";
+  out += c.directions ? '1' : '0';
+  return out;
+}
+
+std::string CanonicalMineConfig(const MineConfig& c) {
+  std::string out = "min_support=" + FormatRoundTripDouble(c.min_support);
+  out += ";algorithm=" + c.algorithm;
+  out += ";filter=" + c.filter;
+  // Dependencies are an unordered set of unordered pairs: normalize each
+  // pair, then sort and dedupe, so declaration order never changes the
+  // hash.
+  std::vector<std::pair<std::string, std::string>> deps = c.dependencies;
+  for (auto& [a, b] : deps) {
+    if (b < a) std::swap(a, b);
+  }
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  out += ";dependencies=";
+  for (size_t i = 0; i < deps.size(); ++i) {
+    if (i > 0) out += ',';
+    out += deps[i].first + ":" + deps[i].second;
+  }
+  return out;
+}
+
+namespace {
+
+constexpr char kStageGenerateCity[] = "generate-city";
+constexpr char kStageExtract[] = "extract";
+constexpr char kStageMine[] = "mine";
+
+std::string GenerateCityInputHash(const datagen::CityConfig& config) {
+  return HashHex(Fnv1a64("stage=generate-city;format=1;" +
+                         CanonicalCityConfig(config)));
+}
+
+std::string ExtractInputHash(const ExtractConfig& config,
+                             uint64_t in_file_hash) {
+  return HashHex(Fnv1a64("stage=extract;format=1;" +
+                         CanonicalExtractConfig(config) +
+                         ";input=" + HashHex(in_file_hash)));
+}
+
+std::string MineInputHash(const MineConfig& config, uint64_t in_file_hash) {
+  return HashHex(Fnv1a64("stage=mine;format=1;" +
+                         CanonicalMineConfig(config) +
+                         ";input=" + HashHex(in_file_hash)));
+}
+
+Result<uint64_t> HashFile(const std::string& path) {
+  SFPM_ASSIGN_OR_RETURN(const std::string bytes, io::ReadFile(path));
+  return Fnv1a64(bytes);
+}
+
+std::map<std::string, std::string> StageManifest(const std::string& stage,
+                                                 const std::string& input_hash,
+                                                 const std::string& params) {
+  return {
+      {"format", std::to_string(kFormatVersion)},
+      {"input_hash", input_hash},
+      {"params", params},
+      {"stage", stage},
+      {"tool_version", kSfpmVersion},
+  };
+}
+
+/// True when `path` is a valid snapshot whose manifest says it was
+/// produced by `stage` from exactly this `input_hash`. Any failure —
+/// missing file, corruption, older format, different parameters — means
+/// "rerun", never an error.
+bool OutputUpToDate(const std::string& path, const std::string& stage,
+                    const std::string& input_hash) {
+  auto reader = SnapshotReader::Open(path);
+  if (!reader.ok()) return false;
+  const auto info = reader.value().Find(SectionType::kManifest);
+  if (!info.ok()) return false;
+  const auto manifest = reader.value().ReadManifest(info.value());
+  if (!manifest.ok()) return false;
+  const auto get = [&](const char* key) {
+    const auto it = manifest.value().find(key);
+    return it == manifest.value().end() ? std::string() : it->second;
+  };
+  return get("stage") == stage && get("input_hash") == input_hash &&
+         get("format") == std::to_string(kFormatVersion);
+}
+
+}  // namespace
+
+Status RunGenerateCityStage(const datagen::CityConfig& config,
+                            const std::string& out_path) {
+  obs::Tracer::Span span =
+      obs::Tracer::Global().StartSpan("stage/generate-city");
+  const std::unique_ptr<datagen::City> city = datagen::GenerateCity(config);
+  SnapshotWriter writer;
+  writer.AddLayer(city->districts);
+  writer.AddLayer(city->slums);
+  writer.AddLayer(city->schools);
+  writer.AddLayer(city->police);
+  writer.AddLayer(city->streets);
+  writer.AddLayer(city->illumination);
+  writer.AddLayer(city->rivers);
+  writer.AddManifest(StageManifest(kStageGenerateCity,
+                                   GenerateCityInputHash(config),
+                                   CanonicalCityConfig(config)));
+  return writer.WriteTo(out_path);
+}
+
+Status RunExtractStage(const std::string& in_path,
+                       const std::string& out_path,
+                       const ExtractConfig& config) {
+  obs::Tracer::Span span = obs::Tracer::Global().StartSpan("stage/extract");
+  SFPM_ASSIGN_OR_RETURN(const uint64_t in_hash, HashFile(in_path));
+  SFPM_ASSIGN_OR_RETURN(const SnapshotReader reader,
+                        SnapshotReader::Open(in_path));
+
+  SFPM_ASSIGN_OR_RETURN(
+      const SectionInfo ref_info,
+      reader.Find(SectionType::kLayer, config.reference));
+  SFPM_ASSIGN_OR_RETURN(const feature::Layer reference,
+                        reader.ReadLayer(ref_info));
+
+  std::vector<feature::Layer> relevant;
+  if (config.relevant.empty()) {
+    for (const SectionInfo& info : reader.sections()) {
+      if (info.type != SectionType::kLayer || info.name == config.reference) {
+        continue;
+      }
+      SFPM_ASSIGN_OR_RETURN(feature::Layer layer, reader.ReadLayer(info));
+      relevant.push_back(std::move(layer));
+    }
+  } else {
+    for (const std::string& name : config.relevant) {
+      SFPM_ASSIGN_OR_RETURN(const SectionInfo info,
+                            reader.Find(SectionType::kLayer, name));
+      SFPM_ASSIGN_OR_RETURN(feature::Layer layer, reader.ReadLayer(info));
+      relevant.push_back(std::move(layer));
+    }
+  }
+  if (relevant.empty()) {
+    return Status::InvalidArgument(in_path +
+                                   ": no relevant layers to extract against");
+  }
+
+  feature::PredicateExtractor extractor(&reference);
+  for (const feature::Layer& layer : relevant) {
+    extractor.AddRelevantLayer(&layer);
+  }
+  feature::ExtractorOptions options;
+  options.directions = config.directions;
+  options.parallelism = config.threads;
+  SFPM_ASSIGN_OR_RETURN(const feature::PredicateTable table,
+                        extractor.Extract(options));
+
+  SnapshotWriter writer;
+  writer.AddTable(table);
+  writer.AddManifest(StageManifest(kStageExtract,
+                                   ExtractInputHash(config, in_hash),
+                                   CanonicalExtractConfig(config)));
+  return writer.WriteTo(out_path);
+}
+
+Status RunMineStage(const std::string& in_path, const std::string& out_path,
+                    const MineConfig& config) {
+  obs::Tracer::Span span = obs::Tracer::Global().StartSpan("stage/mine");
+  if (config.algorithm != "apriori" && config.algorithm != "fpgrowth") {
+    return Status::InvalidArgument("algorithm must be apriori|fpgrowth, got '" +
+                                   config.algorithm + "'");
+  }
+  if (config.filter != "none" && config.filter != "kc" &&
+      config.filter != "kc+") {
+    return Status::InvalidArgument("filter must be none|kc|kc+, got '" +
+                                   config.filter + "'");
+  }
+  SFPM_ASSIGN_OR_RETURN(const uint64_t in_hash, HashFile(in_path));
+  SFPM_ASSIGN_OR_RETURN(const SnapshotReader reader,
+                        SnapshotReader::Open(in_path));
+  SFPM_ASSIGN_OR_RETURN(const SectionInfo db_info,
+                        reader.Find(SectionType::kTransactionDb));
+  SFPM_ASSIGN_OR_RETURN(const feature::PredicateTable table,
+                        reader.ReadTable(db_info));
+  const core::TransactionDb& db = table.db();
+
+  feature::DependencyRegistry dependencies;
+  for (const auto& [a, b] : config.dependencies) dependencies.Add(a, b);
+
+  core::AprioriOptions options;
+  options.min_support = config.min_support;
+  options.parallelism = config.threads;
+  std::optional<core::PairBlocklistFilter> dependency_filter;
+  std::optional<core::SameKeyFilter> same_key;
+  if (config.filter == "kc" || config.filter == "kc+") {
+    dependency_filter.emplace(dependencies.MakeFilter(db));
+    options.filters.push_back(&*dependency_filter);
+  }
+  if (config.filter == "kc+") {
+    same_key.emplace(db);
+    options.filters.push_back(&*same_key);
+  }
+
+  SFPM_ASSIGN_OR_RETURN(const core::AprioriResult mined,
+                        config.algorithm == "fpgrowth"
+                            ? core::MineFpGrowth(db, options)
+                            : core::MineApriori(db, options));
+
+  SnapshotWriter writer;
+  writer.AddPatternSet(PatternSet::FromResult(
+      db, mined, config.min_support, config.algorithm, config.filter));
+  writer.AddManifest(StageManifest(kStageMine, MineInputHash(config, in_hash),
+                                   CanonicalMineConfig(config)));
+  return writer.WriteTo(out_path);
+}
+
+Result<PipelineResult> RunPipeline(const PipelineOptions& options) {
+  obs::Tracer::Span span = obs::Tracer::Global().StartSpan("pipeline/run");
+  PipelineResult result;
+  Stopwatch watch;
+
+  const auto run_stage = [&](const std::string& stage,
+                             const std::string& output,
+                             const std::string& input_hash,
+                             const auto& run) -> Status {
+    StageOutcome outcome;
+    outcome.stage = stage;
+    outcome.output = output;
+    outcome.input_hash = input_hash;
+    if (!options.force && OutputUpToDate(output, stage, input_hash)) {
+      outcome.skipped = true;
+      result.stages.push_back(std::move(outcome));
+      return Status::OK();
+    }
+    watch.Restart();
+    SFPM_RETURN_NOT_OK(run());
+    outcome.seconds = watch.ElapsedSeconds();
+    result.stages.push_back(std::move(outcome));
+    return Status::OK();
+  };
+
+  SFPM_RETURN_NOT_OK(run_stage(
+      kStageGenerateCity, options.city_path,
+      GenerateCityInputHash(options.city),
+      [&] { return RunGenerateCityStage(options.city, options.city_path); }));
+
+  SFPM_ASSIGN_OR_RETURN(const uint64_t city_hash,
+                        HashFile(options.city_path));
+  SFPM_RETURN_NOT_OK(run_stage(
+      kStageExtract, options.txdb_path,
+      ExtractInputHash(options.extract, city_hash), [&] {
+        return RunExtractStage(options.city_path, options.txdb_path,
+                               options.extract);
+      }));
+
+  SFPM_ASSIGN_OR_RETURN(const uint64_t txdb_hash,
+                        HashFile(options.txdb_path));
+  SFPM_RETURN_NOT_OK(run_stage(
+      kStageMine, options.patterns_path,
+      MineInputHash(options.mine, txdb_hash), [&] {
+        return RunMineStage(options.txdb_path, options.patterns_path,
+                            options.mine);
+      }));
+
+  return result;
+}
+
+}  // namespace store
+}  // namespace sfpm

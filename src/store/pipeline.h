@@ -1,0 +1,118 @@
+#ifndef SFPM_STORE_PIPELINE_H_
+#define SFPM_STORE_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "datagen/city.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace store {
+
+/// \brief Staged snapshot pipeline: generate-city -> extract -> mine, each
+/// stage reading and writing one `.sfpm` snapshot. Every output snapshot
+/// carries a manifest section recording the stage name and a content hash
+/// of everything that determined its bytes (stage parameters + input
+/// snapshot bytes; never the thread count — outputs are bit-identical at
+/// every thread count). `RunPipeline` skips a stage when its output
+/// already exists, validates, and carries a matching hash, so re-running
+/// after a crash or a parameter tweak redoes only the invalidated suffix.
+
+/// FNV-1a 64-bit over `bytes`, chainable through `seed`.
+inline constexpr uint64_t kFnv1aSeed = 14695981039346656037ULL;
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed = kFnv1aSeed);
+
+/// Lower-case 16-digit hex of a 64-bit hash.
+std::string HashHex(uint64_t hash);
+
+/// \brief Extract-stage parameters (the snapshot-driven subset of the CSV
+/// CLI's extract flags).
+struct ExtractConfig {
+  /// Layer section that defines the transactions (one row per feature).
+  std::string reference = "district";
+  /// Layer sections to relate against; empty = every non-reference layer
+  /// in the input snapshot, in file order.
+  std::vector<std::string> relevant;
+  /// Also emit cone-based direction predicates.
+  bool directions = false;
+  /// Worker threads (0 = auto, 1 = serial). Excluded from content hashes:
+  /// outputs are identical at every setting.
+  size_t threads = 0;
+};
+
+/// \brief Mine-stage parameters.
+struct MineConfig {
+  double min_support = 0.1;
+  std::string algorithm = "apriori";  ///< "apriori" or "fpgrowth".
+  std::string filter = "kc+";         ///< "none", "kc" or "kc+".
+  /// Background-knowledge dependencies (feature-type pairs) for kc/kc+.
+  std::vector<std::pair<std::string, std::string>> dependencies;
+  /// Worker threads (0 = auto, 1 = serial); excluded from content hashes.
+  size_t threads = 0;
+};
+
+/// \name Canonical parameter strings — the hash inputs. Stable across
+/// runs and processes; thread counts never appear.
+/// @{
+std::string CanonicalCityConfig(const datagen::CityConfig& config);
+std::string CanonicalExtractConfig(const ExtractConfig& config);
+std::string CanonicalMineConfig(const MineConfig& config);
+/// @}
+
+/// \name Stage functions, shared by the `sfpm` subcommands and the `run`
+/// driver. Each writes its output snapshot with a manifest recording
+/// {stage, input_hash, tool_version, format}.
+/// @{
+
+/// Generates the synthetic city and writes its layers to `out_path`.
+Status RunGenerateCityStage(const datagen::CityConfig& config,
+                            const std::string& out_path);
+
+/// Reads layers from `in_path`, extracts the predicate table, writes it
+/// to `out_path`.
+Status RunExtractStage(const std::string& in_path,
+                       const std::string& out_path,
+                       const ExtractConfig& config);
+
+/// Reads the transaction db from `in_path`, mines it, writes the pattern
+/// set to `out_path`.
+Status RunMineStage(const std::string& in_path, const std::string& out_path,
+                    const MineConfig& config);
+/// @}
+
+/// \brief Configuration of one `sfpm run` invocation.
+struct PipelineOptions {
+  std::string city_path = "city.sfpm";
+  std::string txdb_path = "txdb.sfpm";
+  std::string patterns_path = "patterns.sfpm";
+  datagen::CityConfig city;
+  ExtractConfig extract;
+  MineConfig mine;
+  /// Rerun every stage even when the output's hash already matches.
+  bool force = false;
+};
+
+/// \brief What happened to one stage.
+struct StageOutcome {
+  std::string stage;       ///< "generate-city", "extract" or "mine".
+  std::string output;      ///< Snapshot path the stage owns.
+  std::string input_hash;  ///< 16-digit hex content hash.
+  bool skipped = false;    ///< Output was already up to date.
+  double seconds = 0.0;    ///< Wall time (0 when skipped).
+};
+
+struct PipelineResult {
+  std::vector<StageOutcome> stages;
+};
+
+/// Runs (or skips) the three stages in order.
+Result<PipelineResult> RunPipeline(const PipelineOptions& options);
+
+}  // namespace store
+}  // namespace sfpm
+
+#endif  // SFPM_STORE_PIPELINE_H_

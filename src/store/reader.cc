@@ -1,0 +1,492 @@
+#include "store/reader.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "feature/predicate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "store/bytes.h"
+#include "store/crc32.h"
+#include "store/geometry_codec.h"
+#include "util/stopwatch.h"
+
+namespace sfpm {
+namespace store {
+
+namespace {
+
+Status Corrupt(const std::string& what) {
+  return Status::ParseError("corrupt snapshot: " + what);
+}
+
+/// Bits past num_transactions in the last column word must be zero — the
+/// invariant SupportOfWords popcounts rely on.
+Status CheckTailBits(const uint64_t* words, size_t num_words,
+                     size_t num_transactions) {
+  if (num_words == 0) return Status::OK();
+  const size_t tail_bits = num_transactions % 64;
+  if (tail_bits == 0) return Status::OK();
+  const uint64_t mask = ~uint64_t{0} << tail_bits;
+  if ((words[num_words - 1] & mask) != 0) {
+    return Corrupt("bitmap column has bits set past the last transaction");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<core::TransactionDb> TxDbView::Materialize() const {
+  std::vector<std::string> label_strings(labels.begin(), labels.end());
+  std::vector<std::string> key_strings(keys.begin(), keys.end());
+  return core::TransactionDb::FromParts(std::move(label_strings),
+                                        std::move(key_strings),
+                                        num_transactions, columns);
+}
+
+SnapshotReader::SnapshotReader(MappedFile file)
+    : file_(std::make_unique<MappedFile>(std::move(file))) {}
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path,
+                                            const Options& options) {
+  SFPM_ASSIGN_OR_RETURN(MappedFile file,
+                        MappedFile::Open(path, options.use_mmap));
+  auto reader = Validate(std::move(file), options);
+  if (!reader.ok()) {
+    return Status(reader.status().code(),
+                  path + ": " + reader.status().message());
+  }
+  return reader;
+}
+
+Result<SnapshotReader> SnapshotReader::FromBytes(std::string_view bytes,
+                                                 const Options& options) {
+  return Validate(MappedFile::FromBytes(bytes), options);
+}
+
+Result<SnapshotReader> SnapshotReader::Validate(MappedFile file,
+                                                const Options& options) {
+  obs::Tracer::Span span = obs::Tracer::Global().StartSpan("store/open");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  Stopwatch watch;
+
+  SnapshotReader reader(std::move(file));
+  reader.eager_crc_ = options.verify_checksums_eagerly;
+  const uint8_t* data = reader.file_->data();
+  const size_t size = reader.file_->size();
+
+  if (size < kHeaderFixedSize) {
+    return Corrupt("file is smaller than the fixed header (" +
+                   std::to_string(size) + " bytes)");
+  }
+
+  ByteReader header(data, size);
+  SFPM_ASSIGN_OR_RETURN(const uint32_t magic, header.U32());
+  if (magic != kMagic) {
+    return Corrupt("bad magic (not an .sfpm snapshot)");
+  }
+  SFPM_ASSIGN_OR_RETURN(const uint16_t version, header.U16());
+  if (version != kFormatVersion) {
+    return Status::Unsupported(
+        "snapshot format version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kFormatVersion) + ")");
+  }
+  SFPM_ASSIGN_OR_RETURN(const uint16_t flags, header.U16());
+  if (flags != 0) {
+    return Status::Unsupported("snapshot header flags " +
+                               std::to_string(flags) + " are not supported");
+  }
+  SFPM_ASSIGN_OR_RETURN(const uint64_t file_size, header.U64());
+  if (file_size != size) {
+    return Corrupt("header declares " + std::to_string(file_size) +
+                   " bytes but the file has " + std::to_string(size));
+  }
+  SFPM_ASSIGN_OR_RETURN(const uint64_t table_offset, header.U64());
+  SFPM_ASSIGN_OR_RETURN(const uint32_t section_count, header.U32());
+  SFPM_ASSIGN_OR_RETURN(const uint32_t tool_version_len, header.U32());
+  SFPM_ASSIGN_OR_RETURN(const uint32_t header_crc, header.U32());
+  SFPM_ASSIGN_OR_RETURN(const uint32_t header_reserved, header.U32());
+  if (header_reserved != 0) {
+    return Corrupt("nonzero reserved header field");
+  }
+
+  // Variable header part: tool version string, zero-padded to 8.
+  if (tool_version_len > size - kHeaderFixedSize) {
+    return Corrupt("tool version string overruns the file");
+  }
+  size_t header_end = kHeaderFixedSize + tool_version_len;
+  header_end += (8 - header_end % 8) % 8;
+  if (header_end > size) {
+    return Corrupt("header padding overruns the file");
+  }
+  const uint32_t actual_header_crc =
+      Crc32(data + kHeaderFixedSize, header_end - kHeaderFixedSize,
+            Crc32(data, 32));
+  if (actual_header_crc != header_crc) {
+    return Corrupt("header checksum mismatch");
+  }
+  reader.tool_version_.assign(
+      reinterpret_cast<const char*>(data) + kHeaderFixedSize,
+      tool_version_len);
+  for (size_t i = kHeaderFixedSize + tool_version_len; i < header_end; ++i) {
+    if (data[i] != 0) return Corrupt("nonzero header padding byte");
+  }
+
+  // Section table.
+  if (table_offset < header_end || table_offset > size ||
+      table_offset % 8 != 0) {
+    return Corrupt("section table offset out of bounds");
+  }
+  ByteReader table(data + table_offset, size - table_offset);
+  SFPM_ASSIGN_OR_RETURN(const uint32_t table_crc, table.U32());
+  SFPM_ASSIGN_OR_RETURN(const uint32_t table_reserved, table.U32());
+  if (table_reserved != 0) {
+    return Corrupt("nonzero reserved section-table field");
+  }
+  const size_t entries_begin = table_offset + 8;
+  const uint32_t actual_table_crc =
+      Crc32(data + entries_begin, size - entries_begin);
+  if (actual_table_crc != table_crc) {
+    return Corrupt("section table checksum mismatch");
+  }
+
+  uint64_t payload_cursor = header_end;
+  reader.sections_.reserve(section_count);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    SFPM_ASSIGN_OR_RETURN(const uint32_t type, table.U32());
+    SFPM_ASSIGN_OR_RETURN(const uint32_t name_len, table.U32());
+    SectionInfo info;
+    SFPM_ASSIGN_OR_RETURN(info.offset, table.U64());
+    SFPM_ASSIGN_OR_RETURN(info.length, table.U64());
+    SFPM_ASSIGN_OR_RETURN(info.crc32, table.U32());
+    SFPM_ASSIGN_OR_RETURN(const uint32_t entry_reserved, table.U32());
+    if (entry_reserved != 0) {
+      return Corrupt("nonzero reserved section-entry field");
+    }
+    if (!IsKnownSectionType(type)) {
+      return Corrupt("unknown section type " + std::to_string(type));
+    }
+    info.type = static_cast<SectionType>(type);
+    SFPM_ASSIGN_OR_RETURN(const uint8_t* name_bytes, table.Bytes(name_len));
+    info.name.assign(reinterpret_cast<const char*>(name_bytes), name_len);
+    // Sections are laid out back to back between the header and the
+    // table; requiring exactly that (no gaps, no overlap) means every
+    // payload byte belongs to exactly one checksum domain.
+    if (info.offset != payload_cursor || info.length % 8 != 0 ||
+        info.offset + info.length > table_offset) {
+      return Corrupt("section '" + info.name +
+                     "' has out-of-bounds or non-contiguous extent");
+    }
+    payload_cursor = info.offset + info.length;
+    reader.sections_.push_back(std::move(info));
+  }
+  if (payload_cursor != table_offset) {
+    return Corrupt("unaccounted bytes between sections and table");
+  }
+  if (table.remaining() != 0) {
+    return Corrupt("section table has trailing bytes");
+  }
+
+  uint64_t crc_bytes = 0;
+  if (reader.eager_crc_) {
+    for (const SectionInfo& info : reader.sections_) {
+      SFPM_RETURN_NOT_OK(reader.VerifyCrc(info));
+      crc_bytes += info.length;
+    }
+  }
+
+  registry.GetCounter("store.read.bytes").Add(size);
+  registry.GetCounter("store.read.sections").Add(reader.sections_.size());
+  registry.GetCounter("store.crc.bytes").Add(crc_bytes);
+  span.SetAttr("bytes", static_cast<double>(size));
+  span.SetAttr("sections", static_cast<double>(reader.sections_.size()));
+  span.SetAttr("crc_ms", watch.ElapsedMillis());
+  return reader;
+}
+
+Status SnapshotReader::VerifyCrc(const SectionInfo& info) const {
+  const uint32_t actual =
+      Crc32(file_->data() + info.offset, info.length);
+  if (actual != info.crc32) {
+    return Corrupt("section '" + info.name + "' checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Result<SectionInfo> SnapshotReader::Find(SectionType type) const {
+  for (const SectionInfo& info : sections_) {
+    if (info.type == type) return info;
+  }
+  return Status::NotFound(std::string("snapshot has no ") +
+                          SectionTypeName(type) + " section");
+}
+
+Result<SectionInfo> SnapshotReader::Find(SectionType type,
+                                         const std::string& name) const {
+  for (const SectionInfo& info : sections_) {
+    if (info.type == type && info.name == name) return info;
+  }
+  return Status::NotFound(std::string("snapshot has no ") +
+                          SectionTypeName(type) + " section named '" + name +
+                          "'");
+}
+
+Result<const uint8_t*> SnapshotReader::SectionPayload(
+    const SectionInfo& info, SectionType expected_type) const {
+  if (info.type != expected_type) {
+    return Status::InvalidArgument(
+        std::string("section '") + info.name + "' is a " +
+        SectionTypeName(info.type) + " section, not " +
+        SectionTypeName(expected_type));
+  }
+  // Re-validate the extent: the info may come from a caller, not from
+  // this reader's parsed table.
+  if (info.offset % 8 != 0 || info.offset > file_->size() ||
+      info.length > file_->size() - info.offset) {
+    return Corrupt("section extent out of bounds");
+  }
+  if (!eager_crc_) {
+    SFPM_RETURN_NOT_OK(VerifyCrc(info));
+    obs::MetricsRegistry::Global().GetCounter("store.crc.bytes")
+        .Add(info.length);
+  }
+  return file_->data() + info.offset;
+}
+
+Result<feature::Layer> SnapshotReader::ReadLayer(
+    const SectionInfo& info) const {
+  SFPM_ASSIGN_OR_RETURN(const uint8_t* payload,
+                        SectionPayload(info, SectionType::kLayer));
+  ByteReader r(payload, info.length);
+  SFPM_ASSIGN_OR_RETURN(const uint32_t codec, r.U32());
+  if (codec != kSectionCodecVersion) {
+    return Status::Unsupported("layer section codec version " +
+                               std::to_string(codec));
+  }
+  SFPM_ASSIGN_OR_RETURN(const std::string_view feature_type, r.Str());
+  SFPM_ASSIGN_OR_RETURN(const std::string_view name, r.Str());
+  feature::Layer layer{std::string(feature_type), std::string(name)};
+  SFPM_ASSIGN_OR_RETURN(const uint64_t num_features, r.U64());
+  SFPM_RETURN_NOT_OK(r.CheckCount(num_features, 13));  // id + tag + attrs.
+  for (uint64_t i = 0; i < num_features; ++i) {
+    SFPM_ASSIGN_OR_RETURN(const uint64_t id, r.U64());
+    SFPM_ASSIGN_OR_RETURN(geom::Geometry geometry, DecodeGeometry(&r));
+    SFPM_ASSIGN_OR_RETURN(const uint32_t num_attrs, r.U32());
+    SFPM_RETURN_NOT_OK(r.CheckCount(num_attrs, 8));
+    std::map<std::string, std::string> attributes;
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      SFPM_ASSIGN_OR_RETURN(const std::string_view key, r.Str());
+      SFPM_ASSIGN_OR_RETURN(const std::string_view value, r.Str());
+      attributes.emplace(std::string(key), std::string(value));
+    }
+    const uint64_t assigned = layer.Add(std::move(geometry),
+                                        std::move(attributes));
+    if (assigned != id) {
+      return Corrupt("layer feature ids are not sequential from 0");
+    }
+  }
+  SFPM_RETURN_NOT_OK(r.ExpectEndWithPadding());
+  return layer;
+}
+
+namespace {
+
+/// Shared txdb section scan: header scalars, item dictionary, optional
+/// row names, then the 8-aligned column block.
+struct TxDbSection {
+  TxDbView view;
+};
+
+Result<TxDbSection> ParseTxDbSection(const uint8_t* payload, size_t length,
+                                     uint64_t base_offset) {
+  ByteReader r(payload, length);
+  SFPM_ASSIGN_OR_RETURN(const uint32_t codec, r.U32());
+  if (codec != kSectionCodecVersion) {
+    return Status::Unsupported("txdb section codec version " +
+                               std::to_string(codec));
+  }
+  TxDbSection out;
+  TxDbView& view = out.view;
+  SFPM_ASSIGN_OR_RETURN(const uint64_t num_transactions, r.U64());
+  SFPM_ASSIGN_OR_RETURN(const uint64_t num_items, r.U64());
+  SFPM_ASSIGN_OR_RETURN(const uint64_t num_words, r.U64());
+  if (num_words != (num_transactions + 63) / 64) {
+    return Corrupt("txdb word count does not match its transaction count");
+  }
+  if (num_items > (uint64_t{1} << 32) - 1) {
+    return Corrupt("txdb item count exceeds the 32-bit item-id space");
+  }
+  SFPM_RETURN_NOT_OK(r.CheckCount(num_items, 8));
+  // The column block alone needs num_items * num_words * 8 bytes.
+  if (num_words != 0 && num_items > length / (num_words * 8)) {
+    return Corrupt("txdb declares more column words than the section holds");
+  }
+  view.num_transactions = num_transactions;
+  view.num_items = num_items;
+  view.num_words = num_words;
+  view.labels.reserve(num_items);
+  view.keys.reserve(num_items);
+  for (uint64_t i = 0; i < num_items; ++i) {
+    SFPM_ASSIGN_OR_RETURN(const std::string_view label, r.Str());
+    SFPM_ASSIGN_OR_RETURN(const std::string_view key, r.Str());
+    view.labels.push_back(label);
+    view.keys.push_back(key);
+  }
+  SFPM_ASSIGN_OR_RETURN(const uint8_t has_rows, r.U8());
+  if (has_rows > 1) return Corrupt("txdb has_rows flag must be 0 or 1");
+  if (has_rows == 1) {
+    SFPM_RETURN_NOT_OK(r.CheckCount(num_transactions, 4));
+    view.row_names.reserve(num_transactions);
+    for (uint64_t i = 0; i < num_transactions; ++i) {
+      SFPM_ASSIGN_OR_RETURN(const std::string_view row_name, r.Str());
+      view.row_names.push_back(row_name);
+    }
+  }
+  // Writer-inserted padding aligns the columns to 8 within the payload.
+  while ((base_offset + r.pos()) % 8 != 0) {
+    SFPM_ASSIGN_OR_RETURN(const uint8_t pad, r.U8());
+    if (pad != 0) return Corrupt("nonzero txdb column padding byte");
+  }
+  const size_t column_bytes = num_items * num_words * 8;
+  SFPM_ASSIGN_OR_RETURN(const uint8_t* columns, r.Bytes(column_bytes));
+  SFPM_RETURN_NOT_OK(r.ExpectEndWithPadding());
+  if constexpr (std::endian::native == std::endian::little) {
+    view.columns = reinterpret_cast<const uint64_t*>(columns);
+  } else {
+    return Status::Unsupported(
+        "zero-copy txdb sections require a little-endian host");
+  }
+  for (uint64_t i = 0; i < num_items; ++i) {
+    SFPM_RETURN_NOT_OK(
+        CheckTailBits(view.ColumnWords(i), num_words, num_transactions));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TxDbView> SnapshotReader::ViewTable(const SectionInfo& info) const {
+  SFPM_ASSIGN_OR_RETURN(const uint8_t* payload,
+                        SectionPayload(info, SectionType::kTransactionDb));
+  SFPM_ASSIGN_OR_RETURN(TxDbSection section,
+                        ParseTxDbSection(payload, info.length, info.offset));
+  return section.view;
+}
+
+Result<core::TransactionDb> SnapshotReader::ReadTransactionDb(
+    const SectionInfo& info) const {
+  SFPM_ASSIGN_OR_RETURN(const TxDbView view, ViewTable(info));
+  return view.Materialize();
+}
+
+Result<feature::PredicateTable> SnapshotReader::ReadTable(
+    const SectionInfo& info) const {
+  SFPM_ASSIGN_OR_RETURN(const TxDbView view, ViewTable(info));
+  if (view.row_names.empty() && view.num_transactions != 0) {
+    return Corrupt("txdb section '" + info.name +
+                   "' carries no row names (bare database, not a table)");
+  }
+  SFPM_ASSIGN_OR_RETURN(core::TransactionDb db, view.Materialize());
+  std::vector<std::string> row_names(view.row_names.begin(),
+                                     view.row_names.end());
+  std::vector<feature::Predicate> predicates;
+  predicates.reserve(view.num_items);
+  for (size_t i = 0; i < view.num_items; ++i) {
+    auto predicate =
+        feature::Predicate::FromLabel(std::string(view.labels[i]));
+    if (!predicate.ok()) {
+      return Corrupt("txdb item label '" + std::string(view.labels[i]) +
+                     "' is not a predicate label: " +
+                     predicate.status().message());
+    }
+    if (predicate.value().Key() != view.keys[i]) {
+      return Corrupt("txdb item '" + std::string(view.labels[i]) +
+                     "' key does not match its predicate");
+    }
+    predicates.push_back(std::move(predicate).value());
+  }
+  return feature::PredicateTable::FromParts(std::move(row_names),
+                                            std::move(predicates),
+                                            std::move(db));
+}
+
+Result<PatternSet> SnapshotReader::ReadPatternSet(
+    const SectionInfo& info) const {
+  SFPM_ASSIGN_OR_RETURN(const uint8_t* payload,
+                        SectionPayload(info, SectionType::kPatternSet));
+  ByteReader r(payload, info.length);
+  SFPM_ASSIGN_OR_RETURN(const uint32_t codec, r.U32());
+  if (codec != kSectionCodecVersion) {
+    return Status::Unsupported("pattern section codec version " +
+                               std::to_string(codec));
+  }
+  PatternSet out;
+  SFPM_ASSIGN_OR_RETURN(out.min_support, r.F64());
+  SFPM_ASSIGN_OR_RETURN(const std::string_view algorithm, r.Str());
+  SFPM_ASSIGN_OR_RETURN(const std::string_view filter, r.Str());
+  out.algorithm = std::string(algorithm);
+  out.filter = std::string(filter);
+  SFPM_ASSIGN_OR_RETURN(const uint64_t num_items, r.U64());
+  SFPM_RETURN_NOT_OK(r.CheckCount(num_items, 8));
+  out.labels.reserve(num_items);
+  out.keys.reserve(num_items);
+  for (uint64_t i = 0; i < num_items; ++i) {
+    SFPM_ASSIGN_OR_RETURN(const std::string_view label, r.Str());
+    SFPM_ASSIGN_OR_RETURN(const std::string_view key, r.Str());
+    out.labels.emplace_back(label);
+    out.keys.emplace_back(key);
+  }
+  SFPM_ASSIGN_OR_RETURN(const uint64_t num_itemsets, r.U64());
+  SFPM_RETURN_NOT_OK(r.CheckCount(num_itemsets, 8));
+  out.itemsets.reserve(num_itemsets);
+  for (uint64_t i = 0; i < num_itemsets; ++i) {
+    core::FrequentItemset fi;
+    SFPM_ASSIGN_OR_RETURN(fi.support, r.U32());
+    SFPM_ASSIGN_OR_RETURN(const uint32_t set_size, r.U32());
+    SFPM_RETURN_NOT_OK(r.CheckCount(set_size, 4));
+    std::vector<core::ItemId> items;
+    items.reserve(set_size);
+    for (uint32_t j = 0; j < set_size; ++j) {
+      SFPM_ASSIGN_OR_RETURN(const uint32_t item, r.U32());
+      if (item >= num_items) {
+        return Corrupt("pattern itemset references item " +
+                       std::to_string(item) + " of " +
+                       std::to_string(num_items));
+      }
+      items.push_back(item);
+    }
+    fi.items = core::Itemset(std::move(items));
+    if (fi.items.size() != set_size) {
+      return Corrupt("pattern itemset has duplicate items");
+    }
+    out.itemsets.push_back(std::move(fi));
+  }
+  SFPM_RETURN_NOT_OK(r.ExpectEndWithPadding());
+  return out;
+}
+
+Result<std::map<std::string, std::string>> SnapshotReader::ReadManifest(
+    const SectionInfo& info) const {
+  SFPM_ASSIGN_OR_RETURN(const uint8_t* payload,
+                        SectionPayload(info, SectionType::kManifest));
+  ByteReader r(payload, info.length);
+  SFPM_ASSIGN_OR_RETURN(const uint32_t codec, r.U32());
+  if (codec != kSectionCodecVersion) {
+    return Status::Unsupported("manifest section codec version " +
+                               std::to_string(codec));
+  }
+  SFPM_ASSIGN_OR_RETURN(const uint64_t num_entries, r.U64());
+  SFPM_RETURN_NOT_OK(r.CheckCount(num_entries, 8));
+  std::map<std::string, std::string> out;
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    SFPM_ASSIGN_OR_RETURN(const std::string_view key, r.Str());
+    SFPM_ASSIGN_OR_RETURN(const std::string_view value, r.Str());
+    out.emplace(std::string(key), std::string(value));
+  }
+  SFPM_RETURN_NOT_OK(r.ExpectEndWithPadding());
+  return out;
+}
+
+}  // namespace store
+}  // namespace sfpm

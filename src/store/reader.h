@@ -1,0 +1,128 @@
+#ifndef SFPM_STORE_READER_H_
+#define SFPM_STORE_READER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/transaction_db.h"
+#include "feature/feature.h"
+#include "feature/predicate_table.h"
+#include "store/format.h"
+#include "store/mapped_file.h"
+#include "store/writer.h"  // PatternSet
+#include "util/status.h"
+
+namespace sfpm {
+namespace store {
+
+/// \brief Zero-copy view of a transaction-db section: labels, keys and
+/// row names are string_views into the mapping and `ColumnWords` points
+/// straight at the file's bitmap columns (8-aligned by the writer).
+/// Valid only while the owning SnapshotReader is alive. `Materialize`
+/// copies it into an owned core::TransactionDb (a straight memcpy per
+/// column — no parsing).
+struct TxDbView {
+  size_t num_transactions = 0;
+  size_t num_items = 0;
+  size_t num_words = 0;  ///< ceil(num_transactions / 64).
+  std::vector<std::string_view> labels;
+  std::vector<std::string_view> keys;
+  std::vector<std::string_view> row_names;  ///< Empty for bare databases.
+  const uint64_t* columns = nullptr;  ///< Item-major, num_items * num_words.
+
+  const uint64_t* ColumnWords(size_t item) const {
+    return columns + item * num_words;
+  }
+
+  /// Copies the view into an owned database.
+  Result<core::TransactionDb> Materialize() const;
+};
+
+/// \brief Validating reader over one `.sfpm` snapshot. `Open` maps (or
+/// buffers) the file, parses and checks the header and section table, and
+/// — by default — verifies every section checksum, so a truncated,
+/// corrupted or version-mismatched file fails with a clear error before
+/// any payload is decoded. Section accessors bounds-check every declared
+/// length; no input can drive reads outside the mapping.
+///
+/// Reads publish `store.read.*` / `store.crc.*` counters and a
+/// `store/open` span to the global obs registry.
+class SnapshotReader {
+ public:
+  struct Options {
+    /// Map the file instead of reading it (POSIX; buffered elsewhere).
+    bool use_mmap = true;
+    /// Verify all payload CRCs at open. Turning this off defers nothing
+    /// — sections are then verified on first access instead.
+    bool verify_checksums_eagerly = true;
+  };
+
+  /// Opens and validates `path`.
+  static Result<SnapshotReader> Open(const std::string& path,
+                                     const Options& options);
+  static Result<SnapshotReader> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  /// Validates an in-memory snapshot (buffered; for tests and fuzzing).
+  static Result<SnapshotReader> FromBytes(std::string_view bytes,
+                                          const Options& options);
+  static Result<SnapshotReader> FromBytes(std::string_view bytes) {
+    return FromBytes(bytes, Options());
+  }
+
+  SnapshotReader(SnapshotReader&&) = default;
+  SnapshotReader& operator=(SnapshotReader&&) = default;
+
+  /// Every section, in file order.
+  const std::vector<SectionInfo>& sections() const { return sections_; }
+
+  /// Version string of the writer, from the header.
+  const std::string& tool_version() const { return tool_version_; }
+
+  /// True when the snapshot is backed by an mmap (vs a buffered read).
+  bool is_mapped() const { return file_->is_mapped(); }
+
+  /// First section of `type` (any name); NotFound when absent.
+  Result<SectionInfo> Find(SectionType type) const;
+
+  /// Section of `type` named `name`; NotFound when absent.
+  Result<SectionInfo> Find(SectionType type, const std::string& name) const;
+
+  /// \name Section decoders. Each validates the info against this file
+  /// (type, bounds) and, when deferred, its checksum.
+  /// @{
+  Result<feature::Layer> ReadLayer(const SectionInfo& info) const;
+  Result<feature::PredicateTable> ReadTable(const SectionInfo& info) const;
+  Result<core::TransactionDb> ReadTransactionDb(const SectionInfo& info) const;
+  Result<TxDbView> ViewTable(const SectionInfo& info) const;
+  Result<PatternSet> ReadPatternSet(const SectionInfo& info) const;
+  Result<std::map<std::string, std::string>> ReadManifest(
+      const SectionInfo& info) const;
+  /// @}
+
+ private:
+  explicit SnapshotReader(MappedFile file);
+
+  static Result<SnapshotReader> Validate(MappedFile file,
+                                         const Options& options);
+  Result<const uint8_t*> SectionPayload(const SectionInfo& info,
+                                        SectionType expected_type) const;
+  Status VerifyCrc(const SectionInfo& info) const;
+
+  /// unique_ptr keeps zero-copy views (which point into the mapping)
+  /// valid across moves of the reader itself.
+  std::unique_ptr<MappedFile> file_;
+  std::string tool_version_;
+  std::vector<SectionInfo> sections_;
+  bool eager_crc_ = true;
+};
+
+}  // namespace store
+}  // namespace sfpm
+
+#endif  // SFPM_STORE_READER_H_

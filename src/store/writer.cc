@@ -1,0 +1,247 @@
+#include "store/writer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "store/bytes.h"
+#include "store/crc32.h"
+#include "store/geometry_codec.h"
+#include "util/version.h"
+
+namespace sfpm {
+namespace store {
+
+namespace {
+
+void EncodeItems(const core::TransactionDb& db, ByteWriter* w) {
+  for (size_t i = 0; i < db.NumItems(); ++i) {
+    const auto id = static_cast<core::ItemId>(i);
+    w->Str(db.Label(id));
+    w->Str(db.Key(id));
+  }
+}
+
+std::string EncodeDbPayload(const core::TransactionDb& db,
+                            const feature::PredicateTable* table) {
+  ByteWriter w;
+  w.U32(kSectionCodecVersion);
+  w.U64(db.NumTransactions());
+  w.U64(db.NumItems());
+  w.U64(db.NumWords());
+  EncodeItems(db, &w);
+  w.U8(table != nullptr ? 1 : 0);
+  if (table != nullptr) {
+    for (size_t row = 0; row < table->NumRows(); ++row) {
+      w.Str(table->RowName(row));
+    }
+  }
+  // The bitmap columns are 8-aligned within the payload (and payloads are
+  // 8-aligned in the file), so a reader can hand out zero-copy word
+  // pointers straight into the mapping.
+  w.AlignTo8();
+  for (size_t i = 0; i < db.NumItems(); ++i) {
+    w.Words(db.ColumnWords(static_cast<core::ItemId>(i)), db.NumWords());
+  }
+  w.AlignTo8();
+  return w.TakeBytes();
+}
+
+}  // namespace
+
+PatternSet PatternSet::FromResult(const core::TransactionDb& db,
+                                  const core::AprioriResult& result,
+                                  double min_support, std::string algorithm,
+                                  std::string filter) {
+  PatternSet out;
+  out.labels.reserve(db.NumItems());
+  out.keys.reserve(db.NumItems());
+  for (size_t i = 0; i < db.NumItems(); ++i) {
+    const auto id = static_cast<core::ItemId>(i);
+    out.labels.push_back(db.Label(id));
+    out.keys.push_back(db.Key(id));
+  }
+  out.itemsets = result.itemsets();
+  out.min_support = min_support;
+  out.algorithm = std::move(algorithm);
+  out.filter = std::move(filter);
+  return out;
+}
+
+bool PatternSet::operator==(const PatternSet& o) const {
+  if (labels != o.labels || keys != o.keys ||
+      itemsets.size() != o.itemsets.size() ||
+      min_support != o.min_support || algorithm != o.algorithm ||
+      filter != o.filter) {
+    return false;
+  }
+  for (size_t i = 0; i < itemsets.size(); ++i) {
+    if (itemsets[i].support != o.itemsets[i].support ||
+        itemsets[i].items.items() != o.itemsets[i].items.items()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SnapshotWriter::AddLayer(const feature::Layer& layer) {
+  ByteWriter w;
+  w.U32(kSectionCodecVersion);
+  w.Str(layer.feature_type());
+  w.Str(layer.name());
+  w.U64(layer.Size());
+  for (const feature::Feature& f : layer.features()) {
+    w.U64(f.id());
+    EncodeGeometry(f.geometry(), &w);
+    w.U32(static_cast<uint32_t>(f.attributes().size()));
+    for (const auto& [key, value] : f.attributes()) {  // std::map: sorted.
+      w.Str(key);
+      w.Str(value);
+    }
+  }
+  w.AlignTo8();
+  Add(SectionType::kLayer, layer.feature_type(), w.TakeBytes());
+}
+
+void SnapshotWriter::AddTable(const feature::PredicateTable& table,
+                              const std::string& name) {
+  Add(SectionType::kTransactionDb, name, EncodeDbPayload(table.db(), &table));
+}
+
+void SnapshotWriter::AddTransactionDb(const core::TransactionDb& db,
+                                      const std::string& name) {
+  Add(SectionType::kTransactionDb, name, EncodeDbPayload(db, nullptr));
+}
+
+void SnapshotWriter::AddPatternSet(const PatternSet& patterns,
+                                   const std::string& name) {
+  ByteWriter w;
+  w.U32(kSectionCodecVersion);
+  w.F64(patterns.min_support);
+  w.Str(patterns.algorithm);
+  w.Str(patterns.filter);
+  w.U64(patterns.labels.size());
+  for (size_t i = 0; i < patterns.labels.size(); ++i) {
+    w.Str(patterns.labels[i]);
+    w.Str(i < patterns.keys.size() ? patterns.keys[i] : std::string());
+  }
+  w.U64(patterns.itemsets.size());
+  for (const core::FrequentItemset& fi : patterns.itemsets) {
+    w.U32(fi.support);
+    w.U32(static_cast<uint32_t>(fi.items.size()));
+    for (core::ItemId item : fi.items.items()) w.U32(item);
+  }
+  w.AlignTo8();
+  Add(SectionType::kPatternSet, name, w.TakeBytes());
+}
+
+void SnapshotWriter::AddManifest(
+    const std::map<std::string, std::string>& entries,
+    const std::string& name) {
+  ByteWriter w;
+  w.U32(kSectionCodecVersion);
+  w.U64(entries.size());
+  for (const auto& [key, value] : entries) {  // std::map: sorted.
+    w.Str(key);
+    w.Str(value);
+  }
+  w.AlignTo8();
+  Add(SectionType::kManifest, name, w.TakeBytes());
+}
+
+void SnapshotWriter::Add(SectionType type, std::string name,
+                         std::string payload) {
+  sections_.push_back({type, std::move(name), std::move(payload)});
+}
+
+std::string SnapshotWriter::Serialize() const {
+  obs::Tracer::Span span = obs::Tracer::Global().StartSpan("store/write");
+
+  const std::string tool_version = kSfpmVersion;
+  ByteWriter w;
+  // Fixed header; file_size, table_offset and header_crc32 are patched in
+  // once the payload/table geometry is known.
+  w.U32(kMagic);
+  w.U16(kFormatVersion);
+  w.U16(0);   // flags
+  w.U64(0);   // file_size (patched)
+  w.U64(0);   // table_offset (patched)
+  w.U32(static_cast<uint32_t>(sections_.size()));
+  w.U32(static_cast<uint32_t>(tool_version.size()));
+  w.U32(0);   // header_crc32 (patched)
+  w.U32(0);   // reserved
+  for (char c : tool_version) w.U8(static_cast<uint8_t>(c));
+  w.AlignTo8();
+  const size_t header_end = w.size();
+
+  // Payloads, each already 8-padded by its encoder.
+  std::vector<SectionInfo> infos;
+  infos.reserve(sections_.size());
+  for (const PendingSection& section : sections_) {
+    SectionInfo info;
+    info.type = section.type;
+    info.name = section.name;
+    info.offset = w.size();
+    info.length = section.payload.size();
+    info.crc32 = Crc32(section.payload.data(), section.payload.size());
+    infos.push_back(info);
+    for (char c : section.payload) w.U8(static_cast<uint8_t>(c));
+  }
+
+  // Section table: crc32 + reserved, then the entries.
+  const size_t table_offset = w.size();
+  w.U32(0);  // table_crc32 (patched)
+  w.U32(0);  // reserved
+  const size_t entries_begin = w.size();
+  for (const SectionInfo& info : infos) {
+    w.U32(static_cast<uint32_t>(info.type));
+    w.U32(static_cast<uint32_t>(info.name.size()));
+    w.U64(info.offset);
+    w.U64(info.length);
+    w.U32(info.crc32);
+    w.U32(0);  // reserved
+    for (char c : info.name) w.U8(static_cast<uint8_t>(c));
+  }
+
+  w.PatchU64(8, w.size());           // file_size
+  w.PatchU64(16, table_offset);      // table_offset
+  std::string bytes = w.TakeBytes();
+  const uint32_t table_crc = Crc32(bytes.data() + entries_begin,
+                                   bytes.size() - entries_begin);
+  const uint32_t header_crc =
+      Crc32(bytes.data() + kHeaderFixedSize, header_end - kHeaderFixedSize,
+            Crc32(bytes.data(), 32));
+  auto patch_u32 = [&bytes](size_t offset, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes[offset + static_cast<size_t>(i)] =
+          static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+  };
+  patch_u32(table_offset, table_crc);
+  patch_u32(32, header_crc);
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("store.write.bytes").Add(bytes.size());
+  registry.GetCounter("store.write.sections").Add(sections_.size());
+  span.SetAttr("bytes", static_cast<double>(bytes.size()));
+  span.SetAttr("sections", static_cast<double>(sections_.size()));
+  return bytes;
+}
+
+Status SnapshotWriter::WriteTo(const std::string& path) const {
+  const std::string bytes = Serialize();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != bytes.size() || !close_ok) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace store
+}  // namespace sfpm

@@ -1,0 +1,89 @@
+#ifndef SFPM_STORE_WRITER_H_
+#define SFPM_STORE_WRITER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/apriori.h"
+#include "feature/feature.h"
+#include "feature/predicate_table.h"
+#include "store/format.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace store {
+
+/// \brief A mined pattern set as stored in a snapshot: self-describing
+/// (item labels and keys travel with the itemsets) plus the mining
+/// configuration that produced it.
+struct PatternSet {
+  std::vector<std::string> labels;  ///< Indexed by the itemsets' item ids.
+  std::vector<std::string> keys;    ///< Feature-type keys, parallel to labels.
+  std::vector<core::FrequentItemset> itemsets;
+  double min_support = 0.0;
+  std::string algorithm;  ///< "apriori" or "fpgrowth".
+  std::string filter;     ///< "none", "kc" or "kc+".
+
+  /// Builds a pattern set from a mining result over `db`.
+  static PatternSet FromResult(const core::TransactionDb& db,
+                               const core::AprioriResult& result,
+                               double min_support, std::string algorithm,
+                               std::string filter);
+
+  bool operator==(const PatternSet& o) const;
+};
+
+/// \brief Serializes feature layers, transaction databases, and mined
+/// pattern sets into one versioned, checksummed `.sfpm` snapshot
+/// (docs/STORAGE.md). Sections are appended in call order; `WriteTo`
+/// frames them with the header and CRC'd section table.
+///
+/// Writes publish `store.write.*` counters and a `store/write` span to the
+/// global obs registry.
+class SnapshotWriter {
+ public:
+  /// Adds a layer section named by the layer's feature type.
+  void AddLayer(const feature::Layer& layer);
+
+  /// Adds a columnar transaction-db section carrying the table's row
+  /// names (and predicates, recoverable from the item labels).
+  void AddTable(const feature::PredicateTable& table,
+                const std::string& name = "txdb");
+
+  /// Adds a bare transaction db (no row names).
+  void AddTransactionDb(const core::TransactionDb& db,
+                        const std::string& name = "txdb");
+
+  /// Adds a mined pattern-set section.
+  void AddPatternSet(const PatternSet& patterns,
+                     const std::string& name = "patterns");
+
+  /// Adds a key/value manifest section (stage provenance; the pipeline
+  /// driver's skip/resume logic keys off it). Entries are stored sorted.
+  void AddManifest(const std::map<std::string, std::string>& entries,
+                   const std::string& name = "manifest");
+
+  /// Renders the complete snapshot (header + payloads + table) in memory.
+  std::string Serialize() const;
+
+  /// Serializes and writes the snapshot to `path` atomically enough for
+  /// the pipeline (write then size-checked close).
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  struct PendingSection {
+    SectionType type;
+    std::string name;
+    std::string payload;  ///< 8-padded section bytes.
+  };
+
+  void Add(SectionType type, std::string name, std::string payload);
+
+  std::vector<PendingSection> sections_;
+};
+
+}  // namespace store
+}  // namespace sfpm
+
+#endif  // SFPM_STORE_WRITER_H_

@@ -1,6 +1,7 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
 
@@ -78,6 +79,19 @@ std::string StrFormat(const char* fmt, ...) {
     std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
   }
   va_end(args_copy);
+  return out;
+}
+
+void AppendRoundTripDouble(double value, std::string* out) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;  // 32 bytes hold every shortest double representation.
+  out->append(buf, ptr);
+}
+
+std::string FormatRoundTripDouble(double value) {
+  std::string out;
+  AppendRoundTripDouble(value, &out);
   return out;
 }
 

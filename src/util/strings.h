@@ -32,6 +32,16 @@ std::string ToUpper(std::string_view s);
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Appends the shortest decimal representation of `value` that parses back
+/// to the identical bits (std::to_chars). The one double formatter every
+/// serializer (WKT, GeoJSON, repro files, the snapshot store's manifests)
+/// shares, so text and binary paths agree bit-for-bit and write→read→write
+/// is byte-stable.
+void AppendRoundTripDouble(double value, std::string* out);
+
+/// AppendRoundTripDouble into a fresh string.
+std::string FormatRoundTripDouble(double value);
+
 }  // namespace sfpm
 
 #endif  // SFPM_UTIL_STRINGS_H_

@@ -1,0 +1,13 @@
+#ifndef SFPM_UTIL_VERSION_H_
+#define SFPM_UTIL_VERSION_H_
+
+namespace sfpm {
+
+/// \brief Library/CLI version, embedded in snapshot headers (store/format.h)
+/// and run reports (obs/report.cc) so every artifact records what produced
+/// it. Bump on releases that change any on-disk or on-wire format.
+inline constexpr const char* kSfpmVersion = "0.5.0";
+
+}  // namespace sfpm
+
+#endif  // SFPM_UTIL_VERSION_H_

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "feature/feature.h"
+#include "geom/geometry.h"
+#include "geom/wkt.h"
+#include "io/geojson.h"
+#include "io/layer_io.h"
+#include "io/table_io.h"
+#include "util/strings.h"
+
+namespace sfpm {
+namespace io {
+namespace {
+
+/// Doubles whose decimal rendering historically loses bits under "%.17g"
+/// or fixed-precision printf formatting. Shortest round-trip formatting
+/// must reproduce each bit pattern exactly.
+std::vector<double> AdversarialDoubles() {
+  return {
+      0.1,
+      1.0 / 3.0,
+      0.30000000000000004,           // 0.1 + 0.2
+      123456789.123456789,           // More digits than a double holds.
+      3.141592653589793,
+      9007199254740993.0,            // 2^53 + 1 (rounds to 2^53).
+      5e-324,                        // Smallest subnormal.
+      std::numeric_limits<double>::denorm_min(),
+      1.7976931348623157e308,        // Largest finite.
+      2.2250738585072014e-308,       // Smallest normal.
+      -1234.5000000000002,
+      1e-7,
+      6.02214076e23,
+  };
+}
+
+geom::Geometry AdversarialLineString() {
+  std::vector<geom::Point> points;
+  for (double d : AdversarialDoubles()) {
+    points.push_back({d, -d / 3.0});
+  }
+  return geom::Geometry(geom::LineString(std::move(points)));
+}
+
+TEST(ByteStabilityTest, WktWriteReadWriteIsStable) {
+  const std::string first = geom::WriteWkt(AdversarialLineString());
+  auto parsed = geom::ReadWkt(first);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(geom::WriteWkt(parsed.value()), first);
+}
+
+TEST(ByteStabilityTest, WktRoundTripPreservesEveryBit) {
+  auto parsed = geom::ReadWkt(geom::WriteWkt(AdversarialLineString()));
+  ASSERT_TRUE(parsed.ok());
+  const auto& points = parsed.value().As<geom::LineString>().points();
+  const std::vector<double> expected = AdversarialDoubles();
+  ASSERT_EQ(points.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    // Bit-level comparison: EQ on doubles would accept -0.0 == 0.0.
+    EXPECT_EQ(std::signbit(points[i].x), std::signbit(expected[i]));
+    EXPECT_EQ(points[i].x, expected[i]);
+    EXPECT_EQ(points[i].y, -expected[i] / 3.0);
+  }
+}
+
+TEST(ByteStabilityTest, LayerCsvWriteReadWriteIsStable) {
+  feature::Layer layer("adversarial");
+  layer.Add(AdversarialLineString(), {{"note", "dense, quoted \"attr\""}});
+  layer.Add(geom::ReadWkt("POINT (0.1 0.2)").value());
+  const std::string first = LayerToCsv(layer);
+  auto parsed = LayerFromCsv("adversarial", first);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const std::string second = LayerToCsv(parsed.value());
+  EXPECT_EQ(second, first);
+
+  // And a third generation, through the already-round-tripped layer.
+  auto reparsed = LayerFromCsv("adversarial", second);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(LayerToCsv(reparsed.value()), first);
+}
+
+TEST(ByteStabilityTest, TableCsvWriteReadWriteIsStable) {
+  feature::PredicateTable table;
+  for (int row = 0; row < 5; ++row) {
+    table.AddRow("district_" + std::to_string(row));
+    if (row % 2 == 0) {
+      ASSERT_TRUE(table.SetSpatial(row, "contains", "slum").ok());
+    }
+    if (row % 3 == 0) {
+      ASSERT_TRUE(table.SetAttribute(row, "zone", "north, \"east\"").ok());
+    }
+  }
+  const std::string first = TableToCsv(table);
+  auto parsed = TableFromCsv(first);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(TableToCsv(parsed.value()), first);
+}
+
+TEST(ByteStabilityTest, GeoJsonDoublesAreValuePreserving) {
+  // GeoJSON has no reader here; stability means the rendered text is a
+  // pure function of the geometry's bit patterns, unchanged by a text
+  // round trip through WKT.
+  const geom::Geometry g = AdversarialLineString();
+  const std::string direct = GeometryToGeoJson(g);
+  auto through_text = geom::ReadWkt(geom::WriteWkt(g));
+  ASSERT_TRUE(through_text.ok());
+  EXPECT_EQ(GeometryToGeoJson(through_text.value()), direct);
+  // Shortest-form spot checks: no padded zeros, no precision loss.
+  EXPECT_NE(direct.find("[0.1,"), std::string::npos) << direct;
+  EXPECT_NE(direct.find("5e-324"), std::string::npos) << direct;
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace sfpm

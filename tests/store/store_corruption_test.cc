@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/transaction_db.h"
+#include "feature/feature.h"
+#include "geom/wkt.h"
+#include "store/crc32.h"
+#include "store/format.h"
+#include "store/reader.h"
+#include "store/writer.h"
+
+namespace sfpm {
+namespace store {
+namespace {
+
+/// A snapshot with every section type, used as the corruption target.
+std::string Snapshot() {
+  SnapshotWriter w;
+  feature::Layer layer("park");
+  layer.Add(geom::ReadWkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))").value(),
+            {{"name", "central"}});
+  w.AddLayer(layer);
+  core::TransactionDb db;
+  const auto a = db.AddItem("contains_slum", "slum");
+  const auto b = db.AddItem("touches_street", "street");
+  for (int i = 0; i < 10; ++i) {
+    db.AddTransaction(i % 2 == 0 ? std::vector<core::ItemId>{a}
+                                 : std::vector<core::ItemId>{a, b});
+  }
+  w.AddTransactionDb(db);
+  PatternSet ps;
+  ps.labels = {"contains_slum"};
+  ps.keys = {"slum"};
+  ps.itemsets = {{core::Itemset({0}), 10}};
+  ps.min_support = 0.5;
+  ps.algorithm = "fpgrowth";
+  ps.filter = "none";
+  w.AddPatternSet(ps);
+  w.AddManifest({{"stage", "mine"}});
+  return w.Serialize();
+}
+
+void PokeU16(std::string* bytes, size_t offset, uint16_t value) {
+  std::memcpy(bytes->data() + offset, &value, sizeof(value));
+}
+
+void PokeU32(std::string* bytes, size_t offset, uint32_t value) {
+  std::memcpy(bytes->data() + offset, &value, sizeof(value));
+}
+
+void PokeU64(std::string* bytes, size_t offset, uint64_t value) {
+  std::memcpy(bytes->data() + offset, &value, sizeof(value));
+}
+
+/// Every mutation must produce a clean ParseError/Unsupported status —
+/// never a crash, never a clean open. Run under ASan/UBSan this is the
+/// memory-safety half of the store's contract.
+void ExpectRejected(const std::string& bytes, const std::string& what) {
+  auto eager = SnapshotReader::FromBytes(bytes);
+  EXPECT_FALSE(eager.ok()) << what << ": opened cleanly (eager)";
+  if (!eager.ok()) {
+    EXPECT_FALSE(eager.status().message().empty()) << what;
+  }
+  // Deferred-checksum readers may open, but then every section decode
+  // must either fail or the corruption was in header/table (caught
+  // above). Decoding must never crash.
+  SnapshotReader::Options lazy;
+  lazy.verify_checksums_eagerly = false;
+  auto r = SnapshotReader::FromBytes(bytes, lazy);
+  if (r.ok()) {
+    for (const SectionInfo& info : r.value().sections()) {
+      switch (info.type) {
+        case SectionType::kLayer:
+          r.value().ReadLayer(info).status();
+          break;
+        case SectionType::kTransactionDb:
+          r.value().ReadTransactionDb(info).status();
+          break;
+        case SectionType::kPatternSet:
+          r.value().ReadPatternSet(info).status();
+          break;
+        case SectionType::kManifest:
+          r.value().ReadManifest(info).status();
+          break;
+      }
+    }
+  }
+}
+
+TEST(StoreCorruptionTest, TruncationAtEveryBoundaryRejected) {
+  const std::string bytes = Snapshot();
+  auto reader = SnapshotReader::FromBytes(bytes);
+  ASSERT_TRUE(reader.ok());
+  std::vector<size_t> cuts = {0,
+                              1,
+                              kHeaderFixedSize - 1,
+                              kHeaderFixedSize,
+                              bytes.size() - 1};
+  for (const SectionInfo& info : reader.value().sections()) {
+    cuts.push_back(info.offset);
+    cuts.push_back(info.offset + info.length / 2);
+    cuts.push_back(info.offset + info.length);
+  }
+  for (size_t cut : cuts) {
+    ASSERT_LT(cut, bytes.size());
+    ExpectRejected(bytes.substr(0, cut),
+                   "truncated to " + std::to_string(cut));
+  }
+}
+
+TEST(StoreCorruptionTest, EveryPossibleSingleByteFlipRejected) {
+  const std::string bytes = Snapshot();
+  // Exhaustive over the file: the format guarantees no byte is slack.
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string corrupted = bytes;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0xA5);
+    ExpectRejected(corrupted, "flip at " + std::to_string(pos));
+  }
+}
+
+TEST(StoreCorruptionTest, BadMagicRejected) {
+  std::string bytes = Snapshot();
+  PokeU32(&bytes, 0, 0x4D504654);  // "TFPM"
+  ExpectRejected(bytes, "bad magic");
+  auto r = SnapshotReader::FromBytes(bytes);
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(StoreCorruptionTest, FutureVersionRejectedWithClearMessage) {
+  std::string bytes = Snapshot();
+  PokeU16(&bytes, 4, kFormatVersion + 1);
+  auto r = SnapshotReader::FromBytes(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("version"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(StoreCorruptionTest, NonzeroFlagsAndReservedRejected) {
+  {
+    std::string bytes = Snapshot();
+    PokeU16(&bytes, 6, 1);  // flags
+    ExpectRejected(bytes, "nonzero flags");
+  }
+  {
+    std::string bytes = Snapshot();
+    PokeU32(&bytes, 36, 7);  // header reserved
+    ExpectRejected(bytes, "nonzero reserved");
+  }
+}
+
+TEST(StoreCorruptionTest, FileSizeMismatchRejected) {
+  {
+    std::string bytes = Snapshot();
+    PokeU64(&bytes, 8, bytes.size() + 8);  // Claims more than present.
+    ExpectRejected(bytes, "oversized file_size");
+  }
+  {
+    std::string bytes = Snapshot();
+    bytes += std::string(16, '\0');  // Trailing garbage.
+    ExpectRejected(bytes, "trailing bytes");
+  }
+}
+
+TEST(StoreCorruptionTest, AbsurdLengthsRejectedWithoutHugeAllocations) {
+  // Absurd table offset.
+  {
+    std::string bytes = Snapshot();
+    PokeU64(&bytes, 16, ~uint64_t{0} / 2);
+    ExpectRejected(bytes, "absurd table_offset");
+  }
+  // Absurd section count.
+  {
+    std::string bytes = Snapshot();
+    PokeU32(&bytes, 24, 0x7FFFFFFF);
+    ExpectRejected(bytes, "absurd section_count");
+  }
+  // Absurd tool_version length.
+  {
+    std::string bytes = Snapshot();
+    PokeU32(&bytes, 28, 0x7FFFFFFF);
+    ExpectRejected(bytes, "absurd tool_version_len");
+  }
+}
+
+TEST(StoreCorruptionTest, FlippedChecksumBytesRejected) {
+  const std::string bytes = Snapshot();
+  auto reader = SnapshotReader::FromBytes(bytes);
+  ASSERT_TRUE(reader.ok());
+  // Header CRC field.
+  {
+    std::string c = bytes;
+    c[32] = static_cast<char>(c[32] ^ 0xFF);
+    ExpectRejected(c, "header crc flip");
+  }
+  // Table CRC field (first u32 of the table).
+  {
+    const size_t table_offset =
+        reader.value().sections().back().offset +
+        reader.value().sections().back().length;
+    std::string c = bytes;
+    c[table_offset] = static_cast<char>(c[table_offset] ^ 0xFF);
+    ExpectRejected(c, "table crc flip");
+  }
+}
+
+TEST(StoreCorruptionTest, PayloadCorruptionNamesTheProblem) {
+  const std::string bytes = Snapshot();
+  auto reader = SnapshotReader::FromBytes(bytes);
+  ASSERT_TRUE(reader.ok());
+  const SectionInfo& first = reader.value().sections().front();
+  std::string c = bytes;
+  c[first.offset + 4] = static_cast<char>(c[first.offset + 4] ^ 0x10);
+  auto r = SnapshotReader::FromBytes(c);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("corrupt"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(StoreCorruptionTest, TooSmallInputsRejected) {
+  ExpectRejected("", "empty");
+  ExpectRejected("SFPM", "four bytes");
+  ExpectRejected(std::string(kHeaderFixedSize, '\0'), "zeroed header");
+}
+
+TEST(StoreCorruptionTest, Crc32MatchesKnownVectors) {
+  // IEEE 802.3 reference values (zlib-compatible).
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+  EXPECT_EQ(Crc32("abc", 3), 0x352441C2u);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace sfpm

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "datagen/city.h"
+#include "io/csv.h"
+#include "store/format.h"
+#include "store/pipeline.h"
+#include "store/reader.h"
+#include "util/version.h"
+
+namespace sfpm {
+namespace store {
+namespace {
+
+// Stage files live directly in TempDir with a unique prefix instead of a
+// subdirectory so no mkdir is needed; stale outputs from a previous test
+// process are removed so skip/resume assertions start clean.
+std::string TestDir(const std::string& leaf) {
+  const std::string prefix = ::testing::TempDir() + "/" + leaf;
+  std::remove((prefix + "-city.sfpm").c_str());
+  std::remove((prefix + "-txdb.sfpm").c_str());
+  std::remove((prefix + "-patterns.sfpm").c_str());
+  return prefix;
+}
+
+PipelineOptions SmallPipeline(const std::string& prefix) {
+  PipelineOptions opts;
+  opts.city_path = prefix + "-city.sfpm";
+  opts.txdb_path = prefix + "-txdb.sfpm";
+  opts.patterns_path = prefix + "-patterns.sfpm";
+  opts.city = datagen::CityConfig{};
+  opts.city.grid_cols = 3;  // 3 x 2 districts keep the relate work small.
+  opts.city.grid_rows = 2;
+  opts.city.num_slums = 8;
+  opts.city.num_schools = 12;
+  opts.city.num_police = 4;
+  opts.city.num_streets = 8;
+  opts.city.num_rivers = 1;
+  opts.mine.min_support = 0.3;
+  return opts;
+}
+
+TEST(Fnv1a64Test, KnownVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171F73967E8ULL);
+  EXPECT_EQ(HashHex(Fnv1a64("foobar")), "85944171f73967e8");
+}
+
+TEST(CanonicalConfigTest, ThreadCountIsExcluded) {
+  ExtractConfig a;
+  a.threads = 1;
+  ExtractConfig b;
+  b.threads = 8;
+  EXPECT_EQ(CanonicalExtractConfig(a), CanonicalExtractConfig(b));
+
+  MineConfig ma;
+  ma.threads = 1;
+  MineConfig mb;
+  mb.threads = 16;
+  EXPECT_EQ(CanonicalMineConfig(ma), CanonicalMineConfig(mb));
+}
+
+TEST(CanonicalConfigTest, DependencyOrderIsNormalized) {
+  MineConfig a;
+  a.dependencies = {{"x", "y"}, {"b", "a"}};
+  MineConfig b;
+  b.dependencies = {{"a", "b"}, {"y", "x"}};
+  EXPECT_EQ(CanonicalMineConfig(a), CanonicalMineConfig(b));
+
+  MineConfig c;
+  c.min_support = 0.25;
+  EXPECT_NE(CanonicalMineConfig(a), CanonicalMineConfig(c));
+}
+
+TEST(PipelineTest, RunsAllStagesThenSkipsWhenUpToDate) {
+  const PipelineOptions opts = SmallPipeline(TestDir("pipeline_skip"));
+  auto first = RunPipeline(opts);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  ASSERT_EQ(first.value().stages.size(), 3u);
+  for (const StageOutcome& stage : first.value().stages) {
+    EXPECT_FALSE(stage.skipped) << stage.stage;
+    EXPECT_EQ(stage.input_hash.size(), 16u) << stage.stage;
+  }
+
+  auto second = RunPipeline(opts);
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  for (const StageOutcome& stage : second.value().stages) {
+    EXPECT_TRUE(stage.skipped) << stage.stage;
+  }
+}
+
+TEST(PipelineTest, ForceRerunsEverything) {
+  PipelineOptions opts = SmallPipeline(TestDir("pipeline_force"));
+  ASSERT_TRUE(RunPipeline(opts).ok());
+  opts.force = true;
+  auto rerun = RunPipeline(opts);
+  ASSERT_TRUE(rerun.ok());
+  for (const StageOutcome& stage : rerun.value().stages) {
+    EXPECT_FALSE(stage.skipped) << stage.stage;
+  }
+}
+
+TEST(PipelineTest, ParameterChangeInvalidatesDownstreamStagesOnly) {
+  PipelineOptions opts = SmallPipeline(TestDir("pipeline_invalidate"));
+  ASSERT_TRUE(RunPipeline(opts).ok());
+
+  opts.mine.min_support = 0.6;
+  auto rerun = RunPipeline(opts);
+  ASSERT_TRUE(rerun.ok());
+  ASSERT_EQ(rerun.value().stages.size(), 3u);
+  EXPECT_TRUE(rerun.value().stages[0].skipped);   // generate-city
+  EXPECT_TRUE(rerun.value().stages[1].skipped);   // extract
+  EXPECT_FALSE(rerun.value().stages[2].skipped);  // mine
+
+  opts.extract.directions = true;
+  auto rerun2 = RunPipeline(opts);
+  ASSERT_TRUE(rerun2.ok());
+  EXPECT_TRUE(rerun2.value().stages[0].skipped);
+  EXPECT_FALSE(rerun2.value().stages[1].skipped);
+  EXPECT_FALSE(rerun2.value().stages[2].skipped);
+}
+
+TEST(PipelineTest, CorruptedIntermediateIsRebuiltNotTrusted) {
+  PipelineOptions opts = SmallPipeline(TestDir("pipeline_corrupt"));
+  ASSERT_TRUE(RunPipeline(opts).ok());
+
+  // Corrupt the extract output in place; the next run must detect it
+  // (manifest read fails) and rebuild instead of skipping.
+  auto bytes = io::ReadFile(opts.txdb_path);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupted = bytes.value();
+  corrupted[corrupted.size() / 2] ^= 0x42;
+  ASSERT_TRUE(io::WriteFile(opts.txdb_path, corrupted).ok());
+
+  auto rerun = RunPipeline(opts);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().message();
+  EXPECT_TRUE(rerun.value().stages[0].skipped);
+  EXPECT_FALSE(rerun.value().stages[1].skipped);
+}
+
+TEST(PipelineTest, StagedOutputsCarryManifestProvenance) {
+  const PipelineOptions opts = SmallPipeline(TestDir("pipeline_manifest"));
+  auto result = RunPipeline(opts);
+  ASSERT_TRUE(result.ok());
+
+  auto reader = SnapshotReader::Open(opts.patterns_path);
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+  auto info = reader.value().Find(SectionType::kManifest);
+  ASSERT_TRUE(info.ok());
+  auto manifest = reader.value().ReadManifest(info.value());
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest.value().at("stage"), "mine");
+  EXPECT_EQ(manifest.value().at("tool_version"), kSfpmVersion);
+  EXPECT_EQ(manifest.value().at("format"),
+            std::to_string(kFormatVersion));
+  EXPECT_EQ(manifest.value().at("input_hash"),
+            result.value().stages[2].input_hash);
+}
+
+TEST(PipelineTest, SingleStageRunnersMatchPipelineOutputs) {
+  const std::string prefix1 = TestDir("pipeline_stagewise");
+  const PipelineOptions opts = SmallPipeline(prefix1);
+  ASSERT_TRUE(RunPipeline(opts).ok());
+
+  const std::string prefix2 = TestDir("pipeline_stagewise2");
+  ASSERT_TRUE(
+      RunGenerateCityStage(opts.city, prefix2 + "-city.sfpm").ok());
+  ASSERT_TRUE(RunExtractStage(prefix2 + "-city.sfpm", prefix2 + "-txdb.sfpm",
+                              opts.extract)
+                  .ok());
+  ASSERT_TRUE(RunMineStage(prefix2 + "-txdb.sfpm", prefix2 + "-patterns.sfpm",
+                           opts.mine)
+                  .ok());
+
+  for (const char* leaf : {"-city.sfpm", "-txdb.sfpm", "-patterns.sfpm"}) {
+    auto a = io::ReadFile(prefix1 + leaf);
+    auto b = io::ReadFile(prefix2 + leaf);
+    ASSERT_TRUE(a.ok() && b.ok()) << leaf;
+    EXPECT_EQ(a.value(), b.value()) << leaf << " differs between pipeline "
+                                    << "and stage-wise runs";
+  }
+}
+
+TEST(PipelineTest, MineRejectsUnknownAlgorithmAndFilter) {
+  const std::string prefix = TestDir("pipeline_badmine");
+  PipelineOptions opts = SmallPipeline(prefix);
+  ASSERT_TRUE(RunPipeline(opts).ok());
+
+  MineConfig bad;
+  bad.algorithm = "eclat";
+  const Status r = RunMineStage(opts.txdb_path, prefix + "-out.sfpm", bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.message().find("eclat"), std::string::npos);
+
+  MineConfig bad_filter;
+  bad_filter.filter = "kc++";
+  const Status r2 =
+      RunMineStage(opts.txdb_path, prefix + "-out.sfpm", bad_filter);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.message().find("kc++"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace sfpm

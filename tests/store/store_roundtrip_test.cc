@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/transaction_db.h"
+#include "feature/feature.h"
+#include "feature/predicate_table.h"
+#include "geom/wkt.h"
+#include "io/csv.h"
+#include "store/format.h"
+#include "store/reader.h"
+#include "store/writer.h"
+#include "util/version.h"
+
+namespace sfpm {
+namespace store {
+namespace {
+
+feature::Layer SixTypeLayer() {
+  feature::Layer layer("mixed");
+  const char* wkts[] = {
+      "POINT (1 2)",
+      "LINESTRING (0 0, 3 4, 3 8)",
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))",
+      "MULTIPOINT ((1 1), (2 3))",
+      "MULTILINESTRING ((0 0, 1 1), (5 5, 6 5, 6 6))",
+      "MULTIPOLYGON (((0 0, 2 0, 2 2, 0 2, 0 0)), ((5 5, 7 5, 7 7, 5 7, 5 "
+      "5)))",
+  };
+  for (size_t i = 0; i < 6; ++i) {
+    auto g = geom::ReadWkt(wkts[i]);
+    EXPECT_TRUE(g.ok()) << wkts[i];
+    layer.Add(g.value(), {{"kind", std::to_string(i)}, {"name", "f"}});
+  }
+  return layer;
+}
+
+feature::PredicateTable SmallTable() {
+  feature::PredicateTable table;
+  for (int row = 0; row < 70; ++row) {  // > 64 rows: two bitmap words.
+    table.AddRow("district_" + std::to_string(row));
+    if (row % 2 == 0) {
+      EXPECT_TRUE(table.SetSpatial(row, "contains", "slum").ok());
+    }
+    if (row % 3 == 0) {
+      EXPECT_TRUE(table.SetSpatial(row, "touches", "street").ok());
+    }
+    if (row % 7 == 0) {
+      EXPECT_TRUE(table.SetAttribute(row, "zone", "north").ok());
+    }
+  }
+  return table;
+}
+
+PatternSet SmallPatterns() {
+  PatternSet ps;
+  ps.labels = {"contains_slum", "touches_street"};
+  ps.keys = {"slum", "street"};
+  ps.itemsets = {{core::Itemset({0}), 35}, {core::Itemset({0, 1}), 12}};
+  ps.min_support = 0.15;
+  ps.algorithm = "apriori";
+  ps.filter = "kc+";
+  return ps;
+}
+
+std::string BuildSnapshotBytes() {
+  SnapshotWriter w;
+  w.AddLayer(SixTypeLayer());
+  w.AddTable(SmallTable());
+  w.AddPatternSet(SmallPatterns());
+  w.AddManifest({{"stage", "test"}, {"alpha", "1"}});
+  return w.Serialize();
+}
+
+TEST(StoreRoundTripTest, SerializeIsDeterministic) {
+  EXPECT_EQ(BuildSnapshotBytes(), BuildSnapshotBytes());
+}
+
+TEST(StoreRoundTripTest, HeaderCarriesToolVersion) {
+  auto r = SnapshotReader::FromBytes(BuildSnapshotBytes());
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r.value().tool_version(), kSfpmVersion);
+  EXPECT_EQ(r.value().sections().size(), 4u);
+}
+
+TEST(StoreRoundTripTest, WriteReadWriteIsByteIdentical) {
+  const std::string bytes = BuildSnapshotBytes();
+  auto r = SnapshotReader::FromBytes(bytes);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  const SnapshotReader& reader = r.value();
+
+  SnapshotWriter rewrite;
+  auto layer_info = reader.Find(SectionType::kLayer);
+  ASSERT_TRUE(layer_info.ok());
+  auto layer = reader.ReadLayer(layer_info.value());
+  ASSERT_TRUE(layer.ok()) << layer.status().message();
+  rewrite.AddLayer(layer.value());
+
+  auto table_info = reader.Find(SectionType::kTransactionDb);
+  ASSERT_TRUE(table_info.ok());
+  auto table = reader.ReadTable(table_info.value());
+  ASSERT_TRUE(table.ok()) << table.status().message();
+  rewrite.AddTable(table.value(), table_info.value().name);
+
+  auto ps_info = reader.Find(SectionType::kPatternSet);
+  ASSERT_TRUE(ps_info.ok());
+  auto ps = reader.ReadPatternSet(ps_info.value());
+  ASSERT_TRUE(ps.ok()) << ps.status().message();
+  rewrite.AddPatternSet(ps.value(), ps_info.value().name);
+
+  auto m_info = reader.Find(SectionType::kManifest);
+  ASSERT_TRUE(m_info.ok());
+  auto manifest = reader.ReadManifest(m_info.value());
+  ASSERT_TRUE(manifest.ok()) << manifest.status().message();
+  rewrite.AddManifest(manifest.value(), m_info.value().name);
+
+  EXPECT_EQ(rewrite.Serialize(), bytes);
+}
+
+TEST(StoreRoundTripTest, LayerGeometryAndAttributesSurvive) {
+  const feature::Layer original = SixTypeLayer();
+  auto r = SnapshotReader::FromBytes(BuildSnapshotBytes());
+  ASSERT_TRUE(r.ok());
+  auto info = r.value().Find(SectionType::kLayer, "mixed");
+  ASSERT_TRUE(info.ok());
+  auto layer = r.value().ReadLayer(info.value());
+  ASSERT_TRUE(layer.ok()) << layer.status().message();
+  ASSERT_EQ(layer.value().Size(), original.Size());
+  EXPECT_EQ(layer.value().feature_type(), "mixed");
+  for (size_t i = 0; i < original.Size(); ++i) {
+    EXPECT_EQ(geom::WriteWkt(layer.value().at(i).geometry()),
+              geom::WriteWkt(original.at(i).geometry()));
+    EXPECT_EQ(layer.value().at(i).attributes(), original.at(i).attributes());
+    EXPECT_EQ(layer.value().at(i).id(), original.at(i).id());
+  }
+}
+
+TEST(StoreRoundTripTest, TableSurvivesWithRowNamesAndPredicates) {
+  const feature::PredicateTable original = SmallTable();
+  auto r = SnapshotReader::FromBytes(BuildSnapshotBytes());
+  ASSERT_TRUE(r.ok());
+  auto info = r.value().Find(SectionType::kTransactionDb, "txdb");
+  ASSERT_TRUE(info.ok());
+  auto table = r.value().ReadTable(info.value());
+  ASSERT_TRUE(table.ok()) << table.status().message();
+  ASSERT_EQ(table.value().NumRows(), original.NumRows());
+  ASSERT_EQ(table.value().NumPredicates(), original.NumPredicates());
+  for (size_t row = 0; row < original.NumRows(); ++row) {
+    EXPECT_EQ(table.value().RowName(row), original.RowName(row));
+    for (core::ItemId item = 0; item < original.NumPredicates(); ++item) {
+      EXPECT_EQ(table.value().db().Test(row, item),
+                original.db().Test(row, item));
+    }
+  }
+  for (core::ItemId item = 0; item < original.NumPredicates(); ++item) {
+    EXPECT_EQ(table.value().PredicateAt(item).Label(),
+              original.PredicateAt(item).Label());
+    EXPECT_EQ(table.value().PredicateAt(item).Key(),
+              original.PredicateAt(item).Key());
+  }
+}
+
+TEST(StoreRoundTripTest, ZeroCopyViewMatchesMaterializedDb) {
+  auto r = SnapshotReader::FromBytes(BuildSnapshotBytes());
+  ASSERT_TRUE(r.ok());
+  auto info = r.value().Find(SectionType::kTransactionDb);
+  ASSERT_TRUE(info.ok());
+  auto view = r.value().ViewTable(info.value());
+  ASSERT_TRUE(view.ok()) << view.status().message();
+
+  const feature::PredicateTable original = SmallTable();
+  const core::TransactionDb& db = original.db();
+  EXPECT_EQ(view.value().num_transactions, db.NumTransactions());
+  EXPECT_EQ(view.value().num_items, db.NumItems());
+  EXPECT_EQ(view.value().num_words, (db.NumTransactions() + 63) / 64);
+  ASSERT_EQ(view.value().row_names.size(), original.NumRows());
+  EXPECT_EQ(view.value().row_names[0], "district_0");
+  for (size_t i = 0; i < view.value().num_items; ++i) {
+    EXPECT_EQ(view.value().labels[i], db.Label(static_cast<core::ItemId>(i)));
+    EXPECT_EQ(view.value().keys[i], db.Key(static_cast<core::ItemId>(i)));
+  }
+
+  auto materialized = view.value().Materialize();
+  ASSERT_TRUE(materialized.ok()) << materialized.status().message();
+  for (size_t row = 0; row < db.NumTransactions(); ++row) {
+    for (core::ItemId item = 0; item < db.NumItems(); ++item) {
+      EXPECT_EQ(materialized.value().Test(row, item), db.Test(row, item));
+    }
+  }
+}
+
+TEST(StoreRoundTripTest, PatternSetAndManifestSurvive) {
+  auto r = SnapshotReader::FromBytes(BuildSnapshotBytes());
+  ASSERT_TRUE(r.ok());
+  auto ps_info = r.value().Find(SectionType::kPatternSet, "patterns");
+  ASSERT_TRUE(ps_info.ok());
+  auto ps = r.value().ReadPatternSet(ps_info.value());
+  ASSERT_TRUE(ps.ok()) << ps.status().message();
+  EXPECT_TRUE(ps.value() == SmallPatterns());
+
+  auto m_info = r.value().Find(SectionType::kManifest);
+  ASSERT_TRUE(m_info.ok());
+  auto manifest = r.value().ReadManifest(m_info.value());
+  ASSERT_TRUE(manifest.ok());
+  const std::map<std::string, std::string> expected = {{"stage", "test"},
+                                                       {"alpha", "1"}};
+  EXPECT_EQ(manifest.value(), expected);
+}
+
+TEST(StoreRoundTripTest, MappedAndBufferedOpensAgree) {
+  const std::string bytes = BuildSnapshotBytes();
+  const std::string path = ::testing::TempDir() + "/roundtrip.sfpm";
+  ASSERT_TRUE(io::WriteFile(path, bytes).ok());
+
+  auto mapped = SnapshotReader::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().message();
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(mapped.value().is_mapped());
+#endif
+
+  SnapshotReader::Options buffered_opts;
+  buffered_opts.use_mmap = false;
+  auto buffered = SnapshotReader::Open(path, buffered_opts);
+  ASSERT_TRUE(buffered.ok()) << buffered.status().message();
+  EXPECT_FALSE(buffered.value().is_mapped());
+
+  // Both paths decode the identical table.
+  for (const SnapshotReader* reader : {&mapped.value(), &buffered.value()}) {
+    auto info = reader->Find(SectionType::kTransactionDb);
+    ASSERT_TRUE(info.ok());
+    auto table = reader->ReadTable(info.value());
+    ASSERT_TRUE(table.ok()) << table.status().message();
+    EXPECT_EQ(table.value().NumRows(), 70u);
+    SnapshotWriter rewrite;
+    rewrite.AddTable(table.value());
+    EXPECT_EQ(rewrite.Serialize(), [&] {
+      SnapshotWriter w;
+      w.AddTable(SmallTable());
+      return w.Serialize();
+    }());
+  }
+}
+
+TEST(StoreRoundTripTest, EmptySnapshotAndEmptySectionsRoundTrip) {
+  SnapshotWriter w;
+  w.AddManifest({});
+  core::TransactionDb empty_db;
+  w.AddTransactionDb(empty_db, "empty");
+  const std::string bytes = w.Serialize();
+  auto r = SnapshotReader::FromBytes(bytes);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  auto info = r.value().Find(SectionType::kTransactionDb, "empty");
+  ASSERT_TRUE(info.ok());
+  auto db = r.value().ReadTransactionDb(info.value());
+  ASSERT_TRUE(db.ok()) << db.status().message();
+  EXPECT_EQ(db.value().NumItems(), 0u);
+  EXPECT_EQ(db.value().NumTransactions(), 0u);
+}
+
+TEST(StoreRoundTripTest, FindMissingSectionIsNotFound) {
+  SnapshotWriter w;
+  w.AddManifest({{"a", "b"}});
+  auto r = SnapshotReader::FromBytes(w.Serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Find(SectionType::kLayer).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(r.value().Find(SectionType::kManifest, "nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace sfpm

@@ -35,7 +35,7 @@ if [[ "${1:-}" == "--quick" ]]; then
   # Metrics/Trace/LegacyStats cover the sharded registry and tracer under
   # concurrent writers.
   ctest --test-dir build-tsan --output-on-failure -j"${jobs}" \
-    -R 'ThreadPool|Parallelism|ParallelDeterminism|Extractor|Apriori|Pipeline|Metrics|Trace|LegacyStats'
+    -R 'ThreadPool|Parallelism|ParallelDeterminism|Extractor|Apriori|Pipeline|Metrics|Trace|LegacyStats|Store'
 else
   ctest --test-dir build-tsan --output-on-failure -j"${jobs}"
 fi
@@ -52,8 +52,10 @@ if [[ "${1:-}" == "--quick" ]]; then
   # The hot paths this repo optimizes: relate fast path, prepared
   # geometry, extraction, support counting — plus the obs layer (metrics
   # registry, tracer, JSON, report emitter).
+  # Store round-trip + corruption tests matter most under ASan/UBSan:
+  # they drive the reader through truncated and bit-flipped inputs.
   ctest --test-dir build-asan --output-on-failure -j"${jobs}" \
-    -R 'Prepared|Relate|Extractor|Apriori|Pipeline|Metrics|Trace|Json|Report|Args|Stopwatch|LegacyStats'
+    -R 'Prepared|Relate|Extractor|Apriori|Pipeline|Metrics|Trace|Json|Report|Args|Stopwatch|LegacyStats|Store|ByteStability'
 else
   ctest --test-dir build-asan --output-on-failure -j"${jobs}"
 fi
@@ -68,6 +70,13 @@ cmake -B build-ubsan -S . -DSFPM_UBSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-ubsan -j"${jobs}" --target sfpm_fuzz_tool
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 build-ubsan/tools/sfpm_fuzz --smoke --corpus tests/fuzz/corpus
+
+echo "== Store round-trip + corruption (UBSan) =="
+# The store oracle serializes adversarial payloads, then proves every
+# single-byte flip and every truncation is rejected cleanly — under UBSan
+# so a rejection can never hide an out-of-bounds decode. Fixed seed keeps
+# the stage reproducible.
+build-ubsan/tools/sfpm_fuzz --oracle store --iterations 10000 --seed 2007
 
 echo "== Observability artifacts =="
 # The cli_report ctest (Release tree) runs `sfpm extract`/`mine` with

@@ -4,15 +4,31 @@
 //                 [--distance veryClose:500,close:2000,far]
 //                 [--distance-types policeCenter] [--directions]
 //                 [--threads N] --out table.csv
+//   sfpm extract  --in city.sfpm --out txdb.sfpm
+//                 [--reference district] [--relevant slum ...] [--directions]
+//                 [--threads N]
 //   sfpm mine     --table table.csv --minsup 0.1
 //                 [--filter none|kc|kc+] [--dependency street:illuminationPoint]
 //                 [--algorithm apriori|fpgrowth] [--rules 0.7]
 //                 [--closed] [--maximal] [--top lift:10] [--threads N]
+//   sfpm mine     --in txdb.sfpm --out patterns.sfpm [--minsup 0.1]
+//                 [--filter ...] [--dependency a:b] [--algorithm ...]
+//                 [--threads N]
+//   sfpm run      [--dir out] [--city p] [--txdb p] [--patterns p]
+//                 [--seed N] [--reference district] [--directions]
+//                 [--minsup 0.1] [--filter ...] [--algorithm ...]
+//                 [--dependency a:b] [--threads N] [--force]
+//
+// `run` drives the staged snapshot pipeline generate-city -> extract ->
+// mine; stages whose output snapshot already carries a matching content
+// hash are skipped, so a rerun after a crash or parameter change redoes
+// only the invalidated suffix (--force reruns everything). Stage outputs
+// are bit-identical at every --threads setting.
 //
 // --threads defaults to the hardware concurrency (or SFPM_THREADS when
 // set); --threads 0 forces the hardware concurrency; --threads 1 runs the
 // original serial code path. Outputs are identical at every thread count.
-// --report out.json (extract and mine) writes a machine-readable run
+// --report out.json (extract, mine and run) writes a machine-readable run
 // report (config, phase spans, every registry instrument); --trace
 // out.trace.json writes the phase spans as Chrome trace_event JSON for
 // about:tracing / Perfetto. --stats still prints the legacy run counters
@@ -20,13 +36,19 @@
 // favor of --report. See docs/OBSERVABILITY.md.
 //   sfpm gain     --t 2,2,2 --n 2
 //   sfpm table3
-//   sfpm generate-city [--seed N] --out-prefix dir/city_
+//   sfpm generate-city [--seed N] [--out-prefix dir/city_] [--out city.sfpm]
+//   sfpm version  (or --version)
+//
+// Unknown commands and flags are errors: the offending token is printed
+// and the exit status is 2.
 //
 // Layers are WKT-CSV files (header: wkt,attr...); predicate tables are 0/1
-// CSV matrices (header: row,<predicate labels>). See io/layer_io.h and
-// io/table_io.h.
+// CSV matrices (header: row,<predicate labels>). Snapshots (.sfpm) are the
+// binary container of docs/STORAGE.md. See io/layer_io.h and io/table_io.h.
 
 #include <cstdio>
+#include <filesystem>
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <string>
@@ -42,8 +64,11 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "sfpm.h"
+#include "store/format.h"
+#include "store/pipeline.h"
 #include "util/args.h"
 #include "util/strings.h"
+#include "util/version.h"
 
 namespace {
 
@@ -56,9 +81,36 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: sfpm <extract|mine|gain|table3|generate-city> "
+               "usage: sfpm "
+               "<extract|mine|run|gain|table3|generate-city|version> "
                "[flags]\n(see the header of tools/sfpm_cli.cc)\n");
   return 2;
+}
+
+/// Rejects flags a command does not understand and stray positional
+/// tokens, naming the offending token. Returns 0 when the line is clean.
+int RejectUnknownFlags(const Args& args, const char* command,
+                       std::initializer_list<const char*> allowed) {
+  for (const auto& [flag, values] : args.values()) {
+    bool known = false;
+    for (const char* candidate : allowed) {
+      if (flag == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "error: unknown flag '--%s' for 'sfpm %s'\n",
+                   flag.c_str(), command);
+      return 2;
+    }
+  }
+  if (!args.positional().empty()) {
+    std::fprintf(stderr, "error: unexpected argument '%s' for 'sfpm %s'\n",
+                 args.positional().front().c_str(), command);
+    return 2;
+  }
+  return 0;
 }
 
 /// Parses the shared --threads flag. Absent = auto (SFPM_THREADS when
@@ -187,7 +239,53 @@ Result<qsr::DistanceQuantizer> ParseBands(const std::string& spec) {
   return qsr::DistanceQuantizer::Create(std::move(bounds), beyond);
 }
 
+/// Parses repeated --dependency a:b specs.
+Result<std::vector<std::pair<std::string, std::string>>> ParseDependencies(
+    const Args& args) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const std::string& spec : args.All("dependency")) {
+    const auto parts = Split(spec, ':');
+    if (parts.size() != 2 || parts[0].empty() || parts[1].empty()) {
+      return Status::InvalidArgument("expected --dependency a:b, got '" +
+                                     spec + "'");
+    }
+    out.emplace_back(parts[0], parts[1]);
+  }
+  return out;
+}
+
+/// Snapshot-driven extract: city.sfpm in, txdb.sfpm out.
+int RunExtractSnapshot(const Args& args, const std::string& command_line) {
+  for (const char* flag : {"distance", "distance-types", "stats"}) {
+    if (args.Has(flag)) {
+      return Fail(Status::InvalidArgument(
+          std::string("--") + flag + " is not supported with --in snapshots"));
+    }
+  }
+  const std::string out = args.Get("out");
+  if (out.empty()) {
+    return Fail(Status::InvalidArgument("--in needs --out <txdb.sfpm>"));
+  }
+  store::ExtractConfig config;
+  config.reference = args.Get("reference", "district");
+  config.relevant = args.All("relevant");
+  config.directions = args.Has("directions");
+  const auto threads = ParseThreads(args);
+  if (!threads.ok()) return Fail(threads.status());
+  config.threads = threads.value();
+
+  const RunObservability observability("extract", command_line, args);
+  const Status st = store::RunExtractStage(args.Get("in"), out, config);
+  if (!st.ok()) return Fail(st);
+  const Status obs_status = observability.Finish();
+  if (!obs_status.ok()) return Fail(obs_status);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
 int RunExtract(const Args& args, const std::string& command_line) {
+  if (args.Has("in")) return RunExtractSnapshot(args, command_line);
+
   const auto ref_spec = SplitTypePath(args.Get("reference"));
   if (!ref_spec.ok()) return Fail(ref_spec.status());
   const auto reference =
@@ -255,18 +353,53 @@ int RunExtract(const Args& args, const std::string& command_line) {
   return 0;
 }
 
+/// Snapshot-driven mine: txdb.sfpm in, patterns.sfpm out.
+int RunMineSnapshot(const Args& args, const std::string& command_line) {
+  for (const char* flag : {"table", "rules", "closed", "maximal", "top",
+                           "stats"}) {
+    if (args.Has(flag)) {
+      return Fail(Status::InvalidArgument(
+          std::string("--") + flag + " is not supported with --in snapshots"));
+    }
+  }
+  const std::string out = args.Get("out");
+  if (out.empty()) {
+    return Fail(Status::InvalidArgument("--in needs --out <patterns.sfpm>"));
+  }
+  store::MineConfig config;
+  try {
+    config.min_support = std::stod(args.Get("minsup", "0.1"));
+  } catch (const std::exception&) {
+    return Fail(Status::InvalidArgument("bad --minsup"));
+  }
+  config.algorithm = args.Get("algorithm", "apriori");
+  config.filter = args.Get("filter", "kc+");
+  const auto dependencies = ParseDependencies(args);
+  if (!dependencies.ok()) return Fail(dependencies.status());
+  config.dependencies = dependencies.value();
+  const auto threads = ParseThreads(args);
+  if (!threads.ok()) return Fail(threads.status());
+  config.threads = threads.value();
+
+  const RunObservability observability("mine", command_line, args);
+  const Status st = store::RunMineStage(args.Get("in"), out, config);
+  if (!st.ok()) return Fail(st);
+  const Status obs_status = observability.Finish();
+  if (!obs_status.ok()) return Fail(obs_status);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
 int RunMine(const Args& args, const std::string& command_line) {
+  if (args.Has("in")) return RunMineSnapshot(args, command_line);
+
   const auto table = io::LoadTable(args.Get("table"));
   if (!table.ok()) return Fail(table.status());
 
   feature::DependencyRegistry dependencies;
-  for (const std::string& spec : args.All("dependency")) {
-    const auto parts = Split(spec, ':');
-    if (parts.size() != 2) {
-      return Fail(Status::InvalidArgument("expected --dependency a:b"));
-    }
-    dependencies.Add(parts[0], parts[1]);
-  }
+  const auto dependency_specs = ParseDependencies(args);
+  if (!dependency_specs.ok()) return Fail(dependency_specs.status());
+  for (const auto& [a, b] : dependency_specs.value()) dependencies.Add(a, b);
 
   core::AprioriOptions options;
   try {
@@ -375,6 +508,67 @@ int RunMine(const Args& args, const std::string& command_line) {
   return 0;
 }
 
+/// The staged pipeline driver: generate-city -> extract -> mine over
+/// snapshots, with content-hash skip/resume.
+int RunPipelineCommand(const Args& args, const std::string& command_line) {
+  store::PipelineOptions options;
+  const std::string dir = args.Get("dir", ".");
+  options.city_path = args.Get("city", dir + "/city.sfpm");
+  options.txdb_path = args.Get("txdb", dir + "/txdb.sfpm");
+  options.patterns_path = args.Get("patterns", dir + "/patterns.sfpm");
+  for (const std::string* path :
+       {&options.city_path, &options.txdb_path, &options.patterns_path}) {
+    const std::filesystem::path parent =
+        std::filesystem::path(*path).parent_path();
+    if (parent.empty()) continue;
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      return Fail(Status::InvalidArgument("cannot create output directory " +
+                                          parent.string() + ": " +
+                                          ec.message()));
+    }
+  }
+  if (args.Has("seed")) {
+    options.city.seed = std::strtoull(args.Get("seed").c_str(), nullptr, 10);
+  }
+  options.extract.reference = args.Get("reference", "district");
+  options.extract.directions = args.Has("directions");
+  try {
+    options.mine.min_support = std::stod(args.Get("minsup", "0.1"));
+  } catch (const std::exception&) {
+    return Fail(Status::InvalidArgument("bad --minsup"));
+  }
+  options.mine.algorithm = args.Get("algorithm", "apriori");
+  options.mine.filter = args.Get("filter", "kc+");
+  const auto dependencies = ParseDependencies(args);
+  if (!dependencies.ok()) return Fail(dependencies.status());
+  options.mine.dependencies = dependencies.value();
+  const auto threads = ParseThreads(args);
+  if (!threads.ok()) return Fail(threads.status());
+  options.extract.threads = threads.value();
+  options.mine.threads = threads.value();
+  options.force = args.Has("force");
+
+  const RunObservability observability("run", command_line, args);
+  const auto result = store::RunPipeline(options);
+  if (!result.ok()) return Fail(result.status());
+  const Status obs_status = observability.Finish();
+  if (!obs_status.ok()) return Fail(obs_status);
+
+  for (const store::StageOutcome& outcome : result.value().stages) {
+    if (outcome.skipped) {
+      std::printf("%-13s up to date  %s (hash %s)\n", outcome.stage.c_str(),
+                  outcome.output.c_str(), outcome.input_hash.c_str());
+    } else {
+      std::printf("%-13s wrote       %s (hash %s, %.2fs)\n",
+                  outcome.stage.c_str(), outcome.output.c_str(),
+                  outcome.input_hash.c_str(), outcome.seconds);
+    }
+  }
+  return 0;
+}
+
 int RunGain(const Args& args) {
   std::vector<int> t;
   for (const std::string& part : Split(args.Get("t"), ',')) {
@@ -414,6 +608,16 @@ int RunGenerateCity(const Args& args) {
   if (args.Has("seed")) {
     config.seed = std::strtoull(args.Get("seed").c_str(), nullptr, 10);
   }
+
+  // Snapshot mode: one .sfpm holding every layer.
+  if (args.Has("out")) {
+    const std::string out = args.Get("out");
+    const Status st = store::RunGenerateCityStage(config, out);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %s\n", out.c_str());
+    if (!args.Has("out-prefix")) return 0;
+  }
+
   const auto city = datagen::GenerateCity(config);
   const std::string prefix = args.Get("out-prefix", "city_");
 
@@ -434,6 +638,12 @@ int RunGenerateCity(const Args& args) {
   return 0;
 }
 
+int RunVersion() {
+  std::printf("sfpm %s (snapshot format %u, report schema %d)\n",
+              kSfpmVersion, store::kFormatVersion, obs::kRunReportVersion);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -445,10 +655,45 @@ int main(int argc, char** argv) {
     command_line += argv[i];
   }
   const Args args(argc - 2, argv + 2);
-  if (command == "extract") return RunExtract(args, command_line);
-  if (command == "mine") return RunMine(args, command_line);
-  if (command == "gain") return RunGain(args);
-  if (command == "table3") return RunTable3();
-  if (command == "generate-city") return RunGenerateCity(args);
+  if (command == "version" || command == "--version") {
+    return RunVersion();
+  }
+  if (command == "extract") {
+    const int bad = RejectUnknownFlags(
+        args, "extract",
+        {"reference", "relevant", "distance", "distance-types", "directions",
+         "threads", "in", "out", "stats", "report", "trace"});
+    return bad != 0 ? bad : RunExtract(args, command_line);
+  }
+  if (command == "mine") {
+    const int bad = RejectUnknownFlags(
+        args, "mine",
+        {"table", "in", "out", "minsup", "filter", "dependency", "algorithm",
+         "rules", "closed", "maximal", "top", "threads", "stats", "report",
+         "trace"});
+    return bad != 0 ? bad : RunMine(args, command_line);
+  }
+  if (command == "run") {
+    const int bad = RejectUnknownFlags(
+        args, "run",
+        {"dir", "city", "txdb", "patterns", "seed", "reference", "directions",
+         "minsup", "filter", "algorithm", "dependency", "threads", "force",
+         "report", "trace"});
+    return bad != 0 ? bad : RunPipelineCommand(args, command_line);
+  }
+  if (command == "gain") {
+    const int bad = RejectUnknownFlags(args, "gain", {"t", "n"});
+    return bad != 0 ? bad : RunGain(args);
+  }
+  if (command == "table3") {
+    const int bad = RejectUnknownFlags(args, "table3", {});
+    return bad != 0 ? bad : RunTable3();
+  }
+  if (command == "generate-city") {
+    const int bad = RejectUnknownFlags(args, "generate-city",
+                                       {"seed", "out", "out-prefix"});
+    return bad != 0 ? bad : RunGenerateCity(args);
+  }
+  std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   return Usage();
 }

@@ -141,6 +141,11 @@ int CheckReport(const Value& root) {
       version->number != static_cast<double>(obs::kRunReportVersion)) {
     check.Fail("unsupported sfpm_report_version");
   }
+  const Value* sfpm_version =
+      check.Member(root, "sfpm_version", Value::Type::kString, "report");
+  if (sfpm_version != nullptr && sfpm_version->string.empty()) {
+    check.Fail("sfpm_version must be non-empty");
+  }
   check.Member(root, "tool", Value::Type::kString, "report");
   check.Member(root, "command", Value::Type::kString, "report");
   const Value* config =
