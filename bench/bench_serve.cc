@@ -1,0 +1,258 @@
+// Load benchmark of `sfpm serve` (docs/SERVE.md): an in-process Server
+// over a realistic snapshot — the synthetic city's layers plus a mined
+// 10k-transaction pattern set — driven by N concurrent client threads on
+// real loopback sockets. Each case reports throughput and client-side
+// latency quantiles as counters:
+//
+//   qps     completed round trips per second across all clients
+//   p50_ms  median single round-trip latency (client-observed)
+//   p99_ms  99th-percentile round-trip latency
+//
+// The committed baseline is bench/BENCH_serve.json; EXPERIMENTS.md
+// "Serving" quotes it. Run with:
+//
+//   bench_serve [--repeat=N] [--json=bench/BENCH_serve.json]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/apriori.h"
+#include "datagen/city.h"
+#include "datagen/synthetic_predicates.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/snapshot_holder.h"
+#include "store/writer.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using sfpm::bench::Bench;
+using sfpm::bench::CaseResult;
+using sfpm::serve::EncodeFrame;
+
+constexpr size_t kClientThreads = 4;
+constexpr size_t kRequestsPerThread = 150;
+
+void Die(const std::string& what) {
+  std::fprintf(stderr, "bench_serve: %s\n", what.c_str());
+  std::exit(1);
+}
+
+/// One blocking framed-JSON connection (the protocol of docs/SERVE.md).
+class Client {
+ public:
+  explicit Client(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) Die("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      Die("connect");
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  /// One framed request, one framed response; dies on transport errors
+  /// or an error envelope (a benchmark must not time failures).
+  void RoundTrip(const std::string& request) {
+    const std::string wire = EncodeFrame(request);
+    size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n =
+          send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) Die("send");
+      sent += static_cast<size_t>(n);
+    }
+    const std::string header = RecvExactly(4);
+    uint32_t length = 0;
+    std::memcpy(&length, header.data(), 4);
+    const std::string payload = RecvExactly(length);
+    if (payload.find("\"ok\":true") == std::string::npos) {
+      Die("error response: " + payload.substr(0, 200));
+    }
+  }
+
+ private:
+  std::string RecvExactly(size_t n) {
+    std::string out;
+    char buf[65536];
+    while (out.size() < n) {
+      const ssize_t got =
+          recv(fd_, buf, std::min(sizeof(buf), n - out.size()), 0);
+      if (got <= 0) {
+        if (got < 0 && errno == EINTR) continue;
+        Die("recv (connection lost)");
+      }
+      out.append(buf, static_cast<size_t>(got));
+    }
+    return out;
+  }
+
+  int fd_ = -1;
+};
+
+/// City layers + a mined pattern set over 10k synthetic transactions.
+std::string WriteBenchSnapshot(const std::string& path) {
+  sfpm::datagen::SyntheticPredicateConfig config;
+  config.num_transactions = 10000;
+  config.groups = {
+      {"slum", {"contains", "touches", "overlaps"}},
+      {"school", {"contains", "touches"}},
+      {"policeCenter", {"contains", "touches"}},
+      {"street", {"crosses", "touches"}},
+      {"illuminationPoint", {"contains"}},
+      {"river", {"crosses", "touches"}},
+  };
+  config.attributes = {{"zone", {"north", "south", "east", "west"}},
+                       {"income", {"low", "medium", "high"}}};
+  config.seed = 2007;
+  const sfpm::feature::PredicateTable table =
+      sfpm::datagen::GenerateSyntheticPredicates(config);
+
+  auto mined = sfpm::core::MineApriori(table.db(), 0.1);
+  if (!mined.ok()) Die("mining failed: " + mined.status().message());
+
+  const auto city = sfpm::datagen::GenerateCity(sfpm::datagen::CityConfig{});
+
+  sfpm::store::SnapshotWriter writer;
+  writer.AddLayer(city->districts);
+  writer.AddLayer(city->slums);
+  writer.AddLayer(city->schools);
+  writer.AddTable(table);
+  writer.AddPatternSet(sfpm::store::PatternSet::FromResult(
+      table.db(), mined.value(), 0.1, "apriori", "none"));
+  if (!writer.WriteTo(path).ok()) Die("cannot write " + path);
+  return path;
+}
+
+/// Drives one case: kClientThreads connections, each pipelining
+/// kRequestsPerThread round trips; fills qps/p50/p99 counters.
+void DriveLoad(uint16_t port, const std::string& request,
+               CaseResult& result) {
+  std::vector<std::vector<double>> latencies(kClientThreads);
+  sfpm::Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([port, &request, &latencies, t] {
+      Client client(port);
+      std::vector<double>& mine = latencies[t];
+      mine.reserve(kRequestsPerThread);
+      sfpm::Stopwatch watch;
+      for (size_t i = 0; i < kRequestsPerThread; ++i) {
+        watch.Restart();
+        client.RoundTrip(request);
+        mine.push_back(watch.ElapsedMillis());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed_ms = wall.ElapsedMillis();
+
+  std::vector<double> all;
+  for (const auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  const size_t total = all.size();
+  result.counters["qps"] =
+      static_cast<double>(total) / (elapsed_ms / 1000.0);
+  result.counters["p50_ms"] = all[total / 2];
+  result.counters["p99_ms"] = all[std::min(total - 1, total * 99 / 100)];
+  result.counters["requests"] = static_cast<double>(total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Bench bench("serve", argc, argv);
+
+  const std::string path =
+      WriteBenchSnapshot("/tmp/bench_serve_snapshot.sfpm");
+  sfpm::serve::SnapshotHolder holder;
+  if (!holder.Load({path}).ok()) Die("holder load failed");
+
+  sfpm::serve::ServerOptions options;
+  options.workers = kClientThreads;
+  sfpm::serve::Server server(&holder, options);
+  if (!server.Start().ok()) Die("server start failed");
+  const uint16_t port = server.port();
+
+  const std::map<std::string, std::string> config = {
+      {"clients", std::to_string(kClientThreads)},
+      {"requests_per_client", std::to_string(kRequestsPerThread)},
+      {"workers", std::to_string(options.workers)},
+      {"transactions", "10000"},
+  };
+
+  const std::pair<const char*, const char*> cases[] = {
+      {"status", "{\"q\":\"status\"}"},
+      {"patterns", "{\"q\":\"patterns\",\"min_support\":1200,\"limit\":50}"},
+      {"rules", "{\"q\":\"rules\",\"min_confidence\":0.8,\"limit\":50}"},
+      {"predicates", "{\"q\":\"predicates\",\"transaction\":4242}"},
+      {"window",
+       "{\"q\":\"window\",\"layer\":\"school\","
+       "\"bounds\":[2000,2000,6000,6000]}"},
+      {"relate",
+       "{\"q\":\"relate\",\"layer_a\":\"district\",\"id_a\":17,"
+       "\"layer_b\":\"slum\",\"id_b\":3}"},
+  };
+  for (const auto& [name, request] : cases) {
+    bench.Run(name, config, [port, request = std::string(request)](
+                                CaseResult& result) {
+      DriveLoad(port, request, result);
+    });
+  }
+
+  // The mixed case round-robins every query type on each connection —
+  // the closest to a live consumer workload.
+  bench.Run("mixed", config, [port, &cases](CaseResult& result) {
+    std::vector<std::vector<double>> latencies(kClientThreads);
+    sfpm::Stopwatch wall;
+    std::vector<std::thread> clients;
+    for (size_t t = 0; t < kClientThreads; ++t) {
+      clients.emplace_back([port, &cases, &latencies, t] {
+        Client client(port);
+        sfpm::Stopwatch watch;
+        for (size_t i = 0; i < kRequestsPerThread; ++i) {
+          watch.Restart();
+          client.RoundTrip(cases[(t + i) % 6].second);
+          latencies[t].push_back(watch.ElapsedMillis());
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const double elapsed_ms = wall.ElapsedMillis();
+    std::vector<double> all;
+    for (const auto& per_thread : latencies) {
+      all.insert(all.end(), per_thread.begin(), per_thread.end());
+    }
+    std::sort(all.begin(), all.end());
+    result.counters["qps"] =
+        static_cast<double>(all.size()) / (elapsed_ms / 1000.0);
+    result.counters["p50_ms"] = all[all.size() / 2];
+    result.counters["p99_ms"] =
+        all[std::min(all.size() - 1, all.size() * 99 / 100)];
+    result.counters["requests"] = static_cast<double>(all.size());
+  });
+
+  server.RequestShutdown();
+  server.Wait();
+  return bench.Finish();
+}

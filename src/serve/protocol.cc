@@ -1,0 +1,181 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace sfpm {
+namespace serve {
+
+namespace {
+
+using obs::json::Value;
+
+void AppendU32Le(std::string* out, uint32_t v) {
+  char bytes[4];
+  bytes[0] = static_cast<char>(v & 0xff);
+  bytes[1] = static_cast<char>((v >> 8) & 0xff);
+  bytes[2] = static_cast<char>((v >> 16) & 0xff);
+  bytes[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(bytes, 4);
+}
+
+uint32_t ReadU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+void WriteValue(const Value& value, obs::json::Writer* w) {
+  switch (value.type) {
+    case Value::Type::kNull:
+      w->Null();
+      break;
+    case Value::Type::kBool:
+      w->Bool(value.boolean);
+      break;
+    case Value::Type::kNumber:
+      w->Number(value.number);
+      break;
+    case Value::Type::kString:
+      w->String(value.string);
+      break;
+    case Value::Type::kArray:
+      w->BeginArray();
+      for (const Value& element : value.array) WriteValue(element, w);
+      w->EndArray();
+      break;
+    case Value::Type::kObject:
+      w->BeginObject();
+      for (const auto& [key, member] : value.object) {
+        w->Key(key);
+        WriteValue(member, w);
+      }
+      w->EndObject();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 4);
+  AppendU32Le(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  // Compact lazily: drop the consumed prefix before it outgrows the
+  // useful tail, so a long-lived connection never accumulates history.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+Result<std::string> FrameDecoder::Next() {
+  if (poisoned_) {
+    return Status::InvalidArgument("frame decoder poisoned by a bad frame");
+  }
+  if (buffer_.size() - consumed_ < 4) {
+    return Status::NotFound("incomplete frame header");
+  }
+  const uint32_t length = ReadU32Le(buffer_.data() + consumed_);
+  if (length == 0) {
+    poisoned_ = true;
+    return Status::InvalidArgument("zero-length frame");
+  }
+  if (length > max_frame_bytes_) {
+    poisoned_ = true;
+    return Status::InvalidArgument(
+        "frame of " + std::to_string(length) + " bytes exceeds the limit of " +
+        std::to_string(max_frame_bytes_));
+  }
+  if (buffer_.size() - consumed_ - 4 < length) {
+    return Status::NotFound("incomplete frame payload");
+  }
+  std::string payload = buffer_.substr(consumed_ + 4, length);
+  consumed_ += 4 + static_cast<size_t>(length);
+  return payload;
+}
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadFrame:
+      return "bad_frame";
+    case ErrorCode::kBadRequest:
+      return "bad_request";
+    case ErrorCode::kUnknownQuery:
+      return "unknown_query";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kShuttingDown:
+      return "shutting_down";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+Result<Request> ParseRequest(const std::string& payload) {
+  auto parsed = obs::json::Parse(payload);
+  if (!parsed.ok()) {
+    return Status::ParseError("request is not valid JSON: " +
+                              parsed.status().message());
+  }
+  Value body = std::move(parsed).value();
+  if (!body.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  const Value* q = body.Find("q");
+  if (q == nullptr || !q->is_string() || q->string.empty()) {
+    return Status::InvalidArgument("request needs a string member 'q'");
+  }
+  Request request;
+  request.query = q->string;
+  request.body = std::move(body);
+  return request;
+}
+
+std::string ValueToJson(const Value& value) {
+  obs::json::Writer w;
+  WriteValue(value, &w);
+  return w.str();
+}
+
+std::string RequestIdJson(const Value& body) {
+  const Value* id = body.is_object() ? body.Find("id") : nullptr;
+  return id == nullptr ? "null" : ValueToJson(*id);
+}
+
+std::string OkResponse(const std::string& id_json,
+                       const std::string& result_json) {
+  std::string out = "{\"id\":";
+  out += id_json;
+  out += ",\"ok\":true,\"result\":";
+  out += result_json;
+  out += "}";
+  return out;
+}
+
+std::string ErrorResponse(const std::string& id_json, ErrorCode code,
+                          const std::string& message) {
+  obs::json::Writer w;
+  w.BeginObject();
+  w.Key("code").String(ErrorCodeName(code));
+  w.Key("message").String(message);
+  w.EndObject();
+  std::string out = "{\"id\":";
+  out += id_json;
+  out += ",\"ok\":false,\"error\":";
+  out += w.str();
+  out += "}";
+  return out;
+}
+
+}  // namespace serve
+}  // namespace sfpm

@@ -1,0 +1,111 @@
+#ifndef SFPM_SERVE_PROTOCOL_H_
+#define SFPM_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace serve {
+
+/// \brief Wire framing of the `sfpm serve` protocol (docs/SERVE.md):
+/// every message, in both directions, is
+///
+///     u32 length (little-endian)  +  `length` bytes of UTF-8 JSON
+///
+/// A frame longer than the server's limit is rejected *before* any
+/// payload byte is buffered (the decoder sees the length prefix first),
+/// so an oversized request costs four bytes of memory, not `length`.
+
+/// Default and hard ceiling on a frame's JSON payload. The server option
+/// may lower the default but never exceed the ceiling.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 1u << 20;  // 1 MiB
+inline constexpr uint32_t kHardMaxFrameBytes = 1u << 26;     // 64 MiB
+
+/// Frames `payload` (the JSON text) for the wire.
+std::string EncodeFrame(std::string_view payload);
+
+/// \brief Incremental frame decoder: feed it raw socket bytes, take out
+/// complete JSON payloads. One decoder per connection; not thread-safe.
+///
+/// The decoder is resilient to arbitrary chunking (a frame may arrive
+/// one byte at a time or many frames in one read) and fails closed: an
+/// oversized declared length poisons the decoder — framing is lost, the
+/// connection must be dropped.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint32_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes to the internal buffer.
+  void Feed(std::string_view bytes);
+
+  /// Extracts the next complete payload. Returns:
+  ///  * OK + payload when a full frame was buffered;
+  ///  * NotFound when more bytes are needed (not an error);
+  ///  * InvalidArgument when the declared length exceeds the limit or is
+  ///    zero — the decoder is then poisoned and Next keeps failing.
+  Result<std::string> Next();
+
+  /// True after a framing violation; the connection is unrecoverable.
+  bool poisoned() const { return poisoned_; }
+
+  /// Bytes currently buffered (tests and admission accounting).
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  uint32_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< Prefix of buffer_ already handed out.
+  bool poisoned_ = false;
+};
+
+/// \brief Stable protocol error codes (the `error.code` response field).
+/// docs/SERVE.md defines one retry/not-retry semantic per code.
+enum class ErrorCode {
+  kBadFrame,      ///< Length prefix violated framing (zero/oversized).
+  kBadRequest,    ///< JSON unparsable or not a valid query object.
+  kUnknownQuery,  ///< `q` names no known query type.
+  kNotFound,      ///< A named layer/feature/row/section does not exist.
+  kOverloaded,    ///< Admission control rejected the connection.
+  kShuttingDown,  ///< Server is draining; no new requests accepted.
+  kInternal,      ///< Unexpected server-side failure.
+};
+
+/// Stable wire spelling ("bad_frame", "overloaded", ...).
+const char* ErrorCodeName(ErrorCode code);
+
+/// \brief One parsed request: the query type plus the parsed JSON body
+/// (for parameter access) and the raw `id` member, echoed verbatim into
+/// the response so clients can pipeline.
+struct Request {
+  std::string query;      ///< Value of the required `q` member.
+  obs::json::Value body;  ///< The whole request object.
+};
+
+/// Parses a request payload. Requires a JSON object with a string `q`.
+Result<Request> ParseRequest(const std::string& payload);
+
+/// \brief Renders the `{"id": ..., "ok": true, "result": ...}` envelope.
+/// `id_json` is the request's `id` member re-serialized (or "null"), and
+/// `result_json` must be a complete JSON value.
+std::string OkResponse(const std::string& id_json,
+                       const std::string& result_json);
+
+/// Renders the `{"id": ..., "ok": false, "error": {...}}` envelope.
+std::string ErrorResponse(const std::string& id_json, ErrorCode code,
+                          const std::string& message);
+
+/// Re-serializes a parsed JSON value (the `id` echo and test helpers).
+std::string ValueToJson(const obs::json::Value& value);
+
+/// The request's `id` member re-serialized, or "null" when absent.
+std::string RequestIdJson(const obs::json::Value& body);
+
+}  // namespace serve
+}  // namespace sfpm
+
+#endif  // SFPM_SERVE_PROTOCOL_H_

@@ -1,0 +1,608 @@
+#include "serve/query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "qsr/topological.h"
+#include "relate/intersection_matrix.h"
+#include "util/stopwatch.h"
+
+namespace sfpm {
+namespace serve {
+
+namespace {
+
+using obs::json::Value;
+using obs::json::Writer;
+
+/// Caps every `limit` parameter: a single response frame stays well
+/// under the default frame ceiling even at maximum fan-out.
+constexpr uint64_t kMaxLimit = 10000;
+
+Result<double> NumberParam(const Value& body, const char* key,
+                           double fallback) {
+  const Value* v = body.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    return Status::InvalidArgument(std::string("'") + key +
+                                   "' must be a number");
+  }
+  return v->number;
+}
+
+Result<uint64_t> CountParam(const Value& body, const char* key,
+                            uint64_t fallback, uint64_t max) {
+  SFPM_ASSIGN_OR_RETURN(const double raw,
+                        NumberParam(body, key, static_cast<double>(fallback)));
+  if (raw < 0 || raw != std::floor(raw) || raw > static_cast<double>(max)) {
+    return Status::InvalidArgument(std::string("'") + key +
+                                   "' must be an integer in [0, " +
+                                   std::to_string(max) + "]");
+  }
+  return static_cast<uint64_t>(raw);
+}
+
+Result<bool> BoolParam(const Value& body, const char* key, bool fallback) {
+  const Value* v = body.Find(key);
+  if (v == nullptr) return fallback;
+  if (v->type != Value::Type::kBool) {
+    return Status::InvalidArgument(std::string("'") + key +
+                                   "' must be a boolean");
+  }
+  return v->boolean;
+}
+
+ErrorCode CodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+      return ErrorCode::kNotFound;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kUnsupported:
+      return ErrorCode::kBadRequest;
+    default:
+      return ErrorCode::kInternal;
+  }
+}
+
+/// Itemset members rendered as their labels.
+void WriteItems(const core::Itemset& items,
+                const std::vector<std::string>& labels, Writer& w) {
+  w.BeginArray();
+  for (const core::ItemId id : items.items()) w.String(labels[id]);
+  w.EndArray();
+}
+
+Result<std::string> QueryPatterns(const ServingSnapshot& snap,
+                                  const Value& body) {
+  if (!snap.patterns.has_value()) {
+    return Status::NotFound("no pattern-set section in the served snapshots");
+  }
+  const store::PatternSet& ps = *snap.patterns;
+
+  SFPM_ASSIGN_OR_RETURN(const uint64_t limit,
+                        CountParam(body, "limit", 100, kMaxLimit));
+  SFPM_ASSIGN_OR_RETURN(const uint64_t min_support,
+                        CountParam(body, "min_support", 0, UINT32_MAX));
+  SFPM_ASSIGN_OR_RETURN(const uint64_t min_size,
+                        CountParam(body, "min_size", 0, 1024));
+  SFPM_ASSIGN_OR_RETURN(const uint64_t max_size,
+                        CountParam(body, "max_size", 1024, 1024));
+
+  // `contains`: labels that must all be members.
+  std::vector<core::ItemId> required;
+  if (const Value* contains = body.Find("contains")) {
+    if (!contains->is_array()) {
+      return Status::InvalidArgument("'contains' must be an array of labels");
+    }
+    for (const Value& entry : contains->array) {
+      if (!entry.is_string()) {
+        return Status::InvalidArgument("'contains' entries must be strings");
+      }
+      const auto it =
+          std::find(ps.labels.begin(), ps.labels.end(), entry.string);
+      if (it == ps.labels.end()) {
+        return Status::NotFound("unknown item label '" + entry.string + "'");
+      }
+      required.push_back(
+          static_cast<core::ItemId>(it - ps.labels.begin()));
+    }
+  }
+
+  Writer w;
+  w.BeginObject();
+  w.Key("min_support").Number(ps.min_support);
+  w.Key("algorithm").String(ps.algorithm);
+  w.Key("filter").String(ps.filter);
+  uint64_t total = 0;
+  std::string itemsets;
+  {
+    Writer rows;
+    rows.BeginArray();
+    for (const core::FrequentItemset& fi : ps.itemsets) {
+      if (fi.support < min_support) continue;
+      if (fi.items.size() < min_size || fi.items.size() > max_size) continue;
+      bool has_all = true;
+      for (const core::ItemId id : required) {
+        if (!fi.items.Contains(id)) {
+          has_all = false;
+          break;
+        }
+      }
+      if (!has_all) continue;
+      ++total;
+      if (total > limit) continue;  // Keep counting for `total`.
+      rows.BeginObject();
+      rows.Key("support").Number(static_cast<uint64_t>(fi.support));
+      rows.Key("items");
+      WriteItems(fi.items, ps.labels, rows);
+      rows.EndObject();
+    }
+    rows.EndArray();
+    itemsets = rows.str();
+  }
+  w.Key("total").Number(total);
+  w.Key("returned").Number(std::min<uint64_t>(total, limit));
+  w.EndObject();
+  // Splice the rows in (the Writer cannot embed raw JSON).
+  std::string out = w.str();
+  out.insert(out.size() - 1, ",\"itemsets\":" + itemsets);
+  return out;
+}
+
+Result<std::string> QueryRules(const ServingSnapshot& snap,
+                               const Value& body) {
+  if (!snap.patterns.has_value()) {
+    return Status::NotFound("no pattern-set section in the served snapshots");
+  }
+  const store::PatternSet& ps = *snap.patterns;
+
+  SFPM_ASSIGN_OR_RETURN(const uint64_t limit,
+                        CountParam(body, "limit", 100, kMaxLimit));
+  SFPM_ASSIGN_OR_RETURN(const double min_confidence,
+                        NumberParam(body, "min_confidence", 0.7));
+  SFPM_ASSIGN_OR_RETURN(const uint64_t min_support,
+                        CountParam(body, "min_support", 0, UINT32_MAX));
+  if (min_confidence < 0.0 || min_confidence > 1.0) {
+    return Status::InvalidArgument("'min_confidence' must be in [0, 1]");
+  }
+  const size_t num_transactions =
+      snap.txdb.has_value() ? snap.txdb->num_transactions : 0;
+
+  // Single-consequent rules from the stored itemsets: every proper
+  // (k-1)-antecedent is itself frequent (anti-monotonicity), so its
+  // support is in the index and confidence needs no transaction scan.
+  struct Rule {
+    const core::FrequentItemset* itemset;
+    core::ItemId consequent;
+    uint32_t antecedent_support;
+    double confidence;
+  };
+  std::vector<Rule> rules;
+  for (const core::FrequentItemset& fi : ps.itemsets) {
+    if (fi.items.size() < 2 || fi.support < min_support) continue;
+    for (const core::ItemId consequent : fi.items.items()) {
+      const core::Itemset antecedent = fi.items.Without(consequent);
+      const auto it = snap.support_index.find(antecedent);
+      if (it == snap.support_index.end() || it->second == 0) continue;
+      const double confidence =
+          static_cast<double>(fi.support) / static_cast<double>(it->second);
+      if (confidence + 1e-12 < min_confidence) continue;
+      rules.push_back({&fi, consequent, it->second, confidence});
+    }
+  }
+  std::stable_sort(rules.begin(), rules.end(),
+                   [](const Rule& a, const Rule& b) {
+                     if (a.confidence != b.confidence) {
+                       return a.confidence > b.confidence;
+                     }
+                     return a.itemset->support > b.itemset->support;
+                   });
+
+  Writer w;
+  w.BeginObject();
+  w.Key("min_confidence").Number(min_confidence);
+  w.Key("total").Number(static_cast<uint64_t>(rules.size()));
+  w.Key("returned").Number(
+      std::min<uint64_t>(rules.size(), limit));
+  w.Key("rules");
+  w.BeginArray();
+  for (size_t i = 0; i < rules.size() && i < limit; ++i) {
+    const Rule& rule = rules[i];
+    w.BeginObject();
+    w.Key("antecedent");
+    WriteItems(rule.itemset->items.Without(rule.consequent), ps.labels, w);
+    w.Key("consequent").String(ps.labels[rule.consequent]);
+    w.Key("support").Number(static_cast<uint64_t>(rule.itemset->support));
+    w.Key("confidence").Number(rule.confidence);
+    // Lift needs P(consequent) = supp(c) / N; N only comes from a served
+    // transaction db.
+    const auto single =
+        snap.support_index.find(core::Itemset{rule.consequent});
+    if (num_transactions > 0 && single != snap.support_index.end() &&
+        single->second > 0) {
+      w.Key("lift").Number(rule.confidence /
+                           (static_cast<double>(single->second) /
+                            static_cast<double>(num_transactions)));
+    } else {
+      w.Key("lift").Null();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Result<std::string> QueryPredicates(const ServingSnapshot& snap,
+                                    const Value& body) {
+  if (!snap.txdb.has_value()) {
+    return Status::NotFound(
+        "no transaction-db section in the served snapshots");
+  }
+  const store::TxDbView& view = *snap.txdb;
+
+  size_t row = 0;
+  std::string row_name;
+  if (const Value* name = body.Find("row")) {
+    if (!name->is_string()) {
+      return Status::InvalidArgument("'row' must be a string");
+    }
+    const auto it = snap.row_index.find(name->string);
+    if (it == snap.row_index.end()) {
+      return Status::NotFound("unknown row '" + name->string + "'");
+    }
+    row = it->second;
+    row_name = name->string;
+  } else {
+    SFPM_ASSIGN_OR_RETURN(
+        const uint64_t index,
+        CountParam(body, "transaction", UINT64_MAX, UINT64_MAX));
+    if (index == UINT64_MAX) {
+      return Status::InvalidArgument("need 'row' (name) or 'transaction'");
+    }
+    if (index >= view.num_transactions) {
+      return Status::NotFound("transaction " + std::to_string(index) +
+                              " out of range (have " +
+                              std::to_string(view.num_transactions) + ")");
+    }
+    row = static_cast<size_t>(index);
+    if (row < view.row_names.size()) {
+      row_name = std::string(view.row_names[row]);
+    }
+  }
+
+  Writer w;
+  w.BeginObject();
+  w.Key("transaction").Number(static_cast<uint64_t>(row));
+  if (!row_name.empty()) w.Key("row").String(row_name);
+  w.Key("items");
+  w.BeginArray();
+  // Reads go straight against the mapped bitmap columns (zero copy).
+  for (size_t item = 0; item < view.num_items; ++item) {
+    if (snap.TestBit(item, row)) w.String(std::string(view.labels[item]));
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Result<const feature::Layer*> FindLayer(const ServingSnapshot& snap,
+                                        const Value& body, const char* key) {
+  const Value* name = body.Find(key);
+  if (name == nullptr || !name->is_string()) {
+    return Status::InvalidArgument(std::string("need a string '") + key +
+                                   "' (layer feature type)");
+  }
+  const auto it = snap.layer_index.find(name->string);
+  if (it == snap.layer_index.end()) {
+    return Status::NotFound("unknown layer '" + name->string + "'");
+  }
+  return &snap.layers[it->second];
+}
+
+Result<std::string> QueryWindow(const ServingSnapshot& snap,
+                                const Value& body) {
+  SFPM_ASSIGN_OR_RETURN(const feature::Layer* layer,
+                        FindLayer(snap, body, "layer"));
+  const Value* bounds = body.Find("bounds");
+  if (bounds == nullptr || !bounds->is_array() || bounds->array.size() != 4 ||
+      !std::all_of(bounds->array.begin(), bounds->array.end(),
+                   [](const Value& v) { return v.is_number(); })) {
+    return Status::InvalidArgument(
+        "'bounds' must be [min_x, min_y, max_x, max_y]");
+  }
+  SFPM_ASSIGN_OR_RETURN(const uint64_t limit,
+                        CountParam(body, "limit", 1000, kMaxLimit));
+  SFPM_ASSIGN_OR_RETURN(const bool with_wkt, BoolParam(body, "wkt", false));
+
+  const geom::Envelope window(bounds->array[0].number,
+                              bounds->array[1].number,
+                              bounds->array[2].number,
+                              bounds->array[3].number);
+  std::vector<uint64_t> ids;
+  layer->Index().Query(window, &ids);
+  std::sort(ids.begin(), ids.end());
+
+  Writer w;
+  w.BeginObject();
+  w.Key("layer").String(layer->feature_type());
+  w.Key("total").Number(static_cast<uint64_t>(ids.size()));
+  w.Key("returned").Number(std::min<uint64_t>(ids.size(), limit));
+  w.Key("features");
+  w.BeginArray();
+  for (size_t i = 0; i < ids.size() && i < limit; ++i) {
+    const feature::Feature& f = layer->at(static_cast<size_t>(ids[i]));
+    w.BeginObject();
+    w.Key("id").Number(f.id());
+    w.Key("attributes");
+    w.BeginObject();
+    for (const auto& [key, value] : f.attributes()) {
+      w.Key(key).String(value);
+    }
+    w.EndObject();
+    if (with_wkt) w.Key("wkt").String(f.geometry().ToWkt());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Result<std::string> QueryRelate(const ServingSnapshot& snap,
+                                const Value& body) {
+  SFPM_ASSIGN_OR_RETURN(const feature::Layer* layer_a,
+                        FindLayer(snap, body, "layer_a"));
+  SFPM_ASSIGN_OR_RETURN(const feature::Layer* layer_b,
+                        FindLayer(snap, body, "layer_b"));
+  SFPM_ASSIGN_OR_RETURN(const uint64_t id_a,
+                        CountParam(body, "id_a", UINT64_MAX, UINT64_MAX));
+  SFPM_ASSIGN_OR_RETURN(const uint64_t id_b,
+                        CountParam(body, "id_b", UINT64_MAX, UINT64_MAX));
+  if (id_a >= layer_a->Size()) {
+    return Status::NotFound("id_a out of range for layer '" +
+                            layer_a->feature_type() + "'");
+  }
+  if (id_b >= layer_b->Size()) {
+    return Status::NotFound("id_b out of range for layer '" +
+                            layer_b->feature_type() + "'");
+  }
+
+  // Prepared-vs-prepared: both sides' caches were warmed at load.
+  const relate::IntersectionMatrix matrix =
+      layer_a->Prepared()[id_a].Relate(layer_b->Prepared()[id_b]);
+  const geom::Geometry& geom_a = layer_a->at(id_a).geometry();
+  const geom::Geometry& geom_b = layer_b->at(id_b).geometry();
+  const qsr::TopologicalRelation relation = qsr::ClassifyMatrix(
+      matrix, geom_a.Dimension(), geom_b.Dimension());
+
+  Writer w;
+  w.BeginObject();
+  w.Key("layer_a").String(layer_a->feature_type());
+  w.Key("id_a").Number(id_a);
+  w.Key("layer_b").String(layer_b->feature_type());
+  w.Key("id_b").Number(id_b);
+  w.Key("matrix").String(matrix.ToString());
+  w.Key("relation").String(qsr::TopologicalRelationName(relation));
+  w.Key("converse")
+      .String(qsr::TopologicalRelationName(qsr::Converse(relation)));
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace
+
+Result<std::string> QueryEngine::Stat(const ServingSnapshot& snap) const {
+  Writer w;
+  w.BeginObject();
+  w.Key("generation").Number(snap.generation);
+  w.Key("tool_version").String(snap.tool_version);
+  w.Key("paths");
+  w.BeginArray();
+  for (const std::string& path : snap.paths) w.String(path);
+  w.EndArray();
+  w.Key("sections");
+  w.BeginArray();
+  for (const ServingSnapshot::SectionSummary& s : snap.sections) {
+    w.BeginObject();
+    w.Key("file").String(s.file);
+    w.Key("type").String(s.type);
+    w.Key("name").String(s.name);
+    w.Key("bytes").Number(s.length);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("layers");
+  w.BeginArray();
+  for (const feature::Layer& layer : snap.layers) {
+    w.BeginObject();
+    w.Key("type").String(layer.feature_type());
+    w.Key("features").Number(static_cast<uint64_t>(layer.Size()));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("patterns");
+  if (snap.patterns.has_value()) {
+    w.BeginObject();
+    w.Key("itemsets").Number(
+        static_cast<uint64_t>(snap.patterns->itemsets.size()));
+    w.Key("min_support").Number(snap.patterns->min_support);
+    w.Key("algorithm").String(snap.patterns->algorithm);
+    w.Key("filter").String(snap.patterns->filter);
+    w.EndObject();
+  } else {
+    w.Null();
+  }
+  w.Key("transactions");
+  if (snap.txdb.has_value()) {
+    w.Number(static_cast<uint64_t>(snap.txdb->num_transactions));
+  } else {
+    w.Null();
+  }
+  if (status_callback_) status_callback_(w);
+
+  // The serve-prefixed slice of the global registry, with per-type
+  // latency quantiles estimated from the histogram buckets.
+  const obs::MetricsSnapshot metrics =
+      obs::MetricsRegistry::Global().Snapshot();
+  w.Key("metrics");
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : metrics.counters) {
+    if (name.rfind("serve.", 0) == 0) w.Key(name).Number(value);
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : metrics.gauges) {
+    if (name.rfind("serve.", 0) == 0) w.Key(name).Number(value);
+  }
+  w.EndObject();
+  w.Key("latency_ms");
+  w.BeginObject();
+  const std::string prefix = "serve.latency_ms.";
+  for (const auto& [name, data] : metrics.histograms) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    w.Key(name.substr(prefix.size()));
+    w.BeginObject();
+    w.Key("count").Number(data.count);
+    w.Key("mean").Number(data.count > 0
+                             ? data.sum / static_cast<double>(data.count)
+                             : 0.0);
+    w.Key("p50").Number(HistogramQuantile(data, 0.5));
+    w.Key("p99").Number(HistogramQuantile(data, 0.99));
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+const std::vector<double>& LatencyBoundsMs() {
+  static const std::vector<double> bounds = {0.05, 0.1,  0.25, 0.5,  1.0,
+                                             2.5,  5.0,  10.0, 25.0, 50.0,
+                                             100.0, 250.0};
+  return bounds;
+}
+
+double HistogramQuantile(const obs::HistogramData& data, double q) {
+  if (data.count == 0) return 0.0;
+  const uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(data.count)));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < data.counts.size(); ++b) {
+    seen += data.counts[b];
+    if (seen >= rank) {
+      // Overflow bucket: report the last finite bound (an underestimate,
+      // flagged as such in docs/SERVE.md).
+      return b < data.bounds.size() ? data.bounds[b] : data.bounds.back();
+    }
+  }
+  return data.bounds.empty() ? 0.0 : data.bounds.back();
+}
+
+HandleResult QueryEngine::Handle(const std::string& payload) const {
+  Stopwatch watch;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("serve.queries").Add();
+
+  HandleResult result;
+  std::string type = "invalid";
+  auto request = ParseRequest(payload);
+  if (!request.ok()) {
+    registry.GetCounter("serve.errors").Add();
+    result.response = ErrorResponse("null", ErrorCode::kBadRequest,
+                                    request.status().message());
+  } else {
+    type = request.value().query;
+    const std::string id = RequestIdJson(request.value().body);
+    result.response = Dispatch(request.value(), id, &result.shutdown);
+  }
+
+  registry.GetCounter("serve.queries." + type).Add();
+  registry.GetHistogram("serve.latency_ms." + type, LatencyBoundsMs())
+      .Observe(watch.ElapsedMillis());
+  return result;
+}
+
+std::string QueryEngine::Dispatch(const Request& request,
+                                  const std::string& id,
+                                  bool* shutdown) const {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  auto span = obs::Tracer::Global().StartSpan("serve/query/" + request.query);
+
+  // Admin commands act on the holder, not a snapshot generation.
+  if (request.query == "reload") {
+    std::vector<std::string> paths;
+    if (const Value* param = request.body.Find("paths")) {
+      if (!param->is_array() || param->array.empty()) {
+        return ErrorResponse(id, ErrorCode::kBadRequest,
+                             "'paths' must be a non-empty array");
+      }
+      for (const Value& entry : param->array) {
+        if (!entry.is_string()) {
+          return ErrorResponse(id, ErrorCode::kBadRequest,
+                               "'paths' entries must be strings");
+        }
+        paths.push_back(entry.string);
+      }
+    }
+    const Status status =
+        paths.empty() ? holder_->Reload() : holder_->Load(paths);
+    if (!status.ok()) {
+      registry.GetCounter("serve.errors").Add();
+      return ErrorResponse(id, CodeFor(status), status.message());
+    }
+    Writer w;
+    w.BeginObject();
+    w.Key("generation").Number(holder_->generation());
+    w.EndObject();
+    return OkResponse(id, w.str());
+  }
+  if (request.query == "shutdown") {
+    *shutdown = true;
+    return OkResponse(id, "{\"draining\":true}");
+  }
+
+  const std::shared_ptr<const ServingSnapshot> snap = holder_->Current();
+  if (snap == nullptr) {
+    registry.GetCounter("serve.errors").Add();
+    return ErrorResponse(id, ErrorCode::kInternal, "no snapshot loaded");
+  }
+
+  Result<std::string> outcome = [&]() -> Result<std::string> {
+    if (request.query == "patterns") return QueryPatterns(*snap, request.body);
+    if (request.query == "rules") return QueryRules(*snap, request.body);
+    if (request.query == "predicates") {
+      return QueryPredicates(*snap, request.body);
+    }
+    if (request.query == "window") return QueryWindow(*snap, request.body);
+    if (request.query == "relate") return QueryRelate(*snap, request.body);
+    if (request.query == "status") return Stat(*snap);
+    return Status::NotFound("");  // Sentinel, rewritten below.
+  }();
+
+  if (!outcome.ok()) {
+    registry.GetCounter("serve.errors").Add();
+    if (outcome.status().message().empty()) {
+      return ErrorResponse(id, ErrorCode::kUnknownQuery,
+                           "unknown query '" + request.query + "'");
+    }
+    return ErrorResponse(id, CodeFor(outcome.status()),
+                         outcome.status().message());
+  }
+  return OkResponse(id, outcome.value());
+}
+
+}  // namespace serve
+}  // namespace sfpm

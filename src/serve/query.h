@@ -1,0 +1,68 @@
+#ifndef SFPM_SERVE_QUERY_H_
+#define SFPM_SERVE_QUERY_H_
+
+#include <functional>
+#include <string>
+
+#include "obs/json.h"
+#include "serve/protocol.h"
+#include "serve/snapshot_holder.h"
+
+namespace sfpm {
+namespace serve {
+
+/// \brief Outcome of handling one request payload: the response JSON
+/// (always present — every failure becomes an error envelope) plus the
+/// admin actions the transport must act on after writing the response.
+struct HandleResult {
+  std::string response;
+  bool shutdown = false;  ///< The request was an accepted `shutdown`.
+};
+
+/// \brief Stateless-per-request query dispatcher over a SnapshotHolder.
+/// One engine serves every connection; each request grabs the holder's
+/// current snapshot once and works against that generation end to end,
+/// so a concurrent hot swap never mixes generations within one request.
+///
+/// Publishes per-request instruments to the global registry:
+/// `serve.queries`, `serve.queries.<type>`, `serve.errors`, and the
+/// per-type latency histogram `serve.latency_ms.<type>`
+/// (docs/OBSERVABILITY.md). Thread-safe; holds no per-request state.
+class QueryEngine {
+ public:
+  explicit QueryEngine(SnapshotHolder* holder) : holder_(holder) {}
+
+  /// Extra `status` members supplied by the transport (uptime, in-flight
+  /// connections, worker count). Written inside the status result object.
+  void set_status_callback(
+      std::function<void(obs::json::Writer&)> callback) {
+    status_callback_ = std::move(callback);
+  }
+
+  /// Parses and answers one request payload (the bytes of one frame).
+  HandleResult Handle(const std::string& payload) const;
+
+ private:
+  std::string Dispatch(const Request& request, const std::string& id,
+                       bool* shutdown) const;
+
+  /// The `status` query: snapshot inventory + `serve.*` instruments.
+  Result<std::string> Stat(const ServingSnapshot& snap) const;
+
+  SnapshotHolder* holder_;
+  std::function<void(obs::json::Writer&)> status_callback_;
+};
+
+/// Nearest-upper-bound quantile estimate over histogram buckets, q in
+/// [0, 1]; the value reported as p50/p99 by `status` and bench_serve.
+/// Returns the bound of the bucket where the q-th observation falls (the
+/// last finite bound when it falls in the overflow bucket), 0 when empty.
+double HistogramQuantile(const obs::HistogramData& data, double q);
+
+/// The latency bucket bounds (milliseconds) of `serve.latency_ms.*`.
+const std::vector<double>& LatencyBoundsMs();
+
+}  // namespace serve
+}  // namespace sfpm
+
+#endif  // SFPM_SERVE_QUERY_H_

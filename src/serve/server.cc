@@ -1,0 +1,291 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sfpm {
+namespace serve {
+
+namespace {
+
+/// Upper bound on one blocking recv, so a connection parked in a read
+/// notices a shutdown request promptly even under a long idle timeout.
+constexpr int kRecvSliceMs = 500;
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+void SetTimeout(int fd, int optname, int ms) {
+  timeval tv;
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv));
+}
+
+/// Blocking full write; false on any error (peer gone, send timeout).
+bool SendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(SnapshotHolder* holder, ServerOptions options)
+    : holder_(holder), options_(options), engine_(holder) {
+  options_.workers = std::max<size_t>(1, options_.workers);
+  options_.max_inflight = std::max<size_t>(1, options_.max_inflight);
+  engine_.set_status_callback([this](obs::json::Writer& w) {
+    w.Key("uptime_ms").Number(uptime_.ElapsedMillis());
+    w.Key("inflight").Number(static_cast<uint64_t>(
+        std::max<int64_t>(0, inflight_.load(std::memory_order_relaxed))));
+    w.Key("workers").Number(static_cast<uint64_t>(options_.workers));
+    w.Key("port").Number(static_cast<uint64_t>(port_));
+    w.Key("shutting_down").Bool(shutting_down());
+  });
+}
+
+Server::~Server() {
+  RequestShutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Pool destruction drains queued connections; each sees shutting_down()
+  // and answers with one `shutting_down` frame before closing.
+  pool_.reset();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_pipe_[0] >= 0) close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) close(wake_pipe_[1]);
+}
+
+Status Server::Start() {
+  if (holder_->Current() == nullptr) {
+    return Status::InvalidArgument("no snapshot loaded to serve");
+  }
+  if (pipe(wake_pipe_) != 0) return Errno("pipe");
+  fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    const Status status = Errno("socket");
+    close(wake_pipe_[0]);
+    close(wake_pipe_[1]);
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+    return status;
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  // Loopback only: the protocol has no authentication (docs/SERVE.md);
+  // remote exposure is an operator's reverse-proxy decision, not ours.
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  Status status = Status::OK();
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    status = Errno("bind 127.0.0.1:" + std::to_string(options_.port));
+  } else if (listen(listen_fd_, 128) != 0) {
+    status = Errno("listen");
+  } else {
+    socklen_t len = sizeof(addr);
+    if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+        0) {
+      status = Errno("getsockname");
+    }
+  }
+  if (!status.ok()) {
+    close(listen_fd_);
+    close(wake_pipe_[0]);
+    close(wake_pipe_[1]);
+    listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  fcntl(listen_fd_, F_SETFL, O_NONBLOCK);
+
+  // Slot 0 of the pool is ParallelFor's caller slot, never used in Submit
+  // mode, so workers + 1 gives exactly `workers` query threads.
+  pool_ = std::make_unique<ThreadPool>(options_.workers + 1);
+  uptime_.Restart();
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve.workers")
+      .Set(static_cast<double>(options_.workers));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void Server::RequestShutdown() {
+  // Async-signal-safe: one lock-free store and one pipe write.
+  shutdown_.store(true, std::memory_order_relaxed);
+  if (wake_pipe_[1] >= 0) {
+    [[maybe_unused]] const ssize_t n = write(wake_pipe_[1], "x", 1);
+  }
+}
+
+void Server::RequestReload() {
+  reload_.store(true, std::memory_order_relaxed);
+  if (wake_pipe_[1] >= 0) {
+    [[maybe_unused]] const ssize_t n = write(wake_pipe_[1], "x", 1);
+  }
+}
+
+void Server::AcceptLoop() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  pollfd fds[2];
+  fds[0] = {listen_fd_, POLLIN, 0};
+  fds[1] = {wake_pipe_[0], POLLIN, 0};
+
+  while (!shutting_down()) {
+    fds[0].revents = fds[1].revents = 0;
+    const int ready = poll(fds, 2, kRecvSliceMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents & POLLIN) {
+      char drain[64];
+      while (read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (reload_.exchange(false, std::memory_order_relaxed)) {
+      auto span = obs::Tracer::Global().StartSpan("serve/reload");
+      const Status status = holder_->Reload();
+      if (!status.ok()) {
+        // Keep serving the old generation; reload failure is not fatal.
+        registry.GetCounter("serve.reload_errors").Add();
+        std::fprintf(stderr, "sfpm serve: reload failed: %s\n",
+                     status.message().c_str());
+      }
+    }
+    if (shutting_down()) break;
+    if (!(fds[0].revents & POLLIN)) continue;
+
+    for (;;) {
+      const int fd = accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) break;  // EAGAIN: accepted everything pending.
+      if (inflight_.load(std::memory_order_relaxed) >=
+          static_cast<int64_t>(options_.max_inflight)) {
+        // Bounded admission: reject from here with one error frame
+        // rather than queueing without limit (the clean-overload path).
+        registry.GetCounter("serve.rejected").Add();
+        WriteRejection(fd, ErrorCode::kOverloaded,
+                       "server at its in-flight connection limit (" +
+                           std::to_string(options_.max_inflight) + ")");
+        close(fd);
+        continue;
+      }
+      SetTimeout(fd, SO_RCVTIMEO, std::min(options_.read_timeout_ms,
+                                           kRecvSliceMs));
+      SetTimeout(fd, SO_SNDTIMEO, options_.read_timeout_ms);
+      registry.GetCounter("serve.connections").Add();
+      const int64_t now =
+          inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+      registry.GetGauge("serve.inflight").Set(static_cast<double>(now));
+      pool_->Submit([this, fd] {
+        ServeConnection(fd);
+        const int64_t left =
+            inflight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+        obs::MetricsRegistry::Global().GetGauge("serve.inflight").Set(
+            static_cast<double>(left));
+      });
+    }
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  if (shutting_down()) {
+    // Admitted before the shutdown request, dequeued after it.
+    WriteRejection(fd, ErrorCode::kShuttingDown, "server is shutting down");
+    close(fd);
+    return;
+  }
+  auto span = obs::Tracer::Global().StartSpan("serve/connection");
+
+  FrameDecoder decoder(options_.max_frame_bytes);
+  Stopwatch idle;
+  char buf[4096];
+  bool open = true;
+  while (open && !shutting_down()) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) break;  // Peer closed.
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // One recv slice elapsed; enforce the idle budget, then wait on.
+        if (idle.ElapsedMillis() >=
+            static_cast<double>(options_.read_timeout_ms)) {
+          registry.GetCounter("serve.timeouts").Add();
+          break;
+        }
+        continue;
+      }
+      if (errno == EINTR) continue;
+      break;
+    }
+    idle.Restart();
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    while (open) {
+      auto frame = decoder.Next();
+      if (!frame.ok()) {
+        if (frame.status().code() == StatusCode::kNotFound) break;
+        // Poisoned framing: answer once, then drop the connection — the
+        // stream offset is unrecoverable.
+        registry.GetCounter("serve.bad_frames").Add();
+        SendAll(fd, EncodeFrame(ErrorResponse("null", ErrorCode::kBadFrame,
+                                              frame.status().message())));
+        open = false;
+        break;
+      }
+      const HandleResult handled = engine_.Handle(frame.value());
+      if (!SendAll(fd, EncodeFrame(handled.response))) {
+        open = false;
+        break;
+      }
+      if (handled.shutdown) {
+        // The response is already on the wire; now take the server down.
+        RequestShutdown();
+        open = false;
+        break;
+      }
+    }
+  }
+  close(fd);
+}
+
+void Server::WriteRejection(int fd, ErrorCode code,
+                            const std::string& message) {
+  SetTimeout(fd, SO_SNDTIMEO, 1000);  // Best effort; never wedge accept.
+  SendAll(fd, EncodeFrame(ErrorResponse("null", code, message)));
+}
+
+}  // namespace serve
+}  // namespace sfpm

@@ -1,0 +1,116 @@
+#ifndef SFPM_SERVE_SERVER_H_
+#define SFPM_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "serve/protocol.h"
+#include "serve/query.h"
+#include "serve/snapshot_holder.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace sfpm {
+namespace serve {
+
+/// Tuning knobs of a Server, all with serving-ready defaults.
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  /// back from `port()` — how the tests and bench find their server).
+  uint16_t port = 0;
+  /// Worker threads answering queries. The server owns a
+  /// ThreadPool(workers + 1): slot 0 is the accept loop's never-used
+  /// caller slot, so `workers` is the real query parallelism.
+  size_t workers = 4;
+  /// Admission bound: connections in flight (queued + executing) beyond
+  /// which a new connection is told `overloaded` and closed immediately
+  /// instead of queueing without limit.
+  size_t max_inflight = 256;
+  /// A connection idle longer than this between requests is closed.
+  int read_timeout_ms = 30000;
+  /// Per-frame payload ceiling; larger frames poison the connection.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// \brief The `sfpm serve` TCP front end: accepts loopback connections,
+/// decodes length-prefixed JSON frames, and answers them through a
+/// QueryEngine over a SnapshotHolder.
+///
+/// Threading model (docs/ARCHITECTURE.md): one accept thread (spawned by
+/// `Start`) polls the listen socket plus a self-pipe; each accepted
+/// connection becomes one `ThreadPool::Submit` task that owns the
+/// connection for its lifetime — reads frames, answers them in order,
+/// closes on EOF, idle timeout, poisoned framing, or server shutdown.
+/// Admission is bounded by `max_inflight`: excess connections receive one
+/// `overloaded` error frame written from the accept thread and are closed
+/// without ever reaching the pool.
+///
+/// `RequestShutdown` and `RequestReload` are async-signal-safe (an atomic
+/// flag plus one self-pipe write), so the CLI points SIGINT/SIGTERM and
+/// SIGHUP handlers straight at them. Reloads are applied on the accept
+/// thread; queries never wait on a load (SnapshotHolder::Current is one
+/// mutex-guarded pointer copy).
+class Server {
+ public:
+  /// `holder` must outlive the server and have a snapshot loaded.
+  Server(SnapshotHolder* holder, ServerOptions options);
+
+  /// Stops and joins everything still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept thread. Fails without side
+  /// effects (no thread, no socket) on any socket-layer error.
+  Status Start();
+
+  /// Blocks until the accept loop exits (shutdown requested).
+  void Wait();
+
+  /// Begins graceful shutdown: stop accepting, answer queued connections
+  /// with `shutting_down`, let in-flight requests finish. Signal-safe.
+  void RequestShutdown();
+
+  /// Schedules a snapshot reload on the accept thread. Signal-safe.
+  void RequestReload();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// True once RequestShutdown was called.
+  bool shutting_down() const {
+    return shutdown_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Best-effort single error frame to a connection we will not serve.
+  void WriteRejection(int fd, ErrorCode code, const std::string& message);
+
+  SnapshotHolder* holder_;
+  ServerOptions options_;
+  QueryEngine engine_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< [read, write]; write end is signal-safe.
+  uint16_t port_ = 0;
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> reload_{false};
+  std::atomic<int64_t> inflight_{0};
+  Stopwatch uptime_;  ///< Restarted by Start; the `status` uptime_ms.
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+};
+
+}  // namespace serve
+}  // namespace sfpm
+
+#endif  // SFPM_SERVE_SERVER_H_

@@ -1,0 +1,156 @@
+#include "serve/snapshot_holder.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sfpm {
+namespace serve {
+
+Result<std::shared_ptr<const ServingSnapshot>> ServingSnapshot::Load(
+    const std::vector<std::string>& paths, uint64_t generation) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("no snapshot paths to serve");
+  }
+  auto span = obs::Tracer::Global().StartSpan("serve/load");
+
+  auto snapshot = std::make_shared<ServingSnapshot>();
+  snapshot->paths = paths;
+  snapshot->generation = generation;
+
+  // Sections of the same kind across files: later wins, so an operator
+  // can layer a small patterns-only snapshot over a big city snapshot.
+  std::optional<store::SectionInfo> patterns_info;
+  const store::SnapshotReader* patterns_reader = nullptr;
+  std::optional<store::SectionInfo> txdb_info;
+  const store::SnapshotReader* txdb_reader = nullptr;
+
+  for (const std::string& path : paths) {
+    auto opened = store::SnapshotReader::Open(path);
+    if (!opened.ok()) {
+      return Status(opened.status().code(),
+                    path + ": " + opened.status().message());
+    }
+    snapshot->readers.push_back(
+        std::make_unique<store::SnapshotReader>(std::move(opened).value()));
+    const store::SnapshotReader& reader = *snapshot->readers.back();
+    if (snapshot->tool_version.empty()) {
+      snapshot->tool_version = reader.tool_version();
+    }
+    for (const store::SectionInfo& info : reader.sections()) {
+      snapshot->sections.push_back(
+          {path, store::SectionTypeName(info.type), info.name, info.length});
+      switch (info.type) {
+        case store::SectionType::kLayer: {
+          auto layer = reader.ReadLayer(info);
+          if (!layer.ok()) return layer.status();
+          const std::string& type = layer.value().feature_type();
+          const auto it = snapshot->layer_index.find(type);
+          if (it != snapshot->layer_index.end()) {
+            snapshot->layers[it->second] = std::move(layer).value();
+          } else {
+            snapshot->layer_index[type] = snapshot->layers.size();
+            snapshot->layers.push_back(std::move(layer).value());
+          }
+          break;
+        }
+        case store::SectionType::kPatternSet:
+          patterns_info = info;
+          patterns_reader = &reader;
+          break;
+        case store::SectionType::kTransactionDb:
+          txdb_info = info;
+          txdb_reader = &reader;
+          break;
+        case store::SectionType::kManifest:
+          break;  // Provenance only; surfaced through `status` sections.
+      }
+    }
+  }
+
+  if (patterns_info.has_value()) {
+    auto patterns = patterns_reader->ReadPatternSet(*patterns_info);
+    if (!patterns.ok()) return patterns.status();
+    snapshot->patterns = std::move(patterns).value();
+    for (const core::FrequentItemset& fi : snapshot->patterns->itemsets) {
+      snapshot->support_index.emplace(fi.items, fi.support);
+    }
+  }
+
+  if (txdb_info.has_value()) {
+    // Zero-copy by design: the view's columns point into the reader's
+    // mapping. Refused only on big-endian hosts (docs/STORAGE.md); the
+    // `predicates` query then reports Unsupported rather than serving a
+    // slow copy nobody asked for.
+    auto view = txdb_reader->ViewTable(*txdb_info);
+    if (view.ok()) {
+      snapshot->txdb = std::move(view).value();
+      for (size_t row = 0; row < snapshot->txdb->row_names.size(); ++row) {
+        snapshot->row_index.emplace(std::string(snapshot->txdb->row_names[row]),
+                                    row);
+      }
+    } else if (view.status().code() != StatusCode::kUnsupported) {
+      return view.status();
+    }
+  }
+
+  // Warm every lazy per-layer cache now, single-threaded: after this the
+  // snapshot is immutable and its const interface is thread-safe.
+  for (const feature::Layer& layer : snapshot->layers) {
+    layer.Index();
+    layer.Prepared();
+  }
+
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve.snapshot.generation")
+      .Set(static_cast<double>(generation));
+  return std::shared_ptr<const ServingSnapshot>(std::move(snapshot));
+}
+
+Status SnapshotHolder::Load(const std::vector<std::string>& paths) {
+  // One load at a time (a SIGHUP racing an admin `reload` must not skew
+  // generations), but built outside `mu_`: loads are slow (mmap, CRC,
+  // index warming) and Current() must stay cheap for query threads.
+  std::lock_guard<std::mutex> load_lock(load_mu_);
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    generation = generations_ + 1;
+  }
+  auto loaded = ServingSnapshot::Load(paths, generation);
+  if (!loaded.ok()) return loaded.status();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    generations_ = generation;
+    paths_ = paths;
+    current_ = std::move(loaded).value();
+  }
+  obs::MetricsRegistry::Global().GetCounter("serve.reloads").Add();
+  return Status::OK();
+}
+
+Status SnapshotHolder::Reload() {
+  std::vector<std::string> paths;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paths = paths_;
+  }
+  if (paths.empty()) {
+    return Status::InvalidArgument("nothing loaded yet");
+  }
+  return Load(paths);
+}
+
+std::shared_ptr<const ServingSnapshot> SnapshotHolder::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t SnapshotHolder::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generations_;
+}
+
+}  // namespace serve
+}  // namespace sfpm

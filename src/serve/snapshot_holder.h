@@ -1,0 +1,111 @@
+#ifndef SFPM_SERVE_SNAPSHOT_HOLDER_H_
+#define SFPM_SERVE_SNAPSHOT_HOLDER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/itemset.h"
+#include "feature/feature.h"
+#include "store/reader.h"
+#include "store/writer.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace serve {
+
+/// \brief Everything the server needs to answer queries against one set
+/// of `.sfpm` snapshots, built once at (re)load time and immutable
+/// afterwards — safe for any number of concurrent reader threads.
+///
+/// Lifetime is the heart of zero-downtime hot swap: a query thread takes
+/// one `shared_ptr<const ServingSnapshot>` at request start and holds it
+/// for the request's duration. The snapshot owns its `SnapshotReader`s,
+/// and the readers own the mmaps, so every zero-copy pointer (the
+/// `TxDbView` columns, row-name string_views) stays valid until the last
+/// in-flight query drops its reference — a `reload` never invalidates
+/// memory under a running query; it only unmaps once the old generation
+/// fully drains. `tests/serve/server_test.cc` pins this by holding a
+/// view across a swap.
+struct ServingSnapshot {
+  /// Section inventory for the `status` query.
+  struct SectionSummary {
+    std::string file;
+    std::string type;
+    std::string name;
+    uint64_t length = 0;
+  };
+
+  std::vector<std::string> paths;
+  uint64_t generation = 0;
+  std::string tool_version;  ///< From the first snapshot's header.
+  std::vector<SectionSummary> sections;
+
+  /// Keeps the mmaps alive; every view below points into these.
+  std::vector<std::unique_ptr<store::SnapshotReader>> readers;
+
+  /// Last pattern-set section across the files, if any.
+  std::optional<store::PatternSet> patterns;
+  /// Sorted items -> support, for rule derivation (empty without patterns).
+  std::map<core::Itemset, uint32_t> support_index;
+
+  /// Zero-copy view of the last transaction-db section, if any; string
+  /// views and column words point into the owning reader's mapping.
+  std::optional<store::TxDbView> txdb;
+  std::map<std::string, size_t> row_index;  ///< Row name -> transaction.
+
+  /// Feature layers (one per feature type, later files win), with the
+  /// R-tree and prepared geometries warmed at load so concurrent queries
+  /// never race a lazy build (docs/ARCHITECTURE.md concurrency contract).
+  std::vector<feature::Layer> layers;
+  std::map<std::string, size_t> layer_index;  ///< feature_type -> index.
+
+  /// True when transaction `row` contains `item` (requires txdb).
+  bool TestBit(size_t item, size_t row) const {
+    const uint64_t word = txdb->ColumnWords(item)[row / 64];
+    return (word >> (row % 64)) & 1;
+  }
+
+  /// Opens and validates every path, decodes the served sections, warms
+  /// the layer indexes. Fails without side effects on any error.
+  static Result<std::shared_ptr<const ServingSnapshot>> Load(
+      const std::vector<std::string>& paths, uint64_t generation);
+};
+
+/// \brief The server's swappable snapshot slot. `Current()` is the only
+/// thing query threads touch — one mutex-guarded shared_ptr copy — and
+/// `Load`/`Reload` build the replacement off to the side before the
+/// pointer exchange, so a swap is atomic from any reader's point of view
+/// and in-flight queries keep the generation they started with.
+class SnapshotHolder {
+ public:
+  /// Loads `paths` and makes them current. First call or re-point.
+  Status Load(const std::vector<std::string>& paths);
+
+  /// Re-opens the current paths (SIGHUP / `reload` without arguments).
+  Status Reload();
+
+  /// The current snapshot; never null after a successful Load.
+  std::shared_ptr<const ServingSnapshot> Current() const;
+
+  /// Generation of the current snapshot (0 before the first Load).
+  uint64_t generation() const;
+
+ private:
+  /// Serializes Load/Reload end to end (a SIGHUP racing an admin reload).
+  std::mutex load_mu_;
+  /// Guards the swappable state below; held only for pointer exchanges.
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServingSnapshot> current_;
+  std::vector<std::string> paths_;
+  uint64_t generations_ = 0;
+};
+
+}  // namespace serve
+}  // namespace sfpm
+
+#endif  // SFPM_SERVE_SNAPSHOT_HOLDER_H_

@@ -25,6 +25,16 @@ namespace store {
 /// Valid only while the owning SnapshotReader is alive. `Materialize`
 /// copies it into an owned core::TransactionDb (a straight memcpy per
 /// column — no parsing).
+///
+/// Lifetime contract for concurrent consumers: the reader never remaps
+/// or invalidates a mapping in place — the mmap lives exactly as long
+/// as the SnapshotReader object — so "keep the view valid" reduces to
+/// "keep the reader alive", e.g. by holding both behind one shared_ptr.
+/// That is how `sfpm serve` hot-swaps snapshots with queries in flight:
+/// each request pins the reader-owning generation until it finishes,
+/// and the old file unmaps only after the last view drops
+/// (docs/SERVE.md "Hot swap and lifetime";
+/// tests/serve/server_test.cc pins the contract under ASan).
 struct TxDbView {
   size_t num_transactions = 0;
   size_t num_items = 0;

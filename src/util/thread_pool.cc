@@ -114,6 +114,14 @@ void ThreadPool::ParallelForChunks(
   }
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& body) {
   ParallelForChunks(begin, end,

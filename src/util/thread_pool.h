@@ -50,6 +50,13 @@ size_t ResolveParallelism(size_t requested);
 /// overlap: the pool is built for the fork-join pattern (create per
 /// extraction/mining run, or reuse from a single orchestrating thread),
 /// not for concurrent submitters.
+///
+/// `Submit` is the second usage mode, added for the query server: fire-
+/// and-forget tasks executed by the pool's workers (the serve accept
+/// loop submits one task per admitted connection and never joins). The
+/// two modes must not be mixed on one pool — a Submit-mode pool runs no
+/// ParallelFor and vice versa — because ParallelFor assumes every queued
+/// task is one of its own chunks.
 class ThreadPool {
  public:
   /// Spawns `num_threads - 1` workers (the caller supplies the remaining
@@ -77,6 +84,15 @@ class ThreadPool {
   /// in [begin, end), ascending within each chunk.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& body);
+
+  /// Enqueues `task` for execution by one of the pool's workers and
+  /// returns immediately. Requires num_threads() >= 2 (a pool of size 1
+  /// has no workers — the task would never run); the caller thread never
+  /// participates. Tasks submitted after destruction begins may be
+  /// dropped; the destructor joins workers only after the queue drains of
+  /// tasks already started, so a submitter must stop before destroying
+  /// the pool. Exceptions must not escape `task` (std::terminate).
+  void Submit(std::function<void()> task);
 
  private:
   void WorkerLoop();

@@ -1,0 +1,165 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace sfpm {
+namespace serve {
+namespace {
+
+TEST(ServeFrameTest, EncodeRoundTripsThroughDecoder) {
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame("{\"q\":\"status\"}"));
+  auto payload = decoder.Next();
+  ASSERT_TRUE(payload.ok()) << payload.status().message();
+  EXPECT_EQ(payload.value(), "{\"q\":\"status\"}");
+  EXPECT_EQ(decoder.buffered(), 0u);
+  // And the stream is clean again: no phantom second frame.
+  EXPECT_EQ(decoder.Next().status().code(), StatusCode::kNotFound);
+}
+
+TEST(ServeFrameTest, ByteAtATimeChunkingReassembles) {
+  const std::string wire = EncodeFrame("hello") + EncodeFrame("world");
+  FrameDecoder decoder;
+  std::vector<std::string> out;
+  for (char byte : wire) {
+    decoder.Feed(std::string_view(&byte, 1));
+    for (;;) {
+      auto payload = decoder.Next();
+      if (!payload.ok()) break;
+      out.push_back(payload.value());
+    }
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "hello");
+  EXPECT_EQ(out[1], "world");
+}
+
+TEST(ServeFrameTest, ManyFramesInOneFeed) {
+  std::string wire;
+  for (int i = 0; i < 100; ++i) wire += EncodeFrame(std::to_string(i));
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  for (int i = 0; i < 100; ++i) {
+    auto payload = decoder.Next();
+    ASSERT_TRUE(payload.ok());
+    EXPECT_EQ(payload.value(), std::to_string(i));
+  }
+  EXPECT_EQ(decoder.Next().status().code(), StatusCode::kNotFound);
+}
+
+TEST(ServeFrameTest, ZeroLengthFramePoisons) {
+  FrameDecoder decoder;
+  decoder.Feed(std::string(4, '\0'));
+  EXPECT_EQ(decoder.Next().status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(decoder.poisoned());
+  // Poisoned decoders stay poisoned: framing is unrecoverable.
+  decoder.Feed(EncodeFrame("ok"));
+  EXPECT_EQ(decoder.Next().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeFrameTest, OversizedDeclaredLengthPoisonsBeforeBuffering) {
+  FrameDecoder decoder(/*max_frame_bytes=*/16);
+  decoder.Feed(EncodeFrame(std::string(17, 'x')).substr(0, 4));
+  EXPECT_EQ(decoder.Next().status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(ServeFrameTest, FrameAtTheLimitIsAccepted) {
+  FrameDecoder decoder(/*max_frame_bytes=*/16);
+  decoder.Feed(EncodeFrame(std::string(16, 'x')));
+  auto payload = decoder.Next();
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload.value().size(), 16u);
+}
+
+TEST(ServeFrameTest, BufferCompactionKeepsLongStreamsBounded) {
+  FrameDecoder decoder;
+  const std::string frame = EncodeFrame(std::string(1000, 'a'));
+  for (int i = 0; i < 1000; ++i) {
+    decoder.Feed(frame);
+    ASSERT_TRUE(decoder.Next().ok());
+  }
+  // Without compaction a megabyte of consumed history would linger.
+  EXPECT_LT(decoder.buffered(), 2 * frame.size());
+}
+
+TEST(ServeParseRequestTest, ValidRequest) {
+  auto request = ParseRequest("{\"q\":\"patterns\",\"id\":7,\"limit\":3}");
+  ASSERT_TRUE(request.ok()) << request.status().message();
+  EXPECT_EQ(request.value().query, "patterns");
+  EXPECT_EQ(RequestIdJson(request.value().body), "7");
+  const obs::json::Value* limit = request.value().body.Find("limit");
+  ASSERT_NE(limit, nullptr);
+  EXPECT_EQ(limit->number, 3.0);
+}
+
+TEST(ServeParseRequestTest, RejectsNonJson) {
+  EXPECT_EQ(ParseRequest("not json").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(ServeParseRequestTest, RejectsNonObject) {
+  EXPECT_EQ(ParseRequest("[1,2]").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeParseRequestTest, RejectsMissingOrEmptyQ) {
+  EXPECT_FALSE(ParseRequest("{\"id\":1}").ok());
+  EXPECT_FALSE(ParseRequest("{\"q\":\"\"}").ok());
+  EXPECT_FALSE(ParseRequest("{\"q\":3}").ok());
+}
+
+TEST(ServeEnvelopeTest, OkResponseParsesBack) {
+  const std::string response = OkResponse("\"abc\"", "{\"n\":1}");
+  auto parsed = obs::json::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().Find("id")->string, "abc");
+  EXPECT_TRUE(parsed.value().Find("ok")->boolean);
+  EXPECT_EQ(parsed.value().Find("result")->Find("n")->number, 1.0);
+}
+
+TEST(ServeEnvelopeTest, ErrorResponseCarriesCodeAndMessage) {
+  const std::string response =
+      ErrorResponse("null", ErrorCode::kOverloaded, "try \"later\"");
+  auto parsed = obs::json::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_FALSE(parsed.value().Find("ok")->boolean);
+  const obs::json::Value* error = parsed.value().Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->Find("code")->string, "overloaded");
+  EXPECT_EQ(error->Find("message")->string, "try \"later\"");
+}
+
+TEST(ServeEnvelopeTest, EveryErrorCodeHasAStableName) {
+  for (ErrorCode code :
+       {ErrorCode::kBadFrame, ErrorCode::kBadRequest, ErrorCode::kUnknownQuery,
+        ErrorCode::kNotFound, ErrorCode::kOverloaded, ErrorCode::kShuttingDown,
+        ErrorCode::kInternal}) {
+    EXPECT_STRNE(ErrorCodeName(code), "");
+  }
+}
+
+TEST(ServeValueToJsonTest, RoundTripsNestedValues) {
+  const std::string text =
+      "{\"a\":[1,true,null,\"s\"],\"b\":{\"c\":2.5}}";
+  auto parsed = obs::json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  auto reparsed = obs::json::Parse(ValueToJson(parsed.value()));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().Find("a")->array.size(), 4u);
+  EXPECT_EQ(reparsed.value().Find("b")->Find("c")->number, 2.5);
+}
+
+TEST(ServeValueToJsonTest, IdDefaultsToNull) {
+  auto request = ParseRequest("{\"q\":\"status\"}");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(RequestIdJson(request.value().body), "null");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace sfpm

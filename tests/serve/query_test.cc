@@ -1,0 +1,233 @@
+#include "serve/query.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "obs/json.h"
+#include "serve/snapshot_holder.h"
+#include "serve_test_util.h"
+
+namespace sfpm {
+namespace serve {
+namespace {
+
+using obs::json::Parse;
+using obs::json::Value;
+
+/// One holder + engine over the standard serve snapshot.
+class ServeQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = UniqueSnapshotPath();
+    WriteServeSnapshot(path_);
+    ASSERT_TRUE(holder_.Load({path_}).ok());
+    engine_ = std::make_unique<QueryEngine>(&holder_);
+  }
+
+  /// Handle + parse; every response must at least be valid JSON.
+  Value Ask(const std::string& payload) {
+    const HandleResult handled = engine_->Handle(payload);
+    auto parsed = Parse(handled.response);
+    EXPECT_TRUE(parsed.ok()) << handled.response;
+    return parsed.ok() ? parsed.value() : Value();
+  }
+
+  static void ExpectError(const Value& response, const std::string& code) {
+    ASSERT_NE(response.Find("ok"), nullptr);
+    EXPECT_FALSE(response.Find("ok")->boolean);
+    ASSERT_NE(response.Find("error"), nullptr);
+    EXPECT_EQ(response.Find("error")->Find("code")->string, code);
+  }
+
+  std::string path_;
+  SnapshotHolder holder_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(ServeQueryTest, PatternsReturnsAllBySupportDescending) {
+  const Value r = Ask("{\"q\":\"patterns\",\"id\":1}");
+  EXPECT_TRUE(r.Find("ok")->boolean);
+  EXPECT_EQ(r.Find("id")->number, 1.0);
+  const Value* result = r.Find("result");
+  EXPECT_EQ(result->Find("total")->number, 3.0);
+  const auto& sets = result->Find("itemsets")->array;
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0].Find("support")->number, 35.0);
+  EXPECT_EQ(sets[0].Find("items")->array[0].string, "contains_slum");
+}
+
+TEST_F(ServeQueryTest, PatternsMinSupportAndContainsFilter) {
+  const Value r = Ask(
+      "{\"q\":\"patterns\",\"min_support\":25,"
+      "\"contains\":[\"touches_street\"]}");
+  const Value* result = r.Find("result");
+  ASSERT_NE(result, nullptr) << "not ok";
+  EXPECT_EQ(result->Find("total")->number, 1.0);
+  EXPECT_EQ(result->Find("itemsets")->array[0].Find("support")->number, 30.0);
+}
+
+TEST_F(ServeQueryTest, PatternsLimitKeepsCountingTotal) {
+  const Value r = Ask("{\"q\":\"patterns\",\"limit\":1}");
+  const Value* result = r.Find("result");
+  EXPECT_EQ(result->Find("total")->number, 3.0);
+  EXPECT_EQ(result->Find("returned")->number, 1.0);
+  EXPECT_EQ(result->Find("itemsets")->array.size(), 1u);
+}
+
+TEST_F(ServeQueryTest, PatternsUnknownLabelIsNotFound) {
+  ExpectError(Ask("{\"q\":\"patterns\",\"contains\":[\"nope\"]}"),
+              "not_found");
+}
+
+TEST_F(ServeQueryTest, RulesDefaultConfidenceAndLift) {
+  const Value r = Ask("{\"q\":\"rules\"}");
+  const Value* result = r.Find("result");
+  ASSERT_NE(result, nullptr);
+  // Only {touches_street} -> contains_slum reaches 21/30 = 0.7.
+  ASSERT_EQ(result->Find("rules")->array.size(), 1u);
+  const Value& rule = result->Find("rules")->array[0];
+  EXPECT_EQ(rule.Find("antecedent")->array[0].string, "touches_street");
+  EXPECT_EQ(rule.Find("consequent")->string, "contains_slum");
+  EXPECT_NEAR(rule.Find("confidence")->number, 0.7, 1e-9);
+  // lift = 0.7 / (35 / 70 transactions) = 1.4.
+  EXPECT_NEAR(rule.Find("lift")->number, 1.4, 1e-9);
+}
+
+TEST_F(ServeQueryTest, RulesLooseConfidenceFindsBothDirections) {
+  const Value r = Ask("{\"q\":\"rules\",\"min_confidence\":0.5}");
+  EXPECT_EQ(r.Find("result")->Find("rules")->array.size(), 2u);
+}
+
+TEST_F(ServeQueryTest, PredicatesByRowNameAndByIndexAgree) {
+  const Value by_name = Ask("{\"q\":\"predicates\",\"row\":\"district_6\"}");
+  const Value* result = by_name.Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->Find("transaction")->number, 6.0);
+  // Row 6: divisible by 2 and 3, so both predicates hold.
+  ASSERT_EQ(result->Find("items")->array.size(), 2u);
+
+  const Value by_index = Ask("{\"q\":\"predicates\",\"transaction\":6}");
+  EXPECT_EQ(by_index.Find("result")->Find("row")->string, "district_6");
+  EXPECT_EQ(by_index.Find("result")->Find("items")->array.size(), 2u);
+}
+
+TEST_F(ServeQueryTest, PredicatesUnknownRowIsNotFound) {
+  ExpectError(Ask("{\"q\":\"predicates\",\"row\":\"nope\"}"), "not_found");
+  ExpectError(Ask("{\"q\":\"predicates\",\"transaction\":70}"), "not_found");
+}
+
+TEST_F(ServeQueryTest, WindowFindsSchoolInsideFirstDistrict) {
+  const Value r = Ask(
+      "{\"q\":\"window\",\"layer\":\"school\",\"bounds\":[0,0,10,10],"
+      "\"wkt\":true}");
+  const Value* result = r.Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->Find("total")->number, 1.0);
+  const Value& feature = result->Find("features")->array[0];
+  EXPECT_EQ(feature.Find("id")->number, 0.0);
+  EXPECT_EQ(feature.Find("wkt")->string, "POINT (5 5)");
+}
+
+TEST_F(ServeQueryTest, WindowUnknownLayerIsNotFound) {
+  ExpectError(
+      Ask("{\"q\":\"window\",\"layer\":\"nope\",\"bounds\":[0,0,1,1]}"),
+      "not_found");
+}
+
+TEST_F(ServeQueryTest, WindowBadBoundsIsBadRequest) {
+  ExpectError(Ask("{\"q\":\"window\",\"layer\":\"school\",\"bounds\":[1]}"),
+              "bad_request");
+}
+
+TEST_F(ServeQueryTest, RelateDistrictContainsSchool) {
+  const Value r = Ask(
+      "{\"q\":\"relate\",\"layer_a\":\"district\",\"id_a\":0,"
+      "\"layer_b\":\"school\",\"id_b\":0}");
+  const Value* result = r.Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->Find("relation")->string, "contains");
+  EXPECT_EQ(result->Find("converse")->string, "within");
+}
+
+TEST_F(ServeQueryTest, RelateIdOutOfRangeIsNotFound) {
+  ExpectError(Ask("{\"q\":\"relate\",\"layer_a\":\"district\",\"id_a\":9,"
+                  "\"layer_b\":\"school\",\"id_b\":0}"),
+              "not_found");
+}
+
+TEST_F(ServeQueryTest, StatusReportsInventoryAndMetrics) {
+  Ask("{\"q\":\"patterns\"}");  // At least one query on the books.
+  const Value r = Ask("{\"q\":\"status\"}");
+  const Value* result = r.Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->Find("generation")->number, 1.0);
+  EXPECT_EQ(result->Find("transactions")->number, 70.0);
+  EXPECT_EQ(result->Find("layers")->array.size(), 2u);
+  EXPECT_EQ(result->Find("patterns")->Find("itemsets")->number, 3.0);
+  const Value* metrics = result->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_GE(metrics->Find("counters")->Find("serve.queries")->number, 2.0);
+  EXPECT_NE(metrics->Find("latency_ms")->Find("patterns"), nullptr);
+}
+
+TEST_F(ServeQueryTest, ReloadBumpsGeneration) {
+  const std::string v2 = UniqueSnapshotPath("_v2");
+  WriteServeSnapshotV2(v2);
+  const Value r =
+      Ask("{\"q\":\"reload\",\"paths\":[\"" + v2 + "\"]}");
+  ASSERT_NE(r.Find("result"), nullptr);
+  EXPECT_EQ(r.Find("result")->Find("generation")->number, 2.0);
+  // The new generation answers with the new support.
+  const Value after = Ask("{\"q\":\"patterns\",\"min_size\":2}");
+  EXPECT_EQ(
+      after.Find("result")->Find("itemsets")->array[0].Find("support")->number,
+      22.0);
+}
+
+TEST_F(ServeQueryTest, ReloadBadPathKeepsServingOldGeneration) {
+  const Value r = Ask("{\"q\":\"reload\",\"paths\":[\"/nonexistent.sfpm\"]}");
+  ASSERT_NE(r.Find("ok"), nullptr);
+  EXPECT_FALSE(r.Find("ok")->boolean);
+  EXPECT_EQ(Ask("{\"q\":\"status\"}").Find("result")->Find("generation")
+                ->number,
+            1.0);
+}
+
+TEST_F(ServeQueryTest, ShutdownSetsFlagAndAcknowledges) {
+  const HandleResult handled = engine_->Handle("{\"q\":\"shutdown\"}");
+  EXPECT_TRUE(handled.shutdown);
+  auto parsed = Parse(handled.response);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().Find("result")->Find("draining")->boolean);
+}
+
+TEST_F(ServeQueryTest, MalformedAndUnknownRequests) {
+  ExpectError(Ask("not json at all"), "bad_request");
+  ExpectError(Ask("[1,2,3]"), "bad_request");
+  ExpectError(Ask("{\"q\":\"frobnicate\"}"), "unknown_query");
+  ExpectError(Ask("{\"q\":\"patterns\",\"limit\":-3}"), "bad_request");
+}
+
+TEST_F(ServeQueryTest, IdIsEchoedVerbatim) {
+  const Value r = Ask("{\"q\":\"status\",\"id\":\"req-17\"}");
+  EXPECT_EQ(r.Find("id")->string, "req-17");
+}
+
+TEST(ServeHistogramQuantileTest, PicksTheBucketUpperBound) {
+  obs::HistogramData data;
+  data.bounds = {1.0, 10.0, 100.0};
+  data.counts = {8, 1, 0, 1};  // Last observation beyond every bound.
+  data.count = 10;
+  data.sum = 150.0;
+  EXPECT_EQ(HistogramQuantile(data, 0.5), 1.0);
+  EXPECT_EQ(HistogramQuantile(data, 0.9), 10.0);
+  // Overflow bucket: clamped to the last finite bound.
+  EXPECT_EQ(HistogramQuantile(data, 0.999), 100.0);
+  EXPECT_EQ(HistogramQuantile(obs::HistogramData(), 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace sfpm

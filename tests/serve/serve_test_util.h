@@ -1,0 +1,209 @@
+// Shared fixtures of the serve tests: tiny snapshot builders (a pattern
+// set + transaction db + two spatial layers, enough to exercise every
+// query type) and a blocking loopback client speaking the framed JSON
+// protocol of docs/SERVE.md.
+
+#ifndef SFPM_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define SFPM_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/itemset.h"
+#include "feature/feature.h"
+#include "feature/predicate_table.h"
+#include "geom/wkt.h"
+#include "obs/json.h"
+#include "serve/protocol.h"
+#include "store/writer.h"
+
+namespace sfpm {
+namespace serve {
+
+/// Two layers: districts (two squares) and schools (three points; the
+/// first inside district 0, the second inside district 1, the third in
+/// neither).
+inline feature::Layer DistrictLayer() {
+  feature::Layer layer("district");
+  for (const char* wkt : {"POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+                          "POLYGON ((20 0, 30 0, 30 10, 20 10, 20 0))"}) {
+    auto g = geom::ReadWkt(wkt);
+    EXPECT_TRUE(g.ok()) << wkt;
+    layer.Add(g.value(), {{"name", "d"}});
+  }
+  return layer;
+}
+
+inline feature::Layer SchoolLayer() {
+  feature::Layer layer("school");
+  for (const char* wkt :
+       {"POINT (5 5)", "POINT (25 5)", "POINT (50 50)"}) {
+    auto g = geom::ReadWkt(wkt);
+    EXPECT_TRUE(g.ok()) << wkt;
+    layer.Add(g.value(), {{"name", "s"}});
+  }
+  return layer;
+}
+
+/// 70 transactions (two bitmap words) over three predicate items.
+inline feature::PredicateTable ServeTable() {
+  feature::PredicateTable table;
+  for (int row = 0; row < 70; ++row) {
+    table.AddRow("district_" + std::to_string(row));
+    if (row % 2 == 0) {
+      EXPECT_TRUE(table.SetSpatial(row, "contains", "slum").ok());
+    }
+    if (row % 3 == 0) {
+      EXPECT_TRUE(table.SetSpatial(row, "touches", "street").ok());
+    }
+  }
+  return table;
+}
+
+/// Supports chosen so exactly one rule clears the default 0.7 confidence:
+/// {touches_street} -> contains_slum at 21/30 = 0.7.
+inline store::PatternSet ServePatterns() {
+  store::PatternSet ps;
+  ps.labels = {"contains_slum", "touches_street"};
+  ps.keys = {"slum", "street"};
+  ps.itemsets = {{core::Itemset({0}), 35},
+                 {core::Itemset({1}), 30},
+                 {core::Itemset({0, 1}), 21}};
+  ps.min_support = 0.15;
+  ps.algorithm = "apriori";
+  ps.filter = "kc+";
+  return ps;
+}
+
+/// One snapshot carrying every served section type.
+inline std::string WriteServeSnapshot(const std::string& path) {
+  store::SnapshotWriter w;
+  w.AddLayer(DistrictLayer());
+  w.AddLayer(SchoolLayer());
+  w.AddTable(ServeTable());
+  w.AddPatternSet(ServePatterns());
+  EXPECT_TRUE(w.WriteTo(path).ok()) << path;
+  return path;
+}
+
+/// A second-generation snapshot, distinguishable from the first: one more
+/// itemset and a fourth school.
+inline std::string WriteServeSnapshotV2(const std::string& path) {
+  store::SnapshotWriter w;
+  w.AddLayer(DistrictLayer());
+  feature::Layer schools = SchoolLayer();
+  auto g = geom::ReadWkt("POINT (7 7)");
+  EXPECT_TRUE(g.ok());
+  schools.Add(g.value(), {{"name", "s"}});
+  w.AddLayer(schools);
+  w.AddTable(ServeTable());
+  store::PatternSet ps = ServePatterns();
+  ps.itemsets[2].support = 22;  // Distinguishes generation 2 in queries.
+  w.AddPatternSet(ps);
+  EXPECT_TRUE(w.WriteTo(path).ok()) << path;
+  return path;
+}
+
+/// A per-test unique snapshot path. gtest_discover_tests runs every TEST
+/// as its own ctest process, in parallel — tests sharing one TempDir file
+/// would rewrite it under a sibling's live mmap (SIGBUS).
+inline std::string UniqueSnapshotPath(const std::string& suffix = "") {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "/" + info->test_suite_name() + "_" +
+         info->name() + suffix + ".sfpm";
+}
+
+/// Blocking loopback client: one connection, framed request/response.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ = connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) == 0;
+  }
+
+  ~TestClient() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  /// Sends raw bytes (framed or deliberately malformed).
+  bool SendRaw(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads exactly one framed payload; empty on EOF/error.
+  std::string RecvFrame() {
+    std::string header = RecvExactly(4);
+    if (header.size() != 4) return "";
+    uint32_t length = 0;
+    std::memcpy(&length, header.data(), 4);
+    return RecvExactly(length);
+  }
+
+  /// One framed request, one framed response.
+  std::string RoundTrip(const std::string& request_json) {
+    if (!SendRaw(EncodeFrame(request_json))) return "";
+    return RecvFrame();
+  }
+
+  /// RoundTrip + JSON parse; fails the test on transport/parse errors.
+  obs::json::Value Query(const std::string& request_json) {
+    const std::string response = RoundTrip(request_json);
+    EXPECT_FALSE(response.empty()) << "no response to: " << request_json;
+    auto parsed = obs::json::Parse(response);
+    EXPECT_TRUE(parsed.ok()) << response;
+    return parsed.ok() ? parsed.value() : obs::json::Value();
+  }
+
+  /// True when the peer has closed (a clean EOF on the next read).
+  bool AtEof() { return RecvExactly(1).empty(); }
+
+ private:
+  std::string RecvExactly(size_t n) {
+    std::string out;
+    out.reserve(n);
+    char buf[4096];
+    while (out.size() < n) {
+      const ssize_t got =
+          recv(fd_, buf, std::min(sizeof(buf), n - out.size()), 0);
+      if (got <= 0) {
+        if (got < 0 && errno == EINTR) continue;
+        return out.size() == n ? out : std::string();
+      }
+      out.append(buf, static_cast<size_t>(got));
+    }
+    return out;
+  }
+
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+}  // namespace serve
+}  // namespace sfpm
+
+#endif  // SFPM_TESTS_SERVE_SERVE_TEST_UTIL_H_

@@ -1,0 +1,237 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "serve/snapshot_holder.h"
+#include "serve_test_util.h"
+#include "store/reader.h"
+
+namespace sfpm {
+namespace serve {
+namespace {
+
+using obs::json::Value;
+
+/// Holder + running server on an ephemeral port.
+class ServeServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}) {
+    path_ = UniqueSnapshotPath();
+    WriteServeSnapshot(path_);
+    ASSERT_TRUE(holder_.Load({path_}).ok());
+    server_ = std::make_unique<Server>(&holder_, options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  std::string path_;
+  SnapshotHolder holder_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeServerTest, AnswersEveryQueryTypeOverTheSocket) {
+  StartServer();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+
+  for (const std::string& request :
+       {std::string("{\"q\":\"patterns\",\"id\":1}"),
+        std::string("{\"q\":\"rules\",\"id\":2}"),
+        std::string("{\"q\":\"predicates\",\"transaction\":0,\"id\":3}"),
+        std::string(
+            "{\"q\":\"window\",\"layer\":\"school\",\"bounds\":[0,0,10,10],"
+            "\"id\":4}"),
+        std::string("{\"q\":\"relate\",\"layer_a\":\"district\",\"id_a\":0,"
+                    "\"layer_b\":\"school\",\"id_b\":0,\"id\":5}"),
+        std::string("{\"q\":\"status\",\"id\":6}")}) {
+    const Value response = client.Query(request);
+    ASSERT_NE(response.Find("ok"), nullptr) << request;
+    EXPECT_TRUE(response.Find("ok")->boolean) << request;
+  }
+}
+
+TEST_F(ServeServerTest, PipelinesManyRequestsOnOneConnection) {
+  StartServer();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  // Queue several frames before reading anything; responses come back in
+  // order with the ids echoed.
+  std::string wire;
+  for (int i = 0; i < 20; ++i) {
+    wire += EncodeFrame("{\"q\":\"status\",\"id\":" + std::to_string(i) + "}");
+  }
+  ASSERT_TRUE(client.SendRaw(wire));
+  for (int i = 0; i < 20; ++i) {
+    auto parsed = obs::json::Parse(client.RecvFrame());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().Find("id")->number, static_cast<double>(i));
+  }
+}
+
+TEST_F(ServeServerTest, MalformedFrameGetsErrorThenClose) {
+  StartServer();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  // A zero-length frame violates framing: one bad_frame response, EOF.
+  ASSERT_TRUE(client.SendRaw(std::string(4, '\0')));
+  auto parsed = obs::json::Parse(client.RecvFrame());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Find("error")->Find("code")->string, "bad_frame");
+  EXPECT_TRUE(client.AtEof());
+}
+
+TEST_F(ServeServerTest, OversizedFrameIsRejectedWithoutBuffering) {
+  ServerOptions options;
+  options.max_frame_bytes = 256;
+  StartServer(options);
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  // Only the length prefix arrives; the server must reject on sight.
+  ASSERT_TRUE(client.SendRaw(
+      EncodeFrame(std::string(1000, 'x')).substr(0, 4)));
+  auto parsed = obs::json::Parse(client.RecvFrame());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Find("error")->Find("code")->string, "bad_frame");
+  EXPECT_TRUE(client.AtEof());
+}
+
+TEST_F(ServeServerTest, OverloadedConnectionsAreToldSo) {
+  ServerOptions options;
+  options.max_inflight = 1;
+  options.workers = 1;
+  StartServer(options);
+
+  // First client occupies the single admission slot (proven by a served
+  // round trip), so the second is rejected from the accept thread.
+  TestClient first(server_->port());
+  ASSERT_TRUE(first.connected());
+  EXPECT_TRUE(first.Query("{\"q\":\"status\"}").Find("ok")->boolean);
+
+  TestClient second(server_->port());
+  ASSERT_TRUE(second.connected());
+  auto parsed = obs::json::Parse(second.RecvFrame());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Find("error")->Find("code")->string, "overloaded");
+  EXPECT_TRUE(second.AtEof());
+
+  // The first connection is unaffected by the rejection next door.
+  EXPECT_TRUE(first.Query("{\"q\":\"patterns\"}").Find("ok")->boolean);
+}
+
+TEST_F(ServeServerTest, HotSwapMidStreamKeepsTheConnectionAndOldViewAlive) {
+  StartServer();
+  const std::string v2 = UniqueSnapshotPath("_v2");
+  WriteServeSnapshotV2(v2);
+
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(client.Query("{\"q\":\"status\"}")
+                .Find("result")->Find("generation")->number,
+            1.0);
+
+  // Satellite 5: a query-side reference taken before the swap must stay
+  // fully readable after it — the old mmap lives until this shared_ptr
+  // drops (ASan would flag a use-after-unmap here if it did not).
+  std::shared_ptr<const ServingSnapshot> old_snap = holder_.Current();
+  const store::TxDbView& old_view = *old_snap->txdb;
+  const std::string_view old_name = old_view.row_names[6];
+
+  TestClient admin(server_->port());
+  ASSERT_TRUE(admin.connected());
+  const Value reloaded =
+      admin.Query("{\"q\":\"reload\",\"paths\":[\"" + v2 + "\"]}");
+  ASSERT_NE(reloaded.Find("result"), nullptr);
+  EXPECT_EQ(reloaded.Find("result")->Find("generation")->number, 2.0);
+
+  // The pre-swap connection keeps working and now sees generation 2.
+  EXPECT_EQ(client.Query("{\"q\":\"status\"}")
+                .Find("result")->Find("generation")->number,
+            2.0);
+
+  // And the old generation's zero-copy pointers are still valid.
+  EXPECT_EQ(old_name, "district_6");
+  EXPECT_TRUE(old_snap->TestBit(0, 6));
+  EXPECT_EQ(old_snap->generation, 1u);
+}
+
+TEST_F(ServeServerTest, ConcurrentClientsAgainstConcurrentReloads) {
+  ServerOptions options;
+  options.workers = 4;
+  StartServer(options);
+  const std::string v2 = UniqueSnapshotPath("_swap");
+  WriteServeSnapshotV2(v2);
+
+  // The TSan target: every response must be a well-formed success while
+  // the snapshot is swapped out from under the queries repeatedly.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      TestClient client(server_->port());
+      if (!client.connected()) {
+        failures.fetch_add(1);
+        return;
+      }
+      const std::string requests[] = {
+          "{\"q\":\"patterns\"}",
+          "{\"q\":\"rules\"}",
+          "{\"q\":\"predicates\",\"transaction\":6}",
+          "{\"q\":\"window\",\"layer\":\"school\",\"bounds\":[0,0,30,10]}",
+          "{\"q\":\"relate\",\"layer_a\":\"district\",\"id_a\":0,"
+          "\"layer_b\":\"school\",\"id_b\":0}",
+      };
+      for (int i = 0; i < 50; ++i) {
+        const std::string response =
+            client.RoundTrip(requests[(t + i) % 5]);
+        auto parsed = obs::json::Parse(response);
+        if (!parsed.ok() || parsed.value().Find("ok") == nullptr ||
+            !parsed.value().Find("ok")->boolean) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (int swap = 0; swap < 10; ++swap) {
+    ASSERT_TRUE(holder_.Load({swap % 2 == 0 ? v2 : path_}).ok());
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(holder_.generation(), 11u);
+}
+
+TEST_F(ServeServerTest, ShutdownQueryDrainsGracefully) {
+  StartServer();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  const Value response = client.Query("{\"q\":\"shutdown\",\"id\":\"bye\"}");
+  ASSERT_NE(response.Find("result"), nullptr);
+  EXPECT_TRUE(response.Find("result")->Find("draining")->boolean);
+  EXPECT_EQ(response.Find("id")->string, "bye");
+  server_->Wait();  // Must return: the accept loop saw the request.
+  EXPECT_TRUE(server_->shutting_down());
+}
+
+TEST_F(ServeServerTest, RequestShutdownUnblocksWait) {
+  StartServer();
+  std::thread waiter([&] { server_->Wait(); });
+  server_->RequestShutdown();
+  waiter.join();
+  EXPECT_TRUE(server_->shutting_down());
+}
+
+TEST_F(ServeServerTest, StartFailsCleanlyWithoutASnapshot) {
+  SnapshotHolder empty;
+  Server server(&empty, ServerOptions{});
+  EXPECT_FALSE(server.Start().ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace sfpm

@@ -33,9 +33,10 @@ cmake --build build-tsan -j"${jobs}"
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 if [[ "${1:-}" == "--quick" ]]; then
   # Metrics/Trace/LegacyStats cover the sharded registry and tracer under
-  # concurrent writers.
+  # concurrent writers; Serve covers the query server's worker pool and
+  # snapshot hot swap under concurrent clients (docs/SERVE.md).
   ctest --test-dir build-tsan --output-on-failure -j"${jobs}" \
-    -R 'ThreadPool|Parallelism|ParallelDeterminism|Extractor|Apriori|Pipeline|Metrics|Trace|LegacyStats|Store'
+    -R 'ThreadPool|Parallelism|ParallelDeterminism|Extractor|Apriori|Pipeline|Metrics|Trace|LegacyStats|Store|Serve'
 else
   ctest --test-dir build-tsan --output-on-failure -j"${jobs}"
 fi
@@ -54,8 +55,10 @@ if [[ "${1:-}" == "--quick" ]]; then
   # registry, tracer, JSON, report emitter).
   # Store round-trip + corruption tests matter most under ASan/UBSan:
   # they drive the reader through truncated and bit-flipped inputs.
+  # Serve matters under ASan for the hot-swap lifetime contract: the old
+  # generation's mmap must stay valid until its last reference drains.
   ctest --test-dir build-asan --output-on-failure -j"${jobs}" \
-    -R 'Prepared|Relate|Extractor|Apriori|Pipeline|Metrics|Trace|Json|Report|Args|Stopwatch|LegacyStats|Store|ByteStability'
+    -R 'Prepared|Relate|Extractor|Apriori|Pipeline|Metrics|Trace|Json|Report|Args|Stopwatch|LegacyStats|Store|ByteStability|Serve'
 else
   ctest --test-dir build-asan --output-on-failure -j"${jobs}"
 fi

@@ -1,0 +1,263 @@
+// End-to-end driver of the `cli_serve` ctest: runs the real `sfpm`
+// binary — first `run` to produce city/txdb/patterns snapshots, then
+// `serve` on them — and drives the server over a real loopback socket:
+// every query type, malformed and oversized frame rejection, a SIGHUP
+// hot swap under an open connection, and a graceful `shutdown` drain.
+//
+//   cli_serve_test <path-to-sfpm> <work-dir>
+//
+// Exits 0 only when every step behaved; prints the first failure.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using sfpm::obs::json::Parse;
+using sfpm::obs::json::Value;
+using sfpm::serve::EncodeFrame;
+
+/// The forked `sfpm serve` child; killed on any failure so it cannot
+/// outlive the test holding ctest's output pipe open.
+pid_t g_child = -1;
+
+[[noreturn]] void Die(const std::string& what) {
+  std::fprintf(stderr, "cli_serve_test: FAIL: %s\n", what.c_str());
+  if (g_child > 0) {
+    kill(g_child, SIGKILL);
+    waitpid(g_child, nullptr, 0);
+  }
+  std::exit(1);
+}
+
+void Run(const std::string& command) {
+  std::printf("cli_serve_test: %s\n", command.c_str());
+  std::fflush(stdout);
+  if (std::system(command.c_str()) != 0) Die("command failed: " + command);
+}
+
+/// Minimal blocking client over one framed-JSON connection.
+class Client {
+ public:
+  explicit Client(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) Die("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      Die("connect to 127.0.0.1:" + std::to_string(port));
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  void SendRaw(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) Die("send");
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  /// One complete frame; empty string on EOF.
+  std::string RecvFrame() {
+    std::string header = RecvExactly(4);
+    if (header.empty()) return "";
+    uint32_t length = 0;
+    std::memcpy(&length, header.data(), 4);
+    return RecvExactly(length);
+  }
+
+  bool AtEof() { return RecvExactly(1).empty(); }
+
+  /// Sends one request, requires an `ok` response, returns its `result`.
+  Value Query(const std::string& request) {
+    SendRaw(EncodeFrame(request));
+    const std::string response = RecvFrame();
+    if (response.empty()) Die("no response to " + request);
+    auto parsed = Parse(response);
+    if (!parsed.ok()) Die("bad response JSON: " + response);
+    const Value* ok = parsed.value().Find("ok");
+    if (ok == nullptr || !ok->boolean) {
+      Die("error response to " + request + ": " + response);
+    }
+    const Value* result = parsed.value().Find("result");
+    if (result == nullptr) Die("no result in: " + response);
+    return *result;
+  }
+
+ private:
+  std::string RecvExactly(size_t n) {
+    std::string out;
+    char buf[4096];
+    while (out.size() < n) {
+      const ssize_t got =
+          recv(fd_, buf, std::min(sizeof(buf), n - out.size()), 0);
+      if (got <= 0) {
+        if (got < 0 && errno == EINTR) continue;
+        return std::string();
+      }
+      out.append(buf, static_cast<size_t>(got));
+    }
+    return out;
+  }
+
+  int fd_ = -1;
+};
+
+uint16_t WaitForPortFile(const std::string& path, pid_t child) {
+  for (int i = 0; i < 300; ++i) {  // 30 s budget.
+    std::ifstream in(path);
+    int port = 0;
+    if (in >> port && port > 0) return static_cast<uint16_t>(port);
+    int status = 0;
+    if (waitpid(child, &status, WNOHANG) == child) {
+      Die("sfpm serve exited before listening");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  Die("timed out waiting for " + path);
+}
+
+double NumberField(const Value& value, const char* key) {
+  const Value* field = value.Find(key);
+  if (field == nullptr) Die(std::string("missing field ") + key);
+  return field->number;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: cli_serve_test <sfpm> <work-dir>\n");
+    return 2;
+  }
+  const std::string sfpm = argv[1];
+  const std::string dir = argv[2];
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Stage 1: a real pipeline run produces the snapshots to serve.
+  Run(sfpm + " run --dir " + dir + " --seed 7 --minsup 0.15 --threads 2");
+
+  // Stage 2: launch the server on an ephemeral port.
+  const std::string port_file = dir + "/port";
+  const pid_t child = fork();
+  if (child < 0) Die("fork");
+  g_child = child;
+  if (child == 0) {
+    execl(sfpm.c_str(), sfpm.c_str(), "serve", "--snapshot",
+          (dir + "/city.sfpm").c_str(), "--snapshot",
+          (dir + "/txdb.sfpm").c_str(), "--snapshot",
+          (dir + "/patterns.sfpm").c_str(), "--port-file", port_file.c_str(),
+          "--threads", "2", static_cast<char*>(nullptr));
+    std::perror("execl");
+    std::_Exit(127);
+  }
+  const uint16_t port = WaitForPortFile(port_file, child);
+
+  // Stage 3: happy-path queries of every type on one connection.
+  Client client(port);
+  const Value status = client.Query("{\"q\":\"status\"}");
+  if (NumberField(status, "generation") != 1.0) Die("expected generation 1");
+  const Value* layers = status.Find("layers");
+  if (layers == nullptr || layers->array.empty()) Die("no layers served");
+  const std::string layer = layers->array[0].Find("type")->string;
+
+  const Value patterns = client.Query("{\"q\":\"patterns\",\"limit\":5}");
+  if (NumberField(patterns, "total") <= 0) Die("no patterns served");
+  client.Query("{\"q\":\"rules\",\"min_confidence\":0.5}");
+  const Value predicates =
+      client.Query("{\"q\":\"predicates\",\"transaction\":0}");
+  if (predicates.Find("items") == nullptr) Die("predicates has no items");
+  const Value window = client.Query(
+      "{\"q\":\"window\",\"layer\":\"" + layer +
+      "\",\"bounds\":[-1e9,-1e9,1e9,1e9],\"limit\":3}");
+  if (NumberField(window, "total") <= 0) Die("empty window over " + layer);
+  const Value relate = client.Query(
+      "{\"q\":\"relate\",\"layer_a\":\"" + layer + "\",\"id_a\":0,"
+      "\"layer_b\":\"" + layer + "\",\"id_b\":0}");
+  if (relate.Find("relation")->string != "equals") {
+    Die("self-relate should be equals, got " +
+        relate.Find("relation")->string);
+  }
+
+  // Stage 4: protocol violations are answered then dropped, and do not
+  // disturb the long-lived connection.
+  {
+    Client bad(port);
+    bad.SendRaw(std::string(4, '\0'));  // Zero-length frame.
+    auto parsed = Parse(bad.RecvFrame());
+    if (!parsed.ok() ||
+        parsed.value().Find("error")->Find("code")->string != "bad_frame") {
+      Die("zero-length frame not rejected as bad_frame");
+    }
+    if (!bad.AtEof()) Die("connection should close after bad_frame");
+  }
+  {
+    Client oversized(port);
+    // Declared length far beyond the 1 MiB default: rejected on sight.
+    const uint32_t huge = 512u << 20;
+    std::string prefix(4, '\0');
+    std::memcpy(prefix.data(), &huge, 4);
+    oversized.SendRaw(prefix);
+    auto parsed = Parse(oversized.RecvFrame());
+    if (!parsed.ok() ||
+        parsed.value().Find("error")->Find("code")->string != "bad_frame") {
+      Die("oversized frame not rejected as bad_frame");
+    }
+    if (!oversized.AtEof()) Die("connection should close after oversized");
+  }
+
+  // Stage 5: SIGHUP hot swap while the first connection stays open.
+  if (kill(child, SIGHUP) != 0) Die("kill SIGHUP");
+  double generation = 1.0;
+  for (int i = 0; i < 100 && generation < 2.0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    generation = NumberField(client.Query("{\"q\":\"status\"}"),
+                             "generation");
+  }
+  if (generation != 2.0) Die("SIGHUP reload never reached generation 2");
+  // The pre-swap connection keeps answering real queries afterwards.
+  if (NumberField(client.Query("{\"q\":\"patterns\",\"limit\":1}"),
+                  "total") <= 0) {
+    Die("patterns query failed after hot swap");
+  }
+
+  // Stage 6: graceful shutdown via the admin query; exit code 0.
+  const Value bye = client.Query("{\"q\":\"shutdown\"}");
+  if (bye.Find("draining") == nullptr) Die("shutdown did not acknowledge");
+  int status_code = 0;
+  if (waitpid(child, &status_code, 0) != child) Die("waitpid");
+  if (!WIFEXITED(status_code) || WEXITSTATUS(status_code) != 0) {
+    Die("sfpm serve exited with status " + std::to_string(status_code));
+  }
+
+  std::printf("cli_serve_test: PASS\n");
+  return 0;
+}

@@ -34,10 +34,19 @@
 // about:tracing / Perfetto. --stats still prints the legacy run counters
 // to stderr (now rendered from the metrics registry) but is deprecated in
 // favor of --report. See docs/OBSERVABILITY.md.
+//   sfpm serve    --snapshot a.sfpm [--snapshot b.sfpm ...] [--port N]
+//                 [--threads N] [--max-inflight N] [--read-timeout-ms N]
+//                 [--max-frame-bytes N] [--port-file p]
 //   sfpm gain     --t 2,2,2 --n 2
 //   sfpm table3
 //   sfpm generate-city [--seed N] [--out-prefix dir/city_] [--out city.sfpm]
 //   sfpm version  (or --version)
+//   sfpm help     (or --help; the full flag reference)
+//
+// `serve` answers pattern/rule/predicate/window/relate queries over TCP
+// (loopback, length-prefixed JSON; protocol in docs/SERVE.md). SIGHUP or
+// the `reload` query hot-swaps the snapshots without dropping in-flight
+// queries; SIGINT/SIGTERM shut down gracefully.
 //
 // Unknown commands and flags are errors: the offending token is printed
 // and the exit status is 2.
@@ -46,6 +55,7 @@
 // CSV matrices (header: row,<predicate labels>). Snapshots (.sfpm) are the
 // binary container of docs/STORAGE.md. See io/layer_io.h and io/table_io.h.
 
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <initializer_list>
@@ -63,6 +73,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "serve/server.h"
 #include "sfpm.h"
 #include "store/format.h"
 #include "store/pipeline.h"
@@ -82,9 +93,100 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: sfpm "
-               "<extract|mine|run|gain|table3|generate-city|version> "
-               "[flags]\n(see the header of tools/sfpm_cli.cc)\n");
+               "<extract|mine|run|serve|gain|table3|generate-city|version> "
+               "[flags]\n(run 'sfpm help' for the full flag reference)\n");
   return 2;
+}
+
+/// The complete command and flag reference, printed by `sfpm help` /
+/// `sfpm --help`. tools/sfpm_doc_check checks every `--flag` the docs
+/// attribute to sfpm against this text, so a flag missing here fails the
+/// doc_check ctest — keep it exhaustive.
+int RunHelp() {
+  std::printf(
+      "sfpm — spatial frequent pattern mining with qualitative spatial "
+      "reasoning\n"
+      "\n"
+      "usage: sfpm <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  extract        extract spatial predicates from layers\n"
+      "  mine           mine frequent itemsets and association rules\n"
+      "  run            staged pipeline: generate-city -> extract -> mine\n"
+      "  serve          TCP query server over .sfpm snapshots\n"
+      "  gain           minimal-gain calculator (paper Table 3 entries)\n"
+      "  table3         print the full minimal-gain table\n"
+      "  generate-city  synthetic city generator\n"
+      "  version        print version info (also --version)\n"
+      "  help           print this reference (also --help)\n"
+      "\n"
+      "sfpm extract\n"
+      "  --reference type=path   reference layer (WKT-CSV); with --in, just "
+      "the type name\n"
+      "  --relevant type=path    relevant layer, repeatable; with --in, just "
+      "the type name\n"
+      "  --in city.sfpm          read layers from a snapshot (needs --out)\n"
+      "  --out path              predicate table CSV, or txdb.sfpm with "
+      "--in\n"
+      "  --distance spec         distance bands, e.g. "
+      "veryClose:500,close:2000,far\n"
+      "  --distance-types a,b    feature types the bands apply to\n"
+      "  --directions            also extract direction predicates\n"
+      "  --threads N             worker threads (0 = hardware concurrency)\n"
+      "  --report out.json       machine-readable run report\n"
+      "  --trace out.trace.json  Chrome trace_event spans\n"
+      "  --stats                 legacy counters to stderr (deprecated; use "
+      "--report)\n"
+      "\n"
+      "sfpm mine\n"
+      "  --table path            predicate table CSV to mine\n"
+      "  --in txdb.sfpm          mine a snapshot (needs --out)\n"
+      "  --out patterns.sfpm     pattern-set snapshot output\n"
+      "  --minsup F              minimum support ratio (default 0.1)\n"
+      "  --filter none|kc|kc+    qualitative reasoning filter (default "
+      "kc+)\n"
+      "  --dependency a:b        known dependency pair, repeatable\n"
+      "  --algorithm apriori|fpgrowth\n"
+      "  --rules F               also derive rules at min confidence F\n"
+      "  --closed                report closed itemsets only\n"
+      "  --maximal               report maximal itemsets only\n"
+      "  --top measure:K         top-K rules by an interest measure\n"
+      "  --threads N             worker threads\n"
+      "  --report / --trace / --stats   as in extract\n"
+      "\n"
+      "sfpm run\n"
+      "  --dir path              output directory (default .)\n"
+      "  --city / --txdb / --patterns   stage snapshot paths\n"
+      "  --seed N                city generator seed\n"
+      "  --reference type        reference feature type (default district)\n"
+      "  --directions            extract direction predicates\n"
+      "  --minsup F / --filter f / --algorithm a / --dependency a:b\n"
+      "  --threads N             worker threads\n"
+      "  --force                 rerun every stage (ignore content hashes)\n"
+      "  --report / --trace      run artifacts\n"
+      "\n"
+      "sfpm serve   (protocol and runbook: docs/SERVE.md)\n"
+      "  --snapshot file.sfpm    snapshot to serve, repeatable (later files "
+      "win per section)\n"
+      "  --port N                TCP port on 127.0.0.1 (default 0 = "
+      "ephemeral)\n"
+      "  --port-file path        write the bound port here once listening\n"
+      "  --threads N             query worker threads (default 4)\n"
+      "  --max-inflight N        admission bound on concurrent connections "
+      "(default 256)\n"
+      "  --read-timeout-ms N     idle connection timeout (default 30000)\n"
+      "  --max-frame-bytes N     request/response frame ceiling (default "
+      "1048576)\n"
+      "\n"
+      "sfpm gain\n"
+      "  --t t1,t2,...           dependency group sizes\n"
+      "  --n N                   independent item count\n"
+      "\n"
+      "sfpm generate-city\n"
+      "  --seed N                generator seed\n"
+      "  --out city.sfpm         write one snapshot with every layer\n"
+      "  --out-prefix dir/city_  write one WKT-CSV per layer + GeoJSON\n");
+  return 0;
 }
 
 /// Rejects flags a command does not understand and stray positional
@@ -638,6 +740,114 @@ int RunGenerateCity(const Args& args) {
   return 0;
 }
 
+/// Signal fan-in for `sfpm serve`: the handlers only call the Server's
+/// async-signal-safe request methods.
+serve::Server* g_serve_server = nullptr;
+
+void ServeSignalHandler(int signal_number) {
+  if (g_serve_server == nullptr) return;
+  if (signal_number == SIGHUP) {
+    g_serve_server->RequestReload();
+  } else {
+    g_serve_server->RequestShutdown();
+  }
+}
+
+/// Parses one non-negative integer flag in [0, max]; absent = fallback.
+Result<uint64_t> ParseCountFlag(const Args& args, const char* name,
+                                uint64_t fallback, uint64_t max) {
+  if (!args.Has(name)) return fallback;
+  const std::string& value = args.Get(name);
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument(std::string("bad --") + name + " value");
+  }
+  try {
+    const uint64_t parsed = std::stoull(value);
+    if (parsed > max) {
+      return Status::InvalidArgument(std::string("--") + name +
+                                     " must be at most " +
+                                     std::to_string(max));
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument(std::string("bad --") + name + " value");
+  }
+}
+
+int RunServe(const Args& args) {
+  const std::vector<std::string> snapshots = args.All("snapshot");
+  if (snapshots.empty()) {
+    return Fail(Status::InvalidArgument(
+        "sfpm serve needs at least one --snapshot <file.sfpm>"));
+  }
+
+  serve::ServerOptions options;
+  const auto port = ParseCountFlag(args, "port", 0, 65535);
+  if (!port.ok()) return Fail(port.status());
+  options.port = static_cast<uint16_t>(port.value());
+  const auto threads = ParseThreads(args);
+  if (!threads.ok()) return Fail(threads.status());
+  options.workers = threads.value() == 0 ? 4 : threads.value();
+  const auto max_inflight =
+      ParseCountFlag(args, "max-inflight", options.max_inflight, 1u << 20);
+  if (!max_inflight.ok()) return Fail(max_inflight.status());
+  options.max_inflight = static_cast<size_t>(max_inflight.value());
+  const auto timeout = ParseCountFlag(args, "read-timeout-ms",
+                                      options.read_timeout_ms, 86400000);
+  if (!timeout.ok()) return Fail(timeout.status());
+  options.read_timeout_ms = static_cast<int>(timeout.value());
+  const auto frame_bytes =
+      ParseCountFlag(args, "max-frame-bytes", serve::kDefaultMaxFrameBytes,
+                     serve::kHardMaxFrameBytes);
+  if (!frame_bytes.ok()) return Fail(frame_bytes.status());
+  if (frame_bytes.value() < 64) {
+    return Fail(Status::InvalidArgument(
+        "--max-frame-bytes must be at least 64"));
+  }
+  options.max_frame_bytes = static_cast<size_t>(frame_bytes.value());
+
+  serve::SnapshotHolder holder;
+  const Status loaded = holder.Load(snapshots);
+  if (!loaded.ok()) return Fail(loaded);
+
+  serve::Server server(&holder, options);
+  const Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+
+  g_serve_server = &server;
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  std::signal(SIGHUP, ServeSignalHandler);
+
+  if (args.Has("port-file")) {
+    // Written only once the socket listens — the rendezvous the e2e test
+    // and bench wait on.
+    const Status written = obs::WriteTextFile(
+        args.Get("port-file"), std::to_string(server.port()) + "\n");
+    if (!written.ok()) {
+      server.RequestShutdown();
+      server.Wait();
+      g_serve_server = nullptr;
+      return Fail(written);
+    }
+  }
+  std::printf("sfpm serve: listening on 127.0.0.1:%u (generation %llu, %zu "
+              "workers)\n",
+              static_cast<unsigned>(server.port()),
+              static_cast<unsigned long long>(holder.generation()),
+              options.workers);
+  std::fflush(stdout);
+
+  server.Wait();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGHUP, SIG_DFL);
+  g_serve_server = nullptr;
+  std::printf("sfpm serve: shut down\n");
+  return 0;
+}
+
 int RunVersion() {
   std::printf("sfpm %s (snapshot format %u, report schema %d)\n",
               kSfpmVersion, store::kFormatVersion, obs::kRunReportVersion);
@@ -657,6 +867,16 @@ int main(int argc, char** argv) {
   const Args args(argc - 2, argv + 2);
   if (command == "version" || command == "--version") {
     return RunVersion();
+  }
+  if (command == "help" || command == "--help") {
+    return RunHelp();
+  }
+  if (command == "serve") {
+    const int bad = RejectUnknownFlags(
+        args, "serve",
+        {"snapshot", "port", "port-file", "threads", "max-inflight",
+         "read-timeout-ms", "max-frame-bytes"});
+    return bad != 0 ? bad : RunServe(args);
   }
   if (command == "extract") {
     const int bad = RejectUnknownFlags(

@@ -1,0 +1,275 @@
+// Documentation checker behind the `doc_check` ctest: keeps the doc set
+// from rotting as the code moves.
+//
+//   sfpm_doc_check --repo <repo-root> --help-from <path-to-sfpm>
+//
+// Two families of checks over README.md, EXPERIMENTS.md and docs/*.md:
+//
+//  1. Intra-repo markdown links. Every `[text](target)` that is not an
+//     external URL must name an existing file (relative to the linking
+//     document), and when the target carries a `#anchor` into a markdown
+//     file, a heading with that GitHub-style slug must exist there.
+//  2. CLI flags. Every `--flag` token on a line that invokes `sfpm `
+//     (the CLI proper — helper binaries like sfpm_fuzz spell their name
+//     without the space) must appear in `sfpm help` output, so the docs
+//     can never advertise a flag the binary dropped. This is what keeps
+//     deprecated spellings like the old `--stats`-era flags from
+//     resurfacing in prose.
+//
+// Exits 0 when clean; prints every violation as file:line and exits 1.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  size_t line;
+  std::string what;
+};
+
+std::vector<Violation> g_violations;
+
+void Report(const std::string& file, size_t line, const std::string& what) {
+  g_violations.push_back({file, line, what});
+}
+
+std::vector<std::string> ReadLines(const fs::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// GitHub heading slug: lowercase, keep alphanumerics and hyphens, spaces
+/// become hyphens, everything else is dropped.
+std::string Slug(const std::string& heading) {
+  std::string slug;
+  for (char c : heading) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u)) {
+      slug += static_cast<char>(std::tolower(u));
+    } else if (c == ' ' || c == '-') {
+      slug += '-';
+    }
+  }
+  return slug;
+}
+
+/// Every anchor a markdown file defines (its headings, slugged).
+std::set<std::string> Anchors(const fs::path& path) {
+  std::set<std::string> anchors;
+  bool in_code = false;
+  for (const std::string& line : ReadLines(path)) {
+    if (line.rfind("```", 0) == 0) {
+      in_code = !in_code;
+      continue;
+    }
+    if (in_code || line.empty() || line[0] != '#') continue;
+    size_t level = 0;
+    while (level < line.size() && line[level] == '#') ++level;
+    if (level >= line.size() || line[level] != ' ') continue;
+    std::string heading = line.substr(level + 1);
+    // Strip inline code ticks so `sfpm serve` slugs as sfpm-serve.
+    std::string cleaned;
+    for (char c : heading) {
+      if (c != '`') cleaned += c;
+    }
+    anchors.insert(Slug(cleaned));
+  }
+  return anchors;
+}
+
+/// Checks one `[text](target)` occurrence.
+void CheckLink(const fs::path& doc, size_t line_no,
+               const std::string& target) {
+  if (target.empty() || target[0] == '#') return;  // Same-file anchor.
+  if (target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+      target.rfind("mailto:", 0) == 0) {
+    return;  // External; not ours to verify offline.
+  }
+  const size_t hash = target.find('#');
+  const std::string file_part = target.substr(0, hash == std::string::npos
+                                                      ? target.size()
+                                                      : hash);
+  const fs::path resolved = doc.parent_path() / file_part;
+  if (!fs::exists(resolved)) {
+    Report(doc.string(), line_no, "broken link target: " + target);
+    return;
+  }
+  if (hash != std::string::npos && resolved.extension() == ".md") {
+    const std::string anchor = target.substr(hash + 1);
+    if (Anchors(resolved).count(anchor) == 0) {
+      Report(doc.string(), line_no,
+             "missing anchor #" + anchor + " in " + file_part);
+    }
+  }
+}
+
+/// Extracts `[text](target)` links from one line (images included).
+std::vector<std::string> LinksIn(const std::string& line) {
+  std::vector<std::string> targets;
+  for (size_t i = 0; i + 1 < line.size(); ++i) {
+    if (line[i] != ']' || line[i + 1] != '(') continue;
+    const size_t close = line.find(')', i + 2);
+    if (close == std::string::npos) continue;
+    targets.push_back(line.substr(i + 2, close - i - 2));
+  }
+  return targets;
+}
+
+/// `--flag` tokens on a line, with `=value` suffixes and punctuation
+/// stripped.
+std::vector<std::string> FlagsIn(const std::string& line) {
+  std::vector<std::string> flags;
+  for (size_t i = 0; i + 2 < line.size(); ++i) {
+    if (line[i] != '-' || line[i + 1] != '-') continue;
+    if (i > 0 && (std::isalnum(static_cast<unsigned char>(line[i - 1])) ||
+                  line[i - 1] == '-')) {
+      continue;  // Mid-word dashes ("all--or" / an em-dash run).
+    }
+    size_t end = i + 2;
+    while (end < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[end])) ||
+            line[end] == '-')) {
+      ++end;
+    }
+    if (end == i + 2) continue;  // A bare "--" separator.
+    flags.push_back(line.substr(i, end - i));
+    i = end;
+  }
+  return flags;
+}
+
+/// True when a line is an invocation of the `sfpm` CLI proper (not the
+/// helper binaries, build systems, or bench drivers).
+bool MentionsSfpmCli(const std::string& line) {
+  if (line.find("cmake") != std::string::npos ||
+      line.find("ctest") != std::string::npos ||
+      line.find("bench_") != std::string::npos) {
+    return false;
+  }
+  // "sfpm " with a space: sfpm_fuzz / sfpm_doc_check / file names like
+  // city.sfpm never match.
+  for (size_t at = line.find("sfpm "); at != std::string::npos;
+       at = line.find("sfpm ", at + 1)) {
+    const bool word_start =
+        at == 0 || (!std::isalnum(static_cast<unsigned char>(line[at - 1])) &&
+                    line[at - 1] != '_' && line[at - 1] != '.');
+    if (word_start) return true;
+  }
+  return false;
+}
+
+/// All `--flag` spellings the CLI reference admits to.
+std::set<std::string> HelpFlags(const std::string& sfpm_binary) {
+  const std::string command = sfpm_binary + " help";
+  std::set<std::string> flags;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    std::fprintf(stderr, "sfpm_doc_check: cannot run: %s\n", command.c_str());
+    std::exit(2);
+  }
+  char buf[4096];
+  std::string output;
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) output += buf;
+  if (pclose(pipe) != 0) {
+    std::fprintf(stderr, "sfpm_doc_check: '%s' failed\n", command.c_str());
+    std::exit(2);
+  }
+  std::istringstream lines(output);
+  std::string line;
+  while (std::getline(lines, line)) {
+    for (const std::string& flag : FlagsIn(line)) flags.insert(flag);
+  }
+  if (flags.empty()) {
+    std::fprintf(stderr, "sfpm_doc_check: no flags in '%s' output\n",
+                 command.c_str());
+    std::exit(2);
+  }
+  return flags;
+}
+
+void CheckDocument(const fs::path& doc, const std::set<std::string>& known) {
+  const std::vector<std::string> lines = ReadLines(doc);
+  bool in_code = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const bool fence = line.rfind("```", 0) == 0;
+    if (fence) in_code = !in_code;
+    // Links only count in prose; flags count everywhere (usage examples
+    // live in code fences and must stay accurate too).
+    if (!in_code && !fence) {
+      for (const std::string& target : LinksIn(line)) {
+        CheckLink(doc, i + 1, target);
+      }
+    }
+    if (MentionsSfpmCli(line)) {
+      for (const std::string& flag : FlagsIn(line)) {
+        if (known.count(flag) == 0) {
+          Report(doc.string(), i + 1,
+                 "flag " + flag + " not in `sfpm help` output");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string repo;
+  std::string sfpm_binary;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string arg = argv[i];
+    if (arg == "--repo") {
+      repo = argv[i + 1];
+    } else if (arg == "--help-from") {
+      sfpm_binary = argv[i + 1];
+    }
+  }
+  if (repo.empty() || sfpm_binary.empty()) {
+    std::fprintf(stderr,
+                 "usage: sfpm_doc_check --repo <root> --help-from <sfpm>\n");
+    return 2;
+  }
+
+  const std::set<std::string> known = HelpFlags(sfpm_binary);
+
+  std::vector<fs::path> documents = {fs::path(repo) / "README.md",
+                                     fs::path(repo) / "EXPERIMENTS.md"};
+  for (const auto& entry : fs::directory_iterator(fs::path(repo) / "docs")) {
+    if (entry.path().extension() == ".md") documents.push_back(entry.path());
+  }
+  std::sort(documents.begin(), documents.end());
+
+  size_t checked = 0;
+  for (const fs::path& doc : documents) {
+    if (!fs::exists(doc)) {
+      Report(doc.string(), 0, "document missing");
+      continue;
+    }
+    CheckDocument(doc, known);
+    ++checked;
+  }
+
+  for (const Violation& v : g_violations) {
+    std::fprintf(stderr, "%s:%zu: %s\n", v.file.c_str(), v.line, v.what.c_str());
+  }
+  std::printf("sfpm_doc_check: %zu documents, %zu violations\n", checked,
+              g_violations.size());
+  return g_violations.empty() ? 0 : 1;
+}
