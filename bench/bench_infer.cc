@@ -1,0 +1,287 @@
+// A/B benchmark of the RCC8 inference tier, in two parts.
+//
+// Algebra micro-benches: the memoized 256x256 set-composition table
+// against the 8x8 member-pair reference loop, and Rcc8Network::Propagate's
+// universal-edge early-exit against exhaustive PC-2 seeding on sparse
+// random networks.
+//
+// Extraction A/B: --infer-relate on vs off on nested cities (dense small
+// slums, half nested inside others) at scales 2 and 3. The two paths must
+// emit byte-identical predicate tables — the bench asserts that at 1 and
+// 4 threads before timing anything — and inference must win the honest
+// total: per-row engine calls *plus* the prepare-phase pivot calls,
+// strictly below the engine-only call count.
+//
+//   bench_infer [--repeat=N] [--json=bench/BENCH_infer.json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.h"
+#include "datagen/city.h"
+#include "feature/extractor.h"
+#include "io/table_io.h"
+#include "qsr/rcc8.h"
+#include "util/random.h"
+
+namespace {
+
+using sfpm::Rng;
+using sfpm::datagen::City;
+using sfpm::datagen::CityConfig;
+using sfpm::datagen::GenerateCity;
+using sfpm::feature::ExtractionStats;
+using sfpm::feature::ExtractorOptions;
+using sfpm::feature::PredicateExtractor;
+using sfpm::qsr::PropagateMode;
+using sfpm::qsr::Rcc8Compose;
+using sfpm::qsr::Rcc8ComposeUncached;
+using sfpm::qsr::Rcc8Network;
+using sfpm::qsr::Rcc8Set;
+
+// The extraction regime the inference tier exists for: dense small slums,
+// most strictly inside one district while their envelopes protrude into
+// neighbouring rows, and half nested inside other slums (containment
+// chains). Mirrors tests/feature/infer_test.cc.
+CityConfig NestedConfig(int scale) {
+  CityConfig config;
+  config.grid_cols = 4 * scale;
+  config.grid_rows = 3 * scale;
+  config.num_slums = static_cast<size_t>(150 * scale * scale);
+  config.slum_radius_min = 0.06;
+  config.slum_radius_max = 0.18;
+  config.slum_nested_fraction = 0.5;
+  config.num_schools = 40;
+  config.num_police = 8;
+  config.num_streets = 20;
+  config.seed = 2007;
+  return config;
+}
+
+std::string TableCsv(const PredicateExtractor& extractor,
+                     const ExtractorOptions& options) {
+  auto table = extractor.Extract(options);
+  if (!table.ok()) {
+    std::fprintf(stderr, "extract failed: %s\n",
+                 table.status().ToString().c_str());
+    std::exit(1);
+  }
+  return sfpm::io::TableToCsv(table.value());
+}
+
+// Sparse random network in the shape extraction clusters have: n regions,
+// ~2n stated base-relation constraints, the rest universal.
+Rcc8Network SparseNetwork(size_t n, Rng* rng) {
+  Rcc8Network net(n);
+  for (size_t k = 0; k < 2 * n; ++k) {
+    const size_t i = rng->NextUint64(n);
+    const size_t j = rng->NextUint64(n);
+    if (i == j) continue;
+    const auto rel = static_cast<sfpm::qsr::Rcc8>(rng->NextUint64(8));
+    (void)net.Constrain(i, j, Rcc8Set(rel));
+  }
+  return net;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sfpm::bench::Bench bench("infer", argc, argv);
+
+  // --- Algebra micro-benches --------------------------------------------
+
+  // Full 256x256 sweep per run; the XOR sink defeats dead-code
+  // elimination and doubles as a cross-mode consistency check.
+  unsigned memo_sink = 0, loop_sink = 0;
+  const auto& compose_memo = bench.Run(
+      "compose/memoized", {{"pairs", "65536"}},
+      [&](sfpm::bench::CaseResult& result) {
+        unsigned sink = 0;
+        for (int sweep = 0; sweep < 16; ++sweep) {
+          for (int a = 0; a < 256; ++a) {
+            for (int b = 0; b < 256; ++b) {
+              sink ^= Rcc8Compose(Rcc8Set(static_cast<uint8_t>(a)),
+                                  Rcc8Set(static_cast<uint8_t>(b)))
+                          .bits();
+            }
+          }
+        }
+        memo_sink = sink;
+        result.counters["sweeps"] = 16;
+      });
+  const auto& compose_loop = bench.Run(
+      "compose/uncached", {{"pairs", "65536"}},
+      [&](sfpm::bench::CaseResult& result) {
+        unsigned sink = 0;
+        for (int sweep = 0; sweep < 16; ++sweep) {
+          for (int a = 0; a < 256; ++a) {
+            for (int b = 0; b < 256; ++b) {
+              sink ^= Rcc8ComposeUncached(Rcc8Set(static_cast<uint8_t>(a)),
+                                          Rcc8Set(static_cast<uint8_t>(b)))
+                          .bits();
+            }
+          }
+        }
+        loop_sink = sink;
+        result.counters["sweeps"] = 16;
+      });
+  if (memo_sink != loop_sink) {
+    std::fprintf(stderr, "FATAL: memoized compose diverges from reference\n");
+    return 1;
+  }
+  std::printf("%44s   memo_speedup=%.2fx\n", "",
+              compose_loop.PercentileMs(0.5) / compose_memo.PercentileMs(0.5));
+
+  // Propagate: 100 sparse 64-variable networks per run, both modes from
+  // identical seeds (the closures are equal; only the seeding differs).
+  for (const auto mode :
+       {PropagateMode::kSkipUniversal, PropagateMode::kExhaustive}) {
+    const bool skip = mode == PropagateMode::kSkipUniversal;
+    bench.Run(std::string("propagate/") + (skip ? "skip_universal"
+                                                : "exhaustive"),
+              {{"variables", "64"}, {"networks", "100"}},
+              [&](sfpm::bench::CaseResult& result) {
+                Rng rng(2007);
+                size_t consistent = 0;
+                for (int k = 0; k < 100; ++k) {
+                  Rcc8Network net = SparseNetwork(64, &rng);
+                  if (net.Propagate(mode)) ++consistent;
+                }
+                result.counters["consistent"] =
+                    static_cast<double>(consistent);
+              });
+  }
+
+  // --- Extraction A/B ----------------------------------------------------
+
+  for (int scale = 2; scale <= 3; ++scale) {
+    const auto city = GenerateCity(NestedConfig(scale));
+    PredicateExtractor extractor(&city->districts);
+    extractor.AddRelevantLayer(&city->slums);
+    const std::string scale_str = std::to_string(scale);
+    const std::string districts = std::to_string(city->districts.Size());
+
+    ExtractorOptions on;
+    on.parallelism = 1;
+    ExtractorOptions off = on;
+    off.infer_relate = false;
+
+    // Identity gate: inference on vs off, serial and 4 threads, must emit
+    // the byte-identical predicate table — a speedup can never come from a
+    // changed answer.
+    const std::string off_csv = TableCsv(extractor, off);
+    if (off_csv != TableCsv(extractor, on)) {
+      std::fprintf(stderr, "FATAL: inference changed the table (scale %d)\n",
+                   scale);
+      return 1;
+    }
+    ExtractorOptions threaded = on;
+    threaded.parallelism = 4;
+    if (off_csv != TableCsv(extractor, threaded)) {
+      std::fprintf(stderr, "FATAL: thread count changed the table (scale %d)\n",
+                   scale);
+      return 1;
+    }
+
+    ExtractionStats off_stats;
+    const auto& off_case = bench.Run(
+        "extract/scale=" + scale_str + "/engine_only",
+        {{"scale", scale_str}, {"districts", districts}, {"threads", "1"}},
+        [&](sfpm::bench::CaseResult& result) {
+          auto table = extractor.Extract(off, &off_stats);
+          if (!table.ok()) std::exit(1);
+          result.counters["relate_calls"] =
+              static_cast<double>(off_stats.relate.calls);
+        });
+
+    // Cold: a fresh extractor per repetition pays the pivot-store build
+    // every time (the layers' prepared-geometry caches stay warm, so the
+    // comparison isolates the inference tier). This is the case the
+    // engine-invocation gate judges: per-row calls plus the build must
+    // land strictly below the engine-only count.
+    auto& cold_case = bench.Run(
+        "extract/scale=" + scale_str + "/inferred_cold",
+        {{"scale", scale_str}, {"districts", districts}, {"threads", "1"}},
+        [&](sfpm::bench::CaseResult& result) {
+          PredicateExtractor fresh(&city->districts);
+          fresh.AddRelevantLayer(&city->slums);
+          ExtractionStats stats;
+          auto table = fresh.Extract(on, &stats);
+          if (!table.ok()) std::exit(1);
+          const double total = static_cast<double>(stats.relate.calls +
+                                                   stats.infer_pivot_calls);
+          result.counters["relate_calls"] =
+              static_cast<double>(stats.relate.calls);
+          result.counters["pivot_calls"] =
+              static_cast<double>(stats.infer_pivot_calls);
+          result.counters["pivot_pairs"] =
+              static_cast<double>(stats.infer_pivot_pairs);
+          result.counters["inferred"] =
+              static_cast<double>(stats.relate.inferred);
+          result.counters["inferred_skipped"] =
+              static_cast<double>(stats.relate.inferred_skipped);
+          result.counters["converse_hits"] =
+              static_cast<double>(stats.relate.converse_hits);
+          result.counters["engine_total"] = total;
+          result.counters["engine_saved_pct"] =
+              off_stats.relate.calls == 0
+                  ? 0.0
+                  : 100.0 * (1.0 - total / static_cast<double>(
+                                              off_stats.relate.calls));
+          // The honest gate: savings must beat the pivot-store build cost.
+          if (stats.relate.calls + stats.infer_pivot_calls >=
+              off_stats.relate.calls) {
+            std::fprintf(stderr,
+                         "FATAL: inference did not reduce total engine "
+                         "invocations (scale %d)\n",
+                         scale);
+            std::exit(1);
+          }
+        });
+    cold_case.counters["speedup_vs_engine_only"] =
+        off_case.PercentileMs(0.5) / cold_case.PercentileMs(0.5);
+
+    // Warm: the shared extractor built its stores during the identity
+    // gate above, so every repetition reuses them — the steady state of
+    // repeated extraction over fixed layers (the serve pipeline).
+    auto& warm_case = bench.Run(
+        "extract/scale=" + scale_str + "/inferred_warm",
+        {{"scale", scale_str}, {"districts", districts}, {"threads", "1"}},
+        [&](sfpm::bench::CaseResult& result) {
+          ExtractionStats stats;
+          auto table = extractor.Extract(on, &stats);
+          if (!table.ok()) std::exit(1);
+          result.counters["relate_calls"] =
+              static_cast<double>(stats.relate.calls);
+          result.counters["pivot_calls"] =
+              static_cast<double>(stats.infer_pivot_calls);
+          result.counters["inferred"] =
+              static_cast<double>(stats.relate.inferred);
+          result.counters["inferred_skipped"] =
+              static_cast<double>(stats.relate.inferred_skipped);
+          result.counters["engine_saved_pct"] =
+              off_stats.relate.calls == 0
+                  ? 0.0
+                  : 100.0 * (1.0 - static_cast<double>(stats.relate.calls) /
+                                       static_cast<double>(
+                                           off_stats.relate.calls));
+          if (stats.infer_pivot_calls != 0) {
+            std::fprintf(stderr,
+                         "FATAL: warm extractor rebuilt its pivot stores "
+                         "(scale %d)\n",
+                         scale);
+            std::exit(1);
+          }
+        });
+    const double cold_speedup =
+        off_case.PercentileMs(0.5) / cold_case.PercentileMs(0.5);
+    const double warm_speedup =
+        off_case.PercentileMs(0.5) / warm_case.PercentileMs(0.5);
+    warm_case.counters["speedup_vs_engine_only"] = warm_speedup;
+    std::printf("%44s   cold=%.2fx warm=%.2fx vs engine-only\n", "",
+                cold_speedup, warm_speedup);
+  }
+
+  return bench.Finish();
+}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "geom/algorithms.h"
@@ -118,6 +120,12 @@ std::unique_ptr<City> GenerateCity(const CityConfig& config) {
     cluster_centers.emplace_back(rng.NextDouble(0.1 * width, 0.9 * width),
                                  rng.NextDouble(0.1 * height, 0.9 * height));
   }
+  // Center and smallest center-to-vertex distance of each base slum,
+  // recorded for the nesting pass below. Derived from the realized
+  // geometry after the fact — not from extra or reordered random draws —
+  // so the base layer is bit-identical whether or not nesting is on.
+  std::vector<std::pair<Point, double>> slum_shapes;
+  slum_shapes.reserve(config.num_slums);
   for (size_t i = 0; i < config.num_slums; ++i) {
     const Point& cluster =
         cluster_centers[rng.NextUint64(cluster_centers.size())];
@@ -128,6 +136,12 @@ std::unique_ptr<City> GenerateCity(const CityConfig& config) {
              rng.NextDouble(config.slum_radius_min, config.slum_radius_max) *
                  config.cell_size,
              static_cast<int>(rng.NextInt(6, 10)), &rng);
+    double min_radius = std::numeric_limits<double>::max();
+    for (const Point& p : blob.shell().points()) {
+      min_radius = std::min(min_radius, std::hypot(p.x - center.x,
+                                                   p.y - center.y));
+    }
+    slum_shapes.emplace_back(center, min_radius);
     if (config.boundary_detail > 1) {
       // The shell is already explicitly closed, so its edge list is that
       // of an open polyline — no wrap-around edge to add.
@@ -136,6 +150,34 @@ std::unique_ptr<City> GenerateCity(const CityConfig& config) {
                                         /*closed=*/false)));
     }
     city->slums.Add(std::move(blob));
+  }
+
+  // Nested slums: children strictly inside randomly chosen parents. A
+  // star-convex blob with v >= 6 vertices at distance >= r from its
+  // center covers the disk of radius r * cos(pi / v) >= 0.86 r; a child
+  // blob reaches at most offset + 1.4 * mean <= (0.1 + 1.4 * 0.4) r =
+  // 0.66 r from the parent center, so every child is NTPP its parent by
+  // construction. Guarded so the 0.0 default draws nothing.
+  if (config.slum_nested_fraction > 0.0 && !slum_shapes.empty()) {
+    const size_t num_nested = static_cast<size_t>(
+        config.slum_nested_fraction * static_cast<double>(config.num_slums));
+    for (size_t i = 0; i < num_nested; ++i) {
+      const auto& [parent_center, parent_radius] =
+          slum_shapes[rng.NextUint64(slum_shapes.size())];
+      const double angle = rng.NextDouble(0.0, 2.0 * M_PI);
+      const double offset = rng.NextDouble(0.0, 0.1) * parent_radius;
+      const double mean = rng.NextDouble(0.25, 0.40) * parent_radius;
+      const Point center(parent_center.x + offset * std::cos(angle),
+                         parent_center.y + offset * std::sin(angle));
+      Polygon blob =
+          Blob(center, mean, static_cast<int>(rng.NextInt(6, 10)), &rng);
+      if (config.boundary_detail > 1) {
+        blob = Polygon(LinearRing(Densify(blob.shell().points(),
+                                          config.boundary_detail,
+                                          /*closed=*/false)));
+      }
+      city->slums.Add(std::move(blob));
+    }
   }
 
   // Schools and police centers: uniform points.

@@ -27,6 +27,13 @@ struct CityConfig {
   /// benchmarks aiming for that regime set a tighter range.
   double slum_radius_min = 0.15;
   double slum_radius_max = 0.45;
+  /// Extra nested slums as a fraction of num_slums: each is generated
+  /// strictly inside a randomly chosen base slum (NTPP by construction),
+  /// modelling the favela-inside-favela configurations that give the
+  /// extraction inference tier containment chains to compose through.
+  /// The default 0.0 consumes no random draws, so existing seeds keep
+  /// generating bit-identical cities.
+  double slum_nested_fraction = 0.0;
   size_t num_schools = 160;   ///< Points.
   size_t num_police = 24;     ///< Points.
   size_t num_streets = 120;   ///< Random-walk polylines.

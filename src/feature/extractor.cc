@@ -3,7 +3,12 @@
 #include <cmath>
 #include <unordered_set>
 
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
 #include "geom/algorithms.h"
+#include "geom/validity.h"
 #include "obs/trace.h"
 #include "relate/relate.h"
 #include "util/stopwatch.h"
@@ -15,9 +20,12 @@ namespace feature {
 
 std::string ExtractionStats::ToString() const {
   return StrFormat(
-      "extraction rows=%zu threads=%zu candidates=%llu millis=%.1f\n  %s",
+      "extraction rows=%zu threads=%zu candidates=%llu pivot_pairs=%llu "
+      "pivot_calls=%llu millis=%.1f\n  %s",
       rows, threads, static_cast<unsigned long long>(envelope_candidates),
-      total_millis, relate.ToString().c_str());
+      static_cast<unsigned long long>(infer_pivot_pairs),
+      static_cast<unsigned long long>(infer_pivot_calls), total_millis,
+      relate.ToString().c_str());
 }
 
 void ExtractionStats::PublishTo(obs::MetricsRegistry* registry) const {
@@ -33,6 +41,11 @@ void ExtractionStats::PublishTo(obs::MetricsRegistry* registry) const {
   registry->GetCounter("relate.miss_boundary").Add(relate.miss_boundary);
   registry->GetCounter("relate.miss_inconclusive")
       .Add(relate.miss_inconclusive);
+  registry->GetCounter("extract.infer.pivot_pairs").Add(infer_pivot_pairs);
+  registry->GetCounter("extract.infer.pivot_calls").Add(infer_pivot_calls);
+  registry->GetCounter("relate.inferred").Add(relate.inferred);
+  registry->GetCounter("relate.inferred_skipped").Add(relate.inferred_skipped);
+  registry->GetCounter("relate.converse_hits").Add(relate.converse_hits);
 }
 
 ExtractionStats ExtractionStats::FromMetrics(
@@ -56,7 +69,251 @@ ExtractionStats ExtractionStats::FromMetrics(
   stats.relate.fast_within = counter("relate.fast_within");
   stats.relate.miss_boundary = counter("relate.miss_boundary");
   stats.relate.miss_inconclusive = counter("relate.miss_inconclusive");
+  stats.infer_pivot_pairs = counter("extract.infer.pivot_pairs");
+  stats.infer_pivot_calls = counter("extract.infer.pivot_calls");
+  stats.relate.inferred = counter("relate.inferred");
+  stats.relate.inferred_skipped = counter("relate.inferred_skipped");
+  stats.relate.converse_hits = counter("relate.converse_hits");
   return stats;
+}
+
+namespace {
+
+/// The inference tier's admission bar: RCC8's composition table is only
+/// guaranteed for valid regions, so only validated areal features may
+/// participate in deductions (an invalid geometry silently degrades to the
+/// engine path, never to a wrong answer).
+bool InferEligible(const geom::Geometry& g) {
+  return g.Dimension() == 2 && geom::Validate(g).ok();
+}
+
+/// An empty per-layer pair store with the eligibility bitmap filled.
+qsr::Rcc8PairStore NewPairStore(const Layer& layer) {
+  qsr::Rcc8PairStore store(layer.Size());
+  const std::vector<Feature>& features = layer.features();
+  for (size_t id = 0; id < features.size(); ++id) {
+    store.SetEligible(id, InferEligible(features[id].geometry()));
+  }
+  return store;
+}
+
+/// Classifies one engine matrix into an RCC8 base relation, or nullopt
+/// when the relation falls outside the jointly-exhaustive areal eight.
+Result<qsr::Rcc8> ClassifyRcc8(const relate::IntersectionMatrix& matrix,
+                               const geom::Geometry& a,
+                               const geom::Geometry& b) {
+  return qsr::Rcc8FromTopological(
+      qsr::ClassifyMatrix(matrix, a.Dimension(), b.Dimension()));
+}
+
+/// \brief Builds one relevant layer's cross store (serial; prepare phase):
+/// reference-to-candidate relations for envelope-containment pairs, plus
+/// the reference-to-reference pairs those relations make usable.
+///
+/// The cross relations are free in aggregate: every (reference, candidate)
+/// pair admitted here is by construction one of that reference's own row
+/// candidates, so the row reuses the stored relation instead of invoking
+/// the engine — one prepare call replaces one row call exactly. The
+/// reference pairs are the only speculative spend, and they are bought
+/// lazily: R(A, B) is computed only when some candidate held strictly
+/// inside B (or equal to B) also protrudes, by envelope, into A's row —
+/// the one shape where Compose(R(A, B), R(B, C)) can collapse to a
+/// singleton ({DC} via EC;NTPPi or DC;NTPPi, or R(A, B) itself via x;EQ)
+/// and save that row's engine call. One reference pair amortizes over
+/// every candidate the two rows share.
+qsr::Rcc8CrossStore BuildCrossStore(const Layer& reference,
+                                    const std::vector<uint8_t>& ref_eligible,
+                                    const Layer& layer,
+                                    const qsr::Rcc8PairStore& store,
+                                    uint64_t* engine_calls) {
+  qsr::Rcc8CrossStore cross;
+  const std::vector<relate::PreparedGeometry>& ref_prepared =
+      reference.Prepared();
+  const std::vector<Feature>& ref_features = reference.features();
+  const std::vector<relate::PreparedGeometry>& prepared = layer.Prepared();
+  const std::vector<Feature>& features = layer.features();
+
+  // Containment-family cross relations seed {DC} (or exact) compositions
+  // for other rows; anything else composes to a disjunction no row can
+  // act on, so it never justifies buying a reference pair.
+  std::vector<std::vector<uint64_t>> triggers(ref_features.size());
+  std::vector<uint64_t> candidates;
+  for (uint64_t rid = 0; rid < ref_features.size(); ++rid) {
+    if (ref_eligible[rid] == 0) continue;
+    const geom::Envelope& env_ref = ref_prepared[rid].envelope();
+    candidates.clear();
+    layer.Index().Query(env_ref, &candidates);
+    for (uint64_t cid : candidates) {
+      if (!store.Eligible(cid)) continue;
+      const geom::Envelope& env_cand = prepared[cid].envelope();
+      const double slack = relate::CollinearityBandSlack(env_ref) +
+                           relate::CollinearityBandSlack(env_cand);
+      if (!env_ref.Buffered(slack).Contains(env_cand)) continue;
+      const relate::IntersectionMatrix matrix =
+          ref_prepared[rid].Relate(prepared[cid]);
+      ++*engine_calls;
+      const Result<qsr::Rcc8> rel8 =
+          ClassifyRcc8(matrix, ref_features[rid].geometry(),
+                       features[cid].geometry());
+      if (!rel8.ok()) continue;
+      cross.SetCross(rid, cid, rel8.value());
+      if (rel8.value() == qsr::Rcc8::kNTPPi ||
+          rel8.value() == qsr::Rcc8::kEQ) {
+        triggers[rid].push_back(cid);
+      }
+    }
+  }
+
+  // One reference-index query per triggering row (the union envelope of
+  // its trigger candidates), not one per trigger; the per-candidate
+  // envelope test below restores the exact per-trigger row set.
+  std::vector<uint64_t> rows;
+  for (uint64_t rid = 0; rid < triggers.size(); ++rid) {
+    if (triggers[rid].empty()) continue;
+    geom::Envelope probe;
+    for (uint64_t cid : triggers[rid]) {
+      probe.ExpandToInclude(prepared[cid].envelope());
+    }
+    rows.clear();
+    reference.Index().Query(probe, &rows);
+    for (uint64_t other : rows) {
+      if (other == rid || ref_eligible[other] == 0) continue;
+      if (cross.HasRefPair(other, rid)) continue;
+      const geom::Envelope& env_other = ref_prepared[other].envelope();
+      bool shared = false;
+      for (uint64_t cid : triggers[rid]) {
+        if (prepared[cid].envelope().Intersects(env_other)) {
+          shared = true;
+          break;
+        }
+      }
+      if (!shared) continue;
+      const relate::IntersectionMatrix matrix =
+          ref_prepared[other].Relate(ref_prepared[rid]);
+      ++*engine_calls;
+      const Result<qsr::Rcc8> rel8 =
+          ClassifyRcc8(matrix, ref_features[other].geometry(),
+                       ref_features[rid].geometry());
+      if (rel8.ok()) cross.SetRefPair(other, rid, rel8.value());
+    }
+  }
+  return cross;
+}
+
+/// \brief Joins one relevant layer's candidate-to-candidate relation
+/// pairs into `store` (serial; prepare phase).
+///
+/// Only envelope-containment pairs are joined: the containment family
+/// (TPP/NTPP/TPPi/NTPPi/EQ) — the only relations that ever collapse a
+/// composition to a singleton — forces the part's envelope inside the
+/// whole's, so every profitable pair survives this filter (widened by the
+/// tolerance band slack) and the up-front engine budget is spent only
+/// where a row deduction can pay it back. Pairs whose inner member the
+/// cross store already anchors to a reference are skipped outright: its
+/// home row has the exact relation and every other row deduces through
+/// the reference pairs, so a candidate pivot could only re-derive what is
+/// already known. Each unordered pair is related once; `engine_calls`
+/// counts those calls.
+void JoinPairStore(const Layer& layer, const qsr::Rcc8CrossStore& cross,
+                   qsr::Rcc8PairStore* store, uint64_t* engine_calls) {
+  const std::vector<relate::PreparedGeometry>& prepared = layer.Prepared();
+  const std::vector<Feature>& features = layer.features();
+
+  // Regime check: when the references blanket the candidate set (most
+  // eligible candidates are cross-anchored), candidate pivots are
+  // provably subsumed — a candidate nested inside an anchored container
+  // is itself envelope-inside the same reference, hence anchored too, so
+  // every pair this join could store either duplicates a cross relation
+  // or links two straddlers whose row relations are rarely decisive.
+  // Sparse references (a cluster the reference only touches) are the
+  // opposite regime: nothing is anchored and candidate pivots are the
+  // only tier, so the join earns its engine budget there.
+  size_t eligible = 0, anchored = 0;
+  for (uint64_t id = 0; id < features.size(); ++id) {
+    if (!store->Eligible(id)) continue;
+    ++eligible;
+    if (cross.CrossOf(id) != nullptr) ++anchored;
+  }
+  if (anchored * 2 > eligible) return;
+
+  std::vector<uint64_t> candidates;
+  for (uint64_t inner = 0; inner < features.size(); ++inner) {
+    if (!store->Eligible(inner)) continue;
+    if (cross.CrossOf(inner) != nullptr) continue;
+    const geom::Envelope& env_inner = prepared[inner].envelope();
+    candidates.clear();
+    layer.Index().Query(env_inner, &candidates);
+    for (uint64_t outer : candidates) {
+      if (outer == inner || !store->Eligible(outer)) continue;
+      const geom::Envelope& env_outer = prepared[outer].envelope();
+      const double slack = relate::CollinearityBandSlack(env_outer) +
+                           relate::CollinearityBandSlack(env_inner);
+      if (!env_outer.Buffered(slack).Contains(env_inner)) continue;
+      // Mutually containing envelopes pass the filter in both scan
+      // orders; keep only the outer < inner orientation.
+      if (outer > inner && env_inner.Buffered(slack).Contains(env_outer) &&
+          cross.CrossOf(outer) == nullptr) {
+        continue;
+      }
+      const relate::IntersectionMatrix matrix =
+          prepared[outer].Relate(prepared[inner]);
+      ++*engine_calls;
+      const Result<qsr::Rcc8> rel8 = ClassifyRcc8(
+          matrix, features[outer].geometry(), features[inner].geometry());
+      // Every classifiable relation is kept, not just the containment
+      // family: a DC/EC/PO edge still tightens multi-pivot intersections,
+      // and the call is already paid for.
+      if (rel8.ok()) store->Set(outer, inner, rel8.value());
+    }
+  }
+}
+
+}  // namespace
+
+const PredicateExtractor::InferState* PredicateExtractor::InferStateFor(
+    bool* built_this_run) const {
+  std::lock_guard<std::mutex> lock(infer_mu_);
+  if (infer_state_ != nullptr) {
+    *built_this_run = false;
+    return infer_state_.get();
+  }
+
+  // First inference-enabled run on this extractor: build the per-layer
+  // pair stores and the reference admission bitmap, serially. The result
+  // is immutable from here on — read-only during every parallel join and
+  // shared by every later Extract call.
+  obs::Tracer::Span infer_span = obs::Tracer::Global().StartSpan(
+      "extract/infer");
+  auto state = std::make_unique<InferState>();
+  const std::vector<Feature>& refs = reference_->features();
+  state->ref_eligible.assign(refs.size(), 0);
+  for (const Feature& ref : refs) {
+    state->ref_eligible[ref.id()] = InferEligible(ref.geometry()) ? 1 : 0;
+  }
+  // The cross-store build queries the reference layer's R-tree; warm it
+  // here, still single-threaded.
+  reference_->Index();
+  state->stores.reserve(relevant_.size());
+  state->cross.reserve(relevant_.size());
+  for (const Layer* layer : relevant_) {
+    qsr::Rcc8PairStore store = NewPairStore(*layer);
+    qsr::Rcc8CrossStore cross;
+    if (!layer->IsEmpty()) {
+      cross = BuildCrossStore(*reference_, state->ref_eligible, *layer,
+                              store, &state->build_calls);
+      JoinPairStore(*layer, cross, &store, &state->build_calls);
+    }
+    state->num_pairs +=
+        store.NumPairs() + cross.NumCross() + cross.NumRefPairs();
+    state->stores.push_back(std::move(store));
+    state->cross.push_back(std::move(cross));
+  }
+  infer_span.SetAttr("pivot_pairs", static_cast<double>(state->num_pairs));
+  infer_span.SetAttr("pivot_calls",
+                     static_cast<double>(state->build_calls));
+  infer_state_ = std::move(state);
+  *built_this_run = true;
+  return infer_state_.get();
 }
 
 Result<PredicateTable> PredicateExtractor::Extract(
@@ -88,13 +345,23 @@ Result<PredicateTable> PredicateExtractor::Extract(
   const std::vector<Feature>& refs = reference_->features();
   std::vector<RowDraft> drafts(refs.size());
 
+  const InferState* infer_state = nullptr;
+  if (options.topological && options.infer_relate) {
+    bool built_this_run = false;
+    infer_state = InferStateFor(&built_this_run);
+    // The build's engine calls belong to the run that paid them; later
+    // runs reuse the stores for free (see InferState).
+    if (built_this_run) run_stats.infer_pivot_calls = infer_state->build_calls;
+    run_stats.infer_pivot_pairs = infer_state->num_pairs;
+  }
+
   ThreadPool pool(ResolveParallelism(options.parallelism));
   {
     obs::Tracer::Span join_span = tracer.StartSpan("extract/join");
     join_span.SetAttr("threads", static_cast<double>(pool.num_threads()));
     join_span.SetAttr("rows", static_cast<double>(refs.size()));
     pool.ParallelFor(0, refs.size(), [&](size_t i) {
-      drafts[i] = ExtractRow(refs[i], options);
+      drafts[i] = ExtractRow(refs[i], options, infer_state);
     });
   }
 
@@ -129,7 +396,8 @@ Result<PredicateTable> PredicateExtractor::Extract(
 }
 
 PredicateExtractor::RowDraft PredicateExtractor::ExtractRow(
-    const Feature& ref, const ExtractorOptions& options) const {
+    const Feature& ref, const ExtractorOptions& options,
+    const InferState* infer) const {
   RowDraft draft;
   const Result<std::string> name = ref.Attribute("name");
   if (name.ok()) {
@@ -149,10 +417,17 @@ PredicateExtractor::RowDraft PredicateExtractor::ExtractRow(
   // row (all layers, all candidates) and every later Extract call.
   const relate::PreparedGeometry& prepared =
       reference_->Prepared()[ref.id()];
-  for (const Layer* layer : relevant_) {
+  // Inference is per (row, layer): an ineligible reference degrades the
+  // whole row to the engine-only path.
+  const bool row_infers =
+      infer != nullptr && infer->ref_eligible[ref.id()] != 0;
+  for (size_t li = 0; li < relevant_.size(); ++li) {
+    const Layer* layer = relevant_[li];
     if (layer->IsEmpty()) continue;
     if (options.topological) {
-      ExtractTopological(prepared, *layer, options, &draft);
+      ExtractTopological(prepared, ref.id(), *layer, options,
+                         row_infers ? &infer->stores[li] : nullptr,
+                         row_infers ? &infer->cross[li] : nullptr, &draft);
     }
     if (options.distance_bands != nullptr &&
         (options.distance_types.empty() ||
@@ -168,30 +443,89 @@ PredicateExtractor::RowDraft PredicateExtractor::ExtractRow(
 }
 
 void PredicateExtractor::ExtractTopological(
-    const relate::PreparedGeometry& ref, const Layer& layer,
-    const ExtractorOptions& options, RowDraft* draft) const {
+    const relate::PreparedGeometry& ref, uint64_t ref_id, const Layer& layer,
+    const ExtractorOptions& options, const qsr::Rcc8PairStore* pairs,
+    const qsr::Rcc8CrossStore* cross, RowDraft* draft) const {
   const std::vector<relate::PreparedGeometry>& prepared_others =
       layer.Prepared();
   std::vector<uint64_t> candidates;
   layer.Index().Query(ref.envelope(), &candidates);
   draft->envelope_candidates += candidates.size();
-  for (uint64_t id : candidates) {
-    const Feature& other = layer.at(id);
+
+  // Decides one candidate's relation: by RCC8 deduction — through the
+  // cross store's reference pivots and through candidate pivots the row
+  // already knows — when the composed set collapses to a singleton, by
+  // the engine otherwise, with the engine result fed back to tighten
+  // later deductions. `cluster` is row-and-layer-local, so the parallel
+  // workers share nothing mutable.
+  qsr::ClusterInference cluster(pairs, cross, ref_id);
+  const auto decide = [&](uint64_t id) -> qsr::TopologicalRelation {
     // Feature ids are assigned sequentially from 0, so the id doubles as
     // the index into the layer's prepared cache.
+    const Feature& other = layer.at(id);
     const relate::PreparedGeometry& prepared_other = prepared_others[id];
+    const bool eligible = pairs != nullptr && pairs->Eligible(id);
+    if (eligible) {
+      const qsr::Rcc8Deduction deduction = cluster.Deduce(id);
+      if (deduction.set.IsSingleton()) {
+        const qsr::Rcc8 rel8 = deduction.set.Single();
+        cluster.Record(id, rel8);
+        draft->relate.converse_hits += deduction.converse_hits;
+        if (rel8 == qsr::Rcc8::kDC) {
+          ++draft->relate.inferred_skipped;
+        } else {
+          ++draft->relate.inferred;
+        }
+        return qsr::TopologicalFromRcc8(rel8);
+      }
+      // Empty set = algebra contradiction (a tolerance artifact broke
+      // compositional soundness somewhere): not a decision, fall through
+      // to the engine like any other non-singleton.
+    }
     const relate::IntersectionMatrix matrix =
         options.fast_relate ? ref.Relate(prepared_other, &draft->relate)
                             : ref.RelateFull(prepared_other);
     const qsr::TopologicalRelation rel = qsr::ClassifyMatrix(
         matrix, ref.geometry().Dimension(), other.geometry().Dimension());
-    if (rel == qsr::TopologicalRelation::kDisjoint) continue;
+    if (eligible) {
+      const Result<qsr::Rcc8> rel8 = qsr::Rcc8FromTopological(rel);
+      if (rel8.ok()) cluster.Record(id, rel8.value());
+    }
+    return rel;
+  };
+
+  const auto emit = [&](uint64_t id, qsr::TopologicalRelation rel) {
+    if (rel == qsr::TopologicalRelation::kDisjoint) return;
+    const Feature& other = layer.at(id);
     const std::string type =
         options.instance_granularity
             ? layer.feature_type() + std::to_string(other.id())
             : layer.feature_type();
     draft->predicates.push_back(
         Predicate::Spatial(qsr::TopologicalRelationName(rel), type));
+  };
+
+  if (pairs == nullptr) {
+    for (uint64_t id : candidates) emit(id, decide(id));
+    return;
+  }
+
+  // Inference path: decide in container-first order (larger envelopes
+  // first), so by the time a nested feature comes up its container is
+  // usually known and the composition can decide it — then emit in the
+  // original candidate order, which keeps the output byte-identical to
+  // the engine-only path at every thread count.
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const geom::Envelope& ea = prepared_others[candidates[a]].envelope();
+    const geom::Envelope& eb = prepared_others[candidates[b]].envelope();
+    return ea.Width() * ea.Height() > eb.Width() * eb.Height();
+  });
+  std::vector<qsr::TopologicalRelation> relations(candidates.size());
+  for (size_t idx : order) relations[idx] = decide(candidates[idx]);
+  for (size_t idx = 0; idx < candidates.size(); ++idx) {
+    emit(candidates[idx], relations[idx]);
   }
 }
 

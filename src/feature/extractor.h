@@ -2,6 +2,8 @@
 #define SFPM_FEATURE_EXTRACTOR_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -11,6 +13,7 @@
 #include "obs/metrics.h"
 #include "qsr/direction.h"
 #include "qsr/distance.h"
+#include "qsr/infer.h"
 #include "qsr/topological.h"
 #include "relate/prepared.h"
 
@@ -62,6 +65,17 @@ struct ExtractorOptions {
   /// returns the identical DE-9IM matrix, so this only exists for A/B
   /// benchmarking and differential tests; leave it on.
   bool fast_relate = true;
+
+  /// Use the RCC8 inference tier: before relating the reference against a
+  /// candidate, reuse the exact prepare-phase relation or compose
+  /// already-known relations through shared pivots (qsr::ClusterInference
+  /// over per-layer qsr::Rcc8PairStore / qsr::Rcc8CrossStore, built once
+  /// per extractor and reused by every later Extract); a singleton
+  /// composition decides the pair without the engine. The emitted
+  /// predicates are byte-identical on or off at every thread count — the
+  /// flag exists for A/B benchmarking and differential tests; leave it
+  /// on. See docs/ARCHITECTURE.md, "Hot paths".
+  bool infer_relate = true;
 };
 
 /// \brief Observability counters of one Extract run, for `sfpm_cli
@@ -79,7 +93,17 @@ struct ExtractionStats {
   /// Envelope-join candidates refined by the DE-9IM engine (the number of
   /// Relate calls issued by the topological extractor).
   uint64_t envelope_candidates = 0;
-  relate::RelateStats relate;   ///< Fast-path outcome counters.
+  /// Relations in the inference tier's per-layer stores: candidate pairs,
+  /// reference-to-candidate cross relations, and reference pairs. Reported
+  /// by every inference-enabled run (the stores are cached per extractor).
+  uint64_t infer_pivot_pairs = 0;
+  /// Engine calls spent building those stores — the inference tier's
+  /// one-time prepare cost. Counted apart from `relate.calls` so A/B
+  /// comparisons can total them honestly; nonzero only on the run that
+  /// built the cache (the first inference-enabled Extract), zero on every
+  /// later run of the same extractor.
+  uint64_t infer_pivot_calls = 0;
+  relate::RelateStats relate;   ///< Fast-path + inference outcome counters.
   double total_millis = 0.0;    ///< Wall time of the Extract call.
 
   std::string ToString() const;
@@ -110,6 +134,14 @@ class PredicateExtractor {
   explicit PredicateExtractor(const Layer* reference)
       : reference_(reference) {}
 
+  /// Movable (the pipeline stores extractors by value); the inference
+  /// cache moves along, the mutex is recreated. Not safe concurrently
+  /// with Extract, like any move.
+  PredicateExtractor(PredicateExtractor&& other) noexcept
+      : reference_(other.reference_),
+        relevant_(std::move(other.relevant_)),
+        infer_state_(std::move(other.infer_state_)) {}
+
   /// Registers a relevant layer (slums, schools, ...). The layer must
   /// outlive the extractor.
   void AddRelevantLayer(const Layer* layer) { relevant_.push_back(layer); }
@@ -132,11 +164,39 @@ class PredicateExtractor {
     relate::RelateStats relate;
   };
 
-  RowDraft ExtractRow(const Feature& ref,
-                      const ExtractorOptions& options) const;
+  /// Immutable inputs of the inference tier, built serially in the
+  /// prepare phase and read concurrently by every row worker.
+  ///
+  /// The state depends only on the reference and relevant layers — never
+  /// on ExtractorOptions or on any per-row result — and layers are
+  /// immutable once handed to the extractor (the same contract
+  /// Layer::Prepared() relies on). So the first inference-enabled Extract
+  /// builds it and every later Extract on this extractor reuses it: the
+  /// pivot-store engine calls (`infer_pivot_calls`) are a one-time
+  /// prepare cost, not a per-run tax, and repeated extraction (the serve
+  /// pipeline's regime) runs the inference tier for free.
+  struct InferState {
+    /// One pair store per entry of relevant_, same order.
+    std::vector<qsr::Rcc8PairStore> stores;
+    /// One cross store (reference-to-candidate relations + the reference
+    /// pairs that make them composable) per entry of relevant_.
+    std::vector<qsr::Rcc8CrossStore> cross;
+    /// Per reference-feature id: valid areal, admitted to inference.
+    std::vector<uint8_t> ref_eligible;
+    /// Engine calls the build spent (reported by the building run only).
+    uint64_t build_calls = 0;
+    /// Relations stored across all stores (reported by every run).
+    uint64_t num_pairs = 0;
+  };
+
+  RowDraft ExtractRow(const Feature& ref, const ExtractorOptions& options,
+                      const InferState* infer) const;
   void ExtractTopological(const relate::PreparedGeometry& ref,
-                          const Layer& layer, const ExtractorOptions& options,
-                          RowDraft* draft) const;
+                          uint64_t ref_id, const Layer& layer,
+                          const ExtractorOptions& options,
+                          const qsr::Rcc8PairStore* pairs,
+                          const qsr::Rcc8CrossStore* cross, RowDraft* draft)
+      const;
   void ExtractDistance(const Feature& ref, const Layer& layer,
                        const qsr::DistanceQuantizer& bands,
                        bool instance_granularity,
@@ -144,8 +204,19 @@ class PredicateExtractor {
   void ExtractDirections(const Feature& ref, const Layer& layer,
                          std::vector<Predicate>* out) const;
 
+  /// Returns the inference-tier state, building it under the lock on the
+  /// first inference-enabled Extract. `built_this_run` reports whether
+  /// this call paid the build (its engine calls belong to this run's
+  /// counters).
+  const InferState* InferStateFor(bool* built_this_run) const;
+
   const Layer* reference_;
   std::vector<const Layer*> relevant_;
+
+  /// Lazily built inference-tier cache; see InferState. Guarded by
+  /// infer_mu_ during build, immutable afterwards.
+  mutable std::mutex infer_mu_;
+  mutable std::unique_ptr<InferState> infer_state_;
 };
 
 }  // namespace feature

@@ -347,6 +347,48 @@ std::vector<Geometry> ArealTriple(Rng* rng) {
   return out;
 }
 
+std::vector<Geometry> ArealCluster(Rng* rng) {
+  const int span = 3 + static_cast<int>(rng->NextUint64(4));
+  const size_t members = 4 + rng->NextUint64(4);
+  std::vector<Geometry> out;
+  out.emplace_back(GridConvexPolygon(rng, span));
+  while (out.size() < members) {
+    switch (rng->NextUint64(5)) {
+      case 0:  // Independent region.
+        out.emplace_back(GridConvexPolygon(rng, span));
+        break;
+      case 1: {  // Nested copy of an earlier region: containment chains.
+        const Polygon& base =
+            out[rng->NextUint64(out.size())].As<Polygon>();
+        const double factor = rng->NextBool(0.7) ? 0.5 : 2.0;
+        out.emplace_back(
+            ScaledPolygon(base, geom::Centroid(Geometry(base)), factor));
+        break;
+      }
+      case 2: {  // Lattice-translated copy: touch / overlap bias.
+        const Geometry& base = out[rng->NextUint64(out.size())];
+        out.push_back(Translated(base,
+                                 static_cast<double>(rng->NextInt(0, span)),
+                                 static_cast<double>(rng->NextInt(0, 1))));
+        break;
+      }
+      case 3:  // Blob tier: float coordinates against the lattice.
+        out.emplace_back(BlobPolygon(rng, static_cast<double>(span)));
+        break;
+      default:  // Exact copy: EQ cases.
+        out.push_back(out[rng->NextUint64(out.size())]);
+        break;
+    }
+  }
+  // Occasionally push one member into the tolerance band, where the
+  // inference tier must still agree with the engine bit for bit.
+  if (rng->NextBool(0.25)) {
+    const size_t victim = rng->NextUint64(out.size());
+    JitterGeometry(rng, static_cast<double>(span), &out[victim]);
+  }
+  return out;
+}
+
 std::vector<Point> AdversarialSegmentQuad(Rng* rng) {
   const int span = 4;
   Point a1 = GridPoint(rng, span);

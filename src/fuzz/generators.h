@@ -64,6 +64,13 @@ std::vector<geom::Geometry> RandomGeometryPair(Rng* rng);
 /// input for the RCC8 composition-table oracle.
 std::vector<geom::Geometry> ArealTriple(Rng* rng);
 
+/// \brief A reference region (element 0) plus 3..6 candidate regions with
+/// heavy containment-chain bias (nested copies of nested copies, exact
+/// copies, lattice translations) — input for the relate_inferred oracle,
+/// which runs the extraction inference tier over the cluster and demands
+/// byte-identical output against the engine-only path.
+std::vector<geom::Geometry> ArealCluster(Rng* rng);
+
 /// \brief Four points encoding two adversarial segments (a1 a2 b1 b2):
 /// proper crossings near endpoints, near-parallel and near-collinear
 /// pairs, exact collinear overlaps, shared vertices, degenerate

@@ -7,10 +7,11 @@ namespace fuzz {
 
 const std::vector<const Oracle*>& AllOracles() {
   static const std::vector<const Oracle*> all = {
-      internal::SegmentOracle(),     internal::RelatePairOracle(),
-      internal::RelateCityOracle(),  internal::Rcc8JepdOracle(),
-      internal::Rcc8ComposeOracle(), internal::RtreeOracle(),
-      internal::MiningOracle(),      internal::StoreOracle(),
+      internal::SegmentOracle(),        internal::RelatePairOracle(),
+      internal::RelateCityOracle(),     internal::Rcc8JepdOracle(),
+      internal::Rcc8ComposeOracle(),    internal::RelateInferredOracle(),
+      internal::RtreeOracle(),          internal::MiningOracle(),
+      internal::StoreOracle(),
   };
   return all;
 }

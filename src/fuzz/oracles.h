@@ -56,6 +56,11 @@ class Oracle {
 ///                    observed (A,C) relation for every observed
 ///                    (A,B),(B,C), and the 3-variable constraint network
 ///                    stays path-consistent.
+///  * `relate_inferred` — extraction inference tier differential: the
+///                    predicate extractor over a containment-biased
+///                    cluster with RCC8 inference off, on, and on at 2
+///                    threads produces byte-identical predicate tables
+///                    (instance granularity, so every pair is visible).
 ///  * `rtree`       — R-tree Query / QueryWithinDistance / Nearest against
 ///                    linear scans over the same envelopes, bulk-loaded
 ///                    and incrementally built.

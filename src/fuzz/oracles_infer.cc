@@ -1,0 +1,117 @@
+#include <string>
+#include <vector>
+
+#include "feature/extractor.h"
+#include "feature/feature.h"
+#include "fuzz/generators.h"
+#include "fuzz/oracles_internal.h"
+#include "io/table_io.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace fuzz {
+namespace internal {
+
+using geom::Geometry;
+
+namespace {
+
+/// --- relate_inferred ----------------------------------------------------
+///
+/// End-to-end differential for the extraction inference tier: run the
+/// predicate extractor over a containment-biased cluster (elements 0-1 as
+/// a two-row reference layer — so reference-pair composition has rows to
+/// fire between — and the rest as one relevant layer) with RCC8 inference
+/// off, on, and on at 2 threads, and demand the three predicate tables be
+/// byte-identical as CSV. Instance granularity makes every candidate's
+/// relation individually visible, so a single wrongly deduced pair cannot
+/// hide behind another candidate emitting the same predicate name.
+///
+/// Unlike the algebra-level rcc8_compose family this exercises the real
+/// production path — pair-store build, admission gating, pivot ordering,
+/// deduction, fallback — against the engine-only path as the reference.
+class RelateInferredOracle final : public Oracle {
+ public:
+  std::string Name() const override { return "relate_inferred"; }
+
+  FuzzCase Generate(uint64_t seed) const override {
+    FuzzCase c;
+    c.oracle = Name();
+    c.seed = seed;
+    Rng rng(seed);
+    c.geoms = ArealCluster(&rng);
+    return c;
+  }
+
+  Status Check(const FuzzCase& c) const override {
+    if (c.geoms.size() < 3) {
+      return Status::InvalidArgument(
+          "relate_inferred case needs two references and >= 1 candidate");
+    }
+    feature::Layer reference("ref");
+    reference.Add(c.geoms[0]);
+    reference.Add(c.geoms[1]);
+    feature::Layer candidates("cand");
+    for (size_t i = 2; i < c.geoms.size(); ++i) {
+      candidates.Add(c.geoms[i]);
+    }
+
+    feature::PredicateExtractor extractor(&reference);
+    extractor.AddRelevantLayer(&candidates);
+
+    feature::ExtractorOptions options;
+    options.instance_granularity = true;
+    options.parallelism = 1;
+
+    options.infer_relate = false;
+    const auto engine_only = extractor.Extract(options);
+    if (!engine_only.ok()) {
+      return Violation("infer/extract-error",
+                       "engine-only extract failed: " +
+                           engine_only.status().message());
+    }
+    const std::string reference_csv = io::TableToCsv(engine_only.value());
+
+    options.infer_relate = true;
+    const auto inferred = extractor.Extract(options);
+    if (!inferred.ok()) {
+      return Violation("infer/extract-error",
+                       "inference extract failed: " +
+                           inferred.status().message());
+    }
+    if (io::TableToCsv(inferred.value()) != reference_csv) {
+      return Violation(
+          "infer/output-identity",
+          "inference-on predicate table differs from engine-only table "
+          "for reference " +
+              c.geoms[0].ToWkt());
+    }
+
+    options.parallelism = 2;
+    const auto parallel = extractor.Extract(options);
+    if (!parallel.ok()) {
+      return Violation("infer/extract-error",
+                       "2-thread inference extract failed: " +
+                           parallel.status().message());
+    }
+    if (io::TableToCsv(parallel.value()) != reference_csv) {
+      return Violation(
+          "infer/thread-identity",
+          "2-thread inference table differs from the serial table for "
+          "reference " +
+              c.geoms[0].ToWkt());
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const Oracle* RelateInferredOracle() {
+  static const class RelateInferredOracle instance;
+  return &instance;
+}
+
+}  // namespace internal
+}  // namespace fuzz
+}  // namespace sfpm

@@ -18,6 +18,7 @@ const Oracle* RelatePairOracle();
 const Oracle* RelateCityOracle();
 const Oracle* Rcc8JepdOracle();
 const Oracle* Rcc8ComposeOracle();
+const Oracle* RelateInferredOracle();
 const Oracle* RtreeOracle();
 const Oracle* MiningOracle();
 const Oracle* StoreOracle();

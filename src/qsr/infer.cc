@@ -1,0 +1,95 @@
+#include "qsr/infer.h"
+
+#include <cassert>
+
+namespace sfpm {
+namespace qsr {
+
+void Rcc8PairStore::Set(uint64_t a, uint64_t b, Rcc8 rel) {
+  assert(a < adjacency_.size() && b < adjacency_.size() && a != b);
+  adjacency_[b].push_back(Rcc8PivotEdge{a, rel, false});
+  adjacency_[a].push_back(Rcc8PivotEdge{b, Rcc8Converse(rel), true});
+  ++num_pairs_;
+}
+
+void Rcc8CrossStore::SetCross(uint64_t ref, uint64_t cand, Rcc8 rel) {
+  cross_[cand].push_back(Rcc8PivotEdge{ref, rel, false});
+  ++num_cross_;
+}
+
+void Rcc8CrossStore::SetRefPair(uint64_t a, uint64_t b, Rcc8 rel) {
+  assert(a != b && !HasRefPair(a, b));
+  ref_pairs_[a].push_back(Rcc8PivotEdge{b, rel, false});
+  ref_pairs_[b].push_back(Rcc8PivotEdge{a, Rcc8Converse(rel), true});
+  ++num_ref_pairs_;
+}
+
+const std::vector<Rcc8PivotEdge>* Rcc8CrossStore::CrossOf(
+    uint64_t cand) const {
+  const auto it = cross_.find(cand);
+  return it == cross_.end() ? nullptr : &it->second;
+}
+
+const std::vector<Rcc8PivotEdge>* Rcc8CrossStore::RefPairsOf(
+    uint64_t ref) const {
+  const auto it = ref_pairs_.find(ref);
+  return it == ref_pairs_.end() ? nullptr : &it->second;
+}
+
+bool Rcc8CrossStore::HasRefPair(uint64_t a, uint64_t b) const {
+  const auto it = ref_pairs_.find(a);
+  if (it == ref_pairs_.end()) return false;
+  for (const Rcc8PivotEdge& edge : it->second) {
+    if (edge.pivot == b) return true;
+  }
+  return false;
+}
+
+Rcc8Deduction ClusterInference::Deduce(uint64_t candidate) const {
+  Rcc8Deduction out;
+
+  // Reference-pivot tier: exact prepare-phase relations (the row's own
+  // reference) and compositions through other references.
+  const std::vector<Rcc8PivotEdge>* cross =
+      cross_ == nullptr ? nullptr : cross_->CrossOf(candidate);
+  if (cross != nullptr) {
+    const std::vector<Rcc8PivotEdge>* ref_pairs = cross_->RefPairsOf(ref_id_);
+    for (const Rcc8PivotEdge& edge : *cross) {
+      if (edge.pivot == ref_id_) {
+        // R(ref -> candidate) itself was computed in the prepare phase:
+        // not a composition, the exact engine relation.
+        out.set &= Rcc8Set(edge.rel);
+        ++out.pivots_used;
+        continue;
+      }
+      if (ref_pairs == nullptr) continue;
+      for (const Rcc8PivotEdge& rr : *ref_pairs) {
+        if (rr.pivot != edge.pivot) continue;
+        out.set &= Rcc8Compose(Rcc8Set(rr.rel), Rcc8Set(edge.rel));
+        ++out.pivots_used;
+        if (rr.via_converse) ++out.converse_hits;
+        break;
+      }
+      if (out.set.IsEmpty()) return out;
+    }
+  }
+
+  // Candidate-pivot tier: compositions through this row's already-decided
+  // candidates.
+  if (store_ == nullptr || known_.empty()) return out;
+  for (const Rcc8PivotEdge& edge : store_->Neighbors(candidate)) {
+    const auto it = known_.find(edge.pivot);
+    if (it == known_.end()) continue;
+    out.set &= Rcc8Compose(Rcc8Set(it->second), Rcc8Set(edge.rel));
+    ++out.pivots_used;
+    if (edge.via_converse) ++out.converse_hits;
+    // No singleton early-exit: a later pivot that empties the set exposes
+    // a soundness violation the caller must handle by falling back, not a
+    // decision.
+    if (out.set.IsEmpty()) break;
+  }
+  return out;
+}
+
+}  // namespace qsr
+}  // namespace sfpm

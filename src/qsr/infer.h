@@ -1,0 +1,181 @@
+#ifndef SFPM_QSR_INFER_H_
+#define SFPM_QSR_INFER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "qsr/rcc8.h"
+
+namespace sfpm {
+namespace qsr {
+
+/// \brief One adjacency entry of Rcc8PairStore: a known relation between
+/// `pivot` and the candidate whose list holds the edge, oriented
+/// pivot-to-candidate so it can be composed directly after a known
+/// reference-to-pivot relation.
+struct Rcc8PivotEdge {
+  uint64_t pivot = 0;
+  Rcc8 rel = Rcc8::kDC;  ///< R(pivot -> candidate).
+  /// True when `rel` is the Rcc8Converse of the stored direction — the
+  /// free half of the unordered pair (each pair is computed once; the
+  /// reverse orientation costs nothing).
+  bool via_converse = false;
+};
+
+/// \brief An immutable-after-build store of known RCC8 relations between
+/// the features of one layer, laid out as adjacency lists so a deduction
+/// touches O(degree) edges rather than O(n) pairs.
+///
+/// The extraction inference tier builds one store per relevant layer in
+/// the serial prepare phase (see extractor.cc), then the parallel row
+/// workers read it concurrently: every accessor is const and touches only
+/// state frozen at build time.
+///
+/// Each unordered pair is Set() once; both orientations become edges, the
+/// reverse one via Rcc8Converse with `via_converse` marking it so the
+/// converse-symmetry savings are observable.
+class Rcc8PairStore {
+ public:
+  explicit Rcc8PairStore(size_t num_features)
+      : adjacency_(num_features), eligible_(num_features, 0) {}
+
+  size_t NumFeatures() const { return adjacency_.size(); }
+
+  /// Unordered pairs recorded so far (each contributes two edges).
+  size_t NumPairs() const { return num_pairs_; }
+
+  /// Records R(a -> b) = rel. Call at most once per unordered pair;
+  /// build-time only (not thread-safe against concurrent readers).
+  void Set(uint64_t a, uint64_t b, Rcc8 rel);
+
+  /// All known edges into `candidate`, each oriented pivot-to-candidate.
+  const std::vector<Rcc8PivotEdge>& Neighbors(uint64_t candidate) const {
+    return adjacency_[candidate];
+  }
+
+  /// \name Inference admission
+  /// RCC8's axioms hold for valid regions; an invalid geometry (self
+  /// intersections, degenerate rings) can make the engine's classification
+  /// non-compositional. The builder admits only validated areal features
+  /// and the extractor consults the flag before deducing.
+  /// @{
+  void SetEligible(uint64_t id, bool eligible) {
+    eligible_[id] = eligible ? 1 : 0;
+  }
+  bool Eligible(uint64_t id) const { return eligible_[id] != 0; }
+  /// @}
+
+ private:
+  std::vector<std::vector<Rcc8PivotEdge>> adjacency_;
+  std::vector<uint8_t> eligible_;
+  size_t num_pairs_ = 0;
+};
+
+/// \brief An immutable-after-build store of relations that cross the
+/// reference/candidate layer boundary, enabling deductions that pivot
+/// through *other reference features* rather than through candidates.
+///
+/// Two edge families, both oriented for direct composition:
+///  - cross edges: R(reference -> candidate) for envelope-containment
+///    pairs, computed once in the prepare phase. Each such pair is by
+///    construction a candidate of its own reference's row, so the row
+///    reuses the stored relation instead of re-invoking the engine —
+///    the prepare call substitutes one-for-one for the row call.
+///  - reference pairs: R(ref_a -> ref_b) for the pairs some deduction can
+///    actually use (a cross edge of a shared candidate). Stored once per
+///    unordered pair; the reverse orientation is derived via Rcc8Converse.
+///
+/// The payoff: when reference A holds candidate C strictly inside
+/// (R(A, C) = NTPPi) and reference B merely touches A (R(B, A) = EC),
+/// Compose(EC, NTPPi) = {DC} decides B's row for C with no engine call —
+/// one reference pair amortizes across every candidate the two rows
+/// share. Built serially, read concurrently (const accessors only).
+class Rcc8CrossStore {
+ public:
+  /// Records R(ref -> cand) = rel. Build-time only.
+  void SetCross(uint64_t ref, uint64_t cand, Rcc8 rel);
+
+  /// Records R(a -> b) = rel for two reference features. Both orientations
+  /// become edges (the reverse via Rcc8Converse). Build-time only; call at
+  /// most once per unordered pair.
+  void SetRefPair(uint64_t a, uint64_t b, Rcc8 rel);
+
+  /// Known reference edges into `cand` (pivot = a reference id), or null.
+  const std::vector<Rcc8PivotEdge>* CrossOf(uint64_t cand) const;
+
+  /// Known reference-to-reference edges out of `ref` (each edge.rel is
+  /// R(ref -> edge.pivot)), or null when none are recorded.
+  const std::vector<Rcc8PivotEdge>* RefPairsOf(uint64_t ref) const;
+
+  /// True when the unordered reference pair {a, b} is already recorded.
+  bool HasRefPair(uint64_t a, uint64_t b) const;
+
+  size_t NumCross() const { return num_cross_; }
+  size_t NumRefPairs() const { return num_ref_pairs_; }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<Rcc8PivotEdge>> cross_;
+  std::unordered_map<uint64_t, std::vector<Rcc8PivotEdge>> ref_pairs_;
+  size_t num_cross_ = 0;
+  size_t num_ref_pairs_ = 0;
+};
+
+/// \brief Outcome of one ClusterInference::Deduce call. `set` is the
+/// intersection of the compositions through every usable pivot: a
+/// singleton decides the pair without the engine; the empty set signals a
+/// contradiction (possible only when a tolerance artifact broke
+/// compositional soundness) and callers must fall back to the engine.
+struct Rcc8Deduction {
+  Rcc8Set set = Rcc8Set::Universal();
+  size_t pivots_used = 0;
+  /// Pivot edges consumed in the converse orientation.
+  size_t converse_hits = 0;
+};
+
+/// \brief Row-local RCC8 inference over one reference feature's candidate
+/// cluster: Record() feeds reference-to-candidate relations as they become
+/// known (engine-computed or deduced), Deduce() composes them with the
+/// pair store's candidate-to-candidate edges to decide later pairs
+/// algebraically.
+///
+/// The deduction rule is the algebra's composition axiom: given
+/// R(ref, p) and R(p, c), R(ref, c) must lie in Compose(R(ref, p),
+/// R(p, c)); intersecting over every known pivot p tightens the set, and
+/// a singleton is a decision. One instance per (row, layer); never shared
+/// across threads.
+class ClusterInference {
+ public:
+  /// `store` may be null (every Deduce returns Universal).
+  explicit ClusterInference(const Rcc8PairStore* store)
+      : ClusterInference(store, nullptr, 0) {}
+
+  /// With a cross store, Deduce additionally pivots through other
+  /// reference features: a cross edge naming this row's own reference
+  /// (`ref_id`) is the pair's exact prepare-phase relation; any other
+  /// cross edge composes after the matching reference pair. Either store
+  /// may be null independently.
+  ClusterInference(const Rcc8PairStore* store, const Rcc8CrossStore* cross,
+                   uint64_t ref_id)
+      : store_(store), cross_(cross), ref_id_(ref_id) {}
+
+  /// Records R(reference -> candidate) = rel.
+  void Record(uint64_t candidate, Rcc8 rel) { known_[candidate] = rel; }
+
+  size_t NumKnown() const { return known_.size(); }
+
+  /// Composes every known reference-to-pivot relation with the store's
+  /// pivot-to-candidate edge and intersects the results.
+  Rcc8Deduction Deduce(uint64_t candidate) const;
+
+ private:
+  const Rcc8PairStore* store_;
+  const Rcc8CrossStore* cross_;
+  uint64_t ref_id_;
+  std::unordered_map<uint64_t, Rcc8> known_;
+};
+
+}  // namespace qsr
+}  // namespace sfpm
+
+#endif  // SFPM_QSR_INFER_H_

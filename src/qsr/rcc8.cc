@@ -180,7 +180,7 @@ Rcc8Set Rcc8Compose(Rcc8 a, Rcc8 b) {
       kComposition[static_cast<uint8_t>(a)][static_cast<uint8_t>(b)]);
 }
 
-Rcc8Set Rcc8Compose(Rcc8Set a, Rcc8Set b) {
+Rcc8Set Rcc8ComposeUncached(Rcc8Set a, Rcc8Set b) {
   Rcc8Set out;
   for (int i = 0; i < kNumRcc8; ++i) {
     if (!a.Contains(static_cast<Rcc8>(i))) continue;
@@ -190,6 +190,24 @@ Rcc8Set Rcc8Compose(Rcc8Set a, Rcc8Set b) {
     }
   }
   return out;
+}
+
+Rcc8Set Rcc8Compose(Rcc8Set a, Rcc8Set b) {
+  // All 65536 set pairs, closed over once (64 KiB). Propagate composes
+  // sets on every triangle visit and the extraction inference tier on
+  // every pivot, so the 8x8 member loop is worth folding away.
+  static const std::array<std::array<uint8_t, 256>, 256>* table = [] {
+    auto* t = new std::array<std::array<uint8_t, 256>, 256>();
+    for (int x = 0; x < 256; ++x) {
+      for (int y = 0; y < 256; ++y) {
+        (*t)[x][y] = Rcc8ComposeUncached(Rcc8Set(static_cast<uint8_t>(x)),
+                                         Rcc8Set(static_cast<uint8_t>(y)))
+                         .bits();
+      }
+    }
+    return t;
+  }();
+  return Rcc8Set((*table)[a.bits()][b.bits()]);
 }
 
 Result<Rcc8> Rcc8FromTopological(TopologicalRelation rel) {
@@ -270,16 +288,19 @@ Rcc8Set Rcc8Network::At(size_t i, size_t j) const {
   return constraints_[Index(i, j)];
 }
 
-bool Rcc8Network::Propagate() {
+bool Rcc8Network::Propagate(PropagateMode mode) {
   if (inconsistent_) return false;
 
   // PC-2-style worklist over edges; refining (i, j) re-queues every
   // triangle that mentions it.
+  const bool skip_universal = mode == PropagateMode::kSkipUniversal;
   std::deque<std::pair<size_t, size_t>> queue;
   std::vector<bool> queued(n_ * n_, false);
   for (size_t i = 0; i < n_; ++i) {
     for (size_t j = 0; j < n_; ++j) {
-      if (i != j) {
+      if (i != j &&
+          !(skip_universal &&
+            constraints_[Index(i, j)] == Rcc8Set::Universal())) {
         queue.emplace_back(i, j);
         queued[Index(i, j)] = true;
       }
@@ -290,6 +311,12 @@ bool Rcc8Network::Propagate() {
     const auto [i, j] = queue.front();
     queue.pop_front();
     queued[Index(i, j)] = false;
+    // A queued edge can have relaxed back to universal only if it was
+    // never refined; composing through the full set cannot tighten any
+    // triangle, so popping it is a no-op.
+    if (skip_universal && constraints_[Index(i, j)] == Rcc8Set::Universal()) {
+      continue;
+    }
 
     for (size_t k = 0; k < n_; ++k) {
       if (k == i || k == j) continue;

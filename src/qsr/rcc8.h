@@ -91,8 +91,15 @@ Rcc8Set Rcc8Converse(Rcc8Set set);
 /// the possible relations of (A, C) given A `a` B and B `b` C.
 Rcc8Set Rcc8Compose(Rcc8 a, Rcc8 b);
 
-/// Set-lifted composition: union over member pairs.
+/// Set-lifted composition: union over member pairs. Served from a
+/// precomputed 256x256 table (one lookup per call); the extraction
+/// inference tier and Rcc8Network::Propagate both sit on this.
 Rcc8Set Rcc8Compose(Rcc8Set a, Rcc8Set b);
+
+/// The unmemoized set-lifted composition (the 8x8 member-pair loop).
+/// Reference implementation for the table-consistency tests and the
+/// memoization micro-bench; callers want Rcc8Compose.
+Rcc8Set Rcc8ComposeUncached(Rcc8Set a, Rcc8Set b);
 
 /// \brief Maps the paper's 9-intersection relation between two regions to
 /// an RCC8 base relation. Returns InvalidArgument for relations that have
@@ -105,6 +112,21 @@ TopologicalRelation TopologicalFromRcc8(Rcc8 rel);
 /// Computes the RCC8 relation between two areal geometries (polygons or
 /// multipolygons). Returns InvalidArgument for non-areal operands.
 Result<Rcc8> Rcc8Relate(const geom::Geometry& a, const geom::Geometry& b);
+
+/// How Rcc8Network::Propagate seeds and drains its worklist.
+enum class PropagateMode {
+  /// Skip universal edges: composing through the full set is always a
+  /// no-op (Compose(U, b) == U for nonempty b), so edges still at the
+  /// universal relation are neither seeded nor processed. This is exact —
+  /// every refinement the exhaustive mode finds goes through at least one
+  /// non-universal edge — and turns the seed cost from O(n^2) into
+  /// O(stated constraints) on sparse networks.
+  kSkipUniversal,
+  /// The original PC-2 seeding: every ordered edge enqueued, every popped
+  /// edge processed. Reference mode for the equivalence tests and the
+  /// early-exit micro-bench.
+  kExhaustive,
+};
 
 /// \brief A binary RCC8 constraint network over `n` region variables,
 /// solved to path consistency.
@@ -126,8 +148,9 @@ class Rcc8Network {
   Rcc8Set At(size_t i, size_t j) const;
 
   /// \brief Enforces algebraic closure. Returns false when the network is
-  /// detected inconsistent (some constraint became empty).
-  bool Propagate();
+  /// detected inconsistent (some constraint became empty). Both modes
+  /// compute the identical closure; see PropagateMode.
+  bool Propagate(PropagateMode mode = PropagateMode::kSkipUniversal);
 
   /// True when a previous Propagate emptied a constraint.
   bool IsInconsistent() const { return inconsistent_; }

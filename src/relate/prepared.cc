@@ -24,7 +24,8 @@ std::string RelateStats::ToString() const {
                        static_cast<double>(calls);
   return StrFormat(
       "relate calls=%llu fast=%llu (%.1f%%: disjoint=%llu contains=%llu "
-      "within=%llu) full=%llu (boundary=%llu inconclusive=%llu)",
+      "within=%llu) full=%llu (boundary=%llu inconclusive=%llu) "
+      "inferred=%llu skipped=%llu converse=%llu",
       static_cast<unsigned long long>(calls),
       static_cast<unsigned long long>(hits), rate,
       static_cast<unsigned long long>(fast_disjoint),
@@ -32,7 +33,10 @@ std::string RelateStats::ToString() const {
       static_cast<unsigned long long>(fast_within),
       static_cast<unsigned long long>(misses()),
       static_cast<unsigned long long>(miss_boundary),
-      static_cast<unsigned long long>(miss_inconclusive));
+      static_cast<unsigned long long>(miss_inconclusive),
+      static_cast<unsigned long long>(inferred),
+      static_cast<unsigned long long>(inferred_skipped),
+      static_cast<unsigned long long>(converse_hits));
 }
 
 namespace {
@@ -55,6 +59,10 @@ double BandSlack(const Envelope& e) {
 }
 
 }  // namespace
+
+double CollinearityBandSlack(const Envelope& envelope) {
+  return BandSlack(envelope);
+}
 
 PreparedGeometry::PreparedGeometry(Geometry g) : geometry_(std::move(g)) {
   dim_ = geometry_.Dimension();

@@ -13,6 +13,14 @@
 namespace sfpm {
 namespace relate {
 
+/// \brief Widest distance a point accepted by the engine's tolerance
+/// collinearity predicates can sit outside a segment's envelope, for
+/// segments drawn from a geometry with envelope `envelope` (the band-slack
+/// bound derived in prepared.cc). Envelope-level certificates — "these
+/// geometries cannot interact" — must widen their envelopes by this much
+/// per operand to stay conservative against the tolerance band.
+double CollinearityBandSlack(const geom::Envelope& envelope);
+
 /// \brief Observability counters of the certified relate fast path
 /// (see PreparedGeometry::Relate). Purely additive: summing two
 /// RelateStats of disjoint call sets gives the stats of the union, which
@@ -28,6 +36,16 @@ struct RelateStats {
   /// Fast path declined: no candidate pairs but the component locations
   /// were inconclusive (mixed sides, or a point exactly on a boundary).
   uint64_t miss_inconclusive = 0;
+  /// \name Extraction inference tier (see docs/ARCHITECTURE.md)
+  /// Pairs the RCC8 composition algebra decided without any Relate call —
+  /// these never reach the engine, so they are disjoint from `calls`.
+  /// @{
+  uint64_t inferred = 0;          ///< Deduced non-DC, predicate emitted.
+  uint64_t inferred_skipped = 0;  ///< Deduced DC, pair skipped outright.
+  /// Deduction edges consumed in the converse orientation (the free half
+  /// of a pivot pair, via Rcc8Converse), counted for deciding deductions.
+  uint64_t converse_hits = 0;
+  /// @}
 
   uint64_t fast_hits() const {
     return fast_disjoint + fast_contains + fast_within;
@@ -41,6 +59,9 @@ struct RelateStats {
     fast_within += o.fast_within;
     miss_boundary += o.miss_boundary;
     miss_inconclusive += o.miss_inconclusive;
+    inferred += o.inferred;
+    inferred_skipped += o.inferred_skipped;
+    converse_hits += o.converse_hits;
   }
 
   std::string ToString() const;

@@ -107,6 +107,50 @@ TEST(CityTest, SlumsHavePositiveArea) {
   }
 }
 
+TEST(CityTest, NestedSlumsAreStrictlyInsideTheirParents) {
+  CityConfig config = SmallConfig();
+  config.slum_nested_fraction = 0.5;
+  const auto city = GenerateCity(config);
+
+  // Children are appended after the originals.
+  const size_t num_parents = config.num_slums;
+  ASSERT_EQ(city->slums.Size(), num_parents + num_parents / 2);
+  for (size_t i = num_parents; i < city->slums.Size(); ++i) {
+    bool inside_some_parent = false;
+    for (size_t j = 0; j < num_parents; ++j) {
+      const auto rel = qsr::ClassifyTopological(
+          city->slums.at(i).geometry(), city->slums.at(j).geometry());
+      if (rel == qsr::TopologicalRelation::kWithin) {
+        inside_some_parent = true;
+        break;
+      }
+    }
+    // The generator inscribes each child in its parent's inner disk, so
+    // kWithin (interior-only containment, RCC8 NTPP) is guaranteed.
+    EXPECT_TRUE(inside_some_parent) << "nested slum " << i;
+  }
+}
+
+TEST(CityTest, NestingLeavesPrecedingLayersUntouched) {
+  // The nesting pass draws from the RNG only after the base slums are
+  // realized, so districts and the original slums are bit-identical
+  // whether nesting is requested or not.
+  CityConfig base = SmallConfig();
+  CityConfig nested = SmallConfig();
+  nested.slum_nested_fraction = 0.5;
+  const auto a = GenerateCity(base);
+  const auto b = GenerateCity(nested);
+
+  ASSERT_EQ(a->districts.Size(), b->districts.Size());
+  for (size_t i = 0; i < a->districts.Size(); ++i) {
+    EXPECT_EQ(a->districts.at(i).geometry(), b->districts.at(i).geometry());
+  }
+  ASSERT_LE(a->slums.Size(), b->slums.Size());
+  for (size_t i = 0; i < a->slums.Size(); ++i) {
+    EXPECT_EQ(a->slums.at(i).geometry(), b->slums.at(i).geometry());
+  }
+}
+
 TEST(CityTest, CrimeCorrelatesWithSlums) {
   // The attribute model ties murderRate to slum contact; on a full-size
   // city the correlation must be clearly visible.

@@ -1,0 +1,171 @@
+// The extraction inference tier's output contract: the predicate table
+// with --infer-relate on is byte-identical to the engine-only table at
+// every thread count, while the counters prove the algebra actually
+// decided pairs. Scaled nested cities give the tier real containment
+// chains to compose through (the configuration it exists for).
+
+#include <gtest/gtest.h>
+
+#include "datagen/city.h"
+#include "feature/extractor.h"
+#include "io/table_io.h"
+
+namespace sfpm {
+namespace {
+
+/// Scale-`s` city in the benchmark's regime: dense small slums so many
+/// are strictly inside one district (cross-anchored) while their
+/// envelopes protrude into neighbouring rows (deducible {DC}), and half
+/// the slums nested inside others so containment chains exist too.
+datagen::CityConfig NestedCity(int scale) {
+  datagen::CityConfig config;
+  config.grid_cols = 4 * scale;
+  config.grid_rows = 3 * scale;
+  config.num_slums = static_cast<size_t>(150 * scale * scale);
+  config.slum_radius_min = 0.06;
+  config.slum_radius_max = 0.18;
+  config.slum_nested_fraction = 0.5;
+  config.num_schools = 40;
+  config.num_police = 8;
+  config.num_streets = 20;
+  config.seed = 2007;
+  return config;
+}
+
+struct RunResult {
+  std::string csv;
+  feature::ExtractionStats stats;
+};
+
+RunResult RunExtract(const datagen::City& city, bool infer, size_t threads,
+              bool instance_granularity = false) {
+  feature::PredicateExtractor extractor(&city.districts);
+  extractor.AddRelevantLayer(&city.slums);
+  feature::ExtractorOptions options;
+  options.infer_relate = infer;
+  options.parallelism = threads;
+  options.instance_granularity = instance_granularity;
+  feature::ExtractionStats stats;
+  const auto table = extractor.Extract(options, &stats);
+  EXPECT_TRUE(table.ok());
+  return {table.ok() ? io::TableToCsv(table.value()) : "", stats};
+}
+
+class InferExtractionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InferExtractionTest, ByteIdenticalOnVsOffAcrossThreadCounts) {
+  const auto city = datagen::GenerateCity(NestedCity(GetParam()));
+  const RunResult reference = RunExtract(*city, /*infer=*/false, /*threads=*/1);
+
+  for (size_t threads : {1, 4}) {
+    const RunResult off = RunExtract(*city, /*infer=*/false, threads);
+    const RunResult on = RunExtract(*city, /*infer=*/true, threads);
+    EXPECT_EQ(off.csv, reference.csv) << "threads=" << threads;
+    EXPECT_EQ(on.csv, reference.csv) << "threads=" << threads;
+  }
+}
+
+TEST_P(InferExtractionTest, ByteIdenticalAtInstanceGranularity) {
+  // Instance granularity makes every candidate's relation its own
+  // predicate name — the strictest output-identity setting.
+  const auto city = datagen::GenerateCity(NestedCity(GetParam()));
+  const RunResult off = RunExtract(*city, /*infer=*/false, 1, true);
+  const RunResult on1 = RunExtract(*city, /*infer=*/true, 1, true);
+  const RunResult on4 = RunExtract(*city, /*infer=*/true, 4, true);
+  EXPECT_EQ(on1.csv, off.csv);
+  EXPECT_EQ(on4.csv, off.csv);
+}
+
+TEST_P(InferExtractionTest, InferenceDecidesPairsAndSavesEngineCalls) {
+  const auto city = datagen::GenerateCity(NestedCity(GetParam()));
+  const RunResult off = RunExtract(*city, /*infer=*/false, 1);
+  const RunResult on = RunExtract(*city, /*infer=*/true, 1);
+
+  // The tier actually fired: pairs were decided algebraically, through a
+  // non-empty pivot store, using converse-derived edges.
+  EXPECT_GT(on.stats.infer_pivot_pairs, 0u);
+  EXPECT_GT(on.stats.relate.inferred + on.stats.relate.inferred_skipped, 0u);
+
+  // Decided pairs never reach the engine, so per-row calls drop by
+  // exactly the decided count...
+  EXPECT_EQ(on.stats.relate.calls + on.stats.relate.inferred +
+                on.stats.relate.inferred_skipped,
+            off.stats.relate.calls);
+  // ...and on a nested city the savings must beat the pivot-store build
+  // cost: strictly fewer total engine invocations with inference on.
+  EXPECT_LT(on.stats.relate.calls + on.stats.infer_pivot_calls,
+            off.stats.relate.calls);
+
+  // Off leaves every inference counter at zero.
+  EXPECT_EQ(off.stats.infer_pivot_pairs, 0u);
+  EXPECT_EQ(off.stats.infer_pivot_calls, 0u);
+  EXPECT_EQ(off.stats.relate.inferred, 0u);
+  EXPECT_EQ(off.stats.relate.inferred_skipped, 0u);
+  EXPECT_EQ(off.stats.relate.converse_hits, 0u);
+}
+
+TEST_P(InferExtractionTest, WarmExtractorReusesPivotStores) {
+  // The pivot stores depend only on the layers, so the first
+  // inference-enabled Extract builds them and every later Extract on the
+  // same extractor reuses them: same output, same deductions, zero
+  // further build calls.
+  const auto city = datagen::GenerateCity(NestedCity(GetParam()));
+  feature::PredicateExtractor extractor(&city->districts);
+  extractor.AddRelevantLayer(&city->slums);
+  feature::ExtractorOptions options;
+  options.parallelism = 1;
+
+  feature::ExtractionStats cold, warm;
+  const auto first = extractor.Extract(options, &cold);
+  const auto second = extractor.Extract(options, &warm);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(io::TableToCsv(first.value()), io::TableToCsv(second.value()));
+
+  EXPECT_GT(cold.infer_pivot_calls, 0u);
+  EXPECT_EQ(warm.infer_pivot_calls, 0u);
+  EXPECT_EQ(warm.infer_pivot_pairs, cold.infer_pivot_pairs);
+  EXPECT_EQ(warm.relate.calls, cold.relate.calls);
+  EXPECT_EQ(warm.relate.inferred, cold.relate.inferred);
+  EXPECT_EQ(warm.relate.inferred_skipped, cold.relate.inferred_skipped);
+  EXPECT_EQ(warm.relate.converse_hits, cold.relate.converse_hits);
+}
+
+TEST_P(InferExtractionTest, CountersDeterministicAcrossThreadCounts) {
+  const auto city = datagen::GenerateCity(NestedCity(GetParam()));
+  const RunResult serial = RunExtract(*city, /*infer=*/true, 1);
+  const RunResult parallel = RunExtract(*city, /*infer=*/true, 4);
+  EXPECT_EQ(serial.stats.relate.inferred, parallel.stats.relate.inferred);
+  EXPECT_EQ(serial.stats.relate.inferred_skipped,
+            parallel.stats.relate.inferred_skipped);
+  EXPECT_EQ(serial.stats.relate.converse_hits,
+            parallel.stats.relate.converse_hits);
+  EXPECT_EQ(serial.stats.relate.calls, parallel.stats.relate.calls);
+  EXPECT_EQ(serial.stats.infer_pivot_pairs, parallel.stats.infer_pivot_pairs);
+  EXPECT_EQ(serial.stats.infer_pivot_calls, parallel.stats.infer_pivot_calls);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, InferExtractionTest, ::testing::Values(1, 2));
+
+TEST(InferExtractionTest, MultiLayerAndDistanceOutputsUnchanged) {
+  // Inference only touches topological pairs; a full multi-layer extract
+  // (points, lines, attributes) must stay byte-identical too.
+  const auto city = datagen::GenerateCity(NestedCity(1));
+  feature::PredicateExtractor extractor(&city->districts);
+  extractor.AddRelevantLayer(&city->slums);
+  extractor.AddRelevantLayer(&city->schools);
+  extractor.AddRelevantLayer(&city->streets);
+
+  feature::ExtractorOptions options;
+  options.parallelism = 1;
+  options.infer_relate = false;
+  const auto off = extractor.Extract(options);
+  ASSERT_TRUE(off.ok());
+  options.infer_relate = true;
+  const auto on = extractor.Extract(options);
+  ASSERT_TRUE(on.ok());
+  EXPECT_EQ(io::TableToCsv(off.value()), io::TableToCsv(on.value()));
+}
+
+}  // namespace
+}  // namespace sfpm

@@ -50,6 +50,7 @@ struct Scene {
     for (int i = 0; i < 6; ++i) {
       slums.Add(Square(i * 10.0 + 2, 2, 2));   // Strictly inside district i.
       slums.Add(Square(i * 10.0 + 8, 4, 4));   // Straddles i and i+1.
+      slums.Add(Square(i * 10.0 + 2.5, 2.5, 1));  // Nested in the first slum.
     }
     for (int i = 0; i < 6; ++i) {
       schools.Add(Point(i * 10.0 + 5, 5));
@@ -102,6 +103,16 @@ TEST(LegacyStatsViewTest, ExtractionStatsRoundTripsByteStable) {
   EXPECT_EQ(view.relate.calls, in_run.relate.calls);
   EXPECT_EQ(view.relate.fast_disjoint, in_run.relate.fast_disjoint);
   EXPECT_EQ(view.relate.miss_boundary, in_run.relate.miss_boundary);
+
+  // The inference tier's counters travel through the registry too; the
+  // scene's nested slums guarantee they are exercised, not just zero.
+  EXPECT_EQ(view.relate.inferred, in_run.relate.inferred);
+  EXPECT_EQ(view.relate.inferred_skipped, in_run.relate.inferred_skipped);
+  EXPECT_EQ(view.relate.converse_hits, in_run.relate.converse_hits);
+  EXPECT_EQ(view.infer_pivot_pairs, in_run.infer_pivot_pairs);
+  EXPECT_EQ(view.infer_pivot_calls, in_run.infer_pivot_calls);
+  EXPECT_GT(in_run.infer_pivot_pairs, 0u);
+  EXPECT_GT(in_run.relate.inferred + in_run.relate.inferred_skipped, 0u);
 }
 
 // The registry aggregates per-thread shards by exact integer sums, so the

@@ -1,0 +1,252 @@
+#include "qsr/infer.h"
+
+#include <gtest/gtest.h>
+
+namespace sfpm {
+namespace qsr {
+namespace {
+
+TEST(Rcc8PairStoreTest, StoresBothOrientationsFromOneSet) {
+  Rcc8PairStore store(3);
+  store.Set(0, 1, Rcc8::kNTPPi);
+
+  EXPECT_EQ(store.NumPairs(), 1u);
+  ASSERT_EQ(store.Neighbors(1).size(), 1u);
+  EXPECT_EQ(store.Neighbors(1)[0].pivot, 0u);
+  EXPECT_EQ(store.Neighbors(1)[0].rel, Rcc8::kNTPPi);
+  EXPECT_FALSE(store.Neighbors(1)[0].via_converse);
+
+  // The reverse orientation is derived, marked as the converse half.
+  ASSERT_EQ(store.Neighbors(0).size(), 1u);
+  EXPECT_EQ(store.Neighbors(0)[0].pivot, 1u);
+  EXPECT_EQ(store.Neighbors(0)[0].rel, Rcc8::kNTPP);
+  EXPECT_TRUE(store.Neighbors(0)[0].via_converse);
+
+  EXPECT_TRUE(store.Neighbors(2).empty());
+}
+
+TEST(Rcc8PairStoreTest, EligibilityDefaultsOff) {
+  Rcc8PairStore store(2);
+  EXPECT_FALSE(store.Eligible(0));
+  store.SetEligible(0, true);
+  EXPECT_TRUE(store.Eligible(0));
+  store.SetEligible(0, false);
+  EXPECT_FALSE(store.Eligible(0));
+}
+
+TEST(Rcc8CrossStoreTest, StoresCrossEdgesAndRefPairs) {
+  Rcc8CrossStore cross;
+  EXPECT_EQ(cross.CrossOf(7), nullptr);
+  EXPECT_EQ(cross.RefPairsOf(0), nullptr);
+
+  cross.SetCross(0, 7, Rcc8::kNTPPi);
+  ASSERT_NE(cross.CrossOf(7), nullptr);
+  EXPECT_EQ(cross.CrossOf(7)->size(), 1u);
+  EXPECT_EQ(cross.CrossOf(7)->at(0).pivot, 0u);
+  EXPECT_EQ(cross.CrossOf(7)->at(0).rel, Rcc8::kNTPPi);
+  EXPECT_EQ(cross.NumCross(), 1u);
+
+  // A reference pair stores both orientations; the reverse one is the
+  // converse half.
+  cross.SetRefPair(1, 0, Rcc8::kEC);
+  EXPECT_TRUE(cross.HasRefPair(1, 0));
+  EXPECT_TRUE(cross.HasRefPair(0, 1));
+  EXPECT_FALSE(cross.HasRefPair(1, 2));
+  ASSERT_NE(cross.RefPairsOf(1), nullptr);
+  EXPECT_EQ(cross.RefPairsOf(1)->at(0).rel, Rcc8::kEC);
+  EXPECT_FALSE(cross.RefPairsOf(1)->at(0).via_converse);
+  ASSERT_NE(cross.RefPairsOf(0), nullptr);
+  EXPECT_EQ(cross.RefPairsOf(0)->at(0).rel, Rcc8::kEC);
+  EXPECT_TRUE(cross.RefPairsOf(0)->at(0).via_converse);
+  EXPECT_EQ(cross.NumRefPairs(), 1u);
+}
+
+TEST(ClusterInferenceTest, CrossStoreDirectHitIsExact) {
+  // The row's own reference appears as a cross edge: the prepare phase
+  // already related this exact pair, so the deduction is its singleton.
+  Rcc8CrossStore cross;
+  cross.SetCross(/*ref=*/3, /*cand=*/0, Rcc8::kNTPPi);
+  ClusterInference cluster(nullptr, &cross, /*ref_id=*/3);
+
+  const Rcc8Deduction d = cluster.Deduce(0);
+  ASSERT_TRUE(d.set.IsSingleton());
+  EXPECT_EQ(d.set.Single(), Rcc8::kNTPPi);
+  EXPECT_EQ(d.pivots_used, 1u);
+}
+
+TEST(ClusterInferenceTest, ReferencePivotComposesToSkip) {
+  // Reference 5 holds candidate 0 strictly inside; this row's reference 3
+  // touches reference 5, so EC ; NTPPi = {DC} — skip without the engine.
+  Rcc8CrossStore cross;
+  cross.SetCross(/*ref=*/5, /*cand=*/0, Rcc8::kNTPPi);
+  cross.SetRefPair(/*a=*/3, /*b=*/5, Rcc8::kEC);
+  ClusterInference cluster(nullptr, &cross, /*ref_id=*/3);
+
+  const Rcc8Deduction d = cluster.Deduce(0);
+  ASSERT_TRUE(d.set.IsSingleton());
+  EXPECT_EQ(d.set.Single(), Rcc8::kDC);
+  EXPECT_EQ(d.pivots_used, 1u);
+  EXPECT_EQ(d.converse_hits, 0u);
+}
+
+TEST(ClusterInferenceTest, ReferencePivotConverseOrientationCounts) {
+  // The reference pair was stored as R(5 -> 3); this row (3) consumes the
+  // derived converse edge R(3 -> 5) = EC.
+  Rcc8CrossStore cross;
+  cross.SetCross(/*ref=*/5, /*cand=*/0, Rcc8::kNTPPi);
+  cross.SetRefPair(/*a=*/5, /*b=*/3, Rcc8::kEC);
+  ClusterInference cluster(nullptr, &cross, /*ref_id=*/3);
+
+  const Rcc8Deduction d = cluster.Deduce(0);
+  ASSERT_TRUE(d.set.IsSingleton());
+  EXPECT_EQ(d.set.Single(), Rcc8::kDC);
+  EXPECT_EQ(d.converse_hits, 1u);
+}
+
+TEST(ClusterInferenceTest, UnknownReferencePairIsSkipped) {
+  // A cross edge through a reference this row has no pair with cannot
+  // narrow anything.
+  Rcc8CrossStore cross;
+  cross.SetCross(/*ref=*/5, /*cand=*/0, Rcc8::kNTPPi);
+  ClusterInference cluster(nullptr, &cross, /*ref_id=*/3);
+
+  const Rcc8Deduction d = cluster.Deduce(0);
+  EXPECT_EQ(d.set, Rcc8Set::Universal());
+  EXPECT_EQ(d.pivots_used, 0u);
+}
+
+TEST(ClusterInferenceTest, CrossAndCandidateTiersIntersect) {
+  // Neither tier decides alone: the reference pivot narrows to a 5-way
+  // disjunction (PO ; NTPPi), the candidate pivot to {DC} via DC ; TPPi;
+  // the intersection is the candidate tier's singleton.
+  Rcc8CrossStore cross;
+  cross.SetCross(/*ref=*/5, /*cand=*/2, Rcc8::kNTPPi);
+  cross.SetRefPair(/*a=*/3, /*b=*/5, Rcc8::kPO);
+  Rcc8PairStore store(3);
+  store.Set(1, 2, Rcc8::kTPPi);
+  ClusterInference cluster(&store, &cross, /*ref_id=*/3);
+  cluster.Record(1, Rcc8::kDC);
+
+  const Rcc8Deduction d = cluster.Deduce(2);
+  EXPECT_EQ(d.pivots_used, 2u);
+  ASSERT_TRUE(d.set.IsSingleton());
+  EXPECT_EQ(d.set.Single(), Rcc8::kDC);
+}
+
+TEST(ClusterInferenceTest, NullStoreDeducesNothing) {
+  ClusterInference cluster(nullptr);
+  cluster.Record(0, Rcc8::kDC);
+  const Rcc8Deduction d = cluster.Deduce(0);
+  EXPECT_EQ(d.set, Rcc8Set::Universal());
+  EXPECT_EQ(d.pivots_used, 0u);
+}
+
+TEST(ClusterInferenceTest, ContainmentChainCollapsesToSingleton) {
+  // Store: pivot 0 contains candidate 1 (NTPPi). Reference contains
+  // pivot 0, so NTPPi ; NTPPi = {NTPPi}: the reference must contain the
+  // candidate, no engine needed.
+  Rcc8PairStore store(2);
+  store.Set(0, 1, Rcc8::kNTPPi);
+  ClusterInference cluster(&store);
+  cluster.Record(0, Rcc8::kNTPPi);
+
+  const Rcc8Deduction d = cluster.Deduce(1);
+  ASSERT_TRUE(d.set.IsSingleton());
+  EXPECT_EQ(d.set.Single(), Rcc8::kNTPPi);
+  EXPECT_EQ(d.pivots_used, 1u);
+  EXPECT_EQ(d.converse_hits, 0u);
+}
+
+TEST(ClusterInferenceTest, TouchingContainerDeducesDisconnection) {
+  // Reference EC pivot, pivot contains candidate strictly: EC ; NTPPi =
+  // {DC} — the pair can be skipped outright.
+  Rcc8PairStore store(2);
+  store.Set(0, 1, Rcc8::kNTPPi);
+  ClusterInference cluster(&store);
+  cluster.Record(0, Rcc8::kEC);
+
+  const Rcc8Deduction d = cluster.Deduce(1);
+  ASSERT_TRUE(d.set.IsSingleton());
+  EXPECT_EQ(d.set.Single(), Rcc8::kDC);
+}
+
+TEST(ClusterInferenceTest, ConverseOrientationCountsAndDecides) {
+  // The pair was stored as (candidate 1) -> (pivot 0); deducing through
+  // 0 consumes the derived converse edge. Reference equals pivot 0 and
+  // pivot 0 is NTPP candidate 1 (via converse of NTPPi), so EQ ; NTPP =
+  // {NTPP}.
+  Rcc8PairStore store(2);
+  store.Set(1, 0, Rcc8::kNTPPi);
+  ClusterInference cluster(&store);
+  cluster.Record(0, Rcc8::kEQ);
+
+  const Rcc8Deduction d = cluster.Deduce(1);
+  ASSERT_TRUE(d.set.IsSingleton());
+  EXPECT_EQ(d.set.Single(), Rcc8::kNTPP);
+  EXPECT_EQ(d.converse_hits, 1u);
+}
+
+TEST(ClusterInferenceTest, MultiplePivotsIntersect) {
+  // Neither pivot decides alone, but the intersection narrows: reference
+  // PO pivot0 with pivot0 NTPPi candidate gives {DC,EC,PO,TPPi,NTPPi};
+  // reference NTPP pivot1 with pivot1 NTPPi candidate gives all eight
+  // minus nothing useful... use a decisive second pivot instead:
+  // reference DC pivot1, pivot1 TPPi candidate gives {DC}. Intersection
+  // = {DC}.
+  Rcc8PairStore store(3);
+  store.Set(0, 2, Rcc8::kNTPPi);
+  store.Set(1, 2, Rcc8::kTPPi);
+  ClusterInference cluster(&store);
+  cluster.Record(0, Rcc8::kPO);
+  cluster.Record(1, Rcc8::kDC);
+
+  const Rcc8Deduction d = cluster.Deduce(2);
+  EXPECT_EQ(d.pivots_used, 2u);
+  ASSERT_TRUE(d.set.IsSingleton());
+  EXPECT_EQ(d.set.Single(), Rcc8::kDC);
+}
+
+TEST(ClusterInferenceTest, UnknownPivotsAreSkipped) {
+  Rcc8PairStore store(3);
+  store.Set(0, 2, Rcc8::kNTPPi);
+  store.Set(1, 2, Rcc8::kNTPPi);
+  ClusterInference cluster(&store);
+  cluster.Record(1, Rcc8::kNTPPi);  // Pivot 0 never recorded.
+
+  const Rcc8Deduction d = cluster.Deduce(2);
+  EXPECT_EQ(d.pivots_used, 1u);
+  ASSERT_TRUE(d.set.IsSingleton());
+  EXPECT_EQ(d.set.Single(), Rcc8::kNTPPi);
+}
+
+TEST(ClusterInferenceTest, NonDecisivePivotStaysDisjunctive) {
+  // Reference PO pivot, pivot NTPPi candidate: the composed set is a
+  // 5-way disjunction — not a decision, the caller must call the engine.
+  Rcc8PairStore store(2);
+  store.Set(0, 1, Rcc8::kNTPPi);
+  ClusterInference cluster(&store);
+  cluster.Record(0, Rcc8::kPO);
+
+  const Rcc8Deduction d = cluster.Deduce(1);
+  EXPECT_FALSE(d.set.IsSingleton());
+  EXPECT_FALSE(d.set.IsEmpty());
+}
+
+TEST(ClusterInferenceTest, ContradictionYieldsEmptySet) {
+  // Two pivots whose compositions are disjoint singletons: impossible
+  // geometrically, but the deduction must surface it as empty (fallback
+  // signal), never pick a side.
+  Rcc8PairStore store(3);
+  store.Set(0, 2, Rcc8::kNTPPi);  // ref NTPPi 0, 0 NTPPi 2 => {NTPPi}
+  store.Set(1, 2, Rcc8::kNTPPi);  // ref EC 1, 1 NTPPi 2 => {DC}
+  ClusterInference cluster(&store);
+  cluster.Record(0, Rcc8::kNTPPi);
+  cluster.Record(1, Rcc8::kEC);
+
+  const Rcc8Deduction d = cluster.Deduce(2);
+  EXPECT_TRUE(d.set.IsEmpty());
+}
+
+}  // namespace
+}  // namespace qsr
+}  // namespace sfpm

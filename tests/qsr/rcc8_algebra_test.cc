@@ -1,0 +1,156 @@
+// Exhaustive axioms of the RCC8 composition algebra: every identity is
+// checked over all 64 base-relation pairs (and the memoization over all
+// 65536 set pairs), so the composition table itself — not a sample of it —
+// is under test. The extraction inference tier leans on these properties
+// for correctness: a single wrong table cell would surface as a wrong
+// predicate, so the table gets the same exhaustive treatment as the
+// engine's differential tests.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "qsr/rcc8.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace qsr {
+namespace {
+
+constexpr Rcc8 kAllRels[] = {Rcc8::kDC,    Rcc8::kEC,   Rcc8::kPO,
+                             Rcc8::kTPP,   Rcc8::kNTPP, Rcc8::kTPPi,
+                             Rcc8::kNTPPi, Rcc8::kEQ};
+
+TEST(Rcc8AlgebraTest, EqIsLeftIdentity) {
+  for (Rcc8 b : kAllRels) {
+    EXPECT_EQ(Rcc8Compose(Rcc8::kEQ, b), Rcc8Set(b)) << Rcc8Name(b);
+  }
+}
+
+TEST(Rcc8AlgebraTest, EqIsRightIdentity) {
+  for (Rcc8 a : kAllRels) {
+    EXPECT_EQ(Rcc8Compose(a, Rcc8::kEQ), Rcc8Set(a)) << Rcc8Name(a);
+  }
+}
+
+TEST(Rcc8AlgebraTest, CompositionsNonEmptyAllPairs) {
+  // JEPD closure: some relation always holds between A and C, so no
+  // composition of base relations may be empty.
+  for (Rcc8 a : kAllRels) {
+    for (Rcc8 b : kAllRels) {
+      EXPECT_FALSE(Rcc8Compose(a, b).IsEmpty())
+          << Rcc8Name(a) << " ; " << Rcc8Name(b);
+    }
+  }
+}
+
+TEST(Rcc8AlgebraTest, ConverseDualityAllPairs) {
+  // Compose(a, b) == Converse(Compose(Converse(b), Converse(a))): the
+  // relation-algebra involution axiom, for all 64 base pairs.
+  for (Rcc8 a : kAllRels) {
+    for (Rcc8 b : kAllRels) {
+      const Rcc8Set direct = Rcc8Compose(a, b);
+      const Rcc8Set dual = Rcc8Converse(
+          Rcc8Compose(Rcc8Converse(b), Rcc8Converse(a)));
+      EXPECT_EQ(direct, dual) << Rcc8Name(a) << " ; " << Rcc8Name(b);
+    }
+  }
+}
+
+TEST(Rcc8AlgebraTest, ConverseIsInvolution) {
+  for (Rcc8 a : kAllRels) {
+    EXPECT_EQ(Rcc8Converse(Rcc8Converse(a)), a) << Rcc8Name(a);
+  }
+}
+
+TEST(Rcc8AlgebraTest, EveryBaseRelationInSomeComposition) {
+  // Identity containment: a ∈ Compose(a, EQ) and a ∈ Compose(EQ, a)
+  // (already exact above), plus the weaker sanity that composing with the
+  // converse can reproduce EQ-compatible information: EQ ∈ Compose(a,
+  // Converse(a)) for every a — A related to B and B related back must
+  // admit A == A.
+  for (Rcc8 a : kAllRels) {
+    EXPECT_TRUE(Rcc8Compose(a, Rcc8Converse(a)).Contains(Rcc8::kEQ))
+        << Rcc8Name(a);
+  }
+}
+
+TEST(Rcc8AlgebraTest, MemoizedSetComposeMatchesUncachedExhaustively) {
+  // All 256 x 256 set pairs: the precomputed table must agree with the
+  // member-pair loop everywhere, including the empty set on either side.
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      const Rcc8Set sa(static_cast<uint8_t>(a));
+      const Rcc8Set sb(static_cast<uint8_t>(b));
+      ASSERT_EQ(Rcc8Compose(sa, sb), Rcc8ComposeUncached(sa, sb))
+          << sa.ToString() << " ; " << sb.ToString();
+    }
+  }
+}
+
+TEST(Rcc8AlgebraTest, ComposeThroughUniversalIsUniversal) {
+  // The identity behind Propagate's universal-edge skip: composing any
+  // nonempty set with the universal set cannot narrow anything.
+  for (int bits = 1; bits < 256; ++bits) {
+    const Rcc8Set s(static_cast<uint8_t>(bits));
+    EXPECT_EQ(Rcc8Compose(s, Rcc8Set::Universal()), Rcc8Set::Universal())
+        << s.ToString();
+    EXPECT_EQ(Rcc8Compose(Rcc8Set::Universal(), s), Rcc8Set::Universal())
+        << s.ToString();
+  }
+}
+
+/// A random network over `n` variables with `stated` random binary
+/// constraints (possibly disjunctive); returned before propagation.
+Rcc8Network RandomNetwork(size_t n, size_t stated, Rng* rng) {
+  Rcc8Network net(n);
+  for (size_t s = 0; s < stated; ++s) {
+    const size_t i = rng->NextUint64(n);
+    size_t j = rng->NextUint64(n);
+    if (i == j) j = (j + 1) % n;
+    // A random nonempty disjunction, biased toward small sets.
+    uint8_t bits =
+        static_cast<uint8_t>(1u << rng->NextUint64(kNumRcc8));
+    if (rng->NextBool(0.4)) {
+      bits |= static_cast<uint8_t>(1u << rng->NextUint64(kNumRcc8));
+    }
+    EXPECT_TRUE(net.Constrain(i, j, Rcc8Set(bits)).ok());
+  }
+  return net;
+}
+
+TEST(Rcc8PropagateModeTest, SkipUniversalMatchesExhaustiveOnRandomNetworks) {
+  Rng rng(2007);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 2 + rng.NextUint64(6);
+    const size_t stated = rng.NextUint64(n * 2 + 1);
+    Rcc8Network a = RandomNetwork(n, stated, &rng);
+    Rcc8Network b = a;
+
+    const bool consistent_skip = a.Propagate(PropagateMode::kSkipUniversal);
+    const bool consistent_full = b.Propagate(PropagateMode::kExhaustive);
+    ASSERT_EQ(consistent_skip, consistent_full) << "trial " << trial;
+    if (!consistent_skip) continue;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(a.At(i, j), b.At(i, j))
+            << "trial " << trial << " edge (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+TEST(Rcc8PropagateModeTest, SparseNetworkStaysUniversalOffPath) {
+  // A single constraint in a larger network: the skip mode must still
+  // propagate its consequences and leave unrelated edges universal.
+  Rcc8Network net(5);
+  ASSERT_TRUE(net.Constrain(0, 1, Rcc8Set(Rcc8::kNTPP)).ok());
+  EXPECT_TRUE(net.Propagate(PropagateMode::kSkipUniversal));
+  EXPECT_EQ(net.At(0, 1), Rcc8Set(Rcc8::kNTPP));
+  EXPECT_EQ(net.At(1, 0), Rcc8Set(Rcc8::kNTPPi));
+  EXPECT_EQ(net.At(2, 3), Rcc8Set::Universal());
+}
+
+}  // namespace
+}  // namespace qsr
+}  // namespace sfpm

@@ -81,6 +81,14 @@ echo "== Store round-trip + corruption (UBSan) =="
 # the stage reproducible.
 build-ubsan/tools/sfpm_fuzz --oracle store --iterations 10000 --seed 2007
 
+echo "== Extraction inference differential (UBSan) =="
+# The relate_inferred oracle runs the extractor's RCC8 inference tier
+# against the engine-only path over containment-biased clusters and
+# demands byte-identical predicate tables (serial and 2-thread). Under
+# UBSan so a deduction can never be "right" via an out-of-range compose.
+build-ubsan/tools/sfpm_fuzz --oracle relate_inferred --iterations 10000 \
+  --seed 2007
+
 echo "== Observability artifacts =="
 # The cli_report ctest (Release tree) runs `sfpm extract`/`mine` with
 # --report/--trace and validates every artifact with sfpm_report_check.

@@ -133,6 +133,9 @@ int RunHelp() {
       "  --distance-types a,b    feature types the bands apply to\n"
       "  --directions            also extract direction predicates\n"
       "  --threads N             worker threads (0 = hardware concurrency)\n"
+      "  --infer-relate on|off   RCC8 inference tier for topological pairs "
+      "(default on;\n"
+      "                          output is byte-identical either way)\n"
       "  --report out.json       machine-readable run report\n"
       "  --trace out.trace.json  Chrome trace_event spans\n"
       "  --stats                 legacy counters to stderr (deprecated; use "
@@ -358,7 +361,8 @@ Result<std::vector<std::pair<std::string, std::string>>> ParseDependencies(
 
 /// Snapshot-driven extract: city.sfpm in, txdb.sfpm out.
 int RunExtractSnapshot(const Args& args, const std::string& command_line) {
-  for (const char* flag : {"distance", "distance-types", "stats"}) {
+  for (const char* flag : {"distance", "distance-types", "stats",
+                           "infer-relate"}) {
     if (args.Has(flag)) {
       return Fail(Status::InvalidArgument(
           std::string("--") + flag + " is not supported with --in snapshots"));
@@ -413,6 +417,12 @@ int RunExtract(const Args& args, const std::string& command_line) {
 
   feature::ExtractorOptions options;
   options.directions = args.Has("directions");
+  const std::string infer = args.Get("infer-relate", "on");
+  if (infer != "on" && infer != "off") {
+    return Fail(Status::InvalidArgument(
+        "--infer-relate expects 'on' or 'off', got '" + infer + "'"));
+  }
+  options.infer_relate = infer == "on";
   const auto threads = ParseThreads(args);
   if (!threads.ok()) return Fail(threads.status());
   options.parallelism = threads.value();
@@ -882,7 +892,7 @@ int main(int argc, char** argv) {
     const int bad = RejectUnknownFlags(
         args, "extract",
         {"reference", "relevant", "distance", "distance-types", "directions",
-         "threads", "in", "out", "stats", "report", "trace"});
+         "threads", "in", "out", "stats", "report", "trace", "infer-relate"});
     return bad != 0 ? bad : RunExtract(args, command_line);
   }
   if (command == "mine") {
