@@ -93,8 +93,11 @@ class Bench {
       body(result);
       result.samples_ms.push_back(watch.LapMillis());
     }
-    result.metrics =
-        obs::MetricsRegistry::Global().Snapshot().DeltaSince(before).counters;
+    result.metrics = obs::MetricsRegistry::Global()
+                         .Snapshot()
+                         .DeltaSince(before)
+                         .DropZeros()
+                         .counters;
     std::printf("%-44s %10.2f ms  (p50 %.2f, p95 %.2f, %zu runs)\n",
                 case_name.c_str(), result.MeanMs(), result.PercentileMs(0.5),
                 result.PercentileMs(0.95), repeat_);

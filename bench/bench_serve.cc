@@ -1,8 +1,11 @@
 // Load benchmark of `sfpm serve` (docs/SERVE.md): an in-process Server
 // over a realistic snapshot — the synthetic city's layers plus a mined
 // 10k-transaction pattern set — driven by N concurrent client threads on
-// real loopback sockets. Each case reports throughput and client-side
-// latency quantiles as counters:
+// real loopback sockets. The full telemetry stack runs during the bench
+// (metrics endpoint + ring sampler, slow-query log, per-request spans,
+// 1-in-64 trace sampling, a concurrent /metrics scraper), so the
+// committed baseline doubles as the observability-overhead gate. Each
+// case reports throughput and client-side latency quantiles as counters:
 //
 //   qps     completed round trips per second across all clients
 //   p50_ms  median single round-trip latency (client-observed)
@@ -19,7 +22,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -142,11 +147,58 @@ std::string WriteBenchSnapshot(const std::string& path) {
   return path;
 }
 
+/// The bench's metrics port, set once the server is up; 0 keeps the
+/// scraper off (never in practice — telemetry is part of the workload).
+uint16_t g_metrics_port = 0;
+
+/// One GET /metrics against the telemetry endpoint; dies unless the
+/// exposition comes back with a 200.
+void ScrapeMetrics() {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) Die("scrape socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(g_metrics_port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    Die("scrape connect");
+  }
+  const char request[] =
+      "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  if (send(fd, request, sizeof(request) - 1, MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(sizeof(request) - 1)) {
+    close(fd);
+    Die("scrape send");
+  }
+  std::string response;
+  char buf[65536];
+  for (;;) {
+    const ssize_t got = recv(fd, buf, sizeof(buf), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;
+    response.append(buf, static_cast<size_t>(got));
+  }
+  close(fd);
+  if (response.find(" 200 ") == std::string::npos) {
+    Die("scrape got no 200: " + response.substr(0, 120));
+  }
+}
+
 /// Drives one case: kClientThreads connections, each pipelining
-/// kRequestsPerThread round trips; fills qps/p50/p99 counters.
+/// kRequestsPerThread round trips, with a concurrent Prometheus scraper
+/// (a scrape every ~25 ms — far above any real scrape interval, so the
+/// gated overhead is an upper bound); fills qps/p50/p99 counters.
 void DriveLoad(uint16_t port, const std::string& request,
                CaseResult& result) {
   std::vector<std::vector<double>> latencies(kClientThreads);
+  std::atomic<bool> done{false};
+  std::thread scraper([&done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      ScrapeMetrics();
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  });
   sfpm::Stopwatch wall;
   std::vector<std::thread> clients;
   for (size_t t = 0; t < kClientThreads; ++t) {
@@ -164,6 +216,8 @@ void DriveLoad(uint16_t port, const std::string& request,
   }
   for (std::thread& t : clients) t.join();
   const double elapsed_ms = wall.ElapsedMillis();
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
 
   std::vector<double> all;
   for (const auto& per_thread : latencies) {
@@ -190,9 +244,17 @@ int main(int argc, char** argv) {
 
   sfpm::serve::ServerOptions options;
   options.workers = kClientThreads;
+  // Full telemetry on: exposition endpoint + sampler, slow-query capture
+  // at the default threshold, and 1-in-64 trace sampling. The committed
+  // baseline gates the cost of running all of it.
+  options.metrics_port = 0;
+  options.slow_query_ms = 100;
+  options.trace_sample = 64;
   sfpm::serve::Server server(&holder, options);
   if (!server.Start().ok()) Die("server start failed");
   const uint16_t port = server.port();
+  if (server.metrics_port() == 0) Die("telemetry port not bound");
+  g_metrics_port = server.metrics_port();
 
   const std::map<std::string, std::string> config = {
       {"clients", std::to_string(kClientThreads)},

@@ -1,0 +1,91 @@
+#include "obs/expose.h"
+
+#include <cstdint>
+
+#include "util/strings.h"
+
+namespace sfpm {
+namespace obs {
+
+namespace {
+
+void AppendHeader(const std::string& prom, const std::string& dotted,
+                  const char* type, std::string* out) {
+  out->append("# HELP ");
+  out->append(prom);
+  out->append(" sfpm instrument ");
+  out->append(dotted);
+  out->append("\n# TYPE ");
+  out->append(prom);
+  out->append(" ");
+  out->append(type);
+  out->append("\n");
+}
+
+void AppendU64(uint64_t value, std::string* out) {
+  out->append(std::to_string(value));
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "sfpm_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+    out.push_back(keep ? c : '_');
+  }
+  return out;
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    AppendHeader(prom, name, "counter", &out);
+    out.append(prom);
+    out.push_back(' ');
+    AppendU64(value, &out);
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    AppendHeader(prom, name, "gauge", &out);
+    out.append(prom);
+    out.push_back(' ');
+    AppendRoundTripDouble(value, &out);
+    out.push_back('\n');
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    const std::string prom = PrometheusName(name);
+    AppendHeader(prom, name, "histogram", &out);
+    // Prometheus buckets are cumulative; the registry's are per-bucket.
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < data.bounds.size(); ++b) {
+      cumulative += b < data.counts.size() ? data.counts[b] : 0;
+      out.append(prom);
+      out.append("_bucket{le=\"");
+      AppendRoundTripDouble(data.bounds[b], &out);
+      out.append("\"} ");
+      AppendU64(cumulative, &out);
+      out.push_back('\n');
+    }
+    out.append(prom);
+    out.append("_bucket{le=\"+Inf\"} ");
+    AppendU64(data.count, &out);
+    out.push_back('\n');
+    out.append(prom);
+    out.append("_sum ");
+    AppendRoundTripDouble(data.sum, &out);
+    out.push_back('\n');
+    out.append(prom);
+    out.append("_count ");
+    AppendU64(data.count, &out);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sfpm

@@ -1,0 +1,42 @@
+#ifndef SFPM_OBS_EXPOSE_H_
+#define SFPM_OBS_EXPOSE_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace sfpm {
+namespace obs {
+
+/// \brief Prometheus text exposition (format 0.0.4) of a metrics
+/// snapshot. Dependency-free renderer for the `/metrics` endpoint of
+/// `sfpm serve --metrics-port` (docs/SERVE.md).
+///
+/// Instrument names are dotted (`serve.queries`); Prometheus names are
+/// not, so every name is exported as `sfpm_` + name with each character
+/// outside [a-zA-Z0-9_] replaced by '_' (`sfpm_serve_queries`). The
+/// mapping is injective under the repo's naming scheme (lowercase dotted
+/// segments of [a-z0-9_], docs/OBSERVABILITY.md) because '.' is the only
+/// rewritten character.
+
+/// The exported Prometheus metric name of a dotted instrument name.
+std::string PrometheusName(const std::string& name);
+
+/// Renders the whole snapshot:
+///   * counters as `# TYPE <name> counter` + one sample;
+///   * gauges as `# TYPE <name> gauge` + one sample;
+///   * histograms as cumulative `<name>_bucket{le="<bound>"}` samples
+///     (inclusive upper bounds, matching the registry's convention) plus
+///     the mandatory `le="+Inf"` bucket, `<name>_sum` and `<name>_count`.
+/// Every `# HELP` line carries the original dotted name so a scrape can
+/// be traced back to docs/OBSERVABILITY.md's instrument table.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+/// The Content-Type a server must send with PrometheusText output.
+inline constexpr char kPrometheusContentType[] =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace obs
+}  // namespace sfpm
+
+#endif  // SFPM_OBS_EXPOSE_H_

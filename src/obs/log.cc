@@ -1,0 +1,158 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <ctime>
+
+#include "util/strings.h"
+
+namespace sfpm {
+namespace obs {
+
+namespace {
+
+/// True when a logfmt parser needs the value quoted to read it back as
+/// one token.
+bool NeedsQuoting(const std::string& value) {
+  if (value.empty()) return true;
+  for (const char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n' ||
+        c == '\t') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendQuoted(const std::string& value, std::string* out) {
+  out->push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendValue(const LogField& field, std::string* out) {
+  if (field.quote_if_needed && NeedsQuoting(field.value)) {
+    AppendQuoted(field.value, out);
+  } else {
+    out->append(field.value);
+  }
+}
+
+int64_t UnixMillisNow() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+LogField::LogField(std::string k, double v) : key(std::move(k)) {
+  AppendRoundTripDouble(v, &value);
+}
+
+LogField::LogField(std::string k, uint64_t v)
+    : key(std::move(k)), value(std::to_string(v)) {}
+
+LogField::LogField(std::string k, int v)
+    : key(std::move(k)), value(std::to_string(v)) {}
+
+LogField::LogField(std::string k, bool v)
+    : key(std::move(k)), value(v ? "true" : "false") {}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::set_sink(std::FILE* sink) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  sink_ = sink;
+}
+
+std::string Logger::Format(LogLevel level, const std::string& msg,
+                           const std::vector<LogField>& fields,
+                           int64_t unix_ms) {
+  const std::time_t seconds = static_cast<std::time_t>(unix_ms / 1000);
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char ts[40];
+  std::snprintf(ts, sizeof(ts), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(unix_ms % 1000));
+
+  std::string line = "ts=";
+  line.append(ts);
+  line.append(" level=");
+  line.append(LogLevelName(level));
+  line.append(" msg=");
+  AppendValue(LogField("msg", msg), &line);
+  for (const LogField& field : fields) {
+    line.push_back(' ');
+    line.append(field.key);
+    line.push_back('=');
+    AppendValue(field, &line);
+  }
+  return line;
+}
+
+void Logger::Log(LogLevel level, const std::string& msg,
+                 const std::vector<LogField>& fields) {
+  if (!ShouldLog(level)) return;
+  // Render outside the lock; one fwrite keeps concurrent lines whole.
+  std::string line = Format(level, msg, fields, UnixMillisNow());
+  line.push_back('\n');
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), sink_);
+  std::fflush(sink_);
+}
+
+void SlowQueryLog::Record(SlowQueryEntry entry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+uint64_t SlowQueryLog::total() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace obs
+}  // namespace sfpm

@@ -1,0 +1,129 @@
+#ifndef SFPM_OBS_LOG_H_
+#define SFPM_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sfpm {
+namespace obs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Stable lowercase spelling ("debug", "info", "warn", "error").
+const char* LogLevelName(LogLevel level);
+
+/// \brief One key=value pair of a structured log line. Numeric overloads
+/// render bare (logfmt style); strings are quoted when they contain
+/// anything a logfmt parser would split on.
+struct LogField {
+  std::string key;
+  std::string value;
+  bool quote_if_needed = false;  ///< True for string-valued fields.
+
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)), quote_if_needed(true) {}
+  LogField(std::string k, const char* v)
+      : LogField(std::move(k), std::string(v)) {}
+  LogField(std::string k, double v);
+  LogField(std::string k, uint64_t v);
+  LogField(std::string k, int v);
+  LogField(std::string k, bool v);
+};
+
+/// \brief Leveled, thread-safe, machine-parseable (logfmt) logger:
+///
+///     ts=2026-08-08T12:34:56.789Z level=info msg="listening" port=8437
+///
+/// One line per event, rendered outside the sink lock's critical section
+/// and written with a single fwrite so concurrent writers never
+/// interleave. The level gate is one relaxed atomic load, so a disabled
+/// debug line costs nothing but the call.
+class Logger {
+ public:
+  explicit Logger(std::FILE* sink = stderr) : sink_(sink) {}
+
+  /// The process-wide logger every subsystem writes to. Sinks to stderr
+  /// until redirected; starts at kInfo.
+  static Logger& Global();
+
+  void set_min_level(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+  bool ShouldLog(LogLevel level) const { return level >= min_level(); }
+
+  /// Redirects output (tests point this at tmpfile()). Not owned.
+  void set_sink(std::FILE* sink);
+
+  /// Emits one logfmt line: `ts=<UTC ms> level=<level> msg=<msg> fields...`.
+  void Log(LogLevel level, const std::string& msg,
+           const std::vector<LogField>& fields = {});
+
+  void Info(const std::string& msg, const std::vector<LogField>& fields = {}) {
+    Log(LogLevel::kInfo, msg, fields);
+  }
+  void Warn(const std::string& msg, const std::vector<LogField>& fields = {}) {
+    Log(LogLevel::kWarn, msg, fields);
+  }
+  void Error(const std::string& msg,
+             const std::vector<LogField>& fields = {}) {
+    Log(LogLevel::kError, msg, fields);
+  }
+
+  /// Renders the line without writing it (what tests assert on). `ts` is
+  /// the wall-clock timestamp in milliseconds since the Unix epoch.
+  static std::string Format(LogLevel level, const std::string& msg,
+                            const std::vector<LogField>& fields,
+                            int64_t unix_ms);
+
+ private:
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
+  std::mutex mu_;  ///< Guards sink_ and serializes writes.
+  std::FILE* sink_;
+};
+
+/// \brief One slow request as recorded by the serve path: identity,
+/// where the time went (the request's span tree), and which snapshot
+/// generation answered it.
+struct SlowQueryEntry {
+  uint64_t seq = 0;            ///< The request's monotonic sequence number.
+  std::string request_id;      ///< "r<seq>", echoed in the response.
+  std::string type;            ///< Query type ("patterns", "status", ...).
+  double latency_ms = 0.0;
+  uint64_t generation = 0;     ///< Serving snapshot generation.
+  std::string spans;           ///< Rendered span tree (Tracer::ToTreeString).
+};
+
+/// \brief Bounded ring of the most recent slow queries, surfaced by
+/// `/varz` and `sfpm top`. Thread-safe; capacity bounds memory no matter
+/// how slow the server gets.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity = 64) : capacity_(capacity) {}
+
+  void Record(SlowQueryEntry entry);
+
+  /// The retained entries, oldest first.
+  std::vector<SlowQueryEntry> Entries() const;
+
+  /// All-time count of recorded slow queries (not capped by capacity).
+  uint64_t total() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t total_ = 0;
+  std::deque<SlowQueryEntry> entries_;
+};
+
+}  // namespace obs
+}  // namespace sfpm
+
+#endif  // SFPM_OBS_LOG_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 namespace sfpm {
 namespace obs {
@@ -58,6 +59,31 @@ HistogramData Histogram::Data() const {
   return data;
 }
 
+double HistogramData::Quantile(double q) const {
+  if (count == 0 || bounds.empty()) return 0.0;
+  // Rank of the wanted observation, clamped into [1, count] so any q
+  // (including q <= 0 and q >= 1) names a real observation. Clamp in
+  // double: a negative product cast to uint64_t would wrap huge.
+  const double scaled = std::ceil(q * static_cast<double>(count));
+  const uint64_t rank =
+      scaled < 1.0 ? 1
+                   : (scaled >= static_cast<double>(count)
+                          ? count
+                          : static_cast<uint64_t>(scaled));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen >= rank) {
+      // Overflow bucket (b == bounds.size()): no upper bound exists, so
+      // report the last finite bound — an underestimate by construction.
+      return b < bounds.size() ? bounds[b] : bounds.back();
+    }
+  }
+  // counts sum below `count` only for a malformed snapshot; answer with
+  // the largest representable estimate rather than reading off the end.
+  return bounds.back();
+}
+
 MetricsSnapshot MetricsSnapshot::DeltaSince(
     const MetricsSnapshot& earlier) const {
   MetricsSnapshot delta = *this;
@@ -76,6 +102,13 @@ MetricsSnapshot MetricsSnapshot::DeltaSince(
     data.sum -= it->second.sum;
   }
   return delta;
+}
+
+MetricsSnapshot& MetricsSnapshot::DropZeros() {
+  std::erase_if(counters, [](const auto& entry) { return entry.second == 0; });
+  std::erase_if(histograms,
+                [](const auto& entry) { return entry.second.count == 0; });
+  return *this;
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

@@ -81,6 +81,15 @@ struct HistogramData {
   std::vector<uint64_t> counts;
   uint64_t count = 0;  ///< Total observations.
   double sum = 0.0;    ///< Sum of observed values.
+
+  /// Nearest-upper-bound quantile estimate over the buckets. Returns the
+  /// bound of the bucket holding the q-th observation — the resolution is
+  /// the bucket grid, so it over-estimates by at most one bucket width.
+  /// Edge cases: 0 when the histogram is empty or has no finite bounds;
+  /// the last finite bound when the rank lands in the overflow bucket (an
+  /// underestimate, flagged in docs/SERVE.md); q is clamped so q <= 0
+  /// picks the first observation and q >= 1 the last.
+  double Quantile(double q) const;
 };
 
 /// \brief Fixed-bucket histogram, sharded like Counter. An observation is
@@ -119,8 +128,17 @@ struct MetricsSnapshot {
 
   /// Counters and histogram buckets become `this - earlier` (instruments
   /// absent from `earlier` count from zero); gauges keep their current
-  /// value. The delta of one run inside a long-lived process.
+  /// value. The delta of one run inside a long-lived process. A delta
+  /// still contains *all* registered names — chain `.DropZeros()` to shed
+  /// instruments this run never touched.
   MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
+
+  /// Removes zero-valued counters and zero-count histograms in place and
+  /// returns *this. Gauges are kept: zero is a meaningful last-written
+  /// value, and dropping them would break FromMetrics round trips. This
+  /// is what keeps run reports and bench metrics from accumulating dead
+  /// instruments registered by earlier runs in the same process.
+  MetricsSnapshot& DropZeros();
 };
 
 /// \brief Process-wide named-instrument registry. Instruments are created

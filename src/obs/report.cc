@@ -31,7 +31,9 @@ void WriteSpan(json::Writer* w, const TraceSpan& span) {
   w->EndObject();
 }
 
-void WriteMetrics(json::Writer* w, const MetricsSnapshot& metrics) {
+}  // namespace
+
+void MetricsToJson(const MetricsSnapshot& metrics, json::Writer* w) {
   w->BeginObject();
   w->Key("counters").BeginObject();
   for (const auto& [name, value] : metrics.counters) {
@@ -58,8 +60,6 @@ void WriteMetrics(json::Writer* w, const MetricsSnapshot& metrics) {
   w->EndObject();
 }
 
-}  // namespace
-
 std::string RunReportToJson(const RunReport& report,
                             const MetricsSnapshot& metrics,
                             const std::vector<TraceSpan>& spans) {
@@ -76,7 +76,8 @@ std::string RunReportToJson(const RunReport& report,
   for (const TraceSpan& span : spans) WriteSpan(&w, span);
   w.EndArray();
   w.Key("metrics");
-  WriteMetrics(&w, metrics);
+  MetricsSnapshot live = metrics;
+  MetricsToJson(live.DropZeros(), &w);
   w.EndObject();
   return w.str() + "\n";
 }

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/status.h"
@@ -27,9 +28,17 @@ struct RunReport {
 
 /// Renders the machine-readable run report:
 /// `{sfpm_report_version, tool, command, config, spans, metrics}`.
+/// Zero-valued counters and zero-count histograms are dropped
+/// (MetricsSnapshot::DropZeros), so a report written late in a long
+/// process carries only the instruments this run touched.
 std::string RunReportToJson(const RunReport& report,
                             const MetricsSnapshot& metrics,
                             const std::vector<TraceSpan>& spans);
+
+/// Writes the `{counters, gauges, histograms}` object of a snapshot into
+/// an open writer — the report's `metrics` member, reused verbatim by
+/// the serve `/varz` endpoint.
+void MetricsToJson(const MetricsSnapshot& metrics, json::Writer* w);
 
 /// Renders the spans as Chrome `trace_event` JSON — loads directly in
 /// about:tracing and Perfetto. Complete ("X") events with microsecond

@@ -1,0 +1,166 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+
+namespace sfpm {
+namespace obs {
+
+RingSampler::RingSampler(MetricsRegistry* registry)
+    : RingSampler(registry, Options()) {}
+
+RingSampler::RingSampler(MetricsRegistry* registry, Options options)
+    : registry_(registry),
+      options_(options),
+      epoch_(std::chrono::steady_clock::now()) {
+  options_.interval_ms = std::max(1.0, options_.interval_ms);
+  options_.capacity = std::max<size_t>(2, options_.capacity);
+}
+
+RingSampler::~RingSampler() { Stop(); }
+
+void RingSampler::Start() {
+  if (ticker_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> lock(ticker_mu_);
+    stop_ = false;
+  }
+  ticker_ = std::thread([this] { TickerLoop(); });
+}
+
+void RingSampler::Stop() {
+  {
+    const std::lock_guard<std::mutex> lock(ticker_mu_);
+    stop_ = true;
+  }
+  ticker_cv_.notify_all();
+  if (ticker_.joinable()) ticker_.join();
+}
+
+void RingSampler::TickerLoop() {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      options_.interval_ms);
+  std::unique_lock<std::mutex> lock(ticker_mu_);
+  while (!stop_) {
+    if (ticker_cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+  }
+}
+
+double RingSampler::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void RingSampler::PushScalar(ScalarRing* ring, double at_ms,
+                             double value) const {
+  if (ring->samples.size() < options_.capacity) {
+    ring->samples.push_back({at_ms, value});
+    return;
+  }
+  ring->samples[ring->next] = {at_ms, value};
+  ring->next = (ring->next + 1) % options_.capacity;
+}
+
+void RingSampler::SampleNow() {
+  const MetricsSnapshot snapshot = registry_->Snapshot();
+  const double at_ms = NowMs();
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++sample_count_;
+  for (const auto& [name, value] : snapshot.counters) {
+    PushScalar(&counters_[name], at_ms, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    PushScalar(&gauges_[name], at_ms, value);
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    HistogramRing& ring = histograms_[name];
+    if (ring.samples.size() < options_.capacity) {
+      ring.samples.push_back({at_ms, data});
+      continue;
+    }
+    ring.samples[ring.next] = {at_ms, data};
+    ring.next = (ring.next + 1) % options_.capacity;
+  }
+}
+
+uint64_t RingSampler::samples() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sample_count_;
+}
+
+// The rings are small (capacity defaults to 128), so "scan for the
+// extremum by timestamp" beats bookkeeping an ordered view.
+std::optional<SeriesSample> RingSampler::NewestOf(const ScalarRing& ring) {
+  std::optional<SeriesSample> newest;
+  for (const SeriesSample& s : ring.samples) {
+    if (!newest.has_value() || s.at_ms > newest->at_ms) newest = s;
+  }
+  return newest;
+}
+
+std::optional<SeriesSample> RingSampler::OldestSince(const ScalarRing& ring,
+                                                     double since_ms) {
+  std::optional<SeriesSample> oldest;
+  for (const SeriesSample& s : ring.samples) {
+    if (s.at_ms < since_ms) continue;
+    if (!oldest.has_value() || s.at_ms < oldest->at_ms) oldest = s;
+  }
+  return oldest;
+}
+
+double RingSampler::CounterRate(const std::string& name,
+                                double window_ms) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) return 0.0;
+  const auto newest = NewestOf(it->second);
+  if (!newest.has_value()) return 0.0;
+  const auto oldest = OldestSince(it->second, newest->at_ms - window_ms);
+  if (!oldest.has_value() || newest->at_ms <= oldest->at_ms) return 0.0;
+  return (newest->value - oldest->value) /
+         (newest->at_ms - oldest->at_ms) * 1000.0;
+}
+
+std::optional<double> RingSampler::GaugeValue(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  const auto newest = NewestOf(it->second);
+  if (!newest.has_value()) return std::nullopt;
+  return newest->value;
+}
+
+std::optional<HistogramData> RingSampler::HistogramWindow(
+    const std::string& name, double window_ms) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end() || it->second.samples.empty()) {
+    return std::nullopt;
+  }
+  const HistogramSample* newest = nullptr;
+  for (const HistogramSample& s : it->second.samples) {
+    if (newest == nullptr || s.at_ms > newest->at_ms) newest = &s;
+  }
+  const HistogramSample* oldest = nullptr;
+  for (const HistogramSample& s : it->second.samples) {
+    if (s.at_ms < newest->at_ms - window_ms) continue;
+    if (oldest == nullptr || s.at_ms < oldest->at_ms) oldest = &s;
+  }
+  if (oldest == nullptr || newest->at_ms <= oldest->at_ms) return std::nullopt;
+  // Bucket-wise delta; the bounds are immutable after registration, so
+  // the newest sample's grid applies to both ends of the window.
+  HistogramData delta = newest->data;
+  const HistogramData& base = oldest->data;
+  for (size_t b = 0; b < delta.counts.size() && b < base.counts.size(); ++b) {
+    delta.counts[b] -= base.counts[b];
+  }
+  delta.count -= base.count;
+  delta.sum -= base.sum;
+  return delta;
+}
+
+}  // namespace obs
+}  // namespace sfpm

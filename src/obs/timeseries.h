@@ -1,0 +1,124 @@
+#ifndef SFPM_OBS_TIMESERIES_H_
+#define SFPM_OBS_TIMESERIES_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sfpm {
+namespace obs {
+
+/// One timestamped observation of a scalar instrument. `at_ms` counts
+/// from the owning sampler's construction (a steady clock, never wall
+/// time, so windows are immune to clock steps).
+struct SeriesSample {
+  double at_ms = 0.0;
+  double value = 0.0;
+};
+
+/// \brief In-process time-series ring: a background ticker snapshots the
+/// registry every `interval_ms` into fixed-capacity per-instrument rings,
+/// which is what turns cumulative counters into rates and cumulative
+/// histograms into p99-over-the-last-N-seconds — the numbers `/varz` and
+/// `sfpm top` show. Bounded memory by construction: `capacity` samples
+/// per instrument, oldest dropped first.
+///
+/// All methods are thread-safe. The ticker is started explicitly and
+/// joined by Stop()/the destructor; tests drive SampleNow() directly.
+class RingSampler {
+ public:
+  struct Options {
+    double interval_ms = 1000.0;  ///< Ticker period.
+    size_t capacity = 128;        ///< Samples kept per instrument.
+  };
+
+  /// `registry` must outlive the sampler.
+  explicit RingSampler(MetricsRegistry* registry);
+  RingSampler(MetricsRegistry* registry, Options options);
+  ~RingSampler();
+
+  RingSampler(const RingSampler&) = delete;
+  RingSampler& operator=(const RingSampler&) = delete;
+
+  /// Spawns the ticker thread (idempotent).
+  void Start();
+
+  /// Stops and joins the ticker (idempotent; also run by the destructor).
+  void Stop();
+
+  /// Takes one sample of every registered instrument right now. The
+  /// ticker calls this; tests call it directly for determinism.
+  void SampleNow();
+
+  /// Milliseconds since construction on the sampler's steady clock.
+  double NowMs() const;
+
+  /// Number of SampleNow calls so far (ticker liveness in tests/varz).
+  uint64_t samples() const;
+
+  /// Per-second rate of a counter over the trailing window: newest
+  /// sample minus the oldest sample still inside `window_ms`, divided by
+  /// their time distance. 0 until two samples span the window.
+  double CounterRate(const std::string& name, double window_ms) const;
+
+  /// Newest sampled value of a gauge; nullopt before the first sample.
+  std::optional<double> GaugeValue(const std::string& name) const;
+
+  /// Histogram delta over the trailing window (newest minus oldest
+  /// in-window sample): bucket counts, count and sum of just the last
+  /// `window_ms`. nullopt until two samples span the window — callers
+  /// fall back to the cumulative histogram then.
+  std::optional<HistogramData> HistogramWindow(const std::string& name,
+                                               double window_ms) const;
+
+ private:
+  /// Fixed-capacity scalar ring, oldest overwritten first. Guarded by
+  /// the sampler's mutex.
+  struct ScalarRing {
+    std::vector<SeriesSample> samples;  ///< Ring storage, size <= capacity.
+    size_t next = 0;                    ///< Insert position once full.
+  };
+  struct HistogramSample {
+    double at_ms = 0.0;
+    HistogramData data;
+  };
+  struct HistogramRing {
+    std::vector<HistogramSample> samples;
+    size_t next = 0;
+  };
+
+  void PushScalar(ScalarRing* ring, double at_ms, double value) const;
+  /// Newest sample, and the oldest one with at_ms >= since_ms.
+  static std::optional<SeriesSample> NewestOf(const ScalarRing& ring);
+  static std::optional<SeriesSample> OldestSince(const ScalarRing& ring,
+                                                 double since_ms);
+  void TickerLoop();
+
+  MetricsRegistry* registry_;
+  Options options_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, ScalarRing> counters_;
+  std::map<std::string, ScalarRing> gauges_;
+  std::map<std::string, HistogramRing> histograms_;
+  uint64_t sample_count_ = 0;
+
+  std::mutex ticker_mu_;  ///< Guards stop_ for the cv wait.
+  std::condition_variable ticker_cv_;
+  bool stop_ = false;
+  std::thread ticker_;
+};
+
+}  // namespace obs
+}  // namespace sfpm
+
+#endif  // SFPM_OBS_TIMESERIES_H_

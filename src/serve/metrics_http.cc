@@ -1,0 +1,220 @@
+#include "serve/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+namespace sfpm {
+namespace serve {
+
+namespace {
+
+/// Header bytes we will buffer before calling the request malformed; a
+/// scrape request line is tens of bytes.
+constexpr size_t kMaxHeaderBytes = 8192;
+
+/// Upper bound on one blocking recv so Stop() is noticed promptly.
+constexpr int kRecvSliceMs = 200;
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+bool SendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string HttpResponse(int status, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(Options options, Handler handler)
+    : options_(options), handler_(std::move(handler)) {}
+
+MetricsHttpServer::~MetricsHttpServer() {
+  Stop();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_pipe_[0] >= 0) close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) close(wake_pipe_[1]);
+}
+
+Status MetricsHttpServer::Start() {
+  if (pipe(wake_pipe_) != 0) return Errno("pipe");
+  fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    const Status status = Errno("socket");
+    close(wake_pipe_[0]);
+    close(wake_pipe_[1]);
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+    return status;
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  // Loopback only, like the query port: exposure is a proxy's decision.
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  Status status = Status::OK();
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    status = Errno("bind 127.0.0.1:" + std::to_string(options_.port) +
+                   " (metrics)");
+  } else if (listen(listen_fd_, 16) != 0) {
+    status = Errno("listen (metrics)");
+  } else {
+    socklen_t len = sizeof(addr);
+    if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+        0) {
+      status = Errno("getsockname (metrics)");
+    }
+  }
+  if (!status.ok()) {
+    close(listen_fd_);
+    close(wake_pipe_[0]);
+    close(wake_pipe_[1]);
+    listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  fcntl(listen_fd_, F_SETFL, O_NONBLOCK);
+
+  stop_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (wake_pipe_[1] >= 0) {
+    [[maybe_unused]] const ssize_t n = write(wake_pipe_[1], "x", 1);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  pollfd fds[2];
+  fds[0] = {listen_fd_, POLLIN, 0};
+  fds[1] = {wake_pipe_[0], POLLIN, 0};
+  while (!stop_.load(std::memory_order_relaxed)) {
+    fds[0].revents = fds[1].revents = 0;
+    const int ready = poll(fds, 2, kRecvSliceMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents & POLLIN) {
+      char drain[64];
+      while (read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (stop_.load(std::memory_order_relaxed)) break;
+    if (!(fds[0].revents & POLLIN)) continue;
+    for (;;) {
+      const int fd = accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) break;  // EAGAIN: drained the backlog.
+      ServeClient(fd);
+      close(fd);
+    }
+  }
+}
+
+void MetricsHttpServer::ServeClient(int fd) {
+  timeval tv;
+  tv.tv_sec = 0;
+  tv.tv_usec = kRecvSliceMs * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  tv.tv_sec = options_.read_timeout_ms / 1000;
+  tv.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  // Read until the end of the header block, bounded in bytes and time.
+  std::string header;
+  Stopwatch budget;
+  char buf[1024];
+  while (header.find("\r\n\r\n") == std::string::npos) {
+    if (header.size() > kMaxHeaderBytes ||
+        budget.ElapsedMillis() >
+            static_cast<double>(options_.read_timeout_ms)) {
+      return;  // Malformed or stuck scraper; just drop it.
+    }
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) return;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return;
+    }
+    header.append(buf, static_cast<size_t>(n));
+  }
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const size_t line_end = header.find("\r\n");
+  const std::string line = header.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    SendAll(fd, HttpResponse(400, "Bad Request", "text/plain",
+                             "malformed request line\n"));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Drop any query string; the endpoints take no parameters.
+  const size_t question = path.find('?');
+  if (question != std::string::npos) path.resize(question);
+
+  if (method != "GET") {
+    SendAll(fd, HttpResponse(405, "Method Not Allowed", "text/plain",
+                             "only GET is served\n"));
+    return;
+  }
+
+  std::string content_type = "text/plain";
+  std::string body;
+  if (!handler_ || !handler_(path, &content_type, &body)) {
+    SendAll(fd, HttpResponse(404, "Not Found", "text/plain",
+                             "unknown path " + path + "\n"));
+    return;
+  }
+  obs::MetricsRegistry::Global().GetCounter("serve.metrics.requests").Add();
+  SendAll(fd, HttpResponse(200, "OK", content_type, body));
+}
+
+}  // namespace serve
+}  // namespace sfpm

@@ -1,0 +1,78 @@
+#ifndef SFPM_SERVE_METRICS_HTTP_H_
+#define SFPM_SERVE_METRICS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace sfpm {
+namespace serve {
+
+/// \brief Minimal plain-HTTP/1.1 GET server for the telemetry endpoints
+/// (`/metrics`, `/healthz`, `/varz`, `/tracez`) of `sfpm serve
+/// --metrics-port` (docs/SERVE.md). Deliberately not the query protocol:
+/// scrapers speak plain HTTP and must never contend with query traffic,
+/// so this listens on its own loopback port and serves one request per
+/// connection (`Connection: close`) on its own thread.
+///
+/// Not a general web server: requests are answered serially on the
+/// accept thread (a scrape is cheap and rare next to query traffic),
+/// headers are read with a bound and a timeout so a stuck scraper cannot
+/// wedge the thread, and anything but a well-formed GET gets a 4xx/405.
+class MetricsHttpServer {
+ public:
+  /// Answers one GET: returns true and fills `content_type` + `body`
+  /// when `path` is served, false for a 404. Called on the server's
+  /// accept thread; must be thread-safe against the serving threads it
+  /// reads from.
+  using Handler = std::function<bool(const std::string& path,
+                                     std::string* content_type,
+                                     std::string* body)>;
+
+  struct Options {
+    /// Port on 127.0.0.1; 0 picks an ephemeral port (read via port()).
+    uint16_t port = 0;
+    /// Per-request header read budget.
+    int read_timeout_ms = 2000;
+  };
+
+  MetricsHttpServer(Options options, Handler handler);
+
+  /// Stops and joins.
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds, listens, spawns the accept thread. Fails without side
+  /// effects on any socket error (port taken, ...).
+  Status Start();
+
+  /// Signals the accept thread and joins it (idempotent).
+  void Stop();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeClient(int fd);
+
+  Options options_;
+  Handler handler_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< Self-pipe; [read, write].
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+};
+
+}  // namespace serve
+}  // namespace sfpm
+
+#endif  // SFPM_SERVE_METRICS_HTTP_H_

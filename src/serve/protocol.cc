@@ -152,10 +152,25 @@ std::string RequestIdJson(const Value& body) {
   return id == nullptr ? "null" : ValueToJson(*id);
 }
 
+namespace {
+
+/// `request_id` is server-generated ("r<seq>": no quoting needed), so
+/// splicing it into the envelope verbatim is safe.
+void AppendRequestId(const std::string& request_id, std::string* out) {
+  if (request_id.empty()) return;
+  out->append(",\"rid\":\"");
+  out->append(request_id);
+  out->append("\"");
+}
+
+}  // namespace
+
 std::string OkResponse(const std::string& id_json,
-                       const std::string& result_json) {
+                       const std::string& result_json,
+                       const std::string& request_id) {
   std::string out = "{\"id\":";
   out += id_json;
+  AppendRequestId(request_id, &out);
   out += ",\"ok\":true,\"result\":";
   out += result_json;
   out += "}";
@@ -163,7 +178,8 @@ std::string OkResponse(const std::string& id_json,
 }
 
 std::string ErrorResponse(const std::string& id_json, ErrorCode code,
-                          const std::string& message) {
+                          const std::string& message,
+                          const std::string& request_id) {
   obs::json::Writer w;
   w.BeginObject();
   w.Key("code").String(ErrorCodeName(code));
@@ -171,6 +187,7 @@ std::string ErrorResponse(const std::string& id_json, ErrorCode code,
   w.EndObject();
   std::string out = "{\"id\":";
   out += id_json;
+  AppendRequestId(request_id, &out);
   out += ",\"ok\":false,\"error\":";
   out += w.str();
   out += "}";

@@ -89,15 +89,22 @@ struct Request {
 /// Parses a request payload. Requires a JSON object with a string `q`.
 Result<Request> ParseRequest(const std::string& payload);
 
-/// \brief Renders the `{"id": ..., "ok": true, "result": ...}` envelope.
-/// `id_json` is the request's `id` member re-serialized (or "null"), and
-/// `result_json` must be a complete JSON value.
+/// \brief Renders the `{"id": ..., "rid": ..., "ok": true, "result": ...}`
+/// envelope. `id_json` is the request's `id` member re-serialized (or
+/// "null"), and `result_json` must be a complete JSON value.
+/// `request_id` is the server-assigned per-request id ("r<seq>"); when
+/// empty the `rid` member is omitted — transport-level rejections
+/// (bad_frame, overloaded, shutting_down) never reached request
+/// admission, so they have no id to echo.
 std::string OkResponse(const std::string& id_json,
-                       const std::string& result_json);
+                       const std::string& result_json,
+                       const std::string& request_id = "");
 
-/// Renders the `{"id": ..., "ok": false, "error": {...}}` envelope.
+/// Renders the `{"id": ..., "rid": ..., "ok": false, "error": {...}}`
+/// envelope; `request_id` as in OkResponse.
 std::string ErrorResponse(const std::string& id_json, ErrorCode code,
-                          const std::string& message);
+                          const std::string& message,
+                          const std::string& request_id = "");
 
 /// Re-serializes a parsed JSON value (the `id` echo and test helpers).
 std::string ValueToJson(const obs::json::Value& value);

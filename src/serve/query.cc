@@ -478,8 +478,8 @@ Result<std::string> QueryEngine::Stat(const ServingSnapshot& snap) const {
     w.Key("mean").Number(data.count > 0
                              ? data.sum / static_cast<double>(data.count)
                              : 0.0);
-    w.Key("p50").Number(HistogramQuantile(data, 0.5));
-    w.Key("p99").Number(HistogramQuantile(data, 0.99));
+    w.Key("p50").Number(data.Quantile(0.5));
+    w.Key("p99").Number(data.Quantile(0.99));
     w.EndObject();
   }
   w.EndObject();
@@ -495,20 +495,32 @@ const std::vector<double>& LatencyBoundsMs() {
   return bounds;
 }
 
-double HistogramQuantile(const obs::HistogramData& data, double q) {
-  if (data.count == 0) return 0.0;
-  const uint64_t rank = static_cast<uint64_t>(
-      std::ceil(q * static_cast<double>(data.count)));
-  uint64_t seen = 0;
-  for (size_t b = 0; b < data.counts.size(); ++b) {
-    seen += data.counts[b];
-    if (seen >= rank) {
-      // Overflow bucket: report the last finite bound (an underestimate,
-      // flagged as such in docs/SERVE.md).
-      return b < data.bounds.size() ? data.bounds[b] : data.bounds.back();
-    }
+const std::string& QueryTypeLabel(const std::string& query) {
+  static const std::vector<std::string> known = {
+      "patterns", "rules",  "predicates", "window",
+      "relate",   "status", "reload",     "shutdown"};
+  for (const std::string& type : known) {
+    if (type == query) return type;
   }
-  return data.bounds.empty() ? 0.0 : data.bounds.back();
+  static const std::string other = "other";
+  return other;
+}
+
+void SampledTraces::Record(Entry entry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::vector<SampledTraces::Entry> SampledTraces::Entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+uint64_t SampledTraces::total() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_;
 }
 
 HandleResult QueryEngine::Handle(const std::string& payload) const {
@@ -516,30 +528,95 @@ HandleResult QueryEngine::Handle(const std::string& payload) const {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("serve.queries").Add();
 
+  // Server-assigned request identity, echoed as `rid` in the response
+  // envelope and carried by every slow-query/trace record, so one id
+  // joins a client-side observation to the server-side capture.
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::string rid = "r" + std::to_string(seq);
+
+  // Per-request tracer: always on, detached from any registry so a span
+  // costs two steady-clock reads, never a metrics snapshot.
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+
   HandleResult result;
   std::string type = "invalid";
-  auto request = ParseRequest(payload);
-  if (!request.ok()) {
-    registry.GetCounter("serve.errors").Add();
-    result.response = ErrorResponse("null", ErrorCode::kBadRequest,
-                                    request.status().message());
-  } else {
-    type = request.value().query;
-    const std::string id = RequestIdJson(request.value().body);
-    result.response = Dispatch(request.value(), id, &result.shutdown);
+  {
+    auto request_span = tracer.StartSpan("request");
+    auto parsed = [&] {
+      auto parse_span = tracer.StartSpan("parse");
+      return ParseRequest(payload);
+    }();
+    if (!parsed.ok()) {
+      registry.GetCounter("serve.errors").Add();
+      result.response = ErrorResponse("null", ErrorCode::kBadRequest,
+                                      parsed.status().message(), rid);
+    } else {
+      type = QueryTypeLabel(parsed.value().query);
+      const std::string id = RequestIdJson(parsed.value().body);
+      result.response =
+          Dispatch(parsed.value(), id, rid, &tracer, &result.shutdown);
+    }
   }
 
+  const double latency_ms = watch.ElapsedMillis();
   registry.GetCounter("serve.queries." + type).Add();
   registry.GetHistogram("serve.latency_ms." + type, LatencyBoundsMs())
-      .Observe(watch.ElapsedMillis());
+      .Observe(latency_ms);
+
+  const bool slow = telemetry_.slow_query_ms >= 0 &&
+                    latency_ms >= static_cast<double>(telemetry_.slow_query_ms);
+  const bool sampled =
+      telemetry_.trace_sample > 0 && telemetry_.traces != nullptr &&
+      seq % telemetry_.trace_sample == 0;
+  if (slow || sampled) {
+    const uint64_t generation = holder_ != nullptr ? holder_->generation() : 0;
+    if (slow) {
+      if (telemetry_.slow_log != nullptr) {
+        obs::SlowQueryEntry entry;
+        entry.seq = seq;
+        entry.request_id = rid;
+        entry.type = type;
+        entry.latency_ms = latency_ms;
+        entry.generation = generation;
+        entry.spans = tracer.ToTreeString();
+        telemetry_.slow_log->Record(std::move(entry));
+      }
+      if (telemetry_.logger != nullptr) {
+        telemetry_.logger->Warn(
+            "slow query",
+            {{"rid", rid},
+             {"type", type},
+             {"latency_ms", latency_ms},
+             {"generation", generation},
+             {"threshold_ms", telemetry_.slow_query_ms}});
+      }
+      registry.GetCounter("serve.slow_queries").Add();
+    }
+    if (sampled) {
+      SampledTraces::Entry entry;
+      entry.seq = seq;
+      entry.request_id = rid;
+      entry.type = type;
+      entry.latency_ms = latency_ms;
+      entry.spans = tracer.spans();
+      telemetry_.traces->Record(std::move(entry));
+    }
+  }
   return result;
 }
 
 std::string QueryEngine::Dispatch(const Request& request,
                                   const std::string& id,
+                                  const std::string& rid,
+                                  obs::Tracer* tracer,
                                   bool* shutdown) const {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   auto span = obs::Tracer::Global().StartSpan("serve/query/" + request.query);
+  // Mirror the phase under the per-request tracer with the bounded type
+  // label: this is the tree the slow-query log and /tracez render.
+  auto request_phase =
+      tracer->StartSpan("query/" + QueryTypeLabel(request.query));
 
   // Admin commands act on the holder, not a snapshot generation.
   if (request.query == "reload") {
@@ -547,12 +624,12 @@ std::string QueryEngine::Dispatch(const Request& request,
     if (const Value* param = request.body.Find("paths")) {
       if (!param->is_array() || param->array.empty()) {
         return ErrorResponse(id, ErrorCode::kBadRequest,
-                             "'paths' must be a non-empty array");
+                             "'paths' must be a non-empty array", rid);
       }
       for (const Value& entry : param->array) {
         if (!entry.is_string()) {
           return ErrorResponse(id, ErrorCode::kBadRequest,
-                               "'paths' entries must be strings");
+                               "'paths' entries must be strings", rid);
         }
         paths.push_back(entry.string);
       }
@@ -561,23 +638,23 @@ std::string QueryEngine::Dispatch(const Request& request,
         paths.empty() ? holder_->Reload() : holder_->Load(paths);
     if (!status.ok()) {
       registry.GetCounter("serve.errors").Add();
-      return ErrorResponse(id, CodeFor(status), status.message());
+      return ErrorResponse(id, CodeFor(status), status.message(), rid);
     }
     Writer w;
     w.BeginObject();
     w.Key("generation").Number(holder_->generation());
     w.EndObject();
-    return OkResponse(id, w.str());
+    return OkResponse(id, w.str(), rid);
   }
   if (request.query == "shutdown") {
     *shutdown = true;
-    return OkResponse(id, "{\"draining\":true}");
+    return OkResponse(id, "{\"draining\":true}", rid);
   }
 
   const std::shared_ptr<const ServingSnapshot> snap = holder_->Current();
   if (snap == nullptr) {
     registry.GetCounter("serve.errors").Add();
-    return ErrorResponse(id, ErrorCode::kInternal, "no snapshot loaded");
+    return ErrorResponse(id, ErrorCode::kInternal, "no snapshot loaded", rid);
   }
 
   Result<std::string> outcome = [&]() -> Result<std::string> {
@@ -596,12 +673,12 @@ std::string QueryEngine::Dispatch(const Request& request,
     registry.GetCounter("serve.errors").Add();
     if (outcome.status().message().empty()) {
       return ErrorResponse(id, ErrorCode::kUnknownQuery,
-                           "unknown query '" + request.query + "'");
+                           "unknown query '" + request.query + "'", rid);
     }
     return ErrorResponse(id, CodeFor(outcome.status()),
-                         outcome.status().message());
+                         outcome.status().message(), rid);
   }
-  return OkResponse(id, outcome.value());
+  return OkResponse(id, outcome.value(), rid);
 }
 
 }  // namespace serve

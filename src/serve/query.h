@@ -1,10 +1,17 @@
 #ifndef SFPM_SERVE_QUERY_H_
 #define SFPM_SERVE_QUERY_H_
 
+#include <atomic>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "obs/json.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "serve/protocol.h"
 #include "serve/snapshot_holder.h"
 
@@ -19,15 +26,67 @@ struct HandleResult {
   bool shutdown = false;  ///< The request was an accepted `shutdown`.
 };
 
+/// \brief Bounded ring of sampled per-request span captures — the
+/// `/tracez` payload. One entry is the complete span tree of one request
+/// picked by `--trace-sample=N` (every Nth). Thread-safe.
+class SampledTraces {
+ public:
+  struct Entry {
+    uint64_t seq = 0;
+    std::string request_id;  ///< "r<seq>".
+    std::string type;        ///< Query type.
+    double latency_ms = 0.0;
+    std::vector<obs::TraceSpan> spans;
+  };
+
+  explicit SampledTraces(size_t capacity = 32) : capacity_(capacity) {}
+
+  void Record(Entry entry);
+
+  /// The retained entries, oldest first.
+  std::vector<Entry> Entries() const;
+
+  /// All-time count of captured requests.
+  uint64_t total() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t total_ = 0;
+  std::deque<Entry> entries_;
+};
+
+/// \brief Continuous-telemetry wiring of a QueryEngine, owned by the
+/// transport (Server). All pointers optional and must outlive the
+/// engine when set.
+struct EngineTelemetry {
+  /// Latency at/over which a request lands in `slow_log` plus a warn
+  /// line on `logger`; < 0 disables slow-query capture.
+  int slow_query_ms = -1;
+  /// Capture every Nth request's span tree into `traces`; 0 disables.
+  uint32_t trace_sample = 0;
+  obs::SlowQueryLog* slow_log = nullptr;
+  SampledTraces* traces = nullptr;
+  obs::Logger* logger = nullptr;
+};
+
 /// \brief Stateless-per-request query dispatcher over a SnapshotHolder.
 /// One engine serves every connection; each request grabs the holder's
 /// current snapshot once and works against that generation end to end,
 /// so a concurrent hot swap never mixes generations within one request.
 ///
+/// Every request gets a monotonic server-assigned id ("r<seq>", echoed
+/// as `rid` in ok and error envelopes) and runs under its own
+/// registry-free `Tracer` — always on, each span costing two steady-
+/// clock reads — whose tree feeds the slow-query log and the sampled
+/// `/tracez` ring (EngineTelemetry).
+///
 /// Publishes per-request instruments to the global registry:
 /// `serve.queries`, `serve.queries.<type>`, `serve.errors`, and the
 /// per-type latency histogram `serve.latency_ms.<type>`
-/// (docs/OBSERVABILITY.md). Thread-safe; holds no per-request state.
+/// (docs/OBSERVABILITY.md). The <type> label is cardinality-bounded:
+/// unknown query names count under `other`, unparsable requests under
+/// `invalid`. Thread-safe; holds no per-request state.
 class QueryEngine {
  public:
   explicit QueryEngine(SnapshotHolder* holder) : holder_(holder) {}
@@ -39,11 +98,18 @@ class QueryEngine {
     status_callback_ = std::move(callback);
   }
 
+  /// Installs the slow-query/trace-sampling sinks. Not thread-safe
+  /// against in-flight Handle calls; set before serving starts.
+  void set_telemetry(EngineTelemetry telemetry) {
+    telemetry_ = telemetry;
+  }
+
   /// Parses and answers one request payload (the bytes of one frame).
   HandleResult Handle(const std::string& payload) const;
 
  private:
   std::string Dispatch(const Request& request, const std::string& id,
+                       const std::string& rid, obs::Tracer* tracer,
                        bool* shutdown) const;
 
   /// The `status` query: snapshot inventory + `serve.*` instruments.
@@ -51,13 +117,16 @@ class QueryEngine {
 
   SnapshotHolder* holder_;
   std::function<void(obs::json::Writer&)> status_callback_;
+  EngineTelemetry telemetry_;
+  /// Request sequence; source of the per-request "r<seq>" ids.
+  mutable std::atomic<uint64_t> next_seq_{0};
 };
 
-/// Nearest-upper-bound quantile estimate over histogram buckets, q in
-/// [0, 1]; the value reported as p50/p99 by `status` and bench_serve.
-/// Returns the bound of the bucket where the q-th observation falls (the
-/// last finite bound when it falls in the overflow bucket), 0 when empty.
-double HistogramQuantile(const obs::HistogramData& data, double q);
+/// The metric instrument label of a query type: the type itself for the
+/// known queries, "other" for anything else — bounds the cardinality of
+/// `serve.queries.<type>` / `serve.latency_ms.<type>` against arbitrary
+/// client-supplied `q` strings.
+const std::string& QueryTypeLabel(const std::string& query);
 
 /// The latency bucket bounds (milliseconds) of `serve.latency_ms.*`.
 const std::vector<double>& LatencyBoundsMs();

@@ -12,16 +12,24 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string_view>
 #include <utility>
+#include <vector>
 
+#include "obs/expose.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 
 namespace sfpm {
 namespace serve {
 
 namespace {
+
+/// Trailing window of the /varz rates and windowed quantiles.
+constexpr double kVarzWindowMs = 10000.0;
 
 /// Upper bound on one blocking recv, so a connection parked in a read
 /// notices a shutdown request promptly even under a long idle timeout.
@@ -59,6 +67,13 @@ Server::Server(SnapshotHolder* holder, ServerOptions options)
     : holder_(holder), options_(options), engine_(holder) {
   options_.workers = std::max<size_t>(1, options_.workers);
   options_.max_inflight = std::max<size_t>(1, options_.max_inflight);
+  EngineTelemetry telemetry;
+  telemetry.slow_query_ms = options_.slow_query_ms;
+  telemetry.trace_sample = options_.trace_sample;
+  telemetry.slow_log = &slow_log_;
+  telemetry.traces = &traces_;
+  telemetry.logger = &obs::Logger::Global();
+  engine_.set_telemetry(telemetry);
   engine_.set_status_callback([this](obs::json::Writer& w) {
     w.Key("uptime_ms").Number(uptime_.ElapsedMillis());
     w.Key("inflight").Number(static_cast<uint64_t>(
@@ -128,6 +143,32 @@ Status Server::Start() {
   port_ = ntohs(addr.sin_port);
   fcntl(listen_fd_, F_SETFL, O_NONBLOCK);
 
+  // Telemetry endpoint: its own plain-HTTP listener plus the ring
+  // sampler that turns cumulative instruments into the /varz rates.
+  if (options_.metrics_port >= 0) {
+    sampler_ = std::make_unique<obs::RingSampler>(
+        &obs::MetricsRegistry::Global());
+    MetricsHttpServer::Options http_options;
+    http_options.port = static_cast<uint16_t>(options_.metrics_port);
+    metrics_http_ = std::make_unique<MetricsHttpServer>(
+        http_options,
+        [this](const std::string& path, std::string* content_type,
+               std::string* body) {
+          return HandleTelemetryPath(path, content_type, body);
+        });
+    const Status status = metrics_http_->Start();
+    if (!status.ok()) {
+      metrics_http_.reset();
+      sampler_.reset();
+      close(listen_fd_);
+      close(wake_pipe_[0]);
+      close(wake_pipe_[1]);
+      listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+      return status;
+    }
+    sampler_->Start();
+  }
+
   // Slot 0 of the pool is ParallelFor's caller slot, never used in Submit
   // mode, so workers + 1 gives exactly `workers` query threads.
   pool_ = std::make_unique<ThreadPool>(options_.workers + 1);
@@ -136,6 +177,14 @@ Status Server::Start() {
       .GetGauge("serve.workers")
       .Set(static_cast<double>(options_.workers));
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  obs::Logger::Global().Info(
+      "serve listening",
+      {{"port", static_cast<uint64_t>(port_)},
+       {"metrics_port", static_cast<uint64_t>(metrics_port())},
+       {"workers", static_cast<uint64_t>(options_.workers)},
+       {"generation", holder_->generation()},
+       {"slow_query_ms", options_.slow_query_ms},
+       {"trace_sample", static_cast<uint64_t>(options_.trace_sample)}});
   return Status::OK();
 }
 
@@ -182,8 +231,11 @@ void Server::AcceptLoop() {
       if (!status.ok()) {
         // Keep serving the old generation; reload failure is not fatal.
         registry.GetCounter("serve.reload_errors").Add();
-        std::fprintf(stderr, "sfpm serve: reload failed: %s\n",
-                     status.message().c_str());
+        obs::Logger::Global().Error("reload failed",
+                                    {{"error", status.message()}});
+      } else {
+        obs::Logger::Global().Info("snapshot reloaded",
+                                   {{"generation", holder_->generation()}});
       }
     }
     if (shutting_down()) break;
@@ -219,6 +271,11 @@ void Server::AcceptLoop() {
       });
     }
   }
+  obs::Logger::Global().Info(
+      "serve draining",
+      {{"uptime_ms", uptime_.ElapsedMillis()},
+       {"queries",
+        registry.GetCounter("serve.queries").Value()}});
 }
 
 void Server::ServeConnection(int fd) {
@@ -285,6 +342,140 @@ void Server::WriteRejection(int fd, ErrorCode code,
                             const std::string& message) {
   SetTimeout(fd, SO_SNDTIMEO, 1000);  // Best effort; never wedge accept.
   SendAll(fd, EncodeFrame(ErrorResponse("null", code, message)));
+}
+
+bool Server::HandleTelemetryPath(const std::string& path,
+                                 std::string* content_type,
+                                 std::string* body) {
+  if (path == "/metrics") {
+    *content_type = obs::kPrometheusContentType;
+    *body = obs::PrometheusText(obs::MetricsRegistry::Global().Snapshot());
+    return true;
+  }
+  if (path == "/healthz") {
+    *content_type = "text/plain";
+    *body = shutting_down() ? "draining\n" : "ok\n";
+    return true;
+  }
+  if (path == "/varz") {
+    *content_type = "application/json";
+    *body = VarzJson();
+    return true;
+  }
+  if (path == "/tracez") {
+    *content_type = "application/json";
+    *body = TracezJson();
+    return true;
+  }
+  return false;
+}
+
+std::string Server::VarzJson() {
+  const obs::MetricsSnapshot metrics =
+      obs::MetricsRegistry::Global().Snapshot();
+  obs::json::Writer w;
+  w.BeginObject();
+  w.Key("uptime_ms").Number(uptime_.ElapsedMillis());
+  w.Key("port").Number(static_cast<uint64_t>(port_));
+  w.Key("metrics_port").Number(static_cast<uint64_t>(metrics_port()));
+  w.Key("workers").Number(static_cast<uint64_t>(options_.workers));
+  w.Key("inflight").Number(static_cast<uint64_t>(
+      std::max<int64_t>(0, inflight_.load(std::memory_order_relaxed))));
+  w.Key("generation").Number(holder_->generation());
+  w.Key("shutting_down").Bool(shutting_down());
+  w.Key("slow_query_ms").Number(
+      static_cast<int64_t>(options_.slow_query_ms));
+  w.Key("trace_sample").Number(static_cast<uint64_t>(options_.trace_sample));
+  w.Key("window_ms").Number(kVarzWindowMs);
+  w.Key("samples").Number(sampler_ != nullptr ? sampler_->samples() : 0);
+
+  // Trailing-window rates from the ring sampler. Zero until the window
+  // holds two samples — honest, not an error.
+  w.Key("rates");
+  w.BeginObject();
+  w.Key("qps").Number(
+      sampler_ != nullptr
+          ? sampler_->CounterRate("serve.queries", kVarzWindowMs)
+          : 0.0);
+  w.Key("errors_per_sec")
+      .Number(sampler_ != nullptr
+                  ? sampler_->CounterRate("serve.errors", kVarzWindowMs)
+                  : 0.0);
+  w.Key("per_type");
+  w.BeginObject();
+  const std::string type_prefix = "serve.queries.";
+  for (const auto& [name, value] : metrics.counters) {
+    if (name.rfind(type_prefix, 0) != 0) continue;
+    w.Key(name.substr(type_prefix.size()))
+        .Number(sampler_ != nullptr
+                    ? sampler_->CounterRate(name, kVarzWindowMs)
+                    : 0.0);
+  }
+  w.EndObject();
+  w.EndObject();
+
+  // Per-type latency: cumulative count/mean, p50/p99 over the trailing
+  // window when the sampler has it, else over the cumulative histogram
+  // (`windowed` says which).
+  w.Key("latency_ms");
+  w.BeginObject();
+  const std::string latency_prefix = "serve.latency_ms.";
+  for (const auto& [name, data] : metrics.histograms) {
+    if (name.rfind(latency_prefix, 0) != 0) continue;
+    std::optional<obs::HistogramData> window;
+    if (sampler_ != nullptr) {
+      window = sampler_->HistogramWindow(name, kVarzWindowMs);
+    }
+    if (window.has_value() && window->count == 0) window.reset();
+    const obs::HistogramData& estimate =
+        window.has_value() ? *window : data;
+    w.Key(name.substr(latency_prefix.size()));
+    w.BeginObject();
+    w.Key("count").Number(data.count);
+    w.Key("mean").Number(
+        data.count > 0 ? data.sum / static_cast<double>(data.count) : 0.0);
+    w.Key("p50").Number(estimate.Quantile(0.5));
+    w.Key("p99").Number(estimate.Quantile(0.99));
+    w.Key("windowed").Bool(window.has_value());
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.Key("slow_query_total").Number(slow_log_.total());
+  w.Key("slow_queries");
+  w.BeginArray();
+  for (const obs::SlowQueryEntry& entry : slow_log_.Entries()) {
+    w.BeginObject();
+    w.Key("seq").Number(entry.seq);
+    w.Key("rid").String(entry.request_id);
+    w.Key("type").String(entry.type);
+    w.Key("latency_ms").Number(entry.latency_ms);
+    w.Key("generation").Number(entry.generation);
+    w.Key("spans").String(entry.spans);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("trace_total").Number(traces_.total());
+
+  w.Key("metrics");
+  obs::MetricsToJson(metrics, &w);
+  w.EndObject();
+  return w.str();
+}
+
+std::string Server::TracezJson() {
+  // One Chrome trace over every sampled request, one "thread" lane per
+  // request (tid = seq) so overlapping per-request clocks don't collide.
+  std::vector<obs::TraceSpan> merged;
+  std::vector<SampledTraces::Entry> entries = traces_.Entries();
+  for (SampledTraces::Entry& entry : entries) {
+    for (obs::TraceSpan& span : entry.spans) {
+      span.thread = static_cast<size_t>(entry.seq);
+      span.name = entry.request_id + "/" + span.name;
+      merged.push_back(std::move(span));
+    }
+  }
+  return obs::ChromeTraceJson(merged);
 }
 
 }  // namespace serve

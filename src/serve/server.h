@@ -7,6 +7,9 @@
 #include <string>
 #include <thread>
 
+#include "obs/log.h"
+#include "obs/timeseries.h"
+#include "serve/metrics_http.h"
 #include "serve/protocol.h"
 #include "serve/query.h"
 #include "serve/snapshot_holder.h"
@@ -34,6 +37,17 @@ struct ServerOptions {
   int read_timeout_ms = 30000;
   /// Per-frame payload ceiling; larger frames poison the connection.
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Plain-HTTP telemetry port on 127.0.0.1 (GET /metrics Prometheus
+  /// exposition, /healthz, /varz JSON, /tracez): -1 disables the
+  /// endpoint, 0 picks an ephemeral port (read back from
+  /// `metrics_port()`).
+  int metrics_port = -1;
+  /// Requests at/over this latency land in the bounded slow-query log
+  /// (surfaced by /varz) plus one structured warn line; < 0 disables.
+  int slow_query_ms = 100;
+  /// Capture every Nth request's full span tree for /tracez; 0 disables
+  /// sampling (the per-request tracer itself is always on).
+  uint32_t trace_sample = 0;
 };
 
 /// \brief The `sfpm serve` TCP front end: accepts loopback connections,
@@ -82,6 +96,17 @@ class Server {
   /// The bound port (valid after a successful Start).
   uint16_t port() const { return port_; }
 
+  /// The bound telemetry port; 0 when the endpoint is disabled.
+  uint16_t metrics_port() const {
+    return metrics_http_ != nullptr ? metrics_http_->port() : 0;
+  }
+
+  /// The slow-query ring the engine records into (tests and /varz).
+  const obs::SlowQueryLog& slow_queries() const { return slow_log_; }
+
+  /// The sampled-trace ring behind /tracez.
+  const SampledTraces& sampled_traces() const { return traces_; }
+
   /// True once RequestShutdown was called.
   bool shutting_down() const {
     return shutdown_.load(std::memory_order_relaxed);
@@ -93,9 +118,20 @@ class Server {
   /// Best-effort single error frame to a connection we will not serve.
   void WriteRejection(int fd, ErrorCode code, const std::string& message);
 
+  /// The telemetry GET dispatcher (/metrics, /healthz, /varz, /tracez).
+  bool HandleTelemetryPath(const std::string& path, std::string* content_type,
+                           std::string* body);
+  std::string VarzJson();
+  std::string TracezJson();
+
   SnapshotHolder* holder_;
   ServerOptions options_;
   QueryEngine engine_;
+
+  obs::SlowQueryLog slow_log_;
+  SampledTraces traces_;
+  std::unique_ptr<obs::RingSampler> sampler_;
+  std::unique_ptr<MetricsHttpServer> metrics_http_;
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  ///< [read, write]; write end is signal-safe.

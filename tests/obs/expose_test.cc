@@ -1,0 +1,90 @@
+#include "obs/expose.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace sfpm {
+namespace obs {
+namespace {
+
+TEST(ExposeTest, PrometheusNamePrefixesAndSanitizes) {
+  EXPECT_EQ(PrometheusName("serve.queries"), "sfpm_serve_queries");
+  EXPECT_EQ(PrometheusName("serve.latency_ms.patterns"),
+            "sfpm_serve_latency_ms_patterns");
+  // Anything outside [a-zA-Z0-9_] flattens to '_'.
+  EXPECT_EQ(PrometheusName("weird-name with/chars"),
+            "sfpm_weird_name_with_chars");
+  EXPECT_EQ(PrometheusName(""), "sfpm_");
+}
+
+TEST(ExposeTest, CounterSample) {
+  MetricsSnapshot snapshot;
+  snapshot.counters["serve.queries"] = 42;
+  EXPECT_EQ(PrometheusText(snapshot),
+            "# HELP sfpm_serve_queries sfpm instrument serve.queries\n"
+            "# TYPE sfpm_serve_queries counter\n"
+            "sfpm_serve_queries 42\n");
+}
+
+TEST(ExposeTest, GaugeSampleRoundTripsTheDouble) {
+  MetricsSnapshot snapshot;
+  snapshot.gauges["serve.inflight"] = 2.5;
+  EXPECT_EQ(PrometheusText(snapshot),
+            "# HELP sfpm_serve_inflight sfpm instrument serve.inflight\n"
+            "# TYPE sfpm_serve_inflight gauge\n"
+            "sfpm_serve_inflight 2.5\n");
+}
+
+TEST(ExposeTest, HistogramBucketsAreCumulativeWithInfAndSumCount) {
+  MetricsSnapshot snapshot;
+  HistogramData& h = snapshot.histograms["serve.latency_ms.status"];
+  h.bounds = {1.0, 10.0, 100.0};
+  h.counts = {8, 1, 0, 1};  // Per-bucket; exposition must cumulate.
+  h.count = 10;
+  h.sum = 150.5;
+  const std::string prom = "sfpm_serve_latency_ms_status";
+  EXPECT_EQ(
+      PrometheusText(snapshot),
+      "# HELP " + prom + " sfpm instrument serve.latency_ms.status\n" +
+          "# TYPE " + prom + " histogram\n" +
+          prom + "_bucket{le=\"1\"} 8\n" +
+          prom + "_bucket{le=\"10\"} 9\n" +
+          prom + "_bucket{le=\"100\"} 9\n" +
+          prom + "_bucket{le=\"+Inf\"} 10\n" +
+          prom + "_sum 150.5\n" +
+          prom + "_count 10\n");
+}
+
+TEST(ExposeTest, RendersEveryKindFromALiveRegistry) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.hits").Add(3);
+  registry.GetGauge("test.level").Set(0.25);
+  registry.GetHistogram("test.wait_ms", {5.0}).Observe(2.0);
+  const std::string text = PrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE sfpm_test_hits counter\nsfpm_test_hits 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sfpm_test_level gauge\nsfpm_test_level 0.25\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sfpm_test_wait_ms_bucket{le=\"5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sfpm_test_wait_ms_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sfpm_test_wait_ms_sum 2\n"), std::string::npos);
+  EXPECT_NE(text.find("sfpm_test_wait_ms_count 1\n"), std::string::npos);
+}
+
+TEST(ExposeTest, EmptySnapshotIsEmptyText) {
+  EXPECT_EQ(PrometheusText(MetricsSnapshot()), "");
+}
+
+TEST(ExposeTest, ContentTypeIsTheExpositionVersion) {
+  EXPECT_EQ(std::string(kPrometheusContentType),
+            "text/plain; version=0.0.4; charset=utf-8");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sfpm

@@ -1,0 +1,153 @@
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sfpm {
+namespace obs {
+namespace {
+
+TEST(LoggerTest, FormatIsDeterministicLogfmt) {
+  EXPECT_EQ(Logger::Format(LogLevel::kInfo, "listening",
+                           {{"port", uint64_t{8437}}}, 0),
+            "ts=1970-01-01T00:00:00.000Z level=info msg=listening port=8437");
+  EXPECT_EQ(Logger::Format(LogLevel::kWarn, "slow query",
+                           {{"rid", "r17"}, {"latency_ms", 102.5}},
+                           1754650000123),
+            "ts=2025-08-08T10:46:40.123Z level=warn msg=\"slow query\" "
+            "rid=r17 latency_ms=102.5");
+}
+
+TEST(LoggerTest, FieldRenderingPerType) {
+  EXPECT_EQ(Logger::Format(LogLevel::kError, "m",
+                           {{"d", 2.5},
+                            {"u", uint64_t{42}},
+                            {"i", -3},
+                            {"b", true},
+                            {"s", "plain"}},
+                           0),
+            "ts=1970-01-01T00:00:00.000Z level=error msg=m d=2.5 u=42 i=-3 "
+            "b=true s=plain");
+}
+
+TEST(LoggerTest, QuotingAndEscaping) {
+  // Spaces, '=', quotes, backslashes, newlines, tabs, and the empty
+  // string all force quotes; specials are escaped.
+  EXPECT_EQ(
+      Logger::Format(LogLevel::kInfo, "m",
+                     {{"a", "has space"},
+                      {"b", "k=v"},
+                      {"c", "say \"hi\""},
+                      {"d", "back\\slash"},
+                      {"e", "line\nbreak\ttab"},
+                      {"f", ""}},
+                     0),
+      "ts=1970-01-01T00:00:00.000Z level=info msg=m a=\"has space\" "
+      "b=\"k=v\" c=\"say \\\"hi\\\"\" d=\"back\\\\slash\" "
+      "e=\"line\\nbreak\\ttab\" f=\"\"");
+}
+
+TEST(LoggerTest, LevelNamesAreStable) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "info");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "warn");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "error");
+}
+
+TEST(LoggerTest, MinLevelGatesOutput) {
+  Logger logger(nullptr);
+  EXPECT_FALSE(logger.ShouldLog(LogLevel::kDebug));  // Default is info.
+  EXPECT_TRUE(logger.ShouldLog(LogLevel::kInfo));
+  logger.set_min_level(LogLevel::kError);
+  EXPECT_FALSE(logger.ShouldLog(LogLevel::kWarn));
+  EXPECT_TRUE(logger.ShouldLog(LogLevel::kError));
+}
+
+TEST(LoggerTest, WritesOneLinePerEventToTheSink) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  Logger logger(sink);
+  logger.Info("first", {{"n", 1}});
+  logger.set_min_level(LogLevel::kError);
+  logger.Info("suppressed");
+  logger.Error("second");
+  std::rewind(sink);
+  std::string content;
+  char buf[4096];
+  size_t read;
+  while ((read = std::fread(buf, 1, sizeof(buf), sink)) > 0) {
+    content.append(buf, read);
+  }
+  std::fclose(sink);
+  EXPECT_NE(content.find("msg=first n=1\n"), std::string::npos);
+  EXPECT_EQ(content.find("suppressed"), std::string::npos);
+  EXPECT_NE(content.find("level=error msg=second\n"), std::string::npos);
+}
+
+// Concurrent writers must never interleave within a line (exercised under
+// TSan by the check.sh sanitizer stage).
+TEST(LoggerTest, ConcurrentWritersKeepLinesWhole) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  Logger logger(sink);
+  constexpr int kThreads = 4;
+  constexpr int kLines = 200;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&logger, t] {
+      for (int i = 0; i < kLines; ++i) {
+        logger.Info("tick", {{"thread", t}, {"i", i}});
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  std::rewind(sink);
+  std::string content;
+  char buf[4096];
+  size_t read;
+  while ((read = std::fread(buf, 1, sizeof(buf), sink)) > 0) {
+    content.append(buf, read);
+  }
+  std::fclose(sink);
+  int lines = 0;
+  size_t pos = 0;
+  while ((pos = content.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, kThreads * kLines);
+  // Every line starts with the timestamp key — no torn writes.
+  pos = 0;
+  for (int i = 0; i < lines; ++i) {
+    EXPECT_EQ(content.compare(pos, 3, "ts="), 0) << "line " << i;
+    pos = content.find('\n', pos) + 1;
+  }
+}
+
+TEST(SlowQueryLogTest, RingBoundsEntriesButCountsAll) {
+  SlowQueryLog log(2);
+  EXPECT_EQ(log.total(), 0u);
+  EXPECT_TRUE(log.Entries().empty());
+  for (uint64_t i = 1; i <= 5; ++i) {
+    SlowQueryEntry entry;
+    entry.seq = i;
+    entry.request_id = "r" + std::to_string(i);
+    entry.type = "patterns";
+    entry.latency_ms = static_cast<double>(i);
+    log.Record(std::move(entry));
+  }
+  EXPECT_EQ(log.total(), 5u);
+  const auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);  // Capacity caps retention, oldest first.
+  EXPECT_EQ(entries[0].seq, 4u);
+  EXPECT_EQ(entries[1].seq, 5u);
+  EXPECT_EQ(entries[1].request_id, "r5");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sfpm

@@ -155,6 +155,90 @@ TEST(MetricsTest, DeltaSinceSubtractsCountersKeepsGauges) {
   EXPECT_EQ(delta.histograms.at("h").sum, 2.0);
 }
 
+// One name may live in all three kind namespaces at once — the registry
+// keys instruments by (kind, name), so a Counter re-registered as a Gauge
+// is a new, independent instrument rather than a collision.
+TEST(MetricsTest, KindNamespacesAreIndependent) {
+  MetricsRegistry registry;
+  registry.GetCounter("dual.name").Add(5);
+  registry.GetGauge("dual.name").Set(2.5);
+  registry.GetHistogram("dual.name", {1.0}).Observe(0.5);
+  EXPECT_EQ(registry.GetCounter("dual.name").Value(), 5u);
+  EXPECT_EQ(registry.GetGauge("dual.name").Value(), 2.5);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("dual.name"), 5u);
+  EXPECT_EQ(snapshot.gauges.at("dual.name"), 2.5);
+  EXPECT_EQ(snapshot.histograms.at("dual.name").count, 1u);
+}
+
+TEST(MetricsTest, DropZerosPrunesIdleCountersAndHistograms) {
+  MetricsRegistry registry;
+  registry.GetCounter("live").Add(3);
+  registry.GetCounter("idle");  // Registered, never incremented.
+  registry.GetGauge("zero_gauge").Set(0.0);
+  registry.GetHistogram("warm", {1.0}).Observe(0.5);
+  registry.GetHistogram("cold", {1.0});
+  MetricsSnapshot snapshot = registry.Snapshot();
+  snapshot.DropZeros();
+  EXPECT_EQ(snapshot.counters.count("live"), 1u);
+  EXPECT_EQ(snapshot.counters.count("idle"), 0u);
+  // A zero gauge is a real reading, not an idle instrument.
+  EXPECT_EQ(snapshot.gauges.count("zero_gauge"), 1u);
+  EXPECT_EQ(snapshot.histograms.count("warm"), 1u);
+  EXPECT_EQ(snapshot.histograms.count("cold"), 0u);
+}
+
+// The DeltaSince wart DropZeros exists for: instruments untouched during
+// the measured phase show up as zero-valued counters in the delta and
+// used to clutter every report.
+TEST(MetricsTest, DeltaSinceThenDropZerosKeepsOnlyTouchedInstruments) {
+  MetricsRegistry registry;
+  registry.GetCounter("before_only").Add(10);
+  registry.GetHistogram("stale", {1.0}).Observe(0.5);
+  const MetricsSnapshot before = registry.Snapshot();
+  registry.GetCounter("during").Add(1);
+  MetricsSnapshot delta = registry.Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.counters.count("before_only"), 1u);  // Present, zero.
+  delta.DropZeros();
+  EXPECT_EQ(delta.counters.count("before_only"), 0u);
+  EXPECT_EQ(delta.counters.at("during"), 1u);
+  EXPECT_EQ(delta.histograms.count("stale"), 0u);
+}
+
+struct QuantileCase {
+  const char* name;
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  double q;
+  double expected;
+};
+
+// Bucket-bound estimator: answers are always one of the configured upper
+// bounds (or 0 for an empty histogram); the overflow bucket clamps to the
+// last finite bound.
+TEST(MetricsTest, QuantileTableDriven) {
+  const QuantileCase cases[] = {
+      {"empty", {1.0, 10.0}, {0, 0, 0}, 0.5, 0.0},
+      {"no_bounds", {}, {}, 0.5, 0.0},
+      {"single_bucket", {5.0}, {3, 0}, 0.99, 5.0},
+      {"median_in_first", {1.0, 10.0, 100.0}, {8, 1, 0, 1}, 0.5, 1.0},
+      {"p90_in_second", {1.0, 10.0, 100.0}, {8, 1, 0, 1}, 0.9, 10.0},
+      {"overflow_clamps", {1.0, 10.0, 100.0}, {8, 1, 0, 1}, 0.999, 100.0},
+      {"all_mass_overflow", {1.0, 10.0}, {0, 0, 7}, 0.5, 10.0},
+      {"q_zero_clamps_to_first_observation", {1.0, 10.0}, {1, 1, 0}, 0.0, 1.0},
+      {"q_one_is_max_bucket", {1.0, 10.0}, {1, 1, 0}, 1.0, 10.0},
+      {"q_above_one_clamps", {1.0, 10.0}, {1, 1, 0}, 2.0, 10.0},
+      {"q_negative_clamps", {1.0, 10.0}, {1, 1, 0}, -1.0, 1.0},
+  };
+  for (const QuantileCase& c : cases) {
+    HistogramData data;
+    data.bounds = c.bounds;
+    data.counts = c.counts;
+    for (const uint64_t n : c.counts) data.count += n;
+    EXPECT_EQ(data.Quantile(c.q), c.expected) << c.name;
+  }
+}
+
 TEST(MetricsTest, DenseThreadIdStablePerThread) {
   const size_t here = DenseThreadId();
   EXPECT_EQ(DenseThreadId(), here);

@@ -1,0 +1,134 @@
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace sfpm {
+namespace obs {
+namespace {
+
+// Two SampleNow calls need distinct steady-clock readings for a window to
+// span them; a millisecond is orders of magnitude above the clock's
+// resolution.
+void NudgeClock() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+}
+
+TEST(TimeSeriesTest, SampleCountTracksCalls) {
+  MetricsRegistry registry;
+  RingSampler sampler(&registry);
+  EXPECT_EQ(sampler.samples(), 0u);
+  sampler.SampleNow();
+  sampler.SampleNow();
+  EXPECT_EQ(sampler.samples(), 2u);
+}
+
+TEST(TimeSeriesTest, CounterRateNeedsTwoSamplesSpanningTheWindow) {
+  MetricsRegistry registry;
+  RingSampler sampler(&registry);
+  Counter& counter = registry.GetCounter("ts.hits");
+  counter.Add(5);
+  sampler.SampleNow();
+  EXPECT_EQ(sampler.CounterRate("ts.hits", 60000.0), 0.0);  // One sample.
+  NudgeClock();
+  counter.Add(100);
+  sampler.SampleNow();
+  EXPECT_GT(sampler.CounterRate("ts.hits", 60000.0), 0.0);
+  // A zero-width window excludes everything but the newest sample.
+  EXPECT_EQ(sampler.CounterRate("ts.hits", 0.0), 0.0);
+  EXPECT_EQ(sampler.CounterRate("ts.unknown", 60000.0), 0.0);
+}
+
+TEST(TimeSeriesTest, FlatCounterRatesToZero) {
+  MetricsRegistry registry;
+  RingSampler sampler(&registry);
+  registry.GetCounter("ts.idle").Add(7);
+  sampler.SampleNow();
+  NudgeClock();
+  sampler.SampleNow();
+  EXPECT_EQ(sampler.CounterRate("ts.idle", 60000.0), 0.0);
+}
+
+TEST(TimeSeriesTest, GaugeValueIsTheNewestSample) {
+  MetricsRegistry registry;
+  RingSampler sampler(&registry);
+  EXPECT_FALSE(sampler.GaugeValue("ts.level").has_value());
+  Gauge& gauge = registry.GetGauge("ts.level");
+  gauge.Set(1.5);
+  sampler.SampleNow();
+  NudgeClock();
+  gauge.Set(4.25);
+  sampler.SampleNow();
+  ASSERT_TRUE(sampler.GaugeValue("ts.level").has_value());
+  EXPECT_EQ(*sampler.GaugeValue("ts.level"), 4.25);
+}
+
+TEST(TimeSeriesTest, HistogramWindowIsTheBucketwiseDelta) {
+  MetricsRegistry registry;
+  RingSampler sampler(&registry);
+  Histogram& hist = registry.GetHistogram("ts.wait_ms", {1.0, 10.0});
+  hist.Observe(0.5);
+  hist.Observe(5.0);
+  sampler.SampleNow();
+  EXPECT_FALSE(
+      sampler.HistogramWindow("ts.wait_ms", 60000.0).has_value());
+  NudgeClock();
+  hist.Observe(0.5);
+  hist.Observe(100.0);
+  sampler.SampleNow();
+  const auto window = sampler.HistogramWindow("ts.wait_ms", 60000.0);
+  ASSERT_TRUE(window.has_value());
+  EXPECT_EQ(window->count, 2u);  // Only the observations between samples.
+  ASSERT_EQ(window->counts.size(), 3u);
+  EXPECT_EQ(window->counts[0], 1u);
+  EXPECT_EQ(window->counts[1], 0u);
+  EXPECT_EQ(window->counts[2], 1u);
+  EXPECT_DOUBLE_EQ(window->sum, 100.5);
+  EXPECT_FALSE(sampler.HistogramWindow("ts.unknown", 60000.0).has_value());
+}
+
+TEST(TimeSeriesTest, CapacityBoundsTheRing) {
+  MetricsRegistry registry;
+  RingSampler::Options options;
+  options.capacity = 2;
+  RingSampler sampler(&registry, options);
+  Gauge& gauge = registry.GetGauge("ts.wrap");
+  for (int i = 1; i <= 5; ++i) {
+    gauge.Set(static_cast<double>(i));
+    sampler.SampleNow();
+    NudgeClock();
+  }
+  // The newest survives any number of wraps.
+  ASSERT_TRUE(sampler.GaugeValue("ts.wrap").has_value());
+  EXPECT_EQ(*sampler.GaugeValue("ts.wrap"), 5.0);
+}
+
+TEST(TimeSeriesTest, TickerThreadSamplesOnItsOwn) {
+  MetricsRegistry registry;
+  registry.GetCounter("ts.alive").Add(1);
+  RingSampler::Options options;
+  options.interval_ms = 5.0;
+  RingSampler sampler(&registry, options);
+  sampler.Start();
+  sampler.Start();  // Idempotent.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (sampler.samples() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(sampler.samples(), 0u);
+  sampler.Stop();
+  sampler.Stop();  // Idempotent.
+  const uint64_t after_stop = sampler.samples();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(sampler.samples(), after_stop);  // Ticker really joined.
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sfpm

@@ -1,0 +1,133 @@
+#include "serve/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace sfpm {
+namespace serve {
+namespace {
+
+/// Sends raw bytes to 127.0.0.1:port and reads the whole response (the
+/// server always closes after one request).
+std::string RawRequest(uint16_t port, const std::string& bytes) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    ADD_FAILURE() << "connect: " << strerror(errno);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return RawRequest(port, "GET " + path +
+                              " HTTP/1.1\r\nHost: x\r\n"
+                              "Connection: close\r\n\r\n");
+}
+
+/// Serves /hello with a fixed body; everything else 404s.
+MetricsHttpServer::Handler HelloHandler(std::string* last_path = nullptr) {
+  return [last_path](const std::string& path, std::string* content_type,
+                     std::string* body) {
+    if (last_path != nullptr) *last_path = path;
+    if (path != "/hello") return false;
+    *content_type = "text/plain";
+    *body = "hi\n";
+    return true;
+  };
+}
+
+TEST(MetricsHttpTest, ServesHandlerPathsAnd404sTheRest) {
+  MetricsHttpServer server({}, HelloHandler());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);  // Ephemeral port was bound and read back.
+  const std::string ok = Get(server.port(), "/hello");
+  EXPECT_NE(ok.find("HTTP/1.1 200 OK\r\n"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("Content-Type: text/plain\r\n"), std::string::npos);
+  EXPECT_NE(ok.find("Content-Length: 3\r\n"), std::string::npos);
+  EXPECT_NE(ok.find("\r\n\r\nhi\n"), std::string::npos);
+  const std::string missing = Get(server.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404 "), std::string::npos) << missing;
+  server.Stop();
+}
+
+TEST(MetricsHttpTest, QueryStringIsStrippedBeforeTheHandler) {
+  std::string last_path;
+  MetricsHttpServer server({}, HelloHandler(&last_path));
+  ASSERT_TRUE(server.Start().ok());
+  const std::string ok = Get(server.port(), "/hello?window=30s&x=1");
+  EXPECT_NE(ok.find(" 200 "), std::string::npos) << ok;
+  EXPECT_EQ(last_path, "/hello");
+  server.Stop();
+}
+
+TEST(MetricsHttpTest, NonGetIs405) {
+  MetricsHttpServer server({}, HelloHandler());
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = RawRequest(
+      server.port(), "POST /hello HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405 "), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST(MetricsHttpTest, MalformedRequestLineIs400) {
+  MetricsHttpServer server({}, HelloHandler());
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = RawRequest(server.port(), "nonsense\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400 "), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST(MetricsHttpTest, StartOnTakenPortFailsWithoutSideEffects) {
+  MetricsHttpServer first({}, HelloHandler());
+  ASSERT_TRUE(first.Start().ok());
+  MetricsHttpServer::Options options;
+  options.port = first.port();
+  MetricsHttpServer second(options, HelloHandler());
+  EXPECT_FALSE(second.Start().ok());
+  EXPECT_EQ(second.port(), 0);
+  // The first server is unaffected.
+  EXPECT_NE(Get(first.port(), "/hello").find(" 200 "), std::string::npos);
+}
+
+TEST(MetricsHttpTest, StopIsIdempotentAndServerKeepsServingUntilThen) {
+  MetricsHttpServer server({}, HelloHandler());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(Get(server.port(), "/hello").find(" 200 "), std::string::npos);
+  EXPECT_NE(Get(server.port(), "/hello").find(" 200 "), std::string::npos);
+  server.Stop();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace sfpm

@@ -215,17 +215,87 @@ TEST_F(ServeQueryTest, IdIsEchoedVerbatim) {
   EXPECT_EQ(r.Find("id")->string, "req-17");
 }
 
-TEST(ServeHistogramQuantileTest, PicksTheBucketUpperBound) {
-  obs::HistogramData data;
-  data.bounds = {1.0, 10.0, 100.0};
-  data.counts = {8, 1, 0, 1};  // Last observation beyond every bound.
-  data.count = 10;
-  data.sum = 150.0;
-  EXPECT_EQ(HistogramQuantile(data, 0.5), 1.0);
-  EXPECT_EQ(HistogramQuantile(data, 0.9), 10.0);
-  // Overflow bucket: clamped to the last finite bound.
-  EXPECT_EQ(HistogramQuantile(data, 0.999), 100.0);
-  EXPECT_EQ(HistogramQuantile(obs::HistogramData(), 0.5), 0.0);
+TEST_F(ServeQueryTest, EveryEngineResponseCarriesARequestId) {
+  const Value ok = Ask("{\"q\":\"status\"}");
+  ASSERT_NE(ok.Find("rid"), nullptr);
+  EXPECT_EQ(ok.Find("rid")->string, "r1");
+  const Value error = Ask("{\"q\":\"frobnicate\"}");
+  ASSERT_NE(error.Find("rid"), nullptr);
+  EXPECT_EQ(error.Find("rid")->string, "r2");
+  // Parse failures get an id too — they went through the engine.
+  EXPECT_EQ(Ask("not json").Find("rid")->string, "r3");
+}
+
+TEST_F(ServeQueryTest, QueryTypeLabelBoundsCardinality) {
+  EXPECT_EQ(QueryTypeLabel("patterns"), "patterns");
+  EXPECT_EQ(QueryTypeLabel("status"), "status");
+  EXPECT_EQ(QueryTypeLabel("frobnicate"), "other");
+  EXPECT_EQ(QueryTypeLabel("DROP TABLE"), "other");
+  EXPECT_EQ(QueryTypeLabel(""), "other");
+}
+
+TEST(ServeSlowQueryTest, ThresholdZeroRecordsEveryQuery) {
+  const std::string path = UniqueSnapshotPath("_slow");
+  WriteServeSnapshot(path);
+  SnapshotHolder holder;
+  ASSERT_TRUE(holder.Load({path}).ok());
+  QueryEngine engine(&holder);
+  obs::SlowQueryLog slow_log(4);
+  EngineTelemetry telemetry;
+  telemetry.slow_query_ms = 0;  // Everything is "slow".
+  telemetry.slow_log = &slow_log;
+  engine.Handle("{\"q\":\"status\"}");
+  engine.Handle("{\"q\":\"patterns\"}");
+  ASSERT_EQ(slow_log.total(), 0u) << "recorded before telemetry was set";
+  engine.set_telemetry(telemetry);
+  engine.Handle("{\"q\":\"status\"}");
+  engine.Handle("{\"q\":\"patterns\"}");
+  const auto entries = slow_log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].type, "status");
+  EXPECT_EQ(entries[1].type, "patterns");
+  EXPECT_EQ(entries[1].generation, 1u);
+  EXPECT_FALSE(entries[1].request_id.empty());
+  // The span tree names the request and the typed query phase.
+  EXPECT_NE(entries[1].spans.find("request"), std::string::npos);
+  EXPECT_NE(entries[1].spans.find("query/patterns"), std::string::npos);
+}
+
+TEST(ServeSlowQueryTest, NegativeThresholdDisablesTheLog) {
+  const std::string path = UniqueSnapshotPath("_noslow");
+  WriteServeSnapshot(path);
+  SnapshotHolder holder;
+  ASSERT_TRUE(holder.Load({path}).ok());
+  QueryEngine engine(&holder);
+  obs::SlowQueryLog slow_log(4);
+  EngineTelemetry telemetry;
+  telemetry.slow_query_ms = -1;
+  telemetry.slow_log = &slow_log;
+  engine.set_telemetry(telemetry);
+  engine.Handle("{\"q\":\"status\"}");
+  EXPECT_EQ(slow_log.total(), 0u);
+}
+
+TEST(ServeTraceSampleTest, EveryNthRequestIsCaptured) {
+  const std::string path = UniqueSnapshotPath("_sample");
+  WriteServeSnapshot(path);
+  SnapshotHolder holder;
+  ASSERT_TRUE(holder.Load({path}).ok());
+  QueryEngine engine(&holder);
+  SampledTraces traces(8);
+  EngineTelemetry telemetry;
+  telemetry.trace_sample = 3;
+  telemetry.traces = &traces;
+  engine.set_telemetry(telemetry);
+  for (int i = 0; i < 7; ++i) engine.Handle("{\"q\":\"status\"}");
+  // Sequence numbers 3 and 6 hit seq % 3 == 0.
+  const auto entries = traces.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].seq, 3u);
+  EXPECT_EQ(entries[1].seq, 6u);
+  EXPECT_EQ(entries[0].type, "status");
+  ASSERT_FALSE(entries[0].spans.empty());
+  EXPECT_EQ(entries[0].spans[0].name, "request");
 }
 
 }  // namespace

@@ -232,6 +232,134 @@ TEST_F(ServeServerTest, StartFailsCleanlyWithoutASnapshot) {
   EXPECT_FALSE(server.Start().ok());
 }
 
+/// Plain HTTP GET against the telemetry port; whole response text.
+std::string TelemetryGet(uint16_t port, const std::string& path) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  EXPECT_EQ(send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+std::string TelemetryBody(uint16_t port, const std::string& path) {
+  const std::string response = TelemetryGet(port, path);
+  EXPECT_NE(response.find(" 200 "), std::string::npos) << path << ": "
+                                                       << response;
+  const size_t header_end = response.find("\r\n\r\n");
+  return header_end == std::string::npos ? ""
+                                         : response.substr(header_end + 4);
+}
+
+TEST_F(ServeServerTest, TelemetryEndpointsServeMetricsVarzAndTraces) {
+  ServerOptions options;
+  options.metrics_port = 0;
+  options.slow_query_ms = 0;  // Every request lands in the slow log.
+  options.trace_sample = 1;   // Every request lands in /tracez.
+  StartServer(options);
+  ASSERT_NE(server_->metrics_port(), 0);
+
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_TRUE(client.Query("{\"q\":\"status\"}").Find("ok")->boolean);
+  EXPECT_TRUE(client.Query("{\"q\":\"patterns\"}").Find("ok")->boolean);
+
+  EXPECT_EQ(TelemetryBody(server_->metrics_port(), "/healthz"), "ok\n");
+
+  const std::string metrics =
+      TelemetryBody(server_->metrics_port(), "/metrics");
+  EXPECT_NE(metrics.find("# TYPE sfpm_serve_queries counter\n"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("sfpm_serve_latency_ms_patterns_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE sfpm_serve_inflight gauge\n"),
+            std::string::npos);
+  const std::string content_type = TelemetryGet(
+      server_->metrics_port(), "/metrics");
+  EXPECT_NE(content_type.find(
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+            std::string::npos);
+
+  const std::string varz = TelemetryBody(server_->metrics_port(), "/varz");
+  auto parsed = obs::json::Parse(varz);
+  ASSERT_TRUE(parsed.ok()) << varz;
+  const Value& root = parsed.value();
+  EXPECT_EQ(root.Find("generation")->number, 1.0);
+  EXPECT_EQ(root.Find("port")->number,
+            static_cast<double>(server_->port()));
+  ASSERT_NE(root.Find("latency_ms"), nullptr);
+  EXPECT_NE(root.Find("latency_ms")->Find("patterns"), nullptr);
+  EXPECT_GE(root.Find("slow_query_total")->number, 2.0);
+  ASSERT_NE(root.Find("slow_queries"), nullptr);
+  EXPECT_FALSE(root.Find("slow_queries")->array.empty());
+  EXPECT_GE(root.Find("trace_total")->number, 2.0);
+
+  // The engine-side rings agree with what /varz reported.
+  EXPECT_GE(server_->slow_queries().total(), 2u);
+  EXPECT_GE(server_->sampled_traces().total(), 2u);
+
+  const std::string tracez =
+      TelemetryBody(server_->metrics_port(), "/tracez");
+  auto trace = obs::json::Parse(tracez);
+  ASSERT_TRUE(trace.ok()) << tracez;
+  const Value* events = trace.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_FALSE(events->array.empty());
+
+  EXPECT_NE(TelemetryGet(server_->metrics_port(), "/nope").find(" 404 "),
+            std::string::npos);
+
+  // Drain: /healthz flips while the endpoint keeps serving scrapes.
+  server_->RequestShutdown();
+  server_->Wait();
+  EXPECT_EQ(TelemetryBody(server_->metrics_port(), "/healthz"),
+            "draining\n");
+}
+
+TEST_F(ServeServerTest, MetricsPortDisabledByDefault) {
+  StartServer();
+  EXPECT_EQ(server_->metrics_port(), 0);
+  EXPECT_EQ(server_->slow_queries().total(), 0u);
+}
+
+TEST_F(ServeServerTest, TelemetryStartFailureTearsDownCleanly) {
+  // Occupy a port, then ask the server to bind its telemetry there.
+  MetricsHttpServer squatter({}, [](const std::string&, std::string*,
+                                    std::string*) { return false; });
+  ASSERT_TRUE(squatter.Start().ok());
+  path_ = UniqueSnapshotPath();
+  WriteServeSnapshot(path_);
+  ASSERT_TRUE(holder_.Load({path_}).ok());
+  ServerOptions options;
+  options.metrics_port = static_cast<int>(squatter.port());
+  Server server(&holder_, options);
+  EXPECT_FALSE(server.Start().ok());
+  EXPECT_EQ(server.metrics_port(), 0);
+  // The query port was released too: a fresh server can start on defaults.
+  Server retry(&holder_, ServerOptions{});
+  EXPECT_TRUE(retry.Start().ok());
+  retry.RequestShutdown();
+  retry.Wait();
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace sfpm

@@ -34,9 +34,11 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 if [[ "${1:-}" == "--quick" ]]; then
   # Metrics/Trace/LegacyStats cover the sharded registry and tracer under
   # concurrent writers; Serve covers the query server's worker pool and
-  # snapshot hot swap under concurrent clients (docs/SERVE.md).
+  # snapshot hot swap under concurrent clients (docs/SERVE.md);
+  # TimeSeries/Logger cover the telemetry sampler thread and the
+  # structured logger's concurrent writers (docs/OBSERVABILITY.md).
   ctest --test-dir build-tsan --output-on-failure -j"${jobs}" \
-    -R 'ThreadPool|Parallelism|ParallelDeterminism|Extractor|Apriori|Pipeline|Metrics|Trace|LegacyStats|Store|Serve'
+    -R 'ThreadPool|Parallelism|ParallelDeterminism|Extractor|Apriori|Pipeline|Metrics|Trace|LegacyStats|Store|Serve|TimeSeries|Logger|SlowQuery|Expose'
 else
   ctest --test-dir build-tsan --output-on-failure -j"${jobs}"
 fi
@@ -58,7 +60,7 @@ if [[ "${1:-}" == "--quick" ]]; then
   # Serve matters under ASan for the hot-swap lifetime contract: the old
   # generation's mmap must stay valid until its last reference drains.
   ctest --test-dir build-asan --output-on-failure -j"${jobs}" \
-    -R 'Prepared|Relate|Extractor|Apriori|Pipeline|Metrics|Trace|Json|Report|Args|Stopwatch|LegacyStats|Store|ByteStability|Serve'
+    -R 'Prepared|Relate|Extractor|Apriori|Pipeline|Metrics|Trace|Json|Report|Args|Stopwatch|LegacyStats|Store|ByteStability|Serve|TimeSeries|Logger|SlowQuery|Expose'
 else
   ctest --test-dir build-asan --output-on-failure -j"${jobs}"
 fi
@@ -93,5 +95,11 @@ echo "== Observability artifacts =="
 # The cli_report ctest (Release tree) runs `sfpm extract`/`mine` with
 # --report/--trace and validates every artifact with sfpm_report_check.
 ctest --test-dir build --output-on-failure -R '^cli_report$'
+
+echo "== Serve telemetry end to end =="
+# The cli_serve ctest (Release tree) forks the real `sfpm serve` with
+# --metrics-port and validates the Prometheus exposition, /varz, /tracez
+# and one `sfpm top --once` frame over real sockets (docs/SERVE.md).
+ctest --test-dir build --output-on-failure -R '^cli_serve$'
 
 echo "== All checks passed =="

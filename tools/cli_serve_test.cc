@@ -1,8 +1,10 @@
 // End-to-end driver of the `cli_serve` ctest: runs the real `sfpm`
 // binary — first `run` to produce city/txdb/patterns snapshots, then
 // `serve` on them — and drives the server over a real loopback socket:
-// every query type, malformed and oversized frame rejection, a SIGHUP
-// hot swap under an open connection, and a graceful `shutdown` drain.
+// every query type, the telemetry endpoint (/metrics exposition
+// validation, /varz, /tracez, one `sfpm top --once` frame), malformed
+// and oversized frame rejection, a SIGHUP hot swap under an open
+// connection, and a graceful `shutdown` drain.
 //
 //   cli_serve_test <path-to-sfpm> <work-dir>
 //
@@ -24,6 +26,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -130,11 +133,21 @@ class Client {
   int fd_ = -1;
 };
 
-uint16_t WaitForPortFile(const std::string& path, pid_t child) {
+/// Both bound ports: line 1 is the query port, line 2 the telemetry port
+/// (present because the test passes --metrics-port).
+struct BoundPorts {
+  uint16_t query = 0;
+  uint16_t metrics = 0;
+};
+
+BoundPorts WaitForPortFile(const std::string& path, pid_t child) {
   for (int i = 0; i < 300; ++i) {  // 30 s budget.
     std::ifstream in(path);
     int port = 0;
-    if (in >> port && port > 0) return static_cast<uint16_t>(port);
+    int metrics = 0;
+    if (in >> port >> metrics && port > 0 && metrics > 0) {
+      return {static_cast<uint16_t>(port), static_cast<uint16_t>(metrics)};
+    }
     int status = 0;
     if (waitpid(child, &status, WNOHANG) == child) {
       Die("sfpm serve exited before listening");
@@ -142,6 +155,118 @@ uint16_t WaitForPortFile(const std::string& path, pid_t child) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   Die("timed out waiting for " + path);
+}
+
+/// One plain-HTTP GET against the telemetry port; returns the body, Dies
+/// on connection failure or a non-200 status.
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) Die("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    Die("connect to telemetry port " + std::to_string(port));
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  if (send(fd, request.data(), request.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(request.size())) {
+    close(fd);
+    Die("send to telemetry port");
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) Die("malformed HTTP from " + path);
+  if (response.substr(0, response.find("\r\n")).find(" 200 ") ==
+      std::string::npos) {
+    Die("non-200 from " + path + ": " + response);
+  }
+  return response.substr(header_end + 4);
+}
+
+/// Minimal Prometheus text-format validator: every line is a # HELP /
+/// # TYPE comment or `name[{labels}] value`; samples only appear after
+/// their family's TYPE line; histogram `le` buckets are cumulative and
+/// end with +Inf == _count. Dies on the first violation.
+void ValidateExposition(const std::string& text) {
+  std::string declared_family;  // Last # TYPE name seen.
+  std::string bucket_family;
+  double previous_bucket = -1.0;
+  size_t line_start = 0;
+  while (line_start < text.size()) {
+    size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) Die("exposition missing final newline");
+    const std::string line = text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    if (line.empty()) Die("empty exposition line");
+    if (line[0] == '#') {
+      // "# HELP <name> <text>" or "# TYPE <name> counter|gauge|histogram".
+      if (line.rfind("# HELP ", 0) != 0 && line.rfind("# TYPE ", 0) != 0) {
+        Die("bad comment line: " + line);
+      }
+      const size_t name_start = 7;
+      const size_t name_end = line.find(' ', name_start);
+      if (name_end == std::string::npos) Die("truncated comment: " + line);
+      if (line.rfind("# TYPE ", 0) == 0) {
+        declared_family = line.substr(name_start, name_end - name_start);
+        const std::string kind = line.substr(name_end + 1);
+        if (kind != "counter" && kind != "gauge" && kind != "histogram") {
+          Die("unknown TYPE: " + line);
+        }
+        bucket_family.clear();
+        previous_bucket = -1.0;
+      }
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) Die("sample without value: " + line);
+    const std::string sample = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    char* value_end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &value_end);
+    if (value_end == value.c_str() || *value_end != '\0') {
+      Die("unparsable sample value: " + line);
+    }
+    std::string name = sample.substr(0, sample.find('{'));
+    // A histogram family's samples are <name>_bucket/_sum/_count.
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (family.size() > s.size() &&
+          family.compare(family.size() - s.size(), s.size(), s) == 0 &&
+          declared_family == family.substr(0, family.size() - s.size())) {
+        family = family.substr(0, family.size() - s.size());
+        break;
+      }
+    }
+    if (family != declared_family) {
+      Die("sample before its TYPE declaration: " + line);
+    }
+    if (name == declared_family + "_bucket") {
+      if (bucket_family != declared_family) {
+        bucket_family = declared_family;
+        previous_bucket = -1.0;
+      }
+      if (parsed < previous_bucket) {
+        Die("histogram buckets not cumulative: " + line);
+      }
+      previous_bucket = parsed;
+      if (sample.find("{le=\"") == std::string::npos) {
+        Die("bucket without le label: " + line);
+      }
+    }
+  }
 }
 
 double NumberField(const Value& value, const char* key) {
@@ -175,11 +300,13 @@ int main(int argc, char** argv) {
           (dir + "/city.sfpm").c_str(), "--snapshot",
           (dir + "/txdb.sfpm").c_str(), "--snapshot",
           (dir + "/patterns.sfpm").c_str(), "--port-file", port_file.c_str(),
-          "--threads", "2", static_cast<char*>(nullptr));
+          "--threads", "2", "--metrics-port", "0", "--slow-query-ms", "0",
+          "--trace-sample", "1", static_cast<char*>(nullptr));
     std::perror("execl");
     std::_Exit(127);
   }
-  const uint16_t port = WaitForPortFile(port_file, child);
+  const BoundPorts ports = WaitForPortFile(port_file, child);
+  const uint16_t port = ports.query;
 
   // Stage 3: happy-path queries of every type on one connection.
   Client client(port);
@@ -207,7 +334,63 @@ int main(int argc, char** argv) {
         relate.Find("relation")->string);
   }
 
-  // Stage 4: protocol violations are answered then dropped, and do not
+  // Stage 4: the telemetry endpoint over real HTTP — health, a valid
+  // Prometheus exposition covering the serve instruments, /varz JSON,
+  // and one `sfpm top --once` frame.
+  if (HttpGet(ports.metrics, "/healthz") != "ok\n") Die("healthz not ok");
+  HttpGet(ports.metrics, "/metrics");  // Counts serve.metrics.requests.
+  const std::string exposition = HttpGet(ports.metrics, "/metrics");
+  ValidateExposition(exposition);
+  for (const char* instrument :
+       {"sfpm_serve_queries ", "sfpm_serve_queries_status ",
+        "sfpm_serve_connections ", "sfpm_serve_workers ",
+        "sfpm_serve_inflight ", "sfpm_serve_snapshot_generation ",
+        "sfpm_serve_slow_queries ", "sfpm_serve_metrics_requests ",
+        "sfpm_serve_latency_ms_status_count ",
+        "sfpm_serve_latency_ms_status_sum ",
+        "sfpm_serve_latency_ms_status_bucket{le=\"+Inf\"} "}) {
+    if (exposition.find(instrument) == std::string::npos) {
+      Die("exposition missing " + std::string(instrument) + ":\n" +
+          exposition);
+    }
+  }
+  {
+    auto varz = Parse(HttpGet(ports.metrics, "/varz"));
+    if (!varz.ok() || !varz.value().is_object()) Die("varz not JSON");
+    if (NumberField(varz.value(), "generation") != 1.0) {
+      Die("varz generation should be 1");
+    }
+    if (NumberField(varz.value(), "port") != static_cast<double>(port)) {
+      Die("varz port mismatch");
+    }
+    // --slow-query-ms 0 put every request on the books.
+    if (NumberField(varz.value(), "slow_query_total") <= 0) {
+      Die("no slow queries recorded at threshold 0");
+    }
+    if (NumberField(varz.value(), "trace_total") <= 0) {
+      Die("no traces sampled at --trace-sample 1");
+    }
+    auto tracez = Parse(HttpGet(ports.metrics, "/tracez"));
+    if (!tracez.ok() || tracez.value().Find("traceEvents") == nullptr ||
+        tracez.value().Find("traceEvents")->array.empty()) {
+      Die("tracez has no events");
+    }
+  }
+  {
+    const std::string top_out = dir + "/top.txt";
+    Run(sfpm + " top --metrics-port " + std::to_string(ports.metrics) +
+        " --once > " + top_out);
+    std::ifstream in(top_out);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (text.find("sfpm top") == std::string::npos ||
+        text.find("qps") == std::string::npos ||
+        text.find("status") == std::string::npos) {
+      Die("sfpm top --once frame looks wrong:\n" + text);
+    }
+  }
+
+  // Stage 5: protocol violations are answered then dropped, and do not
   // disturb the long-lived connection.
   {
     Client bad(port);
@@ -234,7 +417,7 @@ int main(int argc, char** argv) {
     if (!oversized.AtEof()) Die("connection should close after oversized");
   }
 
-  // Stage 5: SIGHUP hot swap while the first connection stays open.
+  // Stage 6: SIGHUP hot swap while the first connection stays open.
   if (kill(child, SIGHUP) != 0) Die("kill SIGHUP");
   double generation = 1.0;
   for (int i = 0; i < 100 && generation < 2.0; ++i) {
@@ -249,7 +432,7 @@ int main(int argc, char** argv) {
     Die("patterns query failed after hot swap");
   }
 
-  // Stage 6: graceful shutdown via the admin query; exit code 0.
+  // Stage 7: graceful shutdown via the admin query; exit code 0.
   const Value bye = client.Query("{\"q\":\"shutdown\"}");
   if (bye.Find("draining") == nullptr) Die("shutdown did not acknowledge");
   int status_code = 0;

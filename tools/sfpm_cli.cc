@@ -73,8 +73,10 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "obs/log.h"
 #include "serve/server.h"
 #include "sfpm.h"
+#include "sfpm_top.h"
 #include "store/format.h"
 #include "store/pipeline.h"
 #include "util/args.h"
@@ -93,8 +95,8 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: sfpm "
-               "<extract|mine|run|serve|gain|table3|generate-city|version> "
-               "[flags]\n(run 'sfpm help' for the full flag reference)\n");
+               "<extract|mine|run|serve|top|gain|table3|generate-city|version>"
+               " [flags]\n(run 'sfpm help' for the full flag reference)\n");
   return 2;
 }
 
@@ -114,6 +116,7 @@ int RunHelp() {
       "  mine           mine frequent itemsets and association rules\n"
       "  run            staged pipeline: generate-city -> extract -> mine\n"
       "  serve          TCP query server over .sfpm snapshots\n"
+      "  top            live dashboard over a serve --metrics-port\n"
       "  gain           minimal-gain calculator (paper Table 3 entries)\n"
       "  table3         print the full minimal-gain table\n"
       "  generate-city  synthetic city generator\n"
@@ -180,6 +183,24 @@ int RunHelp() {
       "  --read-timeout-ms N     idle connection timeout (default 30000)\n"
       "  --max-frame-bytes N     request/response frame ceiling (default "
       "1048576)\n"
+      "  --metrics-port N        plain-HTTP telemetry port (GET /metrics "
+      "Prometheus\n"
+      "                          exposition, /healthz, /varz, /tracez; 0 = "
+      "ephemeral,\n"
+      "                          written as the port file's second line; "
+      "off when absent)\n"
+      "  --slow-query-ms N       log + ring-buffer requests at/over N ms "
+      "(default 100)\n"
+      "  --trace-sample N        keep every Nth request's span tree for "
+      "/tracez\n"
+      "                          (default 0 = off)\n"
+      "\n"
+      "sfpm top   (reads /varz of a running serve --metrics-port)\n"
+      "  --metrics-port N        telemetry port to poll (required)\n"
+      "  --interval-ms N         refresh period (default 1000)\n"
+      "  --iterations N          frames to render (default 0 = until "
+      "interrupted)\n"
+      "  --once                  one frame, no screen clearing\n"
       "\n"
       "sfpm gain\n"
       "  --t t1,t2,...           dependency group sizes\n"
@@ -816,6 +837,20 @@ int RunServe(const Args& args) {
         "--max-frame-bytes must be at least 64"));
   }
   options.max_frame_bytes = static_cast<size_t>(frame_bytes.value());
+  if (args.Has("metrics-port")) {
+    const auto metrics_port = ParseCountFlag(args, "metrics-port", 0, 65535);
+    if (!metrics_port.ok()) return Fail(metrics_port.status());
+    options.metrics_port = static_cast<int>(metrics_port.value());
+  }
+  const auto slow_ms = ParseCountFlag(args, "slow-query-ms",
+                                      static_cast<uint64_t>(
+                                          options.slow_query_ms),
+                                      86400000);
+  if (!slow_ms.ok()) return Fail(slow_ms.status());
+  options.slow_query_ms = static_cast<int>(slow_ms.value());
+  const auto sample = ParseCountFlag(args, "trace-sample", 0, UINT32_MAX);
+  if (!sample.ok()) return Fail(sample.status());
+  options.trace_sample = static_cast<uint32_t>(sample.value());
 
   serve::SnapshotHolder holder;
   const Status loaded = holder.Load(snapshots);
@@ -832,9 +867,14 @@ int RunServe(const Args& args) {
 
   if (args.Has("port-file")) {
     // Written only once the socket listens — the rendezvous the e2e test
-    // and bench wait on.
-    const Status written = obs::WriteTextFile(
-        args.Get("port-file"), std::to_string(server.port()) + "\n");
+    // and bench wait on. Line 1 is the query port; line 2 (only with
+    // --metrics-port) is the bound telemetry port.
+    std::string content = std::to_string(server.port()) + "\n";
+    if (server.metrics_port() != 0) {
+      content += std::to_string(server.metrics_port()) + "\n";
+    }
+    const Status written =
+        obs::WriteTextFile(args.Get("port-file"), content);
     if (!written.ok()) {
       server.RequestShutdown();
       server.Wait();
@@ -842,11 +882,19 @@ int RunServe(const Args& args) {
       return Fail(written);
     }
   }
-  std::printf("sfpm serve: listening on 127.0.0.1:%u (generation %llu, %zu "
-              "workers)\n",
-              static_cast<unsigned>(server.port()),
-              static_cast<unsigned long long>(holder.generation()),
-              options.workers);
+  if (server.metrics_port() != 0) {
+    std::printf("sfpm serve: listening on 127.0.0.1:%u (generation %llu, %zu "
+                "workers, telemetry on 127.0.0.1:%u)\n",
+                static_cast<unsigned>(server.port()),
+                static_cast<unsigned long long>(holder.generation()),
+                options.workers, static_cast<unsigned>(server.metrics_port()));
+  } else {
+    std::printf("sfpm serve: listening on 127.0.0.1:%u (generation %llu, %zu "
+                "workers)\n",
+                static_cast<unsigned>(server.port()),
+                static_cast<unsigned long long>(holder.generation()),
+                options.workers);
+  }
   std::fflush(stdout);
 
   server.Wait();
@@ -885,8 +933,14 @@ int main(int argc, char** argv) {
     const int bad = RejectUnknownFlags(
         args, "serve",
         {"snapshot", "port", "port-file", "threads", "max-inflight",
-         "read-timeout-ms", "max-frame-bytes"});
+         "read-timeout-ms", "max-frame-bytes", "metrics-port",
+         "slow-query-ms", "trace-sample"});
     return bad != 0 ? bad : RunServe(args);
+  }
+  if (command == "top") {
+    const int bad = RejectUnknownFlags(
+        args, "top", {"metrics-port", "interval-ms", "iterations", "once"});
+    return bad != 0 ? bad : tools::RunTop(args);
   }
   if (command == "extract") {
     const int bad = RejectUnknownFlags(

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/json.h"
@@ -129,6 +130,57 @@ void CheckSpan(SchemaCheck* check, const Value& span, size_t index) {
   if (counters != nullptr) check->AllNumbers(*counters, where + ".counters");
 }
 
+/// The repo-wide instrument naming scheme (docs/OBSERVABILITY.md): two or
+/// more dot-separated segments, each segment non-empty [a-z0-9_]+. The
+/// scheme keeps `PrometheusName` injective, so the lint also flags any
+/// name reused across metric kinds (counter vs gauge vs histogram) — the
+/// registry keeps those namespaces independent, but an exposition scrape
+/// would emit two conflicting TYPE lines for the same sample family.
+bool WellFormedInstrumentName(const std::string& name) {
+  size_t segment_len = 0;
+  size_t segments = 0;
+  for (const char c : name) {
+    if (c == '.') {
+      if (segment_len == 0) return false;  // Empty segment ("a..b", ".a").
+      ++segments;
+      segment_len = 0;
+      continue;
+    }
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+    ++segment_len;
+  }
+  if (segment_len == 0) return false;  // Trailing dot or empty name.
+  return segments + 1 >= 2;
+}
+
+void CheckInstrumentNames(SchemaCheck* check, const Value& metrics) {
+  std::vector<std::pair<std::string, std::string>> seen;  // name -> kind
+  const auto lint_kind = [&](const char* kind) {
+    const Value* group = metrics.Find(kind);
+    if (group == nullptr || !group->is_object()) return;
+    for (const auto& [name, value] : group->object) {
+      (void)value;
+      if (!WellFormedInstrumentName(name)) {
+        check->Fail("metrics." + std::string(kind) + ": instrument \"" + name +
+                    "\" violates the naming scheme (lowercase dotted "
+                    "[a-z0-9_] segments, at least two)");
+      }
+      for (const auto& [other, other_kind] : seen) {
+        if (other == name) {
+          check->Fail("metrics: instrument \"" + name + "\" registered as "
+                      "both " + other_kind + " and " + kind);
+        }
+      }
+      seen.emplace_back(name, kind);
+    }
+  };
+  lint_kind("counters");
+  lint_kind("gauges");
+  lint_kind("histograms");
+}
+
 int CheckReport(const Value& root) {
   SchemaCheck check;
   if (!root.is_object()) {
@@ -184,6 +236,7 @@ int CheckReport(const Value& root) {
         CheckHistogram(&check, hist, "metrics.histograms." + name);
       }
     }
+    CheckInstrumentNames(&check, *metrics);
   }
   return check.failures();
 }

@@ -1,0 +1,215 @@
+#include "sfpm_top.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace tools {
+
+namespace {
+
+using obs::json::Value;
+
+/// One-shot HTTP GET against the loopback telemetry endpoint. Small on
+/// purpose: request, `Connection: close`, read to EOF, demand a 200.
+Result<std::string> HttpGet(uint16_t port, const std::string& path,
+                            int timeout_ms) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket: " + std::string(strerror(errno)));
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return Status::Internal("connect 127.0.0.1:" + std::to_string(port) +
+                            ": " + strerror(errno));
+  }
+
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = send(fd, request.data() + sent, request.size() - sent,
+                           MSG_NOSIGNAL);
+    if (n <= 0) {
+      close(fd);
+      return Status::Internal("send: " + std::string(strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close(fd);
+      return Status::Internal("recv: " + std::string(strerror(errno)));
+    }
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::Internal("malformed HTTP response");
+  }
+  const std::string status_line = response.substr(0, response.find("\r\n"));
+  if (status_line.find(" 200 ") == std::string::npos) {
+    return Status::Internal("HTTP error: " + status_line);
+  }
+  return response.substr(header_end + 4);
+}
+
+double Num(const Value& object, const char* key, double fallback = 0.0) {
+  const Value* v = object.Find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+std::string Str(const Value& object, const char* key) {
+  const Value* v = object.Find(key);
+  return v != nullptr && v->is_string() ? v->string : "";
+}
+
+/// Renders one dashboard frame from a parsed /varz document.
+void RenderFrame(const Value& varz, uint16_t port) {
+  const double uptime_s = Num(varz, "uptime_ms") / 1000.0;
+  const Value* shutting = varz.Find("shutting_down");
+  const bool draining = shutting != nullptr &&
+                        shutting->type == Value::Type::kBool &&
+                        shutting->boolean;
+  std::printf("sfpm top — 127.0.0.1:%u   gen %.0f   workers %.0f   "
+              "inflight %.0f   uptime %.1fs%s\n",
+              static_cast<unsigned>(port), Num(varz, "generation"),
+              Num(varz, "workers"), Num(varz, "inflight"), uptime_s,
+              draining ? "   DRAINING" : "");
+
+  const Value* rates = varz.Find("rates");
+  const double qps = rates != nullptr ? Num(*rates, "qps") : 0.0;
+  const double eps = rates != nullptr ? Num(*rates, "errors_per_sec") : 0.0;
+  std::printf("qps %.1f   errors/s %.2f   slow %.0f (>= %.0f ms)   "
+              "window %.0fs\n\n",
+              qps, eps, Num(varz, "slow_query_total"),
+              Num(varz, "slow_query_ms"), Num(varz, "window_ms") / 1000.0);
+
+  std::printf("%-12s %10s %9s %9s %8s %8s  %s\n", "type", "count", "qps",
+              "mean_ms", "p50_ms", "p99_ms", "win");
+  const Value* latency = varz.Find("latency_ms");
+  const Value* per_type =
+      rates != nullptr ? rates->Find("per_type") : nullptr;
+  if (latency != nullptr && latency->is_object()) {
+    for (const auto& [type, stats] : latency->object) {
+      const double type_qps =
+          per_type != nullptr ? Num(*per_type, type.c_str()) : 0.0;
+      const Value* windowed = stats.Find("windowed");
+      const bool win = windowed != nullptr &&
+                       windowed->type == Value::Type::kBool &&
+                       windowed->boolean;
+      std::printf("%-12s %10.0f %9.1f %9.3f %8.2f %8.2f  %s\n", type.c_str(),
+                  Num(stats, "count"), type_qps, Num(stats, "mean"),
+                  Num(stats, "p50"), Num(stats, "p99"), win ? "*" : "-");
+    }
+  }
+
+  const Value* slow = varz.Find("slow_queries");
+  if (slow != nullptr && slow->is_array() && !slow->array.empty()) {
+    std::printf("\nrecent slow queries:\n");
+    const size_t first = slow->array.size() > 5 ? slow->array.size() - 5 : 0;
+    for (size_t i = first; i < slow->array.size(); ++i) {
+      const Value& entry = slow->array[i];
+      std::printf("  %-8s %-12s %8.1f ms   gen %.0f\n",
+                  Str(entry, "rid").c_str(), Str(entry, "type").c_str(),
+                  Num(entry, "latency_ms"), Num(entry, "generation"));
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int RunTop(const Args& args) {
+  if (!args.Has("metrics-port")) {
+    std::fprintf(stderr,
+                 "error: sfpm top needs --metrics-port (the --metrics-port "
+                 "of a running sfpm serve)\n");
+    return 1;
+  }
+  uint16_t port = 0;
+  {
+    const std::string& value = args.Get("metrics-port");
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos ||
+        std::stoul(value) == 0 || std::stoul(value) > 65535) {
+      std::fprintf(stderr, "error: bad --metrics-port value\n");
+      return 1;
+    }
+    port = static_cast<uint16_t>(std::stoul(value));
+  }
+  const bool once = args.Has("once");
+  uint64_t interval_ms = 1000;
+  if (args.Has("interval-ms")) {
+    const std::string& value = args.Get("interval-ms");
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+      std::fprintf(stderr, "error: bad --interval-ms value\n");
+      return 1;
+    }
+    interval_ms = std::stoull(value);
+  }
+  uint64_t iterations = once ? 1 : 0;  // 0 = until interrupted.
+  if (args.Has("iterations")) {
+    const std::string& value = args.Get("iterations");
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+      std::fprintf(stderr, "error: bad --iterations value\n");
+      return 1;
+    }
+    iterations = std::stoull(value);
+  }
+
+  for (uint64_t frame = 0; iterations == 0 || frame < iterations; ++frame) {
+    const auto body = HttpGet(port, "/varz", 2000);
+    if (!body.ok()) {
+      std::fprintf(stderr, "error: %s\n", body.status().ToString().c_str());
+      return 1;
+    }
+    const auto varz = obs::json::Parse(body.value());
+    if (!varz.ok() || !varz.value().is_object()) {
+      std::fprintf(stderr, "error: /varz did not return a JSON object\n");
+      return 1;
+    }
+    if (!once) std::printf("\x1b[2J\x1b[H");  // Clear + home.
+    RenderFrame(varz.value(), port);
+    if (iterations != 0 && frame + 1 >= iterations) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}
+
+}  // namespace tools
+}  // namespace sfpm

@@ -1,0 +1,22 @@
+#ifndef SFPM_TOOLS_SFPM_TOP_H_
+#define SFPM_TOOLS_SFPM_TOP_H_
+
+#include "util/args.h"
+
+namespace sfpm {
+namespace tools {
+
+/// \brief The `sfpm top` verb: a terminal dashboard over a running
+/// `sfpm serve --metrics-port` instance. Polls `GET /varz` every
+/// `--interval-ms` and renders QPS, per-type latency quantiles,
+/// in-flight connections, snapshot generation, error rates, and the
+/// recent slow-query log. `--once` prints a single frame without
+/// clearing the screen (scripts and the e2e test); `--iterations N`
+/// bounds the loop. Exit status 0, or 1 when the endpoint cannot be
+/// reached or answers garbage.
+int RunTop(const Args& args);
+
+}  // namespace tools
+}  // namespace sfpm
+
+#endif  // SFPM_TOOLS_SFPM_TOP_H_
