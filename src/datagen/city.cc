@@ -251,5 +251,20 @@ std::unique_ptr<City> GenerateCity(const CityConfig& config) {
   return city;
 }
 
+CityConfig ScaledCityConfig(const CityConfig& base, int scale) {
+  if (scale <= 1) return base;
+  CityConfig config = base;
+  const size_t s = static_cast<size_t>(scale);
+  config.grid_cols = base.grid_cols * scale;
+  config.grid_rows = base.grid_rows * scale;
+  config.num_slums = base.num_slums * s * s;
+  config.num_slum_clusters = base.num_slum_clusters * s;
+  config.num_schools = base.num_schools * s * s;
+  config.num_police = base.num_police * s * s;
+  config.num_streets = base.num_streets * s * s;
+  config.num_rivers = base.num_rivers * s;
+  return config;
+}
+
 }  // namespace datagen
 }  // namespace sfpm

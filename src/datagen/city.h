@@ -68,6 +68,13 @@ struct City {
 /// Generates a deterministic synthetic city from `config`.
 std::unique_ptr<City> GenerateCity(const CityConfig& config);
 
+/// `base` grown `scale`-fold per axis: grid dimensions scale linearly,
+/// feature counts quadratically (the city keeps its density), so
+/// scale-k holds ~k^2 times the features of `base`. scale <= 1 returns
+/// `base` unchanged. This is the `sfpm run --scale` knob and the scale
+/// ladder of the benches and the sharding docs (docs/SHARDING.md).
+CityConfig ScaledCityConfig(const CityConfig& base, int scale);
+
 }  // namespace datagen
 }  // namespace sfpm
 

@@ -1,0 +1,70 @@
+#include "datagen/tiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "relate/prepared.h"
+
+namespace sfpm {
+namespace datagen {
+
+TileGrid TileGridFor(int shards) {
+  TileGrid grid;
+  if (shards <= 1) return grid;
+  // Largest divisor r <= sqrt(N) gives the squarest cols x rows split.
+  const int root = static_cast<int>(std::sqrt(static_cast<double>(shards)));
+  for (int r = root; r >= 1; --r) {
+    if (shards % r == 0) {
+      grid.rows = r;
+      grid.cols = shards / r;
+      break;
+    }
+  }
+  return grid;
+}
+
+std::vector<Tile> PartitionReference(const feature::Layer& reference,
+                                     int shards) {
+  const TileGrid grid = TileGridFor(shards);
+  const int cells = grid.cols * grid.rows;
+  const geom::Envelope bounds = reference.Bounds();
+
+  // Bin each reference by envelope center. A degenerate axis (all
+  // centers collinear) maps everything to bin 0 on that axis.
+  const auto bin = [](double v, double lo, double extent, int n) {
+    if (extent <= 0.0 || n <= 1) return 0;
+    const int b = static_cast<int>((v - lo) / extent * static_cast<double>(n));
+    return std::clamp(b, 0, n - 1);
+  };
+  std::vector<Tile> tiles(static_cast<size_t>(cells));
+  for (int slot = 0; slot < cells; ++slot) {
+    tiles[static_cast<size_t>(slot)].slot = slot;
+  }
+  for (const feature::Feature& f : reference.features()) {
+    const geom::Envelope env = f.geometry().GetEnvelope();
+    const geom::Point center = env.Center();
+    const int col = bin(center.x, bounds.min_x(), bounds.Width(), grid.cols);
+    const int row = bin(center.y, bounds.min_y(), bounds.Height(), grid.rows);
+    Tile& tile = tiles[static_cast<size_t>(row * grid.cols + col)];
+    tile.refs.push_back(f.id());
+    tile.window.ExpandToInclude(env);
+  }
+
+  std::vector<Tile> out;
+  out.reserve(tiles.size());
+  for (Tile& tile : tiles) {
+    if (tile.refs.empty()) continue;
+    // The envelope join is exact on the unbuffered union window already;
+    // the band slack covers the relate/QSR tier's coordinate tolerance so
+    // a halo feature admitted by a slack-widened probe can never be
+    // missing from the tile. Over-inclusion is harmless: each row's
+    // R-tree query re-filters candidates against its own envelope.
+    tile.window =
+        tile.window.Buffered(relate::CollinearityBandSlack(tile.window));
+    out.push_back(std::move(tile));
+  }
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace sfpm

@@ -1,0 +1,62 @@
+#ifndef SFPM_DATAGEN_TILES_H_
+#define SFPM_DATAGEN_TILES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "feature/feature.h"
+#include "geom/point.h"
+
+namespace sfpm {
+namespace datagen {
+
+/// \brief Tile partitioner for sharded extraction (docs/SHARDING.md).
+///
+/// A shard count N is laid out as a cols x rows grid over the reference
+/// layer's bounding envelope, and every reference feature is *owned* by
+/// exactly one tile — the one whose grid cell holds its envelope center.
+/// Ownership is the sharding invariant: a tile computes every
+/// reference->candidate pair of the rows it owns, so each cross-border
+/// pair is related exactly once and never double-emitted, no matter how
+/// many tiles the candidate's geometry overlaps.
+///
+/// The partition is a pure function of (reference layer, shards): the
+/// pipeline driver and every tile-extract stage recompute it and always
+/// agree, which is what lets tile stages resume independently under the
+/// content-hash manifests.
+
+/// Grid shape for a shard count: cols * rows == shards, as close to
+/// square as the factorization allows (cols >= rows; a prime N degrades
+/// to an N x 1 strip).
+struct TileGrid {
+  int cols = 1;
+  int rows = 1;
+};
+TileGrid TileGridFor(int shards);
+
+/// One non-empty tile of the partition.
+struct Tile {
+  /// Row-major slot in the full cols x rows grid. Slots of empty tiles
+  /// are skipped, so `slot` — not the position in the returned vector —
+  /// names the tile in snapshot paths and manifests.
+  int slot = 0;
+  /// Owned reference feature ids, ascending. Non-empty.
+  std::vector<uint64_t> refs;
+  /// Union envelope of the owned reference features' envelopes, buffered
+  /// by the relate tier's collinearity band slack. Every feature whose
+  /// envelope intersects this window is a potential row candidate of this
+  /// tile (the halo); features outside it can never appear in an owned
+  /// row's envelope join.
+  geom::Envelope window;
+};
+
+/// Partitions `reference` into the non-empty tiles of the `shards`-way
+/// grid, in slot order. `shards` <= 1 yields a single tile owning every
+/// feature. The union of all `refs` is exactly {0, ..., Size()-1}.
+std::vector<Tile> PartitionReference(const feature::Layer& reference,
+                                     int shards);
+
+}  // namespace datagen
+}  // namespace sfpm
+
+#endif  // SFPM_DATAGEN_TILES_H_

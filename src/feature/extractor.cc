@@ -450,6 +450,9 @@ void PredicateExtractor::ExtractTopological(
       layer.Prepared();
   std::vector<uint64_t> candidates;
   layer.Index().Query(ref.envelope(), &candidates);
+  if (options.canonical_candidate_order) {
+    std::sort(candidates.begin(), candidates.end());
+  }
   draft->envelope_candidates += candidates.size();
 
   // Decides one candidate's relation: by RCC8 deduction — through the

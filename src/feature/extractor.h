@@ -66,6 +66,18 @@ struct ExtractorOptions {
   /// benchmarking and differential tests; leave it on.
   bool fast_relate = true;
 
+  /// Sort each row's envelope-join candidates by feature id before
+  /// deciding and emitting. The R-tree returns candidates in traversal
+  /// order — a function of the tree's structure — so without this the
+  /// per-row emission order (and with it the table's first-appearance
+  /// item-id assignment) depends on exactly which features were indexed.
+  /// Canonical order makes a row a pure function of its candidate *set*,
+  /// which is what lets tile-sharded extraction over halo sub-layers
+  /// (feature/window.h) reproduce the full-run bytes. The staged snapshot
+  /// pipeline always sets this; the default stays off so legacy CSV-path
+  /// outputs keep their historical byte order.
+  bool canonical_candidate_order = false;
+
   /// Use the RCC8 inference tier: before relating the reference against a
   /// candidate, reuse the exact prepare-phase relation or compose
   /// already-known relations through shared pivots (qsr::ClusterInference

@@ -1,0 +1,32 @@
+#include "feature/window.h"
+
+#include <string>
+
+namespace sfpm {
+namespace feature {
+
+Layer WindowLayer(const Layer& layer, const geom::Envelope& window) {
+  Layer out(layer.feature_type(), layer.name());
+  for (const Feature& f : layer.features()) {
+    if (!f.geometry().GetEnvelope().Intersects(window)) continue;
+    out.Add(f.geometry(), f.attributes());
+  }
+  return out;
+}
+
+Layer SubsetLayer(const Layer& layer, const std::vector<uint64_t>& ids,
+                  bool preserve_row_names) {
+  Layer out(layer.feature_type(), layer.name());
+  for (uint64_t id : ids) {
+    const Feature& f = layer.at(id);
+    std::map<std::string, std::string> attributes = f.attributes();
+    if (preserve_row_names && attributes.count("name") == 0) {
+      attributes["name"] = layer.feature_type() + std::to_string(f.id());
+    }
+    out.Add(f.geometry(), std::move(attributes));
+  }
+  return out;
+}
+
+}  // namespace feature
+}  // namespace sfpm

@@ -1,0 +1,38 @@
+#ifndef SFPM_FEATURE_WINDOW_H_
+#define SFPM_FEATURE_WINDOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "feature/feature.h"
+#include "geom/point.h"
+
+namespace sfpm {
+namespace feature {
+
+/// \brief Sub-layer builders for tile-sharded extraction
+/// (docs/SHARDING.md). Both renumber feature ids from 0 — a Layer
+/// invariant the extractor relies on (ids index the prepared cache) —
+/// while preserving the source layer's relative feature order, so a
+/// sub-layer's R-tree candidates sorted by id enumerate in the same
+/// order as the full layer's sorted candidates.
+
+/// Features of `layer` whose envelope intersects `window`, renumbered.
+/// With a tile's halo window this is a superset of every owned row's
+/// envelope-join candidates, which is what makes tile extraction emit
+/// exactly the full run's predicates.
+Layer WindowLayer(const Layer& layer, const geom::Envelope& window);
+
+/// The sub-layer of exactly `ids` (ascending feature ids of `layer`),
+/// renumbered. When `preserve_row_names` is set, features lacking a
+/// "name" attribute get one equal to the full-layer fallback row name
+/// (`feature_type + original id`), so extraction rows keep their
+/// full-run names after renumbering ("name" is excluded from attribute
+/// predicates, so this changes nothing else).
+Layer SubsetLayer(const Layer& layer, const std::vector<uint64_t>& ids,
+                  bool preserve_row_names);
+
+}  // namespace feature
+}  // namespace sfpm
+
+#endif  // SFPM_FEATURE_WINDOW_H_

@@ -11,7 +11,7 @@ const std::vector<const Oracle*>& AllOracles() {
       internal::RelateCityOracle(),     internal::Rcc8JepdOracle(),
       internal::Rcc8ComposeOracle(),    internal::RelateInferredOracle(),
       internal::RtreeOracle(),          internal::MiningOracle(),
-      internal::StoreOracle(),
+      internal::StoreOracle(),          internal::ShardMergeOracle(),
   };
   return all;
 }

@@ -73,6 +73,13 @@ class Oracle {
 ///                    sets and manifests; every single-byte flip and every
 ///                    truncation rejected with a clean error (eager and
 ///                    deferred checksum modes).
+///  * `shard_merge` — tile-sharded extraction end to end: partition ->
+///                    per-tile extract over halo sub-layers -> serialize
+///                    -> read back -> merge is byte-identical to the
+///                    single-shard extraction at every shard count, and
+///                    corrupted, truncated, wrong-stage, wrong-hash, or
+///                    coverage-breaking tile snapshots are rejected with
+///                    the "extract-tile" stage attribution.
 const std::vector<const Oracle*>& AllOracles();
 
 /// Looks an oracle up by name; nullptr when unknown.

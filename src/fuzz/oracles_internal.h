@@ -22,6 +22,7 @@ const Oracle* RelateInferredOracle();
 const Oracle* RtreeOracle();
 const Oracle* MiningOracle();
 const Oracle* StoreOracle();
+const Oracle* ShardMergeOracle();
 /// @}
 
 /// Shared failure constructor: "<invariant>: <detail>".

@@ -1,0 +1,309 @@
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datagen/tiles.h"
+#include "feature/extractor.h"
+#include "feature/feature.h"
+#include "feature/predicate_table.h"
+#include "feature/window.h"
+#include "fuzz/generators.h"
+#include "fuzz/oracles_internal.h"
+#include "store/format.h"
+#include "store/merge.h"
+#include "store/reader.h"
+#include "store/writer.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace sfpm {
+namespace fuzz {
+namespace internal {
+
+namespace {
+
+using store::SnapshotReader;
+using store::SnapshotWriter;
+
+/// Serializes a predicate table the way a comparison wants it: the exact
+/// section bytes a pipeline snapshot would carry. Two tables are
+/// byte-identical iff these serializations match.
+std::string TableBytes(const feature::PredicateTable& table) {
+  SnapshotWriter w;
+  w.AddTable(table);
+  return w.Serialize();
+}
+
+/// Renders one tile's snapshot exactly as the sharded pipeline stage
+/// does: the table plus the extract-tile manifest (stage, format,
+/// input hash, owned global rows).
+std::string TileSnapshotBytes(const feature::PredicateTable& table,
+                              const datagen::Tile& tile,
+                              const std::string& input_hash) {
+  SnapshotWriter w;
+  w.AddTable(table);
+  std::map<std::string, std::string> manifest;
+  manifest["stage"] = store::kStageExtractTile;
+  manifest["format"] = std::to_string(store::kFormatVersion);
+  manifest["input_hash"] = input_hash;
+  std::string rows;
+  for (const uint64_t id : tile.refs) {
+    if (!rows.empty()) rows += ',';
+    rows += std::to_string(id);
+  }
+  manifest["tile_rows"] = rows;
+  w.AddManifest(manifest);
+  return w.Serialize();
+}
+
+/// --- shard_merge --------------------------------------------------------
+///
+/// The sharded extraction pipeline's two load-bearing guarantees, checked
+/// end to end against random little cities:
+///  * byte identity: partitioning the reference layer into tiles
+///    (datagen::PartitionReference), extracting each tile over its halo
+///    sub-layers (feature/window.h), serializing each tile snapshot,
+///    reading it back, and merging (store::MergeTileTables) reproduces
+///    the single-shard extraction byte for byte — same rows, same
+///    first-appearance item ids, same bitmap — at every shard count;
+///  * rejection with stage attribution: a tile snapshot that is
+///    corrupted, truncated, written by the wrong stage, hashed from
+///    different inputs, or inconsistent with its row manifest must be
+///    refused, and every merge-side refusal names "extract-tile" so a
+///    failed run points at the tile to rerun. Missing and double-owned
+///    rows must likewise fail the merge.
+class ShardMergeOracle final : public Oracle {
+ public:
+  std::string Name() const override { return "shard_merge"; }
+
+  FuzzCase Generate(uint64_t seed) const override {
+    FuzzCase c;
+    c.oracle = Name();
+    c.seed = seed;
+    Rng rng(seed);
+    // References first (areal, so the RCC8 inference tier engages), then
+    // relevant features of any geometry type, all on the lattice so
+    // touching/containment across tile borders is common.
+    const size_t num_ref = 3 + rng.NextUint64(10);
+    const size_t num_rel = 2 + rng.NextUint64(14);
+    for (size_t i = 0; i < num_ref; ++i) {
+      c.geoms.push_back(geom::Geometry(GridConvexPolygon(&rng, 12)));
+    }
+    for (size_t i = 0; i < num_rel; ++i) {
+      c.geoms.push_back(GridGeometry(&rng, 12));
+    }
+    c.params["num_ref"] = std::to_string(num_ref);
+    c.params["shards"] = std::to_string(2 + rng.NextUint64(5));  // 2..6.
+    return c;
+  }
+
+  Status Check(const FuzzCase& c) const override {
+    // Clamp against reducer mutations: any params/geoms edit must still
+    // describe a checkable instance.
+    const size_t num_ref = std::min(
+        c.geoms.size(),
+        static_cast<size_t>(std::max<int64_t>(
+            0, c.ParamInt("num_ref", static_cast<int64_t>(c.geoms.size())))));
+    const int shards = static_cast<int>(
+        std::min<int64_t>(64, std::max<int64_t>(1, c.ParamInt("shards", 2))));
+
+    feature::Layer reference("district");
+    feature::Layer relevant("slum");
+    for (size_t i = 0; i < c.geoms.size(); ++i) {
+      if (i < num_ref) {
+        // Half the references carry an explicit name, the rest exercise
+        // the "<type><id>" fallback that SubsetLayer must preserve.
+        std::map<std::string, std::string> attrs = {
+            {"rate", std::to_string(i % 3)}};
+        if (i % 2 == 0) attrs["name"] = "d" + std::to_string(i);
+        reference.Add(c.geoms[i], attrs);
+      } else {
+        relevant.Add(c.geoms[i], {{"tag", std::to_string(i % 2)}});
+      }
+    }
+    if (reference.Size() == 0) return Status::OK();  // Vacuous instance.
+
+    feature::ExtractorOptions options;
+    options.parallelism = 1;
+    options.canonical_candidate_order = true;  // The pipeline's setting.
+
+    // Ground truth: the single-shard extraction.
+    feature::PredicateExtractor full_extractor(&reference);
+    full_extractor.AddRelevantLayer(&relevant);
+    auto full = full_extractor.Extract(options);
+    if (!full.ok()) {
+      return Violation("shard/full_extract", full.status().message());
+    }
+
+    // Tile path: partition -> extract per tile over halo sub-layers ->
+    // serialize -> read back -> merge.
+    const std::string input_hash = "fuzz" + std::to_string(c.seed);
+    const std::vector<datagen::Tile> tiles =
+        datagen::PartitionReference(reference, shards);
+    std::vector<store::TileTable> loaded;
+    std::vector<std::string> tile_bytes;
+    for (const datagen::Tile& tile : tiles) {
+      const feature::Layer tile_ref =
+          feature::SubsetLayer(reference, tile.refs, true);
+      const feature::Layer tile_rel =
+          feature::WindowLayer(relevant, tile.window);
+      feature::PredicateExtractor tile_extractor(&tile_ref);
+      tile_extractor.AddRelevantLayer(&tile_rel);
+      auto table = tile_extractor.Extract(options);
+      if (!table.ok()) {
+        return Violation("shard/tile_extract", table.status().message());
+      }
+      tile_bytes.push_back(
+          TileSnapshotBytes(table.value(), tile, input_hash));
+      auto reader = SnapshotReader::FromBytes(tile_bytes.back());
+      if (!reader.ok()) {
+        return Violation("shard/tile_open", reader.status().message());
+      }
+      auto tile_table = store::ReadTileTable(reader.value(), input_hash);
+      if (!tile_table.ok()) {
+        return Violation("shard/tile_read", tile_table.status().message());
+      }
+      loaded.push_back(std::move(tile_table).value());
+    }
+    auto merged = store::MergeTileTables(loaded, reference.Size());
+    if (!merged.ok()) {
+      return Violation("shard/merge", merged.status().message());
+    }
+    if (TableBytes(merged.value()) != TableBytes(full.value())) {
+      return Violation("shard/byte_identity",
+                       "merged tiles differ from the single-shard "
+                       "extraction at " +
+                           std::to_string(shards) + " shards");
+    }
+
+    SFPM_RETURN_NOT_OK(CheckRejections(c, tiles, loaded, tile_bytes,
+                                       input_hash, reference.Size()));
+    return Status::OK();
+  }
+
+ private:
+  /// Every way a bad tile can reach the merge must fail, and merge-side
+  /// failures must carry the "extract-tile" stage attribution.
+  static Status CheckRejections(const FuzzCase& c,
+                                const std::vector<datagen::Tile>& tiles,
+                                const std::vector<store::TileTable>& loaded,
+                                const std::vector<std::string>& tile_bytes,
+                                const std::string& input_hash,
+                                size_t total_rows) {
+    Rng rng(c.seed ^ 0x5348415244ULL);  // "SHARD"
+    const std::string& victim =
+        tile_bytes[rng.NextUint64(tile_bytes.size())];
+
+    // Corruption: seed-chosen single-byte flips must fail the open (the
+    // container's checksum domains cover every byte).
+    for (int i = 0; i < 8; ++i) {
+      std::string corrupted = victim;
+      const size_t pos = rng.NextUint64(corrupted.size());
+      corrupted[pos] = static_cast<char>(
+          corrupted[pos] ^ static_cast<char>(1 + rng.NextUint64(255)));
+      if (SnapshotReader::FromBytes(corrupted).ok()) {
+        return Violation("shard/corrupt_detected",
+                         "tile snapshot with byte " + std::to_string(pos) +
+                             " flipped opened cleanly");
+      }
+    }
+    // Truncation: cut anywhere, including just short of the end.
+    for (const size_t cut :
+         {size_t{0}, victim.size() / 2, victim.size() - 1}) {
+      if (SnapshotReader::FromBytes(victim.substr(0, cut)).ok()) {
+        return Violation("shard/truncation_detected",
+                         "tile snapshot cut to " + std::to_string(cut) +
+                             " bytes opened cleanly");
+      }
+    }
+
+    // Manifest-level rejections, all stage-attributed.
+    auto expect_tile_error = [](const Result<store::TileTable>& r,
+                                const std::string& what) -> Status {
+      if (r.ok()) {
+        return Violation("shard/" + what, "accepted a tile it must refuse");
+      }
+      if (r.status().message().find(store::kStageExtractTile) ==
+          std::string::npos) {
+        return Violation("shard/" + what + "_attribution",
+                         "rejection does not name the tile stage: " +
+                             r.status().message());
+      }
+      return Status::OK();
+    };
+    auto reader = SnapshotReader::FromBytes(victim);
+    if (!reader.ok()) {
+      return Violation("shard/reopen", reader.status().message());
+    }
+    SFPM_RETURN_NOT_OK(expect_tile_error(
+        store::ReadTileTable(reader.value(), input_hash + "x"),
+        "hash_mismatch"));
+    {
+      // Same table, wrong stage name: a plain extract snapshot must never
+      // merge as a tile.
+      SnapshotWriter w;
+      w.AddTable(loaded[0].table);
+      w.AddManifest({{"stage", "extract"},
+                     {"format", std::to_string(store::kFormatVersion)},
+                     {"input_hash", input_hash}});
+      auto wrong = SnapshotReader::FromBytes(w.Serialize());
+      if (!wrong.ok()) {
+        return Violation("shard/wrong_stage_open", wrong.status().message());
+      }
+      SFPM_RETURN_NOT_OK(expect_tile_error(
+          store::ReadTileTable(wrong.value(), input_hash), "wrong_stage"));
+    }
+    {
+      // Row manifest inconsistent with the table: one id dropped.
+      datagen::Tile lying = tiles[0];
+      if (!lying.refs.empty()) lying.refs.pop_back();
+      auto short_reader = SnapshotReader::FromBytes(
+          TileSnapshotBytes(loaded[0].table, lying, input_hash));
+      if (!short_reader.ok()) {
+        return Violation("shard/short_rows_open",
+                         short_reader.status().message());
+      }
+      SFPM_RETURN_NOT_OK(expect_tile_error(
+          store::ReadTileTable(short_reader.value(), input_hash),
+          "row_count_mismatch"));
+    }
+
+    // Merge-level coverage failures, also stage-attributed.
+    auto expect_merge_error =
+        [](const Result<feature::PredicateTable>& r,
+           const std::string& what) -> Status {
+      if (r.ok()) {
+        return Violation("shard/" + what, "merge accepted broken coverage");
+      }
+      if (r.status().message().find(store::kStageExtractTile) ==
+          std::string::npos) {
+        return Violation("shard/" + what + "_attribution",
+                         "merge rejection does not name the tile stage: " +
+                             r.status().message());
+      }
+      return Status::OK();
+    };
+    std::vector<store::TileTable> missing(loaded.begin() + 1, loaded.end());
+    SFPM_RETURN_NOT_OK(expect_merge_error(
+        store::MergeTileTables(missing, total_rows), "missing_tile"));
+    if (loaded.size() > 1) {
+      std::vector<store::TileTable> doubled = loaded;
+      doubled.push_back(loaded[0]);
+      SFPM_RETURN_NOT_OK(expect_merge_error(
+          store::MergeTileTables(doubled, total_rows), "double_owned"));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const Oracle* ShardMergeOracle() {
+  static const class ShardMergeOracle instance;
+  return &instance;
+}
+
+}  // namespace internal
+}  // namespace fuzz
+}  // namespace sfpm

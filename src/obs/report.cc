@@ -1,5 +1,7 @@
 #include "obs/report.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 
 #include "obs/json.h"
@@ -118,6 +120,22 @@ Status WriteTextFile(const std::string& path, const std::string& content) {
   const bool close_ok = std::fclose(f) == 0;
   if (written != content.size() || !close_ok) {
     return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteTextFileAtomic(const std::string& path,
+                           const std::string& content) {
+  // The temp name carries the writer's pid so two processes pointed at
+  // the same path (a misconfigured test harness, say) cannot interleave
+  // inside one temp file; the final rename is last-writer-wins either
+  // way, which is the same contract a direct write would have.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  SFPM_RETURN_NOT_OK(WriteTextFile(tmp, content));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
   }
   return Status::OK();
 }

@@ -48,6 +48,14 @@ std::string ChromeTraceJson(const std::vector<TraceSpan>& spans);
 /// Writes `content` to `path` (the reports are small; no streaming).
 Status WriteTextFile(const std::string& path, const std::string& content);
 
+/// Writes `content` to `path` via write-temp-then-rename, so a
+/// concurrent reader sees either nothing, the previous content, or the
+/// complete new content — never a half-written file. This is the
+/// rendezvous discipline `sfpm serve --port-file` relies on: pollers
+/// (`sfpm top`, the cli_serve harness) race the server's startup.
+Status WriteTextFileAtomic(const std::string& path,
+                           const std::string& content);
+
 }  // namespace obs
 }  // namespace sfpm
 

@@ -30,7 +30,13 @@ struct Rcc8PivotEdge {
 /// The extraction inference tier builds one store per relevant layer in
 /// the serial prepare phase (see extractor.cc), then the parallel row
 /// workers read it concurrently: every accessor is const and touches only
-/// state frozen at build time.
+/// state frozen at build time. Because the store is per-extractor state,
+/// it shards for free under tile-sharded extraction (docs/SHARDING.md):
+/// each tile stage builds stores over its own halo sub-layers. A tile
+/// may hold fewer pivots than the full run and so deduce less, but every
+/// deduction that does fire agrees with the relate engine (the
+/// relate_inferred oracle's invariant), so sharded outputs stay
+/// byte-identical either way.
 ///
 /// Each unordered pair is Set() once; both orientations become edges, the
 /// reverse one via Rcc8Converse with `via_converse` marking it so the

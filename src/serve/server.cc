@@ -47,6 +47,17 @@ void SetTimeout(int fd, int optname, int ms) {
 }
 
 /// Blocking full write; false on any error (peer gone, send timeout).
+///
+/// Short-write/disconnect audit (the response path's failure contract):
+/// partial sends resume from `sent` (never resend, never drop bytes);
+/// EINTR retries; MSG_NOSIGNAL turns a peer that hard-closed mid-response
+/// into EPIPE instead of a process-killing SIGPIPE; any other error —
+/// ECONNRESET from an RST, EPIPE, or EAGAIN once the SO_SNDTIMEO send
+/// timeout expires on a stalled peer — returns false, and the caller
+/// closes the connection. No path spins: every continue consumes either
+/// a successful partial write or an EINTR. A send() of 0 cannot wedge
+/// the loop either — it only occurs for zero-length buffers, which the
+/// `sent < size` guard never submits.
 bool SendAll(int fd, std::string_view bytes) {
   size_t sent = 0;
   while (sent < bytes.size()) {
@@ -54,6 +65,7 @@ bool SendAll(int fd, std::string_view bytes) {
         send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      obs::MetricsRegistry::Global().GetCounter("serve.send_errors").Add();
       return false;
     }
     sent += static_cast<size_t>(n);

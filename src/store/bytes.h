@@ -100,6 +100,12 @@ class ByteReader {
   size_t pos() const { return pos_; }
   size_t remaining() const { return size_ - pos_; }
 
+  /// Rewinds to a position previously returned by pos() (two-pass
+  /// skim-then-decode reads). Positions past the end are ignored.
+  void SeekTo(size_t pos) {
+    if (pos <= size_) pos_ = pos;
+  }
+
   Result<uint8_t> U8() {
     SFPM_RETURN_NOT_OK(Need(1));
     return data_[pos_++];

@@ -58,6 +58,31 @@ Result<std::vector<Point>> DecodePointList(ByteReader* r) {
   return pts;
 }
 
+/// Walks one encoded point list, expanding `env` by every point —
+/// or, with `env == nullptr`, consuming the bytes only (polygon holes:
+/// Polygon::GetEnvelope is shell-only, and the skim must agree with it
+/// bit for bit).
+Status SkimPointList(ByteReader* r, geom::Envelope* env) {
+  SFPM_ASSIGN_OR_RETURN(const uint64_t count, r->U64());
+  SFPM_RETURN_NOT_OK(r->CheckCount(count, 16));
+  for (uint64_t i = 0; i < count; ++i) {
+    SFPM_ASSIGN_OR_RETURN(const Point p, DecodePoint(r));
+    if (env != nullptr) env->ExpandToInclude(p);
+  }
+  return Status::OK();
+}
+
+Status SkimPolygonBody(ByteReader* r, geom::Envelope* env) {
+  SFPM_ASSIGN_OR_RETURN(const uint64_t num_rings, r->U64());
+  if (num_rings == 0) return Status::OK();
+  SFPM_RETURN_NOT_OK(r->CheckCount(num_rings, 8));
+  SFPM_RETURN_NOT_OK(SkimPointList(r, env));  // Shell.
+  for (uint64_t i = 1; i < num_rings; ++i) {
+    SFPM_RETURN_NOT_OK(SkimPointList(r, nullptr));  // Holes: bytes only.
+  }
+  return Status::OK();
+}
+
 Result<Polygon> DecodePolygonBody(ByteReader* r) {
   SFPM_ASSIGN_OR_RETURN(const uint64_t num_rings, r->U64());
   if (num_rings == 0) return Polygon();
@@ -154,6 +179,46 @@ Result<Geometry> DecodeGeometry(ByteReader* r) {
     }
   }
   return Status::Internal("unreachable geometry tag");
+}
+
+Result<geom::Envelope> SkimGeometryEnvelope(ByteReader* r) {
+  SFPM_ASSIGN_OR_RETURN(const uint8_t tag, r->U8());
+  if (tag > static_cast<uint8_t>(GeometryType::kMultiPolygon)) {
+    return Status::ParseError("unknown geometry type tag " +
+                              std::to_string(tag));
+  }
+  geom::Envelope env;
+  switch (static_cast<GeometryType>(tag)) {
+    case GeometryType::kPoint: {
+      SFPM_ASSIGN_OR_RETURN(const Point p, DecodePoint(r));
+      env.ExpandToInclude(p);
+      break;
+    }
+    case GeometryType::kLineString:
+    case GeometryType::kMultiPoint:
+      SFPM_RETURN_NOT_OK(SkimPointList(r, &env));
+      break;
+    case GeometryType::kPolygon:
+      SFPM_RETURN_NOT_OK(SkimPolygonBody(r, &env));
+      break;
+    case GeometryType::kMultiLineString: {
+      SFPM_ASSIGN_OR_RETURN(const uint64_t count, r->U64());
+      SFPM_RETURN_NOT_OK(r->CheckCount(count, 8));
+      for (uint64_t i = 0; i < count; ++i) {
+        SFPM_RETURN_NOT_OK(SkimPointList(r, &env));
+      }
+      break;
+    }
+    case GeometryType::kMultiPolygon: {
+      SFPM_ASSIGN_OR_RETURN(const uint64_t count, r->U64());
+      SFPM_RETURN_NOT_OK(r->CheckCount(count, 8));
+      for (uint64_t i = 0; i < count; ++i) {
+        SFPM_RETURN_NOT_OK(SkimPolygonBody(r, &env));
+      }
+      break;
+    }
+  }
+  return env;
 }
 
 }  // namespace store

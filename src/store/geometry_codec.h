@@ -18,6 +18,12 @@ void EncodeGeometry(const geom::Geometry& g, ByteWriter* w);
 /// remaining bytes (absurd lengths fail cleanly, they never allocate).
 Result<geom::Geometry> DecodeGeometry(ByteReader* r);
 
+/// Consumes the bytes of one encoded geometry, computing only the
+/// envelope DecodeGeometry(...)->GetEnvelope() would return (shell-only
+/// for polygons, like Polygon::GetEnvelope) — no allocation. Windowed
+/// layer decodes skim first and materialize only intersecting features.
+Result<geom::Envelope> SkimGeometryEnvelope(ByteReader* r);
+
 }  // namespace store
 }  // namespace sfpm
 

@@ -1,0 +1,144 @@
+#include "store/merge.h"
+
+#include <map>
+
+#include "store/format.h"
+#include "util/strings.h"
+
+namespace sfpm {
+namespace store {
+
+namespace {
+
+/// "extract-tile <detail>" — every merge-side rejection names the stage
+/// that produced (or should have produced) the offending snapshot, so a
+/// failed `sfpm run` points straight at the tile to rerun or delete.
+Status TileError(const std::string& detail) {
+  return Status::InvalidArgument(std::string(kStageExtractTile) + " " +
+                                 detail);
+}
+
+}  // namespace
+
+Result<TileTable> ReadTileTable(const SnapshotReader& reader,
+                                const std::string& expected_input_hash) {
+  const auto manifest_info = reader.Find(SectionType::kManifest);
+  if (!manifest_info.ok()) {
+    return TileError("snapshot carries no manifest: " +
+                     manifest_info.status().message());
+  }
+  const auto manifest = reader.ReadManifest(manifest_info.value());
+  if (!manifest.ok()) {
+    return TileError("snapshot manifest unreadable: " +
+                     manifest.status().message());
+  }
+  const auto get = [&](const char* key) {
+    const auto it = manifest.value().find(key);
+    return it == manifest.value().end() ? std::string() : it->second;
+  };
+  if (get("stage") != kStageExtractTile) {
+    return TileError("snapshot was written by stage '" + get("stage") +
+                     "', not " + kStageExtractTile);
+  }
+  if (get("format") != std::to_string(kFormatVersion)) {
+    return TileError("snapshot has format '" + get("format") +
+                     "', want " + std::to_string(kFormatVersion));
+  }
+  if (get("input_hash") != expected_input_hash) {
+    return TileError("snapshot input hash " + get("input_hash") +
+                     " does not match expected " + expected_input_hash);
+  }
+
+  TileTable out;
+  for (const std::string& part : Split(get("tile_rows"), ',')) {
+    if (part.empty() ||
+        part.find_first_not_of("0123456789") != std::string::npos) {
+      return TileError("snapshot tile_rows entry '" + part +
+                       "' is not a row id");
+    }
+    out.rows.push_back(std::strtoull(part.c_str(), nullptr, 10));
+  }
+
+  const auto db_info = reader.Find(SectionType::kTransactionDb);
+  if (!db_info.ok()) {
+    return TileError("snapshot carries no transaction db: " +
+                     db_info.status().message());
+  }
+  auto table = reader.ReadTable(db_info.value());
+  if (!table.ok()) {
+    return TileError("snapshot table unreadable: " +
+                     table.status().message());
+  }
+  out.table = std::move(table).value();
+  if (out.table.NumRows() != out.rows.size()) {
+    return TileError("snapshot covers " + std::to_string(out.rows.size()) +
+                     " rows in its manifest but holds " +
+                     std::to_string(out.table.NumRows()));
+  }
+  return out;
+}
+
+Result<TileTable> LoadTileTable(const std::string& path,
+                                const std::string& expected_input_hash) {
+  auto reader = SnapshotReader::Open(path);
+  if (!reader.ok()) {
+    return TileError("snapshot " + path +
+                     " rejected: " + reader.status().message());
+  }
+  auto tile = ReadTileTable(reader.value(), expected_input_hash);
+  if (!tile.ok()) {
+    // Re-attribute with the path; ReadTileTable already names the stage.
+    return Status::InvalidArgument(tile.status().message() + " (" + path +
+                                   ")");
+  }
+  return tile;
+}
+
+Result<feature::PredicateTable> MergeTileTables(
+    const std::vector<TileTable>& tiles, size_t total_rows) {
+  // Exact-coverage check: every global row owned once.
+  constexpr size_t kNoOwner = static_cast<size_t>(-1);
+  struct Owner {
+    size_t tile;
+    size_t local;
+  };
+  std::vector<Owner> owners(total_rows, {kNoOwner, 0});
+  for (size_t t = 0; t < tiles.size(); ++t) {
+    for (size_t l = 0; l < tiles[t].rows.size(); ++l) {
+      const uint64_t g = tiles[t].rows[l];
+      if (g >= total_rows) {
+        return TileError("row " + std::to_string(g) +
+                         " is outside the reference layer (" +
+                         std::to_string(total_rows) + " rows)");
+      }
+      if (owners[g].tile != kNoOwner) {
+        return TileError("row " + std::to_string(g) +
+                         " is owned by two tiles — double emission");
+      }
+      owners[g] = {t, l};
+    }
+  }
+  for (size_t g = 0; g < total_rows; ++g) {
+    if (owners[g].tile == kNoOwner) {
+      return TileError("row " + std::to_string(g) +
+                       " is owned by no tile — incomplete partition");
+    }
+  }
+
+  // Replay in global row order; see the header for why tile item-id
+  // order within a row reproduces the unsharded first-appearance ids.
+  feature::PredicateTable merged;
+  for (size_t g = 0; g < total_rows; ++g) {
+    const TileTable& tile = tiles[owners[g].tile];
+    const size_t local = owners[g].local;
+    const size_t row = merged.AddRow(tile.table.RowName(local));
+    for (const feature::Predicate& predicate :
+         tile.table.RowPredicates(local)) {
+      SFPM_RETURN_NOT_OK(merged.Set(row, predicate));
+    }
+  }
+  return merged;
+}
+
+}  // namespace store
+}  // namespace sfpm

@@ -1,0 +1,68 @@
+#ifndef SFPM_STORE_MERGE_H_
+#define SFPM_STORE_MERGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "feature/predicate_table.h"
+#include "store/reader.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace store {
+
+/// \brief Snapshot merger for the sharded pipeline (docs/SHARDING.md):
+/// joins per-tile extract outputs back into the single-shard transaction
+/// db, byte for byte.
+///
+/// Each tile snapshot holds one predicate table over the reference rows
+/// the tile owns, plus a manifest naming its stage ("extract-tile"), its
+/// content hash, and the global row ids it covers ("tile_rows"). The
+/// merge concatenates the tiles' bitmap transaction dbs in global row
+/// order, remapping every tile-local item id to its global
+/// first-appearance id, and re-aggregates supports implicitly — the
+/// merged columns are rebuilt bit by bit, so every item's support is the
+/// sum of its per-tile supports by construction.
+
+/// One loaded tile: its table and the global row ids it owns (ascending,
+/// same order as the table's rows).
+struct TileTable {
+  feature::PredicateTable table;
+  std::vector<uint64_t> rows;
+};
+
+/// Validates and loads one tile table from an open snapshot.
+/// `expected_input_hash` must match the manifest's input_hash (and the
+/// stage must be "extract-tile") — a tile produced by different
+/// parameters, an older tool, or a corrupted write is rejected, never
+/// merged. Errors are attributed to the tile stage.
+Result<TileTable> ReadTileTable(const SnapshotReader& reader,
+                                const std::string& expected_input_hash);
+
+/// Opens `path` and loads its tile table; any failure — unreadable file,
+/// checksum mismatch, wrong stage or hash — is attributed to the tile.
+Result<TileTable> LoadTileTable(const std::string& path,
+                                const std::string& expected_input_hash);
+
+/// Merges the tiles (any order) into the full table over rows
+/// {0, ..., total_rows-1}. The tiles' row sets must partition that range
+/// exactly — a missing, duplicated, or out-of-range row is an error.
+///
+/// The merged table is byte-identical to a single-shard extraction of
+/// the same city: global rows are replayed in ascending order, and each
+/// row's predicates are set in tile item-id order. Within a row, items
+/// that are globally new must be new to the owning tile at that row too
+/// (tile rows are a subsequence of global rows), and a tile assigns ids
+/// to its row-new items in emission order — so the replay reassigns
+/// global first-appearance ids exactly as the unsharded extractor would.
+Result<feature::PredicateTable> MergeTileTables(
+    const std::vector<TileTable>& tiles, size_t total_rows);
+
+/// The stage name tile snapshots carry in their manifest.
+inline constexpr char kStageExtractTile[] = "extract-tile";
+
+}  // namespace store
+}  // namespace sfpm
+
+#endif  // SFPM_STORE_MERGE_H_

@@ -6,14 +6,18 @@
 
 #include "core/apriori.h"
 #include "core/fpgrowth.h"
+#include "datagen/tiles.h"
 #include "feature/dependency.h"
 #include "feature/extractor.h"
-#include "io/csv.h"
+#include "feature/window.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "store/merge.h"
 #include "store/reader.h"
 #include "store/writer.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 #include "util/version.h"
 
 namespace sfpm {
@@ -36,6 +40,27 @@ std::string HashHex(uint64_t hash) {
     hash >>= 4;
   }
   return out;
+}
+
+uint64_t SnapshotContentHash(const SnapshotReader& reader) {
+  std::string canon = "sections;";
+  for (const SectionInfo& info : reader.sections()) {
+    canon += std::to_string(static_cast<uint32_t>(info.type));
+    canon += ':';
+    canon += info.name;
+    canon += ':';
+    canon += std::to_string(info.length);
+    canon += ':';
+    canon += std::to_string(info.crc32);
+    canon += ';';
+  }
+  return Fnv1a64(canon);
+}
+
+Result<uint64_t> SnapshotContentHash(const std::string& path) {
+  SFPM_ASSIGN_OR_RETURN(const SnapshotReader reader,
+                        SnapshotReader::Open(path));
+  return SnapshotContentHash(reader);
 }
 
 std::string CanonicalCityConfig(const datagen::CityConfig& c) {
@@ -115,9 +140,68 @@ std::string MineInputHash(const MineConfig& config, uint64_t in_file_hash) {
                          ";input=" + HashHex(in_file_hash)));
 }
 
-Result<uint64_t> HashFile(const std::string& path) {
-  SFPM_ASSIGN_OR_RETURN(const std::string bytes, io::ReadFile(path));
-  return Fnv1a64(bytes);
+/// The reference layer an extract joins from.
+Result<feature::Layer> LoadReferenceLayer(const SnapshotReader& reader,
+                                          const ExtractConfig& config) {
+  SFPM_ASSIGN_OR_RETURN(
+      const SectionInfo ref_info,
+      reader.Find(SectionType::kLayer, config.reference));
+  return reader.ReadLayer(ref_info);
+}
+
+/// The relevant layers an extract joins against. `window`, when set,
+/// drops features whose envelope misses it during decode — the tile
+/// halo; identical to reading whole layers and feature::WindowLayer-ing
+/// them, without materializing or indexing the skipped features.
+Result<std::vector<feature::Layer>> LoadRelevantLayers(
+    const SnapshotReader& reader, const std::string& in_path,
+    const ExtractConfig& config, const geom::Envelope* window) {
+  std::vector<feature::Layer> out;
+  const auto read = [&](const SectionInfo& info) -> Status {
+    SFPM_ASSIGN_OR_RETURN(feature::Layer layer,
+                          window == nullptr
+                              ? reader.ReadLayer(info)
+                              : reader.ReadLayer(info, *window));
+    out.push_back(std::move(layer));
+    return Status::OK();
+  };
+  if (config.relevant.empty()) {
+    for (const SectionInfo& info : reader.sections()) {
+      if (info.type != SectionType::kLayer || info.name == config.reference) {
+        continue;
+      }
+      SFPM_RETURN_NOT_OK(read(info));
+    }
+  } else {
+    for (const std::string& name : config.relevant) {
+      SFPM_ASSIGN_OR_RETURN(const SectionInfo info,
+                            reader.Find(SectionType::kLayer, name));
+      SFPM_RETURN_NOT_OK(read(info));
+    }
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument(in_path +
+                                   ": no relevant layers to extract against");
+  }
+  return out;
+}
+
+Result<feature::PredicateTable> ExtractTable(
+    const feature::Layer& reference,
+    const std::vector<feature::Layer>& relevant,
+    const ExtractConfig& config) {
+  feature::PredicateExtractor extractor(&reference);
+  for (const feature::Layer& layer : relevant) {
+    extractor.AddRelevantLayer(&layer);
+  }
+  feature::ExtractorOptions options;
+  options.directions = config.directions;
+  options.parallelism = config.threads;
+  // The pipeline always extracts in canonical candidate order: it makes
+  // each row a pure function of its candidate set, so tile-sharded runs
+  // (sub-layers, rebuilt R-trees) byte-match single-shard runs.
+  options.canonical_candidate_order = true;
+  return extractor.Extract(options);
 }
 
 std::map<std::string, std::string> StageManifest(const std::string& stage,
@@ -177,53 +261,108 @@ Status RunExtractStage(const std::string& in_path,
                        const std::string& out_path,
                        const ExtractConfig& config) {
   obs::Tracer::Span span = obs::Tracer::Global().StartSpan("stage/extract");
-  SFPM_ASSIGN_OR_RETURN(const uint64_t in_hash, HashFile(in_path));
   SFPM_ASSIGN_OR_RETURN(const SnapshotReader reader,
                         SnapshotReader::Open(in_path));
-
-  SFPM_ASSIGN_OR_RETURN(
-      const SectionInfo ref_info,
-      reader.Find(SectionType::kLayer, config.reference));
+  const uint64_t in_hash = SnapshotContentHash(reader);
   SFPM_ASSIGN_OR_RETURN(const feature::Layer reference,
-                        reader.ReadLayer(ref_info));
-
-  std::vector<feature::Layer> relevant;
-  if (config.relevant.empty()) {
-    for (const SectionInfo& info : reader.sections()) {
-      if (info.type != SectionType::kLayer || info.name == config.reference) {
-        continue;
-      }
-      SFPM_ASSIGN_OR_RETURN(feature::Layer layer, reader.ReadLayer(info));
-      relevant.push_back(std::move(layer));
-    }
-  } else {
-    for (const std::string& name : config.relevant) {
-      SFPM_ASSIGN_OR_RETURN(const SectionInfo info,
-                            reader.Find(SectionType::kLayer, name));
-      SFPM_ASSIGN_OR_RETURN(feature::Layer layer, reader.ReadLayer(info));
-      relevant.push_back(std::move(layer));
-    }
-  }
-  if (relevant.empty()) {
-    return Status::InvalidArgument(in_path +
-                                   ": no relevant layers to extract against");
-  }
-
-  feature::PredicateExtractor extractor(&reference);
-  for (const feature::Layer& layer : relevant) {
-    extractor.AddRelevantLayer(&layer);
-  }
-  feature::ExtractorOptions options;
-  options.directions = config.directions;
-  options.parallelism = config.threads;
+                        LoadReferenceLayer(reader, config));
+  SFPM_ASSIGN_OR_RETURN(
+      const std::vector<feature::Layer> relevant,
+      LoadRelevantLayers(reader, in_path, config, /*window=*/nullptr));
   SFPM_ASSIGN_OR_RETURN(const feature::PredicateTable table,
-                        extractor.Extract(options));
+                        ExtractTable(reference, relevant, config));
 
   SnapshotWriter writer;
   writer.AddTable(table);
   writer.AddManifest(StageManifest(kStageExtract,
                                    ExtractInputHash(config, in_hash),
                                    CanonicalExtractConfig(config)));
+  return writer.WriteTo(out_path);
+}
+
+std::string TileSnapshotPath(const std::string& txdb_path,
+                             const TileSpec& tile) {
+  const std::string suffix = ".tile" + std::to_string(tile.slot) + "of" +
+                             std::to_string(tile.shards);
+  const size_t dot = txdb_path.rfind('.');
+  const size_t slash = txdb_path.find_last_of('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return txdb_path + suffix;
+  }
+  return txdb_path.substr(0, dot) + suffix + txdb_path.substr(dot);
+}
+
+std::string ExtractTileInputHash(const ExtractConfig& config,
+                                 uint64_t in_file_hash,
+                                 const TileSpec& tile) {
+  return HashHex(Fnv1a64(std::string("stage=") + kStageExtractTile +
+                         ";format=1;" + CanonicalExtractConfig(config) +
+                         ";input=" + HashHex(in_file_hash) +
+                         ";tile=" + std::to_string(tile.slot) + "of" +
+                         std::to_string(tile.shards)));
+}
+
+Status RunExtractTileStage(const std::string& in_path,
+                           const std::string& out_path,
+                           const ExtractConfig& config,
+                           const TileSpec& tile) {
+  obs::Tracer::Span span =
+      obs::Tracer::Global().StartSpan("stage/extract-tile");
+  span.SetAttr("tile", static_cast<double>(tile.slot));
+  span.SetAttr("shards", static_cast<double>(tile.shards));
+  SFPM_ASSIGN_OR_RETURN(const SnapshotReader reader,
+                        SnapshotReader::Open(in_path));
+  const uint64_t in_hash = SnapshotContentHash(reader);
+  SFPM_ASSIGN_OR_RETURN(const feature::Layer full_reference,
+                        LoadReferenceLayer(reader, config));
+
+  const std::vector<datagen::Tile> tiles =
+      datagen::PartitionReference(full_reference, tile.shards);
+  const datagen::Tile* mine = nullptr;
+  for (const datagen::Tile& t : tiles) {
+    if (t.slot == tile.slot) {
+      mine = &t;
+      break;
+    }
+  }
+  if (mine == nullptr) {
+    return Status::InvalidArgument(
+        "tile " + std::to_string(tile.slot) + " of " +
+        std::to_string(tile.shards) + " owns no reference features in " +
+        in_path);
+  }
+
+  // The owned rows, renumbered but keeping their full-run row names, and
+  // each relevant layer decoded through the tile's halo window — except
+  // with directions on, which scan whole layers.
+  const feature::Layer reference =
+      feature::SubsetLayer(full_reference, mine->refs,
+                           /*preserve_row_names=*/true);
+  SFPM_ASSIGN_OR_RETURN(
+      const std::vector<feature::Layer> relevant,
+      LoadRelevantLayers(reader, in_path, config,
+                         config.directions ? nullptr : &mine->window));
+  SFPM_ASSIGN_OR_RETURN(const feature::PredicateTable table,
+                        ExtractTable(reference, relevant, config));
+
+  std::string rows;
+  for (size_t i = 0; i < mine->refs.size(); ++i) {
+    if (i > 0) rows += ',';
+    rows += std::to_string(mine->refs[i]);
+  }
+  std::map<std::string, std::string> manifest =
+      StageManifest(kStageExtractTile,
+                    ExtractTileInputHash(config, in_hash, tile),
+                    CanonicalExtractConfig(config));
+  manifest["tile"] = std::to_string(tile.slot) + "of" +
+                     std::to_string(tile.shards);
+  manifest["tile_rows"] = rows;
+
+  SnapshotWriter writer;
+  writer.AddTable(table);
+  writer.AddManifest(manifest);
+  obs::MetricsRegistry::Global().GetCounter("pipeline.tile_stages").Add(1);
   return writer.WriteTo(out_path);
 }
 
@@ -239,9 +378,9 @@ Status RunMineStage(const std::string& in_path, const std::string& out_path,
     return Status::InvalidArgument("filter must be none|kc|kc+, got '" +
                                    config.filter + "'");
   }
-  SFPM_ASSIGN_OR_RETURN(const uint64_t in_hash, HashFile(in_path));
   SFPM_ASSIGN_OR_RETURN(const SnapshotReader reader,
                         SnapshotReader::Open(in_path));
+  const uint64_t in_hash = SnapshotContentHash(reader);
   SFPM_ASSIGN_OR_RETURN(const SectionInfo db_info,
                         reader.Find(SectionType::kTransactionDb));
   SFPM_ASSIGN_OR_RETURN(const feature::PredicateTable table,
@@ -309,16 +448,113 @@ Result<PipelineResult> RunPipeline(const PipelineOptions& options) {
       [&] { return RunGenerateCityStage(options.city, options.city_path); }));
 
   SFPM_ASSIGN_OR_RETURN(const uint64_t city_hash,
-                        HashFile(options.city_path));
-  SFPM_RETURN_NOT_OK(run_stage(
-      kStageExtract, options.txdb_path,
-      ExtractInputHash(options.extract, city_hash), [&] {
-        return RunExtractStage(options.city_path, options.txdb_path,
-                               options.extract);
-      }));
+                        SnapshotContentHash(options.city_path));
+  const std::string extract_hash =
+      ExtractInputHash(options.extract, city_hash);
+  if (options.shards <= 1) {
+    SFPM_RETURN_NOT_OK(run_stage(
+        kStageExtract, options.txdb_path, extract_hash, [&] {
+          return RunExtractStage(options.city_path, options.txdb_path,
+                                 options.extract);
+        }));
+  } else if (!options.force &&
+             OutputUpToDate(options.txdb_path, kStageExtract,
+                            extract_hash)) {
+    // The merged output is already valid — a prior run (sharded or not)
+    // finished the whole extract phase, so every tile stage is moot.
+    StageOutcome outcome;
+    outcome.stage = kStageExtract;
+    outcome.output = options.txdb_path;
+    outcome.input_hash = extract_hash;
+    outcome.skipped = true;
+    result.stages.push_back(std::move(outcome));
+  } else {
+    // Sharded DAG: generate -> N tile-extracts -> merge. The partition
+    // is a pure function of (city snapshot, shards), so the tile list
+    // here always matches what each tile stage recomputes.
+    obs::MetricsRegistry::Global()
+        .GetGauge("pipeline.shards")
+        .Set(static_cast<double>(options.shards));
+    SFPM_ASSIGN_OR_RETURN(const SnapshotReader city_reader,
+                          SnapshotReader::Open(options.city_path));
+    SFPM_ASSIGN_OR_RETURN(
+        const SectionInfo ref_info,
+        city_reader.Find(SectionType::kLayer, options.extract.reference));
+    SFPM_ASSIGN_OR_RETURN(const feature::Layer reference,
+                          city_reader.ReadLayer(ref_info));
+    const std::vector<datagen::Tile> tiles =
+        datagen::PartitionReference(reference, options.shards);
+
+    // Tile stages run concurrently (they are embarrassingly parallel and
+    // the output is deterministic regardless); --threads caps the whole
+    // phase, with each tile's inner extract sharing the remainder.
+    const size_t resolved = ResolveParallelism(options.extract.threads);
+    const size_t workers = std::min(tiles.size(), resolved);
+    ExtractConfig tile_config = options.extract;
+    tile_config.threads = std::max<size_t>(1, resolved / workers);
+
+    std::vector<StageOutcome> tile_outcomes(tiles.size());
+    std::vector<Status> tile_status(tiles.size());
+    ThreadPool pool(workers);
+    pool.ParallelFor(0, tiles.size(), [&](size_t i) {
+      const TileSpec spec{tiles[i].slot, options.shards};
+      StageOutcome& outcome = tile_outcomes[i];
+      outcome.stage = "tile" + std::to_string(spec.slot) + "of" +
+                      std::to_string(spec.shards);
+      outcome.output = TileSnapshotPath(options.txdb_path, spec);
+      outcome.input_hash =
+          ExtractTileInputHash(options.extract, city_hash, spec);
+      if (!options.force &&
+          OutputUpToDate(outcome.output, kStageExtractTile,
+                         outcome.input_hash)) {
+        outcome.skipped = true;
+        return;
+      }
+      Stopwatch tile_watch;
+      tile_status[i] = RunExtractTileStage(options.city_path,
+                                           outcome.output, tile_config, spec);
+      outcome.seconds = tile_watch.ElapsedSeconds();
+    });
+    for (size_t i = 0; i < tiles.size(); ++i) {
+      SFPM_RETURN_NOT_OK(tile_status[i]);
+      result.stages.push_back(std::move(tile_outcomes[i]));
+    }
+
+    SFPM_RETURN_NOT_OK(run_stage("merge", options.txdb_path, extract_hash,
+                                 [&]() -> Status {
+      obs::Tracer::Span span =
+          obs::Tracer::Global().StartSpan("stage/merge");
+      std::vector<TileTable> loaded;
+      loaded.reserve(tiles.size());
+      for (const datagen::Tile& tile : tiles) {
+        const TileSpec spec{tile.slot, options.shards};
+        SFPM_ASSIGN_OR_RETURN(
+            TileTable tile_table,
+            LoadTileTable(TileSnapshotPath(options.txdb_path, spec),
+                          ExtractTileInputHash(options.extract, city_hash,
+                                               spec)));
+        loaded.push_back(std::move(tile_table));
+      }
+      SFPM_ASSIGN_OR_RETURN(const feature::PredicateTable merged,
+                            MergeTileTables(loaded, reference.Size()));
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      registry.GetCounter("merge.tiles").Add(loaded.size());
+      registry.GetCounter("merge.rows").Add(merged.NumRows());
+      registry.GetCounter("merge.items").Add(merged.NumPredicates());
+      // The merged snapshot carries the plain extract manifest: it *is*
+      // the single-shard output, byte for byte, and downstream stages
+      // (and later resumes at any shard count) treat it as such.
+      SnapshotWriter writer;
+      writer.AddTable(merged);
+      writer.AddManifest(StageManifest(kStageExtract, extract_hash,
+                                       CanonicalExtractConfig(
+                                           options.extract)));
+      return writer.WriteTo(options.txdb_path);
+    }));
+  }
 
   SFPM_ASSIGN_OR_RETURN(const uint64_t txdb_hash,
-                        HashFile(options.txdb_path));
+                        SnapshotContentHash(options.txdb_path));
   SFPM_RETURN_NOT_OK(run_stage(
       kStageMine, options.patterns_path,
       MineInputHash(options.mine, txdb_hash), [&] {

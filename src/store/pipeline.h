@@ -29,6 +29,19 @@ uint64_t Fnv1a64(std::string_view bytes, uint64_t seed = kFnv1aSeed);
 /// Lower-case 16-digit hex of a 64-bit hash.
 std::string HashHex(uint64_t hash);
 
+class SnapshotReader;
+
+/// Content identity of an open snapshot — the "input bytes" term of
+/// every manifest hash. FNV-1a over the section table (type, name,
+/// length, crc32 per section) instead of a second scan of the whole
+/// file: Open has already checksummed every payload, so the table
+/// commits to the content and any byte change flips a section CRC.
+uint64_t SnapshotContentHash(const SnapshotReader& reader);
+
+/// Opens `path` (validating every checksum) and hashes it; any open
+/// failure propagates.
+Result<uint64_t> SnapshotContentHash(const std::string& path);
+
 /// \brief Extract-stage parameters (the snapshot-driven subset of the CSV
 /// CLI's extract flags).
 struct ExtractConfig {
@@ -78,6 +91,35 @@ Status RunExtractStage(const std::string& in_path,
                        const std::string& out_path,
                        const ExtractConfig& config);
 
+/// \brief One tile of a sharded extract (docs/SHARDING.md): `slot` in
+/// the grid of `shards` tiles (datagen::TileGridFor). The partition is
+/// recomputed from the input snapshot, so a TileSpec plus the city file
+/// fully determines the stage.
+struct TileSpec {
+  int slot = 0;
+  int shards = 1;
+};
+
+/// Path of one tile's snapshot: `txdb.sfpm` -> `txdb.tile2of4.sfpm`.
+std::string TileSnapshotPath(const std::string& txdb_path,
+                             const TileSpec& tile);
+
+/// Content hash of one tile-extract stage (extract parameters + input
+/// city bytes + tile coordinates; never the thread count).
+std::string ExtractTileInputHash(const ExtractConfig& config,
+                                 uint64_t in_file_hash, const TileSpec& tile);
+
+/// Extracts the predicate table of one tile: the reference rows the tile
+/// owns, joined against halo sub-layers of the relevant layers (the
+/// features that can appear in an owned row's envelope join). The output
+/// rows/predicates are byte-for-byte the full run's rows for those
+/// reference features. With `config.directions` the relevant layers are
+/// used whole — direction predicates scan the entire layer, so a halo
+/// subset would change them.
+Status RunExtractTileStage(const std::string& in_path,
+                           const std::string& out_path,
+                           const ExtractConfig& config, const TileSpec& tile);
+
 /// Reads the transaction db from `in_path`, mines it, writes the pattern
 /// set to `out_path`.
 Status RunMineStage(const std::string& in_path, const std::string& out_path,
@@ -94,11 +136,23 @@ struct PipelineOptions {
   MineConfig mine;
   /// Rerun every stage even when the output's hash already matches.
   bool force = false;
+  /// Extract-phase shard count (docs/SHARDING.md). 1 = the classic
+  /// single extract stage. N > 1 partitions the city into N tiles
+  /// (datagen::PartitionReference), runs one extract-tile stage per
+  /// non-empty tile — concurrently, each independently skippable under
+  /// its own content hash — then a merge stage writes `txdb_path` with
+  /// the *same* manifest as a single-shard extract. The merged snapshot
+  /// is byte-identical to the single-shard one, so sharded and unsharded
+  /// runs resume each other, and the mine stage never knows the
+  /// difference. Excluded from content hashes, like thread counts.
+  int shards = 1;
 };
 
 /// \brief What happened to one stage.
 struct StageOutcome {
-  std::string stage;       ///< "generate-city", "extract" or "mine".
+  /// "generate-city", "extract" or "mine"; sharded runs report
+  /// "tile<i>of<N>" per tile and "merge" instead of "extract".
+  std::string stage;
   std::string output;      ///< Snapshot path the stage owns.
   std::string input_hash;  ///< 16-digit hex content hash.
   bool skipped = false;    ///< Output was already up to date.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <optional>
 
 #include "feature/predicate.h"
 #include "obs/metrics.h"
@@ -256,6 +257,16 @@ Result<const uint8_t*> SnapshotReader::SectionPayload(
 
 Result<feature::Layer> SnapshotReader::ReadLayer(
     const SectionInfo& info) const {
+  return ReadLayerImpl(info, nullptr);
+}
+
+Result<feature::Layer> SnapshotReader::ReadLayer(
+    const SectionInfo& info, const geom::Envelope& window) const {
+  return ReadLayerImpl(info, &window);
+}
+
+Result<feature::Layer> SnapshotReader::ReadLayerImpl(
+    const SectionInfo& info, const geom::Envelope* window) const {
   SFPM_ASSIGN_OR_RETURN(const uint8_t* payload,
                         SectionPayload(info, SectionType::kLayer));
   ByteReader r(payload, info.length);
@@ -271,20 +282,38 @@ Result<feature::Layer> SnapshotReader::ReadLayer(
   SFPM_RETURN_NOT_OK(r.CheckCount(num_features, 13));  // id + tag + attrs.
   for (uint64_t i = 0; i < num_features; ++i) {
     SFPM_ASSIGN_OR_RETURN(const uint64_t id, r.U64());
-    SFPM_ASSIGN_OR_RETURN(geom::Geometry geometry, DecodeGeometry(&r));
+    if (id != i) {
+      return Corrupt("layer feature ids are not sequential from 0");
+    }
+    // A windowed-out feature still has all its bytes walked (geometry
+    // and attributes are inline) — just never materialized: the skim
+    // computes the envelope without allocating, and only intersecting
+    // features are decoded for real.
+    bool keep = true;
+    std::optional<geom::Geometry> geometry;
+    if (window == nullptr) {
+      SFPM_ASSIGN_OR_RETURN(geom::Geometry g, DecodeGeometry(&r));
+      geometry.emplace(std::move(g));
+    } else {
+      const size_t geometry_pos = r.pos();
+      SFPM_ASSIGN_OR_RETURN(const geom::Envelope env,
+                            SkimGeometryEnvelope(&r));
+      keep = env.Intersects(*window);
+      if (keep) {
+        r.SeekTo(geometry_pos);
+        SFPM_ASSIGN_OR_RETURN(geom::Geometry g, DecodeGeometry(&r));
+        geometry.emplace(std::move(g));
+      }
+    }
     SFPM_ASSIGN_OR_RETURN(const uint32_t num_attrs, r.U32());
     SFPM_RETURN_NOT_OK(r.CheckCount(num_attrs, 8));
     std::map<std::string, std::string> attributes;
     for (uint32_t a = 0; a < num_attrs; ++a) {
       SFPM_ASSIGN_OR_RETURN(const std::string_view key, r.Str());
       SFPM_ASSIGN_OR_RETURN(const std::string_view value, r.Str());
-      attributes.emplace(std::string(key), std::string(value));
+      if (keep) attributes.emplace(std::string(key), std::string(value));
     }
-    const uint64_t assigned = layer.Add(std::move(geometry),
-                                        std::move(attributes));
-    if (assigned != id) {
-      return Corrupt("layer feature ids are not sequential from 0");
-    }
+    if (keep) layer.Add(std::move(*geometry), std::move(attributes));
   }
   SFPM_RETURN_NOT_OK(r.ExpectEndWithPadding());
   return layer;

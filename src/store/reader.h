@@ -107,6 +107,13 @@ class SnapshotReader {
   /// (type, bounds) and, when deferred, its checksum.
   /// @{
   Result<feature::Layer> ReadLayer(const SectionInfo& info) const;
+  /// Decodes only the features whose envelope intersects `window`,
+  /// renumbered from 0 in file order — the same layer
+  /// feature::WindowLayer would build from a full ReadLayer, without
+  /// materializing (or R-tree-indexing) the skipped features. Tile
+  /// extraction uses this with the halo window (docs/SHARDING.md).
+  Result<feature::Layer> ReadLayer(const SectionInfo& info,
+                                   const geom::Envelope& window) const;
   Result<feature::PredicateTable> ReadTable(const SectionInfo& info) const;
   Result<core::TransactionDb> ReadTransactionDb(const SectionInfo& info) const;
   Result<TxDbView> ViewTable(const SectionInfo& info) const;
@@ -122,6 +129,8 @@ class SnapshotReader {
                                          const Options& options);
   Result<const uint8_t*> SectionPayload(const SectionInfo& info,
                                         SectionType expected_type) const;
+  Result<feature::Layer> ReadLayerImpl(const SectionInfo& info,
+                                       const geom::Envelope* window) const;
   Status VerifyCrc(const SectionInfo& info) const;
 
   /// unique_ptr keeps zero-copy views (which point into the mapping)

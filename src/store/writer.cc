@@ -1,7 +1,13 @@
 #include "store/writer.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -230,15 +236,57 @@ std::string SnapshotWriter::Serialize() const {
 }
 
 Status SnapshotWriter::WriteTo(const std::string& path) const {
+  // Crash-consistent: the bytes land in `<path>.tmp`, are fsynced, and
+  // only then renamed over `path`. A crash or ENOSPC at any point leaves
+  // either the old snapshot or no snapshot at the final path — never a
+  // truncated file that a manifest check could mistake for a completed
+  // stage. A stale `.tmp` from a killed run is harmless: the next write
+  // truncates and replaces it. Concurrent writers of *different* paths
+  // (the sharded pipeline's tile stages) never collide because each path
+  // has its own temp name.
   const std::string bytes = Serialize();
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::InvalidArgument("cannot open " + path + " for writing");
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open " + tmp + " for writing: " +
+                                   std::strerror(errno));
   }
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const bool close_ok = std::fclose(f) == 0;
-  if (written != bytes.size() || !close_ok) {
-    return Status::Internal("short write to " + path);
+  const auto fail = [&](const std::string& what) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Internal(what + " " + tmp + ": " + std::strerror(errno));
+  };
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("short write to");
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) return fail("cannot fsync");
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Internal("cannot close " + tmp + ": " +
+                            std::strerror(errno));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path + ": " +
+                            std::strerror(errno));
+  }
+  // Make the rename itself durable (the directory entry), best effort:
+  // some filesystems reject O_DIRECTORY fsync, and the atomicity claim
+  // above holds either way.
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
   }
   return Status::OK();
 }

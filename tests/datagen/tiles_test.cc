@@ -1,0 +1,152 @@
+#include "datagen/tiles.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "datagen/city.h"
+#include "feature/feature.h"
+#include "geom/geometry.h"
+
+namespace sfpm {
+namespace datagen {
+namespace {
+
+using geom::LinearRing;
+using geom::Polygon;
+
+Polygon Square(double x0, double y0, double size) {
+  return Polygon(LinearRing(
+      {{x0, y0}, {x0 + size, y0}, {x0 + size, y0 + size}, {x0, y0 + size}}));
+}
+
+TEST(TileGridTest, FactorizesNearSquare) {
+  EXPECT_EQ(TileGridFor(1).cols, 1);
+  EXPECT_EQ(TileGridFor(1).rows, 1);
+  EXPECT_EQ(TileGridFor(4).cols, 2);
+  EXPECT_EQ(TileGridFor(4).rows, 2);
+  EXPECT_EQ(TileGridFor(6).cols, 3);
+  EXPECT_EQ(TileGridFor(6).rows, 2);
+  EXPECT_EQ(TileGridFor(12).cols, 4);
+  EXPECT_EQ(TileGridFor(12).rows, 3);
+  // A prime count degrades to a strip, never loses shards.
+  EXPECT_EQ(TileGridFor(7).cols, 7);
+  EXPECT_EQ(TileGridFor(7).rows, 1);
+  for (int n = 1; n <= 64; ++n) {
+    const TileGrid g = TileGridFor(n);
+    EXPECT_EQ(g.cols * g.rows, n) << n;
+    EXPECT_GE(g.cols, g.rows) << n;
+  }
+}
+
+TEST(PartitionReferenceTest, EveryFeatureOwnedExactlyOnce) {
+  feature::Layer layer("district");
+  for (int x = 0; x < 6; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      layer.Add(Square(x * 10.0, y * 10.0, 8.0));
+    }
+  }
+  for (const int shards : {1, 2, 3, 4, 6, 8, 24, 64}) {
+    const std::vector<Tile> tiles = PartitionReference(layer, shards);
+    std::set<uint64_t> seen;
+    int last_slot = -1;
+    for (const Tile& tile : tiles) {
+      EXPECT_FALSE(tile.refs.empty());
+      EXPECT_GT(tile.slot, last_slot) << "tiles must come in slot order";
+      last_slot = tile.slot;
+      uint64_t last_ref = 0;
+      for (size_t i = 0; i < tile.refs.size(); ++i) {
+        EXPECT_TRUE(seen.insert(tile.refs[i]).second)
+            << "feature " << tile.refs[i] << " owned twice";
+        if (i > 0) EXPECT_GT(tile.refs[i], last_ref);
+        last_ref = tile.refs[i];
+      }
+    }
+    EXPECT_EQ(seen.size(), layer.Size()) << shards << " shards";
+  }
+}
+
+TEST(PartitionReferenceTest, SingleShardOwnsEverything) {
+  feature::Layer layer("district");
+  layer.Add(Square(0, 0, 5));
+  layer.Add(Square(100, 100, 5));
+  const std::vector<Tile> tiles = PartitionReference(layer, 1);
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0].slot, 0);
+  EXPECT_EQ(tiles[0].refs, (std::vector<uint64_t>{0, 1}));
+}
+
+TEST(PartitionReferenceTest, WindowContainsOwnedEnvelopes) {
+  feature::Layer layer("district");
+  for (int i = 0; i < 30; ++i) {
+    layer.Add(Square(i * 7.0, (i % 5) * 11.0, 6.0));
+  }
+  for (const Tile& tile : PartitionReference(layer, 6)) {
+    for (const uint64_t id : tile.refs) {
+      const geom::Envelope env =
+          layer.at(id).geometry().GetEnvelope();
+      EXPECT_TRUE(tile.window.Contains(env))
+          << "tile " << tile.slot << " window misses feature " << id;
+    }
+  }
+}
+
+TEST(PartitionReferenceTest, SkipsEmptyTilesButKeepsSlots) {
+  // All features in one corner: most grid cells own nothing.
+  feature::Layer layer("district");
+  layer.Add(Square(0, 0, 1));
+  layer.Add(Square(1, 0, 1));
+  layer.Add(Square(0, 1, 1));
+  const std::vector<Tile> tiles = PartitionReference(layer, 16);
+  EXPECT_LT(tiles.size(), 16u);
+  std::set<uint64_t> seen;
+  for (const Tile& tile : tiles) {
+    EXPECT_GE(tile.slot, 0);
+    EXPECT_LT(tile.slot, 16);
+    seen.insert(tile.refs.begin(), tile.refs.end());
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(PartitionReferenceTest, DeterministicOnRealCity) {
+  CityConfig config;
+  config.grid_cols = 4;
+  config.grid_rows = 3;
+  config.num_slums = 10;
+  config.num_schools = 12;
+  config.num_police = 4;
+  config.num_streets = 8;
+  config.num_rivers = 1;
+  const std::unique_ptr<City> city = GenerateCity(config);
+  const std::vector<Tile> a = PartitionReference(city->districts, 4);
+  const std::vector<Tile> b = PartitionReference(city->districts, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].slot, b[i].slot);
+    EXPECT_EQ(a[i].refs, b[i].refs);
+    EXPECT_EQ(a[i].window.min_x(), b[i].window.min_x());
+    EXPECT_EQ(a[i].window.max_y(), b[i].window.max_y());
+  }
+}
+
+TEST(ScaledCityConfigTest, ScalesGridLinearlyAndCountsQuadratically) {
+  const CityConfig base;
+  const CityConfig one = ScaledCityConfig(base, 1);
+  EXPECT_EQ(one.grid_cols, base.grid_cols);
+  EXPECT_EQ(one.num_slums, base.num_slums);
+  const CityConfig two = ScaledCityConfig(base, 2);
+  EXPECT_EQ(two.grid_cols, base.grid_cols * 2);
+  EXPECT_EQ(two.grid_rows, base.grid_rows * 2);
+  EXPECT_EQ(two.num_slums, base.num_slums * 4);
+  EXPECT_EQ(two.num_schools, base.num_schools * 4);
+  EXPECT_EQ(two.num_police, base.num_police * 4);
+  EXPECT_EQ(two.num_streets, base.num_streets * 4);
+  EXPECT_EQ(two.num_rivers, base.num_rivers * 2);
+  EXPECT_EQ(ScaledCityConfig(base, 0).grid_cols, base.grid_cols);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace sfpm

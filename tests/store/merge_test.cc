@@ -1,0 +1,237 @@
+#include "store/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "feature/predicate.h"
+#include "feature/predicate_table.h"
+#include "store/format.h"
+#include "store/reader.h"
+#include "store/writer.h"
+
+namespace sfpm {
+namespace store {
+namespace {
+
+using feature::Predicate;
+using feature::PredicateTable;
+
+/// A four-row ground-truth table whose items appear across rows in a
+/// deliberately interleaved order, so a merge that replays rows out of
+/// order — or predicates within a row out of item order — assigns
+/// different first-appearance item ids and fails the comparison.
+PredicateTable FullTable() {
+  PredicateTable t;
+  size_t r0 = t.AddRow("district0");
+  EXPECT_TRUE(t.SetSpatial(r0, "contains", "slum").ok());
+  EXPECT_TRUE(t.SetAttribute(r0, "rate", "high").ok());
+  size_t r1 = t.AddRow("district1");
+  EXPECT_TRUE(t.SetSpatial(r1, "touches", "slum").ok());
+  EXPECT_TRUE(t.SetSpatial(r1, "contains", "slum").ok());
+  size_t r2 = t.AddRow("district2");
+  EXPECT_TRUE(t.SetSpatial(r2, "contains", "school").ok());
+  EXPECT_TRUE(t.SetAttribute(r2, "rate", "low").ok());
+  size_t r3 = t.AddRow("district3");
+  EXPECT_TRUE(t.SetSpatial(r3, "touches", "slum").ok());
+  EXPECT_TRUE(t.SetSpatial(r3, "contains", "school").ok());
+  return t;
+}
+
+/// The tile holding global rows `rows` of FullTable: its own table built
+/// from scratch (fresh item-id space), as a tile extraction would.
+TileTable TileOf(const std::vector<uint64_t>& rows) {
+  const PredicateTable full = FullTable();
+  TileTable tile;
+  tile.rows = rows;
+  for (const uint64_t g : rows) {
+    const size_t local = tile.table.AddRow(full.RowName(g));
+    for (const Predicate& p : full.RowPredicates(g)) {
+      EXPECT_TRUE(tile.table.Set(local, p).ok());
+    }
+  }
+  return tile;
+}
+
+std::string Bytes(const PredicateTable& t) {
+  SnapshotWriter w;
+  w.AddTable(t);
+  return w.Serialize();
+}
+
+TEST(MergeTileTablesTest, RemapsItemIdsToSingleShardOrder) {
+  // Interleaved ownership: neither tile starts at row 0, and the item
+  // first seen globally in row 1 (touches_slum) is first seen by tile B
+  // at its own row 0 — the remap has real work to do.
+  const std::vector<TileTable> tiles = {TileOf({0, 2}), TileOf({1, 3})};
+  auto merged = MergeTileTables(tiles, 4);
+  ASSERT_TRUE(merged.ok()) << merged.status().message();
+  EXPECT_EQ(Bytes(merged.value()), Bytes(FullTable()));
+}
+
+TEST(MergeTileTablesTest, OrderOfTilesDoesNotMatter) {
+  const std::vector<TileTable> tiles = {TileOf({1, 3}), TileOf({0, 2})};
+  auto merged = MergeTileTables(tiles, 4);
+  ASSERT_TRUE(merged.ok()) << merged.status().message();
+  EXPECT_EQ(Bytes(merged.value()), Bytes(FullTable()));
+}
+
+TEST(MergeTileTablesTest, SingleTileRoundTrips) {
+  auto merged = MergeTileTables({TileOf({0, 1, 2, 3})}, 4);
+  ASSERT_TRUE(merged.ok()) << merged.status().message();
+  EXPECT_EQ(Bytes(merged.value()), Bytes(FullTable()));
+}
+
+TEST(MergeTileTablesTest, RejectsMissingRowWithStageAttribution) {
+  auto merged = MergeTileTables({TileOf({0, 2}), TileOf({3})}, 4);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("extract-tile"),
+            std::string::npos)
+      << merged.status().message();
+  EXPECT_NE(merged.status().message().find("no tile"), std::string::npos)
+      << merged.status().message();
+}
+
+TEST(MergeTileTablesTest, RejectsDoubleOwnedRow) {
+  auto merged = MergeTileTables({TileOf({0, 1}), TileOf({1, 2, 3})}, 4);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("two tiles"), std::string::npos)
+      << merged.status().message();
+}
+
+TEST(MergeTileTablesTest, RejectsOutOfRangeRow) {
+  auto merged = MergeTileTables({TileOf({0, 1, 2, 3})}, 3);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("outside"), std::string::npos)
+      << merged.status().message();
+}
+
+/// Serialized tile snapshot with a configurable manifest, for the
+/// reader-side rejection tests.
+std::string TileSnapshot(const TileTable& tile,
+                         std::map<std::string, std::string> manifest) {
+  SnapshotWriter w;
+  w.AddTable(tile.table);
+  if (manifest.find("tile_rows") == manifest.end()) {
+    std::string rows;
+    for (const uint64_t g : tile.rows) {
+      if (!rows.empty()) rows += ',';
+      rows += std::to_string(g);
+    }
+    manifest["tile_rows"] = rows;
+  }
+  w.AddManifest(manifest);
+  return w.Serialize();
+}
+
+std::map<std::string, std::string> GoodManifest() {
+  return {{"stage", kStageExtractTile},
+          {"format", std::to_string(kFormatVersion)},
+          {"input_hash", "abc123"}};
+}
+
+TEST(ReadTileTableTest, AcceptsAWellFormedTile) {
+  const TileTable tile = TileOf({1, 3});
+  auto reader = SnapshotReader::FromBytes(TileSnapshot(tile, GoodManifest()));
+  ASSERT_TRUE(reader.ok());
+  auto loaded = ReadTileTable(reader.value(), "abc123");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value().rows, tile.rows);
+  EXPECT_EQ(Bytes(loaded.value().table), Bytes(tile.table));
+}
+
+TEST(ReadTileTableTest, RejectsWrongStage) {
+  auto manifest = GoodManifest();
+  manifest["stage"] = "extract";
+  auto reader =
+      SnapshotReader::FromBytes(TileSnapshot(TileOf({0, 1}), manifest));
+  ASSERT_TRUE(reader.ok());
+  auto loaded = ReadTileTable(reader.value(), "abc123");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("extract-tile"),
+            std::string::npos);
+}
+
+TEST(ReadTileTableTest, RejectsWrongInputHash) {
+  auto reader = SnapshotReader::FromBytes(
+      TileSnapshot(TileOf({0, 1}), GoodManifest()));
+  ASSERT_TRUE(reader.ok());
+  auto loaded = ReadTileTable(reader.value(), "different");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("extract-tile"),
+            std::string::npos);
+  EXPECT_NE(loaded.status().message().find("hash"), std::string::npos);
+}
+
+TEST(ReadTileTableTest, RejectsRowCountMismatch) {
+  auto manifest = GoodManifest();
+  manifest["tile_rows"] = "0";  // Table holds two rows.
+  auto reader =
+      SnapshotReader::FromBytes(TileSnapshot(TileOf({0, 1}), manifest));
+  ASSERT_TRUE(reader.ok());
+  auto loaded = ReadTileTable(reader.value(), "abc123");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("extract-tile"),
+            std::string::npos);
+}
+
+TEST(ReadTileTableTest, RejectsMalformedRowIds) {
+  auto manifest = GoodManifest();
+  manifest["tile_rows"] = "0,x";
+  auto reader =
+      SnapshotReader::FromBytes(TileSnapshot(TileOf({0, 1}), manifest));
+  ASSERT_TRUE(reader.ok());
+  auto loaded = ReadTileTable(reader.value(), "abc123");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("not a row id"),
+            std::string::npos);
+}
+
+TEST(LoadTileTableTest, AttributesCorruptFileToTheTileStage) {
+  const std::string path = ::testing::TempDir() + "/merge_test_corrupt.sfpm";
+  std::string bytes = TileSnapshot(TileOf({0, 1}), GoodManifest());
+  bytes[bytes.size() / 2] ^= 0x40;  // Payload corruption.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = LoadTileTable(path, "abc123");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("extract-tile"),
+            std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find(path), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LoadTileTableTest, AttributesTruncatedFileToTheTileStage) {
+  const std::string path =
+      ::testing::TempDir() + "/merge_test_truncated.sfpm";
+  const std::string bytes = TileSnapshot(TileOf({0, 1}), GoodManifest());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  auto loaded = LoadTileTable(path, "abc123");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("extract-tile"),
+            std::string::npos)
+      << loaded.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(LoadTileTableTest, AttributesMissingFileToTheTileStage) {
+  auto loaded =
+      LoadTileTable(::testing::TempDir() + "/merge_test_absent.sfpm", "h");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("extract-tile"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace sfpm

@@ -204,6 +204,175 @@ TEST(PipelineTest, MineRejectsUnknownAlgorithmAndFilter) {
   EXPECT_NE(r2.message().find("kc++"), std::string::npos);
 }
 
+TEST(TileSnapshotPathTest, InsertsTileBeforeTheExtension) {
+  EXPECT_EQ(TileSnapshotPath("txdb.sfpm", {2, 4}), "txdb.tile2of4.sfpm");
+  EXPECT_EQ(TileSnapshotPath("/a/b/out.sfpm", {0, 2}),
+            "/a/b/out.tile0of2.sfpm");
+  // Dotless names and dots in directories get a plain suffix.
+  EXPECT_EQ(TileSnapshotPath("txdb", {1, 2}), "txdb.tile1of2");
+  EXPECT_EQ(TileSnapshotPath("/a.b/txdb", {1, 2}), "/a.b/txdb.tile1of2");
+}
+
+TEST(ExtractTileInputHashTest, DependsOnTileAndConfigNotThreads) {
+  ExtractConfig config;
+  const std::string h00 = ExtractTileInputHash(config, 42, {0, 4});
+  EXPECT_EQ(h00.size(), 16u);
+  EXPECT_NE(h00, ExtractTileInputHash(config, 42, {1, 4}));
+  EXPECT_NE(h00, ExtractTileInputHash(config, 42, {0, 2}));
+  EXPECT_NE(h00, ExtractTileInputHash(config, 43, {0, 4}));
+  ExtractConfig threaded;
+  threaded.threads = 8;
+  EXPECT_EQ(h00, ExtractTileInputHash(threaded, 42, {0, 4}));
+  ExtractConfig directions;
+  directions.directions = true;
+  EXPECT_NE(h00, ExtractTileInputHash(directions, 42, {0, 4}));
+}
+
+/// Removes the tile snapshots a sharded run of `opts` may have left from
+/// an earlier test process (TestDir only clears the three stage files).
+void RemoveTiles(const PipelineOptions& opts, int shards) {
+  for (int slot = 0; slot < shards; ++slot) {
+    std::remove(TileSnapshotPath(opts.txdb_path, {slot, shards}).c_str());
+  }
+}
+
+TEST(ShardedPipelineTest, MergedOutputIsByteIdenticalToSingleShard) {
+  const PipelineOptions single = SmallPipeline(TestDir("pipeline_shard1"));
+  ASSERT_TRUE(RunPipeline(single).ok());
+
+  for (const int shards : {2, 4}) {
+    PipelineOptions sharded =
+        SmallPipeline(TestDir("pipeline_shard" + std::to_string(shards)));
+    sharded.shards = shards;
+    RemoveTiles(sharded, shards);
+    auto result = RunPipeline(sharded);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+
+    // Stage list: generate-city, one per non-empty tile, merge, mine.
+    bool saw_tile = false;
+    bool saw_merge = false;
+    for (const StageOutcome& stage : result.value().stages) {
+      EXPECT_FALSE(stage.skipped) << stage.stage;
+      if (stage.stage.rfind("tile", 0) == 0) saw_tile = true;
+      if (stage.stage == "merge") saw_merge = true;
+    }
+    EXPECT_TRUE(saw_tile);
+    EXPECT_TRUE(saw_merge);
+
+    auto a_txdb = io::ReadFile(single.txdb_path);
+    auto b_txdb = io::ReadFile(sharded.txdb_path);
+    ASSERT_TRUE(a_txdb.ok() && b_txdb.ok());
+    EXPECT_EQ(a_txdb.value(), b_txdb.value())
+        << shards << "-shard txdb differs from single shard";
+    auto a_pat = io::ReadFile(single.patterns_path);
+    auto b_pat = io::ReadFile(sharded.patterns_path);
+    ASSERT_TRUE(a_pat.ok() && b_pat.ok());
+    EXPECT_EQ(a_pat.value(), b_pat.value())
+        << shards << "-shard patterns differ from single shard";
+  }
+}
+
+TEST(ShardedPipelineTest, ShardedAndUnshardedRunsResumeEachOther) {
+  // The merged snapshot carries the plain extract manifest, so a sharded
+  // run over a single-shard output (and vice versa) skips the extract
+  // phase entirely.
+  PipelineOptions opts = SmallPipeline(TestDir("pipeline_shard_resume"));
+  RemoveTiles(opts, 2);
+  ASSERT_TRUE(RunPipeline(opts).ok());  // Single shard.
+
+  opts.shards = 2;
+  auto sharded = RunPipeline(opts);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+  ASSERT_EQ(sharded.value().stages.size(), 3u);  // No tile stages ran.
+  for (const StageOutcome& stage : sharded.value().stages) {
+    EXPECT_TRUE(stage.skipped) << stage.stage;
+  }
+}
+
+TEST(ShardedPipelineTest, ResumesSingleDeletedTile) {
+  PipelineOptions opts = SmallPipeline(TestDir("pipeline_tile_resume"));
+  opts.shards = 4;
+  RemoveTiles(opts, 4);
+  auto first = RunPipeline(opts);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  auto baseline = io::ReadFile(opts.txdb_path);
+  ASSERT_TRUE(baseline.ok());
+
+  // Knock out the merged output and one tile: only that tile and the
+  // merge (and mine, downstream) may rerun.
+  std::string first_tile;
+  for (const StageOutcome& stage : first.value().stages) {
+    if (stage.stage.rfind("tile", 0) == 0) {
+      first_tile = stage.stage;
+      ASSERT_EQ(std::remove(stage.output.c_str()), 0);
+      break;
+    }
+  }
+  ASSERT_FALSE(first_tile.empty());
+  ASSERT_EQ(std::remove(opts.txdb_path.c_str()), 0);
+
+  auto second = RunPipeline(opts);
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  for (const StageOutcome& stage : second.value().stages) {
+    if (stage.stage == first_tile || stage.stage == "merge") {
+      EXPECT_FALSE(stage.skipped) << stage.stage;
+    } else {
+      // Every other tile skips, and the merge reproduces the original
+      // bytes, so even the downstream mine stage stays up to date.
+      EXPECT_TRUE(stage.skipped) << stage.stage;
+    }
+  }
+  auto rebuilt = io::ReadFile(opts.txdb_path);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.value(), baseline.value());
+}
+
+TEST(ShardedPipelineTest, RejectsAStaleTileSnapshot) {
+  PipelineOptions opts = SmallPipeline(TestDir("pipeline_tile_stale"));
+  opts.shards = 2;
+  RemoveTiles(opts, 2);
+  auto first = RunPipeline(opts);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+
+  // A tile written under different extract parameters must not be merged
+  // silently: its hash mismatch forces a rebuild of that tile.
+  std::string tile_path;
+  for (const StageOutcome& stage : first.value().stages) {
+    if (stage.stage.rfind("tile", 0) == 0) tile_path = stage.output;
+  }
+  ASSERT_FALSE(tile_path.empty());
+  ASSERT_EQ(std::remove(opts.txdb_path.c_str()), 0);
+  PipelineOptions changed = opts;
+  changed.extract.directions = true;
+  auto rerun = RunPipeline(changed);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().message();
+  for (const StageOutcome& stage : rerun.value().stages) {
+    if (stage.stage.rfind("tile", 0) == 0 || stage.stage == "merge" ||
+        stage.stage == "mine") {
+      EXPECT_FALSE(stage.skipped) << stage.stage;
+    }
+  }
+}
+
+TEST(ShardedPipelineTest, ThreadCountDoesNotChangeShardedBytes) {
+  PipelineOptions a = SmallPipeline(TestDir("pipeline_shard_t1"));
+  a.shards = 3;
+  a.extract.threads = 1;
+  RemoveTiles(a, 3);
+  ASSERT_TRUE(RunPipeline(a).ok());
+
+  PipelineOptions b = SmallPipeline(TestDir("pipeline_shard_t4"));
+  b.shards = 3;
+  b.extract.threads = 4;
+  RemoveTiles(b, 3);
+  ASSERT_TRUE(RunPipeline(b).ok());
+
+  auto bytes_a = io::ReadFile(a.txdb_path);
+  auto bytes_b = io::ReadFile(b.txdb_path);
+  ASSERT_TRUE(bytes_a.ok() && bytes_b.ok());
+  EXPECT_EQ(bytes_a.value(), bytes_b.value());
+}
+
 }  // namespace
 }  // namespace store
 }  // namespace sfpm

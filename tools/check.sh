@@ -37,8 +37,11 @@ if [[ "${1:-}" == "--quick" ]]; then
   # snapshot hot swap under concurrent clients (docs/SERVE.md);
   # TimeSeries/Logger cover the telemetry sampler thread and the
   # structured logger's concurrent writers (docs/OBSERVABILITY.md).
+  # Tiles/Window/Merge cover the sharded-extraction pieces; the sharded
+  # pipeline driver runs tile stages concurrently under --threads
+  # (docs/SHARDING.md).
   ctest --test-dir build-tsan --output-on-failure -j"${jobs}" \
-    -R 'ThreadPool|Parallelism|ParallelDeterminism|Extractor|Apriori|Pipeline|Metrics|Trace|LegacyStats|Store|Serve|TimeSeries|Logger|SlowQuery|Expose'
+    -R 'ThreadPool|Parallelism|ParallelDeterminism|Extractor|Apriori|Pipeline|Metrics|Trace|LegacyStats|Store|Serve|TimeSeries|Logger|SlowQuery|Expose|Tiles|Window|Merge'
 else
   ctest --test-dir build-tsan --output-on-failure -j"${jobs}"
 fi
@@ -59,8 +62,11 @@ if [[ "${1:-}" == "--quick" ]]; then
   # they drive the reader through truncated and bit-flipped inputs.
   # Serve matters under ASan for the hot-swap lifetime contract: the old
   # generation's mmap must stay valid until its last reference drains.
+  # Tiles/Window/Merge matter under ASan for the windowed decode's
+  # two-pass skim-then-materialize reads and the merge's rejection of
+  # corrupt/truncated tile files.
   ctest --test-dir build-asan --output-on-failure -j"${jobs}" \
-    -R 'Prepared|Relate|Extractor|Apriori|Pipeline|Metrics|Trace|Json|Report|Args|Stopwatch|LegacyStats|Store|ByteStability|Serve|TimeSeries|Logger|SlowQuery|Expose'
+    -R 'Prepared|Relate|Extractor|Apriori|Pipeline|Metrics|Trace|Json|Report|Args|Stopwatch|LegacyStats|Store|ByteStability|Serve|TimeSeries|Logger|SlowQuery|Expose|Tiles|Window|Merge'
 else
   ctest --test-dir build-asan --output-on-failure -j"${jobs}"
 fi
@@ -90,6 +96,24 @@ echo "== Extraction inference differential (UBSan) =="
 # UBSan so a deduction can never be "right" via an out-of-range compose.
 build-ubsan/tools/sfpm_fuzz --oracle relate_inferred --iterations 10000 \
   --seed 2007
+
+echo "== Sharded-extraction differential (UBSan) =="
+# The shard_merge oracle partitions random geometry clusters into tiles,
+# extracts each tile through its halo window, merges, and demands byte
+# equality with the unsharded extract — plus rejection of corrupted and
+# stale-hash tile files (docs/SHARDING.md). Under UBSan so the windowed
+# envelope skim can never agree with the full decode via UB.
+build-ubsan/tools/sfpm_fuzz --oracle shard_merge --iterations 10000 \
+  --seed 2007
+
+echo "== Shard identity + crash consistency =="
+# The cli_shard ctest (Release tree) pins `sfpm run --shards=N` byte
+# identity against single-shard runs across scales x shard counts x
+# thread counts plus every resume path; cli_kill SIGKILLs WriteTo loops
+# and a real sharded run mid-pipeline and requires surviving snapshots
+# to be absent or byte-exact, then resumable to the baseline bytes
+# (docs/SHARDING.md "Crash consistency").
+ctest --test-dir build --output-on-failure -R '^cli_shard$|^cli_kill$'
 
 echo "== Observability artifacts =="
 # The cli_report ctest (Release tree) runs `sfpm extract`/`mine` with

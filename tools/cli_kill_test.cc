@@ -1,0 +1,198 @@
+// Crash-consistency driver of the `cli_kill` ctest: proves that neither
+// SnapshotWriter::WriteTo nor a whole `sfpm run` can be killed at a
+// moment that leaves a snapshot which later validates with wrong or
+// partial content.
+//
+//   cli_kill_test <path-to-sfpm> <work-dir>
+//
+// Part A forks a child that rewrites one large snapshot in a tight loop
+// and SIGKILLs it at varied delays: after every kill the target path is
+// either absent or opens cleanly with exactly the expected bytes — the
+// write-temp + fsync + rename discipline never exposes a torn file.
+// Part B SIGKILLs the real `sfpm run` (sharded) mid-pipeline: every
+// *.sfpm that exists and opens afterwards must be byte-identical to an
+// uninterrupted baseline, and a resumed run must complete and converge
+// to the baseline bytes.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "feature/feature.h"
+#include "geom/geometry.h"
+#include "store/reader.h"
+#include "store/writer.h"
+
+namespace {
+
+[[noreturn]] void Die(const std::string& what) {
+  std::fprintf(stderr, "cli_kill_test: FAIL: %s\n", what.c_str());
+  std::exit(1);
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) Die("cannot read " + path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// A snapshot big enough (a few MB) that a torn direct write would be
+/// the common case, not a lucky race.
+sfpm::store::SnapshotWriter BigWriter() {
+  sfpm::feature::Layer layer("block");
+  for (int i = 0; i < 20000; ++i) {
+    const double x = (i % 200) * 3.0;
+    const double y = (i / 200) * 3.0;
+    layer.Add(sfpm::geom::Geometry(sfpm::geom::Polygon(sfpm::geom::LinearRing(
+                  {{x, y}, {x + 2, y}, {x + 2, y + 2}, {x, y + 2}}))),
+              {{"tag", std::to_string(i)}});
+  }
+  sfpm::store::SnapshotWriter w;
+  w.AddLayer(layer);
+  return w;
+}
+
+/// Part A: kill a WriteTo loop at `delay_ms`; the path must stay
+/// absent-or-exactly-right.
+void KillDuringWrite(const std::string& dir,
+                     const sfpm::store::SnapshotWriter& writer,
+                     const std::string& expected, int delay_ms) {
+  const std::string path = dir + "/killed.sfpm";
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+
+  const pid_t child = fork();
+  if (child < 0) Die("fork");
+  if (child == 0) {
+    for (;;) {
+      if (!writer.WriteTo(path).ok()) std::_Exit(3);
+    }
+  }
+  SleepMs(delay_ms);
+  kill(child, SIGKILL);
+  waitpid(child, nullptr, 0);
+
+  if (!std::filesystem::exists(path)) return;  // Killed before any rename.
+  auto reader = sfpm::store::SnapshotReader::Open(path);
+  if (!reader.ok()) {
+    Die("after SIGKILL at " + std::to_string(delay_ms) + "ms, " + path +
+        " exists but does not validate: " + reader.status().message());
+  }
+  if (ReadAll(path) != expected) {
+    Die("after SIGKILL at " + std::to_string(delay_ms) + "ms, " + path +
+        " validates but differs from the written snapshot");
+  }
+}
+
+/// Every *.sfpm under `dir` that opens cleanly must equal its baseline
+/// counterpart; a file that fails to open is fine only if it is a tile
+/// or final output mid-write — but with atomic renames even those must
+/// open, so any unreadable .sfpm is a failure.
+void CheckSurvivors(const std::string& dir, const std::string& baseline_dir) {
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string path = entry.path().string();
+    if (path.size() < 5 || path.substr(path.size() - 5) != ".sfpm") continue;
+    auto reader = sfpm::store::SnapshotReader::Open(path);
+    if (!reader.ok()) {
+      Die("interrupted run left unreadable snapshot " + path + ": " +
+          reader.status().message());
+    }
+    const std::string counterpart =
+        baseline_dir + "/" + entry.path().filename().string();
+    if (!std::filesystem::exists(counterpart)) {
+      Die("interrupted run left unexpected snapshot " + path);
+    }
+    if (ReadAll(path) != ReadAll(counterpart)) {
+      Die("snapshot " + path + " validates but differs from baseline");
+    }
+  }
+}
+
+pid_t SpawnRun(const std::string& sfpm, const std::string& dir) {
+  const pid_t child = fork();
+  if (child < 0) Die("fork");
+  if (child == 0) {
+    if (freopen("/dev/null", "w", stdout) == nullptr) std::_Exit(126);
+    execl(sfpm.c_str(), sfpm.c_str(), "run", "--dir", dir.c_str(), "--seed",
+          "7", "--minsup", "0.15", "--threads", "2", "--shards", "2",
+          static_cast<char*>(nullptr));
+    std::_Exit(127);
+  }
+  return child;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: cli_kill_test <sfpm> <work-dir>\n");
+    return 2;
+  }
+  const std::string sfpm = argv[1];
+  const std::string dir = argv[2];
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Part A: SIGKILL inside SnapshotWriter::WriteTo.
+  const sfpm::store::SnapshotWriter writer = BigWriter();
+  const std::string expected = writer.Serialize();
+  for (const int delay_ms : {1, 3, 7, 15, 40, 80}) {
+    KillDuringWrite(dir, writer, expected, delay_ms);
+  }
+  std::printf("cli_kill_test: WriteTo kills survived\n");
+
+  // Part B: SIGKILL the sharded pipeline, then resume.
+  const std::string baseline_dir = dir + "/baseline";
+  const std::string victim_dir = dir + "/victim";
+  std::filesystem::create_directories(baseline_dir);
+  {
+    const pid_t child = SpawnRun(sfpm, baseline_dir);
+    int status = 0;
+    if (waitpid(child, &status, 0) != child || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      Die("baseline run failed");
+    }
+  }
+  for (const int delay_ms : {5, 15, 30, 60, 120, 250}) {
+    std::filesystem::remove_all(victim_dir);
+    std::filesystem::create_directories(victim_dir);
+    const pid_t child = SpawnRun(sfpm, victim_dir);
+    SleepMs(delay_ms);
+    kill(child, SIGKILL);
+    waitpid(child, nullptr, 0);
+    CheckSurvivors(victim_dir, baseline_dir);
+
+    // Resume: a fresh run over the survivors must finish and converge.
+    const pid_t resume = SpawnRun(sfpm, victim_dir);
+    int status = 0;
+    if (waitpid(resume, &status, 0) != resume || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      Die("resume after kill at " + std::to_string(delay_ms) + "ms failed");
+    }
+    for (const char* leaf : {"city.sfpm", "txdb.sfpm", "patterns.sfpm"}) {
+      if (ReadAll(victim_dir + "/" + std::string(leaf)) !=
+          ReadAll(baseline_dir + "/" + std::string(leaf))) {
+        Die(std::string(leaf) + " diverged after kill-and-resume at " +
+            std::to_string(delay_ms) + "ms");
+      }
+    }
+  }
+  std::printf("cli_kill_test: PASS\n");
+  return 0;
+}

@@ -3,8 +3,9 @@
 // `serve` on them — and drives the server over a real loopback socket:
 // every query type, the telemetry endpoint (/metrics exposition
 // validation, /varz, /tracez, one `sfpm top --once` frame), malformed
-// and oversized frame rejection, a SIGHUP hot swap under an open
-// connection, and a graceful `shutdown` drain.
+// and oversized frame rejection, hard client disconnects (close and RST
+// with responses unread), a SIGHUP hot swap under an open connection,
+// and a graceful `shutdown` drain.
 //
 //   cli_serve_test <path-to-sfpm> <work-dir>
 //
@@ -75,6 +76,23 @@ class Client {
   }
   ~Client() {
     if (fd_ >= 0) close(fd_);
+  }
+
+  /// Closes immediately, leaving any pending response bytes unread; the
+  /// server's next send on this connection fails with EPIPE.
+  void CloseNow() {
+    if (fd_ >= 0) close(fd_);
+    fd_ = -1;
+  }
+
+  /// Hard disconnect: SO_LINGER{1,0} turns close() into an RST, so the
+  /// server's next send fails with ECONNRESET instead of EPIPE.
+  void Reset() {
+    if (fd_ < 0) return;
+    struct linger hard = {1, 0};
+    setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    close(fd_);
+    fd_ = -1;
   }
 
   void SendRaw(const std::string& bytes) {
@@ -415,6 +433,25 @@ int main(int argc, char** argv) {
       Die("oversized frame not rejected as bad_frame");
     }
     if (!oversized.AtEof()) Die("connection should close after oversized");
+  }
+
+  // Stage 5b: hard disconnects on the response path. A peer that sends
+  // a query and vanishes without ever reading the reply — both a plain
+  // close (server send hits EPIPE) and an RST close (ECONNRESET) — must
+  // cost the server nothing but a counted send error: no SIGPIPE death,
+  // no wedged worker, and the long-lived connection keeps answering.
+  for (int round = 0; round < 3; ++round) {
+    Client gone(port);
+    gone.SendRaw(EncodeFrame("{\"q\":\"patterns\",\"limit\":100000}"));
+    gone.CloseNow();
+  }
+  for (int round = 0; round < 3; ++round) {
+    Client rst(port);
+    rst.SendRaw(EncodeFrame("{\"q\":\"patterns\",\"limit\":100000}"));
+    rst.Reset();
+  }
+  if (NumberField(client.Query("{\"q\":\"status\"}"), "generation") != 1.0) {
+    Die("server wedged after hard disconnects");
   }
 
   // Stage 6: SIGHUP hot swap while the first connection stays open.

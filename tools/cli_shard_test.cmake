@@ -1,0 +1,126 @@
+# Sharded extraction identity gate (docs/SHARDING.md): `sfpm run
+# --shards=N` must produce byte-identical txdb/patterns snapshots to the
+# single-shard run, at two city scales and several thread counts; a
+# sharded rerun must skip every stage; and sharded/unsharded runs must
+# resume each other (the merged snapshot carries the plain extract
+# manifest).
+file(REMOVE_RECURSE ${WORK_DIR})
+
+# Scale 1 and scale 2, shards 1 vs {2, 4}, threads {1, 2, 4}.
+foreach(scale 1 2)
+  set(base ${WORK_DIR}/s${scale}-shards1)
+  file(MAKE_DIRECTORY ${base})
+  execute_process(
+    COMMAND ${SFPM_CLI} run --dir ${base} --seed 11 --minsup 0.15
+      --scale ${scale} --threads 2
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "scale ${scale} single-shard run failed: ${out}")
+  endif()
+  file(READ ${base}/txdb.sfpm txdb_base HEX)
+  file(READ ${base}/patterns.sfpm patterns_base HEX)
+
+  foreach(shards 2 4)
+    foreach(threads 1 2 4)
+      set(dir ${WORK_DIR}/s${scale}-shards${shards}-t${threads})
+      file(MAKE_DIRECTORY ${dir})
+      execute_process(
+        COMMAND ${SFPM_CLI} run --dir ${dir} --seed 11 --minsup 0.15
+          --scale ${scale} --shards ${shards} --threads ${threads}
+        RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+      if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+          "scale ${scale} shards ${shards} threads ${threads} failed: ${out}")
+      endif()
+      file(READ ${dir}/txdb.sfpm txdb HEX)
+      file(READ ${dir}/patterns.sfpm patterns HEX)
+      if(NOT txdb STREQUAL txdb_base)
+        message(FATAL_ERROR "txdb differs: scale ${scale} shards ${shards} "
+          "threads ${threads} vs single shard")
+      endif()
+      if(NOT patterns STREQUAL patterns_base)
+        message(FATAL_ERROR "patterns differ: scale ${scale} shards "
+          "${shards} threads ${threads} vs single shard")
+      endif()
+    endforeach()
+  endforeach()
+endforeach()
+
+# A sharded rerun skips everything: city, every tile, and (via the merged
+# output's extract manifest) the merge itself, plus mine.
+execute_process(
+  COMMAND ${SFPM_CLI} run --dir ${WORK_DIR}/s1-shards4-t2 --seed 11
+    --minsup 0.15 --scale 1 --shards 4 --threads 2
+  RESULT_VARIABLE rc OUTPUT_VARIABLE rerun)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sharded rerun failed: ${rerun}")
+endif()
+string(REGEX MATCHALL "up to date" skips "${rerun}")
+list(LENGTH skips num_skips)
+if(NOT num_skips EQUAL 3)
+  message(FATAL_ERROR "sharded rerun skipped ${num_skips}/3: ${rerun}")
+endif()
+
+# Cross-mode resume: an unsharded run over a sharded directory (and the
+# reverse) skips the extract phase — the snapshots are byte-identical, so
+# each mode trusts the other's manifest.
+execute_process(
+  COMMAND ${SFPM_CLI} run --dir ${WORK_DIR}/s1-shards4-t2 --seed 11
+    --minsup 0.15 --scale 1 --threads 2
+  RESULT_VARIABLE rc OUTPUT_VARIABLE cross)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "unsharded-over-sharded rerun failed: ${cross}")
+endif()
+string(REGEX MATCHALL "up to date" skips "${cross}")
+list(LENGTH skips num_skips)
+if(NOT num_skips EQUAL 3)
+  message(FATAL_ERROR
+    "unsharded rerun over sharded dir skipped ${num_skips}/3: ${cross}")
+endif()
+execute_process(
+  COMMAND ${SFPM_CLI} run --dir ${WORK_DIR}/s1-shards1 --seed 11
+    --minsup 0.15 --scale 1 --shards 4 --threads 2
+  RESULT_VARIABLE rc OUTPUT_VARIABLE cross2)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sharded-over-unsharded rerun failed: ${cross2}")
+endif()
+string(REGEX MATCHALL "up to date" skips "${cross2}")
+list(LENGTH skips num_skips)
+if(NOT num_skips EQUAL 3)
+  message(FATAL_ERROR
+    "sharded rerun over unsharded dir skipped ${num_skips}/3: ${cross2}")
+endif()
+
+# Deleting the merged output and one tile reruns exactly that tile and
+# the merge; the rebuilt txdb must be byte-identical.
+set(resume_dir ${WORK_DIR}/s1-shards4-t2)
+file(REMOVE ${resume_dir}/txdb.sfpm ${resume_dir}/txdb.tile1of4.sfpm)
+execute_process(
+  COMMAND ${SFPM_CLI} run --dir ${resume_dir} --seed 11 --minsup 0.15
+    --scale 1 --shards 4 --threads 2
+  RESULT_VARIABLE rc OUTPUT_VARIABLE resume)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tile resume failed: ${resume}")
+endif()
+string(REGEX MATCHALL "wrote" writes "${resume}")
+list(LENGTH writes num_writes)
+if(NOT num_writes EQUAL 2)  # tile1of4 + merge; mine stays up to date.
+  message(FATAL_ERROR "tile resume rewrote ${num_writes} stages: ${resume}")
+endif()
+file(READ ${resume_dir}/txdb.sfpm txdb_resumed HEX)
+file(READ ${WORK_DIR}/s1-shards1/txdb.sfpm txdb_base HEX)
+if(NOT txdb_resumed STREQUAL txdb_base)
+  message(FATAL_ERROR "tile-resumed txdb differs from single shard")
+endif()
+
+# Flag validation: --shards rejects a zero count.
+execute_process(
+  COMMAND ${SFPM_CLI} run --dir ${WORK_DIR}/bad --shards 0
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_VARIABLE out)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--shards 0 accepted")
+endif()
+string(FIND "${err}${out}" "shards" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "--shards 0 error does not name the flag: ${err}${out}")
+endif()

@@ -15,7 +15,8 @@
 //                 [--filter ...] [--dependency a:b] [--algorithm ...]
 //                 [--threads N]
 //   sfpm run      [--dir out] [--city p] [--txdb p] [--patterns p]
-//                 [--seed N] [--reference district] [--directions]
+//                 [--seed N] [--scale N] [--shards N]
+//                 [--reference district] [--directions]
 //                 [--minsup 0.1] [--filter ...] [--algorithm ...]
 //                 [--dependency a:b] [--threads N] [--force]
 //
@@ -164,6 +165,13 @@ int RunHelp() {
       "  --dir path              output directory (default .)\n"
       "  --city / --txdb / --patterns   stage snapshot paths\n"
       "  --seed N                city generator seed\n"
+      "  --scale N               grow the city N-fold per axis (~N^2 "
+      "features)\n"
+      "  --shards N              tile-sharded extract: N tile stages + a "
+      "merge\n"
+      "                          stage (docs/SHARDING.md); output is "
+      "byte-identical\n"
+      "                          at every N\n"
       "  --reference type        reference feature type (default district)\n"
       "  --directions            extract direction predicates\n"
       "  --minsup F / --filter f / --algorithm a / --dependency a:b\n"
@@ -641,6 +649,9 @@ int RunMine(const Args& args, const std::string& command_line) {
   return 0;
 }
 
+Result<uint64_t> ParseCountFlag(const Args& args, const char* name,
+                                uint64_t fallback, uint64_t max);
+
 /// The staged pipeline driver: generate-city -> extract -> mine over
 /// snapshots, with content-hash skip/resume.
 int RunPipelineCommand(const Args& args, const std::string& command_line) {
@@ -665,6 +676,19 @@ int RunPipelineCommand(const Args& args, const std::string& command_line) {
   if (args.Has("seed")) {
     options.city.seed = std::strtoull(args.Get("seed").c_str(), nullptr, 10);
   }
+  const auto scale = ParseCountFlag(args, "scale", 1, 64);
+  if (!scale.ok()) return Fail(scale.status());
+  if (scale.value() < 1) {
+    return Fail(Status::InvalidArgument("--scale must be at least 1"));
+  }
+  options.city = datagen::ScaledCityConfig(options.city,
+                                           static_cast<int>(scale.value()));
+  const auto shards = ParseCountFlag(args, "shards", 1, 4096);
+  if (!shards.ok()) return Fail(shards.status());
+  if (shards.value() < 1) {
+    return Fail(Status::InvalidArgument("--shards must be at least 1"));
+  }
+  options.shards = static_cast<int>(shards.value());
   options.extract.reference = args.Get("reference", "district");
   options.extract.directions = args.Has("directions");
   try {
@@ -873,8 +897,10 @@ int RunServe(const Args& args) {
     if (server.metrics_port() != 0) {
       content += std::to_string(server.metrics_port()) + "\n";
     }
+    // Atomic: `sfpm top` / the cli_serve poller may already be spinning
+    // on this path and must never read a half-written port number.
     const Status written =
-        obs::WriteTextFile(args.Get("port-file"), content);
+        obs::WriteTextFileAtomic(args.Get("port-file"), content);
     if (!written.ok()) {
       server.RequestShutdown();
       server.Wait();
@@ -960,9 +986,9 @@ int main(int argc, char** argv) {
   if (command == "run") {
     const int bad = RejectUnknownFlags(
         args, "run",
-        {"dir", "city", "txdb", "patterns", "seed", "reference", "directions",
-         "minsup", "filter", "algorithm", "dependency", "threads", "force",
-         "report", "trace"});
+        {"dir", "city", "txdb", "patterns", "seed", "scale", "shards",
+         "reference", "directions", "minsup", "filter", "algorithm",
+         "dependency", "threads", "force", "report", "trace"});
     return bad != 0 ? bad : RunPipelineCommand(args, command_line);
   }
   if (command == "gain") {
