@@ -1,0 +1,161 @@
+// A/B benchmark of the co-location miner: the materialized neighbour
+// graph (NeighborGraph + MineGraph, the `--backend=coloc` path) against
+// the reference miner that recomputes neighbourhoods per candidate pair
+// (MineColocationsNaive), on random point layers of growing size. The
+// two paths must agree exactly — same patterns, participation indexes
+// and row counts, including graph mining at 1 vs 4 threads — before
+// anything is timed, so a speedup can never come from a changed answer.
+//
+//   bench_coloc [--repeat=N] [--json=bench/BENCH_coloc.json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "coloc/colocation.h"
+#include "feature/feature.h"
+#include "geom/point.h"
+#include "util/random.h"
+
+namespace {
+
+using sfpm::Rng;
+using sfpm::coloc::ColocationOptions;
+using sfpm::coloc::ColocationPattern;
+using sfpm::coloc::MineColocations;
+using sfpm::coloc::MineColocationsNaive;
+using sfpm::feature::Layer;
+using sfpm::geom::Point;
+
+/// Four point layers scattered over a square whose side grows with the
+/// instance count, keeping neighbourhood density (and therefore pattern
+/// structure) comparable across scales.
+struct Workload {
+  std::vector<Layer> layers;
+  sfpm::feature::LayerSet set;
+};
+
+Workload MakeWorkload(size_t per_type) {
+  static const char* kTypes[] = {"school", "slum", "police", "market"};
+  const double side = 10.0 * std::sqrt(static_cast<double>(per_type));
+  Workload w;
+  Rng rng(2007);
+  for (const char* type : kTypes) {
+    w.layers.emplace_back(type);
+    for (size_t i = 0; i < per_type; ++i) {
+      w.layers.back().Add(
+          Point(rng.NextDouble(0, side), rng.NextDouble(0, side)));
+    }
+  }
+  w.set = sfpm::feature::LayerSet::Of(w.layers);
+  return w;
+}
+
+std::vector<ColocationPattern> MineOrDie(
+    const sfpm::Result<std::vector<ColocationPattern>>& mined,
+    const char* what) {
+  if (!mined.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 mined.status().ToString().c_str());
+    std::exit(1);
+  }
+  return mined.value();
+}
+
+/// The identity gate compares everything the two miners both define:
+/// fuzzy_prevalence is graph-only (the naive miner reports it crisp), so
+/// it stays out of the comparison.
+bool SameAnswers(const std::vector<ColocationPattern>& a,
+                 const std::vector<ColocationPattern>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].types != b[i].types) return false;
+    if (a[i].participation_index != b[i].participation_index) return false;
+    if (a[i].num_row_instances != b[i].num_row_instances) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sfpm::bench::Bench bench("coloc", argc, argv);
+
+  for (const size_t per_type : {size_t{500}, size_t{1500}, size_t{4000}}) {
+    const Workload workload = MakeWorkload(per_type);
+    const std::string n = std::to_string(per_type);
+
+    ColocationOptions options;
+    options.neighbor_distance = 14.0;  // ~6 neighbours per instance.
+    options.min_prevalence = 0.3;
+    options.threads = 1;
+
+    // Identity gate: graph vs naive, and graph at 1 vs 4 threads, must
+    // mine the same patterns with the same prevalence and row counts.
+    const auto graph_answer =
+        MineOrDie(MineColocations(workload.set, options), "graph miner");
+    if (!SameAnswers(graph_answer,
+                     MineOrDie(MineColocationsNaive(workload.set, options),
+                               "naive miner"))) {
+      std::fprintf(stderr, "FATAL: graph and naive miners disagree (n=%s)\n",
+                   n.c_str());
+      return 1;
+    }
+    ColocationOptions threaded = options;
+    threaded.threads = 4;
+    if (!SameAnswers(graph_answer,
+                     MineOrDie(MineColocations(workload.set, threaded),
+                               "threaded graph miner"))) {
+      std::fprintf(stderr, "FATAL: thread count changed the answer (n=%s)\n",
+                   n.c_str());
+      return 1;
+    }
+
+    const auto& naive_case = bench.Run(
+        "miner/n=" + n + "/naive", {{"per_type", n}, {"threads", "1"}},
+        [&](sfpm::bench::CaseResult& result) {
+          const auto mined =
+              MineOrDie(MineColocationsNaive(workload.set, options), "naive");
+          result.counters["patterns"] = static_cast<double>(mined.size());
+        });
+
+    auto& graph_case = bench.Run(
+        "miner/n=" + n + "/graph", {{"per_type", n}, {"threads", "1"}},
+        [&](sfpm::bench::CaseResult& result) {
+          const auto mined =
+              MineOrDie(MineColocations(workload.set, options), "graph");
+          result.counters["patterns"] = static_cast<double>(mined.size());
+        });
+    // Median-based: robust against load spikes on shared machines.
+    const double speedup =
+        naive_case.PercentileMs(0.5) / graph_case.PercentileMs(0.5);
+    graph_case.counters["speedup_vs_naive"] = speedup;
+    std::printf("%44s   speedup_vs_naive=%.2fx\n", "", speedup);
+  }
+
+  // Thread sweep on the large workload (EXPERIMENTS.md "Scaling"): the
+  // graph build parallelizes, mining stays deterministic. On a
+  // single-vCPU container wall time cannot improve; the case exists so
+  // multi-core machines can measure the scaling.
+  {
+    const Workload workload = MakeWorkload(4000);
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      ColocationOptions options;
+      options.neighbor_distance = 14.0;
+      options.min_prevalence = 0.3;
+      options.threads = threads;
+      bench.Run("scaling/threads=" + std::to_string(threads),
+                {{"per_type", "4000"}, {"threads", std::to_string(threads)}},
+                [&](sfpm::bench::CaseResult& result) {
+                  const auto mined = MineOrDie(
+                      MineColocations(workload.set, options), "graph");
+                  result.counters["patterns"] =
+                      static_cast<double>(mined.size());
+                });
+    }
+  }
+
+  return bench.Finish();
+}

@@ -1,0 +1,82 @@
+#include "coloc/backend.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "coloc/miner.h"
+
+namespace sfpm {
+namespace coloc {
+
+namespace {
+
+class GraphBackendImpl final : public core::MiningBackend {
+ public:
+  const char* name() const override { return "coloc"; }
+
+  core::MiningSource::Kind source_kind() const override {
+    return core::MiningSource::Kind::kLayers;
+  }
+
+  Result<core::MinedPatternSet> Mine(
+      const core::MiningSource& source,
+      const core::BackendOptions& options) const override {
+    if (source.kind() != core::MiningSource::Kind::kLayers) {
+      return Status::InvalidArgument("backend 'coloc' needs a layer source");
+    }
+    const LayerSource& layers = static_cast<const LayerSource&>(source);
+
+    const qsr::DistanceQuantizer quantizer =
+        qsr::DistanceQuantizer::Default();
+    std::optional<NeighborGraph> owned;
+    const NeighborGraph* graph = layers.graph();
+    if (graph == nullptr) {
+      NeighborGraphOptions graph_options;
+      graph_options.distance = options.neighbor_distance;
+      graph_options.quantizer = &quantizer;
+      graph_options.threads = options.parallelism;
+      Result<NeighborGraph> built =
+          NeighborGraph::Build(layers.layers(), graph_options);
+      if (!built.ok()) return built.status();
+      owned.emplace(std::move(built).value());
+      graph = &*owned;
+    }
+
+    ColocMinerOptions miner_options;
+    miner_options.min_prevalence = options.min_support;
+    miner_options.max_size = options.max_size;
+    miner_options.filters = options.filters;
+    Result<std::vector<MinedColocation>> mined =
+        MineGraph(*graph, miner_options);
+    if (!mined.ok()) return mined.status();
+
+    core::MinedPatternSet out;
+    out.labels = graph->type_names();
+    // A type is its own grouping key: the same-feature-type filter is a
+    // structural no-op here (co-locations never repeat a type), applied
+    // anyway so the KC+ stack is uniform across backends.
+    out.keys = graph->type_names();
+    out.patterns.reserve(mined.value().size());
+    for (const MinedColocation& m : mined.value()) {
+      core::MinedPattern p;
+      p.items = m.types;
+      p.rows = m.rows;
+      p.support = static_cast<uint32_t>(
+          std::min<uint64_t>(m.rows, UINT32_MAX));
+      p.score = m.participation_index;
+      p.fuzzy = m.fuzzy_prevalence;
+      out.patterns.push_back(std::move(p));
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+const core::MiningBackend& GraphBackend() {
+  static const GraphBackendImpl* backend = new GraphBackendImpl();
+  return *backend;
+}
+
+}  // namespace coloc
+}  // namespace sfpm

@@ -1,0 +1,41 @@
+#ifndef SFPM_COLOC_BACKEND_H_
+#define SFPM_COLOC_BACKEND_H_
+
+#include "coloc/neighbor_graph.h"
+#include "core/mining_backend.h"
+#include "feature/feature.h"
+
+namespace sfpm {
+namespace coloc {
+
+/// \brief Feature layers as a mining source (not owned). When a pre-built
+/// neighbour graph is supplied the backend mines it directly (the layers
+/// are then only documentation); otherwise it materializes one per Mine
+/// call with the options' neighbor_distance and the default qualitative
+/// distance bands.
+class LayerSource final : public core::MiningSource {
+ public:
+  explicit LayerSource(const feature::LayerSet& layers,
+                       const NeighborGraph* graph = nullptr)
+      : layers_(layers), graph_(graph) {}
+
+  Kind kind() const override { return Kind::kLayers; }
+  const feature::LayerSet& layers() const { return layers_; }
+  const NeighborGraph* graph() const { return graph_; }
+
+ private:
+  feature::LayerSet layers_;
+  const NeighborGraph* graph_;
+};
+
+/// \brief The co-location backend ("coloc"): neighbour-graph
+/// materialization plus participation-index mining behind the uniform
+/// core::MiningBackend interface. Pattern item ids index the graph's type
+/// universe; `score` is the participation index, `fuzzy` the band-graded
+/// prevalence, `rows`/`support` the row-instance count.
+const core::MiningBackend& GraphBackend();
+
+}  // namespace coloc
+}  // namespace sfpm
+
+#endif  // SFPM_COLOC_BACKEND_H_

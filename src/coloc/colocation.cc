@@ -1,11 +1,12 @@
 #include "coloc/colocation.h"
 
 #include <algorithm>
-#include <map>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "coloc/miner.h"
+#include "coloc/neighbor_graph.h"
 #include "geom/algorithms.h"
 #include "util/strings.h"
 
@@ -13,6 +14,27 @@ namespace sfpm {
 namespace coloc {
 
 namespace {
+
+Status ValidateOptions(const feature::LayerSet& layers,
+                       const ColocationOptions& options) {
+  if (layers.size() < 2) {
+    return Status::InvalidArgument("co-location needs at least two layers");
+  }
+  if (!(options.neighbor_distance > 0.0)) {
+    return Status::InvalidArgument("neighbor_distance must be positive");
+  }
+  if (options.min_prevalence < 0.0 || options.min_prevalence > 1.0) {
+    return Status::InvalidArgument("min_prevalence must be in [0, 1]");
+  }
+  std::set<std::string> seen;
+  for (const feature::Layer* layer : layers) {
+    if (!seen.insert(layer->feature_type()).second) {
+      return Status::InvalidArgument("duplicate feature type '" +
+                                     layer->feature_type() + "'");
+    }
+  }
+  return Status::OK();
+}
 
 /// A row instance: one instance id per member type, aligned with the
 /// pattern's (sorted) type list.
@@ -26,19 +48,18 @@ struct PatternData {
 /// Pairwise neighbour test with an R-tree prefilter per layer.
 class NeighborOracle {
  public:
-  NeighborOracle(const std::vector<const feature::Layer*>& layers,
-                 double distance)
+  NeighborOracle(const feature::LayerSet& layers, double distance)
       : layers_(layers), distance_(distance) {}
 
   /// Instances of layer `b` within R of instance `ia` of layer `a`.
   std::vector<uint32_t> NeighborsOf(size_t a, uint32_t ia, size_t b) const {
     std::vector<uint64_t> candidates;
-    const geom::Geometry& g = layers_[a]->at(ia).geometry();
-    layers_[b]->Index().QueryWithinDistance(g.GetEnvelope(), distance_,
-                                            &candidates);
+    const geom::Geometry& g = layers_[a].at(ia).geometry();
+    layers_[b].Index().QueryWithinDistance(g.GetEnvelope(), distance_,
+                                           &candidates);
     std::vector<uint32_t> out;
     for (uint64_t id : candidates) {
-      if (geom::Distance(g, layers_[b]->at(id).geometry()) <= distance_) {
+      if (geom::Distance(g, layers_[b].at(id).geometry()) <= distance_) {
         out.push_back(static_cast<uint32_t>(id));
       }
     }
@@ -59,27 +80,27 @@ class NeighborOracle {
     const auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
     const bool near =
-        geom::Distance(layers_[a]->at(ia).geometry(),
-                       layers_[b]->at(ib).geometry()) <= distance_;
+        geom::Distance(layers_[a].at(ia).geometry(),
+                       layers_[b].at(ib).geometry()) <= distance_;
     cache_.emplace(key, near);
     return near;
   }
 
  private:
-  const std::vector<const feature::Layer*>& layers_;
+  feature::LayerSet layers_;
   double distance_;
   mutable std::unordered_map<uint64_t, bool> cache_;
 };
 
 double ParticipationIndex(const PatternData& pattern,
-                          const std::vector<const feature::Layer*>& layers) {
+                          const feature::LayerSet& layers) {
   double pi = 1.0;
   for (size_t pos = 0; pos < pattern.type_idx.size(); ++pos) {
     std::unordered_set<uint32_t> participating;
     for (const RowInstance& row : pattern.rows) {
       participating.insert(row[pos]);
     }
-    const size_t total = layers[pattern.type_idx[pos]]->Size();
+    const size_t total = layers[pattern.type_idx[pos]].Size();
     const double ratio =
         total == 0 ? 0.0
                    : static_cast<double>(participating.size()) /
@@ -92,36 +113,63 @@ double ParticipationIndex(const PatternData& pattern,
 }  // namespace
 
 std::string ColocationPattern::ToString() const {
-  std::string members;
+  std::string out = "{";
   for (size_t i = 0; i < types.size(); ++i) {
-    if (i > 0) members += ", ";
-    members += types[i];
+    if (i > 0) out += ", ";
+    out += types[i];
   }
-  return StrFormat("{%s} PI=%.3f (%zu rows)", members.c_str(),
-                   participation_index, num_row_instances);
+  out += "} PI=";
+  AppendRoundTripDouble(participation_index, &out);
+  out += StrFormat(" (%zu rows)", num_row_instances);
+  return out;
 }
 
 Result<std::vector<ColocationPattern>> MineColocations(
-    const std::vector<const feature::Layer*>& layers,
-    const ColocationOptions& options) {
-  if (layers.size() < 2) {
-    return Status::InvalidArgument("co-location needs at least two layers");
-  }
-  if (!(options.neighbor_distance > 0.0)) {
-    return Status::InvalidArgument("neighbor_distance must be positive");
-  }
-  if (options.min_prevalence < 0.0 || options.min_prevalence > 1.0) {
-    return Status::InvalidArgument("min_prevalence must be in [0, 1]");
-  }
-  {
-    std::set<std::string> seen;
-    for (const feature::Layer* layer : layers) {
-      if (!seen.insert(layer->feature_type()).second) {
-        return Status::InvalidArgument("duplicate feature type '" +
-                                       layer->feature_type() + "'");
-      }
+    const feature::LayerSet& layers, const ColocationOptions& options) {
+  if (Status s = ValidateOptions(layers, options); !s.ok()) return s;
+
+  const qsr::DistanceQuantizer quantizer = qsr::DistanceQuantizer::Default();
+  NeighborGraphOptions graph_options;
+  graph_options.distance = options.neighbor_distance;
+  graph_options.quantizer = &quantizer;
+  graph_options.threads = options.threads;
+  Result<NeighborGraph> built = NeighborGraph::Build(layers, graph_options);
+  if (!built.ok()) return built.status();
+  const NeighborGraph& graph = built.value();
+
+  ColocMinerOptions miner_options;
+  miner_options.min_prevalence = options.min_prevalence;
+  miner_options.max_size = options.max_pattern_size;
+  Result<std::vector<MinedColocation>> mined =
+      MineGraph(graph, miner_options);
+  if (!mined.ok()) return mined.status();
+
+  std::vector<ColocationPattern> result;
+  result.reserve(mined.value().size());
+  for (const MinedColocation& m : mined.value()) {
+    ColocationPattern out;
+    for (const uint32_t t : m.types) {
+      out.types.push_back(graph.type_name(t));
     }
+    std::sort(out.types.begin(), out.types.end());
+    out.participation_index = m.participation_index;
+    out.fuzzy_prevalence = m.fuzzy_prevalence;
+    out.num_row_instances = static_cast<size_t>(m.rows);
+    result.push_back(std::move(out));
   }
+  std::sort(result.begin(), result.end(),
+            [](const ColocationPattern& a, const ColocationPattern& b) {
+              if (a.types.size() != b.types.size()) {
+                return a.types.size() < b.types.size();
+              }
+              return a.types < b.types;
+            });
+  return result;
+}
+
+Result<std::vector<ColocationPattern>> MineColocationsNaive(
+    const feature::LayerSet& layers, const ColocationOptions& options) {
+  if (Status s = ValidateOptions(layers, options); !s.ok()) return s;
 
   const NeighborOracle oracle(layers, options.neighbor_distance);
   std::vector<ColocationPattern> result;
@@ -129,12 +177,12 @@ Result<std::vector<ColocationPattern>> MineColocations(
   // Size-2 patterns: row instances are the neighbour pairs.
   std::vector<PatternData> current;
   for (size_t a = 0; a < layers.size(); ++a) {
-    if (layers[a]->IsEmpty()) continue;
+    if (layers[a].IsEmpty()) continue;
     for (size_t b = a + 1; b < layers.size(); ++b) {
-      if (layers[b]->IsEmpty()) continue;
+      if (layers[b].IsEmpty()) continue;
       PatternData pattern;
       pattern.type_idx = {a, b};
-      for (uint32_t ia = 0; ia < layers[a]->Size(); ++ia) {
+      for (uint32_t ia = 0; ia < layers[a].Size(); ++ia) {
         for (uint32_t ib : oracle.NeighborsOf(a, ia, b)) {
           pattern.rows.push_back({ia, ib});
         }
@@ -149,10 +197,11 @@ Result<std::vector<ColocationPattern>> MineColocations(
   auto emit = [&](const PatternData& pattern) {
     ColocationPattern out;
     for (size_t idx : pattern.type_idx) {
-      out.types.push_back(layers[idx]->feature_type());
+      out.types.push_back(layers[idx].feature_type());
     }
     std::sort(out.types.begin(), out.types.end());
     out.participation_index = ParticipationIndex(pattern, layers);
+    out.fuzzy_prevalence = out.participation_index;
     out.num_row_instances = pattern.rows.size();
     result.push_back(std::move(out));
   };

@@ -36,12 +36,20 @@ struct ColocationOptions {
 
   /// Stop after patterns of this many types (0 = unlimited).
   size_t max_pattern_size = 0;
+
+  /// Worker threads for the neighbour-graph build (0 = auto). The output
+  /// is bit-identical at every setting.
+  size_t threads = 0;
 };
 
 /// \brief One prevalent co-location.
 struct ColocationPattern {
   std::vector<std::string> types;  ///< Member feature types, sorted.
   double participation_index = 0.0;
+  /// Prevalence graded by the qualitative distance bands: row instances
+  /// whose worst edge sits in a nearer band count for more (see
+  /// docs/COLOCATION.md). Always >= 0 and <= participation_index.
+  double fuzzy_prevalence = 0.0;
   size_t num_row_instances = 0;    ///< Cliques realizing the pattern.
 
   /// "{school, slum} PI=0.42 (17 rows)".
@@ -53,9 +61,21 @@ struct ColocationPattern {
 /// Every layer contributes one feature type; layers must have distinct
 /// types. Returns InvalidArgument for bad thresholds, duplicate types, or
 /// fewer than two layers.
+///
+/// Materializes the neighbour relation once (an R-tree distance join into
+/// a CSR adjacency, see NeighborGraph) and mines over the graph; edges are
+/// graded with the default qualitative distance bands, which feed each
+/// pattern's fuzzy_prevalence.
 Result<std::vector<ColocationPattern>> MineColocations(
-    const std::vector<const feature::Layer*>& layers,
-    const ColocationOptions& options);
+    const feature::LayerSet& layers, const ColocationOptions& options);
+
+/// \brief Reference implementation: recomputes neighbourhoods per pair with
+/// an R-tree prefilter and memoized exact tests instead of materializing
+/// the graph. Kept as the differential oracle for fuzzing and the baseline
+/// for bench_coloc; does not grade fuzzy_prevalence (reports it equal to
+/// participation_index).
+Result<std::vector<ColocationPattern>> MineColocationsNaive(
+    const feature::LayerSet& layers, const ColocationOptions& options);
 
 }  // namespace coloc
 }  // namespace sfpm

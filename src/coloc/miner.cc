@@ -1,0 +1,241 @@
+#include "coloc/miner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sfpm {
+namespace coloc {
+
+namespace {
+
+/// One candidate pattern: member types plus its row instances, flattened
+/// (`types.size()` global node ids per row) with each row's worst edge
+/// band alongside.
+struct Candidate {
+  std::vector<uint32_t> types;    ///< Ascending type ids.
+  std::vector<uint32_t> rows;     ///< Flattened, types.size() nodes per row.
+  std::vector<uint8_t> maxband;   ///< Per row: max band over its edges.
+};
+
+/// Crisp and fuzzy prevalence of a candidate. The fuzzy sum is kept in
+/// integers (memberships are multiples of 1/B) so it is exact and
+/// independent of accumulation order.
+struct Prevalence {
+  double pi = 0.0;
+  double fuzzy = 0.0;
+};
+
+Prevalence ComputePrevalence(const NeighborGraph& graph,
+                             const Candidate& cand) {
+  const size_t k = cand.types.size();
+  const size_t num_rows = cand.maxband.size();
+  if (num_rows == 0) return {};
+  const size_t num_bands = graph.band_names().size();
+
+  Prevalence out{1.0, 1.0};
+  std::vector<std::pair<uint32_t, uint8_t>> members;
+  for (size_t pos = 0; pos < k; ++pos) {
+    members.clear();
+    for (size_t r = 0; r < num_rows; ++r) {
+      members.emplace_back(cand.rows[r * k + pos], cand.maxband[r]);
+    }
+    // An instance participates with its best (nearest-graded) row, i.e.
+    // the minimum worst-band over its rows.
+    std::sort(members.begin(), members.end());
+    size_t participating = 0;
+    uint64_t band_sum = 0;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (i > 0 && members[i].first == members[i - 1].first) continue;
+      ++participating;
+      band_sum += members[i].second;
+    }
+    const double total = static_cast<double>(graph.TypeSize(cand.types[pos]));
+    out.pi = std::min(out.pi, static_cast<double>(participating) / total);
+    const double fuzzy_ratio =
+        num_bands == 0
+            ? static_cast<double>(participating) / total
+            : static_cast<double>(participating * num_bands - band_sum) /
+                  (static_cast<double>(num_bands) * total);
+    out.fuzzy = std::min(out.fuzzy, fuzzy_ratio);
+  }
+  return out;
+}
+
+/// Row instances of `parent` extended by type `extra` (greater than every
+/// member type). Clique mode intersects every member's neighbour subrange;
+/// star mode scans the first member's star and verifies the remaining
+/// edges by binary search. Both emit the same rows in the same order.
+void ExtendRows(const NeighborGraph& graph, const Candidate& parent,
+                uint32_t extra, bool star_join, Candidate* out) {
+  const size_t k = parent.types.size();
+  const size_t num_rows = parent.maxband.size();
+  std::vector<uint32_t> targets;
+  for (size_t r = 0; r < num_rows; ++r) {
+    const uint32_t* row = parent.rows.data() + r * k;
+    targets.clear();
+    if (star_join) {
+      const auto [lo, hi] = graph.Neighbors(row[0], extra);
+      for (const uint32_t* p = lo; p != hi; ++p) {
+        bool clique = true;
+        for (size_t pos = 1; pos < k && clique; ++pos) {
+          clique = graph.AreNeighbors(row[pos], *p);
+        }
+        if (clique) targets.push_back(*p);
+      }
+    } else {
+      const auto [lo, hi] = graph.Neighbors(row[0], extra);
+      targets.assign(lo, hi);
+      std::vector<uint32_t> narrowed;
+      for (size_t pos = 1; pos < k && !targets.empty(); ++pos) {
+        const auto [plo, phi] = graph.Neighbors(row[pos], extra);
+        narrowed.clear();
+        std::set_intersection(targets.begin(), targets.end(), plo, phi,
+                              std::back_inserter(narrowed));
+        targets.swap(narrowed);
+      }
+    }
+    for (const uint32_t w : targets) {
+      uint8_t band = parent.maxband[r];
+      for (size_t pos = 0; pos < k; ++pos) {
+        band = std::max(band, graph.BandOf(row[pos], w));
+      }
+      out->rows.insert(out->rows.end(), row, row + k);
+      out->rows.push_back(w);
+      out->maxband.push_back(band);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<MinedColocation>> MineGraph(
+    const NeighborGraph& graph, const ColocMinerOptions& options) {
+  if (options.min_prevalence < 0.0 || options.min_prevalence > 1.0) {
+    return Status::InvalidArgument("min_prevalence must be in [0, 1]");
+  }
+
+  auto span = obs::Tracer::Global().StartSpan("coloc/mine");
+  std::vector<MinedColocation> result;
+  uint64_t candidates_generated = 0;
+
+  // Size-2 candidates straight off the CSR edge lists: a node's
+  // neighbours of a higher type are one contiguous ascending subrange.
+  std::vector<Candidate> current;
+  const size_t num_types = graph.num_types();
+  for (uint32_t a = 0; a < num_types; ++a) {
+    if (graph.TypeSize(a) == 0) continue;
+    for (uint32_t b = a + 1; b < num_types; ++b) {
+      if (graph.TypeSize(b) == 0) continue;
+      bool pruned = false;
+      for (const core::CandidateFilter* filter : options.filters) {
+        if (filter != nullptr && filter->PrunePair(a, b)) {
+          pruned = true;
+          break;
+        }
+      }
+      if (pruned) continue;
+      ++candidates_generated;
+      Candidate cand;
+      cand.types = {a, b};
+      const uint32_t begin = graph.TypeBegin(a);
+      const uint32_t end = begin + graph.TypeSize(a);
+      for (uint32_t u = begin; u < end; ++u) {
+        const auto [lo, hi] = graph.Neighbors(u, b);
+        for (const uint32_t* p = lo; p != hi; ++p) {
+          cand.rows.push_back(u);
+          cand.rows.push_back(*p);
+          cand.maxband.push_back(
+              graph.bands()[static_cast<size_t>(p - graph.neighbors().data())]);
+        }
+      }
+      const Prevalence prev = ComputePrevalence(graph, cand);
+      if (prev.pi >= options.min_prevalence && !cand.maxband.empty()) {
+        current.push_back(std::move(cand));
+      }
+    }
+  }
+
+  auto emit = [&](const Candidate& cand) {
+    const Prevalence prev = ComputePrevalence(graph, cand);
+    MinedColocation out;
+    out.types = cand.types;
+    out.participation_index = prev.pi;
+    out.fuzzy_prevalence = prev.fuzzy;
+    out.rows = cand.maxband.size();
+    result.push_back(std::move(out));
+  };
+  for (const Candidate& cand : current) emit(cand);
+
+  // Apriori growth: join candidates sharing a (k-1)-prefix, prune by the
+  // anti-monotone PI (every k-subset must be prevalent), then realize row
+  // instances by neighbour intersection.
+  size_t k = 2;
+  while (!current.empty()) {
+    ++k;
+    if (options.max_size != 0 && k > options.max_size) break;
+    std::set<std::vector<uint32_t>> prevalent;
+    for (const Candidate& cand : current) prevalent.insert(cand.types);
+
+    std::vector<Candidate> next;
+    for (size_t i = 0; i < current.size(); ++i) {
+      for (size_t j = i + 1; j < current.size(); ++j) {
+        const std::vector<uint32_t>& a = current[i].types;
+        const std::vector<uint32_t>& b = current[j].types;
+        if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1)) {
+          continue;
+        }
+        if (a.back() >= b.back()) continue;
+
+        std::vector<uint32_t> joined = a;
+        joined.push_back(b.back());
+        // The two parents cover dropping the last two positions; check
+        // the rest.
+        bool all_subsets = true;
+        for (size_t drop = 0; drop + 2 < joined.size() && all_subsets;
+             ++drop) {
+          std::vector<uint32_t> sub;
+          for (size_t t = 0; t < joined.size(); ++t) {
+            if (t != drop) sub.push_back(joined[t]);
+          }
+          all_subsets = prevalent.count(sub) > 0;
+        }
+        if (!all_subsets) continue;
+
+        ++candidates_generated;
+        Candidate cand;
+        cand.types = std::move(joined);
+        ExtendRows(graph, current[i], b.back(), options.star_join, &cand);
+        const Prevalence prev = ComputePrevalence(graph, cand);
+        if (prev.pi >= options.min_prevalence && !cand.maxband.empty()) {
+          next.push_back(std::move(cand));
+        }
+      }
+    }
+    for (const Candidate& cand : next) emit(cand);
+    current = std::move(next);
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const MinedColocation& a, const MinedColocation& b) {
+              if (a.types.size() != b.types.size()) {
+                return a.types.size() < b.types.size();
+              }
+              return a.types < b.types;
+            });
+
+  uint64_t total_rows = 0;
+  for (const MinedColocation& p : result) total_rows += p.rows;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("coloc.mine.candidates").Add(candidates_generated);
+  registry.GetCounter("coloc.mine.patterns").Add(result.size());
+  registry.GetCounter("coloc.mine.rows").Add(total_rows);
+  span.SetAttr("candidates", static_cast<double>(candidates_generated));
+  span.SetAttr("patterns", static_cast<double>(result.size()));
+  return result;
+}
+
+}  // namespace coloc
+}  // namespace sfpm

@@ -1,0 +1,61 @@
+#ifndef SFPM_COLOC_MINER_H_
+#define SFPM_COLOC_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "coloc/neighbor_graph.h"
+#include "core/candidate_filter.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace coloc {
+
+/// \brief Parameters of one graph-based mining run.
+struct ColocMinerOptions {
+  /// Minimum participation index in [0, 1].
+  double min_prevalence = 0.3;
+
+  /// Stop after patterns of this many types (0 = unlimited).
+  size_t max_size = 0;
+
+  /// Row-instance generation mode. Clique mode (default) intersects the
+  /// ordered neighbour lists of *every* member; star/partial-join mode
+  /// takes the first member's star as the candidate set and verifies
+  /// cliqueness per candidate with binary-searched edge probes. Both
+  /// produce identical patterns; star join trades intersection work for
+  /// probes and wins when stars are small.
+  bool star_join = false;
+
+  /// Candidate-pair constraints over *type ids* (the graph's type order),
+  /// applied at pattern size 2 exactly like the itemset miners apply them
+  /// at k == 2 — the uniform KC/KC+ filter stack. Anti-monotonicity then
+  /// bars every superset of a pruned pair. Not owned.
+  std::vector<const core::CandidateFilter*> filters;
+};
+
+/// \brief One prevalent co-location over a neighbour graph, in type ids.
+struct MinedColocation {
+  std::vector<uint32_t> types;  ///< Ascending ids into graph.type_names().
+  double participation_index = 0.0;
+  /// Graded prevalence: each row instance's membership is graded by its
+  /// worst (farthest) edge band — with B bands, an edge in band b has
+  /// membership (B - b) / B — and each instance participates with its
+  /// best row's grade. Equals the crisp participation index when the
+  /// graph was built without a quantizer.
+  double fuzzy_prevalence = 0.0;
+  uint64_t rows = 0;            ///< Row instances (cliques) realizing it.
+};
+
+/// \brief Apriori-style participation-index mining over a materialized
+/// neighbour graph: size-2 patterns from the CSR edge lists, then
+/// prefix-join candidate generation with subset pruning, row instances by
+/// ordered neighbour intersection, and PI's anti-monotonicity pruning the
+/// lattice. Results are sorted by (size, type ids) and deterministic.
+Result<std::vector<MinedColocation>> MineGraph(const NeighborGraph& graph,
+                                               const ColocMinerOptions& options);
+
+}  // namespace coloc
+}  // namespace sfpm
+
+#endif  // SFPM_COLOC_MINER_H_

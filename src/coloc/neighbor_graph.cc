@@ -1,0 +1,200 @@
+#include "coloc/neighbor_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "geom/algorithms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace sfpm {
+namespace coloc {
+
+namespace {
+
+/// One forward edge found by the distance join, before mirroring.
+struct ForwardEdge {
+  uint32_t target;
+  uint8_t band;
+};
+
+}  // namespace
+
+size_t NeighborGraph::TypeOf(uint32_t node) const {
+  // First fence strictly greater than `node`, minus one.
+  const auto it =
+      std::upper_bound(type_begin_.begin(), type_begin_.end(), node);
+  return static_cast<size_t>(it - type_begin_.begin()) - 1;
+}
+
+std::pair<const uint32_t*, const uint32_t*> NeighborGraph::Neighbors(
+    uint32_t node, size_t t) const {
+  const uint32_t* begin = neighbors_.data() + offsets_[node];
+  const uint32_t* end = neighbors_.data() + offsets_[node + 1];
+  const uint32_t* lo = std::lower_bound(begin, end, type_begin_[t]);
+  const uint32_t* hi = std::lower_bound(lo, end, type_begin_[t + 1]);
+  return {lo, hi};
+}
+
+bool NeighborGraph::AreNeighbors(uint32_t a, uint32_t b) const {
+  const uint32_t* begin = neighbors_.data() + offsets_[a];
+  const uint32_t* end = neighbors_.data() + offsets_[a + 1];
+  return std::binary_search(begin, end, b);
+}
+
+uint8_t NeighborGraph::BandOf(uint32_t a, uint32_t b) const {
+  const uint32_t* begin = neighbors_.data() + offsets_[a];
+  const uint32_t* end = neighbors_.data() + offsets_[a + 1];
+  const uint32_t* it = std::lower_bound(begin, end, b);
+  return bands_[offsets_[a] + static_cast<uint64_t>(it - begin)];
+}
+
+Result<NeighborGraph> NeighborGraph::Build(const feature::LayerSet& layers,
+                                           const NeighborGraphOptions& options) {
+  if (layers.size() < 2) {
+    return Status::InvalidArgument(
+        "neighbour graph needs at least two layers");
+  }
+  if (!(options.distance > 0.0)) {
+    return Status::InvalidArgument("neighbour distance must be positive");
+  }
+  {
+    std::set<std::string> seen;
+    for (const feature::Layer* layer : layers) {
+      if (layer->feature_type().empty()) {
+        return Status::InvalidArgument("layer has an empty feature type");
+      }
+      if (!seen.insert(layer->feature_type()).second) {
+        return Status::InvalidArgument("duplicate feature type '" +
+                                       layer->feature_type() + "'");
+      }
+    }
+  }
+
+  auto span = obs::Tracer::Global().StartSpan("coloc/graph");
+
+  NeighborGraph graph;
+  graph.distance_ = options.distance;
+  if (options.quantizer != nullptr) {
+    for (const qsr::DistanceQuantizer::Band& band :
+         options.quantizer->bands()) {
+      graph.band_names_.push_back(band.name);
+    }
+  }
+
+  graph.type_begin_.push_back(0);
+  uint64_t total = 0;
+  for (const feature::Layer* layer : layers) {
+    graph.type_names_.push_back(layer->feature_type());
+    total += layer->Size();
+    if (total > (uint64_t{1} << 32) - 1) {
+      return Status::InvalidArgument(
+          "neighbour graph exceeds the 32-bit node-id space");
+    }
+    graph.type_begin_.push_back(static_cast<uint32_t>(total));
+  }
+  const size_t num_nodes = static_cast<size_t>(total);
+
+  // Warm every layer's lazy R-tree before the parallel region: the first
+  // Index() call is not safe to race.
+  for (const feature::Layer* layer : layers) layer->Index();
+
+  // Distance join, from the lower-typed endpoint only: node u of type t
+  // probes the R-trees of types s > t with its envelope inflated by R,
+  // then keeps candidates whose exact distance is within R. Each node's
+  // forward list is an independent pure function of the input, so the
+  // parallel fill is deterministic at every thread count.
+  std::vector<std::vector<ForwardEdge>> forward(num_nodes);
+  ThreadPool pool(ResolveParallelism(options.threads));
+  std::vector<uint64_t> distance_calls(pool.num_threads(), 0);
+  pool.ParallelForChunks(
+      0, num_nodes, [&](size_t begin, size_t end, size_t chunk) {
+        std::vector<uint64_t> candidates;
+        uint64_t calls = 0;
+        for (size_t u = begin; u < end; ++u) {
+          const auto node = static_cast<uint32_t>(u);
+          const size_t t = graph.TypeOf(node);
+          const geom::Geometry& g =
+              layers[t].at(graph.InstanceOf(node)).geometry();
+          const geom::Envelope env = g.GetEnvelope();
+          std::vector<ForwardEdge>& out = forward[u];
+          for (size_t s = t + 1; s < layers.size(); ++s) {
+            candidates.clear();
+            layers[s].Index().QueryWithinDistance(env, options.distance,
+                                                  &candidates);
+            calls += candidates.size();
+            for (const uint64_t id : candidates) {
+              const double d =
+                  geom::Distance(g, layers[s].at(id).geometry());
+              if (d <= options.distance) {
+                const uint8_t band =
+                    options.quantizer == nullptr
+                        ? 0
+                        : static_cast<uint8_t>(std::min<size_t>(
+                              options.quantizer->BandIndex(d), 255));
+                out.push_back({graph.type_begin_[s] +
+                                   static_cast<uint32_t>(id),
+                               band});
+              }
+            }
+          }
+          // R-tree hits arrive in tree order; the CSR contract is
+          // ascending node ids.
+          std::sort(out.begin(), out.end(),
+                    [](const ForwardEdge& a, const ForwardEdge& b) {
+                      return a.target < b.target;
+                    });
+        }
+        distance_calls[chunk] += calls;
+      });
+
+  // Degrees: every forward edge contributes one slot at each endpoint.
+  graph.offsets_.assign(num_nodes + 1, 0);
+  for (size_t u = 0; u < num_nodes; ++u) {
+    graph.offsets_[u + 1] += forward[u].size();
+    for (const ForwardEdge& e : forward[u]) {
+      graph.offsets_[e.target + 1] += 1;
+    }
+  }
+  for (size_t u = 0; u < num_nodes; ++u) {
+    graph.offsets_[u + 1] += graph.offsets_[u];
+  }
+  const size_t num_edges = static_cast<size_t>(graph.offsets_[num_nodes]);
+  graph.neighbors_.resize(num_edges);
+  graph.bands_.resize(num_edges);
+
+  // Fill. A node's neighbours of lower types are the mirrored sources,
+  // which arrive ascending because the mirror pass scans u ascending; its
+  // neighbours of higher types are its own (sorted) forward list. Lower
+  // types mean smaller node ids, so mirror-then-forward is fully sorted.
+  std::vector<uint64_t> cursor(graph.offsets_.begin(),
+                               graph.offsets_.end() - 1);
+  for (size_t u = 0; u < num_nodes; ++u) {
+    for (const ForwardEdge& e : forward[u]) {
+      graph.neighbors_[cursor[e.target]] = static_cast<uint32_t>(u);
+      graph.bands_[cursor[e.target]] = e.band;
+      ++cursor[e.target];
+    }
+  }
+  for (size_t u = 0; u < num_nodes; ++u) {
+    for (const ForwardEdge& e : forward[u]) {
+      graph.neighbors_[cursor[u]] = e.target;
+      graph.bands_[cursor[u]] = e.band;
+      ++cursor[u];
+    }
+  }
+
+  uint64_t calls = 0;
+  for (const uint64_t c : distance_calls) calls += c;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("coloc.graph.nodes").Add(num_nodes);
+  registry.GetCounter("coloc.graph.edges").Add(num_edges / 2);
+  registry.GetCounter("coloc.graph.distance_calls").Add(calls);
+  span.SetAttr("nodes", static_cast<double>(num_nodes));
+  span.SetAttr("edges", static_cast<double>(num_edges / 2));
+  return graph;
+}
+
+}  // namespace coloc
+}  // namespace sfpm

@@ -1,0 +1,114 @@
+#ifndef SFPM_COLOC_NEIGHBOR_GRAPH_H_
+#define SFPM_COLOC_NEIGHBOR_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "feature/feature.h"
+#include "qsr/distance.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace coloc {
+
+/// \brief Parameters of one neighbour-graph materialization.
+struct NeighborGraphOptions {
+  /// Neighbourhood radius R: two instances of *different* types are
+  /// neighbours when their geometries lie within this distance.
+  double distance = 500.0;
+
+  /// Optional distance quantizer: when set, every edge is annotated with
+  /// the band index of its exact distance (the fuzzy-prevalence grades);
+  /// when null, every edge carries band 0 and no band names are recorded.
+  const qsr::DistanceQuantizer* quantizer = nullptr;
+
+  /// Worker threads for the distance join (0 = auto, 1 = serial). The
+  /// graph is bit-identical at every setting: each node's neighbour list
+  /// is an independent pure function of the input, and assembly into CSR
+  /// happens in node order on the calling thread.
+  size_t threads = 0;
+};
+
+/// \brief The materialized neighbour relation of a co-location run: one
+/// R-tree distance join over the feature layers, stored as a compact CSR
+/// adjacency keyed by (type, instance).
+///
+/// Node ids are global and deterministic: types in layer order, instances
+/// in feature order, so node `TypeBegin(t) + i` is instance `i` of type
+/// `t`. Because ids are grouped by type, each node's (ascending) neighbour
+/// list keeps every type's neighbours in one contiguous subrange —
+/// `Neighbors(node, t)` is a pair of binary searches, and the miner's
+/// ordered clique intersections never materialize per-type lists.
+///
+/// Only cross-type edges exist (a co-location never pairs a type with
+/// itself), and the relation is symmetric by construction: edges are
+/// found once, from the lower-typed endpoint, then mirrored.
+class NeighborGraph {
+ public:
+  /// Builds the graph. Requires at least two layers with distinct,
+  /// non-empty feature types and a positive distance.
+  static Result<NeighborGraph> Build(const feature::LayerSet& layers,
+                                     const NeighborGraphOptions& options);
+
+  double distance() const { return distance_; }
+
+  size_t num_types() const { return type_names_.size(); }
+  const std::vector<std::string>& type_names() const { return type_names_; }
+  const std::string& type_name(size_t t) const { return type_names_[t]; }
+
+  /// Number of instances of type `t`.
+  uint32_t TypeSize(size_t t) const {
+    return type_begin_[t + 1] - type_begin_[t];
+  }
+  /// First global node id of type `t`; ids run to `TypeBegin(t + 1)`.
+  uint32_t TypeBegin(size_t t) const { return type_begin_[t]; }
+  /// Type of a global node id.
+  size_t TypeOf(uint32_t node) const;
+  /// Instance index of a global node id within its type.
+  uint32_t InstanceOf(uint32_t node) const {
+    return node - type_begin_[TypeOf(node)];
+  }
+
+  size_t num_nodes() const { return offsets_.size() - 1; }
+  /// Directed edge slots; every undirected neighbour pair counts twice.
+  size_t num_edges() const { return neighbors_.size(); }
+
+  /// CSR arrays (exposed for serialization and invariants testing).
+  /// `offsets()[v] .. offsets()[v+1]` indexes `neighbors()`/`bands()`.
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  const std::vector<uint32_t>& neighbors() const { return neighbors_; }
+  const std::vector<uint8_t>& bands() const { return bands_; }
+
+  /// Band names of the quantizer the edges were graded with (empty when
+  /// the graph was built without one).
+  const std::vector<std::string>& band_names() const { return band_names_; }
+
+  /// Ascending neighbours of `node` restricted to type `t`, as a
+  /// [first, last) subrange of the neighbour array.
+  std::pair<const uint32_t*, const uint32_t*> Neighbors(uint32_t node,
+                                                        size_t t) const;
+
+  /// True when `a` and `b` are neighbours (binary search on a's list).
+  bool AreNeighbors(uint32_t a, uint32_t b) const;
+
+  /// Band index of edge (a, b); requires AreNeighbors(a, b).
+  uint8_t BandOf(uint32_t a, uint32_t b) const;
+
+ private:
+  NeighborGraph() = default;
+
+  double distance_ = 0.0;
+  std::vector<std::string> type_names_;
+  std::vector<uint32_t> type_begin_;  ///< num_types + 1 node-id fences.
+  std::vector<std::string> band_names_;
+  std::vector<uint64_t> offsets_;     ///< num_nodes + 1.
+  std::vector<uint32_t> neighbors_;   ///< Ascending within each node.
+  std::vector<uint8_t> bands_;        ///< Parallel to neighbors_.
+};
+
+}  // namespace coloc
+}  // namespace sfpm
+
+#endif  // SFPM_COLOC_NEIGHBOR_GRAPH_H_

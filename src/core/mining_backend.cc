@@ -1,0 +1,106 @@
+#include "core/mining_backend.h"
+
+#include "core/apriori.h"
+#include "core/fpgrowth.h"
+
+namespace sfpm {
+namespace core {
+
+namespace {
+
+/// Shared adapter of the two TransactionDb miners: same option mapping,
+/// same result conversion, different mining entry point.
+class ItemsetBackend : public MiningBackend {
+ public:
+  MiningSource::Kind source_kind() const override {
+    return MiningSource::Kind::kTransactions;
+  }
+
+  Result<MinedPatternSet> Mine(const MiningSource& source,
+                               const BackendOptions& options) const override {
+    if (source.kind() != MiningSource::Kind::kTransactions) {
+      return Status::InvalidArgument(std::string("backend '") + name() +
+                                     "' needs a transaction source");
+    }
+    const TransactionDb& db =
+        static_cast<const TransactionSource&>(source).db();
+
+    AprioriOptions mine_options;
+    mine_options.min_support = options.min_support;
+    mine_options.max_itemset_size = options.max_size;
+    mine_options.filters = options.filters;
+    mine_options.parallelism = options.parallelism;
+    Result<AprioriResult> result = Run(db, mine_options);
+    if (!result.ok()) return result.status();
+
+    MinedPatternSet out;
+    out.labels.reserve(db.NumItems());
+    out.keys.reserve(db.NumItems());
+    for (size_t i = 0; i < db.NumItems(); ++i) {
+      const auto id = static_cast<ItemId>(i);
+      out.labels.push_back(db.Label(id));
+      out.keys.push_back(db.Key(id));
+    }
+    // Emission order preserved: PatternSet sections rebuilt from this are
+    // byte-identical to ones built straight off the AprioriResult.
+    const double total = static_cast<double>(db.NumTransactions());
+    out.patterns.reserve(result.value().itemsets().size());
+    for (const FrequentItemset& f : result.value().itemsets()) {
+      MinedPattern p;
+      p.items = f.items.items();
+      p.support = f.support;
+      p.rows = f.support;
+      p.score = total == 0.0 ? 0.0 : static_cast<double>(f.support) / total;
+      p.fuzzy = p.score;
+      out.patterns.push_back(std::move(p));
+    }
+    return out;
+  }
+
+ protected:
+  virtual Result<AprioriResult> Run(const TransactionDb& db,
+                                    const AprioriOptions& options) const = 0;
+};
+
+class AprioriBackendImpl final : public ItemsetBackend {
+ public:
+  const char* name() const override { return "apriori"; }
+
+ protected:
+  Result<AprioriResult> Run(const TransactionDb& db,
+                            const AprioriOptions& options) const override {
+    return MineApriori(db, options);
+  }
+};
+
+class FpGrowthBackendImpl final : public ItemsetBackend {
+ public:
+  const char* name() const override { return "fpgrowth"; }
+
+ protected:
+  Result<AprioriResult> Run(const TransactionDb& db,
+                            const AprioriOptions& options) const override {
+    return MineFpGrowth(db, options);
+  }
+};
+
+}  // namespace
+
+const MiningBackend& AprioriBackend() {
+  static const AprioriBackendImpl* backend = new AprioriBackendImpl();
+  return *backend;
+}
+
+const MiningBackend& FpGrowthBackend() {
+  static const FpGrowthBackendImpl* backend = new FpGrowthBackendImpl();
+  return *backend;
+}
+
+const MiningBackend* FindBackend(const std::string& name) {
+  if (name == "apriori") return &AprioriBackend();
+  if (name == "fpgrowth") return &FpGrowthBackend();
+  return nullptr;
+}
+
+}  // namespace core
+}  // namespace sfpm

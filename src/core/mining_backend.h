@@ -1,0 +1,121 @@
+#ifndef SFPM_CORE_MINING_BACKEND_H_
+#define SFPM_CORE_MINING_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/candidate_filter.h"
+#include "core/transaction_db.h"
+#include "util/status.h"
+
+namespace sfpm {
+namespace core {
+
+/// \brief Type-erased input of a mining backend.
+///
+/// The itemset miners consume a TransactionDb; the co-location miner
+/// consumes feature layers. Each backend downcasts to the source kind it
+/// supports and rejects the rest with InvalidArgument, so the pipeline can
+/// route any source to any backend and get a diagnosable error instead of
+/// undefined behaviour. Layer-backed sources live in the coloc module
+/// (core does not depend on feature).
+class MiningSource {
+ public:
+  enum class Kind {
+    kTransactions,  ///< TransactionSource, wraps a core::TransactionDb.
+    kLayers,        ///< coloc::LayerSource, wraps a feature::LayerSet.
+  };
+
+  virtual ~MiningSource() = default;
+  virtual Kind kind() const = 0;
+};
+
+/// \brief A TransactionDb as a mining source (not owned).
+class TransactionSource final : public MiningSource {
+ public:
+  explicit TransactionSource(const TransactionDb* db) : db_(db) {}
+  Kind kind() const override { return Kind::kTransactions; }
+  const TransactionDb& db() const { return *db_; }
+
+ private:
+  const TransactionDb* db_;
+};
+
+/// \brief Backend-agnostic mining knobs.
+struct BackendOptions {
+  /// Prevalence threshold: minimum support as a fraction of transactions
+  /// (itemset backends) or minimum participation index (co-location).
+  double min_support = 0.1;
+
+  /// Stop after patterns of this many items/types (0 = unlimited).
+  size_t max_size = 0;
+
+  /// Worker threads (0 = auto). Every backend is bit-identical at every
+  /// setting.
+  size_t parallelism = 0;
+
+  /// Candidate-pair constraints over the backend's own item universe
+  /// (item ids for itemset backends, type ids for co-location), applied
+  /// at pattern size 2 — the uniform KC/KC+ filter stack. The caller
+  /// builds universe-appropriate filters; not owned.
+  std::vector<const CandidateFilter*> filters;
+
+  /// Neighbourhood radius of the co-location backend's distance join;
+  /// itemset backends ignore it.
+  double neighbor_distance = 500.0;
+};
+
+/// \brief One mined pattern in the backend's item universe.
+struct MinedPattern {
+  std::vector<uint32_t> items;  ///< Ascending item/type ids.
+  uint32_t support = 0;         ///< Absolute support (itemset backends).
+  uint64_t rows = 0;            ///< Row instances (co-location backend).
+  double score = 0.0;           ///< Support ratio, or participation index.
+  double fuzzy = 0.0;           ///< Fuzzy prevalence; == score when ungraded.
+};
+
+/// \brief The uniform output of every backend: the item universe the ids
+/// index into, plus the patterns in the backend's canonical order (the
+/// itemset miners' emission order; (size, ids) for co-location).
+struct MinedPatternSet {
+  std::vector<std::string> labels;  ///< Indexed by pattern item ids.
+  std::vector<std::string> keys;    ///< Grouping keys, parallel to labels.
+  std::vector<MinedPattern> patterns;
+};
+
+/// \brief One frequent-pattern mining algorithm behind a uniform
+/// interface, so dependency (KC) and same-feature-type (KC+) filtering,
+/// the staged pipeline, content-hash manifests and the RunReport apply to
+/// Apriori, FP-Growth and the co-location miner alike.
+class MiningBackend {
+ public:
+  virtual ~MiningBackend() = default;
+
+  /// Stable CLI name ("apriori", "fpgrowth", "coloc").
+  virtual const char* name() const = 0;
+
+  /// The source kind this backend consumes.
+  virtual MiningSource::Kind source_kind() const = 0;
+
+  /// Runs the algorithm. Returns InvalidArgument when `source` is not of
+  /// source_kind() or the options are out of range.
+  virtual Result<MinedPatternSet> Mine(const MiningSource& source,
+                                       const BackendOptions& options) const = 0;
+};
+
+/// The Apriori itemset backend (shares MineApriori's counting kernels).
+const MiningBackend& AprioriBackend();
+
+/// The FP-Growth itemset backend.
+const MiningBackend& FpGrowthBackend();
+
+/// Backend registered in core under `name`, or null. Knows "apriori" and
+/// "fpgrowth"; the co-location backend lives in the coloc module
+/// (coloc::GraphBackend) to keep core free of feature dependencies.
+const MiningBackend* FindBackend(const std::string& name);
+
+}  // namespace core
+}  // namespace sfpm
+
+#endif  // SFPM_CORE_MINING_BACKEND_H_

@@ -2,6 +2,7 @@
 #define SFPM_FEATURE_FEATURE_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
@@ -85,6 +86,43 @@ class Layer {
   mutable bool index_valid_ = false;
   mutable std::vector<relate::PreparedGeometry> prepared_;
   mutable bool prepared_valid_ = false;
+};
+
+/// \brief Non-owning, ordered view over a set of layers — the input shape
+/// of multi-layer consumers (the co-location miner). Cheap to copy;
+/// the referenced layers must outlive the view. Constructible from a
+/// brace list of layer pointers (`{&a, &b}`) or from a vector of layers
+/// via `Of`.
+class LayerSet {
+ public:
+  LayerSet() = default;
+  LayerSet(std::initializer_list<const Layer*> layers) : layers_(layers) {}
+  explicit LayerSet(std::vector<const Layer*> layers)
+      : layers_(std::move(layers)) {}
+
+  /// View over owned layers (the address of each element is taken; the
+  /// vector must not reallocate while the view is in use).
+  static LayerSet Of(const std::vector<Layer>& layers) {
+    std::vector<const Layer*> ptrs;
+    ptrs.reserve(layers.size());
+    for (const Layer& layer : layers) ptrs.push_back(&layer);
+    return LayerSet(std::move(ptrs));
+  }
+
+  size_t size() const { return layers_.size(); }
+  bool empty() const { return layers_.empty(); }
+  const Layer& at(size_t i) const { return *layers_[i]; }
+  const Layer& operator[](size_t i) const { return *layers_[i]; }
+
+  std::vector<const Layer*>::const_iterator begin() const {
+    return layers_.begin();
+  }
+  std::vector<const Layer*>::const_iterator end() const {
+    return layers_.end();
+  }
+
+ private:
+  std::vector<const Layer*> layers_;
 };
 
 }  // namespace feature

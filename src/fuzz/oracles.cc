@@ -12,6 +12,7 @@ const std::vector<const Oracle*>& AllOracles() {
       internal::Rcc8ComposeOracle(),    internal::RelateInferredOracle(),
       internal::RtreeOracle(),          internal::MiningOracle(),
       internal::StoreOracle(),          internal::ShardMergeOracle(),
+      internal::ColocOracle(),
   };
   return all;
 }

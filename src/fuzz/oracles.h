@@ -80,6 +80,14 @@ class Oracle {
 ///                    corrupted, truncated, wrong-stage, wrong-hash, or
 ///                    coverage-breaking tile snapshots are rejected with
 ///                    the "extract-tile" stage attribution.
+///  * `coloc`       — co-location mining differential: the graph-backed
+///                    miner == the naive per-pair reference, the neighbour
+///                    graph's CSR is well-formed, symmetric, strictly
+///                    cross-type and bit-identical at every build thread
+///                    count, star join == clique intersection, PI
+///                    anti-monotonicity holds over the unthresholded
+///                    result, and fuzzy prevalence stays within
+///                    [0, participation index].
 const std::vector<const Oracle*>& AllOracles();
 
 /// Looks an oracle up by name; nullptr when unknown.

@@ -1,0 +1,299 @@
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "coloc/colocation.h"
+#include "coloc/miner.h"
+#include "coloc/neighbor_graph.h"
+#include "feature/feature.h"
+#include "fuzz/generators.h"
+#include "fuzz/oracles_internal.h"
+#include "qsr/distance.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace sfpm {
+namespace fuzz {
+namespace internal {
+
+namespace {
+
+using coloc::ColocMinerOptions;
+using coloc::ColocationOptions;
+using coloc::ColocationPattern;
+using coloc::MinedColocation;
+using coloc::NeighborGraph;
+using coloc::NeighborGraphOptions;
+
+/// Reassembles the case's layer partition: geometry `i` belongs to layer
+/// `i % layers`, feature types "t0".."tN" in layer order. Returns an
+/// empty vector when any layer ends up empty (the reducer may have
+/// dropped all of a layer's geometries) — the oracle treats that as
+/// vacuously OK, since the graph build's contract requires non-empty
+/// types.
+std::vector<feature::Layer> BuildLayers(const FuzzCase& c) {
+  const auto num_layers =
+      static_cast<size_t>(c.ParamInt("layers", 2));
+  if (num_layers < 2 || c.geoms.size() < num_layers) return {};
+  std::vector<feature::Layer> layers;
+  for (size_t t = 0; t < num_layers; ++t) {
+    layers.emplace_back("t" + std::to_string(t));
+  }
+  for (size_t i = 0; i < c.geoms.size(); ++i) {
+    layers[i % num_layers].Add(c.geoms[i], {});
+  }
+  for (const feature::Layer& layer : layers) {
+    if (layer.IsEmpty()) return {};
+  }
+  return layers;
+}
+
+std::string Describe(const ColocationPattern& p) {
+  return p.ToString();
+}
+
+/// \brief The co-location subsystem's invariants on small adversarial
+/// layer sets:
+///  * differential: the graph-backed miner (MineColocations) agrees with
+///    the naive per-pair reference (MineColocationsNaive) on the exact
+///    pattern list — types, participation index, row-instance counts;
+///  * graph structure: the CSR is well-formed (monotone offsets, strictly
+///    ascending neighbour lists), strictly cross-type, symmetric with
+///    symmetric bands, and bit-identical at 1 vs 3 build threads;
+///  * star == clique: both row-instance generation modes of MineGraph
+///    return identical results;
+///  * PI anti-monotonicity: dropping any member of an emitted pattern
+///    yields a pattern with participation index at least as large;
+///  * fuzzy_prevalence stays within [0, participation_index].
+class ColocOracle final : public Oracle {
+ public:
+  std::string Name() const override { return "coloc"; }
+
+  FuzzCase Generate(uint64_t seed) const override {
+    FuzzCase c;
+    c.oracle = Name();
+    c.seed = seed;
+    Rng rng(seed);
+    const size_t num_layers = 2 + rng.NextUint64(3);  // 2..4 types.
+    // Each layer non-empty: one geometry per layer, then extras.
+    const size_t num_geoms = num_layers + rng.NextUint64(13);
+    for (size_t i = 0; i < num_geoms; ++i) {
+      c.geoms.push_back(GridGeometry(&rng, 6));
+    }
+    c.params["layers"] = std::to_string(num_layers);
+    // Lattice-scaled radius: small enough that disjointness happens,
+    // large enough that cliques form.
+    c.params["distance"] = std::to_string(1 + rng.NextUint64(9));
+    c.params["min_prevalence"] =
+        FormatRoundTripDouble(static_cast<double>(rng.NextUint64(8)) / 10.0);
+    return c;
+  }
+
+  Status Check(const FuzzCase& c) const override {
+    const std::vector<feature::Layer> layer_storage = BuildLayers(c);
+    if (layer_storage.empty()) return Status::OK();  // Vacuous case.
+    const feature::LayerSet layers = feature::LayerSet::Of(layer_storage);
+
+    ColocationOptions options;
+    options.neighbor_distance = c.ParamDouble("distance", 2.0);
+    options.min_prevalence = c.ParamDouble("min_prevalence", 0.3);
+
+    auto fast = coloc::MineColocations(layers, options);
+    if (!fast.ok()) {
+      return Violation("coloc/graph_mine", fast.status().message());
+    }
+    auto naive = coloc::MineColocationsNaive(layers, options);
+    if (!naive.ok()) {
+      return Violation("coloc/naive_mine", naive.status().message());
+    }
+    SFPM_RETURN_NOT_OK(CheckDifferential(fast.value(), naive.value()));
+
+    for (const ColocationPattern& p : fast.value()) {
+      if (p.fuzzy_prevalence < 0.0 ||
+          p.fuzzy_prevalence > p.participation_index) {
+        return Violation("coloc/fuzzy_bounds",
+                         Describe(p) + " fuzzy=" +
+                             FormatRoundTripDouble(p.fuzzy_prevalence));
+      }
+    }
+
+    SFPM_RETURN_NOT_OK(CheckGraph(layers, options));
+    return Status::OK();
+  }
+
+ private:
+  /// Graph path vs naive reference: identical pattern sequences (both are
+  /// sorted by (size, type names); PI ratios divide the same integers, so
+  /// exact double equality is the right comparison).
+  static Status CheckDifferential(const std::vector<ColocationPattern>& fast,
+                                  const std::vector<ColocationPattern>& naive) {
+    if (fast.size() != naive.size()) {
+      return Violation("coloc/differential",
+                       "graph miner found " + std::to_string(fast.size()) +
+                           " patterns, naive found " +
+                           std::to_string(naive.size()));
+    }
+    for (size_t i = 0; i < fast.size(); ++i) {
+      const ColocationPattern& a = fast[i];
+      const ColocationPattern& b = naive[i];
+      if (a.types != b.types ||
+          a.participation_index != b.participation_index ||
+          a.num_row_instances != b.num_row_instances) {
+        return Violation("coloc/differential",
+                         "pattern " + std::to_string(i) + ": graph " +
+                             Describe(a) + " vs naive " + Describe(b));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// CSR structure, symmetry, cross-type-only, thread identity, band
+  /// symmetry, star == clique, and PI anti-monotonicity over the
+  /// unthresholded result.
+  static Status CheckGraph(const feature::LayerSet& layers,
+                           const ColocationOptions& options) {
+    // A lattice-scaled quantizer so the band annotations actually vary
+    // (the default 500/2000 m bands would put every lattice edge in band
+    // 0).
+    auto quantizer = qsr::DistanceQuantizer::Create(
+        {{"near", options.neighbor_distance / 2},
+         {"mid", options.neighbor_distance}},
+        "far");
+    if (!quantizer.ok()) {
+      return Violation("coloc/quantizer", quantizer.status().message());
+    }
+
+    NeighborGraphOptions graph_options;
+    graph_options.distance = options.neighbor_distance;
+    graph_options.quantizer = &quantizer.value();
+    graph_options.threads = 1;
+    auto serial = NeighborGraph::Build(layers, graph_options);
+    if (!serial.ok()) {
+      return Violation("coloc/graph_build", serial.status().message());
+    }
+    graph_options.threads = 3;
+    auto parallel = NeighborGraph::Build(layers, graph_options);
+    if (!parallel.ok()) {
+      return Violation("coloc/graph_build", parallel.status().message());
+    }
+    const NeighborGraph& g = serial.value();
+    if (g.offsets() != parallel.value().offsets() ||
+        g.neighbors() != parallel.value().neighbors() ||
+        g.bands() != parallel.value().bands()) {
+      return Violation("coloc/thread_identity",
+                       "CSR differs between 1 and 3 build threads");
+    }
+
+    if (g.offsets().front() != 0 || g.offsets().back() != g.num_edges()) {
+      return Violation("coloc/csr", "offset fences broken");
+    }
+    for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+      if (g.offsets()[u] > g.offsets()[u + 1]) {
+        return Violation("coloc/csr",
+                         "offsets decrease at node " + std::to_string(u));
+      }
+      for (uint64_t e = g.offsets()[u]; e < g.offsets()[u + 1]; ++e) {
+        const uint32_t w = g.neighbors()[e];
+        if (e > g.offsets()[u] && g.neighbors()[e - 1] >= w) {
+          return Violation("coloc/csr",
+                           "neighbour list of node " + std::to_string(u) +
+                               " not strictly ascending");
+        }
+        if (g.TypeOf(w) == g.TypeOf(u)) {
+          return Violation("coloc/cross_type",
+                           "same-type edge " + std::to_string(u) + "-" +
+                               std::to_string(w));
+        }
+        if (!g.AreNeighbors(w, u)) {
+          return Violation("coloc/symmetry",
+                           "edge " + std::to_string(u) + "-" +
+                               std::to_string(w) + " has no mirror");
+        }
+        if (g.BandOf(u, w) != g.BandOf(w, u)) {
+          return Violation("coloc/band_symmetry",
+                           "edge " + std::to_string(u) + "-" +
+                               std::to_string(w) + " bands differ by "
+                                                   "direction");
+        }
+      }
+    }
+
+    // Star join and clique intersection must produce identical results —
+    // and with min_prevalence 0 the full (unthresholded) pattern list
+    // supports the anti-monotonicity check.
+    ColocMinerOptions miner_options;
+    miner_options.min_prevalence = 0.0;
+    auto clique = coloc::MineGraph(g, miner_options);
+    if (!clique.ok()) {
+      return Violation("coloc/mine_graph", clique.status().message());
+    }
+    miner_options.star_join = true;
+    auto star = coloc::MineGraph(g, miner_options);
+    if (!star.ok()) {
+      return Violation("coloc/mine_graph", star.status().message());
+    }
+    if (clique.value().size() != star.value().size()) {
+      return Violation("coloc/star_clique",
+                       "clique mode found " +
+                           std::to_string(clique.value().size()) +
+                           " patterns, star mode " +
+                           std::to_string(star.value().size()));
+    }
+    for (size_t i = 0; i < clique.value().size(); ++i) {
+      const MinedColocation& a = clique.value()[i];
+      const MinedColocation& b = star.value()[i];
+      if (a.types != b.types ||
+          a.participation_index != b.participation_index ||
+          a.fuzzy_prevalence != b.fuzzy_prevalence || a.rows != b.rows) {
+        return Violation("coloc/star_clique",
+                         "pattern " + std::to_string(i) +
+                             " differs between join modes");
+      }
+    }
+
+    // PI anti-monotonicity: every (k-1)-subset of an emitted pattern has
+    // at least the pattern's participation index. With threshold 0 every
+    // pattern with a row instance is in the list, so the subset must be
+    // present.
+    std::map<std::vector<uint32_t>, double> pi;
+    for (const MinedColocation& m : clique.value()) {
+      pi[m.types] = m.participation_index;
+    }
+    for (const MinedColocation& m : clique.value()) {
+      if (m.types.size() < 3) continue;
+      for (size_t drop = 0; drop < m.types.size(); ++drop) {
+        std::vector<uint32_t> sub;
+        for (size_t t = 0; t < m.types.size(); ++t) {
+          if (t != drop) sub.push_back(m.types[t]);
+        }
+        const auto it = pi.find(sub);
+        if (it == pi.end()) {
+          return Violation("coloc/anti_monotone",
+                           "subset of an emitted pattern missing from the "
+                           "unthresholded result");
+        }
+        if (it->second < m.participation_index) {
+          return Violation(
+              "coloc/anti_monotone",
+              "subset PI " + FormatRoundTripDouble(it->second) +
+                  " below superset PI " +
+                  FormatRoundTripDouble(m.participation_index));
+        }
+      }
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const Oracle* ColocOracle() {
+  static const class ColocOracle instance;
+  return &instance;
+}
+
+}  // namespace internal
+}  // namespace fuzz
+}  // namespace sfpm

@@ -23,6 +23,7 @@ const Oracle* RtreeOracle();
 const Oracle* MiningOracle();
 const Oracle* StoreOracle();
 const Oracle* ShardMergeOracle();
+const Oracle* ColocOracle();
 /// @}
 
 /// Shared failure constructor: "<invariant>: <detail>".

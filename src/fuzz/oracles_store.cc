@@ -49,8 +49,49 @@ store::PatternSet MakePatterns(const FuzzCase& c,
   return ps;
 }
 
+/// Deterministic neighbour graph derived from the database shape alone:
+/// two types, a small fixed CSR whose edge count tracks NumItems so the
+/// payload varies with the case.
+store::NeighborGraphData MakeGraph(const core::TransactionDb& db) {
+  store::NeighborGraphData graph;
+  graph.distance = 500.0;
+  graph.type_names = {"alpha", "beta"};
+  const uint32_t alpha = static_cast<uint32_t>(db.NumItems() % 3) + 1;
+  graph.type_sizes = {alpha, 1};
+  graph.band_names = {"veryClose", "close"};
+  // Every alpha node neighbours the single beta node, and vice versa.
+  graph.offsets.push_back(0);
+  for (uint32_t i = 0; i < alpha; ++i) {
+    graph.neighbors.push_back(alpha);
+    graph.bands.push_back(static_cast<uint8_t>(i % 2));
+    graph.offsets.push_back(graph.neighbors.size());
+  }
+  for (uint32_t i = 0; i < alpha; ++i) {
+    graph.neighbors.push_back(i);
+    graph.bands.push_back(static_cast<uint8_t>(i % 2));
+  }
+  graph.offsets.push_back(graph.neighbors.size());
+  return graph;
+}
+
+/// Deterministic co-location set: one pair pattern over the graph types.
+store::ColocationSet MakeColocations(const FuzzCase& c,
+                                     const core::TransactionDb& db) {
+  store::ColocationSet cs;
+  cs.type_names = {"alpha", "beta"};
+  cs.min_prevalence = c.ParamDouble("min_support", 0.1);
+  cs.distance = 500.0;
+  cs.filter = "none";
+  cs.patterns = {{{0, 1},
+                  1.0,
+                  0.5,
+                  static_cast<uint64_t>(db.NumItems() % 3) + 1}};
+  return cs;
+}
+
 /// Serializes the case payload: optional layer, the transaction db, a
-/// derived pattern set, and the params as a manifest.
+/// derived pattern set, neighbour graph and co-location set, and the
+/// params as a manifest.
 std::string BuildSnapshot(const FuzzCase& c, const core::TransactionDb& db) {
   SnapshotWriter w;
   if (!c.geoms.empty()) {
@@ -62,6 +103,8 @@ std::string BuildSnapshot(const FuzzCase& c, const core::TransactionDb& db) {
   }
   w.AddTransactionDb(db);
   w.AddPatternSet(MakePatterns(c, db));
+  w.AddNeighborGraph(MakeGraph(db));
+  w.AddColocationSet(MakeColocations(c, db));
   std::map<std::string, std::string> manifest(c.params);
   manifest["oracle"] = c.oracle;
   w.AddManifest(manifest);
@@ -145,6 +188,33 @@ class StoreOracle final : public Oracle {
                              "written");
           }
           rewrite.AddPatternSet(ps.value(), info.name);
+          break;
+        }
+        case SectionType::kNeighborGraph: {
+          auto graph = reader.value().ReadNeighborGraph(info);
+          if (!graph.ok()) {
+            return Violation("store/read_graph", graph.status().message());
+          }
+          if (!(graph.value() == MakeGraph(db))) {
+            return Violation("store/graph_roundtrip",
+                             "decoded neighbour graph differs from the one "
+                             "written");
+          }
+          rewrite.AddNeighborGraph(graph.value(), info.name);
+          break;
+        }
+        case SectionType::kColocationSet: {
+          auto cs = reader.value().ReadColocationSet(info);
+          if (!cs.ok()) {
+            return Violation("store/read_colocations",
+                             cs.status().message());
+          }
+          if (!(cs.value() == MakeColocations(c, db))) {
+            return Violation("store/colocation_roundtrip",
+                             "decoded co-location set differs from the one "
+                             "written");
+          }
+          rewrite.AddColocationSet(cs.value(), info.name);
           break;
         }
         case SectionType::kManifest: {
@@ -270,6 +340,10 @@ class StoreOracle final : public Oracle {
         return reader.ReadTransactionDb(info).status();
       case SectionType::kPatternSet:
         return reader.ReadPatternSet(info).status();
+      case SectionType::kNeighborGraph:
+        return reader.ReadNeighborGraph(info).status();
+      case SectionType::kColocationSet:
+        return reader.ReadColocationSet(info).status();
       case SectionType::kManifest:
         return reader.ReadManifest(info).status();
     }

@@ -158,6 +158,93 @@ Result<std::string> QueryPatterns(const ServingSnapshot& snap,
   return out;
 }
 
+Result<std::string> QueryColocations(const ServingSnapshot& snap,
+                                     const Value& body) {
+  if (!snap.colocations.has_value()) {
+    return Status::NotFound(
+        "no co-location section in the served snapshots");
+  }
+  const store::ColocationSet& cs = *snap.colocations;
+
+  SFPM_ASSIGN_OR_RETURN(const uint64_t limit,
+                        CountParam(body, "limit", 100, kMaxLimit));
+  SFPM_ASSIGN_OR_RETURN(const double min_prevalence,
+                        NumberParam(body, "min_prevalence", 0.0));
+  SFPM_ASSIGN_OR_RETURN(const uint64_t min_size,
+                        CountParam(body, "min_size", 0, 1024));
+  SFPM_ASSIGN_OR_RETURN(const uint64_t max_size,
+                        CountParam(body, "max_size", 1024, 1024));
+  if (min_prevalence < 0.0 || min_prevalence > 1.0) {
+    return Status::InvalidArgument("'min_prevalence' must be in [0, 1]");
+  }
+
+  // `contains`: feature types that must all be members.
+  std::vector<uint32_t> required;
+  if (const Value* contains = body.Find("contains")) {
+    if (!contains->is_array()) {
+      return Status::InvalidArgument(
+          "'contains' must be an array of feature types");
+    }
+    for (const Value& entry : contains->array) {
+      if (!entry.is_string()) {
+        return Status::InvalidArgument("'contains' entries must be strings");
+      }
+      const auto it = std::find(cs.type_names.begin(), cs.type_names.end(),
+                                entry.string);
+      if (it == cs.type_names.end()) {
+        return Status::NotFound("unknown feature type '" + entry.string +
+                                "'");
+      }
+      required.push_back(static_cast<uint32_t>(it - cs.type_names.begin()));
+    }
+  }
+
+  Writer w;
+  w.BeginObject();
+  w.Key("min_prevalence").Number(cs.min_prevalence);
+  w.Key("distance").Number(cs.distance);
+  w.Key("filter").String(cs.filter);
+  uint64_t total = 0;
+  std::string patterns;
+  {
+    Writer rows;
+    rows.BeginArray();
+    for (const store::ColocationSet::Pattern& p : cs.patterns) {
+      if (p.participation_index + 1e-12 < min_prevalence) continue;
+      if (p.types.size() < min_size || p.types.size() > max_size) continue;
+      bool has_all = true;
+      for (const uint32_t type : required) {
+        if (std::find(p.types.begin(), p.types.end(), type) ==
+            p.types.end()) {
+          has_all = false;
+          break;
+        }
+      }
+      if (!has_all) continue;
+      ++total;
+      if (total > limit) continue;  // Keep counting for `total`.
+      rows.BeginObject();
+      rows.Key("types");
+      rows.BeginArray();
+      for (const uint32_t type : p.types) rows.String(cs.type_names[type]);
+      rows.EndArray();
+      rows.Key("participation_index").Number(p.participation_index);
+      rows.Key("fuzzy_prevalence").Number(p.fuzzy_prevalence);
+      rows.Key("rows").Number(p.rows);
+      rows.EndObject();
+    }
+    rows.EndArray();
+    patterns = rows.str();
+  }
+  w.Key("total").Number(total);
+  w.Key("returned").Number(std::min<uint64_t>(total, limit));
+  w.EndObject();
+  // Splice the rows in (the Writer cannot embed raw JSON).
+  std::string out = w.str();
+  out.insert(out.size() - 1, ",\"patterns\":" + patterns);
+  return out;
+}
+
 Result<std::string> QueryRules(const ServingSnapshot& snap,
                                const Value& body) {
   if (!snap.patterns.has_value()) {
@@ -441,6 +528,18 @@ Result<std::string> QueryEngine::Stat(const ServingSnapshot& snap) const {
   } else {
     w.Null();
   }
+  w.Key("colocations");
+  if (snap.colocations.has_value()) {
+    w.BeginObject();
+    w.Key("patterns").Number(
+        static_cast<uint64_t>(snap.colocations->patterns.size()));
+    w.Key("min_prevalence").Number(snap.colocations->min_prevalence);
+    w.Key("distance").Number(snap.colocations->distance);
+    w.Key("filter").String(snap.colocations->filter);
+    w.EndObject();
+  } else {
+    w.Null();
+  }
   w.Key("transactions");
   if (snap.txdb.has_value()) {
     w.Number(static_cast<uint64_t>(snap.txdb->num_transactions));
@@ -497,8 +596,8 @@ const std::vector<double>& LatencyBoundsMs() {
 
 const std::string& QueryTypeLabel(const std::string& query) {
   static const std::vector<std::string> known = {
-      "patterns", "rules",  "predicates", "window",
-      "relate",   "status", "reload",     "shutdown"};
+      "patterns", "colocations", "rules",  "predicates", "window",
+      "relate",   "status",      "reload", "shutdown"};
   for (const std::string& type : known) {
     if (type == query) return type;
   }
@@ -659,6 +758,9 @@ std::string QueryEngine::Dispatch(const Request& request,
 
   Result<std::string> outcome = [&]() -> Result<std::string> {
     if (request.query == "patterns") return QueryPatterns(*snap, request.body);
+    if (request.query == "colocations") {
+      return QueryColocations(*snap, request.body);
+    }
     if (request.query == "rules") return QueryRules(*snap, request.body);
     if (request.query == "predicates") {
       return QueryPredicates(*snap, request.body);

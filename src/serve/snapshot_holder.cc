@@ -25,6 +25,8 @@ Result<std::shared_ptr<const ServingSnapshot>> ServingSnapshot::Load(
   const store::SnapshotReader* patterns_reader = nullptr;
   std::optional<store::SectionInfo> txdb_info;
   const store::SnapshotReader* txdb_reader = nullptr;
+  std::optional<store::SectionInfo> coloc_info;
+  const store::SnapshotReader* coloc_reader = nullptr;
 
   for (const std::string& path : paths) {
     auto opened = store::SnapshotReader::Open(path);
@@ -63,6 +65,12 @@ Result<std::shared_ptr<const ServingSnapshot>> ServingSnapshot::Load(
           txdb_info = info;
           txdb_reader = &reader;
           break;
+        case store::SectionType::kColocationSet:
+          coloc_info = info;
+          coloc_reader = &reader;
+          break;
+        case store::SectionType::kNeighborGraph:
+          break;  // Inventoried only; no query walks the adjacency.
         case store::SectionType::kManifest:
           break;  // Provenance only; surfaced through `status` sections.
       }
@@ -76,6 +84,12 @@ Result<std::shared_ptr<const ServingSnapshot>> ServingSnapshot::Load(
     for (const core::FrequentItemset& fi : snapshot->patterns->itemsets) {
       snapshot->support_index.emplace(fi.items, fi.support);
     }
+  }
+
+  if (coloc_info.has_value()) {
+    auto colocations = coloc_reader->ReadColocationSet(*coloc_info);
+    if (!colocations.ok()) return colocations.status();
+    snapshot->colocations = std::move(colocations).value();
   }
 
   if (txdb_info.has_value()) {

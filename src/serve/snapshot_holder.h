@@ -53,6 +53,11 @@ struct ServingSnapshot {
   /// Sorted items -> support, for rule derivation (empty without patterns).
   std::map<core::Itemset, uint32_t> support_index;
 
+  /// Last co-location section across the files, if any (the `colocations`
+  /// query). Neighbour-graph sections are inventoried but not decoded —
+  /// no query walks the adjacency today.
+  std::optional<store::ColocationSet> colocations;
+
   /// Zero-copy view of the last transaction-db section, if any; string
   /// views and column words point into the owning reader's mapping.
   std::optional<store::TxDbView> txdb;

@@ -13,13 +13,17 @@ const char* SectionTypeName(SectionType type) {
       return "patterns";
     case SectionType::kManifest:
       return "manifest";
+    case SectionType::kNeighborGraph:
+      return "neighbors";
+    case SectionType::kColocationSet:
+      return "colocations";
   }
   return "unknown";
 }
 
 bool IsKnownSectionType(uint32_t type) {
   return type >= static_cast<uint32_t>(SectionType::kLayer) &&
-         type <= static_cast<uint32_t>(SectionType::kManifest);
+         type <= static_cast<uint32_t>(SectionType::kColocationSet);
 }
 
 }  // namespace store

@@ -61,6 +61,8 @@ enum class SectionType : uint32_t {
   kTransactionDb = 2,  ///< Columnar bitmap transaction database.
   kPatternSet = 3,     ///< Mined frequent itemsets with supports.
   kManifest = 4,       ///< Key/value stage metadata (pipeline skip/resume).
+  kNeighborGraph = 5,  ///< CSR neighbour graph of a co-location run.
+  kColocationSet = 6,  ///< Mined co-location patterns with prevalence.
 };
 
 /// Stable name for diagnostics ("layer", "txdb", ...).

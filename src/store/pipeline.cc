@@ -4,10 +4,14 @@
 #include <map>
 #include <optional>
 
+#include "coloc/backend.h"
+#include "coloc/neighbor_graph.h"
 #include "core/apriori.h"
 #include "core/fpgrowth.h"
+#include "core/mining_backend.h"
 #include "datagen/tiles.h"
 #include "feature/dependency.h"
+#include "qsr/distance.h"
 #include "feature/extractor.h"
 #include "feature/window.h"
 #include "obs/metrics.h"
@@ -95,9 +99,17 @@ std::string CanonicalExtractConfig(const ExtractConfig& c) {
   return out;
 }
 
+std::string ResolvedMineBackend(const MineConfig& config) {
+  return config.backend.empty() ? config.algorithm : config.backend;
+}
+
 std::string CanonicalMineConfig(const MineConfig& c) {
+  // The resolved backend fills the `algorithm=` term, so `--backend=X`
+  // and `--algorithm=X` hash (and resume) identically for the itemset
+  // backends; only the coloc backend appends its extra parameter.
+  const std::string backend = ResolvedMineBackend(c);
   std::string out = "min_support=" + FormatRoundTripDouble(c.min_support);
-  out += ";algorithm=" + c.algorithm;
+  out += ";algorithm=" + backend;
   out += ";filter=" + c.filter;
   // Dependencies are an unordered set of unordered pairs: normalize each
   // pair, then sort and dedupe, so declaration order never changes the
@@ -112,6 +124,9 @@ std::string CanonicalMineConfig(const MineConfig& c) {
   for (size_t i = 0; i < deps.size(); ++i) {
     if (i > 0) out += ',';
     out += deps[i].first + ":" + deps[i].second;
+  }
+  if (backend == "coloc") {
+    out += ";distance=" + FormatRoundTripDouble(c.coloc_distance);
   }
   return out;
 }
@@ -366,12 +381,113 @@ Status RunExtractTileStage(const std::string& in_path,
   return writer.WriteTo(out_path);
 }
 
+namespace {
+
+/// The coloc mine stage: reads every layer section of `in_path` (the city
+/// snapshot), materializes the neighbour graph, mines co-locations with
+/// the uniform filter stack mapped onto the *type* universe, and writes
+/// neighbour-graph + co-location sections.
+Status RunColocMineStage(const SnapshotReader& reader, uint64_t in_hash,
+                         const std::string& in_path,
+                         const std::string& out_path,
+                         const MineConfig& config) {
+  std::vector<feature::Layer> layers;
+  for (const SectionInfo& info : reader.sections()) {
+    if (info.type != SectionType::kLayer) continue;
+    SFPM_ASSIGN_OR_RETURN(feature::Layer layer, reader.ReadLayer(info));
+    layers.push_back(std::move(layer));
+  }
+  if (layers.size() < 2) {
+    return Status::InvalidArgument(
+        in_path + ": coloc backend needs at least two layer sections");
+  }
+  const feature::LayerSet layer_set = feature::LayerSet::Of(layers);
+
+  const qsr::DistanceQuantizer quantizer = qsr::DistanceQuantizer::Default();
+  coloc::NeighborGraphOptions graph_options;
+  graph_options.distance = config.coloc_distance;
+  graph_options.quantizer = &quantizer;
+  graph_options.threads = config.threads;
+  SFPM_ASSIGN_OR_RETURN(const coloc::NeighborGraph graph,
+                        coloc::NeighborGraph::Build(layer_set, graph_options));
+
+  // The uniform KC/KC+ stack over the coloc item universe: dependencies
+  // map to type-id pairs; the same-key filter gets one key per type (a
+  // structural no-op — co-locations never repeat a type — applied anyway
+  // so filtering is uniform across backends).
+  feature::DependencyRegistry dependencies;
+  for (const auto& [a, b] : config.dependencies) dependencies.Add(a, b);
+  core::BackendOptions backend_options;
+  backend_options.min_support = config.min_support;
+  backend_options.parallelism = config.threads;
+  backend_options.neighbor_distance = config.coloc_distance;
+  std::optional<core::PairBlocklistFilter> dependency_filter;
+  std::optional<core::SameKeyFilter> same_key;
+  if (config.filter == "kc" || config.filter == "kc+") {
+    std::vector<std::pair<core::ItemId, core::ItemId>> pairs;
+    const std::vector<std::string>& types = graph.type_names();
+    for (uint32_t a = 0; a + 1 < types.size(); ++a) {
+      for (uint32_t b = a + 1; b < types.size(); ++b) {
+        if (dependencies.IsDependent(types[a], types[b])) {
+          pairs.emplace_back(a, b);
+        }
+      }
+    }
+    dependency_filter.emplace(std::move(pairs));
+    backend_options.filters.push_back(&*dependency_filter);
+  }
+  if (config.filter == "kc+") {
+    same_key.emplace(graph.type_names());
+    backend_options.filters.push_back(&*same_key);
+  }
+
+  const coloc::LayerSource source(layer_set, &graph);
+  SFPM_ASSIGN_OR_RETURN(const core::MinedPatternSet mined,
+                        coloc::GraphBackend().Mine(source, backend_options));
+
+  NeighborGraphData graph_data;
+  graph_data.distance = graph.distance();
+  graph_data.type_names = graph.type_names();
+  for (size_t t = 0; t < graph.num_types(); ++t) {
+    graph_data.type_sizes.push_back(graph.TypeSize(t));
+  }
+  graph_data.band_names = graph.band_names();
+  graph_data.offsets = graph.offsets();
+  graph_data.neighbors = graph.neighbors();
+  graph_data.bands = graph.bands();
+
+  ColocationSet coloc_set;
+  coloc_set.type_names = mined.labels;
+  coloc_set.min_prevalence = config.min_support;
+  coloc_set.distance = config.coloc_distance;
+  coloc_set.filter = config.filter;
+  for (const core::MinedPattern& p : mined.patterns) {
+    ColocationSet::Pattern pattern;
+    pattern.types = p.items;
+    pattern.participation_index = p.score;
+    pattern.fuzzy_prevalence = p.fuzzy;
+    pattern.rows = p.rows;
+    coloc_set.patterns.push_back(std::move(pattern));
+  }
+
+  SnapshotWriter writer;
+  writer.AddNeighborGraph(graph_data);
+  writer.AddColocationSet(coloc_set);
+  writer.AddManifest(StageManifest(kStageMine, MineInputHash(config, in_hash),
+                                   CanonicalMineConfig(config)));
+  return writer.WriteTo(out_path);
+}
+
+}  // namespace
+
 Status RunMineStage(const std::string& in_path, const std::string& out_path,
                     const MineConfig& config) {
   obs::Tracer::Span span = obs::Tracer::Global().StartSpan("stage/mine");
-  if (config.algorithm != "apriori" && config.algorithm != "fpgrowth") {
-    return Status::InvalidArgument("algorithm must be apriori|fpgrowth, got '" +
-                                   config.algorithm + "'");
+  const std::string backend_name = ResolvedMineBackend(config);
+  if (backend_name != "apriori" && backend_name != "fpgrowth" &&
+      backend_name != "coloc") {
+    return Status::InvalidArgument(
+        "backend must be apriori|fpgrowth|coloc, got '" + backend_name + "'");
   }
   if (config.filter != "none" && config.filter != "kc" &&
       config.filter != "kc+") {
@@ -381,6 +497,9 @@ Status RunMineStage(const std::string& in_path, const std::string& out_path,
   SFPM_ASSIGN_OR_RETURN(const SnapshotReader reader,
                         SnapshotReader::Open(in_path));
   const uint64_t in_hash = SnapshotContentHash(reader);
+  if (backend_name == "coloc") {
+    return RunColocMineStage(reader, in_hash, in_path, out_path, config);
+  }
   SFPM_ASSIGN_OR_RETURN(const SectionInfo db_info,
                         reader.Find(SectionType::kTransactionDb));
   SFPM_ASSIGN_OR_RETURN(const feature::PredicateTable table,
@@ -390,28 +509,46 @@ Status RunMineStage(const std::string& in_path, const std::string& out_path,
   feature::DependencyRegistry dependencies;
   for (const auto& [a, b] : config.dependencies) dependencies.Add(a, b);
 
-  core::AprioriOptions options;
-  options.min_support = config.min_support;
-  options.parallelism = config.threads;
+  core::BackendOptions backend_options;
+  backend_options.min_support = config.min_support;
+  backend_options.parallelism = config.threads;
   std::optional<core::PairBlocklistFilter> dependency_filter;
   std::optional<core::SameKeyFilter> same_key;
   if (config.filter == "kc" || config.filter == "kc+") {
     dependency_filter.emplace(dependencies.MakeFilter(db));
-    options.filters.push_back(&*dependency_filter);
+    backend_options.filters.push_back(&*dependency_filter);
   }
   if (config.filter == "kc+") {
     same_key.emplace(db);
-    options.filters.push_back(&*same_key);
+    backend_options.filters.push_back(&*same_key);
   }
 
-  SFPM_ASSIGN_OR_RETURN(const core::AprioriResult mined,
-                        config.algorithm == "fpgrowth"
-                            ? core::MineFpGrowth(db, options)
-                            : core::MineApriori(db, options));
+  const core::MiningBackend* backend = core::FindBackend(backend_name);
+  if (backend == nullptr) {
+    return Status::Internal("no itemset backend named '" + backend_name + "'");
+  }
+  const core::TransactionSource source(&db);
+  SFPM_ASSIGN_OR_RETURN(const core::MinedPatternSet mined,
+                        backend->Mine(source, backend_options));
+
+  // Rebuilt in the backend's emission order, so the section is
+  // byte-identical to one written straight off an AprioriResult.
+  PatternSet patterns;
+  patterns.labels = mined.labels;
+  patterns.keys = mined.keys;
+  patterns.itemsets.reserve(mined.patterns.size());
+  for (const core::MinedPattern& p : mined.patterns) {
+    core::FrequentItemset itemset;
+    itemset.items = core::Itemset(p.items);
+    itemset.support = p.support;
+    patterns.itemsets.push_back(std::move(itemset));
+  }
+  patterns.min_support = config.min_support;
+  patterns.algorithm = backend_name;
+  patterns.filter = config.filter;
 
   SnapshotWriter writer;
-  writer.AddPatternSet(PatternSet::FromResult(
-      db, mined, config.min_support, config.algorithm, config.filter));
+  writer.AddPatternSet(patterns);
   writer.AddManifest(StageManifest(kStageMine, MineInputHash(config, in_hash),
                                    CanonicalMineConfig(config)));
   return writer.WriteTo(out_path);
@@ -555,10 +692,16 @@ Result<PipelineResult> RunPipeline(const PipelineOptions& options) {
 
   SFPM_ASSIGN_OR_RETURN(const uint64_t txdb_hash,
                         SnapshotContentHash(options.txdb_path));
+  // The coloc backend mines the *layer* snapshot: its input is the city
+  // (whose hash is already in hand), not the transaction db.
+  const bool coloc_mine = ResolvedMineBackend(options.mine) == "coloc";
+  const std::string& mine_in_path =
+      coloc_mine ? options.city_path : options.txdb_path;
+  const uint64_t mine_in_hash = coloc_mine ? city_hash : txdb_hash;
   SFPM_RETURN_NOT_OK(run_stage(
       kStageMine, options.patterns_path,
-      MineInputHash(options.mine, txdb_hash), [&] {
-        return RunMineStage(options.txdb_path, options.patterns_path,
+      MineInputHash(options.mine, mine_in_hash), [&] {
+        return RunMineStage(mine_in_path, options.patterns_path,
                             options.mine);
       }));
 

@@ -59,14 +59,32 @@ struct ExtractConfig {
 
 /// \brief Mine-stage parameters.
 struct MineConfig {
+  /// Prevalence threshold: minimum support ratio (itemset backends) or
+  /// minimum participation index (coloc backend).
   double min_support = 0.1;
   std::string algorithm = "apriori";  ///< "apriori" or "fpgrowth".
   std::string filter = "kc+";         ///< "none", "kc" or "kc+".
+  /// Mining backend: "" defers to `algorithm`; otherwise "apriori",
+  /// "fpgrowth" or "coloc". The itemset backends read the transaction db
+  /// and write a pattern-set section — `--backend=apriori` is
+  /// byte-identical to `--algorithm=apriori`. The coloc backend reads the
+  /// *layer* snapshot (the city), materializes the neighbour graph and
+  /// writes neighbour-graph + co-location sections instead.
+  std::string backend;
   /// Background-knowledge dependencies (feature-type pairs) for kc/kc+.
+  /// Uniform across backends: itemset miners prune predicate-item pairs,
+  /// the coloc miner prunes feature-type pairs.
   std::vector<std::pair<std::string, std::string>> dependencies;
+  /// Neighbourhood radius of the coloc backend's distance join; itemset
+  /// backends ignore it (and it never enters their content hashes).
+  double coloc_distance = 500.0;
   /// Worker threads (0 = auto, 1 = serial); excluded from content hashes.
   size_t threads = 0;
 };
+
+/// The backend a MineConfig resolves to: `backend` when set, else
+/// `algorithm`.
+std::string ResolvedMineBackend(const MineConfig& config);
 
 /// \name Canonical parameter strings — the hash inputs. Stable across
 /// runs and processes; thread counts never appear.

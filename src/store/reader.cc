@@ -495,6 +495,154 @@ Result<PatternSet> SnapshotReader::ReadPatternSet(
   return out;
 }
 
+Result<NeighborGraphData> SnapshotReader::ReadNeighborGraph(
+    const SectionInfo& info) const {
+  SFPM_ASSIGN_OR_RETURN(const uint8_t* payload,
+                        SectionPayload(info, SectionType::kNeighborGraph));
+  ByteReader r(payload, info.length);
+  SFPM_ASSIGN_OR_RETURN(const uint32_t codec, r.U32());
+  if (codec != kSectionCodecVersion) {
+    return Status::Unsupported("neighbour graph section codec version " +
+                               std::to_string(codec));
+  }
+  NeighborGraphData out;
+  SFPM_ASSIGN_OR_RETURN(out.distance, r.F64());
+  SFPM_ASSIGN_OR_RETURN(const uint64_t num_types, r.U64());
+  SFPM_RETURN_NOT_OK(r.CheckCount(num_types, 8));
+  out.type_names.reserve(num_types);
+  out.type_sizes.reserve(num_types);
+  uint64_t size_sum = 0;
+  for (uint64_t t = 0; t < num_types; ++t) {
+    SFPM_ASSIGN_OR_RETURN(const std::string_view type, r.Str());
+    SFPM_ASSIGN_OR_RETURN(const uint32_t size, r.U32());
+    out.type_names.emplace_back(type);
+    out.type_sizes.push_back(size);
+    size_sum += size;
+  }
+  SFPM_ASSIGN_OR_RETURN(const uint64_t num_bands, r.U64());
+  SFPM_RETURN_NOT_OK(r.CheckCount(num_bands, 4));
+  out.band_names.reserve(num_bands);
+  for (uint64_t b = 0; b < num_bands; ++b) {
+    SFPM_ASSIGN_OR_RETURN(const std::string_view band, r.Str());
+    out.band_names.emplace_back(band);
+  }
+  SFPM_ASSIGN_OR_RETURN(const uint64_t num_nodes, r.U64());
+  SFPM_ASSIGN_OR_RETURN(const uint64_t num_edges, r.U64());
+  if (num_nodes > (uint64_t{1} << 32) - 1) {
+    return Corrupt("neighbour graph exceeds the 32-bit node-id space");
+  }
+  if (num_nodes != size_sum) {
+    return Corrupt("neighbour graph node count does not match its type "
+                   "sizes");
+  }
+  // Writer-inserted padding aligns the CSR arrays to 8 within the payload.
+  while (r.pos() % 8 != 0) {
+    SFPM_ASSIGN_OR_RETURN(const uint8_t pad, r.U8());
+    if (pad != 0) return Corrupt("nonzero neighbour graph padding byte");
+  }
+  SFPM_RETURN_NOT_OK(r.CheckCount(num_nodes + 1, 8));
+  SFPM_RETURN_NOT_OK(r.CheckCount(num_edges, 5));  // neighbor + band.
+  out.offsets.reserve(num_nodes + 1);
+  for (uint64_t i = 0; i <= num_nodes; ++i) {
+    SFPM_ASSIGN_OR_RETURN(const uint64_t offset, r.U64());
+    if (i == 0 && offset != 0) {
+      return Corrupt("neighbour graph offsets do not start at 0");
+    }
+    if (i > 0 && offset < out.offsets.back()) {
+      return Corrupt("neighbour graph offsets are not non-decreasing");
+    }
+    out.offsets.push_back(offset);
+  }
+  if (out.offsets.back() != num_edges) {
+    return Corrupt("neighbour graph offsets do not end at the edge count");
+  }
+  out.neighbors.reserve(num_edges);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    SFPM_ASSIGN_OR_RETURN(const uint32_t neighbor, r.U32());
+    if (neighbor >= num_nodes) {
+      return Corrupt("neighbour graph edge references node " +
+                     std::to_string(neighbor) + " of " +
+                     std::to_string(num_nodes));
+    }
+    out.neighbors.push_back(neighbor);
+  }
+  for (uint64_t u = 0; u < num_nodes; ++u) {
+    for (uint64_t i = out.offsets[u] + 1; i < out.offsets[u + 1]; ++i) {
+      if (out.neighbors[i] <= out.neighbors[i - 1]) {
+        return Corrupt("neighbour list is not strictly ascending");
+      }
+    }
+  }
+  out.bands.reserve(num_edges);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    SFPM_ASSIGN_OR_RETURN(const uint8_t band, r.U8());
+    if (num_bands != 0 && band >= num_bands) {
+      return Corrupt("neighbour graph edge band out of range");
+    }
+    if (num_bands == 0 && band != 0) {
+      return Corrupt("ungraded neighbour graph has a nonzero edge band");
+    }
+    out.bands.push_back(band);
+  }
+  SFPM_RETURN_NOT_OK(r.ExpectEndWithPadding());
+  return out;
+}
+
+Result<ColocationSet> SnapshotReader::ReadColocationSet(
+    const SectionInfo& info) const {
+  SFPM_ASSIGN_OR_RETURN(const uint8_t* payload,
+                        SectionPayload(info, SectionType::kColocationSet));
+  ByteReader r(payload, info.length);
+  SFPM_ASSIGN_OR_RETURN(const uint32_t codec, r.U32());
+  if (codec != kSectionCodecVersion) {
+    return Status::Unsupported("colocation section codec version " +
+                               std::to_string(codec));
+  }
+  ColocationSet out;
+  SFPM_ASSIGN_OR_RETURN(out.min_prevalence, r.F64());
+  SFPM_ASSIGN_OR_RETURN(out.distance, r.F64());
+  SFPM_ASSIGN_OR_RETURN(const std::string_view filter, r.Str());
+  out.filter = std::string(filter);
+  SFPM_ASSIGN_OR_RETURN(const uint64_t num_types, r.U64());
+  SFPM_RETURN_NOT_OK(r.CheckCount(num_types, 4));
+  out.type_names.reserve(num_types);
+  for (uint64_t t = 0; t < num_types; ++t) {
+    SFPM_ASSIGN_OR_RETURN(const std::string_view type, r.Str());
+    out.type_names.emplace_back(type);
+  }
+  SFPM_ASSIGN_OR_RETURN(const uint64_t num_patterns, r.U64());
+  SFPM_RETURN_NOT_OK(r.CheckCount(num_patterns, 28));  // size + 3 measures.
+  out.patterns.reserve(num_patterns);
+  for (uint64_t i = 0; i < num_patterns; ++i) {
+    ColocationSet::Pattern p;
+    SFPM_ASSIGN_OR_RETURN(const uint32_t set_size, r.U32());
+    if (set_size < 2) {
+      return Corrupt("co-location pattern has fewer than two types");
+    }
+    SFPM_RETURN_NOT_OK(r.CheckCount(set_size, 4));
+    p.types.reserve(set_size);
+    for (uint32_t j = 0; j < set_size; ++j) {
+      SFPM_ASSIGN_OR_RETURN(const uint32_t type, r.U32());
+      if (type >= num_types) {
+        return Corrupt("co-location pattern references type " +
+                       std::to_string(type) + " of " +
+                       std::to_string(num_types));
+      }
+      if (j > 0 && type <= p.types.back()) {
+        return Corrupt("co-location pattern types are not strictly "
+                       "ascending");
+      }
+      p.types.push_back(type);
+    }
+    SFPM_ASSIGN_OR_RETURN(p.participation_index, r.F64());
+    SFPM_ASSIGN_OR_RETURN(p.fuzzy_prevalence, r.F64());
+    SFPM_ASSIGN_OR_RETURN(p.rows, r.U64());
+    out.patterns.push_back(std::move(p));
+  }
+  SFPM_RETURN_NOT_OK(r.ExpectEndWithPadding());
+  return out;
+}
+
 Result<std::map<std::string, std::string>> SnapshotReader::ReadManifest(
     const SectionInfo& info) const {
   SFPM_ASSIGN_OR_RETURN(const uint8_t* payload,

@@ -118,6 +118,8 @@ class SnapshotReader {
   Result<core::TransactionDb> ReadTransactionDb(const SectionInfo& info) const;
   Result<TxDbView> ViewTable(const SectionInfo& info) const;
   Result<PatternSet> ReadPatternSet(const SectionInfo& info) const;
+  Result<NeighborGraphData> ReadNeighborGraph(const SectionInfo& info) const;
+  Result<ColocationSet> ReadColocationSet(const SectionInfo& info) const;
   Result<std::map<std::string, std::string>> ReadManifest(
       const SectionInfo& info) const;
   /// @}

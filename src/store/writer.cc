@@ -142,6 +142,51 @@ void SnapshotWriter::AddPatternSet(const PatternSet& patterns,
   Add(SectionType::kPatternSet, name, w.TakeBytes());
 }
 
+void SnapshotWriter::AddNeighborGraph(const NeighborGraphData& graph,
+                                      const std::string& name) {
+  ByteWriter w;
+  w.U32(kSectionCodecVersion);
+  w.F64(graph.distance);
+  w.U64(graph.type_names.size());
+  for (size_t t = 0; t < graph.type_names.size(); ++t) {
+    w.Str(graph.type_names[t]);
+    w.U32(t < graph.type_sizes.size() ? graph.type_sizes[t] : 0);
+  }
+  w.U64(graph.band_names.size());
+  for (const std::string& band : graph.band_names) w.Str(band);
+  w.U64(graph.offsets.empty() ? 0 : graph.offsets.size() - 1);  // num_nodes
+  w.U64(graph.neighbors.size());                                // num_edges
+  // CSR arrays 8-aligned within the payload (payloads are 8-aligned in
+  // the file), mirroring the txdb column block.
+  w.AlignTo8();
+  w.Words(graph.offsets.data(), graph.offsets.size());
+  for (const uint32_t neighbor : graph.neighbors) w.U32(neighbor);
+  for (const uint8_t band : graph.bands) w.U8(band);
+  w.AlignTo8();
+  Add(SectionType::kNeighborGraph, name, w.TakeBytes());
+}
+
+void SnapshotWriter::AddColocationSet(const ColocationSet& colocations,
+                                      const std::string& name) {
+  ByteWriter w;
+  w.U32(kSectionCodecVersion);
+  w.F64(colocations.min_prevalence);
+  w.F64(colocations.distance);
+  w.Str(colocations.filter);
+  w.U64(colocations.type_names.size());
+  for (const std::string& type : colocations.type_names) w.Str(type);
+  w.U64(colocations.patterns.size());
+  for (const ColocationSet::Pattern& p : colocations.patterns) {
+    w.U32(static_cast<uint32_t>(p.types.size()));
+    for (const uint32_t type : p.types) w.U32(type);
+    w.F64(p.participation_index);
+    w.F64(p.fuzzy_prevalence);
+    w.U64(p.rows);
+  }
+  w.AlignTo8();
+  Add(SectionType::kColocationSet, name, w.TakeBytes());
+}
+
 void SnapshotWriter::AddManifest(
     const std::map<std::string, std::string>& entries,
     const std::string& name) {

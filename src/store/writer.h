@@ -1,6 +1,7 @@
 #ifndef SFPM_STORE_WRITER_H_
 #define SFPM_STORE_WRITER_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -34,6 +35,44 @@ struct PatternSet {
   bool operator==(const PatternSet& o) const;
 };
 
+/// \brief A co-location neighbour graph as stored in a snapshot: the CSR
+/// adjacency plus the type universe and distance-band names it is keyed
+/// by. Plain data (mirrors coloc::NeighborGraph's accessors) so the store
+/// codecs stay decoupled from the miner's types.
+struct NeighborGraphData {
+  double distance = 0.0;                 ///< Neighbourhood radius R.
+  std::vector<std::string> type_names;   ///< Layer order = type-id order.
+  std::vector<uint32_t> type_sizes;      ///< Instances per type.
+  std::vector<std::string> band_names;   ///< Empty when edges are ungraded.
+  std::vector<uint64_t> offsets;         ///< num_nodes + 1 CSR fences.
+  std::vector<uint32_t> neighbors;       ///< Ascending within each node.
+  std::vector<uint8_t> bands;            ///< Parallel to neighbors.
+
+  bool operator==(const NeighborGraphData& o) const = default;
+};
+
+/// \brief A mined co-location pattern set as stored in a snapshot:
+/// self-describing (the type universe travels with the patterns) plus the
+/// mining configuration that produced it.
+struct ColocationSet {
+  struct Pattern {
+    std::vector<uint32_t> types;  ///< Ascending ids into type_names.
+    double participation_index = 0.0;
+    double fuzzy_prevalence = 0.0;
+    uint64_t rows = 0;
+
+    bool operator==(const Pattern& o) const = default;
+  };
+
+  std::vector<std::string> type_names;
+  double min_prevalence = 0.0;
+  double distance = 0.0;   ///< Neighbourhood radius R of the run.
+  std::string filter;      ///< "none", "kc" or "kc+".
+  std::vector<Pattern> patterns;
+
+  bool operator==(const ColocationSet& o) const = default;
+};
+
 /// \brief Serializes feature layers, transaction databases, and mined
 /// pattern sets into one versioned, checksummed `.sfpm` snapshot
 /// (docs/STORAGE.md). Sections are appended in call order; `WriteTo`
@@ -58,6 +97,15 @@ class SnapshotWriter {
   /// Adds a mined pattern-set section.
   void AddPatternSet(const PatternSet& patterns,
                      const std::string& name = "patterns");
+
+  /// Adds a co-location neighbour-graph section (CSR arrays 8-aligned
+  /// within the payload).
+  void AddNeighborGraph(const NeighborGraphData& graph,
+                        const std::string& name = "neighbors");
+
+  /// Adds a mined co-location pattern-set section.
+  void AddColocationSet(const ColocationSet& colocations,
+                        const std::string& name = "colocations");
 
   /// Adds a key/value manifest section (stage provenance; the pipeline
   /// driver's skip/resume logic keys off it). Entries are stored sorted.

@@ -1,0 +1,215 @@
+#include "coloc/miner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coloc/neighbor_graph.h"
+#include "core/candidate_filter.h"
+#include "feature/feature.h"
+#include "geom/point.h"
+#include "qsr/distance.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace coloc {
+namespace {
+
+using feature::Layer;
+using geom::Point;
+
+Result<NeighborGraph> Grid(const feature::LayerSet& layers, double distance,
+                           const qsr::DistanceQuantizer* quantizer = nullptr) {
+  NeighborGraphOptions options;
+  options.distance = distance;
+  options.quantizer = quantizer;
+  return NeighborGraph::Build(layers, options);
+}
+
+const MinedColocation* Find(const std::vector<MinedColocation>& mined,
+                            std::vector<uint32_t> types) {
+  for (const MinedColocation& m : mined) {
+    if (m.types == types) return &m;
+  }
+  return nullptr;
+}
+
+TEST(ColocMinerTest, RejectsBadThreshold) {
+  Layer a("a"), b("b");
+  a.Add(Point(0, 0));
+  b.Add(Point(0.5, 0));
+  const auto graph = Grid({&a, &b}, 1.0);
+  ASSERT_TRUE(graph.ok());
+  ColocMinerOptions options;
+  options.min_prevalence = -0.1;
+  EXPECT_FALSE(MineGraph(graph.value(), options).ok());
+  options.min_prevalence = 1.1;
+  EXPECT_FALSE(MineGraph(graph.value(), options).ok());
+}
+
+TEST(ColocMinerTest, HandComputedPair) {
+  // a: 4 instances, 2 with a b-neighbour; b: 2 instances, both matched.
+  // PI = min(2/4, 2/2) = 0.5, 2 rows.
+  Layer a("a"), b("b");
+  a.Add(Point(0, 0));
+  a.Add(Point(0, 10));
+  a.Add(Point(50, 50));
+  a.Add(Point(60, 60));
+  b.Add(Point(1, 0));
+  b.Add(Point(1, 10));
+  const auto graph = Grid({&a, &b}, 1.5);
+  ASSERT_TRUE(graph.ok());
+  ColocMinerOptions options;
+  options.min_prevalence = 0.4;
+  const auto mined = MineGraph(graph.value(), options);
+  ASSERT_TRUE(mined.ok());
+  const MinedColocation* ab = Find(mined.value(), {0, 1});
+  ASSERT_NE(ab, nullptr);
+  EXPECT_DOUBLE_EQ(ab->participation_index, 0.5);
+  EXPECT_EQ(ab->rows, 2u);
+  // Without a quantizer the graded prevalence collapses to the crisp PI.
+  EXPECT_DOUBLE_EQ(ab->fuzzy_prevalence, 0.5);
+}
+
+TEST(ColocMinerTest, StarAndCliqueModesAgree) {
+  Rng rng(99);
+  Layer a("a"), b("b"), c("c");
+  for (int i = 0; i < 60; ++i) {
+    a.Add(Point(rng.NextDouble(0, 30), rng.NextDouble(0, 30)));
+    b.Add(Point(rng.NextDouble(0, 30), rng.NextDouble(0, 30)));
+    c.Add(Point(rng.NextDouble(0, 30), rng.NextDouble(0, 30)));
+  }
+  const auto graph = Grid({&a, &b, &c}, 3.0);
+  ASSERT_TRUE(graph.ok());
+  ColocMinerOptions clique;
+  clique.min_prevalence = 0.0;
+  ColocMinerOptions star = clique;
+  star.star_join = true;
+  const auto lhs = MineGraph(graph.value(), clique);
+  const auto rhs = MineGraph(graph.value(), star);
+  ASSERT_TRUE(lhs.ok());
+  ASSERT_TRUE(rhs.ok());
+  ASSERT_EQ(lhs.value().size(), rhs.value().size());
+  for (size_t i = 0; i < lhs.value().size(); ++i) {
+    EXPECT_EQ(lhs.value()[i].types, rhs.value()[i].types);
+    EXPECT_DOUBLE_EQ(lhs.value()[i].participation_index,
+                     rhs.value()[i].participation_index);
+    EXPECT_DOUBLE_EQ(lhs.value()[i].fuzzy_prevalence,
+                     rhs.value()[i].fuzzy_prevalence);
+    EXPECT_EQ(lhs.value()[i].rows, rhs.value()[i].rows);
+  }
+}
+
+TEST(ColocMinerTest, FuzzyPrevalenceGradesByBand) {
+  // One a with two b-neighbours: b0 in band 0 (full weight), b1 in band 1
+  // (weight 2/3 with 3 bands). Position a: best row is the band-0 one ->
+  // grade 1. Position b: b0 grades 1, b1 grades 2/3 -> fuzzy ratio
+  // (1 + 2/3) / 2 = 5/6. Fuzzy PI = min(1, 5/6) = 5/6; crisp PI = 1.
+  const auto quantizer =
+      qsr::DistanceQuantizer::Create({{"near", 2.0}, {"mid", 5.0}}, "far");
+  ASSERT_TRUE(quantizer.ok());
+  Layer a("a"), b("b");
+  a.Add(Point(0, 0));
+  b.Add(Point(1, 0));
+  b.Add(Point(4, 0));
+  const auto graph = Grid({&a, &b}, 10.0, &quantizer.value());
+  ASSERT_TRUE(graph.ok());
+  ColocMinerOptions options;
+  options.min_prevalence = 0.5;
+  const auto mined = MineGraph(graph.value(), options);
+  ASSERT_TRUE(mined.ok());
+  const MinedColocation* ab = Find(mined.value(), {0, 1});
+  ASSERT_NE(ab, nullptr);
+  EXPECT_DOUBLE_EQ(ab->participation_index, 1.0);
+  EXPECT_DOUBLE_EQ(ab->fuzzy_prevalence, 5.0 / 6.0);
+}
+
+TEST(ColocMinerTest, FuzzyNeverExceedsCrisp) {
+  const auto quantizer =
+      qsr::DistanceQuantizer::Create({{"near", 1.0}, {"mid", 2.0}}, "far");
+  ASSERT_TRUE(quantizer.ok());
+  Rng rng(3);
+  Layer a("a"), b("b"), c("c");
+  for (int i = 0; i < 50; ++i) {
+    a.Add(Point(rng.NextDouble(0, 20), rng.NextDouble(0, 20)));
+    b.Add(Point(rng.NextDouble(0, 20), rng.NextDouble(0, 20)));
+    c.Add(Point(rng.NextDouble(0, 20), rng.NextDouble(0, 20)));
+  }
+  const auto graph = Grid({&a, &b, &c}, 3.0, &quantizer.value());
+  ASSERT_TRUE(graph.ok());
+  ColocMinerOptions options;
+  options.min_prevalence = 0.0;
+  const auto mined = MineGraph(graph.value(), options);
+  ASSERT_TRUE(mined.ok());
+  for (const MinedColocation& m : mined.value()) {
+    EXPECT_GE(m.fuzzy_prevalence, 0.0);
+    EXPECT_LE(m.fuzzy_prevalence, m.participation_index);
+  }
+}
+
+TEST(ColocMinerTest, MaxSizeCapsGrowth) {
+  Layer a("a"), b("b"), c("c");
+  a.Add(Point(0, 0));
+  b.Add(Point(0.1, 0));
+  c.Add(Point(0, 0.1));
+  const auto graph = Grid({&a, &b, &c}, 1.0);
+  ASSERT_TRUE(graph.ok());
+  ColocMinerOptions options;
+  options.min_prevalence = 0.5;
+  options.max_size = 2;
+  const auto mined = MineGraph(graph.value(), options);
+  ASSERT_TRUE(mined.ok());
+  for (const MinedColocation& m : mined.value()) {
+    EXPECT_LE(m.types.size(), 2u);
+  }
+  EXPECT_EQ(Find(mined.value(), {0, 1, 2}), nullptr);
+}
+
+TEST(ColocMinerTest, PairFilterPrunesSupersets) {
+  // Blocking (a, b) at size 2 must also remove {a, b, c}.
+  Layer a("a"), b("b"), c("c");
+  a.Add(Point(0, 0));
+  b.Add(Point(0.1, 0));
+  c.Add(Point(0, 0.1));
+  const auto graph = Grid({&a, &b, &c}, 1.0);
+  ASSERT_TRUE(graph.ok());
+  const core::PairBlocklistFilter blocklist({{0, 1}});
+  ColocMinerOptions options;
+  options.min_prevalence = 0.1;
+  options.filters = {&blocklist};
+  const auto mined = MineGraph(graph.value(), options);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_EQ(Find(mined.value(), {0, 1}), nullptr);
+  EXPECT_EQ(Find(mined.value(), {0, 1, 2}), nullptr);
+  EXPECT_NE(Find(mined.value(), {0, 2}), nullptr);
+  EXPECT_NE(Find(mined.value(), {1, 2}), nullptr);
+}
+
+TEST(ColocMinerTest, ResultsSortedBySizeThenTypes) {
+  Rng rng(12);
+  Layer a("a"), b("b"), c("c");
+  for (int i = 0; i < 40; ++i) {
+    a.Add(Point(rng.NextDouble(0, 10), rng.NextDouble(0, 10)));
+    b.Add(Point(rng.NextDouble(0, 10), rng.NextDouble(0, 10)));
+    c.Add(Point(rng.NextDouble(0, 10), rng.NextDouble(0, 10)));
+  }
+  const auto graph = Grid({&a, &b, &c}, 2.0);
+  ASSERT_TRUE(graph.ok());
+  ColocMinerOptions options;
+  options.min_prevalence = 0.0;
+  const auto mined = MineGraph(graph.value(), options);
+  ASSERT_TRUE(mined.ok());
+  for (size_t i = 1; i < mined.value().size(); ++i) {
+    const MinedColocation& prev = mined.value()[i - 1];
+    const MinedColocation& cur = mined.value()[i];
+    if (prev.types.size() != cur.types.size()) {
+      EXPECT_LT(prev.types.size(), cur.types.size());
+    } else {
+      EXPECT_LT(prev.types, cur.types);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coloc
+}  // namespace sfpm

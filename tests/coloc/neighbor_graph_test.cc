@@ -1,0 +1,169 @@
+#include "coloc/neighbor_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "feature/feature.h"
+#include "geom/point.h"
+#include "qsr/distance.h"
+#include "util/random.h"
+
+namespace sfpm {
+namespace coloc {
+namespace {
+
+using feature::Layer;
+using geom::Point;
+
+NeighborGraphOptions Opts(double distance) {
+  NeighborGraphOptions options;
+  options.distance = distance;
+  return options;
+}
+
+TEST(NeighborGraphTest, RejectsBadInput) {
+  Layer a("a"), b("b");
+  a.Add(Point(0, 0));
+  b.Add(Point(0, 0));
+  EXPECT_FALSE(NeighborGraph::Build({&a}, Opts(1.0)).ok());
+  EXPECT_FALSE(NeighborGraph::Build({&a, &b}, Opts(0.0)).ok());
+  EXPECT_FALSE(NeighborGraph::Build({&a, &b}, Opts(-1.0)).ok());
+  Layer a2("a");
+  a2.Add(Point(1, 1));
+  EXPECT_FALSE(NeighborGraph::Build({&a, &a2}, Opts(1.0)).ok());
+  // An empty layer is legal: it contributes a type with zero nodes.
+  Layer empty("c");
+  const auto graph = NeighborGraph::Build({&a, &empty}, Opts(1.0));
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().TypeSize(1), 0u);
+  EXPECT_EQ(graph.value().num_edges(), 0u);
+}
+
+TEST(NeighborGraphTest, NodeIdsGroupedByType) {
+  Layer a("a"), b("b"), c("c");
+  a.Add(Point(0, 0));
+  a.Add(Point(1, 0));
+  b.Add(Point(0, 1));
+  c.Add(Point(1, 1));
+  c.Add(Point(2, 1));
+  c.Add(Point(3, 1));
+  const auto graph = NeighborGraph::Build({&a, &b, &c}, Opts(0.5));
+  ASSERT_TRUE(graph.ok());
+  const NeighborGraph& g = graph.value();
+  EXPECT_EQ(g.num_types(), 3u);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.TypeBegin(0), 0u);
+  EXPECT_EQ(g.TypeBegin(1), 2u);
+  EXPECT_EQ(g.TypeBegin(2), 3u);
+  EXPECT_EQ(g.TypeSize(0), 2u);
+  EXPECT_EQ(g.TypeSize(1), 1u);
+  EXPECT_EQ(g.TypeSize(2), 3u);
+  EXPECT_EQ(g.TypeOf(0), 0u);
+  EXPECT_EQ(g.TypeOf(2), 1u);
+  EXPECT_EQ(g.TypeOf(5), 2u);
+  EXPECT_EQ(g.InstanceOf(5), 2u);
+}
+
+TEST(NeighborGraphTest, HandComputedAdjacency) {
+  // a0-(0,0), a1-(0,10); b0-(1,0). R=1.5: only a0~b0.
+  Layer a("a"), b("b");
+  a.Add(Point(0, 0));
+  a.Add(Point(0, 10));
+  b.Add(Point(1, 0));
+  const auto graph = NeighborGraph::Build({&a, &b}, Opts(1.5));
+  ASSERT_TRUE(graph.ok());
+  const NeighborGraph& g = graph.value();
+  EXPECT_EQ(g.num_edges(), 2u);  // One undirected pair, two slots.
+  EXPECT_TRUE(g.AreNeighbors(0, 2));
+  EXPECT_TRUE(g.AreNeighbors(2, 0));
+  EXPECT_FALSE(g.AreNeighbors(1, 2));
+  EXPECT_FALSE(g.AreNeighbors(2, 1));
+  const auto [first, last] = g.Neighbors(2, 0);
+  ASSERT_EQ(last - first, 1);
+  EXPECT_EQ(*first, 0u);
+}
+
+TEST(NeighborGraphTest, NoSameTypeEdges) {
+  // Two a-instances on top of each other never become neighbours.
+  Layer a("a"), b("b");
+  a.Add(Point(0, 0));
+  a.Add(Point(0, 0));
+  b.Add(Point(5, 5));
+  const auto graph = NeighborGraph::Build({&a, &b}, Opts(1.0));
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().num_edges(), 0u);
+  EXPECT_FALSE(graph.value().AreNeighbors(0, 1));
+}
+
+TEST(NeighborGraphTest, BandsFollowQuantizer) {
+  const auto quantizer =
+      qsr::DistanceQuantizer::Create({{"near", 2.0}, {"mid", 5.0}}, "far");
+  ASSERT_TRUE(quantizer.ok());
+  Layer a("a"), b("b");
+  a.Add(Point(0, 0));
+  b.Add(Point(1, 0));   // Distance 1 -> band 0.
+  b.Add(Point(4, 0));   // Distance 4 -> band 1.
+  b.Add(Point(6, 0));   // Distance 6 -> band 2 (within R = 10).
+  NeighborGraphOptions options = Opts(10.0);
+  options.quantizer = &quantizer.value();
+  const auto graph = NeighborGraph::Build({&a, &b}, options);
+  ASSERT_TRUE(graph.ok());
+  const NeighborGraph& g = graph.value();
+  ASSERT_EQ(g.band_names().size(), 3u);
+  EXPECT_EQ(g.BandOf(0, 1), 0);
+  EXPECT_EQ(g.BandOf(0, 2), 1);
+  EXPECT_EQ(g.BandOf(0, 3), 2);
+  EXPECT_EQ(g.BandOf(1, 0), 0);
+  EXPECT_EQ(g.BandOf(3, 0), 2);
+}
+
+TEST(NeighborGraphTest, BitIdenticalAtEveryThreadCount) {
+  Rng rng(42);
+  Layer a("a"), b("b"), c("c");
+  for (int i = 0; i < 200; ++i) {
+    a.Add(Point(rng.NextDouble(0, 50), rng.NextDouble(0, 50)));
+    b.Add(Point(rng.NextDouble(0, 50), rng.NextDouble(0, 50)));
+    if (i % 2 == 0) c.Add(Point(rng.NextDouble(0, 50), rng.NextDouble(0, 50)));
+  }
+  NeighborGraphOptions serial = Opts(2.5);
+  serial.threads = 1;
+  const auto reference = NeighborGraph::Build({&a, &b, &c}, serial);
+  ASSERT_TRUE(reference.ok());
+  for (const size_t threads : {2u, 3u, 8u}) {
+    NeighborGraphOptions parallel = Opts(2.5);
+    parallel.threads = threads;
+    const auto graph = NeighborGraph::Build({&a, &b, &c}, parallel);
+    ASSERT_TRUE(graph.ok());
+    EXPECT_EQ(graph.value().offsets(), reference.value().offsets())
+        << threads << " threads";
+    EXPECT_EQ(graph.value().neighbors(), reference.value().neighbors())
+        << threads << " threads";
+    EXPECT_EQ(graph.value().bands(), reference.value().bands())
+        << threads << " threads";
+  }
+}
+
+TEST(NeighborGraphTest, SymmetricAndSorted) {
+  Rng rng(7);
+  Layer a("a"), b("b");
+  for (int i = 0; i < 80; ++i) {
+    a.Add(Point(rng.NextDouble(0, 20), rng.NextDouble(0, 20)));
+    b.Add(Point(rng.NextDouble(0, 20), rng.NextDouble(0, 20)));
+  }
+  const auto graph = NeighborGraph::Build({&a, &b}, Opts(1.5));
+  ASSERT_TRUE(graph.ok());
+  const NeighborGraph& g = graph.value();
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    for (uint64_t e = g.offsets()[u]; e < g.offsets()[u + 1]; ++e) {
+      const uint32_t w = g.neighbors()[e];
+      EXPECT_NE(g.TypeOf(u), g.TypeOf(w));
+      EXPECT_TRUE(g.AreNeighbors(w, u));
+      if (e > g.offsets()[u]) EXPECT_LT(g.neighbors()[e - 1], w);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coloc
+}  // namespace sfpm

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "coloc/backend.h"
+#include "core/mining_backend.h"
+#include "core/transaction_db.h"
+#include "datagen/city.h"
+#include "io/csv.h"
+#include "store/format.h"
+#include "store/pipeline.h"
+#include "store/reader.h"
+
+namespace sfpm {
+namespace store {
+namespace {
+
+std::string TestDir(const std::string& leaf) {
+  const std::string prefix = ::testing::TempDir() + "/" + leaf;
+  std::remove((prefix + "-city.sfpm").c_str());
+  std::remove((prefix + "-txdb.sfpm").c_str());
+  std::remove((prefix + "-patterns.sfpm").c_str());
+  return prefix;
+}
+
+PipelineOptions SmallPipeline(const std::string& prefix) {
+  PipelineOptions opts;
+  opts.city_path = prefix + "-city.sfpm";
+  opts.txdb_path = prefix + "-txdb.sfpm";
+  opts.patterns_path = prefix + "-patterns.sfpm";
+  opts.city = datagen::CityConfig{};
+  opts.city.grid_cols = 3;
+  opts.city.grid_rows = 2;
+  opts.city.num_slums = 8;
+  opts.city.num_schools = 12;
+  opts.city.num_police = 4;
+  opts.city.num_streets = 8;
+  opts.city.num_rivers = 1;
+  opts.mine.min_support = 0.3;
+  return opts;
+}
+
+TEST(MiningBackendTest, RegistryKnowsTheItemsetBackends) {
+  ASSERT_NE(core::FindBackend("apriori"), nullptr);
+  EXPECT_EQ(core::FindBackend("apriori")->name(), "apriori");
+  EXPECT_EQ(core::FindBackend("apriori")->source_kind(),
+            core::MiningSource::Kind::kTransactions);
+  ASSERT_NE(core::FindBackend("fpgrowth"), nullptr);
+  EXPECT_EQ(core::FindBackend("fpgrowth")->name(), "fpgrowth");
+  EXPECT_EQ(core::FindBackend("eclat"), nullptr);
+  EXPECT_EQ(coloc::GraphBackend().name(), "coloc");
+  EXPECT_EQ(coloc::GraphBackend().source_kind(),
+            core::MiningSource::Kind::kLayers);
+}
+
+TEST(MiningBackendTest, BackendsRejectTheWrongSourceKind) {
+  core::TransactionDb db;
+  db.AddItem("x", "t");
+  db.AddTransaction({core::ItemId{0}});
+  const core::TransactionSource transactions(&db);
+  core::BackendOptions options;
+  EXPECT_FALSE(coloc::GraphBackend().Mine(transactions, options).ok());
+}
+
+TEST(MiningBackendTest, AprioriBackendMatchesDirectMining) {
+  core::TransactionDb db;
+  const auto a = db.AddItem("a", "ta");
+  const auto b = db.AddItem("b", "tb");
+  const auto c = db.AddItem("c", "tc");
+  for (int i = 0; i < 10; ++i) {
+    if (i % 2 == 0) {
+      db.AddTransaction({a, b});
+    } else {
+      db.AddTransaction({a, b, c});
+    }
+  }
+  const core::TransactionSource source(&db);
+  core::BackendOptions options;
+  options.min_support = 0.4;
+  auto mined = core::FindBackend("apriori")->Mine(source, options);
+  ASSERT_TRUE(mined.ok()) << mined.status().message();
+  EXPECT_EQ(mined.value().labels, std::vector<std::string>({"a", "b", "c"}));
+  EXPECT_EQ(mined.value().keys,
+            std::vector<std::string>({"ta", "tb", "tc"}));
+  // {a}, {b}, {c}, {a,b}, {a,c}, {b,c}, {a,b,c} are all frequent at 0.4.
+  EXPECT_EQ(mined.value().patterns.size(), 7u);
+  for (const core::MinedPattern& p : mined.value().patterns) {
+    EXPECT_EQ(p.rows, p.support);
+    EXPECT_DOUBLE_EQ(p.score, p.support / 10.0);
+  }
+  auto fp = core::FindBackend("fpgrowth")->Mine(source, options);
+  ASSERT_TRUE(fp.ok());
+  EXPECT_EQ(fp.value().patterns.size(), mined.value().patterns.size());
+}
+
+TEST(MiningBackendTest, ResolvedBackendDefersToAlgorithm) {
+  MineConfig config;
+  config.algorithm = "fpgrowth";
+  EXPECT_EQ(ResolvedMineBackend(config), "fpgrowth");
+  config.backend = "coloc";
+  EXPECT_EQ(ResolvedMineBackend(config), "coloc");
+}
+
+TEST(MiningBackendTest, CanonicalConfigTreatsBackendAsAlgorithm) {
+  // `--backend=apriori` must hash (and therefore resume) identically to
+  // `--algorithm=apriori`.
+  MineConfig via_algorithm;
+  MineConfig via_backend;
+  via_backend.backend = "apriori";
+  EXPECT_EQ(CanonicalMineConfig(via_algorithm),
+            CanonicalMineConfig(via_backend));
+
+  // The coloc backend adds its distance term; itemset backends never do.
+  MineConfig coloc_config;
+  coloc_config.backend = "coloc";
+  EXPECT_NE(CanonicalMineConfig(coloc_config).find("algorithm=coloc"),
+            std::string::npos);
+  EXPECT_NE(CanonicalMineConfig(coloc_config).find("distance="),
+            std::string::npos);
+  EXPECT_EQ(CanonicalMineConfig(via_backend).find("distance="),
+            std::string::npos);
+}
+
+TEST(MiningBackendTest, BackendFlagIsByteIdenticalToAlgorithmFlag) {
+  const PipelineOptions baseline = SmallPipeline(TestDir("backend_baseline"));
+  ASSERT_TRUE(RunPipeline(baseline).ok());
+
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    PipelineOptions opts = SmallPipeline(
+        TestDir("backend_apriori_t" + std::to_string(threads)));
+    opts.mine.backend = "apriori";
+    opts.mine.threads = threads;
+    ASSERT_TRUE(RunPipeline(opts).ok());
+    auto expected = io::ReadFile(baseline.patterns_path);
+    auto actual = io::ReadFile(opts.patterns_path);
+    ASSERT_TRUE(expected.ok() && actual.ok());
+    EXPECT_EQ(expected.value(), actual.value())
+        << "--backend=apriori bytes differ at " << threads << " threads";
+  }
+}
+
+TEST(MiningBackendTest, ColocBackendWritesGraphAndColocationSections) {
+  PipelineOptions opts = SmallPipeline(TestDir("backend_coloc"));
+  opts.mine.backend = "coloc";
+  opts.mine.min_support = 0.2;
+  opts.mine.coloc_distance = 400.0;
+  auto result = RunPipeline(opts);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+
+  auto reader = SnapshotReader::Open(opts.patterns_path);
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+  auto graph_info = reader.value().Find(SectionType::kNeighborGraph);
+  ASSERT_TRUE(graph_info.ok());
+  auto graph = reader.value().ReadNeighborGraph(graph_info.value());
+  ASSERT_TRUE(graph.ok()) << graph.status().message();
+  EXPECT_EQ(graph.value().distance, 400.0);
+  EXPECT_GE(graph.value().type_names.size(), 2u);
+  EXPECT_FALSE(graph.value().neighbors.empty());
+
+  auto coloc_info = reader.value().Find(SectionType::kColocationSet);
+  ASSERT_TRUE(coloc_info.ok());
+  auto colocations = reader.value().ReadColocationSet(coloc_info.value());
+  ASSERT_TRUE(colocations.ok()) << colocations.status().message();
+  EXPECT_EQ(colocations.value().min_prevalence, 0.2);
+  EXPECT_EQ(colocations.value().distance, 400.0);
+  EXPECT_EQ(colocations.value().type_names, graph.value().type_names);
+  EXPECT_FALSE(colocations.value().patterns.empty());
+  for (const ColocationSet::Pattern& p : colocations.value().patterns) {
+    EXPECT_GE(p.types.size(), 2u);
+    EXPECT_GE(p.participation_index, 0.2);
+    EXPECT_LE(p.fuzzy_prevalence, p.participation_index);
+    EXPECT_GT(p.rows, 0u);
+  }
+
+  auto manifest_info = reader.value().Find(SectionType::kManifest);
+  ASSERT_TRUE(manifest_info.ok());
+  auto manifest = reader.value().ReadManifest(manifest_info.value());
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest.value().at("stage"), "mine");
+}
+
+TEST(MiningBackendTest, ColocBackendIsByteIdenticalAcrossThreadCounts) {
+  PipelineOptions serial = SmallPipeline(TestDir("backend_coloc_t1"));
+  serial.mine.backend = "coloc";
+  serial.mine.min_support = 0.2;
+  serial.mine.threads = 1;
+  ASSERT_TRUE(RunPipeline(serial).ok());
+
+  PipelineOptions parallel = SmallPipeline(TestDir("backend_coloc_t4"));
+  parallel.mine.backend = "coloc";
+  parallel.mine.min_support = 0.2;
+  parallel.mine.threads = 4;
+  ASSERT_TRUE(RunPipeline(parallel).ok());
+
+  auto a = io::ReadFile(serial.patterns_path);
+  auto b = io::ReadFile(parallel.patterns_path);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(MiningBackendTest, ColocBackendSkipsWhenUpToDate) {
+  PipelineOptions opts = SmallPipeline(TestDir("backend_coloc_skip"));
+  opts.mine.backend = "coloc";
+  ASSERT_TRUE(RunPipeline(opts).ok());
+  auto second = RunPipeline(opts);
+  ASSERT_TRUE(second.ok());
+  for (const StageOutcome& stage : second.value().stages) {
+    EXPECT_TRUE(stage.skipped) << stage.stage;
+  }
+
+  // A distance change invalidates only the mine stage.
+  opts.mine.coloc_distance = 250.0;
+  auto rerun = RunPipeline(opts);
+  ASSERT_TRUE(rerun.ok());
+  ASSERT_EQ(rerun.value().stages.size(), 3u);
+  EXPECT_TRUE(rerun.value().stages[0].skipped);
+  EXPECT_TRUE(rerun.value().stages[1].skipped);
+  EXPECT_FALSE(rerun.value().stages[2].skipped);
+}
+
+TEST(MiningBackendTest, RejectsUnknownBackend) {
+  const PipelineOptions opts = SmallPipeline(TestDir("backend_unknown"));
+  ASSERT_TRUE(RunPipeline(opts).ok());
+  MineConfig bad;
+  bad.backend = "eclat";
+  const Status r = RunMineStage(opts.txdb_path,
+                                opts.patterns_path + ".bad.sfpm", bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.message().find("eclat"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace sfpm

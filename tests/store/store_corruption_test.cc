@@ -39,6 +39,22 @@ std::string Snapshot() {
   ps.algorithm = "fpgrowth";
   ps.filter = "none";
   w.AddPatternSet(ps);
+  NeighborGraphData graph;
+  graph.distance = 500.0;
+  graph.type_names = {"park", "slum"};
+  graph.type_sizes = {2, 1};
+  graph.band_names = {"veryClose", "close"};
+  graph.offsets = {0, 1, 2, 4};
+  graph.neighbors = {2, 2, 0, 1};
+  graph.bands = {0, 1, 0, 1};
+  w.AddNeighborGraph(graph);
+  ColocationSet cs;
+  cs.type_names = {"park", "slum"};
+  cs.min_prevalence = 0.4;
+  cs.distance = 500.0;
+  cs.filter = "kc+";
+  cs.patterns = {{{0, 1}, 0.75, 0.5, 3}};
+  w.AddColocationSet(cs);
   w.AddManifest({{"stage", "mine"}});
   return w.Serialize();
 }
@@ -81,6 +97,12 @@ void ExpectRejected(const std::string& bytes, const std::string& what) {
           break;
         case SectionType::kPatternSet:
           r.value().ReadPatternSet(info).status();
+          break;
+        case SectionType::kNeighborGraph:
+          r.value().ReadNeighborGraph(info).status();
+          break;
+        case SectionType::kColocationSet:
+          r.value().ReadColocationSet(info).status();
           break;
         case SectionType::kManifest:
           r.value().ReadManifest(info).status();

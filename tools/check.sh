@@ -40,8 +40,11 @@ if [[ "${1:-}" == "--quick" ]]; then
   # Tiles/Window/Merge cover the sharded-extraction pieces; the sharded
   # pipeline driver runs tile stages concurrently under --threads
   # (docs/SHARDING.md).
+  # NeighborGraph/ColocMiner/MiningBackend cover the co-location
+  # backend's parallel graph build and its thread-count byte identity
+  # (docs/COLOCATION.md).
   ctest --test-dir build-tsan --output-on-failure -j"${jobs}" \
-    -R 'ThreadPool|Parallelism|ParallelDeterminism|Extractor|Apriori|Pipeline|Metrics|Trace|LegacyStats|Store|Serve|TimeSeries|Logger|SlowQuery|Expose|Tiles|Window|Merge'
+    -R 'ThreadPool|Parallelism|ParallelDeterminism|Extractor|Apriori|Pipeline|Metrics|Trace|LegacyStats|Store|Serve|TimeSeries|Logger|SlowQuery|Expose|Tiles|Window|Merge|NeighborGraph|ColocMiner|MiningBackend'
 else
   ctest --test-dir build-tsan --output-on-failure -j"${jobs}"
 fi
@@ -65,8 +68,10 @@ if [[ "${1:-}" == "--quick" ]]; then
   # Tiles/Window/Merge matter under ASan for the windowed decode's
   # two-pass skim-then-materialize reads and the merge's rejection of
   # corrupt/truncated tile files.
+  # NeighborGraph/ColocMiner/MiningBackend matter under ASan for the CSR
+  # fill's chunked writes and the snapshot section decoders.
   ctest --test-dir build-asan --output-on-failure -j"${jobs}" \
-    -R 'Prepared|Relate|Extractor|Apriori|Pipeline|Metrics|Trace|Json|Report|Args|Stopwatch|LegacyStats|Store|ByteStability|Serve|TimeSeries|Logger|SlowQuery|Expose|Tiles|Window|Merge'
+    -R 'Prepared|Relate|Extractor|Apriori|Pipeline|Metrics|Trace|Json|Report|Args|Stopwatch|LegacyStats|Store|ByteStability|Serve|TimeSeries|Logger|SlowQuery|Expose|Tiles|Window|Merge|NeighborGraph|ColocMiner|MiningBackend'
 else
   ctest --test-dir build-asan --output-on-failure -j"${jobs}"
 fi
@@ -106,6 +111,14 @@ echo "== Sharded-extraction differential (UBSan) =="
 build-ubsan/tools/sfpm_fuzz --oracle shard_merge --iterations 10000 \
   --seed 2007
 
+echo "== Co-location differential (UBSan) =="
+# The coloc oracle mines adversarial layer sets through the neighbour
+# graph and the naive per-pair reference and demands identical patterns,
+# plus CSR/symmetry invariants, star==clique, thread identity and PI
+# anti-monotonicity (docs/COLOCATION.md). Under UBSan so an ordered-list
+# intersection can never agree with the reference via an OOB probe.
+build-ubsan/tools/sfpm_fuzz --oracle coloc --iterations 10000 --seed 2007
+
 echo "== Shard identity + crash consistency =="
 # The cli_shard ctest (Release tree) pins `sfpm run --shards=N` byte
 # identity against single-shard runs across scales x shard counts x
@@ -124,6 +137,8 @@ echo "== Serve telemetry end to end =="
 # The cli_serve ctest (Release tree) forks the real `sfpm serve` with
 # --metrics-port and validates the Prometheus exposition, /varz, /tracez
 # and one `sfpm top --once` frame over real sockets (docs/SERVE.md).
-ctest --test-dir build --output-on-failure -R '^cli_serve$'
+# cli_coloc runs the co-location pipeline at two thread counts (byte
+# identity) and the colocations query family (docs/COLOCATION.md).
+ctest --test-dir build --output-on-failure -R '^cli_serve$|^cli_coloc$'
 
 echo "== All checks passed =="

@@ -1,0 +1,333 @@
+// End-to-end driver of the `cli_coloc` ctest: runs the real `sfpm`
+// binary through the co-location pipeline — `run --backend coloc` at
+// two thread counts (byte-comparing the mined snapshot), then `serve`
+// on the result — and drives the `colocations` query over a real
+// loopback socket: the inventory in `status`, the default listing,
+// prevalence / size / membership filters, the limit-vs-total split,
+// and rejection of an unknown `contains` type. Finishes with a
+// graceful `shutdown` drain.
+//
+//   cli_coloc_test <path-to-sfpm> <work-dir>
+//
+// Exits 0 only when every step behaved; prints the first failure.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using sfpm::obs::json::Parse;
+using sfpm::obs::json::Value;
+using sfpm::serve::EncodeFrame;
+
+/// The forked `sfpm serve` child; killed on any failure so it cannot
+/// outlive the test holding ctest's output pipe open.
+pid_t g_child = -1;
+
+[[noreturn]] void Die(const std::string& what) {
+  std::fprintf(stderr, "cli_coloc_test: FAIL: %s\n", what.c_str());
+  if (g_child > 0) {
+    kill(g_child, SIGKILL);
+    waitpid(g_child, nullptr, 0);
+  }
+  std::exit(1);
+}
+
+void Run(const std::string& command) {
+  std::printf("cli_coloc_test: %s\n", command.c_str());
+  std::fflush(stdout);
+  if (std::system(command.c_str()) != 0) Die("command failed: " + command);
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) Die("cannot read " + path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Minimal blocking client over one framed-JSON connection.
+class Client {
+ public:
+  explicit Client(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) Die("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      Die("connect to 127.0.0.1:" + std::to_string(port));
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  void SendRaw(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) Die("send");
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  /// One complete frame; empty string on EOF.
+  std::string RecvFrame() {
+    std::string header = RecvExactly(4);
+    if (header.empty()) return "";
+    uint32_t length = 0;
+    std::memcpy(&length, header.data(), 4);
+    return RecvExactly(length);
+  }
+
+  /// Sends one request, requires an `ok` response, returns its `result`.
+  Value Query(const std::string& request) {
+    SendRaw(EncodeFrame(request));
+    const std::string response = RecvFrame();
+    if (response.empty()) Die("no response to " + request);
+    auto parsed = Parse(response);
+    if (!parsed.ok()) Die("bad response JSON: " + response);
+    const Value* ok = parsed.value().Find("ok");
+    if (ok == nullptr || !ok->boolean) {
+      Die("error response to " + request + ": " + response);
+    }
+    const Value* result = parsed.value().Find("result");
+    if (result == nullptr) Die("no result in: " + response);
+    return *result;
+  }
+
+  /// Sends one request that must FAIL; returns the error code string.
+  std::string QueryError(const std::string& request) {
+    SendRaw(EncodeFrame(request));
+    const std::string response = RecvFrame();
+    if (response.empty()) Die("no response to " + request);
+    auto parsed = Parse(response);
+    if (!parsed.ok()) Die("bad response JSON: " + response);
+    const Value* ok = parsed.value().Find("ok");
+    if (ok == nullptr || ok->boolean) {
+      Die("expected an error for " + request + ", got: " + response);
+    }
+    const Value* error = parsed.value().Find("error");
+    if (error == nullptr || error->Find("code") == nullptr) {
+      Die("error response without code: " + response);
+    }
+    return error->Find("code")->string;
+  }
+
+ private:
+  std::string RecvExactly(size_t n) {
+    std::string out;
+    char buf[4096];
+    while (out.size() < n) {
+      const ssize_t got =
+          recv(fd_, buf, std::min(sizeof(buf), n - out.size()), 0);
+      if (got <= 0) {
+        if (got < 0 && errno == EINTR) continue;
+        return std::string();
+      }
+      out.append(buf, static_cast<size_t>(got));
+    }
+    return out;
+  }
+
+  int fd_ = -1;
+};
+
+uint16_t WaitForPortFile(const std::string& path, pid_t child) {
+  for (int i = 0; i < 300; ++i) {  // 30 s budget.
+    std::ifstream in(path);
+    int port = 0;
+    if (in >> port && port > 0) return static_cast<uint16_t>(port);
+    int status = 0;
+    if (waitpid(child, &status, WNOHANG) == child) {
+      Die("sfpm serve exited before listening");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  Die("timed out waiting for " + path);
+}
+
+double NumberField(const Value& value, const char* key) {
+  const Value* field = value.Find(key);
+  if (field == nullptr) Die(std::string("missing field ") + key);
+  return field->number;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: cli_coloc_test <sfpm> <work-dir>\n");
+    return 2;
+  }
+  const std::string sfpm = argv[1];
+  const std::string dir = argv[2];
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Stage 1: the co-location pipeline at two thread counts must produce
+  // byte-identical snapshots (docs/COLOCATION.md, "Determinism").
+  const std::string serial = dir + "/serial";
+  const std::string parallel = dir + "/parallel";
+  std::filesystem::create_directories(serial);
+  std::filesystem::create_directories(parallel);
+  const std::string common =
+      " --seed 7 --minsup 0.2 --backend coloc --distance 400";
+  Run(sfpm + " run --dir " + serial + common + " --threads 1");
+  Run(sfpm + " run --dir " + parallel + common + " --threads 4");
+  for (const char* name : {"city.sfpm", "txdb.sfpm", "patterns.sfpm"}) {
+    if (ReadAll(serial + "/" + name) != ReadAll(parallel + "/" + name)) {
+      Die(std::string(name) + " differs between --threads 1 and 4");
+    }
+  }
+
+  // Stage 2: launch the server on an ephemeral port over the serial run.
+  const std::string port_file = dir + "/port";
+  const pid_t child = fork();
+  if (child < 0) Die("fork");
+  g_child = child;
+  if (child == 0) {
+    execl(sfpm.c_str(), sfpm.c_str(), "serve", "--snapshot",
+          (serial + "/city.sfpm").c_str(), "--snapshot",
+          (serial + "/txdb.sfpm").c_str(), "--snapshot",
+          (serial + "/patterns.sfpm").c_str(), "--port-file",
+          port_file.c_str(), "--threads", "2",
+          static_cast<char*>(nullptr));
+    std::perror("execl");
+    std::_Exit(127);
+  }
+  const uint16_t port = WaitForPortFile(port_file, child);
+  Client client(port);
+
+  // Stage 3: `status` advertises the co-location inventory.
+  const Value status = client.Query("{\"q\":\"status\"}");
+  const Value* inventory = status.Find("colocations");
+  if (inventory == nullptr || !inventory->is_object()) {
+    Die("status has no colocations inventory");
+  }
+  const double advertised = NumberField(*inventory, "patterns");
+  if (advertised <= 0) Die("status advertises zero co-locations");
+  if (NumberField(*inventory, "distance") != 400.0) {
+    Die("status inventory distance should be 400");
+  }
+  if (NumberField(*inventory, "min_prevalence") != 0.2) {
+    Die("status inventory min_prevalence should be 0.2");
+  }
+
+  // Stage 4: the default listing returns every mined pattern with sane
+  // per-row fields, and its header echoes the mining parameters.
+  const Value all = client.Query("{\"q\":\"colocations\"}");
+  if (NumberField(all, "total") != advertised) {
+    Die("colocations total disagrees with the status inventory");
+  }
+  if (NumberField(all, "distance") != 400.0) Die("wrong header distance");
+  if (NumberField(all, "min_prevalence") != 0.2) {
+    Die("wrong header min_prevalence");
+  }
+  const Value* patterns = all.Find("patterns");
+  if (patterns == nullptr || patterns->array.empty()) {
+    Die("colocations returned no patterns");
+  }
+  if (static_cast<double>(patterns->array.size()) !=
+      NumberField(all, "returned")) {
+    Die("returned count disagrees with the patterns array");
+  }
+  std::string some_type;
+  for (const Value& row : patterns->array) {
+    const Value* types = row.Find("types");
+    if (types == nullptr || types->array.size() < 2) {
+      Die("pattern with fewer than two types");
+    }
+    some_type = types->array[0].string;
+    const double pi = NumberField(row, "participation_index");
+    const double fuzzy = NumberField(row, "fuzzy_prevalence");
+    if (pi < 0.2 || pi > 1.0) Die("participation index out of range");
+    if (fuzzy < 0.0 || fuzzy > pi + 1e-12) Die("fuzzy exceeds crisp PI");
+    if (NumberField(row, "rows") <= 0) Die("pattern with zero rows");
+  }
+
+  // Stage 5: filters. A limit of 1 keeps `total` honest; a prevalence
+  // floor of 1.0 only keeps fully-prevalent patterns; `contains` narrows
+  // to patterns holding the named type; size bounds select pairs only.
+  const Value limited = client.Query("{\"q\":\"colocations\",\"limit\":1}");
+  if (NumberField(limited, "returned") != 1.0 ||
+      NumberField(limited, "total") != advertised) {
+    Die("limit=1 should return 1 of the full total");
+  }
+  const Value prevalent =
+      client.Query("{\"q\":\"colocations\",\"min_prevalence\":1.0}");
+  for (const Value& row : prevalent.Find("patterns")->array) {
+    if (NumberField(row, "participation_index") < 1.0 - 1e-12) {
+      Die("min_prevalence=1 returned a non-prevalent pattern");
+    }
+  }
+  const Value containing = client.Query(
+      "{\"q\":\"colocations\",\"contains\":[\"" + some_type + "\"]}");
+  if (NumberField(containing, "total") <= 0) {
+    Die("contains=[" + some_type + "] matched nothing");
+  }
+  for (const Value& row : containing.Find("patterns")->array) {
+    const Value* types = row.Find("types");
+    bool found = false;
+    for (const Value& t : types->array) found |= t.string == some_type;
+    if (!found) Die("contains filter leaked a pattern without " + some_type);
+  }
+  const Value pairs = client.Query(
+      "{\"q\":\"colocations\",\"min_size\":2,\"max_size\":2}");
+  for (const Value& row : pairs.Find("patterns")->array) {
+    if (row.Find("types")->array.size() != 2) {
+      Die("size bounds returned a non-pair");
+    }
+  }
+
+  // Stage 6: bad parameters are rejected without dropping the connection.
+  if (client.QueryError(
+          "{\"q\":\"colocations\",\"contains\":[\"no-such-type\"]}") !=
+      "not_found") {
+    Die("unknown contains type should be not_found");
+  }
+  if (client.QueryError(
+          "{\"q\":\"colocations\",\"min_prevalence\":2.0}") !=
+      "bad_request") {
+    Die("min_prevalence=2 should be bad_request");
+  }
+  if (NumberField(client.Query("{\"q\":\"status\"}"), "generation") != 1.0) {
+    Die("connection wedged after rejected queries");
+  }
+
+  // Stage 7: graceful shutdown via the admin query; exit code 0.
+  const Value bye = client.Query("{\"q\":\"shutdown\"}");
+  if (bye.Find("draining") == nullptr) Die("shutdown did not acknowledge");
+  int status_code = 0;
+  if (waitpid(child, &status_code, 0) != child) Die("waitpid");
+  if (!WIFEXITED(status_code) || WEXITSTATUS(status_code) != 0) {
+    Die("sfpm serve exited with status " + std::to_string(status_code));
+  }
+
+  std::printf("cli_coloc_test: PASS\n");
+  return 0;
+}

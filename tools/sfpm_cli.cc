@@ -154,6 +154,13 @@ int RunHelp() {
       "kc+)\n"
       "  --dependency a:b        known dependency pair, repeatable\n"
       "  --algorithm apriori|fpgrowth\n"
+      "  --backend apriori|fpgrowth|coloc\n"
+      "                          mining backend (default: --algorithm).\n"
+      "                          coloc mines co-locations from a *city*\n"
+      "                          snapshot (--in city.sfpm) via the neighbour\n"
+      "                          graph (docs/COLOCATION.md)\n"
+      "  --distance R            coloc neighbourhood radius in metres\n"
+      "                          (default 500; coloc backend only)\n"
       "  --rules F               also derive rules at min confidence F\n"
       "  --closed                report closed itemsets only\n"
       "  --maximal               report maximal itemsets only\n"
@@ -175,6 +182,8 @@ int RunHelp() {
       "  --reference type        reference feature type (default district)\n"
       "  --directions            extract direction predicates\n"
       "  --minsup F / --filter f / --algorithm a / --dependency a:b\n"
+      "  --backend b / --distance R     as in mine (--backend=coloc mines\n"
+      "                          the city snapshot's layers directly)\n"
       "  --threads N             worker threads\n"
       "  --force                 rerun every stage (ignore content hashes)\n"
       "  --report / --trace      run artifacts\n"
@@ -514,7 +523,13 @@ int RunMineSnapshot(const Args& args, const std::string& command_line) {
     return Fail(Status::InvalidArgument("bad --minsup"));
   }
   config.algorithm = args.Get("algorithm", "apriori");
+  config.backend = args.Get("backend", "");
   config.filter = args.Get("filter", "kc+");
+  try {
+    config.coloc_distance = std::stod(args.Get("distance", "500"));
+  } catch (const std::exception&) {
+    return Fail(Status::InvalidArgument("bad --distance"));
+  }
   const auto dependencies = ParseDependencies(args);
   if (!dependencies.ok()) return Fail(dependencies.status());
   config.dependencies = dependencies.value();
@@ -533,6 +548,12 @@ int RunMineSnapshot(const Args& args, const std::string& command_line) {
 
 int RunMine(const Args& args, const std::string& command_line) {
   if (args.Has("in")) return RunMineSnapshot(args, command_line);
+  for (const char* flag : {"backend", "distance"}) {
+    if (args.Has(flag)) {
+      return Fail(Status::InvalidArgument(
+          std::string("--") + flag + " needs --in snapshots"));
+    }
+  }
 
   const auto table = io::LoadTable(args.Get("table"));
   if (!table.ok()) return Fail(table.status());
@@ -697,7 +718,13 @@ int RunPipelineCommand(const Args& args, const std::string& command_line) {
     return Fail(Status::InvalidArgument("bad --minsup"));
   }
   options.mine.algorithm = args.Get("algorithm", "apriori");
+  options.mine.backend = args.Get("backend", "");
   options.mine.filter = args.Get("filter", "kc+");
+  try {
+    options.mine.coloc_distance = std::stod(args.Get("distance", "500"));
+  } catch (const std::exception&) {
+    return Fail(Status::InvalidArgument("bad --distance"));
+  }
   const auto dependencies = ParseDependencies(args);
   if (!dependencies.ok()) return Fail(dependencies.status());
   options.mine.dependencies = dependencies.value();
@@ -979,8 +1006,8 @@ int main(int argc, char** argv) {
     const int bad = RejectUnknownFlags(
         args, "mine",
         {"table", "in", "out", "minsup", "filter", "dependency", "algorithm",
-         "rules", "closed", "maximal", "top", "threads", "stats", "report",
-         "trace"});
+         "backend", "distance", "rules", "closed", "maximal", "top", "threads",
+         "stats", "report", "trace"});
     return bad != 0 ? bad : RunMine(args, command_line);
   }
   if (command == "run") {
@@ -988,7 +1015,8 @@ int main(int argc, char** argv) {
         args, "run",
         {"dir", "city", "txdb", "patterns", "seed", "scale", "shards",
          "reference", "directions", "minsup", "filter", "algorithm",
-         "dependency", "threads", "force", "report", "trace"});
+         "backend", "distance", "dependency", "threads", "force", "report",
+         "trace"});
     return bad != 0 ? bad : RunPipelineCommand(args, command_line);
   }
   if (command == "gain") {
